@@ -1,0 +1,102 @@
+//===--- BenchCommon.h - Shared harness for the experiment benches -*- C++ -*-===//
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md section 4 and EXPERIMENTS.md). This header
+// provides the shared plumbing: compiling a suite benchmark in a given
+// configuration, running it over randomized input, and fixed-width
+// table printing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_BENCH_BENCHCOMMON_H
+#define LAMINAR_BENCH_BENCHCOMMON_H
+
+#include "driver/Driver.h"
+#include "suite/Suite.h"
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace bench {
+
+struct Config {
+  driver::LoweringMode Mode;
+  unsigned OptLevel;
+  bool UnrollFifo = false;
+};
+
+inline const Config kFifo{driver::LoweringMode::Fifo, 2};
+inline const Config kFifoO0{driver::LoweringMode::Fifo, 0};
+inline const Config kFifoUnroll{driver::LoweringMode::Fifo, 2, true};
+inline const Config kLaminar{driver::LoweringMode::Laminar, 2};
+inline const Config kLaminarO0{driver::LoweringMode::Laminar, 0};
+
+inline driver::Compilation compileBench(const suite::Benchmark &B,
+                                        const Config &Cfg) {
+  driver::CompileOptions O;
+  O.TopName = B.Top;
+  O.Mode = Cfg.Mode;
+  O.OptLevel = Cfg.OptLevel;
+  O.UnrollFifo = Cfg.UnrollFifo;
+  driver::Compilation C = driver::compile(B.Source, O);
+  if (!C.Ok) {
+    std::fprintf(stderr, "fatal: %s failed to compile:\n%s\n",
+                 B.Name.c_str(), C.ErrorLog.c_str());
+    std::exit(1);
+  }
+  return C;
+}
+
+/// Runs for \p Iters steady iterations; aborts the bench on failure.
+inline interp::RunResult runBench(const driver::Compilation &C,
+                                  int64_t Iters, uint64_t Seed = 1) {
+  interp::RunResult R = driver::runWithRandomInput(C, Iters, Seed);
+  if (!R.Ok) {
+    std::fprintf(stderr, "fatal: runtime error: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+/// Steady-state counters normalized to one iteration.
+inline interp::Counters perIteration(const interp::RunResult &R) {
+  interp::Counters C = R.SteadyCounters;
+  auto Div = [&](uint64_t &V) { V /= R.SteadyIterations; };
+  Div(C.IntAlu);
+  Div(C.FloatAlu);
+  Div(C.FloatDiv);
+  Div(C.Cmp);
+  Div(C.Cast);
+  Div(C.Select);
+  Div(C.MathCall);
+  Div(C.Phi);
+  Div(C.Branch);
+  Div(C.CommLoad);
+  Div(C.CommStore);
+  Div(C.StateLoad);
+  Div(C.StateStore);
+  Div(C.Input);
+  Div(C.Output);
+  return C;
+}
+
+inline double geomean(const std::vector<double> &Values) {
+  double LogSum = 0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return Values.empty() ? 0.0 : std::exp(LogSum / Values.size());
+}
+
+inline void printRule(int Width) {
+  for (int I = 0; I < Width; ++I)
+    std::putchar('-');
+  std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace laminar
+
+#endif // LAMINAR_BENCH_BENCHCOMMON_H

@@ -1,0 +1,99 @@
+//===--- bench_ablation_static_input.cpp - Experiment A1 -----------------------===//
+//
+// Reproduces the paper's observation that benchmarks had to be converted
+// "from static to randomized input, to prevent computation of partial
+// results at compile-time": each benchmark is re-compiled with a
+// constant-producing source filter fused in front of it. With direct
+// token access, SCCP then sees straight through the dataflow and folds
+// most of the steady state to constants; with randomized (external)
+// input it cannot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "lir/Module.h"
+
+using namespace laminar;
+using namespace laminar::bench;
+
+namespace {
+
+/// Arithmetic work remaining in the steady state (the part constant
+/// folding would have removed).
+uint64_t arithInsts(const driver::Compilation &C) {
+  uint64_t N = 0;
+  for (const auto &BB :
+       C.Module->getFunction("steady")->blocks())
+    for (const auto &I : BB->instructions())
+      switch (I->getKind()) {
+      case lir::Value::Kind::Binary:
+      case lir::Value::Kind::Unary:
+      case lir::Value::Kind::Cmp:
+      case lir::Value::Kind::Call:
+      case lir::Value::Kind::Select:
+      case lir::Value::Kind::Cast:
+        ++N;
+        break;
+      default:
+        break;
+      }
+  return N;
+}
+
+/// Wraps a benchmark so its input is a compile-time constant stream.
+suite::Benchmark staticVariant(const suite::Benchmark &B, bool IntInput) {
+  suite::Benchmark S = B;
+  static std::vector<std::string> Storage; // Keeps sources alive.
+  std::string Src = B.Source;
+  if (IntInput)
+    Src += "\nvoid->int filter __ConstSource {\n"
+           "  work push 1 { push(7); }\n}\n"
+           "void->int pipeline __StaticTop {\n  add __ConstSource;\n  add " +
+           B.Top + ";\n}\n";
+  else
+    Src += "\nvoid->float filter __ConstSource {\n"
+           "  work push 1 { push(0.5); }\n}\n"
+           "void->float pipeline __StaticTop {\n  add __ConstSource;\n"
+           "  add " +
+           B.Top + ";\n}\n";
+  Storage.push_back(std::move(Src));
+  S.Source = Storage.back().c_str();
+  S.Top = "__StaticTop";
+  return S;
+}
+
+} // namespace
+
+int main() {
+  std::printf("A1: static vs randomized input under LaminarIR -O2 "
+              "(remaining arithmetic in the steady state)\n");
+  std::printf("%-16s %12s %12s %16s\n", "benchmark", "randomized",
+              "static", "folded away");
+  printRule(62);
+  for (const suite::Benchmark &B : suite::allBenchmarks()) {
+    auto CRand = compileBench(B, kLaminar);
+    bool IntInput = CRand.Module->getInputType() == lir::TypeKind::Int;
+    auto CStat = compileBench(staticVariant(B, IntInput), kLaminar);
+    uint64_t Rand = arithInsts(CRand);
+    uint64_t Stat = arithInsts(CStat);
+    double Folded =
+        Rand > 0 ? (1.0 - static_cast<double>(Stat) /
+                              static_cast<double>(Rand)) *
+                       100.0
+                 : 0.0;
+    std::printf("%-16s %12llu %12llu %15.1f%%\n", B.Name.c_str(),
+                static_cast<unsigned long long>(Rand),
+                static_cast<unsigned long long>(Stat), Folded);
+  }
+  printRule(62);
+  std::printf(
+      "\nBenchmarks without peeking carry-over (BitonicSort, DCT, "
+      "MatrixMult, Autocor)\nevaluate COMPLETELY at compile time under a "
+      "constant source: their whole\nsteady state folds to constant "
+      "outputs. That is the paper's observation that\n\"several standard "
+      "StreamIt benchmarks\" had to be converted to randomized\ninput. "
+      "Peeking benchmarks resist full evaluation because live tokens "
+      "cross\nthe steady-state boundary through memory, which the "
+      "optimizer treats as\nopaque.\n");
+  return 0;
+}

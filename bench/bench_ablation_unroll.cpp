@@ -1,0 +1,43 @@
+//===--- bench_ablation_unroll.cpp - Experiment A2 -----------------------------===//
+//
+// Separates the two ingredients of LaminarIR: full unrolling vs. direct
+// token access. A FIFO variant with the steady state and all static
+// work loops unrolled (buffer indirection intact) is compared against
+// true LaminarIR. Unrolling alone removes loop overhead but cannot
+// remove the communication memory traffic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace laminar;
+using namespace laminar::bench;
+
+int main() {
+  constexpr int64_t Iters = 8;
+  std::printf("A2: unrolling alone vs direct token access "
+              "(per steady-state iteration, after -O2)\n");
+  std::printf("%-16s | %9s %9s %9s | %9s %9s %9s\n", "", "fifo",
+              "fifo+unr", "laminar", "fifo", "fifo+unr", "laminar");
+  std::printf("%-16s | %29s | %29s\n", "benchmark",
+              "communication accesses", "branches executed");
+  printRule(80);
+  for (const suite::Benchmark &B : suite::allBenchmarks()) {
+    auto RF = perIteration(runBench(compileBench(B, kFifo), Iters));
+    auto RU = perIteration(runBench(compileBench(B, kFifoUnroll), Iters));
+    auto RL = perIteration(runBench(compileBench(B, kLaminar), Iters));
+    std::printf("%-16s | %9llu %9llu %9llu | %9llu %9llu %9llu\n",
+                B.Name.c_str(),
+                static_cast<unsigned long long>(RF.communication()),
+                static_cast<unsigned long long>(RU.communication()),
+                static_cast<unsigned long long>(RL.communication()),
+                static_cast<unsigned long long>(RF.Branch),
+                static_cast<unsigned long long>(RU.Branch),
+                static_cast<unsigned long long>(RL.Branch));
+  }
+  printRule(80);
+  std::printf("\nUnrolled FIFO keeps (nearly) all communication traffic: "
+              "the buffer indirection,\nnot the loop structure, is what "
+              "blocks the optimizer.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+//===--- bench_interp_micro.cpp - google-benchmark microbenchmarks ------------===//
+//
+// Wall-clock throughput of interpreting the steady state, per benchmark
+// and lowering, via google-benchmark. The FIFO/Laminar ratio here is
+// the measured component of experiment F1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include <benchmark/benchmark.h>
+
+using namespace laminar;
+using namespace laminar::bench;
+
+namespace {
+
+void runSteady(benchmark::State &State, const suite::Benchmark &B,
+               const Config &Cfg) {
+  driver::Compilation C = compileBench(B, Cfg);
+  constexpr int64_t Iters = 16;
+  int64_t Outputs = 0;
+  for (auto _ : State) {
+    interp::RunResult R = driver::runWithRandomInput(C, Iters, 1);
+    if (!R.Ok)
+      State.SkipWithError(R.Error.c_str());
+    Outputs += static_cast<int64_t>(R.Outputs.size());
+    benchmark::DoNotOptimize(R.Outputs);
+  }
+  State.counters["tokens/s"] = benchmark::Counter(
+      static_cast<double>(Outputs), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const suite::Benchmark &B : suite::allBenchmarks()) {
+    benchmark::RegisterBenchmark(
+        (B.Name + "/fifo").c_str(),
+        [&B](benchmark::State &S) { runSteady(S, B, kFifo); });
+    benchmark::RegisterBenchmark(
+        (B.Name + "/laminar").c_str(),
+        [&B](benchmark::State &S) { runSteady(S, B, kLaminar); });
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===--- bench_opt_enabling.cpp - Experiment T4 -------------------------------===//
+//
+// Reproduces the paper's "enabling effect" result: the same standard
+// optimization pipeline is run over both lowerings, and the per-pass
+// transformation counts show how direct token access exposes work that
+// FIFO indirection hides. Also reports how much each optimizer shrank
+// the steady state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace laminar;
+using namespace laminar::bench;
+
+namespace {
+
+uint64_t transforms(const StatsRegistry &S) {
+  return S.get("constfold.folded") + S.get("constfold.simplified") +
+         S.get("sccp.constants") + S.get("sccp.branches") +
+         S.get("gvn.eliminated") + S.get("copyprop.phis") +
+         S.get("dce.removed");
+}
+
+size_t steadySize(const driver::Compilation &C) {
+  return C.Module->getFunction("steady")->instructionCount();
+}
+
+} // namespace
+
+int main() {
+  std::printf("T4: enabling effect of LaminarIR on standard scalar "
+              "optimizations (same -O2 pipeline on both forms)\n");
+  std::printf("%-16s | %9s %9s %8s | %9s %9s %8s\n", "", "fifo", "fifo",
+              "shrink", "laminar", "laminar", "shrink");
+  std::printf("%-16s | %9s %9s %8s | %9s %9s %8s\n", "benchmark",
+              "transforms", "insts", "", "transforms", "insts", "");
+  printRule(78);
+
+  for (const suite::Benchmark &B : suite::allBenchmarks()) {
+    auto CF0 = compileBench(B, kFifoO0);
+    auto CF2 = compileBench(B, kFifo);
+    auto CL0 = compileBench(B, kLaminarO0);
+    auto CL2 = compileBench(B, kLaminar);
+    double ShrinkF =
+        100.0 * (1.0 - static_cast<double>(steadySize(CF2)) /
+                           static_cast<double>(steadySize(CF0)));
+    double ShrinkL =
+        100.0 * (1.0 - static_cast<double>(steadySize(CL2)) /
+                           static_cast<double>(steadySize(CL0)));
+    std::printf("%-16s | %9llu %9zu %7.1f%% | %9llu %9zu %7.1f%%\n",
+                B.Name.c_str(),
+                static_cast<unsigned long long>(transforms(CF2.Stats)),
+                steadySize(CF2), ShrinkF,
+                static_cast<unsigned long long>(transforms(CL2.Stats)),
+                steadySize(CL2), ShrinkL);
+  }
+  printRule(78);
+
+  std::printf("\nper-pass transformation counts (sum over all "
+              "benchmarks):\n");
+  std::printf("%-24s %12s %12s\n", "pass counter", "fifo", "laminar");
+  printRule(50);
+  const char *Keys[] = {"lowering.builder-folds", "constfold.folded",
+                        "constfold.simplified",   "sccp.constants",
+                        "sccp.branches",          "sccp.unreachable",
+                        "copyprop.phis",          "gvn.eliminated",
+                        "dce.removed",            "simplifycfg.merged"};
+  StatsRegistry SumF, SumL;
+  for (const suite::Benchmark &B : suite::allBenchmarks()) {
+    auto CF = compileBench(B, kFifo);
+    auto CL = compileBench(B, kLaminar);
+    for (const char *K : Keys) {
+      SumF.add(K, CF.Stats.get(K));
+      SumL.add(K, CL.Stats.get(K));
+    }
+  }
+  for (const char *K : Keys)
+    std::printf("%-24s %12llu %12llu\n", K,
+                static_cast<unsigned long long>(SumF.get(K)),
+                static_cast<unsigned long long>(SumL.get(K)));
+  std::printf("\nNote: 'lowering.builder-folds' counts operations the "
+              "folding IR builder already\nresolved while emitting. "
+              "Under direct token access the lowering itself acts as\n"
+              "the partial evaluator — the enabling effect the paper "
+              "attributes to LaminarIR —\nso most constants never even "
+              "reach the pass pipeline.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+//===--- bench_speedup.cpp - Experiment F1 -----------------------------------===//
+//
+// Reproduces the paper's speedup figure in two parts:
+//
+//  (a) measured: wall-clock time interpreting the FIFO and LaminarIR
+//      steady states on this host, per benchmark;
+//  (b) modeled: cycle estimates on the paper's four platforms (cost
+//      models over the dynamic operation counts), with the per-platform
+//      geometric-mean speedup.
+//
+// Abstract claim: "platform-specific speedups between 3.73x and 4.98x
+// over StreamIt".
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "perfmodel/PlatformModel.h"
+#include <chrono>
+
+using namespace laminar;
+using namespace laminar::bench;
+using namespace laminar::perfmodel;
+
+namespace {
+
+/// Median-of-3 wall-clock seconds for \p Iters steady iterations.
+double timeRun(const driver::Compilation &C, int64_t Iters) {
+  double Best = 1e99;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    interp::RunResult R = driver::runWithRandomInput(C, Iters, 1);
+    auto End = std::chrono::steady_clock::now();
+    if (!R.Ok) {
+      std::fprintf(stderr, "fatal: %s\n", R.Error.c_str());
+      std::exit(1);
+    }
+    Best = std::min(Best,
+                    std::chrono::duration<double>(End - Start).count());
+  }
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  constexpr int64_t Iters = 300;
+
+  std::printf("F1(a): measured wall-clock speedup of LaminarIR over the "
+              "FIFO baseline (interpreted, %lld steady iterations)\n",
+              static_cast<long long>(Iters));
+  std::printf("%-16s %12s %12s %10s\n", "benchmark", "fifo [ms]",
+              "laminar [ms]", "speedup");
+  printRule(54);
+  std::vector<double> Measured;
+  for (const suite::Benchmark &B : suite::allBenchmarks()) {
+    auto CF = compileBench(B, kFifo);
+    auto CL = compileBench(B, kLaminar);
+    double TF = timeRun(CF, Iters);
+    double TL = timeRun(CL, Iters);
+    Measured.push_back(TF / TL);
+    std::printf("%-16s %12.2f %12.2f %9.2fx\n", B.Name.c_str(), TF * 1e3,
+                TL * 1e3, TF / TL);
+  }
+  printRule(54);
+  std::printf("%-16s %35.2fx (geomean)\n\n", "geomean",
+              geomean(Measured));
+
+  std::printf("F1(b): modeled speedup on the paper's platforms "
+              "(cycle cost models; see EXPERIMENTS.md)\n");
+  std::printf("%-16s", "benchmark");
+  for (const PlatformModel &P : paperPlatforms())
+    std::printf(" %13s", P.Name.c_str());
+  std::printf("\n");
+  printRule(16 + 14 * static_cast<int>(paperPlatforms().size()));
+
+  std::vector<std::vector<double>> PerPlatform(paperPlatforms().size());
+  for (const suite::Benchmark &B : suite::allBenchmarks()) {
+    auto RF = perIteration(runBench(compileBench(B, kFifo), 8));
+    auto RL = perIteration(runBench(compileBench(B, kLaminar), 8));
+    std::printf("%-16s", B.Name.c_str());
+    for (size_t K = 0; K < paperPlatforms().size(); ++K) {
+      const PlatformModel &P = paperPlatforms()[K];
+      double Speedup = P.cycles(RF) / P.cycles(RL);
+      PerPlatform[K].push_back(Speedup);
+      std::printf(" %12.2fx", Speedup);
+    }
+    std::printf("\n");
+  }
+  printRule(16 + 14 * static_cast<int>(paperPlatforms().size()));
+  std::printf("%-16s", "geomean");
+  for (const auto &V : PerPlatform)
+    std::printf(" %12.2fx", geomean(V));
+  std::printf("\n\npaper (abstract): platform-specific speedups between "
+              "3.73x and 4.98x\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===--- echo_feedback.cpp - Feedback loops under compile-time queues -------===//
+//
+// A damped echo built from a feedbackloop: the delay line is nothing
+// but the tokens enqueued on the feedback channel. Under the Laminar
+// lowering those circulating tokens become live-token scalars rotated
+// once per steady-state iteration — the whole run-time FIFO machinery
+// of the cycle disappears.
+//
+// Build & run:  ./build/examples/echo_feedback
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "lir/Printer.h"
+#include <iostream>
+
+using namespace laminar;
+
+static const char *kProgram = R"(
+float->float filter EchoMixer(float decay) {
+  work pop 2 push 2 {
+    float dry = pop();
+    float fed = pop();
+    float wet = dry + decay * fed;
+    push(wet);
+    push(wet);
+  }
+}
+
+float->float feedbackloop Echo(int delay) {
+  join roundrobin(1, 1);
+  body EchoMixer(0.5);
+  split roundrobin(1, 1);
+  for (int i = 0; i < delay; i++)
+    enqueue 0.0;
+}
+
+float->float pipeline Top { add Echo(4); }
+)";
+
+int main() {
+  driver::CompileOptions Opts;
+  Opts.TopName = "Top";
+  Opts.Mode = driver::LoweringMode::Laminar;
+  driver::Compilation Laminar = driver::compile(kProgram, Opts);
+  if (!Laminar.Ok) {
+    std::cerr << Laminar.ErrorLog;
+    return 1;
+  }
+  Opts.Mode = driver::LoweringMode::Fifo;
+  driver::Compilation Fifo = driver::compile(kProgram, Opts);
+
+  std::cout << "=== stream graph (note the back edge) ===\n"
+            << Laminar.Graph->str() << "\n";
+
+  std::cout << "=== Laminar steady state ===\n"
+            << lir::printFunction(*Laminar.Module->getFunction("steady"))
+            << "\nThe four live-token globals are the delay line; one "
+               "mixer multiply-add is\nall that remains per sample.\n\n";
+
+  constexpr int64_t Iters = 12;
+  interp::RunResult RL = driver::runWithRandomInput(Laminar, Iters, 5);
+  interp::RunResult RF = driver::runWithRandomInput(Fifo, Iters, 5);
+  std::cout << "echoed samples (identical in both lowerings):\n";
+  std::cout.precision(6);
+  for (int64_t K = 0; K < Iters; ++K)
+    std::cout << "  " << RL.Outputs.F[K]
+              << (RL.Outputs.F[K] == RF.Outputs.F[K] ? "" : "  MISMATCH")
+              << "\n";
+  std::cout << "\ncommunication accesses per run: fifo="
+            << RF.SteadyCounters.communication()
+            << " laminar=" << RL.SteadyCounters.communication() << "\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+//===--- quickstart.cpp - Five-minute tour of the public API ----------------===//
+//
+// Compiles a small StreamIt program twice — once with the conventional
+// run-time FIFO lowering and once with the LaminarIR transformation —
+// runs both over the same randomized input, and shows that the outputs
+// are identical while the communication traffic is not.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include <iostream>
+
+using namespace laminar;
+
+static const char *kProgram = R"(
+// A sliding-window averager followed by a gain stage.
+float->float filter Averager(int n) {
+  work push 1 pop 1 peek n {
+    float sum = 0.0;
+    for (int i = 0; i < n; i++)
+      sum += peek(i);
+    push(sum / n);
+    pop();
+  }
+}
+
+float->float filter Gain(float g) {
+  work push 1 pop 1 { push(pop() * g); }
+}
+
+float->float pipeline Smooth {
+  add Averager(8);
+  add Gain(2.0);
+}
+)";
+
+int main() {
+  driver::CompileOptions Opts;
+  Opts.TopName = "Smooth";
+
+  // 1. The baseline: run-time FIFO queues (what StreamIt generates).
+  Opts.Mode = driver::LoweringMode::Fifo;
+  driver::Compilation Fifo = driver::compile(kProgram, Opts);
+  if (!Fifo.Ok) {
+    std::cerr << Fifo.ErrorLog;
+    return 1;
+  }
+
+  // 2. The paper's transformation: compile-time queues.
+  Opts.Mode = driver::LoweringMode::Laminar;
+  driver::Compilation Laminar = driver::compile(kProgram, Opts);
+
+  // 3. Interpret both over the same randomized input.
+  constexpr int64_t Iterations = 10;
+  constexpr uint64_t Seed = 42;
+  interp::RunResult RF = driver::runWithRandomInput(Fifo, Iterations, Seed);
+  interp::RunResult RL =
+      driver::runWithRandomInput(Laminar, Iterations, Seed);
+
+  std::cout << "outputs (fifo vs laminar):\n";
+  std::cout.precision(10);
+  for (size_t K = 0; K < RF.Outputs.F.size(); ++K)
+    std::cout << "  " << RF.Outputs.F[K] << "  " << RL.Outputs.F[K]
+              << (RF.Outputs.F[K] == RL.Outputs.F[K] ? "  (equal)\n"
+                                                     : "  MISMATCH\n");
+
+  std::cout << "\nper-run communication memory accesses:\n"
+            << "  fifo:    " << RF.SteadyCounters.communication() << "\n"
+            << "  laminar: " << RL.SteadyCounters.communication() << "\n";
+  std::cout << "\nThe Laminar steady state touches memory only for the "
+               "7 live tokens the\n8-deep peek window carries across "
+               "iterations; the FIFO version pays\nbuffer + head/tail "
+               "traffic for every single token.\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+//===--- CEmitter.h - Self-contained C99 emission --------------*- C++ -*-===//
+//
+// Completes the "StreamIt to C compilation framework": a lowered module
+// becomes one self-contained C file with the same semantics as the
+// interpreter (wrapping integer arithmetic, identical PRNG input, same
+// output order), so emitted programs can be compiled with any C
+// compiler and cross-checked against interpreted runs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_CODEGEN_CEMITTER_H
+#define LAMINAR_CODEGEN_CEMITTER_H
+
+#include "lir/Module.h"
+#include <cstdint>
+#include <string>
+
+namespace laminar {
+namespace codegen {
+
+struct CEmitOptions {
+  /// Seed of the embedded xorshift input generator (must match the
+  /// interpreter run being compared against).
+  uint64_t InputSeed = 0x9E3779B97F4A7C15ULL;
+  /// Steady iterations when the program is run without arguments.
+  int64_t DefaultIterations = 16;
+};
+
+/// Renders the module as a complete C99 program (globals, init, steady,
+/// main with input generation and output printing).
+std::string emitC(const lir::Module &M, const CEmitOptions &Opts);
+
+} // namespace codegen
+} // namespace laminar
+
+#endif // LAMINAR_CODEGEN_CEMITTER_H

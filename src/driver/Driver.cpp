@@ -1,0 +1,101 @@
+//===--- Driver.cpp -------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "graph/GraphBuilder.h"
+#include "lir/Verifier.h"
+#include "lower/Lowering.h"
+#include "opt/PassManager.h"
+
+using namespace laminar;
+using namespace laminar::driver;
+
+Compilation driver::compile(const std::string &Source,
+                            const CompileOptions &Opts) {
+  Compilation C;
+  DiagnosticEngine Diags;
+
+  C.AST = parseProgram(Source, Diags);
+  if (Diags.hasErrors()) {
+    C.ErrorLog = Diags.str();
+    return C;
+  }
+  if (!analyzeProgram(*C.AST, Diags)) {
+    C.ErrorLog = Diags.str();
+    return C;
+  }
+  C.Graph = graph::buildGraph(*C.AST, Opts.TopName, Diags);
+  if (!C.Graph) {
+    C.ErrorLog = Diags.str();
+    return C;
+  }
+  C.Sched = schedule::computeSchedule(*C.Graph, Diags);
+  if (!C.Sched) {
+    C.ErrorLog = Diags.str();
+    return C;
+  }
+  C.Module = Opts.Mode == LoweringMode::Fifo
+                 ? lower::lowerToFifo(*C.Graph, *C.Sched, Diags,
+                                      Opts.UnrollFifo, &C.Stats)
+                 : lower::lowerToLaminar(*C.Graph, *C.Sched, Diags,
+                                         &C.Stats);
+  if (!C.Module) {
+    C.ErrorLog = Diags.str();
+    return C;
+  }
+
+  std::vector<std::string> Violations = lir::verifyModule(*C.Module);
+  if (!Violations.empty()) {
+    C.ErrorLog = "lowering produced invalid IR:\n";
+    for (const std::string &V : Violations)
+      C.ErrorLog += "  " + V + "\n";
+    return C;
+  }
+
+  if (Opts.OptLevel > 0) {
+    if (Opts.VerifyEachPass) {
+      opt::PassManager PM(C.Stats);
+      PM.setVerifyEachPass(true);
+      PM.addPass("constfold", opt::runConstantFold);
+      if (Opts.OptLevel >= 2) {
+        PM.addPass("globalfold", opt::runGlobalStateFold);
+        PM.addPass("memforward", opt::runMemForward);
+        PM.addPass("sccp", opt::runSCCP);
+        PM.addPass("copyprop", opt::runCopyProp);
+        PM.addPass("gvn", opt::runGVN);
+      }
+      PM.addPass("dce", opt::runDCE);
+      PM.addPass("simplifycfg", opt::runSimplifyCFG);
+      PM.run(*C.Module, Opts.OptLevel >= 2 ? 4 : 2);
+    } else {
+      opt::optimizeModule(*C.Module, Opts.OptLevel, C.Stats);
+    }
+    Violations = lir::verifyModule(*C.Module);
+    if (!Violations.empty()) {
+      C.ErrorLog = "optimization produced invalid IR:\n";
+      for (const std::string &V : Violations)
+        C.ErrorLog += "  " + V + "\n";
+      return C;
+    }
+  }
+
+  C.Ok = true;
+  return C;
+}
+
+size_t driver::requiredInputTokens(const Compilation &C,
+                                   int64_t Iterations) {
+  if (!C.Sched || !C.Graph || !C.Graph->getSource())
+    return 0;
+  return static_cast<size_t>(C.Sched->inputForInit(*C.Graph) +
+                             C.Sched->inputPerSteady(*C.Graph) * Iterations);
+}
+
+interp::RunResult driver::runWithRandomInput(const Compilation &C,
+                                             int64_t Iterations,
+                                             uint64_t Seed) {
+  interp::TokenStream Input = interp::makeRandomInput(
+      C.Module->getInputType(), requiredInputTokens(C, Iterations), Seed);
+  return interp::runModule(*C.Module, Input, Iterations);
+}

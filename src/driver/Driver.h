@@ -1,0 +1,69 @@
+//===--- Driver.h - End-to-end compilation pipeline ------------*- C++ -*-===//
+//
+// parse -> sema -> elaborate -> schedule -> lower (FIFO | Laminar)
+//   -> optimize -> (interpret | emit C)
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_DRIVER_DRIVER_H
+#define LAMINAR_DRIVER_DRIVER_H
+
+#include "frontend/AST.h"
+#include "graph/StreamGraph.h"
+#include "interp/Interpreter.h"
+#include "lir/Module.h"
+#include "schedule/Schedule.h"
+#include "support/Statistics.h"
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace laminar {
+namespace driver {
+
+enum class LoweringMode { Fifo, Laminar };
+
+struct CompileOptions {
+  /// Name of the top-level stream declaration.
+  std::string TopName;
+  LoweringMode Mode = LoweringMode::Laminar;
+  /// 0 = no optimization, 1 = folding + cleanup, 2 = full pipeline.
+  unsigned OptLevel = 2;
+  /// FIFO mode only: unroll the steady state and static work loops
+  /// while keeping run-time buffers (the A2 ablation configuration).
+  bool UnrollFifo = false;
+  /// Re-verify the module after each optimization pass (tests).
+  bool VerifyEachPass = false;
+};
+
+/// The result of one compilation; owns every intermediate artifact (the
+/// schedule references the graph, which references the AST).
+struct Compilation {
+  bool Ok = false;
+  std::string ErrorLog;
+
+  std::unique_ptr<ast::Program> AST;
+  std::unique_ptr<graph::StreamGraph> Graph;
+  std::optional<schedule::Schedule> Sched;
+  std::unique_ptr<lir::Module> Module;
+  /// Optimization statistics (transformation counts per pass).
+  StatsRegistry Stats;
+};
+
+/// Runs the full pipeline on \p Source. Check Ok before using results;
+/// ErrorLog carries rendered diagnostics on failure.
+Compilation compile(const std::string &Source, const CompileOptions &Opts);
+
+/// Number of input tokens the compiled program consumes for @init plus
+/// \p Iterations steady iterations.
+size_t requiredInputTokens(const Compilation &C, int64_t Iterations);
+
+/// Interprets the compiled module for \p Iterations steady iterations
+/// over deterministic randomized input derived from \p Seed.
+interp::RunResult runWithRandomInput(const Compilation &C,
+                                     int64_t Iterations, uint64_t Seed);
+
+} // namespace driver
+} // namespace laminar
+
+#endif // LAMINAR_DRIVER_DRIVER_H

@@ -1,0 +1,62 @@
+//===--- AST.cpp ----------------------------------------------------------===//
+
+#include "frontend/AST.h"
+
+using namespace laminar;
+using namespace laminar::ast;
+
+const char *ast::scalarTypeName(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::Void:
+    return "void";
+  case ScalarType::Int:
+    return "int";
+  case ScalarType::Float:
+    return "float";
+  case ScalarType::Bool:
+    return "boolean";
+  }
+  return "?";
+}
+
+const char *ast::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitOr:
+    return "|";
+  case BinaryOp::BitXor:
+    return "^";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::LogAnd:
+    return "&&";
+  case BinaryOp::LogOr:
+    return "||";
+  case BinaryOp::EQ:
+    return "==";
+  case BinaryOp::NE:
+    return "!=";
+  case BinaryOp::LT:
+    return "<";
+  case BinaryOp::LE:
+    return "<=";
+  case BinaryOp::GT:
+    return ">";
+  case BinaryOp::GE:
+    return ">=";
+  }
+  return "?";
+}

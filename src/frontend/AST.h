@@ -1,0 +1,597 @@
+//===--- AST.h - Abstract syntax for the StreamIt subset -------*- C++ -*-===//
+//
+// Nodes are allocated in an ASTContext arena and referenced by plain
+// pointers. The hierarchy is closed and uses kind tags with classof for
+// isa/cast/dyn_cast.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_FRONTEND_AST_H
+#define LAMINAR_FRONTEND_AST_H
+
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace laminar {
+namespace ast {
+
+/// Scalar types of the surface language. Bool appears only as the type
+/// of conditions; stream channels carry Int or Float.
+enum class ScalarType { Void, Int, Float, Bool };
+
+const char *scalarTypeName(ScalarType Ty);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    FloatLit,
+    BoolLit,
+    VarRef,
+    ArrayIndex,
+    Binary,
+    Unary,
+    Assign,
+    Call,
+    Cast,
+  };
+
+  virtual ~Expr() = default;
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+  /// Result type, set by semantic analysis.
+  ScalarType getType() const { return Ty; }
+  void setType(ScalarType T) { Ty = T; }
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+  ScalarType Ty = ScalarType::Void;
+};
+
+class IntLit : public Expr {
+public:
+  IntLit(int64_t V, SourceLoc Loc) : Expr(Kind::IntLit, Loc), V(V) {}
+  int64_t getValue() const { return V; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+
+private:
+  int64_t V;
+};
+
+class FloatLit : public Expr {
+public:
+  FloatLit(double V, SourceLoc Loc) : Expr(Kind::FloatLit, Loc), V(V) {}
+  double getValue() const { return V; }
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::FloatLit;
+  }
+
+private:
+  double V;
+};
+
+class BoolLit : public Expr {
+public:
+  BoolLit(bool V, SourceLoc Loc) : Expr(Kind::BoolLit, Loc), V(V) {}
+  bool getValue() const { return V; }
+  static bool classof(const Expr *E) { return E->getKind() == Kind::BoolLit; }
+
+private:
+  bool V;
+};
+
+class VarDecl;
+
+/// A use of a named variable (parameter, field or local). Sema resolves
+/// the name to its declaration.
+class VarRef : public Expr {
+public:
+  VarRef(std::string Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+  VarDecl *getDecl() const { return Decl; }
+  void setDecl(VarDecl *D) { Decl = D; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+  VarDecl *Decl = nullptr;
+};
+
+/// Base[Index] where Base must be a VarRef naming an array variable.
+class ArrayIndex : public Expr {
+public:
+  ArrayIndex(VarRef *Base, Expr *Index, SourceLoc Loc)
+      : Expr(Kind::ArrayIndex, Loc), Base(Base), Index(Index) {}
+
+  VarRef *getBase() const { return Base; }
+  Expr *getIndex() const { return Index; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::ArrayIndex;
+  }
+
+private:
+  VarRef *Base;
+  Expr *Index;
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Shr,
+  LogAnd,
+  LogOr,
+  EQ,
+  NE,
+  LT,
+  LE,
+  GT,
+  GE,
+};
+
+const char *binaryOpSpelling(BinaryOp Op);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, Expr *LHS, Expr *RHS, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(LHS), RHS(RHS) {}
+
+  BinaryOp getOp() const { return Op; }
+  Expr *getLHS() const { return LHS; }
+  Expr *getRHS() const { return RHS; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  Expr *LHS;
+  Expr *RHS;
+};
+
+enum class UnaryOp { Neg, LogNot, BitNot };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, Expr *Sub, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Sub(Sub) {}
+
+  UnaryOp getOp() const { return Op; }
+  Expr *getSub() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  Expr *Sub;
+};
+
+/// Assignment (possibly compound). The target is a VarRef or ArrayIndex.
+/// `x++` / `x--` are parsed as `x += 1` / `x -= 1`.
+class AssignExpr : public Expr {
+public:
+  enum class Op { Assign, Add, Sub, Mul, Div };
+
+  AssignExpr(Op TheOp, Expr *Target, Expr *Value, SourceLoc Loc)
+      : Expr(Kind::Assign, Loc), TheOp(TheOp), Target(Target), Value(Value) {}
+
+  Op getOp() const { return TheOp; }
+  Expr *getTarget() const { return Target; }
+  Expr *getValue() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Assign; }
+
+private:
+  Op TheOp;
+  Expr *Target;
+  Expr *Value;
+};
+
+/// Builtins callable from work/init code. Push/Pop/Peek are the stream
+/// primitives; the rest are math helpers. Abs/Min/Max are overloaded on
+/// int/float (sema picks the typed variant during lowering).
+enum class BuiltinFn {
+  Push,
+  Pop,
+  Peek,
+  Sin,
+  Cos,
+  Tan,
+  Atan,
+  Atan2,
+  Exp,
+  Log,
+  Sqrt,
+  Abs,
+  Floor,
+  Ceil,
+  Pow,
+  Fmod,
+  Min,
+  Max,
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<Expr *> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &getCallee() const { return Callee; }
+  const std::vector<Expr *> &getArgs() const { return Args; }
+
+  BuiltinFn getBuiltin() const { return Fn; }
+  void setBuiltin(BuiltinFn F) { Fn = F; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<Expr *> Args;
+  BuiltinFn Fn = BuiltinFn::Pop;
+};
+
+/// Explicit cast `(int)e` or `(float)e`.
+class CastExpr : public Expr {
+public:
+  CastExpr(ScalarType To, Expr *Sub, SourceLoc Loc)
+      : Expr(Kind::Cast, Loc), To(To), Sub(Sub) {}
+
+  ScalarType getTo() const { return To; }
+  Expr *getSub() const { return Sub; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Cast; }
+
+private:
+  ScalarType To;
+  Expr *Sub;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind {
+    Decl,
+    ExprS,
+    If,
+    For,
+    While,
+    Block,
+    Add,
+    SplitS,
+    JoinS,
+    Enqueue,
+  };
+
+  virtual ~Stmt() = default;
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// A variable declaration: parameter, filter field or local. Array
+/// variables carry a size expression (compile-time constant).
+class VarDecl {
+public:
+  enum class Scope { Param, Field, Local };
+
+  VarDecl(std::string Name, ScalarType Elem, Expr *ArraySize, Expr *Init,
+          Scope S, SourceLoc Loc)
+      : Name(std::move(Name)), Elem(Elem), ArraySize(ArraySize), Init(Init),
+        S(S), Loc(Loc) {}
+
+  const std::string &getName() const { return Name; }
+  ScalarType getElemType() const { return Elem; }
+  bool isArray() const { return ArraySize != nullptr; }
+  Expr *getArraySize() const { return ArraySize; }
+  Expr *getInit() const { return Init; }
+  Scope getScope() const { return S; }
+  SourceLoc getLoc() const { return Loc; }
+
+private:
+  std::string Name;
+  ScalarType Elem;
+  Expr *ArraySize;
+  Expr *Init;
+  Scope S;
+  SourceLoc Loc;
+};
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(VarDecl *D, SourceLoc Loc) : Stmt(Kind::Decl, Loc), D(D) {}
+  VarDecl *getDecl() const { return D; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Decl; }
+
+private:
+  VarDecl *D;
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(Expr *E, SourceLoc Loc) : Stmt(Kind::ExprS, Loc), E(E) {}
+  Expr *getExpr() const { return E; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::ExprS; }
+
+private:
+  Expr *E;
+};
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<Stmt *> Body, SourceLoc Loc)
+      : Stmt(Kind::Block, Loc), Body(std::move(Body)) {}
+  const std::vector<Stmt *> &getBody() const { return Body; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Block; }
+
+private:
+  std::vector<Stmt *> Body;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(Expr *Cond, Stmt *Then, Stmt *Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(Cond), Then(Then), Else(Else) {}
+  Expr *getCond() const { return Cond; }
+  Stmt *getThen() const { return Then; }
+  Stmt *getElse() const { return Else; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+
+private:
+  Expr *Cond;
+  Stmt *Then;
+  Stmt *Else; // may be null
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(Stmt *Init, Expr *Cond, Expr *Step, Stmt *Body, SourceLoc Loc)
+      : Stmt(Kind::For, Loc), Init(Init), Cond(Cond), Step(Step), Body(Body) {
+  }
+  Stmt *getInit() const { return Init; } // may be null
+  Expr *getCond() const { return Cond; } // may be null (infinite: rejected)
+  Expr *getStep() const { return Step; } // may be null
+  Stmt *getBody() const { return Body; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::For; }
+
+private:
+  Stmt *Init;
+  Expr *Cond;
+  Expr *Step;
+  Stmt *Body;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, Stmt *Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(Cond), Body(Body) {}
+  Expr *getCond() const { return Cond; }
+  Stmt *getBody() const { return Body; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+
+private:
+  Expr *Cond;
+  Stmt *Body;
+};
+
+/// `add Child(args...);` inside a composite body. In feedbackloops the
+/// forward and backward paths are written `body Child(...)` and
+/// `loop Child(...)`, represented here by the role.
+class AddStmt : public Stmt {
+public:
+  enum class Role { Plain, Body, Loop };
+
+  AddStmt(std::string Child, std::vector<Expr *> Args, Role R,
+          SourceLoc Loc)
+      : Stmt(Kind::Add, Loc), Child(std::move(Child)), Args(std::move(Args)),
+        R(R) {}
+  const std::string &getChild() const { return Child; }
+  const std::vector<Expr *> &getArgs() const { return Args; }
+  Role getRole() const { return R; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Add; }
+
+private:
+  std::string Child;
+  std::vector<Expr *> Args;
+  Role R;
+};
+
+/// `enqueue expr;` inside a feedbackloop: one initial token on the
+/// feedback channel, available before the loop path produces anything.
+class EnqueueStmt : public Stmt {
+public:
+  EnqueueStmt(Expr *Value, SourceLoc Loc)
+      : Stmt(Kind::Enqueue, Loc), Value(Value) {}
+  Expr *getValue() const { return Value; }
+  static bool classof(const Stmt *S) {
+    return S->getKind() == Kind::Enqueue;
+  }
+
+private:
+  Expr *Value;
+};
+
+/// `split duplicate;` or `split roundrobin(w0, w1, ...);`.
+class SplitStmt : public Stmt {
+public:
+  enum class SplitKind { Duplicate, RoundRobin };
+
+  SplitStmt(SplitKind K, std::vector<Expr *> Weights, SourceLoc Loc)
+      : Stmt(Kind::SplitS, Loc), K(K), Weights(std::move(Weights)) {}
+  SplitKind getSplitKind() const { return K; }
+  const std::vector<Expr *> &getWeights() const { return Weights; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::SplitS; }
+
+private:
+  SplitKind K;
+  std::vector<Expr *> Weights;
+};
+
+/// `join roundrobin(w0, w1, ...);`.
+class JoinStmt : public Stmt {
+public:
+  JoinStmt(std::vector<Expr *> Weights, SourceLoc Loc)
+      : Stmt(Kind::JoinS, Loc), Weights(std::move(Weights)) {}
+  const std::vector<Expr *> &getWeights() const { return Weights; }
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::JoinS; }
+
+private:
+  std::vector<Expr *> Weights;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// Common base of filter and composite declarations.
+class StreamDecl {
+public:
+  enum class Kind { Filter, Pipeline, SplitJoin, FeedbackLoop };
+
+  virtual ~StreamDecl() = default;
+
+  Kind getKind() const { return TheKind; }
+  const std::string &getName() const { return Name; }
+  ScalarType getInType() const { return InTy; }
+  ScalarType getOutType() const { return OutTy; }
+  const std::vector<VarDecl *> &getParams() const { return Params; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  StreamDecl(Kind K, std::string Name, ScalarType InTy, ScalarType OutTy,
+             std::vector<VarDecl *> Params, SourceLoc Loc)
+      : TheKind(K), Name(std::move(Name)), InTy(InTy), OutTy(OutTy),
+        Params(std::move(Params)), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  std::string Name;
+  ScalarType InTy;
+  ScalarType OutTy;
+  std::vector<VarDecl *> Params;
+  SourceLoc Loc;
+};
+
+/// A filter: fields, an optional init block, and a work function with
+/// declared rates. Rate expressions may reference parameters; they are
+/// evaluated during elaboration.
+class FilterDecl : public StreamDecl {
+public:
+  FilterDecl(std::string Name, ScalarType InTy, ScalarType OutTy,
+             std::vector<VarDecl *> Params, std::vector<VarDecl *> Fields,
+             BlockStmt *InitBody, Expr *PushRate, Expr *PopRate,
+             Expr *PeekRate, BlockStmt *WorkBody, SourceLoc Loc)
+      : StreamDecl(Kind::Filter, std::move(Name), InTy, OutTy,
+                   std::move(Params), Loc),
+        Fields(std::move(Fields)), InitBody(InitBody), PushRate(PushRate),
+        PopRate(PopRate), PeekRate(PeekRate), WorkBody(WorkBody) {}
+
+  const std::vector<VarDecl *> &getFields() const { return Fields; }
+  BlockStmt *getInitBody() const { return InitBody; } // may be null
+  Expr *getPushRate() const { return PushRate; }      // may be null (0)
+  Expr *getPopRate() const { return PopRate; }        // may be null (0)
+  Expr *getPeekRate() const { return PeekRate; }      // may be null (=pop)
+  BlockStmt *getWorkBody() const { return WorkBody; }
+
+  static bool classof(const StreamDecl *D) {
+    return D->getKind() == Kind::Filter;
+  }
+
+private:
+  std::vector<VarDecl *> Fields;
+  BlockStmt *InitBody;
+  Expr *PushRate;
+  Expr *PopRate;
+  Expr *PeekRate;
+  BlockStmt *WorkBody;
+};
+
+/// A pipeline or splitjoin; the body is executed at elaboration time.
+class CompositeDecl : public StreamDecl {
+public:
+  CompositeDecl(Kind K, std::string Name, ScalarType InTy, ScalarType OutTy,
+                std::vector<VarDecl *> Params, BlockStmt *Body, SourceLoc Loc)
+      : StreamDecl(K, std::move(Name), InTy, OutTy, std::move(Params), Loc),
+        Body(Body) {}
+
+  BlockStmt *getBody() const { return Body; }
+
+  static bool classof(const StreamDecl *D) {
+    return D->getKind() != Kind::Filter;
+  }
+
+private:
+  BlockStmt *Body;
+};
+
+//===----------------------------------------------------------------------===//
+// Program and arena
+//===----------------------------------------------------------------------===//
+
+/// Owns every AST node of one parsed program.
+class Program {
+public:
+  const std::vector<StreamDecl *> &getDecls() const { return Decls; }
+  StreamDecl *findDecl(const std::string &Name) const {
+    auto It = DeclsByName.find(Name);
+    return It == DeclsByName.end() ? nullptr : It->second;
+  }
+
+  void addDecl(StreamDecl *D) {
+    Decls.push_back(D);
+    DeclsByName[D->getName()] = D;
+  }
+
+  /// Allocates a node in the arena.
+  template <typename T, typename... ArgTs> T *create(ArgTs &&...Args) {
+    auto Node = std::make_unique<T>(std::forward<ArgTs>(Args)...);
+    T *Raw = Node.get();
+    Arena.push_back(
+        std::unique_ptr<void, void (*)(void *)>(Node.release(), [](void *P) {
+          delete static_cast<T *>(P);
+        }));
+    return Raw;
+  }
+
+private:
+  std::vector<StreamDecl *> Decls;
+  std::unordered_map<std::string, StreamDecl *> DeclsByName;
+  std::vector<std::unique_ptr<void, void (*)(void *)>> Arena;
+};
+
+} // namespace ast
+} // namespace laminar
+
+#endif // LAMINAR_FRONTEND_AST_H

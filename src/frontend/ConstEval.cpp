@@ -1,0 +1,407 @@
+//===--- ConstEval.cpp ----------------------------------------------------===//
+
+#include "frontend/ConstEval.h"
+#include <cassert>
+#include <cmath>
+
+using namespace laminar;
+using namespace laminar::ast;
+
+ConstVal ConstVal::makeInt(int64_t V) {
+  ConstVal C;
+  C.Ty = ScalarType::Int;
+  C.I = V;
+  return C;
+}
+
+ConstVal ConstVal::makeFloat(double V) {
+  ConstVal C;
+  C.Ty = ScalarType::Float;
+  C.F = V;
+  return C;
+}
+
+ConstVal ConstVal::makeBool(bool V) {
+  ConstVal C;
+  C.Ty = ScalarType::Bool;
+  C.B = V;
+  return C;
+}
+
+double ConstVal::asFloat() const {
+  assert(Ty == ScalarType::Int || Ty == ScalarType::Float);
+  return Ty == ScalarType::Int ? static_cast<double>(I) : F;
+}
+
+int64_t ConstVal::asInt() const {
+  assert(Ty == ScalarType::Int && "asInt on a non-int value");
+  return I;
+}
+
+bool ConstVal::asBool() const {
+  assert(Ty == ScalarType::Bool && "asBool on a non-bool value");
+  return B;
+}
+
+ConstVal ConstVal::convertTo(ScalarType To) const {
+  if (Ty == To)
+    return *this;
+  if (To == ScalarType::Float)
+    return makeFloat(asFloat());
+  if (To == ScalarType::Int) {
+    if (Ty == ScalarType::Float)
+      return makeInt(static_cast<int64_t>(F));
+    if (Ty == ScalarType::Bool)
+      return makeInt(B ? 1 : 0);
+  }
+  assert(false && "unsupported compile-time conversion");
+  return *this;
+}
+
+std::optional<ConstVal> ConstEval::eval(const Expr *E) {
+  if (!E)
+    return std::nullopt;
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return ConstVal::makeInt(cast<IntLit>(E)->getValue());
+  case Expr::Kind::FloatLit:
+    return ConstVal::makeFloat(cast<FloatLit>(E)->getValue());
+  case Expr::Kind::BoolLit:
+    return ConstVal::makeBool(cast<BoolLit>(E)->getValue());
+  case Expr::Kind::VarRef: {
+    const auto *Ref = cast<VarRef>(E);
+    if (!Ref->getDecl())
+      return std::nullopt;
+    return Env.get(Ref->getDecl());
+  }
+  case Expr::Kind::ArrayIndex:
+    return std::nullopt; // Arrays have no compile-time storage here.
+  case Expr::Kind::Binary:
+    return evalBinary(cast<BinaryExpr>(E));
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    auto Sub = eval(U->getSub());
+    if (!Sub)
+      return std::nullopt;
+    switch (U->getOp()) {
+    case UnaryOp::Neg:
+      if (Sub->Ty == ScalarType::Int)
+        return ConstVal::makeInt(-Sub->I);
+      return ConstVal::makeFloat(-Sub->asFloat());
+    case UnaryOp::LogNot:
+      return ConstVal::makeBool(!Sub->asBool());
+    case UnaryOp::BitNot:
+      return ConstVal::makeInt(~Sub->asInt());
+    }
+    return std::nullopt;
+  }
+  case Expr::Kind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    const auto *Ref = dyn_cast<VarRef>(A->getTarget());
+    if (!Ref || !Ref->getDecl())
+      return std::nullopt;
+    auto RHS = eval(A->getValue());
+    if (!RHS)
+      return std::nullopt;
+    ConstVal NewVal = *RHS;
+    if (A->getOp() != AssignExpr::Op::Assign) {
+      auto Old = Env.get(Ref->getDecl());
+      if (!Old)
+        return std::nullopt;
+      ScalarType Ty = Ref->getDecl()->getElemType();
+      if (Ty == ScalarType::Int && RHS->Ty == ScalarType::Int) {
+        int64_t L = Old->asInt(), R = RHS->asInt();
+        switch (A->getOp()) {
+        case AssignExpr::Op::Add:
+          NewVal = ConstVal::makeInt(L + R);
+          break;
+        case AssignExpr::Op::Sub:
+          NewVal = ConstVal::makeInt(L - R);
+          break;
+        case AssignExpr::Op::Mul:
+          NewVal = ConstVal::makeInt(L * R);
+          break;
+        case AssignExpr::Op::Div:
+          if (R == 0)
+            return std::nullopt;
+          NewVal = ConstVal::makeInt(L / R);
+          break;
+        default:
+          return std::nullopt;
+        }
+      } else {
+        double L = Old->asFloat(), R = RHS->asFloat();
+        switch (A->getOp()) {
+        case AssignExpr::Op::Add:
+          NewVal = ConstVal::makeFloat(L + R);
+          break;
+        case AssignExpr::Op::Sub:
+          NewVal = ConstVal::makeFloat(L - R);
+          break;
+        case AssignExpr::Op::Mul:
+          NewVal = ConstVal::makeFloat(L * R);
+          break;
+        case AssignExpr::Op::Div:
+          NewVal = ConstVal::makeFloat(L / R);
+          break;
+        default:
+          return std::nullopt;
+        }
+      }
+    }
+    NewVal = NewVal.convertTo(Ref->getDecl()->getElemType());
+    Env.set(Ref->getDecl(), NewVal);
+    return NewVal;
+  }
+  case Expr::Kind::Call:
+    return evalCall(cast<CallExpr>(E));
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    auto Sub = eval(C->getSub());
+    if (!Sub)
+      return std::nullopt;
+    return Sub->convertTo(C->getTo());
+  }
+  }
+  return std::nullopt;
+}
+
+std::optional<ConstVal> ConstEval::evalBinary(const BinaryExpr *B) {
+  // Logical operators short-circuit.
+  if (B->getOp() == BinaryOp::LogAnd || B->getOp() == BinaryOp::LogOr) {
+    auto L = eval(B->getLHS());
+    if (!L)
+      return std::nullopt;
+    bool LV = L->asBool();
+    if (B->getOp() == BinaryOp::LogAnd && !LV)
+      return ConstVal::makeBool(false);
+    if (B->getOp() == BinaryOp::LogOr && LV)
+      return ConstVal::makeBool(true);
+    auto R = eval(B->getRHS());
+    if (!R)
+      return std::nullopt;
+    return ConstVal::makeBool(R->asBool());
+  }
+
+  auto L = eval(B->getLHS());
+  auto R = eval(B->getRHS());
+  if (!L || !R)
+    return std::nullopt;
+
+  bool BothInt = L->Ty == ScalarType::Int && R->Ty == ScalarType::Int;
+  switch (B->getOp()) {
+  case BinaryOp::Add:
+    return BothInt ? ConstVal::makeInt(L->I + R->I)
+                   : ConstVal::makeFloat(L->asFloat() + R->asFloat());
+  case BinaryOp::Sub:
+    return BothInt ? ConstVal::makeInt(L->I - R->I)
+                   : ConstVal::makeFloat(L->asFloat() - R->asFloat());
+  case BinaryOp::Mul:
+    return BothInt ? ConstVal::makeInt(L->I * R->I)
+                   : ConstVal::makeFloat(L->asFloat() * R->asFloat());
+  case BinaryOp::Div:
+    if (BothInt)
+      return R->I == 0 ? std::nullopt
+                       : std::optional(ConstVal::makeInt(L->I / R->I));
+    return R->asFloat() == 0
+               ? std::nullopt
+               : std::optional(
+                     ConstVal::makeFloat(L->asFloat() / R->asFloat()));
+  case BinaryOp::Rem:
+    return R->I == 0 ? std::nullopt
+                     : std::optional(ConstVal::makeInt(L->I % R->I));
+  case BinaryOp::BitAnd:
+    return ConstVal::makeInt(L->I & R->I);
+  case BinaryOp::BitOr:
+    return ConstVal::makeInt(L->I | R->I);
+  case BinaryOp::BitXor:
+    return ConstVal::makeInt(L->I ^ R->I);
+  case BinaryOp::Shl:
+    return ConstVal::makeInt(L->I << (R->I & 63));
+  case BinaryOp::Shr:
+    return ConstVal::makeInt(L->I >> (R->I & 63));
+  case BinaryOp::EQ:
+    if (L->Ty == ScalarType::Bool)
+      return ConstVal::makeBool(L->B == R->B);
+    return BothInt ? ConstVal::makeBool(L->I == R->I)
+                   : ConstVal::makeBool(L->asFloat() == R->asFloat());
+  case BinaryOp::NE:
+    if (L->Ty == ScalarType::Bool)
+      return ConstVal::makeBool(L->B != R->B);
+    return BothInt ? ConstVal::makeBool(L->I != R->I)
+                   : ConstVal::makeBool(L->asFloat() != R->asFloat());
+  case BinaryOp::LT:
+    return BothInt ? ConstVal::makeBool(L->I < R->I)
+                   : ConstVal::makeBool(L->asFloat() < R->asFloat());
+  case BinaryOp::LE:
+    return BothInt ? ConstVal::makeBool(L->I <= R->I)
+                   : ConstVal::makeBool(L->asFloat() <= R->asFloat());
+  case BinaryOp::GT:
+    return BothInt ? ConstVal::makeBool(L->I > R->I)
+                   : ConstVal::makeBool(L->asFloat() > R->asFloat());
+  case BinaryOp::GE:
+    return BothInt ? ConstVal::makeBool(L->I >= R->I)
+                   : ConstVal::makeBool(L->asFloat() >= R->asFloat());
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<ConstVal> ConstEval::evalCall(const CallExpr *C) {
+  std::vector<ConstVal> Args;
+  for (const Expr *Arg : C->getArgs()) {
+    auto V = eval(Arg);
+    if (!V)
+      return std::nullopt;
+    Args.push_back(*V);
+  }
+  switch (C->getBuiltin()) {
+  case BuiltinFn::Sin:
+    return ConstVal::makeFloat(std::sin(Args[0].asFloat()));
+  case BuiltinFn::Cos:
+    return ConstVal::makeFloat(std::cos(Args[0].asFloat()));
+  case BuiltinFn::Tan:
+    return ConstVal::makeFloat(std::tan(Args[0].asFloat()));
+  case BuiltinFn::Atan:
+    return ConstVal::makeFloat(std::atan(Args[0].asFloat()));
+  case BuiltinFn::Atan2:
+    return ConstVal::makeFloat(
+        std::atan2(Args[0].asFloat(), Args[1].asFloat()));
+  case BuiltinFn::Exp:
+    return ConstVal::makeFloat(std::exp(Args[0].asFloat()));
+  case BuiltinFn::Log:
+    return ConstVal::makeFloat(std::log(Args[0].asFloat()));
+  case BuiltinFn::Sqrt:
+    return ConstVal::makeFloat(std::sqrt(Args[0].asFloat()));
+  case BuiltinFn::Abs:
+    if (Args[0].Ty == ScalarType::Int)
+      return ConstVal::makeInt(Args[0].I < 0 ? -Args[0].I : Args[0].I);
+    return ConstVal::makeFloat(std::fabs(Args[0].asFloat()));
+  case BuiltinFn::Floor:
+    return ConstVal::makeFloat(std::floor(Args[0].asFloat()));
+  case BuiltinFn::Ceil:
+    return ConstVal::makeFloat(std::ceil(Args[0].asFloat()));
+  case BuiltinFn::Pow:
+    return ConstVal::makeFloat(std::pow(Args[0].asFloat(), Args[1].asFloat()));
+  case BuiltinFn::Fmod:
+    return ConstVal::makeFloat(
+        std::fmod(Args[0].asFloat(), Args[1].asFloat()));
+  case BuiltinFn::Min:
+    if (Args[0].Ty == ScalarType::Int && Args[1].Ty == ScalarType::Int)
+      return ConstVal::makeInt(std::min(Args[0].I, Args[1].I));
+    return ConstVal::makeFloat(std::min(Args[0].asFloat(), Args[1].asFloat()));
+  case BuiltinFn::Max:
+    if (Args[0].Ty == ScalarType::Int && Args[1].Ty == ScalarType::Int)
+      return ConstVal::makeInt(std::max(Args[0].I, Args[1].I));
+    return ConstVal::makeFloat(std::max(Args[0].asFloat(), Args[1].asFloat()));
+  case BuiltinFn::Push:
+  case BuiltinFn::Pop:
+  case BuiltinFn::Peek:
+    return std::nullopt; // Stream primitives are never compile-time.
+  }
+  return std::nullopt;
+}
+
+bool ConstEval::exec(const Stmt *S, const GraphCallback &CB) {
+  if (!S)
+    return true;
+  if (StepBudget-- == 0) {
+    Diags.error(S->getLoc(), "elaboration step budget exhausted "
+                             "(non-terminating composite body?)");
+    return false;
+  }
+  switch (S->getKind()) {
+  case Stmt::Kind::Block: {
+    for (const Stmt *Sub : cast<BlockStmt>(S)->getBody())
+      if (!exec(Sub, CB))
+        return false;
+    return true;
+  }
+  case Stmt::Kind::Decl: {
+    const VarDecl *D = cast<DeclStmt>(S)->getDecl();
+    if (!D)
+      return false;
+    if (D->getInit()) {
+      auto V = eval(D->getInit());
+      if (!V) {
+        Diags.error(D->getLoc(),
+                    "initializer is not a compile-time constant");
+        return false;
+      }
+      Env.set(D, V->convertTo(D->getElemType()));
+    }
+    return true;
+  }
+  case Stmt::Kind::ExprS: {
+    const Expr *E = cast<ExprStmt>(S)->getExpr();
+    if (!eval(E)) {
+      Diags.error(E->getLoc(),
+                  "expression is not evaluable at elaboration time");
+      return false;
+    }
+    return true;
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    auto Cond = eval(If->getCond());
+    if (!Cond) {
+      Diags.error(If->getCond()->getLoc(),
+                  "condition is not a compile-time constant");
+      return false;
+    }
+    return Cond->asBool() ? exec(If->getThen(), CB)
+                          : exec(If->getElse(), CB);
+  }
+  case Stmt::Kind::For: {
+    const auto *For = cast<ForStmt>(S);
+    if (For->getInit() && !exec(For->getInit(), CB))
+      return false;
+    for (;;) {
+      if (StepBudget-- == 0) {
+        Diags.error(For->getLoc(), "elaboration step budget exhausted");
+        return false;
+      }
+      auto Cond = eval(For->getCond());
+      if (!Cond) {
+        Diags.error(For->getCond()->getLoc(),
+                    "loop condition is not a compile-time constant");
+        return false;
+      }
+      if (!Cond->asBool())
+        return true;
+      if (!exec(For->getBody(), CB))
+        return false;
+      if (For->getStep() && !eval(For->getStep())) {
+        Diags.error(For->getStep()->getLoc(),
+                    "loop step is not evaluable at elaboration time");
+        return false;
+      }
+    }
+  }
+  case Stmt::Kind::While: {
+    const auto *While = cast<WhileStmt>(S);
+    for (;;) {
+      if (StepBudget-- == 0) {
+        Diags.error(While->getLoc(), "elaboration step budget exhausted");
+        return false;
+      }
+      auto Cond = eval(While->getCond());
+      if (!Cond) {
+        Diags.error(While->getCond()->getLoc(),
+                    "condition is not a compile-time constant");
+        return false;
+      }
+      if (!Cond->asBool())
+        return true;
+      if (!exec(While->getBody(), CB))
+        return false;
+    }
+  }
+  case Stmt::Kind::Add:
+  case Stmt::Kind::SplitS:
+  case Stmt::Kind::JoinS:
+  case Stmt::Kind::Enqueue:
+    return CB(S);
+  }
+  return false;
+}

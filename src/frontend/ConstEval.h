@@ -1,0 +1,90 @@
+//===--- ConstEval.h - Compile-time evaluation -----------------*- C++ -*-===//
+//
+// Evaluates expressions and statements of the surface language at
+// compile time. Used for:
+//  - elaborating composite bodies (executing add/split/join under for/if),
+//  - evaluating I/O rates, array sizes and composite arguments,
+//  - computing static trip counts when the Laminar lowering unrolls loops.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_FRONTEND_CONSTEVAL_H
+#define LAMINAR_FRONTEND_CONSTEVAL_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+namespace laminar {
+
+/// A compile-time scalar value.
+struct ConstVal {
+  ast::ScalarType Ty = ast::ScalarType::Void;
+  int64_t I = 0;
+  double F = 0;
+  bool B = false;
+
+  static ConstVal makeInt(int64_t V);
+  static ConstVal makeFloat(double V);
+  static ConstVal makeBool(bool V);
+
+  /// Numeric value as double (int is widened).
+  double asFloat() const;
+  /// Integer value; asserts the value is an int.
+  int64_t asInt() const;
+  bool asBool() const;
+
+  /// Converts between numeric types (float->int truncates toward zero).
+  ConstVal convertTo(ast::ScalarType To) const;
+};
+
+/// Binding of variable declarations to compile-time values.
+class ConstEnv {
+public:
+  void set(const ast::VarDecl *D, ConstVal V) { Map[D] = V; }
+  std::optional<ConstVal> get(const ast::VarDecl *D) const {
+    auto It = Map.find(D);
+    if (It == Map.end())
+      return std::nullopt;
+    return It->second;
+  }
+  void erase(const ast::VarDecl *D) { Map.erase(D); }
+
+private:
+  std::unordered_map<const ast::VarDecl *, ConstVal> Map;
+};
+
+class ConstEval {
+public:
+  /// Callback invoked for add/split/join statements during composite
+  /// elaboration; returns false to abort.
+  using GraphCallback = std::function<bool(const ast::Stmt *)>;
+
+  ConstEval(DiagnosticEngine &Diags, ConstEnv &Env)
+      : Diags(Diags), Env(Env) {}
+
+  /// Evaluates \p E; returns nullopt when the expression is not a
+  /// compile-time constant (no diagnostics are emitted). Assignments
+  /// update the environment.
+  std::optional<ConstVal> eval(const ast::Expr *E);
+
+  /// Executes \p S (composite-body statement). Graph statements are
+  /// dispatched to \p CB. Emits diagnostics and returns false on
+  /// failure (non-constant control flow, step budget exhausted).
+  bool exec(const ast::Stmt *S, const GraphCallback &CB);
+
+private:
+  std::optional<ConstVal> evalBinary(const ast::BinaryExpr *B);
+  std::optional<ConstVal> evalCall(const ast::CallExpr *C);
+
+  DiagnosticEngine &Diags;
+  ConstEnv &Env;
+  /// Guards against runaway elaboration loops.
+  uint64_t StepBudget = 4u << 20;
+};
+
+} // namespace laminar
+
+#endif // LAMINAR_FRONTEND_CONSTEVAL_H

@@ -1,0 +1,382 @@
+//===--- Lexer.cpp --------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace laminar;
+
+const char *laminar::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::FloatLiteral:
+    return "float literal";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwFloat:
+    return "'float'";
+  case TokKind::KwBoolean:
+    return "'boolean'";
+  case TokKind::KwFilter:
+    return "'filter'";
+  case TokKind::KwPipeline:
+    return "'pipeline'";
+  case TokKind::KwSplitjoin:
+    return "'splitjoin'";
+  case TokKind::KwFeedbackloop:
+    return "'feedbackloop'";
+  case TokKind::KwSplit:
+    return "'split'";
+  case TokKind::KwJoin:
+    return "'join'";
+  case TokKind::KwDuplicate:
+    return "'duplicate'";
+  case TokKind::KwRoundrobin:
+    return "'roundrobin'";
+  case TokKind::KwAdd:
+    return "'add'";
+  case TokKind::KwBody:
+    return "'body'";
+  case TokKind::KwLoop:
+    return "'loop'";
+  case TokKind::KwEnqueue:
+    return "'enqueue'";
+  case TokKind::KwWork:
+    return "'work'";
+  case TokKind::KwInit:
+    return "'init'";
+  case TokKind::KwPush:
+    return "'push'";
+  case TokKind::KwPop:
+    return "'pop'";
+  case TokKind::KwPeek:
+    return "'peek'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::StarAssign:
+    return "'*='";
+  case TokKind::SlashAssign:
+    return "'/='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+Token Lexer::make(TokKind K, SourceLoc Loc) const {
+  Token T;
+  T.Kind = K;
+  T.Loc = Loc;
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  do {
+    Tokens.push_back(next());
+  } while (!Tokens.back().is(TokKind::Eof));
+  return Tokens;
+}
+
+Token Lexer::next() {
+  // Skip whitespace and comments.
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return make(TokKind::Eof, loc());
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    break;
+  }
+
+  SourceLoc Start = loc();
+  char C = peek();
+  if (C == '\0')
+    return make(TokKind::Eof, Start);
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))))
+    return lexNumber(Start);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Start);
+
+  advance();
+  switch (C) {
+  case '{':
+    return make(TokKind::LBrace, Start);
+  case '}':
+    return make(TokKind::RBrace, Start);
+  case '(':
+    return make(TokKind::LParen, Start);
+  case ')':
+    return make(TokKind::RParen, Start);
+  case '[':
+    return make(TokKind::LBracket, Start);
+  case ']':
+    return make(TokKind::RBracket, Start);
+  case ';':
+    return make(TokKind::Semi, Start);
+  case ',':
+    return make(TokKind::Comma, Start);
+  case '+':
+    if (match('='))
+      return make(TokKind::PlusAssign, Start);
+    if (match('+'))
+      return make(TokKind::PlusPlus, Start);
+    return make(TokKind::Plus, Start);
+  case '-':
+    if (match('>'))
+      return make(TokKind::Arrow, Start);
+    if (match('='))
+      return make(TokKind::MinusAssign, Start);
+    if (match('-'))
+      return make(TokKind::MinusMinus, Start);
+    return make(TokKind::Minus, Start);
+  case '*':
+    return make(match('=') ? TokKind::StarAssign : TokKind::Star, Start);
+  case '/':
+    return make(match('=') ? TokKind::SlashAssign : TokKind::Slash, Start);
+  case '%':
+    return make(TokKind::Percent, Start);
+  case '&':
+    return make(match('&') ? TokKind::AmpAmp : TokKind::Amp, Start);
+  case '|':
+    return make(match('|') ? TokKind::PipePipe : TokKind::Pipe, Start);
+  case '^':
+    return make(TokKind::Caret, Start);
+  case '~':
+    return make(TokKind::Tilde, Start);
+  case '!':
+    return make(match('=') ? TokKind::NotEq : TokKind::Bang, Start);
+  case '=':
+    return make(match('=') ? TokKind::EqEq : TokKind::Assign, Start);
+  case '<':
+    if (match('<'))
+      return make(TokKind::Shl, Start);
+    return make(match('=') ? TokKind::LessEq : TokKind::Less, Start);
+  case '>':
+    if (match('>'))
+      return make(TokKind::Shr, Start);
+    return make(match('=') ? TokKind::GreaterEq : TokKind::Greater, Start);
+  default: {
+    std::string Msg = "unexpected character '";
+    Msg += C;
+    Msg += "'";
+    Diags.error(Start, Msg);
+    return next();
+  }
+  }
+}
+
+Token Lexer::lexNumber(SourceLoc Start) {
+  std::string Text;
+  bool IsFloat = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    Text += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    Text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+  } else if (peek() == '.' &&
+             !std::isalpha(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    Text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char Sign = peek(1);
+    if (std::isdigit(static_cast<unsigned char>(Sign)) ||
+        ((Sign == '+' || Sign == '-') &&
+         std::isdigit(static_cast<unsigned char>(peek(2))))) {
+      IsFloat = true;
+      Text += advance();
+      if (peek() == '+' || peek() == '-')
+        Text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Text += advance();
+    }
+  }
+  Token T;
+  T.Loc = Start;
+  if (IsFloat) {
+    T.Kind = TokKind::FloatLiteral;
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+  } else {
+    T.Kind = TokKind::IntLiteral;
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+  }
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Start) {
+  static const std::unordered_map<std::string, TokKind> Keywords = {
+      {"void", TokKind::KwVoid},
+      {"int", TokKind::KwInt},
+      {"float", TokKind::KwFloat},
+      {"boolean", TokKind::KwBoolean},
+      {"filter", TokKind::KwFilter},
+      {"pipeline", TokKind::KwPipeline},
+      {"splitjoin", TokKind::KwSplitjoin},
+      {"feedbackloop", TokKind::KwFeedbackloop},
+      {"body", TokKind::KwBody},
+      {"loop", TokKind::KwLoop},
+      {"enqueue", TokKind::KwEnqueue},
+      {"split", TokKind::KwSplit},
+      {"join", TokKind::KwJoin},
+      {"duplicate", TokKind::KwDuplicate},
+      {"roundrobin", TokKind::KwRoundrobin},
+      {"add", TokKind::KwAdd},
+      {"work", TokKind::KwWork},
+      {"init", TokKind::KwInit},
+      {"push", TokKind::KwPush},
+      {"pop", TokKind::KwPop},
+      {"peek", TokKind::KwPeek},
+      {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},
+      {"for", TokKind::KwFor},
+      {"while", TokKind::KwWhile},
+      {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse},
+  };
+  std::string Text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    Text += advance();
+  Token T;
+  T.Loc = Start;
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end()) {
+    T.Kind = It->second;
+  } else {
+    T.Kind = TokKind::Identifier;
+    T.Text = std::move(Text);
+  }
+  return T;
+}

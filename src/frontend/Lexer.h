@@ -1,0 +1,128 @@
+//===--- Lexer.h - Tokenizer for the StreamIt subset -----------*- C++ -*-===//
+
+#ifndef LAMINAR_FRONTEND_LEXER_H
+#define LAMINAR_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laminar {
+
+enum class TokKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwVoid,
+  KwInt,
+  KwFloat,
+  KwBoolean,
+  KwFilter,
+  KwPipeline,
+  KwSplitjoin,
+  KwFeedbackloop,
+  KwSplit,
+  KwJoin,
+  KwDuplicate,
+  KwRoundrobin,
+  KwAdd,
+  KwBody,
+  KwLoop,
+  KwEnqueue,
+  KwWork,
+  KwInit,
+  KwPush,
+  KwPop,
+  KwPeek,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwTrue,
+  KwFalse,
+  // Punctuation and operators.
+  Arrow, // ->
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  SlashAssign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Shl,
+  Shr,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  PlusPlus,
+  MinusMinus,
+};
+
+/// Printable spelling of a token kind for diagnostics.
+const char *tokKindName(TokKind K);
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;   // identifier spelling
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Converts a source buffer into a token stream. Comments (// and /* */)
+/// and whitespace are skipped; malformed input produces diagnostics and a
+/// best-effort stream.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Tokenizes the entire buffer (final token is Eof).
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+  Token make(TokKind K, SourceLoc Loc) const;
+  Token lexNumber(SourceLoc Start);
+  Token lexIdentifier(SourceLoc Start);
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace laminar
+
+#endif // LAMINAR_FRONTEND_LEXER_H

@@ -1,0 +1,688 @@
+//===--- Parser.cpp - Recursive-descent parser for the subset ------------===//
+
+#include "frontend/Parser.h"
+#include <cassert>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::ast;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags),
+        P(std::make_unique<Program>()) {}
+
+  std::unique_ptr<Program> run() {
+    while (!at(TokKind::Eof)) {
+      if (StreamDecl *D = parseDecl())
+        P->addDecl(D);
+      else
+        synchronizeToDecl();
+    }
+    return std::move(P);
+  }
+
+private:
+  // Token helpers -------------------------------------------------------
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &lookahead(unsigned N) const {
+    size_t I = Pos + N;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokKind K) const { return cur().is(K); }
+  Token advance() { return Tokens[Pos == Tokens.size() - 1 ? Pos : Pos++]; }
+  bool accept(TokKind K) {
+    if (!at(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K) {
+    if (accept(K))
+      return true;
+    std::ostringstream OS;
+    OS << "expected " << tokKindName(K) << ", found "
+       << tokKindName(cur().Kind);
+    Diags.error(cur().Loc, OS.str());
+    return false;
+  }
+
+  void synchronizeToDecl() {
+    // Skip to something that can start a declaration.
+    while (!at(TokKind::Eof) && !at(TokKind::KwVoid) && !at(TokKind::KwInt) &&
+           !at(TokKind::KwFloat))
+      advance();
+  }
+
+  // Types ----------------------------------------------------------------
+  bool atType() const {
+    return at(TokKind::KwVoid) || at(TokKind::KwInt) || at(TokKind::KwFloat) ||
+           at(TokKind::KwBoolean);
+  }
+
+  ScalarType parseType() {
+    if (accept(TokKind::KwVoid))
+      return ScalarType::Void;
+    if (accept(TokKind::KwInt))
+      return ScalarType::Int;
+    if (accept(TokKind::KwFloat))
+      return ScalarType::Float;
+    if (accept(TokKind::KwBoolean))
+      return ScalarType::Bool;
+    Diags.error(cur().Loc, "expected a type");
+    advance();
+    return ScalarType::Void;
+  }
+
+  // Declarations ---------------------------------------------------------
+  StreamDecl *parseDecl();
+  std::vector<VarDecl *> parseParams();
+  FilterDecl *parseFilterRest(ScalarType InTy, ScalarType OutTy);
+  CompositeDecl *parseCompositeRest(StreamDecl::Kind K, ScalarType InTy,
+                                    ScalarType OutTy);
+  VarDecl *parseVarDecl(VarDecl::Scope Scope);
+
+  // Statements -----------------------------------------------------------
+  Stmt *parseStmt();
+  BlockStmt *parseBlock();
+  Stmt *parseIf();
+  Stmt *parseFor();
+  Stmt *parseWhile();
+  Stmt *parseAdd();
+  Stmt *parseSplit();
+  Stmt *parseJoin();
+
+  // Expressions (precedence climbing) -------------------------------------
+  Expr *parseExpr() { return parseAssign(); }
+  Expr *parseAssign();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  std::vector<Expr *> parseArgs();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<Program> P;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+StreamDecl *Parser::parseDecl() {
+  SourceLoc Loc = cur().Loc;
+  if (!atType()) {
+    Diags.error(Loc, "expected a stream declaration");
+    advance();
+    return nullptr;
+  }
+  ScalarType InTy = parseType();
+  if (!expect(TokKind::Arrow))
+    return nullptr;
+  ScalarType OutTy = parseType();
+
+  if (accept(TokKind::KwFilter))
+    return parseFilterRest(InTy, OutTy);
+  if (accept(TokKind::KwPipeline))
+    return parseCompositeRest(StreamDecl::Kind::Pipeline, InTy, OutTy);
+  if (accept(TokKind::KwSplitjoin))
+    return parseCompositeRest(StreamDecl::Kind::SplitJoin, InTy, OutTy);
+  if (accept(TokKind::KwFeedbackloop))
+    return parseCompositeRest(StreamDecl::Kind::FeedbackLoop, InTy, OutTy);
+  Diags.error(cur().Loc,
+              "expected 'filter', 'pipeline', 'splitjoin' or "
+              "'feedbackloop'");
+  return nullptr;
+}
+
+std::vector<VarDecl *> Parser::parseParams() {
+  std::vector<VarDecl *> Params;
+  if (!accept(TokKind::LParen))
+    return Params;
+  if (!at(TokKind::RParen)) {
+    do {
+      SourceLoc Loc = cur().Loc;
+      ScalarType Ty = parseType();
+      if (!at(TokKind::Identifier)) {
+        Diags.error(cur().Loc, "expected parameter name");
+        break;
+      }
+      std::string Name = advance().Text;
+      Params.push_back(P->create<VarDecl>(Name, Ty, nullptr, nullptr,
+                                          VarDecl::Scope::Param, Loc));
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen);
+  return Params;
+}
+
+VarDecl *Parser::parseVarDecl(VarDecl::Scope Scope) {
+  SourceLoc Loc = cur().Loc;
+  ScalarType Ty = parseType();
+  // StreamIt-style array type: float[N] name.
+  Expr *ArraySize = nullptr;
+  if (accept(TokKind::LBracket)) {
+    ArraySize = parseExpr();
+    expect(TokKind::RBracket);
+  }
+  if (!at(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected variable name");
+    return nullptr;
+  }
+  std::string Name = advance().Text;
+  // C-style array suffix: float name[N].
+  if (!ArraySize && accept(TokKind::LBracket)) {
+    ArraySize = parseExpr();
+    expect(TokKind::RBracket);
+  }
+  Expr *Init = nullptr;
+  if (accept(TokKind::Assign))
+    Init = parseExpr();
+  expect(TokKind::Semi);
+  return P->create<VarDecl>(Name, Ty, ArraySize, Init, Scope, Loc);
+}
+
+FilterDecl *Parser::parseFilterRest(ScalarType InTy, ScalarType OutTy) {
+  SourceLoc Loc = cur().Loc;
+  if (!at(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected filter name");
+    return nullptr;
+  }
+  std::string Name = advance().Text;
+  std::vector<VarDecl *> Params = parseParams();
+  if (!expect(TokKind::LBrace))
+    return nullptr;
+
+  std::vector<VarDecl *> Fields;
+  BlockStmt *InitBody = nullptr;
+  Expr *PushRate = nullptr, *PopRate = nullptr, *PeekRate = nullptr;
+  BlockStmt *WorkBody = nullptr;
+
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    if (accept(TokKind::KwInit)) {
+      if (InitBody)
+        Diags.error(cur().Loc, "duplicate init block");
+      InitBody = parseBlock();
+      continue;
+    }
+    if (accept(TokKind::KwWork)) {
+      if (WorkBody)
+        Diags.error(cur().Loc, "duplicate work function");
+      while (at(TokKind::KwPush) || at(TokKind::KwPop) || at(TokKind::KwPeek)) {
+        TokKind K = advance().Kind;
+        Expr *Rate = parseBinary(0);
+        if (K == TokKind::KwPush)
+          PushRate = Rate;
+        else if (K == TokKind::KwPop)
+          PopRate = Rate;
+        else
+          PeekRate = Rate;
+      }
+      WorkBody = parseBlock();
+      continue;
+    }
+    if (atType()) {
+      if (VarDecl *Field = parseVarDecl(VarDecl::Scope::Field))
+        Fields.push_back(Field);
+      continue;
+    }
+    Diags.error(cur().Loc, "expected field, init or work in filter body");
+    advance();
+  }
+  expect(TokKind::RBrace);
+
+  if (!WorkBody) {
+    Diags.error(Loc, "filter '" + Name + "' has no work function");
+    return nullptr;
+  }
+  return P->create<FilterDecl>(Name, InTy, OutTy, std::move(Params),
+                               std::move(Fields), InitBody, PushRate, PopRate,
+                               PeekRate, WorkBody, Loc);
+}
+
+CompositeDecl *Parser::parseCompositeRest(StreamDecl::Kind K, ScalarType InTy,
+                                          ScalarType OutTy) {
+  SourceLoc Loc = cur().Loc;
+  if (!at(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected composite name");
+    return nullptr;
+  }
+  std::string Name = advance().Text;
+  std::vector<VarDecl *> Params = parseParams();
+  BlockStmt *Body = parseBlock();
+  if (!Body)
+    return nullptr;
+  return P->create<CompositeDecl>(K, Name, InTy, OutTy, std::move(Params),
+                                  Body, Loc);
+}
+
+BlockStmt *Parser::parseBlock() {
+  SourceLoc Loc = cur().Loc;
+  if (!expect(TokKind::LBrace))
+    return nullptr;
+  std::vector<Stmt *> Body;
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+    if (Stmt *S = parseStmt())
+      Body.push_back(S);
+    else {
+      // Recover: skip to the end of the statement.
+      while (!at(TokKind::Semi) && !at(TokKind::RBrace) && !at(TokKind::Eof))
+        advance();
+      accept(TokKind::Semi);
+    }
+  }
+  expect(TokKind::RBrace);
+  return P->create<BlockStmt>(std::move(Body), Loc);
+}
+
+Stmt *Parser::parseStmt() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwAdd:
+  case TokKind::KwBody:
+  case TokKind::KwLoop:
+    return parseAdd();
+  case TokKind::KwEnqueue: {
+    advance();
+    Expr *V = parseExpr();
+    expect(TokKind::Semi);
+    if (!V)
+      return nullptr;
+    return P->create<EnqueueStmt>(V, Loc);
+  }
+  case TokKind::KwSplit:
+    return parseSplit();
+  case TokKind::KwJoin:
+    return parseJoin();
+  default:
+    break;
+  }
+  if (atType()) {
+    // A declaration, unless this is a cast expression "(type)..." — but
+    // casts never start a statement at type keywords without '('.
+    VarDecl *D = parseVarDecl(VarDecl::Scope::Local);
+    if (!D)
+      return nullptr;
+    return P->create<DeclStmt>(D, Loc);
+  }
+  Expr *E = parseExpr();
+  if (!E)
+    return nullptr;
+  expect(TokKind::Semi);
+  return P->create<ExprStmt>(E, Loc);
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokKind::KwIf);
+  expect(TokKind::LParen);
+  Expr *Cond = parseExpr();
+  expect(TokKind::RParen);
+  Stmt *Then = parseStmt();
+  Stmt *Else = nullptr;
+  if (accept(TokKind::KwElse))
+    Else = parseStmt();
+  if (!Cond || !Then)
+    return nullptr;
+  return P->create<IfStmt>(Cond, Then, Else, Loc);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokKind::KwFor);
+  expect(TokKind::LParen);
+  Stmt *Init = nullptr;
+  if (!accept(TokKind::Semi)) {
+    if (atType()) {
+      SourceLoc DLoc = cur().Loc;
+      VarDecl *D = parseVarDecl(VarDecl::Scope::Local); // consumes ';'
+      if (D)
+        Init = P->create<DeclStmt>(D, DLoc);
+    } else {
+      Expr *E = parseExpr();
+      expect(TokKind::Semi);
+      if (E)
+        Init = P->create<ExprStmt>(E, Loc);
+    }
+  }
+  Expr *Cond = nullptr;
+  if (!at(TokKind::Semi))
+    Cond = parseExpr();
+  expect(TokKind::Semi);
+  Expr *Step = nullptr;
+  if (!at(TokKind::RParen))
+    Step = parseExpr();
+  expect(TokKind::RParen);
+  Stmt *Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return P->create<ForStmt>(Init, Cond, Step, Body, Loc);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokKind::KwWhile);
+  expect(TokKind::LParen);
+  Expr *Cond = parseExpr();
+  expect(TokKind::RParen);
+  Stmt *Body = parseStmt();
+  if (!Cond || !Body)
+    return nullptr;
+  return P->create<WhileStmt>(Cond, Body, Loc);
+}
+
+Stmt *Parser::parseAdd() {
+  SourceLoc Loc = cur().Loc;
+  AddStmt::Role Role = AddStmt::Role::Plain;
+  if (accept(TokKind::KwBody))
+    Role = AddStmt::Role::Body;
+  else if (accept(TokKind::KwLoop))
+    Role = AddStmt::Role::Loop;
+  else
+    expect(TokKind::KwAdd);
+  if (!at(TokKind::Identifier)) {
+    Diags.error(cur().Loc, "expected stream name");
+    return nullptr;
+  }
+  std::string Child = advance().Text;
+  std::vector<Expr *> Args;
+  if (at(TokKind::LParen))
+    Args = parseArgs();
+  expect(TokKind::Semi);
+  return P->create<AddStmt>(Child, std::move(Args), Role, Loc);
+}
+
+Stmt *Parser::parseSplit() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokKind::KwSplit);
+  if (accept(TokKind::KwDuplicate)) {
+    expect(TokKind::Semi);
+    return P->create<SplitStmt>(SplitStmt::SplitKind::Duplicate,
+                                std::vector<Expr *>(), Loc);
+  }
+  if (accept(TokKind::KwRoundrobin)) {
+    std::vector<Expr *> Weights;
+    if (at(TokKind::LParen))
+      Weights = parseArgs();
+    expect(TokKind::Semi);
+    return P->create<SplitStmt>(SplitStmt::SplitKind::RoundRobin,
+                                std::move(Weights), Loc);
+  }
+  Diags.error(cur().Loc, "expected 'duplicate' or 'roundrobin' after 'split'");
+  return nullptr;
+}
+
+Stmt *Parser::parseJoin() {
+  SourceLoc Loc = cur().Loc;
+  expect(TokKind::KwJoin);
+  if (!expect(TokKind::KwRoundrobin))
+    return nullptr;
+  std::vector<Expr *> Weights;
+  if (at(TokKind::LParen))
+    Weights = parseArgs();
+  expect(TokKind::Semi);
+  return P->create<JoinStmt>(std::move(Weights), Loc);
+}
+
+std::vector<Expr *> Parser::parseArgs() {
+  std::vector<Expr *> Args;
+  expect(TokKind::LParen);
+  if (!at(TokKind::RParen)) {
+    do {
+      if (Expr *E = parseExpr())
+        Args.push_back(E);
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen);
+  return Args;
+}
+
+Expr *Parser::parseAssign() {
+  Expr *LHS = parseBinary(0);
+  if (!LHS)
+    return nullptr;
+  SourceLoc Loc = cur().Loc;
+  AssignExpr::Op Op;
+  switch (cur().Kind) {
+  case TokKind::Assign:
+    Op = AssignExpr::Op::Assign;
+    break;
+  case TokKind::PlusAssign:
+    Op = AssignExpr::Op::Add;
+    break;
+  case TokKind::MinusAssign:
+    Op = AssignExpr::Op::Sub;
+    break;
+  case TokKind::StarAssign:
+    Op = AssignExpr::Op::Mul;
+    break;
+  case TokKind::SlashAssign:
+    Op = AssignExpr::Op::Div;
+    break;
+  default:
+    return LHS;
+  }
+  advance();
+  Expr *RHS = parseAssign();
+  if (!RHS)
+    return nullptr;
+  return P->create<AssignExpr>(Op, LHS, RHS, Loc);
+}
+
+/// Binary operator precedence; higher binds tighter.
+static int precedenceOf(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return 1;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::Pipe:
+    return 3;
+  case TokKind::Caret:
+    return 4;
+  case TokKind::Amp:
+    return 5;
+  case TokKind::EqEq:
+  case TokKind::NotEq:
+    return 6;
+  case TokKind::Less:
+  case TokKind::LessEq:
+  case TokKind::Greater:
+  case TokKind::GreaterEq:
+    return 7;
+  case TokKind::Shl:
+  case TokKind::Shr:
+    return 8;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 9;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 10;
+  default:
+    return 0;
+  }
+}
+
+static BinaryOp binaryOpOf(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return BinaryOp::LogOr;
+  case TokKind::AmpAmp:
+    return BinaryOp::LogAnd;
+  case TokKind::Pipe:
+    return BinaryOp::BitOr;
+  case TokKind::Caret:
+    return BinaryOp::BitXor;
+  case TokKind::Amp:
+    return BinaryOp::BitAnd;
+  case TokKind::EqEq:
+    return BinaryOp::EQ;
+  case TokKind::NotEq:
+    return BinaryOp::NE;
+  case TokKind::Less:
+    return BinaryOp::LT;
+  case TokKind::LessEq:
+    return BinaryOp::LE;
+  case TokKind::Greater:
+    return BinaryOp::GT;
+  case TokKind::GreaterEq:
+    return BinaryOp::GE;
+  case TokKind::Shl:
+    return BinaryOp::Shl;
+  case TokKind::Shr:
+    return BinaryOp::Shr;
+  case TokKind::Plus:
+    return BinaryOp::Add;
+  case TokKind::Minus:
+    return BinaryOp::Sub;
+  case TokKind::Star:
+    return BinaryOp::Mul;
+  case TokKind::Slash:
+    return BinaryOp::Div;
+  case TokKind::Percent:
+    return BinaryOp::Rem;
+  default:
+    assert(false && "not a binary operator token");
+    return BinaryOp::Add;
+  }
+}
+
+Expr *Parser::parseBinary(int MinPrec) {
+  Expr *LHS = parseUnary();
+  if (!LHS)
+    return nullptr;
+  for (;;) {
+    int Prec = precedenceOf(cur().Kind);
+    if (Prec == 0 || Prec < MinPrec)
+      return LHS;
+    Token OpTok = advance();
+    Expr *RHS = parseBinary(Prec + 1);
+    if (!RHS)
+      return nullptr;
+    LHS = P->create<BinaryExpr>(binaryOpOf(OpTok.Kind), LHS, RHS, OpTok.Loc);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLoc Loc = cur().Loc;
+  if (accept(TokKind::Minus)) {
+    Expr *Sub = parseUnary();
+    return Sub ? P->create<UnaryExpr>(UnaryOp::Neg, Sub, Loc) : nullptr;
+  }
+  if (accept(TokKind::Bang)) {
+    Expr *Sub = parseUnary();
+    return Sub ? P->create<UnaryExpr>(UnaryOp::LogNot, Sub, Loc) : nullptr;
+  }
+  if (accept(TokKind::Tilde)) {
+    Expr *Sub = parseUnary();
+    return Sub ? P->create<UnaryExpr>(UnaryOp::BitNot, Sub, Loc) : nullptr;
+  }
+  // Cast: '(' type ')' unary.
+  if (at(TokKind::LParen) &&
+      (lookahead(1).is(TokKind::KwInt) || lookahead(1).is(TokKind::KwFloat)) &&
+      lookahead(2).is(TokKind::RParen)) {
+    advance();
+    ScalarType To = parseType();
+    advance(); // ')'
+    Expr *Sub = parseUnary();
+    return Sub ? P->create<CastExpr>(To, Sub, Loc) : nullptr;
+  }
+  return parsePostfix();
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  if (!E)
+    return nullptr;
+  // x++ / x-- as sugar for x += 1 / x -= 1.
+  SourceLoc Loc = cur().Loc;
+  if (accept(TokKind::PlusPlus))
+    return P->create<AssignExpr>(AssignExpr::Op::Add, E,
+                                 P->create<IntLit>(1, Loc), Loc);
+  if (accept(TokKind::MinusMinus))
+    return P->create<AssignExpr>(AssignExpr::Op::Sub, E,
+                                 P->create<IntLit>(1, Loc), Loc);
+  return E;
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = cur().Loc;
+  switch (cur().Kind) {
+  case TokKind::IntLiteral: {
+    int64_t V = advance().IntValue;
+    return P->create<IntLit>(V, Loc);
+  }
+  case TokKind::FloatLiteral: {
+    double V = advance().FloatValue;
+    return P->create<FloatLit>(V, Loc);
+  }
+  case TokKind::KwTrue:
+    advance();
+    return P->create<BoolLit>(true, Loc);
+  case TokKind::KwFalse:
+    advance();
+    return P->create<BoolLit>(false, Loc);
+  case TokKind::LParen: {
+    advance();
+    Expr *E = parseExpr();
+    expect(TokKind::RParen);
+    return E;
+  }
+  case TokKind::KwPush:
+  case TokKind::KwPop:
+  case TokKind::KwPeek: {
+    TokKind K = advance().Kind;
+    std::vector<Expr *> Args;
+    if (at(TokKind::LParen))
+      Args = parseArgs();
+    const char *Name = K == TokKind::KwPush  ? "push"
+                       : K == TokKind::KwPop ? "pop"
+                                             : "peek";
+    return P->create<CallExpr>(Name, std::move(Args), Loc);
+  }
+  case TokKind::Identifier: {
+    std::string Name = advance().Text;
+    if (at(TokKind::LParen)) {
+      std::vector<Expr *> Args = parseArgs();
+      return P->create<CallExpr>(std::move(Name), std::move(Args), Loc);
+    }
+    VarRef *Ref = P->create<VarRef>(std::move(Name), Loc);
+    if (at(TokKind::LBracket)) {
+      advance();
+      Expr *Index = parseExpr();
+      expect(TokKind::RBracket);
+      if (!Index)
+        return nullptr;
+      return P->create<ArrayIndex>(Ref, Index, Loc);
+    }
+    return Ref;
+  }
+  default: {
+    std::ostringstream OS;
+    OS << "expected an expression, found " << tokKindName(cur().Kind);
+    Diags.error(Loc, OS.str());
+    advance();
+    return nullptr;
+  }
+  }
+}
+
+std::unique_ptr<Program> laminar::parseProgram(const std::string &Source,
+                                               DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser Par(L.lexAll(), Diags);
+  return Par.run();
+}

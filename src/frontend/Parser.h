@@ -1,0 +1,20 @@
+//===--- Parser.h - Recursive-descent parser -------------------*- C++ -*-===//
+
+#ifndef LAMINAR_FRONTEND_PARSER_H
+#define LAMINAR_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Lexer.h"
+#include <memory>
+
+namespace laminar {
+
+/// Parses a whole program. Errors are reported through \p Diags; the
+/// returned Program contains the declarations that parsed successfully
+/// (callers must check Diags.hasErrors() before using it).
+std::unique_ptr<ast::Program> parseProgram(const std::string &Source,
+                                           DiagnosticEngine &Diags);
+
+} // namespace laminar
+
+#endif // LAMINAR_FRONTEND_PARSER_H

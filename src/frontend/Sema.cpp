@@ -1,0 +1,566 @@
+//===--- Sema.cpp - Name resolution and type checking ---------------------===//
+
+#include "frontend/Sema.h"
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::ast;
+
+namespace {
+
+/// The statement context determines which constructs are legal: stream
+/// primitives only in work functions, graph statements only in composite
+/// bodies.
+enum class Context { Work, Init, Composite };
+
+class Sema {
+public:
+  Sema(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  bool run() {
+    for (StreamDecl *D : P.getDecls()) {
+      if (auto *F = dyn_cast<FilterDecl>(D))
+        checkFilter(*F);
+      else
+        checkComposite(*cast<CompositeDecl>(D));
+    }
+    return !Diags.hasErrors();
+  }
+
+private:
+  // Scope handling -------------------------------------------------------
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  void declare(VarDecl *D) {
+    if (!D)
+      return;
+    if (lookupInnermost(D->getName()))
+      Diags.error(D->getLoc(), "redefinition of '" + D->getName() + "'");
+    Scopes.back()[D->getName()] = D;
+  }
+
+  VarDecl *lookupInnermost(const std::string &Name) const {
+    auto It = Scopes.back().find(Name);
+    return It == Scopes.back().end() ? nullptr : It->second;
+  }
+
+  VarDecl *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+
+  // Declarations ---------------------------------------------------------
+  void checkFilter(FilterDecl &F);
+  void checkComposite(CompositeDecl &C);
+  void checkVarDecl(VarDecl *D, Context Ctx);
+
+  // Statements -----------------------------------------------------------
+  void checkStmt(Stmt *S, Context Ctx);
+  void checkBlock(BlockStmt *B, Context Ctx, bool NewScope = true);
+
+  // Expressions ----------------------------------------------------------
+  ScalarType checkExpr(Expr *E, Context Ctx);
+  ScalarType checkCall(CallExpr *C, Context Ctx);
+  void requireNumeric(Expr *E, const char *What);
+  void requireConvertible(ScalarType From, ScalarType To, SourceLoc Loc,
+                          const char *What);
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  std::vector<std::unordered_map<std::string, VarDecl *>> Scopes;
+  /// Filter whose body is being checked (null inside composites).
+  FilterDecl *CurFilter = nullptr;
+  /// Kind of the composite being checked (valid in Context::Composite).
+  StreamDecl::Kind CurCompositeKind = StreamDecl::Kind::Pipeline;
+};
+
+} // namespace
+
+static bool isNumeric(ScalarType Ty) {
+  return Ty == ScalarType::Int || Ty == ScalarType::Float;
+}
+
+void Sema::requireNumeric(Expr *E, const char *What) {
+  if (!isNumeric(E->getType()) && E->getType() != ScalarType::Void) {
+    std::ostringstream OS;
+    OS << What << " must be numeric, found "
+       << scalarTypeName(E->getType());
+    Diags.error(E->getLoc(), OS.str());
+  }
+}
+
+void Sema::requireConvertible(ScalarType From, ScalarType To, SourceLoc Loc,
+                              const char *What) {
+  if (From == To)
+    return;
+  if (From == ScalarType::Int && To == ScalarType::Float)
+    return; // Implicit widening.
+  if (From == ScalarType::Void)
+    return; // Already diagnosed.
+  std::ostringstream OS;
+  OS << "cannot convert " << What << " from " << scalarTypeName(From)
+     << " to " << scalarTypeName(To)
+     << (From == ScalarType::Float && To == ScalarType::Int
+             ? " (use an explicit (int) cast)"
+             : "");
+  Diags.error(Loc, OS.str());
+}
+
+void Sema::checkVarDecl(VarDecl *D, Context Ctx) {
+  if (!D)
+    return;
+  if (D->getElemType() == ScalarType::Void)
+    Diags.error(D->getLoc(), "variable of type void");
+  if (D->getArraySize()) {
+    ScalarType Ty = checkExpr(D->getArraySize(), Ctx);
+    if (Ty != ScalarType::Int)
+      Diags.error(D->getArraySize()->getLoc(), "array size must be int");
+    if (D->getInit())
+      Diags.error(D->getLoc(), "array variables cannot have initializers");
+  }
+  if (D->getInit()) {
+    ScalarType Ty = checkExpr(D->getInit(), Ctx);
+    requireConvertible(Ty, D->getElemType(), D->getLoc(), "initializer");
+  }
+  declare(D);
+}
+
+void Sema::checkFilter(FilterDecl &F) {
+  CurFilter = &F;
+  pushScope();
+  for (VarDecl *Param : F.getParams())
+    declare(Param);
+
+  pushScope();
+  for (VarDecl *Field : F.getFields())
+    checkVarDecl(Field, Context::Init);
+
+  if (F.getInType() == ScalarType::Bool || F.getOutType() == ScalarType::Bool)
+    Diags.error(F.getLoc(), "stream channels must carry int or float");
+
+  // Rates must be integer expressions (evaluated during elaboration).
+  for (Expr *Rate : {F.getPushRate(), F.getPopRate(), F.getPeekRate()}) {
+    if (!Rate)
+      continue;
+    if (checkExpr(Rate, Context::Init) != ScalarType::Int)
+      Diags.error(Rate->getLoc(), "I/O rate must be int");
+  }
+  if (F.getOutType() == ScalarType::Void && F.getPushRate())
+    Diags.error(F.getLoc(), "filter with void output declares a push rate");
+  if (F.getInType() == ScalarType::Void &&
+      (F.getPopRate() || F.getPeekRate()))
+    Diags.error(F.getLoc(), "filter with void input declares pop/peek rates");
+  if (F.getOutType() != ScalarType::Void && !F.getPushRate())
+    Diags.error(F.getLoc(), "filter with output must declare a push rate");
+  if (F.getInType() != ScalarType::Void && !F.getPopRate())
+    Diags.error(F.getLoc(), "filter with input must declare a pop rate");
+
+  if (F.getInitBody())
+    checkBlock(F.getInitBody(), Context::Init);
+  checkBlock(F.getWorkBody(), Context::Work);
+
+  popScope();
+  popScope();
+  CurFilter = nullptr;
+}
+
+void Sema::checkComposite(CompositeDecl &C) {
+  CurCompositeKind = C.getKind();
+  pushScope();
+  for (VarDecl *Param : C.getParams())
+    declare(Param);
+  if (C.getInType() == ScalarType::Bool || C.getOutType() == ScalarType::Bool)
+    Diags.error(C.getLoc(), "stream channels must carry int or float");
+  checkBlock(C.getBody(), Context::Composite);
+  popScope();
+}
+
+void Sema::checkBlock(BlockStmt *B, Context Ctx, bool NewScope) {
+  if (!B)
+    return;
+  if (NewScope)
+    pushScope();
+  for (Stmt *S : B->getBody())
+    checkStmt(S, Ctx);
+  if (NewScope)
+    popScope();
+}
+
+void Sema::checkStmt(Stmt *S, Context Ctx) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    checkBlock(cast<BlockStmt>(S), Ctx);
+    return;
+  case Stmt::Kind::Decl: {
+    VarDecl *D = cast<DeclStmt>(S)->getDecl();
+    checkVarDecl(D, Ctx);
+    if (Ctx == Context::Composite && D && D->isArray())
+      Diags.error(S->getLoc(), "array locals are not allowed in composites");
+    return;
+  }
+  case Stmt::Kind::ExprS:
+    checkExpr(cast<ExprStmt>(S)->getExpr(), Ctx);
+    return;
+  case Stmt::Kind::If: {
+    auto *If = cast<IfStmt>(S);
+    if (checkExpr(If->getCond(), Ctx) != ScalarType::Bool)
+      Diags.error(If->getCond()->getLoc(), "condition must be boolean");
+    checkStmt(If->getThen(), Ctx);
+    checkStmt(If->getElse(), Ctx);
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto *For = cast<ForStmt>(S);
+    pushScope();
+    checkStmt(For->getInit(), Ctx);
+    if (For->getCond()) {
+      if (checkExpr(For->getCond(), Ctx) != ScalarType::Bool)
+        Diags.error(For->getCond()->getLoc(), "condition must be boolean");
+    } else {
+      Diags.error(For->getLoc(), "for loop without a condition");
+    }
+    if (For->getStep())
+      checkExpr(For->getStep(), Ctx);
+    checkStmt(For->getBody(), Ctx);
+    popScope();
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto *While = cast<WhileStmt>(S);
+    if (checkExpr(While->getCond(), Ctx) != ScalarType::Bool)
+      Diags.error(While->getCond()->getLoc(), "condition must be boolean");
+    checkStmt(While->getBody(), Ctx);
+    return;
+  }
+  case Stmt::Kind::Add: {
+    if (Ctx != Context::Composite) {
+      Diags.error(S->getLoc(), "'add' is only allowed in composite bodies");
+      return;
+    }
+    auto *Add = cast<AddStmt>(S);
+    bool InLoop = CurCompositeKind == StreamDecl::Kind::FeedbackLoop;
+    if (Add->getRole() == AddStmt::Role::Plain && InLoop)
+      Diags.error(S->getLoc(),
+                  "use 'body' and 'loop' (not 'add') in feedbackloops");
+    if (Add->getRole() != AddStmt::Role::Plain && !InLoop)
+      Diags.error(S->getLoc(),
+                  "'body'/'loop' are only allowed in feedbackloops");
+    StreamDecl *Child = P.findDecl(Add->getChild());
+    if (!Child) {
+      Diags.error(S->getLoc(), "unknown stream '" + Add->getChild() + "'");
+      return;
+    }
+    if (Add->getArgs().size() != Child->getParams().size()) {
+      std::ostringstream OS;
+      OS << "'" << Add->getChild() << "' expects "
+         << Child->getParams().size() << " argument(s), got "
+         << Add->getArgs().size();
+      Diags.error(S->getLoc(), OS.str());
+    }
+    for (size_t I = 0; I < Add->getArgs().size(); ++I) {
+      ScalarType Ty = checkExpr(Add->getArgs()[I], Ctx);
+      if (I < Child->getParams().size())
+        requireConvertible(Ty, Child->getParams()[I]->getElemType(),
+                           Add->getArgs()[I]->getLoc(), "argument");
+    }
+    return;
+  }
+  case Stmt::Kind::SplitS: {
+    if (Ctx != Context::Composite)
+      Diags.error(S->getLoc(), "'split' is only allowed in splitjoin bodies");
+    if (Ctx == Context::Composite &&
+        CurCompositeKind == StreamDecl::Kind::Pipeline)
+      Diags.error(S->getLoc(), "'split' is not allowed in pipelines");
+    for (Expr *W : cast<SplitStmt>(S)->getWeights())
+      if (checkExpr(W, Ctx) != ScalarType::Int)
+        Diags.error(W->getLoc(), "roundrobin weight must be int");
+    return;
+  }
+  case Stmt::Kind::JoinS: {
+    if (Ctx != Context::Composite)
+      Diags.error(S->getLoc(), "'join' is only allowed in splitjoin bodies");
+    for (Expr *W : cast<JoinStmt>(S)->getWeights())
+      if (checkExpr(W, Ctx) != ScalarType::Int)
+        Diags.error(W->getLoc(), "roundrobin weight must be int");
+    return;
+  }
+  case Stmt::Kind::Enqueue: {
+    if (Ctx != Context::Composite ||
+        CurCompositeKind != StreamDecl::Kind::FeedbackLoop) {
+      Diags.error(S->getLoc(),
+                  "'enqueue' is only allowed in feedbackloop bodies");
+      return;
+    }
+    checkExpr(cast<EnqueueStmt>(S)->getValue(), Ctx);
+    requireNumeric(cast<EnqueueStmt>(S)->getValue(), "enqueued value");
+    return;
+  }
+  }
+}
+
+ScalarType Sema::checkExpr(Expr *E, Context Ctx) {
+  if (!E)
+    return ScalarType::Void;
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    E->setType(ScalarType::Int);
+    break;
+  case Expr::Kind::FloatLit:
+    E->setType(ScalarType::Float);
+    break;
+  case Expr::Kind::BoolLit:
+    E->setType(ScalarType::Bool);
+    break;
+  case Expr::Kind::VarRef: {
+    auto *Ref = cast<VarRef>(E);
+    VarDecl *D = lookup(Ref->getName());
+    if (!D) {
+      Diags.error(E->getLoc(), "use of undeclared name '" + Ref->getName() +
+                                   "'");
+      E->setType(ScalarType::Int);
+      break;
+    }
+    Ref->setDecl(D);
+    if (D->isArray()) {
+      Diags.error(E->getLoc(),
+                  "array '" + Ref->getName() + "' must be indexed");
+      E->setType(D->getElemType());
+      break;
+    }
+    E->setType(D->getElemType());
+    break;
+  }
+  case Expr::Kind::ArrayIndex: {
+    auto *Ix = cast<ArrayIndex>(E);
+    VarRef *Base = Ix->getBase();
+    VarDecl *D = lookup(Base->getName());
+    if (!D) {
+      Diags.error(E->getLoc(),
+                  "use of undeclared name '" + Base->getName() + "'");
+      E->setType(ScalarType::Int);
+      break;
+    }
+    Base->setDecl(D);
+    Base->setType(D->getElemType());
+    if (!D->isArray())
+      Diags.error(E->getLoc(),
+                  "indexing non-array '" + Base->getName() + "'");
+    if (checkExpr(Ix->getIndex(), Ctx) != ScalarType::Int)
+      Diags.error(Ix->getIndex()->getLoc(), "array index must be int");
+    E->setType(D->getElemType());
+    break;
+  }
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    ScalarType L = checkExpr(B->getLHS(), Ctx);
+    ScalarType R = checkExpr(B->getRHS(), Ctx);
+    switch (B->getOp()) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+    case BinaryOp::Mul:
+    case BinaryOp::Div:
+      requireNumeric(B->getLHS(), "operand");
+      requireNumeric(B->getRHS(), "operand");
+      E->setType(L == ScalarType::Float || R == ScalarType::Float
+                     ? ScalarType::Float
+                     : ScalarType::Int);
+      break;
+    case BinaryOp::Rem:
+    case BinaryOp::BitAnd:
+    case BinaryOp::BitOr:
+    case BinaryOp::BitXor:
+    case BinaryOp::Shl:
+    case BinaryOp::Shr:
+      if (L != ScalarType::Int || R != ScalarType::Int)
+        Diags.error(E->getLoc(), "operator requires int operands");
+      E->setType(ScalarType::Int);
+      break;
+    case BinaryOp::LogAnd:
+    case BinaryOp::LogOr:
+      if (L != ScalarType::Bool || R != ScalarType::Bool)
+        Diags.error(E->getLoc(), "operator requires boolean operands");
+      E->setType(ScalarType::Bool);
+      break;
+    case BinaryOp::EQ:
+    case BinaryOp::NE:
+      if (L == ScalarType::Bool && R == ScalarType::Bool) {
+        E->setType(ScalarType::Bool);
+        break;
+      }
+      [[fallthrough]];
+    case BinaryOp::LT:
+    case BinaryOp::LE:
+    case BinaryOp::GT:
+    case BinaryOp::GE:
+      requireNumeric(B->getLHS(), "comparison operand");
+      requireNumeric(B->getRHS(), "comparison operand");
+      E->setType(ScalarType::Bool);
+      break;
+    }
+    break;
+  }
+  case Expr::Kind::Unary: {
+    auto *U = cast<UnaryExpr>(E);
+    ScalarType Ty = checkExpr(U->getSub(), Ctx);
+    switch (U->getOp()) {
+    case UnaryOp::Neg:
+      requireNumeric(U->getSub(), "operand of unary '-'");
+      E->setType(Ty);
+      break;
+    case UnaryOp::LogNot:
+      if (Ty != ScalarType::Bool)
+        Diags.error(E->getLoc(), "operand of '!' must be boolean");
+      E->setType(ScalarType::Bool);
+      break;
+    case UnaryOp::BitNot:
+      if (Ty != ScalarType::Int)
+        Diags.error(E->getLoc(), "operand of '~' must be int");
+      E->setType(ScalarType::Int);
+      break;
+    }
+    break;
+  }
+  case Expr::Kind::Assign: {
+    auto *A = cast<AssignExpr>(E);
+    ScalarType TargetTy = checkExpr(A->getTarget(), Ctx);
+    ScalarType ValueTy = checkExpr(A->getValue(), Ctx);
+    Expr *Target = A->getTarget();
+    VarDecl *D = nullptr;
+    if (auto *Ref = dyn_cast<VarRef>(Target))
+      D = Ref->getDecl();
+    else if (auto *Ix = dyn_cast<ArrayIndex>(Target))
+      D = Ix->getBase()->getDecl();
+    else
+      Diags.error(E->getLoc(), "assignment target must be a variable");
+    if (D && D->getScope() == VarDecl::Scope::Param)
+      Diags.error(E->getLoc(), "cannot assign to parameter '" + D->getName() +
+                                   "'");
+    if (A->getOp() != AssignExpr::Op::Assign) {
+      requireNumeric(A->getTarget(), "compound assignment target");
+      requireNumeric(A->getValue(), "compound assignment value");
+    }
+    requireConvertible(ValueTy, TargetTy, E->getLoc(), "assigned value");
+    E->setType(TargetTy);
+    break;
+  }
+  case Expr::Kind::Call:
+    E->setType(checkCall(cast<CallExpr>(E), Ctx));
+    break;
+  case Expr::Kind::Cast: {
+    auto *C = cast<CastExpr>(E);
+    checkExpr(C->getSub(), Ctx);
+    requireNumeric(C->getSub(), "cast operand");
+    if (!isNumeric(C->getTo()))
+      Diags.error(E->getLoc(), "cast target must be int or float");
+    E->setType(C->getTo());
+    break;
+  }
+  }
+  return E->getType();
+}
+
+ScalarType Sema::checkCall(CallExpr *C, Context Ctx) {
+  static const std::unordered_map<std::string, BuiltinFn> Builtins = {
+      {"push", BuiltinFn::Push},   {"pop", BuiltinFn::Pop},
+      {"peek", BuiltinFn::Peek},   {"sin", BuiltinFn::Sin},
+      {"cos", BuiltinFn::Cos},     {"tan", BuiltinFn::Tan},
+      {"atan", BuiltinFn::Atan},   {"atan2", BuiltinFn::Atan2},
+      {"exp", BuiltinFn::Exp},     {"log", BuiltinFn::Log},
+      {"sqrt", BuiltinFn::Sqrt},   {"abs", BuiltinFn::Abs},
+      {"floor", BuiltinFn::Floor}, {"ceil", BuiltinFn::Ceil},
+      {"pow", BuiltinFn::Pow},     {"fmod", BuiltinFn::Fmod},
+      {"min", BuiltinFn::Min},     {"max", BuiltinFn::Max},
+  };
+  auto It = Builtins.find(C->getCallee());
+  if (It == Builtins.end()) {
+    Diags.error(C->getLoc(), "unknown function '" + C->getCallee() + "'");
+    return ScalarType::Void;
+  }
+  BuiltinFn Fn = It->second;
+  C->setBuiltin(Fn);
+
+  auto ExpectArgs = [&](unsigned N) {
+    if (C->getArgs().size() == N)
+      return true;
+    std::ostringstream OS;
+    OS << "'" << C->getCallee() << "' expects " << N << " argument(s), got "
+       << C->getArgs().size();
+    Diags.error(C->getLoc(), OS.str());
+    return false;
+  };
+
+  for (Expr *Arg : C->getArgs())
+    checkExpr(Arg, Ctx);
+
+  switch (Fn) {
+  case BuiltinFn::Push: {
+    if (Ctx != Context::Work)
+      Diags.error(C->getLoc(), "push is only allowed in work functions");
+    else if (!CurFilter || CurFilter->getOutType() == ScalarType::Void)
+      Diags.error(C->getLoc(), "push in a filter without output");
+    if (ExpectArgs(1) && CurFilter)
+      requireConvertible(C->getArgs()[0]->getType(), CurFilter->getOutType(),
+                         C->getLoc(), "pushed value");
+    return ScalarType::Void;
+  }
+  case BuiltinFn::Pop: {
+    if (Ctx != Context::Work)
+      Diags.error(C->getLoc(), "pop is only allowed in work functions");
+    else if (!CurFilter || CurFilter->getInType() == ScalarType::Void)
+      Diags.error(C->getLoc(), "pop in a filter without input");
+    ExpectArgs(0);
+    return CurFilter ? CurFilter->getInType() : ScalarType::Float;
+  }
+  case BuiltinFn::Peek: {
+    if (Ctx != Context::Work)
+      Diags.error(C->getLoc(), "peek is only allowed in work functions");
+    else if (!CurFilter || CurFilter->getInType() == ScalarType::Void)
+      Diags.error(C->getLoc(), "peek in a filter without input");
+    if (ExpectArgs(1) && C->getArgs()[0]->getType() != ScalarType::Int)
+      Diags.error(C->getLoc(), "peek index must be int");
+    return CurFilter ? CurFilter->getInType() : ScalarType::Float;
+  }
+  case BuiltinFn::Atan2:
+  case BuiltinFn::Pow:
+  case BuiltinFn::Fmod:
+    if (ExpectArgs(2)) {
+      requireNumeric(C->getArgs()[0], "argument");
+      requireNumeric(C->getArgs()[1], "argument");
+    }
+    return ScalarType::Float;
+  case BuiltinFn::Min:
+  case BuiltinFn::Max:
+    if (ExpectArgs(2)) {
+      requireNumeric(C->getArgs()[0], "argument");
+      requireNumeric(C->getArgs()[1], "argument");
+      if (C->getArgs()[0]->getType() == ScalarType::Int &&
+          C->getArgs()[1]->getType() == ScalarType::Int)
+        return ScalarType::Int;
+    }
+    return ScalarType::Float;
+  case BuiltinFn::Abs:
+    if (ExpectArgs(1)) {
+      requireNumeric(C->getArgs()[0], "argument");
+      if (C->getArgs()[0]->getType() == ScalarType::Int)
+        return ScalarType::Int;
+    }
+    return ScalarType::Float;
+  default:
+    if (ExpectArgs(1))
+      requireNumeric(C->getArgs()[0], "argument");
+    return ScalarType::Float;
+  }
+}
+
+bool laminar::analyzeProgram(Program &P, DiagnosticEngine &Diags) {
+  return Sema(P, Diags).run();
+}

@@ -1,0 +1,18 @@
+//===--- Sema.h - Semantic analysis ----------------------------*- C++ -*-===//
+
+#ifndef LAMINAR_FRONTEND_SEMA_H
+#define LAMINAR_FRONTEND_SEMA_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+namespace laminar {
+
+/// Resolves names, checks types and validates statement contexts for a
+/// parsed program. Annotates the AST in place (expression types, VarRef
+/// declarations, builtin kinds). Returns false when errors were emitted.
+bool analyzeProgram(ast::Program &P, DiagnosticEngine &Diags);
+
+} // namespace laminar
+
+#endif // LAMINAR_FRONTEND_SEMA_H

@@ -1,0 +1,593 @@
+//===--- GraphBuilder.cpp - Compile-time elaboration ----------------------===//
+
+#include "graph/GraphBuilder.h"
+#include <cassert>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::ast;
+using namespace laminar::graph;
+
+namespace {
+
+/// One end of an elaborated sub-stream.
+struct Endpoint {
+  Node *N = nullptr;
+  unsigned Port = 0;
+};
+
+/// An elaborated sub-stream: its dangling input and output (absent for
+/// void boundary types).
+struct Segment {
+  std::optional<Endpoint> In;
+  std::optional<Endpoint> Out;
+  ScalarType InTy = ScalarType::Void;
+  ScalarType OutTy = ScalarType::Void;
+};
+
+class GraphBuilder {
+public:
+  GraphBuilder(const Program &P, DiagnosticEngine &Diags)
+      : P(P), Diags(Diags) {}
+
+  std::unique_ptr<StreamGraph> build(const std::string &TopName);
+
+private:
+  std::optional<Segment> elaborate(const StreamDecl *D,
+                                   const std::vector<ConstVal> &Args,
+                                   unsigned Depth);
+  std::optional<Segment> elaborateFilter(const FilterDecl *F,
+                                         const std::vector<ConstVal> &Args);
+  std::optional<Segment> elaboratePipeline(const CompositeDecl *C,
+                                           ConstEnv &Env, unsigned Depth);
+  std::optional<Segment> elaborateSplitJoin(const CompositeDecl *C,
+                                            ConstEnv &Env, unsigned Depth);
+  std::optional<Segment> elaborateFeedbackLoop(const CompositeDecl *C,
+                                               ConstEnv &Env,
+                                               unsigned Depth);
+
+  std::string uniqueName(const std::string &Base) {
+    unsigned N = NameCounters[Base]++;
+    std::ostringstream OS;
+    OS << Base << "_" << N;
+    return OS.str();
+  }
+
+  /// Evaluates the argument expressions of an add statement.
+  std::optional<std::vector<ConstVal>>
+  evalArgs(const std::vector<Expr *> &Exprs, ConstEval &Eval);
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<StreamGraph> G;
+  std::unordered_map<std::string, unsigned> NameCounters;
+};
+
+} // namespace
+
+std::optional<std::vector<ConstVal>>
+GraphBuilder::evalArgs(const std::vector<Expr *> &Exprs, ConstEval &Eval) {
+  std::vector<ConstVal> Args;
+  for (const Expr *E : Exprs) {
+    auto V = Eval.eval(E);
+    if (!V) {
+      Diags.error(E->getLoc(),
+                  "argument is not evaluable at elaboration time");
+      return std::nullopt;
+    }
+    Args.push_back(*V);
+  }
+  return Args;
+}
+
+std::optional<Segment>
+GraphBuilder::elaborate(const StreamDecl *D, const std::vector<ConstVal> &Args,
+                        unsigned Depth) {
+  if (Depth > 256) {
+    Diags.error(D->getLoc(), "elaboration recursion limit exceeded "
+                             "(recursive composite?)");
+    return std::nullopt;
+  }
+  if (Args.size() != D->getParams().size()) {
+    Diags.error(D->getLoc(), "argument count mismatch for '" + D->getName() +
+                                 "'");
+    return std::nullopt;
+  }
+  if (const auto *F = dyn_cast<FilterDecl>(D))
+    return elaborateFilter(F, Args);
+
+  const auto *C = cast<CompositeDecl>(D);
+  ConstEnv Env;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Env.set(C->getParams()[I],
+            Args[I].convertTo(C->getParams()[I]->getElemType()));
+  if (C->getKind() == StreamDecl::Kind::Pipeline)
+    return elaboratePipeline(C, Env, Depth);
+  if (C->getKind() == StreamDecl::Kind::SplitJoin)
+    return elaborateSplitJoin(C, Env, Depth);
+  return elaborateFeedbackLoop(C, Env, Depth);
+}
+
+std::optional<Segment>
+GraphBuilder::elaborateFilter(const FilterDecl *F,
+                              const std::vector<ConstVal> &Args) {
+  ConstEnv Env;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Env.set(F->getParams()[I],
+            Args[I].convertTo(F->getParams()[I]->getElemType()));
+  ConstEval Eval(Diags, Env);
+
+  auto EvalRate = [&](const Expr *E, const char *What) -> std::optional<int64_t> {
+    if (!E)
+      return 0;
+    auto V = Eval.eval(E);
+    if (!V || V->Ty != ScalarType::Int) {
+      Diags.error(E->getLoc(), std::string(What) +
+                                   " rate is not a compile-time int");
+      return std::nullopt;
+    }
+    return V->asInt();
+  };
+
+  auto Push = EvalRate(F->getPushRate(), "push");
+  auto Pop = EvalRate(F->getPopRate(), "pop");
+  auto Peek = EvalRate(F->getPeekRate(), "peek");
+  if (!Push || !Pop || !Peek)
+    return std::nullopt;
+  int64_t PeekV = *Peek ? *Peek : *Pop; // peek defaults to pop
+  if (F->getInType() != ScalarType::Void && *Pop < 1) {
+    Diags.error(F->getLoc(), "pop rate must be at least 1");
+    return std::nullopt;
+  }
+  if (F->getOutType() != ScalarType::Void && *Push < 1) {
+    Diags.error(F->getLoc(), "push rate must be at least 1");
+    return std::nullopt;
+  }
+  if (PeekV < *Pop) {
+    Diags.error(F->getLoc(), "peek rate smaller than pop rate");
+    return std::nullopt;
+  }
+
+  auto *N = G->createNode<FilterNode>(uniqueName(F->getName()), F,
+                                      FilterNode::Role::User, F->getInType(),
+                                      F->getOutType(), *Pop, PeekV, *Push);
+  for (size_t I = 0; I < Args.size(); ++I)
+    N->params().set(F->getParams()[I],
+                    Args[I].convertTo(F->getParams()[I]->getElemType()));
+
+  Segment Seg;
+  Seg.InTy = F->getInType();
+  Seg.OutTy = F->getOutType();
+  if (Seg.InTy != ScalarType::Void)
+    Seg.In = Endpoint{N, 0};
+  if (Seg.OutTy != ScalarType::Void)
+    Seg.Out = Endpoint{N, 0};
+  return Seg;
+}
+
+std::optional<Segment>
+GraphBuilder::elaboratePipeline(const CompositeDecl *C, ConstEnv &Env,
+                                unsigned Depth) {
+  ConstEval Eval(Diags, Env);
+  std::vector<Segment> Children;
+  bool Failed = false;
+
+  bool Ok = Eval.exec(C->getBody(), [&](const Stmt *S) {
+    if (!isa<AddStmt>(S)) {
+      Diags.error(S->getLoc(), "split/join are not allowed in pipelines");
+      return false;
+    }
+    const auto *Add = cast<AddStmt>(S);
+    const StreamDecl *Child = P.findDecl(Add->getChild());
+    assert(Child && "sema admitted an unknown child");
+    auto Args = evalArgs(Add->getArgs(), Eval);
+    if (!Args)
+      return false;
+    auto Seg = elaborate(Child, *Args, Depth + 1);
+    if (!Seg) {
+      Failed = true;
+      return false;
+    }
+    Children.push_back(*Seg);
+    return true;
+  });
+  if (!Ok || Failed)
+    return std::nullopt;
+  if (Children.empty()) {
+    Diags.error(C->getLoc(), "pipeline '" + C->getName() + "' adds no "
+                             "children");
+    return std::nullopt;
+  }
+
+  // Connect consecutive children.
+  for (size_t I = 0; I + 1 < Children.size(); ++I) {
+    const Segment &A = Children[I];
+    const Segment &B = Children[I + 1];
+    if (A.OutTy != B.InTy || !A.Out || !B.In) {
+      Diags.error(C->getLoc(),
+                  "type mismatch between pipeline stages of '" +
+                      C->getName() + "'");
+      return std::nullopt;
+    }
+    G->connect(A.Out->N, A.Out->Port, B.In->N, B.In->Port, A.OutTy);
+  }
+
+  Segment Seg;
+  Seg.InTy = Children.front().InTy;
+  Seg.OutTy = Children.back().OutTy;
+  Seg.In = Children.front().In;
+  Seg.Out = Children.back().Out;
+  if (Seg.InTy != C->getInType() || Seg.OutTy != C->getOutType()) {
+    Diags.error(C->getLoc(), "pipeline '" + C->getName() +
+                                 "' body does not match its declared type");
+    return std::nullopt;
+  }
+  return Seg;
+}
+
+std::optional<Segment>
+GraphBuilder::elaborateSplitJoin(const CompositeDecl *C, ConstEnv &Env,
+                                 unsigned Depth) {
+  ConstEval Eval(Diags, Env);
+  std::optional<SplitStmt::SplitKind> SplitKind;
+  std::vector<int64_t> SplitWeights;
+  std::optional<std::vector<int64_t>> JoinWeights;
+  std::vector<Segment> Branches;
+  bool Failed = false;
+
+  auto EvalWeights =
+      [&](const std::vector<Expr *> &Exprs) -> std::optional<std::vector<int64_t>> {
+    std::vector<int64_t> Ws;
+    for (const Expr *E : Exprs) {
+      auto V = Eval.eval(E);
+      if (!V || V->Ty != ScalarType::Int) {
+        Diags.error(E->getLoc(), "weight is not a compile-time int");
+        return std::nullopt;
+      }
+      Ws.push_back(V->asInt());
+    }
+    return Ws;
+  };
+
+  bool Ok = Eval.exec(C->getBody(), [&](const Stmt *S) {
+    if (const auto *Split = dyn_cast<SplitStmt>(S)) {
+      if (SplitKind) {
+        Diags.error(S->getLoc(), "duplicate split statement");
+        return false;
+      }
+      SplitKind = Split->getSplitKind();
+      auto Ws = EvalWeights(Split->getWeights());
+      if (!Ws)
+        return false;
+      SplitWeights = *Ws;
+      return true;
+    }
+    if (const auto *Join = dyn_cast<JoinStmt>(S)) {
+      if (JoinWeights) {
+        Diags.error(S->getLoc(), "duplicate join statement");
+        return false;
+      }
+      auto Ws = EvalWeights(Join->getWeights());
+      if (!Ws)
+        return false;
+      JoinWeights = *Ws;
+      return true;
+    }
+    const auto *Add = cast<AddStmt>(S);
+    if (!SplitKind) {
+      Diags.error(S->getLoc(), "'add' before 'split' in splitjoin");
+      return false;
+    }
+    const StreamDecl *Child = P.findDecl(Add->getChild());
+    assert(Child && "sema admitted an unknown child");
+    auto Args = evalArgs(Add->getArgs(), Eval);
+    if (!Args)
+      return false;
+    auto Seg = elaborate(Child, *Args, Depth + 1);
+    if (!Seg) {
+      Failed = true;
+      return false;
+    }
+    Branches.push_back(*Seg);
+    return true;
+  });
+  if (!Ok || Failed)
+    return std::nullopt;
+
+  if (!SplitKind || !JoinWeights) {
+    Diags.error(C->getLoc(), "splitjoin '" + C->getName() +
+                                 "' needs both split and join");
+    return std::nullopt;
+  }
+  if (Branches.empty()) {
+    Diags.error(C->getLoc(), "splitjoin '" + C->getName() + "' has no "
+                             "branches");
+    return std::nullopt;
+  }
+
+  size_t NumBranches = Branches.size();
+  auto Normalize = [&](std::vector<int64_t> Ws,
+                       const char *What) -> std::optional<std::vector<int64_t>> {
+    if (Ws.empty())
+      Ws.assign(NumBranches, 1);
+    else if (Ws.size() == 1)
+      Ws.assign(NumBranches, Ws.front());
+    else if (Ws.size() != NumBranches) {
+      std::ostringstream OS;
+      OS << What << " weight count (" << Ws.size() << ") does not match "
+         << NumBranches << " branches";
+      Diags.error(C->getLoc(), OS.str());
+      return std::nullopt;
+    }
+    for (int64_t W : Ws)
+      if (W < 1) {
+        Diags.error(C->getLoc(), "weights must be positive");
+        return std::nullopt;
+      }
+    return Ws;
+  };
+
+  std::optional<std::vector<int64_t>> SplitWs;
+  if (*SplitKind == SplitStmt::SplitKind::RoundRobin) {
+    SplitWs = Normalize(SplitWeights, "split");
+    if (!SplitWs)
+      return std::nullopt;
+  }
+  auto JoinWs = Normalize(*JoinWeights, "join");
+  if (!JoinWs)
+    return std::nullopt;
+
+  for (const Segment &Br : Branches) {
+    if (Br.InTy != C->getInType() || Br.OutTy != C->getOutType()) {
+      Diags.error(C->getLoc(), "branch type does not match splitjoin '" +
+                                   C->getName() + "'");
+      return std::nullopt;
+    }
+    if (!Br.In || !Br.Out) {
+      Diags.error(C->getLoc(), "splitjoin branches must consume and "
+                               "produce tokens");
+      return std::nullopt;
+    }
+  }
+
+  auto *Split = G->createNode<SplitterNode>(
+      uniqueName(C->getName() + "_split"),
+      *SplitKind == SplitStmt::SplitKind::Duplicate
+          ? SplitterNode::Mode::Duplicate
+          : SplitterNode::Mode::RoundRobin,
+      SplitWs ? *SplitWs : std::vector<int64_t>(NumBranches, 1),
+      C->getInType());
+  auto *Join = G->createNode<JoinerNode>(uniqueName(C->getName() + "_join"),
+                                         *JoinWs, C->getOutType());
+
+  for (size_t I = 0; I < NumBranches; ++I) {
+    G->connect(Split, static_cast<unsigned>(I), Branches[I].In->N,
+               Branches[I].In->Port, C->getInType());
+    G->connect(Branches[I].Out->N, Branches[I].Out->Port, Join,
+               static_cast<unsigned>(I), C->getOutType());
+  }
+
+  Segment Seg;
+  Seg.InTy = C->getInType();
+  Seg.OutTy = C->getOutType();
+  Seg.In = Endpoint{Split, 0};
+  Seg.Out = Endpoint{Join, 0};
+  return Seg;
+}
+
+std::optional<Segment>
+GraphBuilder::elaborateFeedbackLoop(const CompositeDecl *C, ConstEnv &Env,
+                                    unsigned Depth) {
+  // feedbackloop X { join roundrobin(wIn, wFb); body B(...);
+  //                  split roundrobin(vOut, vFb); loop L(...);
+  //                  enqueue <const>; ... }
+  // The loop path is optional: without it the splitter's feedback port
+  // connects straight back to the joiner.
+  ConstEval Eval(Diags, Env);
+  std::optional<std::vector<int64_t>> JoinWs, SplitWs;
+  std::optional<Segment> BodySeg, LoopSeg;
+  std::vector<ConstVal> Enqueued;
+  bool Failed = false;
+
+  auto EvalWeights =
+      [&](const std::vector<Expr *> &Exprs,
+          const char *What) -> std::optional<std::vector<int64_t>> {
+    std::vector<int64_t> Ws;
+    for (const Expr *E : Exprs) {
+      auto V = Eval.eval(E);
+      if (!V || V->Ty != ScalarType::Int) {
+        Diags.error(E->getLoc(), "weight is not a compile-time int");
+        return std::nullopt;
+      }
+      Ws.push_back(V->asInt());
+    }
+    if (Ws.empty())
+      Ws.assign(2, 1);
+    else if (Ws.size() == 1)
+      Ws.assign(2, Ws.front());
+    if (Ws.size() != 2) {
+      Diags.error(C->getLoc(), std::string(What) +
+                                   " of a feedbackloop must have exactly "
+                                   "two weights (forward, feedback)");
+      return std::nullopt;
+    }
+    for (int64_t W : Ws)
+      if (W < 1) {
+        Diags.error(C->getLoc(), "weights must be positive");
+        return std::nullopt;
+      }
+    return Ws;
+  };
+
+  bool Ok = Eval.exec(C->getBody(), [&](const Stmt *S) {
+    if (const auto *Join = dyn_cast<JoinStmt>(S)) {
+      if (JoinWs) {
+        Diags.error(S->getLoc(), "duplicate join statement");
+        return false;
+      }
+      JoinWs = EvalWeights(Join->getWeights(), "join");
+      return JoinWs.has_value();
+    }
+    if (const auto *Split = dyn_cast<SplitStmt>(S)) {
+      if (SplitWs) {
+        Diags.error(S->getLoc(), "duplicate split statement");
+        return false;
+      }
+      if (Split->getSplitKind() != SplitStmt::SplitKind::RoundRobin) {
+        Diags.error(S->getLoc(),
+                    "feedbackloop splitters must be roundrobin");
+        return false;
+      }
+      SplitWs = EvalWeights(Split->getWeights(), "split");
+      return SplitWs.has_value();
+    }
+    if (const auto *Enq = dyn_cast<EnqueueStmt>(S)) {
+      auto V = Eval.eval(Enq->getValue());
+      if (!V) {
+        Diags.error(S->getLoc(),
+                    "enqueued value is not a compile-time constant");
+        return false;
+      }
+      Enqueued.push_back(*V);
+      return true;
+    }
+    const auto *Add = cast<AddStmt>(S);
+    const StreamDecl *Child = P.findDecl(Add->getChild());
+    assert(Child && "sema admitted an unknown child");
+    auto Args = evalArgs(Add->getArgs(), Eval);
+    if (!Args)
+      return false;
+    auto Seg = elaborate(Child, *Args, Depth + 1);
+    if (!Seg) {
+      Failed = true;
+      return false;
+    }
+    if (Add->getRole() == AddStmt::Role::Body) {
+      if (BodySeg) {
+        Diags.error(S->getLoc(), "feedbackloop has two body streams");
+        return false;
+      }
+      BodySeg = *Seg;
+    } else {
+      if (LoopSeg) {
+        Diags.error(S->getLoc(), "feedbackloop has two loop streams");
+        return false;
+      }
+      LoopSeg = *Seg;
+    }
+    return true;
+  });
+  if (!Ok || Failed)
+    return std::nullopt;
+
+  if (!JoinWs || !SplitWs || !BodySeg) {
+    Diags.error(C->getLoc(), "feedbackloop '" + C->getName() +
+                                 "' needs join, body and split");
+    return std::nullopt;
+  }
+  ScalarType InTy = C->getInType();
+  ScalarType OutTy = C->getOutType();
+  if (BodySeg->InTy != InTy || BodySeg->OutTy != OutTy || !BodySeg->In ||
+      !BodySeg->Out) {
+    Diags.error(C->getLoc(),
+                "feedbackloop body must map the loop's input type to its "
+                "output type");
+    return std::nullopt;
+  }
+  if (LoopSeg) {
+    if (LoopSeg->InTy != OutTy || LoopSeg->OutTy != InTy || !LoopSeg->In ||
+        !LoopSeg->Out) {
+      Diags.error(C->getLoc(),
+                  "feedbackloop loop path must map the output type back "
+                  "to the input type");
+      return std::nullopt;
+    }
+  } else if (InTy != OutTy) {
+    Diags.error(C->getLoc(), "feedbackloop without a loop stream requires "
+                             "matching input and output types");
+    return std::nullopt;
+  }
+
+  auto *Join = G->createNode<JoinerNode>(uniqueName(C->getName() + "_join"),
+                                         *JoinWs, InTy);
+  auto *Split = G->createNode<SplitterNode>(
+      uniqueName(C->getName() + "_split"), SplitterNode::Mode::RoundRobin,
+      *SplitWs, OutTy);
+
+  // Forward path: joiner -> body -> splitter.
+  G->connect(Join, 0, BodySeg->In->N, BodySeg->In->Port, InTy);
+  G->connect(BodySeg->Out->N, BodySeg->Out->Port, Split, 0, OutTy);
+
+  // Backward path: splitter port 1 -> (loop) -> joiner port 1.
+  Channel *BackEdge;
+  if (LoopSeg) {
+    G->connect(Split, 1, LoopSeg->In->N, LoopSeg->In->Port, OutTy);
+    BackEdge =
+        G->connect(LoopSeg->Out->N, LoopSeg->Out->Port, Join, 1, InTy);
+  } else {
+    BackEdge = G->connect(Split, 1, Join, 1, OutTy);
+  }
+  BackEdge->setFeedback(true);
+  for (const ConstVal &V : Enqueued)
+    BackEdge->addInitialToken(V.convertTo(InTy));
+  if (Enqueued.empty())
+    Diags.warning(C->getLoc(), "feedbackloop '" + C->getName() +
+                                   "' enqueues no tokens; it will deadlock "
+                                   "unless the schedule can start the loop");
+
+  Segment Seg;
+  Seg.InTy = InTy;
+  Seg.OutTy = OutTy;
+  Seg.In = Endpoint{Join, 0};
+  Seg.Out = Endpoint{Split, 0};
+  return Seg;
+}
+
+std::unique_ptr<StreamGraph> GraphBuilder::build(const std::string &TopName) {
+  const StreamDecl *Top = P.findDecl(TopName);
+  if (!Top) {
+    Diags.error(SourceLoc(), "no stream named '" + TopName + "'");
+    return nullptr;
+  }
+  if (!Top->getParams().empty()) {
+    Diags.error(Top->getLoc(), "top-level stream cannot have parameters");
+    return nullptr;
+  }
+
+  G = std::make_unique<StreamGraph>(TopName);
+  auto Seg = elaborate(Top, {}, 0);
+  if (!Seg)
+    return nullptr;
+
+  // Synthesize external endpoints.
+  if (Seg->In) {
+    auto *Src = G->createNode<FilterNode>(
+        "__source", nullptr, FilterNode::Role::Source, ScalarType::Void,
+        Seg->InTy, /*PopRate=*/0, /*PeekRate=*/0, /*PushRate=*/1);
+    G->connect(Src, 0, Seg->In->N, Seg->In->Port, Seg->InTy);
+    G->setSource(Src);
+  }
+  if (Seg->Out) {
+    auto *Sink = G->createNode<FilterNode>(
+        "__sink", nullptr, FilterNode::Role::Sink, Seg->OutTy,
+        ScalarType::Void, /*PopRate=*/1, /*PeekRate=*/1, /*PushRate=*/0);
+    G->connect(Seg->Out->N, Seg->Out->Port, Sink, 0, Seg->OutTy);
+    G->setSink(Sink);
+  }
+  if (!Seg->Out)
+    Diags.warning(Top->getLoc(), "top-level stream produces no output; the "
+                                 "program is unobservable");
+  return std::move(G);
+}
+
+std::unique_ptr<StreamGraph> graph::buildGraph(const Program &P,
+                                               const std::string &TopName,
+                                               DiagnosticEngine &Diags) {
+  GraphBuilder B(P, Diags);
+  auto G = B.build(TopName);
+  if (Diags.hasErrors())
+    return nullptr;
+  return G;
+}

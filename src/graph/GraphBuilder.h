@@ -1,0 +1,25 @@
+//===--- GraphBuilder.h - Elaboration into a stream graph ------*- C++ -*-===//
+
+#ifndef LAMINAR_GRAPH_GRAPHBUILDER_H
+#define LAMINAR_GRAPH_GRAPHBUILDER_H
+
+#include "frontend/AST.h"
+#include "graph/StreamGraph.h"
+#include "support/Diagnostics.h"
+#include <memory>
+
+namespace laminar {
+namespace graph {
+
+/// Elaborates the stream named \p TopName: executes composite bodies at
+/// compile time, instantiates filters with bound parameters and builds
+/// the flat graph. Synthesizes external source/sink endpoints for the
+/// program's non-void boundary types. Returns null on error.
+std::unique_ptr<StreamGraph> buildGraph(const ast::Program &P,
+                                        const std::string &TopName,
+                                        DiagnosticEngine &Diags);
+
+} // namespace graph
+} // namespace laminar
+
+#endif // LAMINAR_GRAPH_GRAPHBUILDER_H

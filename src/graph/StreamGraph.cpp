@@ -1,0 +1,181 @@
+//===--- StreamGraph.cpp --------------------------------------------------===//
+
+#include "graph/StreamGraph.h"
+#include <cassert>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::graph;
+
+int64_t SplitterNode::totalIn() const {
+  if (M == Mode::Duplicate)
+    return 1;
+  return std::accumulate(Weights.begin(), Weights.end(), int64_t(0));
+}
+
+int64_t JoinerNode::totalOut() const {
+  return std::accumulate(Weights.begin(), Weights.end(), int64_t(0));
+}
+
+int64_t Node::consumeRate(unsigned Port) const {
+  switch (TheKind) {
+  case Kind::Filter:
+    assert(Port == 0);
+    return cast<FilterNode>(this)->getPopRate();
+  case Kind::Splitter:
+    assert(Port == 0);
+    return cast<SplitterNode>(this)->totalIn();
+  case Kind::Joiner:
+    return cast<JoinerNode>(this)->getWeights()[Port];
+  }
+  return 0;
+}
+
+int64_t Node::peekRate(unsigned Port) const {
+  if (const auto *F = dyn_cast<FilterNode>(this)) {
+    assert(Port == 0);
+    return F->getPeekRate();
+  }
+  return consumeRate(Port);
+}
+
+int64_t Node::produceRate(unsigned Port) const {
+  switch (TheKind) {
+  case Kind::Filter:
+    assert(Port == 0);
+    return cast<FilterNode>(this)->getPushRate();
+  case Kind::Splitter: {
+    const auto *S = cast<SplitterNode>(this);
+    return S->getMode() == SplitterNode::Mode::Duplicate
+               ? 1
+               : S->getWeights()[Port];
+  }
+  case Kind::Joiner:
+    assert(Port == 0);
+    return cast<JoinerNode>(this)->totalOut();
+  }
+  return 0;
+}
+
+Channel *StreamGraph::connect(Node *Src, unsigned SrcPort, Node *Dst,
+                              unsigned DstPort, ast::ScalarType Ty) {
+  // Ports may be wired out of order (a feedbackloop connects the back
+  // edge before the enclosing composite supplies the forward edge).
+  auto Place = [](std::vector<Channel *> &Slots, unsigned Port,
+                  Channel *Ch) {
+    if (Slots.size() <= Port)
+      Slots.resize(Port + 1, nullptr);
+    assert(!Slots[Port] && "port connected twice");
+    Slots[Port] = Ch;
+  };
+  auto Ch = std::make_unique<Channel>(
+      static_cast<unsigned>(Channels.size()), Src, SrcPort, Dst, DstPort, Ty);
+  Channel *Raw = Ch.get();
+  Channels.push_back(std::move(Ch));
+  Place(Src->Outs, SrcPort, Raw);
+  Place(Dst->Ins, DstPort, Raw);
+  return Raw;
+}
+
+bool StreamGraph::hasFeedback() const {
+  for (const auto &Ch : Channels)
+    if (Ch->isFeedback())
+      return true;
+  return false;
+}
+
+std::vector<const Node *> StreamGraph::topologicalOrder() const {
+  std::unordered_map<const Node *, unsigned> InDegree;
+  for (const auto &N : Nodes) {
+    unsigned D = 0;
+    for (const Channel *Ch : N->inputs())
+      D += !Ch->isFeedback();
+    InDegree[N.get()] = D;
+  }
+  std::vector<const Node *> Ready;
+  for (const auto &N : Nodes)
+    if (InDegree[N.get()] == 0)
+      Ready.push_back(N.get());
+  std::vector<const Node *> Order;
+  // Process in node-id order for determinism: Ready acts as a queue.
+  for (size_t I = 0; I < Ready.size(); ++I) {
+    const Node *N = Ready[I];
+    Order.push_back(N);
+    for (const Channel *Ch : N->outputs())
+      if (!Ch->isFeedback() && --InDegree[Ch->getDst()] == 0)
+        Ready.push_back(Ch->getDst());
+  }
+  assert(Order.size() == Nodes.size() &&
+         "stream graph has a cycle outside feedback edges");
+  return Order;
+}
+
+std::string StreamGraph::dot() const {
+  std::ostringstream OS;
+  OS << "digraph \"" << Name << "\" {\n  rankdir=TB;\n"
+     << "  node [fontname=\"Helvetica\", fontsize=10];\n";
+  for (const auto &N : Nodes) {
+    OS << "  n" << N->getId() << " [label=\"" << N->getName();
+    if (const auto *F = dyn_cast<FilterNode>(N.get())) {
+      if (F->getRole() == FilterNode::Role::User) {
+        OS << "\\npop " << F->getPopRate();
+        if (F->getPeekRate() != F->getPopRate())
+          OS << " peek " << F->getPeekRate();
+        OS << " push " << F->getPushRate() << "\", shape=box]";
+      } else {
+        OS << "\", shape=ellipse, style=dashed]";
+      }
+    } else if (isa<SplitterNode>(N.get())) {
+      OS << "\", shape=trapezium]";
+    } else {
+      OS << "\", shape=invtrapezium]";
+    }
+    OS << ";\n";
+  }
+  for (const auto &Ch : Channels)
+    OS << "  n" << Ch->getSrc()->getId() << " -> n"
+       << Ch->getDst()->getId() << " [label=\"" << Ch->srcRate() << ":"
+       << Ch->dstRate() << "\"];\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string StreamGraph::str() const {
+  std::ostringstream OS;
+  OS << "graph " << Name << "\n";
+  for (const auto &N : Nodes) {
+    OS << "  node " << N->getId() << " " << N->getName();
+    if (const auto *F = dyn_cast<FilterNode>(N.get())) {
+      OS << " filter pop=" << F->getPopRate() << " peek=" << F->getPeekRate()
+         << " push=" << F->getPushRate();
+      if (F->getRole() == FilterNode::Role::Source)
+        OS << " (source)";
+      if (F->getRole() == FilterNode::Role::Sink)
+        OS << " (sink)";
+    } else if (const auto *S = dyn_cast<SplitterNode>(N.get())) {
+      OS << (S->getMode() == SplitterNode::Mode::Duplicate
+                 ? " split duplicate"
+                 : " split roundrobin(");
+      if (S->getMode() == SplitterNode::Mode::RoundRobin) {
+        for (size_t I = 0; I < S->getWeights().size(); ++I)
+          OS << (I ? "," : "") << S->getWeights()[I];
+        OS << ")";
+      }
+    } else {
+      const auto *J = cast<JoinerNode>(N.get());
+      OS << " join roundrobin(";
+      for (size_t I = 0; I < J->getWeights().size(); ++I)
+        OS << (I ? "," : "") << J->getWeights()[I];
+      OS << ")";
+    }
+    OS << "\n";
+  }
+  for (const auto &Ch : Channels)
+    OS << "  ch " << Ch->getId() << ": " << Ch->getSrc()->getName() << ":"
+       << Ch->getSrcPort() << " -> " << Ch->getDst()->getName() << ":"
+       << Ch->getDstPort() << " (" << ast::scalarTypeName(Ch->getTokenType())
+       << ")\n";
+  return OS.str();
+}

@@ -1,0 +1,250 @@
+//===--- StreamGraph.h - Flattened stream graphs ---------------*- C++ -*-===//
+//
+// The elaborated form of a program: filters, splitters and joiners
+// connected by typed channels. Composites are gone (their bodies were
+// executed at elaboration time); parameters are bound to constants in
+// each filter instance.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_GRAPH_STREAMGRAPH_H
+#define LAMINAR_GRAPH_STREAMGRAPH_H
+
+#include "frontend/AST.h"
+#include "frontend/ConstEval.h"
+#include "support/Casting.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace graph {
+
+class Channel;
+
+/// Base class of stream graph nodes.
+class Node {
+public:
+  enum class Kind { Filter, Splitter, Joiner };
+
+  virtual ~Node() = default;
+
+  Kind getKind() const { return TheKind; }
+  unsigned getId() const { return Id; }
+  const std::string &getName() const { return Name; }
+
+  const std::vector<Channel *> &inputs() const { return Ins; }
+  const std::vector<Channel *> &outputs() const { return Outs; }
+
+  /// Tokens consumed from input port \p Port per firing.
+  int64_t consumeRate(unsigned Port) const;
+  /// Tokens inspected (peeked) on input port \p Port per firing; equals
+  /// consumeRate except for peeking filters.
+  int64_t peekRate(unsigned Port) const;
+  /// Tokens produced on output port \p Port per firing.
+  int64_t produceRate(unsigned Port) const;
+
+protected:
+  Node(Kind K, unsigned Id, std::string Name)
+      : TheKind(K), Id(Id), Name(std::move(Name)) {}
+
+private:
+  friend class StreamGraph;
+  Kind TheKind;
+  unsigned Id;
+  std::string Name;
+  std::vector<Channel *> Ins;
+  std::vector<Channel *> Outs;
+};
+
+/// A filter instance. User filters reference their declaration and carry
+/// the parameter bindings; the synthesized endpoints (external source and
+/// sink) have no declaration.
+class FilterNode : public Node {
+public:
+  enum class Role { User, Source, Sink };
+
+  FilterNode(unsigned Id, std::string Name, const ast::FilterDecl *Decl,
+             Role R, ast::ScalarType InTy, ast::ScalarType OutTy,
+             int64_t PopRate, int64_t PeekRate, int64_t PushRate)
+      : Node(Kind::Filter, Id, std::move(Name)), Decl(Decl), R(R), InTy(InTy),
+        OutTy(OutTy), PopRate(PopRate), PeekRate(PeekRate),
+        PushRate(PushRate) {}
+
+  const ast::FilterDecl *getDecl() const { return Decl; }
+  Role getRole() const { return R; }
+  bool isEndpoint() const { return R != Role::User; }
+
+  ast::ScalarType getInType() const { return InTy; }
+  ast::ScalarType getOutType() const { return OutTy; }
+  int64_t getPopRate() const { return PopRate; }
+  int64_t getPeekRate() const { return PeekRate; }
+  int64_t getPushRate() const { return PushRate; }
+
+  /// Parameter bindings for this instance.
+  ConstEnv &params() { return ParamEnv; }
+  const ConstEnv &params() const { return ParamEnv; }
+
+  static bool classof(const Node *N) { return N->getKind() == Kind::Filter; }
+
+private:
+  const ast::FilterDecl *Decl;
+  Role R;
+  ast::ScalarType InTy;
+  ast::ScalarType OutTy;
+  int64_t PopRate;
+  int64_t PeekRate;
+  int64_t PushRate;
+  ConstEnv ParamEnv;
+};
+
+class SplitterNode : public Node {
+public:
+  enum class Mode { Duplicate, RoundRobin };
+
+  SplitterNode(unsigned Id, std::string Name, Mode M,
+               std::vector<int64_t> Weights, ast::ScalarType Ty)
+      : Node(Kind::Splitter, Id, std::move(Name)), M(M),
+        Weights(std::move(Weights)), Ty(Ty) {}
+
+  Mode getMode() const { return M; }
+  const std::vector<int64_t> &getWeights() const { return Weights; }
+  ast::ScalarType getTokenType() const { return Ty; }
+
+  /// Tokens consumed per firing: 1 for duplicate, sum of weights for
+  /// roundrobin.
+  int64_t totalIn() const;
+
+  static bool classof(const Node *N) {
+    return N->getKind() == Kind::Splitter;
+  }
+
+private:
+  Mode M;
+  std::vector<int64_t> Weights;
+  ast::ScalarType Ty;
+};
+
+class JoinerNode : public Node {
+public:
+  JoinerNode(unsigned Id, std::string Name, std::vector<int64_t> Weights,
+             ast::ScalarType Ty)
+      : Node(Kind::Joiner, Id, std::move(Name)), Weights(std::move(Weights)),
+        Ty(Ty) {}
+
+  const std::vector<int64_t> &getWeights() const { return Weights; }
+  ast::ScalarType getTokenType() const { return Ty; }
+  int64_t totalOut() const;
+
+  static bool classof(const Node *N) { return N->getKind() == Kind::Joiner; }
+
+private:
+  std::vector<int64_t> Weights;
+  ast::ScalarType Ty;
+};
+
+/// A typed FIFO channel between two node ports. A feedback channel (the
+/// back edge of a feedbackloop) carries enqueued initial tokens that are
+/// present before any firing.
+class Channel {
+public:
+  Channel(unsigned Id, Node *Src, unsigned SrcPort, Node *Dst,
+          unsigned DstPort, ast::ScalarType Ty)
+      : Id(Id), Src(Src), SrcPort(SrcPort), Dst(Dst), DstPort(DstPort),
+        Ty(Ty) {}
+
+  unsigned getId() const { return Id; }
+  Node *getSrc() const { return Src; }
+  unsigned getSrcPort() const { return SrcPort; }
+  Node *getDst() const { return Dst; }
+  unsigned getDstPort() const { return DstPort; }
+  ast::ScalarType getTokenType() const { return Ty; }
+
+  int64_t srcRate() const { return Src->produceRate(SrcPort); }
+  int64_t dstRate() const { return Dst->consumeRate(DstPort); }
+  int64_t dstPeek() const { return Dst->peekRate(DstPort); }
+
+  /// Marks this channel as a feedbackloop back edge (ignored when
+  /// ordering the graph; may carry enqueued tokens).
+  void setFeedback(bool V) { Feedback = V; }
+  bool isFeedback() const { return Feedback; }
+
+  const std::vector<ConstVal> &initialTokens() const {
+    return InitialTokens;
+  }
+  void addInitialToken(ConstVal V) { InitialTokens.push_back(V); }
+  int64_t numInitialTokens() const {
+    return static_cast<int64_t>(InitialTokens.size());
+  }
+
+private:
+  unsigned Id;
+  Node *Src;
+  unsigned SrcPort;
+  Node *Dst;
+  unsigned DstPort;
+  ast::ScalarType Ty;
+  bool Feedback = false;
+  std::vector<ConstVal> InitialTokens;
+};
+
+/// Owns all nodes and channels of one elaborated program.
+class StreamGraph {
+public:
+  explicit StreamGraph(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  const std::vector<std::unique_ptr<Node>> &nodes() const { return Nodes; }
+  const std::vector<std::unique_ptr<Channel>> &channels() const {
+    return Channels;
+  }
+
+  template <typename T, typename... ArgTs> T *createNode(ArgTs &&...Args) {
+    auto N = std::make_unique<T>(nextNodeId(), std::forward<ArgTs>(Args)...);
+    T *Raw = N.get();
+    Nodes.push_back(std::move(N));
+    return Raw;
+  }
+
+  /// Connects two ports with a new channel. Ports must be the next free
+  /// port on each side (channels are added in port order).
+  Channel *connect(Node *Src, unsigned SrcPort, Node *Dst, unsigned DstPort,
+                   ast::ScalarType Ty);
+
+  /// External endpoints (synthesized source/sink); null for void-typed
+  /// program boundaries.
+  FilterNode *getSource() const { return Source; }
+  FilterNode *getSink() const { return Sink; }
+  void setSource(FilterNode *N) { Source = N; }
+  void setSink(FilterNode *N) { Sink = N; }
+
+  /// Nodes in topological order (sources first), ignoring feedback
+  /// edges: the underlying graph without feedbackloop back edges is a
+  /// DAG by construction.
+  std::vector<const Node *> topologicalOrder() const;
+
+  /// True when the graph contains a feedbackloop back edge.
+  bool hasFeedback() const;
+
+  /// Human-readable summary (one line per node and channel).
+  std::string str() const;
+
+  /// Graphviz rendering (filters as boxes, splitters/joiners as
+  /// trapezoids, channels annotated with their rates).
+  std::string dot() const;
+
+private:
+  unsigned nextNodeId() { return static_cast<unsigned>(Nodes.size()); }
+
+  std::string Name;
+  std::vector<std::unique_ptr<Node>> Nodes;
+  std::vector<std::unique_ptr<Channel>> Channels;
+  FilterNode *Source = nullptr;
+  FilterNode *Sink = nullptr;
+};
+
+} // namespace graph
+} // namespace laminar
+
+#endif // LAMINAR_GRAPH_STREAMGRAPH_H

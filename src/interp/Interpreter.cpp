@@ -1,0 +1,567 @@
+//===--- Interpreter.cpp --------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::interp;
+using namespace laminar::lir;
+
+uint64_t Counters::total() const {
+  return IntAlu + FloatAlu + FloatDiv + Cmp + Cast + Select + MathCall + Phi +
+         Branch + CommLoad + CommStore + StateLoad + StateStore + Input +
+         Output;
+}
+
+Counters &Counters::operator+=(const Counters &RHS) {
+  IntAlu += RHS.IntAlu;
+  FloatAlu += RHS.FloatAlu;
+  FloatDiv += RHS.FloatDiv;
+  Cmp += RHS.Cmp;
+  Cast += RHS.Cast;
+  Select += RHS.Select;
+  MathCall += RHS.MathCall;
+  Phi += RHS.Phi;
+  Branch += RHS.Branch;
+  CommLoad += RHS.CommLoad;
+  CommStore += RHS.CommStore;
+  StateLoad += RHS.StateLoad;
+  StateStore += RHS.StateStore;
+  Input += RHS.Input;
+  Output += RHS.Output;
+  return *this;
+}
+
+std::string Counters::str() const {
+  std::ostringstream OS;
+  OS << "int-alu=" << IntAlu << " float-alu=" << FloatAlu
+     << " float-div=" << FloatDiv << " cmp=" << Cmp << " cast=" << Cast
+     << " select=" << Select << " math=" << MathCall << " phi=" << Phi
+     << " branch=" << Branch << " comm-load=" << CommLoad
+     << " comm-store=" << CommStore << " state-load=" << StateLoad
+     << " state-store=" << StateStore << " input=" << Input
+     << " output=" << Output;
+  return OS.str();
+}
+
+TokenStream interp::makeRandomInput(TypeKind Ty, size_t Count,
+                                    uint64_t Seed) {
+  TokenStream S;
+  S.Ty = Ty;
+  RNG R(Seed);
+  if (Ty == TypeKind::Int) {
+    S.I.reserve(Count);
+    for (size_t K = 0; K < Count; ++K)
+      S.I.push_back(R.nextInt(2000) - 1000);
+  } else {
+    S.F.reserve(Count);
+    for (size_t K = 0; K < Count; ++K)
+      S.F.push_back(R.nextDouble(-1.0, 1.0));
+  }
+  return S;
+}
+
+TokenStream interp::makeConstantInput(TypeKind Ty, size_t Count,
+                                      double Value) {
+  TokenStream S;
+  S.Ty = Ty;
+  if (Ty == TypeKind::Int)
+    S.I.assign(Count, static_cast<int64_t>(Value));
+  else
+    S.F.assign(Count, Value);
+  return S;
+}
+
+namespace {
+
+/// A register value; bools live in I as 0/1.
+struct Reg {
+  int64_t I = 0;
+  double F = 0;
+};
+
+class Interpreter {
+public:
+  Interpreter(const Module &M, const TokenStream &Input, uint64_t StepBudget)
+      : M(M), Input(Input), Budget(StepBudget) {
+    // Global storage, zero-initialized or from initializers.
+    Mem.resize(M.globals().size());
+    for (const auto &G : M.globals()) {
+      auto &Cell = Mem[G->getSlot()];
+      Cell.IsFloat = G->getElemType() == TypeKind::Float;
+      if (Cell.IsFloat) {
+        Cell.F.assign(G->getSize(), 0.0);
+        if (!G->floatInit().empty())
+          Cell.F = G->floatInit();
+      } else {
+        Cell.I.assign(G->getSize(), 0);
+        if (!G->intInit().empty())
+          Cell.I = G->intInit();
+      }
+    }
+  }
+
+  bool runFunction(const Function *F, Counters &C);
+
+  std::string Error;
+  TokenStream Outputs;
+  size_t InputCursor = 0;
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+
+  int64_t getI(const Value *V) const {
+    if (auto *C = dyn_cast<ConstInt>(V))
+      return C->getValue();
+    if (auto *C = dyn_cast<ConstBool>(V))
+      return C->getValue() ? 1 : 0;
+    return Regs[cast<Instruction>(V)->getSlot()].I;
+  }
+
+  double getF(const Value *V) const {
+    if (auto *C = dyn_cast<ConstFloat>(V))
+      return C->getValue();
+    return Regs[cast<Instruction>(V)->getSlot()].F;
+  }
+
+  const Module &M;
+  const TokenStream &Input;
+  uint64_t Budget;
+
+  struct Cell {
+    bool IsFloat = false;
+    std::vector<int64_t> I;
+    std::vector<double> F;
+  };
+  std::vector<Cell> Mem;
+  std::vector<Reg> Regs;
+};
+
+} // namespace
+
+/// Arithmetic shift-right matching the IR builder's folding semantics.
+static int64_t shrArith(int64_t A, int64_t B) {
+  unsigned Amt = static_cast<unsigned>(B) & 63u;
+  if (A >= 0)
+    return static_cast<int64_t>(static_cast<uint64_t>(A) >> Amt);
+  return ~static_cast<int64_t>(static_cast<uint64_t>(~A) >> Amt);
+}
+
+bool Interpreter::runFunction(const Function *F, Counters &C) {
+  uint32_t NumSlots = 0;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      NumSlots = std::max(NumSlots, I->getSlot() + 1);
+  if (Regs.size() < NumSlots)
+    Regs.resize(NumSlots);
+
+  const BasicBlock *BB = F->entry();
+  const BasicBlock *PrevBB = nullptr;
+  if (!BB)
+    return fail("function has no entry block");
+
+  while (BB) {
+    const auto &Insts = BB->instructions();
+    size_t Idx = 0;
+
+    // Phase 1: evaluate all phis against PrevBB, then commit together
+    // (phis read each other's *old* values).
+    size_t NumPhis = 0;
+    while (NumPhis < Insts.size() && isa<PhiInst>(Insts[NumPhis].get()))
+      ++NumPhis;
+    if (NumPhis) {
+      // Few phis in practice; a small fixed buffer would be premature.
+      std::vector<Reg> Staged(NumPhis);
+      for (size_t K = 0; K < NumPhis; ++K) {
+        const auto *Phi = cast<PhiInst>(Insts[K].get());
+        const Value *Incoming = Phi->getIncomingForBlock(PrevBB);
+        if (!Incoming && Phi->users().empty()) {
+          // Dead phi left behind by SSA construction; skip it.
+          continue;
+        }
+        if (!Incoming)
+          return fail("phi has no incoming value for predecessor");
+        if (Phi->getType() == TypeKind::Float)
+          Staged[K].F = getF(Incoming);
+        else
+          Staged[K].I = getI(Incoming);
+        ++C.Phi;
+      }
+      for (size_t K = 0; K < NumPhis; ++K)
+        Regs[Insts[K]->getSlot()] = Staged[K];
+      Idx = NumPhis;
+    }
+
+    const BasicBlock *NextBB = nullptr;
+    for (size_t E = Insts.size(); Idx < E; ++Idx) {
+      const Instruction *I = Insts[Idx].get();
+      if (Budget-- == 0)
+        return fail("interpreter step budget exhausted");
+      Reg &Out = Regs[I->getSlot()];
+
+      switch (I->getKind()) {
+      case Value::Kind::Binary: {
+        const auto *B = cast<BinaryInst>(I);
+        if (isFloatBinOp(B->getOp())) {
+          double L = getF(B->getLHS()), R = getF(B->getRHS());
+          switch (B->getOp()) {
+          case BinOp::FAdd:
+            Out.F = L + R;
+            ++C.FloatAlu;
+            break;
+          case BinOp::FSub:
+            Out.F = L - R;
+            ++C.FloatAlu;
+            break;
+          case BinOp::FMul:
+            Out.F = L * R;
+            ++C.FloatAlu;
+            break;
+          default:
+            Out.F = L / R;
+            ++C.FloatDiv;
+            break;
+          }
+          break;
+        }
+        int64_t L = getI(B->getLHS()), R = getI(B->getRHS());
+        ++C.IntAlu;
+        switch (B->getOp()) {
+        case BinOp::Add:
+          Out.I = static_cast<int64_t>(static_cast<uint64_t>(L) +
+                                       static_cast<uint64_t>(R));
+          break;
+        case BinOp::Sub:
+          Out.I = static_cast<int64_t>(static_cast<uint64_t>(L) -
+                                       static_cast<uint64_t>(R));
+          break;
+        case BinOp::Mul:
+          Out.I = static_cast<int64_t>(static_cast<uint64_t>(L) *
+                                       static_cast<uint64_t>(R));
+          break;
+        case BinOp::Div:
+          if (R == 0 || (L == std::numeric_limits<int64_t>::min() && R == -1))
+            return fail("integer division fault");
+          Out.I = L / R;
+          break;
+        case BinOp::Rem:
+          if (R == 0 || (L == std::numeric_limits<int64_t>::min() && R == -1))
+            return fail("integer remainder fault");
+          Out.I = L % R;
+          break;
+        case BinOp::And:
+          Out.I = L & R;
+          break;
+        case BinOp::Or:
+          Out.I = L | R;
+          break;
+        case BinOp::Xor:
+          Out.I = L ^ R;
+          break;
+        case BinOp::Shl:
+          Out.I = static_cast<int64_t>(static_cast<uint64_t>(L)
+                                       << (R & 63));
+          break;
+        case BinOp::Shr:
+          Out.I = shrArith(L, R);
+          break;
+        default:
+          return fail("unexpected binary opcode");
+        }
+        break;
+      }
+      case Value::Kind::Unary: {
+        const auto *U = cast<UnaryInst>(I);
+        switch (U->getOp()) {
+        case UnOp::Neg:
+          Out.I = -getI(U->getOperand(0));
+          ++C.IntAlu;
+          break;
+        case UnOp::FNeg:
+          Out.F = -getF(U->getOperand(0));
+          ++C.FloatAlu;
+          break;
+        case UnOp::Not:
+          Out.I = getI(U->getOperand(0)) ? 0 : 1;
+          ++C.IntAlu;
+          break;
+        case UnOp::BitNot:
+          Out.I = ~getI(U->getOperand(0));
+          ++C.IntAlu;
+          break;
+        }
+        break;
+      }
+      case Value::Kind::Cmp: {
+        const auto *Cm = cast<CmpInst>(I);
+        ++C.Cmp;
+        bool Res;
+        if (Cm->isFloatCmp()) {
+          double L = getF(Cm->getLHS()), R = getF(Cm->getRHS());
+          switch (Cm->getPred()) {
+          case CmpPred::EQ:
+            Res = L == R;
+            break;
+          case CmpPred::NE:
+            Res = L != R;
+            break;
+          case CmpPred::LT:
+            Res = L < R;
+            break;
+          case CmpPred::LE:
+            Res = L <= R;
+            break;
+          case CmpPred::GT:
+            Res = L > R;
+            break;
+          default:
+            Res = L >= R;
+            break;
+          }
+        } else {
+          int64_t L = getI(Cm->getLHS()), R = getI(Cm->getRHS());
+          switch (Cm->getPred()) {
+          case CmpPred::EQ:
+            Res = L == R;
+            break;
+          case CmpPred::NE:
+            Res = L != R;
+            break;
+          case CmpPred::LT:
+            Res = L < R;
+            break;
+          case CmpPred::LE:
+            Res = L <= R;
+            break;
+          case CmpPred::GT:
+            Res = L > R;
+            break;
+          default:
+            Res = L >= R;
+            break;
+          }
+        }
+        Out.I = Res ? 1 : 0;
+        break;
+      }
+      case Value::Kind::Cast: {
+        const auto *Ca = cast<CastInst>(I);
+        ++C.Cast;
+        switch (Ca->getOp()) {
+        case CastOp::IntToFloat:
+          Out.F = static_cast<double>(getI(Ca->getOperand(0)));
+          break;
+        case CastOp::FloatToInt: {
+          double D = getF(Ca->getOperand(0));
+          if (!(D >= -9.2e18 && D <= 9.2e18))
+            return fail("float-to-int conversion out of range");
+          Out.I = static_cast<int64_t>(D);
+          break;
+        }
+        case CastOp::BoolToInt:
+          Out.I = getI(Ca->getOperand(0));
+          break;
+        }
+        break;
+      }
+      case Value::Kind::Select: {
+        const auto *S = cast<SelectInst>(I);
+        ++C.Select;
+        const Value *Picked =
+            getI(S->getCond()) ? S->getTrueValue() : S->getFalseValue();
+        if (S->getType() == TypeKind::Float)
+          Out.F = getF(Picked);
+        else
+          Out.I = getI(Picked);
+        break;
+      }
+      case Value::Kind::Call: {
+        const auto *Call = cast<CallInst>(I);
+        ++C.MathCall;
+        switch (Call->getBuiltin()) {
+        case Builtin::Sin:
+          Out.F = std::sin(getF(Call->getOperand(0)));
+          break;
+        case Builtin::Cos:
+          Out.F = std::cos(getF(Call->getOperand(0)));
+          break;
+        case Builtin::Tan:
+          Out.F = std::tan(getF(Call->getOperand(0)));
+          break;
+        case Builtin::Atan:
+          Out.F = std::atan(getF(Call->getOperand(0)));
+          break;
+        case Builtin::Atan2:
+          Out.F = std::atan2(getF(Call->getOperand(0)),
+                             getF(Call->getOperand(1)));
+          break;
+        case Builtin::Exp:
+          Out.F = std::exp(getF(Call->getOperand(0)));
+          break;
+        case Builtin::Log:
+          Out.F = std::log(getF(Call->getOperand(0)));
+          break;
+        case Builtin::Sqrt:
+          Out.F = std::sqrt(getF(Call->getOperand(0)));
+          break;
+        case Builtin::Fabs:
+          Out.F = std::fabs(getF(Call->getOperand(0)));
+          break;
+        case Builtin::Floor:
+          Out.F = std::floor(getF(Call->getOperand(0)));
+          break;
+        case Builtin::Ceil:
+          Out.F = std::ceil(getF(Call->getOperand(0)));
+          break;
+        case Builtin::Pow:
+          Out.F =
+              std::pow(getF(Call->getOperand(0)), getF(Call->getOperand(1)));
+          break;
+        case Builtin::Fmod:
+          Out.F =
+              std::fmod(getF(Call->getOperand(0)), getF(Call->getOperand(1)));
+          break;
+        case Builtin::AbsI: {
+          int64_t V = getI(Call->getOperand(0));
+          Out.I = V < 0 ? -V : V;
+          break;
+        }
+        case Builtin::MinI:
+          Out.I = std::min(getI(Call->getOperand(0)),
+                           getI(Call->getOperand(1)));
+          break;
+        case Builtin::MaxI:
+          Out.I = std::max(getI(Call->getOperand(0)),
+                           getI(Call->getOperand(1)));
+          break;
+        case Builtin::MinF:
+          Out.F = std::min(getF(Call->getOperand(0)),
+                           getF(Call->getOperand(1)));
+          break;
+        case Builtin::MaxF:
+          Out.F = std::max(getF(Call->getOperand(0)),
+                           getF(Call->getOperand(1)));
+          break;
+        }
+        break;
+      }
+      case Value::Kind::Input: {
+        ++C.Input;
+        if (InputCursor >= Input.size())
+          return fail("input stream exhausted");
+        if (Input.Ty == TypeKind::Int)
+          Out.I = Input.I[InputCursor++];
+        else
+          Out.F = Input.F[InputCursor++];
+        break;
+      }
+      case Value::Kind::Output: {
+        ++C.Output;
+        const Value *V = I->getOperand(0);
+        Outputs.Ty = V->getType();
+        if (V->getType() == TypeKind::Float)
+          Outputs.F.push_back(getF(V));
+        else
+          Outputs.I.push_back(getI(V));
+        break;
+      }
+      case Value::Kind::Load: {
+        const auto *L = cast<LoadInst>(I);
+        const GlobalVar *G = L->getGlobal();
+        int64_t Index = getI(L->getIndex());
+        if (Index < 0 || Index >= G->getSize())
+          return fail("load out of bounds on @" + G->getName());
+        const Cell &Cl = Mem[G->getSlot()];
+        if (Cl.IsFloat)
+          Out.F = Cl.F[Index];
+        else
+          Out.I = Cl.I[Index];
+        if (isCommunication(G->getMemClass()))
+          ++C.CommLoad;
+        else
+          ++C.StateLoad;
+        break;
+      }
+      case Value::Kind::Store: {
+        const auto *St = cast<StoreInst>(I);
+        const GlobalVar *G = St->getGlobal();
+        int64_t Index = getI(St->getIndex());
+        if (Index < 0 || Index >= G->getSize())
+          return fail("store out of bounds on @" + G->getName());
+        Cell &Cl = Mem[G->getSlot()];
+        if (Cl.IsFloat)
+          Cl.F[Index] = getF(St->getValue());
+        else
+          Cl.I[Index] = getI(St->getValue());
+        if (isCommunication(G->getMemClass()))
+          ++C.CommStore;
+        else
+          ++C.StateStore;
+        break;
+      }
+      case Value::Kind::Br:
+        ++C.Branch;
+        NextBB = cast<BrInst>(I)->getTarget();
+        break;
+      case Value::Kind::CondBr: {
+        const auto *CBr = cast<CondBrInst>(I);
+        ++C.Branch;
+        NextBB = getI(CBr->getCond()) ? CBr->getTrueBlock()
+                                      : CBr->getFalseBlock();
+        break;
+      }
+      case Value::Kind::Ret:
+        return true;
+      case Value::Kind::Phi:
+        return fail("phi after non-phi instruction");
+      default:
+        return fail("unknown instruction kind");
+      }
+    }
+    if (!NextBB)
+      return fail("block fell through without a terminator");
+    PrevBB = BB;
+    BB = NextBB;
+  }
+  return true;
+}
+
+RunResult interp::runModule(const Module &M, const TokenStream &Input,
+                            int64_t Iterations, uint64_t StepBudget) {
+  RunResult R;
+  R.Outputs.Ty = M.getOutputType();
+
+  const Function *Init = M.getFunction("init");
+  const Function *Steady = M.getFunction("steady");
+  if (!Init || !Steady) {
+    R.Error = "module lacks init/steady functions";
+    return R;
+  }
+
+  Interpreter I(M, Input, StepBudget);
+  I.Outputs.Ty = M.getOutputType();
+  if (!I.runFunction(Init, R.InitCounters)) {
+    R.Error = "init: " + I.Error;
+    return R;
+  }
+  for (int64_t K = 0; K < Iterations; ++K) {
+    if (!I.runFunction(Steady, R.SteadyCounters)) {
+      std::ostringstream OS;
+      OS << "steady iteration " << K << ": " << I.Error;
+      R.Error = OS.str();
+      return R;
+    }
+    ++R.SteadyIterations;
+  }
+  R.Outputs = std::move(I.Outputs);
+  R.Ok = true;
+  return R;
+}

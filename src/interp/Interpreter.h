@@ -1,0 +1,90 @@
+//===--- Interpreter.h - Instrumented LaminarIR execution ------*- C++ -*-===//
+//
+// Executes a lowered module and counts every dynamic operation by class.
+// Memory traffic is attributed to *communication* (channel buffers,
+// head/tail counters, live tokens) or *state* (filter fields and local
+// arrays) using the globals' MemClass tags — this is the measurement
+// substrate for the paper's data-communication and memory-access
+// experiments (T1/T2) and feeds the platform cost models (F1/T3).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_INTERP_INTERPRETER_H
+#define LAMINAR_INTERP_INTERPRETER_H
+
+#include "lir/Module.h"
+#include "support/RNG.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace interp {
+
+/// Dynamic operation counts for one executed phase.
+struct Counters {
+  uint64_t IntAlu = 0;
+  uint64_t FloatAlu = 0;
+  uint64_t FloatDiv = 0;
+  uint64_t Cmp = 0;
+  uint64_t Cast = 0;
+  uint64_t Select = 0;
+  uint64_t MathCall = 0;
+  uint64_t Phi = 0;
+  uint64_t Branch = 0;
+  uint64_t CommLoad = 0;
+  uint64_t CommStore = 0;
+  uint64_t StateLoad = 0;
+  uint64_t StateStore = 0;
+  uint64_t Input = 0;
+  uint64_t Output = 0;
+
+  uint64_t loads() const { return CommLoad + StateLoad; }
+  uint64_t stores() const { return CommStore + StateStore; }
+  uint64_t memoryAccesses() const { return loads() + stores(); }
+  uint64_t communication() const { return CommLoad + CommStore; }
+  uint64_t total() const;
+
+  Counters &operator+=(const Counters &RHS);
+  std::string str() const;
+};
+
+/// A typed token vector (the external input or output stream).
+struct TokenStream {
+  lir::TypeKind Ty = lir::TypeKind::Float;
+  std::vector<int64_t> I;
+  std::vector<double> F;
+
+  size_t size() const {
+    return Ty == lir::TypeKind::Int ? I.size() : F.size();
+  }
+};
+
+/// Deterministic randomized input (the paper's randomized-input
+/// conversion): floats in [-1, 1), ints in [-1000, 1000).
+TokenStream makeRandomInput(lir::TypeKind Ty, size_t Count, uint64_t Seed);
+
+/// A constant input stream (used by the static-input ablation).
+TokenStream makeConstantInput(lir::TypeKind Ty, size_t Count, double Value);
+
+struct RunResult {
+  bool Ok = false;
+  std::string Error;
+  TokenStream Outputs;
+  Counters InitCounters;
+  /// Aggregated over all executed steady iterations.
+  Counters SteadyCounters;
+  int64_t SteadyIterations = 0;
+};
+
+/// Executes @init once, then @steady \p Iterations times, feeding tokens
+/// from \p Input. Fails cleanly on input underrun, division by zero or
+/// step-budget exhaustion.
+RunResult runModule(const lir::Module &M, const TokenStream &Input,
+                    int64_t Iterations,
+                    uint64_t StepBudget = 2'000'000'000ULL);
+
+} // namespace interp
+} // namespace laminar
+
+#endif // LAMINAR_INTERP_INTERPRETER_H

@@ -1,0 +1,71 @@
+//===--- BasicBlock.cpp ---------------------------------------------------===//
+
+#include "lir/BasicBlock.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert(!hasTerminator() && "appending past a terminator");
+  I->setParent(this);
+  Insts.push_back(std::move(I));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Idx, std::unique_ptr<Instruction> I) {
+  assert(Idx <= Insts.size() && "insert position out of range");
+  I->setParent(this);
+  auto It = Insts.insert(Insts.begin() + Idx, std::move(I));
+  return It->get();
+}
+
+void BasicBlock::eraseAt(size_t Idx) {
+  assert(Idx < Insts.size() && "erase position out of range");
+  Insts.erase(Insts.begin() + Idx);
+}
+
+std::unique_ptr<Instruction> BasicBlock::takeAt(size_t Idx) {
+  assert(Idx < Insts.size() && "take position out of range");
+  std::unique_ptr<Instruction> I = std::move(Insts[Idx]);
+  Insts.erase(Insts.begin() + Idx);
+  return I;
+}
+
+void BasicBlock::eraseMarked(const std::vector<bool> &Dead) {
+  assert(Dead.size() == Insts.size() && "mark vector size mismatch");
+  size_t Out = 0;
+  for (size_t I = 0, E = Insts.size(); I != E; ++I) {
+    if (Dead[I])
+      continue;
+    if (Out != I)
+      Insts[Out] = std::move(Insts[I]);
+    ++Out;
+  }
+  Insts.resize(Out);
+}
+
+Instruction *BasicBlock::terminator() const {
+  if (Insts.empty())
+    return nullptr;
+  Instruction *Last = Insts.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  Instruction *T = terminator();
+  if (!T)
+    return {};
+  if (auto *Br = dyn_cast<BrInst>(T))
+    return {Br->getTarget()};
+  if (auto *CBr = dyn_cast<CondBrInst>(T))
+    return {CBr->getTrueBlock(), CBr->getFalseBlock()};
+  return {};
+}
+
+void BasicBlock::removePredecessor(BasicBlock *BB) {
+  auto It = std::find(Preds.begin(), Preds.end(), BB);
+  assert(It != Preds.end() && "removing a predecessor that is not listed");
+  Preds.erase(It);
+}

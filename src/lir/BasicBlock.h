@@ -1,0 +1,76 @@
+//===--- BasicBlock.h - Straight-line instruction sequences ----*- C++ -*-===//
+
+#ifndef LAMINAR_LIR_BASICBLOCK_H
+#define LAMINAR_LIR_BASICBLOCK_H
+
+#include "lir/Instruction.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace lir {
+
+class Function;
+
+/// A basic block: a list of instructions ending in exactly one
+/// terminator. Predecessor lists are maintained by the IRBuilder when
+/// terminators are created and by CFG-mutating passes.
+class BasicBlock {
+public:
+  BasicBlock(std::string Name, Function *Parent)
+      : Name(std::move(Name)), Parent(Parent) {}
+
+  const std::string &getName() const { return Name; }
+  Function *getParent() const { return Parent; }
+
+  const std::vector<std::unique_ptr<Instruction>> &instructions() const {
+    return Insts;
+  }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// Appends \p I (taking ownership) and returns the raw pointer.
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I at position \p Idx (phis are inserted at the front by
+  /// the SSA builder).
+  Instruction *insertAt(size_t Idx, std::unique_ptr<Instruction> I);
+
+  /// Removes (and destroys) the instruction at position \p Idx.
+  void eraseAt(size_t Idx);
+
+  /// Removes the instruction at position \p Idx and returns ownership
+  /// (used when splicing blocks together).
+  std::unique_ptr<Instruction> takeAt(size_t Idx);
+
+  /// Removes all instructions for which \p Dead is set, in one sweep.
+  void eraseMarked(const std::vector<bool> &Dead);
+
+  /// Last instruction if it is a terminator, otherwise null.
+  Instruction *terminator() const;
+
+  bool hasTerminator() const { return terminator() != nullptr; }
+
+  /// Successor blocks derived from the terminator (0, 1 or 2 entries).
+  std::vector<BasicBlock *> successors() const;
+
+  const std::vector<BasicBlock *> &predecessors() const { return Preds; }
+  void addPredecessor(BasicBlock *BB) { Preds.push_back(BB); }
+  void removePredecessor(BasicBlock *BB);
+  void clearPredecessors() { Preds.clear(); }
+
+private:
+  std::string Name;
+  Function *Parent;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+  std::vector<BasicBlock *> Preds;
+};
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_BASICBLOCK_H

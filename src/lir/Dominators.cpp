@@ -1,0 +1,99 @@
+//===--- Dominators.cpp ---------------------------------------------------===//
+
+#include "lir/Dominators.h"
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+DomTree::DomTree(const Function &F) {
+  BasicBlock *Entry = F.entry();
+  if (!Entry)
+    return;
+
+  // Postorder DFS, then reverse.
+  std::unordered_set<const BasicBlock *> Visited;
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  std::vector<BasicBlock *> Post;
+  Stack.push_back({Entry, 0});
+  Visited.insert(Entry);
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextSucc < Succs.size()) {
+      BasicBlock *S = Succs[NextSucc++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+      continue;
+    }
+    Post.push_back(BB);
+    Stack.pop_back();
+  }
+  RPO.assign(Post.rbegin(), Post.rend());
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    Index[RPO[I]] = I;
+
+  // Cooper-Harvey-Kennedy iteration.
+  constexpr unsigned Undef = ~0u;
+  IDom.assign(RPO.size(), Undef);
+  IDom[0] = 0;
+  auto Intersect = [this](unsigned A, unsigned B) {
+    while (A != B) {
+      while (A > B)
+        A = IDom[A];
+      while (B > A)
+        B = IDom[B];
+    }
+    return A;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1; I < RPO.size(); ++I) {
+      unsigned NewIDom = Undef;
+      for (BasicBlock *Pred : RPO[I]->predecessors()) {
+        auto It = Index.find(Pred);
+        if (It == Index.end() || IDom[It->second] == Undef)
+          continue;
+        NewIDom = NewIDom == Undef ? It->second
+                                   : Intersect(NewIDom, It->second);
+      }
+      assert(NewIDom != Undef && "reachable block without processed pred");
+      if (IDom[I] != NewIDom) {
+        IDom[I] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DomTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  auto ItA = Index.find(A);
+  auto ItB = Index.find(B);
+  if (ItA == Index.end() || ItB == Index.end())
+    return false;
+  unsigned IA = ItA->second, IB = ItB->second;
+  while (IB > IA)
+    IB = IDom[IB];
+  return IB == IA;
+}
+
+const BasicBlock *DomTree::idom(const BasicBlock *BB) const {
+  auto It = Index.find(BB);
+  if (It == Index.end() || It->second == 0)
+    return nullptr;
+  return RPO[IDom[It->second]];
+}
+
+std::vector<BasicBlock *> DomTree::childrenOf(const BasicBlock *BB) const {
+  std::vector<BasicBlock *> Children;
+  auto It = Index.find(BB);
+  if (It == Index.end())
+    return Children;
+  for (unsigned I = 1; I < RPO.size(); ++I)
+    if (IDom[I] == It->second)
+      Children.push_back(RPO[I]);
+  return Children;
+}

@@ -1,0 +1,50 @@
+//===--- Dominators.h - Dominator tree computation -------------*- C++ -*-===//
+//
+// Iterative dominator computation (Cooper/Harvey/Kennedy). Used by the
+// verifier for def-dominates-use checks and by GVN for its scoped table.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_LIR_DOMINATORS_H
+#define LAMINAR_LIR_DOMINATORS_H
+
+#include "lir/Function.h"
+#include <unordered_map>
+#include <vector>
+
+namespace laminar {
+namespace lir {
+
+class DomTree {
+public:
+  /// Builds the dominator tree of all blocks reachable from the entry.
+  explicit DomTree(const Function &F);
+
+  /// True when \p A dominates \p B (reflexively).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Immediate dominator; null for the entry block and unreachable
+  /// blocks.
+  const BasicBlock *idom(const BasicBlock *BB) const;
+
+  bool isReachable(const BasicBlock *BB) const {
+    return Index.count(BB) != 0;
+  }
+
+  /// Blocks in reverse postorder (entry first); unreachable blocks are
+  /// not included.
+  const std::vector<BasicBlock *> &reversePostorder() const { return RPO; }
+
+  /// Children in the dominator tree (reachable blocks only).
+  std::vector<BasicBlock *> childrenOf(const BasicBlock *BB) const;
+
+private:
+  std::vector<BasicBlock *> RPO;
+  std::unordered_map<const BasicBlock *, unsigned> Index; // RPO index
+  std::vector<unsigned> IDom; // by RPO index; entry maps to itself
+};
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_DOMINATORS_H

@@ -1,0 +1,47 @@
+//===--- Function.cpp -----------------------------------------------------===//
+
+#include "lir/Function.h"
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+Function::~Function() {
+  for (const auto &BB : Blocks)
+    for (const auto &I : BB->instructions())
+      I->dropOperands();
+}
+
+BasicBlock *Function::createBlock(const std::string &BlockName) {
+  std::ostringstream OS;
+  OS << BlockName << NextBlockId++;
+  Blocks.push_back(std::make_unique<BasicBlock>(OS.str(), this));
+  return Blocks.back().get();
+}
+
+void Function::eraseMarkedBlocks(const std::vector<bool> &Dead) {
+  size_t Out = 0;
+  for (size_t I = 0, E = Blocks.size(); I != E; ++I) {
+    if (Dead[I])
+      continue;
+    if (Out != I)
+      Blocks[Out] = std::move(Blocks[I]);
+    ++Out;
+  }
+  Blocks.resize(Out);
+}
+
+uint32_t Function::numberValues() {
+  uint32_t Next = 0;
+  for (const auto &BB : Blocks)
+    for (const auto &I : BB->instructions())
+      I->setSlot(Next++);
+  return Next;
+}
+
+size_t Function::instructionCount() const {
+  size_t N = 0;
+  for (const auto &BB : Blocks)
+    N += BB->size();
+  return N;
+}

@@ -1,0 +1,63 @@
+//===--- Function.h - LaminarIR functions ----------------------*- C++ -*-===//
+
+#ifndef LAMINAR_LIR_FUNCTION_H
+#define LAMINAR_LIR_FUNCTION_H
+
+#include "lir/BasicBlock.h"
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace lir {
+
+class Module;
+
+/// A function: a CFG of basic blocks. The first block is the entry. All
+/// LaminarIR functions take no arguments and return void; state flows
+/// through globals and the external input/output streams.
+class Function {
+public:
+  Function(std::string Name, Module *Parent)
+      : Name(std::move(Name)), Parent(Parent) {}
+
+  /// Detaches every instruction from its operands before any of them is
+  /// destroyed: instructions may reference instructions in other blocks
+  /// and module-owned constants, whose destruction order is unrelated.
+  ~Function();
+
+  const std::string &getName() const { return Name; }
+  Module *getParent() const { return Parent; }
+
+  /// Creates and appends a new empty block.
+  BasicBlock *createBlock(const std::string &BlockName);
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  BasicBlock *entry() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+  size_t size() const { return Blocks.size(); }
+
+  /// Destroys blocks for which \p Dead is set (parallel to blocks()).
+  void eraseMarkedBlocks(const std::vector<bool> &Dead);
+
+  /// Assigns a dense slot id to every instruction; returns the count.
+  /// The interpreter sizes its register file from the result.
+  uint32_t numberValues();
+
+  /// Total instruction count over all blocks.
+  size_t instructionCount() const;
+
+private:
+  std::string Name;
+  Module *Parent;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  unsigned NextBlockId = 0;
+};
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_FUNCTION_H

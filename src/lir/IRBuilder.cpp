@@ -1,0 +1,362 @@
+//===--- IRBuilder.cpp ----------------------------------------------------===//
+
+#include "lir/IRBuilder.h"
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+// Wrapping signed arithmetic without undefined behaviour.
+static int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+static int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+static int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+/// Arithmetic (sign-preserving) right shift with a masked shift amount;
+/// mirrors the interpreter and the generated C.
+int64_t shiftRightArith(int64_t A, int64_t B);
+int64_t shiftRightArith(int64_t A, int64_t B) {
+  unsigned Amt = static_cast<unsigned>(B) & 63u;
+  if (A >= 0)
+    return static_cast<int64_t>(static_cast<uint64_t>(A) >> Amt);
+  // Shift the complement so the result rounds toward negative infinity.
+  return ~static_cast<int64_t>(static_cast<uint64_t>(~A) >> Amt);
+}
+
+Value *lir::foldBinary(Module &M, BinOp Op, Value *LHS, Value *RHS) {
+  if (isFloatBinOp(Op)) {
+    auto *L = dyn_cast<ConstFloat>(LHS);
+    auto *R = dyn_cast<ConstFloat>(RHS);
+    if (!L || !R)
+      return nullptr;
+    double A = L->getValue(), B = R->getValue();
+    switch (Op) {
+    case BinOp::FAdd:
+      return M.getConstFloat(A + B);
+    case BinOp::FSub:
+      return M.getConstFloat(A - B);
+    case BinOp::FMul:
+      return M.getConstFloat(A * B);
+    case BinOp::FDiv:
+      return B == 0.0 ? nullptr : M.getConstFloat(A / B);
+    default:
+      return nullptr;
+    }
+  }
+  auto *L = dyn_cast<ConstInt>(LHS);
+  auto *R = dyn_cast<ConstInt>(RHS);
+  if (!L || !R)
+    return nullptr;
+  int64_t A = L->getValue(), B = R->getValue();
+  switch (Op) {
+  case BinOp::Add:
+    return M.getConstInt(wrapAdd(A, B));
+  case BinOp::Sub:
+    return M.getConstInt(wrapSub(A, B));
+  case BinOp::Mul:
+    return M.getConstInt(wrapMul(A, B));
+  case BinOp::Div:
+    if (B == 0 || (A == std::numeric_limits<int64_t>::min() && B == -1))
+      return nullptr;
+    return M.getConstInt(A / B);
+  case BinOp::Rem:
+    if (B == 0 || (A == std::numeric_limits<int64_t>::min() && B == -1))
+      return nullptr;
+    return M.getConstInt(A % B);
+  case BinOp::And:
+    return M.getConstInt(A & B);
+  case BinOp::Or:
+    return M.getConstInt(A | B);
+  case BinOp::Xor:
+    return M.getConstInt(A ^ B);
+  case BinOp::Shl:
+    return M.getConstInt(static_cast<int64_t>(static_cast<uint64_t>(A)
+                                              << (B & 63)));
+  case BinOp::Shr:
+    return M.getConstInt(shiftRightArith(A, B));
+  default:
+    return nullptr;
+  }
+}
+
+Value *lir::foldUnary(Module &M, UnOp Op, Value *V) {
+  switch (Op) {
+  case UnOp::Neg:
+    if (auto *C = dyn_cast<ConstInt>(V))
+      return M.getConstInt(wrapSub(0, C->getValue()));
+    return nullptr;
+  case UnOp::FNeg:
+    if (auto *C = dyn_cast<ConstFloat>(V))
+      return M.getConstFloat(-C->getValue());
+    return nullptr;
+  case UnOp::Not:
+    if (auto *C = dyn_cast<ConstBool>(V))
+      return M.getConstBool(!C->getValue());
+    return nullptr;
+  case UnOp::BitNot:
+    if (auto *C = dyn_cast<ConstInt>(V))
+      return M.getConstInt(~C->getValue());
+    return nullptr;
+  }
+  return nullptr;
+}
+
+Value *lir::foldCmp(Module &M, CmpPred Pred, Value *LHS, Value *RHS) {
+  auto Decide = [&M, Pred](auto A, auto B) -> Value * {
+    switch (Pred) {
+    case CmpPred::EQ:
+      return M.getConstBool(A == B);
+    case CmpPred::NE:
+      return M.getConstBool(A != B);
+    case CmpPred::LT:
+      return M.getConstBool(A < B);
+    case CmpPred::LE:
+      return M.getConstBool(A <= B);
+    case CmpPred::GT:
+      return M.getConstBool(A > B);
+    case CmpPred::GE:
+      return M.getConstBool(A >= B);
+    }
+    return nullptr;
+  };
+  if (auto *L = dyn_cast<ConstInt>(LHS))
+    if (auto *R = dyn_cast<ConstInt>(RHS))
+      return Decide(L->getValue(), R->getValue());
+  if (auto *L = dyn_cast<ConstFloat>(LHS))
+    if (auto *R = dyn_cast<ConstFloat>(RHS))
+      return Decide(L->getValue(), R->getValue());
+  if (auto *L = dyn_cast<ConstBool>(LHS))
+    if (auto *R = dyn_cast<ConstBool>(RHS))
+      return Decide(static_cast<int>(L->getValue()),
+                    static_cast<int>(R->getValue()));
+  return nullptr;
+}
+
+Value *lir::foldCast(Module &M, CastOp Op, Value *V) {
+  switch (Op) {
+  case CastOp::IntToFloat:
+    if (auto *C = dyn_cast<ConstInt>(V))
+      return M.getConstFloat(static_cast<double>(C->getValue()));
+    return nullptr;
+  case CastOp::FloatToInt:
+    if (auto *C = dyn_cast<ConstFloat>(V)) {
+      double D = C->getValue();
+      // Only fold values that convert without undefined behaviour.
+      if (!(D >= -9.2e18 && D <= 9.2e18))
+        return nullptr;
+      return M.getConstInt(static_cast<int64_t>(D));
+    }
+    return nullptr;
+  case CastOp::BoolToInt:
+    if (auto *C = dyn_cast<ConstBool>(V))
+      return M.getConstInt(C->getValue() ? 1 : 0);
+    return nullptr;
+  }
+  return nullptr;
+}
+
+Value *lir::foldCall(Module &M, Builtin B, const std::vector<Value *> &Args) {
+  if (builtinArgType(B) == TypeKind::Int) {
+    std::vector<int64_t> A;
+    for (Value *V : Args) {
+      auto *C = dyn_cast<ConstInt>(V);
+      if (!C)
+        return nullptr;
+      A.push_back(C->getValue());
+    }
+    switch (B) {
+    case Builtin::AbsI:
+      return M.getConstInt(A[0] < 0 ? wrapSub(0, A[0]) : A[0]);
+    case Builtin::MinI:
+      return M.getConstInt(A[0] < A[1] ? A[0] : A[1]);
+    case Builtin::MaxI:
+      return M.getConstInt(A[0] > A[1] ? A[0] : A[1]);
+    default:
+      return nullptr;
+    }
+  }
+  std::vector<double> A;
+  for (Value *V : Args) {
+    auto *C = dyn_cast<ConstFloat>(V);
+    if (!C)
+      return nullptr;
+    A.push_back(C->getValue());
+  }
+  switch (B) {
+  case Builtin::Sin:
+    return M.getConstFloat(std::sin(A[0]));
+  case Builtin::Cos:
+    return M.getConstFloat(std::cos(A[0]));
+  case Builtin::Tan:
+    return M.getConstFloat(std::tan(A[0]));
+  case Builtin::Atan:
+    return M.getConstFloat(std::atan(A[0]));
+  case Builtin::Atan2:
+    return M.getConstFloat(std::atan2(A[0], A[1]));
+  case Builtin::Exp:
+    return M.getConstFloat(std::exp(A[0]));
+  case Builtin::Log:
+    return A[0] > 0 ? M.getConstFloat(std::log(A[0])) : nullptr;
+  case Builtin::Sqrt:
+    return A[0] >= 0 ? M.getConstFloat(std::sqrt(A[0])) : nullptr;
+  case Builtin::Fabs:
+    return M.getConstFloat(std::fabs(A[0]));
+  case Builtin::Floor:
+    return M.getConstFloat(std::floor(A[0]));
+  case Builtin::Ceil:
+    return M.getConstFloat(std::ceil(A[0]));
+  case Builtin::Pow:
+    return M.getConstFloat(std::pow(A[0], A[1]));
+  case Builtin::Fmod:
+    return A[1] != 0 ? M.getConstFloat(std::fmod(A[0], A[1])) : nullptr;
+  case Builtin::MinF:
+    return M.getConstFloat(A[0] < A[1] ? A[0] : A[1]);
+  case Builtin::MaxF:
+    return M.getConstFloat(A[0] > A[1] ? A[0] : A[1]);
+  default:
+    return nullptr;
+  }
+}
+
+Value *lir::foldSelect(Value *Cond, Value *TrueV, Value *FalseV) {
+  if (auto *C = dyn_cast<ConstBool>(Cond))
+    return C->getValue() ? TrueV : FalseV;
+  if (TrueV == FalseV)
+    return TrueV;
+  return nullptr;
+}
+
+Instruction *IRBuilder::insert(std::unique_ptr<Instruction> I) {
+  assert(BB && "no insertion point set");
+  return BB->append(std::move(I));
+}
+
+Value *IRBuilder::createBinary(BinOp Op, Value *LHS, Value *RHS) {
+  if (FoldConstants)
+    if (Value *C = foldBinary(M, Op, LHS, RHS)) {
+      ++NumConstFolds;
+      return C;
+    }
+  return insert(std::make_unique<BinaryInst>(Op, LHS, RHS));
+}
+
+Value *IRBuilder::createUnary(UnOp Op, Value *V) {
+  if (FoldConstants)
+    if (Value *C = foldUnary(M, Op, V)) {
+      ++NumConstFolds;
+      return C;
+    }
+  return insert(std::make_unique<UnaryInst>(Op, V));
+}
+
+Value *IRBuilder::createCmp(CmpPred Pred, Value *LHS, Value *RHS) {
+  if (FoldConstants)
+    if (Value *C = foldCmp(M, Pred, LHS, RHS)) {
+      ++NumConstFolds;
+      return C;
+    }
+  return insert(std::make_unique<CmpInst>(Pred, LHS, RHS));
+}
+
+Value *IRBuilder::createCast(CastOp Op, Value *V) {
+  if (FoldConstants)
+    if (Value *C = foldCast(M, Op, V)) {
+      ++NumConstFolds;
+      return C;
+    }
+  return insert(std::make_unique<CastInst>(Op, V));
+}
+
+Value *IRBuilder::createSelect(Value *Cond, Value *TrueV, Value *FalseV) {
+  if (FoldConstants)
+    if (Value *C = foldSelect(Cond, TrueV, FalseV)) {
+      ++NumConstFolds;
+      return C;
+    }
+  return insert(std::make_unique<SelectInst>(Cond, TrueV, FalseV));
+}
+
+Value *IRBuilder::createCall(Builtin B, const std::vector<Value *> &Args) {
+  if (FoldConstants)
+    if (Value *C = foldCall(M, B, Args)) {
+      ++NumConstFolds;
+      return C;
+    }
+  return insert(std::make_unique<CallInst>(B, Args));
+}
+
+Value *IRBuilder::createInput(TypeKind Ty) {
+  return insert(std::make_unique<InputInst>(Ty));
+}
+
+void IRBuilder::createOutput(Value *V) {
+  insert(std::make_unique<OutputInst>(V));
+}
+
+Value *IRBuilder::createLoad(GlobalVar *G, Value *Index) {
+  return insert(std::make_unique<LoadInst>(G, Index));
+}
+
+void IRBuilder::createStore(GlobalVar *G, Value *Index, Value *V) {
+  insert(std::make_unique<StoreInst>(G, Index, V));
+}
+
+PhiInst *IRBuilder::createPhi(TypeKind Ty, BasicBlock *Block) {
+  // Keep all phis grouped at the start of the block.
+  size_t Pos = 0;
+  const auto &Insts = Block->instructions();
+  while (Pos < Insts.size() && isa<PhiInst>(Insts[Pos].get()))
+    ++Pos;
+  auto Phi = std::make_unique<PhiInst>(Ty);
+  return cast<PhiInst>(Block->insertAt(Pos, std::move(Phi)));
+}
+
+void IRBuilder::createBr(BasicBlock *Target) {
+  insert(std::make_unique<BrInst>(Target));
+  Target->addPredecessor(BB);
+}
+
+void IRBuilder::createCondBr(Value *Cond, BasicBlock *TrueBB,
+                             BasicBlock *FalseBB) {
+  assert(TrueBB != FalseBB && "conditional branch with equal targets");
+  if (FoldConstants) {
+    if (auto *C = dyn_cast<ConstBool>(Cond)) {
+      ++NumConstFolds;
+      createBr(C->getValue() ? TrueBB : FalseBB);
+      return;
+    }
+  }
+  insert(std::make_unique<CondBrInst>(Cond, TrueBB, FalseBB));
+  TrueBB->addPredecessor(BB);
+  FalseBB->addPredecessor(BB);
+}
+
+void IRBuilder::createRet() { insert(std::make_unique<RetInst>()); }
+
+Value *IRBuilder::convert(Value *V, TypeKind Ty) {
+  TypeKind From = V->getType();
+  if (From == Ty)
+    return V;
+  if (From == TypeKind::Int && Ty == TypeKind::Float)
+    return createCast(CastOp::IntToFloat, V);
+  if (From == TypeKind::Float && Ty == TypeKind::Int)
+    return createCast(CastOp::FloatToInt, V);
+  if (From == TypeKind::Bool && Ty == TypeKind::Int)
+    return createCast(CastOp::BoolToInt, V);
+  if (From == TypeKind::Bool && Ty == TypeKind::Float)
+    return createCast(CastOp::IntToFloat, createCast(CastOp::BoolToInt, V));
+  if (From == TypeKind::Int && Ty == TypeKind::Bool)
+    return createCmp(CmpPred::NE, V, getInt(0));
+  assert(false && "unsupported conversion");
+  return V;
+}

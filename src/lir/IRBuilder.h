@@ -1,0 +1,80 @@
+//===--- IRBuilder.h - Instruction creation with folding -------*- C++ -*-===//
+//
+// Convenience interface for emitting instructions at the end of a block.
+// The builder folds operations over constants at creation time; the
+// Laminar lowering depends on this so that peek indices computed from
+// unrolled loop counters resolve to ConstInt at compile time.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_LIR_IRBUILDER_H
+#define LAMINAR_LIR_IRBUILDER_H
+
+#include "lir/Module.h"
+
+namespace laminar {
+namespace lir {
+
+/// Folds a binary operation over constant operands; returns null when the
+/// operands are not constant or the fold is unsafe (division by zero).
+Value *foldBinary(Module &M, BinOp Op, Value *LHS, Value *RHS);
+Value *foldUnary(Module &M, UnOp Op, Value *V);
+Value *foldCmp(Module &M, CmpPred Pred, Value *LHS, Value *RHS);
+Value *foldCast(Module &M, CastOp Op, Value *V);
+Value *foldCall(Module &M, Builtin B, const std::vector<Value *> &Args);
+Value *foldSelect(Value *Cond, Value *TrueV, Value *FalseV);
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M, bool FoldConstants = true)
+      : M(M), FoldConstants(FoldConstants) {}
+
+  Module &getModule() { return M; }
+
+  void setInsertPoint(BasicBlock *Block) { BB = Block; }
+  BasicBlock *getInsertBlock() const { return BB; }
+
+  /// Operations resolved to constants at construction time. In the
+  /// Laminar lowering this is where most of the "enabling effect"
+  /// materializes (the unrolled token flow partial-evaluates).
+  uint64_t getNumConstFolds() const { return NumConstFolds; }
+
+  ConstInt *getInt(int64_t V) { return M.getConstInt(V); }
+  ConstFloat *getFloat(double V) { return M.getConstFloat(V); }
+  ConstBool *getBool(bool V) { return M.getConstBool(V); }
+
+  Value *createBinary(BinOp Op, Value *LHS, Value *RHS);
+  Value *createUnary(UnOp Op, Value *V);
+  Value *createCmp(CmpPred Pred, Value *LHS, Value *RHS);
+  Value *createCast(CastOp Op, Value *V);
+  Value *createSelect(Value *Cond, Value *TrueV, Value *FalseV);
+  Value *createCall(Builtin B, const std::vector<Value *> &Args);
+  Value *createInput(TypeKind Ty);
+  void createOutput(Value *V);
+  Value *createLoad(GlobalVar *G, Value *Index);
+  void createStore(GlobalVar *G, Value *Index, Value *V);
+
+  /// Creates a phi and inserts it after any existing phis of the block.
+  PhiInst *createPhi(TypeKind Ty, BasicBlock *Block);
+
+  void createBr(BasicBlock *Target);
+  void createCondBr(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB);
+  void createRet();
+
+  /// Converts \p V to \p Ty, inserting a cast when needed. Only the
+  /// int/float/bool conversions expressible in the IR are supported.
+  Value *convert(Value *V, TypeKind Ty);
+
+private:
+  Instruction *insert(std::unique_ptr<Instruction> I);
+
+  Module &M;
+  BasicBlock *BB = nullptr;
+  bool FoldConstants;
+  uint64_t NumConstFolds = 0;
+};
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_IRBUILDER_H

@@ -1,0 +1,614 @@
+//===--- IRParser.cpp - Parse the printer's textual format -----------------===//
+
+#include "lir/IRParser.h"
+#include "lir/Instruction.h"
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+namespace {
+
+class IRParser {
+public:
+  IRParser(const std::string &Text, DiagnosticEngine &Diags)
+      : Diags(Diags) {
+    std::istringstream SS(Text);
+    std::string Line;
+    while (std::getline(SS, Line))
+      Lines.push_back(Line);
+  }
+
+  std::unique_ptr<Module> run();
+
+private:
+  // --- Line helpers -----------------------------------------------------
+  bool atEnd() const { return Pos >= Lines.size(); }
+  std::string peekLine() const {
+    return atEnd() ? std::string() : trim(Lines[Pos]);
+  }
+  std::string takeLine() { return trim(Lines[Pos++]); }
+  SourceLoc here() const {
+    return SourceLoc(static_cast<uint32_t>(Pos + 1), 1);
+  }
+
+  static std::string trim(const std::string &S) {
+    size_t B = S.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      return std::string();
+    size_t E = S.find_last_not_of(" \t\r");
+    return S.substr(B, E - B + 1);
+  }
+
+  bool error(const std::string &Msg) {
+    Diags.error(here(), Msg);
+    return false;
+  }
+
+  // --- Token scanning within one line ------------------------------------
+  struct Cursor {
+    std::string Line;
+    size_t At = 0;
+
+    void skipSpace() {
+      while (At < Line.size() && (Line[At] == ' ' || Line[At] == '\t'))
+        ++At;
+    }
+    bool eat(const std::string &Lit) {
+      skipSpace();
+      if (Line.compare(At, Lit.size(), Lit) != 0)
+        return false;
+      At += Lit.size();
+      return true;
+    }
+    bool done() {
+      skipSpace();
+      return At >= Line.size();
+    }
+    /// Next identifier-like token ([A-Za-z0-9_.]+).
+    std::string word() {
+      skipSpace();
+      size_t B = At;
+      while (At < Line.size() &&
+             (std::isalnum(static_cast<unsigned char>(Line[At])) ||
+              Line[At] == '_' || Line[At] == '.'))
+        ++At;
+      return Line.substr(B, At - B);
+    }
+    /// A number token (may include sign, '.', exponent).
+    std::string number() {
+      skipSpace();
+      size_t B = At;
+      if (At < Line.size() && (Line[At] == '-' || Line[At] == '+'))
+        ++At;
+      while (At < Line.size() &&
+             (std::isdigit(static_cast<unsigned char>(Line[At])) ||
+              Line[At] == '.' || Line[At] == 'e' || Line[At] == 'E' ||
+              ((Line[At] == '-' || Line[At] == '+') &&
+               (Line[At - 1] == 'e' || Line[At - 1] == 'E'))))
+        ++At;
+      return Line.substr(B, At - B);
+    }
+  };
+
+  // --- Sections -----------------------------------------------------------
+  bool parseHeader();
+  bool parseGlobal(const std::string &Line);
+  bool parseFunction(const std::string &Header);
+  bool parseInstruction(Cursor &C, BasicBlock *BB, bool HasResult,
+                        unsigned ResultId);
+
+  /// Parses one operand reference; null on failure. Forward references
+  /// (only legal in phis) are returned as null with \p Forward set.
+  Value *parseOperand(Cursor &C, TypeKind Hint, unsigned *Forward);
+
+  std::optional<TypeKind> parseType(const std::string &W) {
+    if (W == "int")
+      return TypeKind::Int;
+    if (W == "float")
+      return TypeKind::Float;
+    if (W == "bool")
+      return TypeKind::Bool;
+    if (W == "void")
+      return TypeKind::Void;
+    return std::nullopt;
+  }
+
+  DiagnosticEngine &Diags;
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  std::unique_ptr<Module> M;
+
+  // Per-function state.
+  std::unordered_map<std::string, BasicBlock *> Blocks;
+  std::unordered_map<unsigned, Value *> Values;
+  struct PhiPatch {
+    PhiInst *Phi;
+    unsigned OperandIndex;
+    unsigned ValueId;
+  };
+  std::vector<PhiPatch> Patches;
+};
+
+} // namespace
+
+bool IRParser::parseHeader() {
+  std::string Line = takeLine();
+  Cursor C{Line};
+  if (!C.eat("module"))
+    return error("expected 'module <name>'");
+  C.skipSpace();
+  M = std::make_unique<Module>(C.Line.substr(C.At));
+
+  for (const char *What : {"input", "output"}) {
+    Cursor C2{takeLine()};
+    if (!C2.eat(What))
+      return error(std::string("expected '") + What + " <type>'");
+    auto Ty = parseType(C2.word());
+    if (!Ty)
+      return error("bad type");
+    if (What[0] == 'i')
+      M->setInputType(*Ty);
+    else
+      M->setOutputType(*Ty);
+  }
+  return true;
+}
+
+bool IRParser::parseGlobal(const std::string &Line) {
+  // global @name : float[16] buf
+  Cursor C{Line};
+  C.eat("global");
+  if (!C.eat("@"))
+    return error("expected '@name' in global");
+  std::string Name = C.word();
+  if (!C.eat(":"))
+    return error("expected ':' in global");
+  auto Ty = parseType(C.word());
+  if (!Ty || !isTokenType(*Ty))
+    return error("bad global element type");
+  int64_t Size = 1;
+  if (C.eat("[")) {
+    Size = std::strtoll(C.number().c_str(), nullptr, 10);
+    if (!C.eat("]"))
+      return error("expected ']'");
+  }
+  std::string MCName = C.word();
+  MemClass MC = MemClass::State;
+  if (MCName == "state")
+    MC = MemClass::State;
+  else if (MCName == "buf")
+    MC = MemClass::ChannelBuf;
+  else if (MCName == "head")
+    MC = MemClass::ChannelHead;
+  else if (MCName == "tail")
+    MC = MemClass::ChannelTail;
+  else if (MCName == "live")
+    MC = MemClass::LiveToken;
+  else
+    return error("unknown memory class '" + MCName + "'");
+  GlobalVar *G = M->createGlobal(Name, *Ty, Size, MC);
+  if (C.eat("=")) {
+    if (!C.eat("{"))
+      return error("expected '{' in global initializer");
+    std::vector<int64_t> IntVals;
+    std::vector<double> FloatVals;
+    bool First = true;
+    while (!C.eat("}")) {
+      if (!First && !C.eat(","))
+        return error("expected ',' in global initializer");
+      First = false;
+      std::string Num = C.number();
+      if (Num.empty())
+        return error("expected a number in global initializer");
+      if (*Ty == TypeKind::Float)
+        FloatVals.push_back(std::strtod(Num.c_str(), nullptr));
+      else
+        IntVals.push_back(std::strtoll(Num.c_str(), nullptr, 10));
+    }
+    if (*Ty == TypeKind::Float)
+      G->setFloatInit(std::move(FloatVals));
+    else
+      G->setIntInit(std::move(IntVals));
+  }
+  return true;
+}
+
+Value *IRParser::parseOperand(Cursor &C, TypeKind Hint, unsigned *Forward) {
+  if (Forward)
+    *Forward = ~0u;
+  C.skipSpace();
+  if (C.eat("%")) {
+    unsigned Id =
+        static_cast<unsigned>(std::strtoul(C.number().c_str(), nullptr, 10));
+    auto It = Values.find(Id);
+    if (It != Values.end())
+      return It->second;
+    if (Forward) {
+      *Forward = Id;
+      return nullptr;
+    }
+    error("use of undefined value %" + std::to_string(Id));
+    return nullptr;
+  }
+  if (C.eat("true"))
+    return M->getConstBool(true);
+  if (C.eat("false"))
+    return M->getConstBool(false);
+  std::string Num = C.number();
+  if (Num.empty()) {
+    error("expected an operand");
+    return nullptr;
+  }
+  bool IsFloat = Num.find_first_of(".eE") != std::string::npos ||
+                 Hint == TypeKind::Float;
+  if (IsFloat)
+    return M->getConstFloat(std::strtod(Num.c_str(), nullptr));
+  return M->getConstInt(std::strtoll(Num.c_str(), nullptr, 10));
+}
+
+bool IRParser::parseFunction(const std::string &Header) {
+  // func @name {
+  Cursor H{Header};
+  H.eat("func");
+  if (!H.eat("@"))
+    return error("expected '@name' in func");
+  Function *F = M->createFunction(H.word());
+
+  Blocks.clear();
+  Values.clear();
+  Patches.clear();
+
+  // First pass: find block labels up to the closing brace.
+  size_t Start = Pos;
+  std::vector<std::string> LabelOrder;
+  while (!atEnd()) {
+    std::string Line = peekLine();
+    if (Line == "}")
+      break;
+    if (!Line.empty() && Line.back() == ':')
+      LabelOrder.push_back(Line.substr(0, Line.size() - 1));
+    ++Pos;
+  }
+  if (atEnd())
+    return error("missing '}' at end of function");
+  Pos = Start;
+  if (LabelOrder.empty())
+    return error("function has no blocks");
+
+  // Pre-create blocks so terminators can reference them. createBlock
+  // appends an id suffix; bypass it by keeping a name map instead.
+  for (const std::string &Label : LabelOrder) {
+    BasicBlock *BB = F->createBlock("x");
+    Blocks[Label] = BB;
+  }
+  // Rename via the map only (names in the IR keep their printed form by
+  // position; the in-memory names differ, which is fine for semantics).
+
+  BasicBlock *Cur = nullptr;
+  while (true) {
+    std::string Line = takeLine();
+    if (Line == "}")
+      break;
+    if (Line.empty())
+      continue;
+    if (Line.back() == ':') {
+      Cur = Blocks.at(Line.substr(0, Line.size() - 1));
+      continue;
+    }
+    if (!Cur)
+      return error("instruction before first block label");
+    Cursor C{Line};
+    bool HasResult = false;
+    unsigned ResultId = 0;
+    if (C.eat("%")) {
+      ResultId = static_cast<unsigned>(
+          std::strtoul(C.number().c_str(), nullptr, 10));
+      if (!C.eat("="))
+        return error("expected '=' after result");
+      HasResult = true;
+    }
+    if (!parseInstruction(C, Cur, HasResult, ResultId))
+      return false;
+  }
+
+  // Patch forward phi references.
+  for (const PhiPatch &P : Patches) {
+    auto It = Values.find(P.ValueId);
+    if (It == Values.end())
+      return error("phi references undefined value %" +
+                   std::to_string(P.ValueId));
+    P.Phi->setOperand(P.OperandIndex, It->second);
+  }
+  // Phi types: take the type of the first incoming value (iterate to a
+  // fixpoint for phi-of-phi chains).
+  for (int Round = 0; Round < 4; ++Round)
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (auto *Phi = dyn_cast<PhiInst>(I.get()))
+          if (Phi->getNumIncoming() > 0)
+            Phi->refineType(Phi->getIncomingValue(0)->getType());
+
+  // Rebuild predecessor lists from the terminators.
+  for (const auto &BB : F->blocks())
+    BB->clearPredecessors();
+  for (const auto &BB : F->blocks())
+    for (BasicBlock *Succ : BB->successors())
+      Succ->addPredecessor(BB.get());
+  return true;
+}
+
+bool IRParser::parseInstruction(Cursor &C, BasicBlock *BB, bool HasResult,
+                                unsigned ResultId) {
+  std::string Op = C.word();
+  auto Finish = [&](std::unique_ptr<Instruction> I) {
+    Instruction *Raw = BB->append(std::move(I));
+    if (HasResult)
+      Values[ResultId] = Raw;
+    return true;
+  };
+  auto Operand = [&](TypeKind Hint = TypeKind::Int) {
+    return parseOperand(C, Hint, nullptr);
+  };
+
+  // Binary opcodes.
+  static const std::unordered_map<std::string, BinOp> BinOps = {
+      {"add", BinOp::Add},   {"sub", BinOp::Sub},   {"mul", BinOp::Mul},
+      {"div", BinOp::Div},   {"rem", BinOp::Rem},   {"and", BinOp::And},
+      {"or", BinOp::Or},     {"xor", BinOp::Xor},   {"shl", BinOp::Shl},
+      {"shr", BinOp::Shr},   {"fadd", BinOp::FAdd}, {"fsub", BinOp::FSub},
+      {"fmul", BinOp::FMul}, {"fdiv", BinOp::FDiv},
+  };
+  if (auto It = BinOps.find(Op); It != BinOps.end()) {
+    TypeKind Hint =
+        isFloatBinOp(It->second) ? TypeKind::Float : TypeKind::Int;
+    Value *L = Operand(Hint);
+    if (!L || !C.eat(","))
+      return error("bad binary operands");
+    Value *R = Operand(Hint);
+    if (!R)
+      return false;
+    return Finish(std::make_unique<BinaryInst>(It->second, L, R));
+  }
+
+  static const std::unordered_map<std::string, UnOp> UnOps = {
+      {"neg", UnOp::Neg},
+      {"fneg", UnOp::FNeg},
+      {"not", UnOp::Not},
+      {"bitnot", UnOp::BitNot},
+  };
+  if (auto It = UnOps.find(Op); It != UnOps.end()) {
+    Value *V = Operand(It->second == UnOp::FNeg ? TypeKind::Float
+                                                : TypeKind::Int);
+    if (!V)
+      return false;
+    return Finish(std::make_unique<UnaryInst>(It->second, V));
+  }
+
+  if (Op == "icmp" || Op == "fcmp") {
+    std::string PredName = C.word();
+    CmpPred Pred;
+    if (PredName == "eq")
+      Pred = CmpPred::EQ;
+    else if (PredName == "ne")
+      Pred = CmpPred::NE;
+    else if (PredName == "lt")
+      Pred = CmpPred::LT;
+    else if (PredName == "le")
+      Pred = CmpPred::LE;
+    else if (PredName == "gt")
+      Pred = CmpPred::GT;
+    else if (PredName == "ge")
+      Pred = CmpPred::GE;
+    else
+      return error("unknown comparison predicate '" + PredName + "'");
+    TypeKind Hint = Op == "fcmp" ? TypeKind::Float : TypeKind::Int;
+    Value *L = Operand(Hint);
+    if (!L || !C.eat(","))
+      return error("bad cmp operands");
+    Value *R = Operand(Hint);
+    if (!R)
+      return false;
+    return Finish(std::make_unique<CmpInst>(Pred, L, R));
+  }
+
+  static const std::unordered_map<std::string, CastOp> CastOps = {
+      {"itof", CastOp::IntToFloat},
+      {"ftoi", CastOp::FloatToInt},
+      {"btoi", CastOp::BoolToInt},
+  };
+  if (auto It = CastOps.find(Op); It != CastOps.end()) {
+    Value *V = Operand(It->second == CastOp::FloatToInt ? TypeKind::Float
+                                                        : TypeKind::Int);
+    if (!V)
+      return false;
+    return Finish(std::make_unique<CastInst>(It->second, V));
+  }
+
+  if (Op == "select") {
+    Value *Cond = Operand(TypeKind::Bool);
+    if (!Cond || !C.eat(","))
+      return error("bad select");
+    Value *T = Operand();
+    if (!T || !C.eat(","))
+      return error("bad select");
+    Value *F = Operand(T->getType());
+    if (!F)
+      return false;
+    return Finish(std::make_unique<SelectInst>(Cond, T, F));
+  }
+
+  if (Op == "call") {
+    std::string Name = C.word();
+    Builtin B = Builtin::Sin;
+    bool Found = false;
+    for (int K = 0; K <= static_cast<int>(Builtin::MaxF); ++K) {
+      if (builtinName(static_cast<Builtin>(K)) == Name) {
+        B = static_cast<Builtin>(K);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return error("unknown builtin '" + Name + "'");
+    if (!C.eat("("))
+      return error("expected '('");
+    std::vector<Value *> Args;
+    for (unsigned K = 0; K < builtinArity(B); ++K) {
+      if (K && !C.eat(","))
+        return error("expected ','");
+      Value *A = Operand(builtinArgType(B));
+      if (!A)
+        return false;
+      Args.push_back(A);
+    }
+    if (!C.eat(")"))
+      return error("expected ')'");
+    return Finish(std::make_unique<CallInst>(B, Args));
+  }
+
+  if (Op == "input")
+    return Finish(std::make_unique<InputInst>(M->getInputType()));
+
+  if (Op == "output") {
+    Value *V = Operand(M->getOutputType());
+    if (!V)
+      return false;
+    return Finish(std::make_unique<OutputInst>(V));
+  }
+
+  if (Op == "load" || Op == "store") {
+    if (!C.eat("@"))
+      return error("expected '@global'");
+    std::string Name = C.word();
+    GlobalVar *G = nullptr;
+    for (const auto &Candidate : M->globals())
+      if (Candidate->getName() == Name)
+        G = Candidate.get();
+    if (!G)
+      return error("unknown global '@" + Name + "'");
+    if (!C.eat("["))
+      return error("expected '['");
+    Value *Index = Operand(TypeKind::Int);
+    if (!Index || !C.eat("]"))
+      return error("bad index");
+    if (Op == "load")
+      return Finish(std::make_unique<LoadInst>(G, Index));
+    if (!C.eat(","))
+      return error("expected ',' in store");
+    Value *V = Operand(G->getElemType());
+    if (!V)
+      return false;
+    return Finish(std::make_unique<StoreInst>(G, Index, V));
+  }
+
+  if (Op == "phi") {
+    auto Phi = std::make_unique<PhiInst>(TypeKind::Int);
+    PhiInst *Raw = Phi.get();
+    bool First = true;
+    while (true) {
+      if (!First && !C.eat(","))
+        break;
+      if (!C.eat("[")) {
+        if (First)
+          break;
+        return error("expected '[' in phi incoming");
+      }
+      First = false;
+      unsigned Forward = ~0u;
+      Value *V = parseOperand(C, TypeKind::Int, &Forward);
+      if (!V && Forward == ~0u)
+        return false;
+      if (!C.eat(","))
+        return error("expected ',' in phi incoming");
+      std::string Label = C.word();
+      auto BlockIt = Blocks.find(Label);
+      if (BlockIt == Blocks.end())
+        return error("unknown block '" + Label + "'");
+      if (!C.eat("]"))
+        return error("expected ']'");
+      if (V) {
+        Raw->addIncoming(V, BlockIt->second);
+      } else {
+        // Placeholder until the forward value is defined.
+        Raw->addIncoming(M->getConstInt(0), BlockIt->second);
+        Patches.push_back({Raw, Raw->getNumIncoming() - 1, Forward});
+      }
+    }
+    if (Raw->getNumIncoming() > 0)
+      Raw->refineType(Raw->getIncomingValue(0)->getType());
+    return Finish(std::move(Phi));
+  }
+
+  if (Op == "br") {
+    std::string Label = C.word();
+    auto It = Blocks.find(Label);
+    if (It == Blocks.end())
+      return error("unknown block '" + Label + "'");
+    return Finish(std::make_unique<BrInst>(It->second));
+  }
+
+  if (Op == "condbr") {
+    Value *Cond = Operand(TypeKind::Bool);
+    if (!Cond || !C.eat(","))
+      return error("bad condbr");
+    std::string T = C.word();
+    if (!C.eat(","))
+      return error("bad condbr");
+    std::string E = C.word();
+    auto TI = Blocks.find(T);
+    auto EI = Blocks.find(E);
+    if (TI == Blocks.end() || EI == Blocks.end())
+      return error("unknown branch target");
+    return Finish(
+        std::make_unique<CondBrInst>(Cond, TI->second, EI->second));
+  }
+
+  if (Op == "ret")
+    return Finish(std::make_unique<RetInst>());
+
+  return error("unknown instruction '" + Op + "'");
+}
+
+std::unique_ptr<Module> IRParser::run() {
+  if (!parseHeader())
+    return nullptr;
+  while (!atEnd()) {
+    std::string Line = peekLine();
+    if (Line.empty()) {
+      ++Pos;
+      continue;
+    }
+    if (Line.rfind("global", 0) == 0) {
+      takeLine();
+      if (!parseGlobal(Line))
+        return nullptr;
+      continue;
+    }
+    if (Line.rfind("func", 0) == 0) {
+      takeLine();
+      if (!parseFunction(Line))
+        return nullptr;
+      continue;
+    }
+    error("unexpected line: " + Line);
+    return nullptr;
+  }
+  M->numberGlobals();
+  for (const auto &F : M->functions())
+    F->numberValues();
+  return std::move(M);
+}
+
+std::unique_ptr<Module> lir::parseIR(const std::string &Text,
+                                     DiagnosticEngine &Diags) {
+  IRParser P(Text, Diags);
+  auto M = P.run();
+  if (Diags.hasErrors())
+    return nullptr;
+  return M;
+}

@@ -1,0 +1,27 @@
+//===--- IRParser.h - Textual LaminarIR parsing ----------------*- C++ -*-===//
+//
+// Parses the format produced by Printer.h back into a Module, enabling
+// round-trip tests and hand-written IR test cases for the optimizer.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_LIR_IRPARSER_H
+#define LAMINAR_LIR_IRPARSER_H
+
+#include "lir/Module.h"
+#include "support/Diagnostics.h"
+#include <memory>
+#include <string>
+
+namespace laminar {
+namespace lir {
+
+/// Parses textual LaminarIR. Returns null and fills \p Diags on error.
+/// The result verifies iff the input described a valid module.
+std::unique_ptr<Module> parseIR(const std::string &Text,
+                                DiagnosticEngine &Diags);
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_IRPARSER_H

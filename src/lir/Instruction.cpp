@@ -1,0 +1,231 @@
+//===--- Instruction.cpp --------------------------------------------------===//
+
+#include "lir/Instruction.h"
+#include "lir/BasicBlock.h"
+#include "lir/Module.h"
+
+using namespace laminar;
+using namespace laminar::lir;
+
+void Instruction::addOperand(Value *V) {
+  assert(V && "null operand");
+  Ops.push_back(V);
+  V->addUser(this);
+}
+
+void Instruction::setOperand(unsigned I, Value *V) {
+  assert(I < Ops.size() && "operand index out of range");
+  assert(V && "null operand");
+  Ops[I]->removeUser(this);
+  Ops[I] = V;
+  V->addUser(this);
+}
+
+void Instruction::removeOperand(unsigned I) {
+  assert(I < Ops.size() && "operand index out of range");
+  Ops[I]->removeUser(this);
+  Ops.erase(Ops.begin() + I);
+}
+
+void Instruction::dropOperands() {
+  for (Value *Op : Ops)
+    Op->removeUser(this);
+  Ops.clear();
+}
+
+const char *lir::binOpName(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "add";
+  case BinOp::Sub:
+    return "sub";
+  case BinOp::Mul:
+    return "mul";
+  case BinOp::Div:
+    return "div";
+  case BinOp::Rem:
+    return "rem";
+  case BinOp::And:
+    return "and";
+  case BinOp::Or:
+    return "or";
+  case BinOp::Xor:
+    return "xor";
+  case BinOp::Shl:
+    return "shl";
+  case BinOp::Shr:
+    return "shr";
+  case BinOp::FAdd:
+    return "fadd";
+  case BinOp::FSub:
+    return "fsub";
+  case BinOp::FMul:
+    return "fmul";
+  case BinOp::FDiv:
+    return "fdiv";
+  }
+  return "?";
+}
+
+bool lir::isFloatBinOp(BinOp Op) {
+  switch (Op) {
+  case BinOp::FAdd:
+  case BinOp::FSub:
+  case BinOp::FMul:
+  case BinOp::FDiv:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *lir::unOpName(UnOp Op) {
+  switch (Op) {
+  case UnOp::Neg:
+    return "neg";
+  case UnOp::FNeg:
+    return "fneg";
+  case UnOp::Not:
+    return "not";
+  case UnOp::BitNot:
+    return "bitnot";
+  }
+  return "?";
+}
+
+const char *lir::cmpPredName(CmpPred P) {
+  switch (P) {
+  case CmpPred::EQ:
+    return "eq";
+  case CmpPred::NE:
+    return "ne";
+  case CmpPred::LT:
+    return "lt";
+  case CmpPred::LE:
+    return "le";
+  case CmpPred::GT:
+    return "gt";
+  case CmpPred::GE:
+    return "ge";
+  }
+  return "?";
+}
+
+const char *lir::castOpName(CastOp Op) {
+  switch (Op) {
+  case CastOp::IntToFloat:
+    return "itof";
+  case CastOp::FloatToInt:
+    return "ftoi";
+  case CastOp::BoolToInt:
+    return "btoi";
+  }
+  return "?";
+}
+
+const char *lir::builtinName(Builtin B) {
+  switch (B) {
+  case Builtin::Sin:
+    return "sin";
+  case Builtin::Cos:
+    return "cos";
+  case Builtin::Tan:
+    return "tan";
+  case Builtin::Atan:
+    return "atan";
+  case Builtin::Atan2:
+    return "atan2";
+  case Builtin::Exp:
+    return "exp";
+  case Builtin::Log:
+    return "log";
+  case Builtin::Sqrt:
+    return "sqrt";
+  case Builtin::Fabs:
+    return "fabs";
+  case Builtin::Floor:
+    return "floor";
+  case Builtin::Ceil:
+    return "ceil";
+  case Builtin::Pow:
+    return "pow";
+  case Builtin::Fmod:
+    return "fmod";
+  case Builtin::AbsI:
+    return "absi";
+  case Builtin::MinI:
+    return "mini";
+  case Builtin::MaxI:
+    return "maxi";
+  case Builtin::MinF:
+    return "minf";
+  case Builtin::MaxF:
+    return "maxf";
+  }
+  return "?";
+}
+
+unsigned lir::builtinArity(Builtin B) {
+  switch (B) {
+  case Builtin::Atan2:
+  case Builtin::Pow:
+  case Builtin::Fmod:
+  case Builtin::MinI:
+  case Builtin::MaxI:
+  case Builtin::MinF:
+  case Builtin::MaxF:
+    return 2;
+  default:
+    return 1;
+  }
+}
+
+TypeKind lir::builtinResultType(Builtin B) {
+  switch (B) {
+  case Builtin::AbsI:
+  case Builtin::MinI:
+  case Builtin::MaxI:
+    return TypeKind::Int;
+  default:
+    return TypeKind::Float;
+  }
+}
+
+TypeKind lir::builtinArgType(Builtin B) {
+  switch (B) {
+  case Builtin::AbsI:
+  case Builtin::MinI:
+  case Builtin::MaxI:
+    return TypeKind::Int;
+  default:
+    return TypeKind::Float;
+  }
+}
+
+LoadInst::LoadInst(GlobalVar *G, Value *Index)
+    : Instruction(Kind::Load, G->getElemType()), Global(G) {
+  addOperand(Index);
+}
+
+StoreInst::StoreInst(GlobalVar *G, Value *Index, Value *V)
+    : Instruction(Kind::Store, TypeKind::Void), Global(G) {
+  assert(V->getType() == G->getElemType() && "store type mismatch");
+  addOperand(Index);
+  addOperand(V);
+}
+
+Value *PhiInst::getIncomingForBlock(const BasicBlock *BB) const {
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
+    if (Blocks[I] == BB)
+      return getIncomingValue(I);
+  return nullptr;
+}
+
+void PhiInst::removeIncomingForBlock(const BasicBlock *BB) {
+  for (unsigned I = 0; I < getNumIncoming();) {
+    if (Blocks[I] == BB)
+      removeIncoming(I);
+    else
+      ++I;
+  }
+}

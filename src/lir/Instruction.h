@@ -1,0 +1,397 @@
+//===--- Instruction.h - LaminarIR instruction set -------------*- C++ -*-===//
+
+#ifndef LAMINAR_LIR_INSTRUCTION_H
+#define LAMINAR_LIR_INSTRUCTION_H
+
+#include "lir/Value.h"
+#include "support/Casting.h"
+#include <cassert>
+#include <string>
+
+namespace laminar {
+namespace lir {
+
+class BasicBlock;
+class GlobalVar;
+
+/// Common base of all instructions: an SSA value with operands and a
+/// parent basic block. Operand mutation maintains the operands' user
+/// lists.
+class Instruction : public Value {
+public:
+  ~Instruction() override { dropOperands(); }
+
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  unsigned getNumOperands() const { return Ops.size(); }
+  Value *getOperand(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+  void setOperand(unsigned I, Value *V);
+
+  /// Removes operand \p I (shifting later operands down) and updates the
+  /// old operand's user list. Used by phi incoming removal.
+  void removeOperand(unsigned I);
+
+  /// Detaches this instruction from all operand user lists. Called before
+  /// erasing an instruction so that dangling users never exist.
+  void dropOperands();
+
+  bool isTerminator() const {
+    Kind K = getKind();
+    return K == Kind::Br || K == Kind::CondBr || K == Kind::Ret;
+  }
+
+  /// True if removing the instruction is observable (stores, output,
+  /// input consumption, control flow).
+  bool hasSideEffects() const {
+    Kind K = getKind();
+    return K == Kind::Store || K == Kind::Output || K == Kind::Input ||
+           isTerminator();
+  }
+
+  /// Dense per-function slot assigned by Function::numberValues; the
+  /// interpreter indexes its register file with it.
+  uint32_t getSlot() const { return Slot; }
+  void setSlot(uint32_t S) { Slot = S; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() > Kind::InstBegin && V->getKind() < Kind::InstEnd;
+  }
+
+protected:
+  Instruction(Kind K, TypeKind Ty) : Value(K, Ty) {}
+
+  void addOperand(Value *V);
+
+private:
+  BasicBlock *Parent = nullptr;
+  std::vector<Value *> Ops;
+  uint32_t Slot = 0;
+};
+
+/// Binary arithmetic and bitwise operators. Integer and float variants
+/// are distinct opcodes (as in LLVM) so passes need not inspect types.
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+};
+
+/// Printable mnemonic, e.g. "add" or "fmul".
+const char *binOpName(BinOp Op);
+
+/// True for the four floating-point opcodes.
+bool isFloatBinOp(BinOp Op);
+
+class BinaryInst : public Instruction {
+public:
+  BinaryInst(BinOp Op, Value *LHS, Value *RHS)
+      : Instruction(Kind::Binary,
+                    isFloatBinOp(Op) ? TypeKind::Float : TypeKind::Int),
+        Op(Op) {
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  BinOp getOp() const { return Op; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  /// True if the operation is commutative (used by GVN canonicalization).
+  bool isCommutative() const {
+    switch (Op) {
+    case BinOp::Add:
+    case BinOp::Mul:
+    case BinOp::And:
+    case BinOp::Or:
+    case BinOp::Xor:
+    case BinOp::FAdd:
+    case BinOp::FMul:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Binary; }
+
+private:
+  BinOp Op;
+};
+
+enum class UnOp { Neg, FNeg, Not, BitNot };
+
+const char *unOpName(UnOp Op);
+
+class UnaryInst : public Instruction {
+public:
+  UnaryInst(UnOp Op, Value *V)
+      : Instruction(Kind::Unary, Op == UnOp::FNeg  ? TypeKind::Float
+                                 : Op == UnOp::Not ? TypeKind::Bool
+                                                   : TypeKind::Int),
+        Op(Op) {
+    addOperand(V);
+  }
+
+  UnOp getOp() const { return Op; }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Unary; }
+
+private:
+  UnOp Op;
+};
+
+/// Comparison predicates. Whether the comparison is integer or float is
+/// determined by the operand types.
+enum class CmpPred { EQ, NE, LT, LE, GT, GE };
+
+const char *cmpPredName(CmpPred P);
+
+class CmpInst : public Instruction {
+public:
+  CmpInst(CmpPred Pred, Value *LHS, Value *RHS)
+      : Instruction(Kind::Cmp, TypeKind::Bool), Pred(Pred) {
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  CmpPred getPred() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+  bool isFloatCmp() const {
+    return getOperand(0)->getType() == TypeKind::Float;
+  }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Cmp; }
+
+private:
+  CmpPred Pred;
+};
+
+enum class CastOp { IntToFloat, FloatToInt, BoolToInt };
+
+const char *castOpName(CastOp Op);
+
+class CastInst : public Instruction {
+public:
+  CastInst(CastOp Op, Value *V)
+      : Instruction(Kind::Cast, Op == CastOp::IntToFloat ? TypeKind::Float
+                                                         : TypeKind::Int),
+        Op(Op) {
+    addOperand(V);
+  }
+
+  CastOp getOp() const { return Op; }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Cast; }
+
+private:
+  CastOp Op;
+};
+
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueV, Value *FalseV)
+      : Instruction(Kind::Select, TrueV->getType()) {
+    addOperand(Cond);
+    addOperand(TrueV);
+    addOperand(FalseV);
+  }
+
+  Value *getCond() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Select; }
+};
+
+/// Math builtins (libm in the generated C; <cmath> in the interpreter).
+enum class Builtin {
+  Sin,
+  Cos,
+  Tan,
+  Atan,
+  Atan2,
+  Exp,
+  Log,
+  Sqrt,
+  Fabs,
+  Floor,
+  Ceil,
+  Pow,
+  Fmod,
+  AbsI,
+  MinI,
+  MaxI,
+  MinF,
+  MaxF,
+};
+
+const char *builtinName(Builtin B);
+unsigned builtinArity(Builtin B);
+TypeKind builtinResultType(Builtin B);
+TypeKind builtinArgType(Builtin B);
+
+class CallInst : public Instruction {
+public:
+  CallInst(Builtin B, const std::vector<Value *> &Args)
+      : Instruction(Kind::Call, builtinResultType(B)), B(B) {
+    assert(Args.size() == builtinArity(B) && "builtin arity mismatch");
+    for (Value *A : Args)
+      addOperand(A);
+  }
+
+  Builtin getBuiltin() const { return B; }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Call; }
+
+private:
+  Builtin B;
+};
+
+/// Reads the next token from the program's external input stream.
+class InputInst : public Instruction {
+public:
+  explicit InputInst(TypeKind Ty) : Instruction(Kind::Input, Ty) {
+    assert(isTokenType(Ty) && "input must be a token type");
+  }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Input; }
+};
+
+/// Appends a token to the program's external output stream.
+class OutputInst : public Instruction {
+public:
+  explicit OutputInst(Value *V) : Instruction(Kind::Output, TypeKind::Void) {
+    addOperand(V);
+  }
+
+  Value *getValue() const { return getOperand(0); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Output; }
+};
+
+/// Reads Global[Index]. Scalars are arrays of size one indexed by 0.
+class LoadInst : public Instruction {
+public:
+  LoadInst(GlobalVar *G, Value *Index);
+
+  GlobalVar *getGlobal() const { return Global; }
+  Value *getIndex() const { return getOperand(0); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Load; }
+
+private:
+  GlobalVar *Global;
+};
+
+/// Writes Global[Index] = Value.
+class StoreInst : public Instruction {
+public:
+  StoreInst(GlobalVar *G, Value *Index, Value *V);
+
+  GlobalVar *getGlobal() const { return Global; }
+  Value *getIndex() const { return getOperand(0); }
+  Value *getValue() const { return getOperand(1); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Store; }
+
+private:
+  GlobalVar *Global;
+};
+
+class PhiInst : public Instruction {
+public:
+  explicit PhiInst(TypeKind Ty) : Instruction(Kind::Phi, Ty) {}
+
+  void addIncoming(Value *V, BasicBlock *BB) {
+    addOperand(V);
+    Blocks.push_back(BB);
+  }
+
+  unsigned getNumIncoming() const { return getNumOperands(); }
+  Value *getIncomingValue(unsigned I) const { return getOperand(I); }
+  BasicBlock *getIncomingBlock(unsigned I) const { return Blocks[I]; }
+  void setIncomingBlock(unsigned I, BasicBlock *BB) { Blocks[I] = BB; }
+
+  /// Incoming value for predecessor \p BB; null if \p BB is not listed.
+  Value *getIncomingForBlock(const BasicBlock *BB) const;
+
+  /// Removes the incoming entry at position \p I.
+  void removeIncoming(unsigned I) {
+    removeOperand(I);
+    Blocks.erase(Blocks.begin() + I);
+  }
+
+  /// Removes the incoming entry for \p BB if present.
+  void removeIncomingForBlock(const BasicBlock *BB);
+
+  /// Refines the type of a phi created before its operands were known.
+  void refineType(TypeKind Ty) { setType(Ty); }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Phi; }
+
+private:
+  std::vector<BasicBlock *> Blocks;
+};
+
+class BrInst : public Instruction {
+public:
+  explicit BrInst(BasicBlock *Target)
+      : Instruction(Kind::Br, TypeKind::Void), Target(Target) {}
+
+  BasicBlock *getTarget() const { return Target; }
+  void setTarget(BasicBlock *BB) { Target = BB; }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Br; }
+
+private:
+  BasicBlock *Target;
+};
+
+class CondBrInst : public Instruction {
+public:
+  CondBrInst(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB)
+      : Instruction(Kind::CondBr, TypeKind::Void), TrueBB(TrueBB),
+        FalseBB(FalseBB) {
+    addOperand(Cond);
+  }
+
+  Value *getCond() const { return getOperand(0); }
+  BasicBlock *getTrueBlock() const { return TrueBB; }
+  BasicBlock *getFalseBlock() const { return FalseBB; }
+  void setTrueBlock(BasicBlock *BB) { TrueBB = BB; }
+  void setFalseBlock(BasicBlock *BB) { FalseBB = BB; }
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::CondBr; }
+
+private:
+  BasicBlock *TrueBB;
+  BasicBlock *FalseBB;
+};
+
+class RetInst : public Instruction {
+public:
+  RetInst() : Instruction(Kind::Ret, TypeKind::Void) {}
+
+  static bool classof(const Value *V) { return V->getKind() == Kind::Ret; }
+};
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_INSTRUCTION_H

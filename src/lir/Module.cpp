@@ -1,0 +1,82 @@
+//===--- Module.cpp -------------------------------------------------------===//
+
+#include "lir/Module.h"
+#include <cassert>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+const char *lir::memClassName(MemClass MC) {
+  switch (MC) {
+  case MemClass::State:
+    return "state";
+  case MemClass::ChannelBuf:
+    return "buf";
+  case MemClass::ChannelHead:
+    return "head";
+  case MemClass::ChannelTail:
+    return "tail";
+  case MemClass::LiveToken:
+    return "live";
+  }
+  return "?";
+}
+
+Function *Module::createFunction(const std::string &FnName) {
+  assert(!getFunction(FnName) && "duplicate function name");
+  Funcs.push_back(std::make_unique<Function>(FnName, this));
+  return Funcs.back().get();
+}
+
+Function *Module::getFunction(const std::string &FnName) const {
+  for (const auto &F : Funcs)
+    if (F->getName() == FnName)
+      return F.get();
+  return nullptr;
+}
+
+GlobalVar *Module::createGlobal(const std::string &GName, TypeKind Elem,
+                                int64_t Size, MemClass MC) {
+  assert(Size > 0 && "global with non-positive size");
+  assert(isTokenType(Elem) && "globals hold token types only");
+  Globals.push_back(std::make_unique<GlobalVar>(GName, Elem, Size, MC));
+  return Globals.back().get();
+}
+
+uint32_t Module::numberGlobals() {
+  uint32_t Next = 0;
+  for (const auto &G : Globals)
+    G->setSlot(Next++);
+  return Next;
+}
+
+ConstInt *Module::getConstInt(int64_t V) {
+  auto &Slot = IntConsts[V];
+  if (!Slot)
+    Slot = std::make_unique<ConstInt>(V);
+  return Slot.get();
+}
+
+ConstFloat *Module::getConstFloat(double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V));
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  auto &Slot = FloatConsts[Bits];
+  if (!Slot)
+    Slot = std::make_unique<ConstFloat>(V);
+  return Slot.get();
+}
+
+ConstBool *Module::getConstBool(bool V) {
+  auto &Slot = V ? TrueConst : FalseConst;
+  if (!Slot)
+    Slot = std::make_unique<ConstBool>(V);
+  return Slot.get();
+}
+
+size_t Module::instructionCount() const {
+  size_t N = 0;
+  for (const auto &F : Funcs)
+    N += F->instructionCount();
+  return N;
+}

@@ -1,0 +1,115 @@
+//===--- Module.h - LaminarIR modules and globals --------------*- C++ -*-===//
+
+#ifndef LAMINAR_LIR_MODULE_H
+#define LAMINAR_LIR_MODULE_H
+
+#include "lir/Function.h"
+#include "lir/Value.h"
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace lir {
+
+/// Classifies global storage so that the interpreter can attribute memory
+/// traffic. Everything except State is *data communication* in the
+/// paper's sense: FIFO buffers, their head/tail counters, and the live
+/// tokens LaminarIR carries across steady-state iterations.
+enum class MemClass { State, ChannelBuf, ChannelHead, ChannelTail, LiveToken };
+
+const char *memClassName(MemClass MC);
+
+inline bool isCommunication(MemClass MC) { return MC != MemClass::State; }
+
+/// A module-level array (size 1 for scalars) of Int or Float elements,
+/// optionally with constant initial contents.
+class GlobalVar {
+public:
+  GlobalVar(std::string Name, TypeKind Elem, int64_t Size, MemClass MC)
+      : Name(std::move(Name)), Elem(Elem), Size(Size), MC(MC) {}
+
+  const std::string &getName() const { return Name; }
+  TypeKind getElemType() const { return Elem; }
+  int64_t getSize() const { return Size; }
+  MemClass getMemClass() const { return MC; }
+
+  bool hasInit() const { return !IntInit.empty() || !FloatInit.empty(); }
+  const std::vector<int64_t> &intInit() const { return IntInit; }
+  const std::vector<double> &floatInit() const { return FloatInit; }
+  void setIntInit(std::vector<int64_t> V) { IntInit = std::move(V); }
+  void setFloatInit(std::vector<double> V) { FloatInit = std::move(V); }
+
+  /// Dense id assigned by Module::numberGlobals for interpreter storage.
+  uint32_t getSlot() const { return Slot; }
+  void setSlot(uint32_t S) { Slot = S; }
+
+private:
+  std::string Name;
+  TypeKind Elem;
+  int64_t Size;
+  MemClass MC;
+  std::vector<int64_t> IntInit;
+  std::vector<double> FloatInit;
+  uint32_t Slot = 0;
+};
+
+/// Top-level container: globals, functions and uniqued constants. A
+/// compiled stream program is a module with two functions, @init (run
+/// once) and @steady (run per steady-state iteration).
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  /// Token type read from the external input stream.
+  TypeKind getInputType() const { return InputTy; }
+  void setInputType(TypeKind Ty) { InputTy = Ty; }
+  /// Token type written to the external output stream.
+  TypeKind getOutputType() const { return OutputTy; }
+  void setOutputType(TypeKind Ty) { OutputTy = Ty; }
+
+  Function *createFunction(const std::string &FnName);
+  Function *getFunction(const std::string &FnName) const;
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+
+  GlobalVar *createGlobal(const std::string &GName, TypeKind Elem,
+                          int64_t Size, MemClass MC);
+  const std::vector<std::unique_ptr<GlobalVar>> &globals() const {
+    return Globals;
+  }
+
+  /// Assigns dense slots to globals; returns the count.
+  uint32_t numberGlobals();
+
+  // Uniqued constants.
+  ConstInt *getConstInt(int64_t V);
+  ConstFloat *getConstFloat(double V);
+  ConstBool *getConstBool(bool V);
+
+  /// Total instruction count over all functions (code-size metric).
+  size_t instructionCount() const;
+
+private:
+  std::string Name;
+  TypeKind InputTy = TypeKind::Float;
+  TypeKind OutputTy = TypeKind::Float;
+  // Constants and globals are declared before the functions so that the
+  // functions (whose instructions reference them) are destroyed first.
+  std::map<int64_t, std::unique_ptr<ConstInt>> IntConsts;
+  std::map<uint64_t, std::unique_ptr<ConstFloat>> FloatConsts;
+  std::unique_ptr<ConstBool> TrueConst;
+  std::unique_ptr<ConstBool> FalseConst;
+  std::vector<std::unique_ptr<GlobalVar>> Globals;
+  std::vector<std::unique_ptr<Function>> Funcs;
+};
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_MODULE_H

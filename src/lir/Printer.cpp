@@ -1,0 +1,195 @@
+//===--- Printer.cpp ------------------------------------------------------===//
+
+#include "lir/Printer.h"
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+namespace {
+
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) {
+    unsigned Next = 0;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        if (I->getType() != TypeKind::Void)
+          Names[I.get()] = Next++;
+  }
+
+  void print(std::ostringstream &OS) {
+    OS << "func @" << F.getName() << " {\n";
+    for (const auto &BB : F.blocks()) {
+      OS << BB->getName() << ":\n";
+      for (const auto &I : BB->instructions()) {
+        OS << "  ";
+        printInst(OS, I.get());
+        OS << "\n";
+      }
+    }
+    OS << "}\n";
+  }
+
+private:
+  std::string ref(const Value *V) const {
+    std::ostringstream OS;
+    if (auto *CI = dyn_cast<ConstInt>(V)) {
+      OS << CI->getValue();
+    } else if (auto *CF = dyn_cast<ConstFloat>(V)) {
+      // Full precision so the textual form parses back bit-exact.
+      OS.precision(17);
+      OS << CF->getValue();
+      double Int;
+      if (std::modf(CF->getValue(), &Int) == 0.0 &&
+          OS.str().find_first_of(".eE") == std::string::npos)
+        OS << ".0";
+    } else if (auto *CB = dyn_cast<ConstBool>(V)) {
+      OS << (CB->getValue() ? "true" : "false");
+    } else {
+      auto It = Names.find(V);
+      if (It == Names.end())
+        OS << "%<badref>";
+      else
+        OS << "%" << It->second;
+    }
+    return OS.str();
+  }
+
+  void printInst(std::ostringstream &OS, const Instruction *I) const;
+
+  const Function &F;
+  std::unordered_map<const Value *, unsigned> Names;
+};
+
+} // namespace
+
+void FunctionPrinter::printInst(std::ostringstream &OS,
+                                const Instruction *I) const {
+  if (I->getType() != TypeKind::Void)
+    OS << ref(I) << " = ";
+  switch (I->getKind()) {
+  case Value::Kind::Binary: {
+    const auto *B = cast<BinaryInst>(I);
+    OS << binOpName(B->getOp()) << " " << ref(B->getLHS()) << ", "
+       << ref(B->getRHS());
+    break;
+  }
+  case Value::Kind::Unary: {
+    const auto *U = cast<UnaryInst>(I);
+    OS << unOpName(U->getOp()) << " " << ref(U->getOperand(0));
+    break;
+  }
+  case Value::Kind::Cmp: {
+    const auto *C = cast<CmpInst>(I);
+    OS << (C->isFloatCmp() ? "fcmp " : "icmp ") << cmpPredName(C->getPred())
+       << " " << ref(C->getLHS()) << ", " << ref(C->getRHS());
+    break;
+  }
+  case Value::Kind::Cast: {
+    const auto *C = cast<CastInst>(I);
+    OS << castOpName(C->getOp()) << " " << ref(C->getOperand(0));
+    break;
+  }
+  case Value::Kind::Select: {
+    const auto *S = cast<SelectInst>(I);
+    OS << "select " << ref(S->getCond()) << ", " << ref(S->getTrueValue())
+       << ", " << ref(S->getFalseValue());
+    break;
+  }
+  case Value::Kind::Call: {
+    const auto *C = cast<CallInst>(I);
+    OS << "call " << builtinName(C->getBuiltin()) << "(";
+    for (unsigned K = 0; K < C->getNumOperands(); ++K) {
+      if (K)
+        OS << ", ";
+      OS << ref(C->getOperand(K));
+    }
+    OS << ")";
+    break;
+  }
+  case Value::Kind::Input:
+    OS << "input";
+    break;
+  case Value::Kind::Output:
+    OS << "output " << ref(I->getOperand(0));
+    break;
+  case Value::Kind::Load: {
+    const auto *L = cast<LoadInst>(I);
+    OS << "load @" << L->getGlobal()->getName() << "[" << ref(L->getIndex())
+       << "]";
+    break;
+  }
+  case Value::Kind::Store: {
+    const auto *S = cast<StoreInst>(I);
+    OS << "store @" << S->getGlobal()->getName() << "[" << ref(S->getIndex())
+       << "], " << ref(S->getValue());
+    break;
+  }
+  case Value::Kind::Phi: {
+    const auto *P = cast<PhiInst>(I);
+    OS << "phi ";
+    for (unsigned K = 0; K < P->getNumIncoming(); ++K) {
+      if (K)
+        OS << ", ";
+      OS << "[ " << ref(P->getIncomingValue(K)) << ", "
+         << P->getIncomingBlock(K)->getName() << " ]";
+    }
+    break;
+  }
+  case Value::Kind::Br:
+    OS << "br " << cast<BrInst>(I)->getTarget()->getName();
+    break;
+  case Value::Kind::CondBr: {
+    const auto *B = cast<CondBrInst>(I);
+    OS << "condbr " << ref(B->getCond()) << ", "
+       << B->getTrueBlock()->getName() << ", "
+       << B->getFalseBlock()->getName();
+    break;
+  }
+  case Value::Kind::Ret:
+    OS << "ret";
+    break;
+  default:
+    OS << "<unknown>";
+    break;
+  }
+}
+
+std::string lir::printFunction(const Function &F) {
+  std::ostringstream OS;
+  FunctionPrinter(F).print(OS);
+  return OS.str();
+}
+
+std::string lir::printModule(const Module &M) {
+  std::ostringstream OS;
+  OS << "module " << M.getName() << "\n";
+  OS << "input " << typeName(M.getInputType()) << "\n";
+  OS << "output " << typeName(M.getOutputType()) << "\n";
+  for (const auto &G : M.globals()) {
+    OS << "global @" << G->getName() << " : " << typeName(G->getElemType());
+    if (G->getSize() != 1)
+      OS << "[" << G->getSize() << "]";
+    OS << " " << memClassName(G->getMemClass());
+    if (G->hasInit()) {
+      OS << " = {";
+      OS.precision(17);
+      if (G->getElemType() == TypeKind::Float) {
+        for (size_t K = 0; K < G->floatInit().size(); ++K)
+          OS << (K ? ", " : "") << G->floatInit()[K];
+      } else {
+        for (size_t K = 0; K < G->intInit().size(); ++K)
+          OS << (K ? ", " : "") << G->intInit()[K];
+      }
+      OS << "}";
+    }
+    OS << "\n";
+  }
+  for (const auto &F : M.functions()) {
+    FunctionPrinter(*F).print(OS);
+  }
+  return OS.str();
+}

@@ -1,0 +1,21 @@
+//===--- Printer.h - Textual LaminarIR -------------------------*- C++ -*-===//
+
+#ifndef LAMINAR_LIR_PRINTER_H
+#define LAMINAR_LIR_PRINTER_H
+
+#include "lir/Module.h"
+#include <string>
+
+namespace laminar {
+namespace lir {
+
+/// Renders a whole module in the textual LaminarIR format.
+std::string printModule(const Module &M);
+
+/// Renders a single function.
+std::string printFunction(const Function &F);
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_PRINTER_H

@@ -1,0 +1,99 @@
+//===--- SSABuilder.cpp ---------------------------------------------------===//
+
+#include "lir/SSABuilder.h"
+#include <cassert>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+Value *SSABuilder::resolve(Value *V) const {
+  auto It = Forwarded.find(V);
+  while (It != Forwarded.end()) {
+    V = It->second;
+    It = Forwarded.find(V);
+  }
+  return V;
+}
+
+void SSABuilder::writeVariable(VarKey Var, BasicBlock *BB, Value *V) {
+  CurrentDef[Var][BB] = V;
+}
+
+Value *SSABuilder::readVariable(VarKey Var, BasicBlock *BB, TypeKind Ty) {
+  auto VarIt = CurrentDef.find(Var);
+  if (VarIt != CurrentDef.end()) {
+    auto It = VarIt->second.find(BB);
+    if (It != VarIt->second.end())
+      return resolve(It->second);
+  }
+  return readVariableRecursive(Var, BB, Ty);
+}
+
+Value *SSABuilder::readVariableRecursive(VarKey Var, BasicBlock *BB,
+                                         TypeKind Ty) {
+  Value *Result;
+  if (!isSealed(BB)) {
+    // The block may gain predecessors later (loop header under
+    // construction): create an operand-less phi and complete it on seal.
+    PhiInst *Phi = Builder.createPhi(Ty, BB);
+    IncompletePhis[BB].push_back({Var, Phi});
+    Result = Phi;
+  } else if (BB->predecessors().size() == 1) {
+    Result = readVariable(Var, BB->predecessors().front(), Ty);
+  } else {
+    assert(!BB->predecessors().empty() &&
+           "reading a variable in an unreachable block");
+    // Break potential cycles with an empty phi before recursing.
+    PhiInst *Phi = Builder.createPhi(Ty, BB);
+    writeVariable(Var, BB, Phi);
+    Result = addPhiOperands(Var, Phi, Ty);
+  }
+  writeVariable(Var, BB, Result);
+  return Result;
+}
+
+Value *SSABuilder::addPhiOperands(VarKey Var, PhiInst *Phi, TypeKind Ty) {
+  BasicBlock *BB = Phi->getParent();
+  for (BasicBlock *Pred : BB->predecessors())
+    Phi->addIncoming(readVariable(Var, Pred, Ty), Pred);
+  return tryRemoveTrivialPhi(Phi);
+}
+
+Value *SSABuilder::tryRemoveTrivialPhi(PhiInst *Phi) {
+  Value *Same = nullptr;
+  for (unsigned I = 0, E = Phi->getNumIncoming(); I != E; ++I) {
+    Value *Op = resolve(Phi->getIncomingValue(I));
+    if (Op == Same || Op == Phi)
+      continue;
+    if (Same)
+      return Phi; // Merges at least two distinct values: not trivial.
+    Same = Op;
+  }
+  assert(Same && "phi with no incoming values other than itself");
+
+  // Collect phi users before rewriting; they may become trivial in turn.
+  std::vector<PhiInst *> PhiUsers;
+  for (Instruction *User : Phi->users())
+    if (User != Phi)
+      if (auto *P = dyn_cast<PhiInst>(User))
+        PhiUsers.push_back(P);
+
+  Phi->replaceAllUsesWith(Same);
+  Forwarded[Phi] = Same;
+
+  for (PhiInst *P : PhiUsers)
+    if (!Forwarded.count(P))
+      tryRemoveTrivialPhi(P);
+  return resolve(Same);
+}
+
+void SSABuilder::sealBlock(BasicBlock *BB) {
+  assert(!isSealed(BB) && "sealing a block twice");
+  auto It = IncompletePhis.find(BB);
+  if (It != IncompletePhis.end()) {
+    for (auto &[Var, Phi] : It->second)
+      addPhiOperands(Var, Phi, Phi->getType());
+    IncompletePhis.erase(It);
+  }
+  Sealed.insert(BB);
+}

@@ -1,0 +1,61 @@
+//===--- SSABuilder.h - On-the-fly SSA construction ------------*- C++ -*-===//
+//
+// Implements the algorithm of Braun et al. (CC 2013): local value
+// numbering with lazy phi placement and trivial-phi elimination. The
+// lowerings translate the structured work-function ASTs directly into
+// pruned SSA without a separate mem2reg pass.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_LIR_SSABUILDER_H
+#define LAMINAR_LIR_SSABUILDER_H
+
+#include "lir/IRBuilder.h"
+#include <unordered_map>
+#include <unordered_set>
+
+namespace laminar {
+namespace lir {
+
+class SSABuilder {
+public:
+  /// Variables are identified by an opaque key (the lowering uses AST
+  /// declaration pointers, made unique per filter firing when unrolling).
+  using VarKey = const void *;
+
+  explicit SSABuilder(IRBuilder &Builder) : Builder(Builder) {}
+
+  /// Records that \p Var holds \p V at the end of \p BB.
+  void writeVariable(VarKey Var, BasicBlock *BB, Value *V);
+
+  /// Current value of \p Var at the end of \p BB, placing phis as needed.
+  /// \p Ty is the variable's type (used when a phi must be created).
+  Value *readVariable(VarKey Var, BasicBlock *BB, TypeKind Ty);
+
+  /// Declares that no further predecessors will be added to \p BB;
+  /// completes any pending phis.
+  void sealBlock(BasicBlock *BB);
+
+  bool isSealed(const BasicBlock *BB) const { return Sealed.count(BB) != 0; }
+
+private:
+  Value *readVariableRecursive(VarKey Var, BasicBlock *BB, TypeKind Ty);
+  Value *addPhiOperands(VarKey Var, PhiInst *Phi, TypeKind Ty);
+  Value *tryRemoveTrivialPhi(PhiInst *Phi);
+  Value *resolve(Value *V) const;
+
+  IRBuilder &Builder;
+  std::unordered_map<VarKey, std::unordered_map<BasicBlock *, Value *>>
+      CurrentDef;
+  std::unordered_set<const BasicBlock *> Sealed;
+  std::unordered_map<BasicBlock *, std::vector<std::pair<VarKey, PhiInst *>>>
+      IncompletePhis;
+  /// Trivial phis that have been replaced; stale CurrentDef entries are
+  /// resolved through this map.
+  std::unordered_map<const Value *, Value *> Forwarded;
+};
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_SSABUILDER_H

@@ -1,0 +1,20 @@
+//===--- Type.cpp ---------------------------------------------------------===//
+
+#include "lir/Type.h"
+
+using namespace laminar;
+using namespace laminar::lir;
+
+const char *lir::typeName(TypeKind Ty) {
+  switch (Ty) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Float:
+    return "float";
+  }
+  return "?";
+}

@@ -1,0 +1,28 @@
+//===--- Type.h - LaminarIR value types ------------------------*- C++ -*-===//
+//
+// LaminarIR is a small typed IR: 64-bit integers, double-precision floats,
+// booleans (comparison results) and void (instructions executed for their
+// effect). Stream token types are Int or Float.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_LIR_TYPE_H
+#define LAMINAR_LIR_TYPE_H
+
+namespace laminar {
+namespace lir {
+
+enum class TypeKind { Void, Bool, Int, Float };
+
+/// Printable name of a type ("void", "bool", "int", "float").
+const char *typeName(TypeKind Ty);
+
+/// True for the two token-carrying types.
+inline bool isTokenType(TypeKind Ty) {
+  return Ty == TypeKind::Int || Ty == TypeKind::Float;
+}
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_TYPE_H

@@ -1,0 +1,28 @@
+//===--- Value.cpp --------------------------------------------------------===//
+
+#include "lir/Value.h"
+#include "lir/Instruction.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+void Value::removeUser(Instruction *I) {
+  auto It = std::find(Users.begin(), Users.end(), I);
+  assert(It != Users.end() && "removing a user that was never added");
+  // Order does not matter; swap-with-back for O(1) removal.
+  *It = Users.back();
+  Users.pop_back();
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New != this && "replacing a value with itself");
+  // setOperand mutates the Users vector, so iterate over a snapshot.
+  std::vector<Instruction *> Snapshot = Users;
+  for (Instruction *User : Snapshot)
+    for (unsigned I = 0, E = User->getNumOperands(); I != E; ++I)
+      if (User->getOperand(I) == this)
+        User->setOperand(I, New);
+  assert(Users.empty() && "stale users after replaceAllUsesWith");
+}

@@ -1,0 +1,132 @@
+//===--- Value.h - Base class of the LaminarIR value hierarchy -*- C++ -*-===//
+//
+// Every SSA value is either a constant (uniqued per module) or an
+// instruction. Values keep a list of the instructions that use them so
+// that passes can perform replaceAllUsesWith without scanning the module.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_LIR_VALUE_H
+#define LAMINAR_LIR_VALUE_H
+
+#include "lir/Type.h"
+#include <cstdint>
+#include <vector>
+
+namespace laminar {
+namespace lir {
+
+class Instruction;
+
+/// Base of the SSA value hierarchy. The Kind enum covers the whole closed
+/// hierarchy; subclasses implement classof for isa/cast/dyn_cast.
+class Value {
+public:
+  enum class Kind {
+    ConstInt,
+    ConstFloat,
+    ConstBool,
+    // Instructions. Keep InstBegin/InstEnd bracketing all instruction
+    // kinds so Instruction::classof is a range check.
+    InstBegin,
+    Binary,
+    Unary,
+    Cmp,
+    Cast,
+    Select,
+    Call,
+    Input,
+    Output,
+    Load,
+    Store,
+    Phi,
+    Br,
+    CondBr,
+    Ret,
+    InstEnd,
+  };
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value() = default;
+
+  Kind getKind() const { return TheKind; }
+  TypeKind getType() const { return Ty; }
+
+  /// Instructions currently using this value as an operand. A user
+  /// appears once per operand slot that references this value.
+  const std::vector<Instruction *> &users() const { return Users; }
+  bool hasUses() const { return !Users.empty(); }
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+  bool isConstant() const { return TheKind < Kind::InstBegin; }
+
+protected:
+  Value(Kind K, TypeKind Ty) : TheKind(K), Ty(Ty) {}
+
+  /// Type is fixed at construction except for phis created before their
+  /// incoming values are known (SSA construction); those may refine it.
+  void setType(TypeKind NewTy) { Ty = NewTy; }
+
+private:
+  friend class Instruction;
+  void addUser(Instruction *I) { Users.push_back(I); }
+  void removeUser(Instruction *I);
+
+  Kind TheKind;
+  TypeKind Ty;
+  std::vector<Instruction *> Users;
+};
+
+/// A 64-bit integer constant, uniqued by the owning module.
+class ConstInt : public Value {
+public:
+  explicit ConstInt(int64_t V) : Value(Kind::ConstInt, TypeKind::Int), V(V) {}
+
+  int64_t getValue() const { return V; }
+
+  static bool classof(const Value *Val) {
+    return Val->getKind() == Kind::ConstInt;
+  }
+
+private:
+  int64_t V;
+};
+
+/// A double-precision constant, uniqued by bit pattern.
+class ConstFloat : public Value {
+public:
+  explicit ConstFloat(double V)
+      : Value(Kind::ConstFloat, TypeKind::Float), V(V) {}
+
+  double getValue() const { return V; }
+
+  static bool classof(const Value *Val) {
+    return Val->getKind() == Kind::ConstFloat;
+  }
+
+private:
+  double V;
+};
+
+/// A boolean constant (the two values are uniqued).
+class ConstBool : public Value {
+public:
+  explicit ConstBool(bool V) : Value(Kind::ConstBool, TypeKind::Bool), V(V) {}
+
+  bool getValue() const { return V; }
+
+  static bool classof(const Value *Val) {
+    return Val->getKind() == Kind::ConstBool;
+  }
+
+private:
+  bool V;
+};
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_VALUE_H

@@ -1,0 +1,194 @@
+//===--- Verifier.cpp -----------------------------------------------------===//
+
+#include "lir/Verifier.h"
+#include "lir/Dominators.h"
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Module &M) : M(M) {}
+
+  std::vector<std::string> run() {
+    for (const auto &F : M.functions())
+      verifyFunction(*F);
+    return std::move(Errors);
+  }
+
+private:
+  void fail(const Function &F, const BasicBlock *BB, const std::string &Msg) {
+    std::ostringstream OS;
+    OS << "in @" << F.getName();
+    if (BB)
+      OS << ", block " << BB->getName();
+    OS << ": " << Msg;
+    Errors.push_back(OS.str());
+  }
+
+  void verifyFunction(const Function &F);
+  void verifyInstruction(const Function &F, const BasicBlock *BB,
+                         const Instruction *I);
+  void verifyDominance(const Function &F, const DomTree &DT);
+
+  const Module &M;
+  std::vector<std::string> Errors;
+  // Per-function position of each instruction for same-block dominance.
+  std::unordered_map<const Instruction *, std::pair<const BasicBlock *, size_t>>
+      Position;
+};
+
+} // namespace
+
+void VerifierImpl::verifyFunction(const Function &F) {
+  if (F.blocks().empty()) {
+    fail(F, nullptr, "function has no blocks");
+    return;
+  }
+
+  Position.clear();
+  for (const auto &BB : F.blocks()) {
+    if (BB->empty()) {
+      fail(F, BB.get(), "empty block");
+      continue;
+    }
+    // Exactly one terminator, at the end; phis only at the start.
+    bool SeenNonPhi = false;
+    const auto &Insts = BB->instructions();
+    for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+      const Instruction *I = Insts[Idx].get();
+      Position[I] = {BB.get(), Idx};
+      if (I->getParent() != BB.get())
+        fail(F, BB.get(), "instruction with wrong parent link");
+      if (I->isTerminator() && Idx + 1 != Insts.size())
+        fail(F, BB.get(), "terminator before end of block");
+      if (isa<PhiInst>(I)) {
+        if (SeenNonPhi)
+          fail(F, BB.get(), "phi after non-phi instruction");
+      } else {
+        SeenNonPhi = true;
+      }
+    }
+    if (!BB->terminator())
+      fail(F, BB.get(), "block lacks a terminator");
+  }
+  if (!Errors.empty())
+    return; // Structure is broken; later checks would crash.
+
+  // Predecessor lists match terminator successors.
+  std::unordered_map<const BasicBlock *, std::vector<const BasicBlock *>>
+      ExpectedPreds;
+  for (const auto &BB : F.blocks())
+    for (BasicBlock *Succ : BB->successors())
+      ExpectedPreds[Succ].push_back(BB.get());
+  for (const auto &BB : F.blocks()) {
+    auto Expected = ExpectedPreds[BB.get()];
+    std::vector<const BasicBlock *> Actual(BB->predecessors().begin(),
+                                           BB->predecessors().end());
+    std::sort(Expected.begin(), Expected.end());
+    std::sort(Actual.begin(), Actual.end());
+    if (Expected != Actual)
+      fail(F, BB.get(), "predecessor list disagrees with CFG");
+  }
+
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      verifyInstruction(F, BB.get(), I.get());
+
+  DomTree DT(F);
+  verifyDominance(F, DT);
+}
+
+void VerifierImpl::verifyInstruction(const Function &F, const BasicBlock *BB,
+                                     const Instruction *I) {
+  // Operand types.
+  auto Expect = [&](const Value *V, TypeKind Ty, const char *What) {
+    if (V->getType() != Ty) {
+      std::ostringstream OS;
+      OS << What << " has type " << typeName(V->getType()) << ", expected "
+         << typeName(Ty);
+      fail(F, BB, OS.str());
+    }
+  };
+
+  if (auto *B = dyn_cast<BinaryInst>(I)) {
+    TypeKind Ty = isFloatBinOp(B->getOp()) ? TypeKind::Float : TypeKind::Int;
+    Expect(B->getLHS(), Ty, "binary lhs");
+    Expect(B->getRHS(), Ty, "binary rhs");
+  } else if (auto *C = dyn_cast<CmpInst>(I)) {
+    if (C->getLHS()->getType() != C->getRHS()->getType())
+      fail(F, BB, "cmp operands of different types");
+  } else if (auto *S = dyn_cast<SelectInst>(I)) {
+    Expect(S->getCond(), TypeKind::Bool, "select condition");
+    if (S->getTrueValue()->getType() != S->getFalseValue()->getType())
+      fail(F, BB, "select arms of different types");
+  } else if (auto *CB = dyn_cast<CondBrInst>(I)) {
+    Expect(CB->getCond(), TypeKind::Bool, "branch condition");
+  } else if (auto *L = dyn_cast<LoadInst>(I)) {
+    Expect(L->getIndex(), TypeKind::Int, "load index");
+  } else if (auto *St = dyn_cast<StoreInst>(I)) {
+    Expect(St->getIndex(), TypeKind::Int, "store index");
+    Expect(St->getValue(), St->getGlobal()->getElemType(), "stored value");
+  } else if (auto *Phi = dyn_cast<PhiInst>(I)) {
+    // One incoming per predecessor, each listed exactly once.
+    std::vector<const BasicBlock *> PhiPreds;
+    for (unsigned K = 0; K < Phi->getNumIncoming(); ++K) {
+      PhiPreds.push_back(Phi->getIncomingBlock(K));
+      if (Phi->getIncomingValue(K)->getType() != Phi->getType())
+        fail(F, BB, "phi incoming value type mismatch");
+    }
+    std::vector<const BasicBlock *> Preds(BB->predecessors().begin(),
+                                          BB->predecessors().end());
+    std::sort(PhiPreds.begin(), PhiPreds.end());
+    std::sort(Preds.begin(), Preds.end());
+    if (Phi->hasUses() && PhiPreds != Preds)
+      fail(F, BB, "phi incoming blocks disagree with predecessors");
+  }
+}
+
+void VerifierImpl::verifyDominance(const Function &F, const DomTree &DT) {
+  for (const auto &BB : F.blocks()) {
+    if (!DT.isReachable(BB.get()))
+      continue;
+    for (const auto &I : BB->instructions()) {
+      for (unsigned K = 0; K < I->getNumOperands(); ++K) {
+        const Value *Op = I->getOperand(K);
+        if (Op->isConstant())
+          continue;
+        const auto *Def = cast<Instruction>(Op);
+        auto It = Position.find(Def);
+        if (It == Position.end()) {
+          fail(F, BB.get(), "operand defined outside the function");
+          continue;
+        }
+        const BasicBlock *DefBB = It->second.first;
+        size_t DefIdx = It->second.second;
+        // For a phi, the use happens at the end of the incoming block.
+        const BasicBlock *UseBB = BB.get();
+        size_t UseIdx = Position[I.get()].second;
+        if (const auto *Phi = dyn_cast<PhiInst>(I.get())) {
+          UseBB = Phi->getIncomingBlock(K);
+          UseIdx = UseBB->size();
+        }
+        if (!DT.isReachable(UseBB))
+          continue;
+        bool Ok = DefBB == UseBB ? DefIdx < UseIdx
+                                 : DT.dominates(DefBB, UseBB);
+        if (!Ok)
+          fail(F, BB.get(), "definition does not dominate use");
+      }
+    }
+  }
+}
+
+std::vector<std::string> lir::verifyModule(const Module &M) {
+  return VerifierImpl(M).run();
+}
+
+bool lir::verify(const Module &M) { return verifyModule(M).empty(); }

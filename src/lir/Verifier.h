@@ -1,0 +1,28 @@
+//===--- Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+
+#ifndef LAMINAR_LIR_VERIFIER_H
+#define LAMINAR_LIR_VERIFIER_H
+
+#include "lir/Module.h"
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace lir {
+
+/// Checks structural and SSA invariants of a module:
+///  - every reachable block ends with exactly one terminator;
+///  - predecessor lists agree with terminator successors;
+///  - phis have one incoming entry per predecessor;
+///  - definitions dominate uses;
+///  - operand types are consistent with the instruction.
+/// Returns the list of violations (empty when the module verifies).
+std::vector<std::string> verifyModule(const Module &M);
+
+/// Convenience: true when verifyModule reports nothing.
+bool verify(const Module &M);
+
+} // namespace lir
+} // namespace laminar
+
+#endif // LAMINAR_LIR_VERIFIER_H

@@ -1,0 +1,294 @@
+//===--- FifoLowering.cpp - The run-time FIFO (StreamIt) baseline ---------===//
+//
+// Implements the conventional compilation of a scheduled stream graph:
+// every channel is a circular buffer in memory accessed through head and
+// tail counters, exactly the `buffer[head++]` indirection the paper's
+// introduction describes. Splitters and joiners are materialized as
+// token-copying code. The indirection deliberately defeats the scalar
+// optimizer — that is the baseline the Laminar lowering is measured
+// against.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/Lowering.h"
+#include "lower/WorkLowering.h"
+#include "schedule/ScheduleSim.h"
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::graph;
+using namespace laminar::lower;
+using namespace laminar::lir;
+
+namespace {
+
+/// Rounds up to a power of two (for mask-based index wrapping).
+int64_t pow2Ceil(int64_t V) {
+  int64_t P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+/// Circular-buffer access to one channel side.
+class FifoChannel : public ChannelAccess {
+public:
+  FifoChannel(LoweringContext &Ctx, GlobalVar *Buf, GlobalVar *Head,
+              GlobalVar *Tail)
+      : Ctx(Ctx), Buf(Buf), Head(Head), Tail(Tail),
+        Mask(Buf->getSize() - 1) {}
+
+  Value *emitPop(SourceLoc) override {
+    IRBuilder &B = Ctx.B;
+    Value *H = B.createLoad(Head, B.getInt(0));
+    Value *V = B.createLoad(Buf, B.createBinary(BinOp::And, H,
+                                                B.getInt(Mask)));
+    B.createStore(Head, B.getInt(0),
+                  B.createBinary(BinOp::Add, H, B.getInt(1)));
+    return V;
+  }
+
+  Value *emitPeek(Value *Index, SourceLoc) override {
+    IRBuilder &B = Ctx.B;
+    Value *H = B.createLoad(Head, B.getInt(0));
+    Value *At = B.createBinary(BinOp::And, B.createBinary(BinOp::Add, H,
+                                                          Index),
+                               B.getInt(Mask));
+    return B.createLoad(Buf, At);
+  }
+
+  void emitPush(Value *V, SourceLoc) override {
+    IRBuilder &B = Ctx.B;
+    Value *T = B.createLoad(Tail, B.getInt(0));
+    B.createStore(Buf, B.createBinary(BinOp::And, T, B.getInt(Mask)), V);
+    B.createStore(Tail, B.getInt(0),
+                  B.createBinary(BinOp::Add, T, B.getInt(1)));
+  }
+
+private:
+  LoweringContext &Ctx;
+  GlobalVar *Buf;
+  GlobalVar *Head;
+  GlobalVar *Tail;
+  int64_t Mask;
+};
+
+class FifoLowering {
+public:
+  FifoLowering(const StreamGraph &G, const schedule::Schedule &S,
+               DiagnosticEngine &Diags, bool FullyUnroll,
+               StatsRegistry *Stats)
+      : G(G), S(S), Diags(Diags), FullyUnroll(FullyUnroll), Stats(Stats) {}
+
+  std::unique_ptr<Module> run();
+
+private:
+  bool emitFunction(Function *F, bool IsInit);
+  bool emitNodeFirings(LoweringContext &Ctx, const Node *N, int64_t Reps);
+  bool fireOnce(LoweringContext &Ctx, const Node *N);
+
+  ChannelAccess *accessFor(LoweringContext &Ctx, const Channel *Ch);
+
+  const StreamGraph &G;
+  const schedule::Schedule &S;
+  DiagnosticEngine &Diags;
+  bool FullyUnroll;
+  StatsRegistry *Stats;
+  std::unique_ptr<Module> M;
+  struct ChannelGlobals {
+    GlobalVar *Buf;
+    GlobalVar *Head;
+    GlobalVar *Tail;
+  };
+  std::unordered_map<const Channel *, ChannelGlobals> Channels;
+  std::unordered_map<const Node *, NodeState> States;
+  // Per-function access objects (rebuilt for each emitted function to
+  // bind the right builder).
+  std::vector<std::unique_ptr<FifoChannel>> Accesses;
+  std::unordered_map<const Channel *, FifoChannel *> AccessMap;
+  // Per-function work lowerers (share NodeState across functions).
+  std::vector<std::unique_ptr<WorkLowering>> Lowerers;
+};
+
+} // namespace
+
+ChannelAccess *FifoLowering::accessFor(LoweringContext &Ctx,
+                                       const Channel *Ch) {
+  auto It = AccessMap.find(Ch);
+  if (It != AccessMap.end())
+    return It->second;
+  const ChannelGlobals &CG = Channels.at(Ch);
+  Accesses.push_back(
+      std::make_unique<FifoChannel>(Ctx, CG.Buf, CG.Head, CG.Tail));
+  AccessMap[Ch] = Accesses.back().get();
+  return Accesses.back().get();
+}
+
+bool FifoLowering::fireOnce(LoweringContext &Ctx, const Node *N) {
+  IRBuilder &B = Ctx.B;
+  if (const auto *F = dyn_cast<FilterNode>(N)) {
+    ChannelAccess *In =
+        F->inputs().empty() ? nullptr : accessFor(Ctx, F->inputs()[0]);
+    ChannelAccess *Out =
+        F->outputs().empty() ? nullptr : accessFor(Ctx, F->outputs()[0]);
+    switch (F->getRole()) {
+    case FilterNode::Role::Source: {
+      Value *V = B.createInput(toLirType(F->getOutType()));
+      Out->emitPush(V, SourceLoc());
+      return true;
+    }
+    case FilterNode::Role::Sink: {
+      Value *V = In->emitPop(SourceLoc());
+      B.createOutput(V);
+      return true;
+    }
+    case FilterNode::Role::User: {
+      Lowerers.push_back(std::make_unique<WorkLowering>(
+          Ctx, *F, States[N], In, Out, /*ResolveStatically=*/false,
+          /*UnrollStaticLoops=*/FullyUnroll));
+      return Lowerers.back()->lowerFiring();
+    }
+    }
+    return false;
+  }
+  if (const auto *Split = dyn_cast<SplitterNode>(N)) {
+    ChannelAccess *In = accessFor(Ctx, Split->inputs()[0]);
+    if (Split->getMode() == SplitterNode::Mode::Duplicate) {
+      Value *V = In->emitPop(SourceLoc());
+      for (const Channel *Out : Split->outputs())
+        accessFor(Ctx, Out)->emitPush(V, SourceLoc());
+      return true;
+    }
+    for (size_t I = 0; I < Split->outputs().size(); ++I) {
+      ChannelAccess *Out = accessFor(Ctx, Split->outputs()[I]);
+      for (int64_t K = 0; K < Split->getWeights()[I]; ++K)
+        Out->emitPush(In->emitPop(SourceLoc()), SourceLoc());
+    }
+    return true;
+  }
+  const auto *Join = cast<JoinerNode>(N);
+  ChannelAccess *Out = accessFor(Ctx, Join->outputs()[0]);
+  for (size_t I = 0; I < Join->inputs().size(); ++I) {
+    ChannelAccess *In = accessFor(Ctx, Join->inputs()[I]);
+    for (int64_t K = 0; K < Join->getWeights()[I]; ++K)
+      Out->emitPush(In->emitPop(SourceLoc()), SourceLoc());
+  }
+  return true;
+}
+
+bool FifoLowering::emitNodeFirings(LoweringContext &Ctx, const Node *N,
+                                   int64_t Reps) {
+  if (FullyUnroll) {
+    for (int64_t R = 0; R < Reps; ++R)
+      if (!fireOnce(Ctx, N))
+        return false;
+    return true;
+  }
+  return emitCountedLoop(Ctx, Reps, [&] { return fireOnce(Ctx, N); });
+}
+
+bool FifoLowering::emitFunction(Function *F, bool IsInit) {
+  IRBuilder B(*M);
+  SSABuilder SSA(B);
+  LoweringContext Ctx(*M, B, SSA, Diags);
+  Accesses.clear();
+  AccessMap.clear();
+
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertPoint(Entry);
+  SSA.sealBlock(Entry);
+
+  if (IsInit) {
+    // Field initializers and init blocks run once, before any firing.
+    for (const Node *N : S.Order) {
+      const auto *FN = dyn_cast<FilterNode>(N);
+      if (!FN || FN->isEndpoint())
+        continue;
+      Lowerers.push_back(std::make_unique<WorkLowering>(
+          Ctx, *FN, States[N], nullptr, nullptr,
+          /*ResolveStatically=*/false));
+      if (!Lowerers.back()->lowerInitOnce())
+        return false;
+    }
+  }
+
+  const auto &Sequence = IsInit ? S.InitSequence : S.SteadySequence;
+  for (const schedule::FiringSegment &Seg : Sequence)
+    if (!emitNodeFirings(Ctx, Seg.N, Seg.Count))
+      return false;
+  B.createRet();
+  if (Stats)
+    Stats->add("lowering.builder-folds", B.getNumConstFolds());
+  return true;
+}
+
+std::unique_ptr<Module> FifoLowering::run() {
+  M = std::make_unique<Module>(G.getName() + "_fifo");
+  if (const FilterNode *Src = G.getSource())
+    M->setInputType(toLirType(Src->getOutType()));
+  if (const FilterNode *Sink = G.getSink())
+    M->setOutputType(toLirType(Sink->getInType()));
+
+  // Size each buffer from the simulated peak occupancy.
+  schedule::SimResult Sim = schedule::simulateSchedule(G, S, 1);
+  if (!Sim.Ok) {
+    Diags.error(SourceLoc(), "schedule simulation failed: " + Sim.Error);
+    return nullptr;
+  }
+  for (const auto &Ch : G.channels()) {
+    int64_t Size = pow2Ceil(std::max<int64_t>(Sim.PeakOccupancy[Ch.get()], 1));
+    std::ostringstream Base;
+    Base << "ch" << Ch->getId();
+    TypeKind Elem = toLirType(Ch->getTokenType());
+    ChannelGlobals CG;
+    CG.Buf = M->createGlobal(Base.str() + ".buf", Elem, Size,
+                             MemClass::ChannelBuf);
+    CG.Head = M->createGlobal(Base.str() + ".head", TypeKind::Int, 1,
+                              MemClass::ChannelHead);
+    CG.Tail = M->createGlobal(Base.str() + ".tail", TypeKind::Int, 1,
+                              MemClass::ChannelTail);
+    // Enqueued feedback tokens pre-populate the buffer; the tail counter
+    // starts past them.
+    if (Ch->numInitialTokens() > 0) {
+      if (Elem == TypeKind::Float) {
+        std::vector<double> Init(Size, 0.0);
+        for (size_t K = 0; K < Ch->initialTokens().size(); ++K)
+          Init[K] = Ch->initialTokens()[K].asFloat();
+        CG.Buf->setFloatInit(std::move(Init));
+      } else {
+        std::vector<int64_t> Init(Size, 0);
+        for (size_t K = 0; K < Ch->initialTokens().size(); ++K)
+          Init[K] = Ch->initialTokens()[K].asInt();
+        CG.Buf->setIntInit(std::move(Init));
+      }
+      CG.Tail->setIntInit({Ch->numInitialTokens()});
+    }
+    Channels[Ch.get()] = CG;
+  }
+
+  Function *Init = M->createFunction("init");
+  if (!emitFunction(Init, /*IsInit=*/true))
+    return nullptr;
+  Function *Steady = M->createFunction("steady");
+  if (!emitFunction(Steady, /*IsInit=*/false))
+    return nullptr;
+
+  M->numberGlobals();
+  for (const auto &F : M->functions())
+    F->numberValues();
+  return std::move(M);
+}
+
+std::unique_ptr<Module> lower::lowerToFifo(const StreamGraph &G,
+                                           const schedule::Schedule &S,
+                                           DiagnosticEngine &Diags,
+                                           bool FullyUnroll,
+                                           StatsRegistry *Stats) {
+  FifoLowering L(G, S, Diags, FullyUnroll, Stats);
+  auto M = L.run();
+  if (Diags.hasErrors())
+    return nullptr;
+  return M;
+}

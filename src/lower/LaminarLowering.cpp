@@ -1,0 +1,312 @@
+//===--- LaminarLowering.cpp - Compile-time queues (the contribution) -----===//
+//
+// Lowers a scheduled stream graph with the LaminarIR transformation:
+//
+//  * The steady state is fully unrolled according to the repetition
+//    vector, so each FIFO access site refers to one specific token.
+//  * Each channel's queue exists only at compile time, as a deque of SSA
+//    values. push appends a definition; pop/peek return the defining
+//    value directly — no buffer, no head/tail counters, no memory
+//    traffic. This is the paper's "direct token access".
+//  * Splitters and joiners are eliminated: firing one simply forwards
+//    values between compile-time queues (duplicate splitters share the
+//    same SSA value across branches).
+//  * Tokens that survive a steady-state iteration — the peek margins
+//    primed by the init schedule — are the only materialized tokens.
+//    They live in LiveToken globals, are loaded once at function entry
+//    and stored back (rotated) once at exit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/Lowering.h"
+#include "lower/WorkLowering.h"
+#include <cassert>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::graph;
+using namespace laminar::lower;
+using namespace laminar::lir;
+
+namespace {
+
+/// A compile-time token queue for one channel. All three operations
+/// resolve immediately; only misuse (data-dependent peek indices) emits
+/// diagnostics.
+class LaminarQueue : public ChannelAccess {
+public:
+  LaminarQueue(LoweringContext &Ctx, const Channel *Ch)
+      : Ctx(Ctx), Ch(Ch) {}
+
+  Value *emitPop(SourceLoc Loc) override {
+    if (Q.empty()) {
+      reportUnderflow(Loc);
+      return nullptr;
+    }
+    Value *V = Q.front();
+    Q.pop_front();
+    return V;
+  }
+
+  Value *emitPeek(Value *Index, SourceLoc Loc) override {
+    auto *C = dyn_cast<ConstInt>(Index);
+    if (!C) {
+      Ctx.Diags.error(Loc,
+                      "peek index is not a compile-time constant; direct "
+                      "token access requires statically resolvable indices");
+      return nullptr;
+    }
+    int64_t I = C->getValue();
+    if (I < 0 || static_cast<size_t>(I) >= Q.size()) {
+      std::ostringstream OS;
+      OS << "peek(" << I << ") exceeds the declared peek window (channel "
+         << Ch->getId() << " holds " << Q.size() << " tokens)";
+      Ctx.Diags.error(Loc, OS.str());
+      return nullptr;
+    }
+    return Q[I];
+  }
+
+  void emitPush(Value *V, SourceLoc) override { Q.push_back(V); }
+
+  size_t size() const { return Q.size(); }
+  const std::deque<Value *> &tokens() const { return Q; }
+  void seed(Value *V) { Q.push_back(V); }
+
+private:
+  void reportUnderflow(SourceLoc Loc) {
+    std::ostringstream OS;
+    OS << "compile-time queue underflow on channel " << Ch->getId()
+       << " (schedule violation)";
+    Ctx.Diags.error(Loc, OS.str());
+  }
+
+  LoweringContext &Ctx;
+  const Channel *Ch;
+  std::deque<Value *> Q;
+};
+
+class LaminarLowering {
+public:
+  LaminarLowering(const StreamGraph &G, const schedule::Schedule &S,
+                  DiagnosticEngine &Diags, StatsRegistry *Stats)
+      : G(G), S(S), Diags(Diags), Stats(Stats) {}
+
+  std::unique_ptr<Module> run();
+
+private:
+  bool emitFunction(Function *F, bool IsInit);
+  bool fireOnce(LoweringContext &Ctx,
+                std::unordered_map<const Channel *, LaminarQueue> &Queues,
+                std::unordered_map<const Node *, std::unique_ptr<WorkLowering>>
+                    &Lowerers,
+                const Node *N);
+
+  const StreamGraph &G;
+  const schedule::Schedule &S;
+  DiagnosticEngine &Diags;
+  StatsRegistry *Stats;
+  std::unique_ptr<Module> M;
+  /// Live-token globals per channel, in queue order.
+  std::unordered_map<const Channel *, std::vector<GlobalVar *>> LiveTokens;
+  std::unordered_map<const Node *, NodeState> States;
+};
+
+} // namespace
+
+bool LaminarLowering::fireOnce(
+    LoweringContext &Ctx,
+    std::unordered_map<const Channel *, LaminarQueue> &Queues,
+    std::unordered_map<const Node *, std::unique_ptr<WorkLowering>> &Lowerers,
+    const Node *N) {
+  IRBuilder &B = Ctx.B;
+  if (const auto *F = dyn_cast<FilterNode>(N)) {
+    ChannelAccess *In =
+        F->inputs().empty() ? nullptr : &Queues.at(F->inputs()[0]);
+    ChannelAccess *Out =
+        F->outputs().empty() ? nullptr : &Queues.at(F->outputs()[0]);
+    switch (F->getRole()) {
+    case FilterNode::Role::Source: {
+      Out->emitPush(B.createInput(toLirType(F->getOutType())), SourceLoc());
+      return true;
+    }
+    case FilterNode::Role::Sink: {
+      Value *V = In->emitPop(SourceLoc());
+      if (!V)
+        return false;
+      B.createOutput(V);
+      return true;
+    }
+    case FilterNode::Role::User: {
+      auto &WL = Lowerers[N];
+      if (!WL)
+        WL = std::make_unique<WorkLowering>(Ctx, *F, States[N], In, Out,
+                                            /*ResolveStatically=*/true);
+      return WL->lowerFiring();
+    }
+    }
+    return false;
+  }
+
+  // Splitters and joiners are eliminated: firing one moves token values
+  // between compile-time queues without emitting any instruction.
+  if (const auto *Split = dyn_cast<SplitterNode>(N)) {
+    LaminarQueue &In = Queues.at(Split->inputs()[0]);
+    if (Split->getMode() == SplitterNode::Mode::Duplicate) {
+      Value *V = In.emitPop(SourceLoc());
+      if (!V)
+        return false;
+      // The same SSA value flows into every branch — a duplicate
+      // splitter costs nothing.
+      for (const Channel *Out : Split->outputs())
+        Queues.at(Out).emitPush(V, SourceLoc());
+      return true;
+    }
+    for (size_t I = 0; I < Split->outputs().size(); ++I) {
+      LaminarQueue &Out = Queues.at(Split->outputs()[I]);
+      for (int64_t K = 0; K < Split->getWeights()[I]; ++K) {
+        Value *V = In.emitPop(SourceLoc());
+        if (!V)
+          return false;
+        Out.emitPush(V, SourceLoc());
+      }
+    }
+    return true;
+  }
+
+  const auto *Join = cast<JoinerNode>(N);
+  LaminarQueue &Out = Queues.at(Join->outputs()[0]);
+  for (size_t I = 0; I < Join->inputs().size(); ++I) {
+    LaminarQueue &In = Queues.at(Join->inputs()[I]);
+    for (int64_t K = 0; K < Join->getWeights()[I]; ++K) {
+      Value *V = In.emitPop(SourceLoc());
+      if (!V)
+        return false;
+      Out.emitPush(V, SourceLoc());
+    }
+  }
+  return true;
+}
+
+bool LaminarLowering::emitFunction(Function *F, bool IsInit) {
+  IRBuilder B(*M);
+  SSABuilder SSA(B);
+  LoweringContext Ctx(*M, B, SSA, Diags);
+
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertPoint(Entry);
+  SSA.sealBlock(Entry);
+
+  std::unordered_map<const Channel *, LaminarQueue> Queues;
+  for (const auto &Ch : G.channels())
+    Queues.emplace(Ch.get(), LaminarQueue(Ctx, Ch.get()));
+
+  std::unordered_map<const Node *, std::unique_ptr<WorkLowering>> Lowerers;
+
+  if (IsInit) {
+    for (const Node *N : S.Order) {
+      const auto *FN = dyn_cast<FilterNode>(N);
+      if (!FN || FN->isEndpoint())
+        continue;
+      WorkLowering WL(Ctx, *FN, States[N], nullptr, nullptr,
+                      /*ResolveStatically=*/true);
+      if (!WL.lowerInitOnce())
+        return false;
+    }
+    // Enqueued feedback tokens enter the compile-time queues as
+    // constants; they cost nothing until they reach a consumer.
+    for (const auto &Ch : G.channels()) {
+      for (const ConstVal &V : Ch->initialTokens()) {
+        Value *C = toLirType(Ch->getTokenType()) == TypeKind::Float
+                       ? static_cast<Value *>(M->getConstFloat(V.asFloat()))
+                       : static_cast<Value *>(M->getConstInt(V.asInt()));
+        Queues.at(Ch.get()).seed(C);
+      }
+    }
+  } else {
+    // Seed the compile-time queues with the live tokens carried over
+    // from the previous iteration (or from the init phase).
+    for (const auto &Ch : G.channels())
+      for (GlobalVar *Live : LiveTokens[Ch.get()])
+        Queues.at(Ch.get()).seed(B.createLoad(Live, B.getInt(0)));
+  }
+
+  const auto &Sequence = IsInit ? S.InitSequence : S.SteadySequence;
+  for (const schedule::FiringSegment &Seg : Sequence)
+    for (int64_t R = 0; R < Seg.Count; ++R)
+      if (!fireOnce(Ctx, Queues, Lowerers, Seg.N))
+        return false;
+
+  // Rotate surviving tokens into the live-token globals.
+  for (const auto &Ch : G.channels()) {
+    LaminarQueue &Q = Queues.at(Ch.get());
+    const auto &Live = LiveTokens[Ch.get()];
+    if (Q.size() != Live.size()) {
+      std::ostringstream OS;
+      OS << "channel " << Ch->getId() << " ends the "
+         << (IsInit ? "init" : "steady") << " phase with " << Q.size()
+         << " tokens, expected " << Live.size();
+      Diags.error(SourceLoc(), OS.str());
+      return false;
+    }
+    for (size_t I = 0; I < Live.size(); ++I) {
+      Value *V = Q.tokens()[I];
+      // Skip no-op rotations (token still in the same slot it was
+      // loaded from — happens when a producer fires zero times).
+      if (auto *L = dyn_cast<LoadInst>(V))
+        if (L->getGlobal() == Live[I])
+          continue;
+      B.createStore(Live[I], B.getInt(0), V);
+    }
+  }
+  B.createRet();
+  if (Stats)
+    Stats->add("lowering.builder-folds", B.getNumConstFolds());
+  return true;
+}
+
+std::unique_ptr<Module> LaminarLowering::run() {
+  M = std::make_unique<Module>(G.getName() + "_laminar");
+  if (const FilterNode *Src = G.getSource())
+    M->setInputType(toLirType(Src->getOutType()));
+  if (const FilterNode *Sink = G.getSink())
+    M->setOutputType(toLirType(Sink->getInType()));
+
+  for (const auto &Ch : G.channels()) {
+    int64_t Occ = S.occupancyOf(Ch.get());
+    std::vector<GlobalVar *> Live;
+    for (int64_t I = 0; I < Occ; ++I) {
+      std::ostringstream OS;
+      OS << "ch" << Ch->getId() << ".live" << I;
+      Live.push_back(M->createGlobal(OS.str(),
+                                     toLirType(Ch->getTokenType()), 1,
+                                     MemClass::LiveToken));
+    }
+    LiveTokens[Ch.get()] = std::move(Live);
+  }
+
+  Function *Init = M->createFunction("init");
+  if (!emitFunction(Init, /*IsInit=*/true))
+    return nullptr;
+  Function *Steady = M->createFunction("steady");
+  if (!emitFunction(Steady, /*IsInit=*/false))
+    return nullptr;
+
+  M->numberGlobals();
+  for (const auto &F : M->functions())
+    F->numberValues();
+  return std::move(M);
+}
+
+std::unique_ptr<Module> lower::lowerToLaminar(const StreamGraph &G,
+                                              const schedule::Schedule &S,
+                                              DiagnosticEngine &Diags,
+                                              StatsRegistry *Stats) {
+  LaminarLowering L(G, S, Diags, Stats);
+  auto M = L.run();
+  if (Diags.hasErrors())
+    return nullptr;
+  return M;
+}

@@ -1,0 +1,59 @@
+//===--- Lowering.h - Entry points of the two lowerings --------*- C++ -*-===//
+//
+// A scheduled stream graph can be lowered two ways:
+//
+//  - lowerToFifo: the StreamIt baseline. Channels are circular buffers
+//    with head/tail counters in memory; splitters and joiners are
+//    emitted as copying code; multi-firing nodes run counted loops.
+//
+//  - lowerToLaminar: the paper's transformation. The steady state is
+//    fully unrolled, every FIFO access is resolved at compile time to
+//    the SSA value of the concrete token (direct token access), and
+//    splitters/joiners vanish into compile-time queue forwarding. Only
+//    tokens that survive a steady-state iteration (peek carry-over) are
+//    materialized, as live-token globals loaded at entry and rotated at
+//    exit.
+//
+// Both produce a module with an @init function (field initialization,
+// init-schedule firings) and a @steady function (one steady iteration).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_LOWER_LOWERING_H
+#define LAMINAR_LOWER_LOWERING_H
+
+#include "graph/StreamGraph.h"
+#include "lir/Module.h"
+#include "schedule/Schedule.h"
+#include "support/Diagnostics.h"
+#include "support/Statistics.h"
+#include <memory>
+
+namespace laminar {
+namespace lower {
+
+/// Maps a surface scalar type to its LIR type.
+lir::TypeKind toLirType(ast::ScalarType Ty);
+
+/// \p FullyUnroll emits the FIFO baseline with the steady state and all
+/// statically-bounded work loops unrolled, while keeping the run-time
+/// buffer indirection — the ablation showing that unrolling alone does
+/// not recover the Laminar benefit.
+/// \p Stats (optional) receives "lowering.builder-folds": operations the
+/// folding builder resolved to constants while emitting — in Laminar
+/// mode this is the enabling effect materializing during lowering.
+std::unique_ptr<lir::Module> lowerToFifo(const graph::StreamGraph &G,
+                                         const schedule::Schedule &S,
+                                         DiagnosticEngine &Diags,
+                                         bool FullyUnroll = false,
+                                         StatsRegistry *Stats = nullptr);
+
+std::unique_ptr<lir::Module> lowerToLaminar(const graph::StreamGraph &G,
+                                            const schedule::Schedule &S,
+                                            DiagnosticEngine &Diags,
+                                            StatsRegistry *Stats = nullptr);
+
+} // namespace lower
+} // namespace laminar
+
+#endif // LAMINAR_LOWER_LOWERING_H

@@ -1,0 +1,754 @@
+//===--- WorkLowering.cpp - Filter body translation to LIR ----------------===//
+
+#include "lower/WorkLowering.h"
+#include "lower/Lowering.h"
+#include <cassert>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::ast;
+using namespace laminar::lower;
+using namespace laminar::lir;
+
+/// Upper bound on statically unrolled loop iterations per loop.
+static constexpr int64_t MaxUnrollIterations = 1 << 16;
+
+bool lower::emitCountedLoop(LoweringContext &Ctx, int64_t Count,
+                            const std::function<bool()> &Body) {
+  assert(Count >= 0 && "negative loop count");
+  if (Count == 0)
+    return true;
+  if (Count == 1)
+    return Body();
+
+  IRBuilder &B = Ctx.B;
+  Function *F = B.getInsertBlock()->getParent();
+  SSABuilder::VarKey Counter = Ctx.makeSyntheticVar();
+  Ctx.SSA.writeVariable(Counter, B.getInsertBlock(), B.getInt(0));
+
+  BasicBlock *Header = F->createBlock("rep");
+  BasicBlock *BodyBB = F->createBlock("repbody");
+  BasicBlock *Exit = F->createBlock("repexit");
+
+  B.createBr(Header);
+  B.setInsertPoint(Header);
+  Value *I = Ctx.SSA.readVariable(Counter, Header, TypeKind::Int);
+  Value *Cond = B.createCmp(CmpPred::LT, I, B.getInt(Count));
+  B.createCondBr(Cond, BodyBB, Exit);
+  Ctx.SSA.sealBlock(BodyBB);
+  Ctx.SSA.sealBlock(Exit);
+
+  B.setInsertPoint(BodyBB);
+  if (!Body())
+    return false;
+  BasicBlock *Latch = B.getInsertBlock();
+  Value *Next = B.createBinary(
+      BinOp::Add, Ctx.SSA.readVariable(Counter, Latch, TypeKind::Int),
+      B.getInt(1));
+  Ctx.SSA.writeVariable(Counter, Latch, Next);
+  B.createBr(Header);
+  Ctx.SSA.sealBlock(Header);
+
+  B.setInsertPoint(Exit);
+  return true;
+}
+
+TypeKind lower::toLirType(ScalarType Ty) {
+  switch (Ty) {
+  case ScalarType::Int:
+    return TypeKind::Int;
+  case ScalarType::Float:
+    return TypeKind::Float;
+  case ScalarType::Bool:
+    return TypeKind::Bool;
+  case ScalarType::Void:
+    return TypeKind::Void;
+  }
+  return TypeKind::Void;
+}
+
+TypeKind WorkLowering::lirType(ScalarType Ty) const { return toLirType(Ty); }
+
+Value *WorkLowering::convert(Value *V, ScalarType To) {
+  return Ctx.B.convert(V, lirType(To));
+}
+
+bool WorkLowering::containsFifoOp(const Expr *E) {
+  if (!E)
+    return false;
+  switch (E->getKind()) {
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    if (C->getBuiltin() == BuiltinFn::Push ||
+        C->getBuiltin() == BuiltinFn::Pop ||
+        C->getBuiltin() == BuiltinFn::Peek)
+      return true;
+    for (const Expr *Arg : C->getArgs())
+      if (containsFifoOp(Arg))
+        return true;
+    return false;
+  }
+  case Expr::Kind::Binary:
+    return containsFifoOp(cast<BinaryExpr>(E)->getLHS()) ||
+           containsFifoOp(cast<BinaryExpr>(E)->getRHS());
+  case Expr::Kind::Unary:
+    return containsFifoOp(cast<UnaryExpr>(E)->getSub());
+  case Expr::Kind::Assign:
+    return containsFifoOp(cast<AssignExpr>(E)->getTarget()) ||
+           containsFifoOp(cast<AssignExpr>(E)->getValue());
+  case Expr::Kind::ArrayIndex:
+    return containsFifoOp(cast<ArrayIndex>(E)->getIndex());
+  case Expr::Kind::Cast:
+    return containsFifoOp(cast<CastExpr>(E)->getSub());
+  default:
+    return false;
+  }
+}
+
+/// True when the expression writes a variable (rules out repeatable
+/// speculative evaluation during static-unroll probing).
+static bool containsAssign(const Expr *E) {
+  if (!E)
+    return false;
+  switch (E->getKind()) {
+  case Expr::Kind::Assign:
+    return true;
+  case Expr::Kind::Binary:
+    return containsAssign(cast<BinaryExpr>(E)->getLHS()) ||
+           containsAssign(cast<BinaryExpr>(E)->getRHS());
+  case Expr::Kind::Unary:
+    return containsAssign(cast<UnaryExpr>(E)->getSub());
+  case Expr::Kind::Call: {
+    for (const Expr *Arg : cast<CallExpr>(E)->getArgs())
+      if (containsAssign(Arg))
+        return true;
+    return false;
+  }
+  case Expr::Kind::ArrayIndex:
+    return containsAssign(cast<ArrayIndex>(E)->getIndex());
+  case Expr::Kind::Cast:
+    return containsAssign(cast<CastExpr>(E)->getSub());
+  default:
+    return false;
+  }
+}
+
+GlobalVar *WorkLowering::arrayStorage(const VarDecl *D) {
+  assert(D->isArray() && "arrayStorage on a scalar declaration");
+  auto &Map = D->getScope() == VarDecl::Scope::Field ? State.Fields
+                                                     : State.LocalArrays;
+  auto It = Map.find(D);
+  if (It != Map.end())
+    return It->second;
+
+  // Evaluate the array size with the instance's parameter bindings.
+  ConstEnv Env = Node.params();
+  ConstEval Eval(Ctx.Diags, Env);
+  auto Size = Eval.eval(D->getArraySize());
+  if (!Size || Size->Ty != ScalarType::Int || Size->asInt() < 1) {
+    Ctx.Diags.error(D->getLoc(), "array size of '" + D->getName() +
+                                     "' is not a positive compile-time int");
+    return nullptr;
+  }
+  GlobalVar *G = Ctx.M.createGlobal(Node.getName() + "." + D->getName(),
+                                    lirType(D->getElemType()), Size->asInt(),
+                                    MemClass::State);
+  Map[D] = G;
+  return G;
+}
+
+bool WorkLowering::lowerInitOnce() {
+  const FilterDecl *Decl = Node.getDecl();
+  if (!Decl)
+    return true; // Synthesized endpoints have no state.
+
+  // Create field storage in declaration order (deterministic layout).
+  for (const VarDecl *Field : Decl->getFields()) {
+    if (Field->isArray()) {
+      if (!arrayStorage(Field))
+        return false;
+      continue;
+    }
+    GlobalVar *G =
+        Ctx.M.createGlobal(Node.getName() + "." + Field->getName(),
+                           lirType(Field->getElemType()), 1, MemClass::State);
+    State.Fields[Field] = G;
+    if (Field->getInit()) {
+      Value *V = lowerExpr(Field->getInit());
+      if (!V)
+        return false;
+      Ctx.B.createStore(G, Ctx.B.getInt(0), convert(V, Field->getElemType()));
+    }
+  }
+
+  if (Decl->getInitBody())
+    return lowerBlock(Decl->getInitBody());
+  return true;
+}
+
+bool WorkLowering::lowerFiring() {
+  const FilterDecl *Decl = Node.getDecl();
+  assert(Decl && "lowerFiring on a synthesized endpoint");
+  return lowerBlock(Decl->getWorkBody());
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+bool WorkLowering::lowerStmt(const Stmt *S) {
+  if (!S)
+    return true;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block:
+    return lowerBlock(cast<BlockStmt>(S));
+  case Stmt::Kind::Decl:
+    return lowerDecl(cast<DeclStmt>(S)->getDecl());
+  case Stmt::Kind::ExprS:
+    return lowerExpr(cast<ExprStmt>(S)->getExpr()) != nullptr;
+  case Stmt::Kind::If:
+    return lowerIf(cast<IfStmt>(S));
+  case Stmt::Kind::For:
+    return lowerFor(cast<ForStmt>(S));
+  case Stmt::Kind::While:
+    return lowerWhile(cast<WhileStmt>(S));
+  case Stmt::Kind::Add:
+  case Stmt::Kind::SplitS:
+  case Stmt::Kind::JoinS:
+  case Stmt::Kind::Enqueue:
+    Ctx.Diags.error(S->getLoc(), "graph statement in a filter body");
+    return false;
+  }
+  return false;
+}
+
+bool WorkLowering::lowerBlock(const BlockStmt *B) {
+  for (const Stmt *S : B->getBody())
+    if (!lowerStmt(S))
+      return false;
+  return true;
+}
+
+bool WorkLowering::lowerDecl(const VarDecl *D) {
+  if (!D)
+    return false;
+  if (D->isArray())
+    return arrayStorage(D) != nullptr;
+
+  Value *Init;
+  if (D->getInit()) {
+    Init = lowerExpr(D->getInit());
+    if (!Init)
+      return false;
+    Init = convert(Init, D->getElemType());
+  } else {
+    // Zero-initialize so every local is defined before use.
+    switch (D->getElemType()) {
+    case ScalarType::Float:
+      Init = Ctx.B.getFloat(0.0);
+      break;
+    case ScalarType::Bool:
+      Init = Ctx.B.getBool(false);
+      break;
+    default:
+      Init = Ctx.B.getInt(0);
+      break;
+    }
+  }
+  Ctx.SSA.writeVariable(D, Ctx.B.getInsertBlock(), Init);
+  return true;
+}
+
+bool WorkLowering::lowerIf(const IfStmt *S) {
+  Value *Cond = lowerExpr(S->getCond());
+  if (!Cond)
+    return false;
+
+  // Statically resolved branch: emit only the taken side.
+  if (auto *C = dyn_cast<ConstBool>(Cond))
+    return C->getValue() ? lowerStmt(S->getThen()) : lowerStmt(S->getElse());
+
+  IRBuilder &B = Ctx.B;
+  Function *F = B.getInsertBlock()->getParent();
+  BasicBlock *ThenBB = F->createBlock("then");
+  BasicBlock *MergeBB = F->createBlock("endif");
+  BasicBlock *ElseBB = S->getElse() ? F->createBlock("else") : MergeBB;
+
+  B.createCondBr(Cond, ThenBB, ElseBB);
+  Ctx.SSA.sealBlock(ThenBB);
+  if (S->getElse())
+    Ctx.SSA.sealBlock(ElseBB);
+
+  ++DynamicDepth;
+  B.setInsertPoint(ThenBB);
+  bool Ok = lowerStmt(S->getThen());
+  B.createBr(MergeBB);
+  if (Ok && S->getElse()) {
+    B.setInsertPoint(ElseBB);
+    Ok = lowerStmt(S->getElse());
+    B.createBr(MergeBB);
+  }
+  --DynamicDepth;
+  Ctx.SSA.sealBlock(MergeBB);
+  B.setInsertPoint(MergeBB);
+  return Ok;
+}
+
+bool WorkLowering::lowerFor(const ForStmt *S) {
+  if (S->getInit() && !lowerStmt(S->getInit()))
+    return false;
+
+  // Laminar mode: try to execute the loop at compile time. The folding
+  // builder acts as the partial evaluator — if the condition keeps
+  // folding to a constant, each iteration's body is emitted with the
+  // induction state as constants, which is what resolves peek indices.
+  bool TryStatic = UnrollStaticLoops && !containsFifoOp(S->getCond()) &&
+                   !containsAssign(S->getCond());
+  if (TryStatic) {
+    Value *First = lowerExpr(S->getCond());
+    if (!First)
+      return false;
+    if (auto *C = dyn_cast<ConstBool>(First)) {
+      bool Continue = C->getValue();
+      int64_t Iter = 0;
+      while (Continue) {
+        if (++Iter > MaxUnrollIterations) {
+          Ctx.Diags.error(S->getLoc(),
+                          "loop exceeds the static unroll limit");
+          return false;
+        }
+        if (!lowerStmt(S->getBody()))
+          return false;
+        if (S->getStep() && !lowerExpr(S->getStep()))
+          return false;
+        Value *Cond = lowerExpr(S->getCond());
+        if (!Cond)
+          return false;
+        auto *CC = dyn_cast<ConstBool>(Cond);
+        if (!CC) {
+          Ctx.Diags.error(S->getLoc(),
+                          "loop stopped being compile-time resolvable "
+                          "during unrolling");
+          return false;
+        }
+        Continue = CC->getValue();
+      }
+      return true;
+    }
+    // Condition is data-dependent: fall through to a runtime loop. (The
+    // speculatively emitted condition is side-effect free and dead.)
+  }
+  return lowerDynamicLoop(S->getCond(), S->getStep(), S->getBody(),
+                          S->getLoc());
+}
+
+bool WorkLowering::lowerWhile(const WhileStmt *S) {
+  return lowerDynamicLoop(S->getCond(), nullptr, S->getBody(), S->getLoc());
+}
+
+bool WorkLowering::lowerDynamicLoop(const Expr *Cond, const Expr *Step,
+                                    const Stmt *Body, SourceLoc Loc) {
+  if (!Cond) {
+    Ctx.Diags.error(Loc, "loop without a condition");
+    return false;
+  }
+  IRBuilder &B = Ctx.B;
+  Function *F = B.getInsertBlock()->getParent();
+  BasicBlock *Header = F->createBlock("loop");
+  BasicBlock *BodyBB = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("endloop");
+
+  B.createBr(Header);
+  B.setInsertPoint(Header); // Unsealed: the latch edge comes later.
+  Value *CondV = lowerExpr(Cond);
+  if (!CondV)
+    return false;
+  if (CondV->getType() != TypeKind::Bool) {
+    Ctx.Diags.error(Loc, "loop condition is not boolean");
+    return false;
+  }
+  if (auto *C = dyn_cast<ConstBool>(CondV)) {
+    if (C->getValue()) {
+      Ctx.Diags.error(Loc, "loop never terminates");
+      return false;
+    }
+    // A constant-false runtime loop: just fall through.
+    B.createBr(Exit);
+    Ctx.SSA.sealBlock(Header);
+    Ctx.SSA.sealBlock(Exit);
+    // BodyBB is unreachable and unsealed; give it structure anyway.
+    B.setInsertPoint(BodyBB);
+    B.createBr(Exit);
+    Ctx.SSA.sealBlock(BodyBB);
+    B.setInsertPoint(Exit);
+    return true;
+  }
+  B.createCondBr(CondV, BodyBB, Exit);
+  Ctx.SSA.sealBlock(BodyBB);
+
+  ++DynamicDepth;
+  B.setInsertPoint(BodyBB);
+  bool Ok = lowerStmt(Body);
+  if (Ok && Step)
+    Ok = lowerExpr(Step) != nullptr;
+  --DynamicDepth;
+  if (!Ok)
+    return false;
+  B.createBr(Header);
+  Ctx.SSA.sealBlock(Header);
+  Ctx.SSA.sealBlock(Exit);
+  B.setInsertPoint(Exit);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Value *WorkLowering::lowerExpr(const Expr *E) {
+  if (!E)
+    return nullptr;
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return Ctx.B.getInt(cast<IntLit>(E)->getValue());
+  case Expr::Kind::FloatLit:
+    return Ctx.B.getFloat(cast<FloatLit>(E)->getValue());
+  case Expr::Kind::BoolLit:
+    return Ctx.B.getBool(cast<BoolLit>(E)->getValue());
+  case Expr::Kind::VarRef:
+    return lowerVarRef(cast<VarRef>(E));
+  case Expr::Kind::ArrayIndex: {
+    const auto *Ix = cast<ArrayIndex>(E);
+    GlobalVar *G = arrayStorage(Ix->getBase()->getDecl());
+    if (!G)
+      return nullptr;
+    Value *Index = lowerExpr(Ix->getIndex());
+    if (!Index)
+      return nullptr;
+    return Ctx.B.createLoad(G, Index);
+  }
+  case Expr::Kind::Binary:
+    return lowerBinary(cast<BinaryExpr>(E));
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Value *Sub = lowerExpr(U->getSub());
+    if (!Sub)
+      return nullptr;
+    switch (U->getOp()) {
+    case UnaryOp::Neg:
+      Sub = convert(Sub, E->getType());
+      return Ctx.B.createUnary(
+          E->getType() == ScalarType::Float ? UnOp::FNeg : UnOp::Neg, Sub);
+    case UnaryOp::LogNot:
+      return Ctx.B.createUnary(UnOp::Not, Sub);
+    case UnaryOp::BitNot:
+      return Ctx.B.createUnary(UnOp::BitNot, Sub);
+    }
+    return nullptr;
+  }
+  case Expr::Kind::Assign:
+    return lowerAssign(cast<AssignExpr>(E));
+  case Expr::Kind::Call:
+    return lowerCall(cast<CallExpr>(E));
+  case Expr::Kind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    Value *Sub = lowerExpr(C->getSub());
+    return Sub ? convert(Sub, C->getTo()) : nullptr;
+  }
+  }
+  return nullptr;
+}
+
+Value *WorkLowering::lowerVarRef(const VarRef *Ref) {
+  const VarDecl *D = Ref->getDecl();
+  assert(D && "unresolved variable survived sema");
+  if (D->getScope() == VarDecl::Scope::Param) {
+    auto V = Node.params().get(D);
+    assert(V && "parameter without a binding");
+    switch (D->getElemType()) {
+    case ScalarType::Int:
+      return Ctx.B.getInt(V->asInt());
+    case ScalarType::Float:
+      return Ctx.B.getFloat(V->asFloat());
+    case ScalarType::Bool:
+      return Ctx.B.getBool(V->asBool());
+    default:
+      return nullptr;
+    }
+  }
+  if (D->getScope() == VarDecl::Scope::Field) {
+    GlobalVar *G = State.Fields.at(D);
+    return Ctx.B.createLoad(G, Ctx.B.getInt(0));
+  }
+  return Ctx.SSA.readVariable(D, Ctx.B.getInsertBlock(),
+                              lirType(D->getElemType()));
+}
+
+Value *WorkLowering::lowerAssign(const AssignExpr *A) {
+  const Expr *Target = A->getTarget();
+
+  // Resolve target storage.
+  const VarDecl *D;
+  Value *Index = nullptr; // Non-null for array element targets.
+  if (const auto *Ref = dyn_cast<VarRef>(Target)) {
+    D = Ref->getDecl();
+  } else {
+    const auto *Ix = cast<ArrayIndex>(Target);
+    D = Ix->getBase()->getDecl();
+    Index = lowerExpr(Ix->getIndex());
+    if (!Index)
+      return nullptr;
+  }
+  assert(D && "unresolved assignment target");
+
+  Value *RHS = lowerExpr(A->getValue());
+  if (!RHS)
+    return nullptr;
+
+  Value *NewVal;
+  if (A->getOp() == AssignExpr::Op::Assign) {
+    NewVal = convert(RHS, D->getElemType());
+  } else {
+    // Compound: read the old value once, combine, write back.
+    Value *Old;
+    if (Index) {
+      GlobalVar *G = arrayStorage(D);
+      if (!G)
+        return nullptr;
+      Old = Ctx.B.createLoad(G, Index);
+    } else if (D->getScope() == VarDecl::Scope::Field) {
+      Old = Ctx.B.createLoad(State.Fields.at(D), Ctx.B.getInt(0));
+    } else {
+      Old = Ctx.SSA.readVariable(D, Ctx.B.getInsertBlock(),
+                                 lirType(D->getElemType()));
+    }
+    bool IsFloat = D->getElemType() == ScalarType::Float;
+    Old = convert(Old, D->getElemType());
+    RHS = convert(RHS, D->getElemType());
+    BinOp Op;
+    switch (A->getOp()) {
+    case AssignExpr::Op::Add:
+      Op = IsFloat ? BinOp::FAdd : BinOp::Add;
+      break;
+    case AssignExpr::Op::Sub:
+      Op = IsFloat ? BinOp::FSub : BinOp::Sub;
+      break;
+    case AssignExpr::Op::Mul:
+      Op = IsFloat ? BinOp::FMul : BinOp::Mul;
+      break;
+    default:
+      Op = IsFloat ? BinOp::FDiv : BinOp::Div;
+      break;
+    }
+    NewVal = Ctx.B.createBinary(Op, Old, RHS);
+  }
+
+  if (Index) {
+    GlobalVar *G = arrayStorage(D);
+    if (!G)
+      return nullptr;
+    Ctx.B.createStore(G, Index, NewVal);
+  } else if (D->getScope() == VarDecl::Scope::Field) {
+    Ctx.B.createStore(State.Fields.at(D), Ctx.B.getInt(0), NewVal);
+  } else {
+    Ctx.SSA.writeVariable(D, Ctx.B.getInsertBlock(), NewVal);
+  }
+  return NewVal;
+}
+
+Value *WorkLowering::lowerBinary(const BinaryExpr *E) {
+  // Logical operators are lowered strictly (no short circuit): operands
+  // are side-effect-free booleans in this language subset.
+  if (E->getOp() == BinaryOp::LogAnd || E->getOp() == BinaryOp::LogOr) {
+    Value *L = lowerExpr(E->getLHS());
+    Value *R = lowerExpr(E->getRHS());
+    if (!L || !R)
+      return nullptr;
+    if (E->getOp() == BinaryOp::LogAnd)
+      return Ctx.B.createSelect(L, R, Ctx.B.getBool(false));
+    return Ctx.B.createSelect(L, Ctx.B.getBool(true), R);
+  }
+
+  Value *L = lowerExpr(E->getLHS());
+  Value *R = lowerExpr(E->getRHS());
+  if (!L || !R)
+    return nullptr;
+
+  switch (E->getOp()) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::Mul:
+  case BinaryOp::Div: {
+    bool IsFloat = E->getType() == ScalarType::Float;
+    L = convert(L, E->getType());
+    R = convert(R, E->getType());
+    BinOp Op;
+    switch (E->getOp()) {
+    case BinaryOp::Add:
+      Op = IsFloat ? BinOp::FAdd : BinOp::Add;
+      break;
+    case BinaryOp::Sub:
+      Op = IsFloat ? BinOp::FSub : BinOp::Sub;
+      break;
+    case BinaryOp::Mul:
+      Op = IsFloat ? BinOp::FMul : BinOp::Mul;
+      break;
+    default:
+      Op = IsFloat ? BinOp::FDiv : BinOp::Div;
+      break;
+    }
+    return Ctx.B.createBinary(Op, L, R);
+  }
+  case BinaryOp::Rem:
+    return Ctx.B.createBinary(BinOp::Rem, L, R);
+  case BinaryOp::BitAnd:
+    return Ctx.B.createBinary(BinOp::And, L, R);
+  case BinaryOp::BitOr:
+    return Ctx.B.createBinary(BinOp::Or, L, R);
+  case BinaryOp::BitXor:
+    return Ctx.B.createBinary(BinOp::Xor, L, R);
+  case BinaryOp::Shl:
+    return Ctx.B.createBinary(BinOp::Shl, L, R);
+  case BinaryOp::Shr:
+    return Ctx.B.createBinary(BinOp::Shr, L, R);
+  case BinaryOp::EQ:
+  case BinaryOp::NE:
+  case BinaryOp::LT:
+  case BinaryOp::LE:
+  case BinaryOp::GT:
+  case BinaryOp::GE: {
+    // Promote to a common numeric type (bool==bool is compared as int).
+    ScalarType Common =
+        L->getType() == TypeKind::Float || R->getType() == TypeKind::Float
+            ? ScalarType::Float
+            : ScalarType::Int;
+    L = convert(L, Common);
+    R = convert(R, Common);
+    CmpPred Pred;
+    switch (E->getOp()) {
+    case BinaryOp::EQ:
+      Pred = CmpPred::EQ;
+      break;
+    case BinaryOp::NE:
+      Pred = CmpPred::NE;
+      break;
+    case BinaryOp::LT:
+      Pred = CmpPred::LT;
+      break;
+    case BinaryOp::LE:
+      Pred = CmpPred::LE;
+      break;
+    case BinaryOp::GT:
+      Pred = CmpPred::GT;
+      break;
+    default:
+      Pred = CmpPred::GE;
+      break;
+    }
+    return Ctx.B.createCmp(Pred, L, R);
+  }
+  default:
+    return nullptr;
+  }
+}
+
+Value *WorkLowering::lowerCall(const CallExpr *C) {
+  BuiltinFn Fn = C->getBuiltin();
+
+  // Stream primitives.
+  if (Fn == BuiltinFn::Push || Fn == BuiltinFn::Pop || Fn == BuiltinFn::Peek) {
+    if (ResolveStatically && DynamicDepth > 0) {
+      Ctx.Diags.error(C->getLoc(),
+                      "stream access under data-dependent control flow "
+                      "cannot be resolved at compile time");
+      return nullptr;
+    }
+    switch (Fn) {
+    case BuiltinFn::Push: {
+      assert(Out && "push without an output channel");
+      Value *V = lowerExpr(C->getArgs()[0]);
+      if (!V)
+        return nullptr;
+      Out->emitPush(convert(V, Node.getOutType()), C->getLoc());
+      // push() is void; return a placeholder that is never consumed.
+      return Ctx.B.getInt(0);
+    }
+    case BuiltinFn::Pop:
+      assert(In && "pop without an input channel");
+      return In->emitPop(C->getLoc());
+    default: {
+      assert(In && "peek without an input channel");
+      Value *Index = lowerExpr(C->getArgs()[0]);
+      if (!Index)
+        return nullptr;
+      return In->emitPeek(Index, C->getLoc());
+    }
+    }
+  }
+
+  // Math builtins.
+  std::vector<Value *> Args;
+  for (const Expr *Arg : C->getArgs()) {
+    Value *V = lowerExpr(Arg);
+    if (!V)
+      return nullptr;
+    Args.push_back(V);
+  }
+
+  Builtin B;
+  bool IntVariant = C->getType() == ScalarType::Int;
+  switch (Fn) {
+  case BuiltinFn::Sin:
+    B = Builtin::Sin;
+    break;
+  case BuiltinFn::Cos:
+    B = Builtin::Cos;
+    break;
+  case BuiltinFn::Tan:
+    B = Builtin::Tan;
+    break;
+  case BuiltinFn::Atan:
+    B = Builtin::Atan;
+    break;
+  case BuiltinFn::Atan2:
+    B = Builtin::Atan2;
+    break;
+  case BuiltinFn::Exp:
+    B = Builtin::Exp;
+    break;
+  case BuiltinFn::Log:
+    B = Builtin::Log;
+    break;
+  case BuiltinFn::Sqrt:
+    B = Builtin::Sqrt;
+    break;
+  case BuiltinFn::Abs:
+    B = IntVariant ? Builtin::AbsI : Builtin::Fabs;
+    break;
+  case BuiltinFn::Floor:
+    B = Builtin::Floor;
+    break;
+  case BuiltinFn::Ceil:
+    B = Builtin::Ceil;
+    break;
+  case BuiltinFn::Pow:
+    B = Builtin::Pow;
+    break;
+  case BuiltinFn::Fmod:
+    B = Builtin::Fmod;
+    break;
+  case BuiltinFn::Min:
+    B = IntVariant ? Builtin::MinI : Builtin::MinF;
+    break;
+  case BuiltinFn::Max:
+    B = IntVariant ? Builtin::MaxI : Builtin::MaxF;
+    break;
+  default:
+    return nullptr;
+  }
+  ScalarType ArgTy = builtinArgType(B) == TypeKind::Int ? ScalarType::Int
+                                                        : ScalarType::Float;
+  for (Value *&V : Args)
+    V = convert(V, ArgTy);
+  return Ctx.B.createCall(B, Args);
+}

@@ -1,0 +1,146 @@
+//===--- WorkLowering.h - Filter body lowering to LaminarIR ----*- C++ -*-===//
+//
+// Translates filter work/init bodies into LIR. The stream primitives
+// (push/pop/peek) are abstracted behind ChannelAccess so the same
+// translation serves both lowerings:
+//  - FIFO mode: accesses become circular-buffer loads/stores through
+//    head/tail counters (the StreamIt baseline);
+//  - Laminar mode: accesses resolve against compile-time queues of SSA
+//    values (the paper's direct token access), which requires statically
+//    resolvable control flow around them; loops are unrolled by partial
+//    evaluation through the folding IRBuilder.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_LOWER_WORKLOWERING_H
+#define LAMINAR_LOWER_WORKLOWERING_H
+
+#include "frontend/AST.h"
+#include "graph/StreamGraph.h"
+#include "lir/SSABuilder.h"
+#include "support/Diagnostics.h"
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+namespace laminar {
+namespace lower {
+
+/// Strategy interface for the three stream primitives on one channel
+/// side. Implementations emit code (FIFO) or resolve tokens at compile
+/// time (Laminar).
+class ChannelAccess {
+public:
+  virtual ~ChannelAccess() = default;
+
+  /// Next token; advances the read position.
+  virtual lir::Value *emitPop(SourceLoc Loc) = 0;
+  /// Token at \p Index tokens past the read position (does not advance).
+  virtual lir::Value *emitPeek(lir::Value *Index, SourceLoc Loc) = 0;
+  /// Appends a token.
+  virtual void emitPush(lir::Value *V, SourceLoc Loc) = 0;
+};
+
+/// Shared state for one lowering run (one output function at a time).
+struct LoweringContext {
+  lir::Module &M;
+  lir::IRBuilder &B;
+  lir::SSABuilder &SSA;
+  DiagnosticEngine &Diags;
+
+  LoweringContext(lir::Module &M, lir::IRBuilder &B, lir::SSABuilder &SSA,
+                  DiagnosticEngine &Diags)
+      : M(M), B(B), SSA(SSA), Diags(Diags) {}
+
+  /// Returns a fresh, stable SSA variable key for synthetic loop
+  /// counters.
+  lir::SSABuilder::VarKey makeSyntheticVar() {
+    SyntheticKeys.emplace_back();
+    return &SyntheticKeys.back();
+  }
+
+private:
+  std::deque<char> SyntheticKeys;
+};
+
+/// Per-filter-instance storage: field globals plus lazily created
+/// globals for local arrays. Shared between the init- and steady-
+/// function emissions of the same node.
+struct NodeState {
+  std::unordered_map<const ast::VarDecl *, lir::GlobalVar *> Fields;
+  std::unordered_map<const ast::VarDecl *, lir::GlobalVar *> LocalArrays;
+};
+
+/// Emits `for (i = 0; i < Count; ++i) Body()` as LIR control flow.
+/// Count == 0 emits nothing; Count == 1 emits the body inline. The body
+/// callback must leave the builder positioned at its final block and
+/// return false on error.
+bool emitCountedLoop(LoweringContext &Ctx, int64_t Count,
+                     const std::function<bool()> &Body);
+
+/// Lowers the bodies of one filter instance.
+class WorkLowering {
+public:
+  WorkLowering(LoweringContext &Ctx, const graph::FilterNode &Node,
+               NodeState &State, ChannelAccess *In, ChannelAccess *Out,
+               bool ResolveStatically, bool UnrollStaticLoops = false)
+      : Ctx(Ctx), Node(Node), State(State), In(In), Out(Out),
+        ResolveStatically(ResolveStatically),
+        UnrollStaticLoops(UnrollStaticLoops || ResolveStatically) {}
+
+  /// Emits field default-initializers followed by the init block. Must
+  /// be called exactly once per instance, into the module's @init.
+  bool lowerInitOnce();
+
+  /// Emits one firing of the work body at the current insertion point.
+  bool lowerFiring();
+
+private:
+  // Statements.
+  bool lowerStmt(const ast::Stmt *S);
+  bool lowerBlock(const ast::BlockStmt *B);
+  bool lowerDecl(const ast::VarDecl *D);
+  bool lowerIf(const ast::IfStmt *S);
+  bool lowerFor(const ast::ForStmt *S);
+  bool lowerWhile(const ast::WhileStmt *S);
+
+  /// Emits a dynamic (CFG) loop once the init part has already been
+  /// lowered: header evaluates \p Cond, body runs \p BodyFn then \p Step.
+  bool lowerDynamicLoop(const ast::Expr *Cond, const ast::Expr *Step,
+                        const ast::Stmt *Body, SourceLoc Loc);
+
+  // Expressions (return null on error).
+  lir::Value *lowerExpr(const ast::Expr *E);
+  lir::Value *lowerVarRef(const ast::VarRef *Ref);
+  lir::Value *lowerAssign(const ast::AssignExpr *A);
+  lir::Value *lowerBinary(const ast::BinaryExpr *B);
+  lir::Value *lowerCall(const ast::CallExpr *C);
+
+  /// Storage global for an array variable (field or local array).
+  lir::GlobalVar *arrayStorage(const ast::VarDecl *D);
+
+  lir::Value *convert(lir::Value *V, ast::ScalarType To);
+  lir::TypeKind lirType(ast::ScalarType Ty) const;
+
+  /// True when \p E lexically contains a push/pop/peek.
+  static bool containsFifoOp(const ast::Expr *E);
+
+  LoweringContext &Ctx;
+  const graph::FilterNode &Node;
+  NodeState &State;
+  ChannelAccess *In;
+  ChannelAccess *Out;
+  /// Laminar mode: unroll static loops, reject stream ops under
+  /// data-dependent control flow.
+  bool ResolveStatically;
+  /// Unroll statically-bounded loops even when FIFO accesses stay
+  /// dynamic (the FIFO+unroll ablation).
+  bool UnrollStaticLoops;
+  /// Depth of data-dependent control flow around the current statement.
+  unsigned DynamicDepth = 0;
+};
+
+} // namespace lower
+} // namespace laminar
+
+#endif // LAMINAR_LOWER_WORKLOWERING_H

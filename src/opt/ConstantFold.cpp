@@ -1,0 +1,210 @@
+//===--- ConstantFold.cpp - Folding and algebraic simplification ----------===//
+
+#include "lir/IRBuilder.h"
+#include "opt/PassManager.h"
+
+using namespace laminar;
+using namespace laminar::opt;
+using namespace laminar::lir;
+
+static bool isIntConst(const Value *V, int64_t C) {
+  const auto *CI = dyn_cast<ConstInt>(V);
+  return CI && CI->getValue() == C;
+}
+
+static bool isFloatConst(const Value *V, double C) {
+  const auto *CF = dyn_cast<ConstFloat>(V);
+  return CF && CF->getValue() == C;
+}
+
+/// Algebraic identities that return an existing value (or a constant).
+/// Float rules are restricted to exact identities (x+0, x*1, x-0, x/1),
+/// which are bit-exact for every operand including zeros produced by
+/// the stream programs we compile.
+static Value *simplifyBinary(Module &M, BinaryInst *B) {
+  Value *L = B->getLHS(), *R = B->getRHS();
+  switch (B->getOp()) {
+  case BinOp::Add:
+    if (isIntConst(L, 0))
+      return R;
+    if (isIntConst(R, 0))
+      return L;
+    return nullptr;
+  case BinOp::Sub:
+    if (isIntConst(R, 0))
+      return L;
+    if (L == R)
+      return M.getConstInt(0);
+    return nullptr;
+  case BinOp::Mul:
+    if (isIntConst(L, 1))
+      return R;
+    if (isIntConst(R, 1))
+      return L;
+    if (isIntConst(L, 0) || isIntConst(R, 0))
+      return M.getConstInt(0);
+    return nullptr;
+  case BinOp::Div:
+    if (isIntConst(R, 1))
+      return L;
+    return nullptr;
+  case BinOp::Rem:
+    if (isIntConst(R, 1))
+      return M.getConstInt(0);
+    return nullptr;
+  case BinOp::And:
+    if (isIntConst(L, 0) || isIntConst(R, 0))
+      return M.getConstInt(0);
+    if (isIntConst(L, -1))
+      return R;
+    if (isIntConst(R, -1))
+      return L;
+    if (L == R)
+      return L;
+    return nullptr;
+  case BinOp::Or:
+    if (isIntConst(L, 0))
+      return R;
+    if (isIntConst(R, 0))
+      return L;
+    if (L == R)
+      return L;
+    return nullptr;
+  case BinOp::Xor:
+    if (isIntConst(L, 0))
+      return R;
+    if (isIntConst(R, 0))
+      return L;
+    if (L == R)
+      return M.getConstInt(0);
+    return nullptr;
+  case BinOp::Shl:
+  case BinOp::Shr:
+    if (isIntConst(R, 0))
+      return L;
+    return nullptr;
+  case BinOp::FAdd:
+    if (isFloatConst(L, 0.0))
+      return R;
+    if (isFloatConst(R, 0.0))
+      return L;
+    return nullptr;
+  case BinOp::FSub:
+    if (isFloatConst(R, 0.0))
+      return L;
+    return nullptr;
+  case BinOp::FMul:
+    if (isFloatConst(L, 1.0))
+      return R;
+    if (isFloatConst(R, 1.0))
+      return L;
+    return nullptr;
+  case BinOp::FDiv:
+    if (isFloatConst(R, 1.0))
+      return L;
+    return nullptr;
+  }
+  return nullptr;
+}
+
+static Value *simplifyInstruction(Module &M, Instruction *I,
+                                  StatsRegistry &Stats) {
+  switch (I->getKind()) {
+  case Value::Kind::Binary: {
+    auto *B = cast<BinaryInst>(I);
+    if (Value *C = foldBinary(M, B->getOp(), B->getLHS(), B->getRHS())) {
+      Stats.add("constfold.folded");
+      return C;
+    }
+    if (Value *S = simplifyBinary(M, B)) {
+      Stats.add("constfold.simplified");
+      return S;
+    }
+    return nullptr;
+  }
+  case Value::Kind::Unary: {
+    auto *U = cast<UnaryInst>(I);
+    if (Value *C = foldUnary(M, U->getOp(), U->getOperand(0))) {
+      Stats.add("constfold.folded");
+      return C;
+    }
+    // Double application of an involution.
+    if (auto *Inner = dyn_cast<UnaryInst>(U->getOperand(0)))
+      if (Inner->getOp() == U->getOp()) {
+        Stats.add("constfold.simplified");
+        return Inner->getOperand(0);
+      }
+    return nullptr;
+  }
+  case Value::Kind::Cmp: {
+    auto *C = cast<CmpInst>(I);
+    if (Value *F = foldCmp(M, C->getPred(), C->getLHS(), C->getRHS())) {
+      Stats.add("constfold.folded");
+      return F;
+    }
+    // x <op> x over integers (floats could be NaN).
+    if (C->getLHS() == C->getRHS() && !C->isFloatCmp()) {
+      Stats.add("constfold.simplified");
+      switch (C->getPred()) {
+      case CmpPred::EQ:
+      case CmpPred::LE:
+      case CmpPred::GE:
+        return M.getConstBool(true);
+      default:
+        return M.getConstBool(false);
+      }
+    }
+    return nullptr;
+  }
+  case Value::Kind::Cast: {
+    auto *C = cast<CastInst>(I);
+    if (Value *F = foldCast(M, C->getOp(), C->getOperand(0))) {
+      Stats.add("constfold.folded");
+      return F;
+    }
+    return nullptr;
+  }
+  case Value::Kind::Select: {
+    auto *S = cast<SelectInst>(I);
+    if (Value *F = foldSelect(S->getCond(), S->getTrueValue(),
+                              S->getFalseValue())) {
+      Stats.add("constfold.folded");
+      return F;
+    }
+    return nullptr;
+  }
+  case Value::Kind::Call: {
+    auto *C = cast<CallInst>(I);
+    std::vector<Value *> Args;
+    for (unsigned K = 0; K < C->getNumOperands(); ++K)
+      Args.push_back(C->getOperand(K));
+    if (Value *F = foldCall(M, C->getBuiltin(), Args)) {
+      Stats.add("constfold.folded");
+      return F;
+    }
+    return nullptr;
+  }
+  default:
+    return nullptr;
+  }
+}
+
+bool opt::runConstantFold(Function &F, StatsRegistry &Stats) {
+  Module &M = *F.getParent();
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    for (const auto &BB : F.blocks()) {
+      for (const auto &Inst : BB->instructions()) {
+        if (!Inst->hasUses())
+          continue;
+        if (Value *Repl = simplifyInstruction(M, Inst.get(), Stats)) {
+          Inst->replaceAllUsesWith(Repl);
+          LocalChanged = Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,46 @@
+//===--- CopyProp.cpp - Value forwarding through trivial phis -------------===//
+
+#include "opt/PassManager.h"
+
+using namespace laminar;
+using namespace laminar::opt;
+using namespace laminar::lir;
+
+/// The unique value a phi forwards, or null when it merges at least two
+/// distinct values. Self-references are ignored (loop-carried copies).
+static Value *uniqueIncoming(PhiInst *Phi) {
+  Value *Same = nullptr;
+  for (unsigned I = 0, E = Phi->getNumIncoming(); I != E; ++I) {
+    Value *V = Phi->getIncomingValue(I);
+    if (V == Phi || V == Same)
+      continue;
+    if (Same)
+      return nullptr;
+    Same = V;
+  }
+  return Same;
+}
+
+bool opt::runCopyProp(Function &F, StatsRegistry &Stats) {
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    for (const auto &BB : F.blocks()) {
+      for (const auto &Inst : BB->instructions()) {
+        auto *Phi = dyn_cast<PhiInst>(Inst.get());
+        if (!Phi || !Phi->hasUses())
+          continue;
+        Value *Same = uniqueIncoming(Phi);
+        if (!Same)
+          continue;
+        // A value that reaches along every non-self edge dominates the
+        // phi (standard trivial-phi argument), so forwarding is safe.
+        Phi->replaceAllUsesWith(Same);
+        Stats.add("copyprop.phis");
+        LocalChanged = Changed = true;
+      }
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,62 @@
+//===--- DCE.cpp - Dead code elimination -----------------------------------===//
+
+#include "opt/PassManager.h"
+#include <unordered_set>
+#include <vector>
+
+using namespace laminar;
+using namespace laminar::opt;
+using namespace laminar::lir;
+
+/// Mark-and-sweep over the def-use graph: everything not reachable from
+/// a side-effecting instruction (stores, I/O, terminators) is dead.
+/// Unlike a users()-based sweep, this also removes cyclic dead code
+/// (loop-carried phis that only feed each other).
+bool opt::runDCE(Function &F, StatsRegistry &Stats) {
+  std::unordered_set<const Instruction *> Live;
+  std::vector<const Instruction *> Worklist;
+
+  auto MarkLive = [&](const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    if (I && Live.insert(I).second)
+      Worklist.push_back(I);
+  };
+
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (I->hasSideEffects())
+        MarkLive(I.get());
+
+  while (!Worklist.empty()) {
+    const Instruction *I = Worklist.back();
+    Worklist.pop_back();
+    for (unsigned K = 0, E = I->getNumOperands(); K != E; ++K)
+      MarkLive(I->getOperand(K));
+  }
+
+  // Detach every dead instruction before destroying any of them: a dead
+  // instruction may use another dead instruction, and destruction order
+  // must not leave dangling operand pointers.
+  bool Changed = false;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (!Live.count(I.get()))
+        I->dropOperands();
+  for (const auto &BB : F.blocks()) {
+    const auto &Insts = BB->instructions();
+    std::vector<bool> Dead(Insts.size(), false);
+    bool Any = false;
+    for (size_t K = 0; K < Insts.size(); ++K) {
+      if (Live.count(Insts[K].get()))
+        continue;
+      Dead[K] = true;
+      Any = true;
+      Stats.add("dce.removed");
+    }
+    if (Any) {
+      BB->eraseMarked(Dead);
+      Changed = true;
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,120 @@
+//===--- GVN.cpp - Dominator-scoped global value numbering -----------------===//
+//
+// Numbers pure instructions (arithmetic, comparisons, casts, selects,
+// math calls) with a scoped hash table walked over the dominator tree.
+// A redundant instruction is replaced by its dominating equivalent.
+// Loads are not numbered: memory is not tracked, which mirrors how FIFO
+// buffer indirection blocks redundancy elimination in the baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lir/Dominators.h"
+#include "opt/PassManager.h"
+#include <sstream>
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::opt;
+using namespace laminar::lir;
+
+namespace {
+
+class GVNDriver {
+public:
+  GVNDriver(Function &F, StatsRegistry &Stats) : F(F), Stats(Stats) {}
+
+  bool run() {
+    DomTree DT(F);
+    const BasicBlock *Entry = F.entry();
+    if (!Entry)
+      return false;
+    walk(Entry, DT);
+    return Changed;
+  }
+
+private:
+  /// Canonical key for a pure instruction; empty when not numberable.
+  std::string keyOf(const Instruction *I) {
+    std::ostringstream OS;
+    auto Op = [&](const Value *V) { OS << "," << V; };
+    switch (I->getKind()) {
+    case Value::Kind::Binary: {
+      const auto *B = cast<BinaryInst>(I);
+      const Value *L = B->getLHS(), *R = B->getRHS();
+      if (B->isCommutative() && R < L)
+        std::swap(L, R);
+      OS << "b" << static_cast<int>(B->getOp());
+      Op(L);
+      Op(R);
+      return OS.str();
+    }
+    case Value::Kind::Unary:
+      OS << "u" << static_cast<int>(cast<UnaryInst>(I)->getOp());
+      Op(I->getOperand(0));
+      return OS.str();
+    case Value::Kind::Cmp: {
+      const auto *C = cast<CmpInst>(I);
+      OS << "c" << static_cast<int>(C->getPred());
+      Op(C->getLHS());
+      Op(C->getRHS());
+      return OS.str();
+    }
+    case Value::Kind::Cast:
+      OS << "t" << static_cast<int>(cast<CastInst>(I)->getOp());
+      Op(I->getOperand(0));
+      return OS.str();
+    case Value::Kind::Select:
+      OS << "s";
+      Op(I->getOperand(0));
+      Op(I->getOperand(1));
+      Op(I->getOperand(2));
+      return OS.str();
+    case Value::Kind::Call: {
+      OS << "f" << static_cast<int>(cast<CallInst>(I)->getBuiltin());
+      for (unsigned K = 0; K < I->getNumOperands(); ++K)
+        Op(I->getOperand(K));
+      return OS.str();
+    }
+    default:
+      return std::string();
+    }
+  }
+
+  void walk(const BasicBlock *BB, const DomTree &DT) {
+    std::vector<std::pair<std::string, Value *>> Shadowed;
+    for (const auto &I : BB->instructions()) {
+      if (!I->hasUses())
+        continue;
+      std::string Key = keyOf(I.get());
+      if (Key.empty())
+        continue;
+      auto It = Table.find(Key);
+      if (It != Table.end()) {
+        I->replaceAllUsesWith(It->second);
+        Stats.add("gvn.eliminated");
+        Changed = true;
+        continue;
+      }
+      Shadowed.push_back({Key, nullptr});
+      Table.emplace(std::move(Key), I.get());
+    }
+    for (const BasicBlock *Child : DT.childrenOf(BB))
+      walk(Child, DT);
+    // Leave scope: remove the keys this block introduced.
+    for (auto &[Key, Old] : Shadowed) {
+      (void)Old;
+      Table.erase(Key);
+    }
+  }
+
+  Function &F;
+  StatsRegistry &Stats;
+  std::unordered_map<std::string, Value *> Table;
+  bool Changed = false;
+};
+
+} // namespace
+
+bool opt::runGVN(Function &F, StatsRegistry &Stats) {
+  return GVNDriver(F, Stats).run();
+}

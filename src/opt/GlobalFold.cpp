@@ -1,0 +1,103 @@
+//===--- GlobalFold.cpp - Fold init-time-constant state into steady --------===//
+//
+// The analogue of LLVM's globalopt static-constructor evaluation, which
+// the paper's LLVM backend applies to LaminarIR output: when a filter's
+// state global is written only by @init, at constant indices, with
+// constant values, every @steady load of a constant index can be
+// replaced by the stored constant (unwritten indices read the zero
+// initialization).
+//
+// The Laminar lowering *enables* this: its fully unrolled @init is
+// straight-line with constant store indices. The FIFO baseline keeps
+// its initialization loops rolled, so the store indices stay symbolic
+// and the analysis must give up — another face of the enabling effect.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::opt;
+using namespace laminar::lir;
+
+namespace {
+
+struct GlobalContents {
+  bool Foldable = true;
+  /// Last constant stored per constant index (program order in @init).
+  std::unordered_map<int64_t, Value *> Values;
+};
+
+} // namespace
+
+bool opt::runGlobalStateFold(Function &F, StatsRegistry &Stats) {
+  // Module-level analysis exposed as a function pass: only acts when
+  // visiting @steady (the only consumer of post-init state).
+  if (F.getName() != "steady")
+    return false;
+  Module &M = *F.getParent();
+  Function *Init = M.getFunction("init");
+  if (!Init || Init->blocks().size() != 1)
+    return false; // Rolled init loops: store indices are symbolic.
+
+  std::unordered_map<const GlobalVar *, GlobalContents> Contents;
+  auto MarkBad = [&](const GlobalVar *G) { Contents[G].Foldable = false; };
+
+  // Gather @init stores (single block: program order is total, so the
+  // last store per index wins).
+  for (const auto &I : Init->entry()->instructions()) {
+    const auto *St = dyn_cast<StoreInst>(I.get());
+    if (!St)
+      continue;
+    const GlobalVar *G = St->getGlobal();
+    if (G->getMemClass() != MemClass::State) {
+      MarkBad(G);
+      continue;
+    }
+    const auto *Idx = dyn_cast<ConstInt>(St->getIndex());
+    if (!Idx || !St->getValue()->isConstant()) {
+      MarkBad(G);
+      continue;
+    }
+    Contents[G].Values[Idx->getValue()] = St->getValue();
+  }
+
+  // Any store in @steady disqualifies its global.
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (const auto *St = dyn_cast<StoreInst>(I.get()))
+        MarkBad(St->getGlobal());
+
+  bool Changed = false;
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instructions()) {
+      auto *L = dyn_cast<LoadInst>(I.get());
+      if (!L || !L->hasUses())
+        continue;
+      const GlobalVar *G = L->getGlobal();
+      if (G->getMemClass() != MemClass::State)
+        continue;
+      auto It = Contents.find(G);
+      if (It == Contents.end() || !It->second.Foldable)
+        continue;
+      const auto *Idx = dyn_cast<ConstInt>(L->getIndex());
+      if (!Idx)
+        continue;
+      Value *V;
+      auto Stored = It->second.Values.find(Idx->getValue());
+      if (Stored != It->second.Values.end()) {
+        V = Stored->second;
+      } else {
+        // Unwritten index: globals are zero-initialized.
+        V = G->getElemType() == TypeKind::Float
+                ? static_cast<Value *>(M.getConstFloat(0.0))
+                : static_cast<Value *>(M.getConstInt(0));
+      }
+      I->replaceAllUsesWith(V);
+      Stats.add("globalfold.loads");
+      Changed = true;
+    }
+  }
+  return Changed;
+}

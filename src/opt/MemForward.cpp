@@ -1,0 +1,136 @@
+//===--- MemForward.cpp - Straight-line memory forwarding -------------------===//
+//
+// The SROA/GVN-style memory optimization LLVM applies to LaminarIR's
+// unrolled output. Within a single-block function, for every state
+// global whose accesses all use compile-time-constant indices (module
+// wide):
+//
+//  * store-to-load forwarding: a load observing a prior store in the
+//    same run takes the stored value directly;
+//  * redundant load elimination: repeated loads of an unmodified cell
+//    reuse the first loaded value;
+//  * private-array store elimination: if a cell's first access in the
+//    function is a store, its value never crosses a run boundary (each
+//    run overwrites before reading), so all its stores are dead once
+//    loads are forwarded. This is what scalarizes work-function local
+//    arrays (e.g. the FFT butterfly's result buffer).
+//
+// The FIFO baseline keeps its loops rolled, so indices are symbolic and
+// the pass must give up — the enabling-effect mechanism once more.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/PassManager.h"
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace laminar;
+using namespace laminar::opt;
+using namespace laminar::lir;
+
+namespace {
+
+/// Globals that may be touched by this pass: state storage accessed
+/// only from \p F and only at constant indices.
+std::unordered_set<const GlobalVar *> analyzableGlobals(const Function &F) {
+  const Module &M = *F.getParent();
+  std::unordered_set<const GlobalVar *> Bad;
+  std::unordered_set<const GlobalVar *> Seen;
+  for (const auto &Fn : M.functions()) {
+    for (const auto &BB : Fn->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        const GlobalVar *G = nullptr;
+        const Value *Index = nullptr;
+        if (const auto *L = dyn_cast<LoadInst>(I.get())) {
+          G = L->getGlobal();
+          Index = L->getIndex();
+        } else if (const auto *St = dyn_cast<StoreInst>(I.get())) {
+          G = St->getGlobal();
+          Index = St->getIndex();
+        } else {
+          continue;
+        }
+        Seen.insert(G);
+        if (Fn.get() != &F || !isa<ConstInt>(Index) ||
+            G->getMemClass() != MemClass::State)
+          Bad.insert(G);
+      }
+    }
+  }
+  std::unordered_set<const GlobalVar *> Good;
+  for (const GlobalVar *G : Seen)
+    if (!Bad.count(G) && !G->hasInit())
+      Good.insert(G);
+  return Good;
+}
+
+} // namespace
+
+bool opt::runMemForward(Function &F, StatsRegistry &Stats) {
+  if (F.blocks().size() != 1)
+    return false; // Control flow: a straight-line analysis only.
+  BasicBlock *BB = F.entry();
+
+  std::unordered_set<const GlobalVar *> Good = analyzableGlobals(F);
+  if (Good.empty())
+    return false;
+
+  using Cell = std::pair<const GlobalVar *, int64_t>;
+  std::map<Cell, Value *> Known;       // Current value of each cell.
+  std::map<Cell, bool> FirstIsStore;   // Set on the first access.
+  bool Changed = false;
+
+  const auto &Insts = BB->instructions();
+  std::vector<bool> Dead(Insts.size(), false);
+
+  for (size_t K = 0; K < Insts.size(); ++K) {
+    Instruction *I = Insts[K].get();
+    if (auto *L = dyn_cast<LoadInst>(I)) {
+      if (!Good.count(L->getGlobal()))
+        continue;
+      Cell C{L->getGlobal(), cast<ConstInt>(L->getIndex())->getValue()};
+      FirstIsStore.emplace(C, false);
+      auto It = Known.find(C);
+      if (It != Known.end()) {
+        if (L->hasUses()) {
+          L->replaceAllUsesWith(It->second);
+          Stats.add("memforward.loads");
+          Changed = true;
+        }
+        Dead[K] = true;
+      } else {
+        Known[C] = L; // Later identical loads reuse this one.
+      }
+    } else if (auto *St = dyn_cast<StoreInst>(I)) {
+      if (!Good.count(St->getGlobal()))
+        continue;
+      Cell C{St->getGlobal(), cast<ConstInt>(St->getIndex())->getValue()};
+      FirstIsStore.emplace(C, true);
+      Known[C] = St->getValue();
+    }
+  }
+
+  // Second sweep: delete stores to private cells (first access was a
+  // store, so no later run can observe the value: loads in this run
+  // were already forwarded above).
+  for (size_t K = 0; K < Insts.size(); ++K) {
+    auto *St = dyn_cast<StoreInst>(Insts[K].get());
+    if (!St || !Good.count(St->getGlobal()))
+      continue;
+    Cell C{St->getGlobal(), cast<ConstInt>(St->getIndex())->getValue()};
+    if (FirstIsStore.at(C)) {
+      Dead[K] = true;
+      Stats.add("memforward.stores");
+      Changed = true;
+    }
+  }
+
+  if (Changed) {
+    for (size_t K = 0; K < Insts.size(); ++K)
+      if (Dead[K])
+        Insts[K]->dropOperands();
+    BB->eraseMarked(Dead);
+  }
+  return Changed;
+}

@@ -1,0 +1,34 @@
+//===--- PassManager.cpp --------------------------------------------------===//
+
+#include "opt/PassManager.h"
+#include "lir/Verifier.h"
+#include <cassert>
+
+using namespace laminar;
+using namespace laminar::opt;
+using namespace laminar::lir;
+
+bool PassManager::run(Module &M, unsigned MaxRounds) {
+  bool EverChanged = false;
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    bool RoundChanged = false;
+    for (const NamedPass &NP : Passes) {
+      for (const auto &F : M.functions()) {
+        if (NP.P(*F, Stats)) {
+          RoundChanged = true;
+          if (VerifyEachPass)
+            assert(verify(M) && "pass broke the module");
+        }
+      }
+    }
+    EverChanged |= RoundChanged;
+    if (!RoundChanged)
+      break;
+  }
+  if (EverChanged) {
+    M.numberGlobals();
+    for (const auto &F : M.functions())
+      F->numberValues();
+  }
+  return EverChanged;
+}

@@ -1,0 +1,98 @@
+//===--- PassManager.h - Optimization pass driver --------------*- C++ -*-===//
+//
+// The optimizer demonstrates the paper's central claim: the same
+// standard scalar optimizations that are blocked by run-time FIFO
+// indirection become effective once tokens are named SSA values. Every
+// pass records its transformation counts in a StatsRegistry; the T4
+// bench compares those counts between the two lowerings.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_OPT_PASSMANAGER_H
+#define LAMINAR_OPT_PASSMANAGER_H
+
+#include "lir/Module.h"
+#include "support/Statistics.h"
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace opt {
+
+/// A function-level transformation; returns true when it changed the IR.
+using FunctionPass = std::function<bool(lir::Function &, StatsRegistry &)>;
+
+/// Runs a named sequence of passes over every function of the module,
+/// optionally iterating to a fixpoint. Verifies the module after each
+/// pass in debug builds.
+class PassManager {
+public:
+  explicit PassManager(StatsRegistry &Stats) : Stats(Stats) {}
+
+  void addPass(std::string Name, FunctionPass P) {
+    Passes.push_back({std::move(Name), std::move(P)});
+  }
+
+  /// Re-verify the whole module after every pass that changed it
+  /// (expensive; used by tests).
+  void setVerifyEachPass(bool V) { VerifyEachPass = V; }
+
+  /// Runs the sequence up to \p MaxRounds times, stopping early when a
+  /// whole round changes nothing. Returns true if anything changed.
+  bool run(lir::Module &M, unsigned MaxRounds = 3);
+
+private:
+  struct NamedPass {
+    std::string Name;
+    FunctionPass P;
+  };
+  StatsRegistry &Stats;
+  std::vector<NamedPass> Passes;
+  bool VerifyEachPass = false;
+};
+
+// --- Individual passes (Function-level entry points) ---
+
+/// Constant folding plus algebraic simplification (x+0, x*1, x*0,
+/// select with equal arms, double negation, ...).
+bool runConstantFold(lir::Function &F, StatsRegistry &Stats);
+
+/// Replaces @steady loads of state globals whose contents are fully
+/// determined by constant @init stores (globalopt-style static
+/// initializer evaluation). Effective only when @init is straight-line,
+/// i.e. after Laminar lowering's full unrolling.
+bool runGlobalStateFold(lir::Function &F, StatsRegistry &Stats);
+
+/// Straight-line store-to-load forwarding, redundant load elimination
+/// and private-array store elimination over state globals with constant
+/// indices (the SROA/GVN analogue for the unrolled Laminar form).
+bool runMemForward(lir::Function &F, StatsRegistry &Stats);
+
+/// Sparse conditional constant propagation: propagates constants
+/// through phis along executable edges only, folds branches on proven
+/// constants and deletes unreachable blocks.
+bool runSCCP(lir::Function &F, StatsRegistry &Stats);
+
+/// Removes single-source phis and other pure value forwards.
+bool runCopyProp(lir::Function &F, StatsRegistry &Stats);
+
+/// Dominator-scoped global value numbering of pure instructions.
+bool runGVN(lir::Function &F, StatsRegistry &Stats);
+
+/// Deletes side-effect-free instructions without users (iteratively).
+bool runDCE(lir::Function &F, StatsRegistry &Stats);
+
+/// Merges trivial control flow: retargets empty forwarding blocks,
+/// merges single-pred/single-succ pairs, removes unreachable blocks.
+bool runSimplifyCFG(lir::Function &F, StatsRegistry &Stats);
+
+// --- Pipelines (see Pipelines.cpp) ---
+
+/// Standard levels: 0 = none, 1 = fold+dce+cfg, 2 = full pipeline.
+void optimizeModule(lir::Module &M, unsigned Level, StatsRegistry &Stats);
+
+} // namespace opt
+} // namespace laminar
+
+#endif // LAMINAR_OPT_PASSMANAGER_H

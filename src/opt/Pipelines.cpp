@@ -1,0 +1,24 @@
+//===--- Pipelines.cpp - Standard optimization levels ----------------------===//
+
+#include "opt/PassManager.h"
+
+using namespace laminar;
+using namespace laminar::opt;
+
+void opt::optimizeModule(lir::Module &M, unsigned Level,
+                         StatsRegistry &Stats) {
+  if (Level == 0)
+    return;
+  PassManager PM(Stats);
+  PM.addPass("constfold", runConstantFold);
+  if (Level >= 2) {
+    PM.addPass("globalfold", runGlobalStateFold);
+    PM.addPass("memforward", runMemForward);
+    PM.addPass("sccp", runSCCP);
+    PM.addPass("copyprop", runCopyProp);
+    PM.addPass("gvn", runGVN);
+  }
+  PM.addPass("dce", runDCE);
+  PM.addPass("simplifycfg", runSimplifyCFG);
+  PM.run(M, Level >= 2 ? 4 : 2);
+}

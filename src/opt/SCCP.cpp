@@ -1,0 +1,326 @@
+//===--- SCCP.cpp - Sparse conditional constant propagation ---------------===//
+//
+// Classic Wegman/Zadeck SCCP adapted to LaminarIR. Loads, inputs and
+// stores are opaque (memory is untracked), which is exactly why the
+// FIFO baseline resists this pass while the Laminar form — where tokens
+// are SSA values — constant-folds aggressively. The paper's observation
+// that benchmarks needed randomized inputs (lest the entire program
+// evaluate at compile time) reproduces with this pass: with a constant
+// input source the whole steady state collapses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lir/IRBuilder.h"
+#include "opt/PassManager.h"
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace laminar;
+using namespace laminar::opt;
+using namespace laminar::lir;
+
+namespace {
+
+/// Three-level lattice: Unknown (not yet seen) > Constant > Overdefined.
+struct LatticeVal {
+  enum class State { Unknown, Constant, Overdefined };
+  State S = State::Unknown;
+  Value *Const = nullptr; // Set when S == Constant.
+};
+
+class SCCPSolver {
+public:
+  SCCPSolver(Function &F, StatsRegistry &Stats)
+      : F(F), M(*F.getParent()), Stats(Stats) {}
+
+  bool run();
+
+private:
+  using Edge = std::pair<const BasicBlock *, const BasicBlock *>;
+  struct EdgeHash {
+    size_t operator()(const Edge &E) const {
+      return std::hash<const void *>()(E.first) * 31 ^
+             std::hash<const void *>()(E.second);
+    }
+  };
+
+  LatticeVal getLattice(Value *V) {
+    if (V->isConstant())
+      return {LatticeVal::State::Constant, V};
+    return Lattice[V]; // Default-constructed: Unknown.
+  }
+
+  void markOverdefined(Instruction *I) {
+    LatticeVal &LV = Lattice[I];
+    if (LV.S == LatticeVal::State::Overdefined)
+      return;
+    LV.S = LatticeVal::State::Overdefined;
+    LV.Const = nullptr;
+    for (Instruction *User : I->users())
+      InstWorklist.push_back(User);
+  }
+
+  void markConstant(Instruction *I, Value *C) {
+    LatticeVal &LV = Lattice[I];
+    if (LV.S == LatticeVal::State::Constant) {
+      if (LV.Const != C)
+        markOverdefined(I); // Lattice must only descend.
+      return;
+    }
+    if (LV.S == LatticeVal::State::Overdefined)
+      return;
+    LV.S = LatticeVal::State::Constant;
+    LV.Const = C;
+    for (Instruction *User : I->users())
+      InstWorklist.push_back(User);
+  }
+
+  void markEdgeExecutable(const BasicBlock *From, const BasicBlock *To) {
+    if (!ExecutableEdges.insert({From, To}).second)
+      return;
+    // Re-evaluate the phis of To: a new edge can change their merge.
+    for (const auto &I : To->instructions()) {
+      if (!isa<PhiInst>(I.get()))
+        break;
+      InstWorklist.push_back(I.get());
+    }
+    if (ExecutableBlocks.insert(To).second)
+      BlockWorklist.push_back(To);
+  }
+
+  void visitBlock(const BasicBlock *BB) {
+    for (const auto &I : BB->instructions())
+      visitInst(I.get());
+  }
+
+  void visitInst(Instruction *I);
+
+  bool rewrite();
+
+  Function &F;
+  Module &M;
+  StatsRegistry &Stats;
+  std::unordered_map<Value *, LatticeVal> Lattice;
+  std::unordered_set<const BasicBlock *> ExecutableBlocks;
+  std::unordered_set<Edge, EdgeHash> ExecutableEdges;
+  std::vector<const BasicBlock *> BlockWorklist;
+  std::vector<Instruction *> InstWorklist;
+};
+
+} // namespace
+
+void SCCPSolver::visitInst(Instruction *I) {
+  const BasicBlock *BB = I->getParent();
+  if (!ExecutableBlocks.count(BB))
+    return;
+
+  // Gather operand lattice values; bail to Unknown while any operand is
+  // still Unknown (monotone: it will be revisited).
+  auto Operand = [&](unsigned K) { return getLattice(I->getOperand(K)); };
+
+  switch (I->getKind()) {
+  case Value::Kind::Phi: {
+    auto *Phi = cast<PhiInst>(I);
+    Value *Merged = nullptr;
+    bool SawValue = false;
+    for (unsigned K = 0; K < Phi->getNumIncoming(); ++K) {
+      const BasicBlock *Pred = Phi->getIncomingBlock(K);
+      if (!ExecutableEdges.count({Pred, BB}))
+        continue;
+      LatticeVal LV = getLattice(Phi->getIncomingValue(K));
+      if (LV.S == LatticeVal::State::Overdefined) {
+        markOverdefined(Phi);
+        return;
+      }
+      if (LV.S == LatticeVal::State::Unknown)
+        continue;
+      if (SawValue && LV.Const != Merged) {
+        markOverdefined(Phi);
+        return;
+      }
+      Merged = LV.Const;
+      SawValue = true;
+    }
+    if (SawValue)
+      markConstant(Phi, Merged);
+    return;
+  }
+  case Value::Kind::Br:
+    markEdgeExecutable(BB, cast<BrInst>(I)->getTarget());
+    return;
+  case Value::Kind::CondBr: {
+    auto *CBr = cast<CondBrInst>(I);
+    LatticeVal Cond = Operand(0);
+    if (Cond.S == LatticeVal::State::Constant) {
+      bool Taken = cast<ConstBool>(Cond.Const)->getValue();
+      markEdgeExecutable(BB, Taken ? CBr->getTrueBlock()
+                                   : CBr->getFalseBlock());
+    } else if (Cond.S == LatticeVal::State::Overdefined) {
+      markEdgeExecutable(BB, CBr->getTrueBlock());
+      markEdgeExecutable(BB, CBr->getFalseBlock());
+    }
+    return;
+  }
+  case Value::Kind::Ret:
+  case Value::Kind::Store:
+  case Value::Kind::Output:
+    return; // No value produced.
+  case Value::Kind::Load:
+  case Value::Kind::Input:
+    // Memory and external input are untracked.
+    markOverdefined(I);
+    return;
+  default:
+    break;
+  }
+
+  // Pure value-producing instruction: constant-fold over the operand
+  // lattice.
+  bool AnyUnknown = false, AnyOverdefined = false;
+  std::vector<Value *> Consts(I->getNumOperands());
+  for (unsigned K = 0; K < I->getNumOperands(); ++K) {
+    LatticeVal LV = Operand(K);
+    if (LV.S == LatticeVal::State::Unknown)
+      AnyUnknown = true;
+    else if (LV.S == LatticeVal::State::Overdefined)
+      AnyOverdefined = true;
+    else
+      Consts[K] = LV.Const;
+  }
+  if (AnyUnknown && !AnyOverdefined)
+    return; // Wait for operands to resolve.
+
+  Value *Folded = nullptr;
+  if (!AnyUnknown && !AnyOverdefined) {
+    switch (I->getKind()) {
+    case Value::Kind::Binary:
+      Folded = foldBinary(M, cast<BinaryInst>(I)->getOp(), Consts[0],
+                          Consts[1]);
+      break;
+    case Value::Kind::Unary:
+      Folded = foldUnary(M, cast<UnaryInst>(I)->getOp(), Consts[0]);
+      break;
+    case Value::Kind::Cmp:
+      Folded = foldCmp(M, cast<CmpInst>(I)->getPred(), Consts[0], Consts[1]);
+      break;
+    case Value::Kind::Cast:
+      Folded = foldCast(M, cast<CastInst>(I)->getOp(), Consts[0]);
+      break;
+    case Value::Kind::Select:
+      Folded = foldSelect(Consts[0], Consts[1], Consts[2]);
+      break;
+    case Value::Kind::Call:
+      Folded = foldCall(M, cast<CallInst>(I)->getBuiltin(), Consts);
+      break;
+    default:
+      break;
+    }
+  }
+  if (Folded)
+    markConstant(I, Folded);
+  else
+    markOverdefined(I);
+}
+
+bool SCCPSolver::rewrite() {
+  bool Changed = false;
+
+  // Replace proven-constant instructions.
+  for (const auto &BB : F.blocks()) {
+    if (!ExecutableBlocks.count(BB.get()))
+      continue;
+    for (const auto &I : BB->instructions()) {
+      if (!I->hasUses() || I->getType() == TypeKind::Void)
+        continue;
+      auto It = Lattice.find(I.get());
+      if (It == Lattice.end() || It->second.S != LatticeVal::State::Constant)
+        continue;
+      I->replaceAllUsesWith(It->second.Const);
+      Stats.add("sccp.constants");
+      Changed = true;
+    }
+  }
+
+  // Fold branches whose condition is proven constant: exactly one
+  // outgoing edge is executable.
+  for (const auto &BB : F.blocks()) {
+    if (!ExecutableBlocks.count(BB.get()))
+      continue;
+    auto *CBr = dyn_cast_or_null<CondBrInst>(BB->terminator());
+    if (!CBr)
+      continue;
+    bool TrueLive = ExecutableEdges.count({BB.get(), CBr->getTrueBlock()});
+    bool FalseLive = ExecutableEdges.count({BB.get(), CBr->getFalseBlock()});
+    if (TrueLive == FalseLive)
+      continue;
+    BasicBlock *Taken = TrueLive ? CBr->getTrueBlock() : CBr->getFalseBlock();
+    BasicBlock *Dropped =
+        TrueLive ? CBr->getFalseBlock() : CBr->getTrueBlock();
+    Dropped->removePredecessor(BB.get());
+    for (const auto &I : Dropped->instructions())
+      if (auto *Phi = dyn_cast<PhiInst>(I.get()))
+        Phi->removeIncomingForBlock(BB.get());
+    CBr->dropOperands();
+    BB->eraseAt(BB->size() - 1);
+    BB->append(std::make_unique<BrInst>(Taken));
+    Stats.add("sccp.branches");
+    Changed = true;
+  }
+
+  // Remove blocks the solver proved unreachable.
+  std::vector<bool> Dead(F.blocks().size(), false);
+  bool AnyDead = false;
+  for (size_t K = 0; K < F.blocks().size(); ++K) {
+    BasicBlock *BB = F.blocks()[K].get();
+    if (ExecutableBlocks.count(BB))
+      continue;
+    Dead[K] = true;
+    AnyDead = true;
+    for (BasicBlock *Succ : BB->successors()) {
+      if (!ExecutableBlocks.count(Succ))
+        continue;
+      Succ->removePredecessor(BB);
+      for (const auto &I : Succ->instructions())
+        if (auto *Phi = dyn_cast<PhiInst>(I.get()))
+          Phi->removeIncomingForBlock(BB);
+    }
+    Stats.add("sccp.unreachable");
+  }
+  if (AnyDead) {
+    for (size_t K = 0; K < F.blocks().size(); ++K)
+      if (Dead[K])
+        for (const auto &I : F.blocks()[K]->instructions())
+          I->dropOperands();
+    F.eraseMarkedBlocks(Dead);
+    Changed = true;
+  }
+  return Changed;
+}
+
+bool SCCPSolver::run() {
+  const BasicBlock *Entry = F.entry();
+  if (!Entry)
+    return false;
+  ExecutableBlocks.insert(Entry);
+  BlockWorklist.push_back(Entry);
+
+  while (!BlockWorklist.empty() || !InstWorklist.empty()) {
+    while (!InstWorklist.empty()) {
+      Instruction *I = InstWorklist.back();
+      InstWorklist.pop_back();
+      visitInst(I);
+    }
+    if (!BlockWorklist.empty()) {
+      const BasicBlock *BB = BlockWorklist.back();
+      BlockWorklist.pop_back();
+      visitBlock(BB);
+    }
+  }
+  return rewrite();
+}
+
+bool opt::runSCCP(Function &F, StatsRegistry &Stats) {
+  return SCCPSolver(F, Stats).run();
+}

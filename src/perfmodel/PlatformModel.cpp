@@ -1,0 +1,50 @@
+//===--- PlatformModel.cpp --------------------------------------------------===//
+
+#include "perfmodel/PlatformModel.h"
+
+using namespace laminar;
+using namespace laminar::interp;
+using namespace laminar::perfmodel;
+
+double PlatformModel::cycles(const Counters &C) const {
+  return C.IntAlu * IntAlu + C.FloatAlu * FloatAlu + C.FloatDiv * FloatDiv +
+         C.Cmp * Cmp + C.Cast * Cast + C.Select * Select +
+         C.MathCall * MathCall + C.Phi * Phi + C.Branch * Branch +
+         C.loads() * Load + C.stores() * Store +
+         (C.Input + C.Output) * InputOutput;
+}
+
+double PlatformModel::energyJoules(const Counters &C) const {
+  double AluOps = C.IntAlu + C.FloatAlu + C.FloatDiv + C.Cmp + C.Cast +
+                  C.Select + C.MathCall;
+  return StaticWatts * seconds(C) + C.memoryAccesses() * MemAccessNJ * 1e-9 +
+         AluOps * AluOpNJ * 1e-9;
+}
+
+const std::vector<PlatformModel> &perfmodel::paperPlatforms() {
+  // Cycle costs reflect each core's character: the out-of-order desktop
+  // parts hide some load latency (lower effective load cost), the
+  // in-order Xeon Phi and the small A15 pay more per cache access, and
+  // FP division / libm calls are uniformly expensive. These are
+  // calibration constants, documented in EXPERIMENTS.md, not
+  // measurements.
+  static const std::vector<PlatformModel> Platforms = {
+      // Name            iALU fALU fDIV cmp cast sel math phi  br  ld   st
+      {"i7-2600K", 1.0, 1.0, 14.0, 1.0, 1.0, 1.0, 40.0, 0.0, 1.5, 4.0, 4.0,
+       1.0, /*GHz=*/3.4, /*W=*/95.0, /*memNJ=*/1.8, /*aluNJ=*/0.35},
+      {"Opteron-6378", 1.1, 1.3, 18.0, 1.1, 1.1, 1.1, 46.0, 0.0, 1.8, 4.6,
+       4.6, 1.1, /*GHz=*/2.4, /*W=*/115.0, /*memNJ=*/2.3, /*aluNJ=*/0.45},
+      {"XeonPhi-3120A", 1.6, 1.6, 26.0, 1.6, 1.6, 1.6, 60.0, 0.0, 3.0, 9.0,
+       9.0, 1.6, /*GHz=*/1.1, /*W=*/300.0, /*memNJ=*/2.8, /*aluNJ=*/0.50},
+      {"Cortex-A15", 1.3, 1.8, 24.0, 1.3, 1.3, 1.3, 55.0, 0.0, 2.2, 6.5, 6.5,
+       1.3, /*GHz=*/1.7, /*W=*/7.5, /*memNJ=*/1.2, /*aluNJ=*/0.25},
+  };
+  return Platforms;
+}
+
+const PlatformModel *perfmodel::findPlatform(const std::string &Name) {
+  for (const PlatformModel &P : paperPlatforms())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}

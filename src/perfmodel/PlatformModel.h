@@ -1,0 +1,70 @@
+//===--- PlatformModel.h - Platform cost and energy models -----*- C++ -*-===//
+//
+// Substitute for the paper's hardware testbed (Intel i7-2600K, AMD
+// Opteron 6378, Intel Xeon Phi 3120A, ARM Cortex-A15): per-operation
+// cycle costs applied to the interpreter's dynamic counts, plus an
+// energy model coupling static power to modeled runtime and dynamic
+// energy to memory traffic. Absolute values are synthetic; the models
+// encode the *relative* ALU-vs-memory cost structure of each platform,
+// which is what determines the cross-platform speedup spread in the
+// paper (in-order Xeon Phi suffers most from buffer indirection, the
+// out-of-order desktops least).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_PERFMODEL_PLATFORMMODEL_H
+#define LAMINAR_PERFMODEL_PLATFORMMODEL_H
+
+#include "interp/Interpreter.h"
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace perfmodel {
+
+/// Per-operation cycle costs of one modeled platform.
+struct PlatformModel {
+  std::string Name;
+  double IntAlu;
+  double FloatAlu;
+  double FloatDiv;
+  double Cmp;
+  double Cast;
+  double Select;
+  double MathCall;
+  double Phi; // Register-to-register; essentially free.
+  double Branch;
+  double Load;
+  double Store;
+  double InputOutput;
+  /// Clock in GHz (converts cycles to seconds for the energy model).
+  double FreqGHz;
+  /// Static (package) power in watts while running.
+  double StaticWatts;
+  /// Dynamic energy per memory access in nanojoules.
+  double MemAccessNJ;
+  /// Dynamic energy per ALU-class operation in nanojoules.
+  double AluOpNJ;
+
+  /// Modeled cycles for one phase's dynamic counts.
+  double cycles(const interp::Counters &C) const;
+  /// Modeled runtime in seconds.
+  double seconds(const interp::Counters &C) const {
+    return cycles(C) / (FreqGHz * 1e9);
+  }
+  /// Modeled energy in joules: static power over the modeled runtime
+  /// plus dynamic energy for memory and compute operations.
+  double energyJoules(const interp::Counters &C) const;
+};
+
+/// The paper's four evaluation platforms.
+const std::vector<PlatformModel> &paperPlatforms();
+
+/// Lookup by name ("i7-2600K", "Opteron-6378", "XeonPhi-3120A",
+/// "Cortex-A15"); null when unknown.
+const PlatformModel *findPlatform(const std::string &Name);
+
+} // namespace perfmodel
+} // namespace laminar
+
+#endif // LAMINAR_PERFMODEL_PLATFORMMODEL_H

@@ -1,0 +1,230 @@
+//===--- Schedule.cpp - Balance equations and firing sequences -------------===//
+
+#include "schedule/Schedule.h"
+#include "support/Rational.h"
+#include <cassert>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::graph;
+using namespace laminar::schedule;
+
+int64_t Schedule::inputPerSteady(const StreamGraph &G) const {
+  const FilterNode *Src = G.getSource();
+  return Src ? repsOf(Src) : 0;
+}
+
+int64_t Schedule::inputForInit(const StreamGraph &G) const {
+  const FilterNode *Src = G.getSource();
+  return Src ? initRepsOf(Src) : 0;
+}
+
+int64_t Schedule::outputPerSteady(const StreamGraph &G) const {
+  const FilterNode *Sink = G.getSink();
+  return Sink ? repsOf(Sink) : 0;
+}
+
+std::string Schedule::str() const {
+  std::ostringstream OS;
+  OS << "schedule:\n";
+  for (const Node *N : Order)
+    OS << "  " << N->getName() << ": init=" << initRepsOf(N)
+       << " steady=" << repsOf(N) << "\n";
+  OS << "steady order:";
+  for (const FiringSegment &Seg : SteadySequence)
+    OS << " " << Seg.N->getName() << "x" << Seg.Count;
+  OS << "\n";
+  return OS.str();
+}
+
+namespace {
+
+/// Builds an executable firing order for the given target repetitions,
+/// updating \p Occ as it fires. Greedy data-driven construction: fire
+/// every node as often as its inputs currently allow (in topological
+/// order ignoring feedback edges), repeating until all targets are met.
+/// Fails (deadlock) when no node can fire but targets remain —
+/// typically a feedbackloop without enough enqueued tokens.
+std::optional<std::vector<FiringSegment>>
+buildSequence(const std::vector<const Node *> &Order,
+              const std::unordered_map<const Node *, int64_t> &Target,
+              std::unordered_map<const Channel *, int64_t> &Occ) {
+  std::unordered_map<const Node *, int64_t> Remaining = Target;
+  std::vector<FiringSegment> Sequence;
+  int64_t TotalRemaining = 0;
+  for (const auto &[N, R] : Remaining) {
+    (void)N;
+    TotalRemaining += R;
+  }
+
+  while (TotalRemaining > 0) {
+    bool Progress = false;
+    for (const Node *N : Order) {
+      int64_t Can = Remaining[N];
+      if (Can == 0)
+        continue;
+      for (const Channel *Ch : N->inputs()) {
+        unsigned Port = Ch->getDstPort();
+        int64_t Avail = Occ[Ch];
+        int64_t Cons = N->consumeRate(Port);
+        int64_t Peek = N->peekRate(Port);
+        if (Avail < Peek) {
+          Can = 0;
+          break;
+        }
+        // Firing k times needs Avail >= Cons*(k-1) + Peek.
+        Can = std::min(Can, (Avail - Peek) / Cons + 1);
+      }
+      if (Can == 0)
+        continue;
+      for (const Channel *Ch : N->inputs())
+        Occ[Ch] -= N->consumeRate(Ch->getDstPort()) * Can;
+      for (const Channel *Ch : N->outputs())
+        Occ[Ch] += N->produceRate(Ch->getSrcPort()) * Can;
+      Remaining[N] -= Can;
+      TotalRemaining -= Can;
+      if (!Sequence.empty() && Sequence.back().N == N)
+        Sequence.back().Count += Can;
+      else
+        Sequence.push_back({N, Can});
+      Progress = true;
+    }
+    if (!Progress)
+      return std::nullopt;
+  }
+  return Sequence;
+}
+
+} // namespace
+
+std::optional<Schedule>
+schedule::computeSchedule(const StreamGraph &G, DiagnosticEngine &Diags) {
+  Schedule S;
+  if (G.nodes().empty()) {
+    Diags.error(SourceLoc(), "cannot schedule an empty graph");
+    return std::nullopt;
+  }
+  S.Order = G.topologicalOrder();
+
+  // --- Balance equations: propagate rational firing ratios; the
+  // relaxation handles arbitrary (including cyclic) connected graphs.
+  std::unordered_map<const Node *, Rational> Ratio;
+  Ratio[S.Order.front()] = Rational(1);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &Ch : G.channels()) {
+      const Node *Src = Ch->getSrc();
+      const Node *Dst = Ch->getDst();
+      int64_t Prod = Ch->srcRate();
+      int64_t Cons = Ch->dstRate();
+      assert(Prod > 0 && Cons > 0 && "channel with a zero rate");
+      auto SrcIt = Ratio.find(Src);
+      auto DstIt = Ratio.find(Dst);
+      if (SrcIt != Ratio.end() && DstIt == Ratio.end()) {
+        Ratio[Dst] = SrcIt->second * Rational(Prod, Cons);
+        Changed = true;
+      } else if (SrcIt == Ratio.end() && DstIt != Ratio.end()) {
+        Ratio[Src] = DstIt->second * Rational(Cons, Prod);
+        Changed = true;
+      } else if (SrcIt != Ratio.end() && DstIt != Ratio.end()) {
+        Rational Expected = SrcIt->second * Rational(Prod, Cons);
+        if (Expected != DstIt->second) {
+          Diags.error(SourceLoc(),
+                      "inconsistent stream rates between '" +
+                          Src->getName() + "' and '" + Dst->getName() + "'");
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  if (Ratio.size() != G.nodes().size()) {
+    Diags.error(SourceLoc(), "stream graph is not connected");
+    return std::nullopt;
+  }
+
+  int64_t DenLcm = 1;
+  for (const auto &[N, R] : Ratio) {
+    (void)N;
+    DenLcm = lcm64(DenLcm, R.den());
+  }
+  for (const Node *N : S.Order) {
+    Rational R = Ratio[N] * Rational(DenLcm);
+    assert(R.isIntegral() && "scaled repetition is not integral");
+    assert(R.num() > 0 && "non-positive repetition count");
+    S.Reps[N] = R.num();
+  }
+
+  // --- Initialization firings. A consumer that peeks deeper than it
+  // pops needs (peek - pop) tokens resident before its first steady
+  // firing. Enqueued tokens count toward a channel's supply. Iterate to
+  // a fixpoint (Bellman-Ford style; on DAGs one reverse-topological
+  // sweep suffices, feedback requires iteration and may not converge —
+  // peeking inside an underprovisioned loop).
+  for (const Node *N : S.Order)
+    S.InitReps[N] = 0;
+  unsigned Sweeps = 0;
+  const unsigned MaxSweeps = 8 * static_cast<unsigned>(G.nodes().size()) + 16;
+  for (Changed = true; Changed; ++Sweeps) {
+    if (Sweeps > MaxSweeps) {
+      Diags.error(SourceLoc(),
+                  "cannot prime the stream graph: a feedbackloop peeks "
+                  "deeper than its enqueued tokens allow");
+      return std::nullopt;
+    }
+    Changed = false;
+    for (auto It = S.Order.rbegin(); It != S.Order.rend(); ++It) {
+      const Node *N = *It;
+      int64_t Fires = S.InitReps[N];
+      for (const Channel *Ch : N->outputs()) {
+        const Node *Dst = Ch->getDst();
+        int64_t Needed = S.InitReps[Dst] * Ch->dstRate() +
+                         (Ch->dstPeek() - Ch->dstRate()) -
+                         Ch->numInitialTokens();
+        if (Needed <= 0)
+          continue;
+        int64_t Prod = Ch->srcRate();
+        Fires = std::max(Fires, (Needed + Prod - 1) / Prod);
+      }
+      if (Fires != S.InitReps[N]) {
+        S.InitReps[N] = Fires;
+        Changed = true;
+      }
+    }
+  }
+
+  // --- Executable sequences via data-driven simulation.
+  std::unordered_map<const Channel *, int64_t> Occ;
+  for (const auto &Ch : G.channels())
+    Occ[Ch.get()] = Ch->numInitialTokens();
+
+  auto InitSeq = buildSequence(S.Order, S.InitReps, Occ);
+  if (!InitSeq) {
+    Diags.error(SourceLoc(), "initialization schedule deadlocks (a "
+                             "feedbackloop needs more enqueued tokens)");
+    return std::nullopt;
+  }
+  S.InitSequence = std::move(*InitSeq);
+
+  for (const auto &Ch : G.channels()) {
+    assert(Occ[Ch.get()] >= Ch->dstPeek() - Ch->dstRate() &&
+           "init phase leaves insufficient peek margin");
+    S.InitOccupancy[Ch.get()] = Occ[Ch.get()];
+  }
+
+  auto SteadySeq = buildSequence(S.Order, S.Reps, Occ);
+  if (!SteadySeq) {
+    Diags.error(SourceLoc(), "steady-state schedule deadlocks (a "
+                             "feedbackloop needs more enqueued tokens)");
+    return std::nullopt;
+  }
+  S.SteadySequence = std::move(*SteadySeq);
+  for (const auto &Ch : G.channels()) {
+    if (Occ[Ch.get()] != S.InitOccupancy[Ch.get()]) {
+      Diags.error(SourceLoc(), "internal error: steady iteration does not "
+                               "restore channel occupancy");
+      return std::nullopt;
+    }
+  }
+  return S;
+}

@@ -1,0 +1,72 @@
+//===--- Schedule.h - Steady-state and initialization schedules -*- C++ -*-===//
+//
+// Solves the SDF balance equations over the stream graph to obtain the
+// minimal integral repetition vector, computes the initialization
+// firings needed to prime channels for peeking filters, and produces a
+// single-appearance schedule in topological order.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SCHEDULE_SCHEDULE_H
+#define LAMINAR_SCHEDULE_SCHEDULE_H
+
+#include "graph/StreamGraph.h"
+#include "support/Diagnostics.h"
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace laminar {
+namespace schedule {
+
+/// A run of consecutive firings of one node.
+struct FiringSegment {
+  const graph::Node *N;
+  int64_t Count;
+};
+
+/// The complete static schedule of a stream graph.
+struct Schedule {
+  /// Steady-state repetitions per node (the repetition vector).
+  std::unordered_map<const graph::Node *, int64_t> Reps;
+  /// Initialization firings per node (priming for peeking filters).
+  std::unordered_map<const graph::Node *, int64_t> InitReps;
+  /// Nodes in topological order ignoring feedback edges.
+  std::vector<const graph::Node *> Order;
+  /// Executable firing orders. For acyclic graphs these are one segment
+  /// per node in topological order; feedback loops interleave segments
+  /// as data allows (driven by enqueued tokens).
+  std::vector<FiringSegment> InitSequence;
+  std::vector<FiringSegment> SteadySequence;
+  /// Channel occupancy after the initialization phase (including any
+  /// enqueued tokens); this is also the number of live tokens the
+  /// Laminar lowering carries across steady-state iterations.
+  std::unordered_map<const graph::Channel *, int64_t> InitOccupancy;
+
+  int64_t repsOf(const graph::Node *N) const { return Reps.at(N); }
+  int64_t initRepsOf(const graph::Node *N) const { return InitReps.at(N); }
+  int64_t occupancyOf(const graph::Channel *Ch) const {
+    return InitOccupancy.at(Ch);
+  }
+
+  /// Tokens consumed from the external input per steady iteration
+  /// (0 when the program has no input).
+  int64_t inputPerSteady(const graph::StreamGraph &G) const;
+  /// Tokens consumed from the external input by the init phase.
+  int64_t inputForInit(const graph::StreamGraph &G) const;
+  /// Tokens produced to the external output per steady iteration.
+  int64_t outputPerSteady(const graph::StreamGraph &G) const;
+
+  /// Human-readable table of repetitions and occupancies.
+  std::string str() const;
+};
+
+/// Computes the schedule; reports rate-inconsistency errors through
+/// \p Diags and returns nullopt.
+std::optional<Schedule> computeSchedule(const graph::StreamGraph &G,
+                                        DiagnosticEngine &Diags);
+
+} // namespace schedule
+} // namespace laminar
+
+#endif // LAMINAR_SCHEDULE_SCHEDULE_H

@@ -1,0 +1,72 @@
+//===--- ScheduleSim.cpp --------------------------------------------------===//
+
+#include "schedule/ScheduleSim.h"
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::graph;
+using namespace laminar::schedule;
+
+SimResult schedule::simulateSchedule(const StreamGraph &G, const Schedule &S,
+                                     int SteadyIterations) {
+  SimResult R;
+  std::unordered_map<const Channel *, int64_t> Occ;
+  for (const auto &Ch : G.channels()) {
+    Occ[Ch.get()] = Ch->numInitialTokens();
+    R.PeakOccupancy[Ch.get()] = Occ[Ch.get()];
+  }
+
+  auto Fire = [&](const Node *N, int64_t Times) -> bool {
+    for (int64_t T = 0; T < Times; ++T) {
+      for (const Channel *Ch : N->inputs()) {
+        unsigned Port = Ch->getDstPort();
+        if (Occ[Ch] < N->peekRate(Port)) {
+          std::ostringstream OS;
+          OS << "firing " << N->getName() << " underflows channel "
+             << Ch->getId() << " (has " << Occ[Ch] << ", needs "
+             << N->peekRate(Port) << ")";
+          R.Error = OS.str();
+          return false;
+        }
+        Occ[Ch] -= N->consumeRate(Port);
+      }
+      for (const Channel *Ch : N->outputs()) {
+        Occ[Ch] += N->produceRate(Ch->getSrcPort());
+        R.PeakOccupancy[Ch] = std::max(R.PeakOccupancy[Ch], Occ[Ch]);
+      }
+    }
+    return true;
+  };
+
+  for (const FiringSegment &Seg : S.InitSequence)
+    if (!Fire(Seg.N, Seg.Count))
+      return R;
+
+  for (const auto &Ch : G.channels()) {
+    if (Occ[Ch.get()] != S.occupancyOf(Ch.get())) {
+      std::ostringstream OS;
+      OS << "post-init occupancy of channel " << Ch->getId() << " is "
+         << Occ[Ch.get()] << ", schedule recorded "
+         << S.occupancyOf(Ch.get());
+      R.Error = OS.str();
+      return R;
+    }
+  }
+
+  for (int Iter = 0; Iter < SteadyIterations; ++Iter) {
+    for (const FiringSegment &Seg : S.SteadySequence)
+      if (!Fire(Seg.N, Seg.Count))
+        return R;
+    for (const auto &Ch : G.channels()) {
+      if (Occ[Ch.get()] != S.occupancyOf(Ch.get())) {
+        std::ostringstream OS;
+        OS << "steady iteration " << Iter
+           << " did not restore occupancy of channel " << Ch->getId();
+        R.Error = OS.str();
+        return R;
+      }
+    }
+  }
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,36 @@
+//===--- ScheduleSim.h - Token-level schedule simulation -------*- C++ -*-===//
+//
+// Validates a schedule by simulating channel occupancies through the
+// init phase and one (or more) steady iterations. Used by tests and as
+// an internal sanity check: a valid schedule never underflows a channel
+// and restores every occupancy after each steady iteration.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SCHEDULE_SCHEDULESIM_H
+#define LAMINAR_SCHEDULE_SCHEDULESIM_H
+
+#include "schedule/Schedule.h"
+#include <string>
+
+namespace laminar {
+namespace schedule {
+
+struct SimResult {
+  bool Ok = false;
+  std::string Error;
+  /// Peak occupancy per channel over the whole simulation; the FIFO
+  /// lowering sizes its buffers from this.
+  std::unordered_map<const graph::Channel *, int64_t> PeakOccupancy;
+};
+
+/// Simulates init + \p SteadyIterations steady iterations, firing nodes
+/// in schedule order and checking that every firing's peek requirement
+/// is met and that occupancies return to their post-init values.
+SimResult simulateSchedule(const graph::StreamGraph &G, const Schedule &S,
+                           int SteadyIterations = 2);
+
+} // namespace schedule
+} // namespace laminar
+
+#endif // LAMINAR_SCHEDULE_SCHEDULESIM_H

@@ -1,0 +1,40 @@
+//===--- Autocor.cpp - Windowed autocorrelation -----------------------------===//
+//
+// One duplicate branch per lag; each computes the correlation of a
+// 32-sample window with itself shifted by the lag. Pure peeking over a
+// shared window — the duplicate splitter's elimination means all lags
+// read the *same* SSA tokens in the Laminar form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kAutocorSource = R"str(
+float->float filter Correlate(int window, int lag) {
+  work pop window push 1 peek window {
+    float sum = 0.0;
+    for (int i = 0; i < window - lag; i++)
+      sum += peek(i) * peek(i + lag);
+    for (int i = 0; i < window; i++)
+      pop();
+    push(sum / (window - lag));
+  }
+}
+
+float->float splitjoin Lags(int window, int lags) {
+  split duplicate;
+  for (int k = 0; k < lags; k++)
+    add Correlate(window, k);
+  join roundrobin(1);
+}
+
+float->float pipeline Autocor {
+  add Lags(32, 8);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

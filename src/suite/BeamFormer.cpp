@@ -1,0 +1,62 @@
+//===--- BeamFormer.cpp - Multi-beam steering and detection ---------------===//
+//
+// A simplified StreamIt BeamFormer: the input is duplicated to a set of
+// beams, each applying its own steering FIR; a detector combines the
+// beam outputs. Exercises duplicate splitters with per-instance filter
+// state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kBeamFormerSource = R"str(
+float->float filter BeamFir(int taps, int beam) {
+  float[taps] w;
+  init {
+    for (int i = 0; i < taps; i++)
+      w[i] = cos(0.25 * (beam + 1) * i) / taps;
+  }
+  work pop 1 push 1 peek taps {
+    float sum = 0.0;
+    for (int i = 0; i < taps; i++)
+      sum += peek(i) * w[i];
+    pop();
+    push(sum);
+  }
+}
+
+float->float pipeline Beam(int taps, int beam) {
+  add BeamFir(taps, beam);
+  add BeamFir(taps / 2, beam + 4);
+}
+
+float->float splitjoin BeamSet(int beams, int taps) {
+  split duplicate;
+  for (int b = 0; b < beams; b++)
+    add Beam(taps, b);
+  join roundrobin(1);
+}
+
+/* Picks the strongest beam response per sample. */
+float->float filter Detector(int beams) {
+  work pop beams push 1 {
+    float best = abs(peek(0));
+    for (int i = 1; i < beams; i++)
+      best = max(best, abs(peek(i)));
+    for (int i = 0; i < beams; i++)
+      pop();
+    push(best);
+  }
+}
+
+float->float pipeline BeamFormer {
+  add BeamSet(4, 16);
+  add Detector(4);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

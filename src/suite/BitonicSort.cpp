@@ -1,0 +1,88 @@
+//===--- BitonicSort.cpp - Bitonic sorting network over splitjoins --------===//
+//
+// Batcher's bitonic sorter for blocks of 8 integers, expressed the
+// StreamIt way: compare-exchange filters routed through roundrobin
+// splitjoins. Direction-dependent behaviour is expressed with min/max
+// selected by a compile-time parameter, so the Laminar lowering resolves
+// all control flow statically. Splitter/joiner elimination removes every
+// routing stage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kBitonicSortSource = R"str(
+int->int filter CompareExchange(int dir) {
+  work push 2 pop 2 {
+    int a = pop();
+    int b = pop();
+    if (dir == 1) {
+      push(min(a, b));
+      push(max(a, b));
+    } else {
+      push(max(a, b));
+      push(min(a, b));
+    }
+  }
+}
+
+/* Compare-exchange at distance 2 within blocks of 4. */
+int->int splitjoin CEDist2(int dir) {
+  split roundrobin(1);
+  add CompareExchange(dir);
+  add CompareExchange(dir);
+  join roundrobin(1);
+}
+
+/* Compare-exchange at distance 4 within blocks of 8. */
+int->int splitjoin CEDist4(int dir) {
+  split roundrobin(1);
+  add CompareExchange(dir);
+  add CompareExchange(dir);
+  add CompareExchange(dir);
+  add CompareExchange(dir);
+  join roundrobin(1);
+}
+
+/* Stage 1: distance-1 exchanges with alternating directions. */
+int->int splitjoin Stage1 {
+  split roundrobin(2);
+  add CompareExchange(1);
+  add CompareExchange(0);
+  add CompareExchange(1);
+  add CompareExchange(0);
+  join roundrobin(2);
+}
+
+/* Stage 2a: distance-2 exchanges, ascending block then descending. */
+int->int splitjoin Stage2a {
+  split roundrobin(4);
+  add CEDist2(1);
+  add CEDist2(0);
+  join roundrobin(4);
+}
+
+/* Stage 2b: distance-1 cleanup with per-block directions. */
+int->int splitjoin Stage2b {
+  split roundrobin(4);
+  add CompareExchange(1);
+  add CompareExchange(0);
+  join roundrobin(4);
+}
+
+/* Sorts consecutive blocks of 8 integers into ascending order. */
+int->int pipeline BitonicSort {
+  add Stage1;
+  add Stage2a;
+  add Stage2b;
+  add CEDist4(1);
+  add CEDist2(1);
+  add CompareExchange(1);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

@@ -1,0 +1,64 @@
+//===--- ChannelVocoder.cpp - Band-passed envelope analysis ---------------===//
+//
+// The analysis half of the StreamIt ChannelVocoder: a duplicate split
+// into band-pass branches; each branch extracts its band's envelope by
+// rectifying and decimating. Combines deep peeking with decimation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kChannelVocoderSource = R"str(
+float->float filter VocoderBandPass(int taps, int band, int bands) {
+  float[taps] h;
+  init {
+    float center = 0.1 + 0.8 * band / bands;
+    for (int i = 0; i < taps; i++)
+      h[i] = cos(3.141592653589793 * center * (i - taps / 2)) *
+             (0.54 - 0.46 *
+              cos(2.0 * 3.141592653589793 * i / (taps - 1))) / taps;
+  }
+  work pop 1 push 1 peek taps {
+    float sum = 0.0;
+    for (int i = 0; i < taps; i++)
+      sum += peek(i) * h[i];
+    pop();
+    push(sum);
+  }
+}
+
+/* Rectifies and averages a window, decimating by the window size. */
+float->float filter EnvelopeDetector(int window) {
+  work pop window push 1 {
+    float acc = 0.0;
+    for (int i = 0; i < window; i++)
+      acc += abs(peek(i));
+    for (int i = 0; i < window; i++)
+      pop();
+    push(acc / window);
+  }
+}
+
+float->float pipeline VocoderBand(int taps, int band, int bands,
+                                  int window) {
+  add VocoderBandPass(taps, band, bands);
+  add EnvelopeDetector(window);
+}
+
+float->float splitjoin VocoderBank(int bands, int taps, int window) {
+  split duplicate;
+  for (int b = 0; b < bands; b++)
+    add VocoderBand(taps, b, bands, window);
+  join roundrobin(1);
+}
+
+float->float pipeline ChannelVocoder {
+  add VocoderBank(8, 24, 8);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

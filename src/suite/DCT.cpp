@@ -1,0 +1,68 @@
+//===--- DCT.cpp - 8x8 two-dimensional discrete cosine transform ----------===//
+//
+// Row DCT, stream transpose (pure routing through a roundrobin
+// splitjoin), column DCT, transpose back. The transposes disappear
+// entirely under splitter/joiner elimination.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kDCTSource = R"str(
+/* 8-point DCT-II over consecutive rows. */
+float->float filter Dct8 {
+  float[64] c;
+  init {
+    for (int k = 0; k < 8; k++) {
+      float s = 0.5;
+      if (k == 0)
+        s = 0.35355339059327373;
+      for (int n = 0; n < 8; n++)
+        c[k * 8 + n] = s * cos(3.141592653589793 * (2 * n + 1) * k / 16.0);
+    }
+  }
+  work pop 8 push 8 {
+    for (int k = 0; k < 8; k++) {
+      float sum = 0.0;
+      for (int n = 0; n < 8; n++)
+        sum += peek(n) * c[k * 8 + n];
+      push(sum);
+    }
+    for (int n = 0; n < 8; n++)
+      pop();
+  }
+}
+
+float->float filter Identity {
+  work pop 1 push 1 {
+    push(pop());
+  }
+}
+
+/* Transposes an 8x8 block streamed in row-major order. */
+float->float splitjoin Transpose8 {
+  split roundrobin(1);
+  add Identity();
+  add Identity();
+  add Identity();
+  add Identity();
+  add Identity();
+  add Identity();
+  add Identity();
+  add Identity();
+  join roundrobin(8);
+}
+
+float->float pipeline DCT {
+  add Dct8();
+  add Transpose8();
+  add Dct8();
+  add Transpose8();
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

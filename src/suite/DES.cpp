@@ -1,0 +1,72 @@
+//===--- DES.cpp - Feistel block rounds (DES-style) --------------------------===//
+//
+// A DES-shaped integer benchmark: blocks of (L, R) words run through
+// Feistel rounds whose round function mixes per-round subkeys with
+// shifts, xors and a small S-box in filter state. Exercises integer/bit
+// operations, roundrobin pair routing, and per-instance key state — the
+// crypto corner of the StreamIt suite (DES/Serpent).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kDESSource = R"str(
+/* One Feistel round: (L, R) -> (R, L ^ f(R, key)). */
+int->int filter FeistelRound(int round) {
+  int[16] sbox;
+  int key;
+  init {
+    for (int i = 0; i < 16; i++)
+      sbox[i] = (i * 7 + round * 3 + 5) % 16;
+    key = (round * 2654435761 + 40503) % 65536;
+  }
+  work pop 2 push 2 {
+    int l = pop();
+    int r = pop();
+    int mixed = (r ^ key) & 65535;
+    int f = sbox[mixed & 15] | (sbox[(mixed >> 4) & 15] << 4) |
+            (sbox[(mixed >> 8) & 15] << 8) |
+            (sbox[(mixed >> 12) & 15] << 12);
+    f = ((f << 3) | (f >> 13)) & 65535;
+    push(r);
+    push((l ^ f) & 65535);
+  }
+}
+
+/* Initial permutation stand-in: swap halves pairwise via roundrobin. */
+int->int splitjoin BlockSwap {
+  split roundrobin(1, 1);
+  add Mask16;
+  add Mask16;
+  join roundrobin(1, 1);
+}
+
+int->int filter Mask16 {
+  work pop 1 push 1 {
+    push(pop() & 65535);
+  }
+}
+
+/* Final swap undoes the last round's crossover. */
+int->int filter FinalSwap {
+  work pop 2 push 2 {
+    int l = pop();
+    int r = pop();
+    push(r);
+    push(l);
+  }
+}
+
+int->int pipeline DES {
+  add BlockSwap;
+  for (int round = 0; round < 8; round++)
+    add FeistelRound(round);
+  add FinalSwap;
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

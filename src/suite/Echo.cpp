@@ -1,0 +1,50 @@
+//===--- Echo.cpp - Feedback comb filter (feedbackloop) ---------------------===//
+//
+// A damped echo: y[t] = x[t] + decay * g * y[t-D]. The delay D comes
+// from the enqueued initial tokens on the feedback channel; the loop
+// path applies the damping gain. Exercises the feedbackloop construct:
+// cyclic scheduling driven by enqueued tokens, and (under the Laminar
+// lowering) live tokens flowing around the back edge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kEchoSource = R"str(
+/* Mixes the dry signal with the fed-back echo; emits the result both
+   downstream and into the loop. */
+float->float filter EchoMixer(float decay) {
+  work pop 2 push 2 {
+    float x = pop();
+    float fb = pop();
+    float y = x + decay * fb;
+    push(y);
+    push(y);
+  }
+}
+
+float->float filter Damp(float g) {
+  work pop 1 push 1 {
+    push(pop() * g);
+  }
+}
+
+float->float feedbackloop EchoLoop(float decay, float damping, int delay) {
+  join roundrobin(1, 1);
+  body EchoMixer(decay);
+  split roundrobin(1, 1);
+  loop Damp(damping);
+  for (int i = 0; i < delay; i++)
+    enqueue 0.0;
+}
+
+float->float pipeline Echo {
+  add EchoLoop(0.6, 0.8, 8);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

@@ -1,0 +1,81 @@
+//===--- FFT.cpp - Radix-2 FFT (StreamIt FFT kernel) -----------------------===//
+//
+// The StreamIt "FFT5"-style kernel: bit-reversal reorder stages followed
+// by log2(N) CombineDFT butterfly stages. Tokens are interleaved complex
+// (re, im) floats; one transform consumes 2*N tokens. Twiddle factors
+// are computed in init from the stage size parameter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kFFTSource = R"str(
+/* Reorders n complex points: even-indexed first, odd-indexed second. */
+float->float filter FFTReorderSimple(int n) {
+  work pop 2 * n push 2 * n {
+    int i;
+    for (i = 0; i < 2 * n; i += 4) {
+      push(peek(i));
+      push(peek(i + 1));
+    }
+    for (i = 2; i < 2 * n; i += 4) {
+      push(peek(i));
+      push(peek(i + 1));
+    }
+    for (i = 0; i < 2 * n; i++)
+      pop();
+  }
+}
+
+float->float pipeline FFTReorder(int n) {
+  for (int i = 1; i < n / 2; i = i * 2)
+    add FFTReorderSimple(n / i);
+}
+
+/* Combines two DFTs of size n/2 into one of size n (complex points). */
+float->float filter CombineDFT(int n) {
+  float wn_r;
+  float wn_i;
+  init {
+    wn_r = cos(2.0 * 3.141592653589793 / n);
+    wn_i = -sin(2.0 * 3.141592653589793 / n);
+  }
+  work pop 2 * n push 2 * n {
+    float w_r = 1.0;
+    float w_i = 0.0;
+    float[2 * n] results;
+    for (int k = 0; k < n / 2; k++) {
+      float y0_r = peek(2 * k);
+      float y0_i = peek(2 * k + 1);
+      float y1_r = peek(n + 2 * k);
+      float y1_i = peek(n + 2 * k + 1);
+      float t_r = y1_r * w_r - y1_i * w_i;
+      float t_i = y1_r * w_i + y1_i * w_r;
+      results[2 * k] = y0_r + t_r;
+      results[2 * k + 1] = y0_i + t_i;
+      results[n + 2 * k] = y0_r - t_r;
+      results[n + 2 * k + 1] = y0_i - t_i;
+      float next_r = w_r * wn_r - w_i * wn_i;
+      w_i = w_r * wn_i + w_i * wn_r;
+      w_r = next_r;
+    }
+    for (int j = 0; j < 2 * n; j++) {
+      pop();
+      push(results[j]);
+    }
+  }
+}
+
+/* 16-point complex FFT over interleaved (re, im) tokens. */
+float->float pipeline FFT {
+  add FFTReorder(16);
+  for (int j = 2; j <= 16; j = j * 2)
+    add CombineDFT(j);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

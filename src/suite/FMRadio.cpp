@@ -1,0 +1,123 @@
+//===--- FMRadio.cpp - FM demodulation with a multi-band equalizer --------===//
+//
+// The classic StreamIt FMRadio: a decimating low-pass front end, an
+// FM demodulator, and an equalizer built from duplicate-split band-pass
+// branches (each a pair of low-pass FIR filters subtracted). Heavy on
+// peeking filters, so it exercises live-token carry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kFMRadioSource = R"str(
+float->float filter LowPassFilter(float rate, float cutoff, int taps,
+                                  int decimation) {
+  float[taps] coeff;
+  init {
+    int i;
+    float m = taps - 1;
+    float w = 2.0 * 3.141592653589793 * cutoff / rate;
+    for (i = 0; i < taps; i++) {
+      if (i - m / 2.0 == 0.0) {
+        coeff[i] = w / 3.141592653589793;
+      } else {
+        coeff[i] = sin(w * (i - m / 2.0)) / 3.141592653589793 /
+                   (i - m / 2.0) *
+                   (0.54 - 0.46 * cos(2.0 * 3.141592653589793 * i / m));
+      }
+    }
+  }
+  work pop 1 + decimation push 1 peek taps {
+    float sum = 0.0;
+    for (int i = 0; i < taps; i++)
+      sum += peek(i) * coeff[i];
+    push(sum);
+    for (int i = 0; i < decimation; i++)
+      pop();
+    pop();
+  }
+}
+
+float->float filter FMDemodulator(float sampRate, float max,
+                                  float bandwidth) {
+  float mGain;
+  init {
+    mGain = max * (sampRate / (bandwidth * 3.141592653589793));
+  }
+  work push 1 pop 1 peek 2 {
+    float temp = peek(0) * peek(1);
+    temp = mGain * atan(temp);
+    pop();
+    push(temp);
+  }
+}
+
+float->float filter Subtracter {
+  work push 1 pop 2 {
+    push(peek(0) - peek(1));
+    pop();
+    pop();
+  }
+}
+
+float->float filter Amplify(float k) {
+  work push 1 pop 1 {
+    push(pop() * k);
+  }
+}
+
+float->float splitjoin BandSplit(float rate, float low, float high,
+                                 int taps) {
+  split duplicate;
+  add LowPassFilter(rate, high, taps, 0);
+  add LowPassFilter(rate, low, taps, 0);
+  join roundrobin(1);
+}
+
+float->float pipeline BandPassFilter(float rate, float low, float high,
+                                     int taps, float gain) {
+  add BandSplit(rate, low, high, taps);
+  add Subtracter();
+  add Amplify(gain);
+}
+
+float->float filter Adder(int n) {
+  work push 1 pop n {
+    float sum = 0.0;
+    for (int i = 0; i < n; i++)
+      sum += peek(i);
+    for (int i = 0; i < n; i++)
+      pop();
+    push(sum);
+  }
+}
+
+float->float splitjoin EqualizerSplit(float rate, int bands, float maxF,
+                                      float minF, int taps) {
+  split duplicate;
+  for (int i = 0; i < bands; i++) {
+    // Logarithmically spaced bands between minF and maxF.
+    add BandPassFilter(rate, minF * exp(i * (log(maxF) - log(minF)) / bands),
+                       minF * exp((i + 1) * (log(maxF) - log(minF)) / bands),
+                       taps, 1.0);
+  }
+  join roundrobin(1);
+}
+
+float->float pipeline Equalizer(float rate, int bands) {
+  add EqualizerSplit(rate, bands, 1650.0, 55.0, 32);
+  add Adder(bands);
+}
+
+float->float pipeline FMRadio {
+  add LowPassFilter(250000000.0, 108000000.0, 32, 4);
+  add FMDemodulator(250000000.0, 27000.0, 10000.0);
+  add Equalizer(250000000.0, 6);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

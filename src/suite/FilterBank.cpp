@@ -1,0 +1,88 @@
+//===--- FilterBank.cpp - Multi-rate analysis/synthesis filter bank -------===//
+//
+// M duplicate branches, each decimating through an analysis FIR, then
+// re-expanding and filtering through a synthesis FIR; the branch outputs
+// are summed. Exercises multi-rate scheduling, duplicate splitters and
+// deep peek windows simultaneously.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kFilterBankSource = R"str(
+/* Decimating FIR: consumes decim tokens, produces one. */
+float->float filter AnalysisFir(int taps, int decim, int branch) {
+  float[taps] h;
+  init {
+    for (int i = 0; i < taps; i++)
+      h[i] = sin(0.1 * (i + 1) * (branch + 1)) / (i + 1);
+  }
+  work pop decim push 1 peek taps {
+    float sum = 0.0;
+    for (int i = 0; i < taps; i++)
+      sum += peek(i) * h[i];
+    for (int i = 0; i < decim; i++)
+      pop();
+    push(sum);
+  }
+}
+
+/* Zero-stuffing expander: one token in, factor tokens out. */
+float->float filter Expander(int factor) {
+  work pop 1 push factor {
+    push(pop());
+    for (int i = 0; i < factor - 1; i++)
+      push(0.0);
+  }
+}
+
+float->float filter SynthesisFir(int taps, int branch) {
+  float[taps] g;
+  init {
+    for (int i = 0; i < taps; i++)
+      g[i] = cos(0.05 * (i + 1) * (branch + 2)) / (taps - i);
+  }
+  work pop 1 push 1 peek taps {
+    float sum = 0.0;
+    for (int i = 0; i < taps; i++)
+      sum += peek(i) * g[i];
+    pop();
+    push(sum);
+  }
+}
+
+float->float pipeline Branch(int taps, int m, int branch) {
+  add AnalysisFir(taps, m, branch);
+  add Expander(m);
+  add SynthesisFir(taps, branch);
+}
+
+float->float splitjoin Bank(int m, int taps) {
+  split duplicate;
+  for (int b = 0; b < m; b++)
+    add Branch(taps, m, b);
+  join roundrobin(1);
+}
+
+float->float filter Combine(int m) {
+  work pop m push 1 {
+    float sum = 0.0;
+    for (int i = 0; i < m; i++)
+      sum += peek(i);
+    for (int i = 0; i < m; i++)
+      pop();
+    push(sum);
+  }
+}
+
+float->float pipeline FilterBank {
+  add Bank(4, 32);
+  add Combine(4);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

@@ -1,0 +1,54 @@
+//===--- Lattice.cpp - Lattice filter cascade -------------------------------===//
+//
+// An eight-stage lattice filter over an interleaved (forward, backward)
+// sample pair stream. Each stage carries one sample of cross-channel
+// state in a filter field, exercising persistent per-instance state
+// under full steady-state unrolling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kLatticeSource = R"str(
+/* Duplicates each input sample into a (forward, backward) pair. */
+float->float filter PairUp {
+  work pop 1 push 2 {
+    float x = pop();
+    push(x);
+    push(x);
+  }
+}
+
+float->float filter LatticeStage(float k) {
+  float prevG;
+  work pop 2 push 2 {
+    float f = pop();
+    float g = pop();
+    push(f + k * prevG);
+    push(prevG + k * f);
+    prevG = g;
+  }
+}
+
+/* Keeps the forward channel, drops the backward one. */
+float->float filter TakeForward {
+  work pop 2 push 1 {
+    push(peek(0));
+    pop();
+    pop();
+  }
+}
+
+float->float pipeline Lattice {
+  add PairUp();
+  for (int s = 1; s <= 8; s++)
+    add LatticeStage(1.0 / (s + 1));
+  add TakeForward();
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

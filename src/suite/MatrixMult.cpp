@@ -1,0 +1,67 @@
+//===--- MatrixMult.cpp - Blocked 4x4 matrix multiplication ---------------===//
+//
+// Streams pairs of 4x4 matrices (A row-major, then B row-major). A
+// roundrobin splitjoin separates the operands; each side is replicated
+// and reordered so that a multiply-accumulate filter sees matching
+// row/column windows. This is the StreamIt MatrixMult pattern: the
+// entire data shuffle is splitter/joiner routing plus peeking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kMatrixMultSource = R"str(
+/* Replays each row of A once per output column: 16 in, 64 out. */
+float->float filter ExpandRows(int n) {
+  work pop n * n push n * n * n {
+    for (int i = 0; i < n; i++)
+      for (int j = 0; j < n; j++)
+        for (int k = 0; k < n; k++)
+          push(peek(i * n + k));
+    for (int i = 0; i < n * n; i++)
+      pop();
+  }
+}
+
+/* Streams each column of B once per output row: 16 in, 64 out. */
+float->float filter ExpandCols(int n) {
+  work pop n * n push n * n * n {
+    for (int i = 0; i < n; i++)
+      for (int j = 0; j < n; j++)
+        for (int k = 0; k < n; k++)
+          push(peek(k * n + j));
+    for (int i = 0; i < n * n; i++)
+      pop();
+  }
+}
+
+/* Dot product of a row window and a column window. */
+float->float filter MultiplyAcc(int n) {
+  work pop 2 * n push 1 {
+    float sum = 0.0;
+    for (int k = 0; k < n; k++)
+      sum += peek(k) * peek(n + k);
+    for (int k = 0; k < 2 * n; k++)
+      pop();
+    push(sum);
+  }
+}
+
+float->float splitjoin SeparateOperands(int n) {
+  split roundrobin(n * n);
+  add ExpandRows(n);
+  add ExpandCols(n);
+  join roundrobin(n);
+}
+
+float->float pipeline MatrixMult {
+  add SeparateOperands(4);
+  add MultiplyAcc(4);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

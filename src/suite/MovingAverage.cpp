@@ -1,0 +1,38 @@
+//===--- MovingAverage.cpp - Sliding-window average (quickstart) ----------===//
+//
+// The canonical peeking filter: pops one token per firing but peeks a
+// window of N, so N-1 live tokens must be carried across steady-state
+// iterations — the minimal exercise of the live-token rotation scheme.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kMovingAverageSource = R"str(
+float->float filter Averager(int N) {
+  work push 1 pop 1 peek N {
+    float sum = 0.0;
+    for (int i = 0; i < N; i++)
+      sum += peek(i);
+    push(sum / N);
+    pop();
+  }
+}
+
+float->float filter Scaler(float gain) {
+  work push 1 pop 1 {
+    push(pop() * gain);
+  }
+}
+
+float->float pipeline MovingAverage {
+  add Averager(8);
+  add Scaler(2.0);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

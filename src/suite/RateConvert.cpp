@@ -1,0 +1,55 @@
+//===--- RateConvert.cpp - 3:2 sample-rate conversion ------------------------===//
+//
+// Up-sample by 3 (zero stuffing), low-pass FIR, down-sample by 2. The
+// textbook multi-rate pipeline: the repetition vector is non-trivial
+// and the compressor's pops make most of the expander's zeros dead
+// after optimization in the Laminar form.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kRateConvertSource = R"str(
+float->float filter Expand(int l) {
+  work pop 1 push l {
+    push(pop());
+    for (int i = 0; i < l - 1; i++)
+      push(0.0);
+  }
+}
+
+float->float filter InterpFir(int taps) {
+  float[taps] h;
+  init {
+    for (int i = 0; i < taps; i++)
+      h[i] = sin(0.2 * (i + 1)) / (0.2 * (i + 1));
+  }
+  work pop 1 push 1 peek taps {
+    float sum = 0.0;
+    for (int i = 0; i < taps; i++)
+      sum += peek(i) * h[i];
+    pop();
+    push(sum);
+  }
+}
+
+float->float filter Compress(int m) {
+  work pop m push 1 {
+    push(peek(0));
+    for (int i = 0; i < m; i++)
+      pop();
+  }
+}
+
+float->float pipeline RateConvert {
+  add Expand(3);
+  add InterpFir(16);
+  add Compress(2);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

@@ -1,0 +1,65 @@
+//===--- Suite.cpp - Benchmark registry ------------------------------------===//
+
+#include "suite/Suite.h"
+
+using namespace laminar;
+using namespace laminar::suite;
+
+namespace laminar {
+namespace suite {
+// Program sources, one per translation unit.
+extern const char *kMovingAverageSource;
+extern const char *kFMRadioSource;
+extern const char *kBitonicSortSource;
+extern const char *kFFTSource;
+extern const char *kFilterBankSource;
+extern const char *kDCTSource;
+extern const char *kMatrixMultSource;
+extern const char *kBeamFormerSource;
+extern const char *kChannelVocoderSource;
+extern const char *kAutocorSource;
+extern const char *kLatticeSource;
+extern const char *kRateConvertSource;
+extern const char *kTDESource;
+extern const char *kDESSource;
+extern const char *kEchoSource;
+} // namespace suite
+} // namespace laminar
+
+const std::vector<Benchmark> &suite::allBenchmarks() {
+  static const std::vector<Benchmark> Benchmarks = {
+      {"MovingAverage", "MovingAverage", kMovingAverageSource,
+       "sliding-window average (peeking quickstart)"},
+      {"FMRadio", "FMRadio", kFMRadioSource,
+       "FM demodulation with a multi-band equalizer"},
+      {"BitonicSort", "BitonicSort", kBitonicSortSource,
+       "bitonic sorting network over splitjoins"},
+      {"FFT", "FFT", kFFTSource, "radix-2 fast Fourier transform"},
+      {"FilterBank", "FilterBank", kFilterBankSource,
+       "multi-rate analysis/synthesis filter bank"},
+      {"DCT", "DCT", kDCTSource, "8-point discrete cosine transform"},
+      {"MatrixMult", "MatrixMult", kMatrixMultSource,
+       "blocked matrix multiplication"},
+      {"BeamFormer", "BeamFormer", kBeamFormerSource,
+       "multi-channel beam former"},
+      {"ChannelVocoder", "ChannelVocoder", kChannelVocoderSource,
+       "channel vocoder (filter bank + decimation)"},
+      {"Autocor", "Autocor", kAutocorSource, "autocorrelation"},
+      {"Lattice", "Lattice", kLatticeSource, "lattice filter cascade"},
+      {"RateConvert", "RateConvert", kRateConvertSource,
+       "sample-rate conversion (multi-rate roundrobin)"},
+      {"TDE", "TDE", kTDESource,
+       "time-delay equalization (FFT, equalize, inverse FFT)"},
+      {"DES", "DES", kDESSource, "Feistel block rounds (integer bit ops)"},
+      {"Echo", "Echo", kEchoSource,
+       "damped echo (feedbackloop with enqueued delay line)"},
+  };
+  return Benchmarks;
+}
+
+const Benchmark *suite::findBenchmark(const std::string &Name) {
+  for (const Benchmark &B : allBenchmarks())
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}

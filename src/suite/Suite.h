@@ -1,0 +1,37 @@
+//===--- Suite.h - StreamIt benchmark registry -----------------*- C++ -*-===//
+//
+// Re-implementations of the StreamIt benchmarks the paper evaluates,
+// written in this repository's StreamIt subset. Programs take float/int
+// input from the external source (the randomized-input conversion the
+// paper describes) and produce output through the external sink.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SUITE_SUITE_H
+#define LAMINAR_SUITE_SUITE_H
+
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace suite {
+
+struct Benchmark {
+  std::string Name;
+  /// Top-level stream declaration.
+  std::string Top;
+  /// Program text in the StreamIt subset.
+  const char *Source;
+  std::string Description;
+};
+
+/// All registered benchmarks, in canonical (paper table) order.
+const std::vector<Benchmark> &allBenchmarks();
+
+/// Lookup by name; null when unknown.
+const Benchmark *findBenchmark(const std::string &Name);
+
+} // namespace suite
+} // namespace laminar
+
+#endif // LAMINAR_SUITE_SUITE_H

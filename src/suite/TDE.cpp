@@ -1,0 +1,112 @@
+//===--- TDE.cpp - Time-delay equalization ----------------------------------===//
+//
+// The StreamIt TDE kernel (GMTI radar front end): transform to the
+// frequency domain, multiply by a per-bin equalization response, and
+// transform back. Reuses the radix-2 butterfly structure of the FFT
+// benchmark with an inverse pass and a scale stage — a long pipeline of
+// high-rate transform filters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+namespace laminar {
+namespace suite {
+
+const char *kTDESource = R"str(
+float->float filter TdeReorder(int n) {
+  work pop 2 * n push 2 * n {
+    int i;
+    for (i = 0; i < 2 * n; i += 4) {
+      push(peek(i));
+      push(peek(i + 1));
+    }
+    for (i = 2; i < 2 * n; i += 4) {
+      push(peek(i));
+      push(peek(i + 1));
+    }
+    for (i = 0; i < 2 * n; i++)
+      pop();
+  }
+}
+
+/* dir = -1 for the forward transform, +1 for the inverse. */
+float->float filter TdeButterfly(int n, int dir) {
+  float wn_r;
+  float wn_i;
+  init {
+    wn_r = cos(2.0 * 3.141592653589793 / n);
+    wn_i = dir * sin(2.0 * 3.141592653589793 / n);
+  }
+  work pop 2 * n push 2 * n {
+    float w_r = 1.0;
+    float w_i = 0.0;
+    float[2 * n] res;
+    for (int k = 0; k < n / 2; k++) {
+      float y0_r = peek(2 * k);
+      float y0_i = peek(2 * k + 1);
+      float y1_r = peek(n + 2 * k);
+      float y1_i = peek(n + 2 * k + 1);
+      float t_r = y1_r * w_r - y1_i * w_i;
+      float t_i = y1_r * w_i + y1_i * w_r;
+      res[2 * k] = y0_r + t_r;
+      res[2 * k + 1] = y0_i + t_i;
+      res[n + 2 * k] = y0_r - t_r;
+      res[n + 2 * k + 1] = y0_i - t_i;
+      float nw_r = w_r * wn_r - w_i * wn_i;
+      w_i = w_r * wn_i + w_i * wn_r;
+      w_r = nw_r;
+    }
+    for (int j = 0; j < 2 * n; j++) {
+      pop();
+      push(res[j]);
+    }
+  }
+}
+
+/* Complex multiply by the equalization response of each bin. */
+float->float filter Equalize(int n) {
+  float[n] eq_r;
+  float[n] eq_i;
+  init {
+    for (int k = 0; k < n; k++) {
+      eq_r[k] = cos(0.3 * k) / (1.0 + 0.05 * k);
+      eq_i[k] = sin(0.3 * k) / (1.0 + 0.05 * k);
+    }
+  }
+  work pop 2 * n push 2 * n {
+    for (int k = 0; k < n; k++) {
+      float x_r = peek(2 * k);
+      float x_i = peek(2 * k + 1);
+      push(x_r * eq_r[k] - x_i * eq_i[k]);
+      push(x_r * eq_i[k] + x_i * eq_r[k]);
+    }
+    for (int k = 0; k < 2 * n; k++)
+      pop();
+  }
+}
+
+float->float filter Scale(int n) {
+  work pop 1 push 1 {
+    push(pop() / n);
+  }
+}
+
+float->float pipeline TdeFft(int n, int dir) {
+  for (int i = 1; i < n / 2; i = i * 2)
+    add TdeReorder(n / i);
+  for (int j = 2; j <= n; j = j * 2)
+    add TdeButterfly(j, dir);
+}
+
+/* 8-point transform, equalize, inverse transform, renormalize. */
+float->float pipeline TDE {
+  add TdeFft(8, -1);
+  add Equalize(8);
+  add TdeFft(8, 1);
+  add Scale(8);
+}
+)str";
+
+} // namespace suite
+} // namespace laminar

@@ -1,0 +1,40 @@
+//===--- Diagnostics.cpp --------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include <sstream>
+
+using namespace laminar;
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      OS << D.Loc.Line << ":" << D.Loc.Col << ": ";
+    switch (D.Kind) {
+    case DiagKind::Error:
+      OS << "error: ";
+      break;
+    case DiagKind::Warning:
+      OS << "warning: ";
+      break;
+    case DiagKind::Note:
+      OS << "note: ";
+      break;
+    }
+    OS << D.Message << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,50 @@
+//===--- Diagnostics.h - Error collection and reporting --------*- C++ -*-===//
+//
+// The frontend and lowering report recoverable errors (malformed programs)
+// through a DiagnosticEngine rather than aborting. Programmatic errors are
+// still handled with assert.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SUPPORT_DIAGNOSTICS_H
+#define LAMINAR_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+#include <string>
+#include <vector>
+
+namespace laminar {
+
+/// Severity of a diagnostic message.
+enum class DiagKind { Error, Warning, Note };
+
+/// A single diagnostic: severity, location and message text.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics emitted during a compilation. Owned by the driver
+/// and threaded through the frontend and the lowerings.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace laminar
+
+#endif // LAMINAR_SUPPORT_DIAGNOSTICS_H

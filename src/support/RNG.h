@@ -1,0 +1,54 @@
+//===--- RNG.h - Deterministic pseudo-random number generator --*- C++ -*-===//
+//
+// xorshift64* generator. Used to synthesize the randomized benchmark
+// inputs the paper introduced to prevent whole-program constant folding.
+// The C code generator emits the identical algorithm so that emitted C
+// programs and the interpreter consume the same input stream.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SUPPORT_RNG_H
+#define LAMINAR_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace laminar {
+
+/// Deterministic xorshift64* PRNG.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9E3779B97F4A7C15ULL) : State(Seed) {
+    if (State == 0)
+      State = 1;
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    return Lo + nextDouble() * (Hi - Lo);
+  }
+
+  /// Uniform integer in [0, Bound).
+  int64_t nextInt(int64_t Bound) {
+    return static_cast<int64_t>(next() % static_cast<uint64_t>(Bound));
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace laminar
+
+#endif // LAMINAR_SUPPORT_RNG_H

@@ -1,0 +1,64 @@
+//===--- Rational.cpp -----------------------------------------------------===//
+
+#include "support/Rational.h"
+#include <cassert>
+#include <sstream>
+
+using namespace laminar;
+
+int64_t laminar::gcd64(int64_t A, int64_t B) {
+  assert(A >= 0 && B >= 0 && "gcd64 expects non-negative inputs");
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+int64_t laminar::lcm64(int64_t A, int64_t B) {
+  assert(A > 0 && B > 0 && "lcm64 expects positive inputs");
+  return A / gcd64(A, B) * B;
+}
+
+Rational::Rational(int64_t N, int64_t D) : Num(N), Den(D) {
+  assert(D != 0 && "rational with zero denominator");
+  if (Den < 0) {
+    Num = -Num;
+    Den = -Den;
+  }
+  int64_t G = gcd64(Num < 0 ? -Num : Num, Den);
+  if (G > 1) {
+    Num /= G;
+    Den /= G;
+  }
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return Rational(Num * RHS.Num, Den * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "rational division by zero");
+  return Rational(Num * RHS.Den, Den * RHS.Num);
+}
+
+bool Rational::operator<(const Rational &RHS) const {
+  return Num * RHS.Den < RHS.Num * Den;
+}
+
+std::string Rational::str() const {
+  std::ostringstream OS;
+  OS << Num;
+  if (Den != 1)
+    OS << "/" << Den;
+  return OS.str();
+}

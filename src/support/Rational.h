@@ -1,0 +1,57 @@
+//===--- Rational.h - Exact rational arithmetic ----------------*- C++ -*-===//
+//
+// Used by the balance-equation solver: repetition ratios between stream
+// actors are rationals until the final scaling to the minimal integral
+// repetition vector.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SUPPORT_RATIONAL_H
+#define LAMINAR_SUPPORT_RATIONAL_H
+
+#include <cstdint>
+#include <string>
+
+namespace laminar {
+
+/// Greatest common divisor of two non-negative integers.
+int64_t gcd64(int64_t A, int64_t B);
+
+/// Least common multiple; asserts on overflow-free small inputs.
+int64_t lcm64(int64_t A, int64_t B);
+
+/// An exact rational number with a canonical representation: the
+/// denominator is always positive and gcd(|num|, den) == 1.
+class Rational {
+public:
+  Rational() = default;
+  Rational(int64_t Num) : Num(Num), Den(1) {}
+  Rational(int64_t Num, int64_t Den);
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isIntegral() const { return Den == 1; }
+
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  Rational operator/(const Rational &RHS) const;
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const;
+
+  std::string str() const;
+
+private:
+  int64_t Num = 0;
+  int64_t Den = 1;
+};
+
+} // namespace laminar
+
+#endif // LAMINAR_SUPPORT_RATIONAL_H

@@ -1,0 +1,27 @@
+//===--- SourceLoc.h - Source locations for diagnostics --------*- C++ -*-===//
+
+#ifndef LAMINAR_SUPPORT_SOURCELOC_H
+#define LAMINAR_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace laminar {
+
+/// A (line, column) position in a source buffer. Lines and columns are
+/// 1-based; a value of {0, 0} denotes an unknown location.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+};
+
+} // namespace laminar
+
+#endif // LAMINAR_SUPPORT_SOURCELOC_H

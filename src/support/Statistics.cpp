@@ -1,0 +1,13 @@
+//===--- Statistics.cpp ---------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include <sstream>
+
+using namespace laminar;
+
+std::string StatsRegistry::str() const {
+  std::ostringstream OS;
+  for (const auto &[Name, Value] : Counters)
+    OS << Value << "\t" << Name << "\n";
+  return OS.str();
+}

@@ -1,0 +1,47 @@
+//===--- Statistics.h - Named transformation counters ----------*- C++ -*-===//
+//
+// A per-compilation registry of named counters (no global state, so
+// compilations are isolated). The optimizer bumps counters such as
+// "sccp.constants-folded"; the T4 bench prints them to show the enabling
+// effect of LaminarIR on standard optimizations.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SUPPORT_STATISTICS_H
+#define LAMINAR_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace laminar {
+
+/// Registry of named counters, keyed by "pass.counter" strings. Iteration
+/// order is deterministic (sorted by name).
+class StatsRegistry {
+public:
+  /// Adds \p Delta to the counter named \p Name, creating it at zero.
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    Counters[Name] += Delta;
+  }
+
+  /// Current value of \p Name, or 0 if it was never bumped.
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+  void clear() { Counters.clear(); }
+
+  /// Renders "value  name" lines, sorted by counter name.
+  std::string str() const;
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace laminar
+
+#endif // LAMINAR_SUPPORT_STATISTICS_H

@@ -1,0 +1,143 @@
+//===--- CodegenTest.cpp - C emission and end-to-end cross-check ------------===//
+
+#include "codegen/CEmitter.h"
+#include "driver/Driver.h"
+#include "suite/Suite.h"
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::driver;
+
+namespace {
+
+Compilation compileBench(const std::string &Name, LoweringMode Mode,
+                         unsigned Opt) {
+  const suite::Benchmark *B = suite::findBenchmark(Name);
+  EXPECT_NE(B, nullptr);
+  CompileOptions O;
+  O.TopName = B->Top;
+  O.Mode = Mode;
+  O.OptLevel = Opt;
+  return compile(B->Source, O);
+}
+
+/// Renders the interpreter outputs the way the emitted C main() prints
+/// them.
+std::string renderOutputs(const interp::RunResult &R) {
+  std::ostringstream OS;
+  if (R.Outputs.Ty == lir::TypeKind::Int) {
+    for (int64_t V : R.Outputs.I)
+      OS << V << "\n";
+  } else {
+    for (double V : R.Outputs.F) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.17g\n", V);
+      OS << Buf;
+    }
+  }
+  return OS.str();
+}
+
+/// Compiles and runs a C file; returns its stdout, or nullopt when no
+/// host C compiler is available.
+std::optional<std::string> runC(const std::string &CSource, int64_t Iters) {
+  std::string Dir = ::testing::TempDir();
+  std::string CPath = Dir + "/lam_gen.c";
+  std::string Bin = Dir + "/lam_gen";
+  std::string OutPath = Dir + "/lam_gen.out";
+  {
+    std::ofstream Out(CPath);
+    Out << CSource;
+  }
+  std::string CompileCmd = "cc -O1 -o " + Bin + " " + CPath + " -lm";
+  if (std::system(CompileCmd.c_str()) != 0)
+    return std::nullopt;
+  std::string RunCmd =
+      Bin + " " + std::to_string(Iters) + " > " + OutPath;
+  if (std::system(RunCmd.c_str()) != 0)
+    return std::nullopt;
+  std::ifstream In(OutPath);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+TEST(Codegen, EmitsSelfContainedProgram) {
+  Compilation C = compileBench("MovingAverage", LoweringMode::Laminar, 2);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  codegen::CEmitOptions O;
+  std::string Src = codegen::emitC(*C.Module, O);
+  EXPECT_NE(Src.find("int main("), std::string::npos);
+  EXPECT_NE(Src.find("lam_init"), std::string::npos);
+  EXPECT_NE(Src.find("lam_steady"), std::string::npos);
+  EXPECT_NE(Src.find("#include <math.h>"), std::string::npos);
+}
+
+TEST(Codegen, GlobalInitializersEmitted) {
+  Compilation C = compileBench("MovingAverage", LoweringMode::Fifo, 0);
+  ASSERT_TRUE(C.Ok);
+  codegen::CEmitOptions O;
+  std::string Src = codegen::emitC(*C.Module, O);
+  // Channel buffers appear as static arrays with name comments.
+  EXPECT_NE(Src.find(".buf */"), std::string::npos);
+}
+
+namespace {
+
+struct CrossCheckCase {
+  const char *Bench;
+  LoweringMode Mode;
+  unsigned Opt;
+};
+
+class CodegenCrossCheck : public ::testing::TestWithParam<CrossCheckCase> {};
+
+} // namespace
+
+TEST_P(CodegenCrossCheck, CompiledCMatchesInterpreter) {
+  const CrossCheckCase &P = GetParam();
+  constexpr int64_t Iters = 4;
+  constexpr uint64_t Seed = 77;
+
+  Compilation C = compileBench(P.Bench, P.Mode, P.Opt);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  interp::RunResult R = runWithRandomInput(C, Iters, Seed);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  codegen::CEmitOptions O;
+  O.InputSeed = Seed;
+  O.DefaultIterations = Iters;
+  std::string CSource = codegen::emitC(*C.Module, O);
+  auto COut = runC(CSource, Iters);
+  if (!COut) {
+    GTEST_SKIP() << "host C compiler unavailable";
+    return;
+  }
+  EXPECT_EQ(*COut, renderOutputs(R));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CodegenCrossCheck,
+    ::testing::Values(
+        CrossCheckCase{"MovingAverage", LoweringMode::Laminar, 2},
+        CrossCheckCase{"MovingAverage", LoweringMode::Fifo, 2},
+        CrossCheckCase{"BitonicSort", LoweringMode::Laminar, 2},
+        CrossCheckCase{"BitonicSort", LoweringMode::Fifo, 0},
+        CrossCheckCase{"FFT", LoweringMode::Laminar, 2},
+        CrossCheckCase{"RateConvert", LoweringMode::Fifo, 2},
+        CrossCheckCase{"Lattice", LoweringMode::Laminar, 1},
+        CrossCheckCase{"Echo", LoweringMode::Fifo, 2},
+        CrossCheckCase{"Echo", LoweringMode::Laminar, 2},
+        CrossCheckCase{"TDE", LoweringMode::Laminar, 2}),
+    [](const ::testing::TestParamInfo<CrossCheckCase> &Info) {
+      std::string Name = Info.param.Bench;
+      Name += Info.param.Mode == LoweringMode::Fifo ? "_fifo" : "_laminar";
+      Name += "_O" + std::to_string(Info.param.Opt);
+      return Name;
+    });

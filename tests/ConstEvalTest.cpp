@@ -1,0 +1,158 @@
+//===--- ConstEvalTest.cpp ----------------------------------------------------===//
+
+#include "frontend/ConstEval.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::ast;
+
+namespace {
+
+/// Wraps an expression in a composite body so it is parsed, analyzed and
+/// evaluable: `int r = <expr>;`.
+class EvalFixture : public ::testing::Test {
+protected:
+  /// Evaluates the initializer of local `r` declared in a pipeline body.
+  std::optional<ConstVal> evalIn(const std::string &Body) {
+    Source = "float->float filter Id(int n, float g) { work push 1 pop 1 "
+             "{ push(pop()); } }\n"
+             "float->float pipeline P { " +
+             Body + " add Id(1, 1.0); }";
+    P = parseProgram(Source, Diags);
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+    EXPECT_TRUE(analyzeProgram(*P, Diags)) << Diags.str();
+    auto *C = cast<CompositeDecl>(P->findDecl("P"));
+    ConstEval Eval(Diags, Env);
+    std::optional<ConstVal> Result;
+    const VarDecl *Target = nullptr;
+    bool Ok = Eval.exec(C->getBody(), [](const Stmt *) { return true; });
+    EXPECT_TRUE(Ok) << Diags.str();
+    // Find the decl named "r" and return its bound value.
+    for (const Stmt *S : C->getBody()->getBody())
+      if (const auto *DS = dyn_cast<DeclStmt>(S))
+        if (DS->getDecl()->getName() == "r")
+          Target = DS->getDecl();
+    if (Target)
+      Result = Env.get(Target);
+    return Result;
+  }
+
+  DiagnosticEngine Diags;
+  ConstEnv Env;
+  std::unique_ptr<Program> P;
+  std::string Source;
+};
+
+} // namespace
+
+TEST_F(EvalFixture, Arithmetic) {
+  auto V = evalIn("int r = 2 + 3 * 4;");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->asInt(), 14);
+}
+
+TEST_F(EvalFixture, FloatPromotion) {
+  auto V = evalIn("float r = 1 + 0.5;");
+  ASSERT_TRUE(V);
+  EXPECT_DOUBLE_EQ(V->asFloat(), 1.5);
+}
+
+TEST_F(EvalFixture, MathBuiltins) {
+  auto V = evalIn("float r = sqrt(16.0) + abs(0.0 - 2.0) + pow(2.0, 3.0);");
+  ASSERT_TRUE(V);
+  EXPECT_DOUBLE_EQ(V->asFloat(), 4.0 + 2.0 + 8.0);
+}
+
+TEST_F(EvalFixture, ForLoopAccumulates) {
+  auto V = evalIn("int r = 0; for (int i = 1; i <= 10; i++) r += i;");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->asInt(), 55);
+}
+
+TEST_F(EvalFixture, WhileLoop) {
+  auto V = evalIn("int r = 1; int k = 0; while (r < 100) { r = r * 2; "
+                  "k = k + 1; }");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->asInt(), 128);
+}
+
+TEST_F(EvalFixture, IfSelectsBranch) {
+  auto V = evalIn("int r = 0; if (3 > 2) r = 7; else r = 9;");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->asInt(), 7);
+}
+
+TEST_F(EvalFixture, CompoundAssignment) {
+  auto V = evalIn("int r = 10; r -= 4; r *= 3;");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->asInt(), 18);
+}
+
+TEST_F(EvalFixture, ExplicitCastTruncates) {
+  auto V = evalIn("int r = (int)3.9;");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->asInt(), 3);
+}
+
+TEST_F(EvalFixture, ShiftAndBitwise) {
+  auto V = evalIn("int r = (1 << 4) | 3 & 1;");
+  ASSERT_TRUE(V);
+  EXPECT_EQ(V->asInt(), 17);
+}
+
+TEST(ConstEval, DivisionByZeroIsNotConstant) {
+  DiagnosticEngine D;
+  auto P = parseProgram(
+      "float->float pipeline P { int r = 1 / 0; add P; }", D);
+  // Parses fine; evaluation must fail (nullopt), reported by exec.
+  ASSERT_FALSE(D.hasErrors());
+  analyzeProgram(*P, D);
+  auto *C = cast<CompositeDecl>(P->findDecl("P"));
+  ConstEnv Env;
+  ConstEval Eval(D, Env);
+  EXPECT_FALSE(Eval.exec(C->getBody(), [](const Stmt *) { return true; }));
+}
+
+TEST(ConstEval, StepBudgetStopsRunawayLoops) {
+  DiagnosticEngine D;
+  auto P = parseProgram(
+      "float->float pipeline P { int x = 0; while (x < 1) { x = x * 1; } }",
+      D);
+  ASSERT_FALSE(D.hasErrors());
+  analyzeProgram(*P, D);
+  auto *C = cast<CompositeDecl>(P->findDecl("P"));
+  ConstEnv Env;
+  ConstEval Eval(D, Env);
+  EXPECT_FALSE(Eval.exec(C->getBody(), [](const Stmt *) { return true; }));
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(ConstEval, ShortCircuitAnd) {
+  // `false && (1/0 == 0)` must evaluate to false without evaluating the
+  // division.
+  DiagnosticEngine D;
+  auto P = parseProgram(R"(
+    float->float pipeline P {
+      int r = 0;
+      if (1 > 2 && 1 / 0 == 0) r = 1;
+    }
+  )",
+                        D);
+  ASSERT_FALSE(D.hasErrors());
+  analyzeProgram(*P, D);
+  auto *C = cast<CompositeDecl>(P->findDecl("P"));
+  ConstEnv Env;
+  ConstEval Eval(D, Env);
+  EXPECT_TRUE(Eval.exec(C->getBody(), [](const Stmt *) { return true; }))
+      << D.str();
+}
+
+TEST(ConstVal, Conversions) {
+  EXPECT_DOUBLE_EQ(ConstVal::makeInt(5).convertTo(ScalarType::Float).asFloat(),
+                   5.0);
+  EXPECT_EQ(ConstVal::makeFloat(-2.7).convertTo(ScalarType::Int).asInt(), -2);
+  EXPECT_EQ(ConstVal::makeBool(true).convertTo(ScalarType::Int).asInt(), 1);
+}

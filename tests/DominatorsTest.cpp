@@ -1,0 +1,121 @@
+//===--- DominatorsTest.cpp ----------------------------------------------------===//
+
+#include "lir/Dominators.h"
+#include "lir/IRBuilder.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+namespace {
+
+struct DomFixture : ::testing::Test {
+  DomFixture() : M("m"), B(M) { F = M.createFunction("f"); }
+
+  BasicBlock *block(const char *Name) { return F->createBlock(Name); }
+
+  void br(BasicBlock *From, BasicBlock *To) {
+    B.setInsertPoint(From);
+    B.createBr(To);
+  }
+
+  void condbr(BasicBlock *From, BasicBlock *T, BasicBlock *E) {
+    B.setInsertPoint(From);
+    Value *C =
+        B.createCmp(CmpPred::GT, B.createInput(TypeKind::Int), B.getInt(0));
+    B.createCondBr(C, T, E);
+  }
+
+  void ret(BasicBlock *BB) {
+    B.setInsertPoint(BB);
+    B.createRet();
+  }
+
+  Module M;
+  IRBuilder B;
+  Function *F;
+};
+
+} // namespace
+
+TEST_F(DomFixture, Diamond) {
+  BasicBlock *Entry = block("entry");
+  BasicBlock *T = block("t");
+  BasicBlock *E = block("e");
+  BasicBlock *Merge = block("m");
+  condbr(Entry, T, E);
+  br(T, Merge);
+  br(E, Merge);
+  ret(Merge);
+
+  DomTree DT(*F);
+  EXPECT_TRUE(DT.dominates(Entry, Merge));
+  EXPECT_TRUE(DT.dominates(Entry, T));
+  EXPECT_FALSE(DT.dominates(T, Merge));
+  EXPECT_FALSE(DT.dominates(T, E));
+  EXPECT_TRUE(DT.dominates(Merge, Merge));
+  EXPECT_EQ(DT.idom(Merge), Entry);
+  EXPECT_EQ(DT.idom(T), Entry);
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+}
+
+TEST_F(DomFixture, LinearChain) {
+  BasicBlock *A = block("a");
+  BasicBlock *Bb = block("b");
+  BasicBlock *C = block("c");
+  br(A, Bb);
+  br(Bb, C);
+  ret(C);
+  DomTree DT(*F);
+  EXPECT_TRUE(DT.dominates(A, C));
+  EXPECT_TRUE(DT.dominates(Bb, C));
+  EXPECT_EQ(DT.idom(C), Bb);
+  auto RPO = DT.reversePostorder();
+  ASSERT_EQ(RPO.size(), 3u);
+  EXPECT_EQ(RPO[0], A);
+  EXPECT_EQ(RPO[2], C);
+}
+
+TEST_F(DomFixture, LoopHeaderDominatesBodyAndExit) {
+  BasicBlock *Entry = block("entry");
+  BasicBlock *H = block("h");
+  BasicBlock *Body = block("b");
+  BasicBlock *Exit = block("x");
+  br(Entry, H);
+  condbr(H, Body, Exit);
+  br(Body, H);
+  ret(Exit);
+  DomTree DT(*F);
+  EXPECT_TRUE(DT.dominates(H, Body));
+  EXPECT_TRUE(DT.dominates(H, Exit));
+  EXPECT_FALSE(DT.dominates(Body, Exit));
+  EXPECT_EQ(DT.idom(Body), H);
+  EXPECT_EQ(DT.idom(Exit), H);
+}
+
+TEST_F(DomFixture, UnreachableBlockExcluded) {
+  BasicBlock *Entry = block("entry");
+  BasicBlock *Dead = block("dead");
+  ret(Entry);
+  ret(Dead);
+  DomTree DT(*F);
+  EXPECT_TRUE(DT.isReachable(Entry));
+  EXPECT_FALSE(DT.isReachable(Dead));
+  EXPECT_FALSE(DT.dominates(Dead, Entry));
+  EXPECT_FALSE(DT.dominates(Entry, Dead));
+}
+
+TEST_F(DomFixture, ChildrenOf) {
+  BasicBlock *Entry = block("entry");
+  BasicBlock *T = block("t");
+  BasicBlock *E = block("e");
+  BasicBlock *Merge = block("m");
+  condbr(Entry, T, E);
+  br(T, Merge);
+  br(E, Merge);
+  ret(Merge);
+  DomTree DT(*F);
+  auto Children = DT.childrenOf(Entry);
+  EXPECT_EQ(Children.size(), 3u); // t, e, m
+  EXPECT_TRUE(DT.childrenOf(T).empty());
+}

@@ -1,0 +1,137 @@
+//===--- DriverTest.cpp - End-to-end pipeline plumbing -----------------------===//
+
+#include "driver/Driver.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::driver;
+
+namespace {
+
+const char *kGood = R"(
+float->float filter Avg(int n) {
+  work push 1 pop 1 peek n {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) s += peek(i);
+    push(s / n);
+    pop();
+  }
+}
+float->float pipeline Top { add Avg(6); }
+)";
+
+} // namespace
+
+TEST(Driver, SuccessfulCompilationPopulatesEverything) {
+  CompileOptions O;
+  O.TopName = "Top";
+  Compilation C = compile(kGood, O);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_NE(C.AST, nullptr);
+  EXPECT_NE(C.Graph, nullptr);
+  EXPECT_TRUE(C.Sched.has_value());
+  EXPECT_NE(C.Module, nullptr);
+  EXPECT_TRUE(C.ErrorLog.empty());
+}
+
+TEST(Driver, ParseErrorsSurfaceWithLocations) {
+  CompileOptions O;
+  O.TopName = "Top";
+  Compilation C = compile("float->float filter F { work push 1 pop 1 "
+                          "{ push(pop() }; }",
+                          O);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_EQ(C.Graph, nullptr);
+  EXPECT_NE(C.ErrorLog.find("error:"), std::string::npos);
+  // Location "line:col:" prefix present.
+  EXPECT_NE(C.ErrorLog.find("1:"), std::string::npos);
+}
+
+TEST(Driver, SemaErrorsStopBeforeElaboration) {
+  CompileOptions O;
+  O.TopName = "Top";
+  Compilation C = compile(R"(
+    float->float filter F { work push 1 pop 1 { push(ghost); } }
+    float->float pipeline Top { add F; }
+  )",
+                          O);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_EQ(C.Graph, nullptr);
+  EXPECT_NE(C.ErrorLog.find("undeclared"), std::string::npos);
+}
+
+TEST(Driver, ScheduleErrorsStopBeforeLowering) {
+  CompileOptions O;
+  O.TopName = "Top";
+  Compilation C = compile(R"(
+    float->float filter A { work push 1 pop 1 { push(pop()); } }
+    float->float filter B { work push 1 pop 2 { push(pop() + pop()); } }
+    float->float splitjoin Top {
+      split duplicate;
+      add A;
+      add B;
+      join roundrobin(1, 1);
+    }
+  )",
+                          O);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.Graph, nullptr); // Elaborated fine.
+  EXPECT_EQ(C.Module, nullptr);
+  EXPECT_NE(C.ErrorLog.find("inconsistent"), std::string::npos);
+}
+
+TEST(Driver, RequiredInputTokensAccountsForInitAndSteady) {
+  CompileOptions O;
+  O.TopName = "Top";
+  Compilation C = compile(kGood, O);
+  ASSERT_TRUE(C.Ok);
+  // peek 6 / pop 1: init primes 5, each steady iteration consumes 1.
+  EXPECT_EQ(requiredInputTokens(C, 0), 5u);
+  EXPECT_EQ(requiredInputTokens(C, 10), 15u);
+}
+
+TEST(Driver, RunWithRandomInputIsSeedDeterministic) {
+  CompileOptions O;
+  O.TopName = "Top";
+  Compilation C1 = compile(kGood, O);
+  Compilation C2 = compile(kGood, O);
+  ASSERT_TRUE(C1.Ok && C2.Ok);
+  interp::RunResult A = runWithRandomInput(C1, 4, 123);
+  interp::RunResult B = runWithRandomInput(C2, 4, 123);
+  ASSERT_TRUE(A.Ok && B.Ok);
+  EXPECT_EQ(A.Outputs.F, B.Outputs.F);
+}
+
+TEST(Driver, OptLevelsProduceProgressivelySmallerSteadyStates) {
+  CompileOptions O;
+  O.TopName = "Top";
+  O.Mode = LoweringMode::Laminar;
+  size_t Sizes[3];
+  for (unsigned Level = 0; Level < 3; ++Level) {
+    O.OptLevel = Level;
+    Compilation C = compile(kGood, O);
+    ASSERT_TRUE(C.Ok);
+    Sizes[Level] = C.Module->getFunction("steady")->instructionCount();
+  }
+  EXPECT_GE(Sizes[0], Sizes[1]);
+  EXPECT_GE(Sizes[1], Sizes[2]);
+}
+
+TEST(Driver, StatsRecordBuilderFolds) {
+  CompileOptions O;
+  O.TopName = "Top";
+  O.Mode = LoweringMode::Laminar;
+  O.OptLevel = 0;
+  Compilation C = compile(kGood, O);
+  ASSERT_TRUE(C.Ok);
+  // Unrolling the peek loop folds index arithmetic at build time.
+  EXPECT_GT(C.Stats.get("lowering.builder-folds"), 0u);
+}
+
+TEST(Driver, UnknownTopName) {
+  CompileOptions O;
+  O.TopName = "Nothing";
+  Compilation C = compile(kGood, O);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.ErrorLog.find("no stream named"), std::string::npos);
+}

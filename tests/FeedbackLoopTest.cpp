@@ -1,0 +1,287 @@
+//===--- FeedbackLoopTest.cpp - Cyclic graphs and enqueued tokens -----------===//
+
+#include "driver/Driver.h"
+#include "lir/IRParser.h"
+#include "lir/Printer.h"
+#include "schedule/ScheduleSim.h"
+#include "suite/Suite.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::driver;
+using namespace laminar::interp;
+
+namespace {
+
+const char *kEchoSrc = R"(
+float->float filter Mix(float decay) {
+  work pop 2 push 2 {
+    float x = pop();
+    float fb = pop();
+    float y = x + decay * fb;
+    push(y);
+    push(y);
+  }
+}
+float->float feedbackloop T {
+  join roundrobin(1, 1);
+  body Mix(0.5);
+  split roundrobin(1, 1);
+  enqueue 0.0;
+  enqueue 0.0;
+  enqueue 0.0;
+  enqueue 0.0;
+}
+)";
+
+Compilation make(const char *Src, LoweringMode Mode, unsigned Opt = 2) {
+  CompileOptions O;
+  O.TopName = "T";
+  O.Mode = Mode;
+  O.OptLevel = Opt;
+  O.VerifyEachPass = true;
+  return compile(Src, O);
+}
+
+} // namespace
+
+TEST(FeedbackLoop, GraphHasFeedbackEdgeWithInitialTokens) {
+  Compilation C = make(kEchoSrc, LoweringMode::Laminar);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_TRUE(C.Graph->hasFeedback());
+  int FeedbackEdges = 0;
+  for (const auto &Ch : C.Graph->channels())
+    if (Ch->isFeedback()) {
+      ++FeedbackEdges;
+      EXPECT_EQ(Ch->numInitialTokens(), 4);
+    }
+  EXPECT_EQ(FeedbackEdges, 1);
+}
+
+TEST(FeedbackLoop, ScheduleSimulates) {
+  Compilation C = make(kEchoSrc, LoweringMode::Fifo);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  auto Sim = schedule::simulateSchedule(*C.Graph, *C.Sched, 3);
+  EXPECT_TRUE(Sim.Ok) << Sim.Error;
+  // The back edge keeps its four-token occupancy across iterations.
+  for (const auto &Ch : C.Graph->channels())
+    if (Ch->isFeedback()) {
+      EXPECT_EQ(C.Sched->occupancyOf(Ch.get()), 4);
+    }
+}
+
+TEST(FeedbackLoop, EchoMatchesReferenceInBothModes) {
+  constexpr int64_t Iters = 24;
+  for (LoweringMode Mode : {LoweringMode::Fifo, LoweringMode::Laminar}) {
+    Compilation C = make(kEchoSrc, Mode);
+    ASSERT_TRUE(C.Ok) << C.ErrorLog;
+    TokenStream In = makeRandomInput(lir::TypeKind::Float,
+                                     requiredInputTokens(C, Iters), 31);
+    RunResult R = runModule(*C.Module, In, Iters);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    ASSERT_EQ(R.Outputs.F.size(), static_cast<size_t>(Iters));
+    // y[t] = x[t] + 0.5 * y[t-4] (y < 0 for t < 0 means zero).
+    std::vector<double> Y(Iters);
+    for (int64_t T = 0; T < Iters; ++T)
+      Y[T] = In.F[T] + 0.5 * (T >= 4 ? Y[T - 4] : 0.0);
+    for (int64_t T = 0; T < Iters; ++T)
+      EXPECT_DOUBLE_EQ(R.Outputs.F[T], Y[T]) << "t=" << T;
+  }
+}
+
+TEST(FeedbackLoop, LaminarCarriesLoopTokensAsLiveTokens) {
+  Compilation C = make(kEchoSrc, LoweringMode::Laminar, 0);
+  ASSERT_TRUE(C.Ok);
+  size_t Live = 0;
+  for (const auto &G : C.Module->globals())
+    Live += G->getMemClass() == lir::MemClass::LiveToken;
+  EXPECT_EQ(Live, 4u);
+}
+
+TEST(FeedbackLoop, SuiteEchoMatchesDampedReference) {
+  const suite::Benchmark *B = suite::findBenchmark("Echo");
+  ASSERT_NE(B, nullptr);
+  CompileOptions O;
+  O.TopName = B->Top;
+  O.Mode = LoweringMode::Laminar;
+  Compilation C = compile(B->Source, O);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  constexpr int64_t Iters = 32;
+  TokenStream In = makeRandomInput(lir::TypeKind::Float,
+                                   requiredInputTokens(C, Iters), 4);
+  RunResult R = runModule(*C.Module, In, Iters);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // y[t] = x[t] + 0.6 * 0.8 * y[t-8].
+  std::vector<double> Y(Iters);
+  for (int64_t T = 0; T < Iters; ++T)
+    Y[T] = In.F[T] + 0.6 * (T >= 8 ? 0.8 * Y[T - 8] : 0.0);
+  for (int64_t T = 0; T < Iters; ++T)
+    EXPECT_DOUBLE_EQ(R.Outputs.F[T], Y[T]) << "t=" << T;
+}
+
+TEST(FeedbackLoop, DeadlockWithoutEnqueueDiagnosed) {
+  const char *Src = R"(
+    float->float filter Mix {
+      work pop 2 push 2 {
+        float x = pop();
+        float fb = pop();
+        push(x + fb);
+        push(x);
+      }
+    }
+    float->float feedbackloop T {
+      join roundrobin(1, 1);
+      body Mix();
+      split roundrobin(1, 1);
+    }
+  )";
+  Compilation C = make(Src, LoweringMode::Fifo);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.ErrorLog.find("deadlock"), std::string::npos)
+      << C.ErrorLog;
+}
+
+TEST(FeedbackLoop, BodyAndSplitRequired) {
+  const char *Src = R"(
+    float->float filter Id { work pop 1 push 1 { push(pop()); } }
+    float->float feedbackloop T {
+      join roundrobin(1, 1);
+      body Id();
+    }
+  )";
+  Compilation C = make(Src, LoweringMode::Fifo);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.ErrorLog.find("needs join, body and split"),
+            std::string::npos);
+}
+
+TEST(FeedbackLoop, PlainAddRejectedInFeedbackloop) {
+  const char *Src = R"(
+    float->float filter Id { work pop 1 push 1 { push(pop()); } }
+    float->float feedbackloop T {
+      join roundrobin(1, 1);
+      add Id();
+      split roundrobin(1, 1);
+    }
+  )";
+  Compilation C = make(Src, LoweringMode::Fifo);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.ErrorLog.find("'body' and 'loop'"), std::string::npos);
+}
+
+TEST(FeedbackLoop, EnqueueOutsideFeedbackloopRejected) {
+  const char *Src = R"(
+    float->float filter Id { work pop 1 push 1 { push(pop()); } }
+    float->float pipeline T {
+      add Id;
+      enqueue 1.0;
+    }
+  )";
+  Compilation C = make(Src, LoweringMode::Fifo);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.ErrorLog.find("enqueue"), std::string::npos);
+}
+
+TEST(FeedbackLoop, TypeMismatchedLoopPathRejected) {
+  const char *Src = R"(
+    float->float filter Mix {
+      work pop 2 push 2 { push(pop() + pop()); push(1.0); }
+    }
+    float->int filter Quantize {
+      work pop 1 push 1 { push((int)pop()); }
+    }
+    float->float feedbackloop T {
+      join roundrobin(1, 1);
+      body Mix();
+      split roundrobin(1, 1);
+      loop Quantize();
+      enqueue 0.0;
+    }
+  )";
+  Compilation C = make(Src, LoweringMode::Fifo);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.ErrorLog.find("loop path"), std::string::npos);
+}
+
+TEST(FeedbackLoop, MultiRateFeedback) {
+  // The loop path downsamples by 2, the body upsamples the feedback:
+  // a genuinely multi-rate cycle.
+  const char *Src = R"(
+    float->float filter Mix {
+      work pop 3 push 2 {
+        float x = pop();
+        float f1 = pop();
+        float f2 = pop();
+        push(x + f1);
+        push(x - f2);
+      }
+    }
+    float->float filter Up {
+      work pop 1 push 2 {
+        float v = pop();
+        push(v);
+        push(0.5 * v);
+      }
+    }
+    float->float feedbackloop T {
+      join roundrobin(1, 2);
+      body Mix();
+      split roundrobin(1, 1);
+      loop Up();
+      enqueue 0.25;
+      enqueue 0.25;
+    }
+  )";
+  for (LoweringMode Mode : {LoweringMode::Fifo, LoweringMode::Laminar}) {
+    Compilation C = make(Src, Mode);
+    ASSERT_TRUE(C.Ok) << C.ErrorLog;
+    RunResult R = runWithRandomInput(C, 6, 9);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_GT(R.Outputs.F.size(), 0u);
+  }
+}
+
+TEST(FeedbackLoop, FifoRoundTripPreservesEnqueuedState) {
+  // Regression: the textual IR must carry the FIFO buffer's enqueued
+  // contents and tail counter. With a 5-deep delay line (buffer size 8)
+  // losing the tail initializer silently changes the delay.
+  const char *Src = R"(
+    float->float filter Mix {
+      work pop 2 push 2 {
+        float x = pop();
+        float fb = pop();
+        push(x + 0.5 * fb);
+        push(x + 0.5 * fb);
+      }
+    }
+    float->float feedbackloop T {
+      join roundrobin(1, 1);
+      body Mix();
+      split roundrobin(1, 1);
+      enqueue 0.125;
+      enqueue 0.25;
+      enqueue 0.375;
+      enqueue 0.5;
+      enqueue 0.625;
+    }
+  )";
+  Compilation C = make(Src, LoweringMode::Fifo, 1);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  std::string Text = lir::printModule(*C.Module);
+  EXPECT_NE(Text.find("= {"), std::string::npos)
+      << "global initializers missing from the textual IR";
+  DiagnosticEngine D;
+  auto Reparsed = lir::parseIR(Text, D);
+  ASSERT_NE(Reparsed, nullptr) << D.str();
+
+  constexpr int64_t Iters = 16;
+  TokenStream In = makeRandomInput(lir::TypeKind::Float,
+                                   requiredInputTokens(C, Iters), 77);
+  RunResult R1 = runModule(*C.Module, In, Iters);
+  RunResult R2 = runModule(*Reparsed, In, Iters);
+  ASSERT_TRUE(R1.Ok && R2.Ok) << R1.Error << R2.Error;
+  EXPECT_EQ(R1.Outputs.F, R2.Outputs.F);
+  // And the nonzero enqueued values are observable in the first outputs.
+  EXPECT_DOUBLE_EQ(R1.Outputs.F[0], In.F[0] + 0.5 * 0.125);
+  EXPECT_DOUBLE_EQ(R1.Outputs.F[4], In.F[4] + 0.5 * 0.625);
+}

@@ -1,0 +1,299 @@
+//===--- GraphTest.cpp - Elaboration into stream graphs ---------------------===//
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "graph/GraphBuilder.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::graph;
+
+namespace {
+
+std::unique_ptr<StreamGraph> build(const std::string &S,
+                                   const std::string &Top,
+                                   std::string *Err = nullptr) {
+  DiagnosticEngine D;
+  auto P = parseProgram(S, D);
+  if (!D.hasErrors())
+    analyzeProgram(*P, D);
+  if (D.hasErrors()) {
+    if (Err)
+      *Err = D.str();
+    return nullptr;
+  }
+  auto G = buildGraph(*P, Top, D);
+  if (Err)
+    *Err = D.str();
+  return G;
+}
+
+const char *kPrelude = R"(
+float->float filter Id { work push 1 pop 1 { push(pop()); } }
+float->float filter Gain(float g) { work push 1 pop 1 { push(pop() * g); } }
+float->float filter Dec(int n) {
+  work push 1 pop n {
+    push(peek(0));
+    for (int i = 0; i < n; i++) pop();
+  }
+}
+)";
+
+} // namespace
+
+TEST(Graph, PipelineShape) {
+  auto G = build(std::string(kPrelude) + R"(
+    float->float pipeline Top { add Id; add Gain(2.0); add Id; }
+  )",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  // 3 user filters + source + sink.
+  EXPECT_EQ(G->nodes().size(), 5u);
+  EXPECT_EQ(G->channels().size(), 4u);
+  ASSERT_NE(G->getSource(), nullptr);
+  ASSERT_NE(G->getSink(), nullptr);
+  EXPECT_EQ(G->getSource()->getRole(), FilterNode::Role::Source);
+  EXPECT_EQ(G->getSink()->getRole(), FilterNode::Role::Sink);
+}
+
+TEST(Graph, ParameterBinding) {
+  auto G = build(std::string(kPrelude) + R"(
+    float->float pipeline Top { add Dec(4); }
+  )",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  const FilterNode *Dec = nullptr;
+  for (const auto &N : G->nodes())
+    if (N->getName().rfind("Dec", 0) == 0)
+      Dec = cast<FilterNode>(N.get());
+  ASSERT_NE(Dec, nullptr);
+  EXPECT_EQ(Dec->getPopRate(), 4);
+  EXPECT_EQ(Dec->getPushRate(), 1);
+  EXPECT_EQ(Dec->getPeekRate(), 4);
+}
+
+TEST(Graph, ElaborationTimeLoopUnrollsAdds) {
+  auto G = build(std::string(kPrelude) + R"(
+    float->float pipeline Top {
+      for (int i = 0; i < 5; i++) add Gain(i + 1.0);
+    }
+  )",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(G->nodes().size(), 7u); // 5 gains + endpoints.
+}
+
+TEST(Graph, SplitJoinWiring) {
+  auto G = build(std::string(kPrelude) + R"(
+    float->float splitjoin Top {
+      split roundrobin(2, 1);
+      add Id;
+      add Id;
+      join roundrobin(1, 2);
+    }
+  )",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  const SplitterNode *Split = nullptr;
+  const JoinerNode *Join = nullptr;
+  for (const auto &N : G->nodes()) {
+    if (const auto *S = dyn_cast<SplitterNode>(N.get()))
+      Split = S;
+    if (const auto *J = dyn_cast<JoinerNode>(N.get()))
+      Join = J;
+  }
+  ASSERT_NE(Split, nullptr);
+  ASSERT_NE(Join, nullptr);
+  EXPECT_EQ(Split->getMode(), SplitterNode::Mode::RoundRobin);
+  EXPECT_EQ(Split->getWeights(), (std::vector<int64_t>{2, 1}));
+  EXPECT_EQ(Split->totalIn(), 3);
+  EXPECT_EQ(Join->getWeights(), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(Join->totalOut(), 3);
+  EXPECT_EQ(Split->outputs().size(), 2u);
+  EXPECT_EQ(Join->inputs().size(), 2u);
+}
+
+TEST(Graph, WeightNormalization) {
+  // Single weight replicates to all branches; no weights means all 1.
+  auto G = build(std::string(kPrelude) + R"(
+    float->float splitjoin Top {
+      split roundrobin(3);
+      add Id;
+      add Id;
+      join roundrobin;
+    }
+  )",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  for (const auto &N : G->nodes()) {
+    if (const auto *S = dyn_cast<SplitterNode>(N.get())) {
+      EXPECT_EQ(S->getWeights(), (std::vector<int64_t>{3, 3}));
+    }
+    if (const auto *J = dyn_cast<JoinerNode>(N.get())) {
+      EXPECT_EQ(J->getWeights(), (std::vector<int64_t>{1, 1}));
+    }
+  }
+}
+
+TEST(Graph, DuplicateSplitterConsumesOne) {
+  auto G = build(std::string(kPrelude) + R"(
+    float->float splitjoin Top {
+      split duplicate;
+      add Id;
+      add Id;
+      add Id;
+      join roundrobin;
+    }
+  )",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  for (const auto &N : G->nodes())
+    if (const auto *S = dyn_cast<SplitterNode>(N.get())) {
+      EXPECT_EQ(S->totalIn(), 1);
+      EXPECT_EQ(S->produceRate(0), 1);
+      EXPECT_EQ(S->produceRate(2), 1);
+    }
+}
+
+TEST(Graph, NestedComposites) {
+  auto G = build(std::string(kPrelude) + R"(
+    float->float pipeline Inner(float g) { add Gain(g); add Id; }
+    float->float splitjoin Mid {
+      split duplicate;
+      add Inner(1.0);
+      add Inner(2.0);
+      join roundrobin;
+    }
+    float->float pipeline Top { add Mid; add Id; }
+  )",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  // 4 filters in branches + Id + split + join + endpoints = 9.
+  EXPECT_EQ(G->nodes().size(), 9u);
+}
+
+TEST(Graph, TopologicalOrderRespectsEdges) {
+  auto G = build(std::string(kPrelude) + R"(
+    float->float pipeline Top { add Id; add Gain(1.5); }
+  )",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  auto Order = G->topologicalOrder();
+  ASSERT_EQ(Order.size(), G->nodes().size());
+  std::unordered_map<const Node *, size_t> Pos;
+  for (size_t I = 0; I < Order.size(); ++I)
+    Pos[Order[I]] = I;
+  for (const auto &Ch : G->channels())
+    EXPECT_LT(Pos[Ch->getSrc()], Pos[Ch->getDst()]);
+}
+
+TEST(Graph, UnknownTopIsError) {
+  std::string Err;
+  EXPECT_EQ(build(kPrelude, "Nope", &Err), nullptr);
+  EXPECT_NE(Err.find("no stream named"), std::string::npos);
+}
+
+TEST(Graph, EmptyPipelineIsError) {
+  std::string Err;
+  EXPECT_EQ(build(std::string(kPrelude) +
+                      "float->float pipeline Top { }",
+                  "Top", &Err),
+            nullptr);
+}
+
+TEST(Graph, SplitJoinWithoutJoinIsError) {
+  std::string Err;
+  EXPECT_EQ(build(std::string(kPrelude) + R"(
+    float->float splitjoin Top { split duplicate; add Id; }
+  )",
+                  "Top", &Err),
+            nullptr);
+}
+
+TEST(Graph, WeightCountMismatchIsError) {
+  std::string Err;
+  EXPECT_EQ(build(std::string(kPrelude) + R"(
+    float->float splitjoin Top {
+      split roundrobin(1, 2, 3);
+      add Id;
+      add Id;
+      join roundrobin;
+    }
+  )",
+                  "Top", &Err),
+            nullptr);
+  EXPECT_NE(Err.find("weight count"), std::string::npos);
+}
+
+TEST(Graph, RecursiveCompositeIsError) {
+  std::string Err;
+  EXPECT_EQ(build(std::string(kPrelude) + R"(
+    float->float pipeline Top { add Id; add Top; }
+  )",
+                  "Top", &Err),
+            nullptr);
+  EXPECT_NE(Err.find("recursion"), std::string::npos);
+}
+
+TEST(Graph, PeekSmallerThanPopCaught) {
+  std::string Err;
+  EXPECT_EQ(build(R"(
+    float->float filter Bad {
+      work push 1 pop 3 peek 2 { push(pop() + pop() + pop()); }
+    }
+    float->float pipeline Top { add Bad; }
+  )",
+                  "Top", &Err),
+            nullptr);
+  EXPECT_NE(Err.find("peek rate smaller"), std::string::npos);
+}
+
+TEST(Graph, ParameterizedRecursionTerminates) {
+  // Bounded recursion through a parameter is legal and common (FFT).
+  auto G = build(std::string(kPrelude) + R"(
+    float->float pipeline Chain(int n) {
+      add Id;
+      if (n > 1) add Chain(n - 1);
+    }
+    float->float pipeline Top { add Chain(4); }
+  )",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  EXPECT_EQ(G->nodes().size(), 6u); // 4 Ids + endpoints.
+}
+
+TEST(Graph, StrRendersNodesAndChannels) {
+  auto G = build(std::string(kPrelude) +
+                     "float->float pipeline Top { add Id; }",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  std::string S = G->str();
+  EXPECT_NE(S.find("__source"), std::string::npos);
+  EXPECT_NE(S.find("__sink"), std::string::npos);
+  EXPECT_NE(S.find("Id_0"), std::string::npos);
+}
+
+TEST(Graph, DotRendering) {
+  auto G = build(std::string(kPrelude) + R"(
+    float->float splitjoin Top {
+      split duplicate;
+      add Id;
+      add Dec(2);
+      join roundrobin(1);
+    }
+  )",
+                 "Top");
+  ASSERT_NE(G, nullptr);
+  std::string Dot = G->dot();
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("shape=trapezium"), std::string::npos);    // splitter
+  EXPECT_NE(Dot.find("shape=invtrapezium"), std::string::npos); // joiner
+  EXPECT_NE(Dot.find("pop 2"), std::string::npos);              // rates
+  // One edge line per channel.
+  size_t Edges = 0, Pos = 0;
+  while ((Pos = Dot.find(" -> ", Pos)) != std::string::npos) {
+    ++Edges;
+    Pos += 4;
+  }
+  EXPECT_EQ(Edges, G->channels().size());
+}

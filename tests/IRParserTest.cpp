@@ -1,0 +1,211 @@
+//===--- IRParserTest.cpp - Textual IR round trips ---------------------------===//
+
+#include "driver/Driver.h"
+#include "lir/IRParser.h"
+#include "lir/Printer.h"
+#include "lir/Verifier.h"
+#include "suite/Suite.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+namespace {
+
+std::unique_ptr<Module> parseOk(const std::string &Text) {
+  DiagnosticEngine D;
+  auto M = parseIR(Text, D);
+  EXPECT_NE(M, nullptr) << D.str();
+  return M;
+}
+
+bool parseFails(const std::string &Text) {
+  DiagnosticEngine D;
+  return parseIR(Text, D) == nullptr && D.hasErrors();
+}
+
+} // namespace
+
+TEST(IRParser, MinimalModule) {
+  auto M = parseOk("module m\n"
+                   "input float\n"
+                   "output float\n"
+                   "func @steady {\n"
+                   "entry0:\n"
+                   "  %0 = input\n"
+                   "  output %0\n"
+                   "  ret\n"
+                   "}\n");
+  EXPECT_EQ(M->getName(), "m");
+  EXPECT_EQ(M->getFunction("steady")->instructionCount(), 3u);
+  EXPECT_TRUE(verify(*M));
+}
+
+TEST(IRParser, GlobalsWithSizesAndClasses) {
+  auto M = parseOk("module m\n"
+                   "input int\n"
+                   "output int\n"
+                   "global @a : float[8] state\n"
+                   "global @b : int buf\n"
+                   "global @c : int head\n"
+                   "global @d : float live\n");
+  ASSERT_EQ(M->globals().size(), 4u);
+  EXPECT_EQ(M->globals()[0]->getSize(), 8);
+  EXPECT_EQ(M->globals()[0]->getMemClass(), MemClass::State);
+  EXPECT_EQ(M->globals()[1]->getMemClass(), MemClass::ChannelBuf);
+  EXPECT_EQ(M->globals()[3]->getMemClass(), MemClass::LiveToken);
+}
+
+TEST(IRParser, ArithmeticAndCalls) {
+  auto M = parseOk("module m\n"
+                   "input float\n"
+                   "output float\n"
+                   "func @steady {\n"
+                   "b0:\n"
+                   "  %0 = input\n"
+                   "  %1 = fmul %0, 2.0\n"
+                   "  %2 = call atan2(%1, 1.0)\n"
+                   "  %3 = fadd %2, -0.5\n"
+                   "  output %3\n"
+                   "  ret\n"
+                   "}\n");
+  EXPECT_TRUE(verify(*M));
+}
+
+TEST(IRParser, ControlFlowAndPhis) {
+  auto M = parseOk("module m\n"
+                   "input int\n"
+                   "output int\n"
+                   "func @steady {\n"
+                   "entry:\n"
+                   "  %0 = input\n"
+                   "  br loop\n"
+                   "loop:\n"
+                   "  %1 = phi [ %0, entry ], [ %2, loop ]\n"
+                   "  %2 = add %1, 1\n"
+                   "  %3 = icmp lt %2, 10\n"
+                   "  condbr %3, loop, exit\n"
+                   "exit:\n"
+                   "  output %2\n"
+                   "  ret\n"
+                   "}\n");
+  auto Errs = verifyModule(*M);
+  EXPECT_TRUE(Errs.empty()) << Errs.front();
+  // The forward reference %2 in the phi resolved.
+  const Function *F = M->getFunction("steady");
+  const BasicBlock *Loop = F->blocks()[1].get();
+  const auto *Phi = cast<PhiInst>(Loop->front());
+  EXPECT_EQ(Phi->getNumIncoming(), 2u);
+  EXPECT_FALSE(Phi->getIncomingValue(1)->isConstant());
+  EXPECT_EQ(Phi->getType(), TypeKind::Int);
+}
+
+TEST(IRParser, LoadsAndStores) {
+  auto M = parseOk("module m\n"
+                   "input float\n"
+                   "output float\n"
+                   "global @s : float[4] state\n"
+                   "func @steady {\n"
+                   "b0:\n"
+                   "  %0 = input\n"
+                   "  store @s[1], %0\n"
+                   "  %1 = load @s[1]\n"
+                   "  output %1\n"
+                   "  ret\n"
+                   "}\n");
+  EXPECT_TRUE(verify(*M));
+}
+
+TEST(IRParser, SelectAndCasts) {
+  auto M = parseOk("module m\n"
+                   "input int\n"
+                   "output float\n"
+                   "func @steady {\n"
+                   "b0:\n"
+                   "  %0 = input\n"
+                   "  %1 = icmp ge %0, 0\n"
+                   "  %2 = select %1, %0, 0\n"
+                   "  %3 = itof %2\n"
+                   "  output %3\n"
+                   "  ret\n"
+                   "}\n");
+  EXPECT_TRUE(verify(*M));
+}
+
+TEST(IRParser, Errors) {
+  EXPECT_TRUE(parseFails("nonsense"));
+  EXPECT_TRUE(parseFails("module m\ninput float\noutput float\n"
+                         "func @f {\nb0:\n  %0 = bogus 1, 2\n  ret\n}\n"));
+  EXPECT_TRUE(parseFails("module m\ninput float\noutput float\n"
+                         "func @f {\nb0:\n  br nowhere\n  ret\n}\n"));
+  EXPECT_TRUE(parseFails("module m\ninput float\noutput float\n"
+                         "func @f {\nb0:\n  output %5\n  ret\n}\n"));
+  EXPECT_TRUE(parseFails("module m\ninput float\noutput float\n"
+                         "global @g : float[2] nonsense\n"));
+  // Missing closing brace.
+  EXPECT_TRUE(parseFails("module m\ninput float\noutput float\n"
+                         "func @f {\nb0:\n  ret\n"));
+}
+
+TEST(IRParser, ParsedModuleRunsInInterpreter) {
+  auto M = parseOk("module m\n"
+                   "input float\n"
+                   "output float\n"
+                   "func @init {\n"
+                   "e:\n"
+                   "  ret\n"
+                   "}\n"
+                   "func @steady {\n"
+                   "b:\n"
+                   "  %0 = input\n"
+                   "  %1 = fmul %0, 3.0\n"
+                   "  output %1\n"
+                   "  ret\n"
+                   "}\n");
+  interp::TokenStream In = interp::makeRandomInput(TypeKind::Float, 4, 1);
+  interp::RunResult R = interp::runModule(*M, In, 4);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  for (size_t K = 0; K < 4; ++K)
+    EXPECT_DOUBLE_EQ(R.Outputs.F[K], In.F[K] * 3.0);
+}
+
+// Round trip the whole suite through print -> parse -> print.
+class RoundTripTest : public ::testing::TestWithParam<suite::Benchmark> {};
+
+TEST_P(RoundTripTest, PrintParsePrintIsStable) {
+  const suite::Benchmark &B = GetParam();
+  for (driver::LoweringMode Mode :
+       {driver::LoweringMode::Fifo, driver::LoweringMode::Laminar}) {
+    driver::CompileOptions O;
+    O.TopName = B.Top;
+    O.Mode = Mode;
+    O.OptLevel = 1;
+    driver::Compilation C = driver::compile(B.Source, O);
+    ASSERT_TRUE(C.Ok) << C.ErrorLog;
+
+    std::string First = printModule(*C.Module);
+    DiagnosticEngine D;
+    auto Reparsed = parseIR(First, D);
+    ASSERT_NE(Reparsed, nullptr) << B.Name << "\n" << D.str();
+    auto Errs = verifyModule(*Reparsed);
+    ASSERT_TRUE(Errs.empty()) << B.Name << ": " << Errs.front();
+
+    // Semantically identical: same outputs on the same input. Enough
+    // iterations that feedback delay lines and peek windows matter.
+    constexpr int64_t Iters = 12;
+    interp::TokenStream In = interp::makeRandomInput(
+        C.Module->getInputType(), driver::requiredInputTokens(C, Iters), 9);
+    interp::RunResult R1 = interp::runModule(*C.Module, In, Iters);
+    interp::RunResult R2 = interp::runModule(*Reparsed, In, Iters);
+    ASSERT_TRUE(R1.Ok && R2.Ok) << R1.Error << R2.Error;
+    EXPECT_EQ(R1.Outputs.I, R2.Outputs.I) << B.Name;
+    EXPECT_EQ(R1.Outputs.F, R2.Outputs.F) << B.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, RoundTripTest,
+    ::testing::ValuesIn(suite::allBenchmarks()),
+    [](const ::testing::TestParamInfo<suite::Benchmark> &Info) {
+      return Info.param.Name;
+    });

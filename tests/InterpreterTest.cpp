@@ -1,0 +1,190 @@
+//===--- InterpreterTest.cpp - Instrumented execution -----------------------===//
+
+#include "driver/Driver.h"
+#include "interp/Interpreter.h"
+#include "lir/IRBuilder.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::interp;
+using namespace laminar::lir;
+
+namespace {
+
+/// Builds a module with empty @init and a @steady assembled by the
+/// callback.
+template <typename Fn> std::unique_ptr<Module> makeModule(Fn Assemble) {
+  auto M = std::make_unique<Module>("t");
+  IRBuilder B(*M);
+  Function *Init = M->createFunction("init");
+  B.setInsertPoint(Init->createBlock("entry"));
+  B.createRet();
+  Function *Steady = M->createFunction("steady");
+  B.setInsertPoint(Steady->createBlock("entry"));
+  Assemble(*M, B);
+  B.createRet();
+  M->numberGlobals();
+  for (const auto &F : M->functions())
+    F->numberValues();
+  return M;
+}
+
+} // namespace
+
+TEST(Interpreter, EchoesInput) {
+  auto M = makeModule([](Module &, IRBuilder &B) {
+    B.createOutput(B.createInput(TypeKind::Float));
+  });
+  TokenStream In = makeRandomInput(TypeKind::Float, 5, 3);
+  RunResult R = runModule(*M, In, 5);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Outputs.F.size(), 5u);
+  for (size_t K = 0; K < 5; ++K)
+    EXPECT_DOUBLE_EQ(R.Outputs.F[K], In.F[K]);
+  EXPECT_EQ(R.SteadyCounters.Input, 5u);
+  EXPECT_EQ(R.SteadyCounters.Output, 5u);
+}
+
+TEST(Interpreter, InputExhaustionReported) {
+  auto M = makeModule([](Module &, IRBuilder &B) {
+    B.createOutput(B.createInput(TypeKind::Float));
+  });
+  TokenStream In = makeRandomInput(TypeKind::Float, 2, 3);
+  RunResult R = runModule(*M, In, 5);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("input stream exhausted"), std::string::npos);
+}
+
+TEST(Interpreter, DivisionByZeroTrapped) {
+  auto M = makeModule([](Module &, IRBuilder &B) {
+    Value *In = B.createInput(TypeKind::Int);
+    Value *Zero = B.createBinary(BinOp::Sub, In, In);
+    // Builder folding cannot see through the input, but Sub(x,x) is not
+    // folded here since folding requires constants; division executes.
+    Value *Div = B.createBinary(BinOp::Div, B.getInt(1), Zero);
+    B.createOutput(B.createCast(CastOp::IntToFloat, Div));
+  });
+  TokenStream In = makeRandomInput(TypeKind::Int, 1, 3);
+  RunResult R = runModule(*M, In, 1);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("division"), std::string::npos);
+}
+
+TEST(Interpreter, StepBudgetGuardsInfiniteLoops) {
+  auto M = makeModule([](Module &M, IRBuilder &B) {
+    Function *F = M.getFunction("steady");
+    BasicBlock *Spin = F->createBlock("spin");
+    B.createBr(Spin);
+    B.setInsertPoint(Spin);
+    Spin->addPredecessor(Spin);
+    B.createOutput(B.createInput(TypeKind::Float));
+    // Manual self-loop.
+    Spin->append(std::make_unique<BrInst>(Spin));
+    B.setInsertPoint(F->createBlock("dead"));
+  });
+  TokenStream In = makeRandomInput(TypeKind::Float, 1 << 20, 3);
+  RunResult R = runModule(*M, In, 1, /*StepBudget=*/10000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+}
+
+TEST(Interpreter, MemoryClassAttribution) {
+  auto M = makeModule([](Module &M, IRBuilder &B) {
+    GlobalVar *State = M.createGlobal("s", TypeKind::Float, 2,
+                                      MemClass::State);
+    GlobalVar *Buf = M.createGlobal("b", TypeKind::Float, 4,
+                                    MemClass::ChannelBuf);
+    Value *In = B.createInput(TypeKind::Float);
+    B.createStore(State, B.getInt(0), In);
+    B.createStore(Buf, B.getInt(1), In);
+    Value *L1 = B.createLoad(State, B.getInt(0));
+    Value *L2 = B.createLoad(Buf, B.getInt(1));
+    B.createOutput(B.createBinary(BinOp::FAdd, L1, L2));
+  });
+  TokenStream In = makeRandomInput(TypeKind::Float, 3, 3);
+  RunResult R = runModule(*M, In, 3);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.SteadyCounters.StateLoad, 3u);
+  EXPECT_EQ(R.SteadyCounters.StateStore, 3u);
+  EXPECT_EQ(R.SteadyCounters.CommLoad, 3u);
+  EXPECT_EQ(R.SteadyCounters.CommStore, 3u);
+  EXPECT_EQ(R.SteadyCounters.communication(), 6u);
+  EXPECT_EQ(R.SteadyCounters.memoryAccesses(), 12u);
+}
+
+TEST(Interpreter, GlobalInitializersApplied) {
+  auto M = makeModule([](Module &M, IRBuilder &B) {
+    GlobalVar *G = M.createGlobal("g", TypeKind::Float, 3, MemClass::State);
+    G->setFloatInit({1.0, 2.0, 3.0});
+    B.createOutput(B.createLoad(G, B.getInt(1)));
+  });
+  TokenStream In;
+  RunResult R = runModule(*M, In, 1);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Outputs.F.size(), 1u);
+  EXPECT_DOUBLE_EQ(R.Outputs.F[0], 2.0);
+}
+
+TEST(Interpreter, OutOfBoundsLoadTrapped) {
+  auto M = makeModule([](Module &M, IRBuilder &B) {
+    GlobalVar *G = M.createGlobal("g", TypeKind::Float, 2, MemClass::State);
+    Value *Idx = B.createCast(CastOp::FloatToInt,
+                              B.createInput(TypeKind::Float));
+    Value *Big = B.createBinary(BinOp::Add, Idx, B.getInt(100));
+    B.createOutput(B.createLoad(G, Big));
+  });
+  TokenStream In = makeRandomInput(TypeKind::Float, 1, 3);
+  RunResult R = runModule(*M, In, 1);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(Interpreter, StatePersistsAcrossIterations) {
+  auto M = makeModule([](Module &M, IRBuilder &B) {
+    GlobalVar *G = M.createGlobal("acc", TypeKind::Float, 1,
+                                  MemClass::State);
+    Value *Old = B.createLoad(G, B.getInt(0));
+    Value *New = B.createBinary(BinOp::FAdd, Old, B.getFloat(1.0));
+    B.createStore(G, B.getInt(0), New);
+    B.createOutput(New);
+  });
+  TokenStream In;
+  RunResult R = runModule(*M, In, 4);
+  ASSERT_TRUE(R.Ok);
+  ASSERT_EQ(R.Outputs.F.size(), 4u);
+  EXPECT_DOUBLE_EQ(R.Outputs.F[3], 4.0);
+}
+
+TEST(RandomInput, DeterministicPerSeed) {
+  TokenStream A = makeRandomInput(TypeKind::Float, 64, 9);
+  TokenStream B = makeRandomInput(TypeKind::Float, 64, 9);
+  TokenStream C = makeRandomInput(TypeKind::Float, 64, 10);
+  EXPECT_EQ(A.F, B.F);
+  EXPECT_NE(A.F, C.F);
+}
+
+TEST(RandomInput, RangesRespected) {
+  TokenStream F = makeRandomInput(TypeKind::Float, 1000, 1);
+  for (double V : F.F) {
+    EXPECT_GE(V, -1.0);
+    EXPECT_LT(V, 1.0);
+  }
+  TokenStream I = makeRandomInput(TypeKind::Int, 1000, 1);
+  for (int64_t V : I.I) {
+    EXPECT_GE(V, -1000);
+    EXPECT_LT(V, 1000);
+  }
+}
+
+TEST(Counters, Accumulate) {
+  Counters A, B;
+  A.IntAlu = 3;
+  A.CommLoad = 2;
+  B.IntAlu = 4;
+  B.StateStore = 1;
+  A += B;
+  EXPECT_EQ(A.IntAlu, 7u);
+  EXPECT_EQ(A.CommLoad, 2u);
+  EXPECT_EQ(A.StateStore, 1u);
+  EXPECT_EQ(A.total(), 10u);
+}

@@ -1,0 +1,336 @@
+//===--- LangSemanticsTest.cpp - Surface-language semantics ------------------===//
+//
+// Small programs exercising one language construct each, checked
+// against hand-computed outputs in *both* lowerings. These pin down
+// the semantics of the work-function lowering (WorkLowering.cpp):
+// conversions, compound assignment, control flow, operators, state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::driver;
+using namespace laminar::interp;
+
+namespace {
+
+/// Compiles `Source` (top stream "T"), feeds `Input`, runs Iters steady
+/// iterations and returns the outputs. Checked in both lowerings at O0
+/// and O2; all four must agree before the result is returned.
+TokenStream runAll(const std::string &Source, TokenStream Input,
+                   int64_t Iters) {
+  TokenStream Ref;
+  bool HaveRef = false;
+  for (LoweringMode Mode : {LoweringMode::Fifo, LoweringMode::Laminar}) {
+    for (unsigned Opt : {0u, 2u}) {
+      CompileOptions O;
+      O.TopName = "T";
+      O.Mode = Mode;
+      O.OptLevel = Opt;
+      O.VerifyEachPass = true;
+      Compilation C = compile(Source, O);
+      EXPECT_TRUE(C.Ok) << C.ErrorLog;
+      if (!C.Ok)
+        return Ref;
+      RunResult R = runModule(*C.Module, Input, Iters);
+      EXPECT_TRUE(R.Ok) << R.Error;
+      if (!HaveRef) {
+        Ref = R.Outputs;
+        HaveRef = true;
+      } else {
+        EXPECT_EQ(Ref.I, R.Outputs.I);
+        EXPECT_EQ(Ref.F, R.Outputs.F);
+      }
+    }
+  }
+  return Ref;
+}
+
+TokenStream ints(std::vector<int64_t> V) {
+  TokenStream S;
+  S.Ty = lir::TypeKind::Int;
+  S.I = std::move(V);
+  return S;
+}
+
+TokenStream floats(std::vector<double> V) {
+  TokenStream S;
+  S.Ty = lir::TypeKind::Float;
+  S.F = std::move(V);
+  return S;
+}
+
+} // namespace
+
+TEST(LangSemantics, IntegerOperators) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      work push 6 pop 2 {
+        int a = pop();
+        int b = pop();
+        push(a + b);
+        push(a - b);
+        push(a * b);
+        push(a / b);
+        push(a % b);
+        push((a << 2) | (b & 3));
+      }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({17, 5}), 1);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{22, 12, 85, 3, 2, 17 * 4 | 1}));
+}
+
+TEST(LangSemantics, NegativeDivisionTruncatesTowardZero) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      work push 2 pop 2 {
+        int a = pop();
+        int b = pop();
+        push(a / b);
+        push(a % b);
+      }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({-7, 2}), 1);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{-3, -1}));
+}
+
+TEST(LangSemantics, ShiftRightIsArithmetic) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      work push 1 pop 1 { push(pop() >> 2); }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({-16}), 1);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{-4}));
+}
+
+TEST(LangSemantics, CompoundAssignmentOnArrayEvaluatesIndexOnce) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      int idx;
+      int a[4];
+      work push 1 pop 1 {
+        idx = 0;
+        a[idx = idx + 1] += pop();
+        push(a[1]);
+        a[1] = 0;
+      }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({9}), 1);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{9}));
+}
+
+TEST(LangSemantics, LogicalOperatorsAreStrictBooleans) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      work push 2 pop 2 {
+        int a = pop();
+        int b = pop();
+        int r1 = 0;
+        int r2 = 0;
+        if (a > 0 && b > 0) r1 = 1;
+        if (a > 0 || b > 0) r2 = 1;
+        push(r1);
+        push(r2);
+      }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({5, -3}), 1);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(LangSemantics, UninitializedLocalsAreZero) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      work push 1 pop 1 {
+        int x;
+        x += pop();
+        push(x);
+      }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({4, 5}), 2);
+  // Each firing re-zeroes x; no accumulation across firings.
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{4, 5}));
+}
+
+TEST(LangSemantics, FieldsPersistAcrossFirings) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      int acc;
+      work push 1 pop 1 {
+        acc += pop();
+        push(acc);
+      }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({1, 2, 3}), 3);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{1, 3, 6}));
+}
+
+TEST(LangSemantics, FieldInitializersRunBeforeInitBlock) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      int a = 10;
+      int b;
+      init { b = a * 2; }
+      work push 1 pop 1 { push(pop() + b); }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({1}), 1);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{21}));
+}
+
+TEST(LangSemantics, WhileLoopComputes) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      work push 1 pop 1 {
+        int n = pop();
+        int r = 1;
+        while (n > 1) {
+          r = r * n;
+          n = n - 1;
+        }
+        push(r);
+      }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({5, 0}), 2);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{120, 1}));
+}
+
+TEST(LangSemantics, NestedLoopsAndConditionals) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      work push 1 pop 1 {
+        int n = pop();
+        int count = 0;
+        for (int i = 2; i <= n; i++) {
+          int isPrime = 1;
+          for (int d = 2; d < i; d++)
+            if (i % d == 0) isPrime = 0;
+          if (isPrime == 1) count++;
+        }
+        push(count);
+      }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({20}), 1);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{8})); // Primes <= 20.
+}
+
+TEST(LangSemantics, FloatIntConversions) {
+  auto Out = runAll(R"(
+    float->int filter F {
+      work push 3 pop 1 {
+        float x = pop();
+        push((int)x);
+        push((int)(x * 10.0));
+        int i = 7;
+        float y = i / 2.0;
+        push((int)y);
+      }
+    }
+    float->int pipeline T { add F; }
+  )",
+                    floats({-2.75}), 1);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{-2, -27, 3}));
+}
+
+TEST(LangSemantics, MathBuiltinsAtRuntime) {
+  auto Out = runAll(R"(
+    float->float filter F {
+      work push 4 pop 1 {
+        float x = pop();
+        push(sqrt(x));
+        push(pow(x, 2.0));
+        push(max(x, 5.0));
+        push(abs(0.0 - x));
+      }
+    }
+    float->float pipeline T { add F; }
+  )",
+                    floats({4.0}), 1);
+  ASSERT_EQ(Out.F.size(), 4u);
+  EXPECT_DOUBLE_EQ(Out.F[0], 2.0);
+  EXPECT_DOUBLE_EQ(Out.F[1], 16.0);
+  EXPECT_DOUBLE_EQ(Out.F[2], 5.0);
+  EXPECT_DOUBLE_EQ(Out.F[3], 4.0);
+}
+
+TEST(LangSemantics, PeekDoesNotConsume) {
+  auto Out = runAll(R"(
+    int->int filter F {
+      work push 3 pop 1 peek 1 {
+        push(peek(0));
+        push(peek(0));
+        push(pop());
+      }
+    }
+    int->int pipeline T { add F; }
+  )",
+                    ints({42}), 1);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{42, 42, 42}));
+}
+
+TEST(LangSemantics, RoundRobinOrdering) {
+  auto Out = runAll(R"(
+    int->int filter AddTen { work push 1 pop 1 { push(pop() + 10); } }
+    int->int filter AddOneHundred {
+      work push 1 pop 1 { push(pop() + 100); }
+    }
+    int->int splitjoin T {
+      split roundrobin(2, 1);
+      add AddTen;
+      add AddOneHundred;
+      join roundrobin(2, 1);
+    }
+  )",
+                    ints({1, 2, 3, 4, 5, 6}), 2);
+  // Split (2,1): branch0 gets {1,2} then {4,5}; branch1 gets {3},{6}.
+  // Join (2,1): two from branch0, one from branch1, per firing.
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{11, 12, 103, 14, 15, 106}));
+}
+
+TEST(LangSemantics, DuplicateSplitterGivesEveryBranchEverything) {
+  auto Out = runAll(R"(
+    int->int filter Id { work push 1 pop 1 { push(pop()); } }
+    int->int filter Neg { work push 1 pop 1 { push(0 - pop()); } }
+    int->int splitjoin T {
+      split duplicate;
+      add Id;
+      add Neg;
+      join roundrobin(1);
+    }
+  )",
+                    ints({7, -2}), 2);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{7, -7, -2, 2}));
+}
+
+TEST(LangSemantics, MultiRatePipelineInterleaving) {
+  auto Out = runAll(R"(
+    int->int filter Dup { work push 2 pop 1 {
+      int x = pop(); push(x); push(x); } }
+    int->int filter Sum { work push 1 pop 3 {
+      push(pop() + pop() + pop()); } }
+    int->int pipeline T { add Dup; add Sum; }
+  )",
+                    ints({1, 2, 3}), 1);
+  // Stream after Dup: 1 1 2 2 3 3 -> sums: 1+1+2, 2+3+3.
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{4, 8}));
+}

@@ -1,0 +1,200 @@
+//===--- LirTest.cpp - IR core: constants, users, builder folding ----------===//
+
+#include "lir/IRBuilder.h"
+#include "lir/Printer.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+TEST(LirModule, ConstantsAreUniqued) {
+  Module M("m");
+  EXPECT_EQ(M.getConstInt(7), M.getConstInt(7));
+  EXPECT_NE(M.getConstInt(7), M.getConstInt(8));
+  EXPECT_EQ(M.getConstFloat(1.5), M.getConstFloat(1.5));
+  EXPECT_NE(M.getConstFloat(0.0), M.getConstFloat(-0.0)); // Bit pattern.
+  EXPECT_EQ(M.getConstBool(true), M.getConstBool(true));
+  EXPECT_NE(M.getConstBool(true), M.getConstBool(false));
+}
+
+TEST(LirModule, GlobalsAndSlots) {
+  Module M("m");
+  GlobalVar *A = M.createGlobal("a", TypeKind::Float, 8, MemClass::State);
+  GlobalVar *B =
+      M.createGlobal("b", TypeKind::Int, 1, MemClass::ChannelHead);
+  EXPECT_EQ(M.numberGlobals(), 2u);
+  EXPECT_EQ(A->getSlot(), 0u);
+  EXPECT_EQ(B->getSlot(), 1u);
+  EXPECT_FALSE(isCommunication(A->getMemClass()));
+  EXPECT_TRUE(isCommunication(B->getMemClass()));
+}
+
+TEST(LirModule, FunctionLookup) {
+  Module M("m");
+  Function *F = M.createFunction("steady");
+  EXPECT_EQ(M.getFunction("steady"), F);
+  EXPECT_EQ(M.getFunction("nope"), nullptr);
+}
+
+namespace {
+
+struct FnFixture : ::testing::Test {
+  FnFixture() : M("m"), B(M) {
+    F = M.createFunction("f");
+    Entry = F->createBlock("entry");
+    B.setInsertPoint(Entry);
+  }
+  Module M;
+  IRBuilder B;
+  Function *F;
+  BasicBlock *Entry;
+};
+
+} // namespace
+
+TEST_F(FnFixture, UserListsTrackOperands) {
+  Value *In = B.createInput(TypeKind::Float);
+  Value *Add = B.createBinary(BinOp::FAdd, In, In);
+  ASSERT_FALSE(Add->isConstant());
+  // `In` is used twice by Add (once per operand slot).
+  EXPECT_EQ(In->users().size(), 2u);
+  EXPECT_EQ(In->users()[0], cast<Instruction>(Add));
+}
+
+TEST_F(FnFixture, ReplaceAllUsesWith) {
+  Value *In = B.createInput(TypeKind::Float);
+  Value *In2 = B.createInput(TypeKind::Float);
+  Value *Add = B.createBinary(BinOp::FAdd, In, In);
+  In->replaceAllUsesWith(In2);
+  EXPECT_TRUE(In->users().empty());
+  EXPECT_EQ(In2->users().size(), 2u);
+  EXPECT_EQ(cast<Instruction>(Add)->getOperand(0), In2);
+  EXPECT_EQ(cast<Instruction>(Add)->getOperand(1), In2);
+}
+
+TEST_F(FnFixture, BuilderFoldsIntArithmetic) {
+  Value *V = B.createBinary(BinOp::Add, B.getInt(2), B.getInt(3));
+  auto *C = dyn_cast<ConstInt>(V);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->getValue(), 5);
+  EXPECT_TRUE(Entry->empty()); // Nothing emitted.
+}
+
+TEST_F(FnFixture, BuilderFoldsThroughChains) {
+  // (2 * 3 + 4) << 1 == 20, fully at construction time.
+  Value *V = B.createBinary(
+      BinOp::Shl,
+      B.createBinary(BinOp::Add,
+                     B.createBinary(BinOp::Mul, B.getInt(2), B.getInt(3)),
+                     B.getInt(4)),
+      B.getInt(1));
+  ASSERT_TRUE(isa<ConstInt>(V));
+  EXPECT_EQ(cast<ConstInt>(V)->getValue(), 20);
+}
+
+TEST_F(FnFixture, DivisionByZeroNotFolded) {
+  Value *V = B.createBinary(BinOp::Div, B.getInt(1), B.getInt(0));
+  EXPECT_FALSE(V->isConstant());
+  EXPECT_EQ(Entry->size(), 1u);
+}
+
+TEST_F(FnFixture, ArithmeticShiftRightOfNegative) {
+  Value *V = B.createBinary(BinOp::Shr, B.getInt(-8), B.getInt(1));
+  ASSERT_TRUE(isa<ConstInt>(V));
+  EXPECT_EQ(cast<ConstInt>(V)->getValue(), -4);
+}
+
+TEST_F(FnFixture, WrappingIntegerOverflow) {
+  Value *V = B.createBinary(BinOp::Add, B.getInt(INT64_MAX), B.getInt(1));
+  ASSERT_TRUE(isa<ConstInt>(V));
+  EXPECT_EQ(cast<ConstInt>(V)->getValue(), INT64_MIN);
+}
+
+TEST_F(FnFixture, FloatFoldsAndComparisons) {
+  Value *V = B.createBinary(BinOp::FMul, B.getFloat(2.5), B.getFloat(4.0));
+  ASSERT_TRUE(isa<ConstFloat>(V));
+  EXPECT_DOUBLE_EQ(cast<ConstFloat>(V)->getValue(), 10.0);
+  Value *C = B.createCmp(CmpPred::LT, B.getFloat(1.0), B.getFloat(2.0));
+  ASSERT_TRUE(isa<ConstBool>(C));
+  EXPECT_TRUE(cast<ConstBool>(C)->getValue());
+}
+
+TEST_F(FnFixture, CastFolding) {
+  EXPECT_DOUBLE_EQ(
+      cast<ConstFloat>(B.createCast(CastOp::IntToFloat, B.getInt(3)))
+          ->getValue(),
+      3.0);
+  EXPECT_EQ(cast<ConstInt>(B.createCast(CastOp::FloatToInt, B.getFloat(-2.9)))
+                ->getValue(),
+            -2);
+  // Out-of-range conversions are left to run time (and trapped there).
+  Value *V = B.createCast(CastOp::FloatToInt, B.getFloat(1e30));
+  EXPECT_FALSE(V->isConstant());
+}
+
+TEST_F(FnFixture, CallFolding) {
+  Value *V = B.createCall(Builtin::Sqrt, {B.getFloat(9.0)});
+  ASSERT_TRUE(isa<ConstFloat>(V));
+  EXPECT_DOUBLE_EQ(cast<ConstFloat>(V)->getValue(), 3.0);
+  // sqrt of a negative constant must not fold.
+  EXPECT_FALSE(B.createCall(Builtin::Sqrt, {B.getFloat(-1.0)})->isConstant());
+}
+
+TEST_F(FnFixture, SelectFolding) {
+  Value *X = B.createInput(TypeKind::Int);
+  EXPECT_EQ(B.createSelect(B.getBool(true), X, B.getInt(0)), X);
+  EXPECT_EQ(B.createSelect(B.getBool(false), X, B.getInt(0)),
+            B.getInt(0));
+  // Equal arms fold regardless of the (non-constant) condition.
+  Value *Cond = B.createCmp(CmpPred::LT, X, B.createInput(TypeKind::Int));
+  EXPECT_EQ(B.createSelect(Cond, X, X), X);
+}
+
+TEST_F(FnFixture, ConstantCondBrBecomesBr) {
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  B.createCondBr(B.getBool(true), T, E);
+  ASSERT_TRUE(isa<BrInst>(Entry->terminator()));
+  EXPECT_EQ(cast<BrInst>(Entry->terminator())->getTarget(), T);
+  EXPECT_EQ(T->predecessors().size(), 1u);
+  EXPECT_TRUE(E->predecessors().empty());
+}
+
+TEST_F(FnFixture, ConvertInsertsCasts) {
+  Value *I = B.createInput(TypeKind::Int);
+  Value *AsF = B.convert(I, TypeKind::Float);
+  EXPECT_EQ(AsF->getType(), TypeKind::Float);
+  EXPECT_TRUE(isa<CastInst>(AsF));
+  EXPECT_EQ(B.convert(I, TypeKind::Int), I);
+}
+
+TEST_F(FnFixture, PrinterRendersInstructions) {
+  Value *In = B.createInput(TypeKind::Float);
+  GlobalVar *G = M.createGlobal("g", TypeKind::Float, 4, MemClass::State);
+  Value *L = B.createLoad(G, B.getInt(2));
+  Value *S = B.createBinary(BinOp::FAdd, In, L);
+  B.createOutput(S);
+  B.createRet();
+  std::string Text = printFunction(*F);
+  EXPECT_NE(Text.find("input"), std::string::npos);
+  EXPECT_NE(Text.find("load @g[2]"), std::string::npos);
+  EXPECT_NE(Text.find("fadd"), std::string::npos);
+  EXPECT_NE(Text.find("output"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST_F(FnFixture, ModulePrinterIncludesGlobals) {
+  M.createGlobal("buf", TypeKind::Float, 16, MemClass::ChannelBuf);
+  B.createRet();
+  std::string Text = printModule(M);
+  EXPECT_NE(Text.find("global @buf : float[16] buf"), std::string::npos);
+}
+
+TEST_F(FnFixture, NumberValuesAssignsDenseSlots) {
+  B.createInput(TypeKind::Float);
+  B.createInput(TypeKind::Float);
+  B.createRet();
+  EXPECT_EQ(F->numberValues(), 3u);
+  EXPECT_EQ(Entry->front()->getSlot(), 0u);
+  EXPECT_EQ(Entry->back()->getSlot(), 2u);
+}

@@ -1,0 +1,259 @@
+//===--- LoweringTest.cpp - FIFO and Laminar lowering structure ------------===//
+
+#include "driver/Driver.h"
+#include "lir/Printer.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::driver;
+using namespace laminar::lir;
+
+namespace {
+
+Compilation make(const std::string &Src, const std::string &Top,
+                 LoweringMode Mode, unsigned Opt = 0) {
+  CompileOptions O;
+  O.TopName = Top;
+  O.Mode = Mode;
+  O.OptLevel = Opt;
+  return compile(Src, O);
+}
+
+const char *kAveragerSrc = R"(
+float->float filter Avg(int n) {
+  work push 1 pop 1 peek n {
+    float s = 0.0;
+    for (int i = 0; i < n; i++) s += peek(i);
+    push(s / n);
+    pop();
+  }
+}
+float->float pipeline Top { add Avg(4); }
+)";
+
+size_t countGlobals(const Module &M, MemClass MC) {
+  size_t N = 0;
+  for (const auto &G : M.globals())
+    if (G->getMemClass() == MC)
+      ++N;
+  return N;
+}
+
+size_t countKind(const Function &F, Value::Kind K) {
+  size_t N = 0;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (I->getKind() == K)
+        ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(FifoLowering, CreatesBuffersAndCounters) {
+  Compilation C = make(kAveragerSrc, "Top", LoweringMode::Fifo);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  // Two channels (source->Avg, Avg->sink), each with buf/head/tail.
+  EXPECT_EQ(countGlobals(*C.Module, MemClass::ChannelBuf), 2u);
+  EXPECT_EQ(countGlobals(*C.Module, MemClass::ChannelHead), 2u);
+  EXPECT_EQ(countGlobals(*C.Module, MemClass::ChannelTail), 2u);
+  EXPECT_EQ(countGlobals(*C.Module, MemClass::LiveToken), 0u);
+}
+
+TEST(FifoLowering, BufferSizesArePowersOfTwo) {
+  Compilation C = make(kAveragerSrc, "Top", LoweringMode::Fifo);
+  ASSERT_TRUE(C.Ok);
+  for (const auto &G : C.Module->globals())
+    if (G->getMemClass() == MemClass::ChannelBuf) {
+      EXPECT_EQ(G->getSize() & (G->getSize() - 1), 0)
+          << G->getName() << " size " << G->getSize();
+    }
+}
+
+TEST(FifoLowering, WorkLoopsStayDynamic) {
+  Compilation C = make(kAveragerSrc, "Top", LoweringMode::Fifo);
+  ASSERT_TRUE(C.Ok);
+  const Function *Steady = C.Module->getFunction("steady");
+  // The peek loop remains a CFG loop: phis and conditional branches
+  // exist.
+  EXPECT_GT(countKind(*Steady, Value::Kind::Phi), 0u);
+  EXPECT_GT(countKind(*Steady, Value::Kind::CondBr), 0u);
+}
+
+TEST(LaminarLowering, NoBuffersOnlyLiveTokens) {
+  Compilation C = make(kAveragerSrc, "Top", LoweringMode::Laminar);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_EQ(countGlobals(*C.Module, MemClass::ChannelBuf), 0u);
+  EXPECT_EQ(countGlobals(*C.Module, MemClass::ChannelHead), 0u);
+  EXPECT_EQ(countGlobals(*C.Module, MemClass::ChannelTail), 0u);
+  // peek 4 / pop 1 leaves 3 live tokens on the input channel.
+  EXPECT_EQ(countGlobals(*C.Module, MemClass::LiveToken), 3u);
+}
+
+TEST(LaminarLowering, SteadyIsBranchFree) {
+  Compilation C = make(kAveragerSrc, "Top", LoweringMode::Laminar);
+  ASSERT_TRUE(C.Ok);
+  const Function *Steady = C.Module->getFunction("steady");
+  // Static unrolling resolved all control flow.
+  EXPECT_EQ(Steady->blocks().size(), 1u);
+  EXPECT_EQ(countKind(*Steady, Value::Kind::Phi), 0u);
+  EXPECT_EQ(countKind(*Steady, Value::Kind::CondBr), 0u);
+}
+
+TEST(LaminarLowering, CommunicationIsOnlyLiveTokenTraffic) {
+  Compilation C = make(kAveragerSrc, "Top", LoweringMode::Laminar);
+  ASSERT_TRUE(C.Ok);
+  const Function *Steady = C.Module->getFunction("steady");
+  for (const auto &BB : Steady->blocks())
+    for (const auto &I : BB->instructions()) {
+      if (const auto *L = dyn_cast<LoadInst>(I.get())) {
+        EXPECT_NE(L->getGlobal()->getMemClass(), MemClass::ChannelBuf);
+      }
+      if (const auto *S = dyn_cast<StoreInst>(I.get())) {
+        EXPECT_NE(S->getGlobal()->getMemClass(), MemClass::ChannelBuf);
+      }
+    }
+}
+
+TEST(LaminarLowering, SplittersAndJoinersVanish) {
+  const char *Src = R"(
+    int->int filter Neg { work push 1 pop 1 { push(0 - pop()); } }
+    int->int splitjoin Top {
+      split roundrobin(1, 1);
+      add Neg;
+      add Neg;
+      join roundrobin(1, 1);
+    }
+  )";
+  Compilation C = make(Src, "Top", LoweringMode::Laminar);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  // No memory traffic at all: the splitjoin is pure routing of values.
+  const Function *Steady = C.Module->getFunction("steady");
+  EXPECT_EQ(countKind(*Steady, Value::Kind::Load), 0u);
+  EXPECT_EQ(countKind(*Steady, Value::Kind::Store), 0u);
+}
+
+TEST(LaminarLowering, DuplicateSplitterSharesTokens) {
+  const char *Src = R"(
+    float->float filter Id { work push 1 pop 1 { push(pop()); } }
+    float->float splitjoin Top {
+      split duplicate;
+      add Id;
+      add Id;
+      join roundrobin(1);
+    }
+  )";
+  Compilation C = make(Src, "Top", LoweringMode::Laminar);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  const Function *Steady = C.Module->getFunction("steady");
+  // One input read feeds both branch outputs: exactly 1 input, 2
+  // outputs, no other instructions beside ret.
+  EXPECT_EQ(countKind(*Steady, Value::Kind::Input), 1u);
+  EXPECT_EQ(countKind(*Steady, Value::Kind::Output), 2u);
+  EXPECT_EQ(Steady->instructionCount(), 4u); // input, out, out, ret.
+}
+
+TEST(LaminarLowering, DataDependentPeekIndexRejected) {
+  const char *Src = R"(
+    int->float filter Bad {
+      work push 1 pop 2 peek 2 {
+        int i = pop();
+        push(peek(i - pop()) + 0.0);
+      }
+    }
+    int->float pipeline Top { add Bad; }
+  )";
+  Compilation C = make(Src, "Top", LoweringMode::Laminar);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.ErrorLog.find("not a compile-time constant"),
+            std::string::npos);
+}
+
+TEST(LaminarLowering, StreamOpUnderDataDependentControlFlowRejected) {
+  const char *Src = R"(
+    float->float filter Bad {
+      work push 1 pop 1 {
+        float x = pop();
+        if (x > 0.0) push(x);
+        else push(0.0 - x);
+      }
+    }
+    float->float pipeline Top { add Bad; }
+  )";
+  Compilation C = make(Src, "Top", LoweringMode::Laminar);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.ErrorLog.find("data-dependent control flow"),
+            std::string::npos);
+}
+
+TEST(FifoLowering, DataDependentControlFlowAllowed) {
+  // The same program is fine under the FIFO lowering (run-time queues
+  // tolerate any control flow).
+  const char *Src = R"(
+    float->float filter Ok {
+      work push 1 pop 1 {
+        float x = pop();
+        if (x > 0.0) push(x);
+        else push(0.0 - x);
+      }
+    }
+    float->float pipeline Top { add Ok; }
+  )";
+  Compilation C = make(Src, "Top", LoweringMode::Fifo);
+  EXPECT_TRUE(C.Ok) << C.ErrorLog;
+}
+
+TEST(LaminarLowering, DynamicLoopWithoutStreamOpsAllowed) {
+  const char *Src = R"(
+    float->float filter Newton {
+      work push 1 pop 1 {
+        float x = pop();
+        float g = 1.0;
+        int it = 0;
+        while (it < 6) { g = 0.5 * (g + x / g); it = it + 1; }
+        push(g);
+      }
+    }
+    float->float pipeline Top { add Newton; }
+  )";
+  // `while` is never unrolled, yet the program has static stream access.
+  Compilation C = make(Src, "Top", LoweringMode::Laminar);
+  EXPECT_TRUE(C.Ok) << C.ErrorLog;
+}
+
+TEST(LaminarLowering, InitPrimesLiveTokens) {
+  Compilation C = make(kAveragerSrc, "Top", LoweringMode::Laminar);
+  ASSERT_TRUE(C.Ok);
+  const Function *Init = C.Module->getFunction("init");
+  // The init schedule reads 3 inputs and parks them in live globals.
+  EXPECT_EQ(countKind(*Init, Value::Kind::Input), 3u);
+  size_t LiveStores = 0;
+  for (const auto &BB : Init->blocks())
+    for (const auto &I : BB->instructions())
+      if (const auto *S = dyn_cast<StoreInst>(I.get()))
+        if (S->getGlobal()->getMemClass() == MemClass::LiveToken)
+          ++LiveStores;
+  EXPECT_EQ(LiveStores, 3u);
+}
+
+TEST(Lowering, ModulesCarryIOTypes) {
+  Compilation C = make(kAveragerSrc, "Top", LoweringMode::Laminar);
+  ASSERT_TRUE(C.Ok);
+  EXPECT_EQ(C.Module->getInputType(), TypeKind::Float);
+  EXPECT_EQ(C.Module->getOutputType(), TypeKind::Float);
+}
+
+TEST(Lowering, IntStreams) {
+  const char *Src = R"(
+    int->int filter Sum3 {
+      work push 1 pop 3 { push(pop() + pop() + pop()); }
+    }
+    int->int pipeline Top { add Sum3; }
+  )";
+  for (LoweringMode Mode : {LoweringMode::Fifo, LoweringMode::Laminar}) {
+    Compilation C = make(Src, "Top", Mode);
+    ASSERT_TRUE(C.Ok) << C.ErrorLog;
+    EXPECT_EQ(C.Module->getInputType(), TypeKind::Int);
+    EXPECT_EQ(C.Module->getOutputType(), TypeKind::Int);
+  }
+}

@@ -1,0 +1,220 @@
+//===--- MemOptTest.cpp - GlobalFold and MemForward -------------------------===//
+
+#include "driver/Driver.h"
+#include "suite/Suite.h"
+#include "lir/IRBuilder.h"
+#include "lir/Verifier.h"
+#include "opt/PassManager.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::lir;
+using namespace laminar::opt;
+
+namespace {
+
+struct MemOptFixture : ::testing::Test {
+  MemOptFixture() : M("m"), B(M) {
+    Init = M.createFunction("init");
+    B.setInsertPoint(Init->createBlock("entry"));
+    // Steady filled per test; init gets its ret at the end of setup.
+  }
+
+  void finishInit() { B.createRet(); }
+
+  Function *startSteady() {
+    Steady = M.createFunction("steady");
+    B.setInsertPoint(Steady->createBlock("entry"));
+    return Steady;
+  }
+
+  size_t steadyLoads() const {
+    size_t N = 0;
+    for (const auto &BB : Steady->blocks())
+      for (const auto &I : BB->instructions())
+        N += isa<LoadInst>(I.get());
+    return N;
+  }
+
+  size_t steadyStores() const {
+    size_t N = 0;
+    for (const auto &BB : Steady->blocks())
+      for (const auto &I : BB->instructions())
+        N += isa<StoreInst>(I.get());
+    return N;
+  }
+
+  Module M;
+  IRBuilder B;
+  Function *Init = nullptr;
+  Function *Steady = nullptr;
+  StatsRegistry Stats;
+};
+
+} // namespace
+
+TEST_F(MemOptFixture, GlobalFoldReplacesInitConstantState) {
+  GlobalVar *G = M.createGlobal("coeff", TypeKind::Float, 4,
+                                MemClass::State);
+  B.createStore(G, B.getInt(0), B.getFloat(1.5));
+  B.createStore(G, B.getInt(1), B.getFloat(2.5));
+  finishInit();
+
+  startSteady();
+  Value *L0 = B.createLoad(G, B.getInt(0));
+  Value *L1 = B.createLoad(G, B.getInt(1));
+  Value *L3 = B.createLoad(G, B.getInt(3)); // Never stored: zero.
+  B.createOutput(B.createBinary(
+      BinOp::FAdd, B.createBinary(BinOp::FAdd, L0, L1), L3));
+  B.createRet();
+
+  EXPECT_TRUE(runGlobalStateFold(*Steady, Stats));
+  EXPECT_EQ(Stats.get("globalfold.loads"), 3u);
+  runConstantFold(*Steady, Stats);
+  runDCE(*Steady, Stats);
+  EXPECT_EQ(steadyLoads(), 0u);
+  EXPECT_TRUE(verify(M));
+}
+
+TEST_F(MemOptFixture, GlobalFoldHonorsLastStoreWins) {
+  GlobalVar *G = M.createGlobal("g", TypeKind::Int, 1, MemClass::State);
+  B.createStore(G, B.getInt(0), B.getInt(1));
+  B.createStore(G, B.getInt(0), B.getInt(2));
+  finishInit();
+  startSteady();
+  Value *L = B.createLoad(G, B.getInt(0));
+  B.createOutput(B.createCast(CastOp::IntToFloat, L));
+  B.createRet();
+  EXPECT_TRUE(runGlobalStateFold(*Steady, Stats));
+  const Instruction *Cast = nullptr;
+  for (const auto &I : Steady->entry()->instructions())
+    if (isa<CastInst>(I.get()))
+      Cast = I.get();
+  ASSERT_NE(Cast, nullptr);
+  EXPECT_EQ(cast<ConstInt>(Cast->getOperand(0))->getValue(), 2);
+}
+
+TEST_F(MemOptFixture, GlobalFoldSkipsSteadyMutatedState) {
+  GlobalVar *G = M.createGlobal("acc", TypeKind::Int, 1, MemClass::State);
+  B.createStore(G, B.getInt(0), B.getInt(5));
+  finishInit();
+  startSteady();
+  Value *L = B.createLoad(G, B.getInt(0));
+  B.createStore(G, B.getInt(0), B.createBinary(BinOp::Add, L, B.getInt(1)));
+  B.createOutput(B.createCast(CastOp::IntToFloat, L));
+  B.createRet();
+  EXPECT_FALSE(runGlobalStateFold(*Steady, Stats));
+}
+
+TEST_F(MemOptFixture, GlobalFoldSkipsMultiBlockInit) {
+  GlobalVar *G = M.createGlobal("g", TypeKind::Int, 1, MemClass::State);
+  B.createStore(G, B.getInt(0), B.getInt(5));
+  BasicBlock *Next = Init->createBlock("next");
+  B.createBr(Next);
+  B.setInsertPoint(Next);
+  B.createRet();
+  startSteady();
+  B.createOutput(
+      B.createCast(CastOp::IntToFloat, B.createLoad(G, B.getInt(0))));
+  B.createRet();
+  EXPECT_FALSE(runGlobalStateFold(*Steady, Stats));
+}
+
+TEST_F(MemOptFixture, MemForwardStoreToLoad) {
+  GlobalVar *G = M.createGlobal("tmp", TypeKind::Float, 4,
+                                MemClass::State);
+  finishInit();
+  startSteady();
+  Value *In = B.createInput(TypeKind::Float);
+  B.createStore(G, B.getInt(2), In);
+  Value *L = B.createLoad(G, B.getInt(2));
+  B.createOutput(L);
+  B.createRet();
+  EXPECT_TRUE(runMemForward(*Steady, Stats));
+  runDCE(*Steady, Stats);
+  // Store and load both disappear: the value flowed directly.
+  EXPECT_EQ(steadyLoads(), 0u);
+  EXPECT_EQ(steadyStores(), 0u);
+  EXPECT_TRUE(verify(M));
+}
+
+TEST_F(MemOptFixture, MemForwardRedundantLoads) {
+  GlobalVar *G = M.createGlobal("s", TypeKind::Float, 1, MemClass::State);
+  finishInit();
+  startSteady();
+  Value *L1 = B.createLoad(G, B.getInt(0));
+  Value *L2 = B.createLoad(G, B.getInt(0));
+  B.createOutput(B.createBinary(BinOp::FAdd, L1, L2));
+  B.createRet();
+  EXPECT_TRUE(runMemForward(*Steady, Stats));
+  runDCE(*Steady, Stats);
+  EXPECT_EQ(steadyLoads(), 1u);
+}
+
+TEST_F(MemOptFixture, MemForwardKeepsCrossIterationState) {
+  // First access is a load: the cell carries state across runs; its
+  // store must survive.
+  GlobalVar *G = M.createGlobal("carry", TypeKind::Float, 1,
+                                MemClass::State);
+  finishInit();
+  startSteady();
+  Value *Old = B.createLoad(G, B.getInt(0));
+  Value *In = B.createInput(TypeKind::Float);
+  B.createStore(G, B.getInt(0), In);
+  B.createOutput(Old);
+  B.createRet();
+  runMemForward(*Steady, Stats);
+  EXPECT_EQ(steadyStores(), 1u);
+  EXPECT_EQ(steadyLoads(), 1u);
+}
+
+TEST_F(MemOptFixture, MemForwardSkipsDynamicIndices) {
+  GlobalVar *G = M.createGlobal("a", TypeKind::Float, 8, MemClass::State);
+  finishInit();
+  startSteady();
+  Value *Idx = B.createCast(CastOp::FloatToInt,
+                            B.createInput(TypeKind::Float));
+  B.createStore(G, B.getInt(1), B.getFloat(3.0));
+  B.createStore(G, Idx, B.createInput(TypeKind::Float)); // May alias 1.
+  B.createOutput(B.createLoad(G, B.getInt(1)));
+  B.createRet();
+  EXPECT_FALSE(runMemForward(*Steady, Stats));
+}
+
+TEST(MemOptEndToEnd, FFTLocalArraysScalarized) {
+  // The FFT butterfly's result array must vanish from the Laminar
+  // steady state: private-store elimination plus forwarding.
+  const suite::Benchmark *B = suite::findBenchmark("FFT");
+  ASSERT_NE(B, nullptr);
+  driver::CompileOptions O;
+  O.TopName = B->Top;
+  O.Mode = driver::LoweringMode::Laminar;
+  O.OptLevel = 2;
+  driver::Compilation C = driver::compile(B->Source, O);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  interp::RunResult R = driver::runWithRandomInput(C, 2, 3);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.SteadyCounters.StateLoad, 0u);
+  EXPECT_EQ(R.SteadyCounters.StateStore, 0u);
+}
+
+TEST(FifoUnroll, ProducesSameOutputs) {
+  const suite::Benchmark *B = suite::findBenchmark("FilterBank");
+  ASSERT_NE(B, nullptr);
+  driver::CompileOptions O;
+  O.TopName = B->Top;
+  O.Mode = driver::LoweringMode::Fifo;
+  O.OptLevel = 2;
+  driver::Compilation Rolled = driver::compile(B->Source, O);
+  O.UnrollFifo = true;
+  driver::Compilation Unrolled = driver::compile(B->Source, O);
+  ASSERT_TRUE(Rolled.Ok && Unrolled.Ok);
+  interp::RunResult R1 = driver::runWithRandomInput(Rolled, 3, 5);
+  interp::RunResult R2 = driver::runWithRandomInput(Unrolled, 3, 5);
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_EQ(R1.Outputs.F, R2.Outputs.F);
+  // Unrolling removes branch work but keeps the buffer traffic.
+  EXPECT_LT(R2.SteadyCounters.Branch, R1.SteadyCounters.Branch);
+  EXPECT_EQ(R2.SteadyCounters.communication(),
+            R1.SteadyCounters.communication());
+}

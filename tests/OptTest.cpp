@@ -1,0 +1,297 @@
+//===--- OptTest.cpp - Optimization pass unit tests -------------------------===//
+
+#include "lir/SSABuilder.h"
+#include "lir/Verifier.h"
+#include "opt/PassManager.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::lir;
+using namespace laminar::opt;
+
+namespace {
+
+struct OptFixture : ::testing::Test {
+  // Folding disabled so passes (not the builder) do the work.
+  OptFixture() : M("m"), B(M, /*FoldConstants=*/false) {
+    F = M.createFunction("f");
+    Entry = F->createBlock("entry");
+    B.setInsertPoint(Entry);
+  }
+
+  size_t instCount() const { return F->instructionCount(); }
+
+  Module M;
+  IRBuilder B;
+  Function *F;
+  BasicBlock *Entry;
+  StatsRegistry Stats;
+};
+
+} // namespace
+
+TEST_F(OptFixture, ConstantFoldFoldsArithmetic) {
+  Value *V = B.createBinary(BinOp::Add, B.getInt(2), B.getInt(3));
+  B.createOutput(B.createCast(CastOp::IntToFloat, V));
+  B.createRet();
+  EXPECT_TRUE(runConstantFold(*F, Stats));
+  runDCE(*F, Stats);
+  // add and cast both folded away; only output + ret remain.
+  EXPECT_EQ(instCount(), 2u);
+  EXPECT_GE(Stats.get("constfold.folded"), 2u);
+  EXPECT_TRUE(verify(M));
+}
+
+TEST_F(OptFixture, AlgebraicIdentities) {
+  Value *X = B.createInput(TypeKind::Float);
+  Value *V = B.createBinary(BinOp::FAdd, X, B.getFloat(0.0));
+  V = B.createBinary(BinOp::FMul, V, B.getFloat(1.0));
+  B.createOutput(V);
+  B.createRet();
+  EXPECT_TRUE(runConstantFold(*F, Stats));
+  runDCE(*F, Stats);
+  // x + 0.0 and x * 1.0 both collapse to x.
+  EXPECT_EQ(instCount(), 3u); // input, output, ret
+  EXPECT_EQ(Stats.get("constfold.simplified"), 2u);
+}
+
+TEST_F(OptFixture, IntIdentitiesAndSelfCancellation) {
+  Value *X = B.createInput(TypeKind::Int);
+  Value *Zero = B.createBinary(BinOp::Sub, X, X);
+  Value *Y = B.createBinary(BinOp::Add, X, Zero);
+  Value *Z = B.createBinary(BinOp::Xor, Y, Y);
+  B.createOutput(B.createCast(CastOp::IntToFloat, Z));
+  B.createRet();
+  runConstantFold(*F, Stats);
+  runDCE(*F, Stats);
+  // Everything reduces to a constant 0.
+  EXPECT_EQ(instCount(), 3u); // input (side effect), output, ret
+}
+
+TEST_F(OptFixture, DCERemovesDeadChains) {
+  Value *In = B.createInput(TypeKind::Float);
+  Value *Dead = B.createBinary(BinOp::FMul, In, B.getFloat(2.0));
+  Dead = B.createBinary(BinOp::FAdd, Dead, B.getFloat(1.0));
+  (void)Dead;
+  B.createOutput(In);
+  B.createRet();
+  EXPECT_TRUE(runDCE(*F, Stats));
+  EXPECT_EQ(Stats.get("dce.removed"), 2u);
+  EXPECT_EQ(instCount(), 3u);
+  EXPECT_TRUE(verify(M));
+}
+
+TEST_F(OptFixture, DCEKeepsSideEffects) {
+  B.createInput(TypeKind::Float); // Consumes external input: live.
+  GlobalVar *G = M.createGlobal("g", TypeKind::Int, 1, MemClass::State);
+  B.createStore(G, B.getInt(0), B.getInt(1));
+  B.createRet();
+  runDCE(*F, Stats);
+  EXPECT_EQ(instCount(), 3u);
+}
+
+TEST_F(OptFixture, DCERemovesCyclicDeadPhis) {
+  // A loop whose carried value is never observed.
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *Body = F->createBlock("b");
+  BasicBlock *Exit = F->createBlock("x");
+  SSABuilder SSA(B);
+  int Var = 0;
+  SSA.writeVariable(&Var, Entry, B.getInt(0));
+  B.createBr(H);
+  B.setInsertPoint(H);
+  Value *X = SSA.readVariable(&Var, H, TypeKind::Int);
+  Value *Cond = B.createCmp(CmpPred::LT, B.createInput(TypeKind::Int),
+                            B.getInt(10));
+  B.createCondBr(Cond, Body, Exit);
+  SSA.sealBlock(Body);
+  B.setInsertPoint(Body);
+  SSA.writeVariable(&Var, Body, B.createBinary(BinOp::Add, X, B.getInt(1)));
+  B.createBr(H);
+  SSA.sealBlock(H);
+  SSA.sealBlock(Exit);
+  B.setInsertPoint(Exit);
+  B.createRet();
+
+  runDCE(*F, Stats);
+  // The phi and the add form a dead cycle; both must go.
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      EXPECT_FALSE(isa<PhiInst>(I.get()));
+  EXPECT_TRUE(verify(M));
+}
+
+TEST_F(OptFixture, GVNEliminatesRedundantExpressions) {
+  Value *A = B.createInput(TypeKind::Float);
+  Value *C1 = B.createBinary(BinOp::FMul, A, B.getFloat(3.0));
+  Value *C2 = B.createBinary(BinOp::FMul, A, B.getFloat(3.0));
+  B.createOutput(B.createBinary(BinOp::FAdd, C1, C2));
+  B.createRet();
+  EXPECT_TRUE(runGVN(*F, Stats));
+  runDCE(*F, Stats);
+  EXPECT_EQ(Stats.get("gvn.eliminated"), 1u);
+  EXPECT_EQ(instCount(), 5u); // input, mul, add, output, ret
+}
+
+TEST_F(OptFixture, GVNHonorsCommutativity) {
+  Value *A = B.createInput(TypeKind::Int);
+  Value *C = B.createInput(TypeKind::Int);
+  Value *S1 = B.createBinary(BinOp::Add, A, C);
+  Value *S2 = B.createBinary(BinOp::Add, C, A);
+  B.createOutput(B.createCast(
+      CastOp::IntToFloat, B.createBinary(BinOp::Mul, S1, S2)));
+  B.createRet();
+  EXPECT_TRUE(runGVN(*F, Stats));
+  EXPECT_EQ(Stats.get("gvn.eliminated"), 1u);
+}
+
+TEST_F(OptFixture, GVNDoesNotMergeLoads) {
+  GlobalVar *G = M.createGlobal("g", TypeKind::Float, 4, MemClass::State);
+  Value *L1 = B.createLoad(G, B.getInt(0));
+  Value *L2 = B.createLoad(G, B.getInt(0));
+  B.createOutput(B.createBinary(BinOp::FAdd, L1, L2));
+  B.createRet();
+  EXPECT_FALSE(runGVN(*F, Stats));
+  EXPECT_EQ(Stats.get("gvn.eliminated"), 0u);
+}
+
+TEST_F(OptFixture, GVNDoesNotMergeAcrossSiblingBranches) {
+  Value *Cond = B.createCmp(CmpPred::LT, B.createInput(TypeKind::Int),
+                            B.getInt(0));
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  Value *A = B.createInput(TypeKind::Int);
+  B.createCondBr(Cond, T, E);
+  B.setInsertPoint(T);
+  B.createOutput(B.createCast(CastOp::IntToFloat,
+                              B.createBinary(BinOp::Add, A, B.getInt(1))));
+  B.createRet();
+  B.setInsertPoint(E);
+  B.createOutput(B.createCast(CastOp::IntToFloat,
+                              B.createBinary(BinOp::Add, A, B.getInt(1))));
+  B.createRet();
+  // Neither branch dominates the other: no elimination.
+  EXPECT_FALSE(runGVN(*F, Stats));
+}
+
+TEST_F(OptFixture, SCCPFoldsBranchAndPrunes) {
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  BasicBlock *Merge = F->createBlock("m");
+  Value *Cond = B.createCmp(CmpPred::LT, B.getInt(1), B.getInt(2));
+  B.createCondBr(Cond, T, E);
+  B.setInsertPoint(T);
+  B.createBr(Merge);
+  B.setInsertPoint(E);
+  B.createBr(Merge);
+  B.setInsertPoint(Merge);
+  PhiInst *Phi = B.createPhi(TypeKind::Int, Merge);
+  Phi->addIncoming(B.getInt(10), T);
+  Phi->addIncoming(B.getInt(20), E);
+  B.createOutput(B.createCast(CastOp::IntToFloat, Phi));
+  B.createRet();
+  ASSERT_TRUE(verify(M));
+
+  EXPECT_TRUE(runSCCP(*F, Stats));
+  EXPECT_TRUE(verify(M));
+  EXPECT_GE(Stats.get("sccp.branches"), 1u);
+  EXPECT_GE(Stats.get("sccp.unreachable"), 1u);
+  // The phi merged only the executable edge: it folded to 10.
+  bool Found10 = false;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      if (const auto *Cast = dyn_cast<CastInst>(I.get()))
+        if (const auto *C = dyn_cast<ConstInt>(Cast->getOperand(0)))
+          Found10 = C->getValue() == 10;
+  EXPECT_TRUE(Found10);
+}
+
+TEST_F(OptFixture, SCCPTreatsLoadsAsOverdefined) {
+  GlobalVar *G = M.createGlobal("g", TypeKind::Int, 1, MemClass::State);
+  Value *L = B.createLoad(G, B.getInt(0));
+  Value *V = B.createBinary(BinOp::Add, L, B.getInt(0));
+  B.createOutput(B.createCast(CastOp::IntToFloat, V));
+  B.createRet();
+  runSCCP(*F, Stats);
+  // The add survives SCCP (its operand is a load).
+  EXPECT_EQ(Stats.get("sccp.constants"), 0u);
+}
+
+TEST_F(OptFixture, SCCPPropagatesThroughLoopPhis) {
+  // x starts at 0 and is re-assigned 0 in the loop: provably constant.
+  BasicBlock *H = F->createBlock("h");
+  BasicBlock *Body = F->createBlock("b");
+  BasicBlock *Exit = F->createBlock("x");
+  B.createBr(H);
+  B.setInsertPoint(H);
+  PhiInst *X = B.createPhi(TypeKind::Int, H);
+  Value *Cond = B.createCmp(CmpPred::LT, B.createInput(TypeKind::Int),
+                            B.getInt(5));
+  B.createCondBr(Cond, Body, Exit);
+  B.setInsertPoint(Body);
+  Value *Same = B.createBinary(BinOp::Mul, X, B.getInt(1));
+  B.createBr(H);
+  X->addIncoming(B.getInt(0), Entry);
+  X->addIncoming(Same, Body);
+  B.setInsertPoint(Exit);
+  B.createOutput(B.createCast(CastOp::IntToFloat, X));
+  B.createRet();
+  ASSERT_TRUE(verify(M));
+
+  runSCCP(*F, Stats);
+  EXPECT_GE(Stats.get("sccp.constants"), 1u);
+}
+
+TEST_F(OptFixture, CopyPropRemovesSingleSourcePhis) {
+  BasicBlock *Next = F->createBlock("n");
+  Value *In = B.createInput(TypeKind::Float);
+  B.createBr(Next);
+  B.setInsertPoint(Next);
+  PhiInst *Phi = B.createPhi(TypeKind::Float, Next);
+  Phi->addIncoming(In, Entry);
+  B.createOutput(Phi);
+  B.createRet();
+  EXPECT_TRUE(runCopyProp(*F, Stats));
+  EXPECT_EQ(Stats.get("copyprop.phis"), 1u);
+  EXPECT_FALSE(Phi->hasUses());
+}
+
+TEST_F(OptFixture, SimplifyCFGMergesLinearChains) {
+  BasicBlock *Mid = F->createBlock("mid");
+  BasicBlock *End = F->createBlock("end");
+  Value *In = B.createInput(TypeKind::Float);
+  B.createBr(Mid);
+  B.setInsertPoint(Mid);
+  Value *V = B.createBinary(BinOp::FAdd, In, B.getFloat(1.0));
+  B.createBr(End);
+  B.setInsertPoint(End);
+  B.createOutput(V);
+  B.createRet();
+
+  EXPECT_TRUE(runSimplifyCFG(*F, Stats));
+  EXPECT_EQ(F->blocks().size(), 1u);
+  EXPECT_TRUE(verify(M));
+}
+
+TEST_F(OptFixture, SimplifyCFGRemovesUnreachable) {
+  B.createRet();
+  BasicBlock *Dead = F->createBlock("dead");
+  B.setInsertPoint(Dead);
+  B.createRet();
+  EXPECT_TRUE(runSimplifyCFG(*F, Stats));
+  EXPECT_EQ(F->blocks().size(), 1u);
+}
+
+TEST_F(OptFixture, PassManagerReachesFixpoint) {
+  // (1 + 2) * input folds partially; pipeline iterates to a stable
+  // point and re-numbers values.
+  Value *C = B.createBinary(BinOp::Add, B.getInt(1), B.getInt(2));
+  Value *X = B.createInput(TypeKind::Int);
+  Value *V = B.createBinary(BinOp::Mul, C, X);
+  B.createOutput(B.createCast(CastOp::IntToFloat, V));
+  B.createRet();
+  optimizeModule(M, 2, Stats);
+  EXPECT_TRUE(verify(M));
+  // add folded; input, mul, cast, output, ret remain.
+  EXPECT_EQ(instCount(), 5u);
+}

@@ -1,0 +1,240 @@
+//===--- ParserTest.cpp ------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::ast;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &S) {
+  DiagnosticEngine D;
+  auto P = parseProgram(S, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return P;
+}
+
+bool parseFails(const std::string &S) {
+  DiagnosticEngine D;
+  parseProgram(S, D);
+  return D.hasErrors();
+}
+
+const char *kIdentity = R"(
+float->float filter Id {
+  work push 1 pop 1 { push(pop()); }
+}
+)";
+
+} // namespace
+
+TEST(Parser, SimpleFilter) {
+  auto P = parseOk(kIdentity);
+  ASSERT_EQ(P->getDecls().size(), 1u);
+  auto *F = dyn_cast<FilterDecl>(P->findDecl("Id"));
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->getInType(), ScalarType::Float);
+  EXPECT_EQ(F->getOutType(), ScalarType::Float);
+  ASSERT_NE(F->getPushRate(), nullptr);
+  ASSERT_NE(F->getPopRate(), nullptr);
+  EXPECT_EQ(F->getPeekRate(), nullptr);
+}
+
+TEST(Parser, RatesAreExpressions) {
+  auto P = parseOk(R"(
+    float->float filter F(int n) {
+      work push 2 * n pop n + 1 peek n * n { push(pop()); }
+    }
+  )");
+  auto *F = cast<FilterDecl>(P->findDecl("F"));
+  EXPECT_TRUE(isa<BinaryExpr>(F->getPushRate()));
+  EXPECT_TRUE(isa<BinaryExpr>(F->getPopRate()));
+  EXPECT_TRUE(isa<BinaryExpr>(F->getPeekRate()));
+}
+
+TEST(Parser, FieldsAndInit) {
+  auto P = parseOk(R"(
+    float->float filter F {
+      float a;
+      float w[8];
+      float[4] v;
+      int count = 3;
+      init { a = 1.0; }
+      work push 1 pop 1 { push(pop() + a); }
+    }
+  )");
+  auto *F = cast<FilterDecl>(P->findDecl("F"));
+  ASSERT_EQ(F->getFields().size(), 4u);
+  EXPECT_FALSE(F->getFields()[0]->isArray());
+  EXPECT_TRUE(F->getFields()[1]->isArray());  // C-style suffix
+  EXPECT_TRUE(F->getFields()[2]->isArray());  // StreamIt-style prefix
+  EXPECT_NE(F->getFields()[3]->getInit(), nullptr);
+  EXPECT_NE(F->getInitBody(), nullptr);
+}
+
+TEST(Parser, PipelineWithAdds) {
+  auto P = parseOk(R"(
+    float->float filter Id { work push 1 pop 1 { push(pop()); } }
+    float->float pipeline Top {
+      add Id;
+      add Id();
+      for (int i = 0; i < 3; i++)
+        add Id;
+    }
+  )");
+  auto *C = dyn_cast<CompositeDecl>(P->findDecl("Top"));
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->getKind(), StreamDecl::Kind::Pipeline);
+  EXPECT_EQ(C->getBody()->getBody().size(), 3u);
+}
+
+TEST(Parser, SplitJoinForms) {
+  auto P = parseOk(R"(
+    float->float filter Id { work push 1 pop 1 { push(pop()); } }
+    float->float splitjoin S1 {
+      split duplicate;
+      add Id;
+      add Id;
+      join roundrobin;
+    }
+    float->float splitjoin S2 {
+      split roundrobin(2, 3);
+      add Id;
+      add Id;
+      join roundrobin(1);
+    }
+  )");
+  auto *S1 = cast<CompositeDecl>(P->findDecl("S1"));
+  auto *Split1 = dyn_cast<SplitStmt>(S1->getBody()->getBody()[0]);
+  ASSERT_NE(Split1, nullptr);
+  EXPECT_EQ(Split1->getSplitKind(), SplitStmt::SplitKind::Duplicate);
+  auto *S2 = cast<CompositeDecl>(P->findDecl("S2"));
+  auto *Split2 = cast<SplitStmt>(S2->getBody()->getBody()[0]);
+  EXPECT_EQ(Split2->getSplitKind(), SplitStmt::SplitKind::RoundRobin);
+  EXPECT_EQ(Split2->getWeights().size(), 2u);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto P = parseOk(R"(
+    void->int filter F {
+      work push 1 {
+        int x = 1 + 2 * 3;
+        push(x);
+      }
+    }
+  )");
+  auto *F = cast<FilterDecl>(P->findDecl("F"));
+  auto *Decl = cast<DeclStmt>(F->getWorkBody()->getBody()[0]);
+  auto *Add = dyn_cast<BinaryExpr>(Decl->getDecl()->getInit());
+  ASSERT_NE(Add, nullptr);
+  EXPECT_EQ(Add->getOp(), BinaryOp::Add);
+  auto *Mul = dyn_cast<BinaryExpr>(Add->getRHS());
+  ASSERT_NE(Mul, nullptr);
+  EXPECT_EQ(Mul->getOp(), BinaryOp::Mul);
+}
+
+TEST(Parser, IncrementDesugarsToCompoundAssign) {
+  auto P = parseOk(R"(
+    void->int filter F {
+      int i;
+      work push 1 { i++; push(i); }
+    }
+  )");
+  auto *F = cast<FilterDecl>(P->findDecl("F"));
+  auto *S = cast<ExprStmt>(F->getWorkBody()->getBody()[0]);
+  auto *A = dyn_cast<AssignExpr>(S->getExpr());
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->getOp(), AssignExpr::Op::Add);
+}
+
+TEST(Parser, CastExpression) {
+  auto P = parseOk(R"(
+    float->int filter F {
+      work push 1 pop 1 { push((int)pop()); }
+    }
+  )");
+  auto *F = cast<FilterDecl>(P->findDecl("F"));
+  auto *S = cast<ExprStmt>(F->getWorkBody()->getBody()[0]);
+  auto *Call = cast<CallExpr>(S->getExpr());
+  EXPECT_TRUE(isa<CastExpr>(Call->getArgs()[0]));
+}
+
+TEST(Parser, ParenthesizedExprIsNotCast) {
+  auto P = parseOk(R"(
+    void->int filter F {
+      int x;
+      work push 1 { push((x) + 1); }
+    }
+  )");
+  EXPECT_NE(P->findDecl("F"), nullptr);
+}
+
+TEST(Parser, IfElseChain) {
+  auto P = parseOk(R"(
+    int->int filter F {
+      work push 1 pop 1 {
+        int x = pop();
+        if (x > 0) x = 1;
+        else if (x < 0) x = 2;
+        else x = 3;
+        push(x);
+      }
+    }
+  )");
+  auto *F = cast<FilterDecl>(P->findDecl("F"));
+  auto *If = dyn_cast<IfStmt>(F->getWorkBody()->getBody()[1]);
+  ASSERT_NE(If, nullptr);
+  EXPECT_TRUE(isa<IfStmt>(If->getElse()));
+}
+
+TEST(Parser, WhileLoop) {
+  auto P = parseOk(R"(
+    int->int filter F {
+      work push 1 pop 1 {
+        int x = pop();
+        while (x > 10) x = x - 10;
+        push(x);
+      }
+    }
+  )");
+  auto *F = cast<FilterDecl>(P->findDecl("F"));
+  EXPECT_TRUE(isa<WhileStmt>(F->getWorkBody()->getBody()[1]));
+}
+
+TEST(Parser, MissingWorkIsError) {
+  EXPECT_TRUE(parseFails("float->float filter F { float x; }"));
+}
+
+TEST(Parser, MissingSemicolonIsError) {
+  EXPECT_TRUE(parseFails(R"(
+    float->float filter F { work push 1 pop 1 { push(pop()) } }
+  )"));
+}
+
+TEST(Parser, UnknownTopLevelIsError) {
+  EXPECT_TRUE(parseFails("float->float gadget X { }"));
+}
+
+TEST(Parser, RecoversToNextDecl) {
+  DiagnosticEngine D;
+  auto P = parseProgram(R"(
+    float->float gadget Bad { }
+    float->float filter Good { work push 1 pop 1 { push(pop()); } }
+  )",
+                        D);
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_NE(P->findDecl("Good"), nullptr);
+}
+
+TEST(Parser, Parameters) {
+  auto P = parseOk(R"(
+    float->float filter F(int n, float g) {
+      work push 1 pop 1 { push(pop() * g); }
+    }
+  )");
+  auto *F = cast<FilterDecl>(P->findDecl("F"));
+  ASSERT_EQ(F->getParams().size(), 2u);
+  EXPECT_EQ(F->getParams()[0]->getElemType(), ScalarType::Int);
+  EXPECT_EQ(F->getParams()[1]->getElemType(), ScalarType::Float);
+}

@@ -1,0 +1,80 @@
+//===--- PerfModelTest.cpp - Platform cost and energy models ----------------===//
+
+#include "driver/Driver.h"
+#include "perfmodel/PlatformModel.h"
+#include "suite/Suite.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::interp;
+using namespace laminar::perfmodel;
+
+TEST(PlatformModel, FourPaperPlatformsRegistered) {
+  const auto &Ps = paperPlatforms();
+  ASSERT_EQ(Ps.size(), 4u);
+  EXPECT_NE(findPlatform("i7-2600K"), nullptr);
+  EXPECT_NE(findPlatform("Opteron-6378"), nullptr);
+  EXPECT_NE(findPlatform("XeonPhi-3120A"), nullptr);
+  EXPECT_NE(findPlatform("Cortex-A15"), nullptr);
+  EXPECT_EQ(findPlatform("M1"), nullptr);
+}
+
+TEST(PlatformModel, CyclesAreLinearInCounts) {
+  const PlatformModel *P = findPlatform("i7-2600K");
+  Counters A;
+  A.FloatAlu = 10;
+  Counters B = A;
+  B.FloatAlu = 20;
+  EXPECT_DOUBLE_EQ(P->cycles(B), 2 * P->cycles(A));
+}
+
+TEST(PlatformModel, MemoryCostsDominateAluCosts) {
+  for (const PlatformModel &P : paperPlatforms()) {
+    EXPECT_GT(P.Load, P.IntAlu) << P.Name;
+    EXPECT_GT(P.Store, P.IntAlu) << P.Name;
+    EXPECT_GT(P.MathCall, P.FloatAlu) << P.Name;
+  }
+}
+
+TEST(PlatformModel, InOrderCoreSuffersMostFromMemory) {
+  // The Xeon Phi's load/ALU ratio must exceed the desktop cores': that
+  // ratio drives the paper's cross-platform speedup spread.
+  const PlatformModel *I7 = findPlatform("i7-2600K");
+  const PlatformModel *Phi = findPlatform("XeonPhi-3120A");
+  EXPECT_GT(Phi->Load / Phi->FloatAlu, I7->Load / I7->FloatAlu);
+}
+
+TEST(PlatformModel, EnergyPositiveAndMonotoneInMemory) {
+  const PlatformModel *P = findPlatform("i7-2600K");
+  Counters A;
+  A.FloatAlu = 100;
+  A.StateLoad = 10;
+  Counters B = A;
+  B.StateLoad = 1000;
+  EXPECT_GT(P->energyJoules(A), 0.0);
+  EXPECT_GT(P->energyJoules(B), P->energyJoules(A));
+}
+
+TEST(PlatformModel, LaminarBeatsFifoOnEveryPlatform) {
+  const suite::Benchmark *Bench = suite::findBenchmark("FilterBank");
+  ASSERT_NE(Bench, nullptr);
+  driver::CompileOptions OF;
+  OF.TopName = Bench->Top;
+  OF.Mode = driver::LoweringMode::Fifo;
+  driver::Compilation CF = driver::compile(Bench->Source, OF);
+  driver::CompileOptions OL = OF;
+  OL.Mode = driver::LoweringMode::Laminar;
+  driver::Compilation CL = driver::compile(Bench->Source, OL);
+  ASSERT_TRUE(CF.Ok && CL.Ok);
+  RunResult RF = driver::runWithRandomInput(CF, 4, 3);
+  RunResult RL = driver::runWithRandomInput(CL, 4, 3);
+  ASSERT_TRUE(RF.Ok && RL.Ok);
+  for (const PlatformModel &P : paperPlatforms()) {
+    double Speedup = P.cycles(RF.SteadyCounters) /
+                     P.cycles(RL.SteadyCounters);
+    EXPECT_GT(Speedup, 1.0) << P.Name;
+    EXPECT_LT(P.energyJoules(RL.SteadyCounters),
+              P.energyJoules(RF.SteadyCounters))
+        << P.Name;
+  }
+}

@@ -1,0 +1,54 @@
+//===--- ProgramFilesTest.cpp - Shipped .str programs stay valid -------------===//
+
+#include "driver/Driver.h"
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::driver;
+
+namespace {
+
+std::string readProgram(const std::string &Name) {
+  std::ifstream In(std::string(LAMINAR_SOURCE_DIR) + "/examples/programs/" +
+                   Name);
+  EXPECT_TRUE(In.good()) << Name;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+struct ProgramCase {
+  const char *File;
+  const char *Top;
+};
+
+class ShippedPrograms : public ::testing::TestWithParam<ProgramCase> {};
+
+} // namespace
+
+TEST_P(ShippedPrograms, CompileAndRunInBothModes) {
+  std::string Source = readProgram(GetParam().File);
+  ASSERT_FALSE(Source.empty());
+  for (LoweringMode Mode : {LoweringMode::Fifo, LoweringMode::Laminar}) {
+    CompileOptions O;
+    O.TopName = GetParam().Top;
+    O.Mode = Mode;
+    Compilation C = compile(Source, O);
+    ASSERT_TRUE(C.Ok) << GetParam().File << "\n" << C.ErrorLog;
+    interp::RunResult R = runWithRandomInput(C, 4, 2);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_GT(R.Outputs.size(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, ShippedPrograms,
+    ::testing::Values(ProgramCase{"average.str", "Smooth"},
+                      ProgramCase{"echo.str", "Echo"},
+                      ProgramCase{"bandsplit.str", "BandSplit"}),
+    [](const ::testing::TestParamInfo<ProgramCase> &Info) {
+      std::string Name = Info.param.File;
+      return Name.substr(0, Name.find('.'));
+    });

@@ -1,0 +1,159 @@
+//===--- PropertyTest.cpp - Randomized structural properties ----------------===//
+//
+// Generates random (but rate-consistent) stream programs and checks the
+// pipeline-wide invariants: schedules balance, token-level simulation
+// succeeds, and the FIFO and Laminar lowerings agree bit-for-bit at
+// every optimization level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "schedule/ScheduleSim.h"
+#include "support/RNG.h"
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::driver;
+
+namespace {
+
+/// Emits a random peeking FIR-ish filter with the given rates.
+std::string makeFilter(const std::string &Name, int Push, int Pop, int Peek,
+                       RNG &R) {
+  std::ostringstream OS;
+  OS << "float->float filter " << Name << " {\n";
+  OS << "  work push " << Push << " pop " << Pop << " peek " << Peek
+     << " {\n";
+  OS << "    float acc = " << R.nextDouble(-0.5, 0.5) << ";\n";
+  OS << "    for (int k = 0; k < " << Peek << "; k++)\n";
+  OS << "      acc += peek(k) * " << R.nextDouble(0.1, 1.1) << ";\n";
+  OS << "    for (int k = 0; k < " << Pop << "; k++)\n";
+  OS << "      pop();\n";
+  OS << "    for (int k = 0; k < " << Push << "; k++)\n";
+  OS << "      push(acc + k * " << R.nextDouble(0.0, 0.3) << ");\n";
+  OS << "  }\n}\n";
+  return OS.str();
+}
+
+/// A random program: a pipeline of filters and homogeneous splitjoins
+/// (all branches share one filter type, keeping rates consistent).
+struct GeneratedProgram {
+  std::string Source;
+  std::string Top;
+};
+
+GeneratedProgram generate(uint64_t Seed) {
+  RNG R(Seed * 2654435761u + 17);
+  std::ostringstream Decls;
+  std::ostringstream Body;
+  unsigned NumFilters = 0;
+
+  auto FreshFilter = [&] {
+    std::ostringstream Name;
+    Name << "F" << NumFilters++;
+    int Pop = static_cast<int>(R.nextInt(3)) + 1;
+    int Push = static_cast<int>(R.nextInt(3)) + 1;
+    int Peek = Pop + static_cast<int>(R.nextInt(4));
+    Decls << makeFilter(Name.str(), Push, Pop, Peek, R);
+    return Name.str();
+  };
+
+  int Stages = 2 + static_cast<int>(R.nextInt(3));
+  for (int S = 0; S < Stages; ++S) {
+    if (R.nextInt(3) == 0) {
+      // A homogeneous splitjoin stage.
+      std::string Branch = FreshFilter();
+      int Branches = 2 + static_cast<int>(R.nextInt(2));
+      bool Dup = R.nextInt(2) == 0;
+      int W = 1 + static_cast<int>(R.nextInt(2));
+      std::ostringstream SJ;
+      SJ << "float->float splitjoin SJ" << S << " {\n";
+      if (Dup)
+        SJ << "  split duplicate;\n";
+      else
+        SJ << "  split roundrobin(" << W << ");\n";
+      for (int Br = 0; Br < Branches; ++Br)
+        SJ << "  add " << Branch << ";\n";
+      SJ << "  join roundrobin(" << 1 + static_cast<int>(R.nextInt(2))
+         << ");\n}\n";
+      Decls << SJ.str();
+      Body << "  add SJ" << S << ";\n";
+    } else {
+      Body << "  add " << FreshFilter() << ";\n";
+    }
+  }
+
+  GeneratedProgram P;
+  P.Top = "RandTop";
+  P.Source = Decls.str() + "float->float pipeline RandTop {\n" +
+             Body.str() + "}\n";
+  return P;
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(RandomProgramTest, LoweringsAgreeAndSchedulesBalance) {
+  GeneratedProgram P = generate(GetParam());
+
+  CompileOptions Base;
+  Base.TopName = P.Top;
+  Base.VerifyEachPass = true;
+
+  // Reference: FIFO at O0.
+  CompileOptions RefOpts = Base;
+  RefOpts.Mode = LoweringMode::Fifo;
+  RefOpts.OptLevel = 0;
+  Compilation Ref = compile(P.Source, RefOpts);
+  ASSERT_TRUE(Ref.Ok) << P.Source << "\n" << Ref.ErrorLog;
+
+  // Balance equations hold on every channel.
+  for (const auto &Ch : Ref.Graph->channels())
+    EXPECT_EQ(Ref.Sched->repsOf(Ch->getSrc()) * Ch->srcRate(),
+              Ref.Sched->repsOf(Ch->getDst()) * Ch->dstRate());
+
+  // Token-level simulation succeeds and restores occupancies.
+  auto Sim = schedule::simulateSchedule(*Ref.Graph, *Ref.Sched, 2);
+  ASSERT_TRUE(Sim.Ok) << Sim.Error << "\n" << P.Source;
+
+  constexpr int64_t Iters = 3;
+  constexpr uint64_t Seed = 99;
+  interp::RunResult RefRun = runWithRandomInput(Ref, Iters, Seed);
+  ASSERT_TRUE(RefRun.Ok) << RefRun.Error << "\n" << P.Source;
+
+  for (LoweringMode Mode : {LoweringMode::Fifo, LoweringMode::Laminar}) {
+    for (unsigned Opt : {0u, 2u}) {
+      CompileOptions O = Base;
+      O.Mode = Mode;
+      O.OptLevel = Opt;
+      Compilation C = compile(P.Source, O);
+      ASSERT_TRUE(C.Ok) << P.Source << "\n" << C.ErrorLog;
+      interp::RunResult R = runWithRandomInput(C, Iters, Seed);
+      ASSERT_TRUE(R.Ok) << R.Error;
+      ASSERT_EQ(R.Outputs.F.size(), RefRun.Outputs.F.size()) << P.Source;
+      for (size_t K = 0; K < R.Outputs.F.size(); ++K)
+        ASSERT_DOUBLE_EQ(R.Outputs.F[K], RefRun.Outputs.F[K])
+            << "seed " << GetParam() << " token " << K << "\n"
+            << P.Source;
+    }
+  }
+}
+
+TEST_P(RandomProgramTest, LaminarSteadyHasNoBufferOps) {
+  GeneratedProgram P = generate(GetParam());
+  CompileOptions O;
+  O.TopName = P.Top;
+  O.Mode = LoweringMode::Laminar;
+  O.OptLevel = 0;
+  Compilation C = compile(P.Source, O);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  for (const auto &G : C.Module->globals())
+    EXPECT_TRUE(G->getMemClass() == lir::MemClass::State ||
+                G->getMemClass() == lir::MemClass::LiveToken)
+        << G->getName();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Range<uint64_t>(0, 20));

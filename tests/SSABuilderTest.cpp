@@ -1,0 +1,153 @@
+//===--- SSABuilderTest.cpp - On-the-fly SSA construction -------------------===//
+
+#include "lir/SSABuilder.h"
+#include "lir/Verifier.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+namespace {
+
+struct SSAFixture : ::testing::Test {
+  SSAFixture() : M("m"), B(M), SSA(B) {
+    F = M.createFunction("f");
+    Entry = F->createBlock("entry");
+    B.setInsertPoint(Entry);
+    SSA.sealBlock(Entry);
+  }
+
+  size_t countPhis() const {
+    size_t N = 0;
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (isa<PhiInst>(I.get()) && I->hasUses())
+          ++N;
+    return N;
+  }
+
+  Module M;
+  IRBuilder B;
+  SSABuilder SSA;
+  Function *F;
+  BasicBlock *Entry;
+  int VarX = 0; // Address used as the variable key.
+};
+
+} // namespace
+
+TEST_F(SSAFixture, StraightLineReadsLastWrite) {
+  SSA.writeVariable(&VarX, Entry, B.getInt(1));
+  SSA.writeVariable(&VarX, Entry, B.getInt(2));
+  Value *V = SSA.readVariable(&VarX, Entry, TypeKind::Int);
+  EXPECT_EQ(V, B.getInt(2));
+}
+
+TEST_F(SSAFixture, DiamondCreatesPhi) {
+  Value *Cond = B.createCmp(CmpPred::GT, B.createInput(TypeKind::Int),
+                            B.getInt(0));
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *E = F->createBlock("e");
+  BasicBlock *Merge = F->createBlock("m");
+  SSA.writeVariable(&VarX, Entry, B.getInt(0));
+  B.createCondBr(Cond, T, E);
+  SSA.sealBlock(T);
+  SSA.sealBlock(E);
+
+  B.setInsertPoint(T);
+  SSA.writeVariable(&VarX, T, B.getInt(10));
+  B.createBr(Merge);
+  B.setInsertPoint(E);
+  SSA.writeVariable(&VarX, E, B.getInt(20));
+  B.createBr(Merge);
+  SSA.sealBlock(Merge);
+
+  B.setInsertPoint(Merge);
+  Value *V = SSA.readVariable(&VarX, Merge, TypeKind::Int);
+  auto *Phi = dyn_cast<PhiInst>(V);
+  ASSERT_NE(Phi, nullptr);
+  EXPECT_EQ(Phi->getNumIncoming(), 2u);
+  B.createOutput(B.convert(V, TypeKind::Float));
+  B.createRet();
+  EXPECT_TRUE(verify(M)) << verifyModule(M).front();
+}
+
+TEST_F(SSAFixture, UnmodifiedVariableNeedsNoPhi) {
+  Value *Cond = B.createCmp(CmpPred::GT, B.createInput(TypeKind::Int),
+                            B.getInt(0));
+  BasicBlock *T = F->createBlock("t");
+  BasicBlock *Merge = F->createBlock("m");
+  SSA.writeVariable(&VarX, Entry, B.getInt(42));
+  B.createCondBr(Cond, T, Merge);
+  SSA.sealBlock(T);
+  B.setInsertPoint(T);
+  B.createBr(Merge);
+  SSA.sealBlock(Merge);
+  B.setInsertPoint(Merge);
+  // Both paths carry 42: the trivial phi must be removed.
+  Value *V = SSA.readVariable(&VarX, Merge, TypeKind::Int);
+  EXPECT_EQ(V, B.getInt(42));
+  EXPECT_EQ(countPhis(), 0u);
+}
+
+TEST_F(SSAFixture, LoopCarriedVariableGetsHeaderPhi) {
+  // x = 0; while (x < 10) x = x + 1; read x.
+  BasicBlock *Header = F->createBlock("h");
+  BasicBlock *Body = F->createBlock("b");
+  BasicBlock *Exit = F->createBlock("x");
+  SSA.writeVariable(&VarX, Entry, B.getInt(0));
+  B.createBr(Header);
+
+  B.setInsertPoint(Header); // Unsealed: latch still missing.
+  Value *X0 = SSA.readVariable(&VarX, Header, TypeKind::Int);
+  Value *Cond = B.createCmp(CmpPred::LT, X0, B.getInt(10));
+  B.createCondBr(Cond, Body, Exit);
+  SSA.sealBlock(Body);
+
+  B.setInsertPoint(Body);
+  Value *X1 = SSA.readVariable(&VarX, Body, TypeKind::Int);
+  SSA.writeVariable(&VarX, Body,
+                    B.createBinary(BinOp::Add, X1, B.getInt(1)));
+  B.createBr(Header);
+  SSA.sealBlock(Header);
+  SSA.sealBlock(Exit);
+
+  B.setInsertPoint(Exit);
+  Value *XF = SSA.readVariable(&VarX, Exit, TypeKind::Int);
+  B.createOutput(B.convert(XF, TypeKind::Float));
+  B.createRet();
+
+  EXPECT_EQ(countPhis(), 1u);
+  auto Errors = verifyModule(M);
+  EXPECT_TRUE(Errors.empty()) << Errors.front();
+}
+
+TEST_F(SSAFixture, LoopInvariantVariableAvoidsPhi) {
+  // y is written once before the loop and only read inside: the
+  // incomplete phi created in the unsealed header must fold away.
+  BasicBlock *Header = F->createBlock("h");
+  BasicBlock *Body = F->createBlock("b");
+  BasicBlock *Exit = F->createBlock("x");
+  SSA.writeVariable(&VarX, Entry, B.getInt(5));
+  B.createBr(Header);
+  B.setInsertPoint(Header);
+  Value *Y = SSA.readVariable(&VarX, Header, TypeKind::Int);
+  Value *Cond = B.createCmp(CmpPred::LT, B.createInput(TypeKind::Int), Y);
+  B.createCondBr(Cond, Body, Exit);
+  SSA.sealBlock(Body);
+  B.setInsertPoint(Body);
+  B.createBr(Header);
+  SSA.sealBlock(Header);
+  SSA.sealBlock(Exit);
+  B.setInsertPoint(Exit);
+  EXPECT_EQ(SSA.readVariable(&VarX, Exit, TypeKind::Int), B.getInt(5));
+  EXPECT_EQ(countPhis(), 0u);
+}
+
+TEST_F(SSAFixture, TwoVariablesAreIndependent) {
+  int VarY = 0;
+  SSA.writeVariable(&VarX, Entry, B.getInt(1));
+  SSA.writeVariable(&VarY, Entry, B.getInt(2));
+  EXPECT_EQ(SSA.readVariable(&VarX, Entry, TypeKind::Int), B.getInt(1));
+  EXPECT_EQ(SSA.readVariable(&VarY, Entry, TypeKind::Int), B.getInt(2));
+}

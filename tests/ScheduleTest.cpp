@@ -1,0 +1,255 @@
+//===--- ScheduleTest.cpp - Balance equations and init schedules -----------===//
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+#include "graph/GraphBuilder.h"
+#include "schedule/Schedule.h"
+#include "schedule/ScheduleSim.h"
+#include "suite/Suite.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::graph;
+using namespace laminar::schedule;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<StreamGraph> G;
+  std::optional<Schedule> S;
+  std::string Err;
+};
+
+Built buildAndSchedule(const std::string &Src, const std::string &Top) {
+  Built B;
+  DiagnosticEngine D;
+  auto P = parseProgram(Src, D);
+  if (!D.hasErrors())
+    analyzeProgram(*P, D);
+  if (!D.hasErrors())
+    B.G = buildGraph(*P, Top, D);
+  if (B.G)
+    B.S = computeSchedule(*B.G, D);
+  B.Err = D.str();
+  return B;
+}
+
+int64_t repsOfNamed(const Built &B, const std::string &Prefix) {
+  for (const auto &N : B.G->nodes())
+    if (N->getName().rfind(Prefix, 0) == 0)
+      return B.S->repsOf(N.get());
+  ADD_FAILURE() << "no node named " << Prefix;
+  return -1;
+}
+
+int64_t initRepsOfNamed(const Built &B, const std::string &Prefix) {
+  for (const auto &N : B.G->nodes())
+    if (N->getName().rfind(Prefix, 0) == 0)
+      return B.S->initRepsOf(N.get());
+  ADD_FAILURE() << "no node named " << Prefix;
+  return -1;
+}
+
+} // namespace
+
+TEST(Schedule, OneToOnePipeline) {
+  auto B = buildAndSchedule(R"(
+    float->float filter Id { work push 1 pop 1 { push(pop()); } }
+    float->float pipeline Top { add Id; add Id; }
+  )",
+                            "Top");
+  ASSERT_TRUE(B.S) << B.Err;
+  for (const auto &N : B.G->nodes())
+    EXPECT_EQ(B.S->repsOf(N.get()), 1);
+}
+
+TEST(Schedule, MultiRatePipeline) {
+  // Expand by 3, compress by 2: reps must balance to src=2, exp=2,
+  // cmp=3, sink=3.
+  auto B = buildAndSchedule(R"(
+    float->float filter Up {
+      work push 3 pop 1 { float x = pop(); push(x); push(x); push(x); }
+    }
+    float->float filter Down {
+      work push 1 pop 2 { push(peek(0)); pop(); pop(); }
+    }
+    float->float pipeline Top { add Up; add Down; }
+  )",
+                            "Top");
+  ASSERT_TRUE(B.S) << B.Err;
+  EXPECT_EQ(repsOfNamed(B, "Up"), 2);
+  EXPECT_EQ(repsOfNamed(B, "Down"), 3);
+  EXPECT_EQ(repsOfNamed(B, "__source"), 2);
+  EXPECT_EQ(repsOfNamed(B, "__sink"), 3);
+}
+
+TEST(Schedule, SplitJoinBalance) {
+  auto B = buildAndSchedule(R"(
+    float->float filter Id { work push 1 pop 1 { push(pop()); } }
+    float->float filter Double {
+      work push 2 pop 1 { float x = pop(); push(x); push(x); }
+    }
+    float->float splitjoin Top {
+      split roundrobin(1, 1);
+      add Id;
+      add Double;
+      join roundrobin(1, 2);
+    }
+  )",
+                            "Top");
+  ASSERT_TRUE(B.S) << B.Err;
+  // Each splitter firing feeds one token to each branch; branches fire
+  // once; joiner consumes 1 + 2.
+  for (const auto &Ch : B.G->channels())
+    EXPECT_EQ(B.S->repsOf(Ch->getSrc()) * Ch->srcRate(),
+              B.S->repsOf(Ch->getDst()) * Ch->dstRate());
+}
+
+TEST(Schedule, InconsistentRatesDetected) {
+  auto B = buildAndSchedule(R"(
+    float->float filter Id { work push 1 pop 1 { push(pop()); } }
+    float->float filter Half {
+      work push 1 pop 2 { push(pop() + pop()); }
+    }
+    float->float splitjoin Top {
+      split duplicate;
+      add Id;
+      add Half;
+      join roundrobin(1, 1);
+    }
+  )",
+                            "Top");
+  EXPECT_FALSE(B.S);
+  EXPECT_NE(B.Err.find("inconsistent stream rates"), std::string::npos);
+}
+
+TEST(Schedule, PeekingFilterGetsInitFirings) {
+  auto B = buildAndSchedule(R"(
+    float->float filter Avg {
+      work push 1 pop 1 peek 5 {
+        float s = 0.0;
+        for (int i = 0; i < 5; i++) s += peek(i);
+        push(s); pop();
+      }
+    }
+    float->float pipeline Top { add Avg; }
+  )",
+                            "Top");
+  ASSERT_TRUE(B.S) << B.Err;
+  // The source must prime peek-pop = 4 tokens before steady state.
+  EXPECT_EQ(initRepsOfNamed(B, "__source"), 4);
+  EXPECT_EQ(initRepsOfNamed(B, "Avg"), 0);
+  // Post-init occupancy on the source->Avg channel is 4.
+  for (const auto &Ch : B.G->channels()) {
+    if (Ch->getSrc()->getName() == "__source") {
+      EXPECT_EQ(B.S->occupancyOf(Ch.get()), 4);
+    }
+  }
+}
+
+TEST(Schedule, CascadedPeekingAccumulatesInitFirings) {
+  auto B = buildAndSchedule(R"(
+    float->float filter W3 {
+      work push 1 pop 1 peek 3 {
+        push(peek(0) + peek(2)); pop();
+      }
+    }
+    float->float pipeline Top { add W3; add W3; }
+  )",
+                            "Top");
+  ASSERT_TRUE(B.S) << B.Err;
+  // Second W3 needs 2 tokens buffered; first W3 must fire twice in init,
+  // which needs 2 + 2 = 4 source tokens.
+  EXPECT_EQ(initRepsOfNamed(B, "__source"), 4);
+  SimResult R = simulateSchedule(*B.G, *B.S, 3);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(Schedule, SimulationValidatesAndReportsPeaks) {
+  auto B = buildAndSchedule(R"(
+    float->float filter Up {
+      work push 4 pop 1 {
+        float x = pop();
+        for (int i = 0; i < 4; i++) push(x);
+      }
+    }
+    float->float filter Down {
+      work push 1 pop 4 {
+        push(peek(0)); pop(); pop(); pop(); pop();
+      }
+    }
+    float->float pipeline Top { add Up; add Down; }
+  )",
+                            "Top");
+  ASSERT_TRUE(B.S) << B.Err;
+  SimResult R = simulateSchedule(*B.G, *B.S, 2);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  for (const auto &Ch : B.G->channels()) {
+    if (Ch->getSrc()->getName().rfind("Up", 0) == 0) {
+      EXPECT_EQ(R.PeakOccupancy[Ch.get()], 4);
+    }
+  }
+}
+
+TEST(Schedule, InputOutputPerSteady) {
+  auto B = buildAndSchedule(R"(
+    float->float filter Down {
+      work push 1 pop 3 { push(pop() + pop() + pop()); }
+    }
+    float->float pipeline Top { add Down; }
+  )",
+                            "Top");
+  ASSERT_TRUE(B.S) << B.Err;
+  EXPECT_EQ(B.S->inputPerSteady(*B.G), 3);
+  EXPECT_EQ(B.S->outputPerSteady(*B.G), 1);
+  EXPECT_EQ(B.S->inputForInit(*B.G), 0);
+}
+
+// Every registered benchmark must schedule and pass token-level
+// simulation for several steady iterations.
+class BenchmarkScheduleTest
+    : public ::testing::TestWithParam<suite::Benchmark> {};
+
+TEST_P(BenchmarkScheduleTest, SchedulesAndSimulates) {
+  const suite::Benchmark &B = GetParam();
+  auto Built = buildAndSchedule(B.Source, B.Top);
+  ASSERT_TRUE(Built.S) << Built.Err;
+
+  // Balance property on every channel.
+  for (const auto &Ch : Built.G->channels())
+    EXPECT_EQ(Built.S->repsOf(Ch->getSrc()) * Ch->srcRate(),
+              Built.S->repsOf(Ch->getDst()) * Ch->dstRate())
+        << "unbalanced channel in " << B.Name;
+
+  SimResult R = simulateSchedule(*Built.G, *Built.S, 3);
+  EXPECT_TRUE(R.Ok) << B.Name << ": " << R.Error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkScheduleTest,
+    ::testing::ValuesIn(suite::allBenchmarks()),
+    [](const ::testing::TestParamInfo<suite::Benchmark> &Info) {
+      return Info.param.Name;
+    });
+
+TEST_P(BenchmarkScheduleTest, SequencesCoverRepetitionVector) {
+  const suite::Benchmark &B = GetParam();
+  auto Built = buildAndSchedule(B.Source, B.Top);
+  ASSERT_TRUE(Built.S) << Built.Err;
+  std::unordered_map<const graph::Node *, int64_t> InitTotal, SteadyTotal;
+  for (const auto &Seg : Built.S->InitSequence)
+    InitTotal[Seg.N] += Seg.Count;
+  for (const auto &Seg : Built.S->SteadySequence)
+    SteadyTotal[Seg.N] += Seg.Count;
+  for (const auto &N : Built.G->nodes()) {
+    EXPECT_EQ(InitTotal[N.get()], Built.S->initRepsOf(N.get()))
+        << B.Name << " " << N->getName();
+    EXPECT_EQ(SteadyTotal[N.get()], Built.S->repsOf(N.get()))
+        << B.Name << " " << N->getName();
+  }
+  // Acyclic graphs get single-appearance schedules.
+  if (!Built.G->hasFeedback()) {
+    EXPECT_EQ(Built.S->SteadySequence.size(), Built.G->nodes().size())
+        << B.Name;
+  }
+}

@@ -1,0 +1,156 @@
+//===--- SupportTest.cpp - Rational, RNG, diagnostics, statistics ---------===//
+
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/RNG.h"
+#include "support/Rational.h"
+#include "support/Statistics.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+
+TEST(Gcd, BasicProperties) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(17, 5), 1);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(7, 0), 7);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(gcd64(48, 48), 48);
+}
+
+TEST(Lcm, BasicProperties) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(1, 9), 9);
+  EXPECT_EQ(lcm64(7, 13), 91);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational R(6, 8);
+  EXPECT_EQ(R.num(), 3);
+  EXPECT_EQ(R.den(), 4);
+}
+
+TEST(Rational, NegativeDenominatorCanonicalized) {
+  Rational R(3, -9);
+  EXPECT_EQ(R.num(), -1);
+  EXPECT_EQ(R.den(), 3);
+}
+
+TEST(Rational, Arithmetic) {
+  Rational A(1, 2), B(1, 3);
+  EXPECT_EQ(A + B, Rational(5, 6));
+  EXPECT_EQ(A - B, Rational(1, 6));
+  EXPECT_EQ(A * B, Rational(1, 6));
+  EXPECT_EQ(A / B, Rational(3, 2));
+}
+
+TEST(Rational, ComparisonAndPredicates) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_TRUE(Rational(4, 2).isIntegral());
+  EXPECT_FALSE(Rational(3, 2).isIntegral());
+  EXPECT_TRUE(Rational(0, 5).isZero());
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3, 4).str(), "3/4");
+  EXPECT_EQ(Rational(5).str(), "5");
+}
+
+TEST(RNG, Deterministic) {
+  RNG A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(RNG, DoubleInRange) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble(-1.0, 1.0);
+    EXPECT_GE(D, -1.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNG, IntInBound) {
+  RNG R(9);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextInt(17);
+    EXPECT_GE(V, 0);
+    EXPECT_LT(V, 17);
+  }
+}
+
+TEST(RNG, ZeroSeedDoesNotStick) {
+  RNG R(0);
+  EXPECT_NE(R.next(), 0u);
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine D;
+  D.warning(SourceLoc(1, 1), "w");
+  D.note(SourceLoc(1, 2), "n");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(2, 3), "e");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, RendersLocations) {
+  DiagnosticEngine D;
+  D.error(SourceLoc(3, 14), "bad thing");
+  EXPECT_EQ(D.str(), "3:14: error: bad thing\n");
+}
+
+TEST(Diagnostics, InvalidLocationOmitted) {
+  DiagnosticEngine D;
+  D.error(SourceLoc(), "no loc");
+  EXPECT_EQ(D.str(), "error: no loc\n");
+}
+
+TEST(Statistics, AddAndGet) {
+  StatsRegistry S;
+  EXPECT_EQ(S.get("x"), 0u);
+  S.add("x");
+  S.add("x", 4);
+  EXPECT_EQ(S.get("x"), 5u);
+}
+
+TEST(Statistics, DeterministicOrder) {
+  StatsRegistry S;
+  S.add("b.z", 2);
+  S.add("a.y", 1);
+  EXPECT_EQ(S.str(), "1\ta.y\n2\tb.z\n");
+}
+
+namespace {
+struct Base {
+  enum class Kind { A, B } K;
+  explicit Base(Kind K) : K(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->K == Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->K == Kind::B; }
+};
+} // namespace
+
+TEST(Casting, IsaCastDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  Base *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<DerivedA>(Null), nullptr);
+}

@@ -1,0 +1,137 @@
+//===--- ToolTest.cpp - laminarc command-line interface ----------------------===//
+//
+// Drives the installed laminarc binary through its emit modes and error
+// paths. Skipped when the binary is not yet built (e.g. partial test
+// runs during development).
+//
+//===----------------------------------------------------------------------===//
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <string>
+
+namespace {
+
+std::string binary() {
+  return std::string(LAMINAR_BINARY_DIR) + "/tools/laminarc";
+}
+
+bool binaryExists() {
+  std::ifstream In(binary());
+  return In.good();
+}
+
+struct ToolResult {
+  int ExitCode;
+  std::string Output; // stdout + stderr
+};
+
+ToolResult run(const std::string &Args) {
+  std::string Cmd = binary() + " " + Args + " 2>&1";
+  std::array<char, 4096> Buf;
+  std::string Out;
+  FILE *Pipe = popen(Cmd.c_str(), "r");
+  EXPECT_NE(Pipe, nullptr);
+  while (std::fgets(Buf.data(), Buf.size(), Pipe))
+    Out += Buf.data();
+  int Status = pclose(Pipe);
+  return {WEXITSTATUS(Status), Out};
+}
+
+#define REQUIRE_BINARY()                                                    \
+  if (!binaryExists())                                                      \
+  GTEST_SKIP() << "laminarc not built"
+
+} // namespace
+
+TEST(Laminarc, NoArgumentsPrintsUsageAndBenchmarkList) {
+  REQUIRE_BINARY();
+  ToolResult R = run("");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("usage:"), std::string::npos);
+  EXPECT_NE(R.Output.find("BitonicSort"), std::string::npos);
+}
+
+TEST(Laminarc, EmitIrForBenchmark) {
+  REQUIRE_BINARY();
+  ToolResult R = run("MovingAverage --emit=ir");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("func @steady"), std::string::npos);
+  EXPECT_NE(R.Output.find("live"), std::string::npos); // live tokens
+}
+
+TEST(Laminarc, EmitGraphAndScheduleAndDot) {
+  REQUIRE_BINARY();
+  EXPECT_NE(run("FFT --emit=graph").Output.find("__source"),
+            std::string::npos);
+  EXPECT_NE(run("FFT --emit=schedule").Output.find("steady order:"),
+            std::string::npos);
+  EXPECT_NE(run("FFT --emit=dot").Output.find("digraph"),
+            std::string::npos);
+}
+
+TEST(Laminarc, EmitCIsCompilableText) {
+  REQUIRE_BINARY();
+  ToolResult R = run("RateConvert --emit=c --mode=fifo");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("int main("), std::string::npos);
+}
+
+TEST(Laminarc, RunModeRespectsItersAndSeed) {
+  REQUIRE_BINARY();
+  ToolResult A = run("MovingAverage --emit=run --iters=3 --seed=5");
+  ToolResult B = run("MovingAverage --emit=run --iters=3 --seed=5");
+  ToolResult C = run("MovingAverage --emit=run --iters=3 --seed=6");
+  EXPECT_EQ(A.ExitCode, 0);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_NE(A.Output, C.Output);
+}
+
+TEST(Laminarc, ModesDisagreeOnIrButAgreeOnOutput) {
+  REQUIRE_BINARY();
+  ToolResult Fifo = run("DCT --emit=run --iters=2 --mode=fifo --seed=3");
+  ToolResult Lam = run("DCT --emit=run --iters=2 --mode=laminar --seed=3");
+  // Outputs identical; profile lines (stderr) differ, so compare the
+  // numeric prefix only.
+  std::string F = Fifo.Output.substr(0, Fifo.Output.find("init:"));
+  std::string L = Lam.Output.substr(0, Lam.Output.find("init:"));
+  EXPECT_EQ(F, L);
+}
+
+TEST(Laminarc, FileInputRequiresTop) {
+  REQUIRE_BINARY();
+  ToolResult R = run(std::string(LAMINAR_SOURCE_DIR) +
+                     "/examples/programs/average.str --emit=ir");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("--top"), std::string::npos);
+}
+
+TEST(Laminarc, FileInputWithTopCompiles) {
+  REQUIRE_BINARY();
+  ToolResult R = run(std::string(LAMINAR_SOURCE_DIR) +
+                     "/examples/programs/echo.str --top=Echo --emit=ir");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("func @steady"), std::string::npos);
+}
+
+TEST(Laminarc, UnknownBenchmarkFails) {
+  REQUIRE_BINARY();
+  ToolResult R = run("Nonexistent --emit=ir");
+  EXPECT_NE(R.ExitCode, 0);
+}
+
+TEST(Laminarc, CompileErrorsReportedWithNonzeroExit) {
+  REQUIRE_BINARY();
+  std::string Tmp = ::testing::TempDir() + "/bad.str";
+  {
+    std::ofstream Out(Tmp);
+    Out << "float->float filter F { work push 1 pop 1 { push(ghost); } }\n"
+           "float->float pipeline T { add F; }\n";
+  }
+  ToolResult R = run(Tmp + " --top=T --emit=ir");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("undeclared"), std::string::npos);
+}

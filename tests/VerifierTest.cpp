@@ -1,0 +1,110 @@
+//===--- VerifierTest.cpp ------------------------------------------------------===//
+
+#include "lir/IRBuilder.h"
+#include "lir/Verifier.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::lir;
+
+namespace {
+
+struct VerifierFixture : ::testing::Test {
+  VerifierFixture() : M("m"), B(M) {
+    F = M.createFunction("f");
+    Entry = F->createBlock("entry");
+    B.setInsertPoint(Entry);
+  }
+  Module M;
+  IRBuilder B;
+  Function *F;
+  BasicBlock *Entry;
+};
+
+bool mentions(const std::vector<std::string> &Errs, const char *Needle) {
+  for (const std::string &E : Errs)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST_F(VerifierFixture, CleanModuleVerifies) {
+  Value *In = B.createInput(TypeKind::Float);
+  B.createOutput(B.createBinary(BinOp::FAdd, In, B.getFloat(1.0)));
+  B.createRet();
+  EXPECT_TRUE(verify(M));
+}
+
+TEST_F(VerifierFixture, MissingTerminatorDetected) {
+  B.createInput(TypeKind::Float);
+  auto Errs = verifyModule(M);
+  EXPECT_TRUE(mentions(Errs, "terminator"));
+}
+
+TEST_F(VerifierFixture, EmptyBlockDetected) {
+  B.createRet();
+  F->createBlock("empty");
+  auto Errs = verifyModule(M);
+  EXPECT_TRUE(mentions(Errs, "empty block"));
+}
+
+TEST_F(VerifierFixture, PredecessorMismatchDetected) {
+  BasicBlock *T = F->createBlock("t");
+  B.createBr(T);
+  B.setInsertPoint(T);
+  B.createRet();
+  // Corrupt the books: add a bogus predecessor.
+  T->addPredecessor(T);
+  auto Errs = verifyModule(M);
+  EXPECT_TRUE(mentions(Errs, "predecessor list"));
+}
+
+TEST_F(VerifierFixture, UseBeforeDefDetected) {
+  // Manually create a use of a value defined later in the same block.
+  auto UseFirst = std::make_unique<OutputInst>(B.getFloat(0.0));
+  Instruction *Out = Entry->append(std::move(UseFirst));
+  Value *In = B.createInput(TypeKind::Float);
+  B.createRet();
+  Out->setOperand(0, In); // Output now uses a later definition.
+  auto Errs = verifyModule(M);
+  EXPECT_TRUE(mentions(Errs, "dominate"));
+}
+
+TEST_F(VerifierFixture, PhiIncomingMismatchDetected) {
+  BasicBlock *Next = F->createBlock("next");
+  B.createBr(Next);
+  B.setInsertPoint(Next);
+  PhiInst *Phi = B.createPhi(TypeKind::Int, Next);
+  // No incoming entries although Next has one predecessor; give the phi
+  // a user so the check applies.
+  B.createOutput(B.createCast(CastOp::IntToFloat, Phi));
+  B.createRet();
+  auto Errs = verifyModule(M);
+  EXPECT_TRUE(mentions(Errs, "phi"));
+}
+
+TEST_F(VerifierFixture, StoreTypeMismatchDetected) {
+  GlobalVar *G = M.createGlobal("g", TypeKind::Float, 1, MemClass::State);
+  // StoreInst asserts on type mismatch at construction; check the
+  // verifier's independent operand-type checks via a cmp instead.
+  Value *I = B.createInput(TypeKind::Int);
+  Value *Fv = B.createInput(TypeKind::Float);
+  auto Cmp = std::make_unique<CmpInst>(CmpPred::LT, I, Fv);
+  Entry->append(std::move(Cmp));
+  B.createStore(G, B.getInt(0), Fv);
+  B.createRet();
+  auto Errs = verifyModule(M);
+  EXPECT_TRUE(mentions(Errs, "cmp operands"));
+}
+
+TEST_F(VerifierFixture, PhiAfterNonPhiDetected) {
+  Value *In = B.createInput(TypeKind::Int);
+  (void)In;
+  auto Phi = std::make_unique<PhiInst>(TypeKind::Int);
+  Entry->append(std::move(Phi));
+  B.createRet();
+  auto Errs = verifyModule(M);
+  EXPECT_TRUE(mentions(Errs, "phi after non-phi"));
+}

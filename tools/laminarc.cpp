@@ -1,0 +1,142 @@
+//===--- laminarc.cpp - Command-line driver --------------------------------===//
+//
+// laminarc <benchmark|-> [options]
+//   --mode=fifo|laminar   lowering strategy (default laminar)
+//   --opt=N               optimization level 0..2 (default 2)
+//   --emit=ir|c|graph|schedule|run|stats
+//   --iters=N             steady iterations for --emit=run (default 16)
+//   --seed=N              input seed (default 1)
+//   --top=Name            top stream when compiling from a file
+//
+// The positional argument is a registered benchmark name, or a path to
+// a .str file, or "-" for stdin.
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "driver/Driver.h"
+#include "lir/Printer.h"
+#include "suite/Suite.h"
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace laminar;
+
+static int usage() {
+  std::cerr
+      << "usage: laminarc <benchmark|file.str|-> [--mode=fifo|laminar]\n"
+      << "  [--opt=0|1|2] [--emit=ir|c|graph|dot|schedule|run|stats]\n"
+      << "  [--iters=N] [--seed=N] [--top=Name]\n\nbenchmarks:\n";
+  for (const auto &B : suite::allBenchmarks())
+    std::cerr << "  " << B.Name << " - " << B.Description << "\n";
+  return 1;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+
+  std::string Target = argv[1];
+  std::string Mode = "laminar", Emit = "ir", Top;
+  unsigned Opt = 2;
+  int64_t Iters = 16;
+  uint64_t Seed = 1;
+
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Eat = [&](const char *Prefix, std::string &Out) {
+      size_t N = std::strlen(Prefix);
+      if (Arg.compare(0, N, Prefix) != 0)
+        return false;
+      Out = Arg.substr(N);
+      return true;
+    };
+    std::string V;
+    if (Eat("--mode=", V))
+      Mode = V;
+    else if (Eat("--emit=", V))
+      Emit = V;
+    else if (Eat("--opt=", V))
+      Opt = static_cast<unsigned>(std::stoul(V));
+    else if (Eat("--iters=", V))
+      Iters = std::stoll(V);
+    else if (Eat("--seed=", V))
+      Seed = std::stoull(V);
+    else if (Eat("--top=", V))
+      Top = V;
+    else
+      return usage();
+  }
+
+  std::string Source;
+  if (const suite::Benchmark *B = suite::findBenchmark(Target)) {
+    Source = B->Source;
+    if (Top.empty())
+      Top = B->Top;
+  } else if (Target == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Source = SS.str();
+  } else {
+    std::ifstream In(Target);
+    if (!In) {
+      std::cerr << "error: cannot open '" << Target << "'\n";
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  }
+  if (Top.empty()) {
+    std::cerr << "error: --top=Name is required for file input\n";
+    return 1;
+  }
+
+  driver::CompileOptions Opts;
+  Opts.TopName = Top;
+  Opts.Mode = Mode == "fifo" ? driver::LoweringMode::Fifo
+                             : driver::LoweringMode::Laminar;
+  Opts.OptLevel = Opt;
+  driver::Compilation C = driver::compile(Source, Opts);
+  if (!C.Ok) {
+    std::cerr << C.ErrorLog;
+    return 1;
+  }
+
+  if (Emit == "ir") {
+    std::cout << lir::printModule(*C.Module);
+  } else if (Emit == "c") {
+    codegen::CEmitOptions CE;
+    CE.InputSeed = Seed;
+    CE.DefaultIterations = Iters;
+    std::cout << codegen::emitC(*C.Module, CE);
+  } else if (Emit == "graph") {
+    std::cout << C.Graph->str();
+  } else if (Emit == "dot") {
+    std::cout << C.Graph->dot();
+  } else if (Emit == "schedule") {
+    std::cout << C.Sched->str();
+  } else if (Emit == "stats") {
+    std::cout << C.Stats.str();
+  } else if (Emit == "run") {
+    interp::RunResult R = driver::runWithRandomInput(C, Iters, Seed);
+    if (!R.Ok) {
+      std::cerr << "runtime error: " << R.Error << "\n";
+      return 1;
+    }
+    if (R.Outputs.Ty == lir::TypeKind::Int) {
+      for (int64_t V : R.Outputs.I)
+        std::cout << V << "\n";
+    } else {
+      std::cout.precision(17);
+      for (double V : R.Outputs.F)
+        std::cout << V << "\n";
+    }
+    std::cerr << "init:   " << R.InitCounters.str() << "\n"
+              << "steady: " << R.SteadyCounters.str() << "\n";
+  } else {
+    return usage();
+  }
+  return 0;
+}
