@@ -11,30 +11,59 @@
 using namespace laminar;
 using namespace laminar::driver;
 
+const char *driver::compileStageName(CompileStage S) {
+  switch (S) {
+  case CompileStage::Parse:
+    return "parse";
+  case CompileStage::Sema:
+    return "sema";
+  case CompileStage::Graph:
+    return "graph";
+  case CompileStage::Schedule:
+    return "schedule";
+  case CompileStage::Lower:
+    return "lower";
+  case CompileStage::VerifyLowered:
+    return "verify-lowered";
+  case CompileStage::Optimize:
+    return "optimize";
+  case CompileStage::VerifyOptimized:
+    return "verify-optimized";
+  case CompileStage::Done:
+    return "done";
+  }
+  return "unknown";
+}
+
 Compilation driver::compile(const std::string &Source,
                             const CompileOptions &Opts) {
   Compilation C;
   DiagnosticEngine Diags;
 
+  C.Stage = CompileStage::Parse;
   C.AST = parseProgram(Source, Diags);
   if (Diags.hasErrors()) {
     C.ErrorLog = Diags.str();
     return C;
   }
+  C.Stage = CompileStage::Sema;
   if (!analyzeProgram(*C.AST, Diags)) {
     C.ErrorLog = Diags.str();
     return C;
   }
+  C.Stage = CompileStage::Graph;
   C.Graph = graph::buildGraph(*C.AST, Opts.TopName, Diags);
   if (!C.Graph) {
     C.ErrorLog = Diags.str();
     return C;
   }
+  C.Stage = CompileStage::Schedule;
   C.Sched = schedule::computeSchedule(*C.Graph, Diags);
   if (!C.Sched) {
     C.ErrorLog = Diags.str();
     return C;
   }
+  C.Stage = CompileStage::Lower;
   C.Module = Opts.Mode == LoweringMode::Fifo
                  ? lower::lowerToFifo(*C.Graph, *C.Sched, Diags,
                                       Opts.UnrollFifo, &C.Stats)
@@ -45,6 +74,7 @@ Compilation driver::compile(const std::string &Source,
     return C;
   }
 
+  C.Stage = CompileStage::VerifyLowered;
   std::vector<std::string> Violations = lir::verifyModule(*C.Module);
   if (!Violations.empty()) {
     C.ErrorLog = "lowering produced invalid IR:\n";
@@ -54,6 +84,7 @@ Compilation driver::compile(const std::string &Source,
   }
 
   if (Opts.OptLevel > 0) {
+    C.Stage = CompileStage::Optimize;
     if (Opts.VerifyEachPass) {
       opt::PassManager PM(C.Stats);
       PM.setVerifyEachPass(true);
@@ -68,9 +99,14 @@ Compilation driver::compile(const std::string &Source,
       PM.addPass("dce", opt::runDCE);
       PM.addPass("simplifycfg", opt::runSimplifyCFG);
       PM.run(*C.Module, Opts.OptLevel >= 2 ? 4 : 2);
+      if (!PM.verifyFailure().empty()) {
+        C.ErrorLog = PM.verifyFailure();
+        return C;
+      }
     } else {
       opt::optimizeModule(*C.Module, Opts.OptLevel, C.Stats);
     }
+    C.Stage = CompileStage::VerifyOptimized;
     Violations = lir::verifyModule(*C.Module);
     if (!Violations.empty()) {
       C.ErrorLog = "optimization produced invalid IR:\n";
@@ -80,6 +116,7 @@ Compilation driver::compile(const std::string &Source,
     }
   }
 
+  C.Stage = CompileStage::Done;
   C.Ok = true;
   return C;
 }

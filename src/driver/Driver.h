@@ -23,6 +23,25 @@ namespace driver {
 
 enum class LoweringMode { Fifo, Laminar };
 
+/// Pipeline stages, in execution order. A failed Compilation records the
+/// stage that rejected it, so callers (notably the differential fuzzer)
+/// can distinguish "the program is invalid" (frontend stages) from "the
+/// compiler broke" (lowering/optimization stages).
+enum class CompileStage {
+  Parse,
+  Sema,
+  Graph,
+  Schedule,
+  Lower,
+  VerifyLowered,
+  Optimize,
+  VerifyOptimized,
+  Done,
+};
+
+/// Human-readable stage name ("parse", "sema", ...).
+const char *compileStageName(CompileStage S);
+
 struct CompileOptions {
   /// Name of the top-level stream declaration.
   std::string TopName;
@@ -41,6 +60,15 @@ struct CompileOptions {
 struct Compilation {
   bool Ok = false;
   std::string ErrorLog;
+  /// On success, CompileStage::Done; on failure, the stage that failed.
+  CompileStage Stage = CompileStage::Parse;
+
+  /// True when the failure implicates the compiler itself rather than
+  /// the input program: the frontend accepted and scheduled the program,
+  /// but lowering, verification or optimization rejected it.
+  bool failedInBackend() const {
+    return !Ok && Stage >= CompileStage::Lower;
+  }
 
   std::unique_ptr<ast::Program> AST;
   std::unique_ptr<graph::StreamGraph> Graph;

@@ -15,7 +15,11 @@ Function::~Function() {
 BasicBlock *Function::createBlock(const std::string &BlockName) {
   std::ostringstream OS;
   OS << BlockName << NextBlockId++;
-  Blocks.push_back(std::make_unique<BasicBlock>(OS.str(), this));
+  return createBlockWithLabel(OS.str());
+}
+
+BasicBlock *Function::createBlockWithLabel(const std::string &Label) {
+  Blocks.push_back(std::make_unique<BasicBlock>(Label, this));
   return Blocks.back().get();
 }
 

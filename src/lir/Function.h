@@ -29,8 +29,14 @@ public:
   const std::string &getName() const { return Name; }
   Module *getParent() const { return Parent; }
 
-  /// Creates and appends a new empty block.
+  /// Creates and appends a new empty block named \p BlockName plus a
+  /// fresh numeric suffix.
   BasicBlock *createBlock(const std::string &BlockName);
+
+  /// Creates and appends a new empty block with \p Label used verbatim.
+  /// Used by the textual IR parser, whose labels are already unique;
+  /// preserving them keeps print -> parse -> print a fixpoint.
+  BasicBlock *createBlockWithLabel(const std::string &Label);
 
   const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
     return Blocks;

@@ -280,14 +280,14 @@ bool IRParser::parseFunction(const std::string &Header) {
   if (LabelOrder.empty())
     return error("function has no blocks");
 
-  // Pre-create blocks so terminators can reference them. createBlock
-  // appends an id suffix; bypass it by keeping a name map instead.
+  // Pre-create blocks so terminators can reference them, preserving
+  // the printed labels verbatim so a re-print reproduces the input
+  // text (the round-trip tests and the fuzzer's oracle rely on it).
   for (const std::string &Label : LabelOrder) {
-    BasicBlock *BB = F->createBlock("x");
-    Blocks[Label] = BB;
+    if (Blocks.count(Label))
+      return error("duplicate block label '" + Label + "'");
+    Blocks[Label] = F->createBlockWithLabel(Label);
   }
-  // Rename via the map only (names in the IR keep their printed form by
-  // position; the in-memory names differ, which is fine for semantics).
 
   BasicBlock *Cur = nullptr;
   while (true) {

@@ -2,13 +2,13 @@
 
 #include "opt/PassManager.h"
 #include "lir/Verifier.h"
-#include <cassert>
 
 using namespace laminar;
 using namespace laminar::opt;
 using namespace laminar::lir;
 
 bool PassManager::run(Module &M, unsigned MaxRounds) {
+  VerifyFailure.clear();
   bool EverChanged = false;
   for (unsigned Round = 0; Round < MaxRounds; ++Round) {
     bool RoundChanged = false;
@@ -16,8 +16,17 @@ bool PassManager::run(Module &M, unsigned MaxRounds) {
       for (const auto &F : M.functions()) {
         if (NP.P(*F, Stats)) {
           RoundChanged = true;
-          if (VerifyEachPass)
-            assert(verify(M) && "pass broke the module");
+          if (VerifyEachPass) {
+            std::vector<std::string> Violations = verifyModule(M);
+            if (!Violations.empty()) {
+              VerifyFailure =
+                  "pass '" + NP.Name + "' broke function '" +
+                  F->getName() + "':\n";
+              for (const std::string &V : Violations)
+                VerifyFailure += "  " + V + "\n";
+              return true;
+            }
+          }
         }
       }
     }

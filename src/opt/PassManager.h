@@ -42,6 +42,12 @@ public:
   /// whole round changes nothing. Returns true if anything changed.
   bool run(lir::Module &M, unsigned MaxRounds = 3);
 
+  /// Non-empty when a verify-each-pass run found a pass that broke the
+  /// module; names the pass and lists the violations. The run stops at
+  /// the first broken pass instead of aborting, so fuzzing harnesses
+  /// can report the failure as a structured compile error.
+  const std::string &verifyFailure() const { return VerifyFailure; }
+
 private:
   struct NamedPass {
     std::string Name;
@@ -50,6 +56,7 @@ private:
   StatsRegistry &Stats;
   std::vector<NamedPass> Passes;
   bool VerifyEachPass = false;
+  std::string VerifyFailure;
 };
 
 // --- Individual passes (Function-level entry points) ---

@@ -1,0 +1,306 @@
+//===--- Differ.cpp -------------------------------------------------------===//
+
+#include "testing/Differ.h"
+#include "codegen/CEmitter.h"
+#include "lir/IRParser.h"
+#include "lir/Printer.h"
+#include "lir/Verifier.h"
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+using namespace laminar;
+using namespace laminar::testing;
+using namespace laminar::driver;
+
+std::string DiffConfig::name() const {
+  std::string N = Mode == LoweringMode::Fifo ? "fifo" : "laminar";
+  N += "-O" + std::to_string(OptLevel);
+  if (UnrollFifo)
+    N += "-unroll";
+  return N;
+}
+
+std::vector<DiffConfig> testing::allConfigs() {
+  return {
+      {LoweringMode::Fifo, 0, false},    {LoweringMode::Fifo, 1, false},
+      {LoweringMode::Fifo, 2, false},    {LoweringMode::Fifo, 2, true},
+      {LoweringMode::Laminar, 0, false}, {LoweringMode::Laminar, 1, false},
+      {LoweringMode::Laminar, 2, false},
+  };
+}
+
+const char *testing::diffStatusName(DiffStatus S) {
+  switch (S) {
+  case DiffStatus::Ok:
+    return "ok";
+  case DiffStatus::FrontendReject:
+    return "frontend-reject";
+  case DiffStatus::CompileError:
+    return "compile-error";
+  case DiffStatus::RunError:
+    return "run-error";
+  case DiffStatus::OutputDivergence:
+    return "output-divergence";
+  case DiffStatus::RoundTripError:
+    return "roundtrip-error";
+  case DiffStatus::CEmitError:
+    return "cemit-error";
+  }
+  return "unknown";
+}
+
+uint64_t testing::bitPattern(double D) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(D));
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return Bits;
+}
+
+bool testing::hostCompilerAvailable() {
+  static const bool Available = [] {
+    return std::system("cc --version > /dev/null 2>&1") == 0;
+  }();
+  return Available;
+}
+
+namespace {
+
+std::string formatToken(const interp::TokenStream &S, size_t K) {
+  std::ostringstream OS;
+  if (S.Ty == lir::TypeKind::Int) {
+    OS << S.I[K];
+  } else {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.17g (0x%016llx)", S.F[K],
+                  static_cast<unsigned long long>(bitPattern(S.F[K])));
+    OS << Buf;
+  }
+  return OS.str();
+}
+
+/// Bit-exact stream comparison; returns a description of the first
+/// mismatch, or empty when identical.
+std::string compareStreams(const interp::TokenStream &Ref,
+                           const interp::TokenStream &Got) {
+  if (Ref.Ty != Got.Ty)
+    return "output stream types differ";
+  if (Ref.size() != Got.size()) {
+    std::ostringstream OS;
+    OS << "output length " << Got.size() << " != reference "
+       << Ref.size();
+    return OS.str();
+  }
+  for (size_t K = 0; K < Ref.size(); ++K) {
+    bool Same = Ref.Ty == lir::TypeKind::Int
+                    ? Ref.I[K] == Got.I[K]
+                    : bitPattern(Ref.F[K]) == bitPattern(Got.F[K]);
+    if (!Same) {
+      std::ostringstream OS;
+      OS << "token " << K << ": got " << formatToken(Got, K)
+         << ", reference " << formatToken(Ref, K);
+      return OS.str();
+    }
+  }
+  return "";
+}
+
+/// Renders outputs the way the emitted C main() prints them.
+std::string renderOutputs(const interp::TokenStream &S) {
+  std::ostringstream OS;
+  if (S.Ty == lir::TypeKind::Int) {
+    for (int64_t V : S.I)
+      OS << V << "\n";
+  } else {
+    for (double V : S.F) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.17g\n", V);
+      OS << Buf;
+    }
+  }
+  return OS.str();
+}
+
+Compilation compileConfig(const std::string &Source, const std::string &Top,
+                          const DiffConfig &Cfg, const DiffOptions &O) {
+  CompileOptions CO;
+  CO.TopName = Top;
+  CO.Mode = Cfg.Mode;
+  CO.OptLevel = Cfg.OptLevel;
+  CO.UnrollFifo = Cfg.UnrollFifo;
+  CO.VerifyEachPass = O.VerifyEachPass;
+  return compile(Source, CO);
+}
+
+/// Printer -> IRParser -> Verifier -> re-print -> re-run. Returns a
+/// failure description or empty.
+std::string roundTrip(const Compilation &C, const interp::RunResult &Run,
+                      int64_t Iters, uint64_t InputSeed) {
+  std::string Text = lir::printModule(*C.Module);
+  DiagnosticEngine Diags;
+  std::unique_ptr<lir::Module> Reparsed = lir::parseIR(Text, Diags);
+  if (!Reparsed)
+    return "IRParser rejected printed module:\n" + Diags.str();
+  std::vector<std::string> Violations = lir::verifyModule(*Reparsed);
+  if (!Violations.empty()) {
+    std::string D = "reparsed module fails verification:\n";
+    for (const std::string &V : Violations)
+      D += "  " + V + "\n";
+    return D;
+  }
+  std::string Text2 = lir::printModule(*Reparsed);
+  if (Text != Text2)
+    return "module text changed across print -> parse -> print";
+  interp::TokenStream In = interp::makeRandomInput(
+      C.Module->getInputType(), requiredInputTokens(C, Iters), InputSeed);
+  interp::RunResult R2 = interp::runModule(*Reparsed, In, Iters);
+  if (!R2.Ok)
+    return "reparsed module failed to run: " + R2.Error;
+  std::string Diff = compareStreams(Run.Outputs, R2.Outputs);
+  if (!Diff.empty())
+    return "reparsed module diverges: " + Diff;
+  return "";
+}
+
+/// Emits C, compiles it with the host compiler and compares its stdout
+/// against the interpreter's outputs. Returns a failure description or
+/// empty. Assumes hostCompilerAvailable().
+std::string crossCheckC(const Compilation &C, const interp::RunResult &Run,
+                        int64_t Iters, uint64_t InputSeed,
+                        const std::string &TempDir) {
+  codegen::CEmitOptions CE;
+  CE.InputSeed = InputSeed;
+  CE.DefaultIterations = Iters;
+  std::string CSource = codegen::emitC(*C.Module, CE);
+
+  static int Counter = 0;
+  std::string Base = TempDir + "/laminar-fuzz-" +
+                     std::to_string(::getpid()) + "-" +
+                     std::to_string(Counter++);
+  std::string CPath = Base + ".c";
+  std::string Bin = Base + ".bin";
+  std::string OutPath = Base + ".out";
+  {
+    std::ofstream Out(CPath);
+    Out << CSource;
+  }
+  std::string Result;
+  std::string CompileCmd =
+      "cc -O1 -o " + Bin + " " + CPath + " -lm 2> " + OutPath;
+  if (std::system(CompileCmd.c_str()) != 0) {
+    std::ifstream Log(OutPath);
+    std::ostringstream SS;
+    SS << Log.rdbuf();
+    Result = "emitted C does not compile:\n" + SS.str();
+  } else {
+    std::string RunCmd =
+        Bin + " " + std::to_string(Iters) + " > " + OutPath;
+    if (std::system(RunCmd.c_str()) != 0) {
+      Result = "emitted C program exited nonzero";
+    } else {
+      std::ifstream In(OutPath);
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      if (SS.str() != renderOutputs(Run.Outputs))
+        Result = "emitted C output differs from interpreter";
+    }
+  }
+  std::remove(CPath.c_str());
+  std::remove(Bin.c_str());
+  std::remove(OutPath.c_str());
+  return Result;
+}
+
+} // namespace
+
+DiffResult testing::diffProgram(const std::string &Source,
+                                const std::string &Top,
+                                const DiffOptions &O) {
+  DiffResult R;
+  std::vector<DiffConfig> Configs = allConfigs();
+
+  // Reference: FIFO at O0.
+  Compilation Ref = compileConfig(Source, Top, Configs[0], O);
+  if (!Ref.Ok) {
+    R.Config = Configs[0].name();
+    if (Ref.failedInBackend()) {
+      R.Status = DiffStatus::CompileError;
+      R.Detail = std::string("stage ") + compileStageName(Ref.Stage) +
+                 ": " + Ref.ErrorLog;
+    } else {
+      R.Status = DiffStatus::FrontendReject;
+      R.Detail = Ref.ErrorLog;
+    }
+    return R;
+  }
+  interp::RunResult RefRun = runWithRandomInput(Ref, O.Iterations,
+                                                O.InputSeed);
+  if (!RefRun.Ok) {
+    R.Status = DiffStatus::RunError;
+    R.Config = Configs[0].name();
+    R.Detail = RefRun.Error;
+    return R;
+  }
+
+  bool DoC = O.CheckC && hostCompilerAvailable();
+  for (const DiffConfig &Cfg : Configs) {
+    bool IsRef = Cfg.Mode == Configs[0].Mode &&
+                 Cfg.OptLevel == Configs[0].OptLevel &&
+                 Cfg.UnrollFifo == Configs[0].UnrollFifo;
+    Compilation C = IsRef ? std::move(Ref)
+                          : compileConfig(Source, Top, Cfg, O);
+    if (!C.Ok) {
+      // The reference compiled, so any failure here — frontend
+      // included — is a configuration-dependent compiler bug.
+      R.Status = DiffStatus::CompileError;
+      R.Config = Cfg.name();
+      R.Detail = std::string("stage ") + compileStageName(C.Stage) + ": " +
+                 C.ErrorLog;
+      return R;
+    }
+    interp::RunResult Run =
+        IsRef ? RefRun : runWithRandomInput(C, O.Iterations, O.InputSeed);
+    if (!Run.Ok) {
+      R.Status = DiffStatus::RunError;
+      R.Config = Cfg.name();
+      R.Detail = Run.Error;
+      return R;
+    }
+    std::string Diff = compareStreams(RefRun.Outputs, Run.Outputs);
+    if (!Diff.empty()) {
+      R.Status = DiffStatus::OutputDivergence;
+      R.Config = Cfg.name();
+      R.Detail = Diff;
+      return R;
+    }
+    if (O.CheckRoundTrip) {
+      std::string RT = roundTrip(C, Run, O.Iterations, O.InputSeed);
+      if (!RT.empty()) {
+        R.Status = DiffStatus::RoundTripError;
+        R.Config = Cfg.name();
+        R.Detail = RT;
+        return R;
+      }
+    }
+    // The C cross-check is expensive (one host-cc invocation per
+    // program per config), so only the two extreme configurations run
+    // it: the unoptimized baseline and the fully optimized Laminar
+    // form.
+    if (DoC &&
+        ((Cfg.Mode == LoweringMode::Fifo && Cfg.OptLevel == 0) ||
+         (Cfg.Mode == LoweringMode::Laminar && Cfg.OptLevel == 2))) {
+      std::string CC =
+          crossCheckC(C, Run, O.Iterations, O.InputSeed, O.TempDir);
+      if (!CC.empty()) {
+        R.Status = DiffStatus::CEmitError;
+        R.Config = Cfg.name();
+        R.Detail = CC;
+        return R;
+      }
+    }
+  }
+  return R;
+}

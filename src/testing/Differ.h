@@ -1,0 +1,98 @@
+//===--- Differ.h - Multi-configuration differential oracle ----*- C++ -*-===//
+//
+// Compiles one stream program through every (lowering, opt-level)
+// configuration, runs each on shared randomized input, and flags any
+// bit-level divergence from the FIFO -O0 reference. Each configuration
+// is additionally round-tripped through the textual IR
+// (Printer -> IRParser -> Verifier -> re-run) and, when a host C
+// compiler is available, cross-checked against its emitted C program.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_TESTING_DIFFER_H
+#define LAMINAR_TESTING_DIFFER_H
+
+#include "driver/Driver.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace testing {
+
+/// One compiler configuration under test.
+struct DiffConfig {
+  driver::LoweringMode Mode = driver::LoweringMode::Fifo;
+  unsigned OptLevel = 0;
+  bool UnrollFifo = false;
+
+  std::string name() const;
+};
+
+/// All configurations the oracle compares, reference (fifo-O0) first.
+std::vector<DiffConfig> allConfigs();
+
+struct DiffOptions {
+  /// Steady iterations each configuration executes.
+  int64_t Iterations = 4;
+  /// Seed of the shared randomized input stream.
+  uint64_t InputSeed = 0xC0FFEE;
+  /// Re-verify the module after every optimization pass.
+  bool VerifyEachPass = true;
+  /// Round-trip each module through the textual IR.
+  bool CheckRoundTrip = true;
+  /// Cross-check emitted C against the interpreter (skipped
+  /// automatically when no host C compiler is found).
+  bool CheckC = true;
+  /// Scratch directory for C cross-check artifacts.
+  std::string TempDir = "/tmp";
+};
+
+enum class DiffStatus {
+  Ok,
+  /// The frontend (parse/sema/graph/schedule) rejected the program:
+  /// the generator's fault, not the compiler's. Not a failure.
+  FrontendReject,
+  /// Lowering, verification or optimization failed on a program the
+  /// frontend accepted.
+  CompileError,
+  /// The interpreter faulted (underrun, div-by-zero, budget).
+  RunError,
+  /// Two configurations produced different output streams.
+  OutputDivergence,
+  /// Printer -> IRParser round-trip failed or changed behaviour.
+  RoundTripError,
+  /// Emitted C failed to compile/run or disagreed with the interpreter.
+  CEmitError,
+};
+
+const char *diffStatusName(DiffStatus S);
+
+struct DiffResult {
+  DiffStatus Status = DiffStatus::Ok;
+  /// Name of the configuration that failed (empty for Ok).
+  std::string Config;
+  /// Error log, or first-divergence description.
+  std::string Detail;
+
+  /// True for any status that implicates the compiler.
+  bool failed() const {
+    return Status != DiffStatus::Ok && Status != DiffStatus::FrontendReject;
+  }
+};
+
+/// Runs the full oracle on \p Source with top-level stream \p Top.
+DiffResult diffProgram(const std::string &Source, const std::string &Top,
+                       const DiffOptions &O = {});
+
+/// Cached probe for a working host C compiler ("cc").
+bool hostCompilerAvailable();
+
+/// Bit pattern of a double (for bit-exact float comparison: NaN
+/// payloads and signed zeros must not silently diverge).
+uint64_t bitPattern(double D);
+
+} // namespace testing
+} // namespace laminar
+
+#endif // LAMINAR_TESTING_DIFFER_H

@@ -1,0 +1,352 @@
+//===--- ProgramGen.cpp ---------------------------------------------------===//
+
+#include "testing/ProgramGen.h"
+#include "support/RNG.h"
+#include <cassert>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::testing;
+
+const char *testing::tyName(Ty T) {
+  return T == Ty::Int ? "int" : "float";
+}
+
+namespace {
+
+/// Renders a coefficient for type \p T: small signed ints, or floats
+/// in a range that keeps accumulated magnitudes tame.
+std::string coeff(Ty T, RNG &R) {
+  if (T == Ty::Int) {
+    std::ostringstream OS;
+    OS << R.nextInt(7) - 3;
+    return OS.str();
+  }
+  std::ostringstream OS;
+  OS.precision(17);
+  OS << R.nextDouble(-1.25, 1.25);
+  return OS.str();
+}
+
+/// Emits the work body of \p F into \p OS (two-space indented lines).
+/// The body reads Peek tokens of type In, folds them into an
+/// accumulator, pops Pop tokens and pushes Push tokens of type Out.
+void emitWorkBody(std::ostringstream &OS, const FilterSpec &F) {
+  RNG R(F.BodySeed * 0x9E3779B97F4A7C15ULL + 1);
+  const char *TI = tyName(F.In);
+
+  OS << "    " << TI << " acc = " << coeff(F.In, R) << ";\n";
+  switch (F.Flavor) {
+  default:
+  case 0:
+    OS << "    for (int k = 0; k < " << F.Peek << "; k++)\n";
+    if (F.In == Ty::Int)
+      OS << "      acc = acc + peek(k) * (" << coeff(F.In, R)
+         << " + k % 3);\n";
+    else
+      OS << "      acc = acc + peek(k) * (" << coeff(F.In, R) << " + k * "
+         << coeff(F.In, R) << ");\n";
+    break;
+  case 1:
+    OS << "    for (int k = 0; k < " << F.Peek << "; k++) {\n";
+    OS << "      if (k % 2 == 0)\n";
+    OS << "        acc = acc + peek(k) * " << coeff(F.In, R) << ";\n";
+    OS << "      else\n";
+    OS << "        acc = acc - peek(k) * " << coeff(F.In, R) << ";\n";
+    OS << "    }\n";
+    break;
+  case 2:
+    OS << "    for (int k = 0; k < " << F.Peek << "; k++)\n";
+    if (F.In == Ty::Int)
+      OS << "      acc = max(min(acc + peek(k) * " << coeff(F.In, R)
+         << ", 1000000), 0 - 1000000);\n";
+    else
+      OS << "      acc = acc + sin(peek(k) * " << coeff(F.In, R) << ") * "
+         << coeff(F.In, R) << ";\n";
+    break;
+  }
+
+  if (F.HasState) {
+    OS << "    acc = acc + s;\n";
+    OS << "    s = acc * " << coeff(F.In, R) << " + " << coeff(F.In, R)
+       << ";\n";
+  }
+
+  OS << "    for (int k = 0; k < " << F.Pop << "; k++)\n";
+  OS << "      pop();\n";
+
+  OS << "    for (int k = 0; k < " << F.Push << "; k++)\n";
+  if (F.In == F.Out) {
+    OS << "      push(acc + k * " << coeff(F.Out, R) << ");\n";
+  } else if (F.Out == Ty::Int) {
+    OS << "      push((int)(acc * 4.0) + k);\n";
+  } else {
+    OS << "      push((float)acc * 0.125 + k * " << coeff(Ty::Float, R)
+       << ");\n";
+  }
+}
+
+/// Renders the declaration of filter \p F under \p Name.
+std::string renderFilter(const std::string &Name, const FilterSpec &F) {
+  RNG R(F.BodySeed * 0x9E3779B97F4A7C15ULL + 2);
+  std::ostringstream OS;
+  OS << tyName(F.In) << "->" << tyName(F.Out) << " filter " << Name
+     << " {\n";
+  if (F.HasState)
+    OS << "  " << tyName(F.In) << " s;\n";
+  if (F.HasState && F.HasInit)
+    OS << "  init {\n    s = " << coeff(F.In, R) << ";\n  }\n";
+  OS << "  work push " << F.Push << " pop " << F.Pop;
+  if (F.Peek > F.Pop)
+    OS << " peek " << F.Peek;
+  OS << " {\n";
+  emitWorkBody(OS, F);
+  OS << "  }\n}\n";
+  return OS.str();
+}
+
+void renderSplitJoin(std::ostringstream &Decls, const std::string &Name,
+                     Ty T, const SplitJoinSpec &SJ) {
+  std::vector<std::string> BranchNames;
+  if (SJ.Homogeneous) {
+    assert(SJ.Branches.size() == 1 && "homogeneous sj has one branch spec");
+    std::string BN = Name + "B0";
+    Decls << renderFilter(BN, SJ.Branches[0]);
+    for (int I = 0; I < SJ.NumBranches; ++I)
+      BranchNames.push_back(BN);
+  } else {
+    for (size_t I = 0; I < SJ.Branches.size(); ++I) {
+      std::string BN = Name + "B" + std::to_string(I);
+      Decls << renderFilter(BN, SJ.Branches[I]);
+      BranchNames.push_back(BN);
+    }
+  }
+
+  Decls << tyName(T) << "->" << tyName(T) << " splitjoin " << Name
+        << " {\n";
+  if (SJ.Duplicate) {
+    Decls << "  split duplicate;\n";
+  } else if (SJ.Homogeneous) {
+    Decls << "  split roundrobin(" << SJ.SplitWeight << ");\n";
+  } else {
+    Decls << "  split roundrobin(";
+    for (size_t I = 0; I < SJ.Branches.size(); ++I)
+      Decls << (I ? ", " : "") << SJ.Branches[I].Pop;
+    Decls << ");\n";
+  }
+  for (const std::string &BN : BranchNames)
+    Decls << "  add " << BN << ";\n";
+  if (SJ.Homogeneous) {
+    Decls << "  join roundrobin(" << SJ.JoinWeight << ");\n";
+  } else {
+    Decls << "  join roundrobin(";
+    for (size_t I = 0; I < SJ.Branches.size(); ++I)
+      Decls << (I ? ", " : "") << SJ.Branches[I].Push;
+    Decls << ");\n";
+  }
+  Decls << "}\n";
+}
+
+void renderFeedback(std::ostringstream &Decls, const std::string &Name,
+                    const FeedbackSpec &FB) {
+  RNG R(FB.BodySeed * 0x9E3779B97F4A7C15ULL + 3);
+  std::ostringstream D;
+  D.precision(17);
+  double Decay = R.nextDouble(0.1, 0.9);
+  if (FB.Template == 1) {
+    // Multi-rate: the loop path upsamples the feedback.
+    D << "float->float filter " << Name << "Mix {\n"
+      << "  work pop 3 push 2 {\n"
+      << "    float x = pop();\n"
+      << "    float f1 = pop();\n"
+      << "    float f2 = pop();\n"
+      << "    push(x + " << Decay << " * f1);\n"
+      << "    push(x - " << Decay << " * f2);\n"
+      << "  }\n}\n";
+    D << "float->float filter " << Name << "Up {\n"
+      << "  work pop 1 push 2 {\n"
+      << "    float v = pop();\n"
+      << "    push(v);\n"
+      << "    push(" << R.nextDouble(0.1, 0.9) << " * v);\n"
+      << "  }\n}\n";
+    D << "float->float feedbackloop " << Name << " {\n"
+      << "  join roundrobin(1, 2);\n"
+      << "  body " << Name << "Mix();\n"
+      << "  split roundrobin(1, 1);\n"
+      << "  loop " << Name << "Up();\n"
+      << "  enqueue " << R.nextDouble(-0.5, 0.5) << ";\n"
+      << "  enqueue " << R.nextDouble(-0.5, 0.5) << ";\n"
+      << "}\n";
+  } else {
+    D << "float->float filter " << Name << "Mix {\n"
+      << "  work pop 2 push 2 {\n"
+      << "    float x = pop();\n"
+      << "    float fb = pop();\n"
+      << "    float y = x + " << Decay << " * fb;\n"
+      << "    push(y);\n"
+      << "    push(y);\n"
+      << "  }\n}\n";
+    if (FB.HasLoopScale)
+      D << "float->float filter " << Name << "Scale {\n"
+        << "  work pop 1 push 1 {\n"
+        << "    push(pop() * " << R.nextDouble(0.2, 0.95) << ");\n"
+        << "  }\n}\n";
+    D << "float->float feedbackloop " << Name << " {\n"
+      << "  join roundrobin(1, 1);\n"
+      << "  body " << Name << "Mix();\n"
+      << "  split roundrobin(1, 1);\n";
+    if (FB.HasLoopScale)
+      D << "  loop " << Name << "Scale();\n";
+    for (int I = 0; I < FB.Delay; ++I)
+      D << "  enqueue " << R.nextDouble(-0.5, 0.5) << ";\n";
+    D << "}\n";
+  }
+  Decls << D.str();
+}
+
+FilterSpec randomFilter(Ty In, Ty Out, RNG &R, const GenOptions &O) {
+  FilterSpec F;
+  F.In = In;
+  F.Out = Out;
+  F.Pop = 1 + static_cast<int>(R.nextInt(O.MaxRate));
+  F.Push = 1 + static_cast<int>(R.nextInt(O.MaxRate));
+  F.Peek = F.Pop + static_cast<int>(R.nextInt(O.MaxPeekMargin + 1));
+  F.Flavor = static_cast<int>(R.nextInt(3));
+  if (O.AllowState && R.nextInt(3) == 0) {
+    F.HasState = true;
+    F.HasInit = R.nextInt(2) == 0;
+  }
+  F.BodySeed = R.next();
+  return F;
+}
+
+} // namespace
+
+ProgramSpec testing::generateProgram(uint64_t Seed, const GenOptions &O) {
+  RNG R(Seed * 2654435761ULL + 0xD1B54A32D192ED03ULL);
+  ProgramSpec P;
+
+  int NumStages =
+      O.MinStages +
+      static_cast<int>(R.nextInt(O.MaxStages - O.MinStages + 1));
+  Ty Cur = (O.AllowInt && R.nextInt(3) == 0) ? Ty::Int : Ty::Float;
+  int FeedbackBudget = 1;
+
+  for (int S = 0; S < NumStages; ++S) {
+    StageSpec St;
+    St.In = Cur;
+
+    int64_t Shape = R.nextInt(6);
+    if (O.AllowFeedback && FeedbackBudget > 0 && Cur == Ty::Float &&
+        Shape == 5) {
+      --FeedbackBudget;
+      St.K = StageSpec::Kind::Feedback;
+      St.FB.Template = R.nextInt(3) == 0 ? 1 : 0;
+      St.FB.Delay = 1 + static_cast<int>(R.nextInt(5));
+      St.FB.HasLoopScale = R.nextInt(2) == 0;
+      St.FB.BodySeed = R.next();
+    } else if (O.AllowSplitJoin && (Shape == 3 || Shape == 4)) {
+      St.K = StageSpec::Kind::SplitJoin;
+      SplitJoinSpec &SJ = St.SJ;
+      int Branches = 2 + static_cast<int>(R.nextInt(O.MaxBranches - 1));
+      int64_t SJShape = R.nextInt(3);
+      if (SJShape == 0) {
+        // Homogeneous roundrobin: one filter replicated; any weights
+        // balance.
+        SJ.Homogeneous = true;
+        SJ.NumBranches = Branches;
+        SJ.SplitWeight = 1 + static_cast<int>(R.nextInt(2));
+        SJ.JoinWeight = 1 + static_cast<int>(R.nextInt(2));
+        SJ.Branches.push_back(randomFilter(Cur, Cur, R, O));
+      } else if (SJShape == 1) {
+        // Heterogeneous duplicate: shared pop rate, join on push rates.
+        SJ.Duplicate = true;
+        int SharedPop = 1 + static_cast<int>(R.nextInt(O.MaxRate));
+        for (int B = 0; B < Branches; ++B) {
+          FilterSpec F = randomFilter(Cur, Cur, R, O);
+          F.Pop = SharedPop;
+          F.Peek = SharedPop +
+                   static_cast<int>(R.nextInt(O.MaxPeekMargin + 1));
+          SJ.Branches.push_back(F);
+        }
+      } else {
+        // Heterogeneous roundrobin: split on pop rates, join on push
+        // rates; each branch fires once per splitter firing.
+        for (int B = 0; B < Branches; ++B)
+          SJ.Branches.push_back(randomFilter(Cur, Cur, R, O));
+      }
+    } else {
+      St.K = StageSpec::Kind::Filter;
+      Ty Next = Cur;
+      if (O.AllowCasts && O.AllowInt && R.nextInt(5) == 0)
+        Next = Cur == Ty::Int ? Ty::Float : Ty::Int;
+      St.F = randomFilter(Cur, Next, R, O);
+      Cur = Next;
+    }
+    P.Stages.push_back(St);
+  }
+  return P;
+}
+
+std::string testing::renderSource(const ProgramSpec &P) {
+  assert(!P.Stages.empty() && "program needs at least one stage");
+  std::ostringstream Decls;
+  std::ostringstream Body;
+
+  for (size_t I = 0; I < P.Stages.size(); ++I) {
+    const StageSpec &St = P.Stages[I];
+    std::string Name;
+    switch (St.K) {
+    case StageSpec::Kind::Filter:
+      Name = "F" + std::to_string(I);
+      Decls << renderFilter(Name, St.F);
+      break;
+    case StageSpec::Kind::SplitJoin:
+      Name = "SJ" + std::to_string(I);
+      renderSplitJoin(Decls, Name, St.In, St.SJ);
+      break;
+    case StageSpec::Kind::Feedback:
+      Name = "FB" + std::to_string(I);
+      renderFeedback(Decls, Name, St.FB);
+      break;
+    }
+    Body << "  add " << Name << ";\n";
+  }
+
+  std::ostringstream OS;
+  OS << Decls.str() << tyName(P.inTy()) << "->" << tyName(P.outTy())
+     << " pipeline " << P.Top << " {\n"
+     << Body.str() << "}\n";
+  return OS.str();
+}
+
+std::string testing::describe(const ProgramSpec &P) {
+  int SJ = 0, FB = 0;
+  bool HasInt = false, HasPeek = false, HasState = false;
+  auto Scan = [&](const FilterSpec &F) {
+    HasInt |= F.In == Ty::Int || F.Out == Ty::Int;
+    HasPeek |= F.Peek > F.Pop;
+    HasState |= F.HasState;
+  };
+  for (const StageSpec &St : P.Stages) {
+    switch (St.K) {
+    case StageSpec::Kind::Filter:
+      Scan(St.F);
+      break;
+    case StageSpec::Kind::SplitJoin:
+      ++SJ;
+      for (const FilterSpec &F : St.SJ.Branches)
+        Scan(F);
+      break;
+    case StageSpec::Kind::Feedback:
+      ++FB;
+      break;
+    }
+  }
+  std::ostringstream OS;
+  OS << "stages=" << P.Stages.size() << " sj=" << SJ << " fb=" << FB
+     << " int=" << (HasInt ? "yes" : "no")
+     << " peek=" << (HasPeek ? "yes" : "no")
+     << " state=" << (HasState ? "yes" : "no");
+  return OS.str();
+}

@@ -1,0 +1,123 @@
+//===--- ProgramGen.h - Random stream-program generation -------*- C++ -*-===//
+//
+// Seedable generator of rate-consistent StreamIt-subset programs for
+// differential testing. Programs are produced as a structured spec (so
+// the test-case reducer can shrink them piecewise) and rendered to .str
+// source on demand. Covers pipelines, heterogeneous and homogeneous
+// splitjoins (duplicate and roundrobin), peeking filters, int/float
+// types with mid-pipeline casts, filters with init/state, and feedback
+// loops. Every generated program compiles and schedules by
+// construction: splitjoin weights are derived from the branch rates so
+// the balance equations always hold, and feedback stages instantiate
+// deadlock-free templates.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_TESTING_PROGRAMGEN_H
+#define LAMINAR_TESTING_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace testing {
+
+enum class Ty { Int, Float };
+
+const char *tyName(Ty T);
+
+/// One generated filter. The work body is derived deterministically
+/// from (rates, flavor, BodySeed), so a spec renders to identical
+/// source no matter how it was reached (generation or reduction).
+struct FilterSpec {
+  Ty In = Ty::Float;
+  Ty Out = Ty::Float;
+  int Push = 1;
+  int Pop = 1;
+  int Peek = 1; ///< >= Pop; the margin carries live tokens.
+  /// 0 = weighted peek sum, 1 = alternating sum with a branch,
+  /// 2 = clamped sum (int) / math-call sum (float).
+  int Flavor = 0;
+  bool HasState = false; ///< persistent field updated per firing
+  bool HasInit = false;  ///< init block priming the field
+  uint64_t BodySeed = 0; ///< coefficient source
+};
+
+/// A splitjoin stage; all branches map Ty->Ty of the stage type.
+/// Weights are derived at render time: duplicate joins on the branch
+/// push rates; heterogeneous roundrobin splits on the branch pop rates
+/// and joins on the push rates; homogeneous shapes use the single
+/// explicit SplitWeight/JoinWeight. All three are balance-consistent
+/// by construction.
+struct SplitJoinSpec {
+  bool Duplicate = false;
+  bool Homogeneous = false;
+  std::vector<FilterSpec> Branches; ///< size 1 when homogeneous
+  int NumBranches = 2;              ///< used when homogeneous
+  int SplitWeight = 1;              ///< homogeneous roundrobin only
+  int JoinWeight = 1;               ///< homogeneous only
+};
+
+/// A feedback-loop stage (float->float). Two deadlock-free templates:
+/// 0: join roundrobin(1,1); body pop 2 push 2 (y = x + decay*fb);
+///    split roundrobin(1,1); optional unit-rate loop scaler;
+///    Delay enqueued tokens.
+/// 1: multi-rate — join roundrobin(1,2); body pop 3 push 2;
+///    split roundrobin(1,1); loop pop 1 push 2 upsampler; 2 enqueues.
+struct FeedbackSpec {
+  int Template = 0;
+  int Delay = 4; ///< template 0: number of enqueued tokens (>= 1)
+  bool HasLoopScale = false; ///< template 0: scaler on the loop path
+  uint64_t BodySeed = 0;     ///< decay/scale/enqueue constants
+};
+
+struct StageSpec {
+  enum class Kind { Filter, SplitJoin, Feedback };
+  Kind K = Kind::Filter;
+  Ty In = Ty::Float; ///< stage input type; Filter may cast, others keep
+  FilterSpec F;
+  SplitJoinSpec SJ;
+  FeedbackSpec FB;
+
+  Ty outTy() const {
+    return K == Kind::Filter ? F.Out : In;
+  }
+};
+
+struct ProgramSpec {
+  std::string Top = "FuzzTop";
+  std::vector<StageSpec> Stages;
+
+  Ty inTy() const { return Stages.front().In; }
+  Ty outTy() const { return Stages.back().outTy(); }
+};
+
+struct GenOptions {
+  int MinStages = 2;
+  int MaxStages = 5;
+  int MaxBranches = 4;
+  int MaxRate = 3;       ///< push/pop rates drawn from [1, MaxRate]
+  int MaxPeekMargin = 3; ///< peek - pop drawn from [0, MaxPeekMargin]
+  bool AllowSplitJoin = true;
+  bool AllowFeedback = true;
+  bool AllowInt = true;
+  bool AllowCasts = true;
+  bool AllowState = true;
+};
+
+/// Generates a program spec from \p Seed. Deterministic: equal seeds
+/// and options produce equal specs.
+ProgramSpec generateProgram(uint64_t Seed, const GenOptions &O = {});
+
+/// Renders the spec as StreamIt-subset source text.
+std::string renderSource(const ProgramSpec &P);
+
+/// One-line structural summary ("stages=4 sj=1 fb=0 int=yes"), used in
+/// fuzzing reports.
+std::string describe(const ProgramSpec &P);
+
+} // namespace testing
+} // namespace laminar
+
+#endif // LAMINAR_TESTING_PROGRAMGEN_H

@@ -1,0 +1,340 @@
+//===--- Reducer.cpp ------------------------------------------------------===//
+
+#include "testing/Reducer.h"
+#include <algorithm>
+#include <functional>
+
+using namespace laminar;
+using namespace laminar::testing;
+
+namespace {
+
+/// A candidate is a single reduction step applied to a copy of the
+/// spec; it returns false when it does not apply (candidate skipped).
+using Mutation = std::function<bool(ProgramSpec &)>;
+
+/// Shrink steps for one filter (identified by a stage index and an
+/// optional branch index). Applied through an accessor so the same
+/// steps serve pipeline filters and splitjoin branches.
+void filterMutations(std::vector<Mutation> &Out, size_t Stage, int Branch) {
+  auto Access = [Stage, Branch](ProgramSpec &P) -> FilterSpec * {
+    if (Stage >= P.Stages.size())
+      return nullptr;
+    StageSpec &St = P.Stages[Stage];
+    if (Branch < 0)
+      return St.K == StageSpec::Kind::Filter ? &St.F : nullptr;
+    if (St.K != StageSpec::Kind::SplitJoin ||
+        static_cast<size_t>(Branch) >= St.SJ.Branches.size())
+      return nullptr;
+    return &St.SJ.Branches[Branch];
+  };
+  Out.push_back([Access](ProgramSpec &P) {
+    FilterSpec *F = Access(P);
+    if (!F || F->Peek <= F->Pop)
+      return false;
+    F->Peek = F->Pop;
+    return true;
+  });
+  Out.push_back([Access](ProgramSpec &P) {
+    FilterSpec *F = Access(P);
+    if (!F || F->Peek <= F->Pop)
+      return false;
+    --F->Peek;
+    return true;
+  });
+  Out.push_back([Access](ProgramSpec &P) {
+    FilterSpec *F = Access(P);
+    if (!F || F->Push <= 1)
+      return false;
+    --F->Push;
+    return true;
+  });
+  // Callers only use this for pipeline filters and non-duplicate
+  // splitjoin branches; duplicate branches shrink their shared pop rate
+  // through a whole-stage mutation instead.
+  Out.push_back([Access](ProgramSpec &P) {
+    FilterSpec *F = Access(P);
+    if (!F || F->Pop <= 1)
+      return false;
+    --F->Pop;
+    F->Peek = std::max(F->Peek - 1, F->Pop);
+    return true;
+  });
+  Out.push_back([Access](ProgramSpec &P) {
+    FilterSpec *F = Access(P);
+    if (!F || (!F->HasState && !F->HasInit))
+      return false;
+    F->HasState = false;
+    F->HasInit = false;
+    return true;
+  });
+  Out.push_back([Access](ProgramSpec &P) {
+    FilterSpec *F = Access(P);
+    if (!F || F->Flavor == 0)
+      return false;
+    F->Flavor = 0;
+    return true;
+  });
+}
+
+/// Builds the ordered candidate list for the current spec. Most
+/// aggressive first: structural deletions, then structural
+/// replacements, then local shrinks.
+std::vector<Mutation> buildMutations(const ProgramSpec &P) {
+  std::vector<Mutation> Out;
+
+  // 1. Drop whole stages. The first and last can always go — the
+  //    pipeline's declared I/O types follow the remaining chain —
+  //    while interior stages must be type-preserving to keep the
+  //    chain connected.
+  if (P.Stages.size() >= 2) {
+    Out.push_back([](ProgramSpec &Q) {
+      if (Q.Stages.size() < 2)
+        return false;
+      Q.Stages.erase(Q.Stages.begin());
+      return true;
+    });
+    Out.push_back([](ProgramSpec &Q) {
+      if (Q.Stages.size() < 2)
+        return false;
+      Q.Stages.pop_back();
+      return true;
+    });
+  }
+  for (size_t I = 0; I < P.Stages.size(); ++I) {
+    if (P.Stages.size() < 2)
+      break;
+    if (P.Stages[I].In != P.Stages[I].outTy())
+      continue;
+    Out.push_back([I](ProgramSpec &Q) {
+      if (Q.Stages.size() < 2 || I >= Q.Stages.size() ||
+          Q.Stages[I].In != Q.Stages[I].outTy())
+        return false;
+      Q.Stages.erase(Q.Stages.begin() + I);
+      return true;
+    });
+  }
+
+  // 2. Collapse a splitjoin or feedback stage to a plain filter.
+  for (size_t I = 0; I < P.Stages.size(); ++I) {
+    if (P.Stages[I].K == StageSpec::Kind::SplitJoin) {
+      Out.push_back([I](ProgramSpec &Q) {
+        if (I >= Q.Stages.size() ||
+            Q.Stages[I].K != StageSpec::Kind::SplitJoin)
+          return false;
+        StageSpec &St = Q.Stages[I];
+        St.F = St.SJ.Branches.front();
+        St.K = StageSpec::Kind::Filter;
+        St.SJ = SplitJoinSpec();
+        return true;
+      });
+    } else if (P.Stages[I].K == StageSpec::Kind::Feedback) {
+      Out.push_back([I](ProgramSpec &Q) {
+        if (I >= Q.Stages.size() ||
+            Q.Stages[I].K != StageSpec::Kind::Feedback)
+          return false;
+        StageSpec &St = Q.Stages[I];
+        St.K = StageSpec::Kind::Filter;
+        St.F = FilterSpec();
+        St.F.In = St.F.Out = St.In;
+        St.F.BodySeed = St.FB.BodySeed;
+        St.FB = FeedbackSpec();
+        return true;
+      });
+    }
+  }
+
+  // 3. Remove splitjoin branches / shrink homogeneous width.
+  for (size_t I = 0; I < P.Stages.size(); ++I) {
+    if (P.Stages[I].K != StageSpec::Kind::SplitJoin)
+      continue;
+    const SplitJoinSpec &SJ = P.Stages[I].SJ;
+    if (SJ.Homogeneous ? SJ.NumBranches > 2 : SJ.Branches.size() > 2) {
+      Out.push_back([I](ProgramSpec &Q) {
+        if (I >= Q.Stages.size() ||
+            Q.Stages[I].K != StageSpec::Kind::SplitJoin)
+          return false;
+        SplitJoinSpec &S = Q.Stages[I].SJ;
+        if (S.Homogeneous) {
+          if (S.NumBranches <= 2)
+            return false;
+          --S.NumBranches;
+        } else {
+          if (S.Branches.size() <= 2)
+            return false;
+          S.Branches.pop_back();
+        }
+        return true;
+      });
+    }
+    if (SJ.Duplicate && !SJ.Branches.empty() && SJ.Branches[0].Pop > 1) {
+      // Shared pop shrink for duplicate splitjoins (all branches
+      // together, preserving the equal-pop invariant).
+      Out.push_back([I](ProgramSpec &Q) {
+        if (I >= Q.Stages.size() ||
+            Q.Stages[I].K != StageSpec::Kind::SplitJoin)
+          return false;
+        SplitJoinSpec &S = Q.Stages[I].SJ;
+        if (!S.Duplicate || S.Branches.empty() || S.Branches[0].Pop <= 1)
+          return false;
+        for (FilterSpec &F : S.Branches) {
+          --F.Pop;
+          F.Peek = std::max(F.Peek - 1, F.Pop);
+        }
+        return true;
+      });
+    }
+    if (SJ.Homogeneous) {
+      Out.push_back([I](ProgramSpec &Q) {
+        if (I >= Q.Stages.size() ||
+            Q.Stages[I].K != StageSpec::Kind::SplitJoin)
+          return false;
+        SplitJoinSpec &S = Q.Stages[I].SJ;
+        if (!S.Homogeneous || (S.SplitWeight == 1 && S.JoinWeight == 1))
+          return false;
+        S.SplitWeight = 1;
+        S.JoinWeight = 1;
+        return true;
+      });
+    }
+  }
+
+  // 4. Feedback simplifications.
+  for (size_t I = 0; I < P.Stages.size(); ++I) {
+    if (P.Stages[I].K != StageSpec::Kind::Feedback)
+      continue;
+    Out.push_back([I](ProgramSpec &Q) {
+      if (I >= Q.Stages.size() ||
+          Q.Stages[I].K != StageSpec::Kind::Feedback)
+        return false;
+      FeedbackSpec &FB = Q.Stages[I].FB;
+      if (FB.Template != 1)
+        return false;
+      FB.Template = 0;
+      FB.Delay = 1;
+      FB.HasLoopScale = false;
+      return true;
+    });
+    Out.push_back([I](ProgramSpec &Q) {
+      if (I >= Q.Stages.size() ||
+          Q.Stages[I].K != StageSpec::Kind::Feedback)
+        return false;
+      FeedbackSpec &FB = Q.Stages[I].FB;
+      if (!FB.HasLoopScale)
+        return false;
+      FB.HasLoopScale = false;
+      return true;
+    });
+    Out.push_back([I](ProgramSpec &Q) {
+      if (I >= Q.Stages.size() ||
+          Q.Stages[I].K != StageSpec::Kind::Feedback)
+        return false;
+      FeedbackSpec &FB = Q.Stages[I].FB;
+      if (FB.Template != 0 || FB.Delay <= 1)
+        return false;
+      --FB.Delay;
+      return true;
+    });
+  }
+
+  // 5. Per-filter shrinks, pipeline filters then splitjoin branches.
+  for (size_t I = 0; I < P.Stages.size(); ++I) {
+    const StageSpec &St = P.Stages[I];
+    if (St.K == StageSpec::Kind::Filter) {
+      filterMutations(Out, I, -1);
+    } else if (St.K == StageSpec::Kind::SplitJoin && !St.SJ.Duplicate) {
+      for (size_t B = 0; B < St.SJ.Branches.size(); ++B)
+        filterMutations(Out, I, static_cast<int>(B));
+    } else if (St.K == StageSpec::Kind::SplitJoin) {
+      // Duplicate splitjoins: per-branch shrinks except the pop shrink,
+      // which is handled stage-wide above. filterMutations' pop shrink
+      // would desynchronize the shared rate, so emit a reduced set.
+      for (size_t B = 0; B < St.SJ.Branches.size(); ++B) {
+        size_t Stage = I;
+        int Branch = static_cast<int>(B);
+        auto Access = [Stage, Branch](ProgramSpec &Q) -> FilterSpec * {
+          if (Stage >= Q.Stages.size())
+            return nullptr;
+          StageSpec &S = Q.Stages[Stage];
+          if (S.K != StageSpec::Kind::SplitJoin ||
+              static_cast<size_t>(Branch) >= S.SJ.Branches.size())
+            return nullptr;
+          return &S.SJ.Branches[Branch];
+        };
+        Out.push_back([Access](ProgramSpec &Q) {
+          FilterSpec *F = Access(Q);
+          if (!F || F->Peek <= F->Pop)
+            return false;
+          F->Peek = F->Pop;
+          return true;
+        });
+        Out.push_back([Access](ProgramSpec &Q) {
+          FilterSpec *F = Access(Q);
+          if (!F || F->Push <= 1)
+            return false;
+          --F->Push;
+          return true;
+        });
+        Out.push_back([Access](ProgramSpec &Q) {
+          FilterSpec *F = Access(Q);
+          if (!F || (!F->HasState && !F->HasInit))
+            return false;
+          F->HasState = false;
+          F->HasInit = false;
+          return true;
+        });
+        Out.push_back([Access](ProgramSpec &Q) {
+          FilterSpec *F = Access(Q);
+          if (!F || F->Flavor == 0)
+            return false;
+          F->Flavor = 0;
+          return true;
+        });
+      }
+    }
+  }
+
+  return Out;
+}
+
+} // namespace
+
+ReduceResult testing::reduceProgram(const ProgramSpec &P,
+                                    const DiffResult &Orig,
+                                    const ReduceOptions &O) {
+  ReduceResult R;
+  R.Minimal = P;
+  R.Failure = Orig;
+
+  DiffOptions DO = O.Diff;
+  // The C cross-check costs a host-cc invocation per candidate; only
+  // keep it when it is the failing oracle.
+  if (Orig.Status != DiffStatus::CEmitError)
+    DO.CheckC = false;
+
+  bool Progress = true;
+  while (Progress && R.Evals < O.MaxEvals) {
+    Progress = false;
+    std::vector<Mutation> Muts = buildMutations(R.Minimal);
+    for (const Mutation &M : Muts) {
+      if (R.Evals >= O.MaxEvals)
+        break;
+      ProgramSpec Candidate = R.Minimal;
+      if (!M(Candidate))
+        continue;
+      ++R.Evals;
+      DiffResult D = diffProgram(renderSource(Candidate), Candidate.Top,
+                                 DO);
+      if (D.Status == Orig.Status) {
+        R.Minimal = std::move(Candidate);
+        R.Failure = std::move(D);
+        ++R.Steps;
+        Progress = true;
+        break; // restart with a fresh candidate list
+      }
+    }
+  }
+
+  R.Source = renderSource(R.Minimal);
+  return R;
+}

@@ -1,0 +1,47 @@
+//===--- Reducer.h - Delta-debugging test-case reduction -------*- C++ -*-===//
+//
+// Shrinks a failing generated program while the failure reproduces:
+// drops pipeline stages, collapses splitjoins to a single branch,
+// removes branches, shrinks rates and peek margins, strips state/init,
+// simplifies work bodies and shortens feedback delays. The result is a
+// minimal .str reproducer for the corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_TESTING_REDUCER_H
+#define LAMINAR_TESTING_REDUCER_H
+
+#include "testing/Differ.h"
+#include "testing/ProgramGen.h"
+
+namespace laminar {
+namespace testing {
+
+struct ReduceOptions {
+  /// Oracle options used to re-check candidates. The C cross-check is
+  /// disabled internally unless the original failure was a CEmitError.
+  DiffOptions Diff;
+  /// Upper bound on oracle evaluations.
+  int MaxEvals = 300;
+};
+
+struct ReduceResult {
+  ProgramSpec Minimal;
+  /// Failure the minimal program still exhibits.
+  DiffResult Failure;
+  /// Rendered source of the minimal program.
+  std::string Source;
+  /// Accepted reduction steps and total oracle evaluations.
+  int Steps = 0;
+  int Evals = 0;
+};
+
+/// Reduces \p P, whose oracle failure was \p Orig. A candidate is
+/// accepted when it still fails with the same DiffStatus.
+ReduceResult reduceProgram(const ProgramSpec &P, const DiffResult &Orig,
+                           const ReduceOptions &O = {});
+
+} // namespace testing
+} // namespace laminar
+
+#endif // LAMINAR_TESTING_REDUCER_H

@@ -9,6 +9,7 @@
 
 #include "driver/Driver.h"
 #include "suite/Suite.h"
+#include "testing/Differ.h"
 #include <gtest/gtest.h>
 
 using namespace laminar;
@@ -34,8 +35,12 @@ void expectSameOutputs(const TokenStream &A, const TokenStream &B,
     ASSERT_EQ(A.I, B.I) << What;
   } else {
     ASSERT_EQ(A.F.size(), B.F.size()) << What;
+    // Bit-exact, not ULP-tolerant: the lowerings reorder no arithmetic,
+    // so even NaN payloads and signed zeros must survive.
     for (size_t K = 0; K < A.F.size(); ++K)
-      ASSERT_DOUBLE_EQ(A.F[K], B.F[K]) << What << " token " << K;
+      ASSERT_EQ(laminar::testing::bitPattern(A.F[K]),
+                laminar::testing::bitPattern(B.F[K]))
+          << What << " token " << K << ": " << B.F[K] << " != " << A.F[K];
   }
 }
 
@@ -105,7 +110,9 @@ TEST_P(BenchmarkEquivalence, PrefixConsistency) {
   } else {
     ASSERT_LE(Short.Outputs.F.size(), Long.Outputs.F.size());
     for (size_t K = 0; K < Short.Outputs.F.size(); ++K)
-      EXPECT_DOUBLE_EQ(Short.Outputs.F[K], Long.Outputs.F[K]) << B.Name;
+      EXPECT_EQ(laminar::testing::bitPattern(Short.Outputs.F[K]),
+                laminar::testing::bitPattern(Long.Outputs.F[K]))
+          << B.Name << " token " << K;
   }
 }
 

@@ -1,0 +1,75 @@
+//===--- IRRoundTripTest.cpp - Textual IR print/parse fixpoint ------------===//
+//
+// Every suite benchmark, under both lowerings and at O0 and O2, must
+// survive Printer -> IRParser -> Verifier, and re-printing the reparsed
+// module must reproduce the original text byte-for-byte. This pins the
+// textual IR as a faithful serialization of LIR — the property the
+// fuzzer's oracle relies on (and which caught the parser renaming block
+// labels when first enabled).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "lir/IRParser.h"
+#include "lir/Printer.h"
+#include "lir/Verifier.h"
+#include "suite/Suite.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::driver;
+
+namespace {
+
+struct RoundTripCase {
+  std::string Bench;
+  LoweringMode Mode;
+  unsigned OptLevel;
+};
+
+std::string caseName(const ::testing::TestParamInfo<RoundTripCase> &Info) {
+  return Info.param.Bench +
+         (Info.param.Mode == LoweringMode::Fifo ? "_fifo" : "_laminar") + "_O" +
+         std::to_string(Info.param.OptLevel);
+}
+
+std::vector<RoundTripCase> allCases() {
+  std::vector<RoundTripCase> Cases;
+  for (const suite::Benchmark &B : suite::allBenchmarks())
+    for (LoweringMode Mode : {LoweringMode::Fifo, LoweringMode::Laminar})
+      for (unsigned Opt : {0u, 2u})
+        Cases.push_back({B.Name, Mode, Opt});
+  return Cases;
+}
+
+class IRRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+} // namespace
+
+TEST_P(IRRoundTripTest, PrintParsePrintIsFixpoint) {
+  const RoundTripCase &TC = GetParam();
+  const suite::Benchmark *B = suite::findBenchmark(TC.Bench);
+  ASSERT_NE(B, nullptr);
+
+  CompileOptions O;
+  O.TopName = B->Top;
+  O.Mode = TC.Mode;
+  O.OptLevel = TC.OptLevel;
+  Compilation C = compile(B->Source, O);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+
+  std::string Text = lir::printModule(*C.Module);
+  DiagnosticEngine Diags;
+  std::unique_ptr<lir::Module> Reparsed = lir::parseIR(Text, Diags);
+  ASSERT_NE(Reparsed, nullptr) << Diags.str() << "\n" << Text;
+
+  std::vector<std::string> Violations = lir::verifyModule(*Reparsed);
+  EXPECT_TRUE(Violations.empty())
+      << "reparsed module fails verification: " << Violations.front();
+
+  EXPECT_EQ(Text, lir::printModule(*Reparsed))
+      << "print -> parse -> print is not a fixpoint";
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, IRRoundTripTest,
+                         ::testing::ValuesIn(allCases()), caseName);

@@ -1,0 +1,249 @@
+//===--- laminar-fuzz.cpp - Differential stream-program fuzzer ------------===//
+//
+// laminar-fuzz [options] [reproducer.str ...]
+//   --seed=N         base seed for program generation (default 1)
+//   --iters=N        number of random programs (default 100)
+//   --corpus=DIR     reproducer + report directory (default fuzz-corpus)
+//   --runs=N         interpreter steady iterations per config (default 4)
+//   --input-seed=N   randomized-input seed (default 0xC0FFEE)
+//   --max-stages=N   generator stage budget (default 5)
+//   --top=Name       top stream for replayed files (default FuzzTop)
+//   --max-seconds=N  wall-clock budget, 0 = unlimited (default 0)
+//   --no-cc          skip the emitted-C cross-check
+//   --no-roundtrip   skip the textual-IR round-trip check
+//
+// With positional .str files the tool replays saved reproducers through
+// the same oracle instead of generating programs. Without --max-seconds
+// all output is deterministic for a fixed flag set.
+//
+// Exit code: 0 when every program passed, 1 on any failure or usage
+// error.
+//===----------------------------------------------------------------------===//
+
+#include "testing/Differ.h"
+#include "testing/ProgramGen.h"
+#include "testing/Reducer.h"
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+using namespace laminar;
+namespace lt = laminar::testing;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: laminar-fuzz [options] [reproducer.str ...]\n"
+      << "  --seed=N --iters=N --corpus=DIR --runs=N --input-seed=N\n"
+      << "  --max-stages=N --top=Name --max-seconds=N --no-cc"
+      << " --no-roundtrip\n";
+  return 1;
+}
+
+/// Per-iteration generator seed: decorrelates neighbouring iterations
+/// of one base seed without ever colliding across iterations.
+uint64_t iterSeed(uint64_t Base, uint64_t Iter) {
+  uint64_t S = Base * 0x9E3779B97F4A7C15ULL + Iter + 1;
+  S ^= S >> 29;
+  S *= 0xBF58476D1CE4E5B9ULL;
+  S ^= S >> 32;
+  return S;
+}
+
+/// Renders one failure as a corpus report block.
+std::string reportBlock(const std::string &Title, const lt::DiffResult &D) {
+  std::ostringstream OS;
+  OS << Title << "\n"
+     << "  status: " << lt::diffStatusName(D.Status) << "\n"
+     << "  config: " << D.Config << "\n"
+     << "  detail: " << D.Detail << "\n";
+  return OS.str();
+}
+
+struct ReplayFile {
+  std::string Path;
+  std::string Source;
+};
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Seed = 1;
+  int64_t Iters = 100;
+  std::string Corpus = "fuzz-corpus";
+  std::string Top = "FuzzTop";
+  int64_t MaxSeconds = 0;
+  lt::DiffOptions DiffOpts;
+  lt::GenOptions GenOpts;
+  std::vector<std::string> Replays;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Eat = [&](const char *Prefix, std::string &Out) {
+      size_t N = std::strlen(Prefix);
+      if (Arg.compare(0, N, Prefix) != 0)
+        return false;
+      Out = Arg.substr(N);
+      return true;
+    };
+    std::string V;
+    try {
+      if (Eat("--seed=", V))
+        Seed = std::stoull(V);
+      else if (Eat("--iters=", V))
+        Iters = std::stoll(V);
+      else if (Eat("--corpus=", V))
+        Corpus = V;
+      else if (Eat("--runs=", V))
+        DiffOpts.Iterations = std::stoll(V);
+      else if (Eat("--input-seed=", V))
+        DiffOpts.InputSeed = std::stoull(V);
+      else if (Eat("--max-stages=", V))
+        GenOpts.MaxStages = static_cast<int>(std::stol(V));
+      else if (Eat("--top=", V))
+        Top = V;
+      else if (Eat("--max-seconds=", V))
+        MaxSeconds = std::stoll(V);
+      else if (Arg == "--no-cc")
+        DiffOpts.CheckC = false;
+      else if (Arg == "--no-roundtrip")
+        DiffOpts.CheckRoundTrip = false;
+      else if (!Arg.empty() && Arg[0] == '-')
+        return usage();
+      else
+        Replays.push_back(Arg);
+    } catch (const std::exception &) {
+      return usage();
+    }
+  }
+  if (GenOpts.MaxStages < GenOpts.MinStages)
+    GenOpts.MinStages = 1;
+
+  // --- Replay mode -------------------------------------------------------
+  if (!Replays.empty()) {
+    int Failures = 0;
+    for (const std::string &Path : Replays) {
+      std::ifstream In(Path);
+      if (!In) {
+        std::cerr << "error: cannot open '" << Path << "'\n";
+        return 1;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      std::string Source = SS.str();
+      // Reproducers carry their top stream in a "// top: Name" header.
+      std::string FileTop = Top;
+      size_t Pos = Source.find("// top: ");
+      if (Pos != std::string::npos) {
+        size_t End = Source.find('\n', Pos);
+        FileTop = Source.substr(Pos + 8, End - Pos - 8);
+      }
+      lt::DiffResult D = lt::diffProgram(Source, FileTop, DiffOpts);
+      // A frontend reject during replay is almost always a wrong top
+      // stream (fuzzer-written reproducers never have that status), so
+      // surface it as a failure rather than a silent pass.
+      if (D.failed() || D.Status == lt::DiffStatus::FrontendReject) {
+        ++Failures;
+        std::cout << "FAIL " << Path << "\n"
+                  << reportBlock("  replay failure:", D);
+        if (D.Status == lt::DiffStatus::FrontendReject)
+          std::cout << "  hint: check the '// top: Name' header or pass "
+                       "--top=Name\n";
+      } else {
+        std::cout << "PASS " << Path << " ("
+                  << lt::diffStatusName(D.Status) << ")\n";
+      }
+    }
+    std::cout << "replayed " << Replays.size() << " file(s), " << Failures
+              << " failure(s)\n";
+    return Failures == 0 ? 0 : 1;
+  }
+
+  // --- Fuzzing mode ------------------------------------------------------
+  std::error_code EC;
+  std::filesystem::create_directories(Corpus, EC);
+  if (EC) {
+    std::cerr << "error: cannot create corpus directory '" << Corpus
+              << "': " << EC.message() << "\n";
+    return 1;
+  }
+  if (DiffOpts.CheckC && !lt::hostCompilerAvailable())
+    DiffOpts.CheckC = false;
+
+  std::ostringstream Report;
+  Report << "laminar-fuzz seed=" << Seed << " iters=" << Iters
+         << " runs=" << DiffOpts.Iterations
+         << " input-seed=" << DiffOpts.InputSeed
+         << " cc=" << (DiffOpts.CheckC ? "on" : "off")
+         << " roundtrip=" << (DiffOpts.CheckRoundTrip ? "on" : "off")
+         << "\n";
+
+  auto Start = std::chrono::steady_clock::now();
+  int64_t Done = 0;
+  int64_t Rejects = 0;
+  int64_t Failures = 0;
+
+  for (int64_t I = 0; I < Iters; ++I) {
+    if (MaxSeconds > 0) {
+      auto Elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - Start);
+      if (Elapsed.count() >= MaxSeconds)
+        break;
+    }
+    uint64_t PSeed = iterSeed(Seed, static_cast<uint64_t>(I));
+    lt::ProgramSpec P = lt::generateProgram(PSeed, GenOpts);
+    P.Top = Top;
+    std::string Source = lt::renderSource(P);
+    lt::DiffResult D = lt::diffProgram(Source, P.Top, DiffOpts);
+    ++Done;
+    if (D.Status == lt::DiffStatus::FrontendReject) {
+      ++Rejects;
+      continue;
+    }
+    if (!D.failed())
+      continue;
+
+    ++Failures;
+    std::string Name =
+        "fail-" + std::to_string(Seed) + "-" + std::to_string(I);
+    Report << reportBlock("failure " + Name + " (" + lt::describe(P) + ")",
+                          D);
+
+    lt::ReduceOptions RO;
+    RO.Diff = DiffOpts;
+    lt::ReduceResult Red = lt::reduceProgram(P, D, RO);
+    Report << "  reduced: " << Red.Steps << " step(s), " << Red.Evals
+           << " eval(s), " << lt::describe(Red.Minimal) << "\n";
+
+    std::ofstream Str(Corpus + "/" + Name + ".str");
+    Str << "// laminar-fuzz reproducer\n"
+        << "// top: " << Red.Minimal.Top << "\n"
+        << "// seed: " << Seed << " iter: " << I << " gen-seed: " << PSeed
+        << "\n"
+        << "// status: " << lt::diffStatusName(Red.Failure.Status)
+        << " config: " << Red.Failure.Config << "\n"
+        << Red.Source;
+    std::ofstream Rep(Corpus + "/" + Name + ".report.txt");
+    Rep << reportBlock("original (" + lt::describe(P) + ")", D)
+        << reportBlock("reduced (" + lt::describe(Red.Minimal) + ")",
+                       Red.Failure)
+        << "reduction: " << Red.Steps << " step(s), " << Red.Evals
+        << " eval(s)\n\n"
+        << "original source:\n"
+        << Source;
+  }
+
+  Report << "programs=" << Done << " ok=" << (Done - Rejects - Failures)
+         << " frontend-reject=" << Rejects << " failures=" << Failures
+         << "\n";
+
+  std::ofstream Out(Corpus + "/report.txt");
+  Out << Report.str();
+  std::cout << Report.str();
+  return Failures == 0 ? 0 : 1;
+}
