@@ -7,6 +7,7 @@
 #include "lir/Verifier.h"
 #include "lower/Lowering.h"
 #include "opt/PassManager.h"
+#include <sstream>
 
 using namespace laminar;
 using namespace laminar::driver;
@@ -39,38 +40,72 @@ Compilation driver::compile(const std::string &Source,
                             const CompileOptions &Opts) {
   Compilation C;
   DiagnosticEngine Diags;
+  Diags.setErrorLimit(Opts.Limits.MaxErrors);
+  // Hand the collected diagnostics to the caller on every exit path.
+  auto Fail = [&](Compilation &C) {
+    C.ErrorLog = Diags.str();
+    C.Diags = Diags.diagnostics();
+  };
 
   C.Stage = CompileStage::Parse;
   C.AST = parseProgram(Source, Diags);
   if (Diags.hasErrors()) {
-    C.ErrorLog = Diags.str();
+    Fail(C);
     return C;
   }
   C.Stage = CompileStage::Sema;
   if (!analyzeProgram(*C.AST, Diags)) {
-    C.ErrorLog = Diags.str();
+    Fail(C);
     return C;
   }
   C.Stage = CompileStage::Graph;
-  C.Graph = graph::buildGraph(*C.AST, Opts.TopName, Diags);
+  C.Graph = graph::buildGraph(*C.AST, Opts.TopName, Diags, Opts.Limits);
   if (!C.Graph) {
-    C.ErrorLog = Diags.str();
+    Fail(C);
     return C;
   }
   C.Stage = CompileStage::Schedule;
-  C.Sched = schedule::computeSchedule(*C.Graph, Diags);
+  C.Sched = schedule::computeSchedule(*C.Graph, Diags, Opts.Limits);
   if (!C.Sched) {
-    C.ErrorLog = Diags.str();
+    Fail(C);
     return C;
   }
   C.Stage = CompileStage::Lower;
-  C.Module = Opts.Mode == LoweringMode::Fifo
-                 ? lower::lowerToFifo(*C.Graph, *C.Sched, Diags,
-                                      Opts.UnrollFifo, &C.Stats)
-                 : lower::lowerToLaminar(*C.Graph, *C.Sched, Diags,
-                                         &C.Stats);
+  bool ExceededBudget = false;
+  if (Opts.Mode == LoweringMode::Fifo) {
+    C.Module = lower::lowerToFifo(*C.Graph, *C.Sched, Diags,
+                                  Opts.UnrollFifo, &C.Stats, Opts.Limits,
+                                  &ExceededBudget);
+  } else {
+    C.Module = lower::lowerToLaminar(*C.Graph, *C.Sched, Diags, &C.Stats,
+                                     Opts.Limits, &ExceededBudget);
+    if (!C.Module && ExceededBudget && !Diags.hasErrors() &&
+        Opts.AllowDegradeToFifo) {
+      // Graceful degradation: a correct FIFO program beats no program.
+      std::ostringstream OS;
+      OS << "laminar lowering exceeds the unrolled-IR budget of "
+         << Opts.Limits.MaxUnrolledInsts
+         << " instructions (--max-ir-insts); falling back to FIFO "
+            "lowering";
+      Diags.warning(SourceLoc(1, 1), OS.str());
+      C.DegradedToFifo = true;
+      ExceededBudget = false;
+      // The fallback can itself trip the budget (static work-body
+      // loops); keep the out-param so that becomes a hard error below
+      // rather than a silent rejection.
+      C.Module = lower::lowerToFifo(*C.Graph, *C.Sched, Diags,
+                                    /*FullyUnroll=*/false, &C.Stats,
+                                    Opts.Limits, &ExceededBudget);
+    }
+  }
+  if (!C.Module && ExceededBudget && !Diags.hasErrors()) {
+    std::ostringstream OS;
+    OS << "lowering exceeds the unrolled-IR budget of "
+       << Opts.Limits.MaxUnrolledInsts << " instructions (--max-ir-insts)";
+    Diags.error(SourceLoc(1, 1), OS.str());
+  }
   if (!C.Module) {
-    C.ErrorLog = Diags.str();
+    Fail(C);
     return C;
   }
 
@@ -80,6 +115,7 @@ Compilation driver::compile(const std::string &Source,
     C.ErrorLog = "lowering produced invalid IR:\n";
     for (const std::string &V : Violations)
       C.ErrorLog += "  " + V + "\n";
+    C.Diags = Diags.diagnostics();
     return C;
   }
 
@@ -101,6 +137,7 @@ Compilation driver::compile(const std::string &Source,
       PM.run(*C.Module, Opts.OptLevel >= 2 ? 4 : 2);
       if (!PM.verifyFailure().empty()) {
         C.ErrorLog = PM.verifyFailure();
+        C.Diags = Diags.diagnostics();
         return C;
       }
     } else {
@@ -112,12 +149,15 @@ Compilation driver::compile(const std::string &Source,
       C.ErrorLog = "optimization produced invalid IR:\n";
       for (const std::string &V : Violations)
         C.ErrorLog += "  " + V + "\n";
+      C.Diags = Diags.diagnostics();
       return C;
     }
   }
 
   C.Stage = CompileStage::Done;
   C.Ok = true;
+  // Warnings (notably the degradation notice) survive on success.
+  C.Diags = Diags.diagnostics();
   return C;
 }
 
@@ -125,8 +165,15 @@ size_t driver::requiredInputTokens(const Compilation &C,
                                    int64_t Iterations) {
   if (!C.Sched || !C.Graph || !C.Graph->getSource())
     return 0;
-  return static_cast<size_t>(C.Sched->inputForInit(*C.Graph) +
-                             C.Sched->inputPerSteady(*C.Graph) * Iterations);
+  auto Steady = checkedMul(C.Sched->inputPerSteady(*C.Graph), Iterations);
+  auto Total = Steady ? checkedAdd(C.Sched->inputForInit(*C.Graph), *Steady)
+                      : std::nullopt;
+  // Overflow means the caller asked for an absurd iteration count; an
+  // empty input makes the run fail gracefully (underrun) instead of
+  // attempting an impossible allocation.
+  if (!Total || *Total < 0)
+    return 0;
+  return static_cast<size_t>(*Total);
 }
 
 interp::RunResult driver::runWithRandomInput(const Compilation &C,

@@ -13,6 +13,7 @@
 #include "interp/Interpreter.h"
 #include "lir/Module.h"
 #include "schedule/Schedule.h"
+#include "support/Limits.h"
 #include "support/Statistics.h"
 #include <memory>
 #include <optional>
@@ -53,6 +54,12 @@ struct CompileOptions {
   bool UnrollFifo = false;
   /// Re-verify the module after each optimization pass (tests).
   bool VerifyEachPass = false;
+  /// Resource governor: every stage that can amplify input size checks
+  /// against these ceilings instead of crashing or exhausting memory.
+  CompilerLimits Limits;
+  /// Laminar mode: when the full unroll exceeds Limits.MaxUnrolledInsts,
+  /// fall back to FIFO lowering with a warning instead of erroring.
+  bool AllowDegradeToFifo = true;
 };
 
 /// The result of one compilation; owns every intermediate artifact (the
@@ -62,6 +69,23 @@ struct Compilation {
   std::string ErrorLog;
   /// On success, CompileStage::Done; on failure, the stage that failed.
   CompileStage Stage = CompileStage::Parse;
+  /// True when Laminar lowering exceeded the unrolled-IR budget and the
+  /// driver degraded to FIFO lowering (Module is a FIFO module; a
+  /// warning diagnostic records the decision).
+  bool DegradedToFifo = false;
+  /// Every diagnostic the pipeline emitted, including warnings on
+  /// successful compilations (ErrorLog only carries the rendered form
+  /// of failures).
+  std::vector<Diagnostic> Diags;
+
+  /// True when at least one error diagnostic carries a valid source
+  /// location — the crash-mode fuzzer's rejection invariant.
+  bool hasLocatedError() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Kind == DiagKind::Error && D.Loc.isValid())
+        return true;
+    return false;
+  }
 
   /// True when the failure implicates the compiler itself rather than
   /// the input program: the frontend accepted and scheduled the program,

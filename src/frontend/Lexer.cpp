@@ -2,6 +2,7 @@
 
 #include "frontend/Lexer.h"
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <unordered_map>
 
@@ -188,6 +189,12 @@ std::vector<Token> Lexer::lexAll() {
 }
 
 Token Lexer::next() {
+  for (;;)
+    if (std::optional<Token> T = nextImpl())
+      return *T;
+}
+
+std::optional<Token> Lexer::nextImpl() {
   // Skip whitespace and comments.
   for (;;) {
     char C = peek();
@@ -291,7 +298,11 @@ Token Lexer::next() {
     Msg += C;
     Msg += "'";
     Diags.error(Start, Msg);
-    return next();
+    // Once the error limit trips, stop scanning rather than chewing
+    // through the rest of a garbage buffer byte by byte.
+    if (Diags.tooManyErrors())
+      return make(TokKind::Eof, Start);
+    return std::nullopt;
   }
   }
 }
@@ -331,7 +342,18 @@ Token Lexer::lexNumber(SourceLoc Start) {
     T.FloatValue = std::strtod(Text.c_str(), nullptr);
   } else {
     T.Kind = TokKind::IntLiteral;
+    errno = 0;
     T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+    if (errno == ERANGE) {
+      // strtoll saturates silently; a saturated weight or rate would
+      // overflow downstream arithmetic, so reject at the source.
+      Diags.error(SourceRange(
+                      Start, SourceLoc(Start.Line,
+                                       Start.Col +
+                                           static_cast<unsigned>(Text.size()))),
+                  "integer literal '" + Text + "' does not fit in 64 bits");
+      T.IntValue = 0;
+    }
   }
   return T;
 }

@@ -6,6 +6,7 @@
 #include "support/Diagnostics.h"
 #include "support/SourceLoc.h"
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,10 @@ public:
 
 private:
   Token next();
+  /// One scan attempt; nullopt after consuming an unexpected character
+  /// (next() retries in a loop — recursing per byte would overflow the
+  /// stack on adversarial input).
+  std::optional<Token> nextImpl();
   char peek(unsigned Ahead = 0) const;
   char advance();
   bool match(char C);

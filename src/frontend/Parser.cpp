@@ -17,10 +17,18 @@ public:
 
   std::unique_ptr<Program> run() {
     while (!at(TokKind::Eof)) {
-      if (StreamDecl *D = parseDecl())
+      // Stop early once the diagnostic engine hit its error limit;
+      // everything further would be suppressed anyway.
+      if (Diags.tooManyErrors())
+        break;
+      size_t Before = Pos;
+      if (StreamDecl *D = parseDecl()) {
         P->addDecl(D);
-      else
+      } else {
         synchronizeToDecl();
+        if (Pos == Before)
+          advance(); // guarantee progress on unrecoverable prefixes
+      }
     }
     return std::move(P);
   }
@@ -53,7 +61,7 @@ private:
   void synchronizeToDecl() {
     // Skip to something that can start a declaration.
     while (!at(TokKind::Eof) && !at(TokKind::KwVoid) && !at(TokKind::KwInt) &&
-           !at(TokKind::KwFloat))
+           !at(TokKind::KwFloat) && !at(TokKind::KwBoolean))
       advance();
   }
 
@@ -201,7 +209,8 @@ FilterDecl *Parser::parseFilterRest(ScalarType InTy, ScalarType OutTy) {
   Expr *PushRate = nullptr, *PopRate = nullptr, *PeekRate = nullptr;
   BlockStmt *WorkBody = nullptr;
 
-  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof) &&
+         !Diags.tooManyErrors()) {
     if (accept(TokKind::KwInit)) {
       if (InitBody)
         Diags.error(cur().Loc, "duplicate init block");
@@ -232,10 +241,12 @@ FilterDecl *Parser::parseFilterRest(ScalarType InTy, ScalarType OutTy) {
     Diags.error(cur().Loc, "expected field, init or work in filter body");
     advance();
   }
+  SourceLoc CloseLoc = cur().Loc;
   expect(TokKind::RBrace);
 
   if (!WorkBody) {
-    Diags.error(Loc, "filter '" + Name + "' has no work function");
+    Diags.error(SourceRange(Loc, CloseLoc),
+                "filter '" + Name + "' has no work function");
     return nullptr;
   }
   return P->create<FilterDecl>(Name, InTy, OutTy, std::move(Params),
@@ -264,7 +275,8 @@ BlockStmt *Parser::parseBlock() {
   if (!expect(TokKind::LBrace))
     return nullptr;
   std::vector<Stmt *> Body;
-  while (!at(TokKind::RBrace) && !at(TokKind::Eof)) {
+  while (!at(TokKind::RBrace) && !at(TokKind::Eof) &&
+         !Diags.tooManyErrors()) {
     if (Stmt *S = parseStmt())
       Body.push_back(S);
     else {

@@ -29,8 +29,9 @@ struct Segment {
 
 class GraphBuilder {
 public:
-  GraphBuilder(const Program &P, DiagnosticEngine &Diags)
-      : P(P), Diags(Diags) {}
+  GraphBuilder(const Program &P, DiagnosticEngine &Diags,
+               const CompilerLimits &Limits)
+      : P(P), Diags(Diags), Limits(Limits) {}
 
   std::unique_ptr<StreamGraph> build(const std::string &TopName);
 
@@ -61,6 +62,7 @@ private:
 
   const Program &P;
   DiagnosticEngine &Diags;
+  const CompilerLimits &Limits;
   std::unique_ptr<StreamGraph> G;
   std::unordered_map<std::string, unsigned> NameCounters;
 };
@@ -88,6 +90,13 @@ GraphBuilder::elaborate(const StreamDecl *D, const std::vector<ConstVal> &Args,
   if (Depth > 256) {
     Diags.error(D->getLoc(), "elaboration recursion limit exceeded "
                              "(recursive composite?)");
+    return std::nullopt;
+  }
+  if (static_cast<int64_t>(G->nodes().size()) >= Limits.MaxGraphNodes) {
+    std::ostringstream OS;
+    OS << "elaborated stream graph exceeds the node limit "
+       << Limits.MaxGraphNodes << " (--max-nodes)";
+    Diags.error(D->getLoc(), OS.str());
     return std::nullopt;
   }
   if (Args.size() != D->getParams().size()) {
@@ -147,6 +156,14 @@ GraphBuilder::elaborateFilter(const FilterDecl *F,
   }
   if (PeekV < *Pop) {
     Diags.error(F->getLoc(), "peek rate smaller than pop rate");
+    return std::nullopt;
+  }
+  if (PeekV > Limits.MaxPeekWindow) {
+    std::ostringstream OS;
+    OS << "peek window " << PeekV << " of '" << F->getName()
+       << "' exceeds the limit " << Limits.MaxPeekWindow
+       << " (--max-peek)";
+    Diags.error(F->getLoc(), OS.str());
     return std::nullopt;
   }
 
@@ -321,11 +338,23 @@ GraphBuilder::elaborateSplitJoin(const CompositeDecl *C, ConstEnv &Env,
       Diags.error(C->getLoc(), OS.str());
       return std::nullopt;
     }
-    for (int64_t W : Ws)
+    int64_t Total = 0;
+    for (int64_t W : Ws) {
       if (W < 1) {
         Diags.error(C->getLoc(), "weights must be positive");
         return std::nullopt;
       }
+      auto Sum = checkedAdd(Total, W);
+      if (!Sum || *Sum > Limits.MaxChannelTokens) {
+        std::ostringstream OS;
+        OS << What << " weights of '" << C->getName()
+           << "' total more than the channel token limit "
+           << Limits.MaxChannelTokens << " (--max-channel-tokens)";
+        Diags.error(C->getLoc(), OS.str());
+        return std::nullopt;
+      }
+      Total = *Sum;
+    }
     return Ws;
   };
 
@@ -413,11 +442,23 @@ GraphBuilder::elaborateFeedbackLoop(const CompositeDecl *C, ConstEnv &Env,
                                    "two weights (forward, feedback)");
       return std::nullopt;
     }
-    for (int64_t W : Ws)
+    int64_t Total = 0;
+    for (int64_t W : Ws) {
       if (W < 1) {
         Diags.error(C->getLoc(), "weights must be positive");
         return std::nullopt;
       }
+      auto Sum = checkedAdd(Total, W);
+      if (!Sum || *Sum > Limits.MaxChannelTokens) {
+        std::ostringstream OS;
+        OS << What << " weights of '" << C->getName()
+           << "' total more than the channel token limit "
+           << Limits.MaxChannelTokens << " (--max-channel-tokens)";
+        Diags.error(C->getLoc(), OS.str());
+        return std::nullopt;
+      }
+      Total = *Sum;
+    }
     return Ws;
   };
 
@@ -548,7 +589,9 @@ GraphBuilder::elaborateFeedbackLoop(const CompositeDecl *C, ConstEnv &Env,
 std::unique_ptr<StreamGraph> GraphBuilder::build(const std::string &TopName) {
   const StreamDecl *Top = P.findDecl(TopName);
   if (!Top) {
-    Diags.error(SourceLoc(), "no stream named '" + TopName + "'");
+    // Program-level errors anchor at the start of the buffer so every
+    // rejection carries a valid location.
+    Diags.error(SourceLoc(1, 1), "no stream named '" + TopName + "'");
     return nullptr;
   }
   if (!Top->getParams().empty()) {
@@ -579,13 +622,25 @@ std::unique_ptr<StreamGraph> GraphBuilder::build(const std::string &TopName) {
   if (!Seg->Out)
     Diags.warning(Top->getLoc(), "top-level stream produces no output; the "
                                  "program is unobservable");
+  // The per-elaborate check bounds growth only to within a constant
+  // factor (splitters, joiners and endpoints land between checks);
+  // enforce the exact ceiling on the finished graph.
+  if (static_cast<int64_t>(G->nodes().size()) > Limits.MaxGraphNodes) {
+    std::ostringstream OS;
+    OS << "elaborated stream graph has " << G->nodes().size()
+       << " nodes, exceeding the node limit " << Limits.MaxGraphNodes
+       << " (--max-nodes)";
+    Diags.error(Top->getLoc(), OS.str());
+    return nullptr;
+  }
   return std::move(G);
 }
 
 std::unique_ptr<StreamGraph> graph::buildGraph(const Program &P,
                                                const std::string &TopName,
-                                               DiagnosticEngine &Diags) {
-  GraphBuilder B(P, Diags);
+                                               DiagnosticEngine &Diags,
+                                               const CompilerLimits &Limits) {
+  GraphBuilder B(P, Diags, Limits);
   auto G = B.build(TopName);
   if (Diags.hasErrors())
     return nullptr;

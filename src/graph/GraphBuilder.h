@@ -6,6 +6,7 @@
 #include "frontend/AST.h"
 #include "graph/StreamGraph.h"
 #include "support/Diagnostics.h"
+#include "support/Limits.h"
 #include <memory>
 
 namespace laminar {
@@ -14,10 +15,12 @@ namespace graph {
 /// Elaborates the stream named \p TopName: executes composite bodies at
 /// compile time, instantiates filters with bound parameters and builds
 /// the flat graph. Synthesizes external source/sink endpoints for the
-/// program's non-void boundary types. Returns null on error.
+/// program's non-void boundary types. Enforces the graph-shape members
+/// of \p Limits (node count, peek window). Returns null on error.
 std::unique_ptr<StreamGraph> buildGraph(const ast::Program &P,
                                         const std::string &TopName,
-                                        DiagnosticEngine &Diags);
+                                        DiagnosticEngine &Diags,
+                                        const CompilerLimits &Limits = {});
 
 } // namespace graph
 } // namespace laminar

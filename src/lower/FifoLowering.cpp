@@ -79,10 +79,15 @@ class FifoLowering {
 public:
   FifoLowering(const StreamGraph &G, const schedule::Schedule &S,
                DiagnosticEngine &Diags, bool FullyUnroll,
-               StatsRegistry *Stats)
-      : G(G), S(S), Diags(Diags), FullyUnroll(FullyUnroll), Stats(Stats) {}
+               StatsRegistry *Stats, const CompilerLimits &Limits)
+      : G(G), S(S), Diags(Diags), FullyUnroll(FullyUnroll), Stats(Stats),
+        Limits(Limits) {}
 
   std::unique_ptr<Module> run();
+
+  /// True after run() returned null because the unrolled emission
+  /// outgrew Limits.MaxUnrolledInsts (no diagnostic was emitted).
+  bool exceededBudget() const { return ExceededBudget; }
 
 private:
   bool emitFunction(Function *F, bool IsInit);
@@ -96,6 +101,8 @@ private:
   DiagnosticEngine &Diags;
   bool FullyUnroll;
   StatsRegistry *Stats;
+  const CompilerLimits &Limits;
+  bool ExceededBudget = false;
   std::unique_ptr<Module> M;
   struct ChannelGlobals {
     GlobalVar *Buf;
@@ -181,9 +188,17 @@ bool FifoLowering::fireOnce(LoweringContext &Ctx, const Node *N) {
 bool FifoLowering::emitNodeFirings(LoweringContext &Ctx, const Node *N,
                                    int64_t Reps) {
   if (FullyUnroll) {
-    for (int64_t R = 0; R < Reps; ++R)
-      if (!fireOnce(Ctx, N))
+    for (int64_t R = 0; R < Reps; ++R) {
+      if (Ctx.overBudget()) {
+        ExceededBudget = true;
         return false;
+      }
+      if (!fireOnce(Ctx, N)) {
+        if (Ctx.SizeLimitHit)
+          ExceededBudget = true;
+        return false;
+      }
+    }
     return true;
   }
   return emitCountedLoop(Ctx, Reps, [&] { return fireOnce(Ctx, N); });
@@ -192,7 +207,7 @@ bool FifoLowering::emitNodeFirings(LoweringContext &Ctx, const Node *N,
 bool FifoLowering::emitFunction(Function *F, bool IsInit) {
   IRBuilder B(*M);
   SSABuilder SSA(B);
-  LoweringContext Ctx(*M, B, SSA, Diags);
+  LoweringContext Ctx(*M, B, SSA, Diags, &Limits);
   Accesses.clear();
   AccessMap.clear();
 
@@ -238,7 +253,20 @@ std::unique_ptr<Module> FifoLowering::run() {
     return nullptr;
   }
   for (const auto &Ch : G.channels()) {
-    int64_t Size = pow2Ceil(std::max<int64_t>(Sim.PeakOccupancy[Ch.get()], 1));
+    int64_t Peak = std::max<int64_t>(Sim.PeakOccupancy[Ch.get()], 1);
+    // The scheduler bounds steady-state tokens per channel; the init
+    // phase can stack a margin on top, but a peak beyond twice the
+    // channel-token limit means a custom limit let the schedule blow
+    // up, and allocating the buffer would exhaust memory.
+    if (Peak / 2 > Limits.MaxChannelTokens) {
+      std::ostringstream OS;
+      OS << "channel buffer for '" << Ch->getSrc()->getName() << "' -> '"
+         << Ch->getDst()->getName() << "' needs " << Peak
+         << " slots, beyond the limit (--max-channel-tokens)";
+      Diags.error(SourceLoc(1, 1), OS.str());
+      return nullptr;
+    }
+    int64_t Size = pow2Ceil(Peak);
     std::ostringstream Base;
     Base << "ch" << Ch->getId();
     TypeKind Elem = toLirType(Ch->getTokenType());
@@ -285,9 +313,13 @@ std::unique_ptr<Module> lower::lowerToFifo(const StreamGraph &G,
                                            const schedule::Schedule &S,
                                            DiagnosticEngine &Diags,
                                            bool FullyUnroll,
-                                           StatsRegistry *Stats) {
-  FifoLowering L(G, S, Diags, FullyUnroll, Stats);
+                                           StatsRegistry *Stats,
+                                           const CompilerLimits &Limits,
+                                           bool *ExceededBudget) {
+  FifoLowering L(G, S, Diags, FullyUnroll, Stats, Limits);
   auto M = L.run();
+  if (ExceededBudget)
+    *ExceededBudget = L.exceededBudget();
   if (Diags.hasErrors())
     return nullptr;
   return M;

@@ -91,10 +91,16 @@ private:
 class LaminarLowering {
 public:
   LaminarLowering(const StreamGraph &G, const schedule::Schedule &S,
-                  DiagnosticEngine &Diags, StatsRegistry *Stats)
-      : G(G), S(S), Diags(Diags), Stats(Stats) {}
+                  DiagnosticEngine &Diags, StatsRegistry *Stats,
+                  const CompilerLimits &Limits)
+      : G(G), S(S), Diags(Diags), Stats(Stats), Limits(Limits) {}
 
   std::unique_ptr<Module> run();
+
+  /// True after run() returned null because the full unroll outgrew
+  /// Limits.MaxUnrolledInsts (no diagnostic was emitted; the driver
+  /// degrades to FIFO lowering instead).
+  bool exceededBudget() const { return ExceededBudget; }
 
 private:
   bool emitFunction(Function *F, bool IsInit);
@@ -108,6 +114,8 @@ private:
   const schedule::Schedule &S;
   DiagnosticEngine &Diags;
   StatsRegistry *Stats;
+  const CompilerLimits &Limits;
+  bool ExceededBudget = false;
   std::unique_ptr<Module> M;
   /// Live-token globals per channel, in queue order.
   std::unordered_map<const Channel *, std::vector<GlobalVar *>> LiveTokens;
@@ -123,9 +131,9 @@ bool LaminarLowering::fireOnce(
     const Node *N) {
   IRBuilder &B = Ctx.B;
   if (const auto *F = dyn_cast<FilterNode>(N)) {
-    ChannelAccess *In =
+    LaminarQueue *In =
         F->inputs().empty() ? nullptr : &Queues.at(F->inputs()[0]);
-    ChannelAccess *Out =
+    LaminarQueue *Out =
         F->outputs().empty() ? nullptr : &Queues.at(F->outputs()[0]);
     switch (F->getRole()) {
     case FilterNode::Role::Source: {
@@ -140,11 +148,42 @@ bool LaminarLowering::fireOnce(
       return true;
     }
     case FilterNode::Role::User: {
+      size_t InBefore = In ? In->size() : 0;
+      size_t OutBefore = Out ? Out->size() : 0;
       auto &WL = Lowerers[N];
       if (!WL)
         WL = std::make_unique<WorkLowering>(Ctx, *F, States[N], In, Out,
                                             /*ResolveStatically=*/true);
-      return WL->lowerFiring();
+      if (!WL->lowerFiring())
+        return false;
+      // The schedule believed the declared rates; a work body that
+      // statically consumes or produces a different count would
+      // desynchronize every queue downstream. FIFO lowering defers
+      // this mismatch to run time (underrun/leftover tokens); with
+      // compile-time queues it is detectable — and diagnosable at the
+      // filter — right here.
+      int64_t Popped =
+          In ? static_cast<int64_t>(InBefore) -
+                   static_cast<int64_t>(In->size())
+             : 0;
+      int64_t Pushed =
+          Out ? static_cast<int64_t>(Out->size()) -
+                    static_cast<int64_t>(OutBefore)
+              : 0;
+      if (Popped != F->getPopRate() || Pushed != F->getPushRate()) {
+        SourceLoc Loc = SourceLoc(1, 1);
+        if (F->getDecl() && F->getDecl()->getLoc().isValid())
+          Loc = F->getDecl()->getLoc();
+        std::ostringstream OS;
+        OS << "work function of '" << F->getName() << "' consumes "
+           << Popped << " and produces " << Pushed
+           << " token(s) per firing, but declares pop " << F->getPopRate()
+           << " push " << F->getPushRate()
+           << "; compile-time queues require exact rates";
+        Diags.error(Loc, OS.str());
+        return false;
+      }
+      return true;
     }
     }
     return false;
@@ -193,7 +232,7 @@ bool LaminarLowering::fireOnce(
 bool LaminarLowering::emitFunction(Function *F, bool IsInit) {
   IRBuilder B(*M);
   SSABuilder SSA(B);
-  LoweringContext Ctx(*M, B, SSA, Diags);
+  LoweringContext Ctx(*M, B, SSA, Diags, &Limits);
 
   BasicBlock *Entry = F->createBlock("entry");
   B.setInsertPoint(Entry);
@@ -234,10 +273,24 @@ bool LaminarLowering::emitFunction(Function *F, bool IsInit) {
   }
 
   const auto &Sequence = IsInit ? S.InitSequence : S.SteadySequence;
-  for (const schedule::FiringSegment &Seg : Sequence)
-    for (int64_t R = 0; R < Seg.Count; ++R)
-      if (!fireOnce(Ctx, Queues, Lowerers, Seg.N))
+  for (const schedule::FiringSegment &Seg : Sequence) {
+    for (int64_t R = 0; R < Seg.Count; ++R) {
+      // The steady state is fully unrolled, so this loop is where code
+      // size explodes on pathological schedules; trip the budget and
+      // let the driver fall back to FIFO lowering.
+      if (Ctx.overBudget()) {
+        ExceededBudget = true;
         return false;
+      }
+      if (!fireOnce(Ctx, Queues, Lowerers, Seg.N)) {
+        // A static-unroll loop inside the firing may have tripped the
+        // budget without a diagnostic; surface that as degradation.
+        if (Ctx.SizeLimitHit)
+          ExceededBudget = true;
+        return false;
+      }
+    }
+  }
 
   // Rotate surviving tokens into the live-token globals.
   for (const auto &Ch : G.channels()) {
@@ -274,6 +327,19 @@ std::unique_ptr<Module> LaminarLowering::run() {
   if (const FilterNode *Sink = G.getSink())
     M->setOutputType(toLirType(Sink->getInType()));
 
+  // Every carried-over token becomes a global plus a load/store pair,
+  // so an occupancy that already dwarfs the instruction budget cannot
+  // lower; bail before materializing the globals.
+  int64_t TotalLive = 0;
+  for (const auto &Ch : G.channels()) {
+    auto Sum = checkedAdd(TotalLive, S.occupancyOf(Ch.get()));
+    if (!Sum || *Sum > Limits.MaxUnrolledInsts) {
+      ExceededBudget = true;
+      return nullptr;
+    }
+    TotalLive = *Sum;
+  }
+
   for (const auto &Ch : G.channels()) {
     int64_t Occ = S.occupancyOf(Ch.get());
     std::vector<GlobalVar *> Live;
@@ -303,9 +369,13 @@ std::unique_ptr<Module> LaminarLowering::run() {
 std::unique_ptr<Module> lower::lowerToLaminar(const StreamGraph &G,
                                               const schedule::Schedule &S,
                                               DiagnosticEngine &Diags,
-                                              StatsRegistry *Stats) {
-  LaminarLowering L(G, S, Diags, Stats);
+                                              StatsRegistry *Stats,
+                                              const CompilerLimits &Limits,
+                                              bool *ExceededBudget) {
+  LaminarLowering L(G, S, Diags, Stats, Limits);
   auto M = L.run();
+  if (ExceededBudget)
+    *ExceededBudget = L.exceededBudget();
   if (Diags.hasErrors())
     return nullptr;
   return M;

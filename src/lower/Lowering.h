@@ -26,6 +26,7 @@
 #include "lir/Module.h"
 #include "schedule/Schedule.h"
 #include "support/Diagnostics.h"
+#include "support/Limits.h"
 #include "support/Statistics.h"
 #include <memory>
 
@@ -42,16 +43,24 @@ lir::TypeKind toLirType(ast::ScalarType Ty);
 /// \p Stats (optional) receives "lowering.builder-folds": operations the
 /// folding builder resolved to constants while emitting — in Laminar
 /// mode this is the enabling effect materializing during lowering.
+/// Both entry points honor Limits.MaxUnrolledInsts. When the budget
+/// trips, they return null *without* emitting a diagnostic and set
+/// \p ExceededBudget (if provided): the driver decides whether that
+/// means degradation (Laminar -> FIFO) or a hard error (unrolled FIFO).
 std::unique_ptr<lir::Module> lowerToFifo(const graph::StreamGraph &G,
                                          const schedule::Schedule &S,
                                          DiagnosticEngine &Diags,
                                          bool FullyUnroll = false,
-                                         StatsRegistry *Stats = nullptr);
+                                         StatsRegistry *Stats = nullptr,
+                                         const CompilerLimits &Limits = {},
+                                         bool *ExceededBudget = nullptr);
 
 std::unique_ptr<lir::Module> lowerToLaminar(const graph::StreamGraph &G,
                                             const schedule::Schedule &S,
                                             DiagnosticEngine &Diags,
-                                            StatsRegistry *Stats = nullptr);
+                                            StatsRegistry *Stats = nullptr,
+                                            const CompilerLimits &Limits = {},
+                                            bool *ExceededBudget = nullptr);
 
 } // namespace lower
 } // namespace laminar

@@ -13,6 +13,22 @@ using namespace laminar::lir;
 /// Upper bound on statically unrolled loop iterations per loop.
 static constexpr int64_t MaxUnrollIterations = 1 << 16;
 
+bool LoweringContext::overBudget() {
+  if (SizeLimitHit)
+    return true;
+  if (!Limits)
+    return false;
+  // Counting instructions walks the function's blocks, so only poll
+  // every few probes; the budget is a memory governor, not an exact
+  // cap, and one firing of slack is fine.
+  if (++BudgetPoll % 16 != 0)
+    return false;
+  Function *F = B.getInsertBlock()->getParent();
+  if (static_cast<int64_t>(F->instructionCount()) > Limits->MaxUnrolledInsts)
+    SizeLimitHit = true;
+  return SizeLimitHit;
+}
+
 bool lower::emitCountedLoop(LoweringContext &Ctx, int64_t Count,
                             const std::function<bool()> &Body) {
   assert(Count >= 0 && "negative loop count");
@@ -317,6 +333,10 @@ bool WorkLowering::lowerFor(const ForStmt *S) {
                           "loop exceeds the static unroll limit");
           return false;
         }
+        // Silent failure: the caller reports the budget trip (Laminar
+        // degrades to FIFO rather than erroring).
+        if (Ctx.overBudget())
+          return false;
         if (!lowerStmt(S->getBody()))
           return false;
         if (S->getStep() && !lowerExpr(S->getStep()))
@@ -355,8 +375,6 @@ bool WorkLowering::lowerDynamicLoop(const Expr *Cond, const Expr *Step,
   IRBuilder &B = Ctx.B;
   Function *F = B.getInsertBlock()->getParent();
   BasicBlock *Header = F->createBlock("loop");
-  BasicBlock *BodyBB = F->createBlock("body");
-  BasicBlock *Exit = F->createBlock("endloop");
 
   B.createBr(Header);
   B.setInsertPoint(Header); // Unsealed: the latch edge comes later.
@@ -372,17 +390,16 @@ bool WorkLowering::lowerDynamicLoop(const Expr *Cond, const Expr *Step,
       Ctx.Diags.error(Loc, "loop never terminates");
       return false;
     }
-    // A constant-false runtime loop: just fall through.
-    B.createBr(Exit);
+    // A constant-false runtime loop is a no-op: keep lowering straight
+    // into the header. Creating a dead body block here is a trap — the
+    // folding builder drops the conditional edge to it, and SSA reads
+    // after the loop would recurse into a predecessor-less block.
     Ctx.SSA.sealBlock(Header);
-    Ctx.SSA.sealBlock(Exit);
-    // BodyBB is unreachable and unsealed; give it structure anyway.
-    B.setInsertPoint(BodyBB);
-    B.createBr(Exit);
-    Ctx.SSA.sealBlock(BodyBB);
-    B.setInsertPoint(Exit);
     return true;
   }
+
+  BasicBlock *BodyBB = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("endloop");
   B.createCondBr(CondV, BodyBB, Exit);
   Ctx.SSA.sealBlock(BodyBB);
 

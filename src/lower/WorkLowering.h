@@ -19,6 +19,7 @@
 #include "graph/StreamGraph.h"
 #include "lir/SSABuilder.h"
 #include "support/Diagnostics.h"
+#include "support/Limits.h"
 #include <deque>
 #include <functional>
 #include <unordered_map>
@@ -47,10 +48,22 @@ struct LoweringContext {
   lir::IRBuilder &B;
   lir::SSABuilder &SSA;
   DiagnosticEngine &Diags;
+  /// Resource governor for this lowering. Set by the lowering entry
+  /// points; SizeLimitHit records that the instruction budget tripped
+  /// (the driver turns that into FIFO degradation or an error).
+  const CompilerLimits *Limits = nullptr;
+  bool SizeLimitHit = false;
 
   LoweringContext(lir::Module &M, lir::IRBuilder &B, lir::SSABuilder &SSA,
-                  DiagnosticEngine &Diags)
-      : M(M), B(B), SSA(SSA), Diags(Diags) {}
+                  DiagnosticEngine &Diags,
+                  const CompilerLimits *Limits = nullptr)
+      : M(M), B(B), SSA(SSA), Diags(Diags), Limits(Limits) {}
+
+  /// True when the function under construction has outgrown the
+  /// MaxUnrolledInsts budget. Polls the instruction count every few
+  /// calls, so the budget is approximate (never off by more than one
+  /// firing's worth of code). Sets SizeLimitHit on the first trip.
+  bool overBudget();
 
   /// Returns a fresh, stable SSA variable key for synthetic loop
   /// counters.
@@ -61,6 +74,7 @@ struct LoweringContext {
 
 private:
   std::deque<char> SyntheticKeys;
+  unsigned BudgetPoll = 0;
 };
 
 /// Per-filter-instance storage: field globals plus lazily created

@@ -39,16 +39,35 @@ std::string Schedule::str() const {
 
 namespace {
 
+/// Best-effort source location for scheduling diagnostics: the declaring
+/// filter when the node has one, otherwise the start of the program, so
+/// every rejection still carries a valid location.
+SourceLoc locOf(const Node *N) {
+  if (const auto *F = dyn_cast<FilterNode>(N))
+    if (F->getDecl() && F->getDecl()->getLoc().isValid())
+      return F->getDecl()->getLoc();
+  return SourceLoc(1, 1);
+}
+
+/// "'A' -> 'B'" for diagnostics that name a channel.
+std::string chanName(const Channel *Ch) {
+  return "'" + Ch->getSrc()->getName() + "' -> '" +
+         Ch->getDst()->getName() + "'";
+}
+
 /// Builds an executable firing order for the given target repetitions,
 /// updating \p Occ as it fires. Greedy data-driven construction: fire
 /// every node as often as its inputs currently allow (in topological
 /// order ignoring feedback edges), repeating until all targets are met.
 /// Fails (deadlock) when no node can fire but targets remain —
-/// typically a feedbackloop without enough enqueued tokens.
+/// typically a feedbackloop without enough enqueued tokens. Sets
+/// \p ArithOverflow (and fails) if an occupancy computation leaves
+/// int64 range, which custom --max-* limits can allow.
 std::optional<std::vector<FiringSegment>>
 buildSequence(const std::vector<const Node *> &Order,
               const std::unordered_map<const Node *, int64_t> &Target,
-              std::unordered_map<const Channel *, int64_t> &Occ) {
+              std::unordered_map<const Channel *, int64_t> &Occ,
+              bool &ArithOverflow) {
   std::unordered_map<const Node *, int64_t> Remaining = Target;
   std::vector<FiringSegment> Sequence;
   int64_t TotalRemaining = 0;
@@ -77,10 +96,25 @@ buildSequence(const std::vector<const Node *> &Order,
       }
       if (Can == 0)
         continue;
-      for (const Channel *Ch : N->inputs())
-        Occ[Ch] -= N->consumeRate(Ch->getDstPort()) * Can;
-      for (const Channel *Ch : N->outputs())
-        Occ[Ch] += N->produceRate(Ch->getSrcPort()) * Can;
+      for (const Channel *Ch : N->inputs()) {
+        auto Consumed =
+            checkedMul(N->consumeRate(Ch->getDstPort()), Can);
+        if (!Consumed) {
+          ArithOverflow = true;
+          return std::nullopt;
+        }
+        Occ[Ch] -= *Consumed;
+      }
+      for (const Channel *Ch : N->outputs()) {
+        auto Produced = checkedMul(N->produceRate(Ch->getSrcPort()), Can);
+        auto Next = Produced ? checkedAdd(Occ[Ch], *Produced)
+                             : std::nullopt;
+        if (!Next) {
+          ArithOverflow = true;
+          return std::nullopt;
+        }
+        Occ[Ch] = *Next;
+      }
       Remaining[N] -= Can;
       TotalRemaining -= Can;
       if (!Sequence.empty() && Sequence.back().N == N)
@@ -98,16 +132,27 @@ buildSequence(const std::vector<const Node *> &Order,
 } // namespace
 
 std::optional<Schedule>
-schedule::computeSchedule(const StreamGraph &G, DiagnosticEngine &Diags) {
+schedule::computeSchedule(const StreamGraph &G, DiagnosticEngine &Diags,
+                          const CompilerLimits &Limits) {
   Schedule S;
   if (G.nodes().empty()) {
-    Diags.error(SourceLoc(), "cannot schedule an empty graph");
+    Diags.error(SourceLoc(1, 1), "cannot schedule an empty graph");
     return std::nullopt;
   }
   S.Order = G.topologicalOrder();
 
   // --- Balance equations: propagate rational firing ratios; the
   // relaxation handles arbitrary (including cyclic) connected graphs.
+  // All ratio arithmetic is overflow-checked: rates are arbitrary user
+  // integers, so products along long pipelines can leave int64 range.
+  for (const auto &Ch : G.channels()) {
+    if (Ch->srcRate() <= 0 || Ch->dstRate() <= 0) {
+      Diags.error(locOf(Ch->getSrc()), "channel " + chanName(Ch.get()) +
+                                           " has a non-positive rate");
+      return std::nullopt;
+    }
+  }
+
   std::unordered_map<const Node *, Rational> Ratio;
   Ratio[S.Order.front()] = Rational(1);
   bool Changed = true;
@@ -118,41 +163,94 @@ schedule::computeSchedule(const StreamGraph &G, DiagnosticEngine &Diags) {
       const Node *Dst = Ch->getDst();
       int64_t Prod = Ch->srcRate();
       int64_t Cons = Ch->dstRate();
-      assert(Prod > 0 && Cons > 0 && "channel with a zero rate");
       auto SrcIt = Ratio.find(Src);
       auto DstIt = Ratio.find(Dst);
+      if (SrcIt == Ratio.end() && DstIt == Ratio.end())
+        continue;
+      auto Step = Rational::makeChecked(
+          SrcIt != Ratio.end() ? Prod : Cons,
+          SrcIt != Ratio.end() ? Cons : Prod);
+      auto Propagated =
+          Step ? (SrcIt != Ratio.end() ? SrcIt->second : DstIt->second)
+                     .mulChecked(*Step)
+               : std::nullopt;
+      if (!Propagated) {
+        Diags.error(locOf(Src), "repetition ratio across channel " +
+                                    chanName(Ch.get()) +
+                                    " overflows 64-bit arithmetic");
+        return std::nullopt;
+      }
       if (SrcIt != Ratio.end() && DstIt == Ratio.end()) {
-        Ratio[Dst] = SrcIt->second * Rational(Prod, Cons);
+        Ratio[Dst] = *Propagated;
         Changed = true;
       } else if (SrcIt == Ratio.end() && DstIt != Ratio.end()) {
-        Ratio[Src] = DstIt->second * Rational(Cons, Prod);
+        Ratio[Src] = *Propagated;
         Changed = true;
-      } else if (SrcIt != Ratio.end() && DstIt != Ratio.end()) {
-        Rational Expected = SrcIt->second * Rational(Prod, Cons);
-        if (Expected != DstIt->second) {
-          Diags.error(SourceLoc(),
-                      "inconsistent stream rates between '" +
-                          Src->getName() + "' and '" + Dst->getName() + "'");
-          return std::nullopt;
-        }
+      } else if (*Propagated != DstIt->second) {
+        Diags.error(locOf(Src), "inconsistent stream rates between '" +
+                                    Src->getName() + "' and '" +
+                                    Dst->getName() + "'");
+        return std::nullopt;
       }
     }
   }
   if (Ratio.size() != G.nodes().size()) {
-    Diags.error(SourceLoc(), "stream graph is not connected");
+    Diags.error(locOf(S.Order.front()), "stream graph is not connected");
     return std::nullopt;
   }
 
   int64_t DenLcm = 1;
   for (const auto &[N, R] : Ratio) {
-    (void)N;
-    DenLcm = lcm64(DenLcm, R.den());
+    auto Lcm = checkedLcm(DenLcm, R.den());
+    if (!Lcm) {
+      Diags.error(locOf(N), "repetition-vector denominator for '" +
+                                N->getName() +
+                                "' overflows 64-bit arithmetic");
+      return std::nullopt;
+    }
+    DenLcm = *Lcm;
   }
+  int64_t TotalFirings = 0;
   for (const Node *N : S.Order) {
-    Rational R = Ratio[N] * Rational(DenLcm);
-    assert(R.isIntegral() && "scaled repetition is not integral");
-    assert(R.num() > 0 && "non-positive repetition count");
-    S.Reps[N] = R.num();
+    auto R = Ratio[N].mulChecked(Rational(DenLcm));
+    if (!R || !R->isIntegral() || R->num() <= 0) {
+      Diags.error(locOf(N), "repetition count for '" + N->getName() +
+                                "' overflows 64-bit arithmetic");
+      return std::nullopt;
+    }
+    if (R->num() > Limits.MaxRepetition) {
+      std::ostringstream OS;
+      OS << "steady-state repetition count " << R->num() << " of '"
+         << N->getName() << "' exceeds the limit "
+         << Limits.MaxRepetition << " (--max-reps)";
+      Diags.error(locOf(N), OS.str());
+      return std::nullopt;
+    }
+    S.Reps[N] = R->num();
+    auto Total = checkedAdd(TotalFirings, R->num());
+    if (!Total || *Total > Limits.MaxSteadyFirings) {
+      std::ostringstream OS;
+      OS << "steady-state schedule needs more than "
+         << Limits.MaxSteadyFirings << " firings (--max-firings)";
+      Diags.error(locOf(N), OS.str());
+      return std::nullopt;
+    }
+    TotalFirings = *Total;
+  }
+
+  // Tokens crossing each channel per steady iteration bound both the
+  // FIFO buffer sizes and the Laminar queue depth, so govern them here,
+  // before any lowering can try to materialize them.
+  for (const auto &Ch : G.channels()) {
+    auto Tokens = checkedMul(Ch->srcRate(), S.Reps[Ch->getSrc()]);
+    if (!Tokens || *Tokens > Limits.MaxChannelTokens) {
+      std::ostringstream OS;
+      OS << "channel " << chanName(Ch.get()) << " carries more than "
+         << Limits.MaxChannelTokens
+         << " tokens per steady iteration (--max-channel-tokens)";
+      Diags.error(locOf(Ch->getSrc()), OS.str());
+      return std::nullopt;
+    }
   }
 
   // --- Initialization firings. A consumer that peeks deeper than it
@@ -167,7 +265,7 @@ schedule::computeSchedule(const StreamGraph &G, DiagnosticEngine &Diags) {
   const unsigned MaxSweeps = 8 * static_cast<unsigned>(G.nodes().size()) + 16;
   for (Changed = true; Changed; ++Sweeps) {
     if (Sweeps > MaxSweeps) {
-      Diags.error(SourceLoc(),
+      Diags.error(locOf(S.Order.front()),
                   "cannot prime the stream graph: a feedbackloop peeks "
                   "deeper than its enqueued tokens allow");
       return std::nullopt;
@@ -178,15 +276,32 @@ schedule::computeSchedule(const StreamGraph &G, DiagnosticEngine &Diags) {
       int64_t Fires = S.InitReps[N];
       for (const Channel *Ch : N->outputs()) {
         const Node *Dst = Ch->getDst();
-        int64_t Needed = S.InitReps[Dst] * Ch->dstRate() +
-                         (Ch->dstPeek() - Ch->dstRate()) -
-                         Ch->numInitialTokens();
-        if (Needed <= 0)
+        auto Consumed = checkedMul(S.InitReps[Dst], Ch->dstRate());
+        auto Needed =
+            Consumed ? checkedAdd(*Consumed, Ch->dstPeek() -
+                                                 Ch->dstRate() -
+                                                 Ch->numInitialTokens())
+                     : std::nullopt;
+        if (!Needed) {
+          Diags.error(locOf(N),
+                      "initialization requirements for channel " +
+                          chanName(Ch) + " overflow 64-bit arithmetic");
+          return std::nullopt;
+        }
+        if (*Needed <= 0)
           continue;
         int64_t Prod = Ch->srcRate();
-        Fires = std::max(Fires, (Needed + Prod - 1) / Prod);
+        Fires = std::max(Fires, (*Needed - 1) / Prod + 1);
       }
       if (Fires != S.InitReps[N]) {
+        if (Fires > Limits.MaxSteadyFirings) {
+          std::ostringstream OS;
+          OS << "initialization schedule needs more than "
+             << Limits.MaxSteadyFirings << " firings of '" << N->getName()
+             << "' (--max-firings)";
+          Diags.error(locOf(N), OS.str());
+          return std::nullopt;
+        }
         S.InitReps[N] = Fires;
         Changed = true;
       }
@@ -198,31 +313,45 @@ schedule::computeSchedule(const StreamGraph &G, DiagnosticEngine &Diags) {
   for (const auto &Ch : G.channels())
     Occ[Ch.get()] = Ch->numInitialTokens();
 
-  auto InitSeq = buildSequence(S.Order, S.InitReps, Occ);
+  bool ArithOverflow = false;
+  auto InitSeq = buildSequence(S.Order, S.InitReps, Occ, ArithOverflow);
   if (!InitSeq) {
-    Diags.error(SourceLoc(), "initialization schedule deadlocks (a "
-                             "feedbackloop needs more enqueued tokens)");
+    Diags.error(locOf(S.Order.front()),
+                ArithOverflow
+                    ? "initialization schedule overflows 64-bit channel "
+                      "occupancy"
+                    : "initialization schedule deadlocks (a feedbackloop "
+                      "needs more enqueued tokens)");
     return std::nullopt;
   }
   S.InitSequence = std::move(*InitSeq);
 
   for (const auto &Ch : G.channels()) {
-    assert(Occ[Ch.get()] >= Ch->dstPeek() - Ch->dstRate() &&
-           "init phase leaves insufficient peek margin");
+    if (Occ[Ch.get()] < Ch->dstPeek() - Ch->dstRate()) {
+      Diags.error(locOf(Ch->getDst()),
+                  "initialization leaves channel " + chanName(Ch.get()) +
+                      " short of its peek margin");
+      return std::nullopt;
+    }
     S.InitOccupancy[Ch.get()] = Occ[Ch.get()];
   }
 
-  auto SteadySeq = buildSequence(S.Order, S.Reps, Occ);
+  auto SteadySeq = buildSequence(S.Order, S.Reps, Occ, ArithOverflow);
   if (!SteadySeq) {
-    Diags.error(SourceLoc(), "steady-state schedule deadlocks (a "
-                             "feedbackloop needs more enqueued tokens)");
+    Diags.error(locOf(S.Order.front()),
+                ArithOverflow
+                    ? "steady-state schedule overflows 64-bit channel "
+                      "occupancy"
+                    : "steady-state schedule deadlocks (a feedbackloop "
+                      "needs more enqueued tokens)");
     return std::nullopt;
   }
   S.SteadySequence = std::move(*SteadySeq);
   for (const auto &Ch : G.channels()) {
     if (Occ[Ch.get()] != S.InitOccupancy[Ch.get()]) {
-      Diags.error(SourceLoc(), "internal error: steady iteration does not "
-                               "restore channel occupancy");
+      Diags.error(locOf(S.Order.front()),
+                  "internal error: steady iteration does not restore "
+                  "channel occupancy");
       return std::nullopt;
     }
   }

@@ -12,6 +12,7 @@
 
 #include "graph/StreamGraph.h"
 #include "support/Diagnostics.h"
+#include "support/Limits.h"
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -61,10 +62,13 @@ struct Schedule {
   std::string str() const;
 };
 
-/// Computes the schedule; reports rate-inconsistency errors through
-/// \p Diags and returns nullopt.
+/// Computes the schedule; reports rate-inconsistency, overflow and
+/// resource-limit errors through \p Diags and returns nullopt. Every
+/// rejection names the offending channel or node and carries a source
+/// location.
 std::optional<Schedule> computeSchedule(const graph::StreamGraph &G,
-                                        DiagnosticEngine &Diags);
+                                        DiagnosticEngine &Diags,
+                                        const CompilerLimits &Limits = {});
 
 } // namespace schedule
 } // namespace laminar

@@ -6,23 +6,48 @@
 using namespace laminar;
 
 void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
-  Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  error(SourceRange(Loc), std::move(Message));
+}
+
+void DiagnosticEngine::error(SourceRange Range, std::string Message) {
+  if (TooMany) {
+    ++NumSuppressed;
+    return;
+  }
+  Diags.push_back({DiagKind::Error, Range.Begin, std::move(Message), Range});
   ++NumErrors;
+  if (ErrorLimit != 0 && NumErrors >= ErrorLimit) {
+    TooMany = true;
+    Diags.push_back({DiagKind::Note, Range.Begin,
+                     "too many errors emitted, stopping now", SourceRange()});
+  }
 }
 
 void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
-  Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  if (TooMany) {
+    ++NumSuppressed;
+    return;
+  }
+  Diags.push_back({DiagKind::Warning, Loc, std::move(Message), SourceRange()});
 }
 
 void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
-  Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  if (TooMany) {
+    ++NumSuppressed;
+    return;
+  }
+  Diags.push_back({DiagKind::Note, Loc, std::move(Message), SourceRange()});
 }
 
 std::string DiagnosticEngine::str() const {
   std::ostringstream OS;
   for (const Diagnostic &D : Diags) {
-    if (D.Loc.isValid())
-      OS << D.Loc.Line << ":" << D.Loc.Col << ": ";
+    if (D.Loc.isValid()) {
+      OS << D.Loc.Line << ":" << D.Loc.Col;
+      if (D.Range.End.isValid() && D.Range.End != D.Range.Begin)
+        OS << "-" << D.Range.End.Line << ":" << D.Range.End.Col;
+      OS << ": ";
+    }
     switch (D.Kind) {
     case DiagKind::Error:
       OS << "error: ";
@@ -36,5 +61,7 @@ std::string DiagnosticEngine::str() const {
     }
     OS << D.Message << "\n";
   }
+  if (NumSuppressed > 0)
+    OS << "(" << NumSuppressed << " further diagnostic(s) suppressed)\n";
   return OS.str();
 }

@@ -18,18 +18,24 @@ namespace laminar {
 /// Severity of a diagnostic message.
 enum class DiagKind { Error, Warning, Note };
 
-/// A single diagnostic: severity, location and message text.
+/// A single diagnostic: severity, location and message text. Range is
+/// optional extra payload; when valid it starts at Loc.
 struct Diagnostic {
   DiagKind Kind;
   SourceLoc Loc;
   std::string Message;
+  SourceRange Range;
 };
 
 /// Collects diagnostics emitted during a compilation. Owned by the driver
-/// and threaded through the frontend and the lowerings.
+/// and threaded through the frontend and the lowerings. With an error
+/// limit set, the engine emits one "too many errors" note when the limit
+/// is reached and silently drops everything after it, so a pathological
+/// input cannot turn into an unbounded diagnostic stream.
 class DiagnosticEngine {
 public:
   void error(SourceLoc Loc, std::string Message);
+  void error(SourceRange Range, std::string Message);
   void warning(SourceLoc Loc, std::string Message);
   void note(SourceLoc Loc, std::string Message);
 
@@ -37,12 +43,22 @@ public:
   unsigned errorCount() const { return NumErrors; }
   const std::vector<Diagnostic> &diagnostics() const { return Diags; }
 
-  /// Renders all diagnostics as "line:col: severity: message" lines.
+  /// Caps recorded errors at \p Limit (0 = unlimited). Clients should
+  /// poll tooManyErrors() at recovery points and stop parsing early.
+  void setErrorLimit(unsigned Limit) { ErrorLimit = Limit; }
+  bool tooManyErrors() const { return TooMany; }
+  unsigned suppressedCount() const { return NumSuppressed; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines;
+  /// range diagnostics render as "line:col-line:col: ...".
   std::string str() const;
 
 private:
   std::vector<Diagnostic> Diags;
   unsigned NumErrors = 0;
+  unsigned ErrorLimit = 0;
+  unsigned NumSuppressed = 0;
+  bool TooMany = false;
 };
 
 } // namespace laminar

@@ -1,0 +1,26 @@
+//===--- Limits.cpp -------------------------------------------------------===//
+
+#include "support/Limits.h"
+#include "support/Rational.h"
+
+using namespace laminar;
+
+std::optional<int64_t> laminar::checkedAdd(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+std::optional<int64_t> laminar::checkedMul(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+std::optional<int64_t> laminar::checkedLcm(int64_t A, int64_t B) {
+  if (A <= 0 || B <= 0)
+    return std::nullopt;
+  return checkedMul(A / gcd64(A, B), B);
+}

@@ -1,0 +1,55 @@
+//===--- Limits.h - Compiler resource limits and checked math --*- C++ -*-===//
+//
+// LaminarIR resolves FIFO state at compile time, so pathological inputs
+// (huge repetition vectors, peek windows, steady-state unrolls) attack
+// the compiler rather than the runtime. CompilerLimits is the resource
+// governor: every stage that can amplify input size checks against it
+// and reports a diagnostic instead of exhausting memory or asserting.
+// The checked arithmetic helpers back those checks: they never trap,
+// they return nullopt on overflow.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SUPPORT_LIMITS_H
+#define LAMINAR_SUPPORT_LIMITS_H
+
+#include <cstdint>
+#include <optional>
+
+namespace laminar {
+
+/// Resource ceilings for one compilation. Defaults are generous enough
+/// for every suite program; tools expose them as --max-* flags. All
+/// violations surface as DiagKind::Error (or, for MaxUnrolledInsts in
+/// Laminar mode, a degradation to FIFO lowering).
+struct CompilerLimits {
+  /// Nodes in the elaborated stream graph.
+  int64_t MaxGraphNodes = 1 << 16;
+  /// Largest entry of the steady-state repetition vector.
+  int64_t MaxRepetition = 1 << 20;
+  /// Total firings of one steady-state (or init) iteration.
+  int64_t MaxSteadyFirings = 1 << 22;
+  /// Instruction budget for one lowered function. Laminar lowering
+  /// degrades to FIFO when it would exceed this; unrolled-FIFO lowering
+  /// reports an error.
+  int64_t MaxUnrolledInsts = 4 << 20;
+  /// Deepest peek window of any filter instance.
+  int64_t MaxPeekWindow = 1 << 16;
+  /// Tokens crossing one channel per steady iteration (bounds FIFO
+  /// buffer sizes).
+  int64_t MaxChannelTokens = 1 << 22;
+  /// Error-diagnostic cutoff; 0 keeps the engine unlimited.
+  unsigned MaxErrors = 64;
+};
+
+/// Overflow-checked int64 arithmetic. Nullopt on overflow.
+std::optional<int64_t> checkedAdd(int64_t A, int64_t B);
+std::optional<int64_t> checkedMul(int64_t A, int64_t B);
+
+/// Least common multiple of two positive values; nullopt on overflow or
+/// non-positive input.
+std::optional<int64_t> checkedLcm(int64_t A, int64_t B);
+
+} // namespace laminar
+
+#endif // LAMINAR_SUPPORT_LIMITS_H

@@ -6,6 +6,46 @@
 
 using namespace laminar;
 
+namespace {
+
+/// |V| as an unsigned value; well-defined for INT64_MIN, whose
+/// magnitude (2^63) does not fit in int64_t.
+uint64_t magOf(int64_t V) {
+  return V < 0 ? 0 - static_cast<uint64_t>(V) : static_cast<uint64_t>(V);
+}
+
+uint64_t gcdU64(uint64_t A, uint64_t B) {
+  while (B != 0) {
+    uint64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+constexpr uint64_t MaxPos = static_cast<uint64_t>(INT64_MAX);
+
+/// Reduces sign-and-magnitude to the canonical (Num, Den) pair, or
+/// reports unrepresentability. DenMag must be nonzero.
+bool reduceMag(bool Neg, uint64_t NumMag, uint64_t DenMag, int64_t &Num,
+               int64_t &Den) {
+  uint64_t G = gcdU64(NumMag, DenMag);
+  if (G > 1) {
+    NumMag /= G;
+    DenMag /= G;
+  }
+  if (NumMag == 0)
+    Neg = false;
+  if (DenMag > MaxPos || NumMag > (Neg ? MaxPos + 1 : MaxPos))
+    return false;
+  // The negative cast covers NumMag == 2^63 -> INT64_MIN.
+  Num = Neg ? static_cast<int64_t>(0 - NumMag) : static_cast<int64_t>(NumMag);
+  Den = static_cast<int64_t>(DenMag);
+  return true;
+}
+
+} // namespace
+
 int64_t laminar::gcd64(int64_t A, int64_t B) {
   assert(A >= 0 && B >= 0 && "gcd64 expects non-negative inputs");
   while (B != 0) {
@@ -18,20 +58,66 @@ int64_t laminar::gcd64(int64_t A, int64_t B) {
 
 int64_t laminar::lcm64(int64_t A, int64_t B) {
   assert(A > 0 && B > 0 && "lcm64 expects positive inputs");
-  return A / gcd64(A, B) * B;
+  int64_t R;
+  bool Overflow = __builtin_mul_overflow(A / gcd64(A, B), B, &R);
+  assert(!Overflow && "lcm64 overflow; use checkedLcm for input-derived "
+                      "values");
+  (void)Overflow;
+  return R;
 }
 
-Rational::Rational(int64_t N, int64_t D) : Num(N), Den(D) {
+Rational::Rational(int64_t N, int64_t D) {
   assert(D != 0 && "rational with zero denominator");
-  if (Den < 0) {
-    Num = -Num;
-    Den = -Den;
+  bool Neg = (N < 0) != (D < 0);
+  bool Ok = reduceMag(Neg, magOf(N), magOf(D), Num, Den);
+  assert(Ok && "unrepresentable rational; use makeChecked for "
+               "input-derived values");
+  (void)Ok;
+}
+
+std::optional<Rational> Rational::makeChecked(int64_t N, int64_t D) {
+  if (D == 0)
+    return std::nullopt;
+  Rational R;
+  if (!reduceMag((N < 0) != (D < 0), magOf(N), magOf(D), R.Num, R.Den))
+    return std::nullopt;
+  return R;
+}
+
+std::optional<Rational> Rational::mulChecked(const Rational &RHS) const {
+  // Cross-reduce first so canonical inputs cannot overflow spuriously;
+  // both inputs are canonical, so the cross-reduced product is too.
+  uint64_t A = magOf(Num), B = magOf(RHS.Num);
+  uint64_t C = magOf(Den), D = magOf(RHS.Den);
+  uint64_t G1 = gcdU64(A, D);
+  if (G1 > 1) {
+    A /= G1;
+    D /= G1;
   }
-  int64_t G = gcd64(Num < 0 ? -Num : Num, Den);
-  if (G > 1) {
-    Num /= G;
-    Den /= G;
+  uint64_t G2 = gcdU64(B, C);
+  if (G2 > 1) {
+    B /= G2;
+    C /= G2;
   }
+  uint64_t NumMag, DenMag;
+  if (__builtin_mul_overflow(A, B, &NumMag) ||
+      __builtin_mul_overflow(C, D, &DenMag))
+    return std::nullopt;
+  bool Neg = (Num < 0) != (RHS.Num < 0);
+  Rational Out;
+  if (!reduceMag(Neg, NumMag, DenMag, Out.Num, Out.Den))
+    return std::nullopt;
+  return Out;
+}
+
+std::optional<Rational> Rational::addChecked(const Rational &RHS) const {
+  int64_t L, R, Sum, D;
+  if (__builtin_mul_overflow(Num, RHS.Den, &L) ||
+      __builtin_mul_overflow(RHS.Num, Den, &R) ||
+      __builtin_add_overflow(L, R, &Sum) ||
+      __builtin_mul_overflow(Den, RHS.Den, &D))
+    return std::nullopt;
+  return makeChecked(Sum, D);
 }
 
 Rational Rational::operator+(const Rational &RHS) const {

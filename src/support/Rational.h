@@ -10,6 +10,7 @@
 #define LAMINAR_SUPPORT_RATIONAL_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace laminar {
@@ -17,16 +18,33 @@ namespace laminar {
 /// Greatest common divisor of two non-negative integers.
 int64_t gcd64(int64_t A, int64_t B);
 
-/// Least common multiple; asserts on overflow-free small inputs.
+/// Least common multiple of two positive integers; asserts that the
+/// result is representable. Input-derived values must go through
+/// checkedLcm (support/Limits.h) instead.
 int64_t lcm64(int64_t A, int64_t B);
 
 /// An exact rational number with a canonical representation: the
 /// denominator is always positive and gcd(|num|, den) == 1.
+///
+/// The plain constructor and operators assert representability and are
+/// for compiler-internal values with known small magnitudes. Anything
+/// derived from user input (stream rates, repetition ratios) must use
+/// the checked factory/operations, which return nullopt instead of
+/// overflowing: the balance-equation solver turns that nullopt into a
+/// diagnostic.
 class Rational {
 public:
   Rational() = default;
   Rational(int64_t Num) : Num(Num), Den(1) {}
   Rational(int64_t Num, int64_t Den);
+
+  /// Canonicalizing factory that rejects unrepresentable values (for
+  /// example 1/INT64_MIN, whose canonical denominator does not fit).
+  static std::optional<Rational> makeChecked(int64_t Num, int64_t Den);
+
+  /// Overflow-checked product and sum.
+  std::optional<Rational> mulChecked(const Rational &RHS) const;
+  std::optional<Rational> addChecked(const Rational &RHS) const;
 
   int64_t num() const { return Num; }
   int64_t den() const { return Den; }

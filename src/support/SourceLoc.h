@@ -20,6 +20,21 @@ struct SourceLoc {
   bool operator==(const SourceLoc &RHS) const {
     return Line == RHS.Line && Col == RHS.Col;
   }
+  bool operator!=(const SourceLoc &RHS) const { return !(*this == RHS); }
+};
+
+/// A half-open span of source text, [Begin, End]. End may equal Begin
+/// (a point range) or be invalid, in which case the range degenerates
+/// to its begin location.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+
+  bool isValid() const { return Begin.isValid(); }
 };
 
 } // namespace laminar

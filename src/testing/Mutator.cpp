@@ -1,0 +1,216 @@
+//===--- Mutator.cpp ------------------------------------------------------===//
+
+#include "testing/Mutator.h"
+#include "driver/Driver.h"
+#include "support/RNG.h"
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+using namespace laminar;
+using namespace laminar::testing;
+
+namespace {
+
+// Tokens the mutator splices in. Weighted toward the constructs that
+// historically break compilers: delimiters (nesting confusion), rate
+// keywords (scheduler arithmetic) and extreme numbers (overflow paths).
+const char *const SpliceTokens[] = {
+    "filter", "pipeline", "splitjoin", "feedbackloop", "work", "init",
+    "push", "pop", "peek", "add", "split", "join", "roundrobin",
+    "duplicate", "enqueue", "body", "loop", "int", "float", "void",
+    "boolean", "if", "else", "for", "while", "true", "false",
+    "{", "}", "(", ")", "[", "]", ";", ",", "->", "=", "==", "!=",
+    "+", "-", "*", "/", "%", "<<", ">>", "&&", "||", "!", "~",
+    "0", "1", "-1", "2", "7", "1000000007", "65536", "2147483647",
+    "4294967295", "9223372036854775807", "-9223372036854775808",
+    "18446744073709551615", "1e308", "1e-308", ".5", "0.0",
+    "x", "_", "Top", "/*", "*/", "//",
+};
+
+// Raw bytes for single-byte smashes: printable structure characters plus
+// a few non-ASCII and control bytes to stress the lexer's error path.
+const char SmashBytes[] = "{}();,->=+-*/%<>!&|^~.0123456789azAZ_\"'\\\t\n"
+                          "\x01\x7f\x80\xff";
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : S) {
+    Cur += C;
+    if (C == '\n') {
+      Lines.push_back(std::move(Cur));
+      Cur.clear();
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(std::move(Cur));
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string S;
+  for (const std::string &L : Lines)
+    S += L;
+  return S;
+}
+
+void mutateOnce(std::string &S, RNG &R) {
+  if (S.empty())
+    S = " ";
+  size_t N = S.size();
+  switch (R.nextInt(9)) {
+  case 0: { // smash one byte
+    S[R.nextInt(N)] =
+        SmashBytes[R.nextInt(sizeof(SmashBytes) - 1)];
+    break;
+  }
+  case 1: { // delete a span
+    size_t At = R.nextInt(N);
+    size_t Len = 1 + R.nextInt(std::min<size_t>(N - At, 32));
+    S.erase(At, Len);
+    break;
+  }
+  case 2: { // duplicate a span in place
+    size_t At = R.nextInt(N);
+    size_t Len = 1 + R.nextInt(std::min<size_t>(N - At, 24));
+    S.insert(At, S.substr(At, Len));
+    break;
+  }
+  case 3: { // splice a token
+    const char *Tok =
+        SpliceTokens[R.nextInt(sizeof(SpliceTokens) / sizeof(*SpliceTokens))];
+    size_t At = R.nextInt(N + 1);
+    S.insert(At, std::string(" ") + Tok + " ");
+    break;
+  }
+  case 4: { // swap two whole lines
+    std::vector<std::string> Lines = splitLines(S);
+    if (Lines.size() >= 2) {
+      size_t A = R.nextInt(Lines.size());
+      size_t B = R.nextInt(Lines.size());
+      std::swap(Lines[A], Lines[B]);
+      S = joinLines(Lines);
+    }
+    break;
+  }
+  case 5: { // copy one line somewhere else
+    std::vector<std::string> Lines = splitLines(S);
+    if (!Lines.empty()) {
+      std::string Line = Lines[R.nextInt(Lines.size())];
+      Lines.insert(Lines.begin() + R.nextInt(Lines.size() + 1),
+                   std::move(Line));
+      S = joinLines(Lines);
+    }
+    break;
+  }
+  case 6: { // replace an integer literal with an extreme value
+    size_t Start = R.nextInt(N);
+    size_t DigitAt = std::string::npos;
+    for (size_t I = 0; I < N; ++I) {
+      size_t P = (Start + I) % N;
+      if (S[P] >= '0' && S[P] <= '9') {
+        DigitAt = P;
+        break;
+      }
+    }
+    if (DigitAt != std::string::npos) {
+      size_t Lo = DigitAt, Hi = DigitAt + 1;
+      while (Lo > 0 && S[Lo - 1] >= '0' && S[Lo - 1] <= '9')
+        --Lo;
+      while (Hi < N && S[Hi] >= '0' && S[Hi] <= '9')
+        ++Hi;
+      static const char *const Extremes[] = {
+          "0", "1000000007", "2147483647", "9223372036854775807",
+          "18446744073709551615", "999999999999999999999999",
+      };
+      S.replace(Lo, Hi - Lo,
+                Extremes[R.nextInt(sizeof(Extremes) / sizeof(*Extremes))]);
+    }
+    break;
+  }
+  case 7: { // truncate the tail
+    S.erase(R.nextInt(N));
+    break;
+  }
+  case 8: { // insert a run of one repeated byte (lexer/parser loops)
+    char C = SmashBytes[R.nextInt(sizeof(SmashBytes) - 1)];
+    S.insert(R.nextInt(N + 1), std::string(1 + R.nextInt(64), C));
+    break;
+  }
+  }
+}
+
+} // namespace
+
+std::string testing::mutateSource(const std::string &Source, uint64_t Seed,
+                                  const MutateOptions &O) {
+  RNG R(Seed ^ 0xD1B54A32D192ED03ULL);
+  std::string S = Source;
+  int Count = 1 + static_cast<int>(R.nextInt(std::max(1, O.MaxMutations)));
+  for (int I = 0; I < Count; ++I)
+    mutateOnce(S, R);
+  return S;
+}
+
+CompilerLimits testing::crashCheckLimits() {
+  CompilerLimits L;
+  L.MaxGraphNodes = 512;
+  L.MaxRepetition = 1 << 12;
+  L.MaxSteadyFirings = 1 << 14;
+  L.MaxUnrolledInsts = 1 << 16;
+  L.MaxPeekWindow = 1 << 10;
+  L.MaxChannelTokens = 1 << 14;
+  L.MaxErrors = 16;
+  return L;
+}
+
+CrashCheckResult testing::checkCrashInvariant(const std::string &Source,
+                                              const std::string &Top) {
+  struct Config {
+    driver::LoweringMode Mode;
+    unsigned OptLevel;
+    bool UnrollFifo;
+    const char *Name;
+  };
+  static const Config Configs[] = {
+      {driver::LoweringMode::Fifo, 0, false, "fifo-O0"},
+      {driver::LoweringMode::Fifo, 1, true, "fifo-unroll-O1"},
+      {driver::LoweringMode::Laminar, 2, false, "laminar-O2"},
+  };
+
+  CrashCheckResult Result;
+  for (const Config &Cfg : Configs) {
+    driver::CompileOptions Opts;
+    Opts.TopName = Top;
+    Opts.Mode = Cfg.Mode;
+    Opts.OptLevel = Cfg.OptLevel;
+    Opts.UnrollFifo = Cfg.UnrollFifo;
+    Opts.Limits = crashCheckLimits();
+    driver::Compilation C = driver::compile(Source, Opts);
+    if (C.Ok) {
+      Result.Accepted = true;
+      // Run briefly under a small step budget: mutated programs may
+      // contain honest infinite loops, and the invariant only demands
+      // that execution fails cleanly, not that it terminates.
+      interp::TokenStream Input =
+          interp::makeRandomInput(C.Module->getInputType(),
+                                  driver::requiredInputTokens(C, 2), 0xC0FFEE);
+      (void)interp::runModule(*C.Module, Input, 2,
+                              /*StepBudget=*/2'000'000ULL);
+      continue;
+    }
+    if (!C.hasLocatedError()) {
+      std::ostringstream OS;
+      OS << "config " << Cfg.Name << " rejected the input at stage '"
+         << driver::compileStageName(C.Stage)
+         << "' without an error diagnostic carrying a source location\n"
+         << C.ErrorLog;
+      Result.Violation = true;
+      Result.Detail = OS.str();
+      return Result;
+    }
+  }
+  return Result;
+}

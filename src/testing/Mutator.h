@@ -1,0 +1,60 @@
+//===--- Mutator.h - Crash-mode source mutation and oracle -----*- C++ -*-===//
+//
+// The differential fuzzer (Differ) only sees rate-consistent programs
+// the generator can produce. Crash mode attacks the other half of the
+// robustness claim: it byte- and token-mutates valid .str sources into
+// adversarial ones and checks the crash-free invariant — every input
+// either compiles or is rejected with at least one error diagnostic
+// carrying a valid source location. Memory errors are the sanitizers'
+// half of the bargain: under ASan/UBSan with -fno-sanitize-recover any
+// crash aborts the fuzz process itself.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_TESTING_MUTATOR_H
+#define LAMINAR_TESTING_MUTATOR_H
+
+#include "support/Limits.h"
+#include <cstdint>
+#include <string>
+
+namespace laminar {
+namespace testing {
+
+struct MutateOptions {
+  /// Mutations applied per input, uniform in [1, MaxMutations].
+  int MaxMutations = 4;
+};
+
+/// Deterministically mutates source text: byte smashes, span
+/// deletion/duplication, token insertion, line swaps and splices,
+/// extreme-number substitution, truncation. Same (Source, Seed, O)
+/// always yields the same output.
+std::string mutateSource(const std::string &Source, uint64_t Seed,
+                         const MutateOptions &O = {});
+
+/// Tight limits for the crash oracle: small enough that mutated inputs
+/// exercise every governor path quickly, large enough that generated
+/// programs still compile before mutation.
+CompilerLimits crashCheckLimits();
+
+struct CrashCheckResult {
+  /// At least one configuration compiled the input successfully.
+  bool Accepted = false;
+  /// The invariant broke: a configuration rejected the input without a
+  /// located error diagnostic (or failed in the backend, which means
+  /// the compiler — not the input — is at fault).
+  bool Violation = false;
+  std::string Detail;
+};
+
+/// Compiles \p Source under fifo-O0, fifo-unroll-O1 and laminar-O2 with
+/// crashCheckLimits(), interpreting accepted programs briefly. Never
+/// throws; crashes are left to the sanitizers by design.
+CrashCheckResult checkCrashInvariant(const std::string &Source,
+                                     const std::string &Top);
+
+} // namespace testing
+} // namespace laminar
+
+#endif // LAMINAR_TESTING_MUTATOR_H

@@ -338,3 +338,80 @@ ReduceResult testing::reduceProgram(const ProgramSpec &P,
   R.Source = renderSource(R.Minimal);
   return R;
 }
+
+namespace {
+
+// Splits on '\n', keeping each terminator with its line.
+std::vector<std::string> splitPieces(const std::string &S, bool ByLine) {
+  std::vector<std::string> Pieces;
+  std::string Cur;
+  for (char C : S) {
+    Cur += C;
+    bool Break = ByLine ? (C == '\n') : (C == ' ' || C == '\t' || C == '\n');
+    if (Break) {
+      Pieces.push_back(std::move(Cur));
+      Cur.clear();
+    }
+  }
+  if (!Cur.empty())
+    Pieces.push_back(std::move(Cur));
+  return Pieces;
+}
+
+std::string joinPieces(const std::vector<std::string> &Pieces) {
+  std::string S;
+  for (const std::string &P : Pieces)
+    S += P;
+  return S;
+}
+
+// One greedy ddmin round over pieces of the given granularity. Returns
+// the reduced text (unchanged if nothing could be removed).
+void reducePieces(SourceReduction &R, bool ByLine,
+                  const std::function<bool(const std::string &)> &StillFails,
+                  int MaxEvals) {
+  std::vector<std::string> Pieces = splitPieces(R.Source, ByLine);
+  size_t Chunk = std::max<size_t>(Pieces.size() / 2, 1);
+  while (!Pieces.empty() && R.Evals < MaxEvals) {
+    bool Removed = false;
+    for (size_t At = 0; At < Pieces.size() && R.Evals < MaxEvals;) {
+      size_t Len = std::min(Chunk, Pieces.size() - At);
+      std::vector<std::string> Candidate;
+      Candidate.reserve(Pieces.size() - Len);
+      Candidate.insert(Candidate.end(), Pieces.begin(), Pieces.begin() + At);
+      Candidate.insert(Candidate.end(), Pieces.begin() + At + Len,
+                       Pieces.end());
+      std::string Text = joinPieces(Candidate);
+      if (!Text.empty()) {
+        ++R.Evals;
+        if (StillFails(Text)) {
+          Pieces = std::move(Candidate);
+          R.Source = std::move(Text);
+          ++R.Steps;
+          Removed = true;
+          continue; // same At now names the next chunk
+        }
+      }
+      At += Len;
+    }
+    if (Chunk == 1 && !Removed)
+      break;
+    if (!Removed)
+      Chunk = std::max<size_t>(Chunk / 2, 1);
+  }
+}
+
+} // namespace
+
+SourceReduction testing::reduceSourceText(
+    const std::string &Source,
+    const std::function<bool(const std::string &)> &StillFails,
+    int MaxEvals) {
+  SourceReduction R;
+  R.Source = Source;
+  if (Source.empty())
+    return R;
+  reducePieces(R, /*ByLine=*/true, StillFails, MaxEvals);
+  reducePieces(R, /*ByLine=*/false, StillFails, MaxEvals);
+  return R;
+}

@@ -13,6 +13,7 @@
 
 #include "testing/Differ.h"
 #include "testing/ProgramGen.h"
+#include <functional>
 
 namespace laminar {
 namespace testing {
@@ -40,6 +41,24 @@ struct ReduceResult {
 /// accepted when it still fails with the same DiffStatus.
 ReduceResult reduceProgram(const ProgramSpec &P, const DiffResult &Orig,
                            const ReduceOptions &O = {});
+
+struct SourceReduction {
+  std::string Source;
+  /// Accepted reduction steps and total predicate evaluations.
+  int Steps = 0;
+  int Evals = 0;
+};
+
+/// Text-level delta debugging for inputs with no ProgramSpec — the
+/// crash-mode reproducers, which are mutated byte soup by construction.
+/// Greedily removes line chunks (halving chunk size), then whitespace-
+/// delimited tokens within the surviving lines. A candidate is kept
+/// while \p StillFails returns true; the predicate is never called on
+/// the empty string.
+SourceReduction
+reduceSourceText(const std::string &Source,
+                 const std::function<bool(const std::string &)> &StillFails,
+                 int MaxEvals = 400);
 
 } // namespace testing
 } // namespace laminar

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <gtest/gtest.h>
 #include <sstream>
+#include <unistd.h>
 
 using namespace laminar;
 using namespace laminar::driver;
@@ -45,10 +46,12 @@ std::string renderOutputs(const interp::RunResult &R) {
 /// Compiles and runs a C file; returns its stdout, or nullopt when no
 /// host C compiler is available.
 std::optional<std::string> runC(const std::string &CSource, int64_t Iters) {
-  std::string Dir = ::testing::TempDir();
-  std::string CPath = Dir + "/lam_gen.c";
-  std::string Bin = Dir + "/lam_gen";
-  std::string OutPath = Dir + "/lam_gen.out";
+  // Unique per process: parallel ctest workers race on a shared name.
+  std::string Stem =
+      ::testing::TempDir() + "/lam_gen." + std::to_string(getpid());
+  std::string CPath = Stem + ".c";
+  std::string Bin = Stem + ".bin";
+  std::string OutPath = Stem + ".out";
   {
     std::ofstream Out(CPath);
     Out << CSource;

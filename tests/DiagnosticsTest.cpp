@@ -1,0 +1,174 @@
+//===--- DiagnosticsTest.cpp - Error recovery, ranges, error limit --------===//
+
+#include "driver/Driver.h"
+#include "support/Diagnostics.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+
+TEST(Diagnostics, RangeRendering) {
+  DiagnosticEngine D;
+  D.error(SourceRange(SourceLoc(1, 2), SourceLoc(1, 5)), "bad span");
+  EXPECT_EQ(D.str(), "1:2-1:5: error: bad span\n");
+  ASSERT_EQ(D.diagnostics().size(), 1u);
+  EXPECT_TRUE(D.diagnostics()[0].Range.isValid());
+  EXPECT_EQ(D.diagnostics()[0].Loc, SourceLoc(1, 2));
+}
+
+TEST(Diagnostics, DegenerateRangeRendersAsPoint) {
+  DiagnosticEngine D;
+  D.error(SourceRange(SourceLoc(3, 7)), "point");
+  EXPECT_EQ(D.str(), "3:7: error: point\n");
+}
+
+TEST(Diagnostics, ErrorLimitCutsOffAndCounts) {
+  DiagnosticEngine D;
+  D.setErrorLimit(2);
+  D.error(SourceLoc(1, 1), "first");
+  EXPECT_FALSE(D.tooManyErrors());
+  D.error(SourceLoc(2, 1), "second");
+  EXPECT_TRUE(D.tooManyErrors());
+  D.error(SourceLoc(3, 1), "third");
+  D.warning(SourceLoc(4, 1), "late warning");
+  EXPECT_EQ(D.errorCount(), 2u);
+  EXPECT_EQ(D.suppressedCount(), 2u);
+  // The rendered log mentions the cutoff and the suppression count but
+  // not the dropped messages.
+  std::string S = D.str();
+  EXPECT_NE(S.find("too many errors"), std::string::npos);
+  EXPECT_NE(S.find("2 further diagnostic(s) suppressed"), std::string::npos);
+  EXPECT_EQ(S.find("third"), std::string::npos);
+}
+
+TEST(Diagnostics, UnlimitedByDefault) {
+  DiagnosticEngine D;
+  for (int I = 0; I < 100; ++I)
+    D.error(SourceLoc(1, 1), "e");
+  EXPECT_EQ(D.errorCount(), 100u);
+  EXPECT_FALSE(D.tooManyErrors());
+  EXPECT_EQ(D.suppressedCount(), 0u);
+}
+
+namespace {
+
+driver::Compilation compileTop(const std::string &Src,
+                               driver::CompileOptions O = {}) {
+  if (O.TopName.empty())
+    O.TopName = "Top";
+  return driver::compile(Src, O);
+}
+
+/// Number of error diagnostics in a compilation result.
+int errorCount(const driver::Compilation &C) {
+  int N = 0;
+  for (const Diagnostic &D : C.Diags)
+    if (D.Kind == DiagKind::Error)
+      ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Diagnostics, ParserRecoversAcrossDeclarations) {
+  // Two independent syntax errors in two declarations; recovery at ';'
+  // and top-level keywords must surface both, in source order, and
+  // still parse the valid pipeline in between.
+  const char *Src = R"(
+int->int filter A {
+  work push 1 pop 1 {
+    int x = ;
+    push(pop());
+  }
+}
+int->int filter B {
+  work push 1 pop 1 {
+    push(pop() + );
+  }
+}
+int->int pipeline Top {
+  add A;
+  add B;
+}
+)";
+  driver::Compilation C = compileTop(Src);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_GE(errorCount(C), 2);
+  // Errors arrive in source order: line 4 before line 10.
+  size_t First = C.ErrorLog.find("4:");
+  size_t Second = C.ErrorLog.find("10:");
+  EXPECT_NE(First, std::string::npos) << C.ErrorLog;
+  EXPECT_NE(Second, std::string::npos) << C.ErrorLog;
+  EXPECT_LT(First, Second);
+}
+
+TEST(Diagnostics, MissingWorkFunctionCarriesDeclRange) {
+  driver::Compilation C = compileTop(R"(
+int->int filter F {
+  init { }
+}
+int->int pipeline Top { add F; }
+)");
+  EXPECT_FALSE(C.Ok);
+  bool Found = false;
+  for (const Diagnostic &D : C.Diags)
+    if (D.Message.find("no work function") != std::string::npos) {
+      Found = true;
+      EXPECT_TRUE(D.Range.isValid());
+      EXPECT_TRUE(D.Loc.isValid());
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Diagnostics, MaxErrorsLimitBoundsGarbageInput) {
+  // A buffer of garbage bytes must not produce thousands of diagnostics
+  // (or recurse once per byte).
+  std::string Garbage(50000, '@');
+  driver::CompileOptions O;
+  O.TopName = "Top";
+  O.Limits.MaxErrors = 8;
+  driver::Compilation C = driver::compile(Garbage, O);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_LE(errorCount(C), 8);
+  EXPECT_TRUE(C.hasLocatedError());
+  EXPECT_NE(C.ErrorLog.find("too many errors"), std::string::npos);
+}
+
+TEST(Diagnostics, OutOfRangeIntegerLiteralIsRejected) {
+  // strtoll saturates 2^64-1 to INT64_MAX silently; a saturated
+  // roundrobin weight then overflows the weight-sum arithmetic (found
+  // by crash-mode fuzzing under UBSan). The lexer must reject it.
+  const char *Src = R"(
+int->int filter F {
+  work push 1 pop 1 { push(pop()); }
+}
+int->int splitjoin SJ {
+  split roundrobin(18446744073709551615, 1);
+  add F;
+  add F;
+  join roundrobin(1, 1);
+}
+int->int pipeline Top { add SJ; }
+)";
+  driver::Compilation C = compileTop(Src);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_TRUE(C.hasLocatedError()) << C.ErrorLog;
+  EXPECT_NE(C.ErrorLog.find("does not fit in 64 bits"), std::string::npos)
+      << C.ErrorLog;
+}
+
+TEST(Diagnostics, EveryDriverRejectionHasALocatedError) {
+  const char *Rejects[] = {
+      "",                                       // empty program
+      "filter",                                 // truncated decl
+      "int->int pipeline Top { add Ghost; }",   // unknown stream
+      "int->int pipeline Top { }",              // empty pipeline body
+      "int->int filter F { work push 1 pop 1 { push(pop()); } }", // no Top
+  };
+  for (const char *Src : Rejects) {
+    driver::Compilation C = compileTop(Src);
+    ASSERT_FALSE(C.Ok) << Src;
+    EXPECT_TRUE(C.hasLocatedError())
+        << "rejection without located error for: " << Src << "\n"
+        << C.ErrorLog;
+  }
+}

@@ -1,0 +1,253 @@
+//===--- LimitsTest.cpp - Resource governor and graceful degradation ------===//
+
+#include "driver/Driver.h"
+#include "support/Limits.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::driver;
+
+namespace {
+
+Compilation compileWith(const std::string &Src, const CompilerLimits &L,
+                        LoweringMode Mode = LoweringMode::Laminar,
+                        const std::string &Top = "Top") {
+  CompileOptions O;
+  O.TopName = Top;
+  O.Mode = Mode;
+  O.Limits = L;
+  return compile(Src, O);
+}
+
+/// A failed compilation whose log mentions \p Needle and whose
+/// diagnostics satisfy the located-rejection invariant.
+void expectLimitError(const Compilation &C, const std::string &Needle) {
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.ErrorLog.find(Needle), std::string::npos) << C.ErrorLog;
+  EXPECT_TRUE(C.hasLocatedError()) << C.ErrorLog;
+}
+
+const char *kIdentity = R"(
+int->int filter F {
+  work push 1 pop 1 { push(pop()); }
+}
+int->int pipeline Top { add F; }
+)";
+
+} // namespace
+
+TEST(Limits, CheckedArithmetic) {
+  EXPECT_EQ(checkedAdd(2, 3), std::optional<int64_t>(5));
+  EXPECT_EQ(checkedAdd(INT64_MAX, 1), std::nullopt);
+  EXPECT_EQ(checkedAdd(INT64_MIN, -1), std::nullopt);
+  EXPECT_EQ(checkedMul(1 << 20, 1 << 20), std::optional<int64_t>(1LL << 40));
+  EXPECT_EQ(checkedMul(INT64_MAX, 2), std::nullopt);
+  EXPECT_EQ(checkedMul(INT64_MIN, -1), std::nullopt);
+  EXPECT_EQ(checkedLcm(4, 6), std::optional<int64_t>(12));
+  EXPECT_EQ(checkedLcm(0, 6), std::nullopt);
+  EXPECT_EQ(checkedLcm(-2, 6), std::nullopt);
+  EXPECT_EQ(checkedLcm(INT64_MAX, INT64_MAX - 1), std::nullopt);
+}
+
+TEST(Limits, DefaultsAcceptOrdinaryPrograms) {
+  Compilation C = compileWith(kIdentity, CompilerLimits{});
+  EXPECT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_FALSE(C.DegradedToFifo);
+}
+
+TEST(Limits, GraphNodeLimit) {
+  CompilerLimits L;
+  L.MaxGraphNodes = 4; // source + sink + splitter already close
+  const char *Src = R"(
+int->int filter F {
+  work push 1 pop 1 { push(pop()); }
+}
+int->int splitjoin SJ {
+  split duplicate;
+  add F;
+  add F;
+  add F;
+  join roundrobin(1, 1, 1);
+}
+int->int pipeline Top { add SJ; }
+)";
+  expectLimitError(compileWith(Src, L), "--max-nodes");
+}
+
+TEST(Limits, PeekWindowLimit) {
+  CompilerLimits L;
+  L.MaxPeekWindow = 8;
+  const char *Src = R"(
+int->int filter F {
+  work push 1 pop 1 peek 100 { push(peek(99)); pop(); }
+}
+int->int pipeline Top { add F; }
+)";
+  Compilation C = compileWith(Src, L);
+  expectLimitError(C, "--max-peek");
+  EXPECT_NE(C.ErrorLog.find("peek window 100 of 'F'"), std::string::npos)
+      << C.ErrorLog;
+}
+
+TEST(Limits, RepetitionLimit) {
+  CompilerLimits L;
+  L.MaxRepetition = 5;
+  const char *Src = R"(
+int->int filter Up {
+  work push 7 pop 1 {
+    int v = pop();
+    for (int i = 0; i < 7; i++) push(v);
+  }
+}
+int->int filter Down {
+  work push 1 pop 1 { push(pop()); }
+}
+int->int pipeline Top { add Up; add Down; }
+)";
+  // Up fires once per steady state but forces Down to 7 firings > 5.
+  expectLimitError(compileWith(Src, L), "--max-reps");
+}
+
+TEST(Limits, TotalFiringsLimit) {
+  CompilerLimits L;
+  L.MaxSteadyFirings = 3; // source + F + sink = 3 firings minimum; add one
+  const char *Src = R"(
+int->int filter A {
+  work push 1 pop 1 { push(pop()); }
+}
+int->int filter B {
+  work push 1 pop 1 { push(pop()); }
+}
+int->int pipeline Top { add A; add B; }
+)";
+  expectLimitError(compileWith(Src, L), "--max-firings");
+}
+
+TEST(Limits, ChannelTokensLimit) {
+  CompilerLimits L;
+  L.MaxChannelTokens = 16;
+  const char *Src = R"(
+int->int filter Wide {
+  work push 100 pop 1 {
+    int v = pop();
+    for (int i = 0; i < 100; i++) push(v);
+  }
+}
+int->int filter Narrow {
+  work push 1 pop 100 {
+    int s = 0;
+    for (int i = 0; i < 100; i++) s += pop();
+    push(s);
+  }
+}
+int->int pipeline Top { add Wide; add Narrow; }
+)";
+  expectLimitError(compileWith(Src, L), "--max-channel-tokens");
+}
+
+TEST(Limits, RateRatioOverflowIsDiagnosed) {
+  // Each stage multiplies the repetition ratio by 1000000007; three
+  // stages overflow any 64-bit accumulator. Must be a diagnostic, not
+  // an assert or wraparound.
+  const char *Src = R"(
+int->int filter Grow {
+  work push 1000000007 pop 1 {
+    int v = pop();
+    for (int i = 0; i < 1000000007; i++) push(v);
+  }
+}
+int->int pipeline Top { add Grow; add Grow; add Grow; }
+)";
+  Compilation C = compileWith(Src, CompilerLimits{});
+  EXPECT_FALSE(C.Ok);
+  EXPECT_TRUE(C.hasLocatedError()) << C.ErrorLog;
+  // Either the ratio relaxation or the scaling step reports overflow /
+  // a limit, depending on channel traversal order; all are acceptable,
+  // a crash is not.
+  bool Mentioned =
+      C.ErrorLog.find("overflow") != std::string::npos ||
+      C.ErrorLog.find("exceeds the limit") != std::string::npos;
+  EXPECT_TRUE(Mentioned) << C.ErrorLog;
+}
+
+TEST(Limits, LaminarDegradesToFifoOverBudget) {
+  CompilerLimits L;
+  // The steady unroll needs 32 source firings plus a 32-way work-body
+  // unroll — hundreds of instructions against a budget of 16.
+  L.MaxUnrolledInsts = 16;
+  const char *Src = R"(
+int->int filter F {
+  work push 32 pop 32 {
+    for (int i = 0; i < 32; i++) push(pop() * 3 + 1);
+  }
+}
+int->int pipeline Top { add F; }
+)";
+  Compilation C = compileWith(Src, L, LoweringMode::Laminar);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_TRUE(C.DegradedToFifo);
+  bool Warned = false;
+  for (const Diagnostic &D : C.Diags)
+    if (D.Kind == DiagKind::Warning &&
+        D.Message.find("falling back to FIFO lowering") != std::string::npos)
+      Warned = true;
+  EXPECT_TRUE(Warned);
+  EXPECT_NE(C.Module->getName().find("fifo"), std::string::npos);
+
+  // The degraded module must be observably the same program: identical
+  // output to an explicit fifo-O0 compilation.
+  CompileOptions Ref;
+  Ref.TopName = "Top";
+  Ref.Mode = LoweringMode::Fifo;
+  Ref.OptLevel = 0;
+  Compilation R = compile(Src, Ref);
+  ASSERT_TRUE(R.Ok) << R.ErrorLog;
+  interp::RunResult DegradedRun = runWithRandomInput(C, 8, 99);
+  interp::RunResult RefRun = runWithRandomInput(R, 8, 99);
+  ASSERT_TRUE(DegradedRun.Ok) << DegradedRun.Error;
+  ASSERT_TRUE(RefRun.Ok) << RefRun.Error;
+  EXPECT_EQ(DegradedRun.Outputs.I, RefRun.Outputs.I);
+  EXPECT_EQ(DegradedRun.Outputs.F, RefRun.Outputs.F);
+}
+
+TEST(Limits, NoDegradeOptionTurnsBudgetIntoError) {
+  CompilerLimits L;
+  L.MaxUnrolledInsts = 16;
+  CompileOptions O;
+  O.TopName = "Top";
+  O.Mode = LoweringMode::Laminar;
+  O.Limits = L;
+  O.AllowDegradeToFifo = false;
+  const char *Src = R"(
+int->int filter F {
+  work push 32 pop 32 {
+    for (int i = 0; i < 32; i++) push(pop() * 3 + 1);
+  }
+}
+int->int pipeline Top { add F; }
+)";
+  Compilation C = compile(Src, O);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.ErrorLog.find("--max-ir-insts"), std::string::npos)
+      << C.ErrorLog;
+  EXPECT_TRUE(C.hasLocatedError()) << C.ErrorLog;
+}
+
+TEST(Limits, LaminarRejectsDeclaredRateMismatch) {
+  // Declares push 3 but pushes nothing: FIFO mode only notices at run
+  // time, laminar mode must reject with a located diagnostic naming the
+  // filter instead of desynchronizing its compile-time queues.
+  const char *Src = R"(
+int->int filter Liar {
+  work push 3 pop 1 { pop(); }
+}
+int->int pipeline Top { add Liar; }
+)";
+  Compilation C = compileWith(Src, CompilerLimits{}, LoweringMode::Laminar);
+  EXPECT_FALSE(C.Ok);
+  // Elaboration suffixes instance names ('Liar_0').
+  EXPECT_NE(C.ErrorLog.find("'Liar"), std::string::npos) << C.ErrorLog;
+  EXPECT_NE(C.ErrorLog.find("declares pop 1 push 3"), std::string::npos)
+      << C.ErrorLog;
+  EXPECT_TRUE(C.hasLocatedError()) << C.ErrorLog;
+}

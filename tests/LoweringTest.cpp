@@ -257,3 +257,28 @@ TEST(Lowering, IntStreams) {
     EXPECT_EQ(C.Module->getOutputType(), TypeKind::Int);
   }
 }
+
+TEST(Lowering, ConstantFalseRuntimeLoopKeepsSSAConsistent) {
+  // A statically-false loop guard must not disconnect the dead body
+  // block from the CFG: a variable read after the loop builds a phi
+  // over the exit block's predecessors, and a predecessor-less sealed
+  // body block made that read assert (found by crash-mode fuzzing).
+  const char *Src = R"(
+    float->float filter F {
+      work push 1 pop 1 {
+        float acc = pop();
+        for (int k = 0; 4 < 3; k++)
+          acc = acc + 1.0;
+        push(acc);
+      }
+    }
+    float->float pipeline Top { add F; }
+  )";
+  for (LoweringMode Mode : {LoweringMode::Fifo, LoweringMode::Laminar}) {
+    Compilation C = make(Src, "Top", Mode);
+    ASSERT_TRUE(C.Ok) << C.ErrorLog;
+    interp::RunResult R = runWithRandomInput(C, 4, 7);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    ASSERT_EQ(R.Outputs.F.size(), 4u);
+  }
+}

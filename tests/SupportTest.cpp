@@ -154,3 +154,59 @@ TEST(Casting, IsaCastDynCast) {
   Base *Null = nullptr;
   EXPECT_EQ(dyn_cast_or_null<DerivedA>(Null), nullptr);
 }
+
+// --- Overflow-safety regressions (robustness PR) ------------------------
+
+TEST(Rational, Int64MinMagnitudesAreHandled) {
+  // Historically UB: negating INT64_MIN during canonicalization.
+  Rational A(INT64_MIN, 2);
+  EXPECT_EQ(A.num(), INT64_MIN / 2);
+  EXPECT_EQ(A.den(), 1);
+  Rational B(INT64_MIN, INT64_MIN);
+  EXPECT_EQ(B, Rational(1));
+  Rational C(1, INT64_MIN / 2);
+  EXPECT_EQ(C.num(), -1);
+  EXPECT_EQ(C.den(), -(INT64_MIN / 2));
+}
+
+TEST(Rational, MakeCheckedRejectsUnrepresentable) {
+  // 3/INT64_MIN canonicalizes to -3/2^63, whose denominator does not
+  // fit in int64_t.
+  EXPECT_FALSE(Rational::makeChecked(3, INT64_MIN).has_value());
+  EXPECT_FALSE(Rational::makeChecked(1, 0).has_value());
+  auto R = Rational::makeChecked(INT64_MIN, 2);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->num(), INT64_MIN / 2);
+  // INT64_MIN/INT64_MIN reduces to 1 before any negation can overflow.
+  auto S = Rational::makeChecked(INT64_MIN, INT64_MIN);
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(*S, Rational(1));
+}
+
+TEST(Rational, CheckedOpsSurviveLargeMagnitudes) {
+  Rational Big(INT64_MAX, 1);
+  EXPECT_FALSE(Big.mulChecked(Big).has_value());
+  EXPECT_FALSE(Big.addChecked(Rational(1)).has_value());
+  // Cross-reduction keeps representable products representable:
+  // (2^62 / 3) * (3 / 2^62) == 1 without overflowing.
+  auto A = Rational::makeChecked(1LL << 62, 3);
+  auto B = Rational::makeChecked(3, 1LL << 62);
+  ASSERT_TRUE(A && B);
+  auto P = A->mulChecked(*B);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(*P, Rational(1));
+  auto Sum = Rational(1, 3).addChecked(Rational(1, 6));
+  ASSERT_TRUE(Sum.has_value());
+  EXPECT_EQ(*Sum, Rational(1, 2));
+}
+
+TEST(SourceRangeTest, ValidityAndComparison) {
+  SourceRange Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  SourceRange Point(SourceLoc(2, 3));
+  EXPECT_TRUE(Point.isValid());
+  EXPECT_EQ(Point.Begin, Point.End);
+  SourceRange Span(SourceLoc(2, 3), SourceLoc(2, 9));
+  EXPECT_TRUE(Span.isValid());
+  EXPECT_TRUE(Span.End != Span.Begin);
+}

@@ -219,3 +219,98 @@ TEST(LaminarFuzz, UnknownFlagPrintsUsage) {
   EXPECT_NE(R.ExitCode, 0);
   EXPECT_NE(R.Output.find("usage:"), std::string::npos) << R.Output;
 }
+
+TEST(LaminarFuzz, CrashModeSmokeIsCleanAndDeterministic) {
+  REQUIRE_FUZZ_BINARY();
+  std::string DirA = freshDir("fuzz-crash-a");
+  std::string DirB = freshDir("fuzz-crash-b");
+  std::string Flags = "--mode=crash --seed=20150613 --iters=60 ";
+  ToolResult A = runBinary(fuzzBinary(), Flags + "--corpus=" + DirA);
+  ToolResult B = runBinary(fuzzBinary(), Flags + "--corpus=" + DirB);
+  EXPECT_EQ(A.ExitCode, 0) << A.Output;
+  EXPECT_NE(A.Output.find("mode=crash"), std::string::npos);
+  EXPECT_NE(A.Output.find("failures=0"), std::string::npos) << A.Output;
+  EXPECT_EQ(A.Output, B.Output);
+  // The in-flight breadcrumb is cleaned up after a crash-free run.
+  EXPECT_FALSE(exists(DirA + "/crash-current.str"));
+}
+
+TEST(LaminarFuzz, CrashModeReplayAcceptsAndRejectsCleanly) {
+  REQUIRE_FUZZ_BINARY();
+  std::string Dir = freshDir("fuzz-crash-replay");
+  std::string Good = Dir + "/good.str";
+  {
+    std::ofstream Out(Good);
+    Out << "// top: Top\n"
+        << "int->int filter F { work push 1 pop 1 { push(pop()); } }\n"
+        << "int->int pipeline Top { add F; }\n";
+  }
+  std::string Bad = Dir + "/bad.str";
+  {
+    std::ofstream Out(Bad);
+    Out << "// top: Top\n"
+        << "int->int filter F { work push }\n";
+  }
+  ToolResult R =
+      runBinary(fuzzBinary(), "--mode=crash " + Good + " " + Bad);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("PASS " + Good), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("accepted"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("rejected cleanly"), std::string::npos) << R.Output;
+}
+
+TEST(LaminarFuzz, RejectsBadModeAndMutationCount) {
+  REQUIRE_FUZZ_BINARY();
+  EXPECT_EQ(runBinary(fuzzBinary(), "--mode=bogus").ExitCode, 1);
+  EXPECT_EQ(runBinary(fuzzBinary(), "--mode=crash --mutations=0").ExitCode,
+            1);
+}
+
+TEST(Laminarc, LimitFlagsProduceGovernedDiagnostics) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-limits");
+  std::string File = Dir + "/deep.str";
+  {
+    std::ofstream Out(File);
+    Out << "int->int filter Up {\n"
+        << "  work push 7 pop 1 {\n"
+        << "    int v = pop();\n"
+        << "    for (int i = 0; i < 7; i++) push(v);\n"
+        << "  }\n"
+        << "}\n"
+        << "int->int filter Down { work push 1 pop 1 { push(pop()); } }\n"
+        << "int->int pipeline Top { add Up; add Down; }\n";
+  }
+  ToolResult R = run(File + " --top=Top --max-reps=5");
+  EXPECT_EQ(R.ExitCode, 1);
+  EXPECT_NE(R.Output.find("--max-reps"), std::string::npos) << R.Output;
+  // The same program compiles under default limits.
+  EXPECT_EQ(run(File + " --top=Top --emit=schedule").ExitCode, 0);
+}
+
+TEST(Laminarc, DegradationWarningAndNoDegrade) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-degrade");
+  std::string File = Dir + "/wide.str";
+  {
+    std::ofstream Out(File);
+    Out << "int->int filter F {\n"
+        << "  work push 32 pop 32 {\n"
+        << "    for (int i = 0; i < 32; i++) push(pop() * 3 + 1);\n"
+        << "  }\n"
+        << "}\n"
+        << "int->int pipeline Top { add F; }\n";
+  }
+  ToolResult Degraded =
+      run(File + " --top=Top --mode=laminar --max-ir-insts=16 --emit=ir");
+  EXPECT_EQ(Degraded.ExitCode, 0) << Degraded.Output;
+  EXPECT_NE(Degraded.Output.find("falling back to FIFO lowering"),
+            std::string::npos)
+      << Degraded.Output;
+  ToolResult Hard = run(File +
+                        " --top=Top --mode=laminar --max-ir-insts=16 "
+                        "--no-degrade --emit=ir");
+  EXPECT_EQ(Hard.ExitCode, 1);
+  EXPECT_NE(Hard.Output.find("--max-ir-insts"), std::string::npos)
+      << Hard.Output;
+}

@@ -1,26 +1,39 @@
-//===--- laminar-fuzz.cpp - Differential stream-program fuzzer ------------===//
+//===--- laminar-fuzz.cpp - Differential and crash-mode fuzzer ------------===//
 //
 // laminar-fuzz [options] [reproducer.str ...]
+//   --mode=diff|crash  oracle: differential (default) or crash-free
 //   --seed=N         base seed for program generation (default 1)
 //   --iters=N        number of random programs (default 100)
 //   --corpus=DIR     reproducer + report directory (default fuzz-corpus)
 //   --runs=N         interpreter steady iterations per config (default 4)
 //   --input-seed=N   randomized-input seed (default 0xC0FFEE)
 //   --max-stages=N   generator stage budget (default 5)
+//   --mutations=N    crash mode: max mutations per input (default 4)
 //   --top=Name       top stream for replayed files (default FuzzTop)
 //   --max-seconds=N  wall-clock budget, 0 = unlimited (default 0)
 //   --no-cc          skip the emitted-C cross-check
 //   --no-roundtrip   skip the textual-IR round-trip check
 //
+// Diff mode generates rate-consistent programs and compares every
+// lowering/optimization configuration against the fifo-O0 reference.
+// Crash mode mutates the generated source into adversarial byte soup
+// and checks the crash-free invariant: the compiler either accepts the
+// input or rejects it with a located error diagnostic — never crashes
+// (build with sanitizers to make the "never crashes" half bite). Before
+// each crash check the input is written to <corpus>/crash-current.str,
+// so a hard crash leaves its own reproducer behind.
+//
 // With positional .str files the tool replays saved reproducers through
-// the same oracle instead of generating programs. Without --max-seconds
-// all output is deterministic for a fixed flag set.
+// the selected oracle instead of generating programs. Without
+// --max-seconds all output is deterministic for a fixed flag set.
 //
 // Exit code: 0 when every program passed, 1 on any failure or usage
-// error.
+// error. Each failure prints its reproducer path on a "reproducer:"
+// line.
 //===----------------------------------------------------------------------===//
 
 #include "testing/Differ.h"
+#include "testing/Mutator.h"
 #include "testing/ProgramGen.h"
 #include "testing/Reducer.h"
 #include <chrono>
@@ -39,9 +52,9 @@ namespace {
 int usage() {
   std::cerr
       << "usage: laminar-fuzz [options] [reproducer.str ...]\n"
-      << "  --seed=N --iters=N --corpus=DIR --runs=N --input-seed=N\n"
-      << "  --max-stages=N --top=Name --max-seconds=N --no-cc"
-      << " --no-roundtrip\n";
+      << "  --mode=diff|crash --seed=N --iters=N --corpus=DIR --runs=N\n"
+      << "  --input-seed=N --max-stages=N --mutations=N --top=Name\n"
+      << "  --max-seconds=N --no-cc --no-roundtrip\n";
   return 1;
 }
 
@@ -65,10 +78,22 @@ std::string reportBlock(const std::string &Title, const lt::DiffResult &D) {
   return OS.str();
 }
 
-struct ReplayFile {
-  std::string Path;
-  std::string Source;
-};
+std::string readFileOrEmpty(const std::string &Path, bool &Ok) {
+  std::ifstream In(Path);
+  Ok = static_cast<bool>(In);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Extracts the "// top: Name" header a reproducer carries, if any.
+std::string headerTop(const std::string &Source, const std::string &Fallback) {
+  size_t Pos = Source.find("// top: ");
+  if (Pos == std::string::npos)
+    return Fallback;
+  size_t End = Source.find('\n', Pos);
+  return Source.substr(Pos + 8, End - Pos - 8);
+}
 
 } // namespace
 
@@ -77,9 +102,11 @@ int main(int argc, char **argv) {
   int64_t Iters = 100;
   std::string Corpus = "fuzz-corpus";
   std::string Top = "FuzzTop";
+  std::string Mode = "diff";
   int64_t MaxSeconds = 0;
   lt::DiffOptions DiffOpts;
   lt::GenOptions GenOpts;
+  lt::MutateOptions MutOpts;
   std::vector<std::string> Replays;
 
   for (int I = 1; I < argc; ++I) {
@@ -105,7 +132,13 @@ int main(int argc, char **argv) {
         DiffOpts.InputSeed = std::stoull(V);
       else if (Eat("--max-stages=", V))
         GenOpts.MaxStages = static_cast<int>(std::stol(V));
-      else if (Eat("--top=", V))
+      else if (Eat("--mutations=", V))
+        MutOpts.MaxMutations = static_cast<int>(std::stol(V));
+      else if (Eat("--mode=", V)) {
+        Mode = V;
+        if (Mode != "diff" && Mode != "crash")
+          return usage();
+      } else if (Eat("--top=", V))
         Top = V;
       else if (Eat("--max-seconds=", V))
         MaxSeconds = std::stoll(V);
@@ -123,25 +156,31 @@ int main(int argc, char **argv) {
   }
   if (GenOpts.MaxStages < GenOpts.MinStages)
     GenOpts.MinStages = 1;
+  if (MutOpts.MaxMutations < 1)
+    return usage();
 
   // --- Replay mode -------------------------------------------------------
   if (!Replays.empty()) {
     int Failures = 0;
     for (const std::string &Path : Replays) {
-      std::ifstream In(Path);
-      if (!In) {
+      bool Ok = false;
+      std::string Source = readFileOrEmpty(Path, Ok);
+      if (!Ok) {
         std::cerr << "error: cannot open '" << Path << "'\n";
         return 1;
       }
-      std::ostringstream SS;
-      SS << In.rdbuf();
-      std::string Source = SS.str();
-      // Reproducers carry their top stream in a "// top: Name" header.
-      std::string FileTop = Top;
-      size_t Pos = Source.find("// top: ");
-      if (Pos != std::string::npos) {
-        size_t End = Source.find('\n', Pos);
-        FileTop = Source.substr(Pos + 8, End - Pos - 8);
+      std::string FileTop = headerTop(Source, Top);
+      if (Mode == "crash") {
+        lt::CrashCheckResult R = lt::checkCrashInvariant(Source, FileTop);
+        if (R.Violation) {
+          ++Failures;
+          std::cout << "FAIL " << Path << "\n  " << R.Detail << "\n";
+        } else {
+          std::cout << "PASS " << Path << " ("
+                    << (R.Accepted ? "accepted" : "rejected cleanly")
+                    << ")\n";
+        }
+        continue;
       }
       lt::DiffResult D = lt::diffProgram(Source, FileTop, DiffOpts);
       // A frontend reject during replay is almost always a wrong top
@@ -172,6 +211,82 @@ int main(int argc, char **argv) {
               << "': " << EC.message() << "\n";
     return 1;
   }
+
+  auto Start = std::chrono::steady_clock::now();
+  auto OutOfTime = [&] {
+    if (MaxSeconds <= 0)
+      return false;
+    auto Elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+        std::chrono::steady_clock::now() - Start);
+    return Elapsed.count() >= MaxSeconds;
+  };
+
+  // --- Crash mode --------------------------------------------------------
+  if (Mode == "crash") {
+    std::ostringstream Report;
+    Report << "laminar-fuzz mode=crash seed=" << Seed << " iters=" << Iters
+           << " mutations=" << MutOpts.MaxMutations << "\n";
+
+    const std::string Breadcrumb = Corpus + "/crash-current.str";
+    int64_t Done = 0, Accepted = 0, Failures = 0;
+    for (int64_t I = 0; I < Iters && !OutOfTime(); ++I) {
+      uint64_t PSeed = iterSeed(Seed, static_cast<uint64_t>(I));
+      lt::ProgramSpec P = lt::generateProgram(PSeed, GenOpts);
+      P.Top = Top;
+      std::string Source =
+          lt::mutateSource(lt::renderSource(P), PSeed ^ 0xA5A5A5A5A5A5A5A5ULL,
+                           MutOpts);
+      {
+        // A hard crash (sanitizer abort) kills this process before any
+        // reporting runs; the breadcrumb then IS the reproducer.
+        std::ofstream BC(Breadcrumb);
+        BC << "// laminar-fuzz crash-mode input (in flight)\n"
+           << "// top: " << Top << "\n"
+           << "// seed: " << Seed << " iter: " << I << "\n"
+           << Source;
+      }
+      lt::CrashCheckResult R = lt::checkCrashInvariant(Source, Top);
+      ++Done;
+      if (R.Accepted)
+        ++Accepted;
+      if (!R.Violation)
+        continue;
+
+      ++Failures;
+      std::string Name =
+          "crash-" + std::to_string(Seed) + "-" + std::to_string(I);
+      lt::SourceReduction Red = lt::reduceSourceText(
+          Source,
+          [&](const std::string &Cand) {
+            return lt::checkCrashInvariant(Cand, Top).Violation;
+          });
+      std::string ReproPath = Corpus + "/" + Name + ".str";
+      std::ofstream Str(ReproPath);
+      Str << "// laminar-fuzz crash-mode reproducer\n"
+          << "// top: " << Top << "\n"
+          << "// seed: " << Seed << " iter: " << I << "\n"
+          << Red.Source;
+      std::ofstream Rep(Corpus + "/" + Name + ".report.txt");
+      Rep << "violation:\n  " << R.Detail << "\nreduction: " << Red.Steps
+          << " step(s), " << Red.Evals << " eval(s)\n\noriginal source:\n"
+          << Source;
+      Report << "failure " << Name << ":\n  " << R.Detail
+             << "  reproducer: " << ReproPath << "\n";
+      std::cout << "FAIL " << Name << "\n  reproducer: " << ReproPath
+                << "\n";
+    }
+    std::filesystem::remove(Breadcrumb, EC);
+
+    Report << "programs=" << Done << " accepted=" << Accepted
+           << " rejected=" << (Done - Accepted - Failures)
+           << " failures=" << Failures << "\n";
+    std::ofstream Out(Corpus + "/report.txt");
+    Out << Report.str();
+    std::cout << Report.str();
+    return Failures == 0 ? 0 : 1;
+  }
+
+  // --- Diff mode ---------------------------------------------------------
   if (DiffOpts.CheckC && !lt::hostCompilerAvailable())
     DiffOpts.CheckC = false;
 
@@ -183,18 +298,11 @@ int main(int argc, char **argv) {
          << " roundtrip=" << (DiffOpts.CheckRoundTrip ? "on" : "off")
          << "\n";
 
-  auto Start = std::chrono::steady_clock::now();
   int64_t Done = 0;
   int64_t Rejects = 0;
   int64_t Failures = 0;
 
-  for (int64_t I = 0; I < Iters; ++I) {
-    if (MaxSeconds > 0) {
-      auto Elapsed = std::chrono::duration_cast<std::chrono::seconds>(
-          std::chrono::steady_clock::now() - Start);
-      if (Elapsed.count() >= MaxSeconds)
-        break;
-    }
+  for (int64_t I = 0; I < Iters && !OutOfTime(); ++I) {
     uint64_t PSeed = iterSeed(Seed, static_cast<uint64_t>(I));
     lt::ProgramSpec P = lt::generateProgram(PSeed, GenOpts);
     P.Top = Top;
@@ -220,7 +328,8 @@ int main(int argc, char **argv) {
     Report << "  reduced: " << Red.Steps << " step(s), " << Red.Evals
            << " eval(s), " << lt::describe(Red.Minimal) << "\n";
 
-    std::ofstream Str(Corpus + "/" + Name + ".str");
+    std::string ReproPath = Corpus + "/" + Name + ".str";
+    std::ofstream Str(ReproPath);
     Str << "// laminar-fuzz reproducer\n"
         << "// top: " << Red.Minimal.Top << "\n"
         << "// seed: " << Seed << " iter: " << I << " gen-seed: " << PSeed
@@ -236,6 +345,8 @@ int main(int argc, char **argv) {
         << " eval(s)\n\n"
         << "original source:\n"
         << Source;
+    Report << "  reproducer: " << ReproPath << "\n";
+    std::cout << "FAIL " << Name << "\n  reproducer: " << ReproPath << "\n";
   }
 
   Report << "programs=" << Done << " ok=" << (Done - Rejects - Failures)

@@ -7,6 +7,14 @@
 //   --iters=N             steady iterations for --emit=run (default 16)
 //   --seed=N              input seed (default 1)
 //   --top=Name            top stream when compiling from a file
+//   --max-nodes=N         graph node limit override
+//   --max-reps=N          steady-state repetition limit override
+//   --max-firings=N       total steady firings limit override
+//   --max-ir-insts=N      unrolled-IR instruction budget override
+//   --max-peek=N          peek window limit override
+//   --max-channel-tokens=N  per-channel token/buffer limit override
+//   --max-errors=N        diagnostic cutoff override (0 = unlimited)
+//   --no-degrade          error instead of Laminar->FIFO fallback
 //
 // The positional argument is a registered benchmark name, or a path to
 // a .str file, or "-" for stdin.
@@ -27,7 +35,10 @@ static int usage() {
   std::cerr
       << "usage: laminarc <benchmark|file.str|-> [--mode=fifo|laminar]\n"
       << "  [--opt=0|1|2] [--emit=ir|c|graph|dot|schedule|run|stats]\n"
-      << "  [--iters=N] [--seed=N] [--top=Name]\n\nbenchmarks:\n";
+      << "  [--iters=N] [--seed=N] [--top=Name]\n"
+      << "  [--max-nodes=N] [--max-reps=N] [--max-firings=N]\n"
+      << "  [--max-ir-insts=N] [--max-peek=N] [--max-channel-tokens=N]\n"
+      << "  [--max-errors=N] [--no-degrade]\n\nbenchmarks:\n";
   for (const auto &B : suite::allBenchmarks())
     std::cerr << "  " << B.Name << " - " << B.Description << "\n";
   return 1;
@@ -42,6 +53,8 @@ int main(int argc, char **argv) {
   unsigned Opt = 2;
   int64_t Iters = 16;
   uint64_t Seed = 1;
+  CompilerLimits Limits;
+  bool AllowDegrade = true;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -53,20 +66,40 @@ int main(int argc, char **argv) {
       return true;
     };
     std::string V;
-    if (Eat("--mode=", V))
-      Mode = V;
-    else if (Eat("--emit=", V))
-      Emit = V;
-    else if (Eat("--opt=", V))
-      Opt = static_cast<unsigned>(std::stoul(V));
-    else if (Eat("--iters=", V))
-      Iters = std::stoll(V);
-    else if (Eat("--seed=", V))
-      Seed = std::stoull(V);
-    else if (Eat("--top=", V))
-      Top = V;
-    else
+    try {
+      if (Eat("--mode=", V))
+        Mode = V;
+      else if (Eat("--emit=", V))
+        Emit = V;
+      else if (Eat("--opt=", V))
+        Opt = static_cast<unsigned>(std::stoul(V));
+      else if (Eat("--iters=", V))
+        Iters = std::stoll(V);
+      else if (Eat("--seed=", V))
+        Seed = std::stoull(V);
+      else if (Eat("--top=", V))
+        Top = V;
+      else if (Eat("--max-nodes=", V))
+        Limits.MaxGraphNodes = std::stoll(V);
+      else if (Eat("--max-reps=", V))
+        Limits.MaxRepetition = std::stoll(V);
+      else if (Eat("--max-firings=", V))
+        Limits.MaxSteadyFirings = std::stoll(V);
+      else if (Eat("--max-ir-insts=", V))
+        Limits.MaxUnrolledInsts = std::stoll(V);
+      else if (Eat("--max-peek=", V))
+        Limits.MaxPeekWindow = std::stoll(V);
+      else if (Eat("--max-channel-tokens=", V))
+        Limits.MaxChannelTokens = std::stoll(V);
+      else if (Eat("--max-errors=", V))
+        Limits.MaxErrors = static_cast<unsigned>(std::stoul(V));
+      else if (Arg == "--no-degrade")
+        AllowDegrade = false;
+      else
+        return usage();
+    } catch (const std::exception &) {
       return usage();
+    }
   }
 
   std::string Source;
@@ -98,11 +131,19 @@ int main(int argc, char **argv) {
   Opts.Mode = Mode == "fifo" ? driver::LoweringMode::Fifo
                              : driver::LoweringMode::Laminar;
   Opts.OptLevel = Opt;
+  Opts.Limits = Limits;
+  Opts.AllowDegradeToFifo = AllowDegrade;
   driver::Compilation C = driver::compile(Source, Opts);
   if (!C.Ok) {
     std::cerr << C.ErrorLog;
     return 1;
   }
+  // Surface warnings (notably the Laminar->FIFO degradation notice)
+  // even on successful compilations.
+  for (const Diagnostic &D : C.Diags)
+    if (D.Kind == DiagKind::Warning)
+      std::cerr << D.Loc.Line << ":" << D.Loc.Col << ": warning: "
+                << D.Message << "\n";
 
   if (Emit == "ir") {
     std::cout << lir::printModule(*C.Module);
