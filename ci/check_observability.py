@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""CI validator for laminarc's observability outputs.
+
+Usage: check_observability.py TRACE_JSON STATS_JSON REMARKS_YAML
+
+Asserts that
+  - the trace file is valid JSON with a non-empty `traceEvents` list of
+    Chrome Trace Event "X" records, including the root `compile` span
+    and one span per pipeline stage;
+  - the stats file is valid JSON with `version`/`counters` and at least
+    one counter in each expected `phase.` namespace;
+  - the remarks file is a sequence of `--- !Kind` YAML documents, each
+    with Pass/Name/Message fields, and names the DirectTokenAccess
+    decision the Laminar lowering is supposed to explain.
+
+Exit code 0 = all good; any failure prints the reason and exits 1.
+No third-party dependencies (stdlib json only).
+"""
+
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print(f"check_observability: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    names = set()
+    for ev in events:
+        for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+            if key not in ev:
+                fail(f"{path}: event missing '{key}': {ev}")
+        if ev["ph"] != "X":
+            fail(f"{path}: expected complete ('X') events, got {ev['ph']!r}")
+        if ev["dur"] < 0:
+            fail(f"{path}: negative duration: {ev}")
+        names.add(ev["name"])
+    required = {"compile", "parse", "sema", "graph", "schedule", "lower",
+                "optimize"}
+    missing = required - names
+    if missing:
+        fail(f"{path}: missing spans: {sorted(missing)}")
+    print(f"check_observability: {path}: {len(events)} spans OK")
+
+
+def check_stats(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("version") != 1:
+        fail(f"{path}: version != 1")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        fail(f"{path}: counters missing or empty")
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{path}: counter {name!r} is not a non-negative int")
+    for ns in ("graph.", "schedule.", "lower.", "opt."):
+        if not any(name.startswith(ns) for name in counters):
+            fail(f"{path}: no counters in namespace {ns!r}")
+    print(f"check_observability: {path}: {len(counters)} counters OK")
+
+
+def check_remarks(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    docs = re.findall(r"^--- !(\w+)\n(.*?)^\.\.\.$", text, re.M | re.S)
+    if not docs:
+        fail(f"{path}: no '--- !Kind ... ...' remark documents found")
+    kinds = set()
+    names = set()
+    for kind, body in docs:
+        if kind not in ("Passed", "Missed", "Analysis"):
+            fail(f"{path}: unknown remark kind {kind!r}")
+        kinds.add(kind)
+        fields = dict(re.findall(r"^(\w+): +(.*)$", body, re.M))
+        for key in ("Pass", "Name", "Message"):
+            if key not in fields:
+                fail(f"{path}: remark missing {key!r}: {body!r}")
+        names.add(fields["Name"])
+    if "DirectTokenAccess" not in names:
+        fail(f"{path}: no DirectTokenAccess remark from laminar lowering")
+    print(f"check_observability: {path}: {len(docs)} remarks OK "
+          f"(kinds: {', '.join(sorted(kinds))})")
+
+
+def main():
+    if len(sys.argv) != 4:
+        fail("usage: check_observability.py TRACE_JSON STATS_JSON REMARKS")
+    check_trace(sys.argv[1])
+    check_stats(sys.argv[2])
+    check_remarks(sys.argv[3])
+    print("check_observability: all outputs well-formed")
+
+
+if __name__ == "__main__":
+    main()

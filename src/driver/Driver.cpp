@@ -39,6 +39,7 @@ const char *driver::compileStageName(CompileStage S) {
 Compilation driver::compile(const std::string &Source,
                             const CompileOptions &Opts) {
   Compilation C;
+  TraceScope Root(Opts.Trace, "compile");
   DiagnosticEngine Diags;
   Diags.setErrorLimit(Opts.Limits.MaxErrors);
   // Hand the collected diagnostics to the caller on every exit path.
@@ -48,37 +49,81 @@ Compilation driver::compile(const std::string &Source,
   };
 
   C.Stage = CompileStage::Parse;
-  C.AST = parseProgram(Source, Diags);
+  {
+    TraceScope Span(Opts.Trace, "parse");
+    C.AST = parseProgram(Source, Diags);
+  }
   if (Diags.hasErrors()) {
     Fail(C);
     return C;
   }
   C.Stage = CompileStage::Sema;
-  if (!analyzeProgram(*C.AST, Diags)) {
+  bool SemaOk;
+  {
+    TraceScope Span(Opts.Trace, "sema");
+    SemaOk = analyzeProgram(*C.AST, Diags);
+  }
+  if (!SemaOk) {
     Fail(C);
     return C;
   }
   C.Stage = CompileStage::Graph;
-  C.Graph = graph::buildGraph(*C.AST, Opts.TopName, Diags, Opts.Limits);
+  {
+    TraceScope Span(Opts.Trace, "graph");
+    C.Graph = graph::buildGraph(*C.AST, Opts.TopName, Diags, Opts.Limits);
+  }
   if (!C.Graph) {
     Fail(C);
     return C;
   }
+  C.Graph->recordStats(C.Stats);
   C.Stage = CompileStage::Schedule;
-  C.Sched = schedule::computeSchedule(*C.Graph, Diags, Opts.Limits);
+  {
+    TraceScope Span(Opts.Trace, "schedule");
+    C.Sched = schedule::computeSchedule(*C.Graph, Diags, Opts.Limits,
+                                        &C.Stats);
+  }
   if (!C.Sched) {
     Fail(C);
     return C;
   }
+  if (Opts.Remarks) {
+    // Name the channel moving the most tokens per steady iteration —
+    // the one whose traffic dominates whatever the lowering does next.
+    const graph::Channel *Busiest = nullptr;
+    int64_t BusiestTokens = -1, TotalTokens = 0;
+    for (const auto &Ch : C.Graph->channels()) {
+      int64_t T = Ch->srcRate() * C.Sched->repsOf(Ch->getSrc());
+      TotalTokens += T;
+      if (T > BusiestTokens) {
+        BusiestTokens = T;
+        Busiest = Ch.get();
+      }
+    }
+    if (Busiest) {
+      std::ostringstream OS;
+      OS << "channel " << Busiest->getId() << " ("
+         << Busiest->getSrc()->getName() << " -> "
+         << Busiest->getDst()->getName() << ") dominates the steady state: "
+         << BusiestTokens << " of " << TotalTokens
+         << " token(s) moved per iteration";
+      Opts.Remarks->analysis("schedule", "DominantChannel", OS.str(),
+                             lower::channelRange(Busiest));
+    }
+  }
   C.Stage = CompileStage::Lower;
   bool ExceededBudget = false;
+  {
+  TraceScope LowerSpan(Opts.Trace, "lower");
   if (Opts.Mode == LoweringMode::Fifo) {
     C.Module = lower::lowerToFifo(*C.Graph, *C.Sched, Diags,
                                   Opts.UnrollFifo, &C.Stats, Opts.Limits,
-                                  &ExceededBudget);
+                                  &ExceededBudget, Opts.Remarks,
+                                  Opts.Trace);
   } else {
     C.Module = lower::lowerToLaminar(*C.Graph, *C.Sched, Diags, &C.Stats,
-                                     Opts.Limits, &ExceededBudget);
+                                     Opts.Limits, &ExceededBudget,
+                                     Opts.Remarks, Opts.Trace);
     if (!C.Module && ExceededBudget && !Diags.hasErrors() &&
         Opts.AllowDegradeToFifo) {
       // Graceful degradation: a correct FIFO program beats no program.
@@ -88,6 +133,10 @@ Compilation driver::compile(const std::string &Source,
          << " instructions (--max-ir-insts); falling back to FIFO "
             "lowering";
       Diags.warning(SourceLoc(1, 1), OS.str());
+      if (Opts.Remarks)
+        Opts.Remarks->missed("laminar-lowering", "DegradeToFifo", OS.str(),
+                             SourceRange(SourceLoc(1, 1)));
+      C.Stats.add("driver.degraded-to-fifo");
       C.DegradedToFifo = true;
       ExceededBudget = false;
       // The fallback can itself trip the budget (static work-body
@@ -95,8 +144,10 @@ Compilation driver::compile(const std::string &Source,
       // rather than a silent rejection.
       C.Module = lower::lowerToFifo(*C.Graph, *C.Sched, Diags,
                                     /*FullyUnroll=*/false, &C.Stats,
-                                    Opts.Limits, &ExceededBudget);
+                                    Opts.Limits, &ExceededBudget,
+                                    Opts.Remarks, Opts.Trace);
     }
+  }
   }
   if (!C.Module && ExceededBudget && !Diags.hasErrors()) {
     std::ostringstream OS;
@@ -110,7 +161,11 @@ Compilation driver::compile(const std::string &Source,
   }
 
   C.Stage = CompileStage::VerifyLowered;
-  std::vector<std::string> Violations = lir::verifyModule(*C.Module);
+  std::vector<std::string> Violations;
+  {
+    TraceScope Span(Opts.Trace, "verify-lowered");
+    Violations = lir::verifyModule(*C.Module);
+  }
   if (!Violations.empty()) {
     C.ErrorLog = "lowering produced invalid IR:\n";
     for (const std::string &V : Violations)
@@ -121,9 +176,13 @@ Compilation driver::compile(const std::string &Source,
 
   if (Opts.OptLevel > 0) {
     C.Stage = CompileStage::Optimize;
+    {
+    TraceScope OptSpan(Opts.Trace, "optimize");
     if (Opts.VerifyEachPass) {
       opt::PassManager PM(C.Stats);
       PM.setVerifyEachPass(true);
+      PM.setTrace(Opts.Trace);
+      PM.setRemarks(Opts.Remarks);
       PM.addPass("constfold", opt::runConstantFold);
       if (Opts.OptLevel >= 2) {
         PM.addPass("globalfold", opt::runGlobalStateFold);
@@ -141,10 +200,15 @@ Compilation driver::compile(const std::string &Source,
         return C;
       }
     } else {
-      opt::optimizeModule(*C.Module, Opts.OptLevel, C.Stats);
+      opt::optimizeModule(*C.Module, Opts.OptLevel, C.Stats, Opts.Trace,
+                          Opts.Remarks);
+    }
     }
     C.Stage = CompileStage::VerifyOptimized;
-    Violations = lir::verifyModule(*C.Module);
+    {
+      TraceScope Span(Opts.Trace, "verify-optimized");
+      Violations = lir::verifyModule(*C.Module);
+    }
     if (!Violations.empty()) {
       C.ErrorLog = "optimization produced invalid IR:\n";
       for (const std::string &V : Violations)

@@ -14,7 +14,9 @@
 #include "lir/Module.h"
 #include "schedule/Schedule.h"
 #include "support/Limits.h"
+#include "support/Remarks.h"
 #include "support/Statistics.h"
+#include "support/Trace.h"
 #include <memory>
 #include <optional>
 #include <string>
@@ -60,6 +62,12 @@ struct CompileOptions {
   /// Laminar mode: when the full unroll exceeds Limits.MaxUnrolledInsts,
   /// fall back to FIFO lowering with a warning instead of erroring.
   bool AllowDegradeToFifo = true;
+  /// Observability sinks; null (the default) disables each at near-zero
+  /// cost. Trace receives one nested span per pipeline stage (and
+  /// per-pass/per-function spans below that); Remarks receives the
+  /// pipeline's optimization-remark stream.
+  TraceContext *Trace = nullptr;
+  RemarkEmitter *Remarks = nullptr;
 };
 
 /// The result of one compilation; owns every intermediate artifact (the

@@ -179,3 +179,27 @@ std::string StreamGraph::str() const {
        << ")\n";
   return OS.str();
 }
+
+void StreamGraph::recordStats(StatsRegistry &Stats) const {
+  StatsScope S(&Stats, "graph");
+  uint64_t Filters = 0, Splitters = 0, Joiners = 0, Peekers = 0;
+  for (const auto &N : Nodes) {
+    if (const auto *F = dyn_cast<FilterNode>(N.get())) {
+      Filters += !F->isEndpoint();
+      Peekers += F->getPeekRate() > F->getPopRate();
+    } else if (isa<SplitterNode>(N.get())) {
+      ++Splitters;
+    } else {
+      ++Joiners;
+    }
+  }
+  S.add("nodes.filters", Filters);
+  S.add("nodes.splitters", Splitters);
+  S.add("nodes.joiners", Joiners);
+  S.add("nodes.peeking-filters", Peekers);
+  S.add("channels.count", Channels.size());
+  uint64_t InitialTokens = 0;
+  for (const auto &Ch : Channels)
+    InitialTokens += static_cast<uint64_t>(Ch->numInitialTokens());
+  S.add("channels.initial-tokens", InitialTokens);
+}

@@ -13,6 +13,7 @@
 #include "frontend/AST.h"
 #include "frontend/ConstEval.h"
 #include "support/Casting.h"
+#include "support/Statistics.h"
 #include <memory>
 #include <string>
 #include <vector>
@@ -233,6 +234,11 @@ public:
   /// Graphviz rendering (filters as boxes, splitters/joiners as
   /// trapezoids, channels annotated with their rates).
   std::string dot() const;
+
+  /// Records the graph-shape counters (`graph.nodes.*`,
+  /// `graph.channels.*`) into \p Stats; the driver calls this once
+  /// after elaboration so every stats consumer sees the same shape.
+  void recordStats(StatsRegistry &Stats) const;
 
 private:
   unsigned nextNodeId() { return static_cast<unsigned>(Nodes.size()); }

@@ -48,6 +48,25 @@ std::string Counters::str() const {
   return OS.str();
 }
 
+void Counters::record(StatsRegistry &Stats, const std::string &Prefix) const {
+  StatsScope S(&Stats, Prefix);
+  S.add("int-alu", IntAlu);
+  S.add("float-alu", FloatAlu);
+  S.add("float-div", FloatDiv);
+  S.add("cmp", Cmp);
+  S.add("cast", Cast);
+  S.add("select", Select);
+  S.add("math", MathCall);
+  S.add("phi", Phi);
+  S.add("branch", Branch);
+  S.add("comm-loads", CommLoad);
+  S.add("comm-stores", CommStore);
+  S.add("state-loads", StateLoad);
+  S.add("state-stores", StateStore);
+  S.add("input", Input);
+  S.add("output", Output);
+}
+
 TokenStream interp::makeRandomInput(TypeKind Ty, size_t Count,
                                     uint64_t Seed) {
   TokenStream S;

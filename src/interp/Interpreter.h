@@ -14,6 +14,7 @@
 
 #include "lir/Module.h"
 #include "support/RNG.h"
+#include "support/Statistics.h"
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -47,6 +48,10 @@ struct Counters {
 
   Counters &operator+=(const Counters &RHS);
   std::string str() const;
+
+  /// Registers every field as `<Prefix>.<counter>` (e.g.
+  /// `interp.comm-loads`) so runs can be consumed via --stats-json.
+  void record(StatsRegistry &Stats, const std::string &Prefix) const;
 };
 
 /// A typed token vector (the external input or output stream).

@@ -42,6 +42,7 @@ public:
 
   Value *emitPop(SourceLoc) override {
     IRBuilder &B = Ctx.B;
+    ++AccessSites;
     Value *H = B.createLoad(Head, B.getInt(0));
     Value *V = B.createLoad(Buf, B.createBinary(BinOp::And, H,
                                                 B.getInt(Mask)));
@@ -52,6 +53,7 @@ public:
 
   Value *emitPeek(Value *Index, SourceLoc) override {
     IRBuilder &B = Ctx.B;
+    ++AccessSites;
     Value *H = B.createLoad(Head, B.getInt(0));
     Value *At = B.createBinary(BinOp::And, B.createBinary(BinOp::Add, H,
                                                           Index),
@@ -61,11 +63,16 @@ public:
 
   void emitPush(Value *V, SourceLoc) override {
     IRBuilder &B = Ctx.B;
+    ++AccessSites;
     Value *T = B.createLoad(Tail, B.getInt(0));
     B.createStore(Buf, B.createBinary(BinOp::And, T, B.getInt(Mask)), V);
     B.createStore(Tail, B.getInt(0),
                   B.createBinary(BinOp::Add, T, B.getInt(1)));
   }
+
+  /// Pop/peek/push sites emitted through this channel — each one is a
+  /// head/tail indirection the Laminar lowering would have erased.
+  uint64_t accessSites() const { return AccessSites; }
 
 private:
   LoweringContext &Ctx;
@@ -73,15 +80,17 @@ private:
   GlobalVar *Head;
   GlobalVar *Tail;
   int64_t Mask;
+  uint64_t AccessSites = 0;
 };
 
 class FifoLowering {
 public:
   FifoLowering(const StreamGraph &G, const schedule::Schedule &S,
                DiagnosticEngine &Diags, bool FullyUnroll,
-               StatsRegistry *Stats, const CompilerLimits &Limits)
+               StatsRegistry *Stats, const CompilerLimits &Limits,
+               RemarkEmitter *Remarks, TraceContext *Trace)
       : G(G), S(S), Diags(Diags), FullyUnroll(FullyUnroll), Stats(Stats),
-        Limits(Limits) {}
+        Limits(Limits), Remarks(Remarks), Trace(Trace) {}
 
   std::unique_ptr<Module> run();
 
@@ -102,6 +111,8 @@ private:
   bool FullyUnroll;
   StatsRegistry *Stats;
   const CompilerLimits &Limits;
+  RemarkEmitter *Remarks;
+  TraceContext *Trace;
   bool ExceededBudget = false;
   std::unique_ptr<Module> M;
   struct ChannelGlobals {
@@ -117,6 +128,9 @@ private:
   std::unordered_map<const Channel *, FifoChannel *> AccessMap;
   // Per-function work lowerers (share NodeState across functions).
   std::vector<std::unique_ptr<WorkLowering>> Lowerers;
+  /// Buffer access sites per channel, accumulated across both functions
+  /// (the per-function FifoChannel objects are discarded on rebuild).
+  std::unordered_map<const Channel *, uint64_t> SitesPerChannel;
 };
 
 } // namespace
@@ -205,9 +219,12 @@ bool FifoLowering::emitNodeFirings(LoweringContext &Ctx, const Node *N,
 }
 
 bool FifoLowering::emitFunction(Function *F, bool IsInit) {
+  TraceScope Span(Trace, IsInit ? "lower.fifo.emit-init"
+                                : "lower.fifo.emit-steady");
   IRBuilder B(*M);
   SSABuilder SSA(B);
   LoweringContext Ctx(*M, B, SSA, Diags, &Limits);
+  Ctx.Remarks = Remarks;
   Accesses.clear();
   AccessMap.clear();
 
@@ -234,8 +251,10 @@ bool FifoLowering::emitFunction(Function *F, bool IsInit) {
     if (!emitNodeFirings(Ctx, Seg.N, Seg.Count))
       return false;
   B.createRet();
+  for (const auto &KV : AccessMap)
+    SitesPerChannel[KV.first] += KV.second->accessSites();
   if (Stats)
-    Stats->add("lowering.builder-folds", B.getNumConstFolds());
+    Stats->add("lower.fifo.builder-folds", B.getNumConstFolds());
   return true;
 }
 
@@ -306,6 +325,26 @@ std::unique_ptr<Module> FifoLowering::run() {
   M->numberGlobals();
   for (const auto &F : M->functions())
     F->numberValues();
+
+  if (Stats) {
+    StatsScope SS(Stats, "lower.fifo");
+    SS.add("insts", M->instructionCount());
+    uint64_t TotalSites = 0;
+    for (const auto &KV : SitesPerChannel)
+      TotalSites += KV.second;
+    SS.add("access-sites", TotalSites);
+  }
+  if (Remarks) {
+    for (const auto &Ch : G.channels()) {
+      std::ostringstream OS;
+      OS << "channel " << Ch->getId() << " (" << Ch->getSrc()->getName()
+         << " -> " << Ch->getDst()->getName() << "): "
+         << SitesPerChannel[Ch.get()]
+         << " access site(s) emitted as circular-buffer memory operations";
+      Remarks->analysis("fifo-lowering", "FifoAccess", OS.str(),
+                        channelRange(Ch.get()));
+    }
+  }
   return std::move(M);
 }
 
@@ -315,8 +354,10 @@ std::unique_ptr<Module> lower::lowerToFifo(const StreamGraph &G,
                                            bool FullyUnroll,
                                            StatsRegistry *Stats,
                                            const CompilerLimits &Limits,
-                                           bool *ExceededBudget) {
-  FifoLowering L(G, S, Diags, FullyUnroll, Stats, Limits);
+                                           bool *ExceededBudget,
+                                           RemarkEmitter *Remarks,
+                                           TraceContext *Trace) {
+  FifoLowering L(G, S, Diags, FullyUnroll, Stats, Limits, Remarks, Trace);
   auto M = L.run();
   if (ExceededBudget)
     *ExceededBudget = L.exceededBudget();

@@ -47,6 +47,7 @@ public:
     }
     Value *V = Q.front();
     Q.pop_front();
+    ++Resolved;
     return V;
   }
 
@@ -56,6 +57,14 @@ public:
       Ctx.Diags.error(Loc,
                       "peek index is not a compile-time constant; direct "
                       "token access requires statically resolvable indices");
+      if (Ctx.Remarks) {
+        std::ostringstream OS;
+        OS << "peek on channel " << Ch->getId()
+           << " has a data-dependent index and cannot be resolved to a "
+              "scalar";
+        Ctx.Remarks->missed("laminar-lowering", "UnresolvedAccess",
+                            OS.str(), SourceRange(Loc));
+      }
       return nullptr;
     }
     int64_t I = C->getValue();
@@ -66,14 +75,22 @@ public:
       Ctx.Diags.error(Loc, OS.str());
       return nullptr;
     }
+    ++Resolved;
     return Q[I];
   }
 
-  void emitPush(Value *V, SourceLoc) override { Q.push_back(V); }
+  void emitPush(Value *V, SourceLoc) override {
+    Q.push_back(V);
+    ++Resolved;
+  }
 
   size_t size() const { return Q.size(); }
   const std::deque<Value *> &tokens() const { return Q; }
   void seed(Value *V) { Q.push_back(V); }
+
+  /// Access sites (pop/peek/push) this queue resolved at compile time
+  /// to SSA values — the direct-token-access measure remarks report.
+  uint64_t resolvedAccesses() const { return Resolved; }
 
 private:
   void reportUnderflow(SourceLoc Loc) {
@@ -86,14 +103,17 @@ private:
   LoweringContext &Ctx;
   const Channel *Ch;
   std::deque<Value *> Q;
+  uint64_t Resolved = 0;
 };
 
 class LaminarLowering {
 public:
   LaminarLowering(const StreamGraph &G, const schedule::Schedule &S,
                   DiagnosticEngine &Diags, StatsRegistry *Stats,
-                  const CompilerLimits &Limits)
-      : G(G), S(S), Diags(Diags), Stats(Stats), Limits(Limits) {}
+                  const CompilerLimits &Limits, RemarkEmitter *Remarks,
+                  TraceContext *Trace)
+      : G(G), S(S), Diags(Diags), Stats(Stats), Limits(Limits),
+        Remarks(Remarks), Trace(Trace) {}
 
   std::unique_ptr<Module> run();
 
@@ -115,11 +135,17 @@ private:
   DiagnosticEngine &Diags;
   StatsRegistry *Stats;
   const CompilerLimits &Limits;
+  RemarkEmitter *Remarks;
+  TraceContext *Trace;
   bool ExceededBudget = false;
   std::unique_ptr<Module> M;
   /// Live-token globals per channel, in queue order.
   std::unordered_map<const Channel *, std::vector<GlobalVar *>> LiveTokens;
   std::unordered_map<const Node *, NodeState> States;
+  /// Accesses resolved to scalars, per channel, across both functions.
+  std::unordered_map<const Channel *, uint64_t> ResolvedPerChannel;
+  /// Live-token rotation stores actually emitted (no-op rotations skip).
+  uint64_t RotationStores = 0;
 };
 
 } // namespace
@@ -230,9 +256,12 @@ bool LaminarLowering::fireOnce(
 }
 
 bool LaminarLowering::emitFunction(Function *F, bool IsInit) {
+  TraceScope Span(Trace, IsInit ? "lower.laminar.emit-init"
+                                : "lower.laminar.emit-steady");
   IRBuilder B(*M);
   SSABuilder SSA(B);
   LoweringContext Ctx(*M, B, SSA, Diags, &Limits);
+  Ctx.Remarks = Remarks;
 
   BasicBlock *Entry = F->createBlock("entry");
   B.setInsertPoint(Entry);
@@ -312,11 +341,14 @@ bool LaminarLowering::emitFunction(Function *F, bool IsInit) {
         if (L->getGlobal() == Live[I])
           continue;
       B.createStore(Live[I], B.getInt(0), V);
+      ++RotationStores;
     }
   }
   B.createRet();
+  for (const auto &Ch : G.channels())
+    ResolvedPerChannel[Ch.get()] += Queues.at(Ch.get()).resolvedAccesses();
   if (Stats)
-    Stats->add("lowering.builder-folds", B.getNumConstFolds());
+    Stats->add("lower.laminar.builder-folds", B.getNumConstFolds());
   return true;
 }
 
@@ -363,6 +395,30 @@ std::unique_ptr<Module> LaminarLowering::run() {
   M->numberGlobals();
   for (const auto &F : M->functions())
     F->numberValues();
+
+  if (Stats) {
+    StatsScope SS(Stats, "lower.laminar");
+    SS.add("insts", M->instructionCount());
+    SS.add("live-tokens", static_cast<uint64_t>(TotalLive));
+    SS.add("rotation-stores", RotationStores);
+    uint64_t TotalResolved = 0;
+    for (const auto &KV : ResolvedPerChannel)
+      TotalResolved += KV.second;
+    SS.add("scalar-resolved", TotalResolved);
+  }
+  if (Remarks) {
+    for (const auto &Ch : G.channels()) {
+      std::ostringstream OS;
+      OS << "channel " << Ch->getId() << " (" << Ch->getSrc()->getName()
+         << " -> " << Ch->getDst()->getName() << "): "
+         << ResolvedPerChannel[Ch.get()]
+         << " access site(s) resolved to scalars, "
+         << LiveTokens[Ch.get()].size()
+         << " live token(s) materialized across iterations";
+      Remarks->passed("laminar-lowering", "DirectTokenAccess", OS.str(),
+                      channelRange(Ch.get()));
+    }
+  }
   return std::move(M);
 }
 
@@ -371,8 +427,10 @@ std::unique_ptr<Module> lower::lowerToLaminar(const StreamGraph &G,
                                               DiagnosticEngine &Diags,
                                               StatsRegistry *Stats,
                                               const CompilerLimits &Limits,
-                                              bool *ExceededBudget) {
-  LaminarLowering L(G, S, Diags, Stats, Limits);
+                                              bool *ExceededBudget,
+                                              RemarkEmitter *Remarks,
+                                              TraceContext *Trace) {
+  LaminarLowering L(G, S, Diags, Stats, Limits, Remarks, Trace);
   auto M = L.run();
   if (ExceededBudget)
     *ExceededBudget = L.exceededBudget();

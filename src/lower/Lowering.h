@@ -27,7 +27,9 @@
 #include "schedule/Schedule.h"
 #include "support/Diagnostics.h"
 #include "support/Limits.h"
+#include "support/Remarks.h"
 #include "support/Statistics.h"
+#include "support/Trace.h"
 #include <memory>
 
 namespace laminar {
@@ -36,13 +38,23 @@ namespace lower {
 /// Maps a surface scalar type to its LIR type.
 lir::TypeKind toLirType(ast::ScalarType Ty);
 
+/// Best-effort source attribution for a channel: the declaring filter
+/// on the source side, then the destination side, then the start of the
+/// program — remarks about a channel always carry a valid range.
+SourceRange channelRange(const graph::Channel *Ch);
+
 /// \p FullyUnroll emits the FIFO baseline with the steady state and all
 /// statically-bounded work loops unrolled, while keeping the run-time
 /// buffer indirection — the ablation showing that unrolling alone does
 /// not recover the Laminar benefit.
-/// \p Stats (optional) receives "lowering.builder-folds": operations the
-/// folding builder resolved to constants while emitting — in Laminar
-/// mode this is the enabling effect materializing during lowering.
+/// \p Stats (optional) receives the `lower.fifo.*` / `lower.laminar.*`
+/// counters: `builder-folds` (operations the folding builder resolved
+/// to constants while emitting — in Laminar mode this is the enabling
+/// effect materializing during lowering), `insts` (emitted instruction
+/// count) and the access-resolution counters.
+/// \p Remarks (optional) receives per-channel access-resolution remarks
+/// (which accesses became scalars vs. stayed memory operations);
+/// \p Trace (optional) receives per-function emission spans.
 /// Both entry points honor Limits.MaxUnrolledInsts. When the budget
 /// trips, they return null *without* emitting a diagnostic and set
 /// \p ExceededBudget (if provided): the driver decides whether that
@@ -53,14 +65,18 @@ std::unique_ptr<lir::Module> lowerToFifo(const graph::StreamGraph &G,
                                          bool FullyUnroll = false,
                                          StatsRegistry *Stats = nullptr,
                                          const CompilerLimits &Limits = {},
-                                         bool *ExceededBudget = nullptr);
+                                         bool *ExceededBudget = nullptr,
+                                         RemarkEmitter *Remarks = nullptr,
+                                         TraceContext *Trace = nullptr);
 
 std::unique_ptr<lir::Module> lowerToLaminar(const graph::StreamGraph &G,
                                             const schedule::Schedule &S,
                                             DiagnosticEngine &Diags,
                                             StatsRegistry *Stats = nullptr,
                                             const CompilerLimits &Limits = {},
-                                            bool *ExceededBudget = nullptr);
+                                            bool *ExceededBudget = nullptr,
+                                            RemarkEmitter *Remarks = nullptr,
+                                            TraceContext *Trace = nullptr);
 
 } // namespace lower
 } // namespace laminar

@@ -13,6 +13,14 @@ using namespace laminar::lir;
 /// Upper bound on statically unrolled loop iterations per loop.
 static constexpr int64_t MaxUnrollIterations = 1 << 16;
 
+SourceRange lower::channelRange(const graph::Channel *Ch) {
+  for (const graph::Node *N : {Ch->getSrc(), Ch->getDst()})
+    if (const auto *F = dyn_cast<graph::FilterNode>(N))
+      if (F->getDecl() && F->getDecl()->getLoc().isValid())
+        return SourceRange(F->getDecl()->getLoc());
+  return SourceRange(SourceLoc(1, 1));
+}
+
 bool LoweringContext::overBudget() {
   if (SizeLimitHit)
     return true;

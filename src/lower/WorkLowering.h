@@ -20,6 +20,7 @@
 #include "lir/SSABuilder.h"
 #include "support/Diagnostics.h"
 #include "support/Limits.h"
+#include "support/Remarks.h"
 #include <deque>
 #include <functional>
 #include <unordered_map>
@@ -53,6 +54,9 @@ struct LoweringContext {
   /// (the driver turns that into FIFO degradation or an error).
   const CompilerLimits *Limits = nullptr;
   bool SizeLimitHit = false;
+  /// Optimization-remark sink; null when remarks are disabled. The
+  /// Laminar queue uses it to explain unresolvable access sites.
+  RemarkEmitter *Remarks = nullptr;
 
   LoweringContext(lir::Module &M, lir::IRBuilder &B, lir::SSABuilder &SSA,
                   DiagnosticEngine &Diags,

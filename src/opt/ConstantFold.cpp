@@ -113,11 +113,11 @@ static Value *simplifyInstruction(Module &M, Instruction *I,
   case Value::Kind::Binary: {
     auto *B = cast<BinaryInst>(I);
     if (Value *C = foldBinary(M, B->getOp(), B->getLHS(), B->getRHS())) {
-      Stats.add("constfold.folded");
+      Stats.add("opt.constfold.folded");
       return C;
     }
     if (Value *S = simplifyBinary(M, B)) {
-      Stats.add("constfold.simplified");
+      Stats.add("opt.constfold.simplified");
       return S;
     }
     return nullptr;
@@ -125,13 +125,13 @@ static Value *simplifyInstruction(Module &M, Instruction *I,
   case Value::Kind::Unary: {
     auto *U = cast<UnaryInst>(I);
     if (Value *C = foldUnary(M, U->getOp(), U->getOperand(0))) {
-      Stats.add("constfold.folded");
+      Stats.add("opt.constfold.folded");
       return C;
     }
     // Double application of an involution.
     if (auto *Inner = dyn_cast<UnaryInst>(U->getOperand(0)))
       if (Inner->getOp() == U->getOp()) {
-        Stats.add("constfold.simplified");
+        Stats.add("opt.constfold.simplified");
         return Inner->getOperand(0);
       }
     return nullptr;
@@ -139,12 +139,12 @@ static Value *simplifyInstruction(Module &M, Instruction *I,
   case Value::Kind::Cmp: {
     auto *C = cast<CmpInst>(I);
     if (Value *F = foldCmp(M, C->getPred(), C->getLHS(), C->getRHS())) {
-      Stats.add("constfold.folded");
+      Stats.add("opt.constfold.folded");
       return F;
     }
     // x <op> x over integers (floats could be NaN).
     if (C->getLHS() == C->getRHS() && !C->isFloatCmp()) {
-      Stats.add("constfold.simplified");
+      Stats.add("opt.constfold.simplified");
       switch (C->getPred()) {
       case CmpPred::EQ:
       case CmpPred::LE:
@@ -159,7 +159,7 @@ static Value *simplifyInstruction(Module &M, Instruction *I,
   case Value::Kind::Cast: {
     auto *C = cast<CastInst>(I);
     if (Value *F = foldCast(M, C->getOp(), C->getOperand(0))) {
-      Stats.add("constfold.folded");
+      Stats.add("opt.constfold.folded");
       return F;
     }
     return nullptr;
@@ -168,7 +168,7 @@ static Value *simplifyInstruction(Module &M, Instruction *I,
     auto *S = cast<SelectInst>(I);
     if (Value *F = foldSelect(S->getCond(), S->getTrueValue(),
                               S->getFalseValue())) {
-      Stats.add("constfold.folded");
+      Stats.add("opt.constfold.folded");
       return F;
     }
     return nullptr;
@@ -179,7 +179,7 @@ static Value *simplifyInstruction(Module &M, Instruction *I,
     for (unsigned K = 0; K < C->getNumOperands(); ++K)
       Args.push_back(C->getOperand(K));
     if (Value *F = foldCall(M, C->getBuiltin(), Args)) {
-      Stats.add("constfold.folded");
+      Stats.add("opt.constfold.folded");
       return F;
     }
     return nullptr;

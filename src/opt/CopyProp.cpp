@@ -37,7 +37,7 @@ bool opt::runCopyProp(Function &F, StatsRegistry &Stats) {
         // A value that reaches along every non-self edge dominates the
         // phi (standard trivial-phi argument), so forwarding is safe.
         Phi->replaceAllUsesWith(Same);
-        Stats.add("copyprop.phis");
+        Stats.add("opt.copyprop.phis");
         LocalChanged = Changed = true;
       }
     }

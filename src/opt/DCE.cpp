@@ -51,7 +51,7 @@ bool opt::runDCE(Function &F, StatsRegistry &Stats) {
         continue;
       Dead[K] = true;
       Any = true;
-      Stats.add("dce.removed");
+      Stats.add("opt.dce.removed");
     }
     if (Any) {
       BB->eraseMarked(Dead);

@@ -91,7 +91,7 @@ private:
       auto It = Table.find(Key);
       if (It != Table.end()) {
         I->replaceAllUsesWith(It->second);
-        Stats.add("gvn.eliminated");
+        Stats.add("opt.gvn.eliminated");
         Changed = true;
         continue;
       }

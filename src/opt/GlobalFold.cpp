@@ -95,7 +95,7 @@ bool opt::runGlobalStateFold(Function &F, StatsRegistry &Stats) {
                 : static_cast<Value *>(M.getConstInt(0));
       }
       I->replaceAllUsesWith(V);
-      Stats.add("globalfold.loads");
+      Stats.add("opt.globalfold.loads");
       Changed = true;
     }
   }

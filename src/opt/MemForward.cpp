@@ -95,7 +95,7 @@ bool opt::runMemForward(Function &F, StatsRegistry &Stats) {
       if (It != Known.end()) {
         if (L->hasUses()) {
           L->replaceAllUsesWith(It->second);
-          Stats.add("memforward.loads");
+          Stats.add("opt.memforward.loads");
           Changed = true;
         }
         Dead[K] = true;
@@ -121,7 +121,7 @@ bool opt::runMemForward(Function &F, StatsRegistry &Stats) {
     Cell C{St->getGlobal(), cast<ConstInt>(St->getIndex())->getValue()};
     if (FirstIsStore.at(C)) {
       Dead[K] = true;
-      Stats.add("memforward.stores");
+      Stats.add("opt.memforward.stores");
       Changed = true;
     }
   }

@@ -14,8 +14,19 @@ bool PassManager::run(Module &M, unsigned MaxRounds) {
     bool RoundChanged = false;
     for (const NamedPass &NP : Passes) {
       for (const auto &F : M.functions()) {
+        TraceScope Span(Trace, NP.TraceLabel.c_str());
+        uint64_t Before =
+            Remarks ? Stats.sumPrefix(NP.TraceLabel + ".") : 0;
         if (NP.P(*F, Stats)) {
           RoundChanged = true;
+          if (Remarks) {
+            uint64_t Delta = Stats.sumPrefix(NP.TraceLabel + ".") - Before;
+            std::string Msg = "transformed function '" + F->getName() +
+                              "' (round " + std::to_string(Round + 1) +
+                              ", " + std::to_string(Delta) +
+                              " transformation(s) recorded)";
+            Remarks->passed(NP.Name, "Transformed", Msg);
+          }
           if (VerifyEachPass) {
             std::vector<std::string> Violations = verifyModule(M);
             if (!Violations.empty()) {

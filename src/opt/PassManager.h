@@ -12,7 +12,9 @@
 #define LAMINAR_OPT_PASSMANAGER_H
 
 #include "lir/Module.h"
+#include "support/Remarks.h"
 #include "support/Statistics.h"
+#include "support/Trace.h"
 #include <functional>
 #include <string>
 #include <vector>
@@ -31,12 +33,19 @@ public:
   explicit PassManager(StatsRegistry &Stats) : Stats(Stats) {}
 
   void addPass(std::string Name, FunctionPass P) {
-    Passes.push_back({std::move(Name), std::move(P)});
+    // Trace labels must outlive the spans that reference them, so they
+    // are materialized once here rather than per run.
+    std::string Label = "opt." + Name;
+    Passes.push_back({std::move(Name), std::move(Label), std::move(P)});
   }
 
   /// Re-verify the whole module after every pass that changed it
   /// (expensive; used by tests).
   void setVerifyEachPass(bool V) { VerifyEachPass = V; }
+
+  /// Optional observability sinks; null disables (the default).
+  void setTrace(TraceContext *T) { Trace = T; }
+  void setRemarks(RemarkEmitter *R) { Remarks = R; }
 
   /// Runs the sequence up to \p MaxRounds times, stopping early when a
   /// whole round changes nothing. Returns true if anything changed.
@@ -51,11 +60,14 @@ public:
 private:
   struct NamedPass {
     std::string Name;
+    std::string TraceLabel;
     FunctionPass P;
   };
   StatsRegistry &Stats;
   std::vector<NamedPass> Passes;
   bool VerifyEachPass = false;
+  TraceContext *Trace = nullptr;
+  RemarkEmitter *Remarks = nullptr;
   std::string VerifyFailure;
 };
 
@@ -97,7 +109,11 @@ bool runSimplifyCFG(lir::Function &F, StatsRegistry &Stats);
 // --- Pipelines (see Pipelines.cpp) ---
 
 /// Standard levels: 0 = none, 1 = fold+dce+cfg, 2 = full pipeline.
-void optimizeModule(lir::Module &M, unsigned Level, StatsRegistry &Stats);
+/// \p Trace / \p Remarks (optional) receive per-pass spans and
+/// per-pass transformation remarks.
+void optimizeModule(lir::Module &M, unsigned Level, StatsRegistry &Stats,
+                    TraceContext *Trace = nullptr,
+                    RemarkEmitter *Remarks = nullptr);
 
 } // namespace opt
 } // namespace laminar

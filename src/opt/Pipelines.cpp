@@ -6,10 +6,13 @@ using namespace laminar;
 using namespace laminar::opt;
 
 void opt::optimizeModule(lir::Module &M, unsigned Level,
-                         StatsRegistry &Stats) {
+                         StatsRegistry &Stats, TraceContext *Trace,
+                         RemarkEmitter *Remarks) {
   if (Level == 0)
     return;
   PassManager PM(Stats);
+  PM.setTrace(Trace);
+  PM.setRemarks(Remarks);
   PM.addPass("constfold", runConstantFold);
   if (Level >= 2) {
     PM.addPass("globalfold", runGlobalStateFold);

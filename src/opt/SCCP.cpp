@@ -238,7 +238,7 @@ bool SCCPSolver::rewrite() {
       if (It == Lattice.end() || It->second.S != LatticeVal::State::Constant)
         continue;
       I->replaceAllUsesWith(It->second.Const);
-      Stats.add("sccp.constants");
+      Stats.add("opt.sccp.constants");
       Changed = true;
     }
   }
@@ -265,7 +265,7 @@ bool SCCPSolver::rewrite() {
     CBr->dropOperands();
     BB->eraseAt(BB->size() - 1);
     BB->append(std::make_unique<BrInst>(Taken));
-    Stats.add("sccp.branches");
+    Stats.add("opt.sccp.branches");
     Changed = true;
   }
 
@@ -286,7 +286,7 @@ bool SCCPSolver::rewrite() {
         if (auto *Phi = dyn_cast<PhiInst>(I.get()))
           Phi->removeIncomingForBlock(BB);
     }
-    Stats.add("sccp.unreachable");
+    Stats.add("opt.sccp.unreachable");
   }
   if (AnyDead) {
     for (size_t K = 0; K < F.blocks().size(); ++K)

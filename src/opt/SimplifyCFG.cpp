@@ -43,7 +43,7 @@ static bool removeUnreachable(Function &F, StatsRegistry &Stats) {
         if (auto *Phi = dyn_cast<PhiInst>(I.get()))
           Phi->removeIncomingForBlock(BB);
     }
-    Stats.add("simplifycfg.unreachable");
+    Stats.add("opt.simplifycfg.unreachable");
   }
   for (size_t K = 0; K < F.blocks().size(); ++K)
     if (Dead[K])
@@ -66,7 +66,7 @@ static bool foldSameTargetBranches(Function &F, StatsRegistry &Stats) {
     CBr->dropOperands();
     BB->eraseAt(BB->size() - 1);
     BB->append(std::make_unique<BrInst>(Target));
-    Stats.add("simplifycfg.samebranch");
+    Stats.add("opt.simplifycfg.samebranch");
     Changed = true;
   }
   return Changed;
@@ -130,7 +130,7 @@ static bool mergeLinearChains(Function &F, StatsRegistry &Stats) {
       if (F.blocks()[J].get() == BB)
         Dead[J] = true;
     F.eraseMarkedBlocks(Dead);
-    Stats.add("simplifycfg.merged");
+    Stats.add("opt.simplifycfg.merged");
     Changed = true;
     --K; // Re-examine the slot that shifted into position K.
   }

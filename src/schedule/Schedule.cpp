@@ -133,7 +133,8 @@ buildSequence(const std::vector<const Node *> &Order,
 
 std::optional<Schedule>
 schedule::computeSchedule(const StreamGraph &G, DiagnosticEngine &Diags,
-                          const CompilerLimits &Limits) {
+                          const CompilerLimits &Limits,
+                          StatsRegistry *Stats) {
   Schedule S;
   if (G.nodes().empty()) {
     Diags.error(SourceLoc(1, 1), "cannot schedule an empty graph");
@@ -354,6 +355,39 @@ schedule::computeSchedule(const StreamGraph &G, DiagnosticEngine &Diags,
                   "channel occupancy");
       return std::nullopt;
     }
+  }
+
+  // Observability: the solved schedule in counter form. Tokens moved
+  // and peak depth are per steady iteration (init occupancy rides on
+  // top of the steady traffic, which is the depth bound the Laminar
+  // queues and FIFO buffers both see). All quantities were
+  // overflow-checked against the limits above.
+  if (Stats) {
+    StatsScope SS(Stats, "schedule");
+    SS.add("balance.steady-firings", static_cast<uint64_t>(TotalFirings));
+    uint64_t InitFirings = 0;
+    for (const auto &[N, R] : S.InitReps) {
+      (void)N;
+      InitFirings += static_cast<uint64_t>(R);
+    }
+    SS.add("balance.init-firings", InitFirings);
+    uint64_t TokensMoved = 0, PeakDepth = 0;
+    for (const auto &Ch : G.channels()) {
+      uint64_t Tokens = static_cast<uint64_t>(Ch->srcRate()) *
+                        static_cast<uint64_t>(S.Reps[Ch->getSrc()]);
+      TokensMoved += Tokens;
+      PeakDepth = std::max(
+          PeakDepth,
+          Tokens + static_cast<uint64_t>(S.InitOccupancy[Ch.get()]));
+    }
+    SS.add("channels.tokens-per-steady", TokensMoved);
+    SS.add("channels.peak-depth", PeakDepth);
+    uint64_t LiveTokens = 0;
+    for (const auto &[Ch, Occup] : S.InitOccupancy) {
+      (void)Ch;
+      LiveTokens += static_cast<uint64_t>(Occup);
+    }
+    SS.add("channels.live-tokens", LiveTokens);
   }
   return S;
 }

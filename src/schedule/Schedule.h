@@ -65,10 +65,13 @@ struct Schedule {
 /// Computes the schedule; reports rate-inconsistency, overflow and
 /// resource-limit errors through \p Diags and returns nullopt. Every
 /// rejection names the offending channel or node and carries a source
-/// location.
+/// location. With \p Stats set, records the `schedule.*` counters
+/// (steady/init firings, tokens moved per iteration, peak channel
+/// depth) on success.
 std::optional<Schedule> computeSchedule(const graph::StreamGraph &G,
                                         DiagnosticEngine &Diags,
-                                        const CompilerLimits &Limits = {});
+                                        const CompilerLimits &Limits = {},
+                                        StatsRegistry *Stats = nullptr);
 
 } // namespace schedule
 } // namespace laminar

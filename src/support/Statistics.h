@@ -1,9 +1,24 @@
 //===--- Statistics.h - Named transformation counters ----------*- C++ -*-===//
 //
 // A per-compilation registry of named counters (no global state, so
-// compilations are isolated). The optimizer bumps counters such as
-// "sccp.constants-folded"; the T4 bench prints them to show the enabling
-// effect of LaminarIR on standard optimizations.
+// compilations are isolated). Every pipeline stage contributes: the
+// graph builder, the scheduler, both lowerings, every optimizer pass
+// and the interpreter. The T4 bench and the CI stats checker consume
+// the registry through the API (get/sumPrefix/json) — never by parsing
+// the rendered table.
+//
+// Naming convention (enforced by review, documented here): counters are
+// named `phase.pass.counter`, all lower-case, dash-separated words:
+//
+//   phase    pipeline stage that owns the counter: `graph`, `schedule`,
+//            `lower`, `opt`, `interp`, `driver`.
+//   pass     the sub-component: an optimizer pass (`opt.sccp.*`), a
+//            lowering strategy (`lower.laminar.*`, `lower.fifo.*`), or
+//            a stage-internal grouping (`schedule.balance.*`).
+//   counter  what is being counted (`constants`, `builder-folds`, ...).
+//
+// Keep names stable: bench tables, the golden stats-JSON schema test
+// and external CI consumers key off them.
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,8 +31,8 @@
 
 namespace laminar {
 
-/// Registry of named counters, keyed by "pass.counter" strings. Iteration
-/// order is deterministic (sorted by name).
+/// Registry of named counters, keyed by "phase.pass.counter" strings.
+/// Iteration order is deterministic (sorted by name).
 class StatsRegistry {
 public:
   /// Adds \p Delta to the counter named \p Name, creating it at zero.
@@ -31,15 +46,49 @@ public:
     return It == Counters.end() ? 0 : It->second;
   }
 
+  /// Sum of every counter whose name starts with \p Prefix. Use a
+  /// trailing dot to sum a namespace ("opt." = all optimizer work).
+  uint64_t sumPrefix(const std::string &Prefix) const;
+
   const std::map<std::string, uint64_t> &all() const { return Counters; }
 
   void clear() { Counters.clear(); }
 
-  /// Renders "value  name" lines, sorted by counter name.
+  /// Renders "value  name" lines sorted by counter name, with the value
+  /// column right-aligned to the widest value in the registry.
   std::string str() const;
+
+  /// One machine-readable JSON document:
+  ///
+  ///   { "version": 1, "counters": { "opt.sccp.constants": 3, ... } }
+  ///
+  /// Keys are sorted; `version` is bumped on incompatible shape changes
+  /// (tracked by the golden schema test). This is what
+  /// `laminarc --stats-json=<file>` writes and what bench/CI consume.
+  std::string json() const;
 
 private:
   std::map<std::string, uint64_t> Counters;
+};
+
+/// A registry view that prefixes every counter with a namespace, so a
+/// stage can write `S.add("steady-firings")` instead of repeating its
+/// phase name. Null registry = disabled (all adds are dropped).
+class StatsScope {
+public:
+  StatsScope(StatsRegistry *R, std::string Prefix)
+      : R(R), Prefix(std::move(Prefix)) {}
+
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    if (R)
+      R->add(Prefix + "." + Name, Delta);
+  }
+
+  bool enabled() const { return R != nullptr; }
+
+private:
+  StatsRegistry *R;
+  std::string Prefix;
 };
 
 } // namespace laminar

@@ -1,0 +1,120 @@
+//===--- Trace.cpp --------------------------------------------------------===//
+
+#include "support/Trace.h"
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+using namespace laminar;
+
+static uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t TraceContext::nowNs() const { return steadyNowNs() - EpochNs; }
+
+void TraceContext::setEnabled(bool E) {
+  Enabled = E;
+  if (E && EpochNs == 0)
+    EpochNs = steadyNowNs();
+}
+
+size_t TraceContext::beginEvent(const char *Name) {
+  Event Ev;
+  Ev.Name = Name;
+  Ev.StartNs = nowNs();
+  Ev.Depth = Depth++;
+  Events.push_back(std::move(Ev));
+  return Events.size() - 1;
+}
+
+void TraceContext::endEvent(size_t Index) {
+  Events[Index].DurNs = nowNs() - Events[Index].StartNs;
+  if (Depth > 0)
+    --Depth;
+}
+
+/// Escapes a span name for embedding in a JSON string literal. Names
+/// are compiler-chosen identifiers, but escape defensively anyway.
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        Out += Buf;
+      } else {
+        Out += Ch;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string TraceContext::chromeJson() const {
+  std::ostringstream OS;
+  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (const Event &Ev : Events) {
+    if (!First)
+      OS << ",";
+    First = false;
+    char Buf[160];
+    // Microsecond timestamps with nanosecond precision kept as decimals.
+    std::snprintf(Buf, sizeof(Buf),
+                  "\n{\"name\":\"%s\",\"cat\":\"compile\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f}",
+                  jsonEscape(Ev.Name).c_str(), Ev.StartNs / 1000.0,
+                  Ev.DurNs / 1000.0);
+    OS << Buf;
+  }
+  OS << "\n]}\n";
+  return OS.str();
+}
+
+std::string TraceContext::timeReport() const {
+  uint64_t TopTotalNs = 0;
+  for (const Event &Ev : Events)
+    if (Ev.Depth == 0)
+      TopTotalNs += Ev.DurNs;
+
+  std::ostringstream OS;
+  OS << "phase timing (wall clock):\n";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "  %10s  %7s  %s\n", "ms", "%total",
+                "phase");
+  OS << Buf;
+  for (const Event &Ev : Events) {
+    double Pct = TopTotalNs == 0
+                     ? 0.0
+                     : 100.0 * static_cast<double>(Ev.DurNs) /
+                           static_cast<double>(TopTotalNs);
+    std::snprintf(Buf, sizeof(Buf), "  %10.3f  %6.1f%%  ",
+                  Ev.DurNs / 1e6, Pct);
+    OS << Buf;
+    for (unsigned I = 0; I < Ev.Depth; ++I)
+      OS << "  ";
+    OS << Ev.Name << "\n";
+  }
+  if (Events.empty())
+    OS << "  (no spans recorded)\n";
+  return OS.str();
+}

@@ -125,7 +125,7 @@ TEST(Driver, StatsRecordBuilderFolds) {
   Compilation C = compile(kGood, O);
   ASSERT_TRUE(C.Ok);
   // Unrolling the peek loop folds index arithmetic at build time.
-  EXPECT_GT(C.Stats.get("lowering.builder-folds"), 0u);
+  EXPECT_GT(C.Stats.get("lower.laminar.builder-folds"), 0u);
 }
 
 TEST(Driver, UnknownTopName) {

@@ -69,7 +69,7 @@ TEST_F(MemOptFixture, GlobalFoldReplacesInitConstantState) {
   B.createRet();
 
   EXPECT_TRUE(runGlobalStateFold(*Steady, Stats));
-  EXPECT_EQ(Stats.get("globalfold.loads"), 3u);
+  EXPECT_EQ(Stats.get("opt.globalfold.loads"), 3u);
   runConstantFold(*Steady, Stats);
   runDCE(*Steady, Stats);
   EXPECT_EQ(steadyLoads(), 0u);

@@ -38,7 +38,7 @@ TEST_F(OptFixture, ConstantFoldFoldsArithmetic) {
   runDCE(*F, Stats);
   // add and cast both folded away; only output + ret remain.
   EXPECT_EQ(instCount(), 2u);
-  EXPECT_GE(Stats.get("constfold.folded"), 2u);
+  EXPECT_GE(Stats.get("opt.constfold.folded"), 2u);
   EXPECT_TRUE(verify(M));
 }
 
@@ -52,7 +52,7 @@ TEST_F(OptFixture, AlgebraicIdentities) {
   runDCE(*F, Stats);
   // x + 0.0 and x * 1.0 both collapse to x.
   EXPECT_EQ(instCount(), 3u); // input, output, ret
-  EXPECT_EQ(Stats.get("constfold.simplified"), 2u);
+  EXPECT_EQ(Stats.get("opt.constfold.simplified"), 2u);
 }
 
 TEST_F(OptFixture, IntIdentitiesAndSelfCancellation) {
@@ -76,7 +76,7 @@ TEST_F(OptFixture, DCERemovesDeadChains) {
   B.createOutput(In);
   B.createRet();
   EXPECT_TRUE(runDCE(*F, Stats));
-  EXPECT_EQ(Stats.get("dce.removed"), 2u);
+  EXPECT_EQ(Stats.get("opt.dce.removed"), 2u);
   EXPECT_EQ(instCount(), 3u);
   EXPECT_TRUE(verify(M));
 }
@@ -129,7 +129,7 @@ TEST_F(OptFixture, GVNEliminatesRedundantExpressions) {
   B.createRet();
   EXPECT_TRUE(runGVN(*F, Stats));
   runDCE(*F, Stats);
-  EXPECT_EQ(Stats.get("gvn.eliminated"), 1u);
+  EXPECT_EQ(Stats.get("opt.gvn.eliminated"), 1u);
   EXPECT_EQ(instCount(), 5u); // input, mul, add, output, ret
 }
 
@@ -142,7 +142,7 @@ TEST_F(OptFixture, GVNHonorsCommutativity) {
       CastOp::IntToFloat, B.createBinary(BinOp::Mul, S1, S2)));
   B.createRet();
   EXPECT_TRUE(runGVN(*F, Stats));
-  EXPECT_EQ(Stats.get("gvn.eliminated"), 1u);
+  EXPECT_EQ(Stats.get("opt.gvn.eliminated"), 1u);
 }
 
 TEST_F(OptFixture, GVNDoesNotMergeLoads) {
@@ -152,7 +152,7 @@ TEST_F(OptFixture, GVNDoesNotMergeLoads) {
   B.createOutput(B.createBinary(BinOp::FAdd, L1, L2));
   B.createRet();
   EXPECT_FALSE(runGVN(*F, Stats));
-  EXPECT_EQ(Stats.get("gvn.eliminated"), 0u);
+  EXPECT_EQ(Stats.get("opt.gvn.eliminated"), 0u);
 }
 
 TEST_F(OptFixture, GVNDoesNotMergeAcrossSiblingBranches) {
@@ -194,8 +194,8 @@ TEST_F(OptFixture, SCCPFoldsBranchAndPrunes) {
 
   EXPECT_TRUE(runSCCP(*F, Stats));
   EXPECT_TRUE(verify(M));
-  EXPECT_GE(Stats.get("sccp.branches"), 1u);
-  EXPECT_GE(Stats.get("sccp.unreachable"), 1u);
+  EXPECT_GE(Stats.get("opt.sccp.branches"), 1u);
+  EXPECT_GE(Stats.get("opt.sccp.unreachable"), 1u);
   // The phi merged only the executable edge: it folded to 10.
   bool Found10 = false;
   for (const auto &BB : F->blocks())
@@ -214,7 +214,7 @@ TEST_F(OptFixture, SCCPTreatsLoadsAsOverdefined) {
   B.createRet();
   runSCCP(*F, Stats);
   // The add survives SCCP (its operand is a load).
-  EXPECT_EQ(Stats.get("sccp.constants"), 0u);
+  EXPECT_EQ(Stats.get("opt.sccp.constants"), 0u);
 }
 
 TEST_F(OptFixture, SCCPPropagatesThroughLoopPhis) {
@@ -239,7 +239,7 @@ TEST_F(OptFixture, SCCPPropagatesThroughLoopPhis) {
   ASSERT_TRUE(verify(M));
 
   runSCCP(*F, Stats);
-  EXPECT_GE(Stats.get("sccp.constants"), 1u);
+  EXPECT_GE(Stats.get("opt.sccp.constants"), 1u);
 }
 
 TEST_F(OptFixture, CopyPropRemovesSingleSourcePhis) {
@@ -252,7 +252,7 @@ TEST_F(OptFixture, CopyPropRemovesSingleSourcePhis) {
   B.createOutput(Phi);
   B.createRet();
   EXPECT_TRUE(runCopyProp(*F, Stats));
-  EXPECT_EQ(Stats.get("copyprop.phis"), 1u);
+  EXPECT_EQ(Stats.get("opt.copyprop.phis"), 1u);
   EXPECT_FALSE(Phi->hasUses());
 }
 

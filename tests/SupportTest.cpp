@@ -125,7 +125,48 @@ TEST(Statistics, DeterministicOrder) {
   StatsRegistry S;
   S.add("b.z", 2);
   S.add("a.y", 1);
-  EXPECT_EQ(S.str(), "1\ta.y\n2\tb.z\n");
+  EXPECT_EQ(S.str(), "1  a.y\n2  b.z\n");
+}
+
+TEST(Statistics, StrAlignsWideValues) {
+  StatsRegistry S;
+  S.add("opt.big", 1234567);
+  S.add("opt.small", 3);
+  // Values right-align to the widest, so columns survive 7+ digits.
+  EXPECT_EQ(S.str(), "1234567  opt.big\n      3  opt.small\n");
+}
+
+TEST(Statistics, SumPrefix) {
+  StatsRegistry S;
+  S.add("opt.dce.removed", 2);
+  S.add("opt.gvn.eliminated", 3);
+  S.add("optimum.not-a-pass", 100);
+  S.add("lower.fifo.insts", 7);
+  EXPECT_EQ(S.sumPrefix("opt."), 5u);
+  EXPECT_EQ(S.sumPrefix("opt.dce."), 2u);
+  EXPECT_EQ(S.sumPrefix("none."), 0u);
+  EXPECT_EQ(S.sumPrefix(""), 112u);
+}
+
+TEST(Statistics, ScopePrefixesNames) {
+  StatsRegistry S;
+  StatsScope Scope(&S, "lower.laminar");
+  Scope.add("insts", 5);
+  EXPECT_TRUE(Scope.enabled());
+  EXPECT_EQ(S.get("lower.laminar.insts"), 5u);
+
+  StatsScope Off(nullptr, "x");
+  Off.add("ignored");
+  EXPECT_FALSE(Off.enabled());
+}
+
+TEST(Statistics, JsonShape) {
+  StatsRegistry S;
+  EXPECT_EQ(S.json(), "{\n  \"version\": 1,\n  \"counters\": {}\n}\n");
+  S.add("b", 2);
+  S.add("a", 1);
+  EXPECT_EQ(S.json(), "{\n  \"version\": 1,\n  \"counters\": {\n"
+                      "    \"a\": 1,\n    \"b\": 2\n  }\n}\n");
 }
 
 namespace {

@@ -1,0 +1,167 @@
+//===--- TestJson.h - Minimal JSON validity checker for tests --*- C++ -*-===//
+//
+// A strict recursive-descent JSON parser used by the observability
+// tests to assert that --stats-json / --trace-json outputs are
+// well-formed documents, without adding a JSON library dependency.
+// Validates structure only; values are not materialized.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_TESTS_TESTJSON_H
+#define LAMINAR_TESTS_TESTJSON_H
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+namespace testjson {
+
+class Checker {
+public:
+  explicit Checker(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return P == S.size();
+  }
+
+private:
+  bool value() {
+    if (P >= S.size())
+      return false;
+    switch (S[P]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  bool object() {
+    ++P; // '{'
+    skipWs();
+    if (eat('}'))
+      return true;
+    do {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (!eat(':'))
+        return false;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+    } while (eat(','));
+    return eat('}');
+  }
+
+  bool array() {
+    ++P; // '['
+    skipWs();
+    if (eat(']'))
+      return true;
+    do {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+    } while (eat(','));
+    return eat(']');
+  }
+
+  bool string() {
+    if (!eat('"'))
+      return false;
+    while (P < S.size() && S[P] != '"') {
+      if (S[P] == '\\') {
+        ++P;
+        if (P >= S.size())
+          return false;
+        const char C = S[P];
+        if (C == 'u') {
+          for (int K = 0; K < 4; ++K) {
+            ++P;
+            if (P >= S.size() || !std::isxdigit(static_cast<unsigned char>(S[P])))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", C)) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(S[P]) < 0x20) {
+        return false; // raw control character
+      }
+      ++P;
+    }
+    return eat('"');
+  }
+
+  bool number() {
+    size_t Start = P;
+    eat('-');
+    if (!digits())
+      return false;
+    if (eat('.') && !digits())
+      return false;
+    if (P < S.size() && (S[P] == 'e' || S[P] == 'E')) {
+      ++P;
+      if (P < S.size() && (S[P] == '+' || S[P] == '-'))
+        ++P;
+      if (!digits())
+        return false;
+    }
+    return P > Start;
+  }
+
+  bool digits() {
+    size_t Start = P;
+    while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+      ++P;
+    return P > Start;
+  }
+
+  bool literal(const char *L) {
+    size_t N = std::char_traits<char>::length(L);
+    if (S.compare(P, N, L) != 0)
+      return false;
+    P += N;
+    return true;
+  }
+
+  bool eat(char C) {
+    if (P < S.size() && S[P] == C) {
+      ++P;
+      return true;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (P < S.size() && (S[P] == ' ' || S[P] == '\t' || S[P] == '\n' ||
+                            S[P] == '\r'))
+      ++P;
+  }
+
+  const std::string &S;
+  size_t P = 0;
+};
+
+inline bool isValidJson(const std::string &S) { return Checker(S).valid(); }
+
+} // namespace testjson
+
+#endif // LAMINAR_TESTS_TESTJSON_H

@@ -6,6 +6,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestJson.h"
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -313,4 +314,99 @@ TEST(Laminarc, DegradationWarningAndNoDegrade) {
   EXPECT_EQ(Hard.ExitCode, 1);
   EXPECT_NE(Hard.Output.find("--max-ir-insts"), std::string::npos)
       << Hard.Output;
+}
+
+TEST(Laminarc, ObservabilityFlagsProduceWellFormedOutputs) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-observability");
+  ToolResult R = run("MovingAverage --emit=ir"
+                     " --trace-json=" + Dir + "/trace.json" +
+                     " --remarks=" + Dir + "/remarks.yaml" +
+                     " --stats-json=" + Dir + "/stats.json");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+
+  std::string Trace = readFile(Dir + "/trace.json");
+  EXPECT_TRUE(testjson::isValidJson(Trace)) << Trace;
+  EXPECT_NE(Trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"name\":\"compile\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"name\":\"schedule\""), std::string::npos);
+
+  std::string Stats = readFile(Dir + "/stats.json");
+  EXPECT_TRUE(testjson::isValidJson(Stats)) << Stats;
+  EXPECT_NE(Stats.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(Stats.find("lower.laminar.insts"), std::string::npos);
+  EXPECT_NE(Stats.find("schedule.balance.steady-firings"),
+            std::string::npos);
+
+  std::string Remarks = readFile(Dir + "/remarks.yaml");
+  EXPECT_NE(Remarks.find("--- !Passed"), std::string::npos);
+  EXPECT_NE(Remarks.find("Name:     DirectTokenAccess"),
+            std::string::npos);
+  EXPECT_NE(Remarks.find("Loc:      "), std::string::npos);
+}
+
+TEST(Laminarc, TimeReportPrintsPhaseTable) {
+  REQUIRE_BINARY();
+  ToolResult R = run("MovingAverage --emit=schedule --time-report");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("phase timing (wall clock):"), std::string::npos)
+      << R.Output;
+  EXPECT_NE(R.Output.find("compile"), std::string::npos);
+  EXPECT_NE(R.Output.find("  parse"), std::string::npos);
+}
+
+TEST(Laminarc, RemarksFilterKeepsOnlyMatchingPasses) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-remarks-filter");
+  ToolResult R = run("MovingAverage --emit=ir"
+                     " --remarks=" + Dir + "/remarks.yaml" +
+                     " --remarks-filter=schedule");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::string Remarks = readFile(Dir + "/remarks.yaml");
+  EXPECT_NE(Remarks.find("Pass:     schedule"), std::string::npos)
+      << Remarks;
+  EXPECT_EQ(Remarks.find("laminar-lowering"), std::string::npos) << Remarks;
+}
+
+TEST(Laminarc, RunModeRecordsInterpreterCounters) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-run-stats");
+  ToolResult R = run("MovingAverage --emit=run --iters=2"
+                     " --stats-json=" + Dir + "/stats.json");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::string Stats = readFile(Dir + "/stats.json");
+  EXPECT_TRUE(testjson::isValidJson(Stats)) << Stats;
+  EXPECT_NE(Stats.find("\"interp.steady.iterations\": 2"),
+            std::string::npos)
+      << Stats;
+  EXPECT_NE(Stats.find("interp.firings."), std::string::npos);
+  EXPECT_NE(Stats.find("interp.steady.output"), std::string::npos);
+}
+
+TEST(Laminarc, ObservabilityOutputsSurviveCompileFailure) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-observability-fail");
+  std::string File = Dir + "/bad.str";
+  {
+    std::ofstream Out(File);
+    // Scheduleable program that then fails hard in lowering: over the
+    // IR budget with degradation disabled.
+    Out << "int->int filter F {\n"
+        << "  work push 32 pop 32 {\n"
+        << "    for (int i = 0; i < 32; i++) push(pop() * 3 + 1);\n"
+        << "  }\n"
+        << "}\n"
+        << "int->int pipeline Top { add F; }\n";
+  }
+  ToolResult R = run(File + " --top=Top --max-ir-insts=16 --no-degrade"
+                     " --emit=ir --trace-json=" + Dir + "/trace.json" +
+                     " --stats-json=" + Dir + "/stats.json");
+  EXPECT_EQ(R.ExitCode, 1);
+  std::string Trace = readFile(Dir + "/trace.json");
+  EXPECT_TRUE(testjson::isValidJson(Trace)) << Trace;
+  EXPECT_NE(Trace.find("\"name\":\"schedule\""), std::string::npos);
+  std::string Stats = readFile(Dir + "/stats.json");
+  EXPECT_TRUE(testjson::isValidJson(Stats)) << Stats;
+  EXPECT_NE(Stats.find("schedule.balance.steady-firings"),
+            std::string::npos);
 }

@@ -228,14 +228,28 @@ int main(int argc, char **argv) {
            << " mutations=" << MutOpts.MaxMutations << "\n";
 
     const std::string Breadcrumb = Corpus + "/crash-current.str";
+    // Cumulative per-phase wall clock, written only into the breadcrumb
+    // (stdout and report.txt must stay byte-deterministic): a hard
+    // crash then leaves behind both the reproducer and where the
+    // campaign's time went.
+    double GenMs = 0, MutateMs = 0, OracleMs = 0;
+    auto MsSince = [](std::chrono::steady_clock::time_point T0) {
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - T0)
+          .count();
+    };
     int64_t Done = 0, Accepted = 0, Failures = 0;
     for (int64_t I = 0; I < Iters && !OutOfTime(); ++I) {
       uint64_t PSeed = iterSeed(Seed, static_cast<uint64_t>(I));
+      auto TGen = std::chrono::steady_clock::now();
       lt::ProgramSpec P = lt::generateProgram(PSeed, GenOpts);
       P.Top = Top;
+      GenMs += MsSince(TGen);
+      auto TMut = std::chrono::steady_clock::now();
       std::string Source =
           lt::mutateSource(lt::renderSource(P), PSeed ^ 0xA5A5A5A5A5A5A5A5ULL,
                            MutOpts);
+      MutateMs += MsSince(TMut);
       {
         // A hard crash (sanitizer abort) kills this process before any
         // reporting runs; the breadcrumb then IS the reproducer.
@@ -243,9 +257,13 @@ int main(int argc, char **argv) {
         BC << "// laminar-fuzz crash-mode input (in flight)\n"
            << "// top: " << Top << "\n"
            << "// seed: " << Seed << " iter: " << I << "\n"
+           << "// phase-ms: gen=" << GenMs << " mutate=" << MutateMs
+           << " oracle=" << OracleMs << "\n"
            << Source;
       }
+      auto TOracle = std::chrono::steady_clock::now();
       lt::CrashCheckResult R = lt::checkCrashInvariant(Source, Top);
+      OracleMs += MsSince(TOracle);
       ++Done;
       if (R.Accepted)
         ++Accepted;

@@ -15,6 +15,12 @@
 //   --max-channel-tokens=N  per-channel token/buffer limit override
 //   --max-errors=N        diagnostic cutoff override (0 = unlimited)
 //   --no-degrade          error instead of Laminar->FIFO fallback
+//   --trace-json=FILE     write a Chrome trace (chrome://tracing) of
+//                         the compilation phases
+//   --time-report         print a phase timing table to stderr
+//   --remarks=FILE        write optimization remarks (YAML documents)
+//   --remarks-filter=STR  keep only remarks whose pass name contains STR
+//   --stats-json=FILE     write all counters as one JSON document
 //
 // The positional argument is a registered benchmark name, or a path to
 // a .str file, or "-" for stdin.
@@ -38,7 +44,9 @@ static int usage() {
       << "  [--iters=N] [--seed=N] [--top=Name]\n"
       << "  [--max-nodes=N] [--max-reps=N] [--max-firings=N]\n"
       << "  [--max-ir-insts=N] [--max-peek=N] [--max-channel-tokens=N]\n"
-      << "  [--max-errors=N] [--no-degrade]\n\nbenchmarks:\n";
+      << "  [--max-errors=N] [--no-degrade]\n"
+      << "  [--trace-json=FILE] [--time-report] [--remarks=FILE]\n"
+      << "  [--remarks-filter=STR] [--stats-json=FILE]\n\nbenchmarks:\n";
   for (const auto &B : suite::allBenchmarks())
     std::cerr << "  " << B.Name << " - " << B.Description << "\n";
   return 1;
@@ -55,6 +63,8 @@ int main(int argc, char **argv) {
   uint64_t Seed = 1;
   CompilerLimits Limits;
   bool AllowDegrade = true;
+  std::string TraceJsonPath, RemarksPath, RemarksFilter, StatsJsonPath;
+  bool TimeReport = false;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -95,6 +105,16 @@ int main(int argc, char **argv) {
         Limits.MaxErrors = static_cast<unsigned>(std::stoul(V));
       else if (Arg == "--no-degrade")
         AllowDegrade = false;
+      else if (Eat("--trace-json=", V))
+        TraceJsonPath = V;
+      else if (Eat("--remarks=", V))
+        RemarksPath = V;
+      else if (Eat("--remarks-filter=", V))
+        RemarksFilter = V;
+      else if (Eat("--stats-json=", V))
+        StatsJsonPath = V;
+      else if (Arg == "--time-report")
+        TimeReport = true;
       else
         return usage();
     } catch (const std::exception &) {
@@ -126,6 +146,11 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  TraceContext Trace;
+  Trace.setEnabled(!TraceJsonPath.empty() || TimeReport);
+  RemarkEmitter Remarks;
+  Remarks.setPassFilter(RemarksFilter);
+
   driver::CompileOptions Opts;
   Opts.TopName = Top;
   Opts.Mode = Mode == "fifo" ? driver::LoweringMode::Fifo
@@ -133,9 +158,39 @@ int main(int argc, char **argv) {
   Opts.OptLevel = Opt;
   Opts.Limits = Limits;
   Opts.AllowDegradeToFifo = AllowDegrade;
+  if (Trace.enabled())
+    Opts.Trace = &Trace;
+  if (!RemarksPath.empty())
+    Opts.Remarks = &Remarks;
   driver::Compilation C = driver::compile(Source, Opts);
+
+  // The observability outputs are written on failure too: a compile
+  // that degrades or errors is exactly the one worth inspecting.
+  auto WriteFile = [](const std::string &Path, const std::string &Text) {
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::cerr << "error: cannot write '" << Path << "'\n";
+      return false;
+    }
+    Out << Text;
+    return true;
+  };
+  auto Flush = [&] {
+    bool Ok = true;
+    if (!TraceJsonPath.empty())
+      Ok &= WriteFile(TraceJsonPath, Trace.chromeJson());
+    if (!RemarksPath.empty())
+      Ok &= WriteFile(RemarksPath, Remarks.str());
+    if (!StatsJsonPath.empty())
+      Ok &= WriteFile(StatsJsonPath, C.Stats.json());
+    if (TimeReport)
+      std::cerr << Trace.timeReport();
+    return Ok;
+  };
+
   if (!C.Ok) {
     std::cerr << C.ErrorLog;
+    Flush();
     return 1;
   }
   // Surface warnings (notably the Laminar->FIFO degradation notice)
@@ -161,9 +216,23 @@ int main(int argc, char **argv) {
   } else if (Emit == "stats") {
     std::cout << C.Stats.str();
   } else if (Emit == "run") {
-    interp::RunResult R = driver::runWithRandomInput(C, Iters, Seed);
+    interp::RunResult R;
+    {
+      TraceScope Span(Opts.Trace, "interp");
+      R = driver::runWithRandomInput(C, Iters, Seed);
+    }
+    R.InitCounters.record(C.Stats, "interp.init");
+    R.SteadyCounters.record(C.Stats, "interp.steady");
+    C.Stats.add("interp.steady.iterations", static_cast<uint64_t>(Iters));
+    // Per-filter dynamic firing counts, reconstructed from the static
+    // schedule (the interpreter executes exactly init + reps * iters).
+    for (const graph::Node *N : C.Sched->Order)
+      C.Stats.add("interp.firings." + N->getName(),
+                  static_cast<uint64_t>(C.Sched->initRepsOf(N) +
+                                        C.Sched->repsOf(N) * Iters));
     if (!R.Ok) {
       std::cerr << "runtime error: " << R.Error << "\n";
+      Flush();
       return 1;
     }
     if (R.Outputs.Ty == lir::TypeKind::Int) {
@@ -179,5 +248,5 @@ int main(int argc, char **argv) {
   } else {
     return usage();
   }
-  return 0;
+  return Flush() ? 0 : 1;
 }
