@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""CI gate for the compile-time stream-safety checks.
+
+Usage: analyze_baseline.py LAMINARC BASELINE [SOURCE_DIR]
+
+Runs `laminarc --analyze` over every registered suite benchmark and
+every example program, collects the analysis diagnostics (warnings and
+errors, with locations), and compares the normalized transcript against
+the checked-in baseline file. The shipped corpus is supposed to be
+warning-free, so the baseline is empty — any new diagnostic is either a
+real bug in a shipped program (fix the program) or a precision
+regression in the analysis (fix the analysis); in the rare case a
+finding is accepted as intentional, regenerate the baseline with
+`--update`.
+
+Exit code 0 = transcript matches the baseline; 1 otherwise.
+No third-party dependencies.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+
+def run_analyze(laminarc, args):
+    proc = subprocess.run(
+        [laminarc, *args, "--analyze", "--emit=stats"],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+        timeout=300,
+    )
+    # Keep only located diagnostics; drop incidental stderr noise.
+    lines = [
+        line
+        for line in proc.stderr.splitlines()
+        if re.match(r"^\d+:\d+: (warning|error):", line)
+    ]
+    return proc.returncode, lines
+
+
+def list_benchmarks(laminarc):
+    proc = subprocess.run(
+        [laminarc], stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+        text=True, timeout=60,
+    )
+    names = []
+    for line in proc.stderr.splitlines():
+        m = re.match(r"^  (\w+) - ", line)
+        if m:
+            names.append(m.group(1))
+    return names
+
+
+def example_top(path):
+    m = re.search(r"--top=(\w+)", path.read_text())
+    return m.group(1) if m else path.stem
+
+
+def main():
+    argv = [a for a in sys.argv[1:] if a != "--update"]
+    update = "--update" in sys.argv[1:]
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    laminarc, baseline = argv[0], Path(argv[1])
+    source_dir = Path(argv[2]) if len(argv) > 2 else Path(".")
+
+    transcript = []
+    failures = 0
+
+    benchmarks = list_benchmarks(laminarc)
+    if not benchmarks:
+        print("error: could not enumerate benchmarks from laminarc")
+        return 1
+    for name in benchmarks:
+        code, lines = run_analyze(laminarc, [name])
+        if code != 0:
+            print(f"error: --analyze rejected shipped benchmark {name}")
+            failures += 1
+        for line in lines:
+            transcript.append(f"{name}: {line}")
+
+    for path in sorted((source_dir / "examples" / "programs").glob("*.str")):
+        code, lines = run_analyze(
+            laminarc, [str(path), f"--top={example_top(path)}"]
+        )
+        if code != 0:
+            print(f"error: --analyze rejected shipped example {path.name}")
+            failures += 1
+        for line in lines:
+            transcript.append(f"{path.name}: {line}")
+
+    text = "".join(line + "\n" for line in transcript)
+    if update:
+        baseline.write_text(text)
+        print(f"baseline updated: {len(transcript)} diagnostic(s)")
+        return 0
+
+    expected = baseline.read_text() if baseline.exists() else ""
+    if text != expected:
+        print("analysis diagnostics diverge from the baseline:")
+        print("--- expected ---")
+        sys.stdout.write(expected or "(empty)\n")
+        print("--- actual ---")
+        sys.stdout.write(text or "(empty)\n")
+        return 1
+    if failures:
+        return 1
+    print(
+        f"analyze baseline OK: {len(benchmarks)} benchmark(s) + examples, "
+        f"{len(transcript)} expected diagnostic(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+//===--- Analysis.h - Umbrella for the dataflow analyses -------*- C++ -*-===//
+//
+// Single include for consumers of the analysis subsystem (the driver,
+// the lowerings, tests). See docs/ANALYSIS.md for the framework tour.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_ANALYSIS_ANALYSIS_H
+#define LAMINAR_ANALYSIS_ANALYSIS_H
+
+#include "analysis/Checks.h"
+#include "analysis/Dataflow.h"
+#include "analysis/Lattice.h"
+#include "analysis/RangeAnalysis.h"
+#include "analysis/StateAnalysis.h"
+
+#endif // LAMINAR_ANALYSIS_ANALYSIS_H

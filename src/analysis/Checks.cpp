@@ -1,0 +1,972 @@
+//===--- Checks.cpp - Compile-time stream-safety checks -------------------===//
+
+#include "analysis/Checks.h"
+#include "analysis/RangeAnalysis.h"
+#include "analysis/StateAnalysis.h"
+#include "support/Casting.h"
+#include <set>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::analysis;
+
+const char *analysis::checkKindName(CheckKind K) {
+  switch (K) {
+  case CheckKind::OobIndex:
+    return "OobIndex";
+  case CheckKind::PossibleOobIndex:
+    return "PossibleOobIndex";
+  case CheckKind::DivByZero:
+    return "DivByZero";
+  case CheckKind::PossibleDivByZero:
+    return "PossibleDivByZero";
+  case CheckKind::ReadBeforeInit:
+    return "ReadBeforeInit";
+  case CheckKind::DeadStateStore:
+    return "DeadStateStore";
+  case CheckKind::PeekOutOfWindow:
+    return "PeekOutOfWindow";
+  case CheckKind::PossiblePeekOutOfWindow:
+    return "PossiblePeekOutOfWindow";
+  case CheckKind::PopRateOverrun:
+    return "PopRateOverrun";
+  }
+  return "Unknown";
+}
+
+/// Stats counter suffix, following the repo's dash-separated convention.
+static const char *checkKindCounter(CheckKind K) {
+  switch (K) {
+  case CheckKind::OobIndex:
+    return "oob-index";
+  case CheckKind::PossibleOobIndex:
+    return "possible-oob-index";
+  case CheckKind::DivByZero:
+    return "div-by-zero";
+  case CheckKind::PossibleDivByZero:
+    return "possible-div-by-zero";
+  case CheckKind::ReadBeforeInit:
+    return "read-before-init";
+  case CheckKind::DeadStateStore:
+    return "dead-state-store";
+  case CheckKind::PeekOutOfWindow:
+    return "peek-out-of-window";
+  case CheckKind::PossiblePeekOutOfWindow:
+    return "possible-peek-out-of-window";
+  case CheckKind::PopRateOverrun:
+    return "pop-rate-overrun";
+  }
+  return "unknown";
+}
+
+unsigned AnalysisReport::errorCount() const {
+  unsigned N = 0;
+  for (const Finding &F : Findings)
+    N += F.Error ? 1 : 0;
+  return N;
+}
+
+unsigned AnalysisReport::warningCount() const {
+  return static_cast<unsigned>(Findings.size()) - errorCount();
+}
+
+//===----------------------------------------------------------------------===//
+// AST-level checks (checkStreamSafety)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Interval-walks one filter's work body. Tracks scalar int locals in an
+/// environment and the number of tokens popped so far as a range; every
+/// peek index is judged against `Pops + index < peek window`, every pop
+/// against the declared pop rate.
+class WorkChecker {
+public:
+  WorkChecker(const graph::FilterNode &Node, int64_t Window,
+              int64_t DeclaredPop, std::vector<Finding> &Findings)
+      : Node(Node), Window(Window), DeclaredPop(DeclaredPop),
+        Findings(Findings) {
+    Pops = IntRange::constant(0);
+    if (const ast::FilterDecl *D = Node.getDecl())
+      for (const ast::VarDecl *P : D->getParams())
+        if (P->getElemType() == ast::ScalarType::Int && !P->isArray())
+          if (auto V = Node.params().get(P))
+            Env[P] = IntRange::constant(V->asInt());
+  }
+
+  void run(const ast::BlockStmt *Body) {
+    if (Body)
+      execStmt(Body);
+  }
+
+private:
+  using Env_t = std::unordered_map<const ast::VarDecl *, IntRange>;
+
+  void report(CheckKind K, bool Error, SourceLoc Loc, std::string Msg) {
+    Findings.push_back(
+        {K, Error, Loc, std::move(Msg), Node.getName(), CondDepth == 0});
+  }
+
+  //===--- expressions ----------------------------------------------------===//
+
+  /// Range of \p E; evaluation mirrors runtime order, so assignments
+  /// update the environment and stream calls advance the pop count.
+  IntRange evalExpr(const ast::Expr *E) {
+    using namespace ast;
+    if (!E)
+      return IntRange::full();
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+      return IntRange::constant(cast<IntLit>(E)->getValue());
+    case Expr::Kind::BoolLit:
+      return IntRange::constant(cast<BoolLit>(E)->getValue() ? 1 : 0);
+    case Expr::Kind::FloatLit:
+      return IntRange::full();
+    case Expr::Kind::VarRef: {
+      auto It = Env.find(cast<VarRef>(E)->getDecl());
+      return It == Env.end() ? conservative(E) : It->second;
+    }
+    case Expr::Kind::ArrayIndex: {
+      evalExpr(cast<ArrayIndex>(E)->getIndex());
+      return conservative(E);
+    }
+    case Expr::Kind::Binary:
+      return evalBinary(cast<BinaryExpr>(E));
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      IntRange V = evalExpr(U->getSub());
+      switch (U->getOp()) {
+      case UnaryOp::Neg:
+        return E->getType() == ScalarType::Int
+                   ? transferUnary(lir::UnOp::Neg, V)
+                   : IntRange::full();
+      case UnaryOp::LogNot:
+        return transferUnary(lir::UnOp::Not, V);
+      case UnaryOp::BitNot:
+        return transferUnary(lir::UnOp::BitNot, V);
+      }
+      return conservative(E);
+    }
+    case Expr::Kind::Assign:
+      return evalAssign(cast<AssignExpr>(E));
+    case Expr::Kind::Call:
+      return evalCall(cast<CallExpr>(E));
+    case Expr::Kind::Cast: {
+      const auto *C = cast<CastExpr>(E);
+      IntRange V = evalExpr(C->getSub());
+      if (C->getTo() == ScalarType::Int &&
+          C->getSub()->getType() == ScalarType::Int)
+        return V;
+      return conservative(E);
+    }
+    }
+    return conservative(E);
+  }
+
+  IntRange lookup(const ast::VarDecl *D) const {
+    auto It = Env.find(D);
+    return It == Env.end() ? IntRange::full() : It->second;
+  }
+
+  IntRange conservative(const ast::Expr *E) const {
+    return E->getType() == ast::ScalarType::Bool ? IntRange::boolean()
+                                                 : IntRange::full();
+  }
+
+  IntRange evalBinary(const ast::BinaryExpr *B) {
+    using ast::BinaryOp;
+    IntRange L = evalExpr(B->getLHS());
+    // Short-circuit operators still evaluate the RHS here — the walk
+    // needs its side effects (pops) folded in conservatively.
+    IntRange R = evalExpr(B->getRHS());
+    bool IntOperands = B->getLHS()->getType() == ast::ScalarType::Int &&
+                       B->getRHS()->getType() == ast::ScalarType::Int;
+    switch (B->getOp()) {
+    case BinaryOp::LogAnd:
+    case BinaryOp::LogOr:
+      return IntRange::boolean();
+    case BinaryOp::EQ:
+    case BinaryOp::NE:
+    case BinaryOp::LT:
+    case BinaryOp::LE:
+    case BinaryOp::GT:
+    case BinaryOp::GE: {
+      if (!IntOperands)
+        return IntRange::boolean();
+      lir::CmpPred P = B->getOp() == BinaryOp::EQ   ? lir::CmpPred::EQ
+                       : B->getOp() == BinaryOp::NE ? lir::CmpPred::NE
+                       : B->getOp() == BinaryOp::LT ? lir::CmpPred::LT
+                       : B->getOp() == BinaryOp::LE ? lir::CmpPred::LE
+                       : B->getOp() == BinaryOp::GT ? lir::CmpPred::GT
+                                                    : lir::CmpPred::GE;
+      return transferCmp(P, L, R);
+    }
+    default:
+      break;
+    }
+    if (!IntOperands || B->getType() != ast::ScalarType::Int)
+      return conservative(B);
+    lir::BinOp Op;
+    switch (B->getOp()) {
+    case BinaryOp::Add:
+      Op = lir::BinOp::Add;
+      break;
+    case BinaryOp::Sub:
+      Op = lir::BinOp::Sub;
+      break;
+    case BinaryOp::Mul:
+      Op = lir::BinOp::Mul;
+      break;
+    case BinaryOp::Div:
+      Op = lir::BinOp::Div;
+      checkDiv(R, B->getLoc());
+      break;
+    case BinaryOp::Rem:
+      Op = lir::BinOp::Rem;
+      checkDiv(R, B->getLoc());
+      break;
+    case BinaryOp::BitAnd:
+      Op = lir::BinOp::And;
+      break;
+    case BinaryOp::BitOr:
+      Op = lir::BinOp::Or;
+      break;
+    case BinaryOp::BitXor:
+      Op = lir::BinOp::Xor;
+      break;
+    case BinaryOp::Shl:
+      Op = lir::BinOp::Shl;
+      break;
+    case BinaryOp::Shr:
+      Op = lir::BinOp::Shr;
+      break;
+    default:
+      return conservative(B);
+    }
+    return transferBinary(Op, L, R);
+  }
+
+  IntRange evalAssign(const ast::AssignExpr *A) {
+    using ast::AssignExpr;
+    IntRange V = evalExpr(A->getValue());
+    if (const auto *Ref = dyn_cast<ast::VarRef>(A->getTarget())) {
+      if (Ref->getType() == ast::ScalarType::Int && Ref->getDecl() &&
+          !Ref->getDecl()->isArray()) {
+        IntRange Old = lookup(Ref->getDecl());
+        IntRange New;
+        switch (A->getOp()) {
+        case AssignExpr::Op::Assign:
+          New = V;
+          break;
+        case AssignExpr::Op::Add:
+          New = transferBinary(lir::BinOp::Add, Old, V);
+          break;
+        case AssignExpr::Op::Sub:
+          New = transferBinary(lir::BinOp::Sub, Old, V);
+          break;
+        case AssignExpr::Op::Mul:
+          New = transferBinary(lir::BinOp::Mul, Old, V);
+          break;
+        case AssignExpr::Op::Div:
+          New = transferBinary(lir::BinOp::Div, Old, V);
+          checkDiv(V, A->getLoc());
+          break;
+        }
+        Env[Ref->getDecl()] = New;
+        return New;
+      }
+      return IntRange::full();
+    }
+    // Array element target: evaluate the index for its side effects.
+    if (const auto *AI = dyn_cast<ast::ArrayIndex>(A->getTarget()))
+      evalExpr(AI->getIndex());
+    return IntRange::full();
+  }
+
+  IntRange evalCall(const ast::CallExpr *C) {
+    using ast::BuiltinFn;
+    switch (C->getBuiltin()) {
+    case BuiltinFn::Pop:
+      checkPop(C->getLoc());
+      Pops = transferBinary(lir::BinOp::Add, Pops, IntRange::constant(1));
+      return conservative(C);
+    case BuiltinFn::Peek: {
+      IntRange Idx = C->getArgs().empty() ? IntRange::full()
+                                          : evalExpr(C->getArgs()[0]);
+      checkPeek(Idx, C->getLoc());
+      return conservative(C);
+    }
+    case BuiltinFn::Push:
+      for (const ast::Expr *A : C->getArgs())
+        evalExpr(A);
+      return IntRange::full();
+    case BuiltinFn::Abs:
+    case BuiltinFn::Min:
+    case BuiltinFn::Max: {
+      std::vector<IntRange> Args;
+      for (const ast::Expr *A : C->getArgs())
+        Args.push_back(evalExpr(A));
+      if (C->getType() != ast::ScalarType::Int)
+        return IntRange::full();
+      lir::Builtin B = C->getBuiltin() == BuiltinFn::Abs ? lir::Builtin::AbsI
+                       : C->getBuiltin() == BuiltinFn::Min
+                           ? lir::Builtin::MinI
+                           : lir::Builtin::MaxI;
+      return transferCall(B, Args.empty() ? IntRange::full() : Args[0],
+                          Args.size() > 1 ? Args[1] : IntRange::full());
+    }
+    default:
+      for (const ast::Expr *A : C->getArgs())
+        evalExpr(A);
+      return conservative(C);
+    }
+  }
+
+  //===--- stream checks --------------------------------------------------===//
+
+  void checkDiv(const IntRange &Divisor, SourceLoc Loc) {
+    if (Divisor.isEmpty())
+      return;
+    if (Divisor == IntRange::constant(0))
+      report(CheckKind::DivByZero, /*Error=*/true, Loc,
+             "division by zero: divisor is always 0");
+    else if (Divisor.isFinite() && Divisor.contains(0))
+      report(CheckKind::PossibleDivByZero, /*Error=*/false, Loc,
+             "possible division by zero: divisor in " + Divisor.str());
+  }
+
+  void checkPop(SourceLoc Loc) {
+    if (Pops.hasFiniteLo() && Pops.Lo >= DeclaredPop)
+      report(CheckKind::PopRateOverrun, /*Error=*/true, Loc,
+             "pop exceeds the declared pop rate of " +
+                 std::to_string(DeclaredPop));
+  }
+
+  void checkPeek(const IntRange &Idx, SourceLoc Loc) {
+    if (Idx.isEmpty())
+      return;
+    // A peek at offset i after k pops touches token k+i of the firing's
+    // window; valid iff i >= 0 and k+i < Window.
+    IntRange Eff = transferBinary(lir::BinOp::Add, Pops, Idx);
+    if (Idx.Hi < 0 || (Eff.hasFiniteLo() && Eff.Lo >= Window)) {
+      std::ostringstream OS;
+      OS << "peek index out of the declared window: index in " << Idx.str()
+         << " after " << Pops.str() << " pops, window is " << Window;
+      report(CheckKind::PeekOutOfWindow, /*Error=*/true, Loc, OS.str());
+      return;
+    }
+    bool MaybeNeg = Idx.hasFiniteLo() && Idx.Lo < 0;
+    bool MaybeHigh = Eff.isFinite() && Eff.Hi >= Window;
+    if (MaybeNeg || MaybeHigh) {
+      std::ostringstream OS;
+      OS << "peek index may leave the declared window: index in "
+         << Idx.str() << " after " << Pops.str() << " pops, window is "
+         << Window;
+      report(CheckKind::PossiblePeekOutOfWindow, /*Error=*/false, Loc,
+             OS.str());
+    }
+  }
+
+  //===--- statements -----------------------------------------------------===//
+
+  void execStmt(const ast::Stmt *S) {
+    using namespace ast;
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (const Stmt *Sub : cast<BlockStmt>(S)->getBody())
+        execStmt(Sub);
+      return;
+    case Stmt::Kind::Decl: {
+      const VarDecl *D = cast<DeclStmt>(S)->getDecl();
+      if (D->getElemType() == ScalarType::Int && !D->isArray())
+        Env[D] = D->getInit() ? evalExpr(D->getInit()) : IntRange::full();
+      else if (D->getInit())
+        evalExpr(D->getInit());
+      return;
+    }
+    case Stmt::Kind::ExprS:
+      evalExpr(cast<ExprStmt>(S)->getExpr());
+      return;
+    case Stmt::Kind::If:
+      execIf(cast<IfStmt>(S));
+      return;
+    case Stmt::Kind::For:
+      execFor(cast<ForStmt>(S));
+      return;
+    case Stmt::Kind::While:
+      execOpaqueLoop(cast<WhileStmt>(S)->getBody(),
+                     cast<WhileStmt>(S)->getCond());
+      return;
+    default:
+      // Graph statements (add/split/join/enqueue) never reach work
+      // bodies; nothing to do.
+      return;
+    }
+  }
+
+  void execIf(const ast::IfStmt *If) {
+    IntRange Cond = evalExpr(If->getCond());
+    if (Cond == IntRange::constant(1)) {
+      execStmt(If->getThen());
+      return;
+    }
+    if (Cond == IntRange::constant(0)) {
+      execStmt(If->getElse());
+      return;
+    }
+    Env_t SavedEnv = Env;
+    IntRange SavedPops = Pops;
+    ++CondDepth;
+    execStmt(If->getThen());
+    Env_t ThenEnv = std::move(Env);
+    IntRange ThenPops = Pops;
+    Env = std::move(SavedEnv);
+    Pops = SavedPops;
+    execStmt(If->getElse());
+    --CondDepth;
+    joinEnvInto(ThenEnv);
+    Pops = join(Pops, ThenPops);
+  }
+
+  void joinEnvInto(const Env_t &Other) {
+    for (auto It = Env.begin(); It != Env.end();) {
+      auto OIt = Other.find(It->first);
+      if (OIt == Other.end()) {
+        It = Env.erase(It);
+      } else {
+        It->second = join(It->second, OIt->second);
+        ++It;
+      }
+    }
+  }
+
+  /// True when evaluating \p E cannot change the environment or pop
+  /// count (no calls, no assignments).
+  static bool sideEffectFree(const ast::Expr *E) {
+    using namespace ast;
+    if (!E)
+      return true;
+    switch (E->getKind()) {
+    case Expr::Kind::IntLit:
+    case Expr::Kind::FloatLit:
+    case Expr::Kind::BoolLit:
+    case Expr::Kind::VarRef:
+      return true;
+    case Expr::Kind::ArrayIndex:
+      return sideEffectFree(cast<ArrayIndex>(E)->getIndex());
+    case Expr::Kind::Binary:
+      return sideEffectFree(cast<BinaryExpr>(E)->getLHS()) &&
+             sideEffectFree(cast<BinaryExpr>(E)->getRHS());
+    case Expr::Kind::Unary:
+      return sideEffectFree(cast<UnaryExpr>(E)->getSub());
+    case Expr::Kind::Cast:
+      return sideEffectFree(cast<CastExpr>(E)->getSub());
+    case Expr::Kind::Assign:
+    case Expr::Kind::Call:
+      return false;
+    }
+    return false;
+  }
+
+  /// Collects int scalars assigned anywhere under \p S (loop bodies get
+  /// these set to full before being walked once).
+  void collectAssigned(const ast::Stmt *S,
+                       std::vector<const ast::VarDecl *> &Out) {
+    using namespace ast;
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (const Stmt *Sub : cast<BlockStmt>(S)->getBody())
+        collectAssigned(Sub, Out);
+      return;
+    case Stmt::Kind::Decl:
+      Out.push_back(cast<DeclStmt>(S)->getDecl());
+      return;
+    case Stmt::Kind::ExprS:
+      collectAssignedExpr(cast<ExprStmt>(S)->getExpr(), Out);
+      return;
+    case Stmt::Kind::If:
+      collectAssignedExpr(cast<IfStmt>(S)->getCond(), Out);
+      collectAssigned(cast<IfStmt>(S)->getThen(), Out);
+      collectAssigned(cast<IfStmt>(S)->getElse(), Out);
+      return;
+    case Stmt::Kind::For:
+      collectAssigned(cast<ForStmt>(S)->getInit(), Out);
+      collectAssignedExpr(cast<ForStmt>(S)->getCond(), Out);
+      collectAssignedExpr(cast<ForStmt>(S)->getStep(), Out);
+      collectAssigned(cast<ForStmt>(S)->getBody(), Out);
+      return;
+    case Stmt::Kind::While:
+      collectAssignedExpr(cast<WhileStmt>(S)->getCond(), Out);
+      collectAssigned(cast<WhileStmt>(S)->getBody(), Out);
+      return;
+    default:
+      return;
+    }
+  }
+
+  void collectAssignedExpr(const ast::Expr *E,
+                           std::vector<const ast::VarDecl *> &Out) {
+    using namespace ast;
+    if (!E)
+      return;
+    switch (E->getKind()) {
+    case Expr::Kind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      if (const auto *Ref = dyn_cast<VarRef>(A->getTarget()))
+        if (Ref->getDecl())
+          Out.push_back(Ref->getDecl());
+      collectAssignedExpr(A->getValue(), Out);
+      if (const auto *AI = dyn_cast<ArrayIndex>(A->getTarget()))
+        collectAssignedExpr(AI->getIndex(), Out);
+      return;
+    }
+    case Expr::Kind::Binary:
+      collectAssignedExpr(cast<BinaryExpr>(E)->getLHS(), Out);
+      collectAssignedExpr(cast<BinaryExpr>(E)->getRHS(), Out);
+      return;
+    case Expr::Kind::Unary:
+      collectAssignedExpr(cast<UnaryExpr>(E)->getSub(), Out);
+      return;
+    case Expr::Kind::Cast:
+      collectAssignedExpr(cast<CastExpr>(E)->getSub(), Out);
+      return;
+    case Expr::Kind::ArrayIndex:
+      collectAssignedExpr(cast<ArrayIndex>(E)->getIndex(), Out);
+      return;
+    case Expr::Kind::Call:
+      for (const Expr *A : cast<CallExpr>(E)->getArgs())
+        collectAssignedExpr(A, Out);
+      return;
+    default:
+      return;
+    }
+  }
+
+  static bool containsStreamCall(const ast::Stmt *S) {
+    using namespace ast;
+    if (!S)
+      return false;
+    switch (S->getKind()) {
+    case Stmt::Kind::Block:
+      for (const Stmt *Sub : cast<BlockStmt>(S)->getBody())
+        if (containsStreamCall(Sub))
+          return true;
+      return false;
+    case Stmt::Kind::Decl:
+      return exprHasPop(cast<DeclStmt>(S)->getDecl()->getInit());
+    case Stmt::Kind::ExprS:
+      return exprHasPop(cast<ExprStmt>(S)->getExpr());
+    case Stmt::Kind::If:
+      return exprHasPop(cast<IfStmt>(S)->getCond()) ||
+             containsStreamCall(cast<IfStmt>(S)->getThen()) ||
+             containsStreamCall(cast<IfStmt>(S)->getElse());
+    case Stmt::Kind::For:
+      return containsStreamCall(cast<ForStmt>(S)->getInit()) ||
+             exprHasPop(cast<ForStmt>(S)->getCond()) ||
+             exprHasPop(cast<ForStmt>(S)->getStep()) ||
+             containsStreamCall(cast<ForStmt>(S)->getBody());
+    case Stmt::Kind::While:
+      return exprHasPop(cast<WhileStmt>(S)->getCond()) ||
+             containsStreamCall(cast<WhileStmt>(S)->getBody());
+    default:
+      return false;
+    }
+  }
+
+  static bool exprHasPop(const ast::Expr *E) {
+    using namespace ast;
+    if (!E)
+      return false;
+    switch (E->getKind()) {
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      if (C->getBuiltin() == BuiltinFn::Pop)
+        return true;
+      for (const Expr *A : C->getArgs())
+        if (exprHasPop(A))
+          return true;
+      return false;
+    }
+    case Expr::Kind::Binary:
+      return exprHasPop(cast<BinaryExpr>(E)->getLHS()) ||
+             exprHasPop(cast<BinaryExpr>(E)->getRHS());
+    case Expr::Kind::Unary:
+      return exprHasPop(cast<UnaryExpr>(E)->getSub());
+    case Expr::Kind::Cast:
+      return exprHasPop(cast<CastExpr>(E)->getSub());
+    case Expr::Kind::Assign:
+      return exprHasPop(cast<AssignExpr>(E)->getTarget()) ||
+             exprHasPop(cast<AssignExpr>(E)->getValue());
+    case Expr::Kind::ArrayIndex:
+      return exprHasPop(cast<ArrayIndex>(E)->getIndex());
+    default:
+      return false;
+    }
+  }
+
+  /// Counted `for (i = a; i < b; i += k)` loops get their induction
+  /// variable pinned to the body range and their pop contribution scaled
+  /// by the trip count; anything else falls back to execOpaqueLoop.
+  void execFor(const ast::ForStmt *For) {
+    using namespace ast;
+    const VarDecl *IV = nullptr;
+    IntRange Start;
+
+    if (const auto *DS = dyn_cast_or_null<DeclStmt>(For->getInit())) {
+      const VarDecl *D = DS->getDecl();
+      if (D->getElemType() == ScalarType::Int && !D->isArray() &&
+          D->getInit() && sideEffectFree(D->getInit())) {
+        IV = D;
+        Start = evalExpr(D->getInit());
+        Env[IV] = Start;
+      }
+    } else if (const auto *ES = dyn_cast_or_null<ExprStmt>(For->getInit())) {
+      if (const auto *A = dyn_cast<AssignExpr>(ES->getExpr()))
+        if (A->getOp() == AssignExpr::Op::Assign &&
+            sideEffectFree(A->getValue()))
+          if (const auto *Ref = dyn_cast<VarRef>(A->getTarget()))
+            if (Ref->getType() == ScalarType::Int && Ref->getDecl()) {
+              IV = Ref->getDecl();
+              Start = evalExpr(A->getValue());
+              Env[IV] = Start;
+            }
+    } else if (For->getInit()) {
+      execStmt(For->getInit());
+    }
+
+    const auto *Cond = dyn_cast_or_null<BinaryExpr>(For->getCond());
+    int64_t Step = 0;
+    bool Inclusive = false;
+    IntRange Bound;
+    bool Recognized = false;
+
+    if (IV && Cond && sideEffectFree(Cond) &&
+        (Cond->getOp() == BinaryOp::LT || Cond->getOp() == BinaryOp::LE)) {
+      const auto *CondVar = dyn_cast<VarRef>(Cond->getLHS());
+      if (CondVar && CondVar->getDecl() == IV) {
+        if (const auto *StepA =
+                dyn_cast_or_null<AssignExpr>(For->getStep()))
+          if (StepA->getOp() == AssignExpr::Op::Add)
+            if (const auto *StepT = dyn_cast<VarRef>(StepA->getTarget()))
+              if (StepT->getDecl() == IV)
+                if (const auto *K = dyn_cast<IntLit>(StepA->getValue()))
+                  Step = K->getValue();
+        if (Step > 0) {
+          Bound = evalExpr(Cond->getRHS());
+          Inclusive = Cond->getOp() == BinaryOp::LE;
+          Recognized = Start.isFinite() && Bound.isFinite();
+        }
+      }
+    }
+
+    if (!Recognized) {
+      execOpaqueLoop(For->getBody(), For->getCond(), For->getStep(), IV);
+      return;
+    }
+
+    // Last admissible value of the induction variable inside the body.
+    int64_t Last = Inclusive ? Bound.Hi : satAdd(Bound.Hi, -1);
+    if (Last < Start.Lo) { // proved zero-trip
+      Env[IV] = Start;
+      return;
+    }
+    // With a known start the IV only visits start + m*step; snap the
+    // bound down onto that lattice (matters for stride-2 loops like
+    // `for (i = 0; i < n; i += 2) ... peek(i + 1)`, where the naive
+    // bound n-1 puts i+1 one past the window).
+    if (Start.isSingleton())
+      Last = Start.Lo + (Last - Start.Lo) / Step * Step;
+    __int128 MaxTrips =
+        ((__int128)Last - Start.Lo) / Step + 1; // >= 1 here
+    __int128 MinTrips = 0;
+    {
+      int64_t FirstLast = Inclusive ? Bound.Lo : satAdd(Bound.Lo, -1);
+      if (FirstLast >= Start.Hi)
+        MinTrips = ((__int128)FirstLast - Start.Hi) / Step + 1;
+    }
+
+    std::vector<const ast::VarDecl *> Assigned;
+    collectAssigned(For->getBody(), Assigned);
+    for (const ast::VarDecl *D : Assigned)
+      if (D != IV && Env.count(D))
+        Env[D] = IntRange::full();
+
+    Env[IV] = IntRange(Start.Lo, Last);
+    IntRange Before = Pops;
+    if (MinTrips == 0)
+      ++CondDepth;
+    execStmt(For->getBody());
+    if (MinTrips == 0)
+      --CondDepth;
+    // Scale the single-iteration pop contribution by the trip range.
+    // (The walk above checked iteration 1; later iterations reuse its
+    // conservative environment.)
+    IntRange Delta = transferBinary(lir::BinOp::Sub, Pops, Before);
+    Delta = meet(Delta, IntRange(0, IntRange::PosInf));
+    IntRange Trips(static_cast<int64_t>(MinTrips),
+                   MaxTrips > IntRange::PosInf
+                       ? IntRange::PosInf
+                       : static_cast<int64_t>(MaxTrips));
+    Pops = transferBinary(lir::BinOp::Add, Before,
+                          transferBinary(lir::BinOp::Mul, Delta, Trips));
+    if (Pops.isEmpty() || Pops.Lo < Before.Lo)
+      Pops = IntRange(Before.Lo, IntRange::PosInf);
+
+    Env[IV] = IntRange::full();
+  }
+
+  /// Unrecognized loop: clobber everything the body may assign, walk the
+  /// body once for its checks, and leave the pop count unbounded above
+  /// if the body touches the stream.
+  void execOpaqueLoop(const ast::Stmt *Body, const ast::Expr *Cond,
+                      const ast::Expr *Step = nullptr,
+                      const ast::VarDecl *IV = nullptr) {
+    if (Cond && !sideEffectFree(Cond))
+      evalExpr(Cond);
+    std::vector<const ast::VarDecl *> Assigned;
+    collectAssigned(Body, Assigned);
+    for (const ast::VarDecl *D : Assigned)
+      if (Env.count(D))
+        Env[D] = IntRange::full();
+    if (IV)
+      Env[IV] = IntRange::full();
+    bool Pops_ = containsStreamCall(Body);
+    if (Pops_)
+      Pops = IntRange(Pops.Lo, IntRange::PosInf);
+    ++CondDepth;
+    execStmt(Body);
+    if (Step)
+      evalExpr(Step);
+    --CondDepth;
+    for (const ast::VarDecl *D : Assigned)
+      if (Env.count(D))
+        Env[D] = IntRange::full();
+    if (IV)
+      Env[IV] = IntRange::full();
+    if (Pops_)
+      Pops = IntRange(Pops.Lo, IntRange::PosInf);
+  }
+
+  const graph::FilterNode &Node;
+  int64_t Window;
+  int64_t DeclaredPop;
+  std::vector<Finding> &Findings;
+  Env_t Env;
+  IntRange Pops;
+  unsigned CondDepth = 0;
+};
+
+} // namespace
+
+AnalysisReport analysis::checkStreamSafety(const graph::StreamGraph &G) {
+  AnalysisReport R;
+  // The same declaration can be instantiated many times (with different
+  // parameter bindings); identical findings at the same location are
+  // reported once.
+  std::set<std::string> Seen;
+  for (const auto &N : G.nodes()) {
+    const auto *F = dyn_cast<graph::FilterNode>(N.get());
+    if (!F || F->isEndpoint() || !F->getDecl() ||
+        !F->getDecl()->getWorkBody())
+      continue;
+    if (F->getPopRate() == 0 && F->getPeekRate() == 0)
+      continue;
+    std::vector<Finding> Local;
+    WorkChecker Checker(*F, F->getPeekRate(), F->getPopRate(), Local);
+    Checker.run(F->getDecl()->getWorkBody());
+    for (Finding &Fd : Local) {
+      std::string Key = std::to_string(Fd.Loc.Line) + ":" +
+                        std::to_string(Fd.Loc.Col) + ":" + Fd.Message;
+      if (Seen.insert(Key).second)
+        R.Findings.push_back(std::move(Fd));
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// LIR-level checks (checkModule)
+//===----------------------------------------------------------------------===//
+
+static std::string describeIndex(const lir::GlobalVar *G,
+                                 const IntRange &R) {
+  std::ostringstream OS;
+  OS << "'@" << G->getName() << "': index in " << R.str() << ", size "
+     << G->getSize();
+  return OS.str();
+}
+
+AnalysisReport analysis::checkModule(const lir::Module &M,
+                                     const AnalysisOptions &Opts) {
+  using namespace lir;
+  AnalysisReport R;
+
+  StateInitAnalysis Init(M);
+  StateLivenessAnalysis Live(M);
+
+  // Module-wide store census for the conservative read-before-init and
+  // dead-store checks.
+  std::set<const GlobalVar *> Stored;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (const auto *St = dyn_cast<StoreInst>(I.get()))
+          Stored.insert(St->getGlobal());
+
+  std::set<const GlobalVar *> Reported;
+  for (const auto &F : M.functions()) {
+    RangeAnalysis RA(*F);
+    const BasicBlock *Entry = F->entry();
+    for (const auto &BB : F->blocks()) {
+      bool InEntry = BB.get() == Entry;
+      for (const auto &I : BB->instructions()) {
+        const GlobalVar *G = nullptr;
+        const Value *Idx = nullptr;
+        bool IsStore = false;
+        if (const auto *L = dyn_cast<LoadInst>(I.get())) {
+          G = L->getGlobal();
+          Idx = L->getIndex();
+        } else if (const auto *St = dyn_cast<StoreInst>(I.get())) {
+          G = St->getGlobal();
+          Idx = St->getIndex();
+          IsStore = true;
+        }
+
+        if (G && Idx) {
+          IntRange IR = RA.rangeAt(Idx, BB.get());
+          const char *What = IsStore ? "store" : "load";
+          if (!IR.isEmpty()) {
+            if (IR.Hi < 0 || IR.Lo >= G->getSize()) {
+              R.Findings.push_back({CheckKind::OobIndex, /*Error=*/true,
+                                    I->getLoc(),
+                                    std::string("out-of-bounds ") + What +
+                                        " on " + describeIndex(G, IR),
+                                    F->getName(), InEntry});
+            } else if (Opts.WarnPossibleOob &&
+                       ((IR.hasFiniteLo() && IR.Lo < 0) ||
+                        (IR.hasFiniteHi() && IR.Hi >= G->getSize()))) {
+              R.Findings.push_back({CheckKind::PossibleOobIndex,
+                                    /*Error=*/false, I->getLoc(),
+                                    std::string("possible out-of-bounds ") +
+                                        What + " on " + describeIndex(G, IR),
+                                    F->getName(), InEntry});
+            }
+          }
+        }
+
+        if (const auto *B = dyn_cast<BinaryInst>(I.get())) {
+          if (B->getOp() == BinOp::Div || B->getOp() == BinOp::Rem) {
+            IntRange Div = RA.rangeAt(B->getRHS(), BB.get());
+            if (Div == IntRange::constant(0)) {
+              R.Findings.push_back(
+                  {CheckKind::DivByZero, /*Error=*/true, I->getLoc(),
+                   std::string(B->getOp() == BinOp::Div ? "division"
+                                                        : "remainder") +
+                       " by zero: divisor is always 0",
+                   F->getName(), InEntry});
+            } else if (!Div.isEmpty() && Div.isFinite() &&
+                       Div.contains(0)) {
+              R.Findings.push_back(
+                  {CheckKind::PossibleDivByZero, /*Error=*/false,
+                   I->getLoc(),
+                   "possible division by zero: divisor in " + Div.str(),
+                   F->getName(), InEntry});
+            }
+          }
+        }
+
+        // Read-before-init: a State read with no store anywhere in the
+        // module and no static initializer can only see default-zero
+        // memory. Restricting to never-stored globals keeps the claim
+        // exact; the must-init analysis additionally suppresses reads
+        // the pipeline order proves fine.
+        if (const auto *L = dyn_cast<LoadInst>(I.get())) {
+          const GlobalVar *LG = L->getGlobal();
+          if (LG->getMemClass() == MemClass::State && !LG->hasInit() &&
+              !Stored.count(LG) && !Reported.count(LG) &&
+              !Init.mustInitAtEntry(BB.get(), LG)) {
+            Reported.insert(LG);
+            R.Findings.push_back(
+                {CheckKind::ReadBeforeInit, /*Error=*/false, I->getLoc(),
+                 "state '" + LG->getName() +
+                     "' is read but never written or initialized",
+                 F->getName(), InEntry});
+          }
+        }
+
+        if (const auto *St = dyn_cast<StoreInst>(I.get())) {
+          const GlobalVar *SG = St->getGlobal();
+          bool Dead = false;
+          if (SG->getMemClass() == MemClass::State &&
+              !Live.readAnywhere(SG) && !Reported.count(SG)) {
+            Reported.insert(SG);
+            Dead = true;
+          } else if (Opts.AggressiveDeadStore &&
+                     SG->getMemClass() == MemClass::State &&
+                     SG->getSize() == 1 &&
+                     !Live.liveAtExit(BB.get(), SG)) {
+            // Precise variant: dead unless a later load in this very
+            // block revives the store.
+            bool LaterLoad = false;
+            bool Past = false;
+            for (const auto &J : BB->instructions()) {
+              if (J.get() == I.get()) {
+                Past = true;
+                continue;
+              }
+              if (!Past)
+                continue;
+              if (const auto *JL = dyn_cast<LoadInst>(J.get()))
+                if (JL->getGlobal() == SG)
+                  LaterLoad = true;
+              if (const auto *JS = dyn_cast<StoreInst>(J.get()))
+                if (JS->getGlobal() == SG)
+                  break; // overwritten first
+            }
+            Dead = !LaterLoad;
+          }
+          if (Dead)
+            R.Findings.push_back(
+                {CheckKind::DeadStateStore, /*Error=*/false, I->getLoc(),
+                 "store to state '" + SG->getName() + "' is never read",
+                 F->getName(), InEntry});
+        }
+      }
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Emission
+//===----------------------------------------------------------------------===//
+
+unsigned analysis::emitFindings(const AnalysisReport &R,
+                                DiagnosticEngine &Diags,
+                                RemarkEmitter *Remarks,
+                                StatsRegistry *Stats) {
+  unsigned Errors = 0;
+  for (const Finding &F : R.Findings) {
+    SourceLoc Loc = F.Loc.isValid() ? F.Loc : SourceLoc{1, 1};
+    if (F.Error) {
+      Diags.error(Loc, F.Message);
+      ++Errors;
+    } else {
+      Diags.warning(Loc, F.Message);
+    }
+    if (Remarks)
+      Remarks->analysis("analysis", checkKindName(F.Kind),
+                        F.Message + " (in " + F.Fn + ")",
+                        SourceRange{Loc, Loc});
+    if (Stats) {
+      Stats->add(std::string("analysis.checks.") + checkKindCounter(F.Kind));
+      Stats->add(F.Error ? "analysis.checks.errors"
+                         : "analysis.checks.warnings");
+    }
+  }
+  return Errors;
+}

@@ -1,0 +1,100 @@
+//===--- Checks.h - Compile-time stream-safety checks ----------*- C++ -*-===//
+//
+// The check suite built on the analyses: a catalog of findings a
+// compilation can prove (errors) or suspect (warnings) about a stream
+// program without running it.
+//
+// Two entry points, matching the two program representations the
+// driver has at hand:
+//
+//  * checkStreamSafety runs on the elaborated stream graph, walking
+//    each filter's work body with an interval environment. It catches
+//    peek-window violations and pop-rate overruns — and runs even when
+//    lowering later fails or degrades to FIFO.
+//
+//  * checkModule runs on lowered LIR, combining RangeAnalysis with the
+//    state init/liveness analyses: out-of-bounds global accesses,
+//    guaranteed division by zero, reads of never-written state, and
+//    dead state stores.
+//
+// Policy: an *error* is emitted only for a proved fact (the bad access
+// happens on every execution reaching it); a *warning* needs finite
+// evidence of a possible violation (a completely unknown index stays
+// silent). This is what keeps the shipped example/suite programs
+// warning-free — the CI baseline pins that property.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_ANALYSIS_CHECKS_H
+#define LAMINAR_ANALYSIS_CHECKS_H
+
+#include "graph/StreamGraph.h"
+#include "lir/Module.h"
+#include "support/Diagnostics.h"
+#include "support/Remarks.h"
+#include "support/SourceLoc.h"
+#include "support/Statistics.h"
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace analysis {
+
+struct AnalysisOptions {
+  /// Emit possible- (not proved-) violation warnings.
+  bool WarnPossibleOob = true;
+  /// Per-store liveness-precise dead-store warnings (default reports
+  /// only never-read state, which cannot false-positive).
+  bool AggressiveDeadStore = false;
+};
+
+enum class CheckKind {
+  OobIndex,            // proved out-of-bounds global load/store
+  PossibleOobIndex,    // index range overlaps out-of-bounds
+  DivByZero,           // proved integer division by zero
+  PossibleDivByZero,   // divisor range contains zero
+  ReadBeforeInit,      // state read but never written or initialized
+  DeadStateStore,      // state written but never read
+  PeekOutOfWindow,     // proved peek past the declared window
+  PossiblePeekOutOfWindow,
+  PopRateOverrun,      // proved pops beyond the declared pop rate
+};
+
+/// CamelCase name used in remarks and docs ("OobIndex", ...).
+const char *checkKindName(CheckKind K);
+
+struct Finding {
+  CheckKind Kind;
+  bool Error; // error vs warning
+  SourceLoc Loc;
+  std::string Message;
+  std::string Fn; // LIR function name, or filter name for graph checks
+  /// True when the site executes unconditionally whenever its function
+  /// runs (entry block); the fuzz oracle uses this to demand a concrete
+  /// confirming trace for proved claims.
+  bool InEntryBlock = false;
+};
+
+struct AnalysisReport {
+  std::vector<Finding> Findings;
+
+  unsigned errorCount() const;
+  unsigned warningCount() const;
+};
+
+/// AST-level checks over every user filter of the elaborated graph.
+AnalysisReport checkStreamSafety(const graph::StreamGraph &G);
+
+/// LIR-level checks over a lowered module.
+AnalysisReport checkModule(const lir::Module &M, const AnalysisOptions &Opts);
+
+/// Routes findings into the observability plumbing: diagnostics (located
+/// errors/warnings), per-check `analysis` remarks, and
+/// `analysis.checks.*` counters. Returns the number of errors emitted.
+unsigned emitFindings(const AnalysisReport &R, DiagnosticEngine &Diags,
+                      RemarkEmitter *Remarks, StatsRegistry *Stats);
+
+} // namespace analysis
+} // namespace laminar
+
+#endif // LAMINAR_ANALYSIS_CHECKS_H

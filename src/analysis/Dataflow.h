@@ -1,0 +1,149 @@
+//===--- Dataflow.h - Generic forward/backward dataflow solver -*- C++ -*-===//
+//
+// A direction-parametric iterative dataflow solver over the LIR CFG.
+// The caller supplies the domain (any equality-comparable value type),
+// the merge operator, and a whole-block transfer function; the solver
+// sweeps the reachable blocks in reverse postorder (or its reverse, for
+// backward problems) until a fixpoint.
+//
+// Conventions, independent of direction:
+//   in(BB)  = state at the block's entry
+//   out(BB) = state at the block's exit
+// Forward:  in = merge of predecessors' out, out = transfer(in).
+// Backward: out = merge of successors' in,  in  = transfer(out).
+// The boundary value enters at the entry block (forward) or at blocks
+// without successors (backward). Blocks start from the caller-supplied
+// optimistic value so merges over not-yet-stabilized back edges refine
+// rather than destroy information (classic optimistic iteration: for a
+// must-analysis pass the universal set, for a may-analysis the empty
+// set).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_ANALYSIS_DATAFLOW_H
+#define LAMINAR_ANALYSIS_DATAFLOW_H
+
+#include "lir/Dominators.h"
+#include "lir/Function.h"
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace laminar {
+namespace analysis {
+
+enum class Direction { Forward, Backward };
+
+template <typename Domain> class DataflowSolver {
+public:
+  using MergeFn = std::function<Domain(const Domain &, const Domain &)>;
+  using TransferFn =
+      std::function<Domain(const lir::BasicBlock *, const Domain &)>;
+
+  DataflowSolver(Direction Dir, Domain Boundary, Domain Optimistic,
+                 MergeFn Merge, TransferFn Transfer)
+      : Dir(Dir), Boundary(std::move(Boundary)),
+        Optimistic(std::move(Optimistic)), Merge(std::move(Merge)),
+        Transfer(std::move(Transfer)) {}
+
+  /// Iterates to a fixpoint over the blocks of \p F reachable from the
+  /// entry. Returns false when the pass cap was hit first (the states
+  /// are then the last — still monotonically refined — iterates; with a
+  /// finite-height domain this does not happen).
+  bool solve(const lir::Function &F) {
+    lir::DomTree DT(F);
+    std::vector<lir::BasicBlock *> Order = DT.reversePostorder();
+    if (Dir == Direction::Backward)
+      std::reverse(Order.begin(), Order.end());
+
+    In.clear();
+    Out.clear();
+    for (const lir::BasicBlock *BB : Order) {
+      In.emplace(BB, Optimistic);
+      Out.emplace(BB, Optimistic);
+    }
+
+    // The pass cap is a safety net, not a tuning knob: each sweep is a
+    // full RPO pass, so any finite-height domain converges in height+2.
+    constexpr unsigned MaxPasses = 100;
+    for (unsigned Pass = 0; Pass < MaxPasses; ++Pass) {
+      bool Changed = false;
+      for (const lir::BasicBlock *BB : Order) {
+        Domain Incoming = mergedInput(BB);
+        Domain Result = Transfer(BB, Incoming);
+        if (Dir == Direction::Forward) {
+          if (!(In.at(BB) == Incoming)) {
+            In.at(BB) = std::move(Incoming);
+            Changed = true;
+          }
+          if (!(Out.at(BB) == Result)) {
+            Out.at(BB) = std::move(Result);
+            Changed = true;
+          }
+        } else {
+          if (!(Out.at(BB) == Incoming)) {
+            Out.at(BB) = std::move(Incoming);
+            Changed = true;
+          }
+          if (!(In.at(BB) == Result)) {
+            In.at(BB) = std::move(Result);
+            Changed = true;
+          }
+        }
+      }
+      if (!Changed)
+        return true;
+    }
+    return false;
+  }
+
+  /// State at block entry. Blocks never solved (unreachable) report the
+  /// boundary value — the conservative answer for either direction.
+  const Domain &in(const lir::BasicBlock *BB) const {
+    auto It = In.find(BB);
+    return It == In.end() ? Boundary : It->second;
+  }
+  /// State at block exit.
+  const Domain &out(const lir::BasicBlock *BB) const {
+    auto It = Out.find(BB);
+    return It == Out.end() ? Boundary : It->second;
+  }
+
+private:
+  /// Merge over the CFG neighbors feeding this block in the current
+  /// direction; boundary blocks fold in the boundary value.
+  Domain mergedInput(const lir::BasicBlock *BB) const {
+    bool AtBoundary;
+    std::vector<lir::BasicBlock *> Feeders;
+    if (Dir == Direction::Forward) {
+      AtBoundary = BB == BB->getParent()->entry();
+      Feeders.assign(BB->predecessors().begin(), BB->predecessors().end());
+    } else {
+      auto Succs = BB->successors();
+      AtBoundary = Succs.empty();
+      Feeders.assign(Succs.begin(), Succs.end());
+    }
+    Domain Acc = AtBoundary ? Boundary : Optimistic;
+    for (const lir::BasicBlock *N : Feeders) {
+      auto &Map = Dir == Direction::Forward ? Out : In;
+      auto It = Map.find(N);
+      if (It == Map.end())
+        continue; // Unreachable feeder: contributes nothing.
+      Acc = Merge(Acc, It->second);
+    }
+    return Acc;
+  }
+
+  Direction Dir;
+  Domain Boundary;
+  Domain Optimistic;
+  MergeFn Merge;
+  TransferFn Transfer;
+  std::unordered_map<const lir::BasicBlock *, Domain> In, Out;
+};
+
+} // namespace analysis
+} // namespace laminar
+
+#endif // LAMINAR_ANALYSIS_DATAFLOW_H

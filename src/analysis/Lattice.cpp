@@ -1,0 +1,358 @@
+//===--- Lattice.cpp ------------------------------------------------------===//
+
+#include "analysis/Lattice.h"
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::analysis;
+
+std::string IntRange::str() const {
+  if (isEmpty())
+    return "empty";
+  std::ostringstream OS;
+  OS << "[";
+  if (Lo == NegInf)
+    OS << "-inf";
+  else
+    OS << Lo;
+  OS << ", ";
+  if (Hi == PosInf)
+    OS << "+inf";
+  else
+    OS << Hi;
+  OS << "]";
+  return OS.str();
+}
+
+IntRange analysis::join(const IntRange &A, const IntRange &B) {
+  if (A.isEmpty())
+    return B;
+  if (B.isEmpty())
+    return A;
+  return IntRange(std::min(A.Lo, B.Lo), std::max(A.Hi, B.Hi));
+}
+
+IntRange analysis::meet(const IntRange &A, const IntRange &B) {
+  if (A.isEmpty() || B.isEmpty())
+    return IntRange::empty();
+  IntRange R(std::max(A.Lo, B.Lo), std::min(A.Hi, B.Hi));
+  return R.isEmpty() ? IntRange::empty() : R;
+}
+
+IntRange analysis::widen(const IntRange &Old, const IntRange &New) {
+  if (Old.isEmpty())
+    return New;
+  if (New.isEmpty())
+    return Old;
+  return IntRange(New.Lo < Old.Lo ? IntRange::NegInf : Old.Lo,
+                  New.Hi > Old.Hi ? IntRange::PosInf : Old.Hi);
+}
+
+int64_t analysis::satAdd(int64_t A, int64_t B) {
+  // Sentinels are sticky: -inf + anything stays -inf (an infinite bound
+  // never becomes finite by adding a finite offset).
+  if (A == IntRange::NegInf || B == IntRange::NegInf)
+    return IntRange::NegInf;
+  if (A == IntRange::PosInf || B == IntRange::PosInf)
+    return IntRange::PosInf;
+  __int128 S = static_cast<__int128>(A) + B;
+  if (S <= IntRange::NegInf)
+    return IntRange::NegInf;
+  if (S >= IntRange::PosInf)
+    return IntRange::PosInf;
+  return static_cast<int64_t>(S);
+}
+
+int64_t analysis::satMul(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  bool AInf = A == IntRange::NegInf || A == IntRange::PosInf;
+  bool BInf = B == IntRange::NegInf || B == IntRange::PosInf;
+  if (AInf || BInf) {
+    bool Neg = (A < 0) != (B < 0);
+    return Neg ? IntRange::NegInf : IntRange::PosInf;
+  }
+  __int128 P = static_cast<__int128>(A) * B;
+  if (P <= IntRange::NegInf)
+    return IntRange::NegInf;
+  if (P >= IntRange::PosInf)
+    return IntRange::PosInf;
+  return static_cast<int64_t>(P);
+}
+
+/// Smallest all-ones mask covering \p V (V >= 0): 5 -> 7, 8 -> 15.
+static int64_t fillLowBits(int64_t V) {
+  if (V <= 0)
+    return 0;
+  uint64_t U = static_cast<uint64_t>(V);
+  U |= U >> 1;
+  U |= U >> 2;
+  U |= U >> 4;
+  U |= U >> 8;
+  U |= U >> 16;
+  U |= U >> 32;
+  // Never produces a sentinel: V < PosInf implies the fill fits.
+  return static_cast<int64_t>(std::min<uint64_t>(
+      U, static_cast<uint64_t>(IntRange::PosInf)));
+}
+
+static IntRange transferAdd(const IntRange &L, const IntRange &R) {
+  return IntRange(satAdd(L.Lo, R.Lo), satAdd(L.Hi, R.Hi));
+}
+
+static IntRange transferSub(const IntRange &L, const IntRange &R) {
+  // L - R = L + (-R); negating swaps and flips the bounds.
+  int64_t NegLo = R.Hi == IntRange::PosInf ? IntRange::NegInf : -R.Hi;
+  int64_t NegHi = R.Lo == IntRange::NegInf ? IntRange::PosInf
+                  : R.Lo == IntRange::PosInf ? IntRange::NegInf
+                                             : -R.Lo;
+  return IntRange(satAdd(L.Lo, NegLo), satAdd(L.Hi, NegHi));
+}
+
+static IntRange transferMul(const IntRange &L, const IntRange &R) {
+  // With any infinite bound the sign analysis gets fiddly; only the
+  // all-finite case matters in practice (loop counters times constants).
+  if (!L.isFinite() || !R.isFinite())
+    return IntRange::full();
+  int64_t C[4] = {satMul(L.Lo, R.Lo), satMul(L.Lo, R.Hi),
+                  satMul(L.Hi, R.Lo), satMul(L.Hi, R.Hi)};
+  return IntRange(*std::min_element(C, C + 4), *std::max_element(C, C + 4));
+}
+
+static IntRange transferDiv(const IntRange &L, const IntRange &R) {
+  // Only division by a known positive constant is modeled; C truncation
+  // toward zero is monotone for a positive divisor, so the bounds map
+  // directly. (Result range only — a zero divisor is the checker's job.)
+  if (!R.isSingleton() || R.Lo <= 0)
+    return IntRange::full();
+  int64_t D = R.Lo;
+  int64_t Lo = L.Lo == IntRange::NegInf ? IntRange::NegInf : L.Lo / D;
+  int64_t Hi = L.Hi == IntRange::PosInf ? IntRange::PosInf : L.Hi / D;
+  return IntRange(Lo, Hi);
+}
+
+static IntRange transferRem(const IntRange &L, const IntRange &R) {
+  // x % d (C semantics: sign follows the dividend) with |d| in a known
+  // positive interval bounds |result| by max|d| - 1.
+  int64_t MaxAbs;
+  if (R.isFinite() && R.Lo >= 1)
+    MaxAbs = R.Hi;
+  else if (R.isFinite() && R.Hi <= -1)
+    MaxAbs = R.Lo == IntRange::NegInf ? 0 : -R.Lo;
+  else
+    return IntRange::full();
+  int64_t M = MaxAbs - 1;
+  // A dividend already inside [0, M] is unchanged.
+  if (L.Lo >= 0 && L.Hi <= M)
+    return L;
+  if (L.Lo >= 0)
+    return IntRange(0, M);
+  if (L.Hi <= 0)
+    return IntRange(-M, 0);
+  return IntRange(-M, M);
+}
+
+static IntRange transferAnd(const IntRange &L, const IntRange &R) {
+  // x & m with a non-negative operand bound is in [0, m] regardless of
+  // the other side's sign — the workhorse for masked FIFO indices and
+  // data-dependent peek offsets like `pop() & 3`.
+  if (R.hasFiniteHi() && R.Lo >= 0)
+    return IntRange(0, R.Hi);
+  if (L.hasFiniteHi() && L.Lo >= 0)
+    return IntRange(0, L.Hi);
+  return IntRange::full();
+}
+
+static IntRange transferOrXor(const IntRange &L, const IntRange &R,
+                              bool IsOr) {
+  if (!L.isFinite() || !R.isFinite() || L.Lo < 0 || R.Lo < 0)
+    return IntRange::full();
+  int64_t Hi = fillLowBits(L.Hi | R.Hi);
+  // x | y >= max(x, y) for non-negatives; xor has no such floor.
+  int64_t Lo = IsOr ? std::max(L.Lo, R.Lo) : 0;
+  return IntRange(Lo, Hi);
+}
+
+static IntRange transferShl(const IntRange &L, const IntRange &R) {
+  if (!R.isSingleton() || R.Lo < 0 || R.Lo > 62)
+    return IntRange::full();
+  int64_t F = int64_t(1) << R.Lo;
+  return IntRange(satMul(L.Lo, F), satMul(L.Hi, F));
+}
+
+static IntRange transferShr(const IntRange &L, const IntRange &R) {
+  // Arithmetic shift of a non-negative value by a constant amount.
+  if (!R.isSingleton() || R.Lo < 0 || R.Lo > 62 || L.isEmpty() || L.Lo < 0)
+    return IntRange::full();
+  int64_t Lo = L.Lo >> R.Lo;
+  int64_t Hi = L.Hi == IntRange::PosInf ? IntRange::PosInf : L.Hi >> R.Lo;
+  return IntRange(Lo, Hi);
+}
+
+IntRange analysis::transferBinary(lir::BinOp Op, const IntRange &L,
+                                  const IntRange &R) {
+  if (L.isEmpty() || R.isEmpty())
+    return IntRange::empty();
+  switch (Op) {
+  case lir::BinOp::Add:
+    return transferAdd(L, R);
+  case lir::BinOp::Sub:
+    return transferSub(L, R);
+  case lir::BinOp::Mul:
+    return transferMul(L, R);
+  case lir::BinOp::Div:
+    return transferDiv(L, R);
+  case lir::BinOp::Rem:
+    return transferRem(L, R);
+  case lir::BinOp::And:
+    return transferAnd(L, R);
+  case lir::BinOp::Or:
+    return transferOrXor(L, R, /*IsOr=*/true);
+  case lir::BinOp::Xor:
+    return transferOrXor(L, R, /*IsOr=*/false);
+  case lir::BinOp::Shl:
+    return transferShl(L, R);
+  case lir::BinOp::Shr:
+    return transferShr(L, R);
+  case lir::BinOp::FAdd:
+  case lir::BinOp::FSub:
+  case lir::BinOp::FMul:
+  case lir::BinOp::FDiv:
+    break;
+  }
+  return IntRange::full();
+}
+
+IntRange analysis::transferUnary(lir::UnOp Op, const IntRange &V) {
+  if (V.isEmpty())
+    return IntRange::empty();
+  switch (Op) {
+  case lir::UnOp::Neg:
+    return transferSub(IntRange::constant(0), V);
+  case lir::UnOp::Not:
+    if (V == IntRange::constant(0))
+      return IntRange::constant(1);
+    if (!V.contains(0))
+      return IntRange::constant(0);
+    return IntRange::boolean();
+  case lir::UnOp::BitNot: // ~x == -1 - x
+    return transferSub(IntRange::constant(-1), V);
+  case lir::UnOp::FNeg:
+    break;
+  }
+  return IntRange::full();
+}
+
+IntRange analysis::transferCast(lir::CastOp Op, const IntRange &V) {
+  if (V.isEmpty())
+    return IntRange::empty();
+  switch (Op) {
+  case lir::CastOp::BoolToInt:
+    return meet(V, IntRange::boolean());
+  case lir::CastOp::FloatToInt:
+  case lir::CastOp::IntToFloat:
+    break;
+  }
+  return IntRange::full();
+}
+
+IntRange analysis::transferCall(lir::Builtin B, const IntRange &A0,
+                                const IntRange &A1) {
+  if (A0.isEmpty() || (lir::builtinArity(B) > 1 && A1.isEmpty()))
+    return IntRange::empty();
+  switch (B) {
+  case lir::Builtin::AbsI: {
+    if (A0.Lo >= 0)
+      return A0;
+    IntRange Neg = transferSub(IntRange::constant(0), A0);
+    if (A0.Hi <= 0)
+      return Neg;
+    return IntRange(0, std::max(A0.Hi, Neg.Hi));
+  }
+  case lir::Builtin::MinI:
+    if (A0.isEmpty() || A1.isEmpty())
+      return IntRange::empty();
+    return IntRange(std::min(A0.Lo, A1.Lo), std::min(A0.Hi, A1.Hi));
+  case lir::Builtin::MaxI:
+    if (A0.isEmpty() || A1.isEmpty())
+      return IntRange::empty();
+    return IntRange(std::max(A0.Lo, A1.Lo), std::max(A0.Hi, A1.Hi));
+  default:
+    break;
+  }
+  return IntRange::full();
+}
+
+IntRange analysis::transferCmp(lir::CmpPred Pred, const IntRange &L,
+                               const IntRange &R) {
+  if (L.isEmpty() || R.isEmpty())
+    return IntRange::empty();
+  auto Proved = [](bool B) {
+    return B ? IntRange::constant(1) : IntRange::constant(0);
+  };
+  switch (Pred) {
+  case lir::CmpPred::LT:
+    if (L.Hi < R.Lo)
+      return Proved(true);
+    if (L.Lo >= R.Hi)
+      return Proved(false);
+    break;
+  case lir::CmpPred::LE:
+    if (L.Hi <= R.Lo)
+      return Proved(true);
+    if (L.Lo > R.Hi)
+      return Proved(false);
+    break;
+  case lir::CmpPred::GT:
+    if (L.Lo > R.Hi)
+      return Proved(true);
+    if (L.Hi <= R.Lo)
+      return Proved(false);
+    break;
+  case lir::CmpPred::GE:
+    if (L.Lo >= R.Hi)
+      return Proved(true);
+    if (L.Hi < R.Lo)
+      return Proved(false);
+    break;
+  case lir::CmpPred::EQ:
+    if (L.isSingleton() && R.isSingleton())
+      return Proved(L.Lo == R.Lo);
+    if (meet(L, R).isEmpty())
+      return Proved(false);
+    break;
+  case lir::CmpPred::NE:
+    if (L.isSingleton() && R.isSingleton())
+      return Proved(L.Lo != R.Lo);
+    if (meet(L, R).isEmpty())
+      return Proved(true);
+    break;
+  }
+  return IntRange::boolean();
+}
+
+IntRange analysis::constraintOnLhs(lir::CmpPred Pred, const IntRange &R) {
+  if (R.isEmpty())
+    return IntRange::empty();
+  switch (Pred) {
+  case lir::CmpPred::LT:
+    if (R.Hi == IntRange::NegInf)
+      return IntRange::empty(); // Nothing is below INT64_MIN.
+    return IntRange(IntRange::NegInf,
+                    R.Hi == IntRange::PosInf ? IntRange::PosInf : R.Hi - 1);
+  case lir::CmpPred::LE:
+    return IntRange(IntRange::NegInf, R.Hi);
+  case lir::CmpPred::GT:
+    if (R.Lo == IntRange::PosInf)
+      return IntRange::empty(); // Nothing is above INT64_MAX.
+    return IntRange(R.Lo == IntRange::NegInf ? IntRange::NegInf : R.Lo + 1,
+                    IntRange::PosInf);
+  case lir::CmpPred::GE:
+    return IntRange(R.Lo, IntRange::PosInf);
+  case lir::CmpPred::EQ:
+    return R;
+  case lir::CmpPred::NE:
+    return IntRange::full(); // No interval refinement from !=.
+  }
+  return IntRange::full();
+}

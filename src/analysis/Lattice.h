@@ -1,0 +1,115 @@
+//===--- Lattice.h - Abstract domains for dataflow analyses ----*- C++ -*-===//
+//
+// The integer interval lattice underlying the value-range analysis. A
+// range [Lo, Hi] abstracts the set of int64 values an SSA value may
+// take; the int64 extremes double as -inf/+inf sentinels, so every
+// arithmetic transfer function must saturate instead of wrapping.
+//
+// The lattice order is set inclusion: bottom is the empty range (an
+// unvisited or unreachable value), top is [-inf, +inf] (no knowledge).
+// join() is the convex hull (may-union), meet() the intersection, and
+// widen() the classic interval widening that jumps moving bounds to the
+// corresponding infinity so loops converge in a bounded number of
+// steps.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_ANALYSIS_LATTICE_H
+#define LAMINAR_ANALYSIS_LATTICE_H
+
+#include "lir/Instruction.h"
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace laminar {
+namespace analysis {
+
+struct IntRange {
+  /// Sentinels: Lo == NegInf means unbounded below, Hi == PosInf
+  /// unbounded above. They compare like ordinary extremes, which makes
+  /// join/meet uniform; only arithmetic needs to special-case them.
+  static constexpr int64_t NegInf = std::numeric_limits<int64_t>::min();
+  static constexpr int64_t PosInf = std::numeric_limits<int64_t>::max();
+
+  int64_t Lo = 1;
+  int64_t Hi = 0; // Lo > Hi: the canonical empty (bottom) range.
+
+  IntRange() = default;
+  IntRange(int64_t Lo, int64_t Hi) : Lo(Lo), Hi(Hi) {}
+
+  static IntRange empty() { return IntRange(); }
+  static IntRange full() { return IntRange(NegInf, PosInf); }
+  static IntRange constant(int64_t C) { return IntRange(C, C); }
+  /// The range of a bool viewed as an integer.
+  static IntRange boolean() { return IntRange(0, 1); }
+
+  bool isEmpty() const { return Lo > Hi; }
+  bool isFull() const { return Lo == NegInf && Hi == PosInf; }
+  bool isSingleton() const { return Lo == Hi; }
+  bool hasFiniteLo() const { return !isEmpty() && Lo != NegInf; }
+  bool hasFiniteHi() const { return !isEmpty() && Hi != PosInf; }
+  bool isFinite() const { return hasFiniteLo() && hasFiniteHi(); }
+  bool contains(int64_t C) const { return !isEmpty() && Lo <= C && C <= Hi; }
+  bool containsRange(const IntRange &R) const {
+    return R.isEmpty() || (!isEmpty() && Lo <= R.Lo && R.Hi <= Hi);
+  }
+
+  bool operator==(const IntRange &R) const {
+    if (isEmpty() && R.isEmpty())
+      return true;
+    return Lo == R.Lo && Hi == R.Hi;
+  }
+  bool operator!=(const IntRange &R) const { return !(*this == R); }
+
+  /// "[lo, hi]" with "-inf"/"+inf" for the sentinels; "empty" for bottom.
+  std::string str() const;
+};
+
+/// Convex hull of two ranges (the lattice join).
+IntRange join(const IntRange &A, const IntRange &B);
+/// Intersection of two ranges (the lattice meet).
+IntRange meet(const IntRange &A, const IntRange &B);
+/// Interval widening: a bound of \p New that moved past the same bound
+/// of \p Old jumps to the corresponding infinity. widen(Old, New)
+/// contains both arguments, and any chain Old, widen(Old, N1),
+/// widen(..., N2), ... stabilizes after at most two steps per value.
+IntRange widen(const IntRange &Old, const IntRange &New);
+
+/// Addition/multiplication on bounds that saturates to the sentinels
+/// instead of wrapping; sentinels are sticky in their direction.
+int64_t satAdd(int64_t A, int64_t B);
+int64_t satMul(int64_t A, int64_t B);
+
+//===----------------------------------------------------------------------===//
+// Transfer functions over LIR operations
+//===----------------------------------------------------------------------===//
+//
+// Each returns a sound overapproximation of the result range given
+// operand ranges. Unsupported shapes conservatively return full().
+// Division and remainder describe the *result value* range only; whether
+// the operation traps (divisor zero) is the check suite's concern.
+
+IntRange transferBinary(lir::BinOp Op, const IntRange &L, const IntRange &R);
+IntRange transferUnary(lir::UnOp Op, const IntRange &V);
+IntRange transferCast(lir::CastOp Op, const IntRange &V);
+/// Integer-valued builtins (abs/min/max); float builtins return full().
+IntRange transferCall(lir::Builtin B, const IntRange &A0, const IntRange &A1);
+
+/// Evaluates \p Pred over two ranges: true/false when the comparison is
+/// decided for every pair of values, nullopt when it depends.
+/// Encoded as an IntRange to stay in-lattice: [1,1] proved true,
+/// [0,0] proved false, [0,1] undecided.
+IntRange transferCmp(lir::CmpPred Pred, const IntRange &L, const IntRange &R);
+
+/// The constraint \p Pred imposes on its *left* operand when the
+/// comparison is known to evaluate to true and the right operand lies in
+/// \p R. Used for branch-edge refinement: meet the result with the
+/// operand's unrefined range.
+IntRange constraintOnLhs(lir::CmpPred Pred, const IntRange &R);
+
+} // namespace analysis
+} // namespace laminar
+
+#endif // LAMINAR_ANALYSIS_LATTICE_H

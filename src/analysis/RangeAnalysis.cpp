@@ -1,0 +1,393 @@
+//===--- RangeAnalysis.cpp ------------------------------------------------===//
+
+#include "analysis/RangeAnalysis.h"
+#include "lir/Dominators.h"
+#include "support/Casting.h"
+#include <unordered_set>
+
+using namespace laminar;
+using namespace laminar::analysis;
+using namespace laminar::lir;
+
+/// Sweeps before widening kicks in: enough for short chains to settle
+/// exactly, few enough that unrolled functions stay cheap.
+static constexpr unsigned WidenAfterPass = 8;
+/// Sweeps before a still-changing value is forced straight to top.
+static constexpr unsigned SaturateAfterPass = 48;
+/// Hard cap; hitting it discards refinements (see bailedOut()).
+static constexpr unsigned MaxPasses = 64;
+/// Negated-condition recursion depth when refining through Not.
+static constexpr unsigned MaxCondDepth = 4;
+
+static bool isIntLike(const Value *V) {
+  return V->getType() == TypeKind::Int || V->getType() == TypeKind::Bool;
+}
+
+RangeAnalysis::RangeAnalysis(const Function &F) { run(F); }
+
+IntRange RangeAnalysis::valueRange(const Value *V,
+                                   const RefineMap *Refine) const {
+  IntRange R;
+  if (const auto *CI = dyn_cast<ConstInt>(V))
+    R = IntRange::constant(CI->getValue());
+  else if (const auto *CB = dyn_cast<ConstBool>(V))
+    R = IntRange::constant(CB->getValue() ? 1 : 0);
+  else if (!isIntLike(V))
+    return IntRange::full();
+  else {
+    auto It = Ranges.find(V);
+    // Absent: not yet computed along any path — bottom, so optimistic
+    // joins (phis over back edges) ignore it.
+    R = It == Ranges.end() ? IntRange::empty() : It->second;
+  }
+  if (Refine) {
+    auto It = Refine->find(V);
+    if (It != Refine->end())
+      R = meet(R, It->second);
+  }
+  return R;
+}
+
+void RangeAnalysis::refineFromCond(const Value *Cond, bool Taken,
+                                   const RefineMap &PredRefine, RefineMap &M,
+                                   unsigned Depth) const {
+  if (Depth >= MaxCondDepth)
+    return;
+  if (const auto *U = dyn_cast<UnaryInst>(Cond)) {
+    if (U->getOp() == UnOp::Not)
+      refineFromCond(U->getOperand(0), !Taken, PredRefine, M, Depth + 1);
+    return;
+  }
+  const auto *Cmp = dyn_cast<CmpInst>(Cond);
+  if (!Cmp || Cmp->isFloatCmp())
+    return;
+  CmpPred Pred = Cmp->getPred();
+  if (!Taken) {
+    switch (Pred) {
+    case CmpPred::EQ:
+      Pred = CmpPred::NE;
+      break;
+    case CmpPred::NE:
+      Pred = CmpPred::EQ;
+      break;
+    case CmpPred::LT:
+      Pred = CmpPred::GE;
+      break;
+    case CmpPred::LE:
+      Pred = CmpPred::GT;
+      break;
+    case CmpPred::GT:
+      Pred = CmpPred::LE;
+      break;
+    case CmpPred::GE:
+      Pred = CmpPred::LT;
+      break;
+    }
+  }
+  auto Swapped = [](CmpPred P) {
+    switch (P) {
+    case CmpPred::LT:
+      return CmpPred::GT;
+    case CmpPred::LE:
+      return CmpPred::GE;
+    case CmpPred::GT:
+      return CmpPred::LT;
+    case CmpPred::GE:
+      return CmpPred::LE;
+    default:
+      return P;
+    }
+  };
+  const Value *L = Cmp->getLHS(), *R = Cmp->getRHS();
+  // Constrain each non-constant side by the other side's current range.
+  // The constraint is derived from ranges that may still be growing;
+  // the sweep loop re-derives it every pass, so the fixpoint is
+  // self-consistent.
+  auto Constrain = [&](const Value *Target, CmpPred P, const Value *Other) {
+    if (Target->isConstant() || !isIntLike(Target))
+      return;
+    IntRange C = constraintOnLhs(P, valueRange(Other, &PredRefine));
+    auto It = M.find(Target);
+    IntRange Base = It == M.end() ? IntRange::full() : It->second;
+    M[Target] = meet(Base, C);
+  };
+  Constrain(L, Pred, R);
+  Constrain(R, Swapped(Pred), L);
+}
+
+void RangeAnalysis::applyEdgeRefinement(const BasicBlock *Pred,
+                                        const BasicBlock *Succ,
+                                        RefineMap &M) const {
+  const auto *CB = dyn_cast_or_null<CondBrInst>(Pred->terminator());
+  if (!CB)
+    return;
+  // A conditional branch whose arms coincide proves nothing.
+  if (CB->getTrueBlock() == CB->getFalseBlock())
+    return;
+  auto PredIt = EntryRefine.find(Pred);
+  static const RefineMap EmptyMap;
+  const RefineMap &PredRefine =
+      PredIt == EntryRefine.end() ? EmptyMap : PredIt->second;
+  if (CB->getTrueBlock() == Succ)
+    refineFromCond(CB->getCond(), /*Taken=*/true, PredRefine, M, 0);
+  else if (CB->getFalseBlock() == Succ)
+    refineFromCond(CB->getCond(), /*Taken=*/false, PredRefine, M, 0);
+}
+
+RangeAnalysis::RefineMap
+RangeAnalysis::entryRefinement(const BasicBlock *BB) const {
+  // Facts at a block's entry: the intersection (pointwise join, key
+  // intersection) over predecessors of "what held throughout the
+  // predecessor, plus what its branch into us proves". A refinement at
+  // a predecessor's entry is a fact about paths, so it still holds at
+  // the predecessor's exit — SSA values do not change.
+  RefineMap Result;
+  bool First = true;
+  for (const BasicBlock *Pred : BB->predecessors()) {
+    auto PredIt = EntryRefine.find(Pred);
+    // Predecessor not yet swept (back edge on the first pass) or
+    // unreachable: contribute no facts, which empties the intersection.
+    RefineMap Path =
+        PredIt == EntryRefine.end() ? RefineMap() : PredIt->second;
+    applyEdgeRefinement(Pred, BB, Path);
+    if (First) {
+      Result = std::move(Path);
+      First = false;
+      continue;
+    }
+    // Key intersection with pointwise join.
+    for (auto It = Result.begin(); It != Result.end();) {
+      auto PIt = Path.find(It->first);
+      if (PIt == Path.end()) {
+        It = Result.erase(It);
+        continue;
+      }
+      It->second = join(It->second, PIt->second);
+      ++It;
+    }
+  }
+  return Result;
+}
+
+IntRange RangeAnalysis::computeInstRange(const Instruction *I,
+                                         const RefineMap &Refine) const {
+  auto R = [&](const Value *V) { return valueRange(V, &Refine); };
+  switch (I->getKind()) {
+  case Value::Kind::Binary: {
+    const auto *B = cast<BinaryInst>(I);
+    return transferBinary(B->getOp(), R(B->getLHS()), R(B->getRHS()));
+  }
+  case Value::Kind::Unary: {
+    const auto *U = cast<UnaryInst>(I);
+    return transferUnary(U->getOp(), R(U->getOperand(0)));
+  }
+  case Value::Kind::Cmp: {
+    const auto *C = cast<CmpInst>(I);
+    if (C->isFloatCmp())
+      return IntRange::boolean();
+    return transferCmp(C->getPred(), R(C->getLHS()), R(C->getRHS()));
+  }
+  case Value::Kind::Cast: {
+    const auto *C = cast<CastInst>(I);
+    return transferCast(C->getOp(), R(C->getOperand(0)));
+  }
+  case Value::Kind::Select: {
+    const auto *S = cast<SelectInst>(I);
+    IntRange Cond = R(S->getCond());
+    if (Cond == IntRange::constant(1))
+      return R(S->getTrueValue());
+    if (Cond == IntRange::constant(0))
+      return R(S->getFalseValue());
+    return join(R(S->getTrueValue()), R(S->getFalseValue()));
+  }
+  case Value::Kind::Call: {
+    const auto *C = cast<CallInst>(I);
+    IntRange A0 = C->getNumOperands() > 0 ? R(C->getOperand(0))
+                                          : IntRange::full();
+    IntRange A1 = C->getNumOperands() > 1 ? R(C->getOperand(1))
+                                          : IntRange::full();
+    return transferCall(C->getBuiltin(), A0, A1);
+  }
+  case Value::Kind::Phi: {
+    const auto *P = cast<PhiInst>(I);
+    IntRange Acc = IntRange::empty();
+    for (unsigned K = 0; K < P->getNumIncoming(); ++K) {
+      const BasicBlock *Pred = P->getIncomingBlock(K);
+      auto PredIt = EntryRefine.find(Pred);
+      static const RefineMap EmptyMap;
+      RefineMap Edge =
+          PredIt == EntryRefine.end() ? EmptyMap : PredIt->second;
+      applyEdgeRefinement(Pred, I->getParent(), Edge);
+      Acc = join(Acc, valueRange(P->getIncomingValue(K), &Edge));
+    }
+    return Acc;
+  }
+  default:
+    // Loads, inputs: unknown.
+    return I->getType() == TypeKind::Bool ? IntRange::boolean()
+                                          : IntRange::full();
+  }
+}
+
+void RangeAnalysis::run(const Function &F) {
+  DomTree DT(F);
+  const std::vector<BasicBlock *> &Order = DT.reversePostorder();
+
+  for (unsigned Pass = 0; Pass < MaxPasses; ++Pass) {
+    bool Changed = false;
+    for (const BasicBlock *BB : Order) {
+      RefineMap In = entryRefinement(BB);
+      auto RIt = EntryRefine.find(BB);
+      if (RIt == EntryRefine.end() || RIt->second != In) {
+        EntryRefine[BB] = In;
+        Changed = true;
+      }
+      for (const auto &I : BB->instructions()) {
+        if (!isIntLike(I.get()))
+          continue;
+        IntRange New = computeInstRange(I.get(), In);
+        auto It = Ranges.find(I.get());
+        IntRange Old = It == Ranges.end() ? IntRange::empty() : It->second;
+        IntRange Joined = join(Old, New);
+        if (Joined == Old)
+          continue;
+        // Monotone ascent with staged acceleration: exact joins first,
+        // widening once a value keeps moving, top as the last resort.
+        unsigned &Count = UpdateCount[I.get()];
+        ++Count;
+        if (Pass >= SaturateAfterPass || Count > SaturateAfterPass)
+          Joined = IntRange::full();
+        else if (Pass >= WidenAfterPass || Count > WidenAfterPass)
+          Joined = widen(Old, Joined);
+        if (Joined != Old) {
+          Ranges[I.get()] = Joined;
+          Changed = true;
+        }
+      }
+    }
+    if (!Changed)
+      return;
+  }
+  // Ran out of passes: the ranges are somewhere mid-ascent and the
+  // refinements may not be consistent with them. Discarding the
+  // refinements and saturating every recorded range restores soundness
+  // at the cost of all precision.
+  BailedOut = true;
+  EntryRefine.clear();
+  for (auto &KV : Ranges)
+    KV.second = KV.first->getType() == TypeKind::Bool ? IntRange::boolean()
+                                                      : IntRange::full();
+}
+
+IntRange RangeAnalysis::rangeOf(const Value *V) const {
+  IntRange R = valueRange(V, nullptr);
+  // A value the fixpoint never reached is dynamically dead; report full
+  // rather than empty so callers cannot "prove" facts about it.
+  if (R.isEmpty() && !V->isConstant())
+    return IntRange::full();
+  return R;
+}
+
+IntRange RangeAnalysis::rangeAt(const Value *V, const BasicBlock *BB) const {
+  IntRange R = rangeOf(V);
+  auto It = EntryRefine.find(BB);
+  if (It != EntryRefine.end()) {
+    auto VIt = It->second.find(V);
+    if (VIt != It->second.end())
+      R = meet(R, VIt->second);
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// approximateRange — CFG-free def-chain walk
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class DefChainWalker {
+public:
+  IntRange walk(const Value *V, unsigned Depth) {
+    if (const auto *CI = dyn_cast<ConstInt>(V))
+      return IntRange::constant(CI->getValue());
+    if (const auto *CB = dyn_cast<ConstBool>(V))
+      return IntRange::constant(CB->getValue() ? 1 : 0);
+    if (!isIntLike(V))
+      return IntRange::full();
+    if (Depth >= MaxDepth)
+      return conservative(V);
+    auto It = Memo.find(V);
+    if (It != Memo.end())
+      return It->second;
+    // Cycle (phi through a loop): break with top for the in-progress
+    // query; only completed results are memoized.
+    if (!Visiting.insert(V).second)
+      return conservative(V);
+    IntRange R = compute(cast<Instruction>(V), Depth);
+    Visiting.erase(V);
+    Memo[V] = R;
+    return R;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 64;
+
+  static IntRange conservative(const Value *V) {
+    return V->getType() == TypeKind::Bool ? IntRange::boolean()
+                                          : IntRange::full();
+  }
+
+  IntRange compute(const Instruction *I, unsigned Depth) {
+    auto R = [&](const Value *V) { return walk(V, Depth + 1); };
+    switch (I->getKind()) {
+    case Value::Kind::Binary: {
+      const auto *B = cast<BinaryInst>(I);
+      return transferBinary(B->getOp(), R(B->getLHS()), R(B->getRHS()));
+    }
+    case Value::Kind::Unary: {
+      const auto *U = cast<UnaryInst>(I);
+      return transferUnary(U->getOp(), R(U->getOperand(0)));
+    }
+    case Value::Kind::Cmp: {
+      const auto *C = cast<CmpInst>(I);
+      if (C->isFloatCmp())
+        return IntRange::boolean();
+      return transferCmp(C->getPred(), R(C->getLHS()), R(C->getRHS()));
+    }
+    case Value::Kind::Cast: {
+      const auto *C = cast<CastInst>(I);
+      return transferCast(C->getOp(), R(C->getOperand(0)));
+    }
+    case Value::Kind::Select: {
+      const auto *S = cast<SelectInst>(I);
+      return join(R(S->getTrueValue()), R(S->getFalseValue()));
+    }
+    case Value::Kind::Call: {
+      const auto *C = cast<CallInst>(I);
+      IntRange A0 = C->getNumOperands() > 0 ? R(C->getOperand(0))
+                                            : IntRange::full();
+      IntRange A1 = C->getNumOperands() > 1 ? R(C->getOperand(1))
+                                            : IntRange::full();
+      return transferCall(C->getBuiltin(), A0, A1);
+    }
+    case Value::Kind::Phi: {
+      const auto *P = cast<PhiInst>(I);
+      IntRange Acc = IntRange::empty();
+      for (unsigned K = 0; K < P->getNumIncoming(); ++K)
+        Acc = join(Acc, R(P->getIncomingValue(K)));
+      return Acc.isEmpty() ? conservative(I) : Acc;
+    }
+    default:
+      return conservative(I);
+    }
+  }
+
+  std::unordered_map<const Value *, IntRange> Memo;
+  std::unordered_set<const Value *> Visiting;
+};
+
+} // namespace
+
+IntRange analysis::approximateRange(const Value *V) {
+  return DefChainWalker().walk(V, 0);
+}

@@ -1,0 +1,80 @@
+//===--- RangeAnalysis.h - Integer value-range analysis --------*- C++ -*-===//
+//
+// Sparse conditional range propagation over one LIR function: every
+// int- or bool-typed SSA value gets a flow-insensitive IntRange, and
+// every block gets an entry refinement map recording what the branch
+// conditions dominating it prove about values along the paths reaching
+// it ("inside this loop body, i < N"). Ranges grow monotonically under
+// join with per-value widening, so the combined system converges; the
+// refinements are recomputed from the current ranges on every sweep and
+// are therefore consistent with the final ranges at the fixpoint.
+//
+// The block refinements are what keep the FIFO lowering's counted
+// `rep`/work-body loops analyzable: the induction phi itself spans
+// [0, N], but inside the body the header condition pins it to
+// [0, N-1], which is exactly what the out-of-bounds checks and the
+// peek resolution need.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_ANALYSIS_RANGEANALYSIS_H
+#define LAMINAR_ANALYSIS_RANGEANALYSIS_H
+
+#include "analysis/Lattice.h"
+#include "lir/Function.h"
+#include <unordered_map>
+
+namespace laminar {
+namespace analysis {
+
+class RangeAnalysis {
+public:
+  /// Runs the analysis; the function must be structurally valid (every
+  /// block terminated). Cost is a handful of linear sweeps.
+  explicit RangeAnalysis(const lir::Function &F);
+
+  /// Flow-insensitive range of \p V (its range at the definition, which
+  /// for SSA holds at every use).
+  IntRange rangeOf(const lir::Value *V) const;
+
+  /// Range of \p V for uses inside \p BB: rangeOf meet whatever the
+  /// branch conditions guarding \p BB prove about \p V.
+  IntRange rangeAt(const lir::Value *V, const lir::BasicBlock *BB) const;
+
+  /// True when the analysis hit its pass cap and discarded refinements
+  /// (all answers degrade to plain, still-sound flow-insensitive
+  /// ranges). Exposed for stats.
+  bool bailedOut() const { return BailedOut; }
+
+private:
+  using RefineMap = std::unordered_map<const lir::Value *, IntRange>;
+
+  void run(const lir::Function &F);
+  IntRange valueRange(const lir::Value *V, const RefineMap *Refine) const;
+  IntRange computeInstRange(const lir::Instruction *I,
+                            const RefineMap &Refine) const;
+  RefineMap entryRefinement(const lir::BasicBlock *BB) const;
+  void applyEdgeRefinement(const lir::BasicBlock *Pred,
+                           const lir::BasicBlock *Succ, RefineMap &M) const;
+  void refineFromCond(const lir::Value *Cond, bool Taken,
+                      const RefineMap &PredRefine, RefineMap &M,
+                      unsigned Depth) const;
+
+  std::unordered_map<const lir::Value *, IntRange> Ranges;
+  std::unordered_map<const lir::BasicBlock *, RefineMap> EntryRefine;
+  std::unordered_map<const lir::Value *, unsigned> UpdateCount;
+  bool BailedOut = false;
+};
+
+/// Depth-bounded def-chain walk computing a sound range for \p V
+/// without any CFG analysis: constants are exact, arithmetic uses the
+/// lattice transfer functions, phis join their incomings, loads and
+/// inputs are unknown. This is what the Laminar lowering calls on a
+/// peek index while the function is still under construction — in the
+/// unrolled straight-line code the def chain is the whole story.
+IntRange approximateRange(const lir::Value *V);
+
+} // namespace analysis
+} // namespace laminar
+
+#endif // LAMINAR_ANALYSIS_RANGEANALYSIS_H

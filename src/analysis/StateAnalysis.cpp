@@ -1,0 +1,139 @@
+//===--- StateAnalysis.cpp ------------------------------------------------===//
+
+#include "analysis/StateAnalysis.h"
+#include "support/Casting.h"
+
+using namespace laminar;
+using namespace laminar::analysis;
+using namespace laminar::lir;
+
+GlobalIndex::GlobalIndex(const Module &M) {
+  for (const auto &G : M.globals()) {
+    Idx[G.get()] = static_cast<unsigned>(Vars.size());
+    Vars.push_back(G.get());
+  }
+}
+
+static GlobalBits intersectBits(const GlobalBits &A, const GlobalBits &B) {
+  GlobalBits R(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    R[I] = A[I] & B[I];
+  return R;
+}
+
+static GlobalBits uniteBits(const GlobalBits &A, const GlobalBits &B) {
+  GlobalBits R(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    R[I] = A[I] | B[I];
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// StateInitAnalysis
+//===----------------------------------------------------------------------===//
+
+GlobalBits StateInitAnalysis::runFunction(const Function &F,
+                                          GlobalBits Boundary) {
+  DataflowSolver<GlobalBits> Solver(
+      Direction::Forward, Boundary, GlobalBits(GI.size(), 1), intersectBits,
+      [this](const BasicBlock *BB, const GlobalBits &In) {
+        GlobalBits Out = In;
+        for (const auto &I : BB->instructions())
+          if (const auto *St = dyn_cast<StoreInst>(I.get()))
+            Out[GI.indexOf(St->getGlobal())] = 1;
+        return Out;
+      });
+  Solver.solve(F);
+  GlobalBits Exit;
+  bool SawExit = false;
+  for (const auto &BB : F.blocks()) {
+    EntryStates[BB.get()] = Solver.in(BB.get());
+    if (BB->successors().empty() && BB->hasTerminator()) {
+      Exit = SawExit ? intersectBits(Exit, Solver.out(BB.get()))
+                     : Solver.out(BB.get());
+      SawExit = true;
+    }
+  }
+  // A function with no exit never hands control onward; the boundary is
+  // as good an answer as any for whatever nominally follows.
+  return SawExit ? Exit : Boundary;
+}
+
+StateInitAnalysis::StateInitAnalysis(const Module &M) : GI(M) {
+  GlobalBits Boundary(GI.size(), 0);
+  for (unsigned I = 0; I < GI.size(); ++I)
+    if (GI.varAt(I)->hasInit())
+      Boundary[I] = 1;
+  // Functions execute in module order (init, then steady): each starts
+  // from what the previous one certainly established.
+  for (const auto &F : M.functions()) {
+    GlobalBits Exit = runFunction(*F, Boundary);
+    ExitStates[F.get()] = Exit;
+    Boundary = std::move(Exit);
+  }
+}
+
+bool StateInitAnalysis::mustInitAtEntry(const BasicBlock *BB,
+                                        const GlobalVar *G) const {
+  auto It = EntryStates.find(BB);
+  if (It == EntryStates.end())
+    return false; // Unknown block: claim nothing.
+  return It->second[GI.indexOf(G)] != 0;
+}
+
+const GlobalBits &StateInitAnalysis::exitState(const Function *F) const {
+  static const GlobalBits Empty;
+  auto It = ExitStates.find(F);
+  return It == ExitStates.end() ? Empty : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// StateLivenessAnalysis
+//===----------------------------------------------------------------------===//
+
+StateLivenessAnalysis::StateLivenessAnalysis(const Module &M) : GI(M) {
+  ReadAnywhere.assign(GI.size(), 0);
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (const auto *L = dyn_cast<LoadInst>(I.get()))
+          ReadAnywhere[GI.indexOf(L->getGlobal())] = 1;
+
+  // Exit boundary: any global the module reads anywhere may be read by
+  // the next phase or iteration once this function returns.
+  for (const auto &F : M.functions()) {
+    DataflowSolver<GlobalBits> Solver(
+        Direction::Backward, ReadAnywhere, GlobalBits(GI.size(), 0),
+        uniteBits, [this](const BasicBlock *BB, const GlobalBits &Out) {
+          GlobalBits In = Out;
+          const auto &Insts = BB->instructions();
+          for (size_t K = Insts.size(); K-- > 0;) {
+            const Instruction *I = Insts[K].get();
+            if (const auto *St = dyn_cast<StoreInst>(I)) {
+              // Only a whole-object overwrite kills; for arrays that
+              // means size 1 (the lowering models scalars that way).
+              if (St->getGlobal()->getSize() == 1)
+                In[GI.indexOf(St->getGlobal())] = 0;
+            } else if (const auto *L = dyn_cast<LoadInst>(I)) {
+              In[GI.indexOf(L->getGlobal())] = 1;
+            }
+          }
+          return In;
+        });
+    Solver.solve(*F);
+    for (const auto &BB : F->blocks())
+      ExitStates[BB.get()] = Solver.out(BB.get());
+  }
+}
+
+bool StateLivenessAnalysis::liveAtExit(const BasicBlock *BB,
+                                       const GlobalVar *G) const {
+  auto It = ExitStates.find(BB);
+  if (It == ExitStates.end())
+    return true; // Unknown block: assume live.
+  return It->second[GI.indexOf(G)] != 0;
+}
+
+bool StateLivenessAnalysis::readAnywhere(const GlobalVar *G) const {
+  return ReadAnywhere[GI.indexOf(G)] != 0;
+}

@@ -1,0 +1,102 @@
+//===--- StateAnalysis.h - State-global init and liveness ------*- C++ -*-===//
+//
+// Two module-level dataflow analyses over the globals of a lowered
+// module, both instances of the generic DataflowSolver:
+//
+//  * StateInitAnalysis (forward, must): which globals are certainly
+//    written before a given program point. The boundary chains the
+//    pipeline's execution order — @init starts from the statically
+//    initialized globals, @steady from whatever @init certainly
+//    established.
+//
+//  * StateLivenessAnalysis (backward, may): which globals may still be
+//    read after a given point. The boundary at function exit is "every
+//    global the module reads anywhere" — the next phase or the next
+//    steady iteration may re-enter any function, so only intra-function
+//    overwrites can prove a store dead.
+//
+// Both use a dense bit-vector domain indexed by GlobalIndex. Stores
+// with a non-constant index conservatively count as writes for init
+// (any element write marks the scalar view initialized — the
+// element-precise read-before-write check is the range analysis' job)
+// and never kill for liveness; only size-1 globals kill, since a store
+// to one element of an array leaves the others live.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_ANALYSIS_STATEANALYSIS_H
+#define LAMINAR_ANALYSIS_STATEANALYSIS_H
+
+#include "analysis/Dataflow.h"
+#include "lir/Module.h"
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace laminar {
+namespace analysis {
+
+/// Dense numbering of a module's globals, stable for the analysis'
+/// lifetime. (Module::numberGlobals assigns slots too, but only after
+/// lowering finishes; the analyses number independently so they also
+/// work on hand-built test modules.)
+class GlobalIndex {
+public:
+  explicit GlobalIndex(const lir::Module &M);
+
+  size_t size() const { return Vars.size(); }
+  unsigned indexOf(const lir::GlobalVar *G) const { return Idx.at(G); }
+  const lir::GlobalVar *varAt(unsigned I) const { return Vars[I]; }
+
+private:
+  std::unordered_map<const lir::GlobalVar *, unsigned> Idx;
+  std::vector<const lir::GlobalVar *> Vars;
+};
+
+/// One bit per global; vector<uint8_t> rather than vector<bool> keeps
+/// element access cheap and operator== well-behaved as a solver domain.
+using GlobalBits = std::vector<uint8_t>;
+
+class StateInitAnalysis {
+public:
+  explicit StateInitAnalysis(const lir::Module &M);
+
+  /// Certainly-written-or-statically-initialized at entry of \p BB.
+  bool mustInitAtEntry(const lir::BasicBlock *BB,
+                       const lir::GlobalVar *G) const;
+  /// Certainly established when \p F finishes (meet over exit blocks).
+  const GlobalBits &exitState(const lir::Function *F) const;
+
+  const GlobalIndex &index() const { return GI; }
+
+private:
+  GlobalBits runFunction(const lir::Function &F, GlobalBits Boundary);
+
+  GlobalIndex GI;
+  std::unordered_map<const lir::BasicBlock *, GlobalBits> EntryStates;
+  std::unordered_map<const lir::Function *, GlobalBits> ExitStates;
+};
+
+class StateLivenessAnalysis {
+public:
+  explicit StateLivenessAnalysis(const lir::Module &M);
+
+  /// May \p G be read after the exit of \p BB (by later code in the
+  /// same function, a later phase, or the next steady iteration)?
+  bool liveAtExit(const lir::BasicBlock *BB, const lir::GlobalVar *G) const;
+  /// True when some load anywhere in the module reads \p G.
+  bool readAnywhere(const lir::GlobalVar *G) const;
+
+  const GlobalIndex &index() const { return GI; }
+
+private:
+  GlobalIndex GI;
+  GlobalBits ReadAnywhere;
+  std::unordered_map<const lir::BasicBlock *, GlobalBits> ExitStates;
+};
+
+} // namespace analysis
+} // namespace laminar
+
+#endif // LAMINAR_ANALYSIS_STATEANALYSIS_H

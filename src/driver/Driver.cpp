@@ -26,6 +26,8 @@ const char *driver::compileStageName(CompileStage S) {
     return "lower";
   case CompileStage::VerifyLowered:
     return "verify-lowered";
+  case CompileStage::Analyze:
+    return "analyze";
   case CompileStage::Optimize:
     return "optimize";
   case CompileStage::VerifyOptimized:
@@ -111,6 +113,27 @@ Compilation driver::compile(const std::string &Source,
                              lower::channelRange(Busiest));
     }
   }
+  // Accumulates analysis errors across the graph- and module-level check
+  // passes; --Werror-analysis promotes warnings before emission so the
+  // resulting diagnostics (and exit status) are real errors.
+  unsigned AnalysisErrors = 0;
+  auto RunChecks = [&](analysis::AnalysisReport R) {
+    if (Opts.AnalysisWerror)
+      for (analysis::Finding &F : R.Findings)
+        F.Error = true;
+    AnalysisErrors +=
+        analysis::emitFindings(R, Diags, Opts.Remarks, &C.Stats);
+    for (analysis::Finding &F : R.Findings)
+      C.Analysis.Findings.push_back(std::move(F));
+  };
+  if (Opts.Analyze) {
+    // AST-level checks run before lowering on purpose: a proved peek
+    // past the declared window is reported even when lowering later
+    // fails or degrades to FIFO.
+    TraceScope Span(Opts.Trace, "analyze-graph");
+    RunChecks(analysis::checkStreamSafety(*C.Graph));
+  }
+
   C.Stage = CompileStage::Lower;
   bool ExceededBudget = false;
   {
@@ -164,7 +187,10 @@ Compilation driver::compile(const std::string &Source,
   std::vector<std::string> Violations;
   {
     TraceScope Span(Opts.Trace, "verify-lowered");
-    Violations = lir::verifyModule(*C.Module);
+    // Constant-index bounds hold for freshly lowered IR only; see
+    // verifyModule's contract for why optimized IR is exempt.
+    Violations = lir::verifyModule(*C.Module,
+                                   /*BoundsCheckConstIndices=*/true);
   }
   if (!Violations.empty()) {
     C.ErrorLog = "lowering produced invalid IR:\n";
@@ -172,6 +198,21 @@ Compilation driver::compile(const std::string &Source,
       C.ErrorLog += "  " + V + "\n";
     C.Diags = Diags.diagnostics();
     return C;
+  }
+
+  if (Opts.Analyze) {
+    C.Stage = CompileStage::Analyze;
+    {
+      TraceScope Span(Opts.Trace, "analyze");
+      RunChecks(analysis::checkModule(*C.Module, Opts.AnalysisOpts));
+    }
+    if (AnalysisErrors > 0) {
+      // Module stays set: an analysis rejection is a claim about the
+      // program, and the fuzz oracle interprets the module to confirm
+      // it on a concrete trace.
+      Fail(C);
+      return C;
+    }
   }
 
   if (Opts.OptLevel > 0) {

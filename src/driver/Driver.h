@@ -8,6 +8,7 @@
 #ifndef LAMINAR_DRIVER_DRIVER_H
 #define LAMINAR_DRIVER_DRIVER_H
 
+#include "analysis/Checks.h"
 #include "frontend/AST.h"
 #include "graph/StreamGraph.h"
 #include "interp/Interpreter.h"
@@ -37,6 +38,7 @@ enum class CompileStage {
   Schedule,
   Lower,
   VerifyLowered,
+  Analyze,
   Optimize,
   VerifyOptimized,
   Done,
@@ -68,6 +70,15 @@ struct CompileOptions {
   /// pipeline's optimization-remark stream.
   TraceContext *Trace = nullptr;
   RemarkEmitter *Remarks = nullptr;
+  /// Run the compile-time stream-safety checks (laminarc --analyze):
+  /// AST-level peek/pop checks after scheduling (they run even when
+  /// lowering later fails or degrades to FIFO), LIR-level range and
+  /// state checks after the lowered module verifies. Proved violations
+  /// are errors and fail the compilation at CompileStage::Analyze.
+  bool Analyze = false;
+  /// Treat analysis warnings as errors (laminarc --Werror-analysis).
+  bool AnalysisWerror = false;
+  analysis::AnalysisOptions AnalysisOpts;
 };
 
 /// The result of one compilation; owns every intermediate artifact (the
@@ -97,15 +108,23 @@ struct Compilation {
 
   /// True when the failure implicates the compiler itself rather than
   /// the input program: the frontend accepted and scheduled the program,
-  /// but lowering, verification or optimization rejected it.
+  /// but lowering, verification or optimization rejected it. Analysis
+  /// rejections implicate the program (a proved unsafe access), not the
+  /// compiler.
   bool failedInBackend() const {
-    return !Ok && Stage >= CompileStage::Lower;
+    return !Ok && Stage >= CompileStage::Lower &&
+           Stage != CompileStage::Analyze;
   }
 
   std::unique_ptr<ast::Program> AST;
   std::unique_ptr<graph::StreamGraph> Graph;
   std::optional<schedule::Schedule> Sched;
   std::unique_ptr<lir::Module> Module;
+  /// Findings of the stream-safety checks (only populated with
+  /// CompileOptions::Analyze). On an analysis rejection, Module stays
+  /// set so callers (the fuzz oracle) can confirm proved claims on a
+  /// concrete interpreter run.
+  analysis::AnalysisReport Analysis;
   /// Optimization statistics (transformation counts per pass).
   StatsRegistry Stats;
 };

@@ -238,6 +238,7 @@ Value *lir::foldSelect(Value *Cond, Value *TrueV, Value *FalseV) {
 
 Instruction *IRBuilder::insert(std::unique_ptr<Instruction> I) {
   assert(BB && "no insertion point set");
+  I->setLoc(CurLoc);
   return BB->append(std::move(I));
 }
 

@@ -34,6 +34,11 @@ public:
   void setInsertPoint(BasicBlock *Block) { BB = Block; }
   BasicBlock *getInsertBlock() const { return BB; }
 
+  /// Source location stamped onto every subsequently created
+  /// instruction; {0,0} (the default) marks synthesized code.
+  void setCurLoc(SourceLoc L) { CurLoc = L; }
+  SourceLoc getCurLoc() const { return CurLoc; }
+
   /// Operations resolved to constants at construction time. In the
   /// Laminar lowering this is where most of the "enabling effect"
   /// materializes (the unrolled token flow partial-evaluates).
@@ -72,6 +77,7 @@ private:
   BasicBlock *BB = nullptr;
   bool FoldConstants;
   uint64_t NumConstFolds = 0;
+  SourceLoc CurLoc;
 };
 
 } // namespace lir

@@ -5,6 +5,7 @@
 
 #include "lir/Value.h"
 #include "support/Casting.h"
+#include "support/SourceLoc.h"
 #include <cassert>
 #include <string>
 
@@ -57,6 +58,12 @@ public:
   uint32_t getSlot() const { return Slot; }
   void setSlot(uint32_t S) { Slot = S; }
 
+  /// Surface-program location this instruction was lowered from; invalid
+  /// ({0,0}) for synthesized plumbing (queue rotation, loop scaffolding).
+  /// The analyses use it to attach diagnostics to source.
+  SourceLoc getLoc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
   static bool classof(const Value *V) {
     return V->getKind() > Kind::InstBegin && V->getKind() < Kind::InstEnd;
   }
@@ -70,6 +77,7 @@ private:
   BasicBlock *Parent = nullptr;
   std::vector<Value *> Ops;
   uint32_t Slot = 0;
+  SourceLoc Loc;
 };
 
 /// Binary arithmetic and bitwise operators. Integer and float variants

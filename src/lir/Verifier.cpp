@@ -14,7 +14,8 @@ namespace {
 
 class VerifierImpl {
 public:
-  explicit VerifierImpl(const Module &M) : M(M) {}
+  VerifierImpl(const Module &M, bool BoundsCheckConstIndices)
+      : M(M), BoundsCheckConstIndices(BoundsCheckConstIndices) {}
 
   std::vector<std::string> run() {
     for (const auto &F : M.functions())
@@ -37,7 +38,29 @@ private:
                          const Instruction *I);
   void verifyDominance(const Function &F, const DomTree &DT);
 
+  // A constant index outside the global's declared size in freshly
+  // lowered IR is a lowering bug: every lowering path either proves
+  // the index or rejects the program before IR exists. (Off after
+  // optimization — folding can surface a legitimate run-time trap as
+  // a constant index.)
+  void checkConstIndex(const Function &F, const BasicBlock *BB,
+                       const Value *Index, const GlobalVar *G,
+                       const char *What) {
+    if (!BoundsCheckConstIndices)
+      return;
+    const auto *C = dyn_cast<ConstInt>(Index);
+    if (!C)
+      return;
+    if (C->getValue() < 0 || C->getValue() >= G->getSize()) {
+      std::ostringstream OS;
+      OS << What << " index " << C->getValue() << " out of bounds for @"
+         << G->getName() << " of size " << G->getSize();
+      fail(F, BB, OS.str());
+    }
+  }
+
   const Module &M;
+  bool BoundsCheckConstIndices;
   std::vector<std::string> Errors;
   // Per-function position of each instruction for same-block dominance.
   std::unordered_map<const Instruction *, std::pair<const BasicBlock *, size_t>>
@@ -132,9 +155,11 @@ void VerifierImpl::verifyInstruction(const Function &F, const BasicBlock *BB,
     Expect(CB->getCond(), TypeKind::Bool, "branch condition");
   } else if (auto *L = dyn_cast<LoadInst>(I)) {
     Expect(L->getIndex(), TypeKind::Int, "load index");
+    checkConstIndex(F, BB, L->getIndex(), L->getGlobal(), "load");
   } else if (auto *St = dyn_cast<StoreInst>(I)) {
     Expect(St->getIndex(), TypeKind::Int, "store index");
     Expect(St->getValue(), St->getGlobal()->getElemType(), "stored value");
+    checkConstIndex(F, BB, St->getIndex(), St->getGlobal(), "store");
   } else if (auto *Phi = dyn_cast<PhiInst>(I)) {
     // One incoming per predecessor, each listed exactly once.
     std::vector<const BasicBlock *> PhiPreds;
@@ -187,8 +212,9 @@ void VerifierImpl::verifyDominance(const Function &F, const DomTree &DT) {
   }
 }
 
-std::vector<std::string> lir::verifyModule(const Module &M) {
-  return VerifierImpl(M).run();
+std::vector<std::string> lir::verifyModule(const Module &M,
+                                           bool BoundsCheckConstIndices) {
+  return VerifierImpl(M, BoundsCheckConstIndices).run();
 }
 
 bool lir::verify(const Module &M) { return verifyModule(M).empty(); }

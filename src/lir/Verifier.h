@@ -16,8 +16,16 @@ namespace lir {
 ///  - phis have one incoming entry per predecessor;
 ///  - definitions dominate uses;
 ///  - operand types are consistent with the instruction.
+/// With BoundsCheckConstIndices, additionally rejects constant
+/// load/store indices outside the global's declared size. That is an
+/// invariant of freshly *lowered* IR only: every lowering either
+/// proves the index or rejects the program. Optimization may later
+/// fold a dynamic index into an out-of-bounds constant for a program
+/// whose out-of-bounds access is a legitimate run-time trap, so
+/// post-optimization verification must leave it off.
 /// Returns the list of violations (empty when the module verifies).
-std::vector<std::string> verifyModule(const Module &M);
+std::vector<std::string> verifyModule(const Module &M,
+                                      bool BoundsCheckConstIndices = false);
 
 /// Convenience: true when verifyModule reports nothing.
 bool verify(const Module &M);

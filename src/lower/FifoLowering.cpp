@@ -40,8 +40,10 @@ public:
       : Ctx(Ctx), Buf(Buf), Head(Head), Tail(Tail),
         Mask(Buf->getSize() - 1) {}
 
-  Value *emitPop(SourceLoc) override {
+  Value *emitPop(SourceLoc Loc) override {
     IRBuilder &B = Ctx.B;
+    if (Loc.isValid())
+      B.setCurLoc(Loc);
     ++AccessSites;
     Value *H = B.createLoad(Head, B.getInt(0));
     Value *V = B.createLoad(Buf, B.createBinary(BinOp::And, H,
@@ -51,8 +53,10 @@ public:
     return V;
   }
 
-  Value *emitPeek(Value *Index, SourceLoc) override {
+  Value *emitPeek(Value *Index, SourceLoc Loc) override {
     IRBuilder &B = Ctx.B;
+    if (Loc.isValid())
+      B.setCurLoc(Loc);
     ++AccessSites;
     Value *H = B.createLoad(Head, B.getInt(0));
     Value *At = B.createBinary(BinOp::And, B.createBinary(BinOp::Add, H,
@@ -61,8 +65,10 @@ public:
     return B.createLoad(Buf, At);
   }
 
-  void emitPush(Value *V, SourceLoc) override {
+  void emitPush(Value *V, SourceLoc Loc) override {
     IRBuilder &B = Ctx.B;
+    if (Loc.isValid())
+      B.setCurLoc(Loc);
     ++AccessSites;
     Value *T = B.createLoad(Tail, B.getInt(0));
     B.createStore(Buf, B.createBinary(BinOp::And, T, B.getInt(Mask)), V);

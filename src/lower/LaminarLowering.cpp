@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/RangeAnalysis.h"
 #include "lower/Lowering.h"
 #include "lower/WorkLowering.h"
 #include <cassert>
@@ -52,31 +53,71 @@ public:
   }
 
   Value *emitPeek(Value *Index, SourceLoc Loc) override {
-    auto *C = dyn_cast<ConstInt>(Index);
-    if (!C) {
-      Ctx.Diags.error(Loc,
-                      "peek index is not a compile-time constant; direct "
-                      "token access requires statically resolvable indices");
-      if (Ctx.Remarks) {
+    if (Loc.isValid())
+      Ctx.B.setCurLoc(Loc);
+    if (const auto *C = dyn_cast<ConstInt>(Index)) {
+      int64_t I = C->getValue();
+      if (I < 0 || static_cast<size_t>(I) >= Q.size()) {
         std::ostringstream OS;
-        OS << "peek on channel " << Ch->getId()
-           << " has a data-dependent index and cannot be resolved to a "
-              "scalar";
-        Ctx.Remarks->missed("laminar-lowering", "UnresolvedAccess",
-                            OS.str(), SourceRange(Loc));
+        OS << "peek(" << I << ") exceeds the declared peek window (channel "
+           << Ch->getId() << " holds " << Q.size() << " tokens)";
+        Ctx.Diags.error(Loc, OS.str());
+        return nullptr;
       }
-      return nullptr;
+      ++Resolved;
+      return Q[I];
     }
-    int64_t I = C->getValue();
-    if (I < 0 || static_cast<size_t>(I) >= Q.size()) {
+
+    // Data-dependent index. Before giving up on direct token access, ask
+    // the range analysis what values the index can actually take: a peek
+    // proven to stay inside the live window lowers to a bounded select
+    // over the window's SSA tokens — still no buffer, no counters.
+    int64_t Size = static_cast<int64_t>(Q.size());
+    analysis::IntRange R = analysis::approximateRange(Index);
+    if (!R.isEmpty() && (R.Hi < 0 || R.Lo >= Size)) {
       std::ostringstream OS;
-      OS << "peek(" << I << ") exceeds the declared peek window (channel "
-         << Ch->getId() << " holds " << Q.size() << " tokens)";
+      OS << "peek index is out of the peek window on every execution: "
+         << "index in " << R.str() << ", channel " << Ch->getId()
+         << " holds " << Size << " token(s)";
       Ctx.Diags.error(Loc, OS.str());
       return nullptr;
     }
-    ++Resolved;
-    return Q[I];
+    // Cap on the select chain a single resolved peek may expand to.
+    constexpr int64_t MaxSelectWidth = 64;
+    if (!R.isEmpty() && R.Lo >= 0 && R.Hi < Size &&
+        R.Hi - R.Lo + 1 <= MaxSelectWidth) {
+      Value *Res = Q[R.Lo];
+      bool AllSame = true;
+      for (int64_t I = R.Lo + 1; I <= R.Hi; ++I)
+        AllSame = AllSame && Q[I] == Res;
+      if (!AllSame)
+        for (int64_t I = R.Lo + 1; I <= R.Hi; ++I) {
+          Value *Is = Ctx.B.createCmp(CmpPred::EQ, Index, Ctx.B.getInt(I));
+          Res = Ctx.B.createSelect(Is, Q[I], Res);
+        }
+      ++Resolved;
+      ++RangeResolved;
+      return Res;
+    }
+
+    std::ostringstream OS;
+    OS << "peek index is not a compile-time constant";
+    if (!R.isFull() && !R.isEmpty())
+      OS << " and its inferred range " << R.str()
+         << " is not contained in the peek window [0, " << Size - 1 << "]";
+    OS << "; direct token access requires statically resolvable indices";
+    Ctx.Diags.error(Loc, OS.str());
+    if (Ctx.Remarks) {
+      std::ostringstream RS;
+      RS << "peek on channel " << Ch->getId()
+         << " has a data-dependent index and cannot be resolved to a "
+            "scalar";
+      if (!R.isFull() && !R.isEmpty())
+        RS << " (inferred range " << R.str() << ", window " << Size << ")";
+      Ctx.Remarks->missed("laminar-lowering", "UnresolvedAccess", RS.str(),
+                          SourceRange(Loc));
+    }
+    return nullptr;
   }
 
   void emitPush(Value *V, SourceLoc) override {
@@ -92,6 +133,11 @@ public:
   /// to SSA values — the direct-token-access measure remarks report.
   uint64_t resolvedAccesses() const { return Resolved; }
 
+  /// Subset of resolvedAccesses: data-dependent peeks resolved via the
+  /// range analysis (bounded select over live tokens) rather than a
+  /// constant index.
+  uint64_t rangeResolvedAccesses() const { return RangeResolved; }
+
 private:
   void reportUnderflow(SourceLoc Loc) {
     std::ostringstream OS;
@@ -104,6 +150,7 @@ private:
   const Channel *Ch;
   std::deque<Value *> Q;
   uint64_t Resolved = 0;
+  uint64_t RangeResolved = 0;
 };
 
 class LaminarLowering {
@@ -144,6 +191,9 @@ private:
   std::unordered_map<const Node *, NodeState> States;
   /// Accesses resolved to scalars, per channel, across both functions.
   std::unordered_map<const Channel *, uint64_t> ResolvedPerChannel;
+  /// Subset resolved via value ranges (data-dependent peek indices
+  /// lowered to bounded selects), per channel.
+  std::unordered_map<const Channel *, uint64_t> RangeResolvedPerChannel;
   /// Live-token rotation stores actually emitted (no-op rotations skip).
   uint64_t RotationStores = 0;
 };
@@ -345,8 +395,11 @@ bool LaminarLowering::emitFunction(Function *F, bool IsInit) {
     }
   }
   B.createRet();
-  for (const auto &Ch : G.channels())
+  for (const auto &Ch : G.channels()) {
     ResolvedPerChannel[Ch.get()] += Queues.at(Ch.get()).resolvedAccesses();
+    RangeResolvedPerChannel[Ch.get()] +=
+        Queues.at(Ch.get()).rangeResolvedAccesses();
+  }
   if (Stats)
     Stats->add("lower.laminar.builder-folds", B.getNumConstFolds());
   return true;
@@ -401,10 +454,13 @@ std::unique_ptr<Module> LaminarLowering::run() {
     SS.add("insts", M->instructionCount());
     SS.add("live-tokens", static_cast<uint64_t>(TotalLive));
     SS.add("rotation-stores", RotationStores);
-    uint64_t TotalResolved = 0;
+    uint64_t TotalResolved = 0, TotalRangeResolved = 0;
     for (const auto &KV : ResolvedPerChannel)
       TotalResolved += KV.second;
+    for (const auto &KV : RangeResolvedPerChannel)
+      TotalRangeResolved += KV.second;
     SS.add("scalar-resolved", TotalResolved);
+    SS.add("range-resolved", TotalRangeResolved);
   }
   if (Remarks) {
     for (const auto &Ch : G.channels()) {
@@ -412,8 +468,10 @@ std::unique_ptr<Module> LaminarLowering::run() {
       OS << "channel " << Ch->getId() << " (" << Ch->getSrc()->getName()
          << " -> " << Ch->getDst()->getName() << "): "
          << ResolvedPerChannel[Ch.get()]
-         << " access site(s) resolved to scalars, "
-         << LiveTokens[Ch.get()].size()
+         << " access site(s) resolved to scalars";
+      if (uint64_t RR = RangeResolvedPerChannel[Ch.get()])
+        OS << " (" << RR << " via value ranges)";
+      OS << ", " << LiveTokens[Ch.get()].size()
          << " live token(s) materialized across iterations";
       Remarks->passed("laminar-lowering", "DirectTokenAccess", OS.str(),
                       channelRange(Ch.get()));

@@ -220,9 +220,30 @@ bool WorkLowering::lowerFiring() {
 // Statements
 //===----------------------------------------------------------------------===//
 
+/// Located error for a compile-time-constant array index that misses its
+/// array, caught while the statement's source position is still at hand.
+/// (The verifier re-checks the same property on the finished module as a
+/// backstop against optimizer bugs, but can only report unlocated text.)
+static bool constIndexInBounds(DiagnosticEngine &Diags, const Value *Index,
+                               const GlobalVar *G, const std::string &Name,
+                               SourceLoc Loc) {
+  const auto *C = dyn_cast<ConstInt>(Index);
+  if (!C)
+    return true;
+  int64_t V = C->getValue();
+  if (V >= 0 && V < G->getSize())
+    return true;
+  Diags.error(Loc, "array index " + std::to_string(V) +
+                       " is out of bounds for '" + Name + "' of size " +
+                       std::to_string(G->getSize()));
+  return false;
+}
+
 bool WorkLowering::lowerStmt(const Stmt *S) {
   if (!S)
     return true;
+  if (S->getLoc().isValid())
+    Ctx.B.setCurLoc(S->getLoc());
   switch (S->getKind()) {
   case Stmt::Kind::Block:
     return lowerBlock(cast<BlockStmt>(S));
@@ -433,6 +454,8 @@ bool WorkLowering::lowerDynamicLoop(const Expr *Cond, const Expr *Step,
 Value *WorkLowering::lowerExpr(const Expr *E) {
   if (!E)
     return nullptr;
+  if (E->getLoc().isValid())
+    Ctx.B.setCurLoc(E->getLoc());
   switch (E->getKind()) {
   case Expr::Kind::IntLit:
     return Ctx.B.getInt(cast<IntLit>(E)->getValue());
@@ -449,6 +472,9 @@ Value *WorkLowering::lowerExpr(const Expr *E) {
       return nullptr;
     Value *Index = lowerExpr(Ix->getIndex());
     if (!Index)
+      return nullptr;
+    if (!constIndexInBounds(Ctx.Diags, Index, G, Ix->getBase()->getName(),
+                            Ix->getLoc()))
       return nullptr;
     return Ctx.B.createLoad(G, Index);
   }
@@ -523,6 +549,10 @@ Value *WorkLowering::lowerAssign(const AssignExpr *A) {
     Index = lowerExpr(Ix->getIndex());
     if (!Index)
       return nullptr;
+    if (GlobalVar *G = arrayStorage(D))
+      if (!constIndexInBounds(Ctx.Diags, Index, G, Ix->getBase()->getName(),
+                              Ix->getLoc()))
+        return nullptr;
   }
   assert(D && "unresolved assignment target");
 

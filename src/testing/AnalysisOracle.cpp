@@ -1,0 +1,97 @@
+//===--- AnalysisOracle.cpp -----------------------------------------------===//
+
+#include "testing/AnalysisOracle.h"
+#include "driver/Driver.h"
+#include "testing/Mutator.h"
+#include <sstream>
+#include <vector>
+
+using namespace laminar;
+using namespace laminar::testing;
+
+namespace {
+
+/// Claims the interpreter can adjudicate: it traps on out-of-bounds
+/// state access and on integer division faults. Peek-window and
+/// pop-rate claims are about declared rates, which FIFO execution
+/// papers over with a masked ring buffer, so they stay out of scope.
+bool confirmable(analysis::CheckKind K) {
+  return K == analysis::CheckKind::OobIndex ||
+         K == analysis::CheckKind::DivByZero;
+}
+
+/// The interpreter message the claim predicts.
+const char *expectedTrap(analysis::CheckKind K) {
+  return K == analysis::CheckKind::DivByZero ? "division"
+                                             : "out of bounds";
+}
+
+} // namespace
+
+AnalysisCheckResult testing::checkAnalysisOracle(const std::string &Source,
+                                                 const std::string &Top) {
+  AnalysisCheckResult Result;
+
+  driver::CompileOptions Opts;
+  Opts.TopName = Top;
+  Opts.Mode = driver::LoweringMode::Fifo;
+  Opts.OptLevel = 0;
+  Opts.Limits = crashCheckLimits();
+  Opts.Analyze = true;
+  driver::Compilation C = driver::compile(Source, Opts);
+
+  if (C.Ok) {
+    Result.Accepted = true;
+    return Result;
+  }
+  if (C.failedInBackend()) {
+    std::ostringstream OS;
+    OS << "compiler fault at stage '" << driver::compileStageName(C.Stage)
+       << "' with the analysis checks enabled\n"
+       << C.ErrorLog;
+    Result.Violation = true;
+    Result.Detail = OS.str();
+    return Result;
+  }
+  if (!C.hasLocatedError()) {
+    std::ostringstream OS;
+    OS << "rejected at stage '" << driver::compileStageName(C.Stage)
+       << "' without an error diagnostic carrying a source location\n"
+       << C.ErrorLog;
+    Result.Violation = true;
+    Result.Detail = OS.str();
+    return Result;
+  }
+
+  // Collect the claims strong enough to put before the judge: proved
+  // (error-severity), about unconditionally executed code, and of a
+  // kind the interpreter traps on.
+  std::vector<const analysis::Finding *> Claims;
+  for (const analysis::Finding &F : C.Analysis.Findings)
+    if (F.Error && F.InEntryBlock && confirmable(F.Kind))
+      Claims.push_back(&F);
+  Result.ProvedClaims = static_cast<unsigned>(Claims.size());
+  if (Claims.empty() || !C.Module)
+    return Result;
+
+  // The driver keeps the lowered module around on analysis rejection
+  // exactly for this cross-examination.
+  interp::TokenStream Input = interp::makeRandomInput(
+      C.Module->getInputType(), driver::requiredInputTokens(C, 2), 0xC0FFEE);
+  interp::RunResult R = interp::runModule(*C.Module, Input, 2,
+                                          /*StepBudget=*/2'000'000ULL);
+  if (R.Ok) {
+    std::ostringstream OS;
+    OS << "false positive: analysis proved "
+       << analysis::checkKindName(Claims.front()->Kind) << " ("
+       << Claims.front()->Message << ") in always-executed code, but a "
+       << "concrete execution completed cleanly";
+    Result.Violation = true;
+    Result.Detail = OS.str();
+    return Result;
+  }
+  for (const analysis::Finding *F : Claims)
+    if (R.Error.find(expectedTrap(F->Kind)) != std::string::npos)
+      Result.Confirmed = true;
+  return Result;
+}

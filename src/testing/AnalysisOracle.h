@@ -1,0 +1,47 @@
+//===--- AnalysisOracle.h - No-false-positive analysis oracle --*- C++ -*-===//
+//
+// The static checks promise two things the fuzzer can hold them to:
+// the analyzer never crashes or rejects a program without a located
+// diagnostic, and every claim it *proves* (an error, not a warning)
+// about unconditionally executed code is true on a concrete trace.
+// The second half is the interesting one — an abstract interpreter
+// with a transfer-function bug tends to prove facts that a real
+// execution immediately contradicts, and the interpreter is the
+// independent judge: a proved out-of-bounds access or division by
+// zero in an entry block must trap when the module actually runs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_TESTING_ANALYSISORACLE_H
+#define LAMINAR_TESTING_ANALYSISORACLE_H
+
+#include <string>
+
+namespace laminar {
+namespace testing {
+
+struct AnalysisCheckResult {
+  /// The oracle broke: the analyzer rejected without a located error,
+  /// the compiler failed in the backend, or a proved claim was
+  /// contradicted by a clean concrete execution (false positive).
+  bool Violation = false;
+  std::string Detail;
+  /// The program compiled (possibly with analysis warnings).
+  bool Accepted = false;
+  /// Proved entry-block OOB / div-by-zero claims the interpreter can
+  /// be asked to confirm, and whether a concrete run confirmed them.
+  unsigned ProvedClaims = 0;
+  bool Confirmed = false;
+};
+
+/// Compiles \p Source under fifo-O0 with the analysis checks enabled
+/// and crash-oracle limits, then cross-examines any proved claims
+/// against the interpreter. Never throws; memory errors are the
+/// sanitizers' half of the bargain.
+AnalysisCheckResult checkAnalysisOracle(const std::string &Source,
+                                        const std::string &Top);
+
+} // namespace testing
+} // namespace laminar
+
+#endif // LAMINAR_TESTING_ANALYSISORACLE_H

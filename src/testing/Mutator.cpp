@@ -172,12 +172,16 @@ CrashCheckResult testing::checkCrashInvariant(const std::string &Source,
     driver::LoweringMode Mode;
     unsigned OptLevel;
     bool UnrollFifo;
+    bool Analyze;
     const char *Name;
   };
+  // The analyzing configuration holds the static checks to the same
+  // crash-free, located-rejection bar as the rest of the compiler.
   static const Config Configs[] = {
-      {driver::LoweringMode::Fifo, 0, false, "fifo-O0"},
-      {driver::LoweringMode::Fifo, 1, true, "fifo-unroll-O1"},
-      {driver::LoweringMode::Laminar, 2, false, "laminar-O2"},
+      {driver::LoweringMode::Fifo, 0, false, false, "fifo-O0"},
+      {driver::LoweringMode::Fifo, 1, true, false, "fifo-unroll-O1"},
+      {driver::LoweringMode::Laminar, 2, false, false, "laminar-O2"},
+      {driver::LoweringMode::Fifo, 1, false, true, "fifo-O1-analyze"},
   };
 
   CrashCheckResult Result;
@@ -187,6 +191,7 @@ CrashCheckResult testing::checkCrashInvariant(const std::string &Source,
     Opts.Mode = Cfg.Mode;
     Opts.OptLevel = Cfg.OptLevel;
     Opts.UnrollFifo = Cfg.UnrollFifo;
+    Opts.Analyze = Cfg.Analyze;
     Opts.Limits = crashCheckLimits();
     driver::Compilation C = driver::compile(Source, Opts);
     if (C.Ok) {

@@ -1,0 +1,494 @@
+//===--- AnalysisTest.cpp - Dataflow framework and check suite ------------===//
+//
+// Covers the analysis stack bottom-up: interval lattice algebra and
+// widening convergence, the generic solver on both directions, range
+// analysis with branch refinement, the stream-safety check catalog on
+// positive and negative programs, the range-driven peek resolution in
+// the Laminar lowering (bit-exact against the FIFO reference), and the
+// no-false-positives fuzz oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "driver/Driver.h"
+#include "lir/IRBuilder.h"
+#include "suite/Suite.h"
+#include "testing/AnalysisOracle.h"
+#include "testing/Differ.h"
+#include "testing/ProgramGen.h"
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::analysis;
+
+//===----------------------------------------------------------------------===//
+// Lattice
+//===----------------------------------------------------------------------===//
+
+TEST(Lattice, BasicAlgebra) {
+  IntRange A(0, 10), B(5, 20);
+  EXPECT_EQ(join(A, B), IntRange(0, 20));
+  EXPECT_EQ(meet(A, B), IntRange(5, 10));
+  EXPECT_TRUE(meet(IntRange(0, 3), IntRange(5, 9)).isEmpty());
+  EXPECT_EQ(join(IntRange::empty(), A), A);
+  EXPECT_TRUE(meet(IntRange::empty(), A).isEmpty());
+  EXPECT_TRUE(IntRange::full().containsRange(A));
+  EXPECT_TRUE(A.contains(10));
+  EXPECT_FALSE(A.contains(11));
+}
+
+TEST(Lattice, WideningConverges) {
+  // A bound that keeps moving must reach its infinity in a bounded
+  // number of widening steps, whatever sequence the solver feeds it.
+  IntRange R(0, 0);
+  for (int64_t I = 1; I <= 100; ++I) {
+    IntRange Next = join(R, IntRange(0, I));
+    IntRange W = widen(R, Next);
+    if (W == R)
+      break;
+    R = W;
+  }
+  EXPECT_EQ(R.Lo, 0);
+  EXPECT_EQ(R.Hi, IntRange::PosInf);
+  // widen(Old, New) contains both arguments.
+  IntRange W = widen(IntRange(3, 5), IntRange(1, 9));
+  EXPECT_TRUE(W.containsRange(IntRange(3, 5)));
+  EXPECT_TRUE(W.containsRange(IntRange(1, 9)));
+}
+
+TEST(Lattice, SaturatingArithmetic) {
+  EXPECT_EQ(satAdd(IntRange::PosInf, -5), IntRange::PosInf);
+  EXPECT_EQ(satAdd(IntRange::NegInf, 5), IntRange::NegInf);
+  EXPECT_EQ(satMul(IntRange::PosInf, 2), IntRange::PosInf);
+  IntRange Sum = transferBinary(lir::BinOp::Add, IntRange(0, 5),
+                                IntRange(10, IntRange::PosInf));
+  EXPECT_EQ(Sum.Lo, 10);
+  EXPECT_EQ(Sum.Hi, IntRange::PosInf);
+}
+
+TEST(Lattice, MaskTransferBoundsTheResult) {
+  // x & 3 lies in [0, 3] whatever x is — the fact behind the
+  // range-resolved peek.
+  IntRange R =
+      transferBinary(lir::BinOp::And, IntRange::full(), IntRange(3, 3));
+  EXPECT_TRUE(IntRange(0, 3).containsRange(R));
+}
+
+TEST(Lattice, CmpAndConstraint) {
+  using lir::CmpPred;
+  EXPECT_EQ(transferCmp(CmpPred::LT, IntRange(0, 3), IntRange(5, 9)),
+            IntRange(1, 1));
+  EXPECT_EQ(transferCmp(CmpPred::LT, IntRange(9, 9), IntRange(0, 3)),
+            IntRange(0, 0));
+  EXPECT_EQ(transferCmp(CmpPred::LT, IntRange(0, 9), IntRange(5, 5)),
+            IntRange(0, 1));
+  // If x < [5, 9] holds, then x <= 8.
+  IntRange C = constraintOnLhs(CmpPred::LT, IntRange(5, 9));
+  EXPECT_EQ(C.Hi, 8);
+  EXPECT_EQ(constraintOnLhs(CmpPred::GE, IntRange(2, 7)).Lo, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Generic solver + state analyses
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// init: stores g only on one arm of a diamond; steady: reads g.
+/// Exercises forward-must (intersection at the join) through
+/// StateInitAnalysis and backward-may through StateLivenessAnalysis.
+std::unique_ptr<lir::Module> buildDiamondModule(bool StoreBothArms) {
+  using namespace lir;
+  auto M = std::make_unique<Module>("m");
+  GlobalVar *G = M->createGlobal("g", TypeKind::Int, 1, MemClass::State);
+  IRBuilder B(*M);
+
+  Function *Init = M->createFunction("init");
+  BasicBlock *Entry = Init->createBlock("entry");
+  BasicBlock *Then = Init->createBlock("then");
+  BasicBlock *Else = Init->createBlock("else");
+  BasicBlock *Join = Init->createBlock("join");
+  B.setInsertPoint(Entry);
+  Value *X = B.createInput(TypeKind::Int);
+  B.createCondBr(B.createCmp(CmpPred::LT, X, B.getInt(0)), Then, Else);
+  B.setInsertPoint(Then);
+  B.createStore(G, B.getInt(0), B.getInt(1));
+  B.createBr(Join);
+  B.setInsertPoint(Else);
+  if (StoreBothArms)
+    B.createStore(G, B.getInt(0), B.getInt(2));
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+  B.createRet();
+
+  Function *Steady = M->createFunction("steady");
+  BasicBlock *SEntry = Steady->createBlock("entry");
+  B.setInsertPoint(SEntry);
+  B.createOutput(B.createLoad(G, B.getInt(0)));
+  B.createRet();
+  return M;
+}
+
+} // namespace
+
+TEST(StateAnalysis, MustInitIntersectsAtJoin) {
+  auto M = buildDiamondModule(/*StoreBothArms=*/false);
+  const lir::GlobalVar *G = M->globals()[0].get();
+  StateInitAnalysis Init(*M);
+  const lir::Function *InitF = M->functions()[0].get();
+  const lir::Function *SteadyF = M->functions()[1].get();
+  // One-armed store: not must-init at the join, nor entering steady.
+  const lir::BasicBlock *Join = InitF->blocks().back().get();
+  EXPECT_FALSE(Init.mustInitAtEntry(Join, G));
+  EXPECT_FALSE(Init.mustInitAtEntry(SteadyF->entry(), G));
+
+  auto M2 = buildDiamondModule(/*StoreBothArms=*/true);
+  const lir::GlobalVar *G2 = M2->globals()[0].get();
+  StateInitAnalysis Init2(*M2);
+  const lir::Function *InitF2 = M2->functions()[0].get();
+  const lir::Function *SteadyF2 = M2->functions()[1].get();
+  EXPECT_TRUE(Init2.mustInitAtEntry(InitF2->blocks().back().get(), G2));
+  // The init exit chains into the steady boundary.
+  EXPECT_TRUE(Init2.mustInitAtEntry(SteadyF2->entry(), G2));
+}
+
+TEST(StateAnalysis, LivenessSeesCrossFunctionReads) {
+  auto M = buildDiamondModule(/*StoreBothArms=*/false);
+  const lir::GlobalVar *G = M->globals()[0].get();
+  StateLivenessAnalysis Live(*M);
+  EXPECT_TRUE(Live.readAnywhere(G));
+  const lir::Function *InitF = M->functions()[0].get();
+  // The store in `then` feeds the read in steady: live at block exit.
+  EXPECT_TRUE(Live.liveAtExit(InitF->entry(), G));
+}
+
+//===----------------------------------------------------------------------===//
+// Range analysis
+//===----------------------------------------------------------------------===//
+
+TEST(RangeAnalysis, MaskedValueAndBranchRefinement) {
+  using namespace lir;
+  Module M("m");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  Value *X = B.createInput(TypeKind::Int);
+  Value *Masked = B.createBinary(BinOp::And, X, B.getInt(7));
+  B.createCondBr(B.createCmp(CmpPred::LT, X, B.getInt(10)), Then, Exit);
+  B.setInsertPoint(Then);
+  B.createOutput(X);
+  B.createBr(Exit);
+  B.setInsertPoint(Exit);
+  B.createRet();
+
+  RangeAnalysis RA(*F);
+  EXPECT_TRUE(IntRange(0, 7).containsRange(RA.rangeOf(Masked)));
+  EXPECT_TRUE(RA.rangeOf(X).isFull());
+  // Inside `then` the branch condition pins x below 10.
+  EXPECT_LE(RA.rangeAt(X, Then).Hi, 9);
+}
+
+TEST(RangeAnalysis, ApproximateRangeWalksDefChains) {
+  using namespace lir;
+  Module M("m");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f");
+  B.setInsertPoint(F->createBlock("entry"));
+  Value *X = B.createInput(TypeKind::Int);
+  Value *Masked = B.createBinary(BinOp::And, X, B.getInt(3));
+  Value *Shifted = B.createBinary(BinOp::Add, Masked, B.getInt(4));
+  B.createRet();
+  EXPECT_TRUE(IntRange(0, 3).containsRange(approximateRange(Masked)));
+  EXPECT_TRUE(IntRange(4, 7).containsRange(approximateRange(Shifted)));
+  EXPECT_EQ(approximateRange(B.getInt(42)), IntRange::constant(42));
+  EXPECT_TRUE(approximateRange(X).isFull());
+}
+
+//===----------------------------------------------------------------------===//
+// Check suite on whole programs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+driver::Compilation compileAnalyzed(const std::string &Source,
+                                    bool Werror = false) {
+  driver::CompileOptions O;
+  O.TopName = "T";
+  O.Mode = driver::LoweringMode::Fifo;
+  O.OptLevel = 0;
+  O.Analyze = true;
+  O.AnalysisWerror = Werror;
+  return driver::compile(Source, O);
+}
+
+bool hasFinding(const driver::Compilation &C, CheckKind K) {
+  for (const Finding &F : C.Analysis.Findings)
+    if (F.Kind == K)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Checks, ProvedPeekOutOfWindowIsLocatedError) {
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  work pop 1 push 1 peek 2 {
+    push(peek(5));
+    pop();
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  EXPECT_FALSE(C.Ok);
+  EXPECT_TRUE(C.hasLocatedError());
+  ASSERT_TRUE(hasFinding(C, CheckKind::PeekOutOfWindow));
+  EXPECT_NE(C.ErrorLog.find("peek index out of the declared window"),
+            std::string::npos);
+}
+
+TEST(Checks, PopRateOverrunDetected) {
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  work pop 1 push 1 {
+    push(pop() + pop());
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  EXPECT_FALSE(C.Ok);
+  EXPECT_TRUE(hasFinding(C, CheckKind::PopRateOverrun));
+}
+
+TEST(Checks, ProvedOobIndexConfirmedAgainstRange) {
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  int[4] s;
+  work pop 1 push 1 {
+    int i = (pop() & 3) + 4;
+    push(s[i]);
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  EXPECT_FALSE(C.Ok);
+  EXPECT_TRUE(C.hasLocatedError());
+  EXPECT_TRUE(hasFinding(C, CheckKind::OobIndex));
+}
+
+TEST(Checks, PossibleOobIsWarningNotError) {
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  int[4] s;
+  work pop 1 push 1 {
+    push(s[pop() & 7]);
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  // A possible (not proved) violation must not reject the program.
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  ASSERT_TRUE(hasFinding(C, CheckKind::PossibleOobIndex));
+  for (const Finding &F : C.Analysis.Findings)
+    if (F.Kind == CheckKind::PossibleOobIndex) {
+      EXPECT_FALSE(F.Error);
+    }
+}
+
+TEST(Checks, WerrorPromotesWarningsToErrors) {
+  const char *Source = R"(
+int->int filter F {
+  int[4] s;
+  work pop 1 push 1 {
+    push(s[pop() & 7]);
+  }
+}
+int->int pipeline T { add F(); }
+)";
+  EXPECT_TRUE(compileAnalyzed(Source).Ok);
+  driver::Compilation C = compileAnalyzed(Source, /*Werror=*/true);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_TRUE(C.hasLocatedError());
+}
+
+TEST(Checks, DivByZeroProvedThroughLocalFlow) {
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  work pop 1 push 1 {
+    int d = pop() & 0;
+    push(1 / d);
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  EXPECT_FALSE(C.Ok);
+  EXPECT_TRUE(hasFinding(C, CheckKind::DivByZero));
+}
+
+TEST(Checks, ReadBeforeInitAndDeadStoreAreWarnings) {
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  int neverWritten;
+  int neverRead;
+  work pop 1 push 1 {
+    neverRead = pop();
+    push(neverWritten);
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_TRUE(hasFinding(C, CheckKind::ReadBeforeInit));
+  EXPECT_TRUE(hasFinding(C, CheckKind::DeadStateStore));
+}
+
+TEST(Checks, UnknownIndexStaysSilent) {
+  // Policy: a completely unknown index is not finite evidence.
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  int[4] s;
+  init { for (int i = 0; i < 4; i++) s[i] = i; }
+  work pop 1 push 1 {
+    push(s[pop() & 3]);
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_TRUE(C.Analysis.Findings.empty());
+}
+
+TEST(Checks, StrideTwoLoopPeeksInsideWindow) {
+  // Regression: `i < n` with step 2 must snap the last IV value onto
+  // the stride lattice, or peek(i + 1) looks one past the window.
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  work pop 8 push 8 peek 8 {
+    for (int i = 0; i < 8; i += 2) {
+      push(peek(i + 1));
+      push(peek(i));
+    }
+    for (int i = 0; i < 8; i++) pop();
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_TRUE(C.Analysis.Findings.empty());
+}
+
+TEST(Checks, ShippedSuiteStaysWarningFree) {
+  for (const suite::Benchmark &B : suite::allBenchmarks()) {
+    driver::CompileOptions O;
+    O.TopName = B.Top;
+    O.Analyze = true;
+    driver::Compilation C = driver::compile(B.Source, O);
+    EXPECT_TRUE(C.Ok) << B.Name << ": " << C.ErrorLog;
+    EXPECT_TRUE(C.Analysis.Findings.empty())
+        << B.Name << " emits: " << C.Analysis.Findings.front().Message;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Range-driven peek resolution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *kRangePeek = R"(
+int->int filter Gather {
+  work push 1 pop 1 peek 4 {
+    int sel = peek(0) & 3;
+    push(peek(sel));
+    pop();
+  }
+}
+int->int pipeline T { add Gather(); }
+)";
+
+} // namespace
+
+TEST(RangeResolvedLowering, DataDependentPeekNoLongerDegrades) {
+  driver::CompileOptions O;
+  O.TopName = "T";
+  O.Mode = driver::LoweringMode::Laminar;
+  O.AllowDegradeToFifo = false;
+  driver::Compilation C = driver::compile(kRangePeek, O);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_FALSE(C.DegradedToFifo);
+  EXPECT_GE(C.Stats.get("lower.laminar.range-resolved"), 1u);
+}
+
+TEST(RangeResolvedLowering, BitExactAgainstFifoReference) {
+  laminar::testing::DiffResult D = laminar::testing::diffProgram(kRangePeek, "T");
+  EXPECT_FALSE(D.failed()) << D.Config << ": " << D.Detail;
+  EXPECT_EQ(D.Status, laminar::testing::DiffStatus::Ok);
+}
+
+TEST(RangeResolvedLowering, ProvedOutOfWindowIndexIsLocatedError) {
+  driver::CompileOptions O;
+  O.TopName = "T";
+  O.Mode = driver::LoweringMode::Laminar;
+  O.AllowDegradeToFifo = false;
+  driver::Compilation C = driver::compile(R"(
+int->int filter F {
+  work push 1 pop 1 peek 2 {
+    push(peek((peek(0) & 3) + 4));
+    pop();
+  }
+}
+int->int pipeline T { add F(); }
+)",
+                                          O);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_TRUE(C.hasLocatedError());
+  EXPECT_NE(C.ErrorLog.find("out of the peek window on every execution"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Fuzz oracle
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisOracle, ProvedOobClaimConfirmedByInterpreter) {
+  laminar::testing::AnalysisCheckResult R = laminar::testing::checkAnalysisOracle(R"(
+int->int filter F {
+  int[4] s;
+  work pop 1 push 1 {
+    int i = (pop() & 3) + 4;
+    push(s[i]);
+  }
+}
+int->int pipeline T { add F(); }
+)",
+                                                                "T");
+  EXPECT_FALSE(R.Violation) << R.Detail;
+  EXPECT_GE(R.ProvedClaims, 1u);
+  EXPECT_TRUE(R.Confirmed);
+}
+
+TEST(AnalysisOracle, CleanProgramAccepted) {
+  laminar::testing::AnalysisCheckResult R = laminar::testing::checkAnalysisOracle(R"(
+int->int filter F {
+  work pop 1 push 1 { push(pop() + 1); }
+}
+int->int pipeline T { add F(); }
+)",
+                                                                "T");
+  EXPECT_FALSE(R.Violation) << R.Detail;
+  EXPECT_TRUE(R.Accepted);
+}
+
+TEST(AnalysisOracle, GeneratedProgramsNeverViolate) {
+  // A miniature in-process analyze-mode fuzz campaign.
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    laminar::testing::ProgramSpec P = laminar::testing::generateProgram(Seed, {});
+    P.Top = "T";
+    laminar::testing::AnalysisCheckResult R =
+        laminar::testing::checkAnalysisOracle(laminar::testing::renderSource(P), "T");
+    EXPECT_FALSE(R.Violation) << "seed " << Seed << ": " << R.Detail;
+  }
+}

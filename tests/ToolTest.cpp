@@ -410,3 +410,109 @@ TEST(Laminarc, ObservabilityOutputsSurviveCompileFailure) {
   EXPECT_NE(Stats.find("schedule.balance.steady-firings"),
             std::string::npos);
 }
+
+TEST(Laminarc, AnalyzeFlagsSeededOobPeekWithLocatedError) {
+  REQUIRE_BINARY();
+  std::string Tmp = ::testing::TempDir() + "/oob-peek.str";
+  {
+    std::ofstream Out(Tmp);
+    Out << "int->int filter F {\n"
+           "  work pop 1 push 1 peek 2 {\n"
+           "    push(peek(5));\n"
+           "    pop();\n"
+           "  }\n"
+           "}\n"
+           "int->int pipeline T { add F(); }\n";
+  }
+  // Without --analyze, FIFO mode compiles the program (the violation
+  // only surfaces at run time); with it, the checks reject it with a
+  // located error before any execution.
+  EXPECT_EQ(run(Tmp + " --top=T --mode=fifo --emit=ir").ExitCode, 0);
+  ToolResult R = run(Tmp + " --top=T --mode=fifo --analyze --emit=ir");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("3:"), std::string::npos) << R.Output;
+  EXPECT_NE(R.Output.find("peek index out of the declared window"),
+            std::string::npos)
+      << R.Output;
+}
+
+TEST(Laminarc, WerrorAnalysisPromotesWarnings) {
+  REQUIRE_BINARY();
+  std::string Tmp = ::testing::TempDir() + "/possible-oob.str";
+  {
+    std::ofstream Out(Tmp);
+    Out << "int->int filter F {\n"
+           "  int[4] s;\n"
+           "  init { for (int i = 0; i < 4; i++) s[i] = i; }\n"
+           "  work pop 1 push 1 { push(s[pop() & 7]); }\n"
+           "}\n"
+           "int->int pipeline T { add F(); }\n";
+  }
+  // The possible-OOB finding is a warning under --analyze (exit 0,
+  // diagnostic on stderr) and an error under --Werror-analysis.
+  ToolResult Warn = run(Tmp + " --top=T --analyze --emit=ir");
+  EXPECT_EQ(Warn.ExitCode, 0) << Warn.Output;
+  EXPECT_NE(Warn.Output.find("warning:"), std::string::npos) << Warn.Output;
+  ToolResult Err = run(Tmp + " --top=T --Werror-analysis --emit=ir");
+  EXPECT_NE(Err.ExitCode, 0);
+  EXPECT_NE(Err.Output.find("error:"), std::string::npos) << Err.Output;
+}
+
+TEST(Laminarc, AnalyzeKeepsCleanSuiteQuiet) {
+  REQUIRE_BINARY();
+  ToolResult R = run("MovingAverage --analyze --emit=stats");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output.find("warning:"), std::string::npos) << R.Output;
+  EXPECT_EQ(R.Output.find("error:"), std::string::npos) << R.Output;
+}
+
+TEST(Laminarc, RangeResolvedPeekReportedInStatsAndRemarks) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("range-resolved");
+  ToolResult R = run(std::string(LAMINAR_SOURCE_DIR) +
+                     "/examples/programs/rangepeek.str --top=RangePeek"
+                     " --emit=stats --stats-json=" + Dir + "/stats.json" +
+                     " --remarks=" + Dir + "/remarks.yaml");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::string Stats = readFile(Dir + "/stats.json");
+  EXPECT_NE(Stats.find("lower.laminar.range-resolved"), std::string::npos)
+      << Stats;
+  std::string Remarks = readFile(Dir + "/remarks.yaml");
+  EXPECT_NE(Remarks.find("via value ranges"), std::string::npos) << Remarks;
+}
+
+TEST(LaminarFuzz, AnalyzeModeSmokeIsCleanAndDeterministic) {
+  REQUIRE_FUZZ_BINARY();
+  std::string DirA = freshDir("fuzz-analyze-a");
+  std::string DirB = freshDir("fuzz-analyze-b");
+  std::string Flags = "--mode=analyze --seed=20150613 --iters=20 ";
+  ToolResult A = runBinary(fuzzBinary(), Flags + "--corpus=" + DirA);
+  ToolResult B = runBinary(fuzzBinary(), Flags + "--corpus=" + DirB);
+  EXPECT_EQ(A.ExitCode, 0) << A.Output;
+  EXPECT_NE(A.Output.find("mode=analyze"), std::string::npos);
+  EXPECT_NE(A.Output.find("failures=0"), std::string::npos) << A.Output;
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_FALSE(exists(DirA + "/analyze-current.str"));
+}
+
+TEST(LaminarFuzz, AnalyzeModeReplayConfirmsProvedClaim) {
+  REQUIRE_FUZZ_BINARY();
+  std::string Dir = freshDir("fuzz-analyze-replay");
+  std::string Oob = Dir + "/oob.str";
+  {
+    std::ofstream Out(Oob);
+    Out << "// top: T\n"
+        << "int->int filter F {\n"
+        << "  int[4] s;\n"
+        << "  work pop 1 push 1 {\n"
+        << "    int i = (pop() & 3) + 4;\n"
+        << "    push(s[i]);\n"
+        << "  }\n"
+        << "}\n"
+        << "int->int pipeline T { add F(); }\n";
+  }
+  ToolResult R = runBinary(fuzzBinary(), "--mode=analyze " + Oob);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("proved claim confirmed"), std::string::npos)
+      << R.Output;
+}

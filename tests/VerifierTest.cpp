@@ -108,3 +108,44 @@ TEST_F(VerifierFixture, PhiAfterNonPhiDetected) {
   auto Errs = verifyModule(M);
   EXPECT_TRUE(mentions(Errs, "phi after non-phi"));
 }
+
+TEST_F(VerifierFixture, ConstLoadIndexOutOfBoundsDetected) {
+  GlobalVar *G = M.createGlobal("g", TypeKind::Int, 4, MemClass::State);
+  B.createOutput(B.createLoad(G, B.getInt(4)));
+  B.createRet();
+  auto Errs = verifyModule(M, /*BoundsCheckConstIndices=*/true);
+  EXPECT_TRUE(mentions(Errs, "load index 4 out of bounds"));
+}
+
+TEST_F(VerifierFixture, ConstStoreIndexNegativeDetected) {
+  GlobalVar *G = M.createGlobal("g", TypeKind::Int, 4, MemClass::State);
+  B.createStore(G, B.getInt(-1), B.getInt(0));
+  B.createRet();
+  auto Errs = verifyModule(M, /*BoundsCheckConstIndices=*/true);
+  EXPECT_TRUE(mentions(Errs, "store index -1 out of bounds"));
+}
+
+TEST_F(VerifierFixture, ConstIndexInBoundsAccepted) {
+  GlobalVar *G = M.createGlobal("g", TypeKind::Int, 4, MemClass::State);
+  B.createStore(G, B.getInt(3), B.createLoad(G, B.getInt(0)));
+  B.createRet();
+  EXPECT_TRUE(verifyModule(M, /*BoundsCheckConstIndices=*/true).empty());
+}
+
+TEST_F(VerifierFixture, DynamicIndexNotBoundsChecked) {
+  // A non-constant index is a run-time concern; the verifier only
+  // rejects indices it can prove wrong.
+  GlobalVar *G = M.createGlobal("g", TypeKind::Int, 4, MemClass::State);
+  B.createOutput(B.createLoad(G, B.createInput(TypeKind::Int)));
+  B.createRet();
+  EXPECT_TRUE(verifyModule(M, /*BoundsCheckConstIndices=*/true).empty());
+}
+
+TEST_F(VerifierFixture, ConstIndexBoundsCheckOffByDefault) {
+  GlobalVar *G = M.createGlobal("g", TypeKind::Int, 4, MemClass::State);
+  B.createOutput(B.createLoad(G, B.getInt(9)));
+  B.createRet();
+  // Post-optimization IR may hold a folded out-of-bounds constant for
+  // a program that traps at run time; the default mode accepts it.
+  EXPECT_TRUE(verify(M));
+}

@@ -1,7 +1,9 @@
 //===--- laminar-fuzz.cpp - Differential and crash-mode fuzzer ------------===//
 //
 // laminar-fuzz [options] [reproducer.str ...]
-//   --mode=diff|crash  oracle: differential (default) or crash-free
+//   --mode=diff|crash|analyze
+//                    oracle: differential (default), crash-free, or
+//                    static-analysis no-false-positives
 //   --seed=N         base seed for program generation (default 1)
 //   --iters=N        number of random programs (default 100)
 //   --corpus=DIR     reproducer + report directory (default fuzz-corpus)
@@ -22,6 +24,10 @@
 // (build with sanitizers to make the "never crashes" half bite). Before
 // each crash check the input is written to <corpus>/crash-current.str,
 // so a hard crash leaves its own reproducer behind.
+// Analyze mode feeds generated programs and their mutated variants to
+// the static-analysis oracle: the analyzer must reject with located
+// errors only, and every claim it proves about always-executed code
+// must be confirmed by an interpreter trap on a concrete run.
 //
 // With positional .str files the tool replays saved reproducers through
 // the selected oracle instead of generating programs. Without
@@ -32,6 +38,7 @@
 // line.
 //===----------------------------------------------------------------------===//
 
+#include "testing/AnalysisOracle.h"
 #include "testing/Differ.h"
 #include "testing/Mutator.h"
 #include "testing/ProgramGen.h"
@@ -52,7 +59,8 @@ namespace {
 int usage() {
   std::cerr
       << "usage: laminar-fuzz [options] [reproducer.str ...]\n"
-      << "  --mode=diff|crash --seed=N --iters=N --corpus=DIR --runs=N\n"
+      << "  --mode=diff|crash|analyze --seed=N --iters=N --corpus=DIR\n"
+      << "  --runs=N\n"
       << "  --input-seed=N --max-stages=N --mutations=N --top=Name\n"
       << "  --max-seconds=N --no-cc --no-roundtrip\n";
   return 1;
@@ -136,7 +144,7 @@ int main(int argc, char **argv) {
         MutOpts.MaxMutations = static_cast<int>(std::stol(V));
       else if (Eat("--mode=", V)) {
         Mode = V;
-        if (Mode != "diff" && Mode != "crash")
+        if (Mode != "diff" && Mode != "crash" && Mode != "analyze")
           return usage();
       } else if (Eat("--top=", V))
         Top = V;
@@ -182,6 +190,22 @@ int main(int argc, char **argv) {
         }
         continue;
       }
+      if (Mode == "analyze") {
+        lt::AnalysisCheckResult R = lt::checkAnalysisOracle(Source, FileTop);
+        if (R.Violation) {
+          ++Failures;
+          std::cout << "FAIL " << Path << "\n  " << R.Detail << "\n";
+        } else {
+          std::cout << "PASS " << Path << " ("
+                    << (R.Accepted ? "accepted"
+                        : R.ProvedClaims
+                            ? (R.Confirmed ? "proved claim confirmed"
+                                           : "rejected cleanly")
+                            : "rejected cleanly")
+                    << ")\n";
+        }
+        continue;
+      }
       lt::DiffResult D = lt::diffProgram(Source, FileTop, DiffOpts);
       // A frontend reject during replay is almost always a wrong top
       // stream (fuzzer-written reproducers never have that status), so
@@ -220,6 +244,81 @@ int main(int argc, char **argv) {
         std::chrono::steady_clock::now() - Start);
     return Elapsed.count() >= MaxSeconds;
   };
+
+  // --- Analyze mode ------------------------------------------------------
+  if (Mode == "analyze") {
+    std::ostringstream Report;
+    Report << "laminar-fuzz mode=analyze seed=" << Seed << " iters=" << Iters
+           << " mutations=" << MutOpts.MaxMutations << "\n";
+
+    // Breadcrumb discipline matches crash mode: a sanitizer abort
+    // inside the analyzer leaves its own reproducer behind.
+    const std::string Breadcrumb = Corpus + "/analyze-current.str";
+    int64_t Done = 0, Accepted = 0, Proved = 0, Confirmed = 0,
+            Failures = 0;
+    for (int64_t I = 0; I < Iters && !OutOfTime(); ++I) {
+      uint64_t PSeed = iterSeed(Seed, static_cast<uint64_t>(I));
+      lt::ProgramSpec P = lt::generateProgram(PSeed, GenOpts);
+      P.Top = Top;
+      // Each iteration checks the generated program and one mutated
+      // variant: the former exercises the checks on well-formed
+      // inputs, the latter their robustness on adversarial ones.
+      const std::string Variants[] = {
+          lt::renderSource(P),
+          lt::mutateSource(lt::renderSource(P),
+                           PSeed ^ 0x5A5A5A5A5A5A5A5AULL, MutOpts)};
+      for (const std::string &Source : Variants) {
+        {
+          std::ofstream BC(Breadcrumb);
+          BC << "// laminar-fuzz analyze-mode input (in flight)\n"
+             << "// top: " << Top << "\n"
+             << "// seed: " << Seed << " iter: " << I << "\n"
+             << Source;
+        }
+        lt::AnalysisCheckResult R = lt::checkAnalysisOracle(Source, Top);
+        ++Done;
+        if (R.Accepted)
+          ++Accepted;
+        Proved += R.ProvedClaims;
+        if (R.Confirmed)
+          ++Confirmed;
+        if (!R.Violation)
+          continue;
+
+        ++Failures;
+        std::string Name =
+            "analyze-" + std::to_string(Seed) + "-" + std::to_string(I);
+        lt::SourceReduction Red = lt::reduceSourceText(
+            Source,
+            [&](const std::string &Cand) {
+              return lt::checkAnalysisOracle(Cand, Top).Violation;
+            });
+        std::string ReproPath = Corpus + "/" + Name + ".str";
+        std::ofstream Str(ReproPath);
+        Str << "// laminar-fuzz analyze-mode reproducer\n"
+            << "// top: " << Top << "\n"
+            << "// seed: " << Seed << " iter: " << I << "\n"
+            << Red.Source;
+        std::ofstream Rep(Corpus + "/" + Name + ".report.txt");
+        Rep << "violation:\n  " << R.Detail << "\nreduction: " << Red.Steps
+            << " step(s), " << Red.Evals << " eval(s)\n\noriginal source:\n"
+            << Source;
+        Report << "failure " << Name << ":\n  " << R.Detail
+               << "  reproducer: " << ReproPath << "\n";
+        std::cout << "FAIL " << Name << "\n  reproducer: " << ReproPath
+                  << "\n";
+      }
+    }
+    std::filesystem::remove(Breadcrumb, EC);
+
+    Report << "programs=" << Done << " accepted=" << Accepted
+           << " proved-claims=" << Proved << " confirmed=" << Confirmed
+           << " failures=" << Failures << "\n";
+    std::ofstream Out(Corpus + "/report.txt");
+    Out << Report.str();
+    std::cout << Report.str();
+    return Failures == 0 ? 0 : 1;
+  }
 
   // --- Crash mode --------------------------------------------------------
   if (Mode == "crash") {

@@ -15,6 +15,9 @@
 //   --max-channel-tokens=N  per-channel token/buffer limit override
 //   --max-errors=N        diagnostic cutoff override (0 = unlimited)
 //   --no-degrade          error instead of Laminar->FIFO fallback
+//   --analyze             run the compile-time stream-safety checks
+//                         (proved violations are errors)
+//   --Werror-analysis     --analyze with warnings promoted to errors
 //   --trace-json=FILE     write a Chrome trace (chrome://tracing) of
 //                         the compilation phases
 //   --time-report         print a phase timing table to stderr
@@ -44,7 +47,8 @@ static int usage() {
       << "  [--iters=N] [--seed=N] [--top=Name]\n"
       << "  [--max-nodes=N] [--max-reps=N] [--max-firings=N]\n"
       << "  [--max-ir-insts=N] [--max-peek=N] [--max-channel-tokens=N]\n"
-      << "  [--max-errors=N] [--no-degrade]\n"
+      << "  [--max-errors=N] [--no-degrade] [--analyze]\n"
+      << "  [--Werror-analysis]\n"
       << "  [--trace-json=FILE] [--time-report] [--remarks=FILE]\n"
       << "  [--remarks-filter=STR] [--stats-json=FILE]\n\nbenchmarks:\n";
   for (const auto &B : suite::allBenchmarks())
@@ -62,7 +66,7 @@ int main(int argc, char **argv) {
   int64_t Iters = 16;
   uint64_t Seed = 1;
   CompilerLimits Limits;
-  bool AllowDegrade = true;
+  bool AllowDegrade = true, Analyze = false, WerrorAnalysis = false;
   std::string TraceJsonPath, RemarksPath, RemarksFilter, StatsJsonPath;
   bool TimeReport = false;
 
@@ -105,6 +109,10 @@ int main(int argc, char **argv) {
         Limits.MaxErrors = static_cast<unsigned>(std::stoul(V));
       else if (Arg == "--no-degrade")
         AllowDegrade = false;
+      else if (Arg == "--analyze")
+        Analyze = true;
+      else if (Arg == "--Werror-analysis")
+        Analyze = WerrorAnalysis = true;
       else if (Eat("--trace-json=", V))
         TraceJsonPath = V;
       else if (Eat("--remarks=", V))
@@ -158,6 +166,8 @@ int main(int argc, char **argv) {
   Opts.OptLevel = Opt;
   Opts.Limits = Limits;
   Opts.AllowDegradeToFifo = AllowDegrade;
+  Opts.Analyze = Analyze;
+  Opts.AnalysisWerror = WerrorAnalysis;
   if (Trace.enabled())
     Opts.Trace = &Trace;
   if (!RemarksPath.empty())
