@@ -176,15 +176,32 @@ private:
   IntRange evalBinary(const ast::BinaryExpr *B) {
     using ast::BinaryOp;
     IntRange L = evalExpr(B->getLHS());
-    // Short-circuit operators still evaluate the RHS here — the walk
-    // needs its side effects (pops) folded in conservatively.
+    if (B->getOp() == BinaryOp::LogAnd || B->getOp() == BinaryOp::LogOr) {
+      // The RHS runs only when the LHS doesn't short-circuit, so its
+      // side effects (pops, assignments) are one arm of a join with the
+      // skipped-RHS state — they may only raise upper bounds, never the
+      // guaranteed pop count.
+      bool IsAnd = B->getOp() == BinaryOp::LogAnd;
+      IntRange Skip = IsAnd ? IntRange::constant(0) : IntRange::constant(1);
+      if (L == Skip)
+        return L;
+      if (L == (IsAnd ? IntRange::constant(1) : IntRange::constant(0))) {
+        evalExpr(B->getRHS());
+        return IntRange::boolean();
+      }
+      Env_t SavedEnv = Env;
+      IntRange SavedPops = Pops;
+      ++CondDepth;
+      evalExpr(B->getRHS());
+      --CondDepth;
+      joinEnvInto(SavedEnv);
+      Pops = join(Pops, SavedPops);
+      return IntRange::boolean();
+    }
     IntRange R = evalExpr(B->getRHS());
     bool IntOperands = B->getLHS()->getType() == ast::ScalarType::Int &&
                        B->getRHS()->getType() == ast::ScalarType::Int;
     switch (B->getOp()) {
-    case BinaryOp::LogAnd:
-    case BinaryOp::LogOr:
-      return IntRange::boolean();
     case BinaryOp::EQ:
     case BinaryOp::NE:
     case BinaryOp::LT:
@@ -546,6 +563,44 @@ private:
     }
   }
 
+  /// Collects every variable read or written under \p E (used to tell
+  /// whether a loop body can perturb the bound expression).
+  static void collectVarRefs(const ast::Expr *E,
+                             std::set<const ast::VarDecl *> &Out) {
+    using namespace ast;
+    if (!E)
+      return;
+    switch (E->getKind()) {
+    case Expr::Kind::VarRef:
+      if (const VarDecl *D = cast<VarRef>(E)->getDecl())
+        Out.insert(D);
+      return;
+    case Expr::Kind::Binary:
+      collectVarRefs(cast<BinaryExpr>(E)->getLHS(), Out);
+      collectVarRefs(cast<BinaryExpr>(E)->getRHS(), Out);
+      return;
+    case Expr::Kind::Unary:
+      collectVarRefs(cast<UnaryExpr>(E)->getSub(), Out);
+      return;
+    case Expr::Kind::Cast:
+      collectVarRefs(cast<CastExpr>(E)->getSub(), Out);
+      return;
+    case Expr::Kind::ArrayIndex:
+      collectVarRefs(cast<ArrayIndex>(E)->getIndex(), Out);
+      return;
+    case Expr::Kind::Assign:
+      collectVarRefs(cast<AssignExpr>(E)->getTarget(), Out);
+      collectVarRefs(cast<AssignExpr>(E)->getValue(), Out);
+      return;
+    case Expr::Kind::Call:
+      for (const Expr *A : cast<CallExpr>(E)->getArgs())
+        collectVarRefs(A, Out);
+      return;
+    default:
+      return;
+    }
+  }
+
   static bool containsStreamCall(const ast::Stmt *S) {
     using namespace ast;
     if (!S)
@@ -663,6 +718,23 @@ private:
       }
     }
 
+    std::vector<const ast::VarDecl *> Assigned;
+    collectAssigned(For->getBody(), Assigned);
+
+    if (Recognized) {
+      // The trip count below assumes the body leaves the induction
+      // variable and the bound's inputs alone; a body like
+      // `for (i = 0; i < 10; i += 1) { pop(); i = i + 5; }` would
+      // otherwise inflate MinTrips and fabricate proved overruns.
+      std::set<const VarDecl *> BoundRefs;
+      collectVarRefs(Cond->getRHS(), BoundRefs);
+      for (const VarDecl *D : Assigned)
+        if (D == IV || BoundRefs.count(D)) {
+          Recognized = false;
+          break;
+        }
+    }
+
     if (!Recognized) {
       execOpaqueLoop(For->getBody(), For->getCond(), For->getStep(), IV);
       return;
@@ -689,8 +761,6 @@ private:
         MinTrips = ((__int128)FirstLast - Start.Hi) / Step + 1;
     }
 
-    std::vector<const ast::VarDecl *> Assigned;
-    collectAssigned(For->getBody(), Assigned);
     for (const ast::VarDecl *D : Assigned)
       if (D != IV && Env.count(D))
         Env[D] = IntRange::full();

@@ -134,16 +134,20 @@ static IntRange transferDiv(const IntRange &L, const IntRange &R) {
 static IntRange transferRem(const IntRange &L, const IntRange &R) {
   // x % d (C semantics: sign follows the dividend) with |d| in a known
   // positive interval bounds |result| by max|d| - 1.
-  int64_t MaxAbs;
-  if (R.isFinite() && R.Lo >= 1)
+  int64_t MaxAbs, MinAbs;
+  if (R.isFinite() && R.Lo >= 1) {
     MaxAbs = R.Hi;
-  else if (R.isFinite() && R.Hi <= -1)
-    MaxAbs = R.Lo == IntRange::NegInf ? 0 : -R.Lo;
-  else
+    MinAbs = R.Lo;
+  } else if (R.isFinite() && R.Hi <= -1) {
+    MaxAbs = -R.Lo;
+    MinAbs = -R.Hi;
+  } else {
     return IntRange::full();
+  }
   int64_t M = MaxAbs - 1;
-  // A dividend already inside [0, M] is unchanged.
-  if (L.Lo >= 0 && L.Hi <= M)
+  // A dividend in [0, min|d|) is unchanged by every divisor in the
+  // interval; anything >= min|d| can be reduced by some divisor.
+  if (L.Lo >= 0 && L.Hi < MinAbs)
     return L;
   if (L.Lo >= 0)
     return IntRange(0, M);

@@ -126,12 +126,17 @@ Compilation driver::compile(const std::string &Source,
     for (analysis::Finding &F : R.Findings)
       C.Analysis.Findings.push_back(std::move(F));
   };
+  // AST-level checks run before lowering on purpose: a proved peek past
+  // the declared window is reported even when lowering later fails or
+  // degrades to FIFO. Their *emission* is deferred until after lowering,
+  // though: lowering bails out on pre-existing error diagnostics, and an
+  // analysis rejection must keep the lowered module around for the fuzz
+  // oracle's concrete cross-examination — and classify as an analysis
+  // rejection (stage 'analyze'), not a backend fault at 'lower'.
+  analysis::AnalysisReport GraphReport;
   if (Opts.Analyze) {
-    // AST-level checks run before lowering on purpose: a proved peek
-    // past the declared window is reported even when lowering later
-    // fails or degrades to FIFO.
     TraceScope Span(Opts.Trace, "analyze-graph");
-    RunChecks(analysis::checkStreamSafety(*C.Graph));
+    GraphReport = analysis::checkStreamSafety(*C.Graph);
   }
 
   C.Stage = CompileStage::Lower;
@@ -179,6 +184,13 @@ Compilation driver::compile(const std::string &Source,
     Diags.error(SourceLoc(1, 1), OS.str());
   }
   if (!C.Module) {
+    if (Opts.Analyze) {
+      RunChecks(std::move(GraphReport));
+      // A program condemned by the graph-level checks is an analysis
+      // rejection even when lowering also failed on it.
+      if (AnalysisErrors > 0)
+        C.Stage = CompileStage::Analyze;
+    }
     Fail(C);
     return C;
   }
@@ -193,6 +205,8 @@ Compilation driver::compile(const std::string &Source,
                                    /*BoundsCheckConstIndices=*/true);
   }
   if (!Violations.empty()) {
+    if (Opts.Analyze)
+      RunChecks(std::move(GraphReport));
     C.ErrorLog = "lowering produced invalid IR:\n";
     for (const std::string &V : Violations)
       C.ErrorLog += "  " + V + "\n";
@@ -202,6 +216,7 @@ Compilation driver::compile(const std::string &Source,
 
   if (Opts.Analyze) {
     C.Stage = CompileStage::Analyze;
+    RunChecks(std::move(GraphReport));
     {
       TraceScope Span(Opts.Trace, "analyze");
       RunChecks(analysis::checkModule(*C.Module, Opts.AnalysisOpts));

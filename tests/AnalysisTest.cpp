@@ -74,6 +74,25 @@ TEST(Lattice, MaskTransferBoundsTheResult) {
   EXPECT_TRUE(IntRange(0, 3).containsRange(R));
 }
 
+TEST(Lattice, RemShortcutNeedsDividendBelowMinDivisor) {
+  // Regression: [5,5] % [3,6] used to come back as [5,5], but 5 % 3 == 2.
+  // The pass-through is only sound when the dividend sits below the
+  // *minimum* divisor magnitude.
+  IntRange R =
+      transferBinary(lir::BinOp::Rem, IntRange(5, 5), IntRange(3, 6));
+  EXPECT_TRUE(R.contains(2)); // 5 % 3
+  EXPECT_TRUE(R.contains(5)); // 5 % 6
+  EXPECT_TRUE(IntRange(0, 5).containsRange(R));
+  EXPECT_EQ(transferBinary(lir::BinOp::Rem, IntRange(0, 2), IntRange(3, 6)),
+            IntRange(0, 2));
+  // Same rule for a negative divisor interval (|d| in [3, 6]).
+  IntRange N =
+      transferBinary(lir::BinOp::Rem, IntRange(5, 5), IntRange(-6, -3));
+  EXPECT_TRUE(N.contains(2)); // 5 % -3
+  EXPECT_EQ(transferBinary(lir::BinOp::Rem, IntRange(2, 2), IntRange(-6, -3)),
+            IntRange(2, 2));
+}
+
 TEST(Lattice, CmpAndConstraint) {
   using lir::CmpPred;
   EXPECT_EQ(transferCmp(CmpPred::LT, IntRange(0, 3), IntRange(5, 9)),
@@ -380,6 +399,69 @@ int->int pipeline T { add F(); }
   EXPECT_TRUE(C.Analysis.Findings.empty());
 }
 
+TEST(Checks, LoopBodyReassigningIVDefeatsTripCount) {
+  // Regression: the body rewrites the induction variable, so the header's
+  // 10-trip count is wrong (2 real loop pops + 1 after = declared 3).
+  // The walk must fall back to the opaque path, not prove an overrun.
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  work pop 3 push 1 {
+    int acc = 0;
+    for (int i = 0; i < 10; i += 1) {
+      acc = acc + pop();
+      i = i + 5;
+    }
+    acc = acc + pop();
+    push(acc);
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_FALSE(hasFinding(C, CheckKind::PopRateOverrun));
+}
+
+TEST(Checks, LoopBodyReassigningBoundDefeatsTripCount) {
+  // Regression: the body zeroes the bound after one iteration, so the
+  // runtime pops twice in total — never an overrun against pop 2.
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  work pop 2 push 1 {
+    int n = 10;
+    int acc = 0;
+    for (int i = 0; i < n; i += 1) {
+      acc = acc + pop();
+      n = 0;
+    }
+    acc = acc + pop();
+    push(acc);
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_FALSE(hasFinding(C, CheckKind::PopRateOverrun));
+}
+
+TEST(Checks, ShortCircuitRhsPopsOnlyRaiseUpperBound) {
+  // Regression: the `&&` RHS may never run, so its pop must not raise
+  // the guaranteed pop count; the trace with a <= 0 pops exactly twice.
+  driver::Compilation C = compileAnalyzed(R"(
+int->int filter F {
+  work pop 2 push 1 {
+    int a = pop();
+    int x = 0;
+    if (a > 0 && pop() > 0) { x = 1; }
+    x = x + pop();
+    push(x);
+  }
+}
+int->int pipeline T { add F(); }
+)");
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_FALSE(hasFinding(C, CheckKind::PopRateOverrun));
+}
+
 TEST(Checks, ShippedSuiteStaysWarningFree) {
   for (const suite::Benchmark &B : suite::allBenchmarks()) {
     driver::CompileOptions O;
@@ -480,6 +562,36 @@ int->int pipeline T { add F(); }
                                                                 "T");
   EXPECT_FALSE(R.Violation) << R.Detail;
   EXPECT_TRUE(R.Accepted);
+}
+
+TEST(AnalysisOracle, GraphLevelRejectionClassifiesAsAnalysisNotBackend) {
+  // Regression: a graph-level proved error used to reach the diagnostic
+  // stream before lowering, making lowering bail out and the rejection
+  // classify as a backend fault at stage 'lower'. It must surface at
+  // stage 'analyze' with the lowered module kept for cross-examination.
+  const char *Source = R"(
+int->int filter F {
+  work pop 1 push 1 {
+    push(pop() + pop());
+  }
+}
+int->int pipeline T { add F(); }
+)";
+  driver::CompileOptions O;
+  O.TopName = "T";
+  O.Mode = driver::LoweringMode::Fifo;
+  O.OptLevel = 0;
+  O.Analyze = true;
+  driver::Compilation C = driver::compile(Source, O);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_FALSE(C.failedInBackend());
+  EXPECT_EQ(C.Stage, driver::CompileStage::Analyze);
+  EXPECT_TRUE(C.hasLocatedError());
+  EXPECT_NE(C.Module, nullptr);
+
+  laminar::testing::AnalysisCheckResult R =
+      laminar::testing::checkAnalysisOracle(Source, "T");
+  EXPECT_FALSE(R.Violation) << R.Detail;
 }
 
 TEST(AnalysisOracle, GeneratedProgramsNeverViolate) {
