@@ -1,0 +1,130 @@
+//===--- bench_parallel.cpp - Parallel pipeline speedup ----------------------===//
+//
+// Records the speedup of the partitioned steady state at N=2 and N=4
+// workers over the sequential N=1 run, per suite benchmark, and writes
+// the table to BENCH_parallel.json.
+//
+// The speedup is *modeled*: each worker's dynamic steady-state
+// operation counts (collected per worker by the threaded runtime) are
+// priced through the paper's i7-2600K cycle model, and the pipeline's
+// iteration latency is the most expensive worker — so
+//
+//     speedup(N) = cycles(all work) / max_k cycles(worker k).
+//
+// Modeling instead of wall-clocking keeps the result meaningful on
+// single-core CI containers, where the threads time-slice one CPU and
+// wall-clock speedup is noise; the model is exactly the load-balance
+// quality of the partitioner, which is the compile-time claim this
+// bench tracks. The bit-exactness of the parallel runs themselves is
+// covered by tests/ParallelTest.cpp, not here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "perfmodel/PlatformModel.h"
+#include <fstream>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::bench;
+using namespace laminar::perfmodel;
+
+namespace {
+
+driver::Compilation compileParallel(const suite::Benchmark &B,
+                                    unsigned Workers) {
+  driver::CompileOptions O;
+  O.TopName = B.Top;
+  O.Mode = driver::LoweringMode::Laminar;
+  O.OptLevel = 2;
+  O.Parallel = Workers;
+  driver::Compilation C = driver::compile(B.Source, O);
+  if (!C.Ok) {
+    std::fprintf(stderr, "fatal: %s --parallel=%u failed to compile:\n%s\n",
+                 B.Name.c_str(), Workers, C.ErrorLog.c_str());
+    std::exit(1);
+  }
+  return C;
+}
+
+/// Modeled steady-state cycles of the critical-path worker for \p
+/// Workers workers (the pipeline's per-iteration latency).
+double criticalPathCycles(const suite::Benchmark &B, unsigned Workers,
+                          const PlatformModel &PM, unsigned &UsedOut) {
+  driver::Compilation C = compileParallel(B, Workers);
+  std::vector<interp::Counters> PerWorker;
+  interp::RunResult R =
+      driver::runWithRandomInput(C, 16, 1, nullptr, &PerWorker);
+  if (!R.Ok) {
+    std::fprintf(stderr, "fatal: %s --parallel=%u: %s\n", B.Name.c_str(),
+                 Workers, R.Error.c_str());
+    std::exit(1);
+  }
+  UsedOut = C.Plan ? C.Plan->NumPartitions : 1;
+  if (PerWorker.empty())
+    return PM.cycles(R.SteadyCounters);
+  double Max = 0;
+  for (const interp::Counters &W : PerWorker)
+    Max = std::max(Max, PM.cycles(W));
+  return Max;
+}
+
+} // namespace
+
+int main() {
+  const PlatformModel *PM = findPlatform("i7-2600K");
+  if (!PM) {
+    std::fprintf(stderr, "fatal: i7-2600K platform model missing\n");
+    return 1;
+  }
+
+  std::printf("Parallel pipeline speedup (modeled %s cycles, "
+              "critical-path worker vs sequential)\n",
+              PM->Name.c_str());
+  std::printf("%-16s %14s %9s %9s %10s\n", "benchmark", "seq [cyc/it]",
+              "N=2", "N=4", "workers@4");
+  printRule(62);
+
+  std::ostringstream Json;
+  Json << "{\n  \"platform\": \"" << PM->Name << "\",\n"
+       << "  \"benchmarks\": [\n";
+
+  std::vector<double> S2All, S4All;
+  int FastAt4 = 0;
+  const std::vector<suite::Benchmark> Benchmarks = suite::allBenchmarks();
+  for (size_t I = 0; I < Benchmarks.size(); ++I) {
+    const suite::Benchmark &B = Benchmarks[I];
+    unsigned Used1 = 0, Used2 = 0, Used4 = 0;
+    double Seq = criticalPathCycles(B, 1, *PM, Used1);
+    double Par2 = criticalPathCycles(B, 2, *PM, Used2);
+    double Par4 = criticalPathCycles(B, 4, *PM, Used4);
+    double S2 = Seq / Par2, S4 = Seq / Par4;
+    S2All.push_back(S2);
+    S4All.push_back(S4);
+    if (S4 >= 1.5)
+      ++FastAt4;
+    std::printf("%-16s %14.0f %8.2fx %8.2fx %10u\n", B.Name.c_str(),
+                Seq / 16, S2, S4, Used4);
+    char Row[256];
+    std::snprintf(Row, sizeof(Row),
+                  "    {\"name\": \"%s\", \"seq_cycles_per_iter\": %.1f, "
+                  "\"speedup_n2\": %.4f, \"speedup_n4\": %.4f, "
+                  "\"partitions_n2\": %u, \"partitions_n4\": %u}%s\n",
+                  B.Name.c_str(), Seq / 16, S2, S4, Used2, Used4,
+                  I + 1 < Benchmarks.size() ? "," : "");
+    Json << Row;
+  }
+  printRule(62);
+  std::printf("%-16s %14s %8.2fx %8.2fx\n", "geomean", "", geomean(S2All),
+              geomean(S4All));
+  std::printf("benchmarks with >= 1.5x at N=4: %d of %zu\n", FastAt4,
+              Benchmarks.size());
+
+  Json << "  ],\n  \"geomean_n2\": " << geomean(S2All)
+       << ",\n  \"geomean_n4\": " << geomean(S4All)
+       << ",\n  \"benchmarks_at_least_1p5x_n4\": " << FastAt4 << "\n}\n";
+  std::ofstream Out("BENCH_parallel.json");
+  Out << Json.str();
+  std::printf("wrote BENCH_parallel.json\n");
+  return 0;
+}

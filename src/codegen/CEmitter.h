@@ -16,6 +16,9 @@
 #include <string>
 
 namespace laminar {
+namespace parallel {
+struct PartitionPlan;
+}
 namespace codegen {
 
 struct CEmitOptions {
@@ -24,6 +27,12 @@ struct CEmitOptions {
   uint64_t InputSeed = 0x9E3779B97F4A7C15ULL;
   /// Steady iterations when the program is run without arguments.
   int64_t DefaultIterations = 16;
+  /// Non-null for a parallel-lowered module (@steady_p0..p{K-1}): emit
+  /// a threaded C program — one pthread worker per partition, gated by
+  /// cache-line-padded C11 atomic iteration counters per cut edge that
+  /// mirror the runtime's SPSC slab handoff protocol. Compile the
+  /// output with -pthread.
+  const parallel::PartitionPlan *Plan = nullptr;
 };
 
 /// Renders the module as a complete C99 program (globals, init, steady,

@@ -7,6 +7,8 @@
 #include "lir/Verifier.h"
 #include "lower/Lowering.h"
 #include "opt/PassManager.h"
+#include "parallel/ParallelLowering.h"
+#include "parallel/ParallelRunner.h"
 #include <sstream>
 
 using namespace laminar;
@@ -141,7 +143,52 @@ Compilation driver::compile(const std::string &Source,
 
   C.Stage = CompileStage::Lower;
   bool ExceededBudget = false;
-  {
+  if (Opts.Parallel > 0) {
+    {
+      TraceScope Span(Opts.Trace, "partition");
+      C.Plan = parallel::partitionSchedule(*C.Graph, *C.Sched,
+                                           Opts.Parallel, Diags,
+                                           Opts.Limits, &C.Stats,
+                                           Opts.Remarks);
+    }
+    if (!C.Plan) {
+      if (Opts.Analyze) {
+        RunChecks(std::move(GraphReport));
+        if (AnalysisErrors > 0)
+          C.Stage = CompileStage::Analyze;
+      }
+      Fail(C);
+      return C;
+    }
+    TraceScope LowerSpan(Opts.Trace, "lower");
+    bool LaminarIntra = Opts.Mode == LoweringMode::Laminar;
+    C.Module = parallel::lowerToParallel(*C.Graph, *C.Sched, *C.Plan,
+                                         LaminarIntra, Diags, &C.Stats,
+                                         Opts.Limits, &ExceededBudget,
+                                         Opts.Remarks, Opts.Trace);
+    if (!C.Module && LaminarIntra && ExceededBudget && !Diags.hasErrors() &&
+        Opts.AllowDegradeToFifo) {
+      // Same graceful degradation as the sequential pipeline: keep the
+      // partition plan, switch every intra channel to a ring buffer.
+      std::ostringstream OS;
+      OS << "laminar lowering exceeds the unrolled-IR budget of "
+         << Opts.Limits.MaxUnrolledInsts
+         << " instructions (--max-ir-insts); falling back to FIFO "
+            "lowering";
+      Diags.warning(SourceLoc(1, 1), OS.str());
+      if (Opts.Remarks)
+        Opts.Remarks->missed("laminar-lowering", "DegradeToFifo", OS.str(),
+                             SourceRange(SourceLoc(1, 1)));
+      C.Stats.add("driver.degraded-to-fifo");
+      C.DegradedToFifo = true;
+      ExceededBudget = false;
+      C.Module = parallel::lowerToParallel(*C.Graph, *C.Sched, *C.Plan,
+                                           /*LaminarIntra=*/false, Diags,
+                                           &C.Stats, Opts.Limits,
+                                           &ExceededBudget, Opts.Remarks,
+                                           Opts.Trace);
+    }
+  } else {
   TraceScope LowerSpan(Opts.Trace, "lower");
   if (Opts.Mode == LoweringMode::Fifo) {
     C.Module = lower::lowerToFifo(*C.Graph, *C.Sched, Diags,
@@ -296,10 +343,14 @@ size_t driver::requiredInputTokens(const Compilation &C,
   return static_cast<size_t>(*Total);
 }
 
-interp::RunResult driver::runWithRandomInput(const Compilation &C,
-                                             int64_t Iterations,
-                                             uint64_t Seed) {
+interp::RunResult driver::runWithRandomInput(
+    const Compilation &C, int64_t Iterations, uint64_t Seed,
+    TraceContext *Trace, std::vector<interp::Counters> *PerWorkerSteady) {
   interp::TokenStream Input = interp::makeRandomInput(
       C.Module->getInputType(), requiredInputTokens(C, Iterations), Seed);
+  if (C.Plan)
+    return parallel::runParallel(*C.Module, *C.Plan, Input, Iterations,
+                                 /*StepBudget=*/2'000'000'000ULL, Trace,
+                                 PerWorkerSteady);
   return interp::runModule(*C.Module, Input, Iterations);
 }

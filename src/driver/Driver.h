@@ -13,6 +13,7 @@
 #include "graph/StreamGraph.h"
 #include "interp/Interpreter.h"
 #include "lir/Module.h"
+#include "parallel/Partitioner.h"
 #include "schedule/Schedule.h"
 #include "support/Limits.h"
 #include "support/Remarks.h"
@@ -70,6 +71,13 @@ struct CompileOptions {
   /// pipeline's optimization-remark stream.
   TraceContext *Trace = nullptr;
   RemarkEmitter *Remarks = nullptr;
+  /// Partition the steady state across this many workers (laminarc
+  /// --parallel=N). 0 = sequential compilation (one @steady function).
+  /// With N > 0 the module carries @steady_p0..p{K-1} and Compilation
+  /// records the PartitionPlan; the mode still selects the channel
+  /// treatment (Laminar = intra-partition channels stay compile-time
+  /// queues, Fifo = every channel is a ring buffer).
+  unsigned Parallel = 0;
   /// Run the compile-time stream-safety checks (laminarc --analyze):
   /// AST-level peek/pop checks after scheduling (they run even when
   /// lowering later fails or degrades to FIFO), LIR-level range and
@@ -120,6 +128,10 @@ struct Compilation {
   std::unique_ptr<graph::StreamGraph> Graph;
   std::optional<schedule::Schedule> Sched;
   std::unique_ptr<lir::Module> Module;
+  /// Set iff the compilation was parallel (CompileOptions::Parallel > 0
+  /// and partitioning succeeded): actor placement plus cut-edge ring
+  /// sizing, consumed by the threaded runtime and the C backend.
+  std::optional<parallel::PartitionPlan> Plan;
   /// Findings of the stream-safety checks (only populated with
   /// CompileOptions::Analyze). On an analysis rejection, Module stays
   /// set so callers (the fuzz oracle) can confirm proved claims on a
@@ -138,9 +150,15 @@ Compilation compile(const std::string &Source, const CompileOptions &Opts);
 size_t requiredInputTokens(const Compilation &C, int64_t Iterations);
 
 /// Interprets the compiled module for \p Iterations steady iterations
-/// over deterministic randomized input derived from \p Seed.
+/// over deterministic randomized input derived from \p Seed. Parallel
+/// compilations run on Plan->NumPartitions worker threads; \p Trace
+/// (optional) receives per-worker spans and \p PerWorkerSteady the
+/// per-worker steady counters.
 interp::RunResult runWithRandomInput(const Compilation &C,
-                                     int64_t Iterations, uint64_t Seed);
+                                     int64_t Iterations, uint64_t Seed,
+                                     TraceContext *Trace = nullptr,
+                                     std::vector<interp::Counters>
+                                         *PerWorkerSteady = nullptr);
 
 } // namespace driver
 } // namespace laminar

@@ -95,76 +95,37 @@ TokenStream interp::makeConstantInput(TypeKind Ty, size_t Count,
   return S;
 }
 
-namespace {
-
-/// A register value; bools live in I as 0/1.
-struct Reg {
-  int64_t I = 0;
-  double F = 0;
-};
-
-class Interpreter {
-public:
-  Interpreter(const Module &M, const TokenStream &Input, uint64_t StepBudget)
-      : M(M), Input(Input), Budget(StepBudget) {
-    // Global storage, zero-initialized or from initializers.
-    Mem.resize(M.globals().size());
-    for (const auto &G : M.globals()) {
-      auto &Cell = Mem[G->getSlot()];
-      Cell.IsFloat = G->getElemType() == TypeKind::Float;
-      if (Cell.IsFloat) {
-        Cell.F.assign(G->getSize(), 0.0);
-        if (!G->floatInit().empty())
-          Cell.F = G->floatInit();
-      } else {
-        Cell.I.assign(G->getSize(), 0);
-        if (!G->intInit().empty())
-          Cell.I = G->intInit();
-      }
+MemoryImage::MemoryImage(const Module &M) {
+  // Global storage, zero-initialized or from initializers.
+  Cells.resize(M.globals().size());
+  for (const auto &G : M.globals()) {
+    auto &Cell = Cells[G->getSlot()];
+    Cell.IsFloat = G->getElemType() == TypeKind::Float;
+    if (Cell.IsFloat) {
+      Cell.F.assign(G->getSize(), 0.0);
+      if (!G->floatInit().empty())
+        Cell.F = G->floatInit();
+    } else {
+      Cell.I.assign(G->getSize(), 0);
+      if (!G->intInit().empty())
+        Cell.I = G->intInit();
     }
   }
+}
 
-  bool runFunction(const Function *F, Counters &C);
+int64_t FunctionExecutor::getI(const Value *V) const {
+  if (auto *C = dyn_cast<ConstInt>(V))
+    return C->getValue();
+  if (auto *C = dyn_cast<ConstBool>(V))
+    return C->getValue() ? 1 : 0;
+  return Regs[cast<Instruction>(V)->getSlot()].I;
+}
 
-  std::string Error;
-  TokenStream Outputs;
-  size_t InputCursor = 0;
-
-private:
-  bool fail(const std::string &Msg) {
-    if (Error.empty())
-      Error = Msg;
-    return false;
-  }
-
-  int64_t getI(const Value *V) const {
-    if (auto *C = dyn_cast<ConstInt>(V))
-      return C->getValue();
-    if (auto *C = dyn_cast<ConstBool>(V))
-      return C->getValue() ? 1 : 0;
-    return Regs[cast<Instruction>(V)->getSlot()].I;
-  }
-
-  double getF(const Value *V) const {
-    if (auto *C = dyn_cast<ConstFloat>(V))
-      return C->getValue();
-    return Regs[cast<Instruction>(V)->getSlot()].F;
-  }
-
-  const Module &M;
-  const TokenStream &Input;
-  uint64_t Budget;
-
-  struct Cell {
-    bool IsFloat = false;
-    std::vector<int64_t> I;
-    std::vector<double> F;
-  };
-  std::vector<Cell> Mem;
-  std::vector<Reg> Regs;
-};
-
-} // namespace
+double FunctionExecutor::getF(const Value *V) const {
+  if (auto *C = dyn_cast<ConstFloat>(V))
+    return C->getValue();
+  return Regs[cast<Instruction>(V)->getSlot()].F;
+}
 
 /// Arithmetic shift-right matching the IR builder's folding semantics.
 static int64_t shrArith(int64_t A, int64_t B) {
@@ -174,7 +135,7 @@ static int64_t shrArith(int64_t A, int64_t B) {
   return ~static_cast<int64_t>(static_cast<uint64_t>(~A) >> Amt);
 }
 
-bool Interpreter::runFunction(const Function *F, Counters &C) {
+bool FunctionExecutor::runFunction(const Function *F, Counters &C) {
   uint32_t NumSlots = 0;
   for (const auto &BB : F->blocks())
     for (const auto &I : BB->instructions())
@@ -498,7 +459,7 @@ bool Interpreter::runFunction(const Function *F, Counters &C) {
         int64_t Index = getI(L->getIndex());
         if (Index < 0 || Index >= G->getSize())
           return fail("load out of bounds on @" + G->getName());
-        const Cell &Cl = Mem[G->getSlot()];
+        const MemoryImage::Cell &Cl = Mem[G->getSlot()];
         if (Cl.IsFloat)
           Out.F = Cl.F[Index];
         else
@@ -515,7 +476,7 @@ bool Interpreter::runFunction(const Function *F, Counters &C) {
         int64_t Index = getI(St->getIndex());
         if (Index < 0 || Index >= G->getSize())
           return fail("store out of bounds on @" + G->getName());
-        Cell &Cl = Mem[G->getSlot()];
+        MemoryImage::Cell &Cl = Mem[G->getSlot()];
         if (Cl.IsFloat)
           Cl.F[Index] = getF(St->getValue());
         else
@@ -565,7 +526,8 @@ RunResult interp::runModule(const Module &M, const TokenStream &Input,
     return R;
   }
 
-  Interpreter I(M, Input, StepBudget);
+  MemoryImage Mem(M);
+  FunctionExecutor I(Input, Mem, StepBudget);
   I.Outputs.Ty = M.getOutputType();
   if (!I.runFunction(Init, R.InitCounters)) {
     R.Error = "init: " + I.Error;

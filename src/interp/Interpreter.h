@@ -82,6 +82,63 @@ struct RunResult {
   int64_t SteadyIterations = 0;
 };
 
+/// The global memory of one module execution: one storage cell per
+/// global, indexed by the global's slot, zero-initialized or seeded
+/// from the global's initializer. Shared by every FunctionExecutor of
+/// a run — the parallel runtime hands one image to all of its worker
+/// threads (cross-thread ordering of accesses is the channel plan's
+/// responsibility, not the image's).
+class MemoryImage {
+public:
+  explicit MemoryImage(const lir::Module &M);
+
+  struct Cell {
+    bool IsFloat = false;
+    std::vector<int64_t> I;
+    std::vector<double> F;
+  };
+  std::vector<Cell> Cells;
+};
+
+/// Executes LIR functions against a shared MemoryImage. Registers, the
+/// input cursor, the output stream and the step budget are private to
+/// the executor, so each worker thread of a parallel run owns one.
+class FunctionExecutor {
+public:
+  FunctionExecutor(const TokenStream &Input, MemoryImage &Mem,
+                   uint64_t StepBudget)
+      : Input(Input), Mem(Mem.Cells), Budget(StepBudget) {}
+
+  /// Runs \p F to its Ret, accumulating dynamic-op counts into \p C.
+  /// Returns false on a fault (Error holds the first failure message).
+  bool runFunction(const lir::Function *F, Counters &C);
+
+  std::string Error;
+  TokenStream Outputs;
+  size_t InputCursor = 0;
+
+private:
+  /// A register value; bools live in I as 0/1.
+  struct Reg {
+    int64_t I = 0;
+    double F = 0;
+  };
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+    return false;
+  }
+
+  int64_t getI(const lir::Value *V) const;
+  double getF(const lir::Value *V) const;
+
+  const TokenStream &Input;
+  std::vector<MemoryImage::Cell> &Mem;
+  uint64_t Budget;
+  std::vector<Reg> Regs;
+};
+
 /// Executes @init once, then @steady \p Iterations times, feeding tokens
 /// from \p Input. Fails cleanly on input underrun, division by zero or
 /// step-budget exhaustion.

@@ -1,0 +1,141 @@
+//===--- ChannelAccessors.h - Concrete ChannelAccess strategies -*- C++ -*-===//
+//
+// The two channel implementations behind the ChannelAccess interface,
+// shared by the FIFO, Laminar and parallel lowerings:
+//
+//  * FifoChannel — circular buffer in memory with head/tail counters,
+//    the `buffer[head++]` indirection of the StreamIt baseline. The
+//    parallel lowering reuses it unchanged for cut edges: head is only
+//    touched by the consumer and tail only by the producer, so the
+//    accessor is inherently SPSC-safe once the slab handoff protocol
+//    orders the buffer slots (see docs/PARALLEL.md).
+//  * LaminarQueue — the paper's compile-time queue: a deque of SSA
+//    values. push appends a definition, pop/peek resolve to the
+//    defining value, data-dependent peeks fall back to range-driven
+//    bounded selects.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_LOWER_CHANNELACCESSORS_H
+#define LAMINAR_LOWER_CHANNELACCESSORS_H
+
+#include "lir/IRBuilder.h"
+#include "lower/WorkLowering.h"
+#include <deque>
+
+namespace laminar {
+namespace lower {
+
+/// Circular-buffer access to one channel side.
+class FifoChannel : public ChannelAccess {
+public:
+  FifoChannel(LoweringContext &Ctx, lir::GlobalVar *Buf,
+              lir::GlobalVar *Head, lir::GlobalVar *Tail)
+      : Ctx(Ctx), Buf(Buf), Head(Head), Tail(Tail),
+        Mask(Buf->getSize() - 1) {}
+
+  lir::Value *emitPop(SourceLoc Loc) override {
+    lir::IRBuilder &B = Ctx.B;
+    if (Loc.isValid())
+      B.setCurLoc(Loc);
+    ++AccessSites;
+    lir::Value *H = B.createLoad(Head, B.getInt(0));
+    lir::Value *V = B.createLoad(
+        Buf, B.createBinary(lir::BinOp::And, H, B.getInt(Mask)));
+    B.createStore(Head, B.getInt(0),
+                  B.createBinary(lir::BinOp::Add, H, B.getInt(1)));
+    return V;
+  }
+
+  lir::Value *emitPeek(lir::Value *Index, SourceLoc Loc) override {
+    lir::IRBuilder &B = Ctx.B;
+    if (Loc.isValid())
+      B.setCurLoc(Loc);
+    ++AccessSites;
+    lir::Value *H = B.createLoad(Head, B.getInt(0));
+    lir::Value *At = B.createBinary(
+        lir::BinOp::And, B.createBinary(lir::BinOp::Add, H, Index),
+        B.getInt(Mask));
+    return B.createLoad(Buf, At);
+  }
+
+  void emitPush(lir::Value *V, SourceLoc Loc) override {
+    lir::IRBuilder &B = Ctx.B;
+    if (Loc.isValid())
+      B.setCurLoc(Loc);
+    ++AccessSites;
+    lir::Value *T = B.createLoad(Tail, B.getInt(0));
+    B.createStore(Buf, B.createBinary(lir::BinOp::And, T, B.getInt(Mask)),
+                  V);
+    B.createStore(Tail, B.getInt(0),
+                  B.createBinary(lir::BinOp::Add, T, B.getInt(1)));
+  }
+
+  /// Pop/peek/push sites emitted through this channel — each one is a
+  /// head/tail indirection the Laminar lowering would have erased.
+  uint64_t accessSites() const { return AccessSites; }
+
+private:
+  LoweringContext &Ctx;
+  lir::GlobalVar *Buf;
+  lir::GlobalVar *Head;
+  lir::GlobalVar *Tail;
+  int64_t Mask;
+  uint64_t AccessSites = 0;
+};
+
+/// A compile-time token queue for one channel. All three operations
+/// resolve immediately; only misuse (data-dependent peek indices) emits
+/// diagnostics.
+class LaminarQueue : public ChannelAccess {
+public:
+  LaminarQueue(LoweringContext &Ctx, const graph::Channel *Ch)
+      : Ctx(Ctx), Ch(Ch) {}
+
+  lir::Value *emitPop(SourceLoc Loc) override {
+    if (Q.empty()) {
+      reportUnderflow(Loc);
+      return nullptr;
+    }
+    lir::Value *V = Q.front();
+    Q.pop_front();
+    ++Resolved;
+    return V;
+  }
+
+  /// Constant indices resolve directly; data-dependent indices fall
+  /// back to the range analysis (bounded select over the window).
+  lir::Value *emitPeek(lir::Value *Index, SourceLoc Loc) override;
+
+  void emitPush(lir::Value *V, SourceLoc) override {
+    Q.push_back(V);
+    ++Resolved;
+  }
+
+  size_t size() const { return Q.size(); }
+  const std::deque<lir::Value *> &tokens() const { return Q; }
+  void seed(lir::Value *V) { Q.push_back(V); }
+
+  /// Access sites (pop/peek/push) this queue resolved at compile time
+  /// to SSA values — the direct-token-access measure remarks report.
+  uint64_t resolvedAccesses() const { return Resolved; }
+
+  /// Subset of resolvedAccesses: data-dependent peeks resolved via the
+  /// range analysis (bounded select over live tokens) rather than a
+  /// constant index.
+  uint64_t rangeResolvedAccesses() const { return RangeResolved; }
+
+private:
+  void reportUnderflow(SourceLoc Loc);
+
+  LoweringContext &Ctx;
+  const graph::Channel *Ch;
+  std::deque<lir::Value *> Q;
+  uint64_t Resolved = 0;
+  uint64_t RangeResolved = 0;
+};
+
+} // namespace lower
+} // namespace laminar
+
+#endif // LAMINAR_LOWER_CHANNELACCESSORS_H

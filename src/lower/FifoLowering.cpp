@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "lower/ChannelAccessors.h"
 #include "lower/Lowering.h"
 #include "lower/WorkLowering.h"
 #include "schedule/ScheduleSim.h"
@@ -31,63 +32,6 @@ int64_t pow2Ceil(int64_t V) {
     P <<= 1;
   return P;
 }
-
-/// Circular-buffer access to one channel side.
-class FifoChannel : public ChannelAccess {
-public:
-  FifoChannel(LoweringContext &Ctx, GlobalVar *Buf, GlobalVar *Head,
-              GlobalVar *Tail)
-      : Ctx(Ctx), Buf(Buf), Head(Head), Tail(Tail),
-        Mask(Buf->getSize() - 1) {}
-
-  Value *emitPop(SourceLoc Loc) override {
-    IRBuilder &B = Ctx.B;
-    if (Loc.isValid())
-      B.setCurLoc(Loc);
-    ++AccessSites;
-    Value *H = B.createLoad(Head, B.getInt(0));
-    Value *V = B.createLoad(Buf, B.createBinary(BinOp::And, H,
-                                                B.getInt(Mask)));
-    B.createStore(Head, B.getInt(0),
-                  B.createBinary(BinOp::Add, H, B.getInt(1)));
-    return V;
-  }
-
-  Value *emitPeek(Value *Index, SourceLoc Loc) override {
-    IRBuilder &B = Ctx.B;
-    if (Loc.isValid())
-      B.setCurLoc(Loc);
-    ++AccessSites;
-    Value *H = B.createLoad(Head, B.getInt(0));
-    Value *At = B.createBinary(BinOp::And, B.createBinary(BinOp::Add, H,
-                                                          Index),
-                               B.getInt(Mask));
-    return B.createLoad(Buf, At);
-  }
-
-  void emitPush(Value *V, SourceLoc Loc) override {
-    IRBuilder &B = Ctx.B;
-    if (Loc.isValid())
-      B.setCurLoc(Loc);
-    ++AccessSites;
-    Value *T = B.createLoad(Tail, B.getInt(0));
-    B.createStore(Buf, B.createBinary(BinOp::And, T, B.getInt(Mask)), V);
-    B.createStore(Tail, B.getInt(0),
-                  B.createBinary(BinOp::Add, T, B.getInt(1)));
-  }
-
-  /// Pop/peek/push sites emitted through this channel — each one is a
-  /// head/tail indirection the Laminar lowering would have erased.
-  uint64_t accessSites() const { return AccessSites; }
-
-private:
-  LoweringContext &Ctx;
-  GlobalVar *Buf;
-  GlobalVar *Head;
-  GlobalVar *Tail;
-  int64_t Mask;
-  uint64_t AccessSites = 0;
-};
 
 class FifoLowering {
 public:

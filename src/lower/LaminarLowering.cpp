@@ -18,7 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/RangeAnalysis.h"
+#include "lower/ChannelAccessors.h"
 #include "lower/Lowering.h"
 #include "lower/WorkLowering.h"
 #include <cassert>
@@ -32,126 +32,6 @@ using namespace laminar::lower;
 using namespace laminar::lir;
 
 namespace {
-
-/// A compile-time token queue for one channel. All three operations
-/// resolve immediately; only misuse (data-dependent peek indices) emits
-/// diagnostics.
-class LaminarQueue : public ChannelAccess {
-public:
-  LaminarQueue(LoweringContext &Ctx, const Channel *Ch)
-      : Ctx(Ctx), Ch(Ch) {}
-
-  Value *emitPop(SourceLoc Loc) override {
-    if (Q.empty()) {
-      reportUnderflow(Loc);
-      return nullptr;
-    }
-    Value *V = Q.front();
-    Q.pop_front();
-    ++Resolved;
-    return V;
-  }
-
-  Value *emitPeek(Value *Index, SourceLoc Loc) override {
-    if (Loc.isValid())
-      Ctx.B.setCurLoc(Loc);
-    if (const auto *C = dyn_cast<ConstInt>(Index)) {
-      int64_t I = C->getValue();
-      if (I < 0 || static_cast<size_t>(I) >= Q.size()) {
-        std::ostringstream OS;
-        OS << "peek(" << I << ") exceeds the declared peek window (channel "
-           << Ch->getId() << " holds " << Q.size() << " tokens)";
-        Ctx.Diags.error(Loc, OS.str());
-        return nullptr;
-      }
-      ++Resolved;
-      return Q[I];
-    }
-
-    // Data-dependent index. Before giving up on direct token access, ask
-    // the range analysis what values the index can actually take: a peek
-    // proven to stay inside the live window lowers to a bounded select
-    // over the window's SSA tokens — still no buffer, no counters.
-    int64_t Size = static_cast<int64_t>(Q.size());
-    analysis::IntRange R = analysis::approximateRange(Index);
-    if (!R.isEmpty() && (R.Hi < 0 || R.Lo >= Size)) {
-      std::ostringstream OS;
-      OS << "peek index is out of the peek window on every execution: "
-         << "index in " << R.str() << ", channel " << Ch->getId()
-         << " holds " << Size << " token(s)";
-      Ctx.Diags.error(Loc, OS.str());
-      return nullptr;
-    }
-    // Cap on the select chain a single resolved peek may expand to.
-    constexpr int64_t MaxSelectWidth = 64;
-    if (!R.isEmpty() && R.Lo >= 0 && R.Hi < Size &&
-        R.Hi - R.Lo + 1 <= MaxSelectWidth) {
-      Value *Res = Q[R.Lo];
-      bool AllSame = true;
-      for (int64_t I = R.Lo + 1; I <= R.Hi; ++I)
-        AllSame = AllSame && Q[I] == Res;
-      if (!AllSame)
-        for (int64_t I = R.Lo + 1; I <= R.Hi; ++I) {
-          Value *Is = Ctx.B.createCmp(CmpPred::EQ, Index, Ctx.B.getInt(I));
-          Res = Ctx.B.createSelect(Is, Q[I], Res);
-        }
-      ++Resolved;
-      ++RangeResolved;
-      return Res;
-    }
-
-    std::ostringstream OS;
-    OS << "peek index is not a compile-time constant";
-    if (!R.isFull() && !R.isEmpty())
-      OS << " and its inferred range " << R.str()
-         << " is not contained in the peek window [0, " << Size - 1 << "]";
-    OS << "; direct token access requires statically resolvable indices";
-    Ctx.Diags.error(Loc, OS.str());
-    if (Ctx.Remarks) {
-      std::ostringstream RS;
-      RS << "peek on channel " << Ch->getId()
-         << " has a data-dependent index and cannot be resolved to a "
-            "scalar";
-      if (!R.isFull() && !R.isEmpty())
-        RS << " (inferred range " << R.str() << ", window " << Size << ")";
-      Ctx.Remarks->missed("laminar-lowering", "UnresolvedAccess", RS.str(),
-                          SourceRange(Loc));
-    }
-    return nullptr;
-  }
-
-  void emitPush(Value *V, SourceLoc) override {
-    Q.push_back(V);
-    ++Resolved;
-  }
-
-  size_t size() const { return Q.size(); }
-  const std::deque<Value *> &tokens() const { return Q; }
-  void seed(Value *V) { Q.push_back(V); }
-
-  /// Access sites (pop/peek/push) this queue resolved at compile time
-  /// to SSA values — the direct-token-access measure remarks report.
-  uint64_t resolvedAccesses() const { return Resolved; }
-
-  /// Subset of resolvedAccesses: data-dependent peeks resolved via the
-  /// range analysis (bounded select over live tokens) rather than a
-  /// constant index.
-  uint64_t rangeResolvedAccesses() const { return RangeResolved; }
-
-private:
-  void reportUnderflow(SourceLoc Loc) {
-    std::ostringstream OS;
-    OS << "compile-time queue underflow on channel " << Ch->getId()
-       << " (schedule violation)";
-    Ctx.Diags.error(Loc, OS.str());
-  }
-
-  LoweringContext &Ctx;
-  const Channel *Ch;
-  std::deque<Value *> Q;
-  uint64_t Resolved = 0;
-  uint64_t RangeResolved = 0;
-};
 
 class LaminarLowering {
 public:

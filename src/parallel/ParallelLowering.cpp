@@ -1,0 +1,476 @@
+//===--- ParallelLowering.cpp - Per-partition hybrid lowering -------------===//
+//
+// Emits @init plus one @steady_pk function per partition, with a hybrid
+// channel plan: intra-partition channels keep the full Laminar
+// treatment (compile-time queues, live-token rotation), cut channels
+// become ring buffers sized by the partitioner.
+//
+// Correctness rests on one property: steady_pk is the subsequence of
+// the global steady schedule restricted to partition-k firings, with
+// relative order preserved. An intra channel only ever sees firings of
+// its own partition, and their order is the order the sequential
+// lowering used — so its compile-time queue evolves identically and
+// rotation invariants carry over unchanged. A cut channel's producer
+// and consumer run on different workers; its ring accessors are the
+// FIFO baseline's (producer touches tail, consumer touches head), and
+// the slab handoff protocol executed by the runtime orders the slot
+// accesses (docs/PARALLEL.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ParallelLowering.h"
+#include "lower/ChannelAccessors.h"
+#include "lower/Lowering.h"
+#include "lower/WorkLowering.h"
+#include "parallel/SpscQueue.h"
+#include "schedule/ScheduleSim.h"
+#include <cassert>
+#include <sstream>
+#include <unordered_map>
+
+using namespace laminar;
+using namespace laminar::graph;
+using namespace laminar::lir;
+using namespace laminar::lower;
+using namespace laminar::parallel;
+
+std::string parallel::steadyFunctionName(unsigned K) {
+  std::ostringstream OS;
+  OS << "steady_p" << K;
+  return OS.str();
+}
+
+namespace {
+
+class ParallelLowering {
+public:
+  ParallelLowering(const StreamGraph &G, const schedule::Schedule &S,
+                   const PartitionPlan &Plan, bool LaminarIntra,
+                   DiagnosticEngine &Diags, StatsRegistry *Stats,
+                   const CompilerLimits &Limits, RemarkEmitter *Remarks,
+                   TraceContext *Trace)
+      : G(G), S(S), Plan(Plan), LaminarIntra(LaminarIntra), Diags(Diags),
+        Stats(Stats), Limits(Limits), Remarks(Remarks), Trace(Trace) {}
+
+  std::unique_ptr<Module> run();
+
+  bool exceededBudget() const { return ExceededBudget; }
+
+private:
+  /// Cut channels (and, in degrade mode, every channel) are rings.
+  bool isRing(const Channel *Ch) const {
+    return !LaminarIntra || Plan.isCut(Ch);
+  }
+  /// Partition owning an intra channel (both endpoints agree).
+  unsigned intraPartitionOf(const Channel *Ch) const {
+    return Plan.partitionOf(Ch->getSrc());
+  }
+
+  /// \p Partition is the emitting partition for steady functions, or
+  /// ~0u for @init (which owns every channel).
+  bool emitFunction(Function *F, bool IsInit, unsigned Partition);
+  bool emitNodeFirings(LoweringContext &Ctx, const Node *N, int64_t Reps);
+  bool fireOnce(LoweringContext &Ctx, const Node *N);
+  ChannelAccess *access(const Channel *Ch) { return Accesses.at(Ch).get(); }
+  LaminarQueue *queueOf(const Channel *Ch) {
+    auto It = Queues.find(Ch);
+    return It == Queues.end() ? nullptr : It->second;
+  }
+
+  const StreamGraph &G;
+  const schedule::Schedule &S;
+  const PartitionPlan &Plan;
+  bool LaminarIntra;
+  DiagnosticEngine &Diags;
+  StatsRegistry *Stats;
+  const CompilerLimits &Limits;
+  RemarkEmitter *Remarks;
+  TraceContext *Trace;
+  bool ExceededBudget = false;
+  std::unique_ptr<Module> M;
+
+  struct RingGlobals {
+    GlobalVar *Buf;
+    GlobalVar *Head;
+    GlobalVar *Tail;
+  };
+  std::unordered_map<const Channel *, RingGlobals> Rings;
+  std::unordered_map<const Channel *, std::vector<GlobalVar *>> LiveTokens;
+  std::unordered_map<const Node *, NodeState> States;
+
+  // Per-function state, rebuilt by emitFunction to bind the current
+  // builder (mirrors the sequential lowerings).
+  std::unordered_map<const Channel *, std::unique_ptr<ChannelAccess>>
+      Accesses;
+  std::unordered_map<const Channel *, LaminarQueue *> Queues;
+  std::unordered_map<const Node *, std::unique_ptr<WorkLowering>> Lowerers;
+  std::vector<std::unique_ptr<WorkLowering>> FiringLowerers;
+
+  uint64_t RotationStores = 0;
+  int64_t TotalLive = 0;
+};
+
+} // namespace
+
+bool ParallelLowering::fireOnce(LoweringContext &Ctx, const Node *N) {
+  IRBuilder &B = Ctx.B;
+  if (const auto *F = dyn_cast<FilterNode>(N)) {
+    ChannelAccess *In =
+        F->inputs().empty() ? nullptr : access(F->inputs()[0]);
+    ChannelAccess *Out =
+        F->outputs().empty() ? nullptr : access(F->outputs()[0]);
+    switch (F->getRole()) {
+    case FilterNode::Role::Source: {
+      Out->emitPush(B.createInput(toLirType(F->getOutType())), SourceLoc());
+      return true;
+    }
+    case FilterNode::Role::Sink: {
+      Value *V = In->emitPop(SourceLoc());
+      if (!V)
+        return false;
+      B.createOutput(V);
+      return true;
+    }
+    case FilterNode::Role::User: {
+      if (!LaminarIntra) {
+        FiringLowerers.push_back(std::make_unique<WorkLowering>(
+            Ctx, *F, States[N], In, Out, /*ResolveStatically=*/false));
+        return FiringLowerers.back()->lowerFiring();
+      }
+      LaminarQueue *InQ =
+          F->inputs().empty() ? nullptr : queueOf(F->inputs()[0]);
+      LaminarQueue *OutQ =
+          F->outputs().empty() ? nullptr : queueOf(F->outputs()[0]);
+      size_t InBefore = InQ ? InQ->size() : 0;
+      size_t OutBefore = OutQ ? OutQ->size() : 0;
+      auto &WL = Lowerers[N];
+      if (!WL)
+        WL = std::make_unique<WorkLowering>(Ctx, *F, States[N], In, Out,
+                                            /*ResolveStatically=*/true);
+      if (!WL->lowerFiring())
+        return false;
+      // Rate-desync check, per side: a ring side is flow-controlled at
+      // run time, but a compile-time queue still requires exact rates
+      // (same diagnostic as the sequential Laminar lowering).
+      int64_t Popped = InQ ? static_cast<int64_t>(InBefore) -
+                                 static_cast<int64_t>(InQ->size())
+                           : F->getPopRate();
+      int64_t Pushed = OutQ ? static_cast<int64_t>(OutQ->size()) -
+                                  static_cast<int64_t>(OutBefore)
+                            : F->getPushRate();
+      if (Popped != F->getPopRate() || Pushed != F->getPushRate()) {
+        SourceLoc Loc = SourceLoc(1, 1);
+        if (F->getDecl() && F->getDecl()->getLoc().isValid())
+          Loc = F->getDecl()->getLoc();
+        std::ostringstream OS;
+        OS << "work function of '" << F->getName() << "' consumes "
+           << Popped << " and produces " << Pushed
+           << " token(s) per firing, but declares pop " << F->getPopRate()
+           << " push " << F->getPushRate()
+           << "; compile-time queues require exact rates";
+        Diags.error(Loc, OS.str());
+        return false;
+      }
+      return true;
+    }
+    }
+    return false;
+  }
+
+  if (const auto *Split = dyn_cast<SplitterNode>(N)) {
+    ChannelAccess *In = access(Split->inputs()[0]);
+    if (Split->getMode() == SplitterNode::Mode::Duplicate) {
+      Value *V = In->emitPop(SourceLoc());
+      if (!V)
+        return false;
+      for (const Channel *Out : Split->outputs())
+        access(Out)->emitPush(V, SourceLoc());
+      return true;
+    }
+    for (size_t I = 0; I < Split->outputs().size(); ++I) {
+      ChannelAccess *Out = access(Split->outputs()[I]);
+      for (int64_t K = 0; K < Split->getWeights()[I]; ++K) {
+        Value *V = In->emitPop(SourceLoc());
+        if (!V)
+          return false;
+        Out->emitPush(V, SourceLoc());
+      }
+    }
+    return true;
+  }
+
+  const auto *Join = cast<JoinerNode>(N);
+  ChannelAccess *Out = access(Join->outputs()[0]);
+  for (size_t I = 0; I < Join->inputs().size(); ++I) {
+    ChannelAccess *In = access(Join->inputs()[I]);
+    for (int64_t K = 0; K < Join->getWeights()[I]; ++K) {
+      Value *V = In->emitPop(SourceLoc());
+      if (!V)
+        return false;
+      Out->emitPush(V, SourceLoc());
+    }
+  }
+  return true;
+}
+
+bool ParallelLowering::emitNodeFirings(LoweringContext &Ctx, const Node *N,
+                                       int64_t Reps) {
+  if (LaminarIntra) {
+    // Fully unrolled, like the sequential Laminar lowering; trip the
+    // budget and let the driver degrade to all-ring mode.
+    for (int64_t R = 0; R < Reps; ++R) {
+      if (Ctx.overBudget()) {
+        ExceededBudget = true;
+        return false;
+      }
+      if (!fireOnce(Ctx, N)) {
+        if (Ctx.SizeLimitHit)
+          ExceededBudget = true;
+        return false;
+      }
+    }
+    return true;
+  }
+  return emitCountedLoop(Ctx, Reps, [&] { return fireOnce(Ctx, N); });
+}
+
+bool ParallelLowering::emitFunction(Function *F, bool IsInit,
+                                    unsigned Partition) {
+  std::string SpanName = IsInit
+                             ? std::string("lower.parallel.emit-init")
+                             : "lower.parallel.emit-" +
+                                   steadyFunctionName(Partition);
+  TraceScope Span(Trace, SpanName.c_str());
+  IRBuilder B(*M);
+  SSABuilder SSA(B);
+  LoweringContext Ctx(*M, B, SSA, Diags, &Limits);
+  Ctx.Remarks = Remarks;
+  Accesses.clear();
+  Queues.clear();
+  Lowerers.clear();
+  FiringLowerers.clear();
+
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertPoint(Entry);
+  SSA.sealBlock(Entry);
+
+  // Does partition-k code own this channel? @init owns all of them.
+  auto Owned = [&](const Channel *Ch) {
+    return IsInit || isRing(Ch) || intraPartitionOf(Ch) == Partition;
+  };
+
+  for (const auto &Ch : G.channels()) {
+    if (!Owned(Ch.get()))
+      continue;
+    if (isRing(Ch.get())) {
+      const RingGlobals &RG = Rings.at(Ch.get());
+      Accesses[Ch.get()] =
+          std::make_unique<FifoChannel>(Ctx, RG.Buf, RG.Head, RG.Tail);
+    } else {
+      auto Q = std::make_unique<LaminarQueue>(Ctx, Ch.get());
+      Queues[Ch.get()] = Q.get();
+      Accesses[Ch.get()] = std::move(Q);
+    }
+  }
+
+  if (IsInit) {
+    for (const Node *N : S.Order) {
+      const auto *FN = dyn_cast<FilterNode>(N);
+      if (!FN || FN->isEndpoint())
+        continue;
+      WorkLowering WL(Ctx, *FN, States[N], nullptr, nullptr,
+                      /*ResolveStatically=*/LaminarIntra);
+      if (!WL.lowerInitOnce())
+        return false;
+    }
+    // Enqueued feedback tokens: ring channels were pre-populated via
+    // global initializers; laminar channels seed module constants.
+    for (const auto &KV : Queues) {
+      const Channel *Ch = KV.first;
+      for (const ConstVal &V : Ch->initialTokens()) {
+        Value *C = toLirType(Ch->getTokenType()) == TypeKind::Float
+                       ? static_cast<Value *>(M->getConstFloat(V.asFloat()))
+                       : static_cast<Value *>(M->getConstInt(V.asInt()));
+        KV.second->seed(C);
+      }
+    }
+  } else {
+    // Seed partition-k compile-time queues with their live tokens.
+    for (const auto &Ch : G.channels()) {
+      LaminarQueue *Q = queueOf(Ch.get());
+      if (!Q)
+        continue;
+      for (GlobalVar *Live : LiveTokens[Ch.get()])
+        Q->seed(B.createLoad(Live, B.getInt(0)));
+    }
+  }
+
+  const auto &Sequence = IsInit ? S.InitSequence : S.SteadySequence;
+  for (const schedule::FiringSegment &Seg : Sequence) {
+    if (!IsInit && Plan.partitionOf(Seg.N) != Partition)
+      continue;
+    if (!emitNodeFirings(Ctx, Seg.N, Seg.Count))
+      return false;
+  }
+
+  // Rotate surviving tokens of the owned laminar channels.
+  for (const auto &Ch : G.channels()) {
+    LaminarQueue *Q = queueOf(Ch.get());
+    if (!Q)
+      continue;
+    const auto &Live = LiveTokens[Ch.get()];
+    if (Q->size() != Live.size()) {
+      std::ostringstream OS;
+      OS << "channel " << Ch->getId() << " ends the "
+         << (IsInit ? "init" : "steady") << " phase with " << Q->size()
+         << " tokens, expected " << Live.size();
+      Diags.error(SourceLoc(), OS.str());
+      return false;
+    }
+    for (size_t I = 0; I < Live.size(); ++I) {
+      Value *V = Q->tokens()[I];
+      if (auto *L = dyn_cast<LoadInst>(V))
+        if (L->getGlobal() == Live[I])
+          continue;
+      B.createStore(Live[I], B.getInt(0), V);
+      ++RotationStores;
+    }
+  }
+  B.createRet();
+  if (Stats)
+    Stats->add("lower.parallel.builder-folds", B.getNumConstFolds());
+  return true;
+}
+
+std::unique_ptr<Module> ParallelLowering::run() {
+  M = std::make_unique<Module>(G.getName() + "_par");
+  if (const FilterNode *Src = G.getSource())
+    M->setInputType(toLirType(Src->getOutType()));
+  if (const FilterNode *Sink = G.getSink())
+    M->setOutputType(toLirType(Sink->getInType()));
+
+  if (LaminarIntra) {
+    // Same carried-token budget precheck as the sequential Laminar
+    // lowering, restricted to the channels that stay laminar.
+    for (const auto &Ch : G.channels()) {
+      if (isRing(Ch.get()))
+        continue;
+      auto Sum = checkedAdd(TotalLive, S.occupancyOf(Ch.get()));
+      if (!Sum || *Sum > Limits.MaxUnrolledInsts) {
+        ExceededBudget = true;
+        return nullptr;
+      }
+      TotalLive = *Sum;
+    }
+  }
+
+  // Intra rings (degrade mode) are sized from the simulated peak, like
+  // the FIFO baseline; cut rings use the partitioner's slab-derived
+  // capacity, which already covers the sequential peak.
+  schedule::SimResult Sim;
+  if (!LaminarIntra) {
+    Sim = schedule::simulateSchedule(G, S, 1);
+    if (!Sim.Ok) {
+      Diags.error(SourceLoc(), "schedule simulation failed: " + Sim.Error);
+      return nullptr;
+    }
+  }
+
+  uint64_t NumRings = 0, NumLaminar = 0;
+  for (const auto &Ch : G.channels()) {
+    if (!isRing(Ch.get())) {
+      ++NumLaminar;
+      int64_t Occ = S.occupancyOf(Ch.get());
+      std::vector<GlobalVar *> Live;
+      for (int64_t I = 0; I < Occ; ++I) {
+        std::ostringstream OS;
+        OS << "ch" << Ch->getId() << ".live" << I;
+        Live.push_back(M->createGlobal(OS.str(),
+                                       toLirType(Ch->getTokenType()), 1,
+                                       MemClass::LiveToken));
+      }
+      LiveTokens[Ch.get()] = std::move(Live);
+      continue;
+    }
+    ++NumRings;
+    int64_t Size;
+    if (const CutEdge *E = Plan.findCut(Ch.get())) {
+      Size = E->BufferSlots;
+    } else {
+      int64_t Peak = std::max<int64_t>(Sim.PeakOccupancy[Ch.get()], 1);
+      if (Peak / 2 > Limits.MaxChannelTokens) {
+        std::ostringstream OS;
+        OS << "channel buffer for '" << Ch->getSrc()->getName() << "' -> '"
+           << Ch->getDst()->getName() << "' needs " << Peak
+           << " slots, beyond the limit (--max-channel-tokens)";
+        Diags.error(SourceLoc(1, 1), OS.str());
+        return nullptr;
+      }
+      Size = static_cast<int64_t>(
+          spscPow2Ceil(static_cast<uint64_t>(Peak)));
+    }
+    std::ostringstream Base;
+    Base << "ch" << Ch->getId();
+    TypeKind Elem = toLirType(Ch->getTokenType());
+    RingGlobals RG;
+    RG.Buf = M->createGlobal(Base.str() + ".buf", Elem, Size,
+                             MemClass::ChannelBuf);
+    RG.Head = M->createGlobal(Base.str() + ".head", TypeKind::Int, 1,
+                              MemClass::ChannelHead);
+    RG.Tail = M->createGlobal(Base.str() + ".tail", TypeKind::Int, 1,
+                              MemClass::ChannelTail);
+    if (Ch->numInitialTokens() > 0) {
+      if (Elem == TypeKind::Float) {
+        std::vector<double> Init(Size, 0.0);
+        for (size_t K = 0; K < Ch->initialTokens().size(); ++K)
+          Init[K] = Ch->initialTokens()[K].asFloat();
+        RG.Buf->setFloatInit(std::move(Init));
+      } else {
+        std::vector<int64_t> Init(Size, 0);
+        for (size_t K = 0; K < Ch->initialTokens().size(); ++K)
+          Init[K] = Ch->initialTokens()[K].asInt();
+        RG.Buf->setIntInit(std::move(Init));
+      }
+      RG.Tail->setIntInit({Ch->numInitialTokens()});
+    }
+    Rings[Ch.get()] = RG;
+  }
+
+  Function *Init = M->createFunction("init");
+  if (!emitFunction(Init, /*IsInit=*/true, ~0u))
+    return nullptr;
+  for (unsigned K = 0; K < Plan.NumPartitions; ++K) {
+    Function *Steady = M->createFunction(steadyFunctionName(K));
+    if (!emitFunction(Steady, /*IsInit=*/false, K))
+      return nullptr;
+  }
+
+  M->numberGlobals();
+  for (const auto &F : M->functions())
+    F->numberValues();
+
+  if (Stats) {
+    StatsScope SS(Stats, "lower.parallel");
+    SS.add("insts", M->instructionCount());
+    SS.add("laminar-channels", NumLaminar);
+    SS.add("ring-channels", NumRings);
+    SS.add("live-tokens", static_cast<uint64_t>(TotalLive));
+    SS.add("rotation-stores", RotationStores);
+  }
+  return std::move(M);
+}
+
+std::unique_ptr<Module> parallel::lowerToParallel(
+    const StreamGraph &G, const schedule::Schedule &S,
+    const PartitionPlan &Plan, bool LaminarIntra, DiagnosticEngine &Diags,
+    StatsRegistry *Stats, const CompilerLimits &Limits,
+    bool *ExceededBudget, RemarkEmitter *Remarks, TraceContext *Trace) {
+  ParallelLowering L(G, S, Plan, LaminarIntra, Diags, Stats, Limits,
+                     Remarks, Trace);
+  auto M = L.run();
+  if (ExceededBudget)
+    *ExceededBudget = L.exceededBudget();
+  if (Diags.hasErrors())
+    return nullptr;
+  return M;
+}

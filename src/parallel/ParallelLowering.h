@@ -1,0 +1,57 @@
+//===--- ParallelLowering.h - Per-partition hybrid lowering ----*- C++ -*-===//
+//
+// Lowers a scheduled stream graph against a PartitionPlan into one
+// module with K per-partition steady functions:
+//
+//   @init        — the full init schedule, run sequentially before any
+//                  worker starts (field initializers, init firings,
+//                  live-token priming).
+//   @steady_p0 … @steady_p{K-1}
+//                — partition k's subsequence of the steady schedule.
+//
+// The channel plan is hybrid: channels whose endpoints share a
+// partition stay fully laminar (compile-time queues, live-token
+// rotation — byte-for-byte the sequential Laminar treatment), while
+// cut channels are lowered to SPSC ring buffers whose capacity the
+// partitioner derived from the schedule. Because steady_pk preserves
+// the relative firing order of the global schedule restricted to
+// partition k, and the slab handoff protocol (ParallelRunner/CEmitter)
+// orders cross-partition accesses, the parallel execution is bit-exact
+// with the sequential lowerings.
+//
+// With \p LaminarIntra = false every channel becomes a ring buffer
+// (the degrade mode the driver falls back to when the fully-unrolled
+// laminar emission outgrows the instruction budget).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_PARALLEL_PARALLELLOWERING_H
+#define LAMINAR_PARALLEL_PARALLELLOWERING_H
+
+#include "lir/Module.h"
+#include "parallel/Partitioner.h"
+#include "support/Trace.h"
+#include <memory>
+
+namespace laminar {
+namespace parallel {
+
+/// Name of partition \p K's steady function ("steady_p<K>" — a valid C
+/// identifier suffix, unlike the dotted names used elsewhere).
+std::string steadyFunctionName(unsigned K);
+
+/// Lowers \p G under \p Plan. Honors Limits.MaxUnrolledInsts exactly
+/// like the sequential lowerings: on budget overflow returns null with
+/// *\p ExceededBudget set and no diagnostic, and the driver re-lowers
+/// with \p LaminarIntra = false.
+std::unique_ptr<lir::Module> lowerToParallel(
+    const graph::StreamGraph &G, const schedule::Schedule &S,
+    const PartitionPlan &Plan, bool LaminarIntra, DiagnosticEngine &Diags,
+    StatsRegistry *Stats = nullptr, const CompilerLimits &Limits = {},
+    bool *ExceededBudget = nullptr, RemarkEmitter *Remarks = nullptr,
+    TraceContext *Trace = nullptr);
+
+} // namespace parallel
+} // namespace laminar
+
+#endif // LAMINAR_PARALLEL_PARALLELLOWERING_H

@@ -1,0 +1,176 @@
+//===--- ParallelRunner.cpp - Threaded interpretation of a plan -----------===//
+
+#include "parallel/ParallelRunner.h"
+#include "parallel/ParallelLowering.h"
+#include "parallel/SpscQueue.h"
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+using namespace laminar;
+using namespace laminar::interp;
+using namespace laminar::lir;
+using namespace laminar::parallel;
+
+namespace {
+
+/// True if \p F contains any instruction of kind \p T (Input/Output
+/// detection — the source partition inherits the init phase's input
+/// cursor, the sink partition contributes the run's outputs).
+template <typename T> bool containsInst(const Function *F) {
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      if (isa<T>(I.get()))
+        return true;
+  return false;
+}
+
+} // namespace
+
+RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
+                                const TokenStream &Input,
+                                int64_t Iterations, uint64_t StepBudget,
+                                TraceContext *Trace,
+                                std::vector<Counters> *PerWorkerSteady) {
+  RunResult R;
+  const unsigned K = Plan.NumPartitions;
+
+  const Function *Init = M.getFunction("init");
+  if (!Init) {
+    R.Error = "module has no @init function";
+    return R;
+  }
+  std::vector<const Function *> Steady(K, nullptr);
+  for (unsigned W = 0; W < K; ++W) {
+    Steady[W] = M.getFunction(steadyFunctionName(W));
+    if (!Steady[W]) {
+      R.Error = "module has no @" + steadyFunctionName(W) + " function";
+      return R;
+    }
+  }
+
+  MemoryImage Mem(M);
+
+  // The init phase runs sequentially on the calling thread; the
+  // std::thread constructors below publish its effects to the workers.
+  FunctionExecutor InitExec(Input, Mem, StepBudget);
+  if (!InitExec.runFunction(Init, R.InitCounters)) {
+    R.Error = InitExec.Error;
+    return R;
+  }
+
+  // One ticket queue per cut edge, carrying iteration numbers. Capacity
+  // = SlabCapacity bounds how far a producer may run ahead; the ring
+  // buffers were sized for exactly that run-ahead.
+  std::vector<std::unique_ptr<SpscQueue<uint64_t>>> Tickets;
+  Tickets.reserve(Plan.CutEdges.size());
+  for (const CutEdge &E : Plan.CutEdges)
+    Tickets.push_back(std::make_unique<SpscQueue<uint64_t>>(
+        static_cast<size_t>(E.SlabCapacity)));
+
+  std::atomic<bool> Stop{false};
+  std::vector<std::unique_ptr<FunctionExecutor>> Execs;
+  std::vector<Counters> WorkerCounters(K);
+  std::vector<TraceContext> WorkerTraces;
+  WorkerTraces.reserve(K);
+  for (unsigned W = 0; W < K; ++W) {
+    Execs.push_back(std::make_unique<FunctionExecutor>(Input, Mem,
+                                                       StepBudget));
+    // The source partition keeps consuming the external input where the
+    // init phase left off.
+    if (containsInst<InputInst>(Steady[W]))
+      Execs.back()->InputCursor = InitExec.InputCursor;
+    WorkerTraces.push_back(Trace ? Trace->fork() : TraceContext());
+  }
+
+  auto WorkerBody = [&](unsigned W) {
+    char SpanName[32];
+    std::snprintf(SpanName, sizeof(SpanName), "parallel.worker%u", W);
+    TraceScope Span(&WorkerTraces[W], SpanName);
+    FunctionExecutor &E = *Execs[W];
+    // Inbound/outbound ticket queues in CutEdges (channel-id) order.
+    std::vector<SpscQueue<uint64_t> *> In, Out;
+    for (size_t Q = 0; Q < Plan.CutEdges.size(); ++Q) {
+      if (Plan.CutEdges[Q].DstPartition == W)
+        In.push_back(Tickets[Q].get());
+      if (Plan.CutEdges[Q].SrcPartition == W)
+        Out.push_back(Tickets[Q].get());
+    }
+    for (int64_t I = 0; I < Iterations; ++I) {
+      // Popping the ticket for iteration I acquires the producer's slab
+      // writes; issuing the pop only after iteration I-1's body also
+      // tells the producer (release on the head counter) that this
+      // worker is done *reading* every earlier slab.
+      for (SpscQueue<uint64_t> *Q : In) {
+        uint64_t Ticket;
+        while (!Q->tryPop(Ticket)) {
+          if (Stop.load(std::memory_order_acquire))
+            return;
+          std::this_thread::yield();
+        }
+        assert(Ticket == static_cast<uint64_t>(I) &&
+               "ticket protocol out of sync");
+        (void)Ticket;
+      }
+      if (Stop.load(std::memory_order_acquire))
+        return;
+      if (!E.runFunction(Steady[W], WorkerCounters[W])) {
+        Stop.store(true, std::memory_order_release);
+        return;
+      }
+      // Publishing the ticket for iteration I releases this iteration's
+      // slab writes to the consumer; a full queue means the consumer is
+      // SlabCapacity iterations behind — wait for it.
+      for (SpscQueue<uint64_t> *Q : Out) {
+        while (!Q->tryPush(static_cast<uint64_t>(I))) {
+          if (Stop.load(std::memory_order_acquire))
+            return;
+          std::this_thread::yield();
+        }
+      }
+    }
+  };
+
+  if (K == 1) {
+    // Degenerate plan: no cross-thread traffic, run inline.
+    WorkerBody(0);
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(K);
+    for (unsigned W = 0; W < K; ++W)
+      Threads.emplace_back(WorkerBody, W);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  if (Trace)
+    for (unsigned W = 0; W < K; ++W)
+      Trace->merge(WorkerTraces[W]);
+
+  // Deterministic fault report: the lowest-indexed faulting worker.
+  for (unsigned W = 0; W < K; ++W) {
+    if (!Execs[W]->Error.empty()) {
+      R.Error = Execs[W]->Error;
+      return R;
+    }
+  }
+
+  // Outputs: init phase first, then the sink partition's stream.
+  R.Outputs = InitExec.Outputs;
+  R.Outputs.Ty = M.getOutputType();
+  for (unsigned W = 0; W < K; ++W) {
+    if (!containsInst<OutputInst>(Steady[W]))
+      continue;
+    const TokenStream &O = Execs[W]->Outputs;
+    R.Outputs.I.insert(R.Outputs.I.end(), O.I.begin(), O.I.end());
+    R.Outputs.F.insert(R.Outputs.F.end(), O.F.begin(), O.F.end());
+  }
+
+  for (unsigned W = 0; W < K; ++W)
+    R.SteadyCounters += WorkerCounters[W];
+  if (PerWorkerSteady)
+    *PerWorkerSteady = WorkerCounters;
+  R.SteadyIterations = Iterations;
+  R.Ok = true;
+  return R;
+}

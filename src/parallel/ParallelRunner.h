@@ -1,0 +1,52 @@
+//===--- ParallelRunner.h - Threaded interpretation of a plan --*- C++ -*-===//
+//
+// Executes a parallel-lowered module (@init + @steady_p0..p{K-1}) on K
+// worker threads through the existing interpreter, for bit-exact
+// validation of the parallel codegen path:
+//
+//   * one shared MemoryImage (ring buffers, live tokens, filter state);
+//   * @init runs on the calling thread before any worker starts (the
+//     std::thread constructor publishes its effects);
+//   * one FunctionExecutor per worker (private registers, input cursor,
+//     outputs, step budget);
+//   * one SpscQueue<uint64_t> ticket queue per cut edge, carrying
+//     steady-iteration numbers. Worker k's iteration i is: pop a ticket
+//     from every inbound cut edge, run @steady_pk once, push ticket i
+//     to every outbound edge. The acquire/release pair on the ticket
+//     queue orders the ring-buffer slab accesses (docs/PARALLEL.md).
+//
+// Faults propagate through a stop flag; the reported error is the
+// lowest-indexed worker's (deterministic under races). Per-worker
+// steady counters are merged in index order, and per-worker trace
+// contexts are forked before spawn and merged at join.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_PARALLEL_PARALLELRUNNER_H
+#define LAMINAR_PARALLEL_PARALLELRUNNER_H
+
+#include "interp/Interpreter.h"
+#include "parallel/Partitioner.h"
+#include "support/Trace.h"
+
+namespace laminar {
+namespace parallel {
+
+/// Runs @init once, then \p Iterations steady iterations across
+/// Plan.NumPartitions workers. Outputs are the init-phase outputs
+/// followed by the sink partition's worker outputs — byte-identical to
+/// the sequential runModule on an equivalent module. \p PerWorkerSteady
+/// (optional) receives each worker's steady counters, index-ordered.
+interp::RunResult runParallel(const lir::Module &M,
+                              const PartitionPlan &Plan,
+                              const interp::TokenStream &Input,
+                              int64_t Iterations,
+                              uint64_t StepBudget = 2'000'000'000ULL,
+                              TraceContext *Trace = nullptr,
+                              std::vector<interp::Counters>
+                                  *PerWorkerSteady = nullptr);
+
+} // namespace parallel
+} // namespace laminar
+
+#endif // LAMINAR_PARALLEL_PARALLELRUNNER_H

@@ -1,0 +1,485 @@
+//===--- Partitioner.cpp --------------------------------------------------===//
+
+#include "parallel/Partitioner.h"
+#include "frontend/ConstEval.h"
+#include "lower/Lowering.h"
+#include "perfmodel/PlatformModel.h"
+#include "schedule/ScheduleSim.h"
+#include "parallel/SpscQueue.h"
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::parallel;
+using namespace laminar::graph;
+
+namespace {
+
+/// Trip count assumed for loops whose bounds resist compile-time
+/// evaluation (runtime-data-dependent while loops and the like). Only
+/// load balance depends on this, never correctness.
+constexpr double DefaultTrips = 8.0;
+
+/// Walks a filter's work body and prices it in modeled cycles. Bound
+/// expressions are evaluated against the instance's parameter bindings,
+/// so two instances of one filter with different N cost differently —
+/// the same information the lowering's unroller uses.
+class CostWalker {
+public:
+  CostWalker(const perfmodel::PlatformModel &PM, const ConstEnv &Params)
+      : PM(PM), Env(Params), Eval(ScratchDiags, Env) {}
+
+  double stmt(const ast::Stmt *S) {
+    if (!S)
+      return 0;
+    switch (S->getKind()) {
+    case ast::Stmt::Kind::Decl: {
+      const auto *D = cast<ast::DeclStmt>(S)->getDecl();
+      double C = expr(D->getInit());
+      if (D->getScope() == ast::VarDecl::Scope::Field && D->getInit())
+        C += PM.Store;
+      return C;
+    }
+    case ast::Stmt::Kind::ExprS:
+      return expr(cast<ast::ExprStmt>(S)->getExpr());
+    case ast::Stmt::Kind::Block: {
+      double C = 0;
+      for (const ast::Stmt *Sub : cast<ast::BlockStmt>(S)->getBody())
+        C += stmt(Sub);
+      return C;
+    }
+    case ast::Stmt::Kind::If: {
+      const auto *If = cast<ast::IfStmt>(S);
+      // Average the arms: without value information both are equally
+      // likely, and balance only needs the expectation.
+      return expr(If->getCond()) + PM.Branch +
+             0.5 * (stmt(If->getThen()) + stmt(If->getElse()));
+    }
+    case ast::Stmt::Kind::For: {
+      const auto *For = cast<ast::ForStmt>(S);
+      double Trips = forTrips(For);
+      return stmt(For->getInit()) +
+             Trips * (expr(For->getCond()) + stmt(For->getBody()) +
+                      expr(For->getStep()) + PM.Branch);
+    }
+    case ast::Stmt::Kind::While: {
+      const auto *W = cast<ast::WhileStmt>(S);
+      return DefaultTrips * (expr(W->getCond()) + stmt(W->getBody()) +
+                             PM.Branch);
+    }
+    default:
+      // Graph statements never appear in work bodies.
+      return 0;
+    }
+  }
+
+  double expr(const ast::Expr *E) {
+    if (!E)
+      return 0;
+    switch (E->getKind()) {
+    case ast::Expr::Kind::IntLit:
+    case ast::Expr::Kind::FloatLit:
+    case ast::Expr::Kind::BoolLit:
+      return 0;
+    case ast::Expr::Kind::VarRef: {
+      const auto *D = cast<ast::VarRef>(E)->getDecl();
+      // Fields live in state globals; params and scalar locals are
+      // registers after lowering.
+      return D && D->getScope() == ast::VarDecl::Scope::Field &&
+                     !D->isArray()
+                 ? PM.Load
+                 : 0;
+    }
+    case ast::Expr::Kind::ArrayIndex: {
+      const auto *A = cast<ast::ArrayIndex>(E);
+      return expr(A->getIndex()) + PM.Load;
+    }
+    case ast::Expr::Kind::Binary: {
+      const auto *B = cast<ast::BinaryExpr>(E);
+      double C = expr(B->getLHS()) + expr(B->getRHS());
+      switch (B->getOp()) {
+      case ast::BinaryOp::EQ:
+      case ast::BinaryOp::NE:
+      case ast::BinaryOp::LT:
+      case ast::BinaryOp::LE:
+      case ast::BinaryOp::GT:
+      case ast::BinaryOp::GE:
+        return C + PM.Cmp;
+      case ast::BinaryOp::LogAnd:
+      case ast::BinaryOp::LogOr:
+        return C + PM.Cmp + PM.Branch;
+      case ast::BinaryOp::Div:
+      case ast::BinaryOp::Rem:
+        return C + (B->getType() == ast::ScalarType::Float ? PM.FloatDiv
+                                                           : PM.IntAlu);
+      default:
+        return C + (B->getType() == ast::ScalarType::Float ? PM.FloatAlu
+                                                           : PM.IntAlu);
+      }
+    }
+    case ast::Expr::Kind::Unary: {
+      const auto *U = cast<ast::UnaryExpr>(E);
+      return expr(U->getSub()) +
+             (U->getType() == ast::ScalarType::Float ? PM.FloatAlu
+                                                     : PM.IntAlu);
+    }
+    case ast::Expr::Kind::Assign: {
+      const auto *A = cast<ast::AssignExpr>(E);
+      double C = expr(A->getValue());
+      if (A->getOp() != ast::AssignExpr::Op::Assign)
+        C += A->getType() == ast::ScalarType::Float ? PM.FloatAlu
+                                                    : PM.IntAlu;
+      // Price the target: array element or field stores hit memory,
+      // locals are registers.
+      if (const auto *AI = dyn_cast<ast::ArrayIndex>(A->getTarget())) {
+        C += expr(AI->getIndex()) + PM.Store;
+        if (A->getOp() != ast::AssignExpr::Op::Assign)
+          C += PM.Load;
+      } else if (const auto *VR = dyn_cast<ast::VarRef>(A->getTarget())) {
+        if (VR->getDecl() &&
+            VR->getDecl()->getScope() == ast::VarDecl::Scope::Field)
+          C += PM.Store + (A->getOp() != ast::AssignExpr::Op::Assign
+                               ? PM.Load
+                               : 0);
+      }
+      return C;
+    }
+    case ast::Expr::Kind::Call: {
+      const auto *Call = cast<ast::CallExpr>(E);
+      double C = 0;
+      for (const ast::Expr *Arg : Call->getArgs())
+        C += expr(Arg);
+      switch (Call->getBuiltin()) {
+      case ast::BuiltinFn::Push:
+        return C + PM.Store;
+      case ast::BuiltinFn::Pop:
+      case ast::BuiltinFn::Peek:
+        return C + PM.Load;
+      default:
+        return C + PM.MathCall;
+      }
+    }
+    case ast::Expr::Kind::Cast:
+      return expr(cast<ast::CastExpr>(E)->getSub()) + PM.Cast;
+    }
+    return 0;
+  }
+
+private:
+  /// Compile-time trip count of a `for (i = A; i < B; i += S)` pattern
+  /// with constant (or parameter-valued) bounds; DefaultTrips when the
+  /// shape or the bounds resist evaluation.
+  double forTrips(const ast::ForStmt *For) {
+    const ast::VarDecl *Var = nullptr;
+    std::optional<ConstVal> Start;
+    if (const auto *DS = dyn_cast_or_null<ast::DeclStmt>(For->getInit())) {
+      Var = DS->getDecl();
+      Start = evalConst(DS->getDecl()->getInit());
+    } else if (const auto *ES =
+                   dyn_cast_or_null<ast::ExprStmt>(For->getInit())) {
+      if (const auto *A = dyn_cast<ast::AssignExpr>(ES->getExpr()))
+        if (A->getOp() == ast::AssignExpr::Op::Assign)
+          if (const auto *VR = dyn_cast<ast::VarRef>(A->getTarget())) {
+            Var = VR->getDecl();
+            Start = evalConst(A->getValue());
+          }
+    }
+    const auto *Cond = dyn_cast_or_null<ast::BinaryExpr>(For->getCond());
+    const auto *Step = dyn_cast_or_null<ast::AssignExpr>(For->getStep());
+    if (!Var || !Start || !Cond || !Step)
+      return DefaultTrips;
+    const auto *CondVar = dyn_cast<ast::VarRef>(Cond->getLHS());
+    const auto *StepVar = dyn_cast<ast::VarRef>(Step->getTarget());
+    if (!CondVar || CondVar->getDecl() != Var || !StepVar ||
+        StepVar->getDecl() != Var)
+      return DefaultTrips;
+    std::optional<ConstVal> Bound = evalConst(Cond->getRHS());
+    std::optional<ConstVal> Delta = evalConst(Step->getValue());
+    if (!Bound || !Delta)
+      return DefaultTrips;
+    double A = Start->asFloat(), B = Bound->asFloat(), D = Delta->asFloat();
+    if (Step->getOp() == ast::AssignExpr::Op::Sub)
+      D = -D;
+    else if (Step->getOp() != ast::AssignExpr::Op::Add)
+      return DefaultTrips;
+    double Span;
+    switch (Cond->getOp()) {
+    case ast::BinaryOp::LT:
+      Span = B - A;
+      break;
+    case ast::BinaryOp::LE:
+      Span = B - A + 1;
+      break;
+    case ast::BinaryOp::GT:
+      Span = A - B;
+      D = -D;
+      break;
+    case ast::BinaryOp::GE:
+      Span = A - B + 1;
+      D = -D;
+      break;
+    default:
+      return DefaultTrips;
+    }
+    if (D <= 0 || Span <= 0)
+      return DefaultTrips;
+    return std::min(std::ceil(Span / D), 1e6);
+  }
+
+  std::optional<ConstVal> evalConst(const ast::Expr *E) {
+    return E ? Eval.eval(E) : std::nullopt;
+  }
+
+  const perfmodel::PlatformModel &PM;
+  ConstEnv Env;
+  DiagnosticEngine ScratchDiags;
+  ConstEval Eval;
+};
+
+} // namespace
+
+double parallel::modeledFiringCost(const Node *N,
+                                   const perfmodel::PlatformModel &PM) {
+  if (const auto *F = dyn_cast<FilterNode>(N)) {
+    switch (F->getRole()) {
+    case FilterNode::Role::Source:
+      return static_cast<double>(F->getPushRate()) *
+             (PM.InputOutput + PM.Store);
+    case FilterNode::Role::Sink:
+      return static_cast<double>(F->getPopRate()) *
+             (PM.Load + PM.InputOutput);
+    case FilterNode::Role::User: {
+      CostWalker W(PM, F->params());
+      // Floor at one ALU op so empty bodies still register as work.
+      return std::max(W.stmt(F->getDecl()->getWorkBody()), PM.IntAlu);
+    }
+    }
+  }
+  if (const auto *Sp = dyn_cast<SplitterNode>(N)) {
+    // Tokens in, tokens out; a duplicate reads once and stores per arm.
+    double Out = 0;
+    if (Sp->getMode() == SplitterNode::Mode::Duplicate)
+      Out = static_cast<double>(Sp->outputs().size());
+    else
+      for (int64_t W : Sp->getWeights())
+        Out += static_cast<double>(W);
+    return static_cast<double>(Sp->totalIn()) * PM.Load + Out * PM.Store;
+  }
+  const auto *J = cast<JoinerNode>(N);
+  return static_cast<double>(J->totalOut()) * (PM.Load + PM.Store);
+}
+
+std::optional<PartitionPlan> parallel::partitionSchedule(
+    const StreamGraph &G, const schedule::Schedule &S, unsigned Workers,
+    DiagnosticEngine &Diags, const CompilerLimits &Limits,
+    StatsRegistry *Stats, RemarkEmitter *Remarks) {
+  PartitionPlan Plan;
+  Plan.Requested = std::max(1u, Workers);
+
+  const perfmodel::PlatformModel *PM = perfmodel::findPlatform("i7-2600K");
+  assert(PM && "reference platform model missing");
+
+  // Topological indices and per-node steady-iteration costs, both in
+  // schedule order (deterministic by construction).
+  const std::vector<const Node *> &Order = S.Order;
+  const size_t N = Order.size();
+  std::unordered_map<const Node *, size_t> TopoIdx;
+  for (size_t I = 0; I < N; ++I)
+    TopoIdx[Order[I]] = I;
+  std::vector<double> NodeCost(N);
+  for (size_t I = 0; I < N; ++I)
+    NodeCost[I] = static_cast<double>(S.repsOf(Order[I])) *
+                  modeledFiringCost(Order[I], *PM);
+
+  // Feedback pinning: the topological interval spanned by each back
+  // edge becomes one indivisible unit, so the loop's actors always
+  // land in the same partition and no cut edge ever carries enqueued
+  // initial tokens.
+  std::vector<std::pair<size_t, size_t>> Pins;
+  for (const auto &Ch : G.channels())
+    if (Ch->isFeedback()) {
+      size_t A = TopoIdx.at(Ch->getSrc()), B = TopoIdx.at(Ch->getDst());
+      Pins.emplace_back(std::min(A, B), std::max(A, B));
+    }
+  std::sort(Pins.begin(), Pins.end());
+  std::vector<std::pair<size_t, size_t>> Merged;
+  for (const auto &P : Pins) {
+    if (!Merged.empty() && P.first <= Merged.back().second)
+      Merged.back().second = std::max(Merged.back().second, P.second);
+    else
+      Merged.push_back(P);
+  }
+
+  // Units: maximal pinned intervals, plus singletons for free actors.
+  struct Unit {
+    size_t Lo, Hi; // inclusive topo-index range
+    double Cost;
+  };
+  std::vector<Unit> Units;
+  size_t NextPin = 0;
+  for (size_t I = 0; I < N;) {
+    if (NextPin < Merged.size() && Merged[NextPin].first == I) {
+      size_t Hi = Merged[NextPin].second;
+      double C = 0;
+      for (size_t K = I; K <= Hi; ++K)
+        C += NodeCost[K];
+      Units.push_back({I, Hi, C});
+      Plan.PinnedFeedbackNodes += static_cast<unsigned>(Hi - I + 1);
+      I = Hi + 1;
+      ++NextPin;
+    } else {
+      Units.push_back({I, I, NodeCost[I]});
+      ++I;
+    }
+  }
+
+  const size_t U = Units.size();
+  const unsigned K =
+      static_cast<unsigned>(std::min<size_t>(Plan.Requested, U ? U : 1));
+  Plan.NumPartitions = K;
+
+  // Linear partitioning: split the unit sequence into K contiguous
+  // blocks minimizing the maximum block cost. O(U^2 K); U is the actor
+  // count, bounded by --max-graph-nodes.
+  std::vector<double> Prefix(U + 1, 0);
+  for (size_t I = 0; I < U; ++I)
+    Prefix[I + 1] = Prefix[I] + Units[I].Cost;
+  // Best[k][i] = minimal max-block-cost splitting units [0, i) into k
+  // blocks; Split[k][i] = the first j achieving it (deterministic
+  // tie-break).
+  std::vector<std::vector<double>> Best(K + 1,
+                                        std::vector<double>(U + 1, 0));
+  std::vector<std::vector<size_t>> Split(K + 1,
+                                         std::vector<size_t>(U + 1, 0));
+  for (size_t I = 1; I <= U; ++I)
+    Best[1][I] = Prefix[I];
+  for (unsigned k = 2; k <= K; ++k)
+    for (size_t I = k; I <= U; ++I) {
+      double BestCost = -1;
+      size_t BestJ = k - 1;
+      for (size_t J = k - 1; J < I; ++J) {
+        double C = std::max(Best[k - 1][J], Prefix[I] - Prefix[J]);
+        if (BestCost < 0 || C < BestCost) {
+          BestCost = C;
+          BestJ = J;
+        }
+      }
+      Best[k][I] = BestCost;
+      Split[k][I] = BestJ;
+    }
+
+  // Reconstruct block boundaries, then map nodes to partitions.
+  std::vector<size_t> Bounds(K + 1, 0); // Bounds[k] = first unit of block k
+  {
+    size_t End = U;
+    for (unsigned k = K; k >= 1; --k) {
+      Bounds[k] = End;
+      End = k > 1 ? Split[k][End] : 0;
+    }
+    Bounds[0] = 0;
+  }
+  Plan.Members.resize(K);
+  Plan.CostPerIter.assign(K, 0);
+  for (unsigned k = 0; k < K; ++k)
+    for (size_t UI = Bounds[k]; UI < Bounds[k + 1]; ++UI)
+      for (size_t I = Units[UI].Lo; I <= Units[UI].Hi; ++I) {
+        Plan.Members[k].push_back(Order[I]);
+        Plan.PartitionOf[Order[I]] = k;
+        Plan.CostPerIter[k] += NodeCost[I];
+      }
+
+  // Cut edges, sized from the compile-time schedule. The producer may
+  // run SlabCapacity iterations ahead; the flow-control argument in
+  // docs/PARALLEL.md needs room for SlabCapacity + 2 in-flight slabs
+  // on top of the steady-state carry.
+  schedule::SimResult Sim = schedule::simulateSchedule(G, S, 1);
+  if (!Sim.Ok) {
+    // Cannot happen for a schedule the driver accepted; fail loudly
+    // rather than sizing rings from garbage.
+    Diags.error(SourceLoc(1, 1),
+                "parallel partitioning: schedule simulation failed: " +
+                    Sim.Error);
+    return std::nullopt;
+  }
+  constexpr int64_t SlabCapacity = 2;
+  int64_t CutTokens = 0;
+  for (const auto &Ch : G.channels()) {
+    unsigned SrcPart = Plan.partitionOf(Ch->getSrc());
+    unsigned DstPart = Plan.partitionOf(Ch->getDst());
+    if (SrcPart == DstPart)
+      continue;
+    assert(!Ch->isFeedback() && "feedback edge escaped its pin");
+    assert(SrcPart < DstPart && "cut edge against the topological order");
+    CutEdge E;
+    E.Ch = Ch.get();
+    E.SrcPartition = SrcPart;
+    E.DstPartition = DstPart;
+    E.TokensPerIter = Ch->srcRate() * S.repsOf(Ch->getSrc());
+    E.SlabCapacity = SlabCapacity;
+    int64_t Carry = S.occupancyOf(Ch.get());
+    int64_t Needed =
+        std::max<int64_t>(Sim.PeakOccupancy[Ch.get()],
+                          Carry + (SlabCapacity + 2) * E.TokensPerIter);
+    Needed = std::max<int64_t>(Needed, 1);
+    if (Needed / 2 > Limits.MaxChannelTokens) {
+      std::ostringstream OS;
+      OS << "cross-partition ring for '" << Ch->getSrc()->getName()
+         << "' -> '" << Ch->getDst()->getName() << "' needs " << Needed
+         << " slots, beyond the limit (--max-channel-tokens)";
+      Diags.error(SourceLoc(1, 1), OS.str());
+      return std::nullopt;
+    }
+    E.BufferSlots = static_cast<int64_t>(
+        spscPow2Ceil(static_cast<uint64_t>(Needed)));
+    CutTokens += E.TokensPerIter;
+    Plan.CutEdges.push_back(E);
+  }
+
+  if (Stats) {
+    StatsScope SS(Stats, "parallel.plan");
+    SS.add("requested", Plan.Requested);
+    SS.add("partitions", Plan.NumPartitions);
+    SS.add("cut-edges", Plan.CutEdges.size());
+    SS.add("cut-tokens-per-iter", static_cast<uint64_t>(CutTokens));
+    SS.add("pinned-feedback-nodes", Plan.PinnedFeedbackNodes);
+    SS.add("slab-capacity", static_cast<uint64_t>(SlabCapacity));
+    double MaxC = 0, MinC = 0;
+    if (K) {
+      MaxC = *std::max_element(Plan.CostPerIter.begin(),
+                               Plan.CostPerIter.end());
+      MinC = *std::min_element(Plan.CostPerIter.begin(),
+                               Plan.CostPerIter.end());
+    }
+    SS.add("cost-max", static_cast<uint64_t>(std::llround(MaxC)));
+    SS.add("cost-min", static_cast<uint64_t>(std::llround(MinC)));
+  }
+
+  if (Remarks) {
+    for (unsigned k = 0; k < K; ++k) {
+      std::ostringstream OS;
+      OS << "partition " << k << "/" << K << ":";
+      for (const Node *Nd : Plan.Members[k])
+        OS << " " << Nd->getName();
+      OS << "; modeled " << std::llround(Plan.CostPerIter[k])
+         << " cycle(s) per steady iteration";
+      Remarks->analysis("parallel-partition", "PartitionPlacement",
+                        OS.str());
+    }
+    for (const CutEdge &E : Plan.CutEdges) {
+      std::ostringstream OS;
+      OS << "channel " << E.Ch->getId() << " ("
+         << E.Ch->getSrc()->getName() << " -> "
+         << E.Ch->getDst()->getName() << ") crosses partition "
+         << E.SrcPartition << " -> " << E.DstPartition << ": "
+         << E.TokensPerIter << " token(s)/iteration, ring of "
+         << E.BufferSlots << " slot(s), " << E.SlabCapacity
+         << " slab(s) in flight";
+      Remarks->analysis("parallel-partition", "CrossEdge", OS.str(),
+                        lower::channelRange(E.Ch));
+    }
+  }
+
+  return Plan;
+}

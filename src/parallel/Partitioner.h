@@ -1,0 +1,115 @@
+//===--- Partitioner.h - Steady-state schedule partitioning ----*- C++ -*-===//
+//
+// Splits the steady-state schedule's actors into N load-balanced,
+// acyclic partitions — the compile-time placement half of the parallel
+// execution subsystem. Because the SDF schedule is fully static, the
+// partitioner can reason about exact per-iteration work: every actor's
+// firing cost is estimated by walking its work body against a
+// PlatformModel, multiplied by its repetition count.
+//
+// Partitions are *contiguous blocks of the topological order*, chosen
+// by the classic linear-partition dynamic program (minimize the
+// maximum block cost). Contiguity is what makes the result acyclic by
+// construction: every cut channel flows from a lower-numbered to a
+// higher-numbered partition, so the partition graph is a pipeline DAG
+// and the slab-granular handoff protocol cannot deadlock. Feedback
+// loops are pinned: the topological interval spanned by each back edge
+// is fused into one indivisible unit before the DP runs, so a loop
+// never crosses a partition boundary.
+//
+// Everything here is deterministic: node order comes from the schedule
+// (never from hash maps), the DP breaks ties by the first minimum, and
+// costs are fixed-point-free doubles derived from integer rates and
+// constant model weights.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_PARALLEL_PARTITIONER_H
+#define LAMINAR_PARALLEL_PARTITIONER_H
+
+#include "graph/StreamGraph.h"
+#include "schedule/Schedule.h"
+#include "support/Diagnostics.h"
+#include "support/Limits.h"
+#include "support/Remarks.h"
+#include "support/Statistics.h"
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace laminar {
+namespace perfmodel {
+struct PlatformModel;
+}
+namespace parallel {
+
+/// A channel whose endpoints landed in different partitions. Cut edges
+/// are lowered to SPSC ring buffers; everything else stays laminar.
+struct CutEdge {
+  const graph::Channel *Ch = nullptr;
+  unsigned SrcPartition = 0;
+  unsigned DstPartition = 0;
+  /// Tokens the producer side moves across this edge per steady
+  /// iteration (srcRate x reps(src) == dstRate x reps(dst)).
+  int64_t TokensPerIter = 0;
+  /// Ring capacity in tokens (power of two, sized from the schedule so
+  /// SlabCapacity whole iteration slabs fit with the flow-control
+  /// margin; see docs/PARALLEL.md for the derivation).
+  int64_t BufferSlots = 0;
+  /// Steady-iteration slabs the producer may run ahead of the consumer.
+  int64_t SlabCapacity = 0;
+};
+
+/// The complete compile-time placement: which actor runs where, what
+/// every partition costs per steady iteration, and every cut edge.
+struct PartitionPlan {
+  /// Worker count the user asked for (--parallel=N).
+  unsigned Requested = 1;
+  /// Partitions actually used: min(Requested, schedulable units).
+  unsigned NumPartitions = 1;
+  /// Partition members in topological order (partition 0 = upstream).
+  std::vector<std::vector<const graph::Node *>> Members;
+  /// Modeled cycles per steady iteration per partition.
+  std::vector<double> CostPerIter;
+  /// Cut channels in channel-id order.
+  std::vector<CutEdge> CutEdges;
+  /// Actors fused into indivisible units by feedback-loop pinning.
+  unsigned PinnedFeedbackNodes = 0;
+
+  std::unordered_map<const graph::Node *, unsigned> PartitionOf;
+
+  unsigned partitionOf(const graph::Node *N) const {
+    return PartitionOf.at(N);
+  }
+  const CutEdge *findCut(const graph::Channel *Ch) const {
+    for (const CutEdge &E : CutEdges)
+      if (E.Ch == Ch)
+        return &E;
+    return nullptr;
+  }
+  bool isCut(const graph::Channel *Ch) const { return findCut(Ch); }
+};
+
+/// Modeled cycles for one firing of \p N under \p PM: an AST walk over
+/// the work body (loops weighted by compile-time trip counts, branches
+/// by the average of their arms), or a rate-proportional estimate for
+/// endpoints, splitters and joiners. Deterministic; exposed for the
+/// bench and tests.
+double modeledFiringCost(const graph::Node *N,
+                         const perfmodel::PlatformModel &PM);
+
+/// Computes the placement for \p Workers workers. Records `parallel.*`
+/// stats, and explains every placement (PartitionPlacement) and every
+/// cut (CrossEdge) through \p Remarks. Fails (with a located error)
+/// only when a cut-edge ring would exceed --max-channel-tokens.
+std::optional<PartitionPlan>
+partitionSchedule(const graph::StreamGraph &G, const schedule::Schedule &S,
+                  unsigned Workers, DiagnosticEngine &Diags,
+                  const CompilerLimits &Limits = {},
+                  StatsRegistry *Stats = nullptr,
+                  RemarkEmitter *Remarks = nullptr);
+
+} // namespace parallel
+} // namespace laminar
+
+#endif // LAMINAR_PARALLEL_PARTITIONER_H

@@ -1,0 +1,118 @@
+//===--- SpscQueue.h - Lock-free single-producer single-consumer ring -*- C++ -*-===//
+//
+// The cross-core channel primitive of the parallel runtime. One producer
+// thread pushes, one consumer thread pops; no locks, no CAS — a pair of
+// monotonically increasing head/tail counters with acquire/release
+// ordering is enough for the SPSC case.
+//
+// Memory-ordering contract (the whole correctness argument, also spelled
+// out in docs/PARALLEL.md):
+//
+//  * tryPush stores Tail with release AFTER writing the slot, so a
+//    consumer that observes the new Tail (acquire) also observes the
+//    slot contents.
+//  * tryPop stores Head with release AFTER reading the slot, so a
+//    producer that observes the new Head (acquire) knows the slot has
+//    been fully read and may overwrite it.
+//
+// The parallel runtime hands off one steady-iteration "slab" per token:
+// the producer pushes the iteration number after writing that
+// iteration's channel data, so a single push/pop pair amortizes the
+// synchronization cost over the whole slab. The push's release then
+// publishes the slab writes, and the pop-side Head release tells the
+// producer how far the consumer has advanced — the capacity acts as the
+// flow-control window bounding how many slabs can be in flight.
+//
+// Counters are cache-line padded so producer and consumer do not
+// false-share, and each side caches the opposite counter to avoid
+// re-reading a contended line on every call.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_PARALLEL_SPSCQUEUE_H
+#define LAMINAR_PARALLEL_SPSCQUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace laminar {
+namespace parallel {
+
+/// Rounds \p N up to the next power of two (minimum 1). Mirrors the
+/// FIFO lowering's buffer sizing so masked indexing works.
+inline uint64_t spscPow2Ceil(uint64_t N) {
+  uint64_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+/// Bounded lock-free SPSC ring buffer. Exactly one thread may call
+/// tryPush and exactly one thread may call tryPop; construction
+/// happens-before both (hand the queue to the threads after building
+/// it, e.g. via the std::thread constructor).
+template <typename T> class SpscQueue {
+public:
+  /// Capacity is rounded up to a power of two; a capacity of 0 is
+  /// rounded up to 1.
+  explicit SpscQueue(size_t Capacity)
+      : Buf(spscPow2Ceil(Capacity ? Capacity : 1)),
+        Mask(Buf.size() - 1) {}
+
+  SpscQueue(const SpscQueue &) = delete;
+  SpscQueue &operator=(const SpscQueue &) = delete;
+
+  size_t capacity() const { return Buf.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool tryPush(const T &V) {
+    uint64_t T0 = Tail.load(std::memory_order_relaxed);
+    if (T0 - HeadCache >= Buf.size()) {
+      HeadCache = Head.load(std::memory_order_acquire);
+      if (T0 - HeadCache >= Buf.size())
+        return false;
+    }
+    Buf[T0 & Mask] = V;
+    Tail.store(T0 + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool tryPop(T &Out) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    if (H == TailCache) {
+      TailCache = Tail.load(std::memory_order_acquire);
+      if (H == TailCache)
+        return false;
+    }
+    Out = Buf[H & Mask];
+    Head.store(H + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Either side (approximate while the other side is running; exact
+  /// once the threads have joined).
+  size_t size() const {
+    return static_cast<size_t>(Tail.load(std::memory_order_acquire) -
+                               Head.load(std::memory_order_acquire));
+  }
+
+  bool empty() const { return size() == 0; }
+
+private:
+  std::vector<T> Buf;
+  uint64_t Mask;
+  // Producer-owned line: Tail plus the producer's cache of Head.
+  alignas(64) std::atomic<uint64_t> Tail{0};
+  uint64_t HeadCache = 0;
+  // Consumer-owned line: Head plus the consumer's cache of Tail.
+  alignas(64) std::atomic<uint64_t> Head{0};
+  uint64_t TailCache = 0;
+};
+
+} // namespace parallel
+} // namespace laminar
+
+#endif // LAMINAR_PARALLEL_SPSCQUEUE_H

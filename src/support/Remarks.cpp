@@ -21,6 +21,7 @@ void RemarkEmitter::remark(RemarkKind K, std::string Pass, std::string Name,
                            std::string Message, SourceRange Range) {
   if (!PassFilter.empty() && Pass.find(PassFilter) == std::string::npos)
     return;
+  std::lock_guard<std::mutex> Lock(*Mu);
   Remarks.push_back(
       {K, std::move(Pass), std::move(Name), std::move(Message), Range});
 }

@@ -17,6 +17,8 @@
 #define LAMINAR_SUPPORT_REMARKS_H
 
 #include "support/SourceLoc.h"
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,8 +45,15 @@ struct Remark {
 /// Collects remarks for one compilation. With a pass filter set, only
 /// remarks whose Pass contains the filter substring are recorded — the
 /// rest are dropped at emission time, keeping filtered runs cheap.
+///
+/// remark() is safe to call from concurrent parallel-runtime workers
+/// (emission takes a mutex). The mutex lives behind a unique_ptr so the
+/// emitter stays movable — it is carried inside Compilation, which the
+/// differ moves; moves and the read-side accessors are only legal when
+/// no worker is emitting.
 class RemarkEmitter {
 public:
+  RemarkEmitter() : Mu(std::make_unique<std::mutex>()) {}
   void setPassFilter(std::string Substring) {
     PassFilter = std::move(Substring);
   }
@@ -82,6 +91,7 @@ public:
   std::string str() const;
 
 private:
+  std::unique_ptr<std::mutex> Mu;
   std::string PassFilter;
   std::vector<Remark> Remarks;
 };

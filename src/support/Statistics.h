@@ -52,6 +52,16 @@ public:
 
   const std::map<std::string, uint64_t> &all() const { return Counters; }
 
+  /// Adds every counter of \p Other into this registry. This is the
+  /// concurrency story for parallel workers: each worker accumulates
+  /// into a private registry (or plain counters) and the owner merges
+  /// at join — the registry itself stays lock-free and movable (it is
+  /// carried inside Compilation, which is moved around by the differ).
+  void merge(const StatsRegistry &Other) {
+    for (const auto &KV : Other.Counters)
+      Counters[KV.first] += KV.second;
+  }
+
   void clear() { Counters.clear(); }
 
   /// Renders "value  name" lines sorted by counter name, with the value

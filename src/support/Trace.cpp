@@ -22,6 +22,23 @@ void TraceContext::setEnabled(bool E) {
     EpochNs = steadyNowNs();
 }
 
+TraceContext TraceContext::fork() const {
+  TraceContext T;
+  T.Enabled = Enabled;
+  T.EpochNs = EpochNs;
+  return T;
+}
+
+void TraceContext::merge(const TraceContext &Child) {
+  if (!Enabled)
+    return;
+  Events.reserve(Events.size() + Child.Events.size());
+  for (const Event &Ev : Child.Events) {
+    Events.push_back(Ev);
+    Events.back().Depth += Depth;
+  }
+}
+
 size_t TraceContext::beginEvent(const char *Name) {
   Event Ev;
   Ev.Name = Name;

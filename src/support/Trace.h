@@ -44,6 +44,16 @@ public:
   void setEnabled(bool E);
   bool enabled() const { return Enabled; }
 
+  /// Snapshot for a worker thread: shares this context's enablement and
+  /// epoch (so merged timestamps stay on one timeline) but records into
+  /// its own buffer — workers never touch the parent concurrently.
+  TraceContext fork() const;
+
+  /// Splices a worker's recording back in, re-parenting its spans under
+  /// the currently open nesting level. Call after joining the worker;
+  /// merging in worker-index order keeps the event order deterministic.
+  void merge(const TraceContext &Child);
+
   const std::vector<Event> &events() const { return Events; }
 
   /// Chrome Trace Event JSON ("X" complete events, microsecond

@@ -21,16 +21,25 @@ std::string DiffConfig::name() const {
   N += "-O" + std::to_string(OptLevel);
   if (UnrollFifo)
     N += "-unroll";
+  if (Parallel)
+    N += "-par" + std::to_string(Parallel);
   return N;
 }
 
-std::vector<DiffConfig> testing::allConfigs() {
-  return {
+std::vector<DiffConfig> testing::allConfigs(bool Parallel) {
+  std::vector<DiffConfig> Configs = {
       {LoweringMode::Fifo, 0, false},    {LoweringMode::Fifo, 1, false},
       {LoweringMode::Fifo, 2, false},    {LoweringMode::Fifo, 2, true},
       {LoweringMode::Laminar, 0, false}, {LoweringMode::Laminar, 1, false},
       {LoweringMode::Laminar, 2, false},
   };
+  if (Parallel) {
+    Configs.push_back({LoweringMode::Fifo, 0, false, 2});
+    Configs.push_back({LoweringMode::Fifo, 0, false, 4});
+    Configs.push_back({LoweringMode::Laminar, 2, false, 2});
+    Configs.push_back({LoweringMode::Laminar, 2, false, 4});
+  }
+  return Configs;
 }
 
 const char *testing::diffStatusName(DiffStatus S) {
@@ -131,12 +140,16 @@ Compilation compileConfig(const std::string &Source, const std::string &Top,
   CO.Mode = Cfg.Mode;
   CO.OptLevel = Cfg.OptLevel;
   CO.UnrollFifo = Cfg.UnrollFifo;
+  CO.Parallel = Cfg.Parallel;
   CO.VerifyEachPass = O.VerifyEachPass;
   return compile(Source, CO);
 }
 
 /// Printer -> IRParser -> Verifier -> re-print -> re-run. Returns a
-/// failure description or empty.
+/// failure description or empty. Parallel modules (@steady_p0..) skip
+/// only the re-run: runModule executes @init/@steady, and the threaded
+/// runner needs the PartitionPlan, which a reparsed module has lost —
+/// the print/parse/verify/re-print legs still cover them.
 std::string roundTrip(const Compilation &C, const interp::RunResult &Run,
                       int64_t Iters, uint64_t InputSeed) {
   std::string Text = lir::printModule(*C.Module);
@@ -154,6 +167,8 @@ std::string roundTrip(const Compilation &C, const interp::RunResult &Run,
   std::string Text2 = lir::printModule(*Reparsed);
   if (Text != Text2)
     return "module text changed across print -> parse -> print";
+  if (C.Plan)
+    return "";
   interp::TokenStream In = interp::makeRandomInput(
       C.Module->getInputType(), requiredInputTokens(C, Iters), InputSeed);
   interp::RunResult R2 = interp::runModule(*Reparsed, In, Iters);
@@ -174,6 +189,8 @@ std::string crossCheckC(const Compilation &C, const interp::RunResult &Run,
   codegen::CEmitOptions CE;
   CE.InputSeed = InputSeed;
   CE.DefaultIterations = Iters;
+  if (C.Plan)
+    CE.Plan = &*C.Plan;
   std::string CSource = codegen::emitC(*C.Module, CE);
 
   static int Counter = 0;
@@ -189,7 +206,7 @@ std::string crossCheckC(const Compilation &C, const interp::RunResult &Run,
   }
   std::string Result;
   std::string CompileCmd =
-      "cc -O1 -o " + Bin + " " + CPath + " -lm 2> " + OutPath;
+      "cc -O1 -pthread -o " + Bin + " " + CPath + " -lm 2> " + OutPath;
   if (std::system(CompileCmd.c_str()) != 0) {
     std::ifstream Log(OutPath);
     std::ostringstream SS;
@@ -220,7 +237,7 @@ DiffResult testing::diffProgram(const std::string &Source,
                                 const std::string &Top,
                                 const DiffOptions &O) {
   DiffResult R;
-  std::vector<DiffConfig> Configs = allConfigs();
+  std::vector<DiffConfig> Configs = allConfigs(O.CheckParallel);
 
   // Reference: FIFO at O0.
   Compilation Ref = compileConfig(Source, Top, Configs[0], O);
@@ -249,7 +266,8 @@ DiffResult testing::diffProgram(const std::string &Source,
   for (const DiffConfig &Cfg : Configs) {
     bool IsRef = Cfg.Mode == Configs[0].Mode &&
                  Cfg.OptLevel == Configs[0].OptLevel &&
-                 Cfg.UnrollFifo == Configs[0].UnrollFifo;
+                 Cfg.UnrollFifo == Configs[0].UnrollFifo &&
+                 Cfg.Parallel == Configs[0].Parallel;
     Compilation C = IsRef ? std::move(Ref)
                           : compileConfig(Source, Top, Cfg, O);
     if (!C.Ok) {
@@ -287,11 +305,13 @@ DiffResult testing::diffProgram(const std::string &Source,
     }
     // The C cross-check is expensive (one host-cc invocation per
     // program per config), so only the two extreme configurations run
-    // it: the unoptimized baseline and the fully optimized Laminar
-    // form.
+    // it — the unoptimized baseline and the fully optimized Laminar
+    // form — plus every parallel configuration, whose threaded C
+    // backend has no other native-execution oracle.
     if (DoC &&
         ((Cfg.Mode == LoweringMode::Fifo && Cfg.OptLevel == 0) ||
-         (Cfg.Mode == LoweringMode::Laminar && Cfg.OptLevel == 2))) {
+         (Cfg.Mode == LoweringMode::Laminar && Cfg.OptLevel == 2) ||
+         Cfg.Parallel != 0)) {
       std::string CC =
           crossCheckC(C, Run, O.Iterations, O.InputSeed, O.TempDir);
       if (!CC.empty()) {

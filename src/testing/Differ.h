@@ -25,12 +25,17 @@ struct DiffConfig {
   driver::LoweringMode Mode = driver::LoweringMode::Fifo;
   unsigned OptLevel = 0;
   bool UnrollFifo = false;
+  /// Partition count for threaded execution (0 = sequential).
+  unsigned Parallel = 0;
 
   std::string name() const;
 };
 
 /// All configurations the oracle compares, reference (fifo-O0) first.
-std::vector<DiffConfig> allConfigs();
+/// With \p Parallel the list also carries the threaded configurations
+/// (fifo-O0 and laminar-O2 at 2 and 4 workers), so every parallel plan
+/// is checked bit-exact against the sequential reference.
+std::vector<DiffConfig> allConfigs(bool Parallel = false);
 
 struct DiffOptions {
   /// Steady iterations each configuration executes.
@@ -44,6 +49,11 @@ struct DiffOptions {
   /// Cross-check emitted C against the interpreter (skipped
   /// automatically when no host C compiler is found).
   bool CheckC = true;
+  /// Also compile and run the parallel configurations (the
+  /// parallel-vs-fifo-O0 oracle): fifo-O0 and laminar-O2 partitioned
+  /// across 2 and 4 workers, interpreted on real threads and (with
+  /// CheckC) cross-checked as threaded C.
+  bool CheckParallel = false;
   /// Scratch directory for C cross-check artifacts.
   std::string TempDir = "/tmp";
 };

@@ -1,0 +1,385 @@
+//===--- ParallelTest.cpp - Parallel subsystem end-to-end tests -----------===//
+//
+// The parallel execution subsystem's correctness contract: for every
+// suite benchmark and shipped program, the partitioned module run on
+// real worker threads produces output bit-identical to the sequential
+// fifo-O0 reference at 1, 2 and 4 workers, in both channel treatments
+// (laminar intra-partition queues and all-ring). Plus the structural
+// properties that make that safe: acyclic cuts, feedback loops pinned
+// to one partition, byte-deterministic plans and stats, and the
+// threaded-C backend agreeing with the threaded interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "driver/Driver.h"
+#include "lir/Printer.h"
+#include "parallel/ParallelLowering.h"
+#include "parallel/Partitioner.h"
+#include "suite/Suite.h"
+#include "testing/Differ.h"
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <unistd.h>
+
+using namespace laminar;
+using namespace laminar::driver;
+
+namespace {
+
+Compilation compileParallel(const std::string &Source, const std::string &Top,
+                            LoweringMode Mode, unsigned Opt,
+                            unsigned Parallel) {
+  CompileOptions O;
+  O.TopName = Top;
+  O.Mode = Mode;
+  O.OptLevel = Opt;
+  O.Parallel = Parallel;
+  O.VerifyEachPass = true;
+  return compile(Source, O);
+}
+
+void expectBitExact(const interp::TokenStream &Ref,
+                    const interp::TokenStream &Got, const std::string &What) {
+  ASSERT_EQ(Ref.Ty, Got.Ty) << What;
+  ASSERT_EQ(Ref.size(), Got.size()) << What;
+  if (Ref.Ty == lir::TypeKind::Int) {
+    ASSERT_EQ(Ref.I, Got.I) << What;
+  } else {
+    for (size_t K = 0; K < Ref.F.size(); ++K)
+      ASSERT_EQ(laminar::testing::bitPattern(Ref.F[K]), laminar::testing::bitPattern(Got.F[K]))
+          << What << " token " << K;
+  }
+}
+
+/// Compiles and runs a C file with -pthread; returns its stdout, or
+/// nullopt when no host C compiler is available.
+std::optional<std::string> runThreadedC(const std::string &CSource,
+                                        int64_t Iters) {
+  if (!laminar::testing::hostCompilerAvailable())
+    return std::nullopt;
+  std::string Stem =
+      ::testing::TempDir() + "/lam_par." + std::to_string(getpid());
+  std::string CPath = Stem + ".c";
+  std::string Bin = Stem + ".bin";
+  std::string OutPath = Stem + ".out";
+  {
+    std::ofstream Out(CPath);
+    Out << CSource;
+  }
+  std::string CompileCmd =
+      "cc -O1 -pthread -o " + Bin + " " + CPath + " -lm";
+  if (std::system(CompileCmd.c_str()) != 0)
+    return std::nullopt;
+  std::string RunCmd = Bin + " " + std::to_string(Iters) + " > " + OutPath;
+  if (std::system(RunCmd.c_str()) != 0)
+    return std::nullopt;
+  std::ifstream In(OutPath);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::remove(CPath.c_str());
+  std::remove(Bin.c_str());
+  std::remove(OutPath.c_str());
+  return SS.str();
+}
+
+std::string renderOutputs(const interp::RunResult &R) {
+  std::ostringstream OS;
+  if (R.Outputs.Ty == lir::TypeKind::Int) {
+    for (int64_t V : R.Outputs.I)
+      OS << V << "\n";
+  } else {
+    for (double V : R.Outputs.F) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.17g\n", V);
+      OS << Buf;
+    }
+  }
+  return OS.str();
+}
+
+class ParallelBenchmark : public ::testing::TestWithParam<suite::Benchmark> {};
+
+} // namespace
+
+TEST_P(ParallelBenchmark, BitExactAtOneTwoFourWorkers) {
+  const suite::Benchmark &B = GetParam();
+  constexpr int64_t Iters = 5;
+  constexpr uint64_t Seed = 0xC0FFEE;
+
+  Compilation Ref =
+      compileParallel(B.Source, B.Top, LoweringMode::Fifo, 0, 0);
+  ASSERT_TRUE(Ref.Ok) << B.Name << ": " << Ref.ErrorLog;
+  interp::RunResult RefRun = runWithRandomInput(Ref, Iters, Seed);
+  ASSERT_TRUE(RefRun.Ok) << B.Name << ": " << RefRun.Error;
+
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    for (LoweringMode Mode : {LoweringMode::Fifo, LoweringMode::Laminar}) {
+      unsigned Opt = Mode == LoweringMode::Fifo ? 0 : 2;
+      Compilation C =
+          compileParallel(B.Source, B.Top, Mode, Opt, Workers);
+      std::string What =
+          B.Name + (Mode == LoweringMode::Fifo ? " fifo" : " laminar") +
+          "-par" + std::to_string(Workers);
+      ASSERT_TRUE(C.Ok) << What << ": " << C.ErrorLog;
+      ASSERT_TRUE(C.Plan.has_value()) << What;
+      EXPECT_LE(C.Plan->NumPartitions, Workers) << What;
+      // Acyclicity invariant: every cut flows downstream.
+      for (const parallel::CutEdge &E : C.Plan->CutEdges)
+        EXPECT_LT(E.SrcPartition, E.DstPartition) << What;
+      interp::RunResult R = runWithRandomInput(C, Iters, Seed);
+      ASSERT_TRUE(R.Ok) << What << ": " << R.Error;
+      expectBitExact(RefRun.Outputs, R.Outputs, What);
+    }
+  }
+}
+
+TEST_P(ParallelBenchmark, PerWorkerCountersCoverAllWork) {
+  const suite::Benchmark &B = GetParam();
+  Compilation C =
+      compileParallel(B.Source, B.Top, LoweringMode::Laminar, 2, 2);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  ASSERT_TRUE(C.Plan.has_value());
+  std::vector<interp::Counters> PerWorker;
+  interp::RunResult R = runWithRandomInput(C, 3, 9, nullptr, &PerWorker);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(PerWorker.size(), C.Plan->NumPartitions);
+  uint64_t IntAlu = 0, FloatAlu = 0, Output = 0;
+  for (const interp::Counters &W : PerWorker) {
+    IntAlu += W.IntAlu;
+    FloatAlu += W.FloatAlu;
+    Output += W.Output;
+  }
+  EXPECT_EQ(IntAlu, R.SteadyCounters.IntAlu) << B.Name;
+  EXPECT_EQ(FloatAlu, R.SteadyCounters.FloatAlu) << B.Name;
+  EXPECT_EQ(Output, R.SteadyCounters.Output) << B.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ParallelBenchmark,
+    ::testing::ValuesIn(suite::allBenchmarks()),
+    [](const ::testing::TestParamInfo<suite::Benchmark> &Info) {
+      return Info.param.Name;
+    });
+
+namespace {
+
+std::string readProgram(const std::string &Name) {
+  std::ifstream In(std::string(LAMINAR_SOURCE_DIR) + "/examples/programs/" +
+                   Name);
+  EXPECT_TRUE(In.good()) << Name;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+struct ProgramCase {
+  const char *File;
+  const char *Top;
+};
+
+class ParallelPrograms : public ::testing::TestWithParam<ProgramCase> {};
+
+} // namespace
+
+TEST_P(ParallelPrograms, BitExactAtOneTwoFourWorkers) {
+  std::string Source = readProgram(GetParam().File);
+  ASSERT_FALSE(Source.empty());
+  const std::string Top = GetParam().Top;
+  constexpr int64_t Iters = 4;
+  constexpr uint64_t Seed = 2;
+
+  Compilation Ref = compileParallel(Source, Top, LoweringMode::Fifo, 0, 0);
+  ASSERT_TRUE(Ref.Ok) << Ref.ErrorLog;
+  interp::RunResult RefRun = runWithRandomInput(Ref, Iters, Seed);
+  ASSERT_TRUE(RefRun.Ok) << RefRun.Error;
+
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    for (LoweringMode Mode : {LoweringMode::Fifo, LoweringMode::Laminar}) {
+      Compilation C = compileParallel(Source, Top, Mode,
+                                      Mode == LoweringMode::Fifo ? 0 : 2,
+                                      Workers);
+      std::string What = std::string(GetParam().File) + "-par" +
+                         std::to_string(Workers);
+      ASSERT_TRUE(C.Ok) << What << ": " << C.ErrorLog;
+      interp::RunResult R = runWithRandomInput(C, Iters, Seed);
+      ASSERT_TRUE(R.Ok) << What << ": " << R.Error;
+      expectBitExact(RefRun.Outputs, R.Outputs, What);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Files, ParallelPrograms,
+    ::testing::Values(ProgramCase{"average.str", "Smooth"},
+                      ProgramCase{"echo.str", "Echo"},
+                      ProgramCase{"bandsplit.str", "BandSplit"},
+                      ProgramCase{"rangepeek.str", "RangePeek"}),
+    [](const ::testing::TestParamInfo<ProgramCase> &Info) {
+      std::string Name = Info.param.File;
+      return Name.substr(0, Name.find('.'));
+    });
+
+TEST(Parallel, FeedbackLoopIsPinned) {
+  // Echo's feedback loop must be fused into one indivisible unit: no
+  // channel on the cycle may become a cut edge, or the slab protocol
+  // would deadlock (the loop's producer would wait on its own output).
+  const suite::Benchmark *B = suite::findBenchmark("Echo");
+  ASSERT_NE(B, nullptr);
+  Compilation C =
+      compileParallel(B->Source, B->Top, LoweringMode::Laminar, 2, 4);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  ASSERT_TRUE(C.Plan.has_value());
+  EXPECT_GT(C.Plan->PinnedFeedbackNodes, 0u);
+  // Every cut still flows strictly downstream.
+  for (const parallel::CutEdge &E : C.Plan->CutEdges)
+    EXPECT_LT(E.SrcPartition, E.DstPartition);
+  // And each channel of the pinned loop stays intra-partition: a cut
+  // edge whose endpoints share a partition is contradictory, and a cut
+  // on a cycle would put the src downstream of the dst somewhere.
+  for (const parallel::CutEdge &E : C.Plan->CutEdges) {
+    EXPECT_EQ(C.Plan->partitionOf(E.Ch->getSrc()), E.SrcPartition);
+    EXPECT_EQ(C.Plan->partitionOf(E.Ch->getDst()), E.DstPartition);
+  }
+}
+
+TEST(Parallel, DegenerateGraphFewerActorsThanWorkers) {
+  // A single-filter pipeline asked to run on 8 workers: the plan must
+  // clamp to the schedulable units and still run bit-exact.
+  std::string Source = readProgram("average.str");
+  Compilation Ref = compileParallel(Source, "Smooth", LoweringMode::Fifo,
+                                    0, 0);
+  ASSERT_TRUE(Ref.Ok) << Ref.ErrorLog;
+  interp::RunResult RefRun = runWithRandomInput(Ref, 4, 3);
+  ASSERT_TRUE(RefRun.Ok);
+
+  Compilation C =
+      compileParallel(Source, "Smooth", LoweringMode::Laminar, 2, 8);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  ASSERT_TRUE(C.Plan.has_value());
+  EXPECT_EQ(C.Plan->Requested, 8u);
+  EXPECT_LT(C.Plan->NumPartitions, 8u);
+  size_t Actors = 0;
+  for (const auto &P : C.Plan->Members) {
+    EXPECT_FALSE(P.empty()) << "empty partition";
+    Actors += P.size();
+  }
+  EXPECT_EQ(C.Plan->NumPartitions, C.Plan->Members.size());
+  EXPECT_GE(Actors, C.Plan->NumPartitions);
+  interp::RunResult R = runWithRandomInput(C, 4, 3);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  expectBitExact(RefRun.Outputs, R.Outputs, "degenerate-par8");
+}
+
+TEST(Parallel, PlanAndStatsAreDeterministic) {
+  // Two identical compilations must agree byte-for-byte: partition
+  // membership, cut-edge sizing, and the entire stats registry
+  // (including every parallel.* counter). This is what guarantees the
+  // plan never depends on hash-map iteration order.
+  const suite::Benchmark *B = suite::findBenchmark("FilterBank");
+  ASSERT_NE(B, nullptr);
+  Compilation C1 =
+      compileParallel(B->Source, B->Top, LoweringMode::Laminar, 2, 3);
+  Compilation C2 =
+      compileParallel(B->Source, B->Top, LoweringMode::Laminar, 2, 3);
+  ASSERT_TRUE(C1.Ok && C2.Ok);
+  ASSERT_TRUE(C1.Plan.has_value() && C2.Plan.has_value());
+
+  ASSERT_EQ(C1.Plan->NumPartitions, C2.Plan->NumPartitions);
+  ASSERT_EQ(C1.Plan->Members.size(), C2.Plan->Members.size());
+  for (size_t P = 0; P < C1.Plan->Members.size(); ++P) {
+    ASSERT_EQ(C1.Plan->Members[P].size(), C2.Plan->Members[P].size());
+    for (size_t I = 0; I < C1.Plan->Members[P].size(); ++I)
+      EXPECT_EQ(C1.Plan->Members[P][I]->getName(),
+                C2.Plan->Members[P][I]->getName());
+  }
+  ASSERT_EQ(C1.Plan->CutEdges.size(), C2.Plan->CutEdges.size());
+  for (size_t I = 0; I < C1.Plan->CutEdges.size(); ++I) {
+    EXPECT_EQ(C1.Plan->CutEdges[I].SrcPartition,
+              C2.Plan->CutEdges[I].SrcPartition);
+    EXPECT_EQ(C1.Plan->CutEdges[I].DstPartition,
+              C2.Plan->CutEdges[I].DstPartition);
+    EXPECT_EQ(C1.Plan->CutEdges[I].TokensPerIter,
+              C2.Plan->CutEdges[I].TokensPerIter);
+    EXPECT_EQ(C1.Plan->CutEdges[I].BufferSlots,
+              C2.Plan->CutEdges[I].BufferSlots);
+  }
+  EXPECT_EQ(C1.Plan->CostPerIter, C2.Plan->CostPerIter);
+  // The whole registry, not just parallel.*: one compare catches any
+  // nondeterministic counter the pipeline ever grows.
+  EXPECT_EQ(C1.Stats.str(), C2.Stats.str());
+  EXPECT_EQ(lir::printModule(*C1.Module), lir::printModule(*C2.Module));
+}
+
+TEST(Parallel, ModuleCarriesPerPartitionFunctions) {
+  const suite::Benchmark *B = suite::findBenchmark("FMRadio");
+  ASSERT_NE(B, nullptr);
+  Compilation C =
+      compileParallel(B->Source, B->Top, LoweringMode::Laminar, 2, 2);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  ASSERT_TRUE(C.Plan.has_value());
+  EXPECT_NE(C.Module->getFunction("init"), nullptr);
+  EXPECT_EQ(C.Module->getFunction("steady"), nullptr);
+  for (unsigned K = 0; K < C.Plan->NumPartitions; ++K)
+    EXPECT_NE(C.Module->getFunction(parallel::steadyFunctionName(K)),
+              nullptr)
+        << "missing steady_p" << K;
+}
+
+TEST(Parallel, ThreadedCMatchesThreadedInterpreter) {
+  constexpr int64_t Iters = 4;
+  constexpr uint64_t Seed = 77;
+  for (const char *Name : {"FMRadio", "BitonicSort", "Echo"}) {
+    const suite::Benchmark *B = suite::findBenchmark(Name);
+    ASSERT_NE(B, nullptr);
+    Compilation C =
+        compileParallel(B->Source, B->Top, LoweringMode::Laminar, 2, 2);
+    ASSERT_TRUE(C.Ok) << Name << ": " << C.ErrorLog;
+    ASSERT_TRUE(C.Plan.has_value());
+    interp::RunResult R = runWithRandomInput(C, Iters, Seed);
+    ASSERT_TRUE(R.Ok) << Name << ": " << R.Error;
+
+    codegen::CEmitOptions O;
+    O.InputSeed = Seed;
+    O.DefaultIterations = Iters;
+    O.Plan = &*C.Plan;
+    std::string CSource = codegen::emitC(*C.Module, O);
+    EXPECT_NE(CSource.find("pthread_create"), std::string::npos) << Name;
+    EXPECT_NE(CSource.find("memory_order_acquire"), std::string::npos)
+        << Name;
+    auto COut = runThreadedC(CSource, Iters);
+    if (!COut)
+      GTEST_SKIP() << "host C compiler unavailable";
+    EXPECT_EQ(*COut, renderOutputs(R)) << Name;
+  }
+}
+
+TEST(Parallel, DifferCoversParallelConfigs) {
+  // The fuzz oracle's config list must actually contain the threaded
+  // configurations when asked, with the sequential reference first.
+  std::vector<laminar::testing::DiffConfig> Plain = laminar::testing::allConfigs(false);
+  std::vector<laminar::testing::DiffConfig> Par = laminar::testing::allConfigs(true);
+  EXPECT_GT(Par.size(), Plain.size());
+  EXPECT_EQ(Par[0].Parallel, 0u);
+  bool SawPar2 = false, SawPar4 = false;
+  for (const laminar::testing::DiffConfig &Cfg : Par) {
+    if (Cfg.Parallel == 2)
+      SawPar2 = true;
+    if (Cfg.Parallel == 4)
+      SawPar4 = true;
+  }
+  EXPECT_TRUE(SawPar2);
+  EXPECT_TRUE(SawPar4);
+  EXPECT_EQ(Par.back().name(), "laminar-O2-par4");
+
+  // And one whole-oracle pass over a real program.
+  std::string Source = readProgram("average.str");
+  laminar::testing::DiffOptions DO;
+  DO.CheckParallel = true;
+  DO.CheckC = false; // covered by ThreadedCMatchesThreadedInterpreter
+  laminar::testing::DiffResult D = laminar::testing::diffProgram(Source, "Smooth", DO);
+  EXPECT_FALSE(D.failed()) << D.Config << ": " << D.Detail;
+}

@@ -1,9 +1,10 @@
 //===--- laminar-fuzz.cpp - Differential and crash-mode fuzzer ------------===//
 //
 // laminar-fuzz [options] [reproducer.str ...]
-//   --mode=diff|crash|analyze
-//                    oracle: differential (default), crash-free, or
-//                    static-analysis no-false-positives
+//   --mode=diff|parallel|crash|analyze
+//                    oracle: differential (default), differential with
+//                    the threaded configurations (parallel-vs-fifo-O0),
+//                    crash-free, or static-analysis no-false-positives
 //   --seed=N         base seed for program generation (default 1)
 //   --iters=N        number of random programs (default 100)
 //   --corpus=DIR     reproducer + report directory (default fuzz-corpus)
@@ -18,6 +19,10 @@
 //
 // Diff mode generates rate-consistent programs and compares every
 // lowering/optimization configuration against the fifo-O0 reference.
+// Parallel mode is diff mode with the threaded configurations added:
+// each program also runs partitioned across 2 and 4 workers (fifo-O0
+// and laminar-O2), interpreted on real threads and cross-checked as
+// threaded C, all bit-exact against the sequential fifo-O0 reference.
 // Crash mode mutates the generated source into adversarial byte soup
 // and checks the crash-free invariant: the compiler either accepts the
 // input or rejects it with a located error diagnostic — never crashes
@@ -59,7 +64,8 @@ namespace {
 int usage() {
   std::cerr
       << "usage: laminar-fuzz [options] [reproducer.str ...]\n"
-      << "  --mode=diff|crash|analyze --seed=N --iters=N --corpus=DIR\n"
+      << "  --mode=diff|parallel|crash|analyze --seed=N --iters=N\n"
+      << "  --corpus=DIR\n"
       << "  --runs=N\n"
       << "  --input-seed=N --max-stages=N --mutations=N --top=Name\n"
       << "  --max-seconds=N --no-cc --no-roundtrip\n";
@@ -144,7 +150,8 @@ int main(int argc, char **argv) {
         MutOpts.MaxMutations = static_cast<int>(std::stol(V));
       else if (Eat("--mode=", V)) {
         Mode = V;
-        if (Mode != "diff" && Mode != "crash" && Mode != "analyze")
+        if (Mode != "diff" && Mode != "parallel" && Mode != "crash" &&
+            Mode != "analyze")
           return usage();
       } else if (Eat("--top=", V))
         Top = V;
@@ -166,6 +173,8 @@ int main(int argc, char **argv) {
     GenOpts.MinStages = 1;
   if (MutOpts.MaxMutations < 1)
     return usage();
+  if (Mode == "parallel")
+    DiffOpts.CheckParallel = true;
 
   // --- Replay mode -------------------------------------------------------
   if (!Replays.empty()) {
@@ -413,6 +422,7 @@ int main(int argc, char **argv) {
          << " input-seed=" << DiffOpts.InputSeed
          << " cc=" << (DiffOpts.CheckC ? "on" : "off")
          << " roundtrip=" << (DiffOpts.CheckRoundTrip ? "on" : "off")
+         << " parallel=" << (DiffOpts.CheckParallel ? "on" : "off")
          << "\n";
 
   int64_t Done = 0;

@@ -2,6 +2,8 @@
 //
 // laminarc <benchmark|-> [options]
 //   --mode=fifo|laminar   lowering strategy (default laminar)
+//   --parallel=N          partition the steady state across N workers
+//                         (threaded interpretation / threaded C; 0 = off)
 //   --opt=N               optimization level 0..2 (default 2)
 //   --emit=ir|c|graph|schedule|run|stats
 //   --iters=N             steady iterations for --emit=run (default 16)
@@ -43,7 +45,8 @@ using namespace laminar;
 static int usage() {
   std::cerr
       << "usage: laminarc <benchmark|file.str|-> [--mode=fifo|laminar]\n"
-      << "  [--opt=0|1|2] [--emit=ir|c|graph|dot|schedule|run|stats]\n"
+      << "  [--parallel=N] [--opt=0|1|2]\n"
+      << "  [--emit=ir|c|graph|dot|schedule|run|stats]\n"
       << "  [--iters=N] [--seed=N] [--top=Name]\n"
       << "  [--max-nodes=N] [--max-reps=N] [--max-firings=N]\n"
       << "  [--max-ir-insts=N] [--max-peek=N] [--max-channel-tokens=N]\n"
@@ -62,7 +65,7 @@ int main(int argc, char **argv) {
 
   std::string Target = argv[1];
   std::string Mode = "laminar", Emit = "ir", Top;
-  unsigned Opt = 2;
+  unsigned Opt = 2, Parallel = 0;
   int64_t Iters = 16;
   uint64_t Seed = 1;
   CompilerLimits Limits;
@@ -87,6 +90,8 @@ int main(int argc, char **argv) {
         Emit = V;
       else if (Eat("--opt=", V))
         Opt = static_cast<unsigned>(std::stoul(V));
+      else if (Eat("--parallel=", V))
+        Parallel = static_cast<unsigned>(std::stoul(V));
       else if (Eat("--iters=", V))
         Iters = std::stoll(V);
       else if (Eat("--seed=", V))
@@ -164,6 +169,7 @@ int main(int argc, char **argv) {
   Opts.Mode = Mode == "fifo" ? driver::LoweringMode::Fifo
                              : driver::LoweringMode::Laminar;
   Opts.OptLevel = Opt;
+  Opts.Parallel = Parallel;
   Opts.Limits = Limits;
   Opts.AllowDegradeToFifo = AllowDegrade;
   Opts.Analyze = Analyze;
@@ -216,6 +222,8 @@ int main(int argc, char **argv) {
     codegen::CEmitOptions CE;
     CE.InputSeed = Seed;
     CE.DefaultIterations = Iters;
+    if (C.Plan)
+      CE.Plan = &*C.Plan;
     std::cout << codegen::emitC(*C.Module, CE);
   } else if (Emit == "graph") {
     std::cout << C.Graph->str();
@@ -229,7 +237,7 @@ int main(int argc, char **argv) {
     interp::RunResult R;
     {
       TraceScope Span(Opts.Trace, "interp");
-      R = driver::runWithRandomInput(C, Iters, Seed);
+      R = driver::runWithRandomInput(C, Iters, Seed, Opts.Trace);
     }
     R.InitCounters.record(C.Stats, "interp.init");
     R.SteadyCounters.record(C.Stats, "interp.steady");
