@@ -21,6 +21,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "parallel/Partitioner.h"
 #include "perfmodel/PlatformModel.h"
 #include <fstream>
 #include <sstream>
@@ -50,8 +51,12 @@ driver::Compilation compileParallel(const suite::Benchmark &B,
 /// Modeled steady-state cycles of the critical-path worker for \p
 /// Workers workers (the pipeline's per-iteration latency).
 double criticalPathCycles(const suite::Benchmark &B, unsigned Workers,
-                          const PlatformModel &PM, unsigned &UsedOut) {
+                          const PlatformModel &PM, unsigned &UsedOut,
+                          const char **ClampOut = nullptr) {
   driver::Compilation C = compileParallel(B, Workers);
+  if (ClampOut)
+    *ClampOut = parallel::clampReasonName(
+        C.Plan ? C.Plan->Clamp : parallel::ClampReason::None);
   std::vector<interp::Counters> PerWorker;
   interp::RunResult R =
       driver::runWithRandomInput(C, 16, 1, nullptr, &PerWorker);
@@ -81,9 +86,9 @@ int main() {
   std::printf("Parallel pipeline speedup (modeled %s cycles, "
               "critical-path worker vs sequential)\n",
               PM->Name.c_str());
-  std::printf("%-16s %14s %9s %9s %10s\n", "benchmark", "seq [cyc/it]",
-              "N=2", "N=4", "workers@4");
-  printRule(62);
+  std::printf("%-16s %14s %9s %9s %10s  %s\n", "benchmark", "seq [cyc/it]",
+              "N=2", "N=4", "workers@4", "clamp@4");
+  printRule(72);
 
   std::ostringstream Json;
   Json << "{\n  \"platform\": \"" << PM->Name << "\",\n"
@@ -95,26 +100,33 @@ int main() {
   for (size_t I = 0; I < Benchmarks.size(); ++I) {
     const suite::Benchmark &B = Benchmarks[I];
     unsigned Used1 = 0, Used2 = 0, Used4 = 0;
+    const char *Clamp4 = "none";
     double Seq = criticalPathCycles(B, 1, *PM, Used1);
     double Par2 = criticalPathCycles(B, 2, *PM, Used2);
-    double Par4 = criticalPathCycles(B, 4, *PM, Used4);
+    double Par4 = criticalPathCycles(B, 4, *PM, Used4, &Clamp4);
     double S2 = Seq / Par2, S4 = Seq / Par4;
     S2All.push_back(S2);
     S4All.push_back(S4);
     if (S4 >= 1.5)
       ++FastAt4;
-    std::printf("%-16s %14.0f %8.2fx %8.2fx %10u\n", B.Name.c_str(),
-                Seq / 16, S2, S4, Used4);
-    char Row[256];
+    std::printf("%-16s %14.0f %8.2fx %8.2fx %10u  %s\n", B.Name.c_str(),
+                Seq / 16, S2, S4, Used4,
+                Used4 < 4 ? Clamp4 : "");
+    // clamp_n4 says *why* a benchmark runs below the requested width
+    // (e.g. Echo: cost-fallback — the gate chose sequential), so the
+    // perf gate in ci/check_parallel_bench.py can tell an intentional
+    // clamp from a partitioner regression.
+    char Row[320];
     std::snprintf(Row, sizeof(Row),
                   "    {\"name\": \"%s\", \"seq_cycles_per_iter\": %.1f, "
                   "\"speedup_n2\": %.4f, \"speedup_n4\": %.4f, "
-                  "\"partitions_n2\": %u, \"partitions_n4\": %u}%s\n",
-                  B.Name.c_str(), Seq / 16, S2, S4, Used2, Used4,
+                  "\"partitions_n2\": %u, \"partitions_n4\": %u, "
+                  "\"clamp_n4\": \"%s\"}%s\n",
+                  B.Name.c_str(), Seq / 16, S2, S4, Used2, Used4, Clamp4,
                   I + 1 < Benchmarks.size() ? "," : "");
     Json << Row;
   }
-  printRule(62);
+  printRule(72);
   std::printf("%-16s %14s %8.2fx %8.2fx\n", "geomean", "", geomean(S2All),
               geomean(S4All));
   std::printf("benchmarks with >= 1.5x at N=4: %d of %zu\n", FastAt4,

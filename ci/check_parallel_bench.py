@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the parallel pipeline speedups.
+
+Usage: check_parallel_bench.py NEW_JSON [COMMITTED_JSON]
+
+NEW_JSON is the BENCH_parallel.json a fresh bench_parallel run just
+wrote; COMMITTED_JSON is the copy committed at the repo root (the
+accepted baseline). Enforces, on the fresh numbers:
+
+  - geomean_n4 >= 1.5        (the subsystem pays for itself at N=4)
+  - every speedup_n4 >= 0.95 (the cost-model gate never lets a
+                              benchmark get *slower* than sequential —
+                              a violation means the gate approved a
+                              plan whose communication swamps its work)
+
+and, against the committed baseline (when given):
+
+  - geomean_n4 must not drop below the committed geomean_n4
+    (tolerance 1%, absorbing counter jitter), and
+  - no benchmark's speedup_n4 may regress more than 5% relative
+    to its committed value;
+  - a benchmark whose committed clamp_n4 is "none" must not silently
+    become cost-fallback (an intentional fallback is a baseline edit,
+    not a drive-by).
+
+The speedups are modeled (dynamic counters priced through the i7-2600K
+model), so they are deterministic for a given compiler: any delta is a
+real planner/partitioner change, not machine noise. When a change
+legitimately shifts the numbers, regenerate BENCH_parallel.json with
+./build/bench/bench_parallel and commit it alongside the change.
+
+Exit code 0 = all good; any violation prints the reason and exits 1.
+No third-party dependencies (stdlib json only).
+"""
+
+import json
+import sys
+
+GEOMEAN_FLOOR = 1.5
+PER_BENCH_FLOOR = 0.95
+GEOMEAN_DROP_TOL = 0.99   # fresh geomean may be at most 1% below committed
+PER_BENCH_DROP_TOL = 0.95  # fresh per-bench speedup >= 95% of committed
+
+
+def fail(msg):
+    print(f"check_parallel_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = doc.get("benchmarks")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: benchmarks missing or empty")
+    for row in rows:
+        for key in ("name", "speedup_n4", "partitions_n4"):
+            if key not in row:
+                fail(f"{path}: row missing {key!r}: {row}")
+    if "geomean_n4" not in doc:
+        fail(f"{path}: geomean_n4 missing")
+    return doc
+
+
+def check_absolute(doc, path):
+    geo = doc["geomean_n4"]
+    if geo < GEOMEAN_FLOOR:
+        fail(f"{path}: geomean_n4 {geo:.3f} < {GEOMEAN_FLOOR}")
+    for row in doc["benchmarks"]:
+        s4 = row["speedup_n4"]
+        if s4 < PER_BENCH_FLOOR:
+            fail(f"{path}: {row['name']}: speedup_n4 {s4:.3f} < "
+                 f"{PER_BENCH_FLOOR} (the cost gate let a losing plan "
+                 f"through; clamp_n4={row.get('clamp_n4', '?')})")
+    print(f"check_parallel_bench: absolute floors OK "
+          f"(geomean_n4 {geo:.3f}, {len(doc['benchmarks'])} benchmarks)")
+
+
+def check_against_baseline(new, old):
+    geo_new, geo_old = new["geomean_n4"], old["geomean_n4"]
+    if geo_new < geo_old * GEOMEAN_DROP_TOL:
+        fail(f"geomean_n4 regressed: {geo_new:.3f} < committed "
+             f"{geo_old:.3f} (tolerance {GEOMEAN_DROP_TOL:.0%})")
+    old_rows = {row["name"]: row for row in old["benchmarks"]}
+    for row in new["benchmarks"]:
+        base = old_rows.get(row["name"])
+        if base is None:
+            continue  # new benchmark: absolute floors already cover it
+        s_new, s_old = row["speedup_n4"], base["speedup_n4"]
+        if s_new < s_old * PER_BENCH_DROP_TOL:
+            fail(f"{row['name']}: speedup_n4 regressed >5%: "
+                 f"{s_new:.3f} vs committed {s_old:.3f}")
+        if (base.get("clamp_n4", "none") == "none"
+                and row.get("clamp_n4") == "cost-fallback"):
+            fail(f"{row['name']}: was parallel in the committed baseline, "
+                 f"now cost-fallback — regenerate and commit "
+                 f"BENCH_parallel.json if this is intentional")
+    print(f"check_parallel_bench: no regression vs committed baseline "
+          f"(geomean_n4 {geo_new:.3f} vs {geo_old:.3f})")
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        fail("usage: check_parallel_bench.py NEW_JSON [COMMITTED_JSON]")
+    new = load(sys.argv[1])
+    check_absolute(new, sys.argv[1])
+    if len(sys.argv) == 3:
+        check_against_baseline(new, load(sys.argv[2]))
+    print("check_parallel_bench: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

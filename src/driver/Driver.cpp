@@ -9,6 +9,8 @@
 #include "opt/PassManager.h"
 #include "parallel/ParallelLowering.h"
 #include "parallel/ParallelRunner.h"
+#include "parallel/PlanSelection.h"
+#include "perfmodel/PlatformModel.h"
 #include <sstream>
 
 using namespace laminar;
@@ -144,12 +146,47 @@ Compilation driver::compile(const std::string &Source,
   C.Stage = CompileStage::Lower;
   bool ExceededBudget = false;
   if (Opts.Parallel > 0) {
+    bool LaminarIntra = Opts.Mode == LoweringMode::Laminar;
+    // Calibrate the cost gate: lower and optimize the *sequential*
+    // module once, then price its straight-line @steady statically.
+    // That anchors the gate's baseline to the instruction mix O2
+    // actually leaves (constant folding can shrink work bodies by an
+    // order of magnitude, which the partitioner's AST walk cannot see).
+    // Best-effort: any failure just leaves the gate uncalibrated.
+    double CalibSeq = 0;
+    if (LaminarIntra && Opts.Parallel > 1) {
+      TraceScope Span(Opts.Trace, "calibrate");
+      DiagnosticEngine ScratchDiags;
+      bool ScratchExceeded = false;
+      std::unique_ptr<lir::Module> SeqMod = lower::lowerToLaminar(
+          *C.Graph, *C.Sched, ScratchDiags, nullptr, Opts.Limits,
+          &ScratchExceeded);
+      if (SeqMod && !ScratchDiags.hasErrors()) {
+        StatsRegistry ScratchStats;
+        if (Opts.OptLevel > 0)
+          opt::optimizeModule(*SeqMod, Opts.OptLevel, ScratchStats, nullptr,
+                              nullptr);
+        if (const lir::Function *Steady = SeqMod->getFunction("steady"))
+          if (const perfmodel::PlatformModel *PM =
+                  perfmodel::findPlatform("i7-2600K"))
+            CalibSeq = parallel::staticFunctionCycles(*Steady, *PM);
+      }
+    }
     {
       TraceScope Span(Opts.Trace, "partition");
-      C.Plan = parallel::partitionSchedule(*C.Graph, *C.Sched,
-                                           Opts.Parallel, Diags,
-                                           Opts.Limits, &C.Stats,
-                                           Opts.Remarks);
+      std::optional<parallel::SelectedPlan> SP = parallel::selectPlan(
+          *C.Graph, *C.Sched, Opts.Parallel, Diags, Opts.Limits, &C.Stats,
+          Opts.Remarks, Opts.Tuning, LaminarIntra, CalibSeq);
+      if (SP) {
+        // Fission rewrote the graph: the chosen plan places the
+        // replicated graph's actors, so the lowering (and every later
+        // consumer) must see that graph and its schedule.
+        if (SP->FissionedGraph) {
+          C.Graph = std::move(SP->FissionedGraph);
+          C.Sched = std::move(SP->FissionedSched);
+        }
+        C.Plan = std::move(SP->Plan);
+      }
     }
     if (!C.Plan) {
       if (Opts.Analyze) {
@@ -161,7 +198,6 @@ Compilation driver::compile(const std::string &Source,
       return C;
     }
     TraceScope LowerSpan(Opts.Trace, "lower");
-    bool LaminarIntra = Opts.Mode == LoweringMode::Laminar;
     C.Module = parallel::lowerToParallel(*C.Graph, *C.Sched, *C.Plan,
                                          LaminarIntra, Diags, &C.Stats,
                                          Opts.Limits, &ExceededBudget,

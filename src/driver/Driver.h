@@ -78,6 +78,9 @@ struct CompileOptions {
   /// treatment (Laminar = intra-partition channels stay compile-time
   /// queues, Fifo = every channel is a ring buffer).
   unsigned Parallel = 0;
+  /// Planner knobs for the parallel path (--parallel-force,
+  /// --parallel-batch=K, --parallel-slab=S, --no-parallel-fission).
+  parallel::ParallelTuning Tuning;
   /// Run the compile-time stream-safety checks (laminarc --analyze):
   /// AST-level peek/pop checks after scheduling (they run even when
   /// lowering later fails or degrades to FIFO), LIR-level range and

@@ -84,6 +84,96 @@ private:
   uint64_t AccessSites = 0;
 };
 
+/// One side of a cut ring inside a fully-unrolled parallel steady
+/// function (Laminar-intra mode only): because the function's access
+/// count is static, the cursor — head for the consuming partition,
+/// tail for the producing one — is loaded once, every access indexes
+/// `buf[(base + k) & mask]` with a compile-time offset k, and a single
+/// store writes the advanced cursor back at function end (finish()).
+/// This shrinks the per-token cost from the FifoChannel's three memory
+/// operations to one, which is what makes cut edges cheap enough for
+/// the batching/skewing machinery to amortize the rest.
+///
+/// SPSC safety is unchanged from FifoChannel: the consumer side only
+/// touches Head, the producer side only Tail, and the slab handoff
+/// protocol's acquire/release ticket counters order the buffer slots
+/// (docs/PARALLEL.md). Not valid inside CFG loops — the FIFO degrade
+/// mode keeps the in-memory cursors.
+class HoistedRingChannel : public ChannelAccess {
+public:
+  HoistedRingChannel(LoweringContext &Ctx, lir::GlobalVar *Buf,
+                     lir::GlobalVar *Cursor)
+      : Ctx(Ctx), Buf(Buf), Cursor(Cursor), Mask(Buf->getSize() - 1) {}
+
+  lir::Value *emitPop(SourceLoc Loc) override {
+    lir::IRBuilder &B = Ctx.B;
+    if (Loc.isValid())
+      B.setCurLoc(Loc);
+    ++AccessSites;
+    lir::Value *V = B.createLoad(Buf, slot(B.getInt(Count)));
+    ++Count;
+    return V;
+  }
+
+  lir::Value *emitPeek(lir::Value *Index, SourceLoc Loc) override {
+    lir::IRBuilder &B = Ctx.B;
+    if (Loc.isValid())
+      B.setCurLoc(Loc);
+    ++AccessSites;
+    // Fold the static cursor offset into constant indices; a
+    // data-dependent peek pays one extra add.
+    lir::Value *Off;
+    if (const auto *CI = dyn_cast<lir::ConstInt>(Index))
+      Off = B.getInt(Count + CI->getValue());
+    else
+      Off = B.createBinary(lir::BinOp::Add, B.getInt(Count), Index);
+    return B.createLoad(Buf, slot(Off));
+  }
+
+  void emitPush(lir::Value *V, SourceLoc Loc) override {
+    lir::IRBuilder &B = Ctx.B;
+    if (Loc.isValid())
+      B.setCurLoc(Loc);
+    ++AccessSites;
+    Ctx.B.createStore(Buf, slot(B.getInt(Count)), V);
+    ++Count;
+  }
+
+  /// Writes the advanced cursor back. Must be called exactly once,
+  /// before the function's ret; a side that never touched the ring
+  /// leaves the cursor untouched.
+  void finish() {
+    if (!Base)
+      return;
+    lir::IRBuilder &B = Ctx.B;
+    B.createStore(Cursor, B.getInt(0),
+                  B.createBinary(lir::BinOp::Add, Base, B.getInt(Count)));
+  }
+
+  /// Tokens moved through this side (pops + pushes).
+  int64_t tokensMoved() const { return Count; }
+  uint64_t accessSites() const { return AccessSites; }
+
+private:
+  /// buf index for cursor offset \p Off: (base + Off) & mask.
+  lir::Value *slot(lir::Value *Off) {
+    lir::IRBuilder &B = Ctx.B;
+    if (!Base)
+      Base = B.createLoad(Cursor, B.getInt(0));
+    return B.createBinary(lir::BinOp::And,
+                          B.createBinary(lir::BinOp::Add, Base, Off),
+                          B.getInt(Mask));
+  }
+
+  LoweringContext &Ctx;
+  lir::GlobalVar *Buf;
+  lir::GlobalVar *Cursor;
+  int64_t Mask;
+  lir::Value *Base = nullptr;
+  int64_t Count = 0;
+  uint64_t AccessSites = 0;
+};
+
 /// A compile-time token queue for one channel. All three operations
 /// resolve immediately; only misuse (data-dependent peek indices) emits
 /// diagnostics.

@@ -3,6 +3,9 @@
 #include "lir/IRBuilder.h"
 #include "opt/PassManager.h"
 
+#include <cstdint>
+#include <cstring>
+
 using namespace laminar;
 using namespace laminar::opt;
 using namespace laminar::lir;
@@ -17,10 +20,25 @@ static bool isFloatConst(const Value *V, double C) {
   return CF && CF->getValue() == C;
 }
 
+/// Bit-exact constant match: distinguishes +0.0 from -0.0, which
+/// compare equal under ==.
+static bool isFloatConstBits(const Value *V, double C) {
+  const auto *CF = dyn_cast<ConstFloat>(V);
+  if (!CF)
+    return false;
+  uint64_t A, B;
+  static_assert(sizeof(A) == sizeof(double));
+  double D = CF->getValue();
+  std::memcpy(&A, &D, sizeof(A));
+  std::memcpy(&B, &C, sizeof(B));
+  return A == B;
+}
+
 /// Algebraic identities that return an existing value (or a constant).
-/// Float rules are restricted to exact identities (x+0, x*1, x-0, x/1),
-/// which are bit-exact for every operand including zeros produced by
-/// the stream programs we compile.
+/// Float rules are restricted to exact identities (x+(-0), x*1, x-(+0),
+/// x/1), which are bit-exact for every operand. The zero signs matter:
+/// x + (+0.0) and x - (-0.0) both map -0.0 to +0.0, and +0.0 + x maps
+/// x = -0.0 to +0.0, so only the listed sign is foldable.
 static Value *simplifyBinary(Module &M, BinaryInst *B) {
   Value *L = B->getLHS(), *R = B->getRHS();
   switch (B->getOp()) {
@@ -84,13 +102,13 @@ static Value *simplifyBinary(Module &M, BinaryInst *B) {
       return L;
     return nullptr;
   case BinOp::FAdd:
-    if (isFloatConst(L, 0.0))
+    if (isFloatConstBits(L, -0.0))
       return R;
-    if (isFloatConst(R, 0.0))
+    if (isFloatConstBits(R, -0.0))
       return L;
     return nullptr;
   case BinOp::FSub:
-    if (isFloatConst(R, 0.0))
+    if (isFloatConstBits(R, 0.0))
       return L;
     return nullptr;
   case BinOp::FMul:

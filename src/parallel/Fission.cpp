@@ -1,0 +1,292 @@
+//===--- Fission.cpp ------------------------------------------------------===//
+
+#include "parallel/Fission.h"
+#include "perfmodel/PlatformModel.h"
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace laminar;
+using namespace laminar::parallel;
+using namespace laminar::graph;
+
+namespace {
+
+/// Write-effect walk over a work body: does any statement assign to a
+/// field-scope variable? Reads are fine — every replica runs the same
+/// init body, so read-only fields hold identical values in each copy.
+bool writesField(const ast::Expr *E);
+
+bool writesField(const ast::Stmt *S) {
+  if (!S)
+    return false;
+  switch (S->getKind()) {
+  case ast::Stmt::Kind::Decl: {
+    const auto *D = cast<ast::DeclStmt>(S)->getDecl();
+    // A field declared mid-body would be per-firing state.
+    if (D->getScope() == ast::VarDecl::Scope::Field)
+      return true;
+    return writesField(D->getInit());
+  }
+  case ast::Stmt::Kind::ExprS:
+    return writesField(cast<ast::ExprStmt>(S)->getExpr());
+  case ast::Stmt::Kind::Block: {
+    for (const ast::Stmt *Sub : cast<ast::BlockStmt>(S)->getBody())
+      if (writesField(Sub))
+        return true;
+    return false;
+  }
+  case ast::Stmt::Kind::If: {
+    const auto *If = cast<ast::IfStmt>(S);
+    return writesField(If->getCond()) || writesField(If->getThen()) ||
+           writesField(If->getElse());
+  }
+  case ast::Stmt::Kind::For: {
+    const auto *For = cast<ast::ForStmt>(S);
+    return writesField(For->getInit()) || writesField(For->getCond()) ||
+           writesField(For->getBody()) || writesField(For->getStep());
+  }
+  case ast::Stmt::Kind::While: {
+    const auto *W = cast<ast::WhileStmt>(S);
+    return writesField(W->getCond()) || writesField(W->getBody());
+  }
+  default:
+    return false;
+  }
+}
+
+bool writesField(const ast::Expr *E) {
+  if (!E)
+    return false;
+  switch (E->getKind()) {
+  case ast::Expr::Kind::IntLit:
+  case ast::Expr::Kind::FloatLit:
+  case ast::Expr::Kind::BoolLit:
+  case ast::Expr::Kind::VarRef:
+    return false;
+  case ast::Expr::Kind::ArrayIndex:
+    return writesField(cast<ast::ArrayIndex>(E)->getIndex());
+  case ast::Expr::Kind::Binary: {
+    const auto *B = cast<ast::BinaryExpr>(E);
+    return writesField(B->getLHS()) || writesField(B->getRHS());
+  }
+  case ast::Expr::Kind::Unary:
+    return writesField(cast<ast::UnaryExpr>(E)->getSub());
+  case ast::Expr::Kind::Assign: {
+    const auto *A = cast<ast::AssignExpr>(E);
+    const ast::VarDecl *Target = nullptr;
+    if (const auto *VR = dyn_cast<ast::VarRef>(A->getTarget()))
+      Target = VR->getDecl();
+    else if (const auto *AI = dyn_cast<ast::ArrayIndex>(A->getTarget())) {
+      if (AI->getBase())
+        Target = AI->getBase()->getDecl();
+      if (writesField(AI->getIndex()))
+        return true;
+    }
+    if (Target && Target->getScope() == ast::VarDecl::Scope::Field)
+      return true;
+    return writesField(A->getValue());
+  }
+  case ast::Expr::Kind::Call: {
+    for (const ast::Expr *Arg : cast<ast::CallExpr>(E)->getArgs())
+      if (writesField(Arg))
+        return true;
+    return false;
+  }
+  case ast::Expr::Kind::Cast:
+    return writesField(cast<ast::CastExpr>(E)->getSub());
+  }
+  return false;
+}
+
+/// Nodes inside any feedback-pinned topological interval (the same
+/// intervals the partitioner fuses). Splitting such an actor would
+/// insert the splitjoin inside an indivisible loop unit.
+std::unordered_set<const Node *> feedbackPinnedNodes(const StreamGraph &G) {
+  std::unordered_set<const Node *> Pinned;
+  if (!G.hasFeedback())
+    return Pinned;
+  std::vector<const Node *> Order = G.topologicalOrder();
+  std::unordered_map<const Node *, size_t> Idx;
+  for (size_t I = 0; I < Order.size(); ++I)
+    Idx[Order[I]] = I;
+  for (const auto &Ch : G.channels())
+    if (Ch->isFeedback()) {
+      size_t A = Idx.at(Ch->getSrc()), B = Idx.at(Ch->getDst());
+      for (size_t I = std::min(A, B); I <= std::max(A, B); ++I)
+        Pinned.insert(Order[I]);
+    }
+  return Pinned;
+}
+
+/// Largest F with 2 <= F <= Workers and F | Reps; 0 when none exists.
+unsigned replicationFactor(int64_t Reps, unsigned Workers) {
+  unsigned Max =
+      static_cast<unsigned>(std::min<int64_t>(Reps, Workers));
+  for (unsigned F = Max; F >= 2; --F)
+    if (Reps % F == 0)
+      return F;
+  return 0;
+}
+
+} // namespace
+
+bool parallel::isFissionable(const FilterNode *F, const StreamGraph &G,
+                             const schedule::Schedule &S) {
+  if (!F || F->getRole() != FilterNode::Role::User || !F->getDecl())
+    return false;
+  if (F->getPopRate() <= 0 || F->getPushRate() <= 0)
+    return false;
+  // peek == pop: every firing owns exactly its window, so a roundrobin
+  // split by the pop rate hands each replica precisely the tokens its
+  // firings would have consumed. A sliding window (peek > pop) spans
+  // firings and cannot be split positionally.
+  if (F->getPeekRate() != F->getPopRate())
+    return false;
+  if (F->inputs().size() != 1 || F->outputs().size() != 1)
+    return false;
+  // No init-phase firings: prework consumes real tokens once, not once
+  // per replica.
+  if (S.initRepsOf(F) != 0)
+    return false;
+  if (writesField(F->getDecl()->getWorkBody()))
+    return false;
+  std::unordered_set<const Node *> Pinned = feedbackPinnedNodes(G);
+  return !Pinned.count(F);
+}
+
+std::optional<FissionResult>
+parallel::fissionGraph(const StreamGraph &G, const schedule::Schedule &S,
+                       unsigned Workers, ParallelTuning::FissionMode Mode,
+                       bool LaminarCosts) {
+  if (Mode == ParallelTuning::FissionMode::Off || Workers < 2)
+    return std::nullopt;
+
+  const perfmodel::PlatformModel *PM = perfmodel::findPlatform("i7-2600K");
+  assert(PM && "reference platform model missing");
+  const double Total = modeledScheduleCycles(S, *PM, LaminarCosts);
+
+  // Candidate selection, in topological order for determinism. Auto
+  // mode only replicates actors hot enough to dominate one ideal
+  // partition share; Always takes every legal candidate (the cost gate
+  // downstream still compares against the unfissioned plan).
+  std::unordered_map<const Node *, unsigned> Factor;
+  for (const Node *N : S.Order) {
+    const auto *F = dyn_cast<FilterNode>(N);
+    if (!F || !isFissionable(F, G, S))
+      continue;
+    int64_t Reps = S.repsOf(N);
+    unsigned Fac = replicationFactor(Reps, Workers);
+    if (!Fac)
+      continue;
+    if (Mode == ParallelTuning::FissionMode::Auto) {
+      double IterCost = static_cast<double>(Reps) *
+                        modeledFiringCost(N, *PM, LaminarCosts);
+      if (IterCost < Total / static_cast<double>(Workers))
+        continue;
+    }
+    Factor[N] = Fac;
+  }
+  if (Factor.empty())
+    return std::nullopt;
+
+  FissionResult Result;
+  Result.G = std::make_unique<StreamGraph>(G.getName());
+  StreamGraph &G2 = *Result.G;
+
+  struct Cluster {
+    SplitterNode *Split = nullptr;
+    std::vector<FilterNode *> Replicas;
+    JoinerNode *Join = nullptr;
+  };
+  std::unordered_map<const Node *, Node *> Map;
+  std::unordered_map<const Node *, Cluster> Clusters;
+
+  // Nodes first, in original order; a fissioned actor becomes its
+  // cluster, internally wired immediately (the in/out port sides of
+  // the new channels are all cluster-internal, so external channels
+  // connect in original order below without port conflicts).
+  for (const auto &N : G.nodes()) {
+    auto It = Factor.find(N.get());
+    if (It == Factor.end()) {
+      if (const auto *F = dyn_cast<FilterNode>(N.get())) {
+        auto *C = G2.createNode<FilterNode>(
+            F->getName(), F->getDecl(), F->getRole(), F->getInType(),
+            F->getOutType(), F->getPopRate(), F->getPeekRate(),
+            F->getPushRate());
+        C->params() = F->params();
+        Map[N.get()] = C;
+      } else if (const auto *Sp = dyn_cast<SplitterNode>(N.get())) {
+        Map[N.get()] = G2.createNode<SplitterNode>(
+            Sp->getName(), Sp->getMode(), Sp->getWeights(),
+            Sp->getTokenType());
+      } else {
+        const auto *J = cast<JoinerNode>(N.get());
+        Map[N.get()] = G2.createNode<JoinerNode>(J->getName(),
+                                                 J->getWeights(),
+                                                 J->getTokenType());
+      }
+      continue;
+    }
+    const auto *F = cast<FilterNode>(N.get());
+    unsigned Fac = It->second;
+    Cluster C;
+    C.Split = G2.createNode<SplitterNode>(
+        F->getName() + ".fission.split", SplitterNode::Mode::RoundRobin,
+        std::vector<int64_t>(Fac, F->getPopRate()), F->getInType());
+    for (unsigned R = 0; R < Fac; ++R) {
+      auto *Rep = G2.createNode<FilterNode>(
+          F->getName() + ".r" + std::to_string(R), F->getDecl(),
+          F->getRole(), F->getInType(), F->getOutType(), F->getPopRate(),
+          F->getPeekRate(), F->getPushRate());
+      Rep->params() = F->params();
+      C.Replicas.push_back(Rep);
+    }
+    C.Join = G2.createNode<JoinerNode>(
+        F->getName() + ".fission.join",
+        std::vector<int64_t>(Fac, F->getPushRate()), F->getOutType());
+    for (unsigned R = 0; R < Fac; ++R) {
+      G2.connect(C.Split, R, C.Replicas[R], 0, F->getInType());
+      G2.connect(C.Replicas[R], 0, C.Join, R, F->getOutType());
+    }
+    Clusters[N.get()] = C;
+    Result.ActorsFissioned += 1;
+    Result.ReplicasAdded += Fac;
+  }
+
+  // External channels in original order (this preserves every
+  // surviving node's port order). A fissioned actor's single input
+  // lands on its splitter, its single output leaves its joiner.
+  for (const auto &Ch : G.channels()) {
+    Node *Src;
+    unsigned SrcPort;
+    if (auto It = Clusters.find(Ch->getSrc()); It != Clusters.end()) {
+      Src = It->second.Join;
+      SrcPort = 0;
+    } else {
+      Src = Map.at(Ch->getSrc());
+      SrcPort = Ch->getSrcPort();
+    }
+    Node *Dst;
+    unsigned DstPort;
+    if (auto It = Clusters.find(Ch->getDst()); It != Clusters.end()) {
+      Dst = It->second.Split;
+      DstPort = 0;
+    } else {
+      Dst = Map.at(Ch->getDst());
+      DstPort = Ch->getDstPort();
+    }
+    Channel *C2 = G2.connect(Src, SrcPort, Dst, DstPort,
+                             Ch->getTokenType());
+    C2->setFeedback(Ch->isFeedback());
+    for (const ConstVal &V : Ch->initialTokens())
+      C2->addInitialToken(V);
+  }
+
+  if (G.getSource())
+    G2.setSource(cast<FilterNode>(Map.at(G.getSource())));
+  if (G.getSink())
+    G2.setSink(cast<FilterNode>(Map.at(G.getSink())));
+  return Result;
+}

@@ -1,0 +1,70 @@
+//===--- Fission.h - Stateless-filter fission ------------------*- C++ -*-===//
+//
+// Replicates hot stateless filters across workers: the actor is
+// replaced by a roundrobin splitter, F identical replicas, and a
+// roundrobin joiner, all weighted by the actor's own rates, so firing
+// f of the original runs on replica f mod F and the joiner reassembles
+// the output stream in exact firing order. This is a pure graph
+// rewrite performed *before* the linear-partition DP — the partitioner
+// sees the replicas as ordinary actors and balances them like any
+// other node.
+//
+// Legality (see docs/PARALLEL.md for the full argument):
+//   - user filter with a declaration; endpoints are never replicated
+//   - peek == pop: each firing consumes exactly its own window, so the
+//     roundrobin split hands every replica precisely the tokens its
+//     firings would have read
+//   - stateless work body: no assignment to a field-scope variable
+//     (read-only fields are fine — replicas run the same init) — the
+//     same write-effect walk the PR 4 liveness analysis performs
+//   - no init-phase firings (prework would run once per replica)
+//   - outside every feedback-pinned interval
+//   - the replication factor F divides the actor's steady repetition
+//     count, so the steady iteration's token throughput is unchanged
+//     and differential runs at a fixed iteration count stay
+//     length-identical
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_PARALLEL_FISSION_H
+#define LAMINAR_PARALLEL_FISSION_H
+
+#include "graph/StreamGraph.h"
+#include "parallel/Partitioner.h"
+#include "schedule/Schedule.h"
+#include <memory>
+#include <optional>
+
+namespace laminar {
+namespace parallel {
+
+/// True when \p F may legally be replicated under schedule \p S (all
+/// conditions above except the heat threshold and divisibility, which
+/// depend on the worker count). Exposed for tests and docs.
+bool isFissionable(const graph::FilterNode *F, const graph::StreamGraph &G,
+                   const schedule::Schedule &S);
+
+/// A fission rewrite: the new graph plus bookkeeping for stats/remarks.
+struct FissionResult {
+  std::unique_ptr<graph::StreamGraph> G;
+  /// Actors that were replicated.
+  unsigned ActorsFissioned = 0;
+  /// Total replicas created (sum of per-actor factors).
+  unsigned ReplicasAdded = 0;
+};
+
+/// Rewrites \p G for \p Workers workers. Mode Auto replicates only
+/// actors hot enough to dominate a balanced partition (priced with
+/// \p LaminarCosts, matching the plan selector's cost space); Always
+/// replicates every legal candidate (the fuzzing knob). Returns
+/// nullopt when nothing qualifies. The caller recomputes the schedule
+/// for the returned graph.
+std::optional<FissionResult>
+fissionGraph(const graph::StreamGraph &G, const schedule::Schedule &S,
+             unsigned Workers, ParallelTuning::FissionMode Mode,
+             bool LaminarCosts = false);
+
+} // namespace parallel
+} // namespace laminar
+
+#endif // LAMINAR_PARALLEL_FISSION_H

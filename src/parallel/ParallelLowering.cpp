@@ -40,6 +40,12 @@ std::string parallel::steadyFunctionName(unsigned K) {
   return OS.str();
 }
 
+std::string parallel::steadyBatchFunctionName(unsigned K, int64_t Iters) {
+  std::ostringstream OS;
+  OS << "steady_p" << K << "_b" << Iters;
+  return OS.str();
+}
+
 namespace {
 
 class ParallelLowering {
@@ -67,8 +73,12 @@ private:
   }
 
   /// \p Partition is the emitting partition for steady functions, or
-  /// ~0u for @init (which owns every channel).
-  bool emitFunction(Function *F, bool IsInit, unsigned Partition);
+  /// ~0u for @init (which owns every channel). \p Iters repeats the
+  /// partition's steady subsequence that many times in one call (the
+  /// batched variant); live-token seed/rotate and the hoisted ring
+  /// cursors amortize over the whole batch.
+  bool emitFunction(Function *F, bool IsInit, unsigned Partition,
+                    int64_t Iters = 1);
   bool emitNodeFirings(LoweringContext &Ctx, const Node *N, int64_t Reps);
   bool fireOnce(LoweringContext &Ctx, const Node *N);
   ChannelAccess *access(const Channel *Ch) { return Accesses.at(Ch).get(); }
@@ -103,6 +113,7 @@ private:
   std::unordered_map<const Channel *, std::unique_ptr<ChannelAccess>>
       Accesses;
   std::unordered_map<const Channel *, LaminarQueue *> Queues;
+  std::vector<HoistedRingChannel *> Hoisted;
   std::unordered_map<const Node *, std::unique_ptr<WorkLowering>> Lowerers;
   std::vector<std::unique_ptr<WorkLowering>> FiringLowerers;
 
@@ -235,11 +246,10 @@ bool ParallelLowering::emitNodeFirings(LoweringContext &Ctx, const Node *N,
 }
 
 bool ParallelLowering::emitFunction(Function *F, bool IsInit,
-                                    unsigned Partition) {
+                                    unsigned Partition, int64_t Iters) {
   std::string SpanName = IsInit
                              ? std::string("lower.parallel.emit-init")
-                             : "lower.parallel.emit-" +
-                                   steadyFunctionName(Partition);
+                             : "lower.parallel.emit-" + F->getName();
   TraceScope Span(Trace, SpanName.c_str());
   IRBuilder B(*M);
   SSABuilder SSA(B);
@@ -249,6 +259,7 @@ bool ParallelLowering::emitFunction(Function *F, bool IsInit,
   Queues.clear();
   Lowerers.clear();
   FiringLowerers.clear();
+  Hoisted.clear();
 
   BasicBlock *Entry = F->createBlock("entry");
   B.setInsertPoint(Entry);
@@ -264,8 +275,21 @@ bool ParallelLowering::emitFunction(Function *F, bool IsInit,
       continue;
     if (isRing(Ch.get())) {
       const RingGlobals &RG = Rings.at(Ch.get());
-      Accesses[Ch.get()] =
-          std::make_unique<FifoChannel>(Ctx, RG.Buf, RG.Head, RG.Tail);
+      const CutEdge *E = Plan.findCut(Ch.get());
+      if (!IsInit && LaminarIntra && E) {
+        // Fully-unrolled steady function: hoist the cursor of the side
+        // this partition plays (producer touches tail, consumer head;
+        // an uninvolved partition never accesses the channel and its
+        // accessor stays inert).
+        bool Producer = E->SrcPartition == Partition;
+        auto H = std::make_unique<HoistedRingChannel>(
+            Ctx, RG.Buf, Producer ? RG.Tail : RG.Head);
+        Hoisted.push_back(H.get());
+        Accesses[Ch.get()] = std::move(H);
+      } else {
+        Accesses[Ch.get()] =
+            std::make_unique<FifoChannel>(Ctx, RG.Buf, RG.Head, RG.Tail);
+      }
     } else {
       auto Q = std::make_unique<LaminarQueue>(Ctx, Ch.get());
       Queues[Ch.get()] = Q.get();
@@ -305,13 +329,23 @@ bool ParallelLowering::emitFunction(Function *F, bool IsInit,
     }
   }
 
+  // The batched variant repeats the whole subsequence: the laminar
+  // queues thread tokens across the in-call iterations exactly as the
+  // sequential schedule would, and the hoisted ring cursors advance
+  // monotonically through the batch.
   const auto &Sequence = IsInit ? S.InitSequence : S.SteadySequence;
-  for (const schedule::FiringSegment &Seg : Sequence) {
-    if (!IsInit && Plan.partitionOf(Seg.N) != Partition)
-      continue;
-    if (!emitNodeFirings(Ctx, Seg.N, Seg.Count))
-      return false;
-  }
+  for (int64_t It = 0; It < (IsInit ? 1 : Iters); ++It)
+    for (const schedule::FiringSegment &Seg : Sequence) {
+      if (!IsInit && Plan.partitionOf(Seg.N) != Partition)
+        continue;
+      if (!emitNodeFirings(Ctx, Seg.N, Seg.Count))
+        return false;
+    }
+
+  // Write the advanced ring cursors back (one store per touched side
+  // per call, however many tokens the batch moved).
+  for (HoistedRingChannel *H : Hoisted)
+    H->finish();
 
   // Rotate surviving tokens of the owned laminar channels.
   for (const auto &Ch : G.channels()) {
@@ -444,6 +478,16 @@ std::unique_ptr<Module> ParallelLowering::run() {
     if (!emitFunction(Steady, /*IsInit=*/false, K))
       return nullptr;
   }
+  // Batched variants: one call = BatchIters steady iterations = one
+  // slab handoff. The single-iteration functions stay for the
+  // remainder iterations (Iterations mod K) and for plan introspection.
+  if (Plan.BatchIters > 1)
+    for (unsigned K = 0; K < Plan.NumPartitions; ++K) {
+      Function *Batched = M->createFunction(
+          steadyBatchFunctionName(K, Plan.BatchIters));
+      if (!emitFunction(Batched, /*IsInit=*/false, K, Plan.BatchIters))
+        return nullptr;
+    }
 
   M->numberGlobals();
   for (const auto &F : M->functions())

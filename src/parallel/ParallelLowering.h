@@ -40,6 +40,12 @@ namespace parallel {
 /// identifier suffix, unlike the dotted names used elsewhere).
 std::string steadyFunctionName(unsigned K);
 
+/// Name of partition \p K's batched steady function
+/// ("steady_p<K>_b<Iters>"): one call runs \p Iters steady iterations,
+/// so one slab handoff amortizes over the whole batch. Emitted only
+/// when the plan's BatchIters exceeds 1.
+std::string steadyBatchFunctionName(unsigned K, int64_t Iters);
+
 /// Lowers \p G under \p Plan. Honors Limits.MaxUnrolledInsts exactly
 /// like the sequential lowerings: on budget overflow returns null with
 /// *\p ExceededBudget set and no diagnostic, and the driver re-lowers

@@ -48,6 +48,23 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
       return R;
     }
   }
+  // Batched slabs: BatchIters iterations per handoff, with the
+  // single-iteration functions covering the remainder. Every worker
+  // derives the same deterministic slab sequence from (Iterations, B).
+  const int64_t B = std::max<int64_t>(1, Plan.BatchIters);
+  std::vector<const Function *> SteadyB(K, nullptr);
+  if (B > 1)
+    for (unsigned W = 0; W < K; ++W) {
+      SteadyB[W] = M.getFunction(steadyBatchFunctionName(W, B));
+      if (!SteadyB[W]) {
+        R.Error = "module has no @" + steadyBatchFunctionName(W, B) +
+                  " function";
+        return R;
+      }
+    }
+  const int64_t FullSlabs = B > 1 ? Iterations / B : Iterations;
+  const int64_t RemSlabs = B > 1 ? Iterations % B : 0;
+  const int64_t Slabs = FullSlabs + RemSlabs;
 
   MemoryImage Mem(M);
 
@@ -59,9 +76,12 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
     return R;
   }
 
-  // One ticket queue per cut edge, carrying iteration numbers. Capacity
-  // = SlabCapacity bounds how far a producer may run ahead; the ring
-  // buffers were sized for exactly that run-ahead.
+  // One ticket queue per cut edge, carrying slab numbers. The exact
+  // logical capacity = SlabCapacity bounds how far a producer may run
+  // ahead; the ring buffers were sized for exactly that run-ahead. The
+  // window is skew-scaled per edge (SlabBase x partition distance), so
+  // a stage-skipping edge grants at least the run-ahead the stage
+  // chain it bypasses composes to.
   std::vector<std::unique_ptr<SpscQueue<uint64_t>>> Tickets;
   Tickets.reserve(Plan.CutEdges.size());
   for (const CutEdge &E : Plan.CutEdges)
@@ -96,11 +116,11 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
       if (Plan.CutEdges[Q].SrcPartition == W)
         Out.push_back(Tickets[Q].get());
     }
-    for (int64_t I = 0; I < Iterations; ++I) {
-      // Popping the ticket for iteration I acquires the producer's slab
-      // writes; issuing the pop only after iteration I-1's body also
-      // tells the producer (release on the head counter) that this
-      // worker is done *reading* every earlier slab.
+    for (int64_t I = 0; I < Slabs; ++I) {
+      // Popping the ticket for slab I acquires the producer's slab
+      // writes; issuing the pop only after slab I-1's body also tells
+      // the producer (release on the head counter) that this worker is
+      // done *reading* every earlier slab.
       for (SpscQueue<uint64_t> *Q : In) {
         uint64_t Ticket;
         while (!Q->tryPop(Ticket)) {
@@ -114,13 +134,17 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
       }
       if (Stop.load(std::memory_order_acquire))
         return;
-      if (!E.runFunction(Steady[W], WorkerCounters[W])) {
+      // Full B-iteration slabs first, then the remainder one by one —
+      // the same sequence on every worker, so the ticket counts agree.
+      const Function *Fn = I < FullSlabs ? (B > 1 ? SteadyB[W] : Steady[W])
+                                         : Steady[W];
+      if (!E.runFunction(Fn, WorkerCounters[W])) {
         Stop.store(true, std::memory_order_release);
         return;
       }
-      // Publishing the ticket for iteration I releases this iteration's
-      // slab writes to the consumer; a full queue means the consumer is
-      // SlabCapacity iterations behind — wait for it.
+      // Publishing the ticket for slab I releases this slab's writes
+      // to the consumer; a full queue means the consumer has fallen a
+      // whole credit window behind — wait for it.
       for (SpscQueue<uint64_t> *Q : Out) {
         while (!Q->tryPush(static_cast<uint64_t>(I))) {
           if (Stop.load(std::memory_order_acquire))

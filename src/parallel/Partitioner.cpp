@@ -28,8 +28,10 @@ constexpr double DefaultTrips = 8.0;
 /// the same information the lowering's unroller uses.
 class CostWalker {
 public:
-  CostWalker(const perfmodel::PlatformModel &PM, const ConstEnv &Params)
-      : PM(PM), Env(Params), Eval(ScratchDiags, Env) {}
+  CostWalker(const perfmodel::PlatformModel &PM, const ConstEnv &Params,
+             bool LaminarChannels = false)
+      : PM(PM), LaminarChannels(LaminarChannels), Env(Params),
+        Eval(ScratchDiags, Env) {}
 
   double stmt(const ast::Stmt *S) {
     if (!S)
@@ -152,11 +154,13 @@ public:
       for (const ast::Expr *Arg : Call->getArgs())
         C += expr(Arg);
       switch (Call->getBuiltin()) {
+      // Channel ops: the FIFO lowering pays a memory access per token,
+      // the laminar lowering resolves them to SSA values for free.
       case ast::BuiltinFn::Push:
-        return C + PM.Store;
+        return C + (LaminarChannels ? 0 : PM.Store);
       case ast::BuiltinFn::Pop:
       case ast::BuiltinFn::Peek:
-        return C + PM.Load;
+        return C + (LaminarChannels ? 0 : PM.Load);
       default:
         return C + PM.MathCall;
       }
@@ -233,31 +237,108 @@ private:
   }
 
   const perfmodel::PlatformModel &PM;
+  bool LaminarChannels;
   ConstEnv Env;
   DiagnosticEngine ScratchDiags;
   ConstEval Eval;
 };
 
+/// Branch-grouped topological order for the partitioner: Kahn's
+/// algorithm with a LIFO ready stack instead of the schedule's FIFO.
+/// The FIFO order interleaves splitjoin branches (all branch heads,
+/// then all second actors, ...), which the contiguous-block DP cannot
+/// split along branch lines; the LIFO order follows one branch chain
+/// to the joiner before starting the next, so each branch is a
+/// contiguous run of the order and the DP can place whole branches on
+/// different workers. Any topological order keeps the cut-edge
+/// direction invariant (SrcPartition < DstPartition), so the handoff
+/// protocol's deadlock-freedom argument is unchanged. Deterministic:
+/// seeded from the schedule order, successors visited in port order.
+static std::vector<const Node *> groupedOrder(const StreamGraph &G,
+                                              const schedule::Schedule &S) {
+  std::unordered_map<const Node *, size_t> InDeg;
+  for (const Node *N : S.Order)
+    InDeg[N] = 0;
+  for (const auto &Ch : G.channels())
+    if (!Ch->isFeedback())
+      ++InDeg[Ch->getDst()];
+  std::vector<const Node *> Stack;
+  // Reverse seeding: the schedule-order-first root ends on top.
+  for (auto It = S.Order.rbegin(); It != S.Order.rend(); ++It)
+    if (InDeg[*It] == 0)
+      Stack.push_back(*It);
+  std::vector<const Node *> Order;
+  Order.reserve(S.Order.size());
+  while (!Stack.empty()) {
+    const Node *N = Stack.back();
+    Stack.pop_back();
+    Order.push_back(N);
+    const auto &Outs = N->outputs();
+    // Reverse pushing keeps the first output port's successor on top.
+    for (auto It = Outs.rbegin(); It != Outs.rend(); ++It)
+      if (!(*It)->isFeedback() && --InDeg[(*It)->getDst()] == 0)
+        Stack.push_back((*It)->getDst());
+  }
+  assert(Order.size() == S.Order.size() &&
+         "grouped order lost nodes (cycle outside feedback edges?)");
+  return Order;
+}
+
 } // namespace
 
+const char *parallel::clampReasonName(ClampReason R) {
+  switch (R) {
+  case ClampReason::None:
+    return "none";
+  case ClampReason::FeedbackPinned:
+    return "feedback-pinned";
+  case ClampReason::Degenerate:
+    return "degenerate";
+  case ClampReason::CostFallback:
+    return "cost-fallback";
+  }
+  return "none";
+}
+
+double parallel::modeledScheduleCycles(const schedule::Schedule &S,
+                                       const perfmodel::PlatformModel &PM,
+                                       bool LaminarChannels) {
+  double C = 0;
+  for (const Node *N : S.Order)
+    C += static_cast<double>(S.repsOf(N)) *
+         modeledFiringCost(N, PM, LaminarChannels);
+  return C;
+}
+
 double parallel::modeledFiringCost(const Node *N,
-                                   const perfmodel::PlatformModel &PM) {
+                                   const perfmodel::PlatformModel &PM,
+                                   bool LaminarChannels) {
   if (const auto *F = dyn_cast<FilterNode>(N)) {
     switch (F->getRole()) {
     case FilterNode::Role::Source:
+      // The input read itself survives every lowering; the laminar
+      // lowering forwards the token as an SSA value instead of storing
+      // it into a buffer.
       return static_cast<double>(F->getPushRate()) *
-             (PM.InputOutput + PM.Store);
+             (LaminarChannels ? PM.InputOutput
+                              : PM.InputOutput + PM.Store);
     case FilterNode::Role::Sink:
       return static_cast<double>(F->getPopRate()) *
-             (PM.Load + PM.InputOutput);
+             (LaminarChannels ? PM.InputOutput
+                              : PM.Load + PM.InputOutput);
     case FilterNode::Role::User: {
-      CostWalker W(PM, F->params());
+      CostWalker W(PM, F->params(), LaminarChannels);
       // Floor at one ALU op so empty bodies still register as work.
       return std::max(W.stmt(F->getDecl()->getWorkBody()), PM.IntAlu);
     }
     }
   }
+  // Splitters and joiners are pure routing: the laminar lowering erases
+  // them entirely (tokens flow through the compile-time queues), the
+  // FIFO lowering pays a load and a store per token moved.
   if (const auto *Sp = dyn_cast<SplitterNode>(N)) {
+    if (LaminarChannels)
+      return 0;
     // Tokens in, tokens out; a duplicate reads once and stores per arm.
     double Out = 0;
     if (Sp->getMode() == SplitterNode::Mode::Duplicate)
@@ -268,22 +349,28 @@ double parallel::modeledFiringCost(const Node *N,
     return static_cast<double>(Sp->totalIn()) * PM.Load + Out * PM.Store;
   }
   const auto *J = cast<JoinerNode>(N);
+  if (LaminarChannels)
+    return 0;
   return static_cast<double>(J->totalOut()) * (PM.Load + PM.Store);
 }
 
 std::optional<PartitionPlan> parallel::partitionSchedule(
     const StreamGraph &G, const schedule::Schedule &S, unsigned Workers,
     DiagnosticEngine &Diags, const CompilerLimits &Limits,
-    StatsRegistry *Stats, RemarkEmitter *Remarks) {
+    StatsRegistry *Stats, RemarkEmitter *Remarks,
+    const ParallelTuning &Tuning, unsigned MaxPartitions) {
   PartitionPlan Plan;
   Plan.Requested = std::max(1u, Workers);
+  const unsigned Cap = MaxPartitions
+                           ? std::min(MaxPartitions, Plan.Requested)
+                           : Plan.Requested;
 
   const perfmodel::PlatformModel *PM = perfmodel::findPlatform("i7-2600K");
   assert(PM && "reference platform model missing");
 
   // Topological indices and per-node steady-iteration costs, both in
-  // schedule order (deterministic by construction).
-  const std::vector<const Node *> &Order = S.Order;
+  // the branch-grouped order (deterministic by construction).
+  const std::vector<const Node *> Order = groupedOrder(G, S);
   const size_t N = Order.size();
   std::unordered_map<const Node *, size_t> TopoIdx;
   for (size_t I = 0; I < N; ++I)
@@ -291,7 +378,7 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
   std::vector<double> NodeCost(N);
   for (size_t I = 0; I < N; ++I)
     NodeCost[I] = static_cast<double>(S.repsOf(Order[I])) *
-                  modeledFiringCost(Order[I], *PM);
+                  modeledFiringCost(Order[I], *PM, Tuning.LaminarCosts);
 
   // Feedback pinning: the topological interval spanned by each back
   // edge becomes one indivisible unit, so the loop's actors always
@@ -336,9 +423,17 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
   }
 
   const size_t U = Units.size();
-  const unsigned K =
-      static_cast<unsigned>(std::min<size_t>(Plan.Requested, U ? U : 1));
+  const unsigned K = static_cast<unsigned>(std::min<size_t>(Cap, U ? U : 1));
   Plan.NumPartitions = K;
+  if (K < Plan.Requested) {
+    if (U < Plan.Requested && K == U)
+      Plan.Clamp = Plan.PinnedFeedbackNodes > 0 ? ClampReason::FeedbackPinned
+                                                : ClampReason::Degenerate;
+    else
+      // Width was capped below the request by the caller's cost-model
+      // enumeration; the gate overwrites this for the full fallback.
+      Plan.Clamp = ClampReason::CostFallback;
+  }
 
   // Linear partitioning: split the unit sequence into K contiguous
   // blocks minimizing the maximum block cost. O(U^2 K); U is the actor
@@ -390,10 +485,9 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
         Plan.CostPerIter[k] += NodeCost[I];
       }
 
-  // Cut edges, sized from the compile-time schedule. The producer may
-  // run SlabCapacity iterations ahead; the flow-control argument in
-  // docs/PARALLEL.md needs room for SlabCapacity + 2 in-flight slabs
-  // on top of the steady-state carry.
+  // Cut-edge discovery (channel-id order). Ring sizing happens after
+  // the batching factor is known, because a slab now covers BatchIters
+  // steady iterations.
   schedule::SimResult Sim = schedule::simulateSchedule(G, S, 1);
   if (!Sim.Ok) {
     // Cannot happen for a schedule the driver accepted; fail loudly
@@ -403,7 +497,6 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
                     Sim.Error);
     return std::nullopt;
   }
-  constexpr int64_t SlabCapacity = 2;
   int64_t CutTokens = 0;
   for (const auto &Ch : G.channels()) {
     unsigned SrcPart = Plan.partitionOf(Ch->getSrc());
@@ -417,25 +510,82 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
     E.SrcPartition = SrcPart;
     E.DstPartition = DstPart;
     E.TokensPerIter = Ch->srcRate() * S.repsOf(Ch->getSrc());
-    E.SlabCapacity = SlabCapacity;
-    int64_t Carry = S.occupancyOf(Ch.get());
-    int64_t Needed =
-        std::max<int64_t>(Sim.PeakOccupancy[Ch.get()],
-                          Carry + (SlabCapacity + 2) * E.TokensPerIter);
-    Needed = std::max<int64_t>(Needed, 1);
-    if (Needed / 2 > Limits.MaxChannelTokens) {
-      std::ostringstream OS;
-      OS << "cross-partition ring for '" << Ch->getSrc()->getName()
-         << "' -> '" << Ch->getDst()->getName() << "' needs " << Needed
-         << " slots, beyond the limit (--max-channel-tokens)";
-      Diags.error(SourceLoc(1, 1), OS.str());
-      return std::nullopt;
-    }
-    E.BufferSlots = static_cast<int64_t>(
-        spscPow2Ceil(static_cast<uint64_t>(Needed)));
+    // Pipeline skewing: the credit window scales with the partition
+    // distance the edge spans, so an edge that skips stages grants its
+    // producer at least as much run-ahead as the chain of stages it
+    // bypasses composes to — otherwise the skip edge would serialize
+    // the very overlap the stage chain allows.
+    E.SlabCapacity =
+        std::max<int64_t>(1, Tuning.SlabBase) *
+        static_cast<int64_t>(DstPart - SrcPart);
     CutTokens += E.TokensPerIter;
     Plan.CutEdges.push_back(E);
   }
+
+  // Batching factor: one slab handoff per K steady iterations. K is
+  // the smallest power of two that amortizes the modeled per-slab sync
+  // cost below a few percent of the widest partition's work, bounded
+  // by the unrolled-code and ring-capacity budgets.
+  double MaxC = 0, MinC = 0;
+  if (K) {
+    MaxC = *std::max_element(Plan.CostPerIter.begin(),
+                             Plan.CostPerIter.end());
+    MinC = *std::min_element(Plan.CostPerIter.begin(),
+                             Plan.CostPerIter.end());
+  }
+  int64_t Batch = 1;
+  if (Tuning.Batch) {
+    Batch = static_cast<int64_t>(Tuning.Batch);
+  } else if (!Plan.CutEdges.empty()) {
+    // Per-slab overhead on the busiest worker: every cut edge costs a
+    // sync handshake plus the cursor reload/writeback pair.
+    double PerSlab = static_cast<double>(Plan.CutEdges.size()) *
+                     (PM->SyncPerSlab + 2 * (PM->Load + PM->Store));
+    constexpr int64_t MaxBatch = 8;
+    constexpr double TargetFrac = 0.05; // amortize to <= 5% of work
+    while (Batch < MaxBatch && PerSlab / static_cast<double>(Batch) >
+                                   TargetFrac * std::max(MaxC, 1.0))
+      Batch *= 2;
+    // Unrolled-code budget: the batched steady function repeats the
+    // whole per-partition body K times in laminar mode. Approximate
+    // instructions by modeled cycles (conservative: > 1 cycle/inst).
+    double InstEst = std::max(1.0, Prefix[U]);
+    while (Batch > 1 && static_cast<double>(Batch) * InstEst >
+                            static_cast<double>(Limits.MaxUnrolledInsts) / 2)
+      Batch /= 2;
+  }
+
+  // Ring sizing: room for the steady-state carry plus SlabCapacity + 2
+  // in-flight slabs of K iterations each (the flow-control argument in
+  // docs/PARALLEL.md), never less than the single-run peak.
+  for (bool Retry = true; Retry;) {
+    Retry = false;
+    for (CutEdge &E : Plan.CutEdges) {
+      int64_t Carry = S.occupancyOf(E.Ch);
+      int64_t Needed = std::max<int64_t>(
+          Sim.PeakOccupancy[E.Ch],
+          Carry + (E.SlabCapacity + 2) * Batch * E.TokensPerIter);
+      Needed = std::max<int64_t>(Needed, 1);
+      if (Needed / 2 > Limits.MaxChannelTokens) {
+        if (Batch > 1 && !Tuning.Batch) {
+          // Model-chosen K overflowed the ring budget: narrow the slab
+          // and re-size every edge.
+          Batch /= 2;
+          Retry = true;
+          break;
+        }
+        std::ostringstream OS;
+        OS << "cross-partition ring for '" << E.Ch->getSrc()->getName()
+           << "' -> '" << E.Ch->getDst()->getName() << "' needs " << Needed
+           << " slots, beyond the limit (--max-channel-tokens)";
+        Diags.error(SourceLoc(1, 1), OS.str());
+        return std::nullopt;
+      }
+      E.BufferSlots = static_cast<int64_t>(
+          spscPow2Ceil(static_cast<uint64_t>(Needed)));
+    }
+  }
+  Plan.BatchIters = std::max<int64_t>(1, Batch);
 
   if (Stats) {
     StatsScope SS(Stats, "parallel.plan");
@@ -444,14 +594,14 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
     SS.add("cut-edges", Plan.CutEdges.size());
     SS.add("cut-tokens-per-iter", static_cast<uint64_t>(CutTokens));
     SS.add("pinned-feedback-nodes", Plan.PinnedFeedbackNodes);
-    SS.add("slab-capacity", static_cast<uint64_t>(SlabCapacity));
-    double MaxC = 0, MinC = 0;
-    if (K) {
-      MaxC = *std::max_element(Plan.CostPerIter.begin(),
-                               Plan.CostPerIter.end());
-      MinC = *std::min_element(Plan.CostPerIter.begin(),
-                               Plan.CostPerIter.end());
-    }
+    int64_t MaxWindow = 0;
+    for (const CutEdge &E : Plan.CutEdges)
+      MaxWindow = std::max(MaxWindow, E.SlabCapacity);
+    if (Plan.CutEdges.empty())
+      MaxWindow = std::max<int64_t>(1, Tuning.SlabBase);
+    SS.add("slab-capacity", static_cast<uint64_t>(MaxWindow));
+    SS.add("batch-iters", static_cast<uint64_t>(Plan.BatchIters));
+    SS.add("clamp-reason", static_cast<uint64_t>(Plan.Clamp));
     SS.add("cost-max", static_cast<uint64_t>(std::llround(MaxC)));
     SS.add("cost-min", static_cast<uint64_t>(std::llround(MinC)));
   }

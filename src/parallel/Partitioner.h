@@ -43,6 +43,48 @@ struct PlatformModel;
 }
 namespace parallel {
 
+/// Tuning knobs for the parallel planner, fed from driver flags. The
+/// defaults are what `--parallel=N` alone means.
+struct ParallelTuning {
+  /// Iterations per slab handoff: 0 picks K from the PlatformModel's
+  /// per-slab sync cost, any other value forces that K (1 disables
+  /// batching).
+  unsigned Batch = 0;
+  /// Base credit window in slabs per partition-distance step. A cut
+  /// edge from partition p to partition q gets SlabBase * (q - p)
+  /// slabs of producer run-ahead, so stage-skipping edges do not
+  /// throttle the pipeline below the slack of the stage chain they
+  /// bypass (pipeline skewing; see docs/PARALLEL.md).
+  int64_t SlabBase = 2;
+  /// Stateless-filter fission policy: Off never replicates, Auto
+  /// replicates hot actors that dominate a balanced partition, Always
+  /// replicates every legal candidate (fuzzing knob).
+  enum class FissionMode { Off, Auto, Always } Fission = FissionMode::Auto;
+  /// Bypass the cost-model gate: take the best parallel plan even when
+  /// the model predicts a slowdown (--parallel-force).
+  bool Force = false;
+  /// Price actors as the laminar lowering executes them (channel ops
+  /// and splitters/joiners erased to SSA) instead of the FIFO pricing.
+  /// Set by the plan selector from the compilation mode, not a user
+  /// flag: the DP's balance and the gate's prediction must live in the
+  /// same cost space as the code the partitions will actually run.
+  bool LaminarCosts = false;
+};
+
+/// Why NumPartitions ended up below Requested (recorded in stats and
+/// the bench JSON so the perf gate can tell "clamped" from
+/// "mispartitioned").
+enum class ClampReason {
+  None,           ///< Got the full requested partition count.
+  FeedbackPinned, ///< Feedback pinning fused actors into too few units.
+  Degenerate,     ///< Fewer schedulable actors than requested workers.
+  CostFallback,   ///< The cost gate chose the sequential schedule.
+};
+
+/// Stable lower-case name for stats / JSON ("none", "feedback-pinned",
+/// "degenerate", "cost-fallback").
+const char *clampReasonName(ClampReason R);
+
 /// A channel whose endpoints landed in different partitions. Cut edges
 /// are lowered to SPSC ring buffers; everything else stays laminar.
 struct CutEdge {
@@ -53,10 +95,11 @@ struct CutEdge {
   /// iteration (srcRate x reps(src) == dstRate x reps(dst)).
   int64_t TokensPerIter = 0;
   /// Ring capacity in tokens (power of two, sized from the schedule so
-  /// SlabCapacity whole iteration slabs fit with the flow-control
+  /// SlabCapacity whole K-iteration slabs fit with the flow-control
   /// margin; see docs/PARALLEL.md for the derivation).
   int64_t BufferSlots = 0;
-  /// Steady-iteration slabs the producer may run ahead of the consumer.
+  /// Slabs (of BatchIters steady iterations each) the producer may run
+  /// ahead of the consumer. Skew-scaled: SlabBase * partition distance.
   int64_t SlabCapacity = 0;
 };
 
@@ -75,6 +118,18 @@ struct PartitionPlan {
   std::vector<CutEdge> CutEdges;
   /// Actors fused into indivisible units by feedback-loop pinning.
   unsigned PinnedFeedbackNodes = 0;
+  /// Steady iterations executed per slab handoff (K >= 1). The lowering
+  /// emits an extra @steady_p<k>_b<K> function when K > 1 and the
+  /// runtime/backends hand off whole K-iteration slabs.
+  int64_t BatchIters = 1;
+  /// Why NumPartitions < Requested (None when it is not).
+  ClampReason Clamp = ClampReason::None;
+  /// Speedup the cost model predicted for this plan (1.0 for the
+  /// sequential fallback). Informational: bench JSON and remarks.
+  double PredictedSpeedup = 1.0;
+  /// True when the cost gate rejected every parallel candidate and this
+  /// is the sequential (1-partition) schedule.
+  bool Fallback = false;
 
   std::unordered_map<const graph::Node *, unsigned> PartitionOf;
 
@@ -93,21 +148,39 @@ struct PartitionPlan {
 /// Modeled cycles for one firing of \p N under \p PM: an AST walk over
 /// the work body (loops weighted by compile-time trip counts, branches
 /// by the average of their arms), or a rate-proportional estimate for
-/// endpoints, splitters and joiners. Deterministic; exposed for the
-/// bench and tests.
+/// endpoints, splitters and joiners. With \p LaminarChannels the walk
+/// prices what the laminar lowering actually executes: peek/pop/push
+/// resolve to SSA values (0 cycles) and splitters/joiners are erased
+/// entirely. Deterministic; exposed for the bench and tests.
 double modeledFiringCost(const graph::Node *N,
-                         const perfmodel::PlatformModel &PM);
+                         const perfmodel::PlatformModel &PM,
+                         bool LaminarChannels = false);
+
+/// Modeled cycles for one whole steady iteration of \p S on one core:
+/// sum of reps(n) * modeledFiringCost(n). The sequential baseline of
+/// the cost gate.
+double modeledScheduleCycles(const schedule::Schedule &S,
+                             const perfmodel::PlatformModel &PM,
+                             bool LaminarChannels = false);
 
 /// Computes the placement for \p Workers workers. Records `parallel.*`
 /// stats, and explains every placement (PartitionPlacement) and every
 /// cut (CrossEdge) through \p Remarks. Fails (with a located error)
 /// only when a cut-edge ring would exceed --max-channel-tokens.
+///
+/// \p MaxPartitions caps the DP's block count below Workers (0 means
+/// Workers). The plan-selection gate uses it to enumerate candidate
+/// widths, and to build the 1-partition sequential fallback while
+/// keeping Plan.Requested (and the stats) honest about what the user
+/// asked for.
 std::optional<PartitionPlan>
 partitionSchedule(const graph::StreamGraph &G, const schedule::Schedule &S,
                   unsigned Workers, DiagnosticEngine &Diags,
                   const CompilerLimits &Limits = {},
                   StatsRegistry *Stats = nullptr,
-                  RemarkEmitter *Remarks = nullptr);
+                  RemarkEmitter *Remarks = nullptr,
+                  const ParallelTuning &Tuning = {},
+                  unsigned MaxPartitions = 0);
 
 } // namespace parallel
 } // namespace laminar

@@ -1,0 +1,289 @@
+//===--- PlanSelection.cpp ------------------------------------------------===//
+
+#include "parallel/PlanSelection.h"
+#include "lir/Instruction.h"
+#include "lir/Module.h"
+#include "parallel/Fission.h"
+#include "perfmodel/PlatformModel.h"
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::parallel;
+using namespace laminar::graph;
+
+namespace {
+
+/// Speedup below which the parallel plan is not worth the slab
+/// machinery: the prediction carries model error, so demand a margin
+/// over 1.0 before committing to threads.
+constexpr double GateThreshold = 1.05;
+
+/// Candidate widths are enumerated exhaustively; beyond this the DP
+/// cost would dominate compile time for no plausible gain.
+constexpr unsigned MaxEnumeratedWidth = 64;
+
+} // namespace
+
+double parallel::staticFunctionCycles(const lir::Function &F,
+                                      const perfmodel::PlatformModel &PM) {
+  interp::Counters C;
+  for (const auto &BB : F.blocks()) {
+    for (const auto &IP : BB->instructions()) {
+      const lir::Instruction *I = IP.get();
+      switch (I->getKind()) {
+      case lir::Value::Kind::Binary: {
+        const auto *B = cast<lir::BinaryInst>(I);
+        if (!lir::isFloatBinOp(B->getOp()))
+          ++C.IntAlu;
+        else if (B->getOp() == lir::BinOp::FDiv)
+          ++C.FloatDiv;
+        else
+          ++C.FloatAlu;
+        break;
+      }
+      case lir::Value::Kind::Unary:
+        if (cast<lir::UnaryInst>(I)->getOp() == lir::UnOp::FNeg)
+          ++C.FloatAlu;
+        else
+          ++C.IntAlu;
+        break;
+      case lir::Value::Kind::Cmp:
+        ++C.Cmp;
+        break;
+      case lir::Value::Kind::Cast:
+        ++C.Cast;
+        break;
+      case lir::Value::Kind::Select:
+        ++C.Select;
+        break;
+      case lir::Value::Kind::Call:
+        ++C.MathCall;
+        break;
+      case lir::Value::Kind::Input:
+        ++C.Input;
+        break;
+      case lir::Value::Kind::Output:
+        ++C.Output;
+        break;
+      case lir::Value::Kind::Load:
+        if (lir::isCommunication(
+                cast<lir::LoadInst>(I)->getGlobal()->getMemClass()))
+          ++C.CommLoad;
+        else
+          ++C.StateLoad;
+        break;
+      case lir::Value::Kind::Store:
+        if (lir::isCommunication(
+                cast<lir::StoreInst>(I)->getGlobal()->getMemClass()))
+          ++C.CommStore;
+        else
+          ++C.StateStore;
+        break;
+      case lir::Value::Kind::Phi:
+        ++C.Phi;
+        break;
+      case lir::Value::Kind::Br:
+      case lir::Value::Kind::CondBr:
+        ++C.Branch;
+        break;
+      case lir::Value::Kind::Ret:
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return PM.cycles(C);
+}
+
+double parallel::predictedIterCycles(const PartitionPlan &Plan,
+                                     const perfmodel::PlatformModel &PM,
+                                     bool LaminarIntra, double BodyScale) {
+  std::vector<double> C = Plan.CostPerIter;
+  if (C.empty())
+    return 1.0;
+  for (double &B : C)
+    B *= BodyScale;
+  const double K = static_cast<double>(std::max<int64_t>(1, Plan.BatchIters));
+  // Cycles per cut token on top of what the partition costs already
+  // include. In laminar mode the body pricing charged channel ops at
+  // zero (they resolve to SSA intra-partition), so a cut token pays the
+  // whole hoisted accessor: add + mask + one memory op. In FIFO mode
+  // the body already charged the one Load/Store, and the FifoChannel's
+  // in-memory cursor sequence adds the rest.
+  const double PushExtra = LaminarIntra
+                               ? 2 * PM.IntAlu + PM.Store
+                               : PM.Load + PM.Store + 2 * PM.IntAlu;
+  const double PopExtra = LaminarIntra
+                              ? 2 * PM.IntAlu + PM.Load
+                              : PM.Load + PM.Store + 2 * PM.IntAlu;
+  // Per-slab handshake plus the cursor reload/writeback, amortized
+  // over the K iterations one slab covers.
+  const double PerSlab = (PM.SyncPerSlab + PM.Load + PM.Store) / K;
+  for (const CutEdge &E : Plan.CutEdges) {
+    double T = static_cast<double>(E.TokensPerIter);
+    C[E.SrcPartition] += T * PushExtra + PerSlab;
+    C[E.DstPartition] += T * PopExtra + PerSlab;
+  }
+  return std::max(1.0, *std::max_element(C.begin(), C.end()));
+}
+
+std::optional<SelectedPlan> parallel::selectPlan(
+    const StreamGraph &G, const schedule::Schedule &S, unsigned Workers,
+    DiagnosticEngine &Diags, const CompilerLimits &Limits,
+    StatsRegistry *Stats, RemarkEmitter *Remarks,
+    const ParallelTuning &Tuning, bool LaminarIntra,
+    double CalibratedSeqCycles) {
+  const unsigned Requested = std::max(1u, Workers);
+  if (Requested == 1) {
+    auto Plan = partitionSchedule(G, S, Requested, Diags, Limits, Stats,
+                                  Remarks, Tuning);
+    if (!Plan)
+      return std::nullopt;
+    SelectedPlan R;
+    R.Plan = std::move(*Plan);
+    return R;
+  }
+
+  const perfmodel::PlatformModel *PM = perfmodel::findPlatform("i7-2600K");
+  assert(PM && "reference platform model missing");
+  // Every cost below — the sequential baseline, the DP's balance, and
+  // the per-partition predictions — lives in the cost space of the code
+  // the partitions will actually run: laminar pricing erases channel
+  // ops and routing nodes, FIFO pricing keeps them.
+  ParallelTuning T = Tuning;
+  T.LaminarCosts = LaminarIntra;
+  const double ModelSeq =
+      std::max(1.0, modeledScheduleCycles(S, *PM, LaminarIntra));
+  // Calibration (see the header): anchor the baseline to the optimized
+  // lowering's real instruction mix when the driver measured it, and
+  // rescale every candidate's body costs by the same factor so the
+  // exact per-token extras regain their true relative weight.
+  double Seq = ModelSeq;
+  double BodyScale = 1.0;
+  if (CalibratedSeqCycles > 0) {
+    Seq = std::max(1.0, CalibratedSeqCycles);
+    BodyScale = Seq / ModelSeq;
+  }
+  if (Stats && CalibratedSeqCycles > 0)
+    Stats->add("parallel.plan.calibrated-seq-cycles",
+               static_cast<uint64_t>(std::llround(Seq)));
+
+  // One fission rewrite per compile: the factor depends on the worker
+  // count, not on the candidate width, and the gate below compares the
+  // fissioned plans against the plain ones at every width.
+  std::optional<FissionResult> Fis;
+  std::optional<schedule::Schedule> FisSched;
+  if (Tuning.Fission != ParallelTuning::FissionMode::Off) {
+    Fis = fissionGraph(G, S, Requested, T.Fission, LaminarIntra);
+    if (Fis) {
+      DiagnosticEngine Scratch;
+      FisSched = schedule::computeSchedule(*Fis->G, Scratch, Limits);
+      if (!FisSched)
+        Fis.reset();
+    }
+  }
+
+  double BestPred = -1;
+  unsigned BestP = 0;
+  bool BestFis = false;
+  unsigned Candidates = 0;
+  for (unsigned P = 2; P <= std::min(Requested, MaxEnumeratedWidth); ++P) {
+    for (int UseFis = 0; UseFis <= (Fis ? 1 : 0); ++UseFis) {
+      const StreamGraph &CG = UseFis ? *Fis->G : G;
+      const schedule::Schedule &CS = UseFis ? *FisSched : S;
+      DiagnosticEngine Scratch;
+      auto Plan = partitionSchedule(CG, CS, Requested, Scratch, Limits,
+                                    nullptr, nullptr, T, P);
+      // A clamped candidate repeats a width already scored.
+      if (!Plan || Plan->NumPartitions < P)
+        continue;
+      ++Candidates;
+      double Pred =
+          Seq / predictedIterCycles(*Plan, *PM, LaminarIntra, BodyScale);
+      // Strict improvement keeps the narrowest width and prefers the
+      // unfissioned graph on ties (fewer actors, less cut traffic).
+      if (Pred > BestPred + 1e-9) {
+        BestPred = Pred;
+        BestP = P;
+        BestFis = UseFis != 0;
+      }
+    }
+  }
+
+  auto RecordPredicted = [&](double Pred) {
+    if (Stats)
+      Stats->add("parallel.plan.predicted-speedup-x100",
+                 static_cast<uint64_t>(
+                     std::llround(std::max(0.0, Pred) * 100)));
+  };
+
+  // Gate: no viable candidate, or the best one is predicted to be a
+  // wash — run the sequential schedule instead (unless forced).
+  if (BestP == 0 || (BestPred < GateThreshold && !Tuning.Force)) {
+    const bool Rejected = BestP != 0;
+    auto Plan = partitionSchedule(G, S, Requested, Diags, Limits, Stats,
+                                  Remarks, T,
+                                  Rejected ? 1 : 0);
+    if (!Plan)
+      return std::nullopt;
+    if (Rejected) {
+      Plan->Clamp = ClampReason::CostFallback;
+      Plan->Fallback = true;
+      Plan->PredictedSpeedup = BestPred;
+      if (Stats) {
+        Stats->add("parallel.plan.fallback");
+        Stats->add("parallel.plan.candidates", Candidates);
+      }
+      RecordPredicted(BestPred);
+      if (Remarks) {
+        std::ostringstream OS;
+        OS << "cost model predicts " << std::llround(BestPred * 100) / 100.0
+           << "x at --parallel=" << Requested
+           << " (best of " << Candidates
+           << " candidate plan(s)); running the sequential schedule "
+              "(--parallel-force overrides)";
+        Remarks->missed("parallel-plan", "FallbackSequential", OS.str());
+      }
+    }
+    SelectedPlan R;
+    R.Plan = std::move(*Plan);
+    return R;
+  }
+
+  const StreamGraph &CG = BestFis ? *Fis->G : G;
+  const schedule::Schedule &CS = BestFis ? *FisSched : S;
+  auto Plan = partitionSchedule(CG, CS, Requested, Diags, Limits, Stats,
+                                Remarks, T, BestP);
+  if (!Plan)
+    return std::nullopt;
+  Plan->PredictedSpeedup = BestPred;
+  if (Stats) {
+    Stats->add("parallel.plan.candidates", Candidates);
+    if (BestFis) {
+      Stats->add("parallel.plan.fission-actors", Fis->ActorsFissioned);
+      Stats->add("parallel.plan.fission-replicas", Fis->ReplicasAdded);
+    }
+  }
+  RecordPredicted(BestPred);
+  if (Remarks) {
+    std::ostringstream OS;
+    OS << "selected " << Plan->NumPartitions << " partition(s)";
+    if (BestFis)
+      OS << " with " << Fis->ActorsFissioned << " actor(s) fissioned into "
+         << Fis->ReplicasAdded << " replica(s)";
+    OS << ", batch K=" << Plan->BatchIters << "; predicted "
+       << std::llround(BestPred * 100) / 100.0 << "x over sequential";
+    Remarks->passed("parallel-plan", "PlanSelected", OS.str());
+  }
+  SelectedPlan R;
+  R.Plan = std::move(*Plan);
+  if (BestFis) {
+    R.FissionedGraph = std::move(Fis->G);
+    R.FissionedSched = std::move(FisSched);
+  }
+  return R;
+}

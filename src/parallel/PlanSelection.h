@@ -1,0 +1,86 @@
+//===--- PlanSelection.h - Cost-gated parallel plan choice -----*- C++ -*-===//
+//
+// The gate that makes `--parallel=N` safe to enable blindly: it
+// enumerates candidate plans (every width up to N, with and without
+// stateless-filter fission), predicts each one's speedup from the
+// PlatformModel — per-partition work, per-token ring-accessor cost,
+// and the per-slab sync handshake amortized over the batching factor —
+// and picks the best. When even the best candidate is predicted to be
+// a wash, it falls back to the sequential 1-partition schedule
+// (`parallel.plan.fallback` stat + a missed-optimization remark), so
+// requesting parallelism never pessimizes a program. `--parallel-force`
+// bypasses the gate for testing the parallel runtime on cheap graphs.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_PARALLEL_PLANSELECTION_H
+#define LAMINAR_PARALLEL_PLANSELECTION_H
+
+#include "parallel/Partitioner.h"
+#include <memory>
+#include <optional>
+
+namespace laminar {
+namespace lir {
+class Function;
+}
+namespace parallel {
+
+/// The chosen placement, plus the rewritten graph/schedule when the
+/// winning candidate used fission (the driver swaps them into the
+/// compilation so every later stage sees the replicas as ordinary
+/// actors).
+struct SelectedPlan {
+  PartitionPlan Plan;
+  std::unique_ptr<graph::StreamGraph> FissionedGraph; // null: no fission
+  std::optional<schedule::Schedule> FissionedSched;
+};
+
+/// Predicted per-steady-iteration cycles of \p Plan on the reference
+/// platform: the widest partition's work plus its share of cut-edge
+/// traffic and the batch-amortized slab handshakes. \p LaminarIntra
+/// selects the hoisted-cursor ring-accessor cost; the FIFO fallback
+/// pays the full load/store sequence per token. \p BodyScale rescales
+/// the partitions' body costs (not the per-token/per-slab extras,
+/// which are exact) into measured space — see the calibration note on
+/// selectPlan. Exposed for tests.
+double predictedIterCycles(const PartitionPlan &Plan,
+                           const perfmodel::PlatformModel &PM,
+                           bool LaminarIntra, double BodyScale = 1.0);
+
+/// Statically priced cycles for one call of \p F under \p PM: every
+/// instruction is counted once, exactly as the interpreter's dynamic
+/// counters would tally it. For the laminar @steady function after O2
+/// (fully unrolled, straight-line) the static count *is* the dynamic
+/// count, which makes this the calibration anchor: it prices what the
+/// optimizer left, not what the source AST said. Blocks are weighted 1,
+/// so residual loops (unroll budget exceeded) undercount — callers
+/// treat the result as a best-effort scale, never a hard bound.
+double staticFunctionCycles(const lir::Function &F,
+                            const perfmodel::PlatformModel &PM);
+
+/// Enumerates, predicts and picks. Returns nullopt only when
+/// partitioning itself fails (ring limits, simulation failure — the
+/// errors land in \p Diags). Stats and remarks are recorded once, for
+/// the chosen plan only.
+///
+/// \p CalibratedSeqCycles, when > 0, is the measured-space cost of one
+/// sequential steady iteration (the driver prices the optimized
+/// sequential lowering with staticFunctionCycles). The AST-walk model
+/// cannot see what O2 folds away, so its body costs can be an order of
+/// magnitude high, which makes cut-token overhead look relatively
+/// cheap and lets the gate approve plans whose communication swamps
+/// the real work. Calibration fixes the *scale*: body costs are
+/// multiplied by CalibratedSeqCycles / modeledScheduleCycles while the
+/// per-token and per-slab extras (already exact) are left alone.
+std::optional<SelectedPlan>
+selectPlan(const graph::StreamGraph &G, const schedule::Schedule &S,
+           unsigned Workers, DiagnosticEngine &Diags,
+           const CompilerLimits &Limits, StatsRegistry *Stats,
+           RemarkEmitter *Remarks, const ParallelTuning &Tuning,
+           bool LaminarIntra, double CalibratedSeqCycles = 0);
+
+} // namespace parallel
+} // namespace laminar
+
+#endif // LAMINAR_PARALLEL_PLANSELECTION_H

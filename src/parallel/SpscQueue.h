@@ -55,23 +55,25 @@ inline uint64_t spscPow2Ceil(uint64_t N) {
 /// it, e.g. via the std::thread constructor).
 template <typename T> class SpscQueue {
 public:
-  /// Capacity is rounded up to a power of two; a capacity of 0 is
-  /// rounded up to 1.
+  /// The logical capacity is exactly \p Capacity (minimum 1): tryPush
+  /// admits at most that many in-flight elements, so skew-scaled
+  /// credit windows are enforced precisely. Storage is still rounded
+  /// up to a power of two for masked indexing.
   explicit SpscQueue(size_t Capacity)
-      : Buf(spscPow2Ceil(Capacity ? Capacity : 1)),
+      : Cap(Capacity ? Capacity : 1), Buf(spscPow2Ceil(Cap)),
         Mask(Buf.size() - 1) {}
 
   SpscQueue(const SpscQueue &) = delete;
   SpscQueue &operator=(const SpscQueue &) = delete;
 
-  size_t capacity() const { return Buf.size(); }
+  size_t capacity() const { return Cap; }
 
   /// Producer side. Returns false when the ring is full.
   bool tryPush(const T &V) {
     uint64_t T0 = Tail.load(std::memory_order_relaxed);
-    if (T0 - HeadCache >= Buf.size()) {
+    if (T0 - HeadCache >= Cap) {
       HeadCache = Head.load(std::memory_order_acquire);
-      if (T0 - HeadCache >= Buf.size())
+      if (T0 - HeadCache >= Cap)
         return false;
     }
     Buf[T0 & Mask] = V;
@@ -102,6 +104,7 @@ public:
   bool empty() const { return size() == 0; }
 
 private:
+  size_t Cap;
   std::vector<T> Buf;
   uint64_t Mask;
   // Producer-owned line: Tail plus the producer's cache of Head.

@@ -31,13 +31,17 @@ const std::vector<PlatformModel> &perfmodel::paperPlatforms() {
   static const std::vector<PlatformModel> Platforms = {
       // Name            iALU fALU fDIV cmp cast sel math phi  br  ld   st
       {"i7-2600K", 1.0, 1.0, 14.0, 1.0, 1.0, 1.0, 40.0, 0.0, 1.5, 4.0, 4.0,
-       1.0, /*GHz=*/3.4, /*W=*/95.0, /*memNJ=*/1.8, /*aluNJ=*/0.35},
+       1.0, /*GHz=*/3.4, /*W=*/95.0, /*memNJ=*/1.8, /*aluNJ=*/0.35,
+       /*syncSlab=*/60.0},
       {"Opteron-6378", 1.1, 1.3, 18.0, 1.1, 1.1, 1.1, 46.0, 0.0, 1.8, 4.6,
-       4.6, 1.1, /*GHz=*/2.4, /*W=*/115.0, /*memNJ=*/2.3, /*aluNJ=*/0.45},
+       4.6, 1.1, /*GHz=*/2.4, /*W=*/115.0, /*memNJ=*/2.3, /*aluNJ=*/0.45,
+       /*syncSlab=*/80.0},
       {"XeonPhi-3120A", 1.6, 1.6, 26.0, 1.6, 1.6, 1.6, 60.0, 0.0, 3.0, 9.0,
-       9.0, 1.6, /*GHz=*/1.1, /*W=*/300.0, /*memNJ=*/2.8, /*aluNJ=*/0.50},
+       9.0, 1.6, /*GHz=*/1.1, /*W=*/300.0, /*memNJ=*/2.8, /*aluNJ=*/0.50,
+       /*syncSlab=*/150.0},
       {"Cortex-A15", 1.3, 1.8, 24.0, 1.3, 1.3, 1.3, 55.0, 0.0, 2.2, 6.5, 6.5,
-       1.3, /*GHz=*/1.7, /*W=*/7.5, /*memNJ=*/1.2, /*aluNJ=*/0.25},
+       1.3, /*GHz=*/1.7, /*W=*/7.5, /*memNJ=*/1.2, /*aluNJ=*/0.25,
+       /*syncSlab=*/90.0},
   };
   return Platforms;
 }

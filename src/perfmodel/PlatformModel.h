@@ -45,6 +45,11 @@ struct PlatformModel {
   double MemAccessNJ;
   /// Dynamic energy per ALU-class operation in nanojoules.
   double AluOpNJ;
+  /// Modeled cycles to hand one slab of tokens to another core: the
+  /// release/acquire pair plus the cache-line transfer of the ticket
+  /// counter and the ring's dirty lines. Drives the batching factor K
+  /// and the parallel cost gate; never charged to interpreter counts.
+  double SyncPerSlab;
 
   /// Modeled cycles for one phase's dynamic counts.
   double cycles(const interp::Counters &C) const;

@@ -23,6 +23,14 @@ std::string DiffConfig::name() const {
     N += "-unroll";
   if (Parallel)
     N += "-par" + std::to_string(Parallel);
+  if (Force)
+    N += "-force";
+  if (Batch)
+    N += "-b" + std::to_string(Batch);
+  if (SlabBase != 2)
+    N += "-skew" + std::to_string(SlabBase);
+  if (FissionAlways)
+    N += "-fission";
   return N;
 }
 
@@ -37,6 +45,23 @@ std::vector<DiffConfig> testing::allConfigs(bool Parallel) {
     Configs.push_back({LoweringMode::Fifo, 0, false, 2});
     Configs.push_back({LoweringMode::Fifo, 0, false, 4});
     Configs.push_back({LoweringMode::Laminar, 2, false, 2});
+    // Tuned planner variants, all gate-forced so small fuzz programs
+    // exercise real multi-partition plans: pinned batching factor,
+    // minimal skew windows (tightest legal backpressure), and forced
+    // fission of every legal stateless filter.
+    DiffConfig Forced{LoweringMode::Laminar, 2, false, 4};
+    Forced.Force = true;
+    Configs.push_back(Forced);
+    DiffConfig Batched = Forced;
+    Batched.Batch = 4;
+    Configs.push_back(Batched);
+    DiffConfig Skewed = Forced;
+    Skewed.SlabBase = 1;
+    Configs.push_back(Skewed);
+    DiffConfig Fissioned = Forced;
+    Fissioned.FissionAlways = true;
+    Configs.push_back(Fissioned);
+    // The gated configuration last (tests key off this position).
     Configs.push_back({LoweringMode::Laminar, 2, false, 4});
   }
   return Configs;
@@ -48,6 +73,8 @@ const char *testing::diffStatusName(DiffStatus S) {
     return "ok";
   case DiffStatus::FrontendReject:
     return "frontend-reject";
+  case DiffStatus::RuntimeReject:
+    return "runtime-reject";
   case DiffStatus::CompileError:
     return "compile-error";
   case DiffStatus::RunError:
@@ -141,6 +168,11 @@ Compilation compileConfig(const std::string &Source, const std::string &Top,
   CO.OptLevel = Cfg.OptLevel;
   CO.UnrollFifo = Cfg.UnrollFifo;
   CO.Parallel = Cfg.Parallel;
+  CO.Tuning.Force = Cfg.Force;
+  CO.Tuning.Batch = Cfg.Batch;
+  CO.Tuning.SlabBase = Cfg.SlabBase;
+  if (Cfg.FissionAlways)
+    CO.Tuning.Fission = parallel::ParallelTuning::FissionMode::Always;
   CO.VerifyEachPass = O.VerifyEachPass;
   return compile(Source, CO);
 }
@@ -256,7 +288,7 @@ DiffResult testing::diffProgram(const std::string &Source,
   interp::RunResult RefRun = runWithRandomInput(Ref, O.Iterations,
                                                 O.InputSeed);
   if (!RefRun.Ok) {
-    R.Status = DiffStatus::RunError;
+    R.Status = DiffStatus::RuntimeReject;
     R.Config = Configs[0].name();
     R.Detail = RefRun.Error;
     return R;

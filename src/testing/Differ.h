@@ -27,14 +27,26 @@ struct DiffConfig {
   bool UnrollFifo = false;
   /// Partition count for threaded execution (0 = sequential).
   unsigned Parallel = 0;
+  /// Planner tuning for the threaded configurations. Force bypasses
+  /// the cost gate (so small fuzz programs exercise real multi-worker
+  /// plans instead of all falling back), Batch pins the slab batching
+  /// factor, SlabBase scales the skew windows, FissionAlways
+  /// replicates every legal stateless filter.
+  bool Force = false;
+  unsigned Batch = 0;
+  int64_t SlabBase = 2;
+  bool FissionAlways = false;
 
   std::string name() const;
 };
 
 /// All configurations the oracle compares, reference (fifo-O0) first.
 /// With \p Parallel the list also carries the threaded configurations
-/// (fifo-O0 and laminar-O2 at 2 and 4 workers), so every parallel plan
-/// is checked bit-exact against the sequential reference.
+/// (fifo-O0 and laminar-O2 at 2 and 4 workers) plus the tuned
+/// laminar-O2-par4 variants — forced gate, pinned batching, minimal
+/// skew windows, forced fission — so every planner feature is diffed
+/// bit-exact against the sequential reference. The gated
+/// laminar-O2-par4 configuration stays last.
 std::vector<DiffConfig> allConfigs(bool Parallel = false);
 
 struct DiffOptions {
@@ -63,6 +75,14 @@ enum class DiffStatus {
   /// The frontend (parse/sema/graph/schedule) rejected the program:
   /// the generator's fault, not the compiler's. Not a failure.
   FrontendReject,
+  /// The *reference* execution (fifo-O0) itself trapped — e.g. a
+  /// numerically diverging stateful recurrence pushed a float-to-int
+  /// conversion out of range. All configurations compute identical
+  /// values, so a reference trap is a property of the generated
+  /// program, not of any lowering, and there is no reference stream
+  /// to diff against. Not a failure. (A trap in a *non*-reference
+  /// configuration only is still RunError: that is a miscompile.)
+  RuntimeReject,
   /// Lowering, verification or optimization failed on a program the
   /// frontend accepted.
   CompileError,
@@ -87,7 +107,9 @@ struct DiffResult {
 
   /// True for any status that implicates the compiler.
   bool failed() const {
-    return Status != DiffStatus::Ok && Status != DiffStatus::FrontendReject;
+    return Status != DiffStatus::Ok &&
+           Status != DiffStatus::FrontendReject &&
+           Status != DiffStatus::RuntimeReject;
   }
 };
 

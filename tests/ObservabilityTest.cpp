@@ -29,7 +29,7 @@ float->float filter Avg(int n) {
   work push 1 pop 1 peek n {
     float s = 0.0;
     for (int i = 0; i < n; i++) s += peek(i);
-    push(s / n);
+    push(s * 1.0 / n);
     pop();
   }
 }

@@ -44,15 +44,34 @@ TEST_F(OptFixture, ConstantFoldFoldsArithmetic) {
 
 TEST_F(OptFixture, AlgebraicIdentities) {
   Value *X = B.createInput(TypeKind::Float);
-  Value *V = B.createBinary(BinOp::FAdd, X, B.getFloat(0.0));
+  Value *V = B.createBinary(BinOp::FAdd, X, B.getFloat(-0.0));
   V = B.createBinary(BinOp::FMul, V, B.getFloat(1.0));
   B.createOutput(V);
   B.createRet();
   EXPECT_TRUE(runConstantFold(*F, Stats));
   runDCE(*F, Stats);
-  // x + 0.0 and x * 1.0 both collapse to x.
+  // x + (-0.0) and x * 1.0 both collapse to x.
   EXPECT_EQ(instCount(), 3u); // input, output, ret
   EXPECT_EQ(Stats.get("opt.constfold.simplified"), 2u);
+}
+
+TEST_F(OptFixture, SignedZeroIdentitiesAreNotFolded) {
+  // +0.0 + x maps x = -0.0 to +0.0, and x - (-0.0) maps -0.0 to +0.0,
+  // so neither may simplify to x (found by the parallel-oracle fuzzer:
+  // fifo-O2 emitted -0 where fifo-O0 produced +0).
+  Value *X = B.createInput(TypeKind::Float);
+  Value *A = B.createBinary(BinOp::FAdd, B.getFloat(0.0), X);
+  Value *S = B.createBinary(BinOp::FSub, A, B.getFloat(-0.0));
+  B.createOutput(S);
+  // But x - (+0.0) is exact for every x (including -0.0 and NaN).
+  Value *S2 = B.createBinary(BinOp::FSub, X, B.getFloat(0.0));
+  B.createOutput(S2);
+  B.createRet();
+  EXPECT_TRUE(runConstantFold(*F, Stats));
+  EXPECT_EQ(Stats.get("opt.constfold.simplified"), 1u);
+  // The +0.0 FAdd and the -0.0 FSub must both survive.
+  EXPECT_TRUE(A->hasUses());
+  EXPECT_TRUE(S->hasUses());
 }
 
 TEST_F(OptFixture, IntIdentitiesAndSelfCancellation) {

@@ -18,6 +18,7 @@
 #include "parallel/Partitioner.h"
 #include "suite/Suite.h"
 #include "testing/Differ.h"
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,14 +33,26 @@ namespace {
 
 Compilation compileParallel(const std::string &Source, const std::string &Top,
                             LoweringMode Mode, unsigned Opt,
-                            unsigned Parallel) {
+                            unsigned Parallel,
+                            const parallel::ParallelTuning &Tuning = {}) {
   CompileOptions O;
   O.TopName = Top;
   O.Mode = Mode;
   O.OptLevel = Opt;
   O.Parallel = Parallel;
+  O.Tuning = Tuning;
   O.VerifyEachPass = true;
   return compile(Source, O);
+}
+
+/// Tuning that bypasses the cost-model gate (--parallel-force): tests
+/// that exercise the threaded machinery itself must not silently turn
+/// into sequential runs when the gate (correctly) deems a benchmark
+/// too cheap to parallelize.
+parallel::ParallelTuning forced() {
+  parallel::ParallelTuning T;
+  T.Force = true;
+  return T;
 }
 
 void expectBitExact(const interp::TokenStream &Ref,
@@ -229,8 +242,10 @@ TEST(Parallel, FeedbackLoopIsPinned) {
   // would deadlock (the loop's producer would wait on its own output).
   const suite::Benchmark *B = suite::findBenchmark("Echo");
   ASSERT_NE(B, nullptr);
-  Compilation C =
-      compileParallel(B->Source, B->Top, LoweringMode::Laminar, 2, 4);
+  // Forced: the gate would (correctly) fall back on Echo; this test is
+  // about the structure of a real multi-partition plan.
+  Compilation C = compileParallel(B->Source, B->Top, LoweringMode::Laminar,
+                                  2, 4, forced());
   ASSERT_TRUE(C.Ok) << C.ErrorLog;
   ASSERT_TRUE(C.Plan.has_value());
   EXPECT_GT(C.Plan->PinnedFeedbackNodes, 0u);
@@ -314,6 +329,105 @@ TEST(Parallel, PlanAndStatsAreDeterministic) {
   EXPECT_EQ(lir::printModule(*C1.Module), lir::printModule(*C2.Module));
 }
 
+TEST(Parallel, CostGateFallsBackOnCheapGraphs) {
+  // Echo and MatrixMult per-iteration work is dwarfed by their cut
+  // traffic: the calibrated cost model must predict a wash and select
+  // the sequential schedule — with the fallback stat, remark and clamp
+  // reason — while the program still runs bit-exact.
+  for (const char *Name : {"Echo", "MatrixMult"}) {
+    const suite::Benchmark *B = suite::findBenchmark(Name);
+    ASSERT_NE(B, nullptr);
+
+    Compilation Ref =
+        compileParallel(B->Source, B->Top, LoweringMode::Fifo, 0, 0);
+    ASSERT_TRUE(Ref.Ok) << Name << ": " << Ref.ErrorLog;
+    interp::RunResult RefRun = runWithRandomInput(Ref, 4, 11);
+    ASSERT_TRUE(RefRun.Ok) << Name;
+
+    Compilation C =
+        compileParallel(B->Source, B->Top, LoweringMode::Laminar, 2, 4);
+    ASSERT_TRUE(C.Ok) << Name << ": " << C.ErrorLog;
+    ASSERT_TRUE(C.Plan.has_value()) << Name;
+    EXPECT_EQ(C.Plan->NumPartitions, 1u) << Name;
+    EXPECT_EQ(C.Plan->Requested, 4u) << Name;
+    EXPECT_TRUE(C.Plan->Fallback) << Name;
+    EXPECT_EQ(C.Plan->Clamp, parallel::ClampReason::CostFallback) << Name;
+    EXPECT_LT(C.Plan->PredictedSpeedup, 1.05) << Name;
+    EXPECT_EQ(C.Stats.get("parallel.plan.fallback"), 1u) << Name;
+    EXPECT_EQ(C.Stats.get("parallel.plan.partitions"), 1u) << Name;
+    EXPECT_GT(C.Stats.get("parallel.plan.candidates"), 0u) << Name;
+
+    interp::RunResult R = runWithRandomInput(C, 4, 11);
+    ASSERT_TRUE(R.Ok) << Name << ": " << R.Error;
+    expectBitExact(RefRun.Outputs, R.Outputs,
+                   std::string(Name) + "-fallback");
+  }
+}
+
+TEST(Parallel, ForceOverridesCostGate) {
+  // --parallel-force must take the best parallel candidate even where
+  // the gate predicts a slowdown, and the forced plan must still be
+  // bit-exact against the sequential reference.
+  for (const char *Name : {"Echo", "MatrixMult"}) {
+    const suite::Benchmark *B = suite::findBenchmark(Name);
+    ASSERT_NE(B, nullptr);
+
+    Compilation Ref =
+        compileParallel(B->Source, B->Top, LoweringMode::Fifo, 0, 0);
+    ASSERT_TRUE(Ref.Ok) << Name << ": " << Ref.ErrorLog;
+    interp::RunResult RefRun = runWithRandomInput(Ref, 4, 11);
+    ASSERT_TRUE(RefRun.Ok) << Name;
+
+    Compilation C = compileParallel(B->Source, B->Top,
+                                    LoweringMode::Laminar, 2, 4, forced());
+    ASSERT_TRUE(C.Ok) << Name << ": " << C.ErrorLog;
+    ASSERT_TRUE(C.Plan.has_value()) << Name;
+    EXPECT_GT(C.Plan->NumPartitions, 1u) << Name;
+    EXPECT_FALSE(C.Plan->Fallback) << Name;
+    EXPECT_EQ(C.Stats.get("parallel.plan.fallback"), 0u) << Name;
+
+    interp::RunResult R = runWithRandomInput(C, 4, 11);
+    ASSERT_TRUE(R.Ok) << Name << ": " << R.Error;
+    expectBitExact(RefRun.Outputs, R.Outputs,
+                   std::string(Name) + "-forced");
+  }
+}
+
+TEST(Parallel, FissionedPlanAndStatsAreDeterministic) {
+  // Same byte-determinism contract as PlanAndStatsAreDeterministic,
+  // but for a graph the planner rewrites: DCT's gated par4 plan wins
+  // with fission, so the splitter/joiner nodes and replica actors it
+  // introduces — names, order, ring sizes — must be identical across
+  // compilations.
+  const suite::Benchmark *B = suite::findBenchmark("DCT");
+  ASSERT_NE(B, nullptr);
+  Compilation C1 =
+      compileParallel(B->Source, B->Top, LoweringMode::Laminar, 2, 4);
+  Compilation C2 =
+      compileParallel(B->Source, B->Top, LoweringMode::Laminar, 2, 4);
+  ASSERT_TRUE(C1.Ok) << C1.ErrorLog;
+  ASSERT_TRUE(C2.Ok) << C2.ErrorLog;
+  ASSERT_TRUE(C1.Plan.has_value() && C2.Plan.has_value());
+  // The rewrite actually fissioned something, or this golden is vacuous.
+  EXPECT_GT(C1.Stats.get("parallel.plan.fission-replicas"), 0u);
+  ASSERT_EQ(C1.Plan->NumPartitions, C2.Plan->NumPartitions);
+  for (size_t P = 0; P < C1.Plan->Members.size(); ++P) {
+    ASSERT_EQ(C1.Plan->Members[P].size(), C2.Plan->Members[P].size());
+    for (size_t I = 0; I < C1.Plan->Members[P].size(); ++I)
+      EXPECT_EQ(C1.Plan->Members[P][I]->getName(),
+                C2.Plan->Members[P][I]->getName());
+  }
+  ASSERT_EQ(C1.Plan->CutEdges.size(), C2.Plan->CutEdges.size());
+  for (size_t I = 0; I < C1.Plan->CutEdges.size(); ++I) {
+    EXPECT_EQ(C1.Plan->CutEdges[I].BufferSlots,
+              C2.Plan->CutEdges[I].BufferSlots);
+    EXPECT_EQ(C1.Plan->CutEdges[I].SlabCapacity,
+              C2.Plan->CutEdges[I].SlabCapacity);
+  }
+  EXPECT_EQ(C1.Stats.str(), C2.Stats.str());
+  EXPECT_EQ(lir::printModule(*C1.Module), lir::printModule(*C2.Module));
+}
+
 TEST(Parallel, ModuleCarriesPerPartitionFunctions) {
   const suite::Benchmark *B = suite::findBenchmark("FMRadio");
   ASSERT_NE(B, nullptr);
@@ -335,8 +449,10 @@ TEST(Parallel, ThreadedCMatchesThreadedInterpreter) {
   for (const char *Name : {"FMRadio", "BitonicSort", "Echo"}) {
     const suite::Benchmark *B = suite::findBenchmark(Name);
     ASSERT_NE(B, nullptr);
-    Compilation C =
-        compileParallel(B->Source, B->Top, LoweringMode::Laminar, 2, 2);
+    // Forced: Echo is too cheap for the gate, but this test needs a
+    // real 2-partition module to exercise the threaded C backend.
+    Compilation C = compileParallel(B->Source, B->Top,
+                                    LoweringMode::Laminar, 2, 2, forced());
     ASSERT_TRUE(C.Ok) << Name << ": " << C.ErrorLog;
     ASSERT_TRUE(C.Plan.has_value());
     interp::RunResult R = runWithRandomInput(C, Iters, Seed);
@@ -365,14 +481,23 @@ TEST(Parallel, DifferCoversParallelConfigs) {
   EXPECT_GT(Par.size(), Plain.size());
   EXPECT_EQ(Par[0].Parallel, 0u);
   bool SawPar2 = false, SawPar4 = false;
+  std::vector<std::string> Names;
   for (const laminar::testing::DiffConfig &Cfg : Par) {
     if (Cfg.Parallel == 2)
       SawPar2 = true;
     if (Cfg.Parallel == 4)
       SawPar4 = true;
+    Names.push_back(Cfg.name());
   }
   EXPECT_TRUE(SawPar2);
   EXPECT_TRUE(SawPar4);
+  // The tuned planner variants must all be in the matrix: forced gate,
+  // pinned batching, minimal skew, forced fission.
+  for (const char *Want :
+       {"laminar-O2-par4-force", "laminar-O2-par4-force-b4",
+        "laminar-O2-par4-force-skew1", "laminar-O2-par4-force-fission"})
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Want), Names.end())
+        << Want;
   EXPECT_EQ(Par.back().name(), "laminar-O2-par4");
 
   // And one whole-oracle pass over a real program.

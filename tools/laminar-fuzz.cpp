@@ -427,6 +427,7 @@ int main(int argc, char **argv) {
 
   int64_t Done = 0;
   int64_t Rejects = 0;
+  int64_t RunRejects = 0;
   int64_t Failures = 0;
 
   for (int64_t I = 0; I < Iters && !OutOfTime(); ++I) {
@@ -438,6 +439,10 @@ int main(int argc, char **argv) {
     ++Done;
     if (D.Status == lt::DiffStatus::FrontendReject) {
       ++Rejects;
+      continue;
+    }
+    if (D.Status == lt::DiffStatus::RuntimeReject) {
+      ++RunRejects;
       continue;
     }
     if (!D.failed())
@@ -476,8 +481,10 @@ int main(int argc, char **argv) {
     std::cout << "FAIL " << Name << "\n  reproducer: " << ReproPath << "\n";
   }
 
-  Report << "programs=" << Done << " ok=" << (Done - Rejects - Failures)
-         << " frontend-reject=" << Rejects << " failures=" << Failures
+  Report << "programs=" << Done
+         << " ok=" << (Done - Rejects - RunRejects - Failures)
+         << " frontend-reject=" << Rejects
+         << " runtime-reject=" << RunRejects << " failures=" << Failures
          << "\n";
 
   std::ofstream Out(Corpus + "/report.txt");

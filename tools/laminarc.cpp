@@ -4,6 +4,13 @@
 //   --mode=fifo|laminar   lowering strategy (default laminar)
 //   --parallel=N          partition the steady state across N workers
 //                         (threaded interpretation / threaded C; 0 = off)
+//   --parallel-force      bypass the cost-model gate (take the best
+//                         parallel plan even when a slowdown is predicted)
+//   --parallel-batch=K    force K steady iterations per slab handoff
+//                         (default: picked from the platform model)
+//   --parallel-slab=S     base credit window in slabs per partition-
+//                         distance step (pipeline skewing; default 2)
+//   --no-parallel-fission disable stateless-filter fission
 //   --opt=N               optimization level 0..2 (default 2)
 //   --emit=ir|c|graph|schedule|run|stats
 //   --iters=N             steady iterations for --emit=run (default 16)
@@ -45,7 +52,8 @@ using namespace laminar;
 static int usage() {
   std::cerr
       << "usage: laminarc <benchmark|file.str|-> [--mode=fifo|laminar]\n"
-      << "  [--parallel=N] [--opt=0|1|2]\n"
+      << "  [--parallel=N] [--parallel-force] [--parallel-batch=K]\n"
+      << "  [--parallel-slab=S] [--no-parallel-fission] [--opt=0|1|2]\n"
       << "  [--emit=ir|c|graph|dot|schedule|run|stats]\n"
       << "  [--iters=N] [--seed=N] [--top=Name]\n"
       << "  [--max-nodes=N] [--max-reps=N] [--max-firings=N]\n"
@@ -69,6 +77,7 @@ int main(int argc, char **argv) {
   int64_t Iters = 16;
   uint64_t Seed = 1;
   CompilerLimits Limits;
+  parallel::ParallelTuning Tuning;
   bool AllowDegrade = true, Analyze = false, WerrorAnalysis = false;
   std::string TraceJsonPath, RemarksPath, RemarksFilter, StatsJsonPath;
   bool TimeReport = false;
@@ -92,6 +101,14 @@ int main(int argc, char **argv) {
         Opt = static_cast<unsigned>(std::stoul(V));
       else if (Eat("--parallel=", V))
         Parallel = static_cast<unsigned>(std::stoul(V));
+      else if (Arg == "--parallel-force")
+        Tuning.Force = true;
+      else if (Eat("--parallel-batch=", V))
+        Tuning.Batch = static_cast<unsigned>(std::stoul(V));
+      else if (Eat("--parallel-slab=", V))
+        Tuning.SlabBase = std::stoll(V);
+      else if (Arg == "--no-parallel-fission")
+        Tuning.Fission = parallel::ParallelTuning::FissionMode::Off;
       else if (Eat("--iters=", V))
         Iters = std::stoll(V);
       else if (Eat("--seed=", V))
@@ -170,6 +187,7 @@ int main(int argc, char **argv) {
                              : driver::LoweringMode::Laminar;
   Opts.OptLevel = Opt;
   Opts.Parallel = Parallel;
+  Opts.Tuning = Tuning;
   Opts.Limits = Limits;
   Opts.AllowDegradeToFifo = AllowDegrade;
   Opts.Analyze = Analyze;
