@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""CI gate for laminarc's structured fault reports.
+
+Usage: check_fault_report.py REPORT_JSON [REPORT2_JSON]
+
+Validates the "laminar-fault-report-v1" schema (see DESIGN.md) that
+`laminarc --fault-json` writes and tests/golden/fault-schema.golden
+pins:
+  - required top-level keys with the right types;
+  - the fault object's provenance fields and kind vocabulary;
+  - per-worker snapshot entries with a known state vocabulary.
+
+With a second report, additionally asserts the determinism contract:
+the origin `fault` object (and the cancellation/deadline flags) must be
+byte-identical across the two runs. The per-worker snapshot is
+timing-dependent and deliberately NOT compared.
+
+Exit code 0 = all good; any failure prints the reason and exits 1.
+No third-party dependencies (stdlib json only).
+"""
+
+import json
+import sys
+
+SCHEMA = "laminar-fault-report-v1"
+
+FAULT_KINDS = {
+    "none",
+    "div-by-zero",
+    "rem-by-zero",
+    "float-to-int-range",
+    "input-underrun",
+    "step-budget",
+    "out-of-bounds",
+    "malformed-ir",
+    "injected",
+    "poisoned-channel",
+    "cancelled",
+    "deadline",
+}
+
+WORKER_STATES = {
+    "running",
+    "blocked-pop",
+    "blocked-push",
+    "done",
+    "faulted",
+    "cancelled",
+}
+
+
+def fail(msg):
+    print(f"check_fault_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(doc, key, ty, path):
+    if key not in doc:
+        fail(f"{path}: missing key '{key}'")
+    if not isinstance(doc[key], ty):
+        fail(f"{path}: key '{key}' has type {type(doc[key]).__name__}, "
+             f"expected {ty.__name__}")
+    return doc[key]
+
+
+def check_report(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if expect(doc, "schema", str, path) != SCHEMA:
+        fail(f"{path}: schema is '{doc['schema']}', expected '{SCHEMA}'")
+    expect(doc, "cancelled", bool, path)
+    expect(doc, "deadline-expired", bool, path)
+    expect(doc, "deadline-ms", int, path)
+
+    fault = expect(doc, "fault", dict, path)
+    kind = expect(fault, "kind", str, f"{path}:fault")
+    if kind not in FAULT_KINDS:
+        fail(f"{path}: unknown fault kind '{kind}'")
+    expect(fault, "worker", int, f"{path}:fault")
+    expect(fault, "partition", int, f"{path}:fault")
+    expect(fault, "slab", int, f"{path}:fault")
+    expect(fault, "function", str, f"{path}:fault")
+    expect(fault, "line", int, f"{path}:fault")
+    expect(fault, "col", int, f"{path}:fault")
+    expect(fault, "message", str, f"{path}:fault")
+
+    workers = expect(doc, "workers", list, path)
+    for i, w in enumerate(workers):
+        wp = f"{path}:workers[{i}]"
+        if not isinstance(w, dict):
+            fail(f"{wp}: not an object")
+        if expect(w, "worker", int, wp) != i:
+            fail(f"{wp}: worker index {w['worker']}, expected {i}")
+        expect(w, "last-slab", int, wp)
+        expect(w, "firings", int, wp)
+        state = expect(w, "state", str, wp)
+        if state not in WORKER_STATES:
+            fail(f"{wp}: unknown worker state '{state}'")
+        wkind = expect(w, "fault", str, wp)
+        if wkind and wkind not in FAULT_KINDS:
+            fail(f"{wp}: unknown worker fault kind '{wkind}'")
+
+    return doc
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 1
+
+    first = check_report(argv[1])
+    if len(argv) == 3:
+        second = check_report(argv[2])
+        for key in ("fault", "cancelled", "deadline-expired",
+                    "deadline-ms"):
+            if first[key] != second[key]:
+                fail(f"determinism: '{key}' differs across reruns:\n"
+                     f"  {argv[1]}: {first[key]}\n"
+                     f"  {argv[2]}: {second[key]}")
+
+    print("check_fault_report: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,7 +33,18 @@ struct CEmitOptions {
   /// mirror the runtime's SPSC slab handoff protocol. Compile the
   /// output with -pthread.
   const parallel::PartitionPlan *Plan = nullptr;
+  /// Fault injection (testing, parallel only): emit an unconditional
+  /// lam_fault trap in worker InjectWorker at slab InjectSlab, so the
+  /// generated binary exercises the fault protocol — it must exit with
+  /// LAM_EXIT_FAULT (42) and a one-line stderr report, never block.
+  int InjectWorker = -1;
+  int64_t InjectSlab = 0;
 };
+
+/// Exit code of a generated program that stopped on a runtime fault
+/// (division by zero, float-to-int range, injected fault). Documented
+/// in docs/PARALLEL.md "Failure semantics".
+constexpr int CFaultExitCode = 42;
 
 /// Renders the module as a complete C99 program (globals, init, steady,
 /// main with input generation and output printing).

@@ -45,6 +45,10 @@ const char *driver::compileStageName(CompileStage S) {
 Compilation driver::compile(const std::string &Source,
                             const CompileOptions &Opts) {
   Compilation C;
+  // The run-time step budget rides along with the compilation so
+  // runWithRandomInput enforces the configured limit by default.
+  if (Opts.Limits.MaxInterpSteps > 0)
+    C.InterpStepBudget = static_cast<uint64_t>(Opts.Limits.MaxInterpSteps);
   TraceScope Root(Opts.Trace, "compile");
   DiagnosticEngine Diags;
   Diags.setErrorLimit(Opts.Limits.MaxErrors);
@@ -381,12 +385,22 @@ size_t driver::requiredInputTokens(const Compilation &C,
 
 interp::RunResult driver::runWithRandomInput(
     const Compilation &C, int64_t Iterations, uint64_t Seed,
-    TraceContext *Trace, std::vector<interp::Counters> *PerWorkerSteady) {
+    TraceContext *Trace, std::vector<interp::Counters> *PerWorkerSteady,
+    const RunParams &Params) {
   interp::TokenStream Input = interp::makeRandomInput(
       C.Module->getInputType(), requiredInputTokens(C, Iterations), Seed);
-  if (C.Plan)
-    return parallel::runParallel(*C.Module, *C.Plan, Input, Iterations,
-                                 /*StepBudget=*/2'000'000'000ULL, Trace,
-                                 PerWorkerSteady);
-  return interp::runModule(*C.Module, Input, Iterations);
+  const uint64_t Budget =
+      Params.StepBudget ? Params.StepBudget : C.InterpStepBudget;
+  if (C.Plan) {
+    parallel::RunOptions RO;
+    RO.StepBudget = Budget;
+    RO.DeadlineMs = Params.DeadlineMs;
+    RO.Inject = Params.Inject;
+    RO.Trace = Trace;
+    RO.PerWorkerSteady = PerWorkerSteady;
+    return parallel::runParallel(*C.Module, *C.Plan, Input, Iterations, RO);
+  }
+  return interp::runModule(*C.Module, Input, Iterations, Budget,
+                           Params.Inject.enabled() ? &Params.Inject
+                                                   : nullptr);
 }

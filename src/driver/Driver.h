@@ -142,6 +142,9 @@ struct Compilation {
   analysis::AnalysisReport Analysis;
   /// Optimization statistics (transformation counts per pass).
   StatsRegistry Stats;
+  /// Interpreter step budget the compilation was configured with
+  /// (CompilerLimits::MaxInterpSteps); runWithRandomInput's default.
+  uint64_t InterpStepBudget = 2'000'000'000ULL;
 };
 
 /// Runs the full pipeline on \p Source. Check Ok before using results;
@@ -152,6 +155,22 @@ Compilation compile(const std::string &Source, const CompileOptions &Opts);
 /// \p Iterations steady iterations.
 size_t requiredInputTokens(const Compilation &C, int64_t Iterations);
 
+/// Execution knobs for runWithRandomInput beyond the positional
+/// arguments (fault containment and resource bounds).
+struct RunParams {
+  /// Interpreter step budget; 0 uses the budget the compilation was
+  /// configured with (CompilerLimits::MaxInterpSteps, laminarc
+  /// --max-steps).
+  uint64_t StepBudget = 0;
+  /// Watchdog deadline in ms for parallel runs (laminarc
+  /// --deadline-ms); 0 disables.
+  int64_t DeadlineMs = 0;
+  /// Deterministic fault injection (laminarc --inject-fault). Step
+  /// sites work sequentially and in parallel; pop/push sites require a
+  /// parallel compilation.
+  interp::FaultPoint Inject;
+};
+
 /// Interprets the compiled module for \p Iterations steady iterations
 /// over deterministic randomized input derived from \p Seed. Parallel
 /// compilations run on Plan->NumPartitions worker threads; \p Trace
@@ -161,7 +180,8 @@ interp::RunResult runWithRandomInput(const Compilation &C,
                                      int64_t Iterations, uint64_t Seed,
                                      TraceContext *Trace = nullptr,
                                      std::vector<interp::Counters>
-                                         *PerWorkerSteady = nullptr);
+                                         *PerWorkerSteady = nullptr,
+                                     const RunParams &Params = RunParams());
 
 } // namespace driver
 } // namespace laminar

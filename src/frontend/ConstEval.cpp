@@ -3,6 +3,35 @@
 #include "frontend/ConstEval.h"
 #include <cassert>
 #include <cmath>
+#include <limits>
+
+// Two's-complement wrapping arithmetic, matching the interpreter and
+// the emitted C (which compute through uint64_t). Plain signed
+// operators here would be undefined behavior on overflow — reachable
+// from source like `const int x = 9223372036854775807 + 1;`.
+static int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+static int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+static int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+static int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+}
+static int64_t wrapShl(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A)
+                              << (static_cast<uint64_t>(B) & 63));
+}
+// INT64_MIN / -1 (and % -1) overflow: not a compile-time constant.
+static bool divTraps(int64_t A, int64_t B) {
+  return B == 0 || (A == std::numeric_limits<int64_t>::min() && B == -1);
+}
 
 using namespace laminar;
 using namespace laminar::ast;
@@ -28,18 +57,46 @@ ConstVal ConstVal::makeBool(bool V) {
   return C;
 }
 
+// The accessors and conversions below are total. Sema is the type
+// gate; when a mistyped expression still reaches compile-time
+// evaluation (hostile input, a sema gap), evaluation must produce a
+// defined value or a located "not a compile-time constant" diagnostic
+// downstream — never an assert or undefined behavior (the crash-free
+// contract, PR 2).
+
+/// Defined float-to-int truncation: saturates outside the exactly
+/// representable range instead of the UB cast; NaN maps to 0.
+static int64_t truncToInt(double F) {
+  if (std::isnan(F))
+    return 0;
+  if (!(F >= -9.2e18))
+    return std::numeric_limits<int64_t>::min();
+  if (!(F <= 9.2e18))
+    return std::numeric_limits<int64_t>::max();
+  return static_cast<int64_t>(F);
+}
+
 double ConstVal::asFloat() const {
-  assert(Ty == ScalarType::Int || Ty == ScalarType::Float);
-  return Ty == ScalarType::Int ? static_cast<double>(I) : F;
+  if (Ty == ScalarType::Int)
+    return static_cast<double>(I);
+  if (Ty == ScalarType::Bool)
+    return B ? 1.0 : 0.0;
+  return F;
 }
 
 int64_t ConstVal::asInt() const {
-  assert(Ty == ScalarType::Int && "asInt on a non-int value");
+  if (Ty == ScalarType::Float)
+    return truncToInt(F);
+  if (Ty == ScalarType::Bool)
+    return B ? 1 : 0;
   return I;
 }
 
 bool ConstVal::asBool() const {
-  assert(Ty == ScalarType::Bool && "asBool on a non-bool value");
+  if (Ty == ScalarType::Int)
+    return I != 0;
+  if (Ty == ScalarType::Float)
+    return F != 0;
   return B;
 }
 
@@ -48,13 +105,11 @@ ConstVal ConstVal::convertTo(ScalarType To) const {
     return *this;
   if (To == ScalarType::Float)
     return makeFloat(asFloat());
-  if (To == ScalarType::Int) {
-    if (Ty == ScalarType::Float)
-      return makeInt(static_cast<int64_t>(F));
-    if (Ty == ScalarType::Bool)
-      return makeInt(B ? 1 : 0);
-  }
-  assert(false && "unsupported compile-time conversion");
+  if (To == ScalarType::Int)
+    return makeInt(asInt());
+  if (To == ScalarType::Bool)
+    return makeBool(asBool());
+  // Void (or an unknown target): keep the value unchanged.
   return *this;
 }
 
@@ -86,7 +141,7 @@ std::optional<ConstVal> ConstEval::eval(const Expr *E) {
     switch (U->getOp()) {
     case UnaryOp::Neg:
       if (Sub->Ty == ScalarType::Int)
-        return ConstVal::makeInt(-Sub->I);
+        return ConstVal::makeInt(wrapNeg(Sub->I));
       return ConstVal::makeFloat(-Sub->asFloat());
     case UnaryOp::LogNot:
       return ConstVal::makeBool(!Sub->asBool());
@@ -113,16 +168,16 @@ std::optional<ConstVal> ConstEval::eval(const Expr *E) {
         int64_t L = Old->asInt(), R = RHS->asInt();
         switch (A->getOp()) {
         case AssignExpr::Op::Add:
-          NewVal = ConstVal::makeInt(L + R);
+          NewVal = ConstVal::makeInt(wrapAdd(L, R));
           break;
         case AssignExpr::Op::Sub:
-          NewVal = ConstVal::makeInt(L - R);
+          NewVal = ConstVal::makeInt(wrapSub(L, R));
           break;
         case AssignExpr::Op::Mul:
-          NewVal = ConstVal::makeInt(L * R);
+          NewVal = ConstVal::makeInt(wrapMul(L, R));
           break;
         case AssignExpr::Op::Div:
-          if (R == 0)
+          if (divTraps(L, R))
             return std::nullopt;
           NewVal = ConstVal::makeInt(L / R);
           break;
@@ -191,25 +246,27 @@ std::optional<ConstVal> ConstEval::evalBinary(const BinaryExpr *B) {
   bool BothInt = L->Ty == ScalarType::Int && R->Ty == ScalarType::Int;
   switch (B->getOp()) {
   case BinaryOp::Add:
-    return BothInt ? ConstVal::makeInt(L->I + R->I)
+    return BothInt ? ConstVal::makeInt(wrapAdd(L->I, R->I))
                    : ConstVal::makeFloat(L->asFloat() + R->asFloat());
   case BinaryOp::Sub:
-    return BothInt ? ConstVal::makeInt(L->I - R->I)
+    return BothInt ? ConstVal::makeInt(wrapSub(L->I, R->I))
                    : ConstVal::makeFloat(L->asFloat() - R->asFloat());
   case BinaryOp::Mul:
-    return BothInt ? ConstVal::makeInt(L->I * R->I)
+    return BothInt ? ConstVal::makeInt(wrapMul(L->I, R->I))
                    : ConstVal::makeFloat(L->asFloat() * R->asFloat());
   case BinaryOp::Div:
     if (BothInt)
-      return R->I == 0 ? std::nullopt
-                       : std::optional(ConstVal::makeInt(L->I / R->I));
+      return divTraps(L->I, R->I)
+                 ? std::nullopt
+                 : std::optional(ConstVal::makeInt(L->I / R->I));
     return R->asFloat() == 0
                ? std::nullopt
                : std::optional(
                      ConstVal::makeFloat(L->asFloat() / R->asFloat()));
   case BinaryOp::Rem:
-    return R->I == 0 ? std::nullopt
-                     : std::optional(ConstVal::makeInt(L->I % R->I));
+    return divTraps(L->I, R->I)
+               ? std::nullopt
+               : std::optional(ConstVal::makeInt(L->I % R->I));
   case BinaryOp::BitAnd:
     return ConstVal::makeInt(L->I & R->I);
   case BinaryOp::BitOr:
@@ -217,7 +274,7 @@ std::optional<ConstVal> ConstEval::evalBinary(const BinaryExpr *B) {
   case BinaryOp::BitXor:
     return ConstVal::makeInt(L->I ^ R->I);
   case BinaryOp::Shl:
-    return ConstVal::makeInt(L->I << (R->I & 63));
+    return ConstVal::makeInt(wrapShl(L->I, R->I));
   case BinaryOp::Shr:
     return ConstVal::makeInt(L->I >> (R->I & 63));
   case BinaryOp::EQ:
@@ -275,7 +332,8 @@ std::optional<ConstVal> ConstEval::evalCall(const CallExpr *C) {
     return ConstVal::makeFloat(std::sqrt(Args[0].asFloat()));
   case BuiltinFn::Abs:
     if (Args[0].Ty == ScalarType::Int)
-      return ConstVal::makeInt(Args[0].I < 0 ? -Args[0].I : Args[0].I);
+      return ConstVal::makeInt(Args[0].I < 0 ? wrapNeg(Args[0].I)
+                                             : Args[0].I);
     return ConstVal::makeFloat(std::fabs(Args[0].asFloat()));
   case BuiltinFn::Floor:
     return ConstVal::makeFloat(std::floor(Args[0].asFloat()));

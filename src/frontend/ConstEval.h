@@ -30,13 +30,14 @@ struct ConstVal {
   static ConstVal makeFloat(double V);
   static ConstVal makeBool(bool V);
 
-  /// Numeric value as double (int is widened).
+  // Total accessors: any value converts to any scalar type with
+  // defined semantics (float->int truncates toward zero and saturates
+  // out of range, truthiness for bool). No asserts — mistyped
+  // expressions that reach compile-time evaluation must produce a
+  // located diagnostic downstream, never a crash.
   double asFloat() const;
-  /// Integer value; asserts the value is an int.
   int64_t asInt() const;
   bool asBool() const;
-
-  /// Converts between numeric types (float->int truncates toward zero).
   ConstVal convertTo(ast::ScalarType To) const;
 };
 

@@ -1,0 +1,159 @@
+//===--- Fault.cpp - Structured runtime faults --------------------------===//
+
+#include "interp/Fault.h"
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::interp;
+
+const char *interp::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::None:
+    return "none";
+  case FaultKind::DivByZero:
+    return "div-by-zero";
+  case FaultKind::RemByZero:
+    return "rem-by-zero";
+  case FaultKind::FloatToIntRange:
+    return "float-to-int-range";
+  case FaultKind::InputUnderrun:
+    return "input-underrun";
+  case FaultKind::StepBudget:
+    return "step-budget";
+  case FaultKind::OutOfBounds:
+    return "out-of-bounds";
+  case FaultKind::MalformedIR:
+    return "malformed-ir";
+  case FaultKind::Injected:
+    return "injected";
+  case FaultKind::PoisonedChannel:
+    return "poisoned-channel";
+  case FaultKind::Cancelled:
+    return "cancelled";
+  case FaultKind::Deadline:
+    return "deadline";
+  }
+  return "none";
+}
+
+const char *interp::faultSiteName(FaultPoint::Site S) {
+  switch (S) {
+  case FaultPoint::Site::None:
+    return "none";
+  case FaultPoint::Site::Step:
+    return "step";
+  case FaultPoint::Site::Pop:
+    return "pop";
+  case FaultPoint::Site::Push:
+    return "push";
+  }
+  return "none";
+}
+
+std::string Fault::str() const {
+  std::ostringstream OS;
+  if (Worker >= 0) {
+    OS << "worker " << Worker;
+    if (Partition >= 0)
+      OS << " (partition " << Partition << ")";
+    OS << ", ";
+  }
+  if (Slab >= 0)
+    OS << "slab " << Slab << ", ";
+  if (!Function.empty()) {
+    OS << "@" << Function;
+    if (Loc.isValid())
+      OS << " at " << Loc.Line << ":" << Loc.Col;
+    OS << ": ";
+  }
+  OS << Message;
+  return OS.str();
+}
+
+std::string RunReport::str() const {
+  std::ostringstream OS;
+  if (DeadlineExpired)
+    OS << "watchdog deadline of " << DeadlineMs << "ms expired\n";
+  if (FirstFault.isSet())
+    OS << "fault: " << FirstFault.str() << "\n";
+  for (const WorkerProgress &W : Workers) {
+    OS << "worker " << W.Worker << ": state=" << W.State
+       << " last-slab=" << W.LastSlab << " firings=" << W.Firings;
+    if (!W.FaultKindName.empty())
+      OS << " fault=" << W.FaultKindName;
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+// Fault messages are compiler-generated (no user text), but escape the
+// JSON-significant characters anyway so the report is always valid.
+static void jsonEscape(std::ostringstream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        OS << ' ';
+      else
+        OS << C;
+    }
+  }
+  OS << '"';
+}
+
+static void jsonFault(std::ostringstream &OS, const Fault &F,
+                      const char *Indent) {
+  OS << "{\n";
+  OS << Indent << "  \"kind\": \"" << faultKindName(F.Kind) << "\",\n";
+  OS << Indent << "  \"worker\": " << F.Worker << ",\n";
+  OS << Indent << "  \"partition\": " << F.Partition << ",\n";
+  OS << Indent << "  \"slab\": " << F.Slab << ",\n";
+  OS << Indent << "  \"function\": ";
+  jsonEscape(OS, F.Function);
+  OS << ",\n";
+  OS << Indent << "  \"line\": " << F.Loc.Line << ",\n";
+  OS << Indent << "  \"col\": " << F.Loc.Col << ",\n";
+  OS << Indent << "  \"message\": ";
+  jsonEscape(OS, F.Message);
+  OS << "\n" << Indent << "}";
+}
+
+std::string RunReport::json() const {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"schema\": \"laminar-fault-report-v1\",\n";
+  OS << "  \"cancelled\": " << (Cancelled ? "true" : "false") << ",\n";
+  OS << "  \"deadline-expired\": " << (DeadlineExpired ? "true" : "false")
+     << ",\n";
+  OS << "  \"deadline-ms\": " << DeadlineMs << ",\n";
+  OS << "  \"fault\": ";
+  jsonFault(OS, FirstFault, "  ");
+  OS << ",\n";
+  OS << "  \"workers\": [";
+  for (size_t K = 0; K < Workers.size(); ++K) {
+    const WorkerProgress &W = Workers[K];
+    OS << (K ? ",\n    {" : "\n    {");
+    OS << "\"worker\": " << W.Worker << ", \"last-slab\": " << W.LastSlab
+       << ", \"firings\": " << W.Firings << ", \"state\": ";
+    jsonEscape(OS, W.State);
+    OS << ", \"fault\": ";
+    jsonEscape(OS, W.FaultKindName);
+    OS << "}";
+  }
+  OS << (Workers.empty() ? "]\n" : "\n  ]\n");
+  OS << "}\n";
+  return OS.str();
+}

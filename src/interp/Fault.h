@@ -1,0 +1,181 @@
+//===--- Fault.h - Structured runtime faults and cancellation --*- C++ -*-===//
+//
+// The fault-containment vocabulary shared by the sequential interpreter,
+// the parallel runtime and the fault-injection harness:
+//
+//  * FaultKind / Fault — what went wrong, with full provenance (worker,
+//    partition, slab, function, source location). Faults render to one
+//    deterministic line, e.g.
+//      worker 1 (partition 1), slab 3, @steady_p1 at 12:7: integer
+//      division fault
+//  * CancellationToken — a single run-wide atomic flag. Workers poll it
+//    with a relaxed load on the hot path (every 1024 interpreter steps,
+//    every spin-wait iteration); the faulting side sets it with release
+//    ordering after publishing its fault record.
+//  * FaultPoint — a deterministic injection site: fault at the Nth
+//    interpreter step / channel pop / channel push of a chosen worker.
+//  * RunReport — the structured outcome of a run: cancellation state,
+//    the deterministic first (origin) fault, and a best-effort
+//    per-worker progress snapshot. Serializes to a stable JSON schema
+//    ("laminar-fault-report-v1", see DESIGN.md) consumed by
+//    `laminarc --fault-json` and the ci/check_fault_report.py gate.
+//
+// Determinism contract: for a fixed (module, input, injection point) the
+// origin Fault — kind, worker, partition, slab, function, location,
+// message — is bit-identical across reruns. The per-worker snapshot is
+// timing-dependent (a peer may have observed poison, cancellation, or
+// already finished) and is excluded from that guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_INTERP_FAULT_H
+#define LAMINAR_INTERP_FAULT_H
+
+#include "support/SourceLoc.h"
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace interp {
+
+/// Classification of every way a run can stop before completing.
+enum class FaultKind : uint8_t {
+  None = 0,
+  /// Integer division by zero or INT64_MIN / -1.
+  DivByZero,
+  /// Integer remainder by zero or INT64_MIN % -1.
+  RemByZero,
+  /// Float-to-int conversion out of the representable range.
+  FloatToIntRange,
+  /// The external input stream ran out of tokens.
+  InputUnderrun,
+  /// The interpreter step budget (--max-steps) was exhausted.
+  StepBudget,
+  /// Channel-buffer load/store out of bounds.
+  OutOfBounds,
+  /// Structurally invalid IR reached the interpreter (missing
+  /// terminator, dangling phi, unknown opcode).
+  MalformedIR,
+  /// A fault injected by the testing harness (--inject-fault).
+  Injected,
+  /// An upstream worker faulted and poisoned the shared channel; this
+  /// worker failed fast instead of spinning. The message carries the
+  /// origin fault's provenance.
+  PoisonedChannel,
+  /// The run-wide cancellation token was set; this worker stopped
+  /// cooperatively. Not an origin fault.
+  Cancelled,
+  /// The watchdog deadline (--deadline-ms) expired before the run
+  /// completed.
+  Deadline,
+};
+
+/// Stable lower-kebab-case name, part of the report schema.
+const char *faultKindName(FaultKind K);
+
+/// One fault with full provenance. Worker/Partition are -1 for the
+/// sequential interpreter and the init phase (which runs on the calling
+/// thread before any worker exists).
+struct Fault {
+  FaultKind Kind = FaultKind::None;
+  int Worker = -1;
+  int Partition = -1;
+  /// Slab (handoff unit) index during which the fault occurred; -1
+  /// outside the steady phase.
+  int64_t Slab = -1;
+  /// Function executing when the fault fired (e.g. "steady_p1").
+  std::string Function;
+  /// Faulting instruction's source location (invalid for faults that
+  /// occur between instructions, e.g. at a channel op).
+  SourceLoc Loc;
+  /// Human-readable detail, e.g. "integer division fault".
+  std::string Message;
+
+  bool isSet() const { return Kind != FaultKind::None; }
+  /// True for faults that originate a failure (anything but the
+  /// cooperative reactions to someone else's fault).
+  bool isOrigin() const {
+    return isSet() && Kind != FaultKind::Cancelled &&
+           Kind != FaultKind::PoisonedChannel;
+  }
+  /// One deterministic provenance line.
+  std::string str() const;
+};
+
+/// Run-wide cancellation flag. One writer semantic is not required —
+/// any thread may cancel; the first release-store wins and the rest
+/// are idempotent.
+class CancellationToken {
+public:
+  /// Hot-path poll: relaxed, pairs with the periodic acquire below.
+  bool isCancelled() const {
+    return Flag.load(std::memory_order_relaxed);
+  }
+  /// Acquire poll, used where the reader must also observe the
+  /// canceller's preceding writes (e.g. its published fault record).
+  bool isCancelledAcquire() const {
+    return Flag.load(std::memory_order_acquire);
+  }
+  void cancel() { Flag.store(true, std::memory_order_release); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// A deterministic fault-injection point: trip at the Count-th
+/// (1-based) event of the given site on the given worker. Site::Step
+/// also works for the sequential interpreter (Worker ignored).
+struct FaultPoint {
+  enum class Site : uint8_t { None = 0, Step, Pop, Push };
+  Site S = Site::None;
+  unsigned Worker = 0;
+  uint64_t Count = 1;
+
+  bool enabled() const { return S != Site::None; }
+};
+
+const char *faultSiteName(FaultPoint::Site S);
+
+/// Best-effort progress snapshot of one worker, taken when the run
+/// ends (normally, by fault, or by watchdog cancellation).
+struct WorkerProgress {
+  unsigned Worker = 0;
+  /// Last fully completed slab index; -1 if none completed yet.
+  int64_t LastSlab = -1;
+  /// Steady-function invocations completed (firings at slab grain).
+  uint64_t Firings = 0;
+  /// "done" | "running" | "blocked-pop" | "blocked-push" | "faulted"
+  /// | "cancelled".
+  std::string State;
+  /// Kind name of this worker's fault, empty if it did not fault.
+  std::string FaultKindName;
+};
+
+/// Structured outcome of one run. Populated for parallel runs always
+/// and for sequential runs on fault; `laminarc --fault-json` writes
+/// the JSON form.
+struct RunReport {
+  bool Cancelled = false;
+  bool DeadlineExpired = false;
+  /// The configured deadline (0 = no watchdog).
+  int64_t DeadlineMs = 0;
+  /// Deterministic first fault: the lowest-indexed worker holding an
+  /// origin fault (injection, trap, budget), falling back to the
+  /// lowest-indexed poisoned/cancelled worker, unset on success.
+  Fault FirstFault;
+  /// Per-worker snapshot; empty for sequential runs.
+  std::vector<WorkerProgress> Workers;
+
+  /// Multi-line human-readable rendering.
+  std::string str() const;
+  /// Stable JSON ("laminar-fault-report-v1"); schema in DESIGN.md and
+  /// pinned by tests/golden/fault-schema.golden + ci/check_fault_report.py.
+  std::string json() const;
+};
+
+} // namespace interp
+} // namespace laminar
+
+#endif // LAMINAR_INTERP_FAULT_H

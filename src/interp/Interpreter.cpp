@@ -127,6 +127,37 @@ double FunctionExecutor::getF(const Value *V) const {
   return Regs[cast<Instruction>(V)->getSlot()].F;
 }
 
+bool FunctionExecutor::fault(FaultKind K, const Instruction *I,
+                             const std::string &Msg) {
+  if (Error.empty()) {
+    Error = Msg;
+    LastFault.Kind = K;
+    LastFault.Message = Msg;
+    if (I) {
+      LastFault.Loc = I->getLoc();
+      // Compiler-generated instructions (channel copies, lowered
+      // control flow) carry no location; fall back to the nearest
+      // preceding located instruction so the report still points into
+      // the source. Fault-path only, so the backward scan is free in
+      // healthy runs.
+      if (!LastFault.Loc.isValid() && I->getParent()) {
+        const auto &Insts = I->getParent()->instructions();
+        SourceLoc Best;
+        for (const auto &P : Insts) {
+          if (P->getLoc().isValid())
+            Best = P->getLoc();
+          if (P.get() == I)
+            break;
+        }
+        LastFault.Loc = Best;
+      }
+    }
+    if (CurFn)
+      LastFault.Function = CurFn->getName();
+  }
+  return false;
+}
+
 /// Arithmetic shift-right matching the IR builder's folding semantics.
 static int64_t shrArith(int64_t A, int64_t B) {
   unsigned Amt = static_cast<unsigned>(B) & 63u;
@@ -136,6 +167,7 @@ static int64_t shrArith(int64_t A, int64_t B) {
 }
 
 bool FunctionExecutor::runFunction(const Function *F, Counters &C) {
+  CurFn = F;
   uint32_t NumSlots = 0;
   for (const auto &BB : F->blocks())
     for (const auto &I : BB->instructions())
@@ -184,7 +216,16 @@ bool FunctionExecutor::runFunction(const Function *F, Counters &C) {
     for (size_t E = Insts.size(); Idx < E; ++Idx) {
       const Instruction *I = Insts[Idx].get();
       if (Budget-- == 0)
-        return fail("interpreter step budget exhausted");
+        return fault(FaultKind::StepBudget, I,
+                     "interpreter step budget exhausted");
+      ++Steps;
+      // Fault containment: a relaxed poll every 1024 steps bounds how
+      // long this executor keeps running after a peer faults, without
+      // a per-instruction synchronization cost.
+      if (Cancel && (Steps & 1023) == 0 && Cancel->isCancelled())
+        return fault(FaultKind::Cancelled, I, "cancelled");
+      if (InjectAtStep && Steps == InjectAtStep)
+        return fault(FaultKind::Injected, I, "injected fault (step site)");
       Reg &Out = Regs[I->getSlot()];
 
       switch (I->getKind()) {
@@ -229,12 +270,12 @@ bool FunctionExecutor::runFunction(const Function *F, Counters &C) {
           break;
         case BinOp::Div:
           if (R == 0 || (L == std::numeric_limits<int64_t>::min() && R == -1))
-            return fail("integer division fault");
+            return fault(FaultKind::DivByZero, I, "integer division fault");
           Out.I = L / R;
           break;
         case BinOp::Rem:
           if (R == 0 || (L == std::numeric_limits<int64_t>::min() && R == -1))
-            return fail("integer remainder fault");
+            return fault(FaultKind::RemByZero, I, "integer remainder fault");
           Out.I = L % R;
           break;
         case BinOp::And:
@@ -342,7 +383,8 @@ bool FunctionExecutor::runFunction(const Function *F, Counters &C) {
         case CastOp::FloatToInt: {
           double D = getF(Ca->getOperand(0));
           if (!(D >= -9.2e18 && D <= 9.2e18))
-            return fail("float-to-int conversion out of range");
+            return fault(FaultKind::FloatToIntRange, I,
+                         "float-to-int conversion out of range");
           Out.I = static_cast<int64_t>(D);
           break;
         }
@@ -436,7 +478,7 @@ bool FunctionExecutor::runFunction(const Function *F, Counters &C) {
       case Value::Kind::Input: {
         ++C.Input;
         if (InputCursor >= Input.size())
-          return fail("input stream exhausted");
+          return fault(FaultKind::InputUnderrun, I, "input stream exhausted");
         if (Input.Ty == TypeKind::Int)
           Out.I = Input.I[InputCursor++];
         else
@@ -458,7 +500,8 @@ bool FunctionExecutor::runFunction(const Function *F, Counters &C) {
         const GlobalVar *G = L->getGlobal();
         int64_t Index = getI(L->getIndex());
         if (Index < 0 || Index >= G->getSize())
-          return fail("load out of bounds on @" + G->getName());
+          return fault(FaultKind::OutOfBounds, I,
+                       "load out of bounds on @" + G->getName());
         const MemoryImage::Cell &Cl = Mem[G->getSlot()];
         if (Cl.IsFloat)
           Out.F = Cl.F[Index];
@@ -475,7 +518,8 @@ bool FunctionExecutor::runFunction(const Function *F, Counters &C) {
         const GlobalVar *G = St->getGlobal();
         int64_t Index = getI(St->getIndex());
         if (Index < 0 || Index >= G->getSize())
-          return fail("store out of bounds on @" + G->getName());
+          return fault(FaultKind::OutOfBounds, I,
+                       "store out of bounds on @" + G->getName());
         MemoryImage::Cell &Cl = Mem[G->getSlot()];
         if (Cl.IsFloat)
           Cl.F[Index] = getF(St->getValue());
@@ -515,7 +559,8 @@ bool FunctionExecutor::runFunction(const Function *F, Counters &C) {
 }
 
 RunResult interp::runModule(const Module &M, const TokenStream &Input,
-                            int64_t Iterations, uint64_t StepBudget) {
+                            int64_t Iterations, uint64_t StepBudget,
+                            const FaultPoint *Inject) {
   RunResult R;
   R.Outputs.Ty = M.getOutputType();
 
@@ -529,8 +574,11 @@ RunResult interp::runModule(const Module &M, const TokenStream &Input,
   MemoryImage Mem(M);
   FunctionExecutor I(Input, Mem, StepBudget);
   I.Outputs.Ty = M.getOutputType();
+  if (Inject && Inject->S == FaultPoint::Site::Step)
+    I.InjectAtStep = Inject->Count;
   if (!I.runFunction(Init, R.InitCounters)) {
     R.Error = "init: " + I.Error;
+    R.Report.FirstFault = I.LastFault;
     return R;
   }
   for (int64_t K = 0; K < Iterations; ++K) {
@@ -538,6 +586,8 @@ RunResult interp::runModule(const Module &M, const TokenStream &Input,
       std::ostringstream OS;
       OS << "steady iteration " << K << ": " << I.Error;
       R.Error = OS.str();
+      R.Report.FirstFault = I.LastFault;
+      R.Report.FirstFault.Slab = K;
       return R;
     }
     ++R.SteadyIterations;

@@ -12,6 +12,7 @@
 #ifndef LAMINAR_INTERP_INTERPRETER_H
 #define LAMINAR_INTERP_INTERPRETER_H
 
+#include "interp/Fault.h"
 #include "lir/Module.h"
 #include "support/RNG.h"
 #include "support/Statistics.h"
@@ -80,6 +81,9 @@ struct RunResult {
   /// Aggregated over all executed steady iterations.
   Counters SteadyCounters;
   int64_t SteadyIterations = 0;
+  /// Structured fault/progress report (Fault.h). Always populated by
+  /// the parallel runner; populated on fault by the sequential path.
+  RunReport Report;
 };
 
 /// The global memory of one module execution: one storage cell per
@@ -110,12 +114,26 @@ public:
       : Input(Input), Mem(Mem.Cells), Budget(StepBudget) {}
 
   /// Runs \p F to its Ret, accumulating dynamic-op counts into \p C.
-  /// Returns false on a fault (Error holds the first failure message).
+  /// Returns false on a fault (Error holds the first failure message,
+  /// LastFault the structured record with kind and source location).
   bool runFunction(const lir::Function *F, Counters &C);
 
   std::string Error;
   TokenStream Outputs;
   size_t InputCursor = 0;
+
+  /// Optional run-wide cancellation token. Polled with a relaxed load
+  /// every 1024 steps, so a cancel unblocks this executor within a
+  /// bounded number of instructions; a cancelled run reports a
+  /// FaultKind::Cancelled non-origin fault.
+  const CancellationToken *Cancel = nullptr;
+  /// Fault injection (testing): trap at the Nth executed step
+  /// (1-based, cumulative across runFunction calls). 0 disables.
+  uint64_t InjectAtStep = 0;
+  /// Steps executed so far, cumulative across runFunction calls.
+  uint64_t Steps = 0;
+  /// Structured record of the first fault (valid when Error is set).
+  Fault LastFault;
 
 private:
   /// A register value; bools live in I as 0/1.
@@ -125,10 +143,12 @@ private:
   };
 
   bool fail(const std::string &Msg) {
-    if (Error.empty())
-      Error = Msg;
-    return false;
+    return fault(FaultKind::MalformedIR, nullptr, Msg);
   }
+
+  /// Records the first fault with provenance: kind, faulting
+  /// instruction's location (if any), and the executing function.
+  bool fault(FaultKind K, const lir::Instruction *I, const std::string &Msg);
 
   int64_t getI(const lir::Value *V) const;
   double getF(const lir::Value *V) const;
@@ -137,14 +157,19 @@ private:
   std::vector<MemoryImage::Cell> &Mem;
   uint64_t Budget;
   std::vector<Reg> Regs;
+  /// Function currently executing (fault provenance only).
+  const lir::Function *CurFn = nullptr;
 };
 
 /// Executes @init once, then @steady \p Iterations times, feeding tokens
 /// from \p Input. Fails cleanly on input underrun, division by zero or
-/// step-budget exhaustion.
+/// step-budget exhaustion. \p Inject (optional, Site::Step only in the
+/// sequential path) trips a deterministic injected fault at the Nth
+/// executed instruction.
 RunResult runModule(const lir::Module &M, const TokenStream &Input,
                     int64_t Iterations,
-                    uint64_t StepBudget = 2'000'000'000ULL);
+                    uint64_t StepBudget = 2'000'000'000ULL,
+                    const FaultPoint *Inject = nullptr);
 
 } // namespace interp
 } // namespace laminar

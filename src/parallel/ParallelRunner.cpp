@@ -5,6 +5,8 @@
 #include "parallel/SpscQueue.h"
 #include <atomic>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
 #include <thread>
 
 using namespace laminar;
@@ -25,14 +27,50 @@ template <typename T> bool containsInst(const Function *F) {
   return false;
 }
 
+/// Worker lifecycle states, published for the watchdog's progress
+/// snapshot. The numeric values are internal; the report uses names.
+enum WorkerState : int {
+  WS_Running = 0,
+  WS_BlockedPop,
+  WS_BlockedPush,
+  WS_Done,
+  WS_Faulted,
+  WS_Cancelled,
+};
+
+const char *workerStateName(int S) {
+  switch (S) {
+  case WS_Running:
+    return "running";
+  case WS_BlockedPop:
+    return "blocked-pop";
+  case WS_BlockedPush:
+    return "blocked-push";
+  case WS_Done:
+    return "done";
+  case WS_Faulted:
+    return "faulted";
+  case WS_Cancelled:
+    return "cancelled";
+  }
+  return "running";
+}
+
+/// Per-worker progress cells, one cache line each so the watchdog's
+/// polling never contends with a worker's hot path.
+struct alignas(64) ProgressCell {
+  std::atomic<int64_t> LastSlab{-1};
+  std::atomic<uint64_t> Firings{0};
+  std::atomic<int> State{WS_Running};
+};
+
 } // namespace
 
 RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
                                 const TokenStream &Input,
-                                int64_t Iterations, uint64_t StepBudget,
-                                TraceContext *Trace,
-                                std::vector<Counters> *PerWorkerSteady) {
+                                int64_t Iterations, const RunOptions &Opts) {
   RunResult R;
+  R.Report.DeadlineMs = Opts.DeadlineMs;
   const unsigned K = Plan.NumPartitions;
 
   const Function *Init = M.getFunction("init");
@@ -70,9 +108,11 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
 
   // The init phase runs sequentially on the calling thread; the
   // std::thread constructors below publish its effects to the workers.
-  FunctionExecutor InitExec(Input, Mem, StepBudget);
+  FunctionExecutor InitExec(Input, Mem, Opts.StepBudget);
   if (!InitExec.runFunction(Init, R.InitCounters)) {
     R.Error = InitExec.Error;
+    R.Report.FirstFault = InitExec.LastFault;
+    R.Report.FirstFault.Function = "init";
     return R;
   }
 
@@ -88,19 +128,31 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
     Tickets.push_back(std::make_unique<SpscQueue<uint64_t>>(
         static_cast<size_t>(E.SlabCapacity)));
 
-  std::atomic<bool> Stop{false};
+  // Fault-containment state. Faults[W] is written by worker W only and
+  // published either by the poison flag of an outbound queue (release;
+  // consumers read it after an acquire poison load) or by the thread
+  // join (everything else reads it after joining).
+  CancellationToken Cancel;
+  std::vector<Fault> Faults(K);
+  std::vector<ProgressCell> Progress(K);
+  std::atomic<unsigned> DoneWorkers{0};
+
   std::vector<std::unique_ptr<FunctionExecutor>> Execs;
   std::vector<Counters> WorkerCounters(K);
   std::vector<TraceContext> WorkerTraces;
   WorkerTraces.reserve(K);
   for (unsigned W = 0; W < K; ++W) {
     Execs.push_back(std::make_unique<FunctionExecutor>(Input, Mem,
-                                                       StepBudget));
+                                                       Opts.StepBudget));
+    Execs.back()->Cancel = &Cancel;
+    if (Opts.Inject.S == FaultPoint::Site::Step && Opts.Inject.Worker == W)
+      Execs.back()->InjectAtStep = Opts.Inject.Count;
     // The source partition keeps consuming the external input where the
     // init phase left off.
     if (containsInst<InputInst>(Steady[W]))
       Execs.back()->InputCursor = InitExec.InputCursor;
-    WorkerTraces.push_back(Trace ? Trace->fork() : TraceContext());
+    WorkerTraces.push_back(Opts.Trace ? Opts.Trace->fork()
+                                      : TraceContext());
   }
 
   auto WorkerBody = [&](unsigned W) {
@@ -108,75 +160,220 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
     std::snprintf(SpanName, sizeof(SpanName), "parallel.worker%u", W);
     TraceScope Span(&WorkerTraces[W], SpanName);
     FunctionExecutor &E = *Execs[W];
-    // Inbound/outbound ticket queues in CutEdges (channel-id) order.
-    std::vector<SpscQueue<uint64_t> *> In, Out;
+    ProgressCell &PC = Progress[W];
+    // Inbound/outbound ticket queues in CutEdges (channel-id) order,
+    // with the producing partition kept alongside each inbound queue
+    // for poison provenance.
+    std::vector<std::pair<SpscQueue<uint64_t> *, unsigned>> In;
+    std::vector<SpscQueue<uint64_t> *> Out;
     for (size_t Q = 0; Q < Plan.CutEdges.size(); ++Q) {
       if (Plan.CutEdges[Q].DstPartition == W)
-        In.push_back(Tickets[Q].get());
+        In.push_back({Tickets[Q].get(), Plan.CutEdges[Q].SrcPartition});
       if (Plan.CutEdges[Q].SrcPartition == W)
         Out.push_back(Tickets[Q].get());
     }
+    const bool InjectPop =
+        Opts.Inject.S == FaultPoint::Site::Pop && Opts.Inject.Worker == W;
+    const bool InjectPush =
+        Opts.Inject.S == FaultPoint::Site::Push && Opts.Inject.Worker == W;
+    uint64_t ChannelOps = 0;
+
+    // Publishes this worker's fault, poisons its outbound rings so
+    // consumers fail fast with provenance, then cancels the run. The
+    // order matters: fault record, then state (release), then poison
+    // (release), then cancel — every later acquire sees the record.
+    auto faultOut = [&](Fault F, int64_t Slab) {
+      F.Worker = static_cast<int>(W);
+      F.Partition = static_cast<int>(W);
+      F.Slab = Slab;
+      Faults[W] = std::move(F);
+      PC.State.store(WS_Faulted, std::memory_order_release);
+      for (SpscQueue<uint64_t> *Q : Out)
+        Q->poison();
+      Cancel.cancel();
+    };
+    auto cancelOut = [&](int64_t Slab) {
+      Fault F;
+      F.Kind = FaultKind::Cancelled;
+      F.Message = "cancelled";
+      F.Worker = static_cast<int>(W);
+      F.Partition = static_cast<int>(W);
+      F.Slab = Slab;
+      Faults[W] = std::move(F);
+      PC.State.store(WS_Cancelled, std::memory_order_release);
+    };
+
     for (int64_t I = 0; I < Slabs; ++I) {
       // Popping the ticket for slab I acquires the producer's slab
       // writes; issuing the pop only after slab I-1's body also tells
       // the producer (release on the head counter) that this worker is
       // done *reading* every earlier slab.
-      for (SpscQueue<uint64_t> *Q : In) {
+      for (auto &[Q, Src] : In) {
+        if (InjectPop && ++ChannelOps == Opts.Inject.Count) {
+          Fault F;
+          F.Kind = FaultKind::Injected;
+          F.Message = "injected fault (pop site)";
+          F.Function = Steady[W]->getName();
+          faultOut(std::move(F), I);
+          return;
+        }
         uint64_t Ticket;
-        while (!Q->tryPop(Ticket)) {
-          if (Stop.load(std::memory_order_acquire))
-            return;
-          std::this_thread::yield();
+        if (!Q->tryPop(Ticket)) {
+          PC.State.store(WS_BlockedPop, std::memory_order_relaxed);
+          for (;;) {
+            if (Q->tryPop(Ticket))
+              break;
+            if (Q->poisoned()) {
+              // Drain-then-fail: elements pushed before the poison are
+              // still delivered, so retry once after observing it (the
+              // acquire load ordered all prior pushes before us).
+              if (Q->tryPop(Ticket))
+                break;
+              Fault F;
+              F.Kind = FaultKind::PoisonedChannel;
+              F.Message = "upstream worker " + std::to_string(Src) +
+                          " faulted: " + Faults[Src].Message;
+              F.Function = Steady[W]->getName();
+              faultOut(std::move(F), I);
+              return;
+            }
+            if (Cancel.isCancelledAcquire()) {
+              cancelOut(I);
+              return;
+            }
+            std::this_thread::yield();
+          }
+          PC.State.store(WS_Running, std::memory_order_relaxed);
         }
         assert(Ticket == static_cast<uint64_t>(I) &&
                "ticket protocol out of sync");
         (void)Ticket;
       }
-      if (Stop.load(std::memory_order_acquire))
+      if (Cancel.isCancelledAcquire()) {
+        cancelOut(I);
         return;
+      }
       // Full B-iteration slabs first, then the remainder one by one —
       // the same sequence on every worker, so the ticket counts agree.
       const Function *Fn = I < FullSlabs ? (B > 1 ? SteadyB[W] : Steady[W])
                                          : Steady[W];
       if (!E.runFunction(Fn, WorkerCounters[W])) {
-        Stop.store(true, std::memory_order_release);
+        if (E.LastFault.Kind == FaultKind::Cancelled)
+          cancelOut(I);
+        else
+          faultOut(E.LastFault, I);
         return;
       }
+      PC.Firings.fetch_add(1, std::memory_order_relaxed);
       // Publishing the ticket for slab I releases this slab's writes
       // to the consumer; a full queue means the consumer has fallen a
       // whole credit window behind — wait for it.
       for (SpscQueue<uint64_t> *Q : Out) {
-        while (!Q->tryPush(static_cast<uint64_t>(I))) {
-          if (Stop.load(std::memory_order_acquire))
-            return;
-          std::this_thread::yield();
+        if (InjectPush && ++ChannelOps == Opts.Inject.Count) {
+          Fault F;
+          F.Kind = FaultKind::Injected;
+          F.Message = "injected fault (push site)";
+          F.Function = Steady[W]->getName();
+          faultOut(std::move(F), I);
+          return;
+        }
+        if (!Q->tryPush(static_cast<uint64_t>(I))) {
+          PC.State.store(WS_BlockedPush, std::memory_order_relaxed);
+          while (!Q->tryPush(static_cast<uint64_t>(I))) {
+            if (Cancel.isCancelledAcquire()) {
+              cancelOut(I);
+              return;
+            }
+            std::this_thread::yield();
+          }
+          PC.State.store(WS_Running, std::memory_order_relaxed);
         }
       }
+      PC.LastSlab.store(I, std::memory_order_relaxed);
     }
+    PC.State.store(WS_Done, std::memory_order_release);
   };
 
-  if (K == 1) {
+  auto WorkerMain = [&](unsigned W) {
+    WorkerBody(W);
+    DoneWorkers.fetch_add(1, std::memory_order_release);
+  };
+
+  if (K == 1 && Opts.DeadlineMs <= 0) {
     // Degenerate plan: no cross-thread traffic, run inline.
-    WorkerBody(0);
+    WorkerMain(0);
   } else {
     std::vector<std::thread> Threads;
     Threads.reserve(K);
     for (unsigned W = 0; W < K; ++W)
-      Threads.emplace_back(WorkerBody, W);
+      Threads.emplace_back(WorkerMain, W);
+    if (Opts.DeadlineMs > 0) {
+      // Watchdog: the calling thread polls completion against the
+      // deadline; on expiry it cancels and the workers unwind within a
+      // bounded number of steps (cancel checks in every spin-wait and
+      // every 1024 interpreter steps), so the joins below terminate.
+      const auto Deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(Opts.DeadlineMs);
+      while (DoneWorkers.load(std::memory_order_acquire) < K) {
+        if (std::chrono::steady_clock::now() >= Deadline) {
+          R.Report.DeadlineExpired = true;
+          Cancel.cancel();
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
     for (std::thread &T : Threads)
       T.join();
   }
 
-  if (Trace)
+  if (Opts.Trace)
     for (unsigned W = 0; W < K; ++W)
-      Trace->merge(WorkerTraces[W]);
+      Opts.Trace->merge(WorkerTraces[W]);
 
-  // Deterministic fault report: the lowest-indexed faulting worker.
+  // Progress snapshot (best effort; timing-dependent and excluded from
+  // the report's determinism contract — see Fault.h).
+  R.Report.Cancelled = Cancel.isCancelledAcquire();
+  R.Report.Workers.reserve(K);
   for (unsigned W = 0; W < K; ++W) {
-    if (!Execs[W]->Error.empty()) {
-      R.Error = Execs[W]->Error;
-      return R;
-    }
+    WorkerProgress P;
+    P.Worker = W;
+    P.LastSlab = Progress[W].LastSlab.load(std::memory_order_relaxed);
+    P.Firings = Progress[W].Firings.load(std::memory_order_relaxed);
+    P.State = workerStateName(Progress[W].State.load(
+        std::memory_order_relaxed));
+    if (Faults[W].isSet())
+      P.FaultKindName = faultKindName(Faults[W].Kind);
+    R.Report.Workers.push_back(std::move(P));
+  }
+
+  // Deterministic fault report: the lowest-indexed worker holding an
+  // *origin* fault (a trap, budget exhaustion or injection — not the
+  // cooperative poisoned/cancelled reactions to someone else's fault).
+  const Fault *First = nullptr;
+  for (unsigned W = 0; W < K && !First; ++W)
+    if (Faults[W].isOrigin())
+      First = &Faults[W];
+  for (unsigned W = 0; W < K && !First; ++W)
+    if (Faults[W].isSet() && Faults[W].Kind != FaultKind::Cancelled)
+      First = &Faults[W];
+  if (!First && R.Report.DeadlineExpired) {
+    // Nothing trapped, the watchdog fired: report the deadline itself.
+    R.Report.FirstFault.Kind = FaultKind::Deadline;
+    R.Report.FirstFault.Message =
+        "watchdog deadline of " + std::to_string(Opts.DeadlineMs) +
+        "ms expired";
+    R.Error = R.Report.FirstFault.Message;
+    return R;
+  }
+  if (!First)
+    for (unsigned W = 0; W < K && !First; ++W)
+      if (Faults[W].isSet())
+        First = &Faults[W];
+  if (First) {
+    R.Report.FirstFault = *First;
+    R.Error = First->str();
+    return R;
   }
 
   // Outputs: init phase first, then the sink partition's stream.
@@ -192,8 +389,8 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
 
   for (unsigned W = 0; W < K; ++W)
     R.SteadyCounters += WorkerCounters[W];
-  if (PerWorkerSteady)
-    *PerWorkerSteady = WorkerCounters;
+  if (Opts.PerWorkerSteady)
+    *Opts.PerWorkerSteady = WorkerCounters;
   R.SteadyIterations = Iterations;
   R.Ok = true;
   return R;

@@ -15,10 +15,24 @@
 //     to every outbound edge. The acquire/release pair on the ticket
 //     queue orders the ring-buffer slab accesses (docs/PARALLEL.md).
 //
-// Faults propagate through a stop flag; the reported error is the
-// lowest-indexed worker's (deterministic under races). Per-worker
-// steady counters are merged in index order, and per-worker trace
-// contexts are forked before spawn and merged at join.
+// Fault containment (docs/PARALLEL.md "Failure semantics"):
+//
+//   * a run-wide CancellationToken is polled in every ring spin-wait
+//     and every 1024 interpreter steps, so one worker's fault unblocks
+//     all peers within a bounded number of steps;
+//   * a faulting worker publishes its structured Fault, poisons its
+//     outbound ticket queues, then cancels — consumers drain what was
+//     pushed, then fail fast with the origin's provenance instead of
+//     a generic cancel;
+//   * an optional watchdog deadline (RunOptions::DeadlineMs) cancels a
+//     stuck run and snapshots per-worker progress into the RunReport;
+//   * all worker threads are always joined: no fault path leaks a
+//     thread or destroys a queue a peer is still blocked on.
+//
+// The reported error is the lowest-indexed worker holding an *origin*
+// fault (deterministic under races). Per-worker steady counters are
+// merged in index order, and per-worker trace contexts are forked
+// before spawn and merged at join.
 //
 //===----------------------------------------------------------------------===//
 
@@ -32,19 +46,33 @@
 namespace laminar {
 namespace parallel {
 
+/// Execution options for one parallel run.
+struct RunOptions {
+  /// Per-worker interpreter step budget.
+  uint64_t StepBudget = 2'000'000'000ULL;
+  /// Watchdog deadline in milliseconds; 0 disables the watchdog. On
+  /// expiry the run is cancelled and the RunReport carries
+  /// DeadlineExpired plus a per-worker progress snapshot.
+  int64_t DeadlineMs = 0;
+  /// Deterministic fault injection (testing): trip a fault at the Nth
+  /// step / channel pop / channel push of a chosen worker.
+  interp::FaultPoint Inject;
+  /// Optional tracing context (forked per worker, merged at join).
+  TraceContext *Trace = nullptr;
+  /// Optional out-param: each worker's steady counters, index-ordered.
+  std::vector<interp::Counters> *PerWorkerSteady = nullptr;
+};
+
 /// Runs @init once, then \p Iterations steady iterations across
 /// Plan.NumPartitions workers. Outputs are the init-phase outputs
 /// followed by the sink partition's worker outputs — byte-identical to
-/// the sequential runModule on an equivalent module. \p PerWorkerSteady
-/// (optional) receives each worker's steady counters, index-ordered.
+/// the sequential runModule on an equivalent module. The result's
+/// Report field always carries the structured RunReport.
 interp::RunResult runParallel(const lir::Module &M,
                               const PartitionPlan &Plan,
                               const interp::TokenStream &Input,
                               int64_t Iterations,
-                              uint64_t StepBudget = 2'000'000'000ULL,
-                              TraceContext *Trace = nullptr,
-                              std::vector<interp::Counters>
-                                  *PerWorkerSteady = nullptr);
+                              const RunOptions &Opts = RunOptions());
 
 } // namespace parallel
 } // namespace laminar

@@ -68,6 +68,19 @@ public:
 
   size_t capacity() const { return Cap; }
 
+  /// Fault containment: the producer (or the runtime on its behalf)
+  /// marks the ring poisoned when no further pushes will ever arrive.
+  /// The release store pairs with poisoned()'s acquire load, so a
+  /// consumer that observes the poison also observes everything the
+  /// producer published before poisoning — in particular its fault
+  /// record. Consumers must check poison only after tryPop fails
+  /// (drain-then-fail: elements pushed before the poison are still
+  /// delivered).
+  void poison() { Poisoned.store(true, std::memory_order_release); }
+  bool poisoned() const {
+    return Poisoned.load(std::memory_order_acquire);
+  }
+
   /// Producer side. Returns false when the ring is full.
   bool tryPush(const T &V) {
     uint64_t T0 = Tail.load(std::memory_order_relaxed);
@@ -108,8 +121,11 @@ private:
   std::vector<T> Buf;
   uint64_t Mask;
   // Producer-owned line: Tail plus the producer's cache of Head.
+  // Poison lives here too: it is written by the producer side and only
+  // read by the consumer on the (already slow) empty path.
   alignas(64) std::atomic<uint64_t> Tail{0};
   uint64_t HeadCache = 0;
+  std::atomic<bool> Poisoned{false};
   // Consumer-owned line: Head plus the consumer's cache of Tail.
   alignas(64) std::atomic<uint64_t> Head{0};
   uint64_t TailCache = 0;

@@ -40,6 +40,10 @@ struct CompilerLimits {
   int64_t MaxChannelTokens = 1 << 22;
   /// Error-diagnostic cutoff; 0 keeps the engine unlimited.
   unsigned MaxErrors = 64;
+  /// Interpreter step budget per executor (laminarc --max-steps): one
+  /// run executes at most this many LIR instructions per worker before
+  /// faulting with a step-budget diagnostic.
+  int64_t MaxInterpSteps = 2'000'000'000;
 };
 
 /// Overflow-checked int64 arithmetic. Nullopt on overflow.

@@ -1,0 +1,256 @@
+//===--- FaultInject.cpp --------------------------------------------------===//
+
+#include "testing/FaultInject.h"
+#include "codegen/CEmitter.h"
+#include "testing/Differ.h"
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+using namespace laminar;
+using namespace laminar::testing;
+using namespace laminar::driver;
+
+namespace {
+
+/// Independent sub-draws from one seed (splitmix64 steps).
+uint64_t mix(uint64_t &S) {
+  S += 0x9E3779B97F4A7C15ULL;
+  uint64_t Z = S;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Bit-exact stream equality (same contract as the differ).
+bool sameStream(const interp::TokenStream &A, const interp::TokenStream &B) {
+  if (A.Ty != B.Ty)
+    return false;
+  if (A.Ty == lir::TypeKind::Int)
+    return A.I == B.I;
+  if (A.F.size() != B.F.size())
+    return false;
+  for (size_t K = 0; K < A.F.size(); ++K)
+    if (bitPattern(A.F[K]) != bitPattern(B.F[K]))
+      return false;
+  return true;
+}
+
+/// The provenance fields under the determinism contract (the worker
+/// snapshot is timing-dependent and deliberately excluded).
+std::string originKey(const interp::Fault &F) {
+  std::ostringstream OS;
+  OS << interp::faultKindName(F.Kind) << "|" << F.Worker << "|"
+     << F.Partition << "|" << F.Slab << "|" << F.Function << "|"
+     << F.Loc.Line << ":" << F.Loc.Col << "|" << F.Message;
+  return OS.str();
+}
+
+} // namespace
+
+interp::FaultPoint
+testing::deriveFaultPoint(const parallel::PartitionPlan &Plan,
+                          uint64_t Seed) {
+  interp::FaultPoint P;
+  uint64_t S = Seed;
+  unsigned Pick = static_cast<unsigned>(mix(S) % 3);
+  if (Plan.CutEdges.empty() || Pick == 0) {
+    // Step site: trip inside a worker's interpreter loop. The count
+    // stays small so most injections land within a few firings.
+    P.S = interp::FaultPoint::Site::Step;
+    P.Worker = static_cast<unsigned>(
+        mix(S) % (Plan.NumPartitions ? Plan.NumPartitions : 1));
+    P.Count = 1 + mix(S) % 200;
+    return P;
+  }
+  // Channel site: pop trips on a cut edge's consumer, push on its
+  // producer, so the injected worker really owns the chosen ring.
+  const parallel::CutEdge &E =
+      Plan.CutEdges[mix(S) % Plan.CutEdges.size()];
+  bool Pop = Pick == 1;
+  P.S = Pop ? interp::FaultPoint::Site::Pop : interp::FaultPoint::Site::Push;
+  P.Worker = Pop ? E.DstPartition : E.SrcPartition;
+  P.Count = 1 + mix(S) % 4;
+  return P;
+}
+
+FaultCheckResult testing::checkFaultInvariant(const std::string &Source,
+                                              const std::string &Top,
+                                              uint64_t Seed,
+                                              const FaultOptions &O) {
+  FaultCheckResult R;
+
+  CompileOptions CO;
+  CO.TopName = Top;
+  CO.Mode = LoweringMode::Laminar;
+  CO.OptLevel = 2;
+  CO.Parallel = O.Workers;
+  // Bypass the cost gate: small fuzz programs must exercise real
+  // multi-worker plans, not all fall back to one partition.
+  CO.Tuning.Force = true;
+  Compilation C = compile(Source, CO);
+  if (!C.Ok || !C.Plan)
+    return R; // Generator's fault (or no plan): nothing to check.
+  R.Accepted = true;
+  R.Point = deriveFaultPoint(*C.Plan, Seed);
+
+  // Pre-screen without injection. A program that faults on its own
+  // races the injection for "first fault", so the determinism
+  // assertion below only applies to naturally-clean programs; the
+  // termination invariant applies to everyone.
+  RunParams Clean;
+  Clean.DeadlineMs = O.DeadlineMs;
+  interp::RunResult Base =
+      runWithRandomInput(C, O.Iterations, O.InputSeed, nullptr, nullptr,
+                         Clean);
+  R.NaturalFault = !Base.Ok;
+  if (Base.Report.DeadlineExpired) {
+    R.Violation = true;
+    R.Detail = "un-injected run hit the watchdog deadline (" +
+               std::to_string(O.DeadlineMs) + "ms): " + Base.Error;
+    return R;
+  }
+
+  RunParams Inj = Clean;
+  Inj.Inject = R.Point;
+  interp::RunResult Run =
+      runWithRandomInput(C, O.Iterations, O.InputSeed, nullptr, nullptr,
+                         Inj);
+
+  if (Run.Ok) {
+    // The Nth event never occurred (short run). Not a violation, but
+    // the injection plumbing must not have perturbed the outputs.
+    if (Base.Ok && !sameStream(Run.Outputs, Base.Outputs)) {
+      R.Violation = true;
+      R.Detail = "untripped injection changed program outputs";
+    }
+    return R;
+  }
+
+  R.Tripped = true;
+  const interp::Fault &F = Run.Report.FirstFault;
+  R.FaultLine = F.str();
+
+  if (Run.Report.DeadlineExpired) {
+    R.Violation = true;
+    R.Detail = "injected fault did not terminate before the watchdog "
+               "deadline: " +
+               Run.Error;
+    return R;
+  }
+  if (!F.isSet() || !F.isOrigin()) {
+    R.Violation = true;
+    R.Detail = "failed run carries no origin fault (error: " + Run.Error +
+               ", first fault: " + (F.isSet() ? F.str() : "<none>") + ")";
+    return R;
+  }
+  std::string Json = Run.Report.json();
+  if (Json.find("\"schema\": \"laminar-fault-report-v1\"") ==
+          std::string::npos ||
+      Json.find("\"fault\":") == std::string::npos ||
+      Json.find("\"workers\":") == std::string::npos) {
+    R.Violation = true;
+    R.Detail = "fault report JSON is not schema-valid:\n" + Json;
+    return R;
+  }
+  if (F.Kind == interp::FaultKind::Injected) {
+    if (F.Worker != static_cast<int>(R.Point.Worker)) {
+      R.Violation = true;
+      R.Detail = "injected fault attributed to worker " +
+                 std::to_string(F.Worker) + ", expected worker " +
+                 std::to_string(R.Point.Worker);
+      return R;
+    }
+    // Step-site faults fire on a concrete instruction, so the report
+    // must at least name the executing function. A source location is
+    // best-effort: the interpreter falls back to the nearest preceding
+    // located instruction, but a fully compiler-generated block
+    // legitimately has none.
+    if (R.Point.S == interp::FaultPoint::Site::Step && F.Function.empty()) {
+      R.Violation = true;
+      R.Detail = "step-site fault lacks provenance: " + F.str();
+      return R;
+    }
+  }
+
+  // Determinism: bit-identical origin fault across reruns, asserted
+  // only for naturally-clean programs (see header).
+  if (!R.NaturalFault) {
+    interp::RunResult Run2 =
+        runWithRandomInput(C, O.Iterations, O.InputSeed, nullptr, nullptr,
+                           Inj);
+    if (Run2.Ok ||
+        originKey(Run2.Report.FirstFault) != originKey(F)) {
+      R.Violation = true;
+      R.Detail =
+          "origin fault is not deterministic:\n  first:  " + F.str() +
+          "\n  rerun:  " +
+          (Run2.Ok ? std::string("<run succeeded>")
+                   : Run2.Report.FirstFault.str());
+      return R;
+    }
+  }
+
+  // Threaded-C leg: the same injection, compiled, must exit with the
+  // documented fault code and one stderr line — and never block.
+  if (O.CheckC && hostCompilerAvailable() && C.Plan->NumPartitions > 1) {
+    codegen::CEmitOptions CE;
+    CE.InputSeed = O.InputSeed;
+    CE.DefaultIterations = O.Iterations;
+    CE.Plan = &*C.Plan;
+    CE.InjectWorker = static_cast<int>(R.Point.Worker);
+    CE.InjectSlab =
+        static_cast<int64_t>(R.Point.Count > 0 ? R.Point.Count - 1 : 0);
+    std::string CSource = codegen::emitC(*C.Module, CE);
+
+    static int Counter = 0;
+    std::string Base2 = O.TempDir + "/laminar-fault-" +
+                        std::to_string(::getpid()) + "-" +
+                        std::to_string(Counter++);
+    std::string CPath = Base2 + ".c", Bin = Base2 + ".bin",
+                OutP = Base2 + ".out", ErrP = Base2 + ".err";
+    {
+      std::ofstream Out(CPath);
+      Out << CSource;
+    }
+    std::string Detail;
+    if (std::system(("cc -O1 -pthread -o " + Bin + " " + CPath +
+                     " -lm 2> " + ErrP)
+                        .c_str()) != 0) {
+      Detail = "threaded C with injection does not compile";
+    } else {
+      // `timeout` bounds the never-deadlock invariant from outside
+      // the process under test.
+      int WS = std::system(("timeout 20 " + Bin + " " +
+                            std::to_string(O.Iterations) + " > " + OutP +
+                            " 2> " + ErrP)
+                               .c_str());
+      int Exit = WIFEXITED(WS) ? WEXITSTATUS(WS) : -1;
+      std::ifstream ErrIn(ErrP);
+      std::ostringstream ErrSS;
+      ErrSS << ErrIn.rdbuf();
+      if (Exit == 124)
+        Detail = "threaded C binary hung under injection (timeout)";
+      else if (Exit != codegen::CFaultExitCode && Exit != 0)
+        Detail = "threaded C binary exited " + std::to_string(Exit) +
+                 ", expected " + std::to_string(codegen::CFaultExitCode) +
+                 " (fault) or 0 (injection slab not reached)";
+      else if (Exit == codegen::CFaultExitCode &&
+               ErrSS.str().find("laminar-fault:") == std::string::npos)
+        Detail = "faulting threaded C binary printed no laminar-fault: "
+                 "line on stderr";
+    }
+    std::remove(CPath.c_str());
+    std::remove(Bin.c_str());
+    std::remove(OutP.c_str());
+    std::remove(ErrP.c_str());
+    if (!Detail.empty()) {
+      R.Violation = true;
+      R.Detail = Detail;
+      return R;
+    }
+  }
+
+  return R;
+}

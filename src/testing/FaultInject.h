@@ -1,0 +1,88 @@
+//===--- FaultInject.h - Deterministic fault-injection oracle --*- C++ -*-===//
+//
+// The fault-containment oracle behind `laminar-fuzz --mode=fault`:
+// compiles a stream program for the threaded runtime, derives a
+// deterministic injection point from the seed (the Nth interpreter
+// step / channel pop / channel push of a chosen worker), runs it under
+// a watchdog deadline, and checks the containment invariants:
+//
+//  * the run terminates within the deadline (no hang, no deadlock —
+//    runParallel always joins its workers, so a clean return also
+//    means no leaked threads);
+//  * a tripped injection yields a located, structured origin fault
+//    (RunReport.FirstFault) and a schema-valid JSON report;
+//  * for programs that run clean without injection, the origin fault
+//    is bit-identical across reruns (the determinism contract —
+//    programs that fault naturally race the injection, so only the
+//    termination/structure invariants apply to them);
+//  * optionally, the emitted threaded-C binary with the same injection
+//    exits with CFaultExitCode (42) and one "laminar-fault:" stderr
+//    line, never blocks.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_TESTING_FAULTINJECT_H
+#define LAMINAR_TESTING_FAULTINJECT_H
+
+#include "driver/Driver.h"
+#include "interp/Fault.h"
+#include <cstdint>
+#include <string>
+
+namespace laminar {
+namespace testing {
+
+struct FaultOptions {
+  /// Steady iterations per run.
+  int64_t Iterations = 6;
+  /// Randomized-input seed (shared by every leg of one check).
+  uint64_t InputSeed = 0xC0FFEE;
+  /// Requested worker count; the planner may clamp it.
+  unsigned Workers = 4;
+  /// Watchdog deadline. Generous by design: it is a hang detector,
+  /// not a performance bound, and must never fire on a healthy run.
+  int64_t DeadlineMs = 10000;
+  /// Also run the threaded-C leg (exit-code 42 + stderr one-liner)
+  /// when a host C compiler is available. Expensive: one cc + one
+  /// subprocess per check.
+  bool CheckC = false;
+  /// Scratch directory for C-leg artifacts.
+  std::string TempDir = "/tmp";
+};
+
+struct FaultCheckResult {
+  /// True when a containment invariant was violated (a harness FAIL).
+  bool Violation = false;
+  /// True when the frontend/planner accepted the program.
+  bool Accepted = false;
+  /// True when the injection point was actually reached (a run can
+  /// finish before its Nth event occurs; that is a pass, not a FAIL).
+  bool Tripped = false;
+  /// True when the program faults on its own without any injection
+  /// (determinism assertion skipped; termination still checked).
+  bool NaturalFault = false;
+  /// Violation description, empty otherwise.
+  std::string Detail;
+  /// The origin fault's provenance line (Fault::str()) when tripped.
+  std::string FaultLine;
+  /// The injection the seed derived (for reports/reproducers).
+  interp::FaultPoint Point;
+};
+
+/// Derives a deterministic injection point from \p Seed for a compiled
+/// plan: pop sites target a cut edge's consumer, push sites its
+/// producer, step sites a worker's Nth interpreter step. Plans without
+/// cut edges (sequential fallback) always get a step site.
+interp::FaultPoint deriveFaultPoint(const parallel::PartitionPlan &Plan,
+                                    uint64_t Seed);
+
+/// Runs the fault-containment oracle on \p Source with top stream
+/// \p Top, deriving the injection from \p Seed.
+FaultCheckResult checkFaultInvariant(const std::string &Source,
+                                     const std::string &Top, uint64_t Seed,
+                                     const FaultOptions &O = {});
+
+} // namespace testing
+} // namespace laminar
+
+#endif // LAMINAR_TESTING_FAULTINJECT_H

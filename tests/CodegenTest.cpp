@@ -144,3 +144,100 @@ INSTANTIATE_TEST_SUITE_P(
       Name += "_O" + std::to_string(Info.param.Opt);
       return Name;
     });
+
+// --- Fault protocol in emitted C ---------------------------------------
+
+TEST(CodegenFault, ChecksDivisionsAndConversions) {
+  // Every Div/Rem/FloatToInt in the emitted C routes through the
+  // checked helpers, which trap to lam_fault with a "@fn at L:C" site
+  // string instead of executing UB.
+  Compilation C = compileBench("MovingAverage", LoweringMode::Laminar, 2);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  codegen::CEmitOptions O;
+  std::string Src = codegen::emitC(*C.Module, O);
+  EXPECT_NE(Src.find("LAM_EXIT_FAULT 42"), std::string::npos);
+  EXPECT_NE(Src.find("static void lam_fault"), std::string::npos);
+  EXPECT_NE(Src.find("laminar-fault: %s: %s"), std::string::npos);
+  // MovingAverage divides by the window size: the checked helper must
+  // actually be used, not just defined.
+  EXPECT_NE(Src.find("lam_div("), std::string::npos);
+}
+
+TEST(CodegenFault, ParallelCarriesCancelFlagAndInjection) {
+  const suite::Benchmark *B = suite::findBenchmark("MovingAverage");
+  ASSERT_NE(B, nullptr);
+  CompileOptions CO;
+  CO.TopName = B->Top;
+  CO.Mode = LoweringMode::Laminar;
+  CO.OptLevel = 2;
+  CO.Parallel = 2;
+  CO.Tuning.Force = true;
+  Compilation C = compile(B->Source, CO);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  ASSERT_TRUE(C.Plan && C.Plan->NumPartitions == 2);
+  codegen::CEmitOptions O;
+  O.Plan = &*C.Plan;
+  O.InjectWorker = 1;
+  O.InjectSlab = 0;
+  std::string Src = codegen::emitC(*C.Module, O);
+  // Threaded programs poll a shared C11 cancel flag in both ring waits
+  // and re-check it after the join barrier.
+  EXPECT_NE(Src.find("static _Atomic int lam_cancel"), std::string::npos);
+  EXPECT_NE(Src.find("atomic_load_explicit(&lam_cancel"),
+            std::string::npos);
+  EXPECT_NE(Src.find("return LAM_EXIT_FAULT"), std::string::npos);
+  // The injection trap lands in exactly one worker.
+  EXPECT_NE(Src.find("injected fault"), std::string::npos);
+}
+
+TEST(CodegenFault, DivByZeroBinaryExitsWithFaultCode) {
+  // An input-dependent division by zero: x / (x - x). The compiled
+  // binary must exit with the documented fault code and print one
+  // laminar-fault: line naming the source location, not crash with
+  // SIGFPE or print garbage.
+  const char *Source = R"(
+int->int filter Bad() {
+  work push 1 pop 1 {
+    int x = pop();
+    push(x / (x - x));
+  }
+}
+int->int pipeline Crash {
+  add Bad();
+}
+)";
+  CompileOptions CO;
+  CO.TopName = "Crash";
+  CO.Mode = LoweringMode::Laminar;
+  CO.OptLevel = 0; // Keep the x - x expression out of the folder.
+  Compilation C = compile(Source, CO);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+
+  codegen::CEmitOptions O;
+  std::string CSource = codegen::emitC(*C.Module, O);
+  std::string Stem =
+      ::testing::TempDir() + "/lam_fault." + std::to_string(getpid());
+  std::string CPath = Stem + ".c", Bin = Stem + ".bin",
+              ErrPath = Stem + ".err";
+  {
+    std::ofstream Out(CPath);
+    Out << CSource;
+  }
+  if (std::system(("cc -O1 -o " + Bin + " " + CPath + " -lm").c_str()) !=
+      0) {
+    GTEST_SKIP() << "host C compiler unavailable";
+    return;
+  }
+  int WS = std::system(
+      ("timeout 10 " + Bin + " 4 > /dev/null 2> " + ErrPath).c_str());
+  ASSERT_TRUE(WIFEXITED(WS));
+  EXPECT_EQ(WEXITSTATUS(WS), codegen::CFaultExitCode);
+  std::ifstream In(ErrPath);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  EXPECT_NE(SS.str().find("laminar-fault:"), std::string::npos) << SS.str();
+  EXPECT_NE(SS.str().find("division"), std::string::npos) << SS.str();
+  std::remove(CPath.c_str());
+  std::remove(Bin.c_str());
+  std::remove(ErrPath.c_str());
+}

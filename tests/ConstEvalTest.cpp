@@ -4,6 +4,7 @@
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
 #include <cmath>
+#include <limits>
 #include <gtest/gtest.h>
 
 using namespace laminar;
@@ -155,4 +156,76 @@ TEST(ConstVal, Conversions) {
                    5.0);
   EXPECT_EQ(ConstVal::makeFloat(-2.7).convertTo(ScalarType::Int).asInt(), -2);
   EXPECT_EQ(ConstVal::makeBool(true).convertTo(ScalarType::Int).asInt(), 1);
+}
+
+// --- Crash-free totality (fault-containment audit) ----------------------
+//
+// Compile-time evaluation must never execute undefined behavior or trip
+// an assert, no matter what typed expressions sema lets through:
+// overflow wraps (matching the interpreter and the emitted C), trapping
+// divisions become "not a compile-time constant", and conversions are
+// total.
+
+TEST(ConstVal, TotalAccessorsNeverAssert) {
+  // Cross-type reads have defined truthiness/truncation semantics.
+  EXPECT_EQ(ConstVal::makeFloat(2.9).asInt(), 2);
+  EXPECT_EQ(ConstVal::makeBool(true).asInt(), 1);
+  EXPECT_TRUE(ConstVal::makeInt(-3).asBool());
+  EXPECT_FALSE(ConstVal::makeInt(0).asBool());
+  EXPECT_TRUE(ConstVal::makeFloat(0.5).asBool());
+  EXPECT_FALSE(ConstVal::makeFloat(0.0).asBool());
+  EXPECT_DOUBLE_EQ(ConstVal::makeBool(true).asFloat(), 1.0);
+  EXPECT_TRUE(ConstVal::makeInt(7).convertTo(ScalarType::Bool).asBool());
+  EXPECT_FALSE(ConstVal::makeFloat(0.0).convertTo(ScalarType::Bool).asBool());
+}
+
+TEST(ConstVal, FloatToIntSaturatesOutOfRange) {
+  // The unguarded cast is UB; the totalized conversion saturates and
+  // maps NaN to zero.
+  EXPECT_EQ(ConstVal::makeFloat(1e30).asInt(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ConstVal::makeFloat(-1e30).asInt(),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(ConstVal::makeFloat(std::nan("")).asInt(), 0);
+}
+
+TEST_F(EvalFixture, IntOverflowWrapsLikeInterpreter) {
+  auto R = evalIn("int r = 9223372036854775807 + 1;");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->asInt(), std::numeric_limits<int64_t>::min());
+  R = evalIn("int r = (0 - 9223372036854775807 - 1) * 3;");
+  ASSERT_TRUE(R.has_value()); // Wraps, no UB under UBSan.
+}
+
+TEST_F(EvalFixture, NegationOfMinWraps) {
+  auto R = evalIn("int r = -(0 - 9223372036854775807 - 1);");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->asInt(), std::numeric_limits<int64_t>::min());
+}
+
+TEST_F(EvalFixture, ShiftOfNegativeIsDefined) {
+  auto R = evalIn("int r = (0 - 1) << 1;");
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->asInt(), -2);
+}
+
+TEST(ConstEvalTotality, OverflowingDivisionIsNotConstant) {
+  // INT64_MIN / -1 (and % -1) overflow: the evaluator must reject them
+  // as non-constant with a located diagnostic, not trap.
+  DiagnosticEngine D;
+  auto P = parseProgram(R"(
+    float->float pipeline P {
+      int r = (0 - 9223372036854775807 - 1) / (0 - 1);
+    }
+  )",
+                        D);
+  ASSERT_FALSE(D.hasErrors());
+  analyzeProgram(*P, D);
+  auto *C = cast<CompositeDecl>(P->findDecl("P"));
+  ConstEnv Env;
+  ConstEval Eval(D, Env);
+  EXPECT_FALSE(Eval.exec(C->getBody(), [](const Stmt *) { return true; }));
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_NE(D.str().find("not a compile-time constant"), std::string::npos)
+      << D.str();
 }

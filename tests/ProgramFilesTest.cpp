@@ -47,7 +47,8 @@ INSTANTIATE_TEST_SUITE_P(
     Files, ShippedPrograms,
     ::testing::Values(ProgramCase{"average.str", "Smooth"},
                       ProgramCase{"echo.str", "Echo"},
-                      ProgramCase{"bandsplit.str", "BandSplit"}),
+                      ProgramCase{"bandsplit.str", "BandSplit"},
+                      ProgramCase{"fault_chain.str", "Chain"}),
     [](const ::testing::TestParamInfo<ProgramCase> &Info) {
       std::string Name = Info.param.File;
       return Name.substr(0, Name.find('.'));

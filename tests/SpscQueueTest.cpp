@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "interp/Fault.h"
 #include "parallel/SpscQueue.h"
 #include <cstdint>
 #include <gtest/gtest.h>
@@ -224,6 +225,161 @@ TEST(SpscQueueStress, NonPow2WindowTwoThreadSoak) {
   EXPECT_TRUE(OrderOk);
   EXPECT_TRUE(WindowOk);
   EXPECT_TRUE(Q.empty());
+}
+
+TEST(SpscQueue, PoisonDrainThenFail) {
+  // Poison does not destroy in-flight data: everything pushed before
+  // the poison stays poppable (the producer's pushes happen-before the
+  // release poison store), and only then does the consumer fail fast.
+  SpscQueue<int> Q(4);
+  ASSERT_TRUE(Q.tryPush(1));
+  ASSERT_TRUE(Q.tryPush(2));
+  EXPECT_FALSE(Q.poisoned());
+  Q.poison();
+  EXPECT_TRUE(Q.poisoned());
+  int V = -1;
+  ASSERT_TRUE(Q.tryPop(V));
+  EXPECT_EQ(V, 1);
+  ASSERT_TRUE(Q.tryPop(V));
+  EXPECT_EQ(V, 2);
+  EXPECT_FALSE(Q.tryPop(V));
+  EXPECT_TRUE(Q.poisoned());
+}
+
+TEST(SpscQueue, PoisonAfterWraparound) {
+  // Poison set after the cursors have wrapped the storage many times:
+  // the flag must not interact with the masked indexing or the cached
+  // counters.
+  SpscQueue<uint64_t> Q(4);
+  uint64_t Next = 0, Expected = 0;
+  for (int Round = 0; Round < 100; ++Round) {
+    for (int I = 0; I < 3; ++I)
+      ASSERT_TRUE(Q.tryPush(Next++));
+    uint64_t V = ~0ULL;
+    for (int I = 0; I < 3; ++I) {
+      ASSERT_TRUE(Q.tryPop(V));
+      ASSERT_EQ(V, Expected++);
+    }
+  }
+  ASSERT_TRUE(Q.tryPush(Next));
+  Q.poison();
+  uint64_t V = ~0ULL;
+  ASSERT_TRUE(Q.tryPop(V));
+  EXPECT_EQ(V, Next);
+  EXPECT_FALSE(Q.tryPop(V));
+  EXPECT_TRUE(Q.poisoned());
+}
+
+TEST(SpscQueueStress, PoisonUnblocksBlockedConsumer) {
+  // The runner's consumer protocol: spin on tryPop, and on observing
+  // poison retry the pop once (draining anything published before the
+  // poison) before failing fast. A consumer blocked mid-stream must
+  // exit promptly once the producer poisons, with every pre-poison
+  // token intact — this is the "peer blocked while channel dies" edge
+  // the watchdog must never be needed for. Run under TSan to validate
+  // the release/acquire pairing of poison() against the data pushes.
+  constexpr uint64_t N = 10'000;
+  SpscQueue<uint64_t> Q(8);
+  std::thread Producer([&] {
+    for (uint64_t I = 0; I < N; ++I)
+      while (!Q.tryPush(I))
+        std::this_thread::yield();
+    Q.poison();
+  });
+  uint64_t Seen = 0;
+  bool OrderOk = true, SawPoison = false;
+  std::thread Consumer([&] {
+    for (;;) {
+      uint64_t V = ~0ULL;
+      if (Q.tryPop(V)) {
+        if (V != Seen)
+          OrderOk = false;
+        ++Seen;
+        continue;
+      }
+      if (Q.poisoned()) {
+        if (Q.tryPop(V)) { // One retry: drain pushes ordered before
+          if (V != Seen)   // the poison store.
+            OrderOk = false;
+          ++Seen;
+          continue;
+        }
+        SawPoison = true;
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  Producer.join();
+  Consumer.join();
+  EXPECT_TRUE(OrderOk);
+  EXPECT_TRUE(SawPoison);
+  EXPECT_EQ(Seen, N);
+}
+
+TEST(SpscQueueStress, CancelUnblocksBlockedProducer) {
+  // The runner's producer protocol: a producer blocked on a full ring
+  // (consumer gone) polls the run-wide cancellation token in its spin
+  // and unwinds instead of spinning forever.
+  laminar::interp::CancellationToken Cancel;
+  SpscQueue<int> Q(2);
+  ASSERT_TRUE(Q.tryPush(0));
+  ASSERT_TRUE(Q.tryPush(1));
+  bool Unblocked = false;
+  std::thread Producer([&] {
+    while (!Q.tryPush(2)) {
+      if (Cancel.isCancelledAcquire()) {
+        Unblocked = true;
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  Cancel.cancel();
+  Producer.join();
+  EXPECT_TRUE(Unblocked);
+}
+
+TEST(SpscQueueStress, CancelRaceTwoThread) {
+  // Two threads mid-stream when a third cancels: both must observe the
+  // token and exit without deadlock regardless of where in the
+  // push/pop protocol the cancel lands. Repeated so the cancel lands
+  // at varied ring occupancies; run under TSan for the ordering.
+  for (int Round = 0; Round < 50; ++Round) {
+    laminar::interp::CancellationToken Cancel;
+    SpscQueue<uint64_t> Q(4);
+    std::thread Producer([&] {
+      for (uint64_t I = 0;; ++I) {
+        while (!Q.tryPush(I)) {
+          if (Cancel.isCancelled())
+            return;
+          std::this_thread::yield();
+        }
+        if (Cancel.isCancelled())
+          return;
+      }
+    });
+    std::thread Consumer([&] {
+      for (;;) {
+        uint64_t V;
+        while (!Q.tryPop(V)) {
+          if (Cancel.isCancelled())
+            return;
+          std::this_thread::yield();
+        }
+        if (Cancel.isCancelled())
+          return;
+      }
+    });
+    // Stagger the cancel point across rounds (an atomic so the delay
+    // loop cannot be optimized away).
+    std::atomic<int> Delay{0};
+    for (int Spin = 0; Spin < Round * 100; ++Spin)
+      Delay.fetch_add(1, std::memory_order_relaxed);
+    Cancel.cancel();
+    Producer.join();
+    Consumer.join();
+  }
 }
 
 TEST(SpscQueueStress, BurstySlabHandoff) {

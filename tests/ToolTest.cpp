@@ -564,3 +564,112 @@ TEST(LaminarFuzz, AnalyzeModeReplayConfirmsProvedClaim) {
   EXPECT_NE(R.Output.find("proved claim confirmed"), std::string::npos)
       << R.Output;
 }
+
+// --- Fault containment CLI ---------------------------------------------
+
+namespace {
+
+/// Writes the two-stage int pipeline used by the fault-flag tests.
+std::string writeChain(const std::string &Dir) {
+  std::string Path = Dir + "/chain.str";
+  std::ofstream Out(Path);
+  Out << "int->int filter Scale() {\n"
+      << "  work push 1 pop 1 { push(pop() * 3); }\n"
+      << "}\n"
+      << "int->int filter Offset() {\n"
+      << "  work push 1 pop 1 { push(pop() + 7); }\n"
+      << "}\n"
+      << "int->int pipeline Chain { add Scale(); add Offset(); }\n";
+  return Path;
+}
+
+} // namespace
+
+TEST(Laminarc, MaxStepsBoundsTheInterpreter) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-max-steps");
+  std::string Src = writeChain(Dir);
+  ToolResult R = run(Src + " --top=Chain --emit=run --iters=50 "
+                           "--max-steps=20");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("step budget"), std::string::npos) << R.Output;
+}
+
+TEST(Laminarc, InjectFaultWritesFaultJson) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-inject");
+  std::string Src = writeChain(Dir);
+  std::string Json = Dir + "/fault.json";
+  ToolResult R = run(Src + " --top=Chain --emit=run --iters=16 "
+                           "--parallel=2 --parallel-force "
+                           "--inject-fault=pop:1:2 --deadline-ms=10000 "
+                           "--fault-json=" +
+                     Json);
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("injected fault"), std::string::npos) << R.Output;
+  std::string Report = readFile(Json);
+  EXPECT_NE(Report.find("\"schema\": \"laminar-fault-report-v1\""),
+            std::string::npos)
+      << Report;
+  EXPECT_NE(Report.find("\"kind\": \"injected\""), std::string::npos);
+  EXPECT_NE(Report.find("\"workers\":"), std::string::npos);
+  // The report is byte-deterministic for a fixed seed + injection.
+  std::string Json2 = Dir + "/fault2.json";
+  run(Src + " --top=Chain --emit=run --iters=16 --parallel=2 "
+            "--parallel-force --inject-fault=pop:1:2 "
+            "--deadline-ms=10000 --fault-json=" +
+      Json2);
+  EXPECT_EQ(Report, readFile(Json2));
+}
+
+TEST(Laminarc, MalformedInjectFaultIsUsageError) {
+  REQUIRE_BINARY();
+  EXPECT_NE(run("MovingAverage --emit=run --inject-fault=bogus").ExitCode,
+            0);
+  EXPECT_NE(run("MovingAverage --emit=run --inject-fault=step:x:1")
+                .ExitCode,
+            0);
+}
+
+TEST(Laminarc, SequentialStepInjectionFaults) {
+  REQUIRE_BINARY();
+  ToolResult R = run("MovingAverage --emit=run --iters=4 "
+                     "--inject-fault=step:0:30");
+  EXPECT_NE(R.ExitCode, 0);
+  EXPECT_NE(R.Output.find("injected fault"), std::string::npos) << R.Output;
+}
+
+TEST(LaminarFuzz, FaultModeRunsCleanAndIsDeterministic) {
+  REQUIRE_FUZZ_BINARY();
+  std::string DirA = freshDir("fuzz-fault-a");
+  std::string DirB = freshDir("fuzz-fault-b");
+  std::string Flags = "--mode=fault --seed=11 --iters=6 --no-cc ";
+  ToolResult A = runBinary(fuzzBinary(), Flags + "--corpus=" + DirA);
+  ToolResult B = runBinary(fuzzBinary(), Flags + "--corpus=" + DirB);
+  EXPECT_EQ(A.ExitCode, 0) << A.Output;
+  EXPECT_NE(A.Output.find("mode=fault"), std::string::npos);
+  EXPECT_NE(A.Output.find("failures=0"), std::string::npos) << A.Output;
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_FALSE(exists(DirA + "/fault-current.str"));
+}
+
+TEST(LaminarFuzz, FaultModeReplaysReproducer) {
+  REQUIRE_FUZZ_BINARY();
+  std::string Dir = freshDir("fuzz-fault-replay");
+  std::string Path = Dir + "/chain.str";
+  {
+    std::ofstream Out(Path);
+    Out << "// top: Chain\n"
+        << "// seed: 11\n"
+        << "int->int filter Scale() {\n"
+        << "  work push 1 pop 1 { push(pop() * 3); }\n"
+        << "}\n"
+        << "int->int filter Offset() {\n"
+        << "  work push 1 pop 1 { push(pop() + 7); }\n"
+        << "}\n"
+        << "int->int pipeline Chain { add Scale(); add Offset(); }\n";
+  }
+  ToolResult R = runBinary(fuzzBinary(), "--mode=fault --no-cc " + Path);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_NE(R.Output.find("PASS"), std::string::npos) << R.Output;
+}

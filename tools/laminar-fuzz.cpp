@@ -1,10 +1,12 @@
 //===--- laminar-fuzz.cpp - Differential and crash-mode fuzzer ------------===//
 //
 // laminar-fuzz [options] [reproducer.str ...]
-//   --mode=diff|parallel|crash|analyze
+//   --mode=diff|parallel|crash|analyze|fault
 //                    oracle: differential (default), differential with
 //                    the threaded configurations (parallel-vs-fifo-O0),
-//                    crash-free, or static-analysis no-false-positives
+//                    crash-free, static-analysis no-false-positives,
+//                    or fault-containment (seeded injection into the
+//                    threaded runtime; see testing/FaultInject.h)
 //   --seed=N         base seed for program generation (default 1)
 //   --iters=N        number of random programs (default 100)
 //   --corpus=DIR     reproducer + report directory (default fuzz-corpus)
@@ -33,6 +35,13 @@
 // the static-analysis oracle: the analyzer must reject with located
 // errors only, and every claim it proves about always-executed code
 // must be confirmed by an interpreter trap on a concrete run.
+// Fault mode compiles each program for the threaded runtime and
+// injects one seed-derived fault (step/pop/push site); every injected
+// fault must terminate within the watchdog deadline with a located
+// structured report, bit-identical across reruns for clean programs.
+// A deterministic quarter of the iterations (seed % 4 == 0) also runs
+// the threaded-C leg unless --no-cc: the compiled binary must exit 42
+// with a one-line stderr report, never block.
 //
 // With positional .str files the tool replays saved reproducers through
 // the selected oracle instead of generating programs. Without
@@ -45,6 +54,7 @@
 
 #include "testing/AnalysisOracle.h"
 #include "testing/Differ.h"
+#include "testing/FaultInject.h"
 #include "testing/Mutator.h"
 #include "testing/ProgramGen.h"
 #include "testing/Reducer.h"
@@ -64,7 +74,7 @@ namespace {
 int usage() {
   std::cerr
       << "usage: laminar-fuzz [options] [reproducer.str ...]\n"
-      << "  --mode=diff|parallel|crash|analyze --seed=N --iters=N\n"
+      << "  --mode=diff|parallel|crash|analyze|fault --seed=N --iters=N\n"
       << "  --corpus=DIR\n"
       << "  --runs=N\n"
       << "  --input-seed=N --max-stages=N --mutations=N --top=Name\n"
@@ -151,7 +161,7 @@ int main(int argc, char **argv) {
       else if (Eat("--mode=", V)) {
         Mode = V;
         if (Mode != "diff" && Mode != "parallel" && Mode != "crash" &&
-            Mode != "analyze")
+            Mode != "analyze" && Mode != "fault")
           return usage();
       } else if (Eat("--top=", V))
         Top = V;
@@ -195,6 +205,31 @@ int main(int argc, char **argv) {
         } else {
           std::cout << "PASS " << Path << " ("
                     << (R.Accepted ? "accepted" : "rejected cleanly")
+                    << ")\n";
+        }
+        continue;
+      }
+      if (Mode == "fault") {
+        // Replays re-derive the injection from the "// seed:" header
+        // (or --seed) so a saved reproducer trips the same site.
+        uint64_t RSeed = Seed;
+        size_t SP = Source.find("// seed: ");
+        if (SP != std::string::npos)
+          RSeed = std::stoull(Source.substr(SP + 9));
+        lt::FaultOptions FO;
+        FO.Iterations = DiffOpts.Iterations;
+        FO.InputSeed = DiffOpts.InputSeed;
+        FO.CheckC = DiffOpts.CheckC;
+        lt::FaultCheckResult R =
+            lt::checkFaultInvariant(Source, FileTop, RSeed, FO);
+        if (R.Violation) {
+          ++Failures;
+          std::cout << "FAIL " << Path << "\n  " << R.Detail << "\n";
+        } else {
+          std::cout << "PASS " << Path << " ("
+                    << (!R.Accepted    ? "rejected cleanly"
+                        : R.Tripped    ? "fault contained"
+                                       : "injection not reached")
                     << ")\n";
         }
         continue;
@@ -253,6 +288,99 @@ int main(int argc, char **argv) {
         std::chrono::steady_clock::now() - Start);
     return Elapsed.count() >= MaxSeconds;
   };
+
+  // --- Fault mode --------------------------------------------------------
+  if (Mode == "fault") {
+    std::ostringstream Report;
+    Report << "laminar-fuzz mode=fault seed=" << Seed << " iters=" << Iters
+           << " runs=" << DiffOpts.Iterations
+           << " input-seed=" << DiffOpts.InputSeed
+           << " cc=" << (DiffOpts.CheckC ? "on" : "off") << "\n";
+
+    const std::string Breadcrumb = Corpus + "/fault-current.str";
+    int64_t Done = 0, Rejected = 0, Tripped = 0, NotReached = 0,
+            Natural = 0, Failures = 0;
+    for (int64_t I = 0; I < Iters && !OutOfTime(); ++I) {
+      uint64_t PSeed = iterSeed(Seed, static_cast<uint64_t>(I));
+      lt::ProgramSpec P = lt::generateProgram(PSeed, GenOpts);
+      P.Top = Top;
+      std::string Source = lt::renderSource(P);
+      {
+        // A hang would strand this process mid-iteration; the
+        // breadcrumb then identifies the offending program + seed.
+        std::ofstream BC(Breadcrumb);
+        BC << "// laminar-fuzz fault-mode input (in flight)\n"
+           << "// top: " << Top << "\n"
+           << "// seed: " << PSeed << "\n"
+           << "// base-seed: " << Seed << " iter: " << I << "\n"
+           << Source;
+      }
+      lt::FaultOptions FO;
+      FO.Iterations = DiffOpts.Iterations;
+      FO.InputSeed = DiffOpts.InputSeed;
+      // The C leg is ~100x the cost of an interpreted check; a
+      // deterministic quarter of the seeds keeps it exercised without
+      // dominating the sweep.
+      FO.CheckC = DiffOpts.CheckC && lt::hostCompilerAvailable() &&
+                  PSeed % 4 == 0;
+      lt::FaultCheckResult R =
+          lt::checkFaultInvariant(Source, Top, PSeed, FO);
+      ++Done;
+      if (!R.Accepted)
+        ++Rejected;
+      else if (R.Tripped)
+        ++Tripped;
+      else
+        ++NotReached;
+      if (R.NaturalFault)
+        ++Natural;
+      if (!R.Violation)
+        continue;
+
+      ++Failures;
+      std::string Name =
+          "fault-" + std::to_string(Seed) + "-" + std::to_string(I);
+      lt::FaultOptions RO = FO;
+      RO.CheckC = false; // Reduction re-runs the oracle many times.
+      lt::SourceReduction Red = lt::reduceSourceText(
+          Source,
+          [&](const std::string &Cand) {
+            return lt::checkFaultInvariant(Cand, Top, PSeed, RO)
+                .Violation;
+          });
+      std::string ReproPath = Corpus + "/" + Name + ".str";
+      std::ofstream Str(ReproPath);
+      Str << "// laminar-fuzz fault-mode reproducer\n"
+          << "// top: " << Top << "\n"
+          << "// seed: " << PSeed << "\n"
+          << "// base-seed: " << Seed << " iter: " << I << "\n"
+          << "// injection: site=" << interp::faultSiteName(R.Point.S)
+          << " worker=" << R.Point.Worker << " count=" << R.Point.Count
+          << "\n"
+          << Red.Source;
+      std::ofstream Rep(Corpus + "/" + Name + ".report.txt");
+      Rep << "violation:\n  " << R.Detail << "\nfault: " << R.FaultLine
+          << "\ninjection: site=" << interp::faultSiteName(R.Point.S)
+          << " worker=" << R.Point.Worker << " count=" << R.Point.Count
+          << "\nreduction: " << Red.Steps << " step(s), " << Red.Evals
+          << " eval(s)\n\noriginal source:\n"
+          << Source;
+      Report << "failure " << Name << ":\n  " << R.Detail
+             << "\n  reproducer: " << ReproPath << "\n";
+      std::cout << "FAIL " << Name << "\n  reproducer: " << ReproPath
+                << "\n";
+    }
+    std::filesystem::remove(Breadcrumb, EC);
+
+    Report << "programs=" << Done << " rejected=" << Rejected
+           << " tripped=" << Tripped << " not-reached=" << NotReached
+           << " natural-fault=" << Natural << " failures=" << Failures
+           << "\n";
+    std::ofstream Out(Corpus + "/report.txt");
+    Out << Report.str();
+    std::cout << Report.str();
+    return Failures == 0 ? 0 : 1;
+  }
 
   // --- Analyze mode ------------------------------------------------------
   if (Mode == "analyze") {

@@ -23,6 +23,17 @@
 //   --max-peek=N          peek window limit override
 //   --max-channel-tokens=N  per-channel token/buffer limit override
 //   --max-errors=N        diagnostic cutoff override (0 = unlimited)
+//   --max-steps=N         interpreter step budget for --emit=run (per
+//                         worker; default 2e9)
+//   --deadline-ms=N       watchdog deadline for parallel --emit=run
+//                         (0 = off): a stuck run is cancelled and the
+//                         fault report carries a progress snapshot
+//   --inject-fault=SITE:WORKER:COUNT  deterministic fault injection
+//                         (testing): trip at the COUNT-th step|pop|push
+//                         of WORKER (--emit=run), or trap worker WORKER
+//                         at slab COUNT-1 (--emit=c, parallel)
+//   --fault-json=FILE     write the structured run report
+//                         (laminar-fault-report-v1) after --emit=run
 //   --no-degrade          error instead of Laminar->FIFO fallback
 //   --analyze             run the compile-time stream-safety checks
 //                         (proved violations are errors)
@@ -58,8 +69,10 @@ static int usage() {
       << "  [--iters=N] [--seed=N] [--top=Name]\n"
       << "  [--max-nodes=N] [--max-reps=N] [--max-firings=N]\n"
       << "  [--max-ir-insts=N] [--max-peek=N] [--max-channel-tokens=N]\n"
-      << "  [--max-errors=N] [--no-degrade] [--analyze]\n"
-      << "  [--Werror-analysis]\n"
+      << "  [--max-errors=N] [--max-steps=N] [--no-degrade] [--analyze]\n"
+      << "  [--Werror-analysis] [--deadline-ms=N]\n"
+      << "  [--inject-fault=step|pop|push:WORKER:COUNT]\n"
+      << "  [--fault-json=FILE]\n"
       << "  [--trace-json=FILE] [--time-report] [--remarks=FILE]\n"
       << "  [--remarks-filter=STR] [--stats-json=FILE]\n\nbenchmarks:\n";
   for (const auto &B : suite::allBenchmarks())
@@ -81,6 +94,8 @@ int main(int argc, char **argv) {
   bool AllowDegrade = true, Analyze = false, WerrorAnalysis = false;
   std::string TraceJsonPath, RemarksPath, RemarksFilter, StatsJsonPath;
   bool TimeReport = false;
+  driver::RunParams RunParams;
+  std::string FaultJsonPath;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -129,6 +144,28 @@ int main(int argc, char **argv) {
         Limits.MaxChannelTokens = std::stoll(V);
       else if (Eat("--max-errors=", V))
         Limits.MaxErrors = static_cast<unsigned>(std::stoul(V));
+      else if (Eat("--max-steps=", V))
+        Limits.MaxInterpSteps = std::stoll(V);
+      else if (Eat("--deadline-ms=", V))
+        RunParams.DeadlineMs = std::stoll(V);
+      else if (Eat("--inject-fault=", V)) {
+        size_t C1 = V.find(':'), C2 = V.find(':', C1 + 1);
+        if (C1 == std::string::npos || C2 == std::string::npos)
+          return usage();
+        std::string Site = V.substr(0, C1);
+        if (Site == "step")
+          RunParams.Inject.S = interp::FaultPoint::Site::Step;
+        else if (Site == "pop")
+          RunParams.Inject.S = interp::FaultPoint::Site::Pop;
+        else if (Site == "push")
+          RunParams.Inject.S = interp::FaultPoint::Site::Push;
+        else
+          return usage();
+        RunParams.Inject.Worker =
+            static_cast<unsigned>(std::stoul(V.substr(C1 + 1, C2 - C1 - 1)));
+        RunParams.Inject.Count = std::stoull(V.substr(C2 + 1));
+      } else if (Eat("--fault-json=", V))
+        FaultJsonPath = V;
       else if (Arg == "--no-degrade")
         AllowDegrade = false;
       else if (Arg == "--analyze")
@@ -242,6 +279,14 @@ int main(int argc, char **argv) {
     CE.DefaultIterations = Iters;
     if (C.Plan)
       CE.Plan = &*C.Plan;
+    // Fault injection maps to a hard trap in the chosen worker at slab
+    // COUNT-1 (the emitted protocol has no step/pop/push granularity).
+    if (RunParams.Inject.enabled() && C.Plan) {
+      CE.InjectWorker = static_cast<int>(RunParams.Inject.Worker);
+      CE.InjectSlab = static_cast<int64_t>(RunParams.Inject.Count) - 1;
+      if (CE.InjectSlab < 0)
+        CE.InjectSlab = 0;
+    }
     std::cout << codegen::emitC(*C.Module, CE);
   } else if (Emit == "graph") {
     std::cout << C.Graph->str();
@@ -255,8 +300,11 @@ int main(int argc, char **argv) {
     interp::RunResult R;
     {
       TraceScope Span(Opts.Trace, "interp");
-      R = driver::runWithRandomInput(C, Iters, Seed, Opts.Trace);
+      R = driver::runWithRandomInput(C, Iters, Seed, Opts.Trace, nullptr,
+                                     RunParams);
     }
+    if (!FaultJsonPath.empty())
+      WriteFile(FaultJsonPath, R.Report.json());
     R.InitCounters.record(C.Stats, "interp.init");
     R.SteadyCounters.record(C.Stats, "interp.steady");
     C.Stats.add("interp.steady.iterations", static_cast<uint64_t>(Iters));
