@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """CI validator for laminarc's observability outputs.
 
-Usage: check_observability.py TRACE_JSON STATS_JSON REMARKS_YAML
+Usage:
+  check_observability.py TRACE_JSON STATS_JSON REMARKS_YAML
+  check_observability.py --runtime-stats PROFILE_JSON [PROFILE_JSON_2]
 
-Asserts that
+Default mode asserts that
   - the trace file is valid JSON with a non-empty `traceEvents` list of
     Chrome Trace Event "X" records, including the root `compile` span
     and one span per pipeline stage;
@@ -12,6 +14,16 @@ Asserts that
   - the remarks file is a sequence of `--- !Kind` YAML documents, each
     with Pass/Name/Message fields, and names the DirectTokenAccess
     decision the Laminar lowering is supposed to explain.
+
+--runtime-stats mode validates a `laminar-runtime-stats-v1` document
+(laminarc --profile-json): schema id, required keys, non-negative
+integer counters, totals consistent with the per-worker rows. With a
+second file (the same run re-executed), it also enforces the
+determinism contract: the *deterministic* fields (engine, workers,
+iterations, firings, slabs, edge shape) must match exactly, while the
+timing-dependent fields (wall-ns, iters-per-sec, spin waits/cycles,
+stalls, occupancy high-water) are masked out of the comparison — the
+same split the fault report's schema gate uses.
 
 Exit code 0 = all good; any failure prints the reason and exits 1.
 No third-party dependencies (stdlib json only).
@@ -91,7 +103,97 @@ def check_remarks(path):
           f"(kinds: {', '.join(sorted(kinds))})")
 
 
+# laminar-runtime-stats-v1 (docs/OBSERVABILITY.md §runtime-telemetry):
+# deterministic fields repeat exactly across reruns of one compilation;
+# TIMING fields depend on the scheduler and are never compared.
+RUNTIME_TOP_KEYS = ("schema", "engine", "workers", "iterations", "wall-ns",
+                    "iters-per-sec", "totals", "per-worker", "edges")
+RUNTIME_TOTAL_KEYS = ("firings", "slabs", "iterations", "spin-pop-waits",
+                      "spin-pop-cycles", "spin-push-waits",
+                      "spin-push-cycles", "ring-dropped")
+WORKER_KEYS = ("worker",) + RUNTIME_TOTAL_KEYS
+EDGE_KEYS = ("edge", "src", "dst", "capacity", "push-stalls", "pop-stalls",
+             "occupancy-hwm")
+TIMING_WORKER_KEYS = ("spin-pop-waits", "spin-pop-cycles",
+                      "spin-push-waits", "spin-push-cycles")
+TIMING_EDGE_KEYS = ("push-stalls", "pop-stalls", "occupancy-hwm")
+
+
+def load_runtime_stats(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "laminar-runtime-stats-v1":
+        fail(f"{path}: schema != laminar-runtime-stats-v1")
+    for key in RUNTIME_TOP_KEYS:
+        if key not in doc:
+            fail(f"{path}: missing top-level key {key!r}")
+    if doc["engine"] not in ("threaded-interp", "threaded-c", "interp"):
+        fail(f"{path}: unknown engine {doc['engine']!r}")
+    for key in RUNTIME_TOTAL_KEYS:
+        val = doc["totals"].get(key)
+        if not isinstance(val, int) or val < 0:
+            fail(f"{path}: totals.{key} is not a non-negative int")
+    workers = doc["per-worker"]
+    if not isinstance(workers, list) or len(workers) != doc["workers"]:
+        fail(f"{path}: per-worker length != workers")
+    for row in workers:
+        for key in WORKER_KEYS:
+            if not isinstance(row.get(key), int) or row[key] < 0:
+                fail(f"{path}: per-worker row missing/invalid {key!r}: "
+                     f"{row}")
+    for row in doc["edges"]:
+        for key in EDGE_KEYS:
+            if key not in row:
+                fail(f"{path}: edge row missing {key!r}: {row}")
+    # Totals must be the fold of the per-worker rows.
+    for key in RUNTIME_TOTAL_KEYS:
+        summed = sum(row[key] for row in workers)
+        if doc["totals"][key] != summed:
+            fail(f"{path}: totals.{key} = {doc['totals'][key]} != "
+                 f"sum(per-worker) = {summed}")
+    return doc
+
+
+def mask_timing(doc):
+    """Copy of the document with every timing-dependent field zeroed."""
+    out = json.loads(json.dumps(doc))
+    out["wall-ns"] = 0
+    out["iters-per-sec"] = 0
+    for key in TIMING_WORKER_KEYS:
+        out["totals"][key] = 0
+    for row in out["per-worker"]:
+        for key in TIMING_WORKER_KEYS:
+            row[key] = 0
+    for row in out["edges"]:
+        for key in TIMING_EDGE_KEYS:
+            row[key] = 0
+    return out
+
+
+def check_runtime_stats(paths):
+    docs = [load_runtime_stats(path) for path in paths]
+    for path, doc in zip(paths, docs):
+        print(f"check_observability: {path}: runtime stats OK "
+              f"(engine {doc['engine']}, {doc['workers']} worker(s), "
+              f"{len(doc['edges'])} edge(s))")
+    if len(docs) == 2:
+        a, b = mask_timing(docs[0]), mask_timing(docs[1])
+        if a != b:
+            fail(f"{paths[0]} vs {paths[1]}: deterministic fields differ "
+                 f"across reruns (firings/slabs/iterations/edge shape "
+                 f"must repeat exactly)")
+        print("check_observability: deterministic fields identical "
+              "across reruns")
+
+
 def main():
+    if len(sys.argv) >= 3 and sys.argv[1] == "--runtime-stats":
+        if len(sys.argv) not in (3, 4):
+            fail("usage: check_observability.py --runtime-stats "
+                 "PROFILE_JSON [PROFILE_JSON_2]")
+        check_runtime_stats(sys.argv[2:])
+        print("check_observability: runtime stats well-formed")
+        return
     if len(sys.argv) != 4:
         fail("usage: check_observability.py TRACE_JSON STATS_JSON REMARKS")
     check_trace(sys.argv[1])

@@ -29,6 +29,16 @@ real planner/partitioner change, not machine noise. When a change
 legitimately shifts the numbers, regenerate BENCH_parallel.json with
 ./build/bench/bench_parallel and commit it alongside the change.
 
+Measured floors (bench_parallel --measure) are gated only when the
+fresh JSON actually carries measured data AND the measuring host had
+at least MEASURED_MIN_CORES cores — wall-clock speedup on a 1- or
+2-core container is time-slicing noise, not a partitioner property.
+The measured gate is also deliberately loose (MEASURED_GEOMEAN_FLOOR,
+well below the modeled floor): shared CI hardware varies by tens of
+percent run to run, so this catches "parallelism stopped paying at
+all", while trend tracking stays with the deterministic modeled
+numbers.
+
 Exit code 0 = all good; any violation prints the reason and exits 1.
 No third-party dependencies (stdlib json only).
 """
@@ -40,6 +50,8 @@ GEOMEAN_FLOOR = 1.5
 PER_BENCH_FLOOR = 0.95
 GEOMEAN_DROP_TOL = 0.99   # fresh geomean may be at most 1% below committed
 PER_BENCH_DROP_TOL = 0.95  # fresh per-bench speedup >= 95% of committed
+MEASURED_MIN_CORES = 4     # measured floors need real parallel hardware
+MEASURED_GEOMEAN_FLOOR = 1.1  # loose: absorbs shared-hardware variance
 
 
 def fail(msg):
@@ -99,11 +111,43 @@ def check_against_baseline(new, old):
           f"(geomean_n4 {geo_new:.3f} vs {geo_old:.3f})")
 
 
+def check_measured(doc, path):
+    meta = doc.get("measured")
+    rows = [row for row in doc["benchmarks"] if "measured_n4" in row]
+    if not isinstance(meta, dict) or not rows:
+        print("check_parallel_bench: no measured data (run "
+              "bench_parallel --measure to collect); skipping "
+              "measured floors")
+        return
+    cores = meta.get("host_cores", 0)
+    if cores < MEASURED_MIN_CORES:
+        print(f"check_parallel_bench: measured on {cores} core(s) "
+              f"(< {MEASURED_MIN_CORES}); wall-clock speedup is "
+              f"time-slicing noise there — skipping measured floors")
+        return
+    geo = doc.get("measured_geomean_n4")
+    if geo is None:
+        fail(f"{path}: measured rows present but measured_geomean_n4 "
+             f"missing")
+    if geo < MEASURED_GEOMEAN_FLOOR:
+        fail(f"{path}: measured_geomean_n4 {geo:.3f} < "
+             f"{MEASURED_GEOMEAN_FLOOR} on a {cores}-core host — "
+             f"parallelism is not paying for itself in wall-clock terms")
+    for row in rows:
+        if "prediction_error_n4_pct" not in row:
+            fail(f"{path}: {row['name']}: measured_n4 without "
+                 f"prediction_error_n4_pct")
+    print(f"check_parallel_bench: measured floors OK "
+          f"(measured_geomean_n4 {geo:.3f} on {cores} cores, "
+          f"{len(rows)} benchmarks)")
+
+
 def main():
     if len(sys.argv) not in (2, 3):
         fail("usage: check_parallel_bench.py NEW_JSON [COMMITTED_JSON]")
     new = load(sys.argv[1])
     check_absolute(new, sys.argv[1])
+    check_measured(new, sys.argv[1])
     if len(sys.argv) == 3:
         check_against_baseline(new, load(sys.argv[2]))
     print("check_parallel_bench: all checks passed")

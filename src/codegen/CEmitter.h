@@ -39,6 +39,16 @@ struct CEmitOptions {
   /// LAM_EXIT_FAULT (42) and a one-line stderr report, never block.
   int InjectWorker = -1;
   int64_t InjectSlab = 0;
+  /// Compile runtime telemetry into the generated program (laminarc
+  /// --profile-c, parallel only): per-worker cache-line-padded counter
+  /// structs and per-cut-edge stall/occupancy tallies updated on the
+  /// slab gates, flushed once after the joins as the same
+  /// `laminar-runtime-stats-v1` JSON the threaded interpreter emits
+  /// (engine "threaded-c"). The binary writes the document to the file
+  /// named by its second argument, else to stderr. Firing and slab
+  /// counts match the interpreter's for the same plan and iteration
+  /// count by construction.
+  bool Profile = false;
 };
 
 /// Exit code of a generated program that stopped on a runtime fault

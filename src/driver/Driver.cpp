@@ -172,7 +172,8 @@ Compilation driver::compile(const std::string &Source,
                               nullptr);
         if (const lir::Function *Steady = SeqMod->getFunction("steady"))
           if (const perfmodel::PlatformModel *PM =
-                  perfmodel::findPlatform("i7-2600K"))
+                  Opts.Platform ? &*Opts.Platform
+                                : perfmodel::findPlatform("i7-2600K"))
             CalibSeq = parallel::staticFunctionCycles(*Steady, *PM);
       }
     }
@@ -180,7 +181,8 @@ Compilation driver::compile(const std::string &Source,
       TraceScope Span(Opts.Trace, "partition");
       std::optional<parallel::SelectedPlan> SP = parallel::selectPlan(
           *C.Graph, *C.Sched, Opts.Parallel, Diags, Opts.Limits, &C.Stats,
-          Opts.Remarks, Opts.Tuning, LaminarIntra, CalibSeq);
+          Opts.Remarks, Opts.Tuning, LaminarIntra, CalibSeq,
+          Opts.Platform ? &*Opts.Platform : nullptr);
       if (SP) {
         // Fission rewrote the graph: the chosen plan places the
         // replicated graph's actors, so the lowering (and every later
@@ -398,9 +400,37 @@ interp::RunResult driver::runWithRandomInput(
     RO.Inject = Params.Inject;
     RO.Trace = Trace;
     RO.PerWorkerSteady = PerWorkerSteady;
+    RO.Profiler = Params.Profiler;
+    RO.ProfileOut = Params.ProfileOut;
     return parallel::runParallel(*C.Module, *C.Plan, Input, Iterations, RO);
   }
-  return interp::runModule(*C.Module, Input, Iterations, Budget,
-                           Params.Inject.enabled() ? &Params.Inject
-                                                   : nullptr);
+  const uint64_t StartNs =
+      Params.ProfileOut ? profile::Profiler::nowNs() : 0;
+  interp::RunResult R =
+      interp::runModule(*C.Module, Input, Iterations, Budget,
+                        Params.Inject.enabled() ? &Params.Inject
+                                                : nullptr);
+  if (Params.ProfileOut) {
+    // Sequential telemetry in the same schema: one worker, one firing
+    // per scheduled actor firing, no slabs and no edges. Firings come
+    // from the static schedule (the steady function is unrolled, so
+    // the interpreter has no firing boundary to count at run time).
+    profile::RunProfile &P = *Params.ProfileOut;
+    P.Engine = "interp";
+    P.Workers = 1;
+    P.Iterations = R.SteadyIterations;
+    P.WallNs = profile::Profiler::nowNs() - StartNs;
+    profile::WorkerCounters W;
+    if (C.Sched) {
+      uint64_t FiringsPerIter = 0;
+      for (const graph::Node *N : C.Sched->Order)
+        FiringsPerIter += static_cast<uint64_t>(C.Sched->repsOf(N));
+      W.Firings =
+          FiringsPerIter * static_cast<uint64_t>(R.SteadyIterations);
+    }
+    W.Iterations = static_cast<uint64_t>(R.SteadyIterations);
+    P.PerWorker.assign(1, W);
+    P.Edges.clear();
+  }
+  return R;
 }

@@ -14,6 +14,8 @@
 #include "interp/Interpreter.h"
 #include "lir/Module.h"
 #include "parallel/Partitioner.h"
+#include "perfmodel/PlatformModel.h"
+#include "profile/Profile.h"
 #include "schedule/Schedule.h"
 #include "support/Limits.h"
 #include "support/Remarks.h"
@@ -81,6 +83,10 @@ struct CompileOptions {
   /// Planner knobs for the parallel path (--parallel-force,
   /// --parallel-batch=K, --parallel-slab=S, --no-parallel-fission).
   parallel::ParallelTuning Tuning;
+  /// Platform cost model override for partitioning and the cost gate
+  /// (laminarc --platform-profile=FILE, written by laminar-calibrate).
+  /// Unset = the built-in reference platform (i7-2600K).
+  std::optional<perfmodel::PlatformModel> Platform;
   /// Run the compile-time stream-safety checks (laminarc --analyze):
   /// AST-level peek/pop checks after scheduling (they run even when
   /// lowering later fails or degrades to FIFO), LIR-level range and
@@ -169,6 +175,13 @@ struct RunParams {
   /// sites work sequentially and in parallel; pop/push sites require a
   /// parallel compilation.
   interp::FaultPoint Inject;
+  /// Runtime telemetry (laminarc --profile-json / --profile-trace).
+  /// Null = disabled at one-pointer-test cost. Parallel runs fill the
+  /// profiler's per-worker slots and write the completed summary to
+  /// ProfileOut; sequential runs synthesize an engine "interp" summary
+  /// directly into ProfileOut (Profiler may stay null).
+  profile::Profiler *Profiler = nullptr;
+  profile::RunProfile *ProfileOut = nullptr;
 };
 
 /// Interprets the compiled module for \p Iterations steady iterations

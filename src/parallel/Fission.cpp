@@ -159,11 +159,13 @@ bool parallel::isFissionable(const FilterNode *F, const StreamGraph &G,
 std::optional<FissionResult>
 parallel::fissionGraph(const StreamGraph &G, const schedule::Schedule &S,
                        unsigned Workers, ParallelTuning::FissionMode Mode,
-                       bool LaminarCosts) {
+                       bool LaminarCosts,
+                       const perfmodel::PlatformModel *Platform) {
   if (Mode == ParallelTuning::FissionMode::Off || Workers < 2)
     return std::nullopt;
 
-  const perfmodel::PlatformModel *PM = perfmodel::findPlatform("i7-2600K");
+  const perfmodel::PlatformModel *PM =
+      Platform ? Platform : perfmodel::findPlatform("i7-2600K");
   assert(PM && "reference platform model missing");
   const double Total = modeledScheduleCycles(S, *PM, LaminarCosts);
 

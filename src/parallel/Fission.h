@@ -62,7 +62,8 @@ struct FissionResult {
 std::optional<FissionResult>
 fissionGraph(const graph::StreamGraph &G, const schedule::Schedule &S,
              unsigned Workers, ParallelTuning::FissionMode Mode,
-             bool LaminarCosts = false);
+             bool LaminarCosts = false,
+             const perfmodel::PlatformModel *Platform = nullptr);
 
 } // namespace parallel
 } // namespace laminar

@@ -155,22 +155,42 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
                                       : TraceContext());
   }
 
+  profile::Profiler *Prof = Opts.Profiler;
+  if (Prof)
+    Prof->initEdges(Plan.CutEdges.size());
+  const uint64_t SteadyStartNs = Prof ? profile::Profiler::nowNs() : 0;
+
   auto WorkerBody = [&](unsigned W) {
     char SpanName[32];
     std::snprintf(SpanName, sizeof(SpanName), "parallel.worker%u", W);
     TraceScope Span(&WorkerTraces[W], SpanName);
     FunctionExecutor &E = *Execs[W];
     ProgressCell &PC = Progress[W];
+    // Telemetry slots are index-owned: this worker writes only its own
+    // WorkerSlot and the producer/consumer halves of its edges' slots,
+    // so recording needs no atomics (the join publishes them).
+    profile::Profiler::WorkerSlot *PS = Prof ? &Prof->worker(W) : nullptr;
+    const bool Rings = Prof && Prof->ringsEnabled();
     // Inbound/outbound ticket queues in CutEdges (channel-id) order,
     // with the producing partition kept alongside each inbound queue
-    // for poison provenance.
-    std::vector<std::pair<SpscQueue<uint64_t> *, unsigned>> In;
-    std::vector<SpscQueue<uint64_t> *> Out;
+    // for poison provenance and the cut-edge index for telemetry.
+    struct InEdge {
+      SpscQueue<uint64_t> *Q;
+      unsigned Src;
+      uint32_t Idx;
+    };
+    struct OutEdge {
+      SpscQueue<uint64_t> *Q;
+      uint32_t Idx;
+    };
+    std::vector<InEdge> In;
+    std::vector<OutEdge> Out;
     for (size_t Q = 0; Q < Plan.CutEdges.size(); ++Q) {
       if (Plan.CutEdges[Q].DstPartition == W)
-        In.push_back({Tickets[Q].get(), Plan.CutEdges[Q].SrcPartition});
+        In.push_back({Tickets[Q].get(), Plan.CutEdges[Q].SrcPartition,
+                      static_cast<uint32_t>(Q)});
       if (Plan.CutEdges[Q].SrcPartition == W)
-        Out.push_back(Tickets[Q].get());
+        Out.push_back({Tickets[Q].get(), static_cast<uint32_t>(Q)});
     }
     const bool InjectPop =
         Opts.Inject.S == FaultPoint::Site::Pop && Opts.Inject.Worker == W;
@@ -188,8 +208,8 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
       F.Slab = Slab;
       Faults[W] = std::move(F);
       PC.State.store(WS_Faulted, std::memory_order_release);
-      for (SpscQueue<uint64_t> *Q : Out)
-        Q->poison();
+      for (OutEdge &OE : Out)
+        OE.Q->poison();
       Cancel.cancel();
     };
     auto cancelOut = [&](int64_t Slab) {
@@ -208,7 +228,7 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
       // writes; issuing the pop only after slab I-1's body also tells
       // the producer (release on the head counter) that this worker is
       // done *reading* every earlier slab.
-      for (auto &[Q, Src] : In) {
+      for (auto &[Q, Src, EIdx] : In) {
         if (InjectPop && ++ChannelOps == Opts.Inject.Count) {
           Fault F;
           F.Kind = FaultKind::Injected;
@@ -220,7 +240,16 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
         uint64_t Ticket;
         if (!Q->tryPop(Ticket)) {
           PC.State.store(WS_BlockedPop, std::memory_order_relaxed);
+          if (PS) {
+            ++PS->C.SpinPopWaits;
+            ++Prof->edge(EIdx).PopStalls;
+            if (Rings)
+              PS->Ring.record(profile::EventKind::WaitPopBegin, EIdx,
+                              profile::Profiler::nowNs());
+          }
           for (;;) {
+            if (PS)
+              ++PS->C.SpinPopCycles;
             if (Q->tryPop(Ticket))
               break;
             if (Q->poisoned()) {
@@ -243,6 +272,9 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
             }
             std::this_thread::yield();
           }
+          if (Rings)
+            PS->Ring.record(profile::EventKind::WaitPopEnd, EIdx,
+                            profile::Profiler::nowNs());
           PC.State.store(WS_Running, std::memory_order_relaxed);
         }
         assert(Ticket == static_cast<uint64_t>(I) &&
@@ -257,6 +289,10 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
       // the same sequence on every worker, so the ticket counts agree.
       const Function *Fn = I < FullSlabs ? (B > 1 ? SteadyB[W] : Steady[W])
                                          : Steady[W];
+      if (Rings)
+        PS->Ring.record(profile::EventKind::SlabBegin,
+                        static_cast<uint32_t>(I),
+                        profile::Profiler::nowNs());
       if (!E.runFunction(Fn, WorkerCounters[W])) {
         if (E.LastFault.Kind == FaultKind::Cancelled)
           cancelOut(I);
@@ -264,11 +300,19 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
           faultOut(E.LastFault, I);
         return;
       }
+      if (PS) {
+        ++PS->C.Slabs;
+        PS->C.Iterations += static_cast<uint64_t>(I < FullSlabs ? B : 1);
+        if (Rings)
+          PS->Ring.record(profile::EventKind::SlabEnd,
+                          static_cast<uint32_t>(I),
+                          profile::Profiler::nowNs());
+      }
       PC.Firings.fetch_add(1, std::memory_order_relaxed);
       // Publishing the ticket for slab I releases this slab's writes
       // to the consumer; a full queue means the consumer has fallen a
       // whole credit window behind — wait for it.
-      for (SpscQueue<uint64_t> *Q : Out) {
+      for (auto &[Q, EIdx] : Out) {
         if (InjectPush && ++ChannelOps == Opts.Inject.Count) {
           Fault F;
           F.Kind = FaultKind::Injected;
@@ -279,14 +323,35 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
         }
         if (!Q->tryPush(static_cast<uint64_t>(I))) {
           PC.State.store(WS_BlockedPush, std::memory_order_relaxed);
+          if (PS) {
+            ++PS->C.SpinPushWaits;
+            ++Prof->edge(EIdx).PushStalls;
+            if (Rings)
+              PS->Ring.record(profile::EventKind::WaitPushBegin, EIdx,
+                              profile::Profiler::nowNs());
+          }
           while (!Q->tryPush(static_cast<uint64_t>(I))) {
+            if (PS)
+              ++PS->C.SpinPushCycles;
             if (Cancel.isCancelledAcquire()) {
               cancelOut(I);
               return;
             }
             std::this_thread::yield();
           }
+          if (Rings)
+            PS->Ring.record(profile::EventKind::WaitPushEnd, EIdx,
+                            profile::Profiler::nowNs());
           PC.State.store(WS_Running, std::memory_order_relaxed);
+        }
+        if (PS) {
+          // Producer-side occupancy sample right after the push: how
+          // deep the in-flight window is running. High-water near the
+          // credit window means the consumer is the bottleneck.
+          const uint64_t Occ = Q->size();
+          profile::Profiler::EdgeSlot &ES = Prof->edge(EIdx);
+          if (Occ > ES.OccupancyHighWater)
+            ES.OccupancyHighWater = Occ;
         }
       }
       PC.LastSlab.store(I, std::memory_order_relaxed);
@@ -312,6 +377,10 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
       // deadline; on expiry it cancels and the workers unwind within a
       // bounded number of steps (cancel checks in every spin-wait and
       // every 1024 interpreter steps), so the joins below terminate.
+      // The span lives on the calling thread's own context (not a
+      // fork), so it is closed before the worker merges below — a
+      // deadline-cancelled run still renders a well-formed trace.
+      TraceScope WatchdogSpan(Opts.Trace, "parallel.watchdog");
       const auto Deadline = std::chrono::steady_clock::now() +
                             std::chrono::milliseconds(Opts.DeadlineMs);
       while (DoneWorkers.load(std::memory_order_acquire) < K) {
@@ -330,6 +399,52 @@ RunResult parallel::runParallel(const Module &M, const PartitionPlan &Plan,
   if (Opts.Trace)
     for (unsigned W = 0; W < K; ++W)
       Opts.Trace->merge(WorkerTraces[W]);
+
+  // Telemetry finalization — unconditionally, so faulted and
+  // deadline-cancelled runs still report what actually executed. The
+  // joins above published every worker's slot writes.
+  if (Prof) {
+    const uint64_t SteadyEndNs = profile::Profiler::nowNs();
+    std::vector<std::string> EdgeNames;
+    EdgeNames.reserve(Plan.CutEdges.size());
+    for (const CutEdge &CE : Plan.CutEdges)
+      EdgeNames.push_back("q" + std::to_string(CE.Ch->getId()));
+    for (unsigned W = 0; W < K; ++W) {
+      profile::WorkerCounters &C = Prof->worker(W).C;
+      // Firings are derived, not sampled: iterations actually executed
+      // times the partition's static firings-per-iteration. Both
+      // engines use the same derivation, so the counts agree across
+      // the threaded interpreter and the threaded-C backend.
+      if (W < Plan.FiringsPerIter.size())
+        C.Firings = C.Iterations *
+                    static_cast<uint64_t>(Plan.FiringsPerIter[W]);
+      C.RingDropped = Prof->worker(W).Ring.dropped();
+    }
+    if (Opts.Trace)
+      Prof->mergeIntoTrace(*Opts.Trace, EdgeNames);
+    if (Opts.ProfileOut) {
+      profile::RunProfile &P = *Opts.ProfileOut;
+      P.Engine = "threaded-interp";
+      P.Workers = K;
+      P.Iterations = Iterations;
+      P.WallNs = SteadyEndNs - SteadyStartNs;
+      P.PerWorker.clear();
+      for (unsigned W = 0; W < K; ++W)
+        P.PerWorker.push_back(Prof->worker(W).C);
+      P.Edges.clear();
+      for (size_t Q = 0; Q < Plan.CutEdges.size(); ++Q) {
+        profile::EdgeCounters EC;
+        EC.Edge = EdgeNames[Q];
+        EC.Src = Plan.CutEdges[Q].SrcPartition;
+        EC.Dst = Plan.CutEdges[Q].DstPartition;
+        EC.Capacity = Plan.CutEdges[Q].BufferSlots;
+        EC.PushStalls = Prof->edge(Q).PushStalls;
+        EC.PopStalls = Prof->edge(Q).PopStalls;
+        EC.OccupancyHighWater = Prof->edge(Q).OccupancyHighWater;
+        P.Edges.push_back(std::move(EC));
+      }
+    }
+  }
 
   // Progress snapshot (best effort; timing-dependent and excluded from
   // the report's determinism contract — see Fault.h).

@@ -41,6 +41,7 @@
 
 #include "interp/Interpreter.h"
 #include "parallel/Partitioner.h"
+#include "profile/Profile.h"
 #include "support/Trace.h"
 
 namespace laminar {
@@ -61,6 +62,16 @@ struct RunOptions {
   TraceContext *Trace = nullptr;
   /// Optional out-param: each worker's steady counters, index-ordered.
   std::vector<interp::Counters> *PerWorkerSteady = nullptr;
+  /// Optional runtime telemetry. Null = disabled: every hook degrades
+  /// to one pointer test (the PR 3 trace-cost contract). When set, the
+  /// profiler must have been constructed for >= Plan.NumPartitions
+  /// workers; the runner fills its slots during the run and, if Trace
+  /// is also set, replays the event rings as per-worker timelines.
+  profile::Profiler *Profiler = nullptr;
+  /// Optional out-param: the completed run summary (counters, edges,
+  /// steady-phase wall time), ready for --profile-json / stats folding.
+  /// Only written when Profiler is set.
+  profile::RunProfile *ProfileOut = nullptr;
 };
 
 /// Runs @init once, then \p Iterations steady iterations across

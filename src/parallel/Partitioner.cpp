@@ -358,14 +358,16 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
     const StreamGraph &G, const schedule::Schedule &S, unsigned Workers,
     DiagnosticEngine &Diags, const CompilerLimits &Limits,
     StatsRegistry *Stats, RemarkEmitter *Remarks,
-    const ParallelTuning &Tuning, unsigned MaxPartitions) {
+    const ParallelTuning &Tuning, unsigned MaxPartitions,
+    const perfmodel::PlatformModel *Platform) {
   PartitionPlan Plan;
   Plan.Requested = std::max(1u, Workers);
   const unsigned Cap = MaxPartitions
                            ? std::min(MaxPartitions, Plan.Requested)
                            : Plan.Requested;
 
-  const perfmodel::PlatformModel *PM = perfmodel::findPlatform("i7-2600K");
+  const perfmodel::PlatformModel *PM =
+      Platform ? Platform : perfmodel::findPlatform("i7-2600K");
   assert(PM && "reference platform model missing");
 
   // Topological indices and per-node steady-iteration costs, both in
@@ -477,12 +479,14 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
   }
   Plan.Members.resize(K);
   Plan.CostPerIter.assign(K, 0);
+  Plan.FiringsPerIter.assign(K, 0);
   for (unsigned k = 0; k < K; ++k)
     for (size_t UI = Bounds[k]; UI < Bounds[k + 1]; ++UI)
       for (size_t I = Units[UI].Lo; I <= Units[UI].Hi; ++I) {
         Plan.Members[k].push_back(Order[I]);
         Plan.PartitionOf[Order[I]] = k;
         Plan.CostPerIter[k] += NodeCost[I];
+        Plan.FiringsPerIter[k] += S.repsOf(Order[I]);
       }
 
   // Cut-edge discovery (channel-id order). Ring sizing happens after

@@ -114,6 +114,12 @@ struct PartitionPlan {
   std::vector<std::vector<const graph::Node *>> Members;
   /// Modeled cycles per steady iteration per partition.
   std::vector<double> CostPerIter;
+  /// Actor firings per steady iteration per partition (sum of member
+  /// repetition counts). Both runtimes derive their measured "firings"
+  /// counter as FiringsPerIter[w] x iterations executed, so the
+  /// profiler's numbers match the sequential interp.firings.* scheme
+  /// and agree across engines by construction.
+  std::vector<int64_t> FiringsPerIter;
   /// Cut channels in channel-id order.
   std::vector<CutEdge> CutEdges;
   /// Actors fused into indivisible units by feedback-loop pinning.
@@ -173,6 +179,11 @@ double modeledScheduleCycles(const schedule::Schedule &S,
 /// widths, and to build the 1-partition sequential fallback while
 /// keeping Plan.Requested (and the stats) honest about what the user
 /// asked for.
+///
+/// \p Platform overrides the reference platform model (null = the
+/// built-in i7-2600K): firing costs, the DP's balance and the batching
+/// factor all move to the given weights. Fed from
+/// `--platform-profile=FILE` via the plan selector.
 std::optional<PartitionPlan>
 partitionSchedule(const graph::StreamGraph &G, const schedule::Schedule &S,
                   unsigned Workers, DiagnosticEngine &Diags,
@@ -180,7 +191,8 @@ partitionSchedule(const graph::StreamGraph &G, const schedule::Schedule &S,
                   StatsRegistry *Stats = nullptr,
                   RemarkEmitter *Remarks = nullptr,
                   const ParallelTuning &Tuning = {},
-                  unsigned MaxPartitions = 0);
+                  unsigned MaxPartitions = 0,
+                  const perfmodel::PlatformModel *Platform = nullptr);
 
 } // namespace parallel
 } // namespace laminar

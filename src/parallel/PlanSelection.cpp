@@ -136,11 +136,11 @@ std::optional<SelectedPlan> parallel::selectPlan(
     DiagnosticEngine &Diags, const CompilerLimits &Limits,
     StatsRegistry *Stats, RemarkEmitter *Remarks,
     const ParallelTuning &Tuning, bool LaminarIntra,
-    double CalibratedSeqCycles) {
+    double CalibratedSeqCycles, const perfmodel::PlatformModel *Platform) {
   const unsigned Requested = std::max(1u, Workers);
   if (Requested == 1) {
     auto Plan = partitionSchedule(G, S, Requested, Diags, Limits, Stats,
-                                  Remarks, Tuning);
+                                  Remarks, Tuning, 0, Platform);
     if (!Plan)
       return std::nullopt;
     SelectedPlan R;
@@ -148,7 +148,8 @@ std::optional<SelectedPlan> parallel::selectPlan(
     return R;
   }
 
-  const perfmodel::PlatformModel *PM = perfmodel::findPlatform("i7-2600K");
+  const perfmodel::PlatformModel *PM =
+      Platform ? Platform : perfmodel::findPlatform("i7-2600K");
   assert(PM && "reference platform model missing");
   // Every cost below — the sequential baseline, the DP's balance, and
   // the per-partition predictions — lives in the cost space of the code
@@ -178,7 +179,7 @@ std::optional<SelectedPlan> parallel::selectPlan(
   std::optional<FissionResult> Fis;
   std::optional<schedule::Schedule> FisSched;
   if (Tuning.Fission != ParallelTuning::FissionMode::Off) {
-    Fis = fissionGraph(G, S, Requested, T.Fission, LaminarIntra);
+    Fis = fissionGraph(G, S, Requested, T.Fission, LaminarIntra, Platform);
     if (Fis) {
       DiagnosticEngine Scratch;
       FisSched = schedule::computeSchedule(*Fis->G, Scratch, Limits);
@@ -197,7 +198,7 @@ std::optional<SelectedPlan> parallel::selectPlan(
       const schedule::Schedule &CS = UseFis ? *FisSched : S;
       DiagnosticEngine Scratch;
       auto Plan = partitionSchedule(CG, CS, Requested, Scratch, Limits,
-                                    nullptr, nullptr, T, P);
+                                    nullptr, nullptr, T, P, Platform);
       // A clamped candidate repeats a width already scored.
       if (!Plan || Plan->NumPartitions < P)
         continue;
@@ -227,7 +228,7 @@ std::optional<SelectedPlan> parallel::selectPlan(
     const bool Rejected = BestP != 0;
     auto Plan = partitionSchedule(G, S, Requested, Diags, Limits, Stats,
                                   Remarks, T,
-                                  Rejected ? 1 : 0);
+                                  Rejected ? 1 : 0, Platform);
     if (!Plan)
       return std::nullopt;
     if (Rejected) {
@@ -257,7 +258,7 @@ std::optional<SelectedPlan> parallel::selectPlan(
   const StreamGraph &CG = BestFis ? *Fis->G : G;
   const schedule::Schedule &CS = BestFis ? *FisSched : S;
   auto Plan = partitionSchedule(CG, CS, Requested, Diags, Limits, Stats,
-                                Remarks, T, BestP);
+                                Remarks, T, BestP, Platform);
   if (!Plan)
     return std::nullopt;
   Plan->PredictedSpeedup = BestPred;

@@ -73,12 +73,20 @@ double staticFunctionCycles(const lir::Function &F,
 /// the real work. Calibration fixes the *scale*: body costs are
 /// multiplied by CalibratedSeqCycles / modeledScheduleCycles while the
 /// per-token and per-slab extras (already exact) are left alone.
+///
+/// \p Platform overrides the reference platform model (i7-2600K) for
+/// every cost in the selection — the DP's balance, the baseline and
+/// the gate. This is how `--platform-profile=FILE` feeds a measured
+/// calibration profile (tools/laminar-calibrate) back into planning:
+/// a machine with expensive slab handshakes shifts the gate toward
+/// the sequential fallback, a cheap-sync one away from it.
 std::optional<SelectedPlan>
 selectPlan(const graph::StreamGraph &G, const schedule::Schedule &S,
            unsigned Workers, DiagnosticEngine &Diags,
            const CompilerLimits &Limits, StatsRegistry *Stats,
            RemarkEmitter *Remarks, const ParallelTuning &Tuning,
-           bool LaminarIntra, double CalibratedSeqCycles = 0);
+           bool LaminarIntra, double CalibratedSeqCycles = 0,
+           const perfmodel::PlatformModel *Platform = nullptr);
 
 } // namespace parallel
 } // namespace laminar

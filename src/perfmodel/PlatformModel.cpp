@@ -1,6 +1,10 @@
 //===--- PlatformModel.cpp --------------------------------------------------===//
 
 #include "perfmodel/PlatformModel.h"
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 using namespace laminar;
 using namespace laminar::interp;
@@ -51,4 +55,127 @@ const PlatformModel *perfmodel::findPlatform(const std::string &Name) {
     if (P.Name == Name)
       return &P;
   return nullptr;
+}
+
+// Key table for the laminar-platform-profile-v1 format. One entry per
+// numeric field; `name` is handled separately (it is the only string).
+namespace {
+struct ProfileKey {
+  const char *Key;
+  double PlatformModel::*Field;
+};
+const ProfileKey ProfileKeys[] = {
+    {"int-alu", &PlatformModel::IntAlu},
+    {"float-alu", &PlatformModel::FloatAlu},
+    {"float-div", &PlatformModel::FloatDiv},
+    {"cmp", &PlatformModel::Cmp},
+    {"cast", &PlatformModel::Cast},
+    {"select", &PlatformModel::Select},
+    {"math-call", &PlatformModel::MathCall},
+    {"phi", &PlatformModel::Phi},
+    {"branch", &PlatformModel::Branch},
+    {"load", &PlatformModel::Load},
+    {"store", &PlatformModel::Store},
+    {"input-output", &PlatformModel::InputOutput},
+    {"freq-ghz", &PlatformModel::FreqGHz},
+    {"static-watts", &PlatformModel::StaticWatts},
+    {"mem-access-nj", &PlatformModel::MemAccessNJ},
+    {"alu-op-nj", &PlatformModel::AluOpNJ},
+    {"sync-per-slab", &PlatformModel::SyncPerSlab},
+};
+} // namespace
+
+std::string perfmodel::profileText(const PlatformModel &PM) {
+  std::ostringstream OS;
+  OS << "laminar-platform-profile-v1\n";
+  OS << "# Per-operation cycle weights for the partitioner and the\n";
+  OS << "# parallel cost gate. Load with laminarc "
+        "--platform-profile=FILE.\n";
+  OS << "name " << PM.Name << "\n";
+  char Buf[64];
+  for (const ProfileKey &K : ProfileKeys) {
+    std::snprintf(Buf, sizeof(Buf), "%.6g", PM.*(K.Field));
+    OS << K.Key << " " << Buf << "\n";
+  }
+  return OS.str();
+}
+
+std::optional<PlatformModel>
+perfmodel::parseProfile(const std::string &Text, std::string &Err) {
+  // Missing keys default from the reference platform, so a profile may
+  // override just the weights it measured.
+  PlatformModel PM = *findPlatform("i7-2600K");
+  PM.Name = "profile";
+  std::istringstream IS(Text);
+  std::string Line;
+  bool SawHeader = false;
+  unsigned LineNo = 0;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    // Strip comments and surrounding whitespace.
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.resize(Hash);
+    size_t B = Line.find_first_not_of(" \t\r");
+    if (B == std::string::npos)
+      continue;
+    size_t E = Line.find_last_not_of(" \t\r");
+    Line = Line.substr(B, E - B + 1);
+    if (!SawHeader) {
+      if (Line != "laminar-platform-profile-v1") {
+        Err = "line " + std::to_string(LineNo) +
+              ": expected header 'laminar-platform-profile-v1', got '" +
+              Line + "'";
+        return std::nullopt;
+      }
+      SawHeader = true;
+      continue;
+    }
+    size_t Sp = Line.find_first_of(" \t");
+    if (Sp == std::string::npos) {
+      Err = "line " + std::to_string(LineNo) + ": expected 'key value'";
+      return std::nullopt;
+    }
+    std::string Key = Line.substr(0, Sp);
+    std::string Val = Line.substr(Line.find_first_not_of(" \t", Sp));
+    if (Key == "name") {
+      PM.Name = Val;
+      continue;
+    }
+    const ProfileKey *Found = nullptr;
+    for (const ProfileKey &K : ProfileKeys)
+      if (Key == K.Key)
+        Found = &K;
+    if (!Found) {
+      Err = "line " + std::to_string(LineNo) + ": unknown key '" + Key +
+            "'";
+      return std::nullopt;
+    }
+    char *End = nullptr;
+    double V = std::strtod(Val.c_str(), &End);
+    if (End == Val.c_str() || *End != '\0' || !(V >= 0.0) ||
+        V > 1e18) {
+      Err = "line " + std::to_string(LineNo) + ": bad value '" + Val +
+            "' for key '" + Key + "' (need a finite number >= 0)";
+      return std::nullopt;
+    }
+    PM.*(Found->Field) = V;
+  }
+  if (!SawHeader) {
+    Err = "empty profile: missing 'laminar-platform-profile-v1' header";
+    return std::nullopt;
+  }
+  return PM;
+}
+
+std::optional<PlatformModel>
+perfmodel::loadProfile(const std::string &Path, std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err = "cannot open platform profile '" + Path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parseProfile(SS.str(), Err);
 }

@@ -16,6 +16,7 @@
 #define LAMINAR_PERFMODEL_PLATFORMMODEL_H
 
 #include "interp/Interpreter.h"
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,25 @@ const std::vector<PlatformModel> &paperPlatforms();
 /// Lookup by name ("i7-2600K", "Opteron-6378", "XeonPhi-3120A",
 /// "Cortex-A15"); null when unknown.
 const PlatformModel *findPlatform(const std::string &Name);
+
+/// Serializes \p PM in the `laminar-platform-profile-v1` key-value
+/// format (one `key value` pair per line, `#` comments). This is what
+/// `tools/laminar-calibrate` writes and `--platform-profile=FILE`
+/// loads, so a measured machine replaces the paper's synthetic
+/// constants in the partitioner and the cost gate.
+std::string profileText(const PlatformModel &PM);
+
+/// Parses a `laminar-platform-profile-v1` document. Missing keys
+/// default from the reference platform (i7-2600K) so hand-written
+/// profiles can override selectively; unknown keys and malformed
+/// values are errors (reported through \p Err). Returns std::nullopt
+/// on error.
+std::optional<PlatformModel> parseProfile(const std::string &Text,
+                                          std::string &Err);
+
+/// Reads and parses a profile file; std::nullopt + \p Err on failure.
+std::optional<PlatformModel> loadProfile(const std::string &Path,
+                                         std::string &Err);
 
 } // namespace perfmodel
 } // namespace laminar

@@ -1,0 +1,74 @@
+//===--- EventRing.h - Fixed-capacity per-worker event buffer --*- C++ -*-===//
+//
+// The raw recording half of the runtime profiler: each worker thread
+// owns one EventRing and appends timestamped records (slab start/end,
+// spin-wait begin/end) with no synchronization — the ring is merged
+// into the trace only after the worker has been joined.
+//
+// Capacity is fixed at construction so recording never allocates on
+// the hot path. When the ring fills, *new* events are dropped (not old
+// ones): the run's opening timeline is usually what a human wants to
+// see, and drop-newest keeps every kept Begin/End pair intact. The
+// drop count is reported so truncation is never silent.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_PROFILE_EVENTRING_H
+#define LAMINAR_PROFILE_EVENTRING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace laminar {
+namespace profile {
+
+/// What happened. Begin/End pairs never nest within one worker (waits
+/// happen strictly between slab bodies), so replay pairs each End with
+/// the most recent Begin of the matching kind.
+enum class EventKind : uint8_t {
+  SlabBegin,     ///< Arg = slab index.
+  SlabEnd,       ///< Arg = slab index.
+  WaitPopBegin,  ///< Arg = cut-edge index. Recorded only on real waits.
+  WaitPopEnd,    ///< Arg = cut-edge index.
+  WaitPushBegin, ///< Arg = cut-edge index.
+  WaitPushEnd,   ///< Arg = cut-edge index.
+};
+
+/// One timestamped record. TimeNs is an absolute steady_clock reading;
+/// the replay rebases it against the trace context's epoch.
+struct RingEvent {
+  EventKind Kind;
+  uint32_t Arg;
+  uint64_t TimeNs;
+};
+
+/// Single-writer append-only buffer with a hard capacity.
+class EventRing {
+public:
+  explicit EventRing(size_t Capacity) : Cap(Capacity) {
+    Events.reserve(Capacity);
+  }
+
+  void record(EventKind K, uint32_t Arg, uint64_t TimeNs) {
+    if (Events.size() >= Cap) {
+      ++Dropped;
+      return;
+    }
+    Events.push_back(RingEvent{K, Arg, TimeNs});
+  }
+
+  const std::vector<RingEvent> &events() const { return Events; }
+  uint64_t dropped() const { return Dropped; }
+  size_t capacity() const { return Cap; }
+
+private:
+  size_t Cap;
+  uint64_t Dropped = 0;
+  std::vector<RingEvent> Events;
+};
+
+} // namespace profile
+} // namespace laminar
+
+#endif // LAMINAR_PROFILE_EVENTRING_H

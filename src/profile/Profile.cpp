@@ -1,0 +1,210 @@
+//===--- Profile.cpp - Runtime telemetry for the execution engines --------===//
+
+#include "profile/Profile.h"
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::profile;
+
+uint64_t RunProfile::totalFirings() const {
+  uint64_t N = 0;
+  for (const WorkerCounters &W : PerWorker)
+    N += W.Firings;
+  return N;
+}
+
+uint64_t RunProfile::totalSlabs() const {
+  uint64_t N = 0;
+  for (const WorkerCounters &W : PerWorker)
+    N += W.Slabs;
+  return N;
+}
+
+uint64_t RunProfile::totalIterations() const {
+  uint64_t N = 0;
+  for (const WorkerCounters &W : PerWorker)
+    N += W.Iterations;
+  return N;
+}
+
+/// Escapes a string for embedding in a JSON literal. Edge names are
+/// compiler-chosen channel identifiers, but escape defensively.
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char Ch : S) {
+    switch (Ch) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(Ch) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", Ch);
+        Out += Buf;
+      } else {
+        Out += Ch;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string RunProfile::json() const {
+  std::ostringstream OS;
+  OS << "{\n";
+  OS << "  \"schema\": \"laminar-runtime-stats-v1\",\n";
+  OS << "  \"engine\": \"" << jsonEscape(Engine) << "\",\n";
+  OS << "  \"workers\": " << Workers << ",\n";
+  OS << "  \"iterations\": " << Iterations << ",\n";
+  OS << "  \"wall-ns\": " << WallNs << ",\n";
+  // Steady-state throughput; 0 when the wall clock read as 0 (e.g. a
+  // degenerate or faulted run), so the field is always present.
+  const double ItersPerSec =
+      WallNs > 0 ? static_cast<double>(Iterations) * 1e9 /
+                       static_cast<double>(WallNs)
+                 : 0.0;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", ItersPerSec);
+  OS << "  \"iters-per-sec\": " << Buf << ",\n";
+
+  uint64_t SPopW = 0, SPopC = 0, SPushW = 0, SPushC = 0, Drop = 0;
+  for (const WorkerCounters &W : PerWorker) {
+    SPopW += W.SpinPopWaits;
+    SPopC += W.SpinPopCycles;
+    SPushW += W.SpinPushWaits;
+    SPushC += W.SpinPushCycles;
+    Drop += W.RingDropped;
+  }
+  OS << "  \"totals\": {\n";
+  OS << "    \"firings\": " << totalFirings() << ",\n";
+  OS << "    \"slabs\": " << totalSlabs() << ",\n";
+  OS << "    \"iterations\": " << totalIterations() << ",\n";
+  OS << "    \"spin-pop-waits\": " << SPopW << ",\n";
+  OS << "    \"spin-pop-cycles\": " << SPopC << ",\n";
+  OS << "    \"spin-push-waits\": " << SPushW << ",\n";
+  OS << "    \"spin-push-cycles\": " << SPushC << ",\n";
+  OS << "    \"ring-dropped\": " << Drop << "\n";
+  OS << "  },\n";
+
+  OS << "  \"per-worker\": [";
+  for (size_t W = 0; W < PerWorker.size(); ++W) {
+    const WorkerCounters &C = PerWorker[W];
+    OS << (W ? ",\n    {" : "\n    {");
+    OS << "\"worker\": " << W << ", \"firings\": " << C.Firings
+       << ", \"slabs\": " << C.Slabs << ", \"iterations\": " << C.Iterations
+       << ", \"spin-pop-waits\": " << C.SpinPopWaits
+       << ", \"spin-pop-cycles\": " << C.SpinPopCycles
+       << ", \"spin-push-waits\": " << C.SpinPushWaits
+       << ", \"spin-push-cycles\": " << C.SpinPushCycles
+       << ", \"ring-dropped\": " << C.RingDropped << "}";
+  }
+  OS << "\n  ],\n";
+
+  OS << "  \"edges\": [";
+  for (size_t E = 0; E < Edges.size(); ++E) {
+    const EdgeCounters &C = Edges[E];
+    OS << (E ? ",\n    {" : "\n    {");
+    OS << "\"edge\": \"" << jsonEscape(C.Edge) << "\", \"src\": " << C.Src
+       << ", \"dst\": " << C.Dst << ", \"capacity\": " << C.Capacity
+       << ", \"push-stalls\": " << C.PushStalls
+       << ", \"pop-stalls\": " << C.PopStalls
+       << ", \"occupancy-hwm\": " << C.OccupancyHighWater << "}";
+  }
+  OS << (Edges.empty() ? "]\n" : "\n  ]\n");
+  OS << "}\n";
+  return OS.str();
+}
+
+void RunProfile::recordStats(StatsRegistry &Stats) const {
+  // Deterministic across reruns of the same compilation.
+  Stats.add("parallel.runtime.workers", Workers);
+  Stats.add("parallel.runtime.iterations",
+            static_cast<uint64_t>(Iterations));
+  Stats.add("parallel.runtime.firings", totalFirings());
+  Stats.add("parallel.runtime.slabs", totalSlabs());
+  Stats.add("parallel.runtime.worker-iterations", totalIterations());
+  // Timing-dependent: excluded from determinism contracts and golden
+  // comparisons (same split as the fault report's worker snapshot).
+  uint64_t SPopW = 0, SPushW = 0, Stalls = 0;
+  for (const WorkerCounters &W : PerWorker) {
+    SPopW += W.SpinPopWaits;
+    SPushW += W.SpinPushWaits;
+  }
+  for (const EdgeCounters &E : Edges)
+    Stalls += E.PushStalls + E.PopStalls;
+  Stats.add("parallel.timing.wall-ns", WallNs);
+  Stats.add("parallel.timing.spin-pop-waits", SPopW);
+  Stats.add("parallel.timing.spin-push-waits", SPushW);
+  Stats.add("parallel.timing.edge-stalls", Stalls);
+}
+
+Profiler::Profiler(unsigned Workers, size_t RingCapacity)
+    : RingCap(RingCapacity) {
+  Slots.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    Slots.emplace_back(RingCap);
+}
+
+uint64_t Profiler::nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Profiler::mergeIntoTrace(TraceContext &T,
+                              const std::vector<std::string> &EdgeNames)
+    const {
+  if (!T.enabled())
+    return;
+  char Name[64];
+  for (unsigned W = 0; W < workers(); ++W) {
+    const uint32_t Tid = W + 1;
+    // Begin/End pairs never nest within a worker (waits sit strictly
+    // between slab bodies), so one pending slot per kind suffices.
+    uint64_t SlabStart = 0, PopStart = 0, PushStart = 0;
+    for (const RingEvent &Ev : Slots[W].Ring.events()) {
+      switch (Ev.Kind) {
+      case EventKind::SlabBegin:
+        SlabStart = Ev.TimeNs;
+        break;
+      case EventKind::SlabEnd:
+        std::snprintf(Name, sizeof(Name), "slab %u", Ev.Arg);
+        T.addCompletedSpan(Name, SlabStart, Ev.TimeNs - SlabStart, 0, Tid);
+        break;
+      case EventKind::WaitPopBegin:
+        PopStart = Ev.TimeNs;
+        break;
+      case EventKind::WaitPopEnd:
+        std::snprintf(Name, sizeof(Name), "wait.pop %s",
+                      Ev.Arg < EdgeNames.size()
+                          ? EdgeNames[Ev.Arg].c_str()
+                          : "?");
+        T.addCompletedSpan(Name, PopStart, Ev.TimeNs - PopStart, 0, Tid);
+        break;
+      case EventKind::WaitPushBegin:
+        PushStart = Ev.TimeNs;
+        break;
+      case EventKind::WaitPushEnd:
+        std::snprintf(Name, sizeof(Name), "wait.push %s",
+                      Ev.Arg < EdgeNames.size()
+                          ? EdgeNames[Ev.Arg].c_str()
+                          : "?");
+        T.addCompletedSpan(Name, PushStart, Ev.TimeNs - PushStart, 0, Tid);
+        break;
+      }
+    }
+  }
+}

@@ -1,0 +1,144 @@
+//===--- Profile.h - Runtime telemetry for the execution engines -*- C++ -*-===//
+//
+// Low-overhead run-time profiling for both execution engines (the
+// threaded interpreter and, schema-compatibly, the threaded-C backend):
+//
+//  * Profiler — per-worker counter slots and event rings, handed to
+//    ParallelRunner through RunOptions::Profiler. A null profiler costs
+//    one pointer test per hook (the PR 3 trace-cost contract); an
+//    enabled one costs a counter increment per slab, never per token.
+//  * RunProfile — the post-run summary: per-worker firings/slabs/
+//    iterations and spin-wait tallies, per-cut-edge backpressure stalls
+//    and occupancy high-water marks, steady-phase wall time. Exported
+//    as the stable `laminar-runtime-stats-v1` JSON (--profile-json),
+//    folded into the StatsRegistry (parallel.runtime.* deterministic,
+//    parallel.timing.* timing-dependent), and replayed into the Chrome
+//    trace as per-worker timelines (--profile-trace).
+//
+// Determinism contract (mirrors the fault report's split): firings,
+// slabs, iterations and the static edge/worker shape are deterministic
+// across reruns of the same compilation; spin-wait counts, stalls,
+// occupancy marks and all wall-clock fields are not and are masked in
+// golden tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_PROFILE_PROFILE_H
+#define LAMINAR_PROFILE_PROFILE_H
+
+#include "profile/EventRing.h"
+#include "support/Statistics.h"
+#include "support/Trace.h"
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace profile {
+
+/// Per-worker tallies. Firings/Slabs/Iterations are deterministic;
+/// the spin-wait fields count actual contention events (a *wait* is
+/// one blocked episode, a *cycle* is one spin-loop turn inside it).
+struct WorkerCounters {
+  uint64_t Firings = 0;
+  uint64_t Slabs = 0;
+  uint64_t Iterations = 0;
+  uint64_t SpinPopWaits = 0;
+  uint64_t SpinPopCycles = 0;
+  uint64_t SpinPushWaits = 0;
+  uint64_t SpinPushCycles = 0;
+  uint64_t RingDropped = 0;
+};
+
+/// Per-cut-edge tallies plus the static shape (src/dst partition,
+/// capacity) so the JSON is self-describing.
+struct EdgeCounters {
+  std::string Edge;
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  int64_t Capacity = 0;
+  uint64_t PushStalls = 0;
+  uint64_t PopStalls = 0;
+  uint64_t OccupancyHighWater = 0;
+};
+
+/// One run's telemetry summary, engine-agnostic: the threaded-C
+/// backend's compiled-in instrumentation emits the same JSON shape
+/// with engine "threaded-c".
+struct RunProfile {
+  std::string Engine = "threaded-interp";
+  unsigned Workers = 1;
+  int64_t Iterations = 0;
+  uint64_t WallNs = 0;
+  std::vector<WorkerCounters> PerWorker;
+  std::vector<EdgeCounters> Edges;
+
+  uint64_t totalFirings() const;
+  uint64_t totalSlabs() const;
+  uint64_t totalIterations() const;
+
+  /// The stable `laminar-runtime-stats-v1` document (schema described
+  /// in docs/OBSERVABILITY.md). Always a valid JSON object.
+  std::string json() const;
+
+  /// Folds the summary into the registry: `parallel.runtime.*` for the
+  /// deterministic counters, `parallel.timing.*` for the rest.
+  void recordStats(StatsRegistry &Stats) const;
+};
+
+/// Recording state for one parallel run. Slots are index-owned: worker
+/// W writes only worker(W) and the producer/consumer halves of its
+/// edges' slots, so recording needs no atomics; the thread join
+/// publishes everything before finish() reads it.
+class Profiler {
+public:
+  /// \p RingCapacity caps the per-worker event ring (0 disables rings:
+  /// counters only, nothing for the trace replay).
+  explicit Profiler(unsigned Workers, size_t RingCapacity = 4096);
+
+  /// Absolute steady_clock ns — the same clock TraceContext stamps
+  /// with, so replayed spans line up with the compiler spans.
+  static uint64_t nowNs();
+
+  struct alignas(64) WorkerSlot {
+    WorkerCounters C;
+    EventRing Ring;
+    explicit WorkerSlot(size_t RingCap) : Ring(RingCap) {}
+  };
+
+  /// Producer-written and consumer-written fields live on separate
+  /// cache lines: the two endpoint workers tally concurrently.
+  struct EdgeSlot {
+    alignas(64) uint64_t PushStalls = 0;
+    uint64_t OccupancyHighWater = 0;
+    alignas(64) uint64_t PopStalls = 0;
+  };
+
+  unsigned workers() const { return static_cast<unsigned>(Slots.size()); }
+  WorkerSlot &worker(unsigned W) { return Slots[W]; }
+  const WorkerSlot &worker(unsigned W) const { return Slots[W]; }
+  bool ringsEnabled() const { return RingCap > 0; }
+
+  /// Sizes the edge-slot table; call before spawning workers.
+  void initEdges(size_t NumEdges) { EdgeSlots.resize(NumEdges); }
+  EdgeSlot &edge(size_t E) { return EdgeSlots[E]; }
+  const EdgeSlot &edge(size_t E) const { return EdgeSlots[E]; }
+  size_t numEdges() const { return EdgeSlots.size(); }
+
+  /// Replays every worker's event ring into \p T as completed spans on
+  /// per-worker Chrome-trace lanes (tid = worker + 1): "slab <n>" for
+  /// slab bodies, "wait.pop <edge>" / "wait.push <edge>" for real spin
+  /// waits. \p EdgeNames indexes the cut edges in plan order. Call
+  /// after the workers joined.
+  void mergeIntoTrace(TraceContext &T,
+                      const std::vector<std::string> &EdgeNames) const;
+
+private:
+  size_t RingCap;
+  std::vector<WorkerSlot> Slots;
+  std::vector<EdgeSlot> EdgeSlots;
+};
+
+} // namespace profile
+} // namespace laminar
+
+#endif // LAMINAR_PROFILE_PROFILE_H

@@ -39,6 +39,20 @@ void TraceContext::merge(const TraceContext &Child) {
   }
 }
 
+void TraceContext::addCompletedSpan(const std::string &Name,
+                                    uint64_t StartAbsNs, uint64_t DurNs,
+                                    unsigned Depth, uint32_t Tid) {
+  if (!Enabled)
+    return;
+  Event Ev;
+  Ev.Name = Name;
+  Ev.StartNs = StartAbsNs >= EpochNs ? StartAbsNs - EpochNs : 0;
+  Ev.DurNs = DurNs;
+  Ev.Depth = Depth;
+  Ev.Tid = Tid;
+  Events.push_back(std::move(Ev));
+}
+
 size_t TraceContext::beginEvent(const char *Name) {
   Event Ev;
   Ev.Name = Name;
@@ -94,13 +108,15 @@ std::string TraceContext::chromeJson() const {
     if (!First)
       OS << ",";
     First = false;
-    char Buf[160];
+    char Buf[176];
     // Microsecond timestamps with nanosecond precision kept as decimals.
+    // tid 1 is the compiler pipeline; runtime worker lanes follow.
     std::snprintf(Buf, sizeof(Buf),
-                  "\n{\"name\":\"%s\",\"cat\":\"compile\",\"ph\":\"X\","
-                  "\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f}",
-                  jsonEscape(Ev.Name).c_str(), Ev.StartNs / 1000.0,
-                  Ev.DurNs / 1000.0);
+                  "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                  jsonEscape(Ev.Name).c_str(),
+                  Ev.Tid == 0 ? "compile" : "runtime", Ev.Tid + 1,
+                  Ev.StartNs / 1000.0, Ev.DurNs / 1000.0);
     OS << Buf;
   }
   OS << "\n]}\n";

@@ -33,12 +33,16 @@ public:
   /// One completed (or still open) span. Start is relative to the
   /// context's first enabled moment; Depth is the nesting level at the
   /// time the span opened (0 = top level). Events are stored in
-  /// pre-order: a parent precedes all of its children.
+  /// pre-order: a parent precedes all of its children. Tid selects the
+  /// Chrome-trace thread lane: 0 is the compiler pipeline, runtime
+  /// worker timelines use worker-index + 1 so each worker renders as
+  /// its own row.
   struct Event {
     std::string Name;
     uint64_t StartNs = 0;
     uint64_t DurNs = 0;
     unsigned Depth = 0;
+    uint32_t Tid = 0;
   };
 
   void setEnabled(bool E);
@@ -53,6 +57,19 @@ public:
   /// the currently open nesting level. Call after joining the worker;
   /// merging in worker-index order keeps the event order deterministic.
   void merge(const TraceContext &Child);
+
+  /// Injects an already-measured span (e.g. replayed from a profiler
+  /// event ring after the workers joined). StartAbsNs is an absolute
+  /// steady_clock reading; it is rebased against this context's epoch
+  /// so injected spans line up with the RAII-recorded ones. No-op when
+  /// disabled.
+  void addCompletedSpan(const std::string &Name, uint64_t StartAbsNs,
+                        uint64_t DurNs, unsigned Depth, uint32_t Tid);
+
+  /// Absolute steady_clock ns of the first enabled moment (0 if never
+  /// enabled). Profilers timestamp against the same clock and hand the
+  /// raw readings to addCompletedSpan.
+  uint64_t epochNs() const { return EpochNs; }
 
   const std::vector<Event> &events() const { return Events; }
 

@@ -10,6 +10,7 @@
 
 #include "driver/Driver.h"
 #include "testing/FaultInject.h"
+#include "TestJson.h"
 #include <cctype>
 #include <fstream>
 #include <gtest/gtest.h>
@@ -276,6 +277,38 @@ TEST(FaultRun, WatchdogDeadlineCancelsRun) {
   EXPECT_EQ(R.Report.FirstFault.Kind, interp::FaultKind::Deadline);
   EXPECT_NE(R.Error.find("deadline"), std::string::npos) << R.Error;
   ASSERT_EQ(R.Report.Workers.size(), 2u);
+}
+
+TEST(FaultRun, WatchdogCancelledTraceIsWellFormed) {
+  // Deadline cancellation must not tear the trace: worker spans are
+  // stack scopes that unwind on the cancel path, the watchdog records
+  // its own span on the caller's context, and fork/merge reassembles
+  // one valid Chrome-trace document with every span closed.
+  Compilation C = compileChain(2);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  TraceContext Trace;
+  Trace.setEnabled(true);
+  RunParams P;
+  P.DeadlineMs = 1;
+  interp::RunResult R =
+      runWithRandomInput(C, 4'000'000, 1, &Trace, nullptr, P);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Report.DeadlineExpired);
+
+  const std::string Json = Trace.chromeJson();
+  EXPECT_TRUE(testjson::isValidJson(Json)) << Json;
+  EXPECT_NE(Json.find("\"parallel.watchdog\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"parallel.worker0\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"parallel.worker1\""), std::string::npos) << Json;
+  // Every event a cancelled run emits is still a complete ("X") span
+  // with a non-negative duration — no dangling begin markers.
+  size_t Spans = 0;
+  for (size_t At = Json.find("\"ph\""); At != std::string::npos;
+       At = Json.find("\"ph\"", At + 1)) {
+    EXPECT_EQ(Json.substr(At, 9), "\"ph\":\"X\",") << Json.substr(At, 40);
+    ++Spans;
+  }
+  EXPECT_GT(Spans, 0u);
 }
 
 TEST(FaultReport, JsonSchemaGolden) {

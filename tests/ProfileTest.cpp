@@ -1,0 +1,428 @@
+//===--- ProfileTest.cpp - Runtime telemetry subsystem ---------------------===//
+//
+// Unit coverage of src/profile (event rings, the runtime-stats JSON
+// schema, the disabled-cost contract), the platform-profile file
+// format (roundtrip and error paths), the determinism contract of the
+// merged parallel.runtime.* counters, StatsRegistry::merge under the
+// concurrent worker-flush pattern, and the end-to-end claim that a
+// calibration profile can flip the planner's fallback decision.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "perfmodel/PlatformModel.h"
+#include "profile/Profile.h"
+#include "suite/Suite.h"
+#include "TestJson.h"
+#include <cctype>
+#include <chrono>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+using namespace laminar;
+using namespace laminar::driver;
+using namespace laminar::profile;
+
+namespace {
+
+// Same rate-matched two-filter pipeline FaultTest uses: partitions
+// across two (or more) workers with one cut edge per boundary.
+const char *TwoStage = R"(
+int->int filter Scale() {
+  work push 1 pop 1 {
+    push(pop() * 3);
+  }
+}
+int->int filter Offset() {
+  work push 1 pop 1 {
+    push(pop() + 7);
+  }
+}
+int->int pipeline Chain {
+  add Scale();
+  add Offset();
+}
+)";
+
+Compilation compileChain(unsigned Workers) {
+  CompileOptions O;
+  O.TopName = "Chain";
+  O.Mode = LoweringMode::Laminar;
+  O.OptLevel = 2;
+  O.Parallel = Workers;
+  O.Tuning.Force = true; // Tiny program: bypass the cost gate.
+  return compile(TwoStage, O);
+}
+
+/// Masks every digit run to 'N' — pins the JSON shape while letting
+/// the (partly timing-dependent) values float. Mirrors FaultTest's
+/// golden masking.
+std::string maskDigits(const std::string &S) {
+  std::string Masked;
+  for (char Ch : S) {
+    if (std::isdigit(static_cast<unsigned char>(Ch))) {
+      if (Masked.empty() || Masked.back() != 'N')
+        Masked += 'N';
+    } else {
+      Masked += Ch;
+    }
+  }
+  return Masked;
+}
+
+} // namespace
+
+// --- EventRing -----------------------------------------------------------
+
+TEST(EventRing, RecordsInOrderUpToCapacity) {
+  EventRing R(3);
+  R.record(EventKind::SlabBegin, 0, 100);
+  R.record(EventKind::SlabEnd, 0, 200);
+  ASSERT_EQ(R.events().size(), 2u);
+  EXPECT_EQ(R.events()[0].Kind, EventKind::SlabBegin);
+  EXPECT_EQ(R.events()[1].TimeNs, 200u);
+  EXPECT_EQ(R.dropped(), 0u);
+}
+
+TEST(EventRing, DropsNewestWhenFullAndCountsDrops) {
+  EventRing R(2);
+  R.record(EventKind::SlabBegin, 0, 1);
+  R.record(EventKind::SlabEnd, 0, 2);
+  R.record(EventKind::SlabBegin, 1, 3); // dropped
+  R.record(EventKind::SlabEnd, 1, 4);   // dropped
+  ASSERT_EQ(R.events().size(), 2u);
+  // Drop-newest: the opening timeline survives intact.
+  EXPECT_EQ(R.events()[1].Arg, 0u);
+  EXPECT_EQ(R.dropped(), 2u);
+}
+
+TEST(EventRing, ZeroCapacityDropsEverything) {
+  EventRing R(0);
+  R.record(EventKind::SlabBegin, 0, 1);
+  EXPECT_TRUE(R.events().empty());
+  EXPECT_EQ(R.dropped(), 1u);
+}
+
+// --- RunProfile JSON schema ---------------------------------------------
+
+TEST(RuntimeStats, JsonSchemaGolden) {
+  // The JSON *shape* (keys, nesting, ordering) is pinned against
+  // tests/golden/runtime-stats-schema.golden with digit runs masked to
+  // 'N'. ci/check_observability.py --runtime-stats validates the same
+  // schema from the outside. Regenerate by printing
+  // maskDigits(P.json()) from this test.
+  RunProfile P;
+  P.Engine = "threaded-interp";
+  P.Workers = 2;
+  P.Iterations = 32;
+  P.WallNs = 123456;
+  P.PerWorker.resize(2);
+  P.PerWorker[0].Firings = 32;
+  P.PerWorker[0].Slabs = 4;
+  P.PerWorker[0].Iterations = 32;
+  P.PerWorker[1].Firings = 160;
+  P.PerWorker[1].Slabs = 4;
+  P.PerWorker[1].Iterations = 32;
+  P.PerWorker[1].SpinPopWaits = 1;
+  P.PerWorker[1].SpinPopCycles = 2;
+  EdgeCounters E;
+  E.Edge = "q4";
+  E.Src = 0;
+  E.Dst = 1;
+  E.Capacity = 32;
+  E.PopStalls = 1;
+  E.OccupancyHighWater = 2;
+  P.Edges.push_back(E);
+
+  const std::string Json = P.json();
+  EXPECT_TRUE(testjson::Checker(Json).valid()) << Json;
+  EXPECT_EQ(P.totalFirings(), 192u);
+  EXPECT_EQ(P.totalSlabs(), 8u);
+  EXPECT_EQ(P.totalIterations(), 64u);
+
+  std::ifstream In(std::string(LAMINAR_SOURCE_DIR) +
+                   "/tests/golden/runtime-stats-schema.golden");
+  ASSERT_TRUE(In.good())
+      << "missing tests/golden/runtime-stats-schema.golden";
+  std::ostringstream Golden;
+  Golden << In.rdbuf();
+  EXPECT_EQ(maskDigits(Json), Golden.str());
+}
+
+TEST(RuntimeStats, EmptyEdgeListStaysValidJson) {
+  RunProfile P;
+  P.Engine = "interp";
+  P.Workers = 1;
+  P.PerWorker.resize(1);
+  EXPECT_TRUE(testjson::Checker(P.json()).valid()) << P.json();
+}
+
+TEST(RuntimeStats, RecordStatsSplitsDeterministicFromTiming) {
+  RunProfile P;
+  P.Workers = 2;
+  P.Iterations = 16;
+  P.WallNs = 999;
+  P.PerWorker.resize(2);
+  P.PerWorker[0].Firings = 16;
+  P.PerWorker[0].SpinPopWaits = 3;
+  P.PerWorker[1].Firings = 48;
+  StatsRegistry S;
+  P.recordStats(S);
+  EXPECT_EQ(S.get("parallel.runtime.workers"), 2u);
+  EXPECT_EQ(S.get("parallel.runtime.firings"), 64u);
+  EXPECT_EQ(S.get("parallel.timing.wall-ns"), 999u);
+  EXPECT_EQ(S.get("parallel.timing.spin-pop-waits"), 3u);
+}
+
+// --- Disabled-cost contract ---------------------------------------------
+
+TEST(Profiler, DisabledProfilingIsOnePointerTest) {
+  // The RunOptions contract (same discipline as the PR 3 trace-cost
+  // contract Trace.DisabledScopesAreCheap pins): with no profiler
+  // attached, every hook is one null test. 10M hook evaluations finish
+  // in a few ms; an accidental clock read or allocation per hook costs
+  // ~100x and trips the (deliberately generous) bound.
+  Profiler *Prof = nullptr;
+  uint64_t Sink = 0;
+  auto Start = std::chrono::steady_clock::now();
+  for (int I = 0; I < 10'000'000; ++I) {
+    if (Prof)
+      ++Prof->worker(0).C.Slabs;
+    else
+      ++Sink;
+  }
+  auto Ms = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - Start)
+                .count();
+  EXPECT_EQ(Sink, 10'000'000u);
+  EXPECT_LT(Ms, 500.0);
+}
+
+// --- Trace replay --------------------------------------------------------
+
+TEST(Profiler, MergeIntoTraceEmitsWorkerLanes) {
+  Profiler Prof(2, 16);
+  Prof.initEdges(1);
+  // Worker 1: one wait then one slab, strictly sequential.
+  Prof.worker(1).Ring.record(EventKind::WaitPopBegin, 0, 1000);
+  Prof.worker(1).Ring.record(EventKind::WaitPopEnd, 0, 1500);
+  Prof.worker(1).Ring.record(EventKind::SlabBegin, 0, 1500);
+  Prof.worker(1).Ring.record(EventKind::SlabEnd, 0, 2500);
+
+  TraceContext T;
+  T.setEnabled(true);
+  Prof.mergeIntoTrace(T, {"q7"});
+  const std::string Json = T.chromeJson();
+  EXPECT_TRUE(testjson::Checker(Json).valid()) << Json;
+  EXPECT_NE(Json.find("\"wait.pop q7\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"slab 0\""), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"cat\":\"runtime\""), std::string::npos) << Json;
+}
+
+// --- Platform profile files ---------------------------------------------
+
+TEST(PlatformProfile, TextRoundTrips) {
+  const perfmodel::PlatformModel *Base = perfmodel::findPlatform("i7-2600K");
+  ASSERT_NE(Base, nullptr);
+  perfmodel::PlatformModel PM = *Base;
+  PM.Name = "roundtrip";
+  PM.SyncPerSlab = 1234.5;
+  PM.MathCall = 77;
+  std::string Err;
+  auto Parsed = perfmodel::parseProfile(perfmodel::profileText(PM), Err);
+  ASSERT_TRUE(Parsed.has_value()) << Err;
+  EXPECT_EQ(Parsed->Name, "roundtrip");
+  EXPECT_DOUBLE_EQ(Parsed->SyncPerSlab, 1234.5);
+  EXPECT_DOUBLE_EQ(Parsed->MathCall, 77);
+  EXPECT_DOUBLE_EQ(Parsed->Load, Base->Load);
+}
+
+TEST(PlatformProfile, MissingKeysDefaultToReference) {
+  std::string Err;
+  auto PM = perfmodel::parseProfile(
+      "laminar-platform-profile-v1\n# comment\nsync-per-slab 5000\n", Err);
+  ASSERT_TRUE(PM.has_value()) << Err;
+  EXPECT_DOUBLE_EQ(PM->SyncPerSlab, 5000);
+  const perfmodel::PlatformModel *Base = perfmodel::findPlatform("i7-2600K");
+  EXPECT_DOUBLE_EQ(PM->IntAlu, Base->IntAlu);
+}
+
+TEST(PlatformProfile, RejectsMalformedInput) {
+  std::string Err;
+  EXPECT_FALSE(perfmodel::parseProfile("not-a-profile\n", Err).has_value());
+  EXPECT_NE(Err.find("header"), std::string::npos) << Err;
+  EXPECT_FALSE(perfmodel::parseProfile(
+                   "laminar-platform-profile-v1\nbogus-key 1\n", Err)
+                   .has_value());
+  EXPECT_FALSE(perfmodel::parseProfile(
+                   "laminar-platform-profile-v1\nint-alu -3\n", Err)
+                   .has_value());
+  EXPECT_FALSE(perfmodel::parseProfile(
+                   "laminar-platform-profile-v1\nint-alu nan\n", Err)
+                   .has_value());
+  EXPECT_FALSE(
+      perfmodel::loadProfile("/nonexistent/profile.txt", Err).has_value());
+}
+
+// --- End-to-end: profiled parallel runs ----------------------------------
+
+TEST(RuntimeStats, ParallelCountersAreDeterministicAcrossReruns) {
+  // The determinism contract at --parallel=4: firings, slabs,
+  // iterations and the edge shape repeat exactly across reruns of one
+  // compilation; only the timing fields may differ.
+  Compilation C = compileChain(4);
+  ASSERT_TRUE(C.Ok) << C.ErrorLog;
+  ASSERT_TRUE(C.Plan.has_value());
+
+  auto RunOnce = [&](RunProfile &P, StatsRegistry &S) {
+    Profiler Prof(C.Plan->NumPartitions, 0);
+    RunParams RP;
+    RP.Profiler = &Prof;
+    RP.ProfileOut = &P;
+    interp::RunResult R =
+        runWithRandomInput(C, 24, 1, nullptr, nullptr, RP);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    P.recordStats(S);
+  };
+  RunProfile P1, P2;
+  StatsRegistry S1, S2;
+  RunOnce(P1, S1);
+  RunOnce(P2, S2);
+
+  EXPECT_EQ(P1.Engine, "threaded-interp");
+  EXPECT_EQ(P1.Workers, P2.Workers);
+  EXPECT_EQ(P1.totalFirings(), P2.totalFirings());
+  EXPECT_EQ(P1.totalSlabs(), P2.totalSlabs());
+  EXPECT_EQ(P1.totalIterations(), P2.totalIterations());
+  ASSERT_EQ(P1.PerWorker.size(), P2.PerWorker.size());
+  for (size_t W = 0; W < P1.PerWorker.size(); ++W) {
+    EXPECT_EQ(P1.PerWorker[W].Firings, P2.PerWorker[W].Firings) << W;
+    EXPECT_EQ(P1.PerWorker[W].Slabs, P2.PerWorker[W].Slabs) << W;
+    EXPECT_EQ(P1.PerWorker[W].Iterations, P2.PerWorker[W].Iterations) << W;
+  }
+  ASSERT_EQ(P1.Edges.size(), P2.Edges.size());
+  for (size_t E = 0; E < P1.Edges.size(); ++E) {
+    EXPECT_EQ(P1.Edges[E].Edge, P2.Edges[E].Edge);
+    EXPECT_EQ(P1.Edges[E].Src, P2.Edges[E].Src);
+    EXPECT_EQ(P1.Edges[E].Dst, P2.Edges[E].Dst);
+    EXPECT_EQ(P1.Edges[E].Capacity, P2.Edges[E].Capacity);
+  }
+  // Merged counters: every parallel.runtime.* value repeats exactly.
+  for (const auto &KV : S1.all()) {
+    if (KV.first.rfind("parallel.runtime.", 0) == 0) {
+      EXPECT_EQ(S2.get(KV.first), KV.second) << KV.first;
+    }
+  }
+}
+
+TEST(RuntimeStats, ParallelFiringsMatchSequentialRun) {
+  // Firings are derived from the plan's static FiringsPerIter, so the
+  // parallel total must equal what the sequential engine reports for
+  // the same program and iteration count.
+  CompileOptions SO;
+  SO.TopName = "Chain";
+  SO.Mode = LoweringMode::Laminar;
+  SO.OptLevel = 2;
+  Compilation Seq = compile(TwoStage, SO);
+  ASSERT_TRUE(Seq.Ok) << Seq.ErrorLog;
+  RunProfile SP;
+  RunParams SRP;
+  SRP.ProfileOut = &SP;
+  interp::RunResult SR =
+      runWithRandomInput(Seq, 24, 1, nullptr, nullptr, SRP);
+  ASSERT_TRUE(SR.Ok) << SR.Error;
+  EXPECT_EQ(SP.Engine, "interp");
+  EXPECT_EQ(SP.Workers, 1u);
+
+  Compilation Par = compileChain(2);
+  ASSERT_TRUE(Par.Ok) << Par.ErrorLog;
+  Profiler Prof(Par.Plan->NumPartitions, 0);
+  RunProfile PP;
+  RunParams PRP;
+  PRP.Profiler = &Prof;
+  PRP.ProfileOut = &PP;
+  interp::RunResult PR =
+      runWithRandomInput(Par, 24, 1, nullptr, nullptr, PRP);
+  ASSERT_TRUE(PR.Ok) << PR.Error;
+
+  EXPECT_EQ(SP.totalFirings(), PP.totalFirings());
+  EXPECT_EQ(SP.Iterations, PP.Iterations);
+}
+
+// --- StatsRegistry::merge under concurrent worker flush ------------------
+
+TEST(StatsMerge, ConcurrentWorkerFlushIsRaceFreeAndComplete) {
+  // The runtime's flush pattern, stressed: each worker accumulates
+  // into a private registry and merges into the shared one under the
+  // owner's lock as it finishes (not at join). Run under TSan this
+  // pins the pattern race-free; everywhere it pins that no counter is
+  // lost or double-counted.
+  constexpr int Workers = 8;
+  constexpr int Bumps = 10'000;
+  StatsRegistry Shared;
+  std::mutex OwnerLock;
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < Workers; ++W)
+    Threads.emplace_back([&, W] {
+      StatsRegistry Local;
+      for (int I = 0; I < Bumps; ++I) {
+        Local.add("worker.firings");
+        Local.add("worker.slabs", 2);
+      }
+      Local.add("worker.id-" + std::to_string(W));
+      std::lock_guard<std::mutex> Guard(OwnerLock);
+      Shared.merge(Local);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Shared.get("worker.firings"),
+            static_cast<uint64_t>(Workers) * Bumps);
+  EXPECT_EQ(Shared.get("worker.slabs"),
+            static_cast<uint64_t>(Workers) * Bumps * 2);
+  for (int W = 0; W < Workers; ++W)
+    EXPECT_EQ(Shared.get("worker.id-" + std::to_string(W)), 1u);
+}
+
+// --- Calibration profile flips the gate ----------------------------------
+
+TEST(PlatformProfile, CalibrationFlipsFallbackDecision) {
+  // The acceptance claim for --platform-profile: a calibrated profile
+  // changes at least one fallback decision on the suite. FMRadio
+  // parallelizes at --parallel=4 under the reference model; a profile
+  // measuring a brutally expensive slab handshake (a plausible result
+  // on an oversubscribed host) must push the gate to the sequential
+  // fallback — and the run must still execute correctly.
+  const suite::Benchmark *FM = suite::findBenchmark("FMRadio");
+  ASSERT_NE(FM, nullptr);
+
+  CompileOptions O;
+  O.TopName = FM->Top;
+  O.Mode = LoweringMode::Laminar;
+  O.OptLevel = 2;
+  O.Parallel = 4;
+  Compilation Default = compile(FM->Source, O);
+  ASSERT_TRUE(Default.Ok) << Default.ErrorLog;
+  ASSERT_TRUE(Default.Plan.has_value());
+  EXPECT_FALSE(Default.Plan->Fallback);
+  EXPECT_GT(Default.Plan->NumPartitions, 1u);
+
+  std::string Err;
+  auto Hostile = perfmodel::parseProfile(
+      "laminar-platform-profile-v1\nname hostile\n"
+      "sync-per-slab 100000000\n",
+      Err);
+  ASSERT_TRUE(Hostile.has_value()) << Err;
+  O.Platform = *Hostile;
+  Compilation Calibrated = compile(FM->Source, O);
+  ASSERT_TRUE(Calibrated.Ok) << Calibrated.ErrorLog;
+  ASSERT_TRUE(Calibrated.Plan.has_value());
+  EXPECT_TRUE(Calibrated.Plan->Fallback);
+  EXPECT_EQ(Calibrated.Plan->NumPartitions, 1u);
+  EXPECT_EQ(Calibrated.Stats.get("parallel.plan.fallback"), 1u);
+
+  interp::RunResult R = runWithRandomInput(Calibrated, 8, 1);
+  EXPECT_TRUE(R.Ok) << R.Error;
+}

@@ -673,3 +673,181 @@ TEST(LaminarFuzz, FaultModeReplaysReproducer) {
   EXPECT_EQ(R.ExitCode, 0) << R.Output;
   EXPECT_NE(R.Output.find("PASS"), std::string::npos) << R.Output;
 }
+
+namespace {
+
+std::string calibrateBinary() {
+  return std::string(LAMINAR_BINARY_DIR) + "/tools/laminar-calibrate";
+}
+
+} // namespace
+
+TEST(Laminarc, ProfileJsonWritesRuntimeStatsSchema) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-profile-json");
+  std::string Json = Dir + "/stats.json";
+  ToolResult R = run("FMRadio --emit=run --iters=16 --parallel=2 "
+                     "--seed=1 --profile-json=" +
+                     Json);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::string Doc = readFile(Json);
+  EXPECT_TRUE(testjson::isValidJson(Doc)) << Doc;
+  EXPECT_NE(Doc.find("\"schema\": \"laminar-runtime-stats-v1\""),
+            std::string::npos)
+      << Doc;
+  EXPECT_NE(Doc.find("\"engine\": \"threaded-interp\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"per-worker\""), std::string::npos);
+  // Deterministic counters repeat exactly on a rerun; the timing
+  // fields may differ, so compare with digits beyond the schema check
+  // left to ci/check_observability.py --runtime-stats.
+  std::string Json2 = Dir + "/stats2.json";
+  ToolResult R2 = run("FMRadio --emit=run --iters=16 --parallel=2 "
+                      "--seed=1 --profile-json=" +
+                      Json2);
+  EXPECT_EQ(R2.ExitCode, 0) << R2.Output;
+  auto Field = [](const std::string &S, const char *Key) {
+    size_t At = S.find(Key);
+    return At == std::string::npos ? std::string()
+                                   : S.substr(At, S.find('\n', At) - At);
+  };
+  std::string Doc2 = readFile(Json2);
+  EXPECT_EQ(Field(Doc, "\"firings\""), Field(Doc2, "\"firings\""));
+  EXPECT_EQ(Field(Doc, "\"slabs\""), Field(Doc2, "\"slabs\""));
+}
+
+TEST(Laminarc, FaultedRunStillFlushesAllJsonArtifacts) {
+  // The shared failure-flush: a faulted run exits nonzero but every
+  // requested artifact (fault report, compiler stats, runtime profile)
+  // must land on disk schema-valid — the fault is when you need the
+  // telemetry most.
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-fault-flush");
+  std::string Src = writeChain(Dir);
+  std::string Fault = Dir + "/fault.json";
+  std::string Stats = Dir + "/stats.json";
+  std::string Prof = Dir + "/profile.json";
+  ToolResult R = run(Src + " --top=Chain --emit=run --iters=16 "
+                           "--parallel=2 --parallel-force "
+                           "--inject-fault=pop:1:2 --deadline-ms=10000 "
+                           "--fault-json=" +
+                     Fault + " --stats-json=" + Stats +
+                     " --profile-json=" + Prof);
+  EXPECT_NE(R.ExitCode, 0);
+  std::string FaultDoc = readFile(Fault);
+  std::string StatsDoc = readFile(Stats);
+  std::string ProfDoc = readFile(Prof);
+  EXPECT_TRUE(testjson::isValidJson(FaultDoc)) << FaultDoc;
+  EXPECT_TRUE(testjson::isValidJson(StatsDoc)) << StatsDoc;
+  EXPECT_TRUE(testjson::isValidJson(ProfDoc)) << ProfDoc;
+  EXPECT_NE(FaultDoc.find("laminar-fault-report-v1"), std::string::npos);
+  EXPECT_NE(StatsDoc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(ProfDoc.find("laminar-runtime-stats-v1"), std::string::npos);
+}
+
+TEST(Laminarc, ProfileTraceAddsWorkerLanesToTraceJson) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-profile-trace");
+  std::string Json = Dir + "/trace.json";
+  ToolResult R = run("FMRadio --emit=run --iters=16 --parallel=2 "
+                     "--seed=1 --profile-trace --trace-json=" +
+                     Json);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  std::string Doc = readFile(Json);
+  EXPECT_TRUE(testjson::isValidJson(Doc)) << Doc;
+  EXPECT_NE(Doc.find("\"cat\":\"runtime\""), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"slab "), std::string::npos) << Doc;
+}
+
+TEST(Laminarc, ProfileCEmitsMatchingCountersFromCompiledBinary) {
+  // The threaded-C backend's compiled-in instrumentation must report
+  // the same deterministic counters as the interpreter for the same
+  // program and iteration count — firings are derived from the static
+  // plan in both engines, so totals match by construction.
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-profile-c");
+  std::string InterpJson = Dir + "/interp.json";
+  ToolResult RI = run("FMRadio --emit=run --iters=16 --parallel=2 "
+                      "--seed=1 --profile-json=" +
+                      InterpJson);
+  EXPECT_EQ(RI.ExitCode, 0) << RI.Output;
+
+  std::string CPath = Dir + "/prog.c";
+  ASSERT_EQ(std::system((binary() + " FMRadio --emit=c --parallel=2 "
+                                    "--profile-c > " +
+                         CPath + " 2>/dev/null")
+                            .c_str()),
+            0);
+  std::string Bin = Dir + "/prog";
+  if (std::system(("cc -std=c11 -O1 -pthread -o " + Bin + " " + CPath +
+                   " -lm 2>/dev/null")
+                      .c_str()) != 0)
+    GTEST_SKIP() << "no working cc -pthread on this host";
+  std::string CJson = Dir + "/c.json";
+  ASSERT_EQ(std::system((Bin + " 16 " + CJson + " > /dev/null").c_str()),
+            0);
+
+  std::string A = readFile(InterpJson), B = readFile(CJson);
+  EXPECT_TRUE(testjson::isValidJson(B)) << B;
+  EXPECT_NE(B.find("\"engine\": \"threaded-c\""), std::string::npos) << B;
+  auto Totals = [](const std::string &S, const char *Key) {
+    size_t Tot = S.find("\"totals\"");
+    size_t At = S.find(Key, Tot);
+    return S.substr(At, S.find(',', At) - At);
+  };
+  EXPECT_EQ(Totals(A, "\"firings\""), Totals(B, "\"firings\""));
+  EXPECT_EQ(Totals(A, "\"slabs\""), Totals(B, "\"slabs\""));
+  EXPECT_EQ(Totals(A, "\"iterations\""), Totals(B, "\"iterations\""));
+}
+
+TEST(Laminarc, PlatformProfileFlagValidatesAndFlipsGate) {
+  REQUIRE_BINARY();
+  std::string Dir = freshDir("laminarc-platform-profile");
+  // Missing and malformed files are usage errors, not silent defaults.
+  EXPECT_NE(run("FMRadio --emit=ir --platform-profile=" + Dir +
+                "/nope.profile")
+                .ExitCode,
+            0);
+  std::string Bad = Dir + "/bad.profile";
+  { std::ofstream Out(Bad); Out << "not-a-profile\n"; }
+  EXPECT_NE(run("FMRadio --emit=ir --platform-profile=" + Bad).ExitCode, 0);
+  // A hostile calibration (ruinously expensive slab handshake) flips
+  // the cost gate to the sequential fallback on a program the
+  // reference model parallelizes.
+  std::string Hostile = Dir + "/hostile.profile";
+  {
+    std::ofstream Out(Hostile);
+    Out << "laminar-platform-profile-v1\nname hostile\n"
+        << "sync-per-slab 100000000\n";
+  }
+  ToolResult Default = run("FMRadio --emit=stats --parallel=4");
+  EXPECT_EQ(Default.ExitCode, 0);
+  EXPECT_EQ(Default.Output.find("parallel.plan.fallback"),
+            std::string::npos)
+      << Default.Output;
+  ToolResult Flipped = run("FMRadio --emit=stats --parallel=4 "
+                           "--platform-profile=" +
+                           Hostile);
+  EXPECT_EQ(Flipped.ExitCode, 0);
+  EXPECT_NE(Flipped.Output.find("parallel.plan.fallback"),
+            std::string::npos)
+      << Flipped.Output;
+}
+
+TEST(LaminarCalibrate, QuickProfileLoadsAndCompiles) {
+  REQUIRE_BINARY();
+  if (!exists(calibrateBinary()))
+    GTEST_SKIP() << "laminar-calibrate not built";
+  std::string Dir = freshDir("laminar-calibrate");
+  std::string Profile = Dir + "/host.profile";
+  ToolResult C = runBinary(calibrateBinary(), "--quick -o " + Profile);
+  ASSERT_EQ(C.ExitCode, 0) << C.Output;
+  std::string Text = readFile(Profile);
+  EXPECT_NE(Text.find("laminar-platform-profile-v1"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("name calibrated"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("sync-per-slab"), std::string::npos) << Text;
+  // The measured profile is accepted end to end by the compiler.
+  ToolResult R = run("FMRadio --emit=ir --parallel=2 --platform-profile=" +
+                     Profile);
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+}

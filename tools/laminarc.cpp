@@ -34,6 +34,18 @@
 //                         at slab COUNT-1 (--emit=c, parallel)
 //   --fault-json=FILE     write the structured run report
 //                         (laminar-fault-report-v1) after --emit=run
+//   --profile-json=FILE   write runtime telemetry
+//                         (laminar-runtime-stats-v1) after --emit=run
+//   --profile-trace       record per-worker event rings during
+//                         --emit=run and merge them into --trace-json
+//                         as worker timelines
+//   --profile-c           --emit=c only: compile the same telemetry
+//                         into the generated C (the binary's second
+//                         argument names the output file, else stderr)
+//   --platform-profile=FILE  load a measured platform cost model
+//                         (laminar-platform-profile-v1, written by
+//                         laminar-calibrate) for the partitioner and
+//                         the parallel cost gate
 //   --no-degrade          error instead of Laminar->FIFO fallback
 //   --analyze             run the compile-time stream-safety checks
 //                         (proved violations are errors)
@@ -72,7 +84,8 @@ static int usage() {
       << "  [--max-errors=N] [--max-steps=N] [--no-degrade] [--analyze]\n"
       << "  [--Werror-analysis] [--deadline-ms=N]\n"
       << "  [--inject-fault=step|pop|push:WORKER:COUNT]\n"
-      << "  [--fault-json=FILE]\n"
+      << "  [--fault-json=FILE] [--profile-json=FILE] [--profile-trace]\n"
+      << "  [--profile-c] [--platform-profile=FILE]\n"
       << "  [--trace-json=FILE] [--time-report] [--remarks=FILE]\n"
       << "  [--remarks-filter=STR] [--stats-json=FILE]\n\nbenchmarks:\n";
   for (const auto &B : suite::allBenchmarks())
@@ -95,7 +108,8 @@ int main(int argc, char **argv) {
   std::string TraceJsonPath, RemarksPath, RemarksFilter, StatsJsonPath;
   bool TimeReport = false;
   driver::RunParams RunParams;
-  std::string FaultJsonPath;
+  std::string FaultJsonPath, ProfileJsonPath, PlatformProfilePath;
+  bool ProfileTrace = false, ProfileC = false;
 
   for (int I = 2; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -166,6 +180,14 @@ int main(int argc, char **argv) {
         RunParams.Inject.Count = std::stoull(V.substr(C2 + 1));
       } else if (Eat("--fault-json=", V))
         FaultJsonPath = V;
+      else if (Eat("--profile-json=", V))
+        ProfileJsonPath = V;
+      else if (Arg == "--profile-trace")
+        ProfileTrace = true;
+      else if (Arg == "--profile-c")
+        ProfileC = true;
+      else if (Eat("--platform-profile=", V))
+        PlatformProfilePath = V;
       else if (Arg == "--no-degrade")
         AllowDegrade = false;
       else if (Arg == "--analyze")
@@ -214,7 +236,9 @@ int main(int argc, char **argv) {
   }
 
   TraceContext Trace;
-  Trace.setEnabled(!TraceJsonPath.empty() || TimeReport);
+  // --profile-trace needs the trace machinery on: the worker timelines
+  // are merged into the same Chrome-trace document.
+  Trace.setEnabled(!TraceJsonPath.empty() || TimeReport || ProfileTrace);
   RemarkEmitter Remarks;
   Remarks.setPassFilter(RemarksFilter);
 
@@ -233,6 +257,16 @@ int main(int argc, char **argv) {
     Opts.Trace = &Trace;
   if (!RemarksPath.empty())
     Opts.Remarks = &Remarks;
+  if (!PlatformProfilePath.empty()) {
+    std::string Err;
+    std::optional<perfmodel::PlatformModel> PM =
+        perfmodel::loadProfile(PlatformProfilePath, Err);
+    if (!PM) {
+      std::cerr << "error: " << Err << "\n";
+      return 1;
+    }
+    Opts.Platform = std::move(*PM);
+  }
   driver::Compilation C = driver::compile(Source, Opts);
 
   // The observability outputs are written on failure too: a compile
@@ -246,6 +280,13 @@ int main(int argc, char **argv) {
     Out << Text;
     return true;
   };
+  // Run-scoped documents (fault report, runtime telemetry) captured by
+  // --emit=run for the flush below. Keeping them in the one Flush path
+  // guarantees that a faulted run still writes *every* requested
+  // artifact — fault-json, stats-json, profile-json and the trace all
+  // come out of the same exit sequence, and a failed write of any of
+  // them is reflected in the exit code.
+  std::string RunFaultJson, RunProfileJson;
   auto Flush = [&] {
     bool Ok = true;
     if (!TraceJsonPath.empty())
@@ -254,6 +295,10 @@ int main(int argc, char **argv) {
       Ok &= WriteFile(RemarksPath, Remarks.str());
     if (!StatsJsonPath.empty())
       Ok &= WriteFile(StatsJsonPath, C.Stats.json());
+    if (!FaultJsonPath.empty() && !RunFaultJson.empty())
+      Ok &= WriteFile(FaultJsonPath, RunFaultJson);
+    if (!ProfileJsonPath.empty() && !RunProfileJson.empty())
+      Ok &= WriteFile(ProfileJsonPath, RunProfileJson);
     if (TimeReport)
       std::cerr << Trace.timeReport();
     return Ok;
@@ -279,6 +324,7 @@ int main(int argc, char **argv) {
     CE.DefaultIterations = Iters;
     if (C.Plan)
       CE.Plan = &*C.Plan;
+    CE.Profile = ProfileC;
     // Fault injection maps to a hard trap in the chosen worker at slab
     // COUNT-1 (the emitted protocol has no step/pop/push granularity).
     if (RunParams.Inject.enabled() && C.Plan) {
@@ -297,14 +343,29 @@ int main(int argc, char **argv) {
   } else if (Emit == "stats") {
     std::cout << C.Stats.str();
   } else if (Emit == "run") {
+    // Runtime telemetry: one Profiler per run, enabled by either
+    // profile flag. Null stays null otherwise — the runner's hooks
+    // degrade to a pointer test.
+    const bool Profiling = !ProfileJsonPath.empty() || ProfileTrace;
+    std::optional<profile::Profiler> Prof;
+    profile::RunProfile Profile;
+    if (Profiling) {
+      Prof.emplace(C.Plan ? C.Plan->NumPartitions : 1,
+                   ProfileTrace ? 4096 : 0);
+      RunParams.Profiler = &*Prof;
+      RunParams.ProfileOut = &Profile;
+    }
     interp::RunResult R;
     {
       TraceScope Span(Opts.Trace, "interp");
       R = driver::runWithRandomInput(C, Iters, Seed, Opts.Trace, nullptr,
                                      RunParams);
     }
-    if (!FaultJsonPath.empty())
-      WriteFile(FaultJsonPath, R.Report.json());
+    RunFaultJson = R.Report.json();
+    if (Profiling) {
+      RunProfileJson = Profile.json();
+      Profile.recordStats(C.Stats);
+    }
     R.InitCounters.record(C.Stats, "interp.init");
     R.SteadyCounters.record(C.Stats, "interp.steady");
     C.Stats.add("interp.steady.iterations", static_cast<uint64_t>(Iters));
