@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_static_input.dir/bench_ablation_static_input.cpp.o"
+  "CMakeFiles/bench_ablation_static_input.dir/bench_ablation_static_input.cpp.o.d"
+  "bench_ablation_static_input"
+  "bench_ablation_static_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_static_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codesize.dir/bench_codesize.cpp.o"
+  "CMakeFiles/bench_codesize.dir/bench_codesize.cpp.o.d"
+  "bench_codesize"
+  "bench_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_communication.dir/bench_communication.cpp.o"
+  "CMakeFiles/bench_communication.dir/bench_communication.cpp.o.d"
+  "bench_communication"
+  "bench_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_opt_enabling.dir/bench_opt_enabling.cpp.o"
+  "CMakeFiles/bench_opt_enabling.dir/bench_opt_enabling.cpp.o.d"
+  "bench_opt_enabling"
+  "bench_opt_enabling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_opt_enabling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitonic_ir_demo.dir/bitonic_ir_demo.cpp.o"
+  "CMakeFiles/bitonic_ir_demo.dir/bitonic_ir_demo.cpp.o.d"
+  "bitonic_ir_demo"
+  "bitonic_ir_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitonic_ir_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echo_feedback.dir/echo_feedback.cpp.o"
+  "CMakeFiles/echo_feedback.dir/echo_feedback.cpp.o.d"
+  "echo_feedback"
+  "echo_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echo_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

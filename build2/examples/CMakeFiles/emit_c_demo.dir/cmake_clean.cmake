@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_c_demo.dir/emit_c_demo.cpp.o"
+  "CMakeFiles/emit_c_demo.dir/emit_c_demo.cpp.o.d"
+  "emit_c_demo"
+  "emit_c_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_c_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

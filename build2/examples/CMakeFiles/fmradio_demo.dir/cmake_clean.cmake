@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmradio_demo.dir/fmradio_demo.cpp.o"
+  "CMakeFiles/fmradio_demo.dir/fmradio_demo.cpp.o.d"
+  "fmradio_demo"
+  "fmradio_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmradio_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

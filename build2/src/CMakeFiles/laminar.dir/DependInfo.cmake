@@ -1,0 +1,93 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Checks.cpp" "src/CMakeFiles/laminar.dir/analysis/Checks.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/analysis/Checks.cpp.o.d"
+  "/root/repo/src/analysis/Lattice.cpp" "src/CMakeFiles/laminar.dir/analysis/Lattice.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/analysis/Lattice.cpp.o.d"
+  "/root/repo/src/analysis/RangeAnalysis.cpp" "src/CMakeFiles/laminar.dir/analysis/RangeAnalysis.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/analysis/RangeAnalysis.cpp.o.d"
+  "/root/repo/src/analysis/StateAnalysis.cpp" "src/CMakeFiles/laminar.dir/analysis/StateAnalysis.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/analysis/StateAnalysis.cpp.o.d"
+  "/root/repo/src/codegen/CEmitter.cpp" "src/CMakeFiles/laminar.dir/codegen/CEmitter.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/codegen/CEmitter.cpp.o.d"
+  "/root/repo/src/driver/Driver.cpp" "src/CMakeFiles/laminar.dir/driver/Driver.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/driver/Driver.cpp.o.d"
+  "/root/repo/src/frontend/AST.cpp" "src/CMakeFiles/laminar.dir/frontend/AST.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/frontend/AST.cpp.o.d"
+  "/root/repo/src/frontend/ConstEval.cpp" "src/CMakeFiles/laminar.dir/frontend/ConstEval.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/frontend/ConstEval.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/laminar.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/laminar.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/frontend/Sema.cpp" "src/CMakeFiles/laminar.dir/frontend/Sema.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/frontend/Sema.cpp.o.d"
+  "/root/repo/src/graph/GraphBuilder.cpp" "src/CMakeFiles/laminar.dir/graph/GraphBuilder.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/graph/GraphBuilder.cpp.o.d"
+  "/root/repo/src/graph/StreamGraph.cpp" "src/CMakeFiles/laminar.dir/graph/StreamGraph.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/graph/StreamGraph.cpp.o.d"
+  "/root/repo/src/interp/Fault.cpp" "src/CMakeFiles/laminar.dir/interp/Fault.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/interp/Fault.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/laminar.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/lir/BasicBlock.cpp" "src/CMakeFiles/laminar.dir/lir/BasicBlock.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/BasicBlock.cpp.o.d"
+  "/root/repo/src/lir/Dominators.cpp" "src/CMakeFiles/laminar.dir/lir/Dominators.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/Dominators.cpp.o.d"
+  "/root/repo/src/lir/Function.cpp" "src/CMakeFiles/laminar.dir/lir/Function.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/Function.cpp.o.d"
+  "/root/repo/src/lir/IRBuilder.cpp" "src/CMakeFiles/laminar.dir/lir/IRBuilder.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/IRBuilder.cpp.o.d"
+  "/root/repo/src/lir/IRParser.cpp" "src/CMakeFiles/laminar.dir/lir/IRParser.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/IRParser.cpp.o.d"
+  "/root/repo/src/lir/Instruction.cpp" "src/CMakeFiles/laminar.dir/lir/Instruction.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/Instruction.cpp.o.d"
+  "/root/repo/src/lir/Module.cpp" "src/CMakeFiles/laminar.dir/lir/Module.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/Module.cpp.o.d"
+  "/root/repo/src/lir/Printer.cpp" "src/CMakeFiles/laminar.dir/lir/Printer.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/Printer.cpp.o.d"
+  "/root/repo/src/lir/SSABuilder.cpp" "src/CMakeFiles/laminar.dir/lir/SSABuilder.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/SSABuilder.cpp.o.d"
+  "/root/repo/src/lir/Type.cpp" "src/CMakeFiles/laminar.dir/lir/Type.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/Type.cpp.o.d"
+  "/root/repo/src/lir/Value.cpp" "src/CMakeFiles/laminar.dir/lir/Value.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/Value.cpp.o.d"
+  "/root/repo/src/lir/Verifier.cpp" "src/CMakeFiles/laminar.dir/lir/Verifier.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lir/Verifier.cpp.o.d"
+  "/root/repo/src/lower/ChannelAccessors.cpp" "src/CMakeFiles/laminar.dir/lower/ChannelAccessors.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lower/ChannelAccessors.cpp.o.d"
+  "/root/repo/src/lower/FifoLowering.cpp" "src/CMakeFiles/laminar.dir/lower/FifoLowering.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lower/FifoLowering.cpp.o.d"
+  "/root/repo/src/lower/LaminarLowering.cpp" "src/CMakeFiles/laminar.dir/lower/LaminarLowering.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lower/LaminarLowering.cpp.o.d"
+  "/root/repo/src/lower/WorkLowering.cpp" "src/CMakeFiles/laminar.dir/lower/WorkLowering.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/lower/WorkLowering.cpp.o.d"
+  "/root/repo/src/opt/ConstantFold.cpp" "src/CMakeFiles/laminar.dir/opt/ConstantFold.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/opt/ConstantFold.cpp.o.d"
+  "/root/repo/src/opt/CopyProp.cpp" "src/CMakeFiles/laminar.dir/opt/CopyProp.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/opt/CopyProp.cpp.o.d"
+  "/root/repo/src/opt/DCE.cpp" "src/CMakeFiles/laminar.dir/opt/DCE.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/opt/DCE.cpp.o.d"
+  "/root/repo/src/opt/GVN.cpp" "src/CMakeFiles/laminar.dir/opt/GVN.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/opt/GVN.cpp.o.d"
+  "/root/repo/src/opt/GlobalFold.cpp" "src/CMakeFiles/laminar.dir/opt/GlobalFold.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/opt/GlobalFold.cpp.o.d"
+  "/root/repo/src/opt/MemForward.cpp" "src/CMakeFiles/laminar.dir/opt/MemForward.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/opt/MemForward.cpp.o.d"
+  "/root/repo/src/opt/PassManager.cpp" "src/CMakeFiles/laminar.dir/opt/PassManager.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/opt/PassManager.cpp.o.d"
+  "/root/repo/src/opt/Pipelines.cpp" "src/CMakeFiles/laminar.dir/opt/Pipelines.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/opt/Pipelines.cpp.o.d"
+  "/root/repo/src/opt/SCCP.cpp" "src/CMakeFiles/laminar.dir/opt/SCCP.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/opt/SCCP.cpp.o.d"
+  "/root/repo/src/opt/SimplifyCFG.cpp" "src/CMakeFiles/laminar.dir/opt/SimplifyCFG.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/opt/SimplifyCFG.cpp.o.d"
+  "/root/repo/src/parallel/Fission.cpp" "src/CMakeFiles/laminar.dir/parallel/Fission.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/parallel/Fission.cpp.o.d"
+  "/root/repo/src/parallel/ParallelLowering.cpp" "src/CMakeFiles/laminar.dir/parallel/ParallelLowering.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/parallel/ParallelLowering.cpp.o.d"
+  "/root/repo/src/parallel/ParallelRunner.cpp" "src/CMakeFiles/laminar.dir/parallel/ParallelRunner.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/parallel/ParallelRunner.cpp.o.d"
+  "/root/repo/src/parallel/Partitioner.cpp" "src/CMakeFiles/laminar.dir/parallel/Partitioner.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/parallel/Partitioner.cpp.o.d"
+  "/root/repo/src/parallel/PlanSelection.cpp" "src/CMakeFiles/laminar.dir/parallel/PlanSelection.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/parallel/PlanSelection.cpp.o.d"
+  "/root/repo/src/perfmodel/PlatformModel.cpp" "src/CMakeFiles/laminar.dir/perfmodel/PlatformModel.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/perfmodel/PlatformModel.cpp.o.d"
+  "/root/repo/src/profile/Profile.cpp" "src/CMakeFiles/laminar.dir/profile/Profile.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/profile/Profile.cpp.o.d"
+  "/root/repo/src/schedule/Schedule.cpp" "src/CMakeFiles/laminar.dir/schedule/Schedule.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/schedule/Schedule.cpp.o.d"
+  "/root/repo/src/schedule/ScheduleSim.cpp" "src/CMakeFiles/laminar.dir/schedule/ScheduleSim.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/schedule/ScheduleSim.cpp.o.d"
+  "/root/repo/src/suite/Autocor.cpp" "src/CMakeFiles/laminar.dir/suite/Autocor.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/Autocor.cpp.o.d"
+  "/root/repo/src/suite/BeamFormer.cpp" "src/CMakeFiles/laminar.dir/suite/BeamFormer.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/BeamFormer.cpp.o.d"
+  "/root/repo/src/suite/BitonicSort.cpp" "src/CMakeFiles/laminar.dir/suite/BitonicSort.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/BitonicSort.cpp.o.d"
+  "/root/repo/src/suite/ChannelVocoder.cpp" "src/CMakeFiles/laminar.dir/suite/ChannelVocoder.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/ChannelVocoder.cpp.o.d"
+  "/root/repo/src/suite/DCT.cpp" "src/CMakeFiles/laminar.dir/suite/DCT.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/DCT.cpp.o.d"
+  "/root/repo/src/suite/DES.cpp" "src/CMakeFiles/laminar.dir/suite/DES.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/DES.cpp.o.d"
+  "/root/repo/src/suite/Echo.cpp" "src/CMakeFiles/laminar.dir/suite/Echo.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/Echo.cpp.o.d"
+  "/root/repo/src/suite/FFT.cpp" "src/CMakeFiles/laminar.dir/suite/FFT.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/FFT.cpp.o.d"
+  "/root/repo/src/suite/FMRadio.cpp" "src/CMakeFiles/laminar.dir/suite/FMRadio.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/FMRadio.cpp.o.d"
+  "/root/repo/src/suite/FilterBank.cpp" "src/CMakeFiles/laminar.dir/suite/FilterBank.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/FilterBank.cpp.o.d"
+  "/root/repo/src/suite/Lattice.cpp" "src/CMakeFiles/laminar.dir/suite/Lattice.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/Lattice.cpp.o.d"
+  "/root/repo/src/suite/MatrixMult.cpp" "src/CMakeFiles/laminar.dir/suite/MatrixMult.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/MatrixMult.cpp.o.d"
+  "/root/repo/src/suite/MovingAverage.cpp" "src/CMakeFiles/laminar.dir/suite/MovingAverage.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/MovingAverage.cpp.o.d"
+  "/root/repo/src/suite/RateConvert.cpp" "src/CMakeFiles/laminar.dir/suite/RateConvert.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/RateConvert.cpp.o.d"
+  "/root/repo/src/suite/Suite.cpp" "src/CMakeFiles/laminar.dir/suite/Suite.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/Suite.cpp.o.d"
+  "/root/repo/src/suite/TDE.cpp" "src/CMakeFiles/laminar.dir/suite/TDE.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/suite/TDE.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/laminar.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/Limits.cpp" "src/CMakeFiles/laminar.dir/support/Limits.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/support/Limits.cpp.o.d"
+  "/root/repo/src/support/Rational.cpp" "src/CMakeFiles/laminar.dir/support/Rational.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/support/Rational.cpp.o.d"
+  "/root/repo/src/support/Remarks.cpp" "src/CMakeFiles/laminar.dir/support/Remarks.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/support/Remarks.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/CMakeFiles/laminar.dir/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/Trace.cpp" "src/CMakeFiles/laminar.dir/support/Trace.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/support/Trace.cpp.o.d"
+  "/root/repo/src/verify/IRInvariants.cpp" "src/CMakeFiles/laminar.dir/verify/IRInvariants.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/verify/IRInvariants.cpp.o.d"
+  "/root/repo/src/verify/PlanCertifier.cpp" "src/CMakeFiles/laminar.dir/verify/PlanCertifier.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/verify/PlanCertifier.cpp.o.d"
+  "/root/repo/src/verify/ProtocolCheck.cpp" "src/CMakeFiles/laminar.dir/verify/ProtocolCheck.cpp.o" "gcc" "src/CMakeFiles/laminar.dir/verify/ProtocolCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+src/CMakeFiles/laminar.dir/lir/Type.cpp.o: /root/repo/src/lir/Type.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/lir/Type.h

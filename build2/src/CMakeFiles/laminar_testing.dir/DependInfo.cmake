@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testing/AnalysisOracle.cpp" "src/CMakeFiles/laminar_testing.dir/testing/AnalysisOracle.cpp.o" "gcc" "src/CMakeFiles/laminar_testing.dir/testing/AnalysisOracle.cpp.o.d"
+  "/root/repo/src/testing/Differ.cpp" "src/CMakeFiles/laminar_testing.dir/testing/Differ.cpp.o" "gcc" "src/CMakeFiles/laminar_testing.dir/testing/Differ.cpp.o.d"
+  "/root/repo/src/testing/FaultInject.cpp" "src/CMakeFiles/laminar_testing.dir/testing/FaultInject.cpp.o" "gcc" "src/CMakeFiles/laminar_testing.dir/testing/FaultInject.cpp.o.d"
+  "/root/repo/src/testing/Mutator.cpp" "src/CMakeFiles/laminar_testing.dir/testing/Mutator.cpp.o" "gcc" "src/CMakeFiles/laminar_testing.dir/testing/Mutator.cpp.o.d"
+  "/root/repo/src/testing/ProgramGen.cpp" "src/CMakeFiles/laminar_testing.dir/testing/ProgramGen.cpp.o" "gcc" "src/CMakeFiles/laminar_testing.dir/testing/ProgramGen.cpp.o.d"
+  "/root/repo/src/testing/Reducer.cpp" "src/CMakeFiles/laminar_testing.dir/testing/Reducer.cpp.o" "gcc" "src/CMakeFiles/laminar_testing.dir/testing/Reducer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/laminar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

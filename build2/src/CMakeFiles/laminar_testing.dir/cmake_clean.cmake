@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar_testing.dir/testing/AnalysisOracle.cpp.o"
+  "CMakeFiles/laminar_testing.dir/testing/AnalysisOracle.cpp.o.d"
+  "CMakeFiles/laminar_testing.dir/testing/Differ.cpp.o"
+  "CMakeFiles/laminar_testing.dir/testing/Differ.cpp.o.d"
+  "CMakeFiles/laminar_testing.dir/testing/FaultInject.cpp.o"
+  "CMakeFiles/laminar_testing.dir/testing/FaultInject.cpp.o.d"
+  "CMakeFiles/laminar_testing.dir/testing/Mutator.cpp.o"
+  "CMakeFiles/laminar_testing.dir/testing/Mutator.cpp.o.d"
+  "CMakeFiles/laminar_testing.dir/testing/ProgramGen.cpp.o"
+  "CMakeFiles/laminar_testing.dir/testing/ProgramGen.cpp.o.d"
+  "CMakeFiles/laminar_testing.dir/testing/Reducer.cpp.o"
+  "CMakeFiles/laminar_testing.dir/testing/Reducer.cpp.o.d"
+  "liblaminar_testing.a"
+  "liblaminar_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

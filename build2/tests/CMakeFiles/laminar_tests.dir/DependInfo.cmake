@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/laminar_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/CodegenTest.cpp" "tests/CMakeFiles/laminar_tests.dir/CodegenTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/CodegenTest.cpp.o.d"
+  "/root/repo/tests/ConstEvalTest.cpp" "tests/CMakeFiles/laminar_tests.dir/ConstEvalTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/ConstEvalTest.cpp.o.d"
+  "/root/repo/tests/CrashFuzzTest.cpp" "tests/CMakeFiles/laminar_tests.dir/CrashFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/CrashFuzzTest.cpp.o.d"
+  "/root/repo/tests/DiagnosticsTest.cpp" "tests/CMakeFiles/laminar_tests.dir/DiagnosticsTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/DiagnosticsTest.cpp.o.d"
+  "/root/repo/tests/DominatorsTest.cpp" "tests/CMakeFiles/laminar_tests.dir/DominatorsTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/DominatorsTest.cpp.o.d"
+  "/root/repo/tests/DriverTest.cpp" "tests/CMakeFiles/laminar_tests.dir/DriverTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/DriverTest.cpp.o.d"
+  "/root/repo/tests/EquivalenceTest.cpp" "tests/CMakeFiles/laminar_tests.dir/EquivalenceTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/EquivalenceTest.cpp.o.d"
+  "/root/repo/tests/FaultTest.cpp" "tests/CMakeFiles/laminar_tests.dir/FaultTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/FaultTest.cpp.o.d"
+  "/root/repo/tests/FeedbackLoopTest.cpp" "tests/CMakeFiles/laminar_tests.dir/FeedbackLoopTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/FeedbackLoopTest.cpp.o.d"
+  "/root/repo/tests/GoldenTest.cpp" "tests/CMakeFiles/laminar_tests.dir/GoldenTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/GoldenTest.cpp.o.d"
+  "/root/repo/tests/GraphTest.cpp" "tests/CMakeFiles/laminar_tests.dir/GraphTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/GraphTest.cpp.o.d"
+  "/root/repo/tests/IRParserTest.cpp" "tests/CMakeFiles/laminar_tests.dir/IRParserTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/IRParserTest.cpp.o.d"
+  "/root/repo/tests/IRRoundTripTest.cpp" "tests/CMakeFiles/laminar_tests.dir/IRRoundTripTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/IRRoundTripTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/laminar_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/LangSemanticsTest.cpp" "tests/CMakeFiles/laminar_tests.dir/LangSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/LangSemanticsTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/laminar_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/LimitsTest.cpp" "tests/CMakeFiles/laminar_tests.dir/LimitsTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/LimitsTest.cpp.o.d"
+  "/root/repo/tests/LirTest.cpp" "tests/CMakeFiles/laminar_tests.dir/LirTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/LirTest.cpp.o.d"
+  "/root/repo/tests/LoweringTest.cpp" "tests/CMakeFiles/laminar_tests.dir/LoweringTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/LoweringTest.cpp.o.d"
+  "/root/repo/tests/MemOptTest.cpp" "tests/CMakeFiles/laminar_tests.dir/MemOptTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/MemOptTest.cpp.o.d"
+  "/root/repo/tests/ObservabilityTest.cpp" "tests/CMakeFiles/laminar_tests.dir/ObservabilityTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/ObservabilityTest.cpp.o.d"
+  "/root/repo/tests/OptTest.cpp" "tests/CMakeFiles/laminar_tests.dir/OptTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/OptTest.cpp.o.d"
+  "/root/repo/tests/ParallelTest.cpp" "tests/CMakeFiles/laminar_tests.dir/ParallelTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/ParallelTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/laminar_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PerfModelTest.cpp" "tests/CMakeFiles/laminar_tests.dir/PerfModelTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/PerfModelTest.cpp.o.d"
+  "/root/repo/tests/ProfileTest.cpp" "tests/CMakeFiles/laminar_tests.dir/ProfileTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/ProfileTest.cpp.o.d"
+  "/root/repo/tests/ProgramFilesTest.cpp" "tests/CMakeFiles/laminar_tests.dir/ProgramFilesTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/ProgramFilesTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/laminar_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/SSABuilderTest.cpp" "tests/CMakeFiles/laminar_tests.dir/SSABuilderTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/SSABuilderTest.cpp.o.d"
+  "/root/repo/tests/ScheduleTest.cpp" "tests/CMakeFiles/laminar_tests.dir/ScheduleTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/ScheduleTest.cpp.o.d"
+  "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/laminar_tests.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/SemaTest.cpp.o.d"
+  "/root/repo/tests/SpscQueueTest.cpp" "tests/CMakeFiles/laminar_tests.dir/SpscQueueTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/SpscQueueTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/laminar_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/ToolTest.cpp" "tests/CMakeFiles/laminar_tests.dir/ToolTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/ToolTest.cpp.o.d"
+  "/root/repo/tests/VerifierTest.cpp" "tests/CMakeFiles/laminar_tests.dir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/VerifierTest.cpp.o.d"
+  "/root/repo/tests/VerifyTest.cpp" "tests/CMakeFiles/laminar_tests.dir/VerifyTest.cpp.o" "gcc" "tests/CMakeFiles/laminar_tests.dir/VerifyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/CMakeFiles/laminar.dir/DependInfo.cmake"
+  "/root/repo/build2/src/CMakeFiles/laminar_testing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar-calibrate.dir/laminar-calibrate.cpp.o"
+  "CMakeFiles/laminar-calibrate.dir/laminar-calibrate.cpp.o.d"
+  "laminar-calibrate"
+  "laminar-calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar-calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

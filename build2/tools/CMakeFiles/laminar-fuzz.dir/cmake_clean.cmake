@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminar-fuzz.dir/laminar-fuzz.cpp.o"
+  "CMakeFiles/laminar-fuzz.dir/laminar-fuzz.cpp.o.d"
+  "laminar-fuzz"
+  "laminar-fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminar-fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

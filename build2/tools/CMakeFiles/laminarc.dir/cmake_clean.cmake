@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laminarc.dir/laminarc.cpp.o"
+  "CMakeFiles/laminarc.dir/laminarc.cpp.o.d"
+  "laminarc"
+  "laminarc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laminarc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

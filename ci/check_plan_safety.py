@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""CI gate for static plan-safety certification.
+
+Usage: check_plan_safety.py LAMINARC
+
+Drives the laminarc binary through three certification contracts:
+
+1. Certified suite: every shipped benchmark, compiled --parallel=4
+   (force-gated so small benchmarks still produce real plans, plus a
+   pinned-batch variant), must carry a complete `verify.plan.*`
+   certificate in --stats-json with every verdict counter at 1, the
+   arc/cycle counts consistent with the cut-edge count, and no
+   oversized rings in shipped plans.
+
+2. Determinism: compiling the same benchmark twice must reproduce the
+   certificate byte-for-byte. The stats counters are deterministic by
+   design (transformation counts, not timings); the JSON "version" is
+   the only masked field, so this doubles as a drift alarm for anyone
+   who sneaks wall-clock-dependent values into the registry.
+
+3. Hostile-flag rejection matrix: plans that cannot be certified must
+   die at compile time, with the right attribution.
+     - --parallel-slab=0/-1: the credit cycle carries no marking; the
+       certifier must reject with a *located* diagnostic naming the
+       unmarked cycle (the runtime alternative is a silent deadlock
+       until the watchdog).
+     - --parallel-batch=-1/4097, --max-steps=0: flag-level range
+       errors naming the flag (stoul used to wrap -1 silently).
+     - --no-verify-plan: the certifier escape hatch must still work,
+       compiling the hostile window without certification (that run
+       is compile-only; nothing executes the doomed plan).
+
+Exit code 0 = all good; any violation prints the reason and exits 1.
+No third-party dependencies (stdlib json/subprocess only).
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+
+WORKERS = 4
+
+# Complete counter set of one certificate; values checked below.
+CERT_KEYS = {
+    "verify.plan.certified",
+    "verify.plan.consistent",
+    "verify.plan.deadlock-free",
+    "verify.plan.capacity-certified",
+    "verify.plan.cut-edges",
+    "verify.plan.arcs-checked",
+    "verify.plan.cycles-checked",
+    "verify.plan.oversized-rings",
+    "verify.plan.max-ring-bound",
+}
+
+LOCATED_ERROR = re.compile(r"\d+:\d+: error:")
+
+
+def fail(msg):
+    print(f"check_plan_safety: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(laminarc, args):
+    r = subprocess.run(
+        [laminarc] + args, capture_output=True, text=True, timeout=300
+    )
+    return r.returncode, r.stdout + r.stderr
+
+
+def list_benchmarks(laminarc):
+    _, out = run(laminarc, [])
+    names = []
+    in_list = False
+    for line in out.splitlines():
+        if line.startswith("benchmarks:"):
+            in_list = True
+            continue
+        if in_list:
+            m = re.match(r"\s+(\w+) - ", line)
+            if m:
+                names.append(m.group(1))
+    if not names:
+        fail("could not parse the benchmark list from laminarc usage")
+    return names
+
+
+def compile_stats(laminarc, bench, extra):
+    with tempfile.NamedTemporaryFile(suffix=".json") as f:
+        code, out = run(
+            laminarc,
+            [bench, "--emit=ir", f"--stats-json={f.name}"] + extra,
+        )
+        if code != 0:
+            fail(f"{bench} {' '.join(extra)}: exit {code}\n{out}")
+        doc = json.load(open(f.name))
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail(f"{bench}: stats JSON has no counters object")
+    return counters
+
+
+def check_certificate(bench, config, counters):
+    cert = {k: v for k, v in counters.items() if k.startswith("verify.plan.")}
+    if not cert:
+        # The planner may legitimately clamp to one partition (no cut
+        # edges, nothing to certify); only a selected plan must carry a
+        # certificate. parallel.* stats tell the two apart.
+        if any(k.startswith("parallel.cut.") for k in counters):
+            fail(f"{bench} [{config}]: plan selected but no certificate")
+        return False
+    if set(cert) != CERT_KEYS:
+        fail(
+            f"{bench} [{config}]: certificate schema mismatch: "
+            f"missing {sorted(CERT_KEYS - set(cert))}, "
+            f"unexpected {sorted(set(cert) - CERT_KEYS)}"
+        )
+    for verdict in (
+        "certified",
+        "consistent",
+        "deadlock-free",
+        "capacity-certified",
+    ):
+        if cert[f"verify.plan.{verdict}"] != 1:
+            fail(f"{bench} [{config}]: verify.plan.{verdict} != 1")
+    edges = cert["verify.plan.cut-edges"]
+    if cert["verify.plan.arcs-checked"] != 2 * edges:
+        fail(f"{bench} [{config}]: arcs-checked != 2 * cut-edges")
+    if cert["verify.plan.cycles-checked"] != edges:
+        fail(f"{bench} [{config}]: cycles-checked != cut-edges")
+    if cert["verify.plan.oversized-rings"] != 0:
+        fail(f"{bench} [{config}]: shipped plan has oversized rings")
+    if edges > 0 and cert["verify.plan.max-ring-bound"] <= 0:
+        fail(f"{bench} [{config}]: cut edges but no positive ring bound")
+    return True
+
+
+def check_suite(laminarc):
+    benches = list_benchmarks(laminarc)
+    configs = [
+        ("n4", [f"--parallel={WORKERS}", "--parallel-force"]),
+        (
+            "n4-b8",
+            [f"--parallel={WORKERS}", "--parallel-force", "--parallel-batch=8"],
+        ),
+    ]
+    certified = 0
+    for bench in benches:
+        for config, extra in configs:
+            first = compile_stats(laminarc, bench, extra)
+            if check_certificate(bench, config, first):
+                certified += 1
+            second = compile_stats(laminarc, bench, extra)
+            if first != second:
+                diff = {
+                    k
+                    for k in set(first) | set(second)
+                    if first.get(k) != second.get(k)
+                }
+                fail(
+                    f"{bench} [{config}]: stats not deterministic "
+                    f"across reruns: {sorted(diff)}"
+                )
+    if certified == 0:
+        fail("no benchmark produced a certificate — gate is vacuous")
+    print(
+        f"check_plan_safety: {len(benches)} benchmarks x "
+        f"{len(configs)} configs, {certified} certified plans, "
+        "deterministic"
+    )
+
+
+def check_hostile(laminarc):
+    # (args, must-contain fragments, requires located diagnostic)
+    matrix = [
+        (
+            ["FMRadio", "--emit=ir", "--parallel=2", "--parallel-slab=0"],
+            ["not deadlock-free", "cycle with no initial marking"],
+            True,
+        ),
+        (
+            ["FMRadio", "--emit=ir", "--parallel=2", "--parallel-slab=-1"],
+            ["not deadlock-free", "cycle with no initial marking"],
+            True,
+        ),
+        (
+            ["FMRadio", "--emit=ir", "--parallel=2", "--parallel-batch=-1"],
+            ["--parallel-batch=-1"],
+            False,
+        ),
+        (
+            ["FMRadio", "--emit=ir", "--parallel=2", "--parallel-batch=4097"],
+            ["--parallel-batch=4097"],
+            False,
+        ),
+        (
+            ["FMRadio", "--emit=run", "--max-steps=0"],
+            ["--max-steps=0"],
+            False,
+        ),
+    ]
+    for args, needles, located in matrix:
+        code, out = run(laminarc, args)
+        joined = " ".join(args)
+        if code == 0:
+            fail(f"hostile flags accepted: {joined}")
+        for needle in needles:
+            if needle not in out:
+                fail(f"{joined}: diagnostic lacks {needle!r}:\n{out}")
+        if located and not LOCATED_ERROR.search(out):
+            fail(f"{joined}: certifier diagnostic is not located:\n{out}")
+    # The escape hatch: certification off, hostile window tolerated.
+    code, out = run(
+        laminarc,
+        [
+            "FMRadio",
+            "--emit=ir",
+            "--parallel=2",
+            "--parallel-slab=0",
+            "--no-verify-plan",
+        ],
+    )
+    if code != 0:
+        fail(f"--no-verify-plan escape hatch broken:\n{out}")
+    print(
+        f"check_plan_safety: {len(matrix)} hostile configurations "
+        "rejected, escape hatch intact"
+    )
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    laminarc = sys.argv[1]
+    check_suite(laminarc)
+    check_hostile(laminarc)
+    print("check_plan_safety: OK")
+
+
+if __name__ == "__main__":
+    main()

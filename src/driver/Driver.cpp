@@ -11,6 +11,8 @@
 #include "parallel/ParallelRunner.h"
 #include "parallel/PlanSelection.h"
 #include "perfmodel/PlatformModel.h"
+#include "verify/IRInvariants.h"
+#include "verify/ProtocolCheck.h"
 #include <sstream>
 
 using namespace laminar;
@@ -26,6 +28,8 @@ const char *driver::compileStageName(CompileStage S) {
     return "graph";
   case CompileStage::Schedule:
     return "schedule";
+  case CompileStage::CertifyPlan:
+    return "certify-plan";
   case CompileStage::Lower:
     return "lower";
   case CompileStage::VerifyLowered:
@@ -203,6 +207,30 @@ Compilation driver::compile(const std::string &Source,
       Fail(C);
       return C;
     }
+    if (Opts.VerifyPlan) {
+      // Static plan-safety certification: prove the selected plan
+      // deadlock-free (marked-graph liveness over slab tickets and
+      // credit windows) and its rings capacity-sufficient before any
+      // code is generated for it. Hostile --parallel-slab /
+      // --parallel-batch combinations die here with a located
+      // diagnostic naming the unmarked cycle, instead of hanging at
+      // run time until the --deadline-ms watchdog fires.
+      C.Stage = CompileStage::CertifyPlan;
+      TraceScope Span(Opts.Trace, "certify-plan");
+      C.PlanCert = verify::certifyPlan(*C.Graph, *C.Sched, *C.Plan,
+                                       Diags, Opts.Limits, &C.Stats,
+                                       Opts.Remarks);
+      if (!C.PlanCert->ok()) {
+        if (Opts.Analyze) {
+          RunChecks(std::move(GraphReport));
+          if (AnalysisErrors > 0)
+            C.Stage = CompileStage::Analyze;
+        }
+        Fail(C);
+        return C;
+      }
+      C.Stage = CompileStage::Lower;
+    }
     TraceScope LowerSpan(Opts.Trace, "lower");
     C.Module = parallel::lowerToParallel(*C.Graph, *C.Sched, *C.Plan,
                                          LaminarIntra, Diags, &C.Stats,
@@ -293,6 +321,26 @@ Compilation driver::compile(const std::string &Source,
     Violations = lir::verifyModule(*C.Module,
                                    /*BoundsCheckConstIndices=*/true);
   }
+  // Structural invariants beyond the SSA verifier: declared-vs-actual
+  // rate consistency, token-liveness against StateAnalysis, and (for
+  // parallel modules) the partition-isolation premise of the
+  // happens-before argument. Shared with the per-pass verification
+  // below so the first pass that breaks one is named.
+  verify::InvariantContext InvCtx;
+  InvCtx.G = C.Graph.get();
+  InvCtx.S = C.Sched ? &*C.Sched : nullptr;
+  InvCtx.Plan = C.Plan ? &*C.Plan : nullptr;
+  auto CheckInvariants =
+      [InvCtx](const lir::Module &M) -> std::vector<std::string> {
+    std::vector<std::string> V = verify::checkIRInvariants(M, InvCtx);
+    if (InvCtx.Plan && V.empty())
+      V = verify::checkPartitionIsolation(M, *InvCtx.Plan);
+    return V;
+  };
+  if (Violations.empty()) {
+    TraceScope Span(Opts.Trace, "verify-invariants");
+    Violations = CheckInvariants(*C.Module);
+  }
   if (!Violations.empty()) {
     if (Opts.Analyze)
       RunChecks(std::move(GraphReport));
@@ -326,6 +374,7 @@ Compilation driver::compile(const std::string &Source,
     if (Opts.VerifyEachPass) {
       opt::PassManager PM(C.Stats);
       PM.setVerifyEachPass(true);
+      PM.setExtraVerifier(CheckInvariants);
       PM.setTrace(Opts.Trace);
       PM.setRemarks(Opts.Remarks);
       PM.addPass("constfold", opt::runConstantFold);
@@ -353,6 +402,8 @@ Compilation driver::compile(const std::string &Source,
     {
       TraceScope Span(Opts.Trace, "verify-optimized");
       Violations = lir::verifyModule(*C.Module);
+      if (Violations.empty())
+        Violations = CheckInvariants(*C.Module);
     }
     if (!Violations.empty()) {
       C.ErrorLog = "optimization produced invalid IR:\n";

@@ -21,6 +21,7 @@
 #include "support/Remarks.h"
 #include "support/Statistics.h"
 #include "support/Trace.h"
+#include "verify/PlanCertifier.h"
 #include <memory>
 #include <optional>
 #include <string>
@@ -39,6 +40,10 @@ enum class CompileStage {
   Sema,
   Graph,
   Schedule,
+  // Plan certification precedes Lower in the enum on purpose: an
+  // uncertifiable plan is the input's (or the flags') fault, so
+  // failedInBackend() must stay false for it.
+  CertifyPlan,
   Lower,
   VerifyLowered,
   Analyze,
@@ -96,6 +101,12 @@ struct CompileOptions {
   /// Treat analysis warnings as errors (laminarc --Werror-analysis).
   bool AnalysisWerror = false;
   analysis::AnalysisOptions AnalysisOpts;
+  /// Certify every selected parallel plan (deadlock-freedom over the
+  /// slab marked graph, ring-capacity sufficiency, placement premises)
+  /// before lowering; an uncertifiable plan fails the compilation at
+  /// CompileStage::CertifyPlan with located diagnostics. Disabled by
+  /// laminarc --no-verify-plan (testing the certifier itself).
+  bool VerifyPlan = true;
 };
 
 /// The result of one compilation; owns every intermediate artifact (the
@@ -141,6 +152,10 @@ struct Compilation {
   /// and partitioning succeeded): actor placement plus cut-edge ring
   /// sizing, consumed by the threaded runtime and the C backend.
   std::optional<parallel::PartitionPlan> Plan;
+  /// The plan-safety certificate (set iff a plan was selected and
+  /// CompileOptions::VerifyPlan ran): machine-checked deadlock-freedom
+  /// and capacity verdicts with the findings that justified them.
+  std::optional<verify::PlanCertificate> PlanCert;
   /// Findings of the stream-safety checks (only populated with
   /// CompileOptions::Analyze). On an analysis rejection, Module stays
   /// set so callers (the fuzz oracle) can confirm proved claims on a

@@ -29,6 +29,8 @@ bool PassManager::run(Module &M, unsigned MaxRounds) {
           }
           if (VerifyEachPass) {
             std::vector<std::string> Violations = verifyModule(M);
+            if (Violations.empty() && Extra)
+              Violations = Extra(M);
             if (!Violations.empty()) {
               VerifyFailure =
                   "pass '" + NP.Name + "' broke function '" +

@@ -43,6 +43,15 @@ public:
   /// (expensive; used by tests).
   void setVerifyEachPass(bool V) { VerifyEachPass = V; }
 
+  /// Additional module-level invariants to check alongside verifyModule
+  /// under verify-each-pass (the driver wires in verify::
+  /// checkIRInvariants with the compilation's graph/schedule/plan).
+  /// Violations are attributed to the breaking pass exactly like
+  /// verifier violations.
+  using ExtraVerifier =
+      std::function<std::vector<std::string>(const lir::Module &)>;
+  void setExtraVerifier(ExtraVerifier V) { Extra = std::move(V); }
+
   /// Optional observability sinks; null disables (the default).
   void setTrace(TraceContext *T) { Trace = T; }
   void setRemarks(RemarkEmitter *R) { Remarks = R; }
@@ -66,6 +75,7 @@ private:
   StatsRegistry &Stats;
   std::vector<NamedPass> Passes;
   bool VerifyEachPass = false;
+  ExtraVerifier Extra;
   TraceContext *Trace = nullptr;
   RemarkEmitter *Remarks = nullptr;
   std::string VerifyFailure;

@@ -518,10 +518,21 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
     // distance the edge spans, so an edge that skips stages grants its
     // producer at least as much run-ahead as the chain of stages it
     // bypasses composes to — otherwise the skip edge would serialize
-    // the very overlap the stage chain allows.
-    E.SlabCapacity =
-        std::max<int64_t>(1, Tuning.SlabBase) *
-        static_cast<int64_t>(DstPart - SrcPart);
+    // the very overlap the stage chain allows. SlabBase is recorded
+    // as given — a non-positive window makes the plan uncertifiable,
+    // and the plan certifier rejects it naming the unmarked cycle
+    // rather than this code silently clamping the user's flag.
+    std::optional<int64_t> Window = checkedMul(
+        Tuning.SlabBase, static_cast<int64_t>(DstPart - SrcPart));
+    if (!Window) {
+      std::ostringstream OS;
+      OS << "credit window for '" << Ch->getSrc()->getName() << "' -> '"
+         << Ch->getDst()->getName() << "' overflows: --parallel-slab="
+         << Tuning.SlabBase << " x distance " << (DstPart - SrcPart);
+      Diags.error(lower::channelRange(Ch.get()), OS.str());
+      return std::nullopt;
+    }
+    E.SlabCapacity = *Window;
     CutTokens += E.TokensPerIter;
     Plan.CutEdges.push_back(E);
   }
@@ -566,9 +577,27 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
     Retry = false;
     for (CutEdge &E : Plan.CutEdges) {
       int64_t Carry = S.occupancyOf(E.Ch);
-      int64_t Needed = std::max<int64_t>(
-          Sim.PeakOccupancy[E.Ch],
-          Carry + (E.SlabCapacity + 2) * Batch * E.TokensPerIter);
+      // Checked arithmetic end to end: hostile --parallel-slab /
+      // --parallel-batch values must produce a located error, never a
+      // silently wrapped ring size.
+      std::optional<int64_t> InFlight = checkedAdd(E.SlabCapacity, 2);
+      if (InFlight)
+        InFlight = checkedMul(*InFlight, Batch);
+      if (InFlight)
+        InFlight = checkedMul(*InFlight, E.TokensPerIter);
+      std::optional<int64_t> Steady =
+          InFlight ? checkedAdd(Carry, *InFlight) : std::nullopt;
+      if (!Steady) {
+        std::ostringstream OS;
+        OS << "cross-partition ring for '" << E.Ch->getSrc()->getName()
+           << "' -> '" << E.Ch->getDst()->getName()
+           << "' overflows the size computation "
+              "(--parallel-slab/--parallel-batch too large)";
+        Diags.error(lower::channelRange(E.Ch), OS.str());
+        return std::nullopt;
+      }
+      int64_t Needed =
+          std::max<int64_t>(Sim.PeakOccupancy[E.Ch], *Steady);
       Needed = std::max<int64_t>(Needed, 1);
       if (Needed / 2 > Limits.MaxChannelTokens) {
         if (Batch > 1 && !Tuning.Batch) {
@@ -602,7 +631,7 @@ std::optional<PartitionPlan> parallel::partitionSchedule(
     for (const CutEdge &E : Plan.CutEdges)
       MaxWindow = std::max(MaxWindow, E.SlabCapacity);
     if (Plan.CutEdges.empty())
-      MaxWindow = std::max<int64_t>(1, Tuning.SlabBase);
+      MaxWindow = std::max<int64_t>(0, Tuning.SlabBase);
     SS.add("slab-capacity", static_cast<uint64_t>(MaxWindow));
     SS.add("batch-iters", static_cast<uint64_t>(Plan.BatchIters));
     SS.add("clamp-reason", static_cast<uint64_t>(Plan.Clamp));

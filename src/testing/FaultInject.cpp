@@ -89,6 +89,10 @@ FaultCheckResult testing::checkFaultInvariant(const std::string &Source,
   // Bypass the cost gate: small fuzz programs must exercise real
   // multi-worker plans, not all fall back to one partition.
   CO.Tuning.Force = true;
+  // Every accepted plan is also a certifier test case, and per-pass
+  // verification attributes any structural breakage to the pass that
+  // introduced it instead of the fault run that tripped over it.
+  CO.VerifyEachPass = true;
   Compilation C = compile(Source, CO);
   if (!C.Ok || !C.Plan)
     return R; // Generator's fault (or no plan): nothing to check.

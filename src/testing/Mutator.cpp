@@ -193,6 +193,10 @@ CrashCheckResult testing::checkCrashInvariant(const std::string &Source,
     Opts.UnrollFifo = Cfg.UnrollFifo;
     Opts.Analyze = Cfg.Analyze;
     Opts.Limits = crashCheckLimits();
+    // Adversarial inputs double as invariant fuzzing: any pass that
+    // breaks rate consistency or token liveness on byte soup fails
+    // here with the pass named, not downstream.
+    Opts.VerifyEachPass = true;
     driver::Compilation C = driver::compile(Source, Opts);
     if (C.Ok) {
       Result.Accepted = true;

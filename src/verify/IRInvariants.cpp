@@ -1,0 +1,233 @@
+//===--- IRInvariants.cpp -------------------------------------------------===//
+
+#include "verify/IRInvariants.h"
+#include "analysis/StateAnalysis.h"
+#include "parallel/ParallelLowering.h"
+#include "support/Casting.h"
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace laminar;
+using namespace laminar::verify;
+using namespace laminar::lir;
+
+namespace {
+
+struct BlockIO {
+  int64_t Inputs = 0;
+  int64_t Outputs = 0;
+};
+
+/// Reverse-postorder over the blocks reachable from entry; Cyclic is
+/// set when a back edge is found (the DP below is then meaningless).
+std::vector<const BasicBlock *> reachableRPO(const Function &F,
+                                             bool &Cyclic) {
+  Cyclic = false;
+  std::vector<const BasicBlock *> Post;
+  if (F.blocks().empty())
+    return Post;
+  std::unordered_map<const BasicBlock *, int> Color; // 1 open, 2 done
+  struct Frame {
+    const BasicBlock *BB;
+    std::vector<BasicBlock *> Succs;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  const BasicBlock *Entry = F.blocks().front().get();
+  Stack.push_back({Entry, Entry->successors()});
+  Color[Entry] = 1;
+  while (!Stack.empty()) {
+    Frame &Fr = Stack.back();
+    if (Fr.Next < Fr.Succs.size()) {
+      const BasicBlock *S = Fr.Succs[Fr.Next++];
+      int &C = Color[S];
+      if (C == 1)
+        Cyclic = true;
+      else if (C == 0) {
+        C = 1;
+        Stack.push_back({S, S->successors()});
+      }
+    } else {
+      Color[Fr.BB] = 2;
+      Post.push_back(Fr.BB);
+      Stack.pop_back();
+    }
+  }
+  std::reverse(Post.begin(), Post.end());
+  return Post;
+}
+
+BlockIO countIO(const BasicBlock &BB) {
+  BlockIO IO;
+  for (const auto &I : BB.instructions()) {
+    if (isa<InputInst>(I.get()))
+      ++IO.Inputs;
+    else if (isa<OutputInst>(I.get()))
+      ++IO.Outputs;
+  }
+  return IO;
+}
+
+} // namespace
+
+IOSignature verify::ioSignature(const Function &F) {
+  IOSignature Sig;
+  bool Cyclic = false;
+  std::vector<const BasicBlock *> RPO = reachableRPO(F, Cyclic);
+  if (Cyclic || RPO.empty())
+    return Sig;
+  Sig.Acyclic = true;
+  // Min/max executed I/O from entry to each block's end; a mismatch at
+  // any exit means some path does more external I/O than another.
+  struct Range {
+    int64_t MinIn, MaxIn, MinOut, MaxOut;
+  };
+  std::unordered_map<const BasicBlock *, Range> At;
+  int64_t ExitMinIn = -1, ExitMaxIn = -1, ExitMinOut = -1, ExitMaxOut = -1;
+  for (const BasicBlock *BB : RPO) {
+    BlockIO IO = countIO(*BB);
+    Range R{0, 0, 0, 0};
+    bool First = true;
+    for (const BasicBlock *P : BB->predecessors()) {
+      auto It = At.find(P);
+      if (It == At.end())
+        continue; // Unreachable predecessor: contributes no path.
+      if (First) {
+        R = It->second;
+        First = false;
+      } else {
+        R.MinIn = std::min(R.MinIn, It->second.MinIn);
+        R.MaxIn = std::max(R.MaxIn, It->second.MaxIn);
+        R.MinOut = std::min(R.MinOut, It->second.MinOut);
+        R.MaxOut = std::max(R.MaxOut, It->second.MaxOut);
+      }
+    }
+    R.MinIn += IO.Inputs;
+    R.MaxIn += IO.Inputs;
+    R.MinOut += IO.Outputs;
+    R.MaxOut += IO.Outputs;
+    At[BB] = R;
+    if (BB->successors().empty()) {
+      if (ExitMinIn < 0) {
+        ExitMinIn = R.MinIn;
+        ExitMaxIn = R.MaxIn;
+        ExitMinOut = R.MinOut;
+        ExitMaxOut = R.MaxOut;
+      } else {
+        ExitMinIn = std::min(ExitMinIn, R.MinIn);
+        ExitMaxIn = std::max(ExitMaxIn, R.MaxIn);
+        ExitMinOut = std::min(ExitMinOut, R.MinOut);
+        ExitMaxOut = std::max(ExitMaxOut, R.MaxOut);
+      }
+    }
+  }
+  if (ExitMinIn < 0)
+    return Sig; // No exit block: nothing to certify.
+  Sig.Balanced = ExitMinIn == ExitMaxIn && ExitMinOut == ExitMaxOut;
+  Sig.Inputs = ExitMaxIn;
+  Sig.Outputs = ExitMaxOut;
+  return Sig;
+}
+
+std::vector<std::string>
+verify::checkIRInvariants(const Module &M, const InvariantContext &Ctx) {
+  std::vector<std::string> V;
+
+  // --- Rate consistency.
+  // Expected external I/O per function, derivable only with the graph
+  // and schedule in hand. -1 = no expectation for that count.
+  auto expectFor = [&](const std::string &Name) -> std::pair<int64_t,
+                                                             int64_t> {
+    if (!Ctx.G || !Ctx.S)
+      return {-1, -1};
+    int64_t InPerIter = Ctx.S->inputPerSteady(*Ctx.G);
+    int64_t OutPerIter = Ctx.S->outputPerSteady(*Ctx.G);
+    if (!Ctx.Plan) {
+      if (Name == "steady")
+        return {InPerIter, OutPerIter};
+      if (Name == "init")
+        return {Ctx.S->inputForInit(*Ctx.G), -1};
+      return {-1, -1};
+    }
+    // Parallel module: the source's partition does all the reading, the
+    // sink's all the writing; batched bodies scale by BatchIters.
+    const graph::Node *Src = Ctx.G->getSource();
+    const graph::Node *Snk = Ctx.G->getSink();
+    auto PartOf = [&](const graph::Node *N) -> int64_t {
+      if (!N)
+        return -1;
+      auto It = Ctx.Plan->PartitionOf.find(N);
+      return It == Ctx.Plan->PartitionOf.end() ? -1
+                                               : static_cast<int64_t>(
+                                                     It->second);
+    };
+    for (unsigned W = 0; W < Ctx.Plan->NumPartitions; ++W) {
+      int64_t In = PartOf(Src) == static_cast<int64_t>(W) ? InPerIter : 0;
+      int64_t Out =
+          PartOf(Snk) == static_cast<int64_t>(W) ? OutPerIter : 0;
+      if (Name == parallel::steadyFunctionName(W))
+        return {In, Out};
+      if (Ctx.Plan->BatchIters > 1 &&
+          Name ==
+              parallel::steadyBatchFunctionName(W, Ctx.Plan->BatchIters))
+        return {In * Ctx.Plan->BatchIters, Out * Ctx.Plan->BatchIters};
+    }
+    if (Name == "init")
+      return {Ctx.S->inputForInit(*Ctx.G), -1};
+    return {-1, -1};
+  };
+
+  for (const auto &F : M.functions()) {
+    IOSignature Sig = ioSignature(*F);
+    if (!Sig.Acyclic)
+      continue; // FIFO work loops: counts are not path-invariant.
+    if (!Sig.Balanced) {
+      V.push_back("function '" + F->getName() +
+                  "' performs a different number of input/output "
+                  "instructions along different paths");
+      continue;
+    }
+    auto [ExpIn, ExpOut] = expectFor(F->getName());
+    if (ExpIn >= 0 && Sig.Inputs != ExpIn)
+      V.push_back("function '" + F->getName() + "' executes " +
+                  std::to_string(Sig.Inputs) +
+                  " input instruction(s) per call, schedule declares " +
+                  std::to_string(ExpIn));
+    if (ExpOut >= 0 && Sig.Outputs != ExpOut)
+      V.push_back("function '" + F->getName() + "' executes " +
+                  std::to_string(Sig.Outputs) +
+                  " output instruction(s) per call, schedule declares " +
+                  std::to_string(ExpOut));
+  }
+
+  // --- Token liveness: no LiveToken global is read before something
+  // certainly wrote it (static init, @init, or an earlier store on
+  // every path — StateInitAnalysis chains the execution order).
+  bool AnyLiveToken = false;
+  for (const auto &G : M.globals())
+    AnyLiveToken |= G->getMemClass() == MemClass::LiveToken;
+  if (AnyLiveToken) {
+    analysis::StateInitAnalysis Init(M);
+    for (const auto &F : M.functions())
+      for (const auto &BB : F->blocks()) {
+        std::unordered_set<const GlobalVar *> StoredHere;
+        for (const auto &I : BB->instructions()) {
+          if (const auto *L = dyn_cast<LoadInst>(I.get())) {
+            const GlobalVar *G = L->getGlobal();
+            if (G->getMemClass() == MemClass::LiveToken &&
+                !StoredHere.count(G) &&
+                !Init.mustInitAtEntry(BB.get(), G))
+              V.push_back("function '" + F->getName() + "' block '" +
+                          BB->getName() + "' reads live token '" +
+                          G->getName() +
+                          "' before it is certainly initialized");
+          } else if (const auto *St = dyn_cast<StoreInst>(I.get())) {
+            StoredHere.insert(St->getGlobal());
+          }
+        }
+      }
+  }
+
+  return V;
+}

@@ -1,0 +1,68 @@
+//===--- IRInvariants.h - Structural IR invariants -------------*- C++ -*-===//
+//
+// Module-level invariants beyond lir::verifyModule's SSA/CFG checks,
+// run at the driver's verify stages and (with --verify-each) between
+// every optimization pass so the first pass that breaks one is named:
+//
+//  * Rate consistency: along every entry-to-exit path of an acyclic
+//    steady/init function, the number of executed input/output
+//    instructions is the same — and, when the schedule is available,
+//    matches the declared SDF rates (inputPerSteady/outputPerSteady).
+//    Optimizations may move, fold or renumber everything else, but the
+//    external I/O volume of a steady iteration is the program's
+//    contract and must survive every pass.
+//
+//  * Token liveness: every load of a LiveToken global (the values
+//    LaminarIR carries across steady iterations) is dominated by an
+//    initialization — a static initializer, an @init store, or an
+//    earlier store on every path — checked against StateInitAnalysis.
+//
+// Functions with cyclic control flow (FIFO-mode work loops) get the
+// per-path balance check skipped; the counts are not statically
+// path-invariant there.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_VERIFY_IRINVARIANTS_H
+#define LAMINAR_VERIFY_IRINVARIANTS_H
+
+#include "graph/StreamGraph.h"
+#include "lir/Module.h"
+#include "parallel/Partitioner.h"
+#include "schedule/Schedule.h"
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace verify {
+
+/// Compilation context the invariants are checked against; every field
+/// is optional — with none set only the context-free invariants run.
+struct InvariantContext {
+  const graph::StreamGraph *G = nullptr;
+  const schedule::Schedule *S = nullptr;
+  const parallel::PartitionPlan *Plan = nullptr;
+};
+
+/// Statically-balanced I/O counts of \p F: the number of input and
+/// output instructions executed along any entry-to-exit path. nullopt
+/// when the CFG is cyclic (not statically path-invariant) or when
+/// paths disagree (which checkIRInvariants reports as a violation).
+struct IOSignature {
+  int64_t Inputs = 0;
+  int64_t Outputs = 0;
+  bool Balanced = false; ///< All paths agree on both counts.
+  bool Acyclic = false;  ///< Counts are meaningful at all.
+};
+IOSignature ioSignature(const lir::Function &F);
+
+/// Checks every invariant; returns human-readable violations (empty =
+/// certified). Cheap enough to run per pass under --verify-each.
+std::vector<std::string> checkIRInvariants(const lir::Module &M,
+                                           const InvariantContext &Ctx);
+
+} // namespace verify
+} // namespace laminar
+
+#endif // LAMINAR_VERIFY_IRINVARIANTS_H

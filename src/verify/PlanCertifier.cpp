@@ -1,0 +1,341 @@
+//===--- PlanCertifier.cpp ------------------------------------------------===//
+
+#include "verify/PlanCertifier.h"
+#include "analysis/Lattice.h"
+#include "lower/Lowering.h"
+#include "parallel/SpscQueue.h"
+#include "schedule/ScheduleSim.h"
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::verify;
+using analysis::IntRange;
+
+namespace {
+
+/// One arc of the marked graph over partitions. Data arcs model "a slab
+/// must be produced before it is consumed" (marking 0); credit arcs
+/// model the producer's run-ahead window (marking = SlabCapacity).
+struct Arc {
+  unsigned From = 0;
+  unsigned To = 0;
+  int64_t Marking = 0;
+  const graph::Channel *Ch = nullptr;
+  bool Credit = false;
+};
+
+std::string edgeName(const graph::Channel *Ch) {
+  return "'" + Ch->getSrc()->getName() + "' -> '" +
+         Ch->getDst()->getName() + "'";
+}
+
+std::string arcLabel(const Arc &A) {
+  std::ostringstream OS;
+  OS << "partition " << A.From << " -("
+     << (A.Credit ? "credit " : "data ") << edgeName(A.Ch);
+  if (A.Credit)
+    OS << ": window " << A.Marking << " slab(s)";
+  OS << ")-> partition " << A.To;
+  return OS.str();
+}
+
+/// Finds a directed cycle in the subgraph of zero-marked arcs, the
+/// exact liveness condition for marked graphs (live iff no such cycle).
+/// Returns the cycle as a sequence of arc indices, empty when acyclic.
+std::vector<size_t> findUnmarkedCycle(unsigned NumParts,
+                                      const std::vector<Arc> &Arcs) {
+  std::vector<std::vector<size_t>> Out(NumParts);
+  for (size_t I = 0; I < Arcs.size(); ++I)
+    if (Arcs[I].Marking <= 0)
+      Out[Arcs[I].From].push_back(I);
+  // Iterative DFS; Color: 0 unseen, 1 on stack, 2 done. PathArc[p] is
+  // the arc that discovered p, for cycle reconstruction.
+  std::vector<int> Color(NumParts, 0);
+  std::vector<size_t> PathArc(NumParts, SIZE_MAX);
+  for (unsigned Root = 0; Root < NumParts; ++Root) {
+    if (Color[Root])
+      continue;
+    std::vector<std::pair<unsigned, size_t>> Stack{{Root, 0}};
+    Color[Root] = 1;
+    while (!Stack.empty()) {
+      auto &[P, Next] = Stack.back();
+      if (Next < Out[P].size()) {
+        size_t AI = Out[P][Next++];
+        unsigned Q = Arcs[AI].To;
+        if (Color[Q] == 1) {
+          // Back edge: walk PathArc from P back to Q.
+          std::vector<size_t> Cycle{AI};
+          for (unsigned Cur = P; Cur != Q; Cur = Arcs[PathArc[Cur]].From)
+            Cycle.push_back(PathArc[Cur]);
+          std::reverse(Cycle.begin(), Cycle.end());
+          return Cycle;
+        }
+        if (Color[Q] == 0) {
+          Color[Q] = 1;
+          PathArc[Q] = AI;
+          Stack.push_back({Q, 0});
+        }
+      } else {
+        Color[P] = 2;
+        Stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+bool isPow2(int64_t V) { return V > 0 && (V & (V - 1)) == 0; }
+
+} // namespace
+
+PlanCertificate verify::certifyPlan(const graph::StreamGraph &G,
+                                    const schedule::Schedule &S,
+                                    const parallel::PartitionPlan &Plan,
+                                    DiagnosticEngine &Diags,
+                                    const CompilerLimits &Limits,
+                                    StatsRegistry *Stats,
+                                    RemarkEmitter *Remarks) {
+  PlanCertificate Cert;
+  auto Reject = [&](SourceRange Range, const std::string &Msg) {
+    Cert.Errors.push_back(Msg);
+    Diags.error(Range, Msg);
+  };
+  auto RejectGlobal = [&](const std::string &Msg) {
+    Cert.Errors.push_back(Msg);
+    Diags.error(SourceLoc(1, 1), Msg);
+  };
+
+  // --- Premises: the plan structure the marked-graph model rests on.
+  size_t PremiseErrors = Cert.Errors.size();
+  if (Plan.NumPartitions < 1 ||
+      Plan.Members.size() != Plan.NumPartitions) {
+    RejectGlobal("plan certification: Members/NumPartitions mismatch");
+  } else {
+    size_t MemberCount = 0;
+    for (unsigned P = 0; P < Plan.NumPartitions; ++P)
+      for (const graph::Node *N : Plan.Members[P]) {
+        ++MemberCount;
+        auto It = Plan.PartitionOf.find(N);
+        if (It == Plan.PartitionOf.end() || It->second != P)
+          RejectGlobal("plan certification: node '" + N->getName() +
+                       "' placed inconsistently with partition " +
+                       std::to_string(P));
+      }
+    for (const graph::Node *N : S.Order)
+      if (!Plan.PartitionOf.count(N))
+        RejectGlobal("plan certification: scheduled node '" +
+                     N->getName() + "' has no partition");
+    if (MemberCount != S.Order.size())
+      RejectGlobal("plan certification: placement covers " +
+                   std::to_string(MemberCount) + " node(s), schedule has " +
+                   std::to_string(S.Order.size()));
+  }
+  if (Plan.BatchIters < 1)
+    RejectGlobal("plan certification: batching factor " +
+                 std::to_string(Plan.BatchIters) + " is not positive");
+
+  // Every cross-partition channel must be a cut edge, exactly once,
+  // pointing forward along the pipeline, and never a feedback edge; the
+  // recorded traffic must satisfy the SDF balance equation.
+  for (const auto &Ch : G.channels()) {
+    auto SrcIt = Plan.PartitionOf.find(Ch->getSrc());
+    auto DstIt = Plan.PartitionOf.find(Ch->getDst());
+    if (SrcIt == Plan.PartitionOf.end() || DstIt == Plan.PartitionOf.end())
+      continue; // Already rejected above.
+    unsigned SrcPart = SrcIt->second, DstPart = DstIt->second;
+    const parallel::CutEdge *E = Plan.findCut(Ch.get());
+    if (SrcPart == DstPart) {
+      if (E)
+        Reject(lower::channelRange(Ch.get()),
+               "plan certification: intra-partition channel " +
+                   edgeName(Ch.get()) + " recorded as a cut edge");
+      continue;
+    }
+    if (!E) {
+      Reject(lower::channelRange(Ch.get()),
+             "plan certification: cross-partition channel " +
+                 edgeName(Ch.get()) + " (partition " +
+                 std::to_string(SrcPart) + " -> " +
+                 std::to_string(DstPart) + ") is not a cut edge");
+      continue;
+    }
+    if (E->SrcPartition != SrcPart || E->DstPartition != DstPart)
+      Reject(lower::channelRange(Ch.get()),
+             "plan certification: cut edge " + edgeName(Ch.get()) +
+                 " records partitions " +
+                 std::to_string(E->SrcPartition) + " -> " +
+                 std::to_string(E->DstPartition) +
+                 ", placement says " + std::to_string(SrcPart) + " -> " +
+                 std::to_string(DstPart));
+    if (SrcPart > DstPart)
+      Reject(lower::channelRange(Ch.get()),
+             "plan certification: cut edge " + edgeName(Ch.get()) +
+                 " flows against the pipeline order (partition " +
+                 std::to_string(SrcPart) + " -> " +
+                 std::to_string(DstPart) + ")");
+    if (Ch->isFeedback())
+      Reject(lower::channelRange(Ch.get()),
+             "plan certification: feedback channel " + edgeName(Ch.get()) +
+                 " crosses a partition boundary");
+    int64_t SrcTokens = Ch->srcRate() * S.repsOf(Ch->getSrc());
+    int64_t DstTokens = Ch->dstRate() * S.repsOf(Ch->getDst());
+    if (SrcTokens != DstTokens || E->TokensPerIter != SrcTokens)
+      Reject(lower::channelRange(Ch.get()),
+             "plan certification: cut edge " + edgeName(Ch.get()) +
+                 " violates the balance equation (produces " +
+                 std::to_string(SrcTokens) + ", consumes " +
+                 std::to_string(DstTokens) + ", plan records " +
+                 std::to_string(E->TokensPerIter) + ")");
+  }
+  for (const parallel::CutEdge &E : Plan.CutEdges)
+    if (!E.Ch || !isPow2(E.BufferSlots))
+      Reject(E.Ch ? lower::channelRange(E.Ch) : SourceRange(SourceLoc(1, 1)),
+             "plan certification: cut-edge ring capacity " +
+                 std::to_string(E.BufferSlots) +
+                 " is not a positive power of two");
+  Cert.Consistent = Cert.Errors.size() == PremiseErrors;
+
+  // --- Deadlock-freedom: marked-graph liveness over slab tickets.
+  // Liveness theorem (Commoner): a marked graph is deadlock-free iff
+  // every directed cycle carries positive total marking, iff the
+  // zero-marked arc subgraph is acyclic. Data arcs carry no initial
+  // marking (nothing is produced before the first slab); credit arcs
+  // carry SlabCapacity. The per-partition self-loop (slab s before
+  // s+1) always carries the worker's single control token and cannot
+  // participate in an unmarked cycle, so it is omitted.
+  std::vector<Arc> Arcs;
+  for (const parallel::CutEdge &E : Plan.CutEdges) {
+    Arcs.push_back({E.SrcPartition, E.DstPartition, 0, E.Ch, false});
+    Arcs.push_back({E.DstPartition, E.SrcPartition, E.SlabCapacity, E.Ch,
+                    true});
+  }
+  Cert.ArcsChecked = static_cast<unsigned>(Arcs.size());
+  Cert.CyclesChecked = static_cast<unsigned>(Plan.CutEdges.size());
+  if (Cert.Consistent) {
+    std::vector<size_t> Cycle =
+        findUnmarkedCycle(Plan.NumPartitions, Arcs);
+    if (Cycle.empty()) {
+      Cert.DeadlockFree = true;
+    } else {
+      // Anchor the diagnostic at the first credit arc of the cycle (the
+      // arc whose window the user can widen), falling back to the first
+      // arc's channel.
+      const Arc *Anchor = &Arcs[Cycle.front()];
+      std::ostringstream OS;
+      OS << "parallel plan is not deadlock-free: cycle with no initial "
+            "marking: ";
+      for (size_t I = 0; I < Cycle.size(); ++I) {
+        if (I)
+          OS << "; ";
+        OS << arcLabel(Arcs[Cycle[I]]);
+        if (Arcs[Cycle[I]].Credit)
+          Anchor = &Arcs[Cycle[I]];
+      }
+      OS << " — every cycle of the slab marked graph must carry at "
+            "least one token; raise --parallel-slab so each credit "
+            "window is positive";
+      Reject(lower::channelRange(Anchor->Ch), OS.str());
+    }
+  }
+
+  // --- Capacity: bound the worst-case ring occupancy with interval
+  // arithmetic (saturating, so hostile flag values cannot overflow the
+  // certifier itself) and check the chosen power-of-two capacity covers
+  // it. The steady-state bound is carry + (SlabCapacity + 2) in-flight
+  // slabs of BatchIters iterations (docs/PARALLEL.md §4); the
+  // schedule-simulation peak covers the init transient.
+  schedule::SimResult Sim = schedule::simulateSchedule(G, S, 1);
+  bool CapacityOk = Cert.Consistent;
+  if (!Sim.Ok && Cert.Consistent && !Plan.CutEdges.empty()) {
+    RejectGlobal("plan certification: schedule simulation failed: " +
+                 Sim.Error);
+    CapacityOk = false;
+  }
+  if (CapacityOk)
+    for (const parallel::CutEdge &E : Plan.CutEdges) {
+      int64_t Carry = S.occupancyOf(E.Ch);
+      int64_t Peak = Sim.PeakOccupancy.count(E.Ch)
+                         ? Sim.PeakOccupancy.at(E.Ch)
+                         : 0;
+      // Occupancy interval: [0, Carry] steady carry plus
+      // [0, SlabCapacity + 2] slabs in flight, each of
+      // BatchIters * TokensPerIter tokens. A non-positive credit
+      // window already failed the deadlock check; clamp it here so
+      // the capacity pass reasons over a well-formed interval
+      // instead of piling secondary errors onto the same plan.
+      IntRange Window(
+          0, std::max<int64_t>(0, analysis::satAdd(E.SlabCapacity, 2)));
+      IntRange PerSlab = analysis::transferBinary(
+          lir::BinOp::Mul, IntRange(Plan.BatchIters, Plan.BatchIters),
+          IntRange(E.TokensPerIter, E.TokensPerIter));
+      IntRange InFlight =
+          analysis::transferBinary(lir::BinOp::Mul, Window, PerSlab);
+      IntRange Occ = analysis::transferBinary(
+          lir::BinOp::Add, IntRange(0, Carry), InFlight);
+      if (!Occ.hasFiniteHi() || Occ.Hi == IntRange::PosInf) {
+        Reject(lower::channelRange(E.Ch),
+               "plan certification: occupancy bound for ring " +
+                   edgeName(E.Ch) +
+                   " overflows (--parallel-slab/--parallel-batch too "
+                   "large)");
+        CapacityOk = false;
+        continue;
+      }
+      int64_t Bound = std::max<int64_t>({Occ.Hi, Peak, 1});
+      Cert.MaxOccupancyBound = std::max(Cert.MaxOccupancyBound, Bound);
+      if (E.BufferSlots < Bound) {
+        std::ostringstream OS;
+        OS << "plan certification: ring for " << edgeName(E.Ch)
+           << " holds " << E.BufferSlots << " token(s) but the batched "
+           << "steady state needs up to " << Bound
+           << " (carry " << Carry << " + (" << E.SlabCapacity
+           << " + 2 slabs) x " << Plan.BatchIters << " iteration(s) x "
+           << E.TokensPerIter << " token(s), init peak " << Peak << ")";
+        Reject(lower::channelRange(E.Ch), OS.str());
+        CapacityOk = false;
+        continue;
+      }
+      int64_t Tight = static_cast<int64_t>(
+          parallel::spscPow2Ceil(static_cast<uint64_t>(Bound)));
+      if (E.BufferSlots >= 2 * Tight) {
+        ++Cert.OversizedRings;
+        if (Remarks) {
+          std::ostringstream OS;
+          OS << "ring for " << edgeName(E.Ch) << " is sized "
+             << E.BufferSlots << " token(s); " << Tight
+             << " certified sufficient for the batched steady state";
+          Remarks->missed("verify-plan", "ShrinkCapacity", OS.str(),
+                          lower::channelRange(E.Ch));
+        }
+      }
+    }
+  Cert.CapacitySufficient = CapacityOk;
+
+  if (Stats) {
+    StatsScope SS(Stats, "verify.plan");
+    SS.add("consistent", Cert.Consistent ? 1 : 0);
+    SS.add("deadlock-free", Cert.DeadlockFree ? 1 : 0);
+    SS.add("capacity-certified", Cert.CapacitySufficient ? 1 : 0);
+    SS.add("certified", Cert.ok() ? 1 : 0);
+    SS.add("cut-edges", Plan.CutEdges.size());
+    SS.add("arcs-checked", Cert.ArcsChecked);
+    SS.add("cycles-checked", Cert.CyclesChecked);
+    SS.add("oversized-rings", Cert.OversizedRings);
+    SS.add("max-ring-bound",
+           static_cast<uint64_t>(Cert.MaxOccupancyBound));
+  }
+
+  if (Cert.ok() && Remarks) {
+    std::ostringstream OS;
+    OS << "plan certified: " << Plan.NumPartitions << " partition(s), "
+       << Plan.CutEdges.size() << " cut edge(s), batch "
+       << Plan.BatchIters << "; every slab cycle carries positive "
+       << "marking and every ring covers its " << Cert.MaxOccupancyBound
+       << "-token occupancy bound";
+    Remarks->passed("verify-plan", "PlanCertified", OS.str());
+  }
+  (void)Limits;
+  return Cert;
+}

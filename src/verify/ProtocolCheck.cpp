@@ -1,0 +1,239 @@
+//===--- ProtocolCheck.cpp ------------------------------------------------===//
+
+#include "verify/ProtocolCheck.h"
+#include "parallel/ParallelLowering.h"
+#include "support/Casting.h"
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::verify;
+using namespace laminar::lir;
+
+namespace {
+
+/// Partition executing a function, by name: -1 for @init (ordered
+/// before every worker by pthread_create), -2 for anything unknown.
+int partitionOfFunction(const std::string &Name,
+                        const parallel::PartitionPlan &Plan) {
+  if (Name == "init")
+    return -1;
+  for (unsigned W = 0; W < Plan.NumPartitions; ++W) {
+    if (Name == parallel::steadyFunctionName(W))
+      return static_cast<int>(W);
+    if (Plan.BatchIters > 1 &&
+        Name == parallel::steadyBatchFunctionName(W, Plan.BatchIters))
+      return static_cast<int>(W);
+  }
+  return -2;
+}
+
+struct GlobalAccess {
+  std::set<unsigned> Loaders;
+  std::set<unsigned> Storers;
+  std::set<unsigned> all() const {
+    std::set<unsigned> A = Loaders;
+    A.insert(Storers.begin(), Storers.end());
+    return A;
+  }
+};
+
+std::string partsOf(const std::set<unsigned> &S) {
+  std::ostringstream OS;
+  bool First = true;
+  for (unsigned P : S) {
+    if (!First)
+      OS << ", ";
+    OS << P;
+    First = false;
+  }
+  return OS.str();
+}
+
+} // namespace
+
+std::vector<std::string>
+verify::checkPartitionIsolation(const Module &M,
+                                const parallel::PartitionPlan &Plan) {
+  std::vector<std::string> V;
+
+  // Which partitions load/store each global, @init excluded (it runs
+  // before the workers start; pthread_create orders it against all of
+  // them).
+  std::map<const GlobalVar *, GlobalAccess> Access;
+  for (const auto &F : M.functions()) {
+    int Part = partitionOfFunction(F->getName(), Plan);
+    if (Part < 0)
+      continue;
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions()) {
+        if (const auto *L = dyn_cast<LoadInst>(I.get()))
+          Access[L->getGlobal()].Loaders.insert(
+              static_cast<unsigned>(Part));
+        else if (const auto *S = dyn_cast<StoreInst>(I.get()))
+          Access[S->getGlobal()].Storers.insert(
+              static_cast<unsigned>(Part));
+      }
+  }
+
+  // Ring globals are named "ch<id>.buf|head|tail"; map each back to
+  // its cut edge (non-cut rings are partition-private and fall under
+  // the single-partition rule).
+  auto cutForGlobal =
+      [&](const GlobalVar *G) -> const parallel::CutEdge * {
+    const std::string &Name = G->getName();
+    for (const parallel::CutEdge &E : Plan.CutEdges) {
+      std::string Prefix = "ch" + std::to_string(E.Ch->getId()) + ".";
+      if (Name.compare(0, Prefix.size(), Prefix) == 0)
+        return &E;
+    }
+    return nullptr;
+  };
+
+  for (const auto &[G, A] : Access) {
+    std::set<unsigned> Parts = A.all();
+    if (Parts.size() <= 1)
+      continue; // Partition-private: no cross-thread access at all.
+    MemClass MC = G->getMemClass();
+    if (!isCommunication(MC) || MC == MemClass::LiveToken) {
+      V.push_back("global '" + G->getName() + "' (" + memClassName(MC) +
+                  ") is accessed by partitions " + partsOf(Parts) +
+                  " with no ordering handshake");
+      continue;
+    }
+    const parallel::CutEdge *E = cutForGlobal(G);
+    if (!E) {
+      V.push_back("channel global '" + G->getName() +
+                  "' is shared by partitions " + partsOf(Parts) +
+                  " but belongs to no cut edge");
+      continue;
+    }
+    // Every access must come from the cut's two endpoints — only those
+    // are ordered by the edge's slab handshake.
+    for (unsigned P : Parts)
+      if (P != E->SrcPartition && P != E->DstPartition)
+        V.push_back("channel global '" + G->getName() +
+                    "' of cut edge partition " +
+                    std::to_string(E->SrcPartition) + " -> " +
+                    std::to_string(E->DstPartition) +
+                    " is accessed by unrelated partition " +
+                    std::to_string(P));
+    // The buffer itself must stay SPSC: producer writes, consumer
+    // reads. (Cursors may be read by either side; the handshake orders
+    // them at slab granularity.)
+    if (MC == MemClass::ChannelBuf) {
+      for (unsigned P : A.Storers)
+        if (P != E->SrcPartition)
+          V.push_back("ring buffer '" + G->getName() +
+                      "' is written by partition " + std::to_string(P) +
+                      ", but the producer is partition " +
+                      std::to_string(E->SrcPartition));
+      for (unsigned P : A.Loaders)
+        if (P != E->DstPartition)
+          V.push_back("ring buffer '" + G->getName() +
+                      "' is read by partition " + std::to_string(P) +
+                      ", but the consumer is partition " +
+                      std::to_string(E->DstPartition));
+    }
+  }
+  return V;
+}
+
+std::vector<std::string>
+verify::checkThreadedCProtocol(const std::string &C,
+                               const parallel::PartitionPlan &Plan) {
+  std::vector<std::string> V;
+
+  // Fault path: cancel must be raised (release) before the report and
+  // the exit, so a faulting worker never leaves its peers spinning.
+  size_t Fault = C.find("static void lam_fault");
+  if (Fault == std::string::npos) {
+    V.push_back("emitted C has no lam_fault handler");
+    return V;
+  }
+  size_t FaultEnd = C.find('}', Fault);
+  size_t Cancel = C.find(
+      "atomic_store_explicit(&lam_cancel, 1, memory_order_release)",
+      Fault);
+  size_t Report = C.find("fprintf(stderr, \"laminar-fault", Fault);
+  size_t Exit = C.find("_Exit(LAM_EXIT_FAULT)", Fault);
+  if (Cancel == std::string::npos || Cancel > FaultEnd)
+    V.push_back("fault handler does not raise the cancel flag with a "
+                "release store");
+  else if (Report == std::string::npos || Exit == std::string::npos ||
+           !(Cancel < Report && Report < Exit))
+    V.push_back("fault handler ordering violated: expected "
+                "cancel(release) -> report -> _Exit");
+
+  // Per-worker protocol shape.
+  for (unsigned W = 0; W < Plan.NumPartitions; ++W) {
+    std::string Marker =
+        "lam_worker_" + std::to_string(W) + "(void *arg)";
+    size_t Begin = C.find(Marker);
+    if (Begin == std::string::npos) {
+      V.push_back("emitted C has no worker function for partition " +
+                  std::to_string(W));
+      continue;
+    }
+    size_t End = C.find("static void *lam_worker_", Begin + Marker.size());
+    if (End == std::string::npos)
+      End = C.find("int main", Begin);
+    std::string Seg = C.substr(Begin, End - Begin);
+    size_t Body = Seg.find("lam_" + parallel::steadyFunctionName(W) + "(");
+    if (Body == std::string::npos) {
+      V.push_back("worker " + std::to_string(W) +
+                  " never calls its steady body");
+      continue;
+    }
+    unsigned Gates = 0;
+    for (size_t Q = 0; Q < Plan.CutEdges.size(); ++Q) {
+      const parallel::CutEdge &E = Plan.CutEdges[Q];
+      std::string QS = std::to_string(Q);
+      if (E.DstPartition == W) {
+        ++Gates;
+        size_t Wait = Seg.find("atomic_load_explicit(&lam_pushed_" + QS +
+                               ".v, memory_order_acquire)");
+        size_t Publish =
+            Seg.find("atomic_store_explicit(&lam_popped_" + QS +
+                     ".v, s + 1, memory_order_release)");
+        if (Wait == std::string::npos || Wait > Body)
+          V.push_back("worker " + std::to_string(W) +
+                      " consumes ring " + QS +
+                      " without an acquire gate before the body");
+        if (Publish == std::string::npos || Publish < Body)
+          V.push_back("worker " + std::to_string(W) +
+                      " does not release-publish consumption of ring " +
+                      QS + " after the body");
+      }
+      if (E.SrcPartition == W) {
+        ++Gates;
+        size_t Wait = Seg.find("atomic_load_explicit(&lam_popped_" + QS +
+                               ".v, memory_order_acquire)");
+        size_t Publish =
+            Seg.find("atomic_store_explicit(&lam_pushed_" + QS +
+                     ".v, s + 1, memory_order_release)");
+        if (Wait == std::string::npos || Wait < Body)
+          V.push_back("worker " + std::to_string(W) +
+                      " publishes ring " + QS +
+                      " without honoring its credit window");
+        if (Publish == std::string::npos || Publish < Wait)
+          V.push_back("worker " + std::to_string(W) +
+                      " must release-publish ring " + QS +
+                      " only after the credit gate");
+      }
+    }
+    // Every spin loop must poll cancel, or a fault elsewhere leaves
+    // this worker spinning forever.
+    unsigned Polls = 0;
+    for (size_t P = Seg.find("atomic_load_explicit(&lam_cancel");
+         P != std::string::npos;
+         P = Seg.find("atomic_load_explicit(&lam_cancel", P + 1))
+      ++Polls;
+    if (Polls < Gates)
+      V.push_back("worker " + std::to_string(W) + " has " +
+                  std::to_string(Gates) + " slab gate(s) but only " +
+                  std::to_string(Polls) + " cancel poll(s)");
+  }
+  return V;
+}

@@ -1,0 +1,55 @@
+//===--- ProtocolCheck.h - Static race/protocol certification --*- C++ -*-===//
+//
+// The happens-before argument for the parallel runtime rests on two
+// premises the compiler can discharge statically:
+//
+//  1. Partition isolation (IR level): every global a parallel module's
+//     steady functions touch is either private to one partition, or the
+//     ring storage of a declared cut edge — written only by the
+//     producer partition, read only by the consumer — so every
+//     cross-partition token access is ordered by the ring's
+//     acquire/release slab handshake. checkPartitionIsolation walks
+//     the module's loads/stores and proves exactly that.
+//
+//  2. Protocol shape (emitted C): the threaded-C worker loop must gate
+//     consumption on an acquire of the producer's ticket, publish with
+//     a release, poll the cancel flag inside every spin, and the fault
+//     path must raise cancel (release) before exiting so no peer spins
+//     forever. checkThreadedCProtocol structurally verifies the
+//     emitted text against the plan.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_VERIFY_PROTOCOLCHECK_H
+#define LAMINAR_VERIFY_PROTOCOLCHECK_H
+
+#include "lir/Module.h"
+#include "parallel/Partitioner.h"
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace verify {
+
+/// Proves the happens-before premise over the lowered parallel module:
+/// no state or live token is shared between partitions, and channel
+/// storage crossing partitions belongs to a cut edge with the producer
+/// storing and the consumer loading. Returns violations (empty = the
+/// slab handshake orders every cross-partition access).
+std::vector<std::string>
+checkPartitionIsolation(const lir::Module &M,
+                        const parallel::PartitionPlan &Plan);
+
+/// Structurally verifies emitted threaded C (codegen::emitC with a
+/// plan): per cut edge one acquire-gated consumer wait and one
+/// release publish on each of the pushed/popped tickets, a cancel poll
+/// inside every spin loop, and the fault handler's
+/// cancel(release) -> report -> _Exit ordering.
+std::vector<std::string>
+checkThreadedCProtocol(const std::string &CSource,
+                       const parallel::PartitionPlan &Plan);
+
+} // namespace verify
+} // namespace laminar
+
+#endif // LAMINAR_VERIFY_PROTOCOLCHECK_H

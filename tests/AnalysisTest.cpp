@@ -93,6 +93,60 @@ TEST(Lattice, RemShortcutNeedsDividendBelowMinDivisor) {
             IntRange(2, 2));
 }
 
+TEST(Lattice, ShiftTransferEdgeCases) {
+  using lir::BinOp;
+  const IntRange One(1, 1);
+  // Shift amounts at or beyond the value width are implementation
+  // territory: the transfer must give up, not model a wrap.
+  EXPECT_TRUE(transferBinary(BinOp::Shl, One, IntRange(63, 63)).isFull());
+  EXPECT_TRUE(transferBinary(BinOp::Shl, One, IntRange(64, 64)).isFull());
+  EXPECT_TRUE(transferBinary(BinOp::Shl, One, IntRange(1000, 1000)).isFull());
+  EXPECT_TRUE(transferBinary(BinOp::Shr, One, IntRange(63, 63)).isFull());
+  EXPECT_TRUE(
+      transferBinary(BinOp::Shr, IntRange(0, 8), IntRange(64, 64)).isFull());
+  // Negative and non-constant shift amounts likewise.
+  EXPECT_TRUE(transferBinary(BinOp::Shl, One, IntRange(-1, -1)).isFull());
+  EXPECT_TRUE(transferBinary(BinOp::Shl, One, IntRange(0, 3)).isFull());
+  EXPECT_TRUE(transferBinary(BinOp::Shr, One, IntRange(-2, -2)).isFull());
+  // Shr of a possibly-negative value: >> rounds toward -inf, the
+  // transfer only models the non-negative case.
+  EXPECT_TRUE(
+      transferBinary(BinOp::Shr, IntRange(-8, 8), IntRange(1, 1)).isFull());
+  // The largest representable shift still folds exactly...
+  EXPECT_EQ(transferBinary(BinOp::Shl, One, IntRange(62, 62)),
+            IntRange::constant(int64_t(1) << 62));
+  EXPECT_EQ(transferBinary(BinOp::Shr, IntRange(256, 256), IntRange(4, 4)),
+            IntRange::constant(16));
+  // ...and an in-range shift whose product overflows saturates to the
+  // sentinel instead of wrapping negative.
+  IntRange Big = transferBinary(BinOp::Shl, IntRange(1, int64_t(1) << 40),
+                                IntRange(30, 30));
+  EXPECT_EQ(Big.Hi, IntRange::PosInf);
+  EXPECT_EQ(Big.Lo, int64_t(1) << 30);
+}
+
+TEST(Lattice, Int64MinNegationSaturates) {
+  using lir::UnOp;
+  // -INT64_MIN is unrepresentable; the Lo bound doubles as the -inf
+  // sentinel, so negation must saturate to +inf, never wrap back to
+  // a negative "constant".
+  IntRange NearMin(IntRange::NegInf + 1, -1);
+  IntRange Neg = transferUnary(UnOp::Neg, NearMin);
+  EXPECT_EQ(Neg.Lo, 1);
+  EXPECT_EQ(Neg.Hi, IntRange::PosInf);
+  EXPECT_TRUE(transferUnary(UnOp::Neg, IntRange::full()).isFull());
+  EXPECT_TRUE(
+      transferUnary(UnOp::Neg, IntRange(IntRange::NegInf, 0)).contains(0));
+  // ~x = -1 - x hits the same saturation on the unbounded side.
+  EXPECT_EQ(transferUnary(UnOp::BitNot, IntRange::constant(0)),
+            IntRange::constant(-1));
+  EXPECT_EQ(transferUnary(UnOp::BitNot, IntRange(IntRange::NegInf, -1)).Lo,
+            0);
+  // Empty (unreachable) operands stay empty through every unary op.
+  EXPECT_TRUE(transferUnary(UnOp::Neg, IntRange::empty()).isEmpty());
+  EXPECT_TRUE(transferUnary(UnOp::Not, IntRange::empty()).isEmpty());
+}
+
 TEST(Lattice, CmpAndConstraint) {
   using lir::CmpPred;
   EXPECT_EQ(transferCmp(CmpPred::LT, IntRange(0, 3), IntRange(5, 9)),
@@ -224,6 +278,49 @@ TEST(RangeAnalysis, ApproximateRangeWalksDefChains) {
   EXPECT_TRUE(IntRange(4, 7).containsRange(approximateRange(Shifted)));
   EXPECT_EQ(approximateRange(B.getInt(42)), IntRange::constant(42));
   EXPECT_TRUE(approximateRange(X).isFull());
+}
+
+TEST(RangeAnalysis, JoinAcrossPoisonedAndUnreachableBlocks) {
+  using namespace lir;
+  Module M("m");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+  BasicBlock *Dead = F->createBlock("dead");
+  B.setInsertPoint(Entry);
+  Value *X = B.createInput(TypeKind::Int);
+  B.createCondBr(B.createCmp(CmpPred::LT, X, B.getInt(10)), Then, Else);
+  B.setInsertPoint(Then);
+  B.createBr(Join);
+  B.setInsertPoint(Else);
+  // The x >= 10 arm exits without reaching the join.
+  B.createRet();
+  B.setInsertPoint(Join);
+  B.createOutput(X);
+  B.createRet();
+  // A predecessor-less block: its in-state is bottom (poisoned), and
+  // values computed there are dynamically dead.
+  B.setInsertPoint(Dead);
+  Value *DeadSum = B.createBinary(BinOp::Add, X, B.getInt(1));
+  B.createBr(Join);
+
+  RangeAnalysis RA(*F);
+  // Only the refined x < 10 edge reaches the join live; the dead
+  // predecessor's bottom state must not drag the join to full, and the
+  // exiting arm must not leak x >= 10 into it.
+  EXPECT_LE(RA.rangeAt(X, Then).Hi, 9);
+  EXPECT_TRUE(RA.rangeAt(X, Join).Hi <= 9 || RA.rangeAt(X, Join).isFull());
+  // A value the fixpoint never visits reports full, not empty: callers
+  // must not "prove" facts about dead code.
+  EXPECT_FALSE(RA.rangeOf(DeadSum).isEmpty());
+  EXPECT_TRUE(RA.rangeOf(DeadSum).isFull());
+  // Joining a poisoned (empty) range is the identity, in both orders.
+  EXPECT_EQ(join(IntRange::empty(), IntRange(2, 5)), IntRange(2, 5));
+  EXPECT_EQ(join(IntRange(2, 5), IntRange::empty()), IntRange(2, 5));
+  EXPECT_TRUE(join(IntRange::empty(), IntRange::empty()).isEmpty());
 }
 
 //===----------------------------------------------------------------------===//

@@ -38,7 +38,7 @@ TEST(IRParser, MinimalModule) {
                    "}\n");
   EXPECT_EQ(M->getName(), "m");
   EXPECT_EQ(M->getFunction("steady")->instructionCount(), 3u);
-  EXPECT_TRUE(verify(*M));
+  EXPECT_TRUE(lir::verify(*M));
 }
 
 TEST(IRParser, GlobalsWithSizesAndClasses) {
@@ -69,7 +69,7 @@ TEST(IRParser, ArithmeticAndCalls) {
                    "  output %3\n"
                    "  ret\n"
                    "}\n");
-  EXPECT_TRUE(verify(*M));
+  EXPECT_TRUE(lir::verify(*M));
 }
 
 TEST(IRParser, ControlFlowAndPhis) {
@@ -113,7 +113,7 @@ TEST(IRParser, LoadsAndStores) {
                    "  output %1\n"
                    "  ret\n"
                    "}\n");
-  EXPECT_TRUE(verify(*M));
+  EXPECT_TRUE(lir::verify(*M));
 }
 
 TEST(IRParser, SelectAndCasts) {
@@ -129,7 +129,7 @@ TEST(IRParser, SelectAndCasts) {
                    "  output %3\n"
                    "  ret\n"
                    "}\n");
-  EXPECT_TRUE(verify(*M));
+  EXPECT_TRUE(lir::verify(*M));
 }
 
 TEST(IRParser, Errors) {

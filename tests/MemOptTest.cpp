@@ -73,7 +73,7 @@ TEST_F(MemOptFixture, GlobalFoldReplacesInitConstantState) {
   runConstantFold(*Steady, Stats);
   runDCE(*Steady, Stats);
   EXPECT_EQ(steadyLoads(), 0u);
-  EXPECT_TRUE(verify(M));
+  EXPECT_TRUE(lir::verify(M));
 }
 
 TEST_F(MemOptFixture, GlobalFoldHonorsLastStoreWins) {
@@ -135,7 +135,7 @@ TEST_F(MemOptFixture, MemForwardStoreToLoad) {
   // Store and load both disappear: the value flowed directly.
   EXPECT_EQ(steadyLoads(), 0u);
   EXPECT_EQ(steadyStores(), 0u);
-  EXPECT_TRUE(verify(M));
+  EXPECT_TRUE(lir::verify(M));
 }
 
 TEST_F(MemOptFixture, MemForwardRedundantLoads) {

@@ -39,7 +39,7 @@ TEST_F(OptFixture, ConstantFoldFoldsArithmetic) {
   // add and cast both folded away; only output + ret remain.
   EXPECT_EQ(instCount(), 2u);
   EXPECT_GE(Stats.get("opt.constfold.folded"), 2u);
-  EXPECT_TRUE(verify(M));
+  EXPECT_TRUE(lir::verify(M));
 }
 
 TEST_F(OptFixture, AlgebraicIdentities) {
@@ -97,7 +97,7 @@ TEST_F(OptFixture, DCERemovesDeadChains) {
   EXPECT_TRUE(runDCE(*F, Stats));
   EXPECT_EQ(Stats.get("opt.dce.removed"), 2u);
   EXPECT_EQ(instCount(), 3u);
-  EXPECT_TRUE(verify(M));
+  EXPECT_TRUE(lir::verify(M));
 }
 
 TEST_F(OptFixture, DCEKeepsSideEffects) {
@@ -137,7 +137,7 @@ TEST_F(OptFixture, DCERemovesCyclicDeadPhis) {
   for (const auto &BB : F->blocks())
     for (const auto &I : BB->instructions())
       EXPECT_FALSE(isa<PhiInst>(I.get()));
-  EXPECT_TRUE(verify(M));
+  EXPECT_TRUE(lir::verify(M));
 }
 
 TEST_F(OptFixture, GVNEliminatesRedundantExpressions) {
@@ -209,10 +209,10 @@ TEST_F(OptFixture, SCCPFoldsBranchAndPrunes) {
   Phi->addIncoming(B.getInt(20), E);
   B.createOutput(B.createCast(CastOp::IntToFloat, Phi));
   B.createRet();
-  ASSERT_TRUE(verify(M));
+  ASSERT_TRUE(lir::verify(M));
 
   EXPECT_TRUE(runSCCP(*F, Stats));
-  EXPECT_TRUE(verify(M));
+  EXPECT_TRUE(lir::verify(M));
   EXPECT_GE(Stats.get("opt.sccp.branches"), 1u);
   EXPECT_GE(Stats.get("opt.sccp.unreachable"), 1u);
   // The phi merged only the executable edge: it folded to 10.
@@ -255,7 +255,7 @@ TEST_F(OptFixture, SCCPPropagatesThroughLoopPhis) {
   B.setInsertPoint(Exit);
   B.createOutput(B.createCast(CastOp::IntToFloat, X));
   B.createRet();
-  ASSERT_TRUE(verify(M));
+  ASSERT_TRUE(lir::verify(M));
 
   runSCCP(*F, Stats);
   EXPECT_GE(Stats.get("opt.sccp.constants"), 1u);
@@ -289,7 +289,7 @@ TEST_F(OptFixture, SimplifyCFGMergesLinearChains) {
 
   EXPECT_TRUE(runSimplifyCFG(*F, Stats));
   EXPECT_EQ(F->blocks().size(), 1u);
-  EXPECT_TRUE(verify(M));
+  EXPECT_TRUE(lir::verify(M));
 }
 
 TEST_F(OptFixture, SimplifyCFGRemovesUnreachable) {
@@ -310,7 +310,7 @@ TEST_F(OptFixture, PassManagerReachesFixpoint) {
   B.createOutput(B.createCast(CastOp::IntToFloat, V));
   B.createRet();
   optimizeModule(M, 2, Stats);
-  EXPECT_TRUE(verify(M));
+  EXPECT_TRUE(lir::verify(M));
   // add folded; input, mul, cast, output, ret remain.
   EXPECT_EQ(instCount(), 5u);
 }

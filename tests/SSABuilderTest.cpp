@@ -69,7 +69,7 @@ TEST_F(SSAFixture, DiamondCreatesPhi) {
   EXPECT_EQ(Phi->getNumIncoming(), 2u);
   B.createOutput(B.convert(V, TypeKind::Float));
   B.createRet();
-  EXPECT_TRUE(verify(M)) << verifyModule(M).front();
+  EXPECT_TRUE(lir::verify(M)) << verifyModule(M).front();
 }
 
 TEST_F(SSAFixture, UnmodifiedVariableNeedsNoPhi) {

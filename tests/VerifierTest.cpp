@@ -34,7 +34,7 @@ TEST_F(VerifierFixture, CleanModuleVerifies) {
   Value *In = B.createInput(TypeKind::Float);
   B.createOutput(B.createBinary(BinOp::FAdd, In, B.getFloat(1.0)));
   B.createRet();
-  EXPECT_TRUE(verify(M));
+  EXPECT_TRUE(lir::verify(M));
 }
 
 TEST_F(VerifierFixture, MissingTerminatorDetected) {
@@ -147,5 +147,5 @@ TEST_F(VerifierFixture, ConstIndexBoundsCheckOffByDefault) {
   B.createRet();
   // Post-optimization IR may hold a folded out-of-bounds constant for
   // a program that traps at run time; the default mode accepts it.
-  EXPECT_TRUE(verify(M));
+  EXPECT_TRUE(lir::verify(M));
 }

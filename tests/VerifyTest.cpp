@@ -1,0 +1,389 @@
+//===--- VerifyTest.cpp - Plan certifier, IR invariants, protocol ----------===//
+//
+// Unit coverage for src/verify: the marked-graph plan certifier (both
+// verdict directions, capacity bounds, the ShrinkCapacity remark), the
+// structural IR invariants (I/O signatures, rate consistency, token
+// liveness), the partition-isolation and threaded-C protocol checks,
+// and the driver wiring (CertifyPlan stage classification, stats).
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CEmitter.h"
+#include "driver/Driver.h"
+#include "lir/IRBuilder.h"
+#include "suite/Suite.h"
+#include "verify/IRInvariants.h"
+#include "verify/PlanCertifier.h"
+#include "parallel/ParallelLowering.h"
+#include "verify/ProtocolCheck.h"
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace laminar;
+using namespace laminar::driver;
+
+namespace {
+
+const suite::Benchmark *bench(const std::string &Name) {
+  const suite::Benchmark *B = suite::findBenchmark(Name);
+  EXPECT_NE(B, nullptr) << Name;
+  return B;
+}
+
+Compilation compileParallel(const std::string &Name, unsigned Workers,
+                            int64_t SlabBase = 2, unsigned Batch = 0) {
+  CompileOptions O;
+  const suite::Benchmark *B = bench(Name);
+  O.TopName = B->Top;
+  O.Parallel = Workers;
+  O.Tuning.Force = true;
+  O.Tuning.SlabBase = SlabBase;
+  O.Tuning.Batch = Batch;
+  return compile(B->Source, O);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Plan certifier
+//===----------------------------------------------------------------------===//
+
+TEST(PlanCertifier, SuitePlansCertifyAtDefaults) {
+  for (const suite::Benchmark &B : suite::allBenchmarks()) {
+    for (unsigned W : {2u, 4u}) {
+      Compilation C = compileParallel(B.Name, W);
+      ASSERT_TRUE(C.Ok) << B.Name << " W=" << W << "\n" << C.ErrorLog;
+      if (!C.Plan)
+        continue; // Clamped to one partition: nothing to certify.
+      ASSERT_TRUE(C.PlanCert.has_value()) << B.Name;
+      EXPECT_TRUE(C.PlanCert->ok()) << B.Name;
+      EXPECT_TRUE(C.PlanCert->Consistent);
+      EXPECT_TRUE(C.PlanCert->DeadlockFree);
+      EXPECT_TRUE(C.PlanCert->CapacitySufficient);
+      EXPECT_EQ(C.PlanCert->ArcsChecked, 2 * C.Plan->CutEdges.size());
+      EXPECT_EQ(C.PlanCert->CyclesChecked, C.Plan->CutEdges.size());
+      EXPECT_TRUE(C.PlanCert->Errors.empty());
+    }
+  }
+}
+
+TEST(PlanCertifier, ZeroSlabWindowRejectedAsUnmarkedCycle) {
+  Compilation C = compileParallel("FMRadio", 2, /*SlabBase=*/0);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_EQ(C.Stage, CompileStage::CertifyPlan);
+  // An uncertifiable plan is the flags' fault, not a compiler bug: the
+  // fuzz oracles must not classify it as a backend failure, and the
+  // user must get a located diagnostic naming the cycle.
+  EXPECT_FALSE(C.failedInBackend());
+  EXPECT_TRUE(C.hasLocatedError());
+  EXPECT_NE(C.ErrorLog.find("not deadlock-free"), std::string::npos)
+      << C.ErrorLog;
+  EXPECT_NE(C.ErrorLog.find("cycle with no initial marking"),
+            std::string::npos)
+      << C.ErrorLog;
+  ASSERT_TRUE(C.PlanCert.has_value());
+  EXPECT_FALSE(C.PlanCert->DeadlockFree);
+  EXPECT_FALSE(C.PlanCert->ok());
+}
+
+TEST(PlanCertifier, NegativeSlabRejectedWithoutSecondaryNoise) {
+  Compilation C = compileParallel("FMRadio", 2, /*SlabBase=*/-3);
+  EXPECT_FALSE(C.Ok);
+  ASSERT_TRUE(C.PlanCert.has_value());
+  EXPECT_FALSE(C.PlanCert->DeadlockFree);
+  // The non-positive window is one finding, not a deadlock error plus
+  // a cascade of capacity-overflow errors over the same edges.
+  EXPECT_EQ(C.ErrorLog.find("overflows"), std::string::npos)
+      << C.ErrorLog;
+}
+
+TEST(PlanCertifier, NoVerifyPlanSkipsCertification) {
+  CompileOptions O;
+  const suite::Benchmark *B = bench("FMRadio");
+  O.TopName = B->Top;
+  O.Parallel = 2;
+  O.Tuning.Force = true;
+  O.Tuning.SlabBase = 0; // Hostile, but certification is off.
+  O.VerifyPlan = false;
+  Compilation C = compile(B->Source, O);
+  EXPECT_TRUE(C.Ok) << C.ErrorLog;
+  EXPECT_FALSE(C.PlanCert.has_value());
+}
+
+TEST(PlanCertifier, UndersizedRingFailsCapacityCheck) {
+  Compilation C = compileParallel("FMRadio", 2);
+  ASSERT_TRUE(C.Ok && C.Plan && !C.Plan->CutEdges.empty());
+  parallel::PartitionPlan Tampered = *C.Plan;
+  Tampered.CutEdges.front().BufferSlots = 1; // Below any real bound.
+  DiagnosticEngine Diags;
+  verify::PlanCertificate Cert = verify::certifyPlan(
+      *C.Graph, *C.Sched, Tampered, Diags, CompilerLimits());
+  EXPECT_TRUE(Cert.DeadlockFree);
+  EXPECT_FALSE(Cert.CapacitySufficient);
+  EXPECT_FALSE(Cert.ok());
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_FALSE(Cert.Errors.empty());
+  EXPECT_NE(Cert.Errors.front().find("ring"), std::string::npos)
+      << Cert.Errors.front();
+}
+
+TEST(PlanCertifier, OversizedRingReportsShrinkCapacityRemark) {
+  Compilation C = compileParallel("FMRadio", 2);
+  ASSERT_TRUE(C.Ok && C.Plan && !C.Plan->CutEdges.empty());
+  parallel::PartitionPlan Tampered = *C.Plan;
+  for (parallel::CutEdge &E : Tampered.CutEdges)
+    E.BufferSlots *= 64; // Still pow2, way past the certified bound.
+  DiagnosticEngine Diags;
+  RemarkEmitter Remarks;
+  verify::PlanCertificate Cert = verify::certifyPlan(
+      *C.Graph, *C.Sched, Tampered, Diags, CompilerLimits(), nullptr,
+      &Remarks);
+  EXPECT_TRUE(Cert.ok()) << "oversizing is wasteful, not unsafe";
+  EXPECT_GT(Cert.OversizedRings, 0u);
+  bool SawShrink = false;
+  for (const Remark &R : Remarks.remarks())
+    SawShrink |= R.Name == "ShrinkCapacity";
+  EXPECT_TRUE(SawShrink);
+}
+
+TEST(PlanCertifier, InconsistentPlanPremisesRejected) {
+  Compilation C = compileParallel("FMRadio", 2);
+  ASSERT_TRUE(C.Ok && C.Plan && !C.Plan->CutEdges.empty());
+  // Break the balance-equation premise: the recorded per-iteration
+  // token volume no longer matches the schedule.
+  parallel::PartitionPlan Tampered = *C.Plan;
+  Tampered.CutEdges.front().TokensPerIter += 1;
+  DiagnosticEngine Diags;
+  verify::PlanCertificate Cert = verify::certifyPlan(
+      *C.Graph, *C.Sched, Tampered, Diags, CompilerLimits());
+  EXPECT_FALSE(Cert.Consistent);
+  EXPECT_FALSE(Cert.ok());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(PlanCertifier, StatsRecordedUnderVerifyPlanNamespace) {
+  Compilation C = compileParallel("FMRadio", 4);
+  ASSERT_TRUE(C.Ok && C.Plan);
+  EXPECT_EQ(C.Stats.get("verify.plan.certified"), 1u);
+  EXPECT_EQ(C.Stats.get("verify.plan.deadlock-free"), 1u);
+  EXPECT_EQ(C.Stats.get("verify.plan.capacity-certified"), 1u);
+  EXPECT_EQ(C.Stats.get("verify.plan.cut-edges"),
+            C.Plan->CutEdges.size());
+  EXPECT_EQ(C.Stats.get("verify.plan.arcs-checked"),
+            2 * C.Plan->CutEdges.size());
+  EXPECT_GT(C.Stats.get("verify.plan.max-ring-bound"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// IR invariants
+//===----------------------------------------------------------------------===//
+
+TEST(IRInvariants, IOSignatureOfBalancedDiamond) {
+  using namespace lir;
+  Module M("m");
+  IRBuilder B(M);
+  Function *F = M.createFunction("f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  Value *X = B.createInput(TypeKind::Int);
+  B.createCondBr(B.createCmp(CmpPred::LT, X, B.getInt(0)), Then, Else);
+  B.setInsertPoint(Then);
+  B.createOutput(B.getInt(1));
+  B.createBr(Exit);
+  B.setInsertPoint(Else);
+  B.createOutput(B.getInt(2));
+  B.createBr(Exit);
+  B.setInsertPoint(Exit);
+  B.createRet();
+
+  verify::IOSignature Sig = verify::ioSignature(*F);
+  EXPECT_TRUE(Sig.Acyclic);
+  EXPECT_TRUE(Sig.Balanced);
+  EXPECT_EQ(Sig.Inputs, 1);
+  EXPECT_EQ(Sig.Outputs, 1);
+}
+
+TEST(IRInvariants, UnbalancedArmsDetected) {
+  using namespace lir;
+  Module M("m");
+  IRBuilder B(M);
+  Function *F = M.createFunction("steady");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  Value *X = B.createInput(TypeKind::Int);
+  B.createCondBr(B.createCmp(CmpPred::LT, X, B.getInt(0)), Then, Exit);
+  B.setInsertPoint(Then);
+  B.createOutput(X); // Only one arm outputs: paths disagree.
+  B.createBr(Exit);
+  B.setInsertPoint(Exit);
+  B.createRet();
+
+  verify::IOSignature Sig = verify::ioSignature(*F);
+  EXPECT_TRUE(Sig.Acyclic);
+  EXPECT_FALSE(Sig.Balanced);
+  std::vector<std::string> V =
+      verify::checkIRInvariants(M, verify::InvariantContext());
+  ASSERT_FALSE(V.empty());
+  EXPECT_NE(V.front().find("steady"), std::string::npos) << V.front();
+}
+
+TEST(IRInvariants, CyclicFunctionSkipsRateCheck) {
+  using namespace lir;
+  Module M("m");
+  IRBuilder B(M);
+  Function *F = M.createFunction("steady");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Loop = F->createBlock("loop");
+  BasicBlock *Exit = F->createBlock("exit");
+  B.setInsertPoint(Entry);
+  B.createBr(Loop);
+  B.setInsertPoint(Loop);
+  Value *X = B.createInput(TypeKind::Int);
+  B.createOutput(X);
+  B.createCondBr(B.createCmp(CmpPred::LT, X, B.getInt(0)), Loop, Exit);
+  B.setInsertPoint(Exit);
+  B.createRet();
+
+  verify::IOSignature Sig = verify::ioSignature(*F);
+  EXPECT_FALSE(Sig.Acyclic);
+  // FIFO work loops are legal; the per-path balance check does not
+  // apply to them.
+  EXPECT_TRUE(
+      verify::checkIRInvariants(M, verify::InvariantContext()).empty());
+}
+
+TEST(IRInvariants, LiveTokenLoadBeforeInitDetected) {
+  using namespace lir;
+  Module M("m");
+  GlobalVar *T =
+      M.createGlobal("tok", TypeKind::Int, 1, MemClass::LiveToken);
+  IRBuilder B(M);
+  // @init stores nothing; @steady loads the token first thing.
+  Function *Init = M.createFunction("init");
+  B.setInsertPoint(Init->createBlock("entry"));
+  B.createRet();
+  Function *Steady = M.createFunction("steady");
+  B.setInsertPoint(Steady->createBlock("entry"));
+  B.createOutput(B.createLoad(T, B.getInt(0)));
+  B.createRet();
+
+  std::vector<std::string> V =
+      verify::checkIRInvariants(M, verify::InvariantContext());
+  ASSERT_FALSE(V.empty());
+  EXPECT_NE(V.front().find("tok"), std::string::npos) << V.front();
+
+  // Initializing in @init discharges it.
+  Module M2("m2");
+  GlobalVar *T2 =
+      M2.createGlobal("tok", TypeKind::Int, 1, MemClass::LiveToken);
+  IRBuilder B2(M2);
+  Function *Init2 = M2.createFunction("init");
+  B2.setInsertPoint(Init2->createBlock("entry"));
+  B2.createStore(T2, B2.getInt(0), B2.getInt(7));
+  B2.createRet();
+  Function *Steady2 = M2.createFunction("steady");
+  B2.setInsertPoint(Steady2->createBlock("entry"));
+  B2.createOutput(B2.createLoad(T2, B2.getInt(0)));
+  B2.createRet();
+  EXPECT_TRUE(
+      verify::checkIRInvariants(M2, verify::InvariantContext()).empty());
+}
+
+TEST(IRInvariants, CompiledSuiteModulesAreInvariantClean) {
+  for (const suite::Benchmark &B : suite::allBenchmarks()) {
+    CompileOptions O;
+    O.TopName = B.Top;
+    Compilation C = compile(B.Source, O);
+    ASSERT_TRUE(C.Ok) << B.Name << "\n" << C.ErrorLog;
+    verify::InvariantContext Ctx;
+    Ctx.G = C.Graph.get();
+    Ctx.S = C.Sched ? &*C.Sched : nullptr;
+    EXPECT_TRUE(verify::checkIRInvariants(*C.Module, Ctx).empty())
+        << B.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Partition isolation + threaded-C protocol
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolCheck, ParallelModulesAreIsolated) {
+  Compilation C = compileParallel("FMRadio", 4);
+  ASSERT_TRUE(C.Ok && C.Plan);
+  EXPECT_TRUE(
+      verify::checkPartitionIsolation(*C.Module, *C.Plan).empty());
+}
+
+TEST(ProtocolCheck, CrossPartitionStateAccessDetected) {
+  Compilation C = compileParallel("FMRadio", 2);
+  ASSERT_TRUE(C.Ok && C.Plan);
+  // Plant a load of a partition-0-private State global into the other
+  // partition's steady function: an unordered cross-thread access.
+  lir::Module &M = *C.Module;
+  lir::GlobalVar *Victim = nullptr;
+  for (const auto &G : M.globals())
+    if (G->getMemClass() == lir::MemClass::State) {
+      Victim = G.get();
+      break;
+    }
+  if (!Victim)
+    GTEST_SKIP() << "module carries no state globals";
+  for (const auto &F : M.functions()) {
+    if (F->getName() != parallel::steadyFunctionName(0) &&
+        F->getName() != parallel::steadyFunctionName(1))
+      continue;
+    lir::IRBuilder B(M);
+    B.setInsertPoint(F->createBlock("planted"));
+    B.createLoad(Victim, B.getInt(0));
+    B.createRet();
+  }
+  std::vector<std::string> V =
+      verify::checkPartitionIsolation(M, *C.Plan);
+  ASSERT_FALSE(V.empty());
+  EXPECT_NE(V.front().find(Victim->getName()), std::string::npos)
+      << V.front();
+}
+
+TEST(ProtocolCheck, EmittedCSatisfiesSlabProtocol) {
+  Compilation C = compileParallel("FMRadio", 4);
+  ASSERT_TRUE(C.Ok && C.Plan);
+  codegen::CEmitOptions CE;
+  CE.Plan = &*C.Plan;
+  std::string CSource = codegen::emitC(*C.Module, CE);
+  EXPECT_TRUE(
+      verify::checkThreadedCProtocol(CSource, *C.Plan).empty());
+}
+
+TEST(ProtocolCheck, TamperedProtocolTextDetected) {
+  Compilation C = compileParallel("FMRadio", 2);
+  ASSERT_TRUE(C.Ok && C.Plan && !C.Plan->CutEdges.empty());
+  codegen::CEmitOptions CE;
+  CE.Plan = &*C.Plan;
+  std::string Good = codegen::emitC(*C.Module, CE);
+  ASSERT_TRUE(verify::checkThreadedCProtocol(Good, *C.Plan).empty());
+
+  // Demote the producer's release publish to relaxed: the consumer's
+  // acquire no longer synchronizes with the data writes.
+  std::string NoRelease = Good;
+  size_t Pos = NoRelease.find("memory_order_release");
+  ASSERT_NE(Pos, std::string::npos);
+  while ((Pos = NoRelease.find("memory_order_release", 0)) !=
+         std::string::npos)
+    NoRelease.replace(Pos, strlen("memory_order_release"),
+                      "memory_order_relaxed");
+  EXPECT_FALSE(
+      verify::checkThreadedCProtocol(NoRelease, *C.Plan).empty());
+
+  // Strip the fault handler's _Exit: a fault would no longer terminate
+  // the process after raising cancel.
+  std::string NoExit = Good;
+  Pos = NoExit.find("_Exit(LAM_EXIT_FAULT)");
+  ASSERT_NE(Pos, std::string::npos);
+  NoExit.replace(Pos, strlen("_Exit(LAM_EXIT_FAULT)"), "(void)0");
+  EXPECT_FALSE(verify::checkThreadedCProtocol(NoExit, *C.Plan).empty());
+}

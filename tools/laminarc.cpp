@@ -47,6 +47,14 @@
 //                         laminar-calibrate) for the partitioner and
 //                         the parallel cost gate
 //   --no-degrade          error instead of Laminar->FIFO fallback
+//   --verify-each         re-verify the module (SSA verifier plus the
+//                         structural invariants: rate consistency,
+//                         token liveness, partition isolation) after
+//                         every optimization pass, attributing the
+//                         first broken invariant to the pass
+//   --no-verify-plan      skip static plan-safety certification of the
+//                         selected parallel plan (deadlock-freedom,
+//                         ring capacity; on by default)
 //   --analyze             run the compile-time stream-safety checks
 //                         (proved violations are errors)
 //   --Werror-analysis     --analyze with warnings promoted to errors
@@ -65,10 +73,13 @@
 #include "driver/Driver.h"
 #include "lir/Printer.h"
 #include "suite/Suite.h"
+#include "verify/ProtocolCheck.h"
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <vector>
 
 using namespace laminar;
 
@@ -81,7 +92,8 @@ static int usage() {
       << "  [--iters=N] [--seed=N] [--top=Name]\n"
       << "  [--max-nodes=N] [--max-reps=N] [--max-firings=N]\n"
       << "  [--max-ir-insts=N] [--max-peek=N] [--max-channel-tokens=N]\n"
-      << "  [--max-errors=N] [--max-steps=N] [--no-degrade] [--analyze]\n"
+      << "  [--max-errors=N] [--max-steps=N] [--no-degrade]\n"
+      << "  [--verify-each] [--no-verify-plan] [--analyze]\n"
       << "  [--Werror-analysis] [--deadline-ms=N]\n"
       << "  [--inject-fault=step|pop|push:WORKER:COUNT]\n"
       << "  [--fault-json=FILE] [--profile-json=FILE] [--profile-trace]\n"
@@ -105,6 +117,7 @@ int main(int argc, char **argv) {
   CompilerLimits Limits;
   parallel::ParallelTuning Tuning;
   bool AllowDegrade = true, Analyze = false, WerrorAnalysis = false;
+  bool VerifyEach = false, VerifyPlan = true;
   std::string TraceJsonPath, RemarksPath, RemarksFilter, StatsJsonPath;
   bool TimeReport = false;
   driver::RunParams RunParams;
@@ -120,6 +133,24 @@ int main(int argc, char **argv) {
       Out = Arg.substr(N);
       return true;
     };
+    // Range-validating integer parse: rejects trailing garbage,
+    // out-of-range magnitudes and values std::stoul would silently
+    // wrap (e.g. --parallel-batch=-1), with the offending flag named.
+    auto ParseInt = [](const std::string &S) -> std::optional<long long> {
+      try {
+        size_t Pos = 0;
+        long long N = std::stoll(S, &Pos);
+        if (Pos != S.size())
+          return std::nullopt;
+        return N;
+      } catch (const std::exception &) {
+        return std::nullopt;
+      }
+    };
+    auto FlagError = [&](const std::string &Why) {
+      std::cerr << "error: " << Arg << ": " << Why << "\n";
+      return 1;
+    };
     std::string V;
     try {
       if (Eat("--mode=", V))
@@ -128,15 +159,27 @@ int main(int argc, char **argv) {
         Emit = V;
       else if (Eat("--opt=", V))
         Opt = static_cast<unsigned>(std::stoul(V));
-      else if (Eat("--parallel=", V))
-        Parallel = static_cast<unsigned>(std::stoul(V));
-      else if (Arg == "--parallel-force")
+      else if (Eat("--parallel=", V)) {
+        std::optional<long long> N = ParseInt(V);
+        if (!N || *N < 0 || *N > 4096)
+          return FlagError("expected a worker count in [0, 4096]");
+        Parallel = static_cast<unsigned>(*N);
+      } else if (Arg == "--parallel-force")
         Tuning.Force = true;
-      else if (Eat("--parallel-batch=", V))
-        Tuning.Batch = static_cast<unsigned>(std::stoul(V));
-      else if (Eat("--parallel-slab=", V))
-        Tuning.SlabBase = std::stoll(V);
-      else if (Arg == "--no-parallel-fission")
+      else if (Eat("--parallel-batch=", V)) {
+        std::optional<long long> N = ParseInt(V);
+        if (!N || *N < 0 || *N > 4096)
+          return FlagError(
+              "expected 0 (auto) or a batch factor in [1, 4096]");
+        Tuning.Batch = static_cast<unsigned>(*N);
+      } else if (Eat("--parallel-slab=", V)) {
+        std::optional<long long> N = ParseInt(V);
+        if (!N || *N > (1LL << 20) || *N < -(1LL << 20))
+          return FlagError("expected a credit window with magnitude <= "
+                           "2^20 (non-positive windows are rejected by "
+                           "plan certification)");
+        Tuning.SlabBase = *N;
+      } else if (Arg == "--no-parallel-fission")
         Tuning.Fission = parallel::ParallelTuning::FissionMode::Off;
       else if (Eat("--iters=", V))
         Iters = std::stoll(V);
@@ -158,9 +201,13 @@ int main(int argc, char **argv) {
         Limits.MaxChannelTokens = std::stoll(V);
       else if (Eat("--max-errors=", V))
         Limits.MaxErrors = static_cast<unsigned>(std::stoul(V));
-      else if (Eat("--max-steps=", V))
-        Limits.MaxInterpSteps = std::stoll(V);
-      else if (Eat("--deadline-ms=", V))
+      else if (Eat("--max-steps=", V)) {
+        std::optional<long long> N = ParseInt(V);
+        if (!N || *N < 1)
+          return FlagError("expected a positive interpreter step "
+                           "budget (0 would run nothing)");
+        Limits.MaxInterpSteps = *N;
+      } else if (Eat("--deadline-ms=", V))
         RunParams.DeadlineMs = std::stoll(V);
       else if (Eat("--inject-fault=", V)) {
         size_t C1 = V.find(':'), C2 = V.find(':', C1 + 1);
@@ -190,6 +237,10 @@ int main(int argc, char **argv) {
         PlatformProfilePath = V;
       else if (Arg == "--no-degrade")
         AllowDegrade = false;
+      else if (Arg == "--verify-each")
+        VerifyEach = true;
+      else if (Arg == "--no-verify-plan")
+        VerifyPlan = false;
       else if (Arg == "--analyze")
         Analyze = true;
       else if (Arg == "--Werror-analysis")
@@ -253,6 +304,8 @@ int main(int argc, char **argv) {
   Opts.AllowDegradeToFifo = AllowDegrade;
   Opts.Analyze = Analyze;
   Opts.AnalysisWerror = WerrorAnalysis;
+  Opts.VerifyEachPass = VerifyEach;
+  Opts.VerifyPlan = VerifyPlan;
   if (Trace.enabled())
     Opts.Trace = &Trace;
   if (!RemarksPath.empty())
@@ -333,7 +386,22 @@ int main(int argc, char **argv) {
       if (CE.InjectSlab < 0)
         CE.InjectSlab = 0;
     }
-    std::cout << codegen::emitC(*C.Module, CE);
+    std::string CSource = codegen::emitC(*C.Module, CE);
+    // The protocol shape of the emitted threaded program is part of
+    // the plan certificate: acquire-gated consumption, release
+    // publishes, cancel polls in every spin, fault ordering.
+    if (C.Plan && VerifyPlan) {
+      std::vector<std::string> PV =
+          verify::checkThreadedCProtocol(CSource, *C.Plan);
+      if (!PV.empty()) {
+        std::cerr << "error: emitted C violates the slab protocol:\n";
+        for (const std::string &S : PV)
+          std::cerr << "  " << S << "\n";
+        Flush();
+        return 1;
+      }
+    }
+    std::cout << CSource;
   } else if (Emit == "graph") {
     std::cout << C.Graph->str();
   } else if (Emit == "dot") {
