@@ -1,0 +1,194 @@
+//===--- bench_server.cpp - Server throughput: plans, spawns, tokens ------===//
+//
+// The server subsystem's three headline numbers, written to
+// BENCH_server.json for the ci/check_server.py floors:
+//
+//   * plans/sec, cold vs cached — the value of the plan cache. Cold
+//     compiles run the whole pipeline on distinct sources; cached
+//     compiles hit the same (source, options) key. The ratio is the
+//     compile-amortization factor a multi-tenant front door gets.
+//   * instances/sec — spawn cost. Spawning is one MemoryImage
+//     construction off a cached plan; this measures the plan/instance
+//     split directly (a server that re-compiled per instance would be
+//     ~cache_speedup slower here).
+//   * sustained tokens/sec at 64 concurrent ChannelVocoder instances
+//     over the shared worker pool — the multi-tenant steady-state
+//     throughput claim, output tokens counted.
+//
+// Wall-clock numbers on CI containers are noisy; the committed floors
+// in check_server.py are deliberately one-sided and loose (cache
+// speedup and spawn rate have 100x+ headroom) so only a structural
+// regression — e.g. cache misses re-running the pipeline — trips them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "server/Server.h"
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+using namespace laminar;
+using namespace laminar::bench;
+using namespace laminar::server;
+
+namespace {
+
+double secondsSince(
+    std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Distinct-but-equivalent sources: a unique constant per variant
+/// forces a genuine cold compile for each.
+std::string variantSource(int K) {
+  return "float->float filter Scaler(float gain) {\n"
+         "  work push 1 pop 1 { push(pop() * gain); }\n"
+         "}\n"
+         "float->float pipeline Variant {\n"
+         "  add Scaler(" +
+         std::to_string(K + 2) + ".5);\n}\n";
+}
+
+} // namespace
+
+int main() {
+  std::printf("server: plan cache, spawn cost, multi-instance throughput\n");
+
+  ServerConfig Cfg;
+  Cfg.Workers = std::max(2u, std::thread::hardware_concurrency());
+  Cfg.CacheEntries = 256;
+  StreamServer S(Cfg);
+  std::string Err;
+
+  PlanOptions PO;
+  PO.TopName = "Variant";
+
+  // --- plans/sec, cold ---------------------------------------------------
+  constexpr int ColdPlans = 32;
+  auto T0 = std::chrono::steady_clock::now();
+  for (int K = 0; K < ColdPlans; ++K) {
+    if (!S.compile(variantSource(K), PO, Err)) {
+      std::fprintf(stderr, "fatal: cold compile: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  const double ColdSec = secondsSince(T0);
+  const double ColdPerSec = ColdPlans / ColdSec;
+
+  // --- plans/sec, cached -------------------------------------------------
+  constexpr int CachedPlans = 4096;
+  T0 = std::chrono::steady_clock::now();
+  for (int K = 0; K < CachedPlans; ++K) {
+    bool Hit = false;
+    if (!S.compile(variantSource(K % ColdPlans), PO, Err, &Hit) || !Hit) {
+      std::fprintf(stderr, "fatal: expected a cache hit\n");
+      return 1;
+    }
+  }
+  const double CachedSec = secondsSince(T0);
+  const double CachedPerSec = CachedPlans / CachedSec;
+
+  // --- instances/sec -----------------------------------------------------
+  const suite::Benchmark *CV = suite::findBenchmark("ChannelVocoder");
+  PlanOptions CvOpts;
+  CvOpts.TopName = CV->Top;
+  auto CvPlan = S.compile(CV->Source, CvOpts, Err);
+  if (!CvPlan) {
+    std::fprintf(stderr, "fatal: %s\n", Err.c_str());
+    return 1;
+  }
+  constexpr int Spawns = 512;
+  std::vector<std::shared_ptr<Instance>> Spawned;
+  Spawned.reserve(Spawns);
+  T0 = std::chrono::steady_clock::now();
+  for (int K = 0; K < Spawns; ++K)
+    Spawned.push_back(S.spawn(CvPlan));
+  const double SpawnSec = secondsSince(T0);
+  const double SpawnsPerSec = Spawns / SpawnSec;
+  for (const auto &I : Spawned)
+    S.freeInstance(I->id());
+  Spawned.clear();
+
+  // --- sustained tokens/sec at 64 instances ------------------------------
+  constexpr int NumInstances = 64;
+  constexpr int64_t Iters = 8;
+  constexpr int Rounds = 4;
+  std::vector<std::shared_ptr<Instance>> Is;
+  for (int K = 0; K < NumInstances; ++K)
+    Is.push_back(S.spawn(CvPlan));
+  // Pre-generate per-round inputs (first round covers init).
+  std::vector<std::vector<interp::TokenStream>> Inputs(Rounds);
+  for (int R = 0; R < Rounds; ++R) {
+    Inputs[R].reserve(NumInstances);
+    for (int K = 0; K < NumInstances; ++K) {
+      const int64_t Tokens =
+          (R == 0 ? CvPlan->inputForInit() : 0) +
+          CvPlan->inputPerIter() * Iters;
+      Inputs[R].push_back(interp::makeRandomInput(
+          CvPlan->inputType(), static_cast<size_t>(Tokens),
+          static_cast<uint64_t>(R * NumInstances + K + 1)));
+    }
+  }
+
+  uint64_t TokensOut = 0;
+  T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Clients;
+  std::vector<uint64_t> PerClient(NumInstances, 0);
+  for (int K = 0; K < NumInstances; ++K) {
+    Clients.emplace_back([&, K] {
+      for (int R = 0; R < Rounds; ++R) {
+        if (S.pushBatch(*Is[K], Inputs[R][K].view(), Iters) !=
+            BatchStatus::Ok)
+          return;
+        interp::TokenStream Out;
+        if (Is[K]->pullBatch(Out) != BatchStatus::Ok)
+          return;
+        PerClient[K] += Out.size();
+      }
+    });
+  }
+  for (auto &T : Clients)
+    T.join();
+  const double StreamSec = secondsSince(T0);
+  for (uint64_t N : PerClient)
+    TokensOut += N;
+  const double TokensPerSec = TokensOut / StreamSec;
+  const uint64_t ExpectedTokens =
+      static_cast<uint64_t>(CvPlan->outputPerIter() * Iters) * Rounds *
+      NumInstances;
+  if (TokensOut != ExpectedTokens) {
+    std::fprintf(stderr, "fatal: expected %llu output tokens, got %llu\n",
+                 static_cast<unsigned long long>(ExpectedTokens),
+                 static_cast<unsigned long long>(TokensOut));
+    return 1;
+  }
+
+  std::printf("  plans/sec cold     : %10.1f  (%d plans)\n", ColdPerSec,
+              ColdPlans);
+  std::printf("  plans/sec cached   : %10.1f  (%d lookups)\n", CachedPerSec,
+              CachedPlans);
+  std::printf("  cache speedup      : %10.1fx\n", CachedPerSec / ColdPerSec);
+  std::printf("  instances/sec      : %10.1f  (%d spawns)\n", SpawnsPerSec,
+              Spawns);
+  std::printf("  tokens/sec @64 inst: %10.0f  (%llu tokens, %.3fs)\n",
+              TokensPerSec, static_cast<unsigned long long>(TokensOut),
+              StreamSec);
+
+  std::ofstream Out("BENCH_server.json");
+  Out << "{\n";
+  Out << "  \"workers\": " << S.config().Workers << ",\n";
+  Out << "  \"cold_plans\": " << ColdPlans << ",\n";
+  Out << "  \"cold_plans_per_sec\": " << ColdPerSec << ",\n";
+  Out << "  \"cached_plans_per_sec\": " << CachedPerSec << ",\n";
+  Out << "  \"cache_speedup\": " << (CachedPerSec / ColdPerSec) << ",\n";
+  Out << "  \"instances_per_sec\": " << SpawnsPerSec << ",\n";
+  Out << "  \"stream_instances\": " << NumInstances << ",\n";
+  Out << "  \"stream_tokens\": " << TokensOut << ",\n";
+  Out << "  \"tokens_per_sec\": " << TokensPerSec << "\n";
+  Out << "}\n";
+  std::printf("wrote BENCH_server.json\n");
+  return 0;
+}

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""End-to-end CI gate for the laminard stream server.
+
+Usage: check_server.py LAMINARD_BINARY [BENCH_JSON]
+
+Drives a freshly started laminard over its AF_UNIX line-delimited JSON
+socket and asserts the server subsystem's contracts:
+
+  1. Plan cache: the first compile of a (source, top) pair is a miss,
+     the next 99 are hits — verified via server.cache.{hit,miss} and
+     server.compile.cold in the stats registry, which is how the "zero
+     compiler phases on a cache hit" claim is observable from outside
+     the process.
+  2. Instances: 100 instances spawned from the one cached plan, each
+     fed a distinct integer batch; every output is checked for exact
+     correctness against the independently computed expectation (the
+     pipeline is integer-only, so expected values are exact, no
+     tolerance). This is the same bit-exactness contract
+     tests/ServerTest.cpp pins against the in-process solo engine.
+  3. Fault isolation: a division-by-zero batch faults exactly one
+     instance, which reports a structured laminar-fault-report-v1;
+     a sibling instance keeps producing correct output afterwards.
+  4. Clean shutdown over the protocol.
+
+When BENCH_JSON (a fresh BENCH_server.json from bench_server) is
+given, also enforces the deliberately loose structural floors:
+cache_speedup >= CACHE_SPEEDUP_FLOOR (a cached compile must be far
+cheaper than a cold one — if this trips, cache hits are re-running the
+pipeline), instances_per_sec >= SPAWN_FLOOR (spawn must stay
+O(state size)), and tokens_per_sec >= TOKENS_FLOOR. Wall-clock on
+shared CI varies by tens of percent; these floors have >10x headroom
+and only catch structural regressions.
+
+Exit code 0 = all good; any violation prints the reason and exits 1.
+No third-party dependencies (stdlib only).
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+CACHE_SPEEDUP_FLOOR = 3.0
+SPAWN_FLOOR = 1000.0
+TOKENS_FLOOR = 5000.0
+
+NUM_INSTANCES = 100
+ITERS = 16
+
+SOURCE = """
+int->int filter Scale() {
+  work push 1 pop 1 {
+    push(pop() * 3);
+  }
+}
+int->int filter Offset() {
+  work push 1 pop 1 {
+    push(pop() + 7);
+  }
+}
+int->int pipeline Chain {
+  add Scale();
+  add Offset();
+}
+"""
+
+FAULT_SOURCE = """
+int->int filter Divider() {
+  work push 1 pop 1 {
+    push(1000 / pop());
+  }
+}
+int->int pipeline Divide {
+  add Divider();
+}
+"""
+
+
+def fail(msg):
+    print(f"check_server: FAIL: {msg}")
+    sys.exit(1)
+
+
+class Client:
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.file = self.sock.makefile("rw")
+
+    def rpc(self, obj):
+        self.file.write(json.dumps(obj) + "\n")
+        self.file.flush()
+        line = self.file.readline()
+        if not line:
+            fail(f"daemon closed the connection on {obj.get('op')}")
+        return json.loads(line)
+
+    def ok(self, obj):
+        r = self.rpc(obj)
+        if not r.get("ok"):
+            fail(f"{obj.get('op')} failed: {r.get('error')}")
+        return r
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    laminard = sys.argv[1]
+    bench_json = sys.argv[2] if len(sys.argv) > 2 else None
+
+    sock_path = os.path.join(tempfile.mkdtemp(prefix="laminard-ci-"),
+                             "laminard.sock")
+    daemon = subprocess.Popen(
+        [laminard, "--socket", sock_path, "--workers", "4"])
+    try:
+        run_checks(sock_path, daemon)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        if os.path.exists(sock_path):
+            os.unlink(sock_path)
+
+    if bench_json:
+        check_bench_floors(bench_json)
+
+    print("check_server: all server contracts hold")
+
+
+def run_checks(sock_path, daemon):
+    for _ in range(200):
+        if os.path.exists(sock_path):
+            break
+        time.sleep(0.05)
+    else:
+        fail("laminard did not create its socket")
+
+    c = Client(sock_path)
+    c.ok({"op": "ping"})
+
+    # --- 1. plan cache: 1 miss + 99 hits over 100 compiles -----------------
+    r = c.ok({"op": "compile", "source": SOURCE, "top": "Chain"})
+    if r["cache-hit"]:
+        fail("first compile must be a cache miss")
+    plan = r["plan"]
+    info = r["info"]
+    if info["input-type"] != "int" or info["input-per-iter"] != 1:
+        fail(f"unexpected plan info: {info}")
+    for k in range(NUM_INSTANCES - 1):
+        r = c.ok({"op": "compile", "source": SOURCE, "top": "Chain"})
+        if not r["cache-hit"]:
+            fail(f"compile #{k + 2} of identical source was not a cache hit")
+
+    stats = c.ok({"op": "stats"})["stats"]["counters"]
+    if stats.get("server.cache.hit", 0) != NUM_INSTANCES - 1:
+        fail(f"expected {NUM_INSTANCES - 1} cache hits, "
+             f"got {stats.get('server.cache.hit')}")
+    if stats.get("server.compile.cold", 0) != 1:
+        fail(f"expected exactly 1 cold compile, "
+             f"got {stats.get('server.compile.cold')}")
+
+    # --- 2. 100 instances off the one plan, exact outputs ------------------
+    instances = []
+    for k in range(NUM_INSTANCES):
+        instances.append(c.ok({"op": "spawn", "plan": plan})["instance"])
+    stats = c.ok({"op": "stats"})["stats"]["counters"]
+    if stats.get("server.compile.cold", 0) != 1:
+        fail("spawning instances must not trigger compiles")
+    if stats.get("server.instances.live", 0) != NUM_INSTANCES:
+        fail(f"expected {NUM_INSTANCES} live instances, "
+             f"got {stats.get('server.instances.live')}")
+
+    init_tokens = info["input-for-init"]
+    need = init_tokens + info["input-per-iter"] * ITERS
+    for k, inst in enumerate(instances):
+        data = [k * 100 + i for i in range(need)]
+        c.ok({"op": "push", "instance": inst, "data": data,
+              "iterations": ITERS})
+    for k, inst in enumerate(instances):
+        r = c.ok({"op": "pull", "instance": inst})
+        data = [k * 100 + i for i in range(need)]
+        expected = [v * 3 + 7 for v in data]
+        if r["data"] != expected:
+            fail(f"instance {k}: wrong output {r['data'][:4]}... "
+                 f"expected {expected[:4]}...")
+
+    # --- 3. fault isolation ------------------------------------------------
+    r = c.ok({"op": "compile", "source": FAULT_SOURCE, "top": "Divide"})
+    fplan = r["plan"]
+    victim = c.ok({"op": "spawn", "plan": fplan})["instance"]
+    sibling = c.ok({"op": "spawn", "plan": fplan})["instance"]
+    c.ok({"op": "push", "instance": victim, "data": [10, 0, 5],
+          "iterations": 3})
+    r = c.rpc({"op": "pull", "instance": victim})
+    if r.get("status") != "faulted":
+        fail(f"expected faulted pull on the victim, got {r}")
+    r = c.ok({"op": "fault", "instance": victim})
+    if not r.get("faulted"):
+        fail("victim must report faulted")
+    report = r.get("report", {})
+    if report.get("schema") != "laminar-fault-report-v1":
+        fail(f"fault report has wrong schema: {report.get('schema')}")
+    if report.get("fault", {}).get("kind") != "div-by-zero":
+        fail(f"fault kind: {report.get('fault', {}).get('kind')}")
+    c.ok({"op": "push", "instance": sibling, "data": [10, 20, 50],
+          "iterations": 3})
+    r = c.ok({"op": "pull", "instance": sibling})
+    if r["data"] != [100, 50, 20]:
+        fail(f"sibling of a faulted instance produced {r['data']}")
+
+    # The original 100 instances are also untouched by the fault.
+    for inst in instances:
+        c.ok({"op": "free-instance", "instance": inst})
+
+    # --- 4. clean shutdown -------------------------------------------------
+    c.ok({"op": "shutdown"})
+    try:
+        daemon.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        fail("laminard did not exit after shutdown")
+    if daemon.returncode != 0:
+        fail(f"laminard exited with {daemon.returncode}")
+    print(f"check_server: cache 1 cold + {NUM_INSTANCES - 1} hits, "
+          f"{NUM_INSTANCES} instances exact, fault isolated, clean exit")
+
+
+def check_bench_floors(path):
+    with open(path) as f:
+        bench = json.load(f)
+    checks = [
+        ("cache_speedup", CACHE_SPEEDUP_FLOOR),
+        ("instances_per_sec", SPAWN_FLOOR),
+        ("tokens_per_sec", TOKENS_FLOOR),
+    ]
+    for key, floor in checks:
+        val = bench.get(key)
+        if val is None:
+            fail(f"{path} is missing {key}")
+        if val < floor:
+            fail(f"{key} = {val:.1f} below floor {floor:.1f}")
+    print(f"check_server: bench floors hold "
+          f"(cache {bench['cache_speedup']:.1f}x, "
+          f"{bench['instances_per_sec']:.0f} spawns/s, "
+          f"{bench['tokens_per_sec']:.0f} tokens/s)")
+
+
+if __name__ == "__main__":
+    main()

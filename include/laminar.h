@@ -1,0 +1,160 @@
+/*===--- laminar.h - C embedding API for the laminar stream server ------===*
+ *
+ * The production front door, as a thin extern "C" surface over
+ * src/server: compile stream programs into cached immutable plans,
+ * spawn cheap instances, and stream columnar token batches through
+ * them with zero copies in either direction.
+ *
+ * Object model
+ *   laminar_server    owns the plan cache, the shared worker pool and
+ *                     the instance table. One per process is typical.
+ *   laminar_plan      an immutable compiled artifact (module, schedule,
+ *                     partition plan, safety certificate). Reference-
+ *                     counted; sharable across any number of instances.
+ *                     The second laminar_compile of the same
+ *                     (source, options) pair is a cache hit and runs
+ *                     zero compiler phases.
+ *   laminar_instance  one running stream: private memory image and
+ *                     queues over a shared plan. Spawn cost is
+ *                     O(state size), never O(compile).
+ *   laminar_batch     one pulled output batch; exposes the server's
+ *                     internal buffer directly (zero-copy out).
+ *
+ * Zero-copy contract: laminar_push_batch_* does NOT copy the input
+ * buffer — the worker reads it in place. The buffer must stay valid
+ * and unmodified until every output produced from it has been pulled
+ * (or the instance is freed). Output buffers exposed by laminar_batch
+ * are owned by the batch handle and freed by laminar_batch_free.
+ *
+ * Errors: functions returning pointers return NULL on failure;
+ * functions returning int return a LAMINAR_* status. In both cases
+ * laminar_last_error() describes the most recent failure on the
+ * calling thread. Strings returned as char* are heap-allocated; free
+ * them with laminar_string_free.
+ *
+ * Faults are contained per instance: a faulting instance reports a
+ * structured laminar-fault-report-v1 document via
+ * laminar_instance_fault and stops; sibling instances, the plan cache
+ * and the server keep running.
+ *
+ *===--------------------------------------------------------------------===*/
+
+#ifndef LAMINAR_H
+#define LAMINAR_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct laminar_server laminar_server;
+typedef struct laminar_plan laminar_plan;
+typedef struct laminar_instance laminar_instance;
+typedef struct laminar_batch laminar_batch;
+
+/* Status codes (mirror server::BatchStatus; LAMINAR_ERR is API misuse
+ * or an invalid handle). */
+enum {
+  LAMINAR_OK = 0,
+  LAMINAR_BAD_BATCH = 1, /* token count/type violates the rate contract */
+  LAMINAR_FAULTED = 2,   /* instance faulted; see laminar_instance_fault */
+  LAMINAR_EMPTY = 3,     /* nothing completed, queued, or in flight */
+  LAMINAR_CANCELLED = 4, /* cancelled explicitly or by the deadline */
+  LAMINAR_BACKLOG = 5,   /* per-instance pending queue is full */
+  LAMINAR_ERR = -1
+};
+
+/* Token element types. */
+enum { LAMINAR_TYPE_FLOAT = 0, LAMINAR_TYPE_INT = 1 };
+
+typedef struct laminar_server_config {
+  unsigned workers;         /* worker threads; 0 = hardware concurrency */
+  size_t cache_entries;     /* max cached plans; 0 disables the cache */
+  size_t cache_bytes;       /* plan-cache byte budget; 0 = unlimited */
+  size_t max_plan_bytes;    /* per-plan admission cap; 0 = unlimited */
+  uint64_t deadline_ms;     /* per-batch execution deadline; 0 = none */
+} laminar_server_config;
+
+/* Fills *cfg with the defaults (hardware workers, 64-entry/256 MiB
+ * cache, 64 MiB admission cap, no deadline). */
+void laminar_server_config_init(laminar_server_config *cfg);
+
+laminar_server *laminar_server_new(const laminar_server_config *cfg);
+void laminar_server_free(laminar_server *srv);
+
+/* Server-wide stats as JSON: merged compile-phase counters plus
+ * server.cache.{hit,miss,evict,admission-reject,entries,bytes} and
+ * server.instances.* / server.batches.* counters. */
+char *laminar_server_stats(laminar_server *srv);
+
+typedef struct laminar_compile_options {
+  const char *top;       /* top-level stream to elaborate (required) */
+  int fifo_mode;         /* nonzero compiles the FIFO baseline */
+  unsigned opt_level;    /* 0..2 (default 2) */
+  unsigned parallel;     /* partition for N workers; 0 = sequential */
+  int allow_degrade;     /* nonzero: degrade to FIFO instead of failing */
+} laminar_compile_options;
+
+void laminar_compile_options_init(laminar_compile_options *opts);
+
+/* Compile-or-fetch. *cache_hit (optional) is set to 1 when the plan
+ * came out of the cache — in that case zero compiler phases ran.
+ * Returns a new reference; release with laminar_plan_release. */
+laminar_plan *laminar_compile(laminar_server *srv, const char *source,
+                              const laminar_compile_options *opts,
+                              int *cache_hit);
+void laminar_plan_release(laminar_plan *plan);
+
+/* Plan metadata as JSON: input/output element types, tokens per
+ * iteration (in/out), init-phase tokens, partitions, approx bytes. */
+char *laminar_plan_info(const laminar_plan *plan);
+
+/* Rate contract accessors (what a batch of N iterations must carry:
+ * in_per_iter * N tokens, plus in_for_init on the first batch). */
+int laminar_plan_input_type(const laminar_plan *plan);
+int laminar_plan_output_type(const laminar_plan *plan);
+int64_t laminar_plan_input_per_iter(const laminar_plan *plan);
+int64_t laminar_plan_input_for_init(const laminar_plan *plan);
+int64_t laminar_plan_output_per_iter(const laminar_plan *plan);
+
+laminar_instance *laminar_instance_new(laminar_server *srv,
+                                       laminar_plan *plan);
+/* Cancels, unregisters and releases the instance. Pending/unpulled
+ * work is dropped. */
+void laminar_instance_free(laminar_instance *inst);
+uint64_t laminar_instance_id(const laminar_instance *inst);
+void laminar_instance_cancel(laminar_instance *inst);
+
+/* Queue one zero-copy batch of `iterations` steady iterations. The
+ * element type must match the plan's input type. */
+int laminar_push_batch_f64(laminar_instance *inst, const double *data,
+                           size_t count, int64_t iterations);
+int laminar_push_batch_i64(laminar_instance *inst, const int64_t *data,
+                           size_t count, int64_t iterations);
+
+/* Pop the oldest completed batch. Blocks while one is in flight;
+ * LAMINAR_EMPTY when the instance is idle with nothing queued. */
+int laminar_pull_batch(laminar_instance *inst, laminar_batch **out);
+size_t laminar_batch_len(const laminar_batch *batch);
+int laminar_batch_type(const laminar_batch *batch);
+const double *laminar_batch_data_f64(const laminar_batch *batch);
+const int64_t *laminar_batch_data_i64(const laminar_batch *batch);
+void laminar_batch_free(laminar_batch *batch);
+
+/* Per-instance telemetry (laminar-runtime-stats-v1 JSON). */
+char *laminar_instance_stats(laminar_instance *inst);
+/* Fault report (laminar-fault-report-v1 JSON); NULL if not faulted. */
+char *laminar_instance_fault(laminar_instance *inst);
+
+/* Thread-local description of the calling thread's last failure. The
+ * pointer is valid until the next failing call on this thread. */
+const char *laminar_last_error(void);
+void laminar_string_free(char *str);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* LAMINAR_H */

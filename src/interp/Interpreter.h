@@ -55,6 +55,19 @@ struct Counters {
   void record(StatsRegistry &Stats, const std::string &Prefix) const;
 };
 
+/// A non-owning, typed view of a token buffer — the zero-copy input
+/// path of the embedding API (src/server): the executor reads the
+/// caller's columnar memory directly, with no staging copy. The viewed
+/// buffer must outlive every executor constructed over it.
+struct TokenView {
+  lir::TypeKind Ty = lir::TypeKind::Float;
+  const int64_t *I = nullptr;
+  const double *F = nullptr;
+  size_t Count = 0;
+
+  size_t size() const { return Count; }
+};
+
 /// A typed token vector (the external input or output stream).
 struct TokenStream {
   lir::TypeKind Ty = lir::TypeKind::Float;
@@ -63,6 +76,16 @@ struct TokenStream {
 
   size_t size() const {
     return Ty == lir::TypeKind::Int ? I.size() : F.size();
+  }
+
+  /// A view of this stream's storage (invalidated by reallocation).
+  TokenView view() const {
+    TokenView V;
+    V.Ty = Ty;
+    V.I = I.data();
+    V.F = F.data();
+    V.Count = size();
+    return V;
   }
 };
 
@@ -109,9 +132,15 @@ public:
 /// the executor, so each worker thread of a parallel run owns one.
 class FunctionExecutor {
 public:
+  /// Zero-copy form: the executor reads tokens straight out of the
+  /// viewed buffer (the server's batch path hands the caller's columnar
+  /// buffer here without staging it).
+  FunctionExecutor(TokenView Input, MemoryImage &Mem, uint64_t StepBudget)
+      : Input(Input), Mem(Mem.Cells), Budget(StepBudget) {}
+
   FunctionExecutor(const TokenStream &Input, MemoryImage &Mem,
                    uint64_t StepBudget)
-      : Input(Input), Mem(Mem.Cells), Budget(StepBudget) {}
+      : FunctionExecutor(Input.view(), Mem, StepBudget) {}
 
   /// Runs \p F to its Ret, accumulating dynamic-op counts into \p C.
   /// Returns false on a fault (Error holds the first failure message,
@@ -153,7 +182,7 @@ private:
   int64_t getI(const lir::Value *V) const;
   double getF(const lir::Value *V) const;
 
-  const TokenStream &Input;
+  TokenView Input;
   std::vector<MemoryImage::Cell> &Mem;
   uint64_t Budget;
   std::vector<Reg> Regs;

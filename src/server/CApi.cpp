@@ -1,0 +1,337 @@
+//===--- CApi.cpp - extern "C" embedding surface --------------------------===//
+//
+// Thin translation layer from include/laminar.h onto StreamServer /
+// CompiledPlan / Instance. Handles are heap wrappers around the C++
+// smart pointers; no logic lives here beyond argument checking and the
+// thread-local last-error string.
+//
+//===----------------------------------------------------------------------===//
+
+#include "laminar.h"
+#include "server/Json.h"
+#include "server/Server.h"
+#include <cstdlib>
+#include <cstring>
+
+using namespace laminar;
+
+namespace {
+
+thread_local std::string LastError;
+
+void setError(std::string Msg) { LastError = std::move(Msg); }
+
+char *dupString(const std::string &S) {
+  char *Out = static_cast<char *>(std::malloc(S.size() + 1));
+  if (Out)
+    std::memcpy(Out, S.c_str(), S.size() + 1);
+  return Out;
+}
+
+int toCStatus(server::BatchStatus S) {
+  switch (S) {
+  case server::BatchStatus::Ok:
+    return LAMINAR_OK;
+  case server::BatchStatus::BadBatch:
+    return LAMINAR_BAD_BATCH;
+  case server::BatchStatus::Faulted:
+    return LAMINAR_FAULTED;
+  case server::BatchStatus::Empty:
+    return LAMINAR_EMPTY;
+  case server::BatchStatus::Cancelled:
+    return LAMINAR_CANCELLED;
+  case server::BatchStatus::Backlog:
+    return LAMINAR_BACKLOG;
+  }
+  return LAMINAR_ERR;
+}
+
+} // namespace
+
+struct laminar_server {
+  server::StreamServer S;
+  explicit laminar_server(const server::ServerConfig &C) : S(C) {}
+};
+
+struct laminar_plan {
+  std::shared_ptr<const server::CompiledPlan> P;
+};
+
+struct laminar_instance {
+  laminar_server *Srv = nullptr;
+  std::shared_ptr<server::Instance> I;
+};
+
+struct laminar_batch {
+  interp::TokenStream S;
+};
+
+extern "C" {
+
+void laminar_server_config_init(laminar_server_config *Cfg) {
+  if (!Cfg)
+    return;
+  Cfg->workers = 0;
+  Cfg->cache_entries = 64;
+  Cfg->cache_bytes = 256ull << 20;
+  Cfg->max_plan_bytes = 64ull << 20;
+  Cfg->deadline_ms = 0;
+}
+
+laminar_server *laminar_server_new(const laminar_server_config *Cfg) {
+  server::ServerConfig C;
+  if (Cfg) {
+    C.Workers = Cfg->workers;
+    C.CacheEntries = Cfg->cache_entries;
+    C.CacheBytes = Cfg->cache_bytes;
+    C.MaxPlanBytes = Cfg->max_plan_bytes;
+    C.InstanceDeadlineMs = Cfg->deadline_ms;
+  }
+  try {
+    return new laminar_server(C);
+  } catch (const std::exception &E) {
+    setError(E.what());
+    return nullptr;
+  }
+}
+
+void laminar_server_free(laminar_server *Srv) { delete Srv; }
+
+char *laminar_server_stats(laminar_server *Srv) {
+  if (!Srv) {
+    setError("null server");
+    return nullptr;
+  }
+  return dupString(Srv->S.statsJson());
+}
+
+void laminar_compile_options_init(laminar_compile_options *Opts) {
+  if (!Opts)
+    return;
+  Opts->top = nullptr;
+  Opts->fifo_mode = 0;
+  Opts->opt_level = 2;
+  Opts->parallel = 0;
+  Opts->allow_degrade = 1;
+}
+
+laminar_plan *laminar_compile(laminar_server *Srv, const char *Source,
+                              const laminar_compile_options *Opts,
+                              int *CacheHit) {
+  if (CacheHit)
+    *CacheHit = 0;
+  if (!Srv || !Source) {
+    setError(!Srv ? "null server" : "null source");
+    return nullptr;
+  }
+  server::PlanOptions PO;
+  if (Opts) {
+    if (Opts->top)
+      PO.TopName = Opts->top;
+    PO.Mode = Opts->fifo_mode ? driver::LoweringMode::Fifo
+                              : driver::LoweringMode::Laminar;
+    PO.OptLevel = Opts->opt_level;
+    PO.Parallel = Opts->parallel;
+    PO.AllowDegradeToFifo = Opts->allow_degrade != 0;
+  }
+  std::string Err;
+  bool Hit = false;
+  auto P = Srv->S.compile(Source, PO, Err, &Hit);
+  if (!P) {
+    setError(Err.empty() ? "compilation failed" : Err);
+    return nullptr;
+  }
+  if (CacheHit)
+    *CacheHit = Hit ? 1 : 0;
+  return new laminar_plan{std::move(P)};
+}
+
+void laminar_plan_release(laminar_plan *Plan) { delete Plan; }
+
+char *laminar_plan_info(const laminar_plan *Plan) {
+  if (!Plan) {
+    setError("null plan");
+    return nullptr;
+  }
+  const server::CompiledPlan &P = *Plan->P;
+  auto V = json::Value::object();
+  V->set("schema", json::Value::str("laminar-plan-info-v1"));
+  V->set("input-type",
+         json::Value::str(P.inputType() == lir::TypeKind::Int ? "int"
+                                                              : "float"));
+  V->set("output-type",
+         json::Value::str(P.outputType() == lir::TypeKind::Int ? "int"
+                                                               : "float"));
+  V->set("input-per-iter",
+         json::Value::number(static_cast<double>(P.inputPerIter())));
+  V->set("input-for-init",
+         json::Value::number(static_cast<double>(P.inputForInit())));
+  V->set("output-per-iter",
+         json::Value::number(static_cast<double>(P.outputPerIter())));
+  V->set("partitions",
+         json::Value::number(P.plan() ? P.plan()->NumPartitions : 1));
+  V->set("batch-iters",
+         json::Value::number(static_cast<double>(P.batchIters())));
+  V->set("degraded-to-fifo", json::Value::boolean(P.degradedToFifo()));
+  V->set("approx-bytes",
+         json::Value::number(static_cast<double>(P.approxBytes())));
+  return dupString(V->dump());
+}
+
+int laminar_plan_input_type(const laminar_plan *Plan) {
+  return Plan && Plan->P->inputType() == lir::TypeKind::Int
+             ? LAMINAR_TYPE_INT
+             : LAMINAR_TYPE_FLOAT;
+}
+
+int laminar_plan_output_type(const laminar_plan *Plan) {
+  return Plan && Plan->P->outputType() == lir::TypeKind::Int
+             ? LAMINAR_TYPE_INT
+             : LAMINAR_TYPE_FLOAT;
+}
+
+int64_t laminar_plan_input_per_iter(const laminar_plan *Plan) {
+  return Plan ? Plan->P->inputPerIter() : -1;
+}
+
+int64_t laminar_plan_input_for_init(const laminar_plan *Plan) {
+  return Plan ? Plan->P->inputForInit() : -1;
+}
+
+int64_t laminar_plan_output_per_iter(const laminar_plan *Plan) {
+  return Plan ? Plan->P->outputPerIter() : -1;
+}
+
+laminar_instance *laminar_instance_new(laminar_server *Srv,
+                                       laminar_plan *Plan) {
+  if (!Srv || !Plan) {
+    setError(!Srv ? "null server" : "null plan");
+    return nullptr;
+  }
+  auto I = Srv->S.spawn(Plan->P);
+  if (!I) {
+    setError("spawn failed");
+    return nullptr;
+  }
+  return new laminar_instance{Srv, std::move(I)};
+}
+
+void laminar_instance_free(laminar_instance *Inst) {
+  if (!Inst)
+    return;
+  Inst->Srv->S.freeInstance(Inst->I->id());
+  delete Inst;
+}
+
+uint64_t laminar_instance_id(const laminar_instance *Inst) {
+  return Inst ? Inst->I->id() : 0;
+}
+
+void laminar_instance_cancel(laminar_instance *Inst) {
+  if (Inst)
+    Inst->I->cancel();
+}
+
+static int pushBatchImpl(laminar_instance *Inst, interp::TokenView In,
+                         int64_t Iterations) {
+  if (!Inst) {
+    setError("null instance");
+    return LAMINAR_ERR;
+  }
+  std::string Err;
+  const server::BatchStatus S =
+      Inst->Srv->S.pushBatch(*Inst->I, In, Iterations, &Err);
+  if (S != server::BatchStatus::Ok && !Err.empty())
+    setError(Err);
+  return toCStatus(S);
+}
+
+int laminar_push_batch_f64(laminar_instance *Inst, const double *Data,
+                           size_t Count, int64_t Iterations) {
+  interp::TokenView V;
+  V.Ty = lir::TypeKind::Float;
+  V.F = Data;
+  V.Count = Count;
+  if (Count && !Data) {
+    setError("null batch buffer");
+    return LAMINAR_ERR;
+  }
+  return pushBatchImpl(Inst, V, Iterations);
+}
+
+int laminar_push_batch_i64(laminar_instance *Inst, const int64_t *Data,
+                           size_t Count, int64_t Iterations) {
+  interp::TokenView V;
+  V.Ty = lir::TypeKind::Int;
+  V.I = Data;
+  V.Count = Count;
+  if (Count && !Data) {
+    setError("null batch buffer");
+    return LAMINAR_ERR;
+  }
+  return pushBatchImpl(Inst, V, Iterations);
+}
+
+int laminar_pull_batch(laminar_instance *Inst, laminar_batch **Out) {
+  if (Out)
+    *Out = nullptr;
+  if (!Inst || !Out) {
+    setError(!Inst ? "null instance" : "null out parameter");
+    return LAMINAR_ERR;
+  }
+  auto *B = new laminar_batch();
+  const server::BatchStatus S = Inst->I->pullBatch(B->S);
+  if (S != server::BatchStatus::Ok) {
+    delete B;
+    if (S == server::BatchStatus::Faulted)
+      setError(Inst->I->faultReport().FirstFault.Message);
+    return toCStatus(S);
+  }
+  *Out = B;
+  return LAMINAR_OK;
+}
+
+size_t laminar_batch_len(const laminar_batch *Batch) {
+  return Batch ? Batch->S.size() : 0;
+}
+
+int laminar_batch_type(const laminar_batch *Batch) {
+  return Batch && Batch->S.Ty == lir::TypeKind::Int ? LAMINAR_TYPE_INT
+                                                    : LAMINAR_TYPE_FLOAT;
+}
+
+const double *laminar_batch_data_f64(const laminar_batch *Batch) {
+  return Batch && Batch->S.Ty == lir::TypeKind::Float ? Batch->S.F.data()
+                                                      : nullptr;
+}
+
+const int64_t *laminar_batch_data_i64(const laminar_batch *Batch) {
+  return Batch && Batch->S.Ty == lir::TypeKind::Int ? Batch->S.I.data()
+                                                    : nullptr;
+}
+
+void laminar_batch_free(laminar_batch *Batch) { delete Batch; }
+
+char *laminar_instance_stats(laminar_instance *Inst) {
+  if (!Inst) {
+    setError("null instance");
+    return nullptr;
+  }
+  return dupString(Inst->I->runtimeStats().json());
+}
+
+char *laminar_instance_fault(laminar_instance *Inst) {
+  if (!Inst) {
+    setError("null instance");
+    return nullptr;
+  }
+  if (!Inst->I->faulted())
+    return nullptr;
+  return dupString(Inst->I->faultReport().json());
+}
+
+const char *laminar_last_error(void) { return LastError.c_str(); }
+
+void laminar_string_free(char *Str) { std::free(Str); }
+
+} // extern "C"

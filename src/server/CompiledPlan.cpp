@@ -1,0 +1,197 @@
+//===--- CompiledPlan.cpp - Immutable compiled artifact -------------------===//
+
+#include "server/CompiledPlan.h"
+#include "parallel/ParallelLowering.h"
+#include "support/Casting.h"
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+using namespace laminar;
+using namespace laminar::server;
+
+uint64_t server::fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+std::string PlanOptions::canonical() const {
+  std::ostringstream OS;
+  OS << "mode=" << (Mode == driver::LoweringMode::Fifo ? "fifo" : "laminar")
+     << ";opt=" << OptLevel << ";parallel=" << Parallel
+     << ";batch=" << Tuning.Batch << ";slab=" << Tuning.SlabBase
+     << ";fission="
+     << (Tuning.Fission == parallel::ParallelTuning::FissionMode::Off
+             ? "off"
+             : Tuning.Fission ==
+                       parallel::ParallelTuning::FissionMode::Always
+                   ? "always"
+                   : "auto")
+     << ";force=" << (Tuning.Force ? 1 : 0)
+     << ";degrade=" << (AllowDegradeToFifo ? 1 : 0)
+     << ";top=" << TopName << ";max-nodes=" << Limits.MaxGraphNodes
+     << ";max-reps=" << Limits.MaxRepetition
+     << ";max-firings=" << Limits.MaxSteadyFirings
+     << ";max-ir-insts=" << Limits.MaxUnrolledInsts
+     << ";max-peek=" << Limits.MaxPeekWindow
+     << ";max-channel-tokens=" << Limits.MaxChannelTokens
+     << ";max-steps=" << Limits.MaxInterpSteps;
+  return OS.str();
+}
+
+PlanKey server::makePlanKey(const std::string &Source,
+                            const PlanOptions &Opts) {
+  PlanKey K;
+  K.Source = Source;
+  K.SourceHash = fnv1a(Source);
+  K.OptionsKey = Opts.canonical();
+  return K;
+}
+
+namespace {
+
+/// Structural module hash: globals (shape + initializer bits), the
+/// per-function opcode stream, constant operand values and global
+/// operand slots. Cheap (one linear walk, no printing) yet sensitive
+/// to any mutation an instance could plausibly make — initializer
+/// writes, instruction rewrites, block reordering.
+uint64_t hashModule(const lir::Module &M) {
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint64_t V) {
+    for (int B = 0; B < 8; ++B) {
+      H ^= (V >> (B * 8)) & 0xff;
+      H *= 1099511628211ULL;
+    }
+  };
+  auto MixStr = [&](const std::string &S) {
+    Mix(S.size());
+    Mix(fnv1a(S));
+  };
+  MixStr(M.getName());
+  Mix(static_cast<uint64_t>(M.getInputType()));
+  Mix(static_cast<uint64_t>(M.getOutputType()));
+  for (const auto &G : M.globals()) {
+    MixStr(G->getName());
+    Mix(static_cast<uint64_t>(G->getElemType()));
+    Mix(static_cast<uint64_t>(G->getSize()));
+    Mix(static_cast<uint64_t>(G->getMemClass()));
+    Mix(G->getSlot());
+    for (int64_t V : G->intInit())
+      Mix(static_cast<uint64_t>(V));
+    for (double V : G->floatInit()) {
+      uint64_t Bits;
+      static_assert(sizeof(Bits) == sizeof(V));
+      std::memcpy(&Bits, &V, sizeof(Bits));
+      Mix(Bits);
+    }
+  }
+  for (const auto &F : M.functions()) {
+    MixStr(F->getName());
+    for (const auto &BB : F->blocks()) {
+      Mix(BB->instructions().size());
+      for (const auto &I : BB->instructions()) {
+        Mix(static_cast<uint64_t>(I->getKind()));
+        Mix(static_cast<uint64_t>(I->getType()));
+        Mix(I->getNumOperands());
+        for (unsigned Op = 0; Op < I->getNumOperands(); ++Op) {
+          const lir::Value *V = I->getOperand(Op);
+          Mix(static_cast<uint64_t>(V->getKind()));
+          if (const auto *CI = dyn_cast<lir::ConstInt>(V))
+            Mix(static_cast<uint64_t>(CI->getValue()));
+          else if (const auto *CF = dyn_cast<lir::ConstFloat>(V)) {
+            uint64_t Bits;
+            double D = CF->getValue();
+            std::memcpy(&Bits, &D, sizeof(Bits));
+            Mix(Bits);
+          } else if (const auto *CB = dyn_cast<lir::ConstBool>(V))
+            Mix(CB->getValue() ? 1 : 0);
+        }
+      }
+    }
+  }
+  return H;
+}
+
+} // namespace
+
+std::shared_ptr<const CompiledPlan>
+CompiledPlan::build(const std::string &Source, const PlanOptions &Opts,
+                    std::string &Err) {
+  driver::CompileOptions CO;
+  CO.TopName = Opts.TopName;
+  CO.Mode = Opts.Mode;
+  CO.OptLevel = Opts.OptLevel;
+  CO.Parallel = Opts.Parallel;
+  CO.Tuning = Opts.Tuning;
+  CO.Limits = Opts.Limits;
+  CO.AllowDegradeToFifo = Opts.AllowDegradeToFifo;
+
+  // shared_ptr<const CompiledPlan> is the only spelling handed out;
+  // make_shared needs the private ctor, so build by hand.
+  std::shared_ptr<CompiledPlan> P(new CompiledPlan());
+  P->C = driver::compile(Source, CO);
+  if (!P->C.Ok) {
+    Err = P->C.ErrorLog.empty() ? "compilation failed" : P->C.ErrorLog;
+    return nullptr;
+  }
+
+  const lir::Module &M = *P->C.Module;
+  P->Init = M.getFunction("init");
+  if (!P->Init) {
+    Err = "module has no @init function";
+    return nullptr;
+  }
+  if (const parallel::PartitionPlan *Plan = P->plan()) {
+    P->BatchIters = std::max<int64_t>(1, Plan->BatchIters);
+    for (unsigned W = 0; W < Plan->NumPartitions; ++W) {
+      const lir::Function *F =
+          M.getFunction(parallel::steadyFunctionName(W));
+      if (!F) {
+        Err = "module has no @" + parallel::steadyFunctionName(W);
+        return nullptr;
+      }
+      P->Steady.push_back(F);
+      if (P->BatchIters > 1) {
+        const lir::Function *FB = M.getFunction(
+            parallel::steadyBatchFunctionName(W, P->BatchIters));
+        if (!FB) {
+          Err = "module has no @" +
+                parallel::steadyBatchFunctionName(W, P->BatchIters);
+          return nullptr;
+        }
+        P->SteadyBatch.push_back(FB);
+      }
+    }
+  } else {
+    const lir::Function *F = M.getFunction("steady");
+    if (!F) {
+      Err = "module has no @steady function";
+      return nullptr;
+    }
+    P->Steady.push_back(F);
+  }
+
+  P->InPerIter = P->C.Sched->inputPerSteady(*P->C.Graph);
+  P->InForInit = P->C.Sched->inputForInit(*P->C.Graph);
+  P->OutPerIter = P->C.Sched->outputPerSteady(*P->C.Graph);
+
+  // Byte accounting: instructions dominate; globals and the retained
+  // source/AST/graph are a constant-ish tail. 96 bytes/inst is a
+  // measured-once approximation, not a promise — the cache only needs
+  // relative sizes for LRU byte pressure.
+  size_t B = M.instructionCount() * 96 + Source.size();
+  for (const auto &G : M.globals())
+    B += static_cast<size_t>(G->getSize()) * 8 + 64;
+  P->Bytes = B;
+
+  P->Fingerprint = hashModule(M);
+  return std::const_pointer_cast<const CompiledPlan>(P);
+}
+
+bool CompiledPlan::verifyImmutable() const {
+  return hashModule(*C.Module) == Fingerprint;
+}

@@ -1,0 +1,159 @@
+//===--- CompiledPlan.h - Immutable compiled artifact ----------*- C++ -*-===//
+//
+// The plan half of the server's plan/instance split. A CompiledPlan is
+// the *immutable, shareable* product of one compilation: the lowered
+// module, the schedule, the optional partition plan and its safety
+// certificate, plus everything an instance needs precomputed (rate
+// contract, steady-function tables, step budget). Many concurrent
+// Instances (Instance.h) execute against one plan; the plan itself is
+// never written after build() returns.
+//
+// Immutability is load-bearing — it is what makes instance spawn
+// O(state size) instead of O(compile) and what lets the scheduler run
+// instances of the same plan on different workers without any
+// plan-side synchronization. Two mechanisms enforce it:
+//
+//  * the type system: build() returns shared_ptr<const CompiledPlan>,
+//    and every accessor is const (the run-time stats that laminarc
+//    folds into Compilation::Stats after a run live on the Instance
+//    here, never on the plan);
+//  * a structural fingerprint: build() hashes the module (globals,
+//    initializers, opcode stream, constants) once; verifyImmutable()
+//    recomputes and compares. StreamServer asserts it for every cached
+//    plan at shutdown, and ServerTest asserts it after concurrent
+//    instance storms. The check is deliberately *not* run per spawn —
+//    it is O(module), and spawn must stay O(state).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SERVER_COMPILEDPLAN_H
+#define LAMINAR_SERVER_COMPILEDPLAN_H
+
+#include "driver/Driver.h"
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace server {
+
+/// The canonicalizable subset of CompileOptions the plan cache keys on.
+/// Everything that changes generated code must be here; observability
+/// sinks (trace/remarks pointers) deliberately are not.
+struct PlanOptions {
+  driver::LoweringMode Mode = driver::LoweringMode::Laminar;
+  unsigned OptLevel = 2;
+  unsigned Parallel = 0;
+  parallel::ParallelTuning Tuning;
+  CompilerLimits Limits;
+  bool AllowDegradeToFifo = true;
+  /// Top-level stream declaration to elaborate.
+  std::string TopName;
+
+  /// Deterministic key text: every field rendered in a fixed order, so
+  /// two option structs canonicalize equal iff they compile equal code.
+  std::string canonical() const;
+};
+
+/// 64-bit FNV-1a (the cache's source-hash half).
+uint64_t fnv1a(const std::string &S);
+
+/// Cache key: (source hash, canonicalized options). The full source is
+/// kept alongside so a 64-bit hash collision can never serve the wrong
+/// program — lookups compare hash first, then options, then bytes.
+struct PlanKey {
+  uint64_t SourceHash = 0;
+  std::string OptionsKey;
+  std::string Source;
+
+  bool operator==(const PlanKey &O) const {
+    return SourceHash == O.SourceHash && OptionsKey == O.OptionsKey &&
+           Source == O.Source;
+  }
+};
+
+PlanKey makePlanKey(const std::string &Source, const PlanOptions &Opts);
+
+class CompiledPlan {
+public:
+  /// Runs the full compiler pipeline and freezes the result. Null (and
+  /// \p Err set to the rendered diagnostics) on rejection. The
+  /// compile-phase counters stay readable via compileStats() — the
+  /// server merges them into its registry on every cold compile, which
+  /// is how tests prove a cache hit re-ran zero phases.
+  static std::shared_ptr<const CompiledPlan>
+  build(const std::string &Source, const PlanOptions &Opts,
+        std::string &Err);
+
+  const lir::Module &module() const { return *C.Module; }
+  const parallel::PartitionPlan *plan() const {
+    return C.Plan ? &*C.Plan : nullptr;
+  }
+  const schedule::Schedule &sched() const { return *C.Sched; }
+  const graph::StreamGraph &graph() const { return *C.Graph; }
+  const StatsRegistry &compileStats() const { return C.Stats; }
+  bool degradedToFifo() const { return C.DegradedToFifo; }
+
+  lir::TypeKind inputType() const { return C.Module->getInputType(); }
+  lir::TypeKind outputType() const { return C.Module->getOutputType(); }
+
+  /// The rate contract every batch must satisfy (tokens, per steady
+  /// iteration / for the one-time init phase).
+  int64_t inputPerIter() const { return InPerIter; }
+  int64_t inputForInit() const { return InForInit; }
+  int64_t outputPerIter() const { return OutPerIter; }
+
+  /// Per-executor interpreter step budget the plan was compiled with.
+  uint64_t stepBudget() const { return C.InterpStepBudget; }
+
+  /// Steady iterations per slab handoff (1 = unbatched).
+  int64_t batchIters() const { return BatchIters; }
+
+  /// The @init function.
+  const lir::Function *initFn() const { return Init; }
+
+  /// Single-iteration steady functions, in partition (= topological)
+  /// order: [@steady] for a sequential plan, [@steady_p0..p{K-1}] for a
+  /// parallel one. A server instance executes the partitions of one
+  /// slab in this order on one worker — sequential dataflow order, so
+  /// the output is bit-exact with the solo run while cross-*instance*
+  /// parallelism comes from the pool (docs/SERVER.md).
+  const std::vector<const lir::Function *> &steadyFns() const {
+    return Steady;
+  }
+  /// Batched (@steady_p<k>_b<K>) variants, parallel to steadyFns();
+  /// empty when batchIters() == 1.
+  const std::vector<const lir::Function *> &steadyBatchFns() const {
+    return SteadyBatch;
+  }
+
+  /// Approximate resident size (module + graph + source) — the plan
+  /// cache's byte accounting and admission control input.
+  size_t approxBytes() const { return Bytes; }
+
+  /// Structural fingerprint captured at build time.
+  uint64_t fingerprint() const { return Fingerprint; }
+  /// Recomputes the fingerprint and compares — false means some
+  /// instance (or pass) mutated the shared artifact.
+  bool verifyImmutable() const;
+
+private:
+  CompiledPlan() = default;
+
+  driver::Compilation C;
+  const lir::Function *Init = nullptr;
+  std::vector<const lir::Function *> Steady;
+  std::vector<const lir::Function *> SteadyBatch;
+  int64_t InPerIter = 0;
+  int64_t InForInit = 0;
+  int64_t OutPerIter = 0;
+  int64_t BatchIters = 1;
+  size_t Bytes = 0;
+  uint64_t Fingerprint = 0;
+};
+
+} // namespace server
+} // namespace laminar
+
+#endif // LAMINAR_SERVER_COMPILEDPLAN_H

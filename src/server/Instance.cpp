@@ -1,0 +1,256 @@
+//===--- Instance.cpp - Per-instance runtime state ------------------------===//
+
+#include "server/Instance.h"
+#include <thread>
+
+using namespace laminar;
+using namespace laminar::interp;
+using namespace laminar::server;
+
+const char *server::batchStatusName(BatchStatus S) {
+  switch (S) {
+  case BatchStatus::Ok:
+    return "ok";
+  case BatchStatus::BadBatch:
+    return "bad-batch";
+  case BatchStatus::Faulted:
+    return "faulted";
+  case BatchStatus::Empty:
+    return "empty";
+  case BatchStatus::Cancelled:
+    return "cancelled";
+  case BatchStatus::Backlog:
+    return "backlog";
+  }
+  return "unknown";
+}
+
+Instance::Instance(std::shared_ptr<const CompiledPlan> P, uint64_t Id)
+    : Plan(std::move(P)), Id(Id), Mem(Plan->module()) {}
+
+Instance::~Instance() {
+  // The server guarantees no worker is inside runPending() by the time
+  // an instance is destroyed (the pool is drained or the instance map
+  // holds the last reference); drain the completed-batch queue.
+  TokenStream *S = nullptr;
+  while (OutQ.tryPop(S))
+    delete S;
+}
+
+BatchStatus Instance::pushBatch(TokenView In, int64_t Iterations,
+                                bool *NeedsSchedule, std::string *Err) {
+  if (NeedsSchedule)
+    *NeedsSchedule = false;
+  if (Faulted.load(std::memory_order_acquire))
+    return Report.FirstFault.Kind == FaultKind::Cancelled
+               ? BatchStatus::Cancelled
+               : BatchStatus::Faulted;
+  if (Cancel.isCancelledAcquire())
+    return BatchStatus::Cancelled;
+  if (Iterations < 0 || In.Ty != Plan->inputType()) {
+    if (Err)
+      *Err = In.Ty != Plan->inputType()
+                 ? "batch token type does not match the plan's input type"
+                 : "negative iteration count";
+    return BatchStatus::BadBatch;
+  }
+  std::lock_guard<std::mutex> L(M);
+  // Re-check under the lock: failPending clears Pending under this
+  // mutex, so a push racing a fault either lands before (and is
+  // cleared) or observes Faulted here.
+  if (Faulted.load(std::memory_order_acquire))
+    return Report.FirstFault.Kind == FaultKind::Cancelled
+               ? BatchStatus::Cancelled
+               : BatchStatus::Faulted;
+  // Rate contract: the first batch ever queued carries the one-time
+  // init input in front of the per-iteration tokens.
+  const bool FirstBatch = !EverQueued;
+  bool Overflow = true;
+  int64_t Need = 0;
+  if (auto SteadyNeed = checkedMul(Plan->inputPerIter(), Iterations)) {
+    if (auto Total = checkedAdd(FirstBatch ? Plan->inputForInit() : 0,
+                                *SteadyNeed)) {
+      Need = *Total;
+      Overflow = false;
+    }
+  }
+  if (Overflow || Need < 0 || In.size() != static_cast<size_t>(Need)) {
+    if (Err)
+      *Err = "batch carries " + std::to_string(In.size()) +
+             " token(s); this plan needs " +
+             (Overflow ? std::string("(overflow)") : std::to_string(Need)) +
+             " for " + std::to_string(Iterations) + " iteration(s)" +
+             (FirstBatch ? " plus the init phase" : "");
+    return BatchStatus::BadBatch;
+  }
+  if (Pending.size() >= MaxPendingBatches)
+    return BatchStatus::Backlog;
+  EverQueued = true;
+  Pending.push_back(Batch{In, Iterations});
+  if (!InFlight) {
+    InFlight = true;
+    if (NeedsSchedule)
+      *NeedsSchedule = true;
+  }
+  return BatchStatus::Ok;
+}
+
+BatchStatus Instance::pullBatch(TokenStream &Out) {
+  for (;;) {
+    TokenStream *S = nullptr;
+    if (OutQ.tryPop(S)) {
+      Out = std::move(*S);
+      delete S;
+      return BatchStatus::Ok;
+    }
+    if (OutQ.poisoned()) {
+      // Drain-then-fail, exactly like the parallel runtime's rings:
+      // slabs completed before the fault are still delivered.
+      if (OutQ.tryPop(S)) {
+        Out = std::move(*S);
+        delete S;
+        return BatchStatus::Ok;
+      }
+      return Report.FirstFault.Kind == FaultKind::Cancelled
+                 ? BatchStatus::Cancelled
+                 : BatchStatus::Faulted;
+    }
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Pending.empty() && !InFlight)
+        return BatchStatus::Empty;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Instance::failPending(FaultKind K, const std::string &Msg) {
+  Report.FirstFault.Kind = K;
+  if (Report.FirstFault.Message.empty())
+    Report.FirstFault.Message = Msg;
+  Report.Cancelled = Cancel.isCancelledAcquire();
+  Faulted.store(true, std::memory_order_release);
+  OutQ.poison();
+  std::lock_guard<std::mutex> L(M);
+  Pending.clear();
+  InFlight = false;
+}
+
+bool Instance::runBatch(const Batch &B) {
+  FunctionExecutor Exec(B.In, Mem, Plan->stepBudget());
+  Exec.Cancel = &Cancel;
+  if (!InitDone) {
+    Counters InitC;
+    if (!Exec.runFunction(Plan->initFn(), InitC)) {
+      Fault F = Exec.LastFault;
+      F.Function = "init";
+      Report.FirstFault = F;
+      failPending(F.Kind, Exec.Error);
+      return false;
+    }
+    InitDone = true;
+  }
+  // Slab sequence, mirroring ParallelRunner: full B-iteration slabs
+  // first, then the remainder one iteration at a time. For a parallel
+  // plan each slab runs every partition in partition order — the
+  // topological order the partitioner guarantees — so this is exactly
+  // the sequential dataflow execution of the same module.
+  const int64_t BI = Plan->batchIters();
+  const int64_t FullSlabs = BI > 1 ? B.Iterations / BI : B.Iterations;
+  const int64_t RemSlabs = BI > 1 ? B.Iterations % BI : 0;
+  const auto &Steady = Plan->steadyFns();
+  const auto &SteadyB = Plan->steadyBatchFns();
+  Counters C;
+  for (int64_t Slab = 0; Slab < FullSlabs + RemSlabs; ++Slab) {
+    const bool Full = Slab < FullSlabs;
+    const auto &Fns = (Full && BI > 1) ? SteadyB : Steady;
+    for (const lir::Function *F : Fns) {
+      if (!Exec.runFunction(F, C)) {
+        Fault FS = Exec.LastFault;
+        FS.Slab = Slab;
+        Report.FirstFault = FS;
+        failPending(FS.Kind, Exec.Error);
+        return false;
+      }
+    }
+    IterationsRun.fetch_add(static_cast<uint64_t>(Full ? BI : 1),
+                            std::memory_order_relaxed);
+  }
+  StepsRetired.fetch_add(Exec.Steps, std::memory_order_relaxed);
+  BatchesRun.fetch_add(1, std::memory_order_relaxed);
+  // Publish the completed batch. A full queue means the caller is not
+  // pulling; spin cooperatively so a cancel (or the deadline watchdog)
+  // still unblocks this worker.
+  auto *Out = new TokenStream(std::move(Exec.Outputs));
+  Out->Ty = Plan->outputType();
+  while (!OutQ.tryPush(Out)) {
+    if (Cancel.isCancelledAcquire()) {
+      delete Out;
+      Fault F;
+      F.Kind = FaultKind::Cancelled;
+      F.Message = "cancelled while publishing a completed batch";
+      Report.FirstFault = F;
+      failPending(F.Kind, F.Message);
+      return false;
+    }
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+void Instance::runPending() {
+  for (;;) {
+    Batch B;
+    {
+      std::lock_guard<std::mutex> L(M);
+      if (Faulted.load(std::memory_order_acquire)) {
+        Pending.clear();
+        InFlight = false;
+        return;
+      }
+      if (Pending.empty()) {
+        InFlight = false;
+        return;
+      }
+      B = Pending.front();
+    }
+    if (Cancel.isCancelledAcquire()) {
+      Fault F;
+      F.Kind = FaultKind::Cancelled;
+      F.Message = "cancelled";
+      Report.FirstFault = F;
+      failPending(F.Kind, F.Message);
+      return;
+    }
+    RunningSince.store(profile::Profiler::nowNs(),
+                       std::memory_order_release);
+    const bool Ok = runBatch(B);
+    RunningSince.store(0, std::memory_order_release);
+    if (!Ok)
+      return;
+    std::lock_guard<std::mutex> L(M);
+    if (!Pending.empty())
+      Pending.pop_front();
+  }
+}
+
+profile::RunProfile Instance::runtimeStats() const {
+  profile::RunProfile P;
+  P.Engine = "server-instance";
+  P.Workers = 1;
+  const uint64_t Iters = IterationsRun.load(std::memory_order_relaxed);
+  const uint64_t Batches = BatchesRun.load(std::memory_order_relaxed);
+  P.Iterations = static_cast<int64_t>(Iters);
+  profile::WorkerCounters W;
+  W.Iterations = Iters;
+  W.Slabs = Batches;
+  // Firings derive from the static schedule, the same scheme both
+  // engines use: per-iteration firings times iterations executed.
+  uint64_t FiringsPerIter = 0;
+  const schedule::Schedule &S = Plan->sched();
+  for (const graph::Node *N : S.Order)
+    FiringsPerIter += static_cast<uint64_t>(S.repsOf(N));
+  W.Firings = FiringsPerIter * Iters;
+  P.PerWorker.assign(1, W);
+  return P;
+}

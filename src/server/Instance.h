@@ -1,0 +1,179 @@
+//===--- Instance.h - Per-instance runtime state ---------------*- C++ -*-===//
+//
+// The instance half of the plan/instance split: everything one running
+// graph owns privately — a MemoryImage seeded from the shared plan's
+// module, an input-batch job queue, an SPSC slab queue of completed
+// output batches, a CancellationToken, and per-instance telemetry.
+// Spawning costs exactly one MemoryImage construction (O(state size));
+// no compile phase ever runs here, which ServerTest asserts via the
+// server's stats registry.
+//
+// Execution model: the scheduler's worker pool calls runPending() on
+// at most one worker at a time per instance (an instance is enqueued
+// to the pool only on the idle->scheduled transition, and re-enqueued
+// by the worker that drained it if batches arrived meanwhile). Each
+// batch runs the slab sequence of the plan — for a parallel-compiled
+// plan the partitions of one slab execute in partition order on the
+// one worker, which is sequential dataflow order and therefore
+// bit-exact with the solo run; the server scales by running many
+// *instances* in parallel, not by splitting one instance across
+// workers (docs/SERVER.md discusses the tradeoff).
+//
+// Fault containment mirrors the parallel runtime: a faulting batch
+// publishes a structured laminar-fault-report-v1, poisons the output
+// slab queue (pullBatch consumers drain completed slabs, then fail
+// with the origin fault), fails every queued batch, and leaves the
+// sibling instances and the server untouched.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SERVER_INSTANCE_H
+#define LAMINAR_SERVER_INSTANCE_H
+
+#include "interp/Fault.h"
+#include "interp/Interpreter.h"
+#include "parallel/SpscQueue.h"
+#include "profile/Profile.h"
+#include "server/CompiledPlan.h"
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace laminar {
+namespace server {
+
+/// What pushBatch / pullBatch report. Values are stable — the C API
+/// (include/laminar.h) mirrors them one-to-one.
+enum class BatchStatus {
+  Ok = 0,
+  /// Token count does not match the plan's rate contract.
+  BadBatch,
+  /// The instance faulted; the report is available via faultReport().
+  Faulted,
+  /// pullBatch with no completed batch and none in flight.
+  Empty,
+  /// The instance was cancelled (explicitly or by the deadline).
+  Cancelled,
+  /// Per-instance pending-batch backlog is full; pull before pushing.
+  Backlog,
+};
+
+const char *batchStatusName(BatchStatus S);
+
+class Instance {
+public:
+  /// Completed output slabs pullBatch can drain before blocking.
+  static constexpr size_t OutQueueSlabs = 1024;
+  /// Queued-but-not-started input batches before pushBatch refuses.
+  static constexpr size_t MaxPendingBatches = 1024;
+
+  Instance(std::shared_ptr<const CompiledPlan> Plan, uint64_t Id);
+  ~Instance();
+
+  uint64_t id() const { return Id; }
+  const CompiledPlan &plan() const { return *Plan; }
+  const std::shared_ptr<const CompiledPlan> &planRef() const {
+    return Plan;
+  }
+
+  /// Validates \p In against the rate contract and queues it for
+  /// \p Iterations steady iterations. The first batch also covers the
+  /// one-time @init input (inputForInit tokens before the per-iteration
+  /// tokens). Zero-copy: the viewed buffer is read in place by the
+  /// worker and must stay valid until the batch's outputs have been
+  /// pulled. Returns Ok when queued; the caller must then hand the
+  /// instance to the scheduler iff *NeedsSchedule came back true.
+  BatchStatus pushBatch(interp::TokenView In, int64_t Iterations,
+                        bool *NeedsSchedule, std::string *Err = nullptr);
+
+  /// Pops the oldest completed batch into \p Out (replacing its
+  /// contents). Blocks while a batch is in flight; returns Empty
+  /// immediately when nothing is queued, running, or completed.
+  BatchStatus pullBatch(interp::TokenStream &Out);
+
+  /// Cooperative cancel: the executor observes the token within 1024
+  /// steps; queued batches fail with Cancelled.
+  void cancel() { Cancel.cancel(); }
+  bool cancelled() const { return Cancel.isCancelledAcquire(); }
+
+  /// Deadline bookkeeping for the server watchdog: nanosecond
+  /// steady-clock stamp of the in-flight batch's start, 0 when idle.
+  uint64_t runningSinceNs() const {
+    return RunningSince.load(std::memory_order_acquire);
+  }
+
+  bool faulted() const { return Faulted.load(std::memory_order_acquire); }
+  /// The structured report (laminar-fault-report-v1 via .json()).
+  /// Meaningful once faulted() is true; stable after that.
+  const interp::RunReport &faultReport() const { return Report; }
+
+  /// Per-instance telemetry in the laminar-runtime-stats-v1 schema
+  /// (engine "server-instance", one worker): iterations, batches (as
+  /// slabs), firings derived from the static schedule.
+  profile::RunProfile runtimeStats() const;
+
+  /// Worker-pool entry point: drains the pending-batch queue. Returns
+  /// true if the instance must be re-enqueued (not used by the current
+  /// drain-to-empty scheduler, but kept explicit in the contract).
+  void runPending();
+
+  /// True while the pool owes this instance a runPending() call.
+  bool scheduled() const {
+    std::lock_guard<std::mutex> L(M);
+    return InFlight;
+  }
+
+private:
+  struct Batch {
+    interp::TokenView In;
+    int64_t Iterations = 0;
+  };
+
+  /// Executes one batch against the instance memory. Returns false on
+  /// fault (Report populated, out queue poisoned).
+  bool runBatch(const Batch &B);
+  void failPending(interp::FaultKind K, const std::string &Msg);
+
+  std::shared_ptr<const CompiledPlan> Plan;
+  uint64_t Id = 0;
+
+  /// Instance memory: one image per instance — the whole point of the
+  /// split. Workers access it only during this instance's runPending(),
+  /// and runPending() calls never overlap (hand-offs go through the
+  /// pool, which is the happens-before edge), so InitDone needs no
+  /// synchronization while the telemetry counters — read concurrently
+  /// by runtimeStats() — are relaxed atomics.
+  interp::MemoryImage Mem;
+  bool InitDone = false;
+  /// Interpreter steps consumed so far (budget is per-plan, enforced
+  /// per batch executor; this is telemetry).
+  std::atomic<uint64_t> StepsRetired{0};
+  std::atomic<uint64_t> IterationsRun{0};
+  std::atomic<uint64_t> BatchesRun{0};
+
+  /// Completed output batches, produced by the (serialized) worker
+  /// side and consumed by the caller side — the SPSC contract holds
+  /// because instance jobs never overlap and job hand-offs happen
+  /// through the pool's mutex. Poisoned on fault, exactly like the
+  /// parallel runtime's cut-edge rings.
+  parallel::SpscQueue<interp::TokenStream *> OutQ{OutQueueSlabs};
+
+  mutable std::mutex M;
+  std::deque<Batch> Pending;
+  bool InFlight = false;
+  /// True once any batch was ever queued — the first batch is the one
+  /// that must carry the init-phase input (guarded by M; the worker's
+  /// InitDone flag is private to the serialized run side).
+  bool EverQueued = false;
+
+  interp::CancellationToken Cancel;
+  std::atomic<uint64_t> RunningSince{0};
+  std::atomic<bool> Faulted{false};
+  interp::RunReport Report;
+};
+
+} // namespace server
+} // namespace laminar
+
+#endif // LAMINAR_SERVER_INSTANCE_H

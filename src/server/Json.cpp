@@ -1,0 +1,391 @@
+//===--- Json.cpp - Minimal JSON for the laminard wire protocol -----------===//
+
+#include "server/Json.h"
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace laminar;
+using namespace laminar::json;
+
+ValuePtr Value::null() { return std::make_shared<Value>(); }
+
+ValuePtr Value::boolean(bool B) {
+  auto V = std::make_shared<Value>();
+  V->K = Kind::Bool;
+  V->B = B;
+  return V;
+}
+
+ValuePtr Value::number(double N) {
+  auto V = std::make_shared<Value>();
+  V->K = Kind::Number;
+  V->Num = N;
+  return V;
+}
+
+ValuePtr Value::str(std::string S) {
+  auto V = std::make_shared<Value>();
+  V->K = Kind::String;
+  V->Str = std::move(S);
+  return V;
+}
+
+ValuePtr Value::array() {
+  auto V = std::make_shared<Value>();
+  V->K = Kind::Array;
+  return V;
+}
+
+ValuePtr Value::object() {
+  auto V = std::make_shared<Value>();
+  V->K = Kind::Object;
+  return V;
+}
+
+bool Value::asBool(bool Default) const {
+  return K == Kind::Bool ? B : Default;
+}
+
+double Value::asNumber(double Default) const {
+  return K == Kind::Number ? Num : Default;
+}
+
+int64_t Value::asInt(int64_t Default) const {
+  return K == Kind::Number ? static_cast<int64_t>(Num) : Default;
+}
+
+const std::string &Value::asString() const {
+  static const std::string Empty;
+  return K == Kind::String ? Str : Empty;
+}
+
+ValuePtr Value::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return null();
+  auto It = Obj.find(Key);
+  return It == Obj.end() ? null() : It->second;
+}
+
+void Value::set(const std::string &Key, ValuePtr V) {
+  K = Kind::Object;
+  Obj[Key] = std::move(V);
+}
+
+std::string json::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string Value::dump() const {
+  switch (K) {
+  case Kind::Null:
+    return "null";
+  case Kind::Bool:
+    return B ? "true" : "false";
+  case Kind::Number: {
+    // Integers (the common case on this protocol) print exactly.
+    if (std::isfinite(Num) && Num == std::floor(Num) &&
+        std::fabs(Num) < 9.0e15) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(Num));
+      return Buf;
+    }
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.17g", Num);
+    return Buf;
+  }
+  case Kind::String:
+    return "\"" + escape(Str) + "\"";
+  case Kind::Array: {
+    std::string Out = "[";
+    for (size_t I = 0; I < Arr.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += Arr[I]->dump();
+    }
+    return Out + "]";
+  }
+  case Kind::Object: {
+    std::string Out = "{";
+    bool First = true;
+    for (const auto &KV : Obj) {
+      if (!First)
+        Out += ",";
+      First = false;
+      Out += "\"" + escape(KV.first) + "\":" + KV.second->dump();
+    }
+    return Out + "}";
+  }
+  }
+  return "null";
+}
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Err)
+      : S(Text), Err(Err) {}
+
+  ValuePtr run() {
+    ValuePtr V = parseValue(0);
+    if (!V)
+      return nullptr;
+    skipWs();
+    if (Pos != S.size()) {
+      Err = "trailing characters after JSON document";
+      return nullptr;
+    }
+    return V;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  void skipWs() {
+    while (Pos < S.size() &&
+           (S[Pos] == ' ' || S[Pos] == '\t' || S[Pos] == '\n' ||
+            S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = 0;
+    while (Lit[N])
+      ++N;
+    if (S.compare(Pos, N, Lit) == 0) {
+      Pos += N;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr fail(const std::string &Msg) {
+    Err = Msg + " at offset " + std::to_string(Pos);
+    return nullptr;
+  }
+
+  ValuePtr parseValue(int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    const char C = S[Pos];
+    if (C == '{')
+      return parseObject(Depth);
+    if (C == '[')
+      return parseArray(Depth);
+    if (C == '"') {
+      std::string Str;
+      if (!parseString(Str))
+        return nullptr;
+      return Value::str(std::move(Str));
+    }
+    if (C == 't')
+      return literal("true") ? Value::boolean(true)
+                             : fail("bad literal");
+    if (C == 'f')
+      return literal("false") ? Value::boolean(false)
+                              : fail("bad literal");
+    if (C == 'n')
+      return literal("null") ? Value::null() : fail("bad literal");
+    return parseNumber();
+  }
+
+  ValuePtr parseNumber() {
+    const size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    char *End = nullptr;
+    const std::string Tok = S.substr(Start, Pos - Start);
+    const double N = std::strtod(Tok.c_str(), &End);
+    if (!End || *End != '\0')
+      return fail("malformed number");
+    return Value::number(N);
+  }
+
+  bool parseString(std::string &Out) {
+    if (S[Pos] != '"') {
+      fail("expected a string");
+      return false;
+    }
+    ++Pos;
+    while (Pos < S.size()) {
+      const char C = S[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        break;
+      const char E = S[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size()) {
+          fail("truncated \\u escape");
+          return false;
+        }
+        unsigned V = 0;
+        for (int I = 0; I < 4; ++I) {
+          const char H = S[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else {
+            fail("bad \\u escape");
+            return false;
+          }
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are not
+        // needed by this protocol; encode them as-is).
+        if (V < 0x80) {
+          Out += static_cast<char>(V);
+        } else if (V < 0x800) {
+          Out += static_cast<char>(0xC0 | (V >> 6));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (V >> 12));
+          Out += static_cast<char>(0x80 | ((V >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (V & 0x3F));
+        }
+        break;
+      }
+      default:
+        fail("bad escape");
+        return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  ValuePtr parseArray(int Depth) {
+    ++Pos; // '['
+    auto V = Value::array();
+    skipWs();
+    if (consume(']'))
+      return V;
+    for (;;) {
+      ValuePtr E = parseValue(Depth + 1);
+      if (!E)
+        return nullptr;
+      V->push(std::move(E));
+      if (consume(']'))
+        return V;
+      if (!consume(','))
+        return fail("expected ',' or ']'");
+    }
+  }
+
+  ValuePtr parseObject(int Depth) {
+    ++Pos; // '{'
+    auto V = Value::object();
+    skipWs();
+    if (consume('}'))
+      return V;
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (Pos >= S.size() || S[Pos] != '"' || !parseString(Key))
+        return fail("expected an object key");
+      if (!consume(':'))
+        return fail("expected ':'");
+      ValuePtr E = parseValue(Depth + 1);
+      if (!E)
+        return nullptr;
+      V->set(Key, std::move(E));
+      if (consume('}'))
+        return V;
+      if (!consume(','))
+        return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string &S;
+  std::string &Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+ValuePtr json::parse(const std::string &Text, std::string &Err) {
+  return Parser(Text, Err).run();
+}

@@ -1,0 +1,75 @@
+//===--- Json.h - Minimal JSON for the laminard wire protocol --*- C++ -*-===//
+//
+// Just enough JSON for line-delimited request/response frames: parse
+// into a small value tree, escape strings on the way out. The rest of
+// the codebase *emits* JSON by hand (stats, fault reports, bench
+// rows); this is the first component that must *read* it, because
+// laminard's socket protocol is JSON both ways. Deliberately strict
+// (no comments, no trailing commas) and bounded (depth cap) since it
+// parses untrusted socket bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SERVER_JSON_H
+#define LAMINAR_SERVER_JSON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace laminar {
+namespace json {
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+
+  static ValuePtr null();
+  static ValuePtr boolean(bool B);
+  static ValuePtr number(double N);
+  static ValuePtr str(std::string S);
+  static ValuePtr array();
+  static ValuePtr object();
+
+  bool asBool(bool Default = false) const;
+  double asNumber(double Default = 0) const;
+  int64_t asInt(int64_t Default = 0) const;
+  const std::string &asString() const;
+
+  /// Object field access; null Value when absent or not an object.
+  ValuePtr get(const std::string &Key) const;
+  void set(const std::string &Key, ValuePtr V);
+
+  const std::vector<ValuePtr> &elements() const { return Arr; }
+  void push(ValuePtr V) { Arr.push_back(std::move(V)); }
+
+  /// Compact serialization (stable key order — std::map).
+  std::string dump() const;
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<ValuePtr> Arr;
+  std::map<std::string, ValuePtr> Obj;
+};
+
+/// Strict parse of one JSON document. Returns null and sets \p Err on
+/// malformed input (including trailing garbage).
+ValuePtr parse(const std::string &Text, std::string &Err);
+
+/// JSON string escaping (shared with the hand-rolled emitters).
+std::string escape(const std::string &S);
+
+} // namespace json
+} // namespace laminar
+
+#endif // LAMINAR_SERVER_JSON_H

@@ -1,0 +1,88 @@
+//===--- PlanCache.cpp - LRU cache of compiled plans ----------------------===//
+
+#include "server/PlanCache.h"
+#include <algorithm>
+
+using namespace laminar;
+using namespace laminar::server;
+
+std::shared_ptr<const CompiledPlan> PlanCache::lookup(const PlanKey &K) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Index.find(K.SourceHash);
+  if (It != Index.end()) {
+    for (auto LI : It->second) {
+      if (LI->Key == K) {
+        Lru.splice(Lru.begin(), Lru, LI);
+        ++Hits;
+        return LI->Plan;
+      }
+    }
+  }
+  ++Misses;
+  return nullptr;
+}
+
+bool PlanCache::insert(const PlanKey &K,
+                       std::shared_ptr<const CompiledPlan> P) {
+  std::lock_guard<std::mutex> L(M);
+  if (Cfg.MaxEntries == 0 ||
+      (Cfg.MaxPlanBytes && P->approxBytes() > Cfg.MaxPlanBytes)) {
+    ++AdmissionRejects;
+    return false;
+  }
+  // A racing compile of the same key may have inserted first; keep the
+  // resident entry so its identity (and byte accounting) stays stable.
+  auto It = Index.find(K.SourceHash);
+  if (It != Index.end())
+    for (auto LI : It->second)
+      if (LI->Key == K)
+        return true;
+  Lru.push_front(Entry{K, std::move(P)});
+  Index[K.SourceHash].push_back(Lru.begin());
+  Bytes += Lru.front().Plan->approxBytes();
+  evictIfNeededLocked();
+  return true;
+}
+
+void PlanCache::evictIfNeededLocked() {
+  while (Lru.size() > Cfg.MaxEntries ||
+         (Cfg.MaxBytes && Bytes > Cfg.MaxBytes && Lru.size() > 1)) {
+    auto Victim = std::prev(Lru.end());
+    Bytes -= Victim->Plan->approxBytes();
+    auto &Bucket = Index[Victim->Key.SourceHash];
+    Bucket.erase(std::remove(Bucket.begin(), Bucket.end(), Victim),
+                 Bucket.end());
+    if (Bucket.empty())
+      Index.erase(Victim->Key.SourceHash);
+    Lru.erase(Victim);
+    ++Evictions;
+  }
+}
+
+size_t PlanCache::entries() const {
+  std::lock_guard<std::mutex> L(M);
+  return Lru.size();
+}
+
+size_t PlanCache::bytes() const {
+  std::lock_guard<std::mutex> L(M);
+  return Bytes;
+}
+
+bool PlanCache::verifyPlansImmutable() const {
+  std::lock_guard<std::mutex> L(M);
+  for (const Entry &E : Lru)
+    if (!E.Plan->verifyImmutable())
+      return false;
+  return true;
+}
+
+void PlanCache::statsInto(StatsRegistry &S) const {
+  std::lock_guard<std::mutex> L(M);
+  S.add("server.cache.hit", Hits);
+  S.add("server.cache.miss", Misses);
+  S.add("server.cache.evict", Evictions);
+  S.add("server.cache.admission-reject", AdmissionRejects);
+  S.add("server.cache.entries", Lru.size());
+  S.add("server.cache.bytes", Bytes);
+}

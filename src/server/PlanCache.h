@@ -1,0 +1,90 @@
+//===--- PlanCache.h - LRU cache of compiled plans -------------*- C++ -*-===//
+//
+// The compile-once half of the server story: plans are cached under
+// (source hash, canonicalized options) so the second request for the
+// same graph pays a map lookup, not a compilation. Admission control
+// is the compiler's own resource governor — a compile that exceeds the
+// configured CompilerLimits is rejected by the pipeline and never
+// enters the cache — plus a per-plan byte ceiling for artifacts that
+// compiled fine but are too large to be worth pinning.
+//
+// Eviction is strict LRU over entries, bounded by both an entry count
+// and a byte budget. Eviction never invalidates running instances:
+// entries hold shared_ptr<const CompiledPlan>, so an evicted plan
+// lives until its last instance releases it.
+//
+// All operations are mutex-guarded (compiles happen *outside* the
+// lock; see StreamServer::compile) and every outcome is counted:
+// server.cache.hits / misses / evictions / admission-rejects plus the
+// bytes/entries gauges surfaced by statsInto().
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SERVER_PLANCACHE_H
+#define LAMINAR_SERVER_PLANCACHE_H
+
+#include "server/CompiledPlan.h"
+#include "support/Statistics.h"
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace laminar {
+namespace server {
+
+struct PlanCacheConfig {
+  /// Maximum cached plans (LRU beyond this). 0 disables caching.
+  size_t MaxEntries = 64;
+  /// Byte budget over CompiledPlan::approxBytes(). 0 = unlimited.
+  size_t MaxBytes = 256ull << 20;
+  /// Largest single plan admitted. 0 = unlimited.
+  size_t MaxPlanBytes = 64ull << 20;
+};
+
+class PlanCache {
+public:
+  explicit PlanCache(const PlanCacheConfig &Cfg) : Cfg(Cfg) {}
+
+  /// Cache lookup. Bumps hits/misses; moves a hit to the LRU front.
+  std::shared_ptr<const CompiledPlan> lookup(const PlanKey &K);
+
+  /// Inserts a freshly built plan, evicting LRU entries as needed.
+  /// Returns false (counted as an admission reject) when the plan is
+  /// larger than MaxPlanBytes or caching is disabled — the caller
+  /// still owns a perfectly usable plan, it just is not pinned.
+  bool insert(const PlanKey &K, std::shared_ptr<const CompiledPlan> P);
+
+  size_t entries() const;
+  size_t bytes() const;
+
+  /// Every cached plan still structurally fingerprint-identical to its
+  /// build — the debug-build immutability assertion's workhorse.
+  bool verifyPlansImmutable() const;
+
+  /// Folds counters plus the current bytes/entries gauges into \p S
+  /// under server.cache.*.
+  void statsInto(StatsRegistry &S) const;
+
+private:
+  struct Entry {
+    PlanKey Key;
+    std::shared_ptr<const CompiledPlan> Plan;
+  };
+  using LruList = std::list<Entry>;
+
+  void evictIfNeededLocked();
+
+  PlanCacheConfig Cfg;
+  mutable std::mutex M;
+  LruList Lru; // front = most recent
+  std::unordered_map<uint64_t, std::vector<LruList::iterator>> Index;
+  size_t Bytes = 0;
+  uint64_t Hits = 0, Misses = 0, Evictions = 0, AdmissionRejects = 0;
+};
+
+} // namespace server
+} // namespace laminar
+
+#endif // LAMINAR_SERVER_PLANCACHE_H

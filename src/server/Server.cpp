@@ -1,0 +1,195 @@
+//===--- Server.cpp - Multi-instance stream server ------------------------===//
+
+#include "server/Server.h"
+#include <cassert>
+#include <chrono>
+
+using namespace laminar;
+using namespace laminar::server;
+
+StreamServer::StreamServer(const ServerConfig &C)
+    : Cfg(C), Cache(PlanCacheConfig{C.CacheEntries, C.CacheBytes,
+                                    C.MaxPlanBytes}) {
+  unsigned W = Cfg.Workers;
+  if (W == 0) {
+    W = std::thread::hardware_concurrency();
+    if (W == 0)
+      W = 1;
+  }
+  Cfg.Workers = W;
+  Pool.reserve(W);
+  for (unsigned I = 0; I < W; ++I)
+    Pool.emplace_back([this] { workerMain(); });
+  if (Cfg.InstanceDeadlineMs)
+    Watchdog = std::thread([this] { watchdogMain(); });
+}
+
+StreamServer::~StreamServer() {
+  // Cancel everything first so in-flight batches unwind promptly, then
+  // stop the pool. Pool jobs hold shared_ptr<Instance>, so instances
+  // stay alive until their last runPending() returns.
+  {
+    std::lock_guard<std::mutex> L(InstM);
+    for (auto &KV : Instances)
+      KV.second->cancel();
+  }
+  {
+    std::lock_guard<std::mutex> L(PoolM);
+    Stopping = true;
+  }
+  PoolCV.notify_all();
+  for (std::thread &T : Pool)
+    T.join();
+  if (Watchdog.joinable())
+    Watchdog.join();
+#ifndef NDEBUG
+  assert(Cache.verifyPlansImmutable() &&
+         "a shared CompiledPlan was mutated after build");
+#endif
+}
+
+std::shared_ptr<const CompiledPlan>
+StreamServer::compile(const std::string &Source, PlanOptions Opts,
+                      std::string &Err, bool *CacheHit) {
+  // The server's resource governor applies to every compile; request
+  // options cannot widen it. This also canonicalizes the cache key.
+  Opts.Limits = Cfg.Limits;
+  const PlanKey Key = makePlanKey(Source, Opts);
+  if (auto P = Cache.lookup(Key)) {
+    if (CacheHit)
+      *CacheHit = true;
+    return P;
+  }
+  if (CacheHit)
+    *CacheHit = false;
+  // Cold compile, outside every lock: concurrent misses on different
+  // keys overlap fully; a concurrent same-key build is resolved by
+  // insert() keeping the first resident entry.
+  auto P = CompiledPlan::build(Source, Opts, Err);
+  {
+    std::lock_guard<std::mutex> L(StatsM);
+    if (!P) {
+      Stats.add("server.compile.error");
+      return nullptr;
+    }
+    Stats.add("server.compile.cold");
+    Stats.merge(P->compileStats());
+  }
+  Cache.insert(Key, P);
+  return P;
+}
+
+std::shared_ptr<Instance>
+StreamServer::spawn(std::shared_ptr<const CompiledPlan> P) {
+  if (!P)
+    return nullptr;
+  std::shared_ptr<Instance> I;
+  {
+    std::lock_guard<std::mutex> L(InstM);
+    I = std::make_shared<Instance>(std::move(P), NextId++);
+    Instances.emplace(I->id(), I);
+  }
+  std::lock_guard<std::mutex> L(StatsM);
+  Stats.add("server.instances.spawned");
+  return I;
+}
+
+std::shared_ptr<Instance> StreamServer::instance(uint64_t Id) const {
+  std::lock_guard<std::mutex> L(InstM);
+  auto It = Instances.find(Id);
+  return It == Instances.end() ? nullptr : It->second;
+}
+
+bool StreamServer::freeInstance(uint64_t Id) {
+  std::shared_ptr<Instance> I;
+  {
+    std::lock_guard<std::mutex> L(InstM);
+    auto It = Instances.find(Id);
+    if (It == Instances.end())
+      return false;
+    I = std::move(It->second);
+    Instances.erase(It);
+  }
+  I->cancel();
+  std::lock_guard<std::mutex> L(StatsM);
+  Stats.add("server.instances.freed");
+  return true;
+}
+
+BatchStatus StreamServer::pushBatch(Instance &I, interp::TokenView In,
+                                    int64_t Iterations, std::string *Err) {
+  bool NeedsSchedule = false;
+  const BatchStatus S = I.pushBatch(In, Iterations, &NeedsSchedule, Err);
+  if (S == BatchStatus::Ok) {
+    std::lock_guard<std::mutex> L(StatsM);
+    Stats.add("server.batches.pushed");
+  }
+  if (NeedsSchedule) {
+    // Re-resolve through the table so the pool job owns a shared_ptr.
+    if (auto Ref = instance(I.id()))
+      enqueue(std::move(Ref));
+  }
+  return S;
+}
+
+void StreamServer::enqueue(std::shared_ptr<Instance> I) {
+  {
+    std::lock_guard<std::mutex> L(PoolM);
+    if (Stopping)
+      return;
+    JobQ.push_back(std::move(I));
+  }
+  PoolCV.notify_one();
+}
+
+void StreamServer::workerMain() {
+  for (;;) {
+    std::shared_ptr<Instance> Job;
+    {
+      std::unique_lock<std::mutex> L(PoolM);
+      PoolCV.wait(L, [this] { return Stopping || !JobQ.empty(); });
+      if (Stopping && JobQ.empty())
+        return;
+      Job = std::move(JobQ.front());
+      JobQ.pop_front();
+    }
+    Job->runPending();
+  }
+}
+
+void StreamServer::watchdogMain() {
+  const uint64_t DeadlineNs = Cfg.InstanceDeadlineMs * 1000000ull;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> L(PoolM);
+      if (PoolCV.wait_for(L, std::chrono::milliseconds(5),
+                          [this] { return Stopping; }))
+        return;
+    }
+    const uint64_t Now = profile::Profiler::nowNs();
+    std::lock_guard<std::mutex> L(InstM);
+    for (auto &KV : Instances) {
+      const uint64_t Since = KV.second->runningSinceNs();
+      if (Since && Now > Since && Now - Since > DeadlineNs)
+        KV.second->cancel();
+    }
+  }
+}
+
+size_t StreamServer::liveInstances() const {
+  std::lock_guard<std::mutex> L(InstM);
+  return Instances.size();
+}
+
+StatsRegistry StreamServer::stats() const {
+  StatsRegistry S;
+  {
+    std::lock_guard<std::mutex> L(StatsM);
+    S.merge(Stats);
+  }
+  Cache.statsInto(S);
+  S.add("server.instances.live", liveInstances());
+  return S;
+}
+
+std::string StreamServer::statsJson() const { return stats().json(); }

@@ -1,0 +1,127 @@
+//===--- Server.h - Multi-instance stream server ----------------*- C++ -*-===//
+//
+// StreamServer is the production front door: it owns the plan cache,
+// an instance table, one shared worker pool, and a deadline watchdog.
+// Many independent stream programs (instances) run concurrently over
+// the same pool; each instance's batches execute serialized on one
+// worker at a time (Instance.h), so a K-worker server sustains up to K
+// instances making progress at once.
+//
+// Threading contract:
+//  * compile() is thread-safe; cold compiles run outside every lock,
+//    so concurrent compiles of *different* keys overlap fully.
+//  * pushBatch()/pullBatch()/cancel() are safe from any caller thread
+//    (per instance they are one producer / one consumer, which the C
+//    API and laminard both satisfy per connection).
+//  * the watchdog thread cancels any instance whose in-flight batch
+//    exceeds InstanceDeadlineMs; cancellation is cooperative and
+//    contained to that instance.
+//
+// Fault isolation: a faulting instance poisons only its own output
+// queue and reports via laminar-fault-report-v1; siblings, the cache,
+// and the pool are untouched. The destructor (and shutdown() in
+// tests) asserts every cached plan still matches its build-time
+// structural fingerprint — the debug-build proof that no instance
+// wrote through the shared artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAMINAR_SERVER_SERVER_H
+#define LAMINAR_SERVER_SERVER_H
+
+#include "server/Instance.h"
+#include "server/PlanCache.h"
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+
+namespace laminar {
+namespace server {
+
+struct ServerConfig {
+  /// Pool size; 0 = hardware concurrency (min 1).
+  unsigned Workers = 0;
+  /// Plan-cache shape (see PlanCacheConfig).
+  size_t CacheEntries = 64;
+  size_t CacheBytes = 256ull << 20;
+  size_t MaxPlanBytes = 64ull << 20;
+  /// Per-batch execution deadline enforced by the watchdog; 0 = none.
+  uint64_t InstanceDeadlineMs = 0;
+  /// Compiler admission control, applied to *every* compile the server
+  /// performs (request options cannot widen them — a server governs
+  /// its own resources). Also part of the cache key via canonical().
+  CompilerLimits Limits;
+};
+
+class StreamServer {
+public:
+  explicit StreamServer(const ServerConfig &Cfg);
+  ~StreamServer();
+
+  /// Compile-or-fetch. On a cache hit, zero compiler phases run and no
+  /// driver.* counters move (ServerTest pins this by snapshotting
+  /// stats()); on a miss the cold compile's phase counters are merged
+  /// into the server registry. \p CacheHit reports which path ran.
+  std::shared_ptr<const CompiledPlan> compile(const std::string &Source,
+                                              PlanOptions Opts,
+                                              std::string &Err,
+                                              bool *CacheHit = nullptr);
+
+  /// Creates a new instance of \p P — one MemoryImage construction,
+  /// O(state size). Never compiles.
+  std::shared_ptr<Instance> spawn(std::shared_ptr<const CompiledPlan> P);
+
+  std::shared_ptr<Instance> instance(uint64_t Id) const;
+
+  /// Cancels, unregisters, and drops the server's reference. The
+  /// object lives on until outstanding handles (pool jobs, C API
+  /// handles) release theirs.
+  bool freeInstance(uint64_t Id);
+
+  /// Validates + queues one batch on \p I and schedules it on the pool
+  /// when the push made it runnable. This is the only correct way to
+  /// feed a server-owned instance.
+  BatchStatus pushBatch(Instance &I, interp::TokenView In,
+                        int64_t Iterations, std::string *Err = nullptr);
+
+  size_t liveInstances() const;
+  const ServerConfig &config() const { return Cfg; }
+  const PlanCache &cache() const { return Cache; }
+
+  /// Point-in-time registry: merged cold-compile phase counters plus
+  /// server.cache.* / server.instances.* / server.batches.* counters.
+  StatsRegistry stats() const;
+  std::string statsJson() const;
+
+  /// Fingerprint-checks every cached plan (also run by ~StreamServer
+  /// under !NDEBUG).
+  bool verifyPlansImmutable() const { return Cache.verifyPlansImmutable(); }
+
+private:
+  void workerMain();
+  void watchdogMain();
+  void enqueue(std::shared_ptr<Instance> I);
+
+  ServerConfig Cfg;
+  PlanCache Cache;
+
+  mutable std::mutex StatsM;
+  StatsRegistry Stats; // cold-compile merges + server.* counters
+
+  mutable std::mutex InstM;
+  std::unordered_map<uint64_t, std::shared_ptr<Instance>> Instances;
+  uint64_t NextId = 1;
+
+  std::mutex PoolM;
+  std::condition_variable PoolCV;
+  std::deque<std::shared_ptr<Instance>> JobQ;
+  bool Stopping = false;
+  std::vector<std::thread> Pool;
+  std::thread Watchdog;
+};
+
+} // namespace server
+} // namespace laminar
+
+#endif // LAMINAR_SERVER_SERVER_H

@@ -1,0 +1,587 @@
+//===--- ServerTest.cpp - stream server: cache, instances, isolation ------===//
+//
+// The server subsystem's contract tests:
+//
+//  * plan-cache determinism — hit/miss/LRU-eviction sequences and the
+//    server.cache.* counters that expose them;
+//  * the zero-phase cached compile: a cache hit moves server.cache.hit
+//    and *no* compile-phase counter (graph./lower./schedule./opt./
+//    parallel.), proven by stats-registry snapshots;
+//  * spawn cost: spawning instances from a cached plan runs zero
+//    compile phases (same snapshot technique);
+//  * bit-exactness — a server instance produces exactly the bytes of
+//    the sequential solo run, for sequential plans, parallel plans,
+//    and 64 concurrent ChannelVocoder instances (the TSan-audited
+//    configuration from the roadmap);
+//  * fault isolation — a faulting instance reports a structured
+//    laminar-fault-report-v1 and dies; siblings and the server's
+//    ability to compile/spawn are untouched;
+//  * plan immutability — the build-time structural fingerprint still
+//    matches after a concurrent instance storm;
+//  * the minimal JSON codec the daemon protocol rides on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "server/Json.h"
+#include "server/Server.h"
+#include "suite/Suite.h"
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace laminar;
+using namespace laminar::server;
+
+namespace {
+
+const char *ScalerSource = R"(
+float->float filter Scaler(float gain) {
+  work push 1 pop 1 {
+    push(pop() * gain);
+  }
+}
+float->float pipeline Double {
+  add Scaler(2.0);
+}
+)";
+
+const char *OffsetSource = R"(
+int->int filter Offset(int d) {
+  work push 1 pop 1 {
+    push(pop() + d);
+  }
+}
+int->int pipeline Shift {
+  add Offset(7);
+}
+)";
+
+const char *DividerSource = R"(
+int->int filter Divider() {
+  work push 1 pop 1 {
+    push(1000 / pop());
+  }
+}
+int->int pipeline Divide {
+  add Divider();
+}
+)";
+
+const char *ChainSource = R"(
+int->int filter Scale() {
+  work push 1 pop 1 {
+    push(pop() * 3);
+  }
+}
+int->int filter Offset() {
+  work push 1 pop 1 {
+    push(pop() + 7);
+  }
+}
+int->int pipeline Chain {
+  add Scale();
+  add Offset();
+}
+)";
+
+PlanOptions optsFor(const std::string &Top) {
+  PlanOptions O;
+  O.TopName = Top;
+  return O;
+}
+
+/// Sum of every compile-phase counter namespace. Unchanged across an
+/// operation == that operation ran zero compiler phases.
+uint64_t compilePhaseSum(const StatsRegistry &S) {
+  return S.sumPrefix("graph.") + S.sumPrefix("lower.") +
+         S.sumPrefix("schedule.") + S.sumPrefix("opt.") +
+         S.sumPrefix("parallel.") + S.sumPrefix("driver.");
+}
+
+/// Reference: the sequential solo run the paper's engine performs,
+/// over the same deterministic input the instance will be fed.
+interp::RunResult soloRun(const std::string &Source, const std::string &Top,
+                          int64_t Iters, uint64_t Seed) {
+  driver::CompileOptions O;
+  O.TopName = Top;
+  driver::Compilation C = driver::compile(Source, O);
+  EXPECT_TRUE(C.Ok) << C.ErrorLog;
+  return driver::runWithRandomInput(C, Iters, Seed);
+}
+
+/// The instance-side input for the same run: identical token sequence
+/// (init-phase tokens followed by Iters iterations' worth).
+interp::TokenStream inputFor(const CompiledPlan &P, int64_t Iters,
+                             uint64_t Seed) {
+  const size_t Need = static_cast<size_t>(
+      P.inputForInit() + P.inputPerIter() * Iters);
+  return interp::makeRandomInput(P.inputType(), Need, Seed);
+}
+
+void expectSameOutputs(const interp::TokenStream &A,
+                       const interp::TokenStream &B) {
+  ASSERT_EQ(A.Ty, B.Ty);
+  ASSERT_EQ(A.size(), B.size());
+  if (A.Ty == lir::TypeKind::Int) {
+    for (size_t I = 0; I < A.I.size(); ++I)
+      ASSERT_EQ(A.I[I], B.I[I]) << "token " << I;
+  } else {
+    for (size_t I = 0; I < A.F.size(); ++I) {
+      // Bit-exact, not approximately equal.
+      ASSERT_EQ(A.F[I], B.F[I]) << "token " << I;
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Plan cache
+//===----------------------------------------------------------------------===//
+
+TEST(PlanCache, HitMissAndLruEvictionAreDeterministic) {
+  ServerConfig C;
+  C.Workers = 1;
+  C.CacheEntries = 2;
+  StreamServer S(C);
+  std::string Err;
+
+  // Cold, cold, hit.
+  EXPECT_TRUE(S.compile(ScalerSource, optsFor("Double"), Err));
+  EXPECT_TRUE(S.compile(OffsetSource, optsFor("Shift"), Err));
+  bool Hit = false;
+  EXPECT_TRUE(S.compile(ScalerSource, optsFor("Double"), Err, &Hit));
+  EXPECT_TRUE(Hit);
+
+  // Third distinct plan evicts the LRU entry, which is Shift (Double
+  // was touched by the hit above).
+  EXPECT_TRUE(S.compile(ChainSource, optsFor("Chain"), Err));
+  StatsRegistry St = S.stats();
+  EXPECT_EQ(St.get("server.cache.evict"), 1u);
+  EXPECT_EQ(St.get("server.cache.entries"), 2u);
+
+  EXPECT_TRUE(S.compile(ScalerSource, optsFor("Double"), Err, &Hit));
+  EXPECT_TRUE(Hit) << "Double must have survived the eviction";
+  EXPECT_TRUE(S.compile(OffsetSource, optsFor("Shift"), Err, &Hit));
+  EXPECT_FALSE(Hit) << "Shift must have been the LRU victim";
+
+  St = S.stats();
+  EXPECT_EQ(St.get("server.cache.miss"), 4u);
+  EXPECT_EQ(St.get("server.cache.hit"), 2u);
+  EXPECT_EQ(St.get("server.cache.evict"), 2u);
+  EXPECT_EQ(St.get("server.compile.cold"), 4u);
+  EXPECT_GT(St.get("server.cache.bytes"), 0u);
+}
+
+TEST(PlanCache, OptionsArePartOfTheKey) {
+  ServerConfig C;
+  C.Workers = 1;
+  StreamServer S(C);
+  std::string Err;
+  EXPECT_TRUE(S.compile(ScalerSource, optsFor("Double"), Err));
+
+  PlanOptions O1 = optsFor("Double");
+  O1.OptLevel = 0;
+  bool Hit = true;
+  EXPECT_TRUE(S.compile(ScalerSource, O1, Err, &Hit));
+  EXPECT_FALSE(Hit) << "different opt level must be a different plan";
+
+  PlanOptions O2 = optsFor("Double");
+  O2.Mode = driver::LoweringMode::Fifo;
+  EXPECT_TRUE(S.compile(ScalerSource, O2, Err, &Hit));
+  EXPECT_FALSE(Hit) << "different lowering mode must be a different plan";
+}
+
+TEST(PlanCache, CachedCompileRunsZeroPhases) {
+  ServerConfig C;
+  C.Workers = 1;
+  StreamServer S(C);
+  std::string Err;
+  ASSERT_TRUE(S.compile(ScalerSource, optsFor("Double"), Err)) << Err;
+
+  const StatsRegistry Before = S.stats();
+  const uint64_t PhasesBefore = compilePhaseSum(Before);
+  ASSERT_GT(PhasesBefore, 0u) << "cold compile must move phase counters";
+
+  bool Hit = false;
+  ASSERT_TRUE(S.compile(ScalerSource, optsFor("Double"), Err, &Hit));
+  ASSERT_TRUE(Hit);
+
+  const StatsRegistry After = S.stats();
+  // The acceptance criterion: the second compile of the same
+  // (source, options) pair performs zero parse/sema/lower phases.
+  EXPECT_EQ(compilePhaseSum(After), PhasesBefore);
+  EXPECT_EQ(After.get("server.compile.cold"),
+            Before.get("server.compile.cold"));
+  EXPECT_EQ(After.get("server.cache.hit"),
+            Before.get("server.cache.hit") + 1);
+}
+
+TEST(PlanCache, EvictionDoesNotInvalidateRunningInstances) {
+  ServerConfig C;
+  C.Workers = 1;
+  C.CacheEntries = 1;
+  StreamServer S(C);
+  std::string Err;
+  auto Plan = S.compile(OffsetSource, optsFor("Shift"), Err);
+  ASSERT_TRUE(Plan) << Err;
+  auto I = S.spawn(Plan);
+  ASSERT_TRUE(I);
+
+  // Evict Shift from the single-entry cache.
+  ASSERT_TRUE(S.compile(ScalerSource, optsFor("Double"), Err));
+  EXPECT_EQ(S.stats().get("server.cache.evict"), 1u);
+
+  // The instance still runs: entries hold shared_ptrs, eviction only
+  // unpins.
+  std::vector<int64_t> In = {1, 2, 3};
+  interp::TokenView V;
+  V.Ty = lir::TypeKind::Int;
+  V.I = In.data();
+  V.Count = In.size();
+  ASSERT_EQ(S.pushBatch(*I, V, 3), BatchStatus::Ok);
+  interp::TokenStream Out;
+  ASSERT_EQ(I->pullBatch(Out), BatchStatus::Ok);
+  ASSERT_EQ(Out.I, (std::vector<int64_t>{8, 9, 10}));
+}
+
+//===----------------------------------------------------------------------===//
+// Instances: spawn cost, bit-exactness, rate contract
+//===----------------------------------------------------------------------===//
+
+TEST(ServerInstance, SpawnRunsZeroCompilePhases) {
+  ServerConfig C;
+  C.Workers = 2;
+  StreamServer S(C);
+  std::string Err;
+  auto Plan = S.compile(ScalerSource, optsFor("Double"), Err);
+  ASSERT_TRUE(Plan) << Err;
+
+  const StatsRegistry Before = S.stats();
+  std::vector<std::shared_ptr<Instance>> Is;
+  for (int I = 0; I < 64; ++I)
+    Is.push_back(S.spawn(Plan));
+  const StatsRegistry After = S.stats();
+
+  // Spawn is O(state size): 64 spawns, zero compiler phases.
+  EXPECT_EQ(compilePhaseSum(After), compilePhaseSum(Before));
+  EXPECT_EQ(After.get("server.compile.cold"),
+            Before.get("server.compile.cold"));
+  EXPECT_EQ(After.get("server.instances.spawned"),
+            Before.get("server.instances.spawned") + 64);
+  EXPECT_EQ(S.liveInstances(), 64u);
+}
+
+TEST(ServerInstance, MatchesSequentialSoloRunBitExact) {
+  const int64_t Iters = 32;
+  const uint64_t Seed = 42;
+  interp::RunResult Solo = soloRun(ScalerSource, "Double", Iters, Seed);
+  ASSERT_TRUE(Solo.Ok) << Solo.Error;
+
+  ServerConfig C;
+  C.Workers = 2;
+  StreamServer S(C);
+  std::string Err;
+  auto Plan = S.compile(ScalerSource, optsFor("Double"), Err);
+  ASSERT_TRUE(Plan) << Err;
+  auto I = S.spawn(Plan);
+
+  interp::TokenStream In = inputFor(*Plan, Iters, Seed);
+  ASSERT_EQ(S.pushBatch(*I, In.view(), Iters), BatchStatus::Ok);
+  interp::TokenStream Out;
+  ASSERT_EQ(I->pullBatch(Out), BatchStatus::Ok);
+  expectSameOutputs(Solo.Outputs, Out);
+  ASSERT_EQ(I->pullBatch(Out), BatchStatus::Empty);
+}
+
+TEST(ServerInstance, MultiBatchStreamingMatchesOneShot) {
+  // Streaming the same tokens in three pushes must produce the same
+  // bytes as one big push: instance state (live tokens, init phase)
+  // carries across batches.
+  const uint64_t Seed = 7;
+  const suite::Benchmark *B = suite::findBenchmark("MovingAverage");
+  ASSERT_NE(B, nullptr);
+
+  interp::RunResult Solo = soloRun(B->Source, B->Top, 24, Seed);
+  ASSERT_TRUE(Solo.Ok) << Solo.Error;
+
+  ServerConfig C;
+  C.Workers = 2;
+  StreamServer S(C);
+  std::string Err;
+  auto Plan = S.compile(B->Source, optsFor(B->Top), Err);
+  ASSERT_TRUE(Plan) << Err;
+  auto I = S.spawn(Plan);
+
+  interp::TokenStream In = inputFor(*Plan, 24, Seed);
+  // First batch: init tokens + 8 iterations; then 2 x 8 iterations.
+  const size_t FirstTokens =
+      static_cast<size_t>(Plan->inputForInit() + 8 * Plan->inputPerIter());
+  const size_t PerBatch = static_cast<size_t>(8 * Plan->inputPerIter());
+  interp::TokenView V1 = In.view();
+  V1.Count = FirstTokens;
+  ASSERT_EQ(S.pushBatch(*I, V1, 8), BatchStatus::Ok);
+  for (int BatchIdx = 0; BatchIdx < 2; ++BatchIdx) {
+    interp::TokenView V = In.view();
+    V.F += FirstTokens + BatchIdx * PerBatch;
+    V.Count = PerBatch;
+    ASSERT_EQ(S.pushBatch(*I, V, 8), BatchStatus::Ok);
+  }
+
+  interp::TokenStream All;
+  All.Ty = Plan->outputType();
+  for (int BatchIdx = 0; BatchIdx < 3; ++BatchIdx) {
+    interp::TokenStream Out;
+    ASSERT_EQ(I->pullBatch(Out), BatchStatus::Ok);
+    All.F.insert(All.F.end(), Out.F.begin(), Out.F.end());
+    All.I.insert(All.I.end(), Out.I.begin(), Out.I.end());
+  }
+  expectSameOutputs(Solo.Outputs, All);
+}
+
+TEST(ServerInstance, ParallelPlanMatchesSequentialSoloBitExact) {
+  const int64_t Iters = 64;
+  const uint64_t Seed = 99;
+  interp::RunResult Solo = soloRun(ChainSource, "Chain", Iters, Seed);
+  ASSERT_TRUE(Solo.Ok) << Solo.Error;
+
+  ServerConfig C;
+  C.Workers = 2;
+  StreamServer S(C);
+  PlanOptions O = optsFor("Chain");
+  O.Parallel = 2;
+  O.Tuning.Force = true; // tiny program: bypass the cost gate
+  std::string Err;
+  auto Plan = S.compile(ChainSource, O, Err);
+  ASSERT_TRUE(Plan) << Err;
+
+  auto I = S.spawn(Plan);
+  interp::TokenStream In = inputFor(*Plan, Iters, Seed);
+  ASSERT_EQ(S.pushBatch(*I, In.view(), Iters), BatchStatus::Ok);
+  interp::TokenStream Out;
+  ASSERT_EQ(I->pullBatch(Out), BatchStatus::Ok);
+  // Partitions execute in partition (= topological) order per slab on
+  // one worker: sequential dataflow order, so bytes match the solo run.
+  expectSameOutputs(Solo.Outputs, Out);
+}
+
+TEST(ServerInstance, RateContractIsEnforced) {
+  ServerConfig C;
+  C.Workers = 1;
+  StreamServer S(C);
+  std::string Err;
+  auto Plan = S.compile(ScalerSource, optsFor("Double"), Err);
+  ASSERT_TRUE(Plan) << Err;
+  auto I = S.spawn(Plan);
+
+  std::vector<double> Data(5, 1.0);
+  interp::TokenView V;
+  V.Ty = lir::TypeKind::Float;
+  V.F = Data.data();
+  V.Count = Data.size();
+
+  std::string Msg;
+  EXPECT_EQ(S.pushBatch(*I, V, 4, &Msg), BatchStatus::BadBatch);
+  EXPECT_NE(Msg.find("5 token(s)"), std::string::npos) << Msg;
+
+  interp::TokenView Wrong = V;
+  Wrong.Ty = lir::TypeKind::Int;
+  EXPECT_EQ(S.pushBatch(*I, Wrong, 5, &Msg), BatchStatus::BadBatch);
+
+  EXPECT_EQ(S.pushBatch(*I, V, 5), BatchStatus::Ok);
+  interp::TokenStream Out;
+  EXPECT_EQ(I->pullBatch(Out), BatchStatus::Ok);
+  EXPECT_EQ(Out.size(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: the 64-instance ChannelVocoder storm (TSan target)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerConcurrency, SixtyFourVocoderInstancesBitExact) {
+  const suite::Benchmark *B = suite::findBenchmark("ChannelVocoder");
+  ASSERT_NE(B, nullptr);
+  const int64_t Iters = 2;
+  constexpr int NumInstances = 64;
+
+  // Sequential solo references, one per seed.
+  std::vector<interp::TokenStream> Expected(NumInstances);
+  {
+    driver::CompileOptions O;
+    O.TopName = B->Top;
+    driver::Compilation C = driver::compile(B->Source, O);
+    ASSERT_TRUE(C.Ok) << C.ErrorLog;
+    for (int K = 0; K < NumInstances; ++K) {
+      interp::RunResult R = driver::runWithRandomInput(
+          C, Iters, static_cast<uint64_t>(K + 1));
+      ASSERT_TRUE(R.Ok) << R.Error;
+      Expected[K] = std::move(R.Outputs);
+    }
+  }
+
+  ServerConfig C;
+  C.Workers = 4;
+  StreamServer S(C);
+  std::string Err;
+  auto Plan = S.compile(B->Source, optsFor(B->Top), Err);
+  ASSERT_TRUE(Plan) << Err;
+
+  // All 64 share one plan; each owns its memory image and its seed.
+  std::vector<std::shared_ptr<Instance>> Is;
+  std::vector<interp::TokenStream> Inputs;
+  Is.reserve(NumInstances);
+  Inputs.reserve(NumInstances);
+  for (int K = 0; K < NumInstances; ++K) {
+    Is.push_back(S.spawn(Plan));
+    Inputs.push_back(
+        inputFor(*Plan, Iters, static_cast<uint64_t>(K + 1)));
+  }
+  EXPECT_EQ(S.liveInstances(), static_cast<size_t>(NumInstances));
+
+  // Push from many caller threads at once; pull on the same thread per
+  // instance (the per-instance producer/consumer contract).
+  std::vector<std::thread> Clients;
+  std::vector<interp::TokenStream> Got(NumInstances);
+  std::vector<BatchStatus> PushSt(NumInstances, BatchStatus::Faulted);
+  std::vector<BatchStatus> PullSt(NumInstances, BatchStatus::Faulted);
+  for (int K = 0; K < NumInstances; ++K) {
+    Clients.emplace_back([&, K] {
+      PushSt[K] = S.pushBatch(*Is[K], Inputs[K].view(), Iters);
+      if (PushSt[K] == BatchStatus::Ok)
+        PullSt[K] = Is[K]->pullBatch(Got[K]);
+    });
+  }
+  for (auto &T : Clients)
+    T.join();
+
+  for (int K = 0; K < NumInstances; ++K) {
+    ASSERT_EQ(PushSt[K], BatchStatus::Ok) << "instance " << K;
+    ASSERT_EQ(PullSt[K], BatchStatus::Ok) << "instance " << K;
+    expectSameOutputs(Expected[K], Got[K]);
+  }
+
+  // The storm must not have written through the shared plan.
+  EXPECT_TRUE(S.verifyPlansImmutable());
+}
+
+//===----------------------------------------------------------------------===//
+// Fault isolation
+//===----------------------------------------------------------------------===//
+
+TEST(ServerFaults, FaultingInstanceDiesAloneWithStructuredReport) {
+  ServerConfig C;
+  C.Workers = 2;
+  StreamServer S(C);
+  std::string Err;
+  auto Plan = S.compile(DividerSource, optsFor("Divide"), Err);
+  ASSERT_TRUE(Plan) << Err;
+
+  auto Victim = S.spawn(Plan);
+  auto Sibling = S.spawn(Plan);
+
+  std::vector<int64_t> Bad = {10, 0, 5};   // 1000/0 traps
+  std::vector<int64_t> Good = {10, 20, 50};
+  interp::TokenView BV, GV;
+  BV.Ty = GV.Ty = lir::TypeKind::Int;
+  BV.I = Bad.data();
+  BV.Count = Bad.size();
+  GV.I = Good.data();
+  GV.Count = Good.size();
+
+  ASSERT_EQ(S.pushBatch(*Victim, BV, 3), BatchStatus::Ok);
+  ASSERT_EQ(S.pushBatch(*Sibling, GV, 3), BatchStatus::Ok);
+
+  interp::TokenStream Out;
+  ASSERT_EQ(Victim->pullBatch(Out), BatchStatus::Faulted);
+  EXPECT_TRUE(Victim->faulted());
+
+  // The report is the structured laminar-fault-report-v1 document.
+  const std::string Doc = Victim->faultReport().json();
+  std::string ParseErr;
+  auto J = json::parse(Doc, ParseErr);
+  ASSERT_TRUE(J) << ParseErr << "\n" << Doc;
+  EXPECT_EQ(J->get("schema")->asString(), "laminar-fault-report-v1");
+  EXPECT_EQ(J->get("fault")->get("kind")->asString(), "div-by-zero");
+
+  // The sibling is untouched and correct.
+  ASSERT_EQ(Sibling->pullBatch(Out), BatchStatus::Ok);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{100, 50, 20}));
+  EXPECT_FALSE(Sibling->faulted());
+
+  // The faulted instance accepts no further work; the server still
+  // compiles and spawns.
+  EXPECT_EQ(S.pushBatch(*Victim, GV, 3), BatchStatus::Faulted);
+  auto Fresh = S.spawn(Plan);
+  ASSERT_TRUE(Fresh);
+  ASSERT_EQ(S.pushBatch(*Fresh, GV, 3), BatchStatus::Ok);
+  ASSERT_EQ(Fresh->pullBatch(Out), BatchStatus::Ok);
+  EXPECT_EQ(Out.I, (std::vector<int64_t>{100, 50, 20}));
+}
+
+TEST(ServerFaults, CancellationReportsCancelled) {
+  ServerConfig C;
+  C.Workers = 1;
+  StreamServer S(C);
+  std::string Err;
+  auto Plan = S.compile(OffsetSource, optsFor("Shift"), Err);
+  ASSERT_TRUE(Plan) << Err;
+  auto I = S.spawn(Plan);
+  I->cancel();
+  std::vector<int64_t> In = {1};
+  interp::TokenView V;
+  V.Ty = lir::TypeKind::Int;
+  V.I = In.data();
+  V.Count = 1;
+  EXPECT_EQ(S.pushBatch(*I, V, 1), BatchStatus::Cancelled);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON codec (the daemon wire format)
+//===----------------------------------------------------------------------===//
+
+TEST(ServerJson, ParsesAndDumpsRoundTrip) {
+  std::string Err;
+  auto V = json::parse(
+      R"({"op":"push","data":[1,2.5,-3],"nested":{"a":true,"b":null},)"
+      R"("s":"a\"b\\c\nd"})",
+      Err);
+  ASSERT_TRUE(V) << Err;
+  EXPECT_EQ(V->get("op")->asString(), "push");
+  EXPECT_EQ(V->get("data")->elements().size(), 3u);
+  EXPECT_EQ(V->get("data")->elements()[0]->asInt(), 1);
+  EXPECT_EQ(V->get("data")->elements()[1]->asNumber(), 2.5);
+  EXPECT_EQ(V->get("data")->elements()[2]->asInt(), -3);
+  EXPECT_TRUE(V->get("nested")->get("a")->asBool());
+  EXPECT_TRUE(V->get("nested")->get("b")->isNull());
+  EXPECT_EQ(V->get("s")->asString(), "a\"b\\c\nd");
+
+  // dump() of a parse re-parses to the same structure.
+  auto V2 = json::parse(V->dump(), Err);
+  ASSERT_TRUE(V2) << Err;
+  EXPECT_EQ(V2->dump(), V->dump());
+}
+
+TEST(ServerJson, RejectsMalformedInput) {
+  std::string Err;
+  EXPECT_FALSE(json::parse("{", Err));
+  EXPECT_FALSE(json::parse("{\"a\":1,}", Err));
+  EXPECT_FALSE(json::parse("[1 2]", Err));
+  EXPECT_FALSE(json::parse("\"unterminated", Err));
+  EXPECT_FALSE(json::parse("{} trailing", Err));
+  EXPECT_FALSE(json::parse("tru", Err));
+  // Depth bomb: bounded, not stack overflow.
+  EXPECT_FALSE(json::parse(std::string(200, '[') + std::string(200, ']'),
+                           Err));
+}
+
+TEST(ServerJson, ParsesServerStatsDocument) {
+  // The hand-rolled stats emitter and this parser must agree.
+  ServerConfig C;
+  C.Workers = 1;
+  StreamServer S(C);
+  std::string Err;
+  ASSERT_TRUE(S.compile(ScalerSource, optsFor("Double"), Err));
+  auto J = json::parse(S.statsJson(), Err);
+  ASSERT_TRUE(J) << Err;
+  EXPECT_EQ(J->get("counters")->get("server.compile.cold")->asInt(), 1);
+}

@@ -1,0 +1,474 @@
+//===--- laminard.cpp - stream server daemon ------------------------------===//
+//
+// The network face of the StreamServer: an AF_UNIX socket speaking
+// line-delimited JSON — one request object per line in, one response
+// object per line out. The protocol is a 1:1 projection of the C API
+// (include/laminar.h); ci/check_server.py drives it end to end.
+//
+// Requests ({"op": ..., ...} — one per line):
+//   {"op":"ping"}
+//   {"op":"compile","source":S,"top":T,"opt":N?,"parallel":N?,
+//    "fifo":B?,"degrade":B?}            -> {"ok":true,"plan":ID,
+//                                           "cache-hit":B,"info":{...}}
+//   {"op":"spawn","plan":ID}            -> {"ok":true,"instance":ID}
+//   {"op":"push","instance":ID,"data":[...],"iterations":N}
+//                                       -> {"ok":true,"status":"ok"}
+//   {"op":"pull","instance":ID}         -> {"ok":true,"status":"ok",
+//                                           "data":[...]}
+//   {"op":"instance-stats","instance":ID} -> laminar-runtime-stats-v1
+//   {"op":"fault","instance":ID}        -> report or {"faulted":false}
+//   {"op":"cancel","instance":ID}
+//   {"op":"free-instance","instance":ID}
+//   {"op":"release-plan","plan":ID}
+//   {"op":"stats"}                      -> server stats registry
+//   {"op":"shutdown"}                   -> stops the daemon
+//
+// Errors: {"ok":false,"error":"..."}. Every connection is served by
+// its own thread; plan/instance ids are daemon-global, so a pool of
+// client connections can share instances (laminard serializes each
+// instance's push/pull through the server, satisfying the per-instance
+// producer/consumer contract with a per-instance connection mutex).
+//
+// The daemon deliberately binds only to a filesystem socket — it is a
+// local embedding front door, not an internet service.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Json.h"
+#include "server/Server.h"
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace laminar;
+
+namespace {
+
+struct Options {
+  std::string SocketPath = "/tmp/laminard.sock";
+  unsigned Workers = 0;
+  size_t CacheEntries = 64;
+  size_t CacheBytes = 256ull << 20;
+  uint64_t DeadlineMs = 0;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: laminard --socket PATH [--workers N] [--cache-entries N]\n"
+      "                [--cache-bytes N] [--deadline-ms N]\n"
+      "\n"
+      "Stream server daemon: line-delimited JSON over an AF_UNIX\n"
+      "socket. See docs/SERVER.md for the protocol.\n");
+}
+
+/// Daemon-global handle tables. Instances also live in the server's
+/// own table; these add the wire-protocol ids and the per-instance
+/// connection mutex that serializes push/pull across connections.
+struct Daemon {
+  explicit Daemon(const server::ServerConfig &C) : Server(C) {}
+
+  server::StreamServer Server;
+  std::atomic<bool> ShuttingDown{false};
+  /// The listen socket, so the shutdown op can unblock accept().
+  std::atomic<int> ListenFd{-1};
+
+  std::mutex M;
+  uint64_t NextPlanId = 1;
+  std::unordered_map<uint64_t,
+                     std::shared_ptr<const server::CompiledPlan>>
+      Plans;
+  struct InstanceSlot {
+    std::shared_ptr<server::Instance> I;
+    /// Serializes this instance's push/pull/free across connections so
+    /// the per-instance SPSC producer/consumer contract holds no
+    /// matter how clients shard work.
+    std::shared_ptr<std::mutex> IoM = std::make_shared<std::mutex>();
+    /// Wire batches are owned by the daemon (the socket buffer dies
+    /// with the request line); each pushed batch is pinned here until
+    /// the instance is freed.
+    std::vector<std::shared_ptr<interp::TokenStream>> Pinned;
+  };
+  std::unordered_map<uint64_t, InstanceSlot> Slots;
+};
+
+json::ValuePtr errorReply(const std::string &Msg) {
+  auto R = json::Value::object();
+  R->set("ok", json::Value::boolean(false));
+  R->set("error", json::Value::str(Msg));
+  return R;
+}
+
+json::ValuePtr okReply() {
+  auto R = json::Value::object();
+  R->set("ok", json::Value::boolean(true));
+  return R;
+}
+
+json::ValuePtr planInfo(const server::CompiledPlan &P) {
+  auto V = json::Value::object();
+  V->set("input-type", json::Value::str(P.inputType() == lir::TypeKind::Int
+                                            ? "int"
+                                            : "float"));
+  V->set("output-type",
+         json::Value::str(P.outputType() == lir::TypeKind::Int ? "int"
+                                                               : "float"));
+  V->set("input-per-iter",
+         json::Value::number(static_cast<double>(P.inputPerIter())));
+  V->set("input-for-init",
+         json::Value::number(static_cast<double>(P.inputForInit())));
+  V->set("output-per-iter",
+         json::Value::number(static_cast<double>(P.outputPerIter())));
+  V->set("partitions",
+         json::Value::number(P.plan() ? P.plan()->NumPartitions : 1));
+  V->set("degraded-to-fifo", json::Value::boolean(P.degradedToFifo()));
+  return V;
+}
+
+json::ValuePtr handleCompile(Daemon &D, const json::Value &Req) {
+  const std::string Source = Req.get("source")->asString();
+  if (Source.empty())
+    return errorReply("compile: missing source");
+  server::PlanOptions PO;
+  PO.TopName = Req.get("top")->asString();
+  PO.OptLevel = static_cast<unsigned>(Req.get("opt")->asInt(2));
+  PO.Parallel = static_cast<unsigned>(Req.get("parallel")->asInt(0));
+  if (Req.get("fifo")->asBool(false))
+    PO.Mode = driver::LoweringMode::Fifo;
+  PO.AllowDegradeToFifo = Req.get("degrade")->asBool(true);
+  std::string Err;
+  bool Hit = false;
+  auto P = D.Server.compile(Source, PO, Err, &Hit);
+  if (!P)
+    return errorReply("compile: " + Err);
+  uint64_t Id;
+  {
+    std::lock_guard<std::mutex> L(D.M);
+    Id = D.NextPlanId++;
+    D.Plans.emplace(Id, P);
+  }
+  auto R = okReply();
+  R->set("plan", json::Value::number(static_cast<double>(Id)));
+  R->set("cache-hit", json::Value::boolean(Hit));
+  R->set("info", planInfo(*P));
+  return R;
+}
+
+json::ValuePtr handleSpawn(Daemon &D, const json::Value &Req) {
+  const uint64_t PlanId =
+      static_cast<uint64_t>(Req.get("plan")->asInt(0));
+  std::shared_ptr<const server::CompiledPlan> P;
+  {
+    std::lock_guard<std::mutex> L(D.M);
+    auto It = D.Plans.find(PlanId);
+    if (It != D.Plans.end())
+      P = It->second;
+  }
+  if (!P)
+    return errorReply("spawn: unknown plan id");
+  auto I = D.Server.spawn(std::move(P));
+  if (!I)
+    return errorReply("spawn: failed");
+  {
+    std::lock_guard<std::mutex> L(D.M);
+    D.Slots[I->id()].I = I;
+  }
+  auto R = okReply();
+  R->set("instance", json::Value::number(static_cast<double>(I->id())));
+  return R;
+}
+
+bool findSlot(Daemon &D, const json::Value &Req, Daemon::InstanceSlot &Out,
+              json::ValuePtr &Err) {
+  const uint64_t Id =
+      static_cast<uint64_t>(Req.get("instance")->asInt(0));
+  std::lock_guard<std::mutex> L(D.M);
+  auto It = D.Slots.find(Id);
+  if (It == D.Slots.end()) {
+    Err = errorReply("unknown instance id");
+    return false;
+  }
+  Out = It->second;
+  return true;
+}
+
+json::ValuePtr handlePush(Daemon &D, const json::Value &Req) {
+  Daemon::InstanceSlot Slot;
+  json::ValuePtr Err;
+  if (!findSlot(D, Req, Slot, Err))
+    return Err;
+  const json::ValuePtr Data = Req.get("data");
+  if (Data->kind() != json::Value::Kind::Array)
+    return errorReply("push: data must be an array");
+  const int64_t Iterations = Req.get("iterations")->asInt(1);
+  // Materialize the wire batch into a daemon-owned stream: the
+  // zero-copy contract needs the buffer alive until outputs are
+  // pulled, and the socket line buffer is gone when this returns.
+  auto S = std::make_shared<interp::TokenStream>();
+  S->Ty = Slot.I->plan().inputType();
+  for (const auto &E : Data->elements()) {
+    if (E->kind() != json::Value::Kind::Number)
+      return errorReply("push: data must be numeric");
+    if (S->Ty == lir::TypeKind::Int)
+      S->I.push_back(E->asInt());
+    else
+      S->F.push_back(E->asNumber());
+  }
+  std::lock_guard<std::mutex> IoL(*Slot.IoM);
+  std::string PushErr;
+  const server::BatchStatus St =
+      D.Server.pushBatch(*Slot.I, S->view(), Iterations, &PushErr);
+  if (St == server::BatchStatus::Ok) {
+    std::lock_guard<std::mutex> L(D.M);
+    auto It = D.Slots.find(Slot.I->id());
+    if (It != D.Slots.end())
+      It->second.Pinned.push_back(S);
+  }
+  auto R = json::Value::object();
+  R->set("ok", json::Value::boolean(St == server::BatchStatus::Ok));
+  R->set("status", json::Value::str(server::batchStatusName(St)));
+  if (!PushErr.empty())
+    R->set("error", json::Value::str(PushErr));
+  return R;
+}
+
+json::ValuePtr handlePull(Daemon &D, const json::Value &Req) {
+  Daemon::InstanceSlot Slot;
+  json::ValuePtr Err;
+  if (!findSlot(D, Req, Slot, Err))
+    return Err;
+  std::lock_guard<std::mutex> IoL(*Slot.IoM);
+  interp::TokenStream Out;
+  const server::BatchStatus St = Slot.I->pullBatch(Out);
+  auto R = json::Value::object();
+  R->set("ok", json::Value::boolean(St == server::BatchStatus::Ok));
+  R->set("status", json::Value::str(server::batchStatusName(St)));
+  if (St == server::BatchStatus::Ok) {
+    auto Arr = json::Value::array();
+    if (Out.Ty == lir::TypeKind::Int)
+      for (int64_t V : Out.I)
+        Arr->push(json::Value::number(static_cast<double>(V)));
+    else
+      for (double V : Out.F)
+        Arr->push(json::Value::number(V));
+    R->set("data", std::move(Arr));
+  } else if (St == server::BatchStatus::Faulted) {
+    R->set("error",
+           json::Value::str(Slot.I->faultReport().FirstFault.Message));
+  }
+  return R;
+}
+
+json::ValuePtr rawJsonReply(const std::string &Doc) {
+  // The fault-report / stats emitters already produce JSON; re-parse so
+  // the reply stays one well-formed object.
+  std::string Err;
+  if (auto V = json::parse(Doc, Err))
+    return V;
+  return errorReply("internal: bad JSON document: " + Err);
+}
+
+json::ValuePtr handleRequest(Daemon &D, const json::Value &Req) {
+  const std::string Op = Req.get("op")->asString();
+  if (Op == "ping")
+    return okReply();
+  if (Op == "compile")
+    return handleCompile(D, Req);
+  if (Op == "spawn")
+    return handleSpawn(D, Req);
+  if (Op == "push")
+    return handlePush(D, Req);
+  if (Op == "pull")
+    return handlePull(D, Req);
+  if (Op == "stats") {
+    auto R = okReply();
+    R->set("stats", rawJsonReply(D.Server.statsJson()));
+    return R;
+  }
+  if (Op == "instance-stats") {
+    Daemon::InstanceSlot Slot;
+    json::ValuePtr Err;
+    if (!findSlot(D, Req, Slot, Err))
+      return Err;
+    auto R = okReply();
+    R->set("stats", rawJsonReply(Slot.I->runtimeStats().json()));
+    return R;
+  }
+  if (Op == "fault") {
+    Daemon::InstanceSlot Slot;
+    json::ValuePtr Err;
+    if (!findSlot(D, Req, Slot, Err))
+      return Err;
+    auto R = okReply();
+    R->set("faulted", json::Value::boolean(Slot.I->faulted()));
+    if (Slot.I->faulted())
+      R->set("report", rawJsonReply(Slot.I->faultReport().json()));
+    return R;
+  }
+  if (Op == "cancel") {
+    Daemon::InstanceSlot Slot;
+    json::ValuePtr Err;
+    if (!findSlot(D, Req, Slot, Err))
+      return Err;
+    Slot.I->cancel();
+    return okReply();
+  }
+  if (Op == "free-instance") {
+    Daemon::InstanceSlot Slot;
+    json::ValuePtr Err;
+    if (!findSlot(D, Req, Slot, Err))
+      return Err;
+    std::lock_guard<std::mutex> IoL(*Slot.IoM);
+    D.Server.freeInstance(Slot.I->id());
+    std::lock_guard<std::mutex> L(D.M);
+    D.Slots.erase(Slot.I->id());
+    return okReply();
+  }
+  if (Op == "release-plan") {
+    const uint64_t Id = static_cast<uint64_t>(Req.get("plan")->asInt(0));
+    std::lock_guard<std::mutex> L(D.M);
+    if (!D.Plans.erase(Id))
+      return errorReply("unknown plan id");
+    return okReply();
+  }
+  if (Op == "shutdown") {
+    D.ShuttingDown.store(true, std::memory_order_release);
+    const int Fd = D.ListenFd.load(std::memory_order_acquire);
+    if (Fd >= 0)
+      ::shutdown(Fd, SHUT_RDWR); // unblocks the accept loop
+    return okReply();
+  }
+  return errorReply("unknown op: " + Op);
+}
+
+void serveConnection(Daemon &D, int Fd) {
+  std::string Buf;
+  char Chunk[4096];
+  for (;;) {
+    const ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0)
+      break;
+    Buf.append(Chunk, static_cast<size_t>(N));
+    size_t Nl;
+    while ((Nl = Buf.find('\n')) != std::string::npos) {
+      const std::string Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      if (Line.empty())
+        continue;
+      std::string Err;
+      json::ValuePtr Req = json::parse(Line, Err);
+      json::ValuePtr Reply =
+          Req ? handleRequest(D, *Req)
+              : errorReply("bad request JSON: " + Err);
+      std::string Out = Reply->dump();
+      Out += '\n';
+      size_t Off = 0;
+      while (Off < Out.size()) {
+        const ssize_t W = ::write(Fd, Out.data() + Off, Out.size() - Off);
+        if (W <= 0)
+          goto done;
+        Off += static_cast<size_t>(W);
+      }
+      if (D.ShuttingDown.load(std::memory_order_acquire))
+        goto done;
+    }
+  }
+done:
+  ::close(Fd);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Options Opt;
+  for (int I = 1; I < argc; ++I) {
+    const std::string A = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "laminard: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (A == "--socket")
+      Opt.SocketPath = Next("--socket");
+    else if (A == "--workers")
+      Opt.Workers = static_cast<unsigned>(std::atoi(Next("--workers")));
+    else if (A == "--cache-entries")
+      Opt.CacheEntries =
+          static_cast<size_t>(std::atoll(Next("--cache-entries")));
+    else if (A == "--cache-bytes")
+      Opt.CacheBytes =
+          static_cast<size_t>(std::atoll(Next("--cache-bytes")));
+    else if (A == "--deadline-ms")
+      Opt.DeadlineMs =
+          static_cast<uint64_t>(std::atoll(Next("--deadline-ms")));
+    else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "laminard: unknown flag %s\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  server::ServerConfig C;
+  C.Workers = Opt.Workers;
+  C.CacheEntries = Opt.CacheEntries;
+  C.CacheBytes = Opt.CacheBytes;
+  C.InstanceDeadlineMs = Opt.DeadlineMs;
+  Daemon D(C);
+
+  const int Listen = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Listen < 0) {
+    std::perror("laminard: socket");
+    return 1;
+  }
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Opt.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "laminard: socket path too long\n");
+    return 1;
+  }
+  std::strncpy(Addr.sun_path, Opt.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+  ::unlink(Opt.SocketPath.c_str());
+  if (::bind(Listen, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0) {
+    std::perror("laminard: bind");
+    return 1;
+  }
+  if (::listen(Listen, 64) < 0) {
+    std::perror("laminard: listen");
+    return 1;
+  }
+  D.ListenFd.store(Listen, std::memory_order_release);
+  std::fprintf(stderr, "laminard: listening on %s (%u workers)\n",
+               Opt.SocketPath.c_str(), D.Server.config().Workers);
+
+  std::vector<std::thread> Conns;
+  while (!D.ShuttingDown.load(std::memory_order_acquire)) {
+    const int Fd = ::accept(Listen, nullptr, nullptr);
+    if (Fd < 0)
+      break;
+    Conns.emplace_back([&D, Fd] { serveConnection(D, Fd); });
+    if (D.ShuttingDown.load(std::memory_order_acquire))
+      break;
+  }
+  ::close(Listen);
+  for (std::thread &T : Conns)
+    T.join();
+  ::unlink(Opt.SocketPath.c_str());
+  return 0;
+}
