@@ -96,6 +96,10 @@ BatchStatus Instance::pushBatch(TokenView In, int64_t Iterations,
 }
 
 BatchStatus Instance::pullBatch(TokenStream &Out) {
+  // M is held across the checks and released only inside CV.wait, so a
+  // producer that changes state and then touches M before notifying
+  // cannot slip a wakeup between our check and our wait.
+  std::unique_lock<std::mutex> L(M);
   for (;;) {
     TokenStream *S = nullptr;
     if (OutQ.tryPop(S)) {
@@ -115,12 +119,9 @@ BatchStatus Instance::pullBatch(TokenStream &Out) {
                  ? BatchStatus::Cancelled
                  : BatchStatus::Faulted;
     }
-    {
-      std::lock_guard<std::mutex> L(M);
-      if (Pending.empty() && !InFlight)
-        return BatchStatus::Empty;
-    }
-    std::this_thread::yield();
+    if (Pending.empty() && !InFlight)
+      return BatchStatus::Empty;
+    CV.wait(L);
   }
 }
 
@@ -131,9 +132,17 @@ void Instance::failPending(FaultKind K, const std::string &Msg) {
   Report.Cancelled = Cancel.isCancelledAcquire();
   Faulted.store(true, std::memory_order_release);
   OutQ.poison();
-  std::lock_guard<std::mutex> L(M);
-  Pending.clear();
-  InFlight = false;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Pending.clear();
+    InFlight = false;
+  }
+  CV.notify_all();
+}
+
+void Instance::failUnscheduled(const std::string &Reason) {
+  Cancel.cancel();
+  failPending(FaultKind::Cancelled, Reason);
 }
 
 bool Instance::runBatch(const Batch &B) {
@@ -195,6 +204,11 @@ bool Instance::runBatch(const Batch &B) {
     }
     std::this_thread::yield();
   }
+  // Touch M between the push and the notify (the spin above must not
+  // hold M — the puller pops under it) so a puller that saw the queue
+  // empty is already parked in CV.wait and receives this wakeup.
+  { std::lock_guard<std::mutex> L(M); }
+  CV.notify_all();
   return true;
 }
 
@@ -206,13 +220,17 @@ void Instance::runPending() {
       if (Faulted.load(std::memory_order_acquire)) {
         Pending.clear();
         InFlight = false;
-        return;
-      }
-      if (Pending.empty()) {
+      } else if (Pending.empty()) {
         InFlight = false;
+      } else {
+        B = Pending.front();
+      }
+      if (!InFlight) {
+        // Going idle: wake pullers so they can report Empty (or the
+        // fault) instead of waiting on a worker that just left.
+        CV.notify_all();
         return;
       }
-      B = Pending.front();
     }
     if (Cancel.isCancelledAcquire()) {
       Fault F;

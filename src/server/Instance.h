@@ -36,6 +36,7 @@
 #include "profile/Profile.h"
 #include "server/CompiledPlan.h"
 #include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -88,9 +89,18 @@ public:
                         bool *NeedsSchedule, std::string *Err = nullptr);
 
   /// Pops the oldest completed batch into \p Out (replacing its
-  /// contents). Blocks while a batch is in flight; returns Empty
-  /// immediately when nothing is queued, running, or completed.
+  /// contents). Blocks on a condition variable while a batch is in
+  /// flight (woken when a batch is published, the instance faults, or
+  /// the queue drains to idle); returns Empty immediately when nothing
+  /// is queued, running, or completed.
   BatchStatus pullBatch(interp::TokenStream &Out);
+
+  /// Fails every queued batch with Cancelled and poisons the output
+  /// queue. The server calls this when a successfully pushed batch can
+  /// no longer be scheduled (the instance was freed, or the pool is
+  /// stopping, between push and enqueue) so no worker will ever run
+  /// it — without this, pullers would wait forever on InFlight.
+  void failUnscheduled(const std::string &Reason);
 
   /// Cooperative cancel: the executor observes the token within 1024
   /// steps; queued batches fail with Cancelled.
@@ -160,6 +170,10 @@ private:
   parallel::SpscQueue<interp::TokenStream *> OutQ{OutQueueSlabs};
 
   mutable std::mutex M;
+  /// Wakes pullBatch waiters. Producers touch M (even empty-critical-
+  /// section) between the state change and the notify, so a consumer
+  /// that checked state under M and went to wait cannot miss a wakeup.
+  std::condition_variable CV;
   std::deque<Batch> Pending;
   bool InFlight = false;
   /// True once any batch was ever queued — the first batch is the one

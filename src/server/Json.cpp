@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 using namespace laminar;
 using namespace laminar::json;
@@ -53,7 +54,19 @@ double Value::asNumber(double Default) const {
 }
 
 int64_t Value::asInt(int64_t Default) const {
-  return K == Kind::Number ? static_cast<int64_t>(Num) : Default;
+  if (K != Kind::Number)
+    return Default;
+  // This feeds untrusted socket input; an out-of-range double-to-int
+  // cast is UB, so saturate instead. 2^63 is exactly representable as
+  // a double while INT64_MAX is not, hence the asymmetric bounds: the
+  // in-range window is [-2^63, 2^63).
+  if (std::isnan(Num))
+    return Default;
+  if (Num >= 9223372036854775808.0)
+    return std::numeric_limits<int64_t>::max();
+  if (Num < -9223372036854775808.0)
+    return std::numeric_limits<int64_t>::min();
+  return static_cast<int64_t>(Num);
 }
 
 const std::string &Value::asString() const {

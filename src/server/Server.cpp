@@ -38,6 +38,11 @@ StreamServer::~StreamServer() {
     Stopping = true;
   }
   PoolCV.notify_all();
+  {
+    std::lock_guard<std::mutex> L(WatchdogM);
+    WatchdogStop = true;
+  }
+  WatchdogCV.notify_all();
   for (std::thread &T : Pool)
     T.join();
   if (Watchdog.joinable())
@@ -126,20 +131,25 @@ BatchStatus StreamServer::pushBatch(Instance &I, interp::TokenView In,
   }
   if (NeedsSchedule) {
     // Re-resolve through the table so the pool job owns a shared_ptr.
-    if (auto Ref = instance(I.id()))
-      enqueue(std::move(Ref));
+    // If freeInstance won the race (or the pool is stopping), no
+    // worker will ever run the batch we just queued: fail it so a
+    // puller is not left waiting on InFlight forever.
+    auto Ref = instance(I.id());
+    if (!Ref || !enqueue(std::move(Ref)))
+      I.failUnscheduled("instance freed before its batch was scheduled");
   }
   return S;
 }
 
-void StreamServer::enqueue(std::shared_ptr<Instance> I) {
+bool StreamServer::enqueue(std::shared_ptr<Instance> I) {
   {
     std::lock_guard<std::mutex> L(PoolM);
     if (Stopping)
-      return;
+      return false;
     JobQ.push_back(std::move(I));
   }
   PoolCV.notify_one();
+  return true;
 }
 
 void StreamServer::workerMain() {
@@ -161,9 +171,9 @@ void StreamServer::watchdogMain() {
   const uint64_t DeadlineNs = Cfg.InstanceDeadlineMs * 1000000ull;
   for (;;) {
     {
-      std::unique_lock<std::mutex> L(PoolM);
-      if (PoolCV.wait_for(L, std::chrono::milliseconds(5),
-                          [this] { return Stopping; }))
+      std::unique_lock<std::mutex> L(WatchdogM);
+      if (WatchdogCV.wait_for(L, std::chrono::milliseconds(5),
+                              [this] { return WatchdogStop; }))
         return;
     }
     const uint64_t Now = profile::Profiler::nowNs();

@@ -101,7 +101,10 @@ public:
 private:
   void workerMain();
   void watchdogMain();
-  void enqueue(std::shared_ptr<Instance> I);
+  /// Hands \p I to the pool. Returns false when the pool is stopping
+  /// and the job was not queued — the caller must then fail the
+  /// instance's pending work itself.
+  bool enqueue(std::shared_ptr<Instance> I);
 
   ServerConfig Cfg;
   PlanCache Cache;
@@ -118,6 +121,13 @@ private:
   std::deque<std::shared_ptr<Instance>> JobQ;
   bool Stopping = false;
   std::vector<std::thread> Pool;
+  /// The watchdog gets its own mutex/CV so PoolCV waiters are only
+  /// workers: if it waited on PoolCV, enqueue()'s notify_one could wake
+  /// the watchdog instead of an idle worker and the job would sit in
+  /// JobQ unserved (a lost wakeup) on an otherwise quiet server.
+  std::mutex WatchdogM;
+  std::condition_variable WatchdogCV;
+  bool WatchdogStop = false;
   std::thread Watchdog;
 };
 

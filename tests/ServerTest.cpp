@@ -27,6 +27,7 @@
 #include "server/Server.h"
 #include "suite/Suite.h"
 #include <gtest/gtest.h>
+#include <limits>
 #include <thread>
 
 using namespace laminar;
@@ -518,6 +519,67 @@ TEST(ServerFaults, FaultingInstanceDiesAloneWithStructuredReport) {
   EXPECT_EQ(Out.I, (std::vector<int64_t>{100, 50, 20}));
 }
 
+TEST(ServerScheduling, DeadlineWatchdogDoesNotStealWorkerWakeups) {
+  // Regression: the watchdog used to wait on the pool's condition
+  // variable, so enqueue()'s notify_one could wake the watchdog
+  // instead of the one idle worker — the job then sat in the queue and
+  // pullBatch blocked forever on a quiet server. A deadline-enabled
+  // single-worker server must serve every push/pull cycle promptly.
+  ServerConfig C;
+  C.Workers = 1;
+  C.InstanceDeadlineMs = 60000; // enabled, far from ever firing
+  StreamServer S(C);
+  std::string Err;
+  auto Plan = S.compile(OffsetSource, optsFor("Shift"), Err);
+  ASSERT_TRUE(Plan) << Err;
+  auto I = S.spawn(Plan);
+  std::vector<int64_t> In = {1, 2, 3};
+  interp::TokenView V;
+  V.Ty = lir::TypeKind::Int;
+  V.I = In.data();
+  V.Count = In.size();
+  interp::TokenStream Out;
+  for (int Round = 0; Round < 200; ++Round) {
+    ASSERT_EQ(S.pushBatch(*I, V, 3), BatchStatus::Ok) << "round " << Round;
+    ASSERT_EQ(I->pullBatch(Out), BatchStatus::Ok) << "round " << Round;
+    EXPECT_EQ(Out.I, (std::vector<int64_t>{8, 9, 10}));
+  }
+}
+
+TEST(ServerScheduling, FailUnscheduledUnblocksWaitingPuller) {
+  // Regression for the push/free race: a batch can be validated and
+  // queued (InFlight set) and then never handed to the pool because
+  // freeInstance won the race. failUnscheduled is the server's repair
+  // path — it must wake a puller already blocked on the in-flight
+  // batch and report Cancelled, not leave it waiting forever.
+  ServerConfig C;
+  C.Workers = 1;
+  StreamServer S(C);
+  std::string Err;
+  auto Plan = S.compile(OffsetSource, optsFor("Shift"), Err);
+  ASSERT_TRUE(Plan) << Err;
+  // A bare Instance the pool has never seen: the push marks it
+  // runnable but no worker will ever run it, exactly the orphaned
+  // state the race produces.
+  Instance I(Plan, 999);
+  std::vector<int64_t> In = {1};
+  interp::TokenView V;
+  V.Ty = lir::TypeKind::Int;
+  V.I = In.data();
+  V.Count = 1;
+  bool NeedsSchedule = false;
+  ASSERT_EQ(I.pushBatch(V, 1, &NeedsSchedule), BatchStatus::Ok);
+  ASSERT_TRUE(NeedsSchedule);
+  interp::TokenStream Out;
+  BatchStatus PullSt = BatchStatus::Ok;
+  std::thread Puller([&] { PullSt = I.pullBatch(Out); });
+  I.failUnscheduled("instance freed before its batch was scheduled");
+  Puller.join();
+  EXPECT_EQ(PullSt, BatchStatus::Cancelled);
+  EXPECT_EQ(I.faultReport().FirstFault.Message,
+            "instance freed before its batch was scheduled");
+}
+
 TEST(ServerFaults, CancellationReportsCancelled) {
   ServerConfig C;
   C.Workers = 1;
@@ -572,6 +634,29 @@ TEST(ServerJson, RejectsMalformedInput) {
   // Depth bomb: bounded, not stack overflow.
   EXPECT_FALSE(json::parse(std::string(200, '[') + std::string(200, ']'),
                            Err));
+}
+
+TEST(ServerJson, AsIntSaturatesUntrustedNumbers) {
+  // asInt feeds untrusted socket input ({"iterations":1e300}) into
+  // int64 fields; an out-of-range double→int cast is UB, so the
+  // conversion saturates and NaN falls back to the default.
+  std::string Err;
+  auto V = json::parse(
+      R"({"huge":1e300,"neg":-1e300,"edge":9223372036854775808,)"
+      R"("ok":123,"frac":2.9})",
+      Err);
+  ASSERT_TRUE(V) << Err;
+  EXPECT_EQ(V->get("huge")->asInt(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(V->get("neg")->asInt(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(V->get("edge")->asInt(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(V->get("ok")->asInt(), 123);
+  EXPECT_EQ(V->get("frac")->asInt(), 2);
+  EXPECT_EQ(json::Value::number(std::numeric_limits<double>::quiet_NaN())
+                ->asInt(7),
+            7);
+  EXPECT_EQ(json::Value::number(std::numeric_limits<double>::infinity())
+                ->asInt(),
+            std::numeric_limits<int64_t>::max());
 }
 
 TEST(ServerJson, ParsesServerStatsDocument) {

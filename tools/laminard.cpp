@@ -39,6 +39,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -95,8 +96,11 @@ struct Daemon {
     std::shared_ptr<std::mutex> IoM = std::make_shared<std::mutex>();
     /// Wire batches are owned by the daemon (the socket buffer dies
     /// with the request line); each pushed batch is pinned here until
-    /// the instance is freed.
-    std::vector<std::shared_ptr<interp::TokenStream>> Pinned;
+    /// its outputs have been pulled. Batches complete FIFO, so a
+    /// successful pull unpins the front entry — without that, a
+    /// long-lived streaming instance would leak one buffer per
+    /// push/pull cycle for the life of the daemon.
+    std::deque<std::shared_ptr<interp::TokenStream>> Pinned;
   };
   std::unordered_map<uint64_t, InstanceSlot> Slots;
 };
@@ -261,6 +265,14 @@ json::ValuePtr handlePull(Daemon &D, const json::Value &Req) {
       for (double V : Out.F)
         Arr->push(json::Value::number(V));
     R->set("data", std::move(Arr));
+    // Batches complete FIFO and an input buffer only has to outlive
+    // its batch's pull (the zero-copy contract), so the oldest pinned
+    // batch is now dead — unpin it. IoM is still held, so this pull
+    // and the unpin are atomic w.r.t. other connections' pushes.
+    std::lock_guard<std::mutex> L(D.M);
+    auto It = D.Slots.find(Slot.I->id());
+    if (It != D.Slots.end() && !It->second.Pinned.empty())
+      It->second.Pinned.pop_front();
   } else if (St == server::BatchStatus::Faulted) {
     R->set("error",
            json::Value::str(Slot.I->faultReport().FirstFault.Message));
